@@ -1,0 +1,110 @@
+// E6 — §4.3 VM migration cost: suspend (drain in-flight call), record/replay
+// snapshot + device-buffer copy-out, replay + buffer restore on the
+// destination, then resume. Reports each phase and the total pause as a
+// function of resident device state.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/gen/vcl_hooks.h"
+#include "src/migrate/recorder.h"
+#include "src/migrate/snapshot.h"
+
+namespace {
+
+constexpr const char* kScaleSrc =
+    "__kernel void scale(__global float* d, float k, int n) {"
+    "  int i = get_global_id(0);"
+    "  if (i < n) { d[i] = d[i] * k; }"
+    "}";
+
+void RunOnce(std::size_t buffer_mb) {
+  vcl::ResetDefaultSilo({});
+  auto router = std::make_unique<ava::Router>();
+  router->Start();
+  auto pair = ava::MakeInProcChannel();
+  auto session = std::make_shared<ava::ApiServerSession>(1);
+  session->RegisterApi(ava_gen_vcl::kApiId, ava_gen_vcl::MakeVclApiHandler());
+  ava::Recorder recorder;
+  session->SetRecordSink(&recorder);
+  router->AttachVm(1, std::move(pair.host), session);
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  auto endpoint =
+      std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+  auto api = ava_gen_vcl::MakeVclGuestApi(endpoint);
+
+  // Establish state: N buffers of 1 MiB each, a built program, bound args.
+  vcl_platform_id platform = nullptr;
+  api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  std::vector<vcl_mem> buffers;
+  std::vector<float> chunk((1u << 20) / 4, 1.5f);
+  for (std::size_t i = 0; i < buffer_mb; ++i) {
+    buffers.push_back(api.vclCreateBuffer(ctx, VCL_MEM_COPY_HOST_PTR,
+                                          1u << 20, chunk.data(), &err));
+  }
+  vcl_program prog = api.vclCreateProgramWithSource(ctx, kScaleSrc, &err);
+  api.vclBuildProgram(prog, nullptr);
+  vcl_kernel kernel = api.vclCreateKernel(prog, "scale", &err);
+  float k = 2.0f;
+  int n = static_cast<int>(chunk.size());
+  api.vclSetKernelArgBuffer(kernel, 0, buffers[0]);
+  api.vclSetKernelArgScalar(kernel, 1, sizeof(float), &k);
+  api.vclSetKernelArgScalar(kernel, 2, sizeof(int), &n);
+  size_t global = chunk.size();
+  api.vclEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global, nullptr, 0,
+                              nullptr, nullptr);
+  api.vclFinish(queue);
+
+  // Migrate.
+  ava::MigrationEngine engine(ava_gen_vcl::MakeVclBufferHooks());
+  ava::MigrationTimings timings;
+  ava::Stopwatch total;
+  auto snapshot =
+      engine.Capture(router.get(), session.get(), recorder, &timings);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "capture failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    std::abort();
+  }
+  ava::Bytes wire = snapshot->Serialize();
+  auto target = std::make_shared<ava::ApiServerSession>(1);
+  target->RegisterApi(ava_gen_vcl::kApiId, ava_gen_vcl::MakeVclApiHandler());
+  auto arrived = ava::VmSnapshot::Deserialize(wire);
+  if (!engine.Restore(*arrived, target.get(), &timings).ok()) {
+    std::abort();
+  }
+  const double total_ms = total.ElapsedSeconds() * 1e3;
+
+  std::printf(
+      "%5zu MiB state: suspend %6.2f ms  snapshot %7.2f ms  replay %6.2f ms  "
+      "restore %7.2f ms  total %8.2f ms  (wire %5.1f MiB, %zu calls)\n",
+      buffer_mb, timings.suspend_ns / 1e6, timings.snapshot_ns / 1e6,
+      timings.replay_ns / 1e6, timings.restore_buffers_ns / 1e6, total_ms,
+      static_cast<double>(wire.size()) / (1u << 20),
+      arrived->calls.size());
+
+  endpoint.reset();
+  router->Stop();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Migration ablation — record/replay + buffer snapshot cost vs resident "
+      "state (paper §4.3)\n\n");
+  for (std::size_t mb : {1, 8, 32, 64}) {
+    RunOnce(mb);
+  }
+  std::printf(
+      "\npause scales with device state (buffer copy-out/in dominates); the\n"
+      "replay log stays small because it tracks live objects, not history.\n");
+  return 0;
+}

@@ -1,0 +1,223 @@
+// E5 — §4.3 resource management at the router, three policies:
+//
+//   1. Weighted fair queuing under backlog: when the API server is the
+//      bottleneck, dispatch throughput follows the configured weights.
+//   2. Device-time allotment: a VM's kernels may consume at most N virtual
+//      ns of device time per wall second ("how much of each specified API
+//      resource (e.g., device time) each VM is allotted").
+//   3. Call-rate limiting (token bucket at the transport layer).
+#include <cstdio>
+#include <thread>
+
+#include "bench/harness.h"
+
+namespace {
+
+constexpr const char* kSpinSrc =
+    "__kernel void spin(__global float* d, int n, int iters) {"
+    "  int i = get_global_id(0);"
+    "  if (i >= n) return;"
+    "  float acc = d[i];"
+    "  for (int k = 0; k < iters; k++) { acc = acc * 1.000001f + 0.5f; }"
+    "  d[i] = acc;"
+    "}";
+
+// ---------------------------------------------------------------------------
+// Part 1: WFQ weights under router backlog (synthetic slow API).
+// ---------------------------------------------------------------------------
+
+constexpr std::uint16_t kSlowApiId = 99;
+
+ava::ApiHandler MakeSlowHandler() {
+  return [](ava::ServerContext* ctx, std::uint32_t func_id,
+            ava::ByteReader* args, bool is_async,
+            ava::ByteWriter* reply) -> ava::Status {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    ctx->ChargeCost(300000);
+    return ava::OkStatus();
+  };
+}
+
+void RunWfq(double w1, double w2) {
+  vcl::ResetDefaultSilo({});
+  bench::Stack stack;
+  ava::VmPolicy p1, p2;
+  p1.weight = w1;
+  p2.weight = w2;
+  auto& vm1 = stack.AddVm(1, bench::TransportKind::kInProc, {}, p1);
+  auto& vm2 = stack.AddVm(2, bench::TransportKind::kInProc, {}, p2);
+  vm1.session->RegisterApi(kSlowApiId, MakeSlowHandler());
+  vm2.session->RegisterApi(kSlowApiId, MakeSlowHandler());
+
+  // Both guests flood fire-and-forget calls: the 300us handler makes the
+  // router the bottleneck, so its WFQ decides who runs.
+  auto flood = [](ava::GuestEndpoint* ep, double seconds) {
+    ava::Stopwatch watch;
+    while (watch.ElapsedSeconds() < seconds) {
+      (void)ep->CallAsync(kSlowApiId, 0, {});
+      if (ep->stats().async_calls % 64 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    }
+  };
+  std::thread t1([&] { flood(vm1.endpoint.get(), 1.5); });
+  std::thread t2([&] { flood(vm2.endpoint.get(), 1.5); });
+  t1.join();
+  t2.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto s1 = stack.router().StatsFor(1);
+  auto s2 = stack.router().StatsFor(2);
+  const double c1 = static_cast<double>(s1->cost_vns);
+  const double c2 = static_cast<double>(s2->cost_vns);
+  std::printf(
+      "  weights %.0f:%.0f -> dispatched share %5.1f%% : %5.1f%%  "
+      "(ratio %.2f, target %.2f)\n",
+      w1, w2, 100.0 * c1 / (c1 + c2), 100.0 * c2 / (c1 + c2), c1 / c2,
+      w1 / w2);
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: device-time allotment with real kernels.
+// ---------------------------------------------------------------------------
+
+void DriveKernels(const ava_gen_vcl::VclApi& api, double seconds) {
+  vcl_platform_id platform = nullptr;
+  api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  vcl_mem buf = api.vclCreateBuffer(ctx, 0, 4096 * 4, nullptr, &err);
+  vcl_program prog = api.vclCreateProgramWithSource(ctx, kSpinSrc, &err);
+  api.vclBuildProgram(prog, nullptr);
+  vcl_kernel kernel = api.vclCreateKernel(prog, "spin", &err);
+  int n = 4096, iters = 200;
+  api.vclSetKernelArgBuffer(kernel, 0, buf);
+  api.vclSetKernelArgScalar(kernel, 1, sizeof(int), &n);
+  api.vclSetKernelArgScalar(kernel, 2, sizeof(int), &iters);
+  size_t global = 4096;
+  ava::Stopwatch watch;
+  int launches = 0;
+  while (watch.ElapsedSeconds() < seconds) {
+    api.vclEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global, nullptr,
+                                0, nullptr, nullptr);
+    if (++launches % 8 == 0) {
+      api.vclFinish(queue);
+    }
+  }
+  api.vclFinish(queue);
+  api.vclReleaseKernel(kernel);
+  api.vclReleaseProgram(prog);
+  api.vclReleaseMemObject(buf);
+  api.vclReleaseCommandQueue(queue);
+  api.vclReleaseContext(ctx);
+}
+
+void RunWeightedKernels(double w1, double w2) {
+  vcl::ResetDefaultSilo({});
+  bench::Stack stack;
+  ava::VmPolicy p1, p2;
+  p1.weight = w1;
+  p2.weight = w2;
+  auto& vm1 = stack.AddVm(1, bench::TransportKind::kInProc, {}, p1);
+  auto& vm2 = stack.AddVm(2, bench::TransportKind::kInProc, {}, p2);
+  auto api1 = vm1.VclApi();
+  auto api2 = vm2.VclApi();
+  std::thread t1([&] { DriveKernels(api1, 2.0); });
+  std::thread t2([&] { DriveKernels(api2, 2.0); });
+  t1.join();
+  t2.join();
+  auto s1 = stack.router().StatsFor(1);
+  auto s2 = stack.router().StatsFor(2);
+  const double c1 = static_cast<double>(s1->cost_vns);
+  const double c2 = static_cast<double>(s2->cost_vns);
+  std::printf(
+      "  weights %.0f:%.0f -> device-time share %5.1f%% : %5.1f%% "
+      "(ratio %.2f, target %.2f)\n",
+      w1, w2, 100.0 * c1 / (c1 + c2), 100.0 * c2 / (c1 + c2), c1 / c2,
+      w1 / w2);
+}
+
+// Returns the vns/s a single unconstrained VM achieves (calibration).
+double Calibrate() {
+  vcl::ResetDefaultSilo({});
+  bench::Stack stack;
+  auto& vm = stack.AddVm(1, bench::TransportKind::kInProc);
+  auto api = vm.VclApi();
+  ava::Stopwatch watch;
+  DriveKernels(api, 1.0);
+  auto stats = stack.router().StatsFor(1);
+  return static_cast<double>(stats->cost_vns) / watch.ElapsedSeconds();
+}
+
+void RunAllotment(double capacity_vns, double cap_fraction) {
+  vcl::ResetDefaultSilo({});
+  bench::Stack stack;
+  ava::VmPolicy capped;
+  capped.device_vns_per_sec = capacity_vns * cap_fraction;
+  auto& vm1 = stack.AddVm(1, bench::TransportKind::kInProc);  // unconstrained
+  auto& vm2 = stack.AddVm(2, bench::TransportKind::kInProc, {}, capped);
+  auto api1 = vm1.VclApi();
+  auto api2 = vm2.VclApi();
+  std::thread t1([&] { DriveKernels(api1, 2.0); });
+  std::thread t2([&] { DriveKernels(api2, 2.0); });
+  t1.join();
+  t2.join();
+  auto s1 = stack.router().StatsFor(1);
+  auto s2 = stack.router().StatsFor(2);
+  const double c1 = static_cast<double>(s1->cost_vns);
+  const double c2 = static_cast<double>(s2->cost_vns);
+  std::printf(
+      "  vm2 allotted %4.0f%% of capacity -> shares %5.1f%% : %5.1f%% "
+      "(vm2 measured %.0f%% of capacity)\n",
+      100.0 * cap_fraction, 100.0 * c1 / (c1 + c2), 100.0 * c2 / (c1 + c2),
+      100.0 * (c2 / 2.0) / capacity_vns);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scheduler ablation (paper §4.3)\n");
+  std::printf("\n1. Weighted fair queuing under router backlog:\n");
+  RunWfq(1.0, 1.0);
+  RunWfq(2.0, 1.0);
+  RunWfq(4.0, 1.0);
+
+  std::printf("\n2. Weighted device-time sharing, real kernel streams:\n");
+  RunWeightedKernels(1.0, 1.0);
+  RunWeightedKernels(2.0, 1.0);
+  RunWeightedKernels(4.0, 1.0);
+
+  std::printf("\n3. Device-time allotment (contending kernel streams):\n");
+  const double capacity = Calibrate();
+  std::printf("  calibrated single-VM device throughput: %.1f Mvns/s\n",
+              capacity / 1e6);
+  RunAllotment(capacity, 0.25);
+  RunAllotment(capacity, 0.10);
+
+  std::printf("\n4. Call-rate limiting:\n");
+  for (double cap : {0.0, 500.0}) {
+    vcl::ResetDefaultSilo({});
+    bench::Stack stack;
+    ava::VmPolicy policy;
+    policy.calls_per_sec = cap;
+    auto& vm = stack.AddVm(1, bench::TransportKind::kInProc, {}, policy);
+    auto api = vm.VclApi();
+    vcl_platform_id platform = nullptr;
+    api.vclGetPlatformIDs(1, &platform, nullptr);
+    ava::Stopwatch watch;
+    const int kCalls = 1200;
+    for (int i = 0; i < kCalls; ++i) {
+      vcl_uint n = 0;
+      api.vclGetPlatformIDs(0, nullptr, &n);
+    }
+    auto stats = stack.router().StatsFor(1);
+    std::printf(
+        "  cap %6.0f calls/s -> measured %8.0f calls/s (throttle wait %.0f "
+        "ms)\n",
+        cap, kCalls / watch.ElapsedSeconds(),
+        static_cast<double>(stats->rate_limit_wait_ns) / 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E7 — §4.3 buffer-granularity swapping: two VMs oversubscribe the device;
+// with the swap manager their combined working set keeps fitting (at the
+// cost of swap traffic), while without it the second VM simply gets OOM.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/gen/vcl_hooks.h"
+
+namespace {
+
+struct VmState {
+  bench::GuestVm* vm;
+  ava_gen_vcl::VclApi api;
+  vcl_context ctx = nullptr;
+  vcl_command_queue queue = nullptr;
+  std::vector<vcl_mem> buffers;
+  int failures = 0;
+};
+
+void Setup(VmState* s) {
+  vcl_platform_id platform = nullptr;
+  s->api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  s->api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  s->ctx = s->api.vclCreateContext(&device, 1, &err);
+  s->queue = s->api.vclCreateCommandQueue(s->ctx, device, 0, &err);
+}
+
+// Allocates `count` chunks of `bytes` and touches them round-robin.
+void Churn(VmState* s, int count, std::size_t bytes, int rounds) {
+  std::vector<std::uint32_t> data(bytes / 4, 0x5A5A5A5A);
+  for (int i = 0; i < count; ++i) {
+    vcl_int err = VCL_SUCCESS;
+    vcl_mem m = s->api.vclCreateBuffer(s->ctx, VCL_MEM_COPY_HOST_PTR, bytes,
+                                       data.data(), &err);
+    if (err != VCL_SUCCESS) {
+      ++s->failures;
+      continue;
+    }
+    s->buffers.push_back(m);
+  }
+  std::vector<std::uint32_t> out(bytes / 4);
+  for (int round = 0; round < rounds; ++round) {
+    for (vcl_mem m : s->buffers) {
+      if (s->api.vclEnqueueReadBuffer(s->queue, m, VCL_TRUE, 0, bytes,
+                                      out.data(), 0, nullptr,
+                                      nullptr) != VCL_SUCCESS) {
+        ++s->failures;
+      } else if (out[0] != 0x5A5A5A5A) {
+        ++s->failures;  // data corruption would count as failure
+      }
+    }
+  }
+}
+
+void RunConfig(bool with_swap) {
+  vcl::SiloConfig config;
+  config.device_global_mem_bytes = 16u << 20;  // 16 MiB device
+  vcl::ResetDefaultSilo(config);
+  std::shared_ptr<ava::SwapManager> swap;
+  if (with_swap) {
+    swap = std::make_shared<ava::SwapManager>(
+        ava_gen_vcl::MakeVclBufferHooks());
+  }
+  bench::Stack stack;
+  VmState vm1{&stack.AddVm(1, bench::TransportKind::kInProc, {}, {}, swap)};
+  VmState vm2{&stack.AddVm(2, bench::TransportKind::kInProc, {}, {}, swap)};
+  vm1.api = vm1.vm->VclApi();
+  vm2.api = vm2.vm->VclApi();
+  Setup(&vm1);
+  Setup(&vm2);
+
+  // Combined demand: 2 VMs x 6 x 2 MiB = 24 MiB on a 16 MiB device.
+  ava::Stopwatch watch;
+  Churn(&vm1, 6, 2u << 20, 2);
+  Churn(&vm2, 6, 2u << 20, 2);
+  const double ms = watch.ElapsedSeconds() * 1e3;
+
+  std::printf("%-12s: %7.1f ms   vm1 failures %d, vm2 failures %d",
+              with_swap ? "with-swap" : "no-swap", ms, vm1.failures,
+              vm2.failures);
+  if (swap != nullptr) {
+    auto stats = swap->stats();
+    std::printf("   swap-outs %llu, swap-ins %llu, %.1f MiB moved",
+                static_cast<unsigned long long>(stats.swap_outs),
+                static_cast<unsigned long long>(stats.swap_ins),
+                static_cast<double>(stats.bytes_swapped_out +
+                                    stats.bytes_swapped_in) /
+                    (1u << 20));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Swap ablation — 2 VMs demand 24 MiB on a 16 MiB device (paper §4.3:\n"
+      "\"AvA avoids exposing out-of-memory conditions to contending guest "
+      "VMs\")\n\n");
+  RunConfig(/*with_swap=*/false);
+  RunConfig(/*with_swap=*/true);
+  std::printf(
+      "\nwithout swapping the contending VM's allocations fail; with\n"
+      "buffer-granularity swapping every access succeeds, paid for in swap\n"
+      "traffic.\n");
+  return 0;
+}

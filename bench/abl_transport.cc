@@ -1,0 +1,53 @@
+// E4 — transport ablation (§4.1: "different communication transports and
+// system architectures"): the same workloads over the in-process FIFO, the
+// cross-process shared-memory ring, and a Unix socket (the disaggregated
+// configuration's transport).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/workloads/vcl_workloads.h"
+
+int main() {
+  constexpr int kReps = 3;
+  const char* names[] = {"pathfinder", "gaussian", "nn"};
+  const std::size_t indices[] = {6, 2, 4};
+  workloads::WorkloadOptions options;
+
+  std::printf("Transport ablation — same stack, pluggable transport\n\n");
+  std::printf("%-12s %10s %10s %10s %10s\n", "benchmark", "native",
+              "inproc", "shm-ring", "socket");
+  bench::PrintRule(58);
+  for (int row = 0; row < 3; ++row) {
+    const auto& workload = workloads::AllVclWorkloads()[indices[row]];
+    vcl::ResetDefaultSilo({});
+    auto native_api = ava_gen_vcl::MakeVclNativeApi();
+    double native_ms = 1e3 * bench::MedianSeconds(kReps, [&] {
+      if (!workload.run(native_api, options).ok()) {
+        std::abort();
+      }
+    });
+    double ms[3] = {0, 0, 0};
+    const bench::TransportKind kinds[] = {bench::TransportKind::kInProc,
+                                          bench::TransportKind::kShmRing,
+                                          bench::TransportKind::kSocketPair};
+    for (int t = 0; t < 3; ++t) {
+      vcl::ResetDefaultSilo({});
+      bench::Stack stack;
+      auto& vm = stack.AddVm(1, kinds[t]);
+      auto api = vm.VclApi();
+      ms[t] = 1e3 * bench::MedianSeconds(kReps, [&] {
+        if (!workload.run(api, options).ok()) {
+          std::abort();
+        }
+      });
+    }
+    std::printf("%-12s %8.1fms %8.1fms %8.1fms %8.1fms\n",
+                names[row], native_ms, ms[0], ms[1], ms[2]);
+  }
+  bench::PrintRule(58);
+  std::printf(
+      "\ninproc = condvar-signaled FIFO (virtio-style kick);\n"
+      "shm-ring = polled shared-memory rings usable across fork();\n"
+      "socket = AF_UNIX stream (remote/disaggregated accelerators).\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E1 — Figure 5: end-to-end relative execution time of the Rodinia-style
+// OpenCL benchmarks and Inception-sim on the NCS stand-in, virtualized with
+// AvA and normalized to native.
+//
+// Paper reports: at most 16% overhead (8% average) for the OpenCL
+// benchmarks; ~1% for Inception on the Movidius NCS. The reproduction
+// target is the *shape*: near-native ratios, with call-latency-bound
+// benchmarks (gaussian, nw, bfs) at the high end and data/compute-bound
+// ones (nn, hotspot, inception) near 1.0.
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/workloads/inception.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace {
+
+constexpr int kReps = 3;
+
+struct Row {
+  std::string name;
+  double native_ms;
+  double ava_ms;
+};
+
+Row RunVclRow(const workloads::VclWorkload& workload) {
+  workloads::WorkloadOptions options;
+  Row row;
+  row.name = workload.name;
+
+  // Native: the API table bound straight to the silo.
+  vcl::ResetDefaultSilo({});
+  auto native_api = ava_gen_vcl::MakeVclNativeApi();
+  row.native_ms = 1e3 * bench::MedianSeconds(kReps, [&] {
+    ava::Status s = workload.run(native_api, options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "native %s failed: %s\n", workload.name.c_str(),
+                   s.ToString().c_str());
+      std::abort();
+    }
+  });
+
+  // AvA: generated guest stubs -> para-virtual FIFO -> router -> server.
+  vcl::ResetDefaultSilo({});
+  bench::Stack stack;
+  auto& vm = stack.AddVm(1, bench::TransportKind::kInProc);
+  auto ava_api = vm.VclApi();
+  row.ava_ms = 1e3 * bench::MedianSeconds(kReps, [&] {
+    ava::Status s = workload.run(ava_api, options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ava %s failed: %s\n", workload.name.c_str(),
+                   s.ToString().c_str());
+      std::abort();
+    }
+  });
+  return row;
+}
+
+Row RunInceptionRow() {
+  workloads::WorkloadOptions options;
+  Row row;
+  row.name = "inception";
+  mvnc::ResetMvncSilo({});
+  auto native_api = ava_gen_mvnc::MakeMvncNativeApi();
+  row.native_ms = 1e3 * bench::MedianSeconds(kReps, [&] {
+    ava::Status s = workloads::RunInception(native_api, options);
+    if (!s.ok()) {
+      std::abort();
+    }
+  });
+  mvnc::ResetMvncSilo({});
+  bench::Stack stack;
+  auto& vm = stack.AddVm(1, bench::TransportKind::kInProc);
+  auto ava_api = vm.MvncApi();
+  row.ava_ms = 1e3 * bench::MedianSeconds(kReps, [&] {
+    ava::Status s = workloads::RunInception(ava_api, options);
+    if (!s.ok()) {
+      std::abort();
+    }
+  });
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5 — end-to-end relative execution time (AvA / native)\n");
+  std::printf("native = direct silo calls; AvA = generated stack through the router over the\n");
+  std::printf("para-virtual FIFO transport (median of %d runs; see abl_transport\nfor shm-ring and socket numbers)\n\n", kReps);
+  std::printf("%-12s %12s %12s %10s\n", "benchmark", "native(ms)", "ava(ms)",
+              "relative");
+  bench::PrintRule(50);
+
+  double ratio_sum = 0.0;
+  double ratio_max = 0.0;
+  int vcl_rows = 0;
+  for (const auto& workload : workloads::AllVclWorkloads()) {
+    Row row = RunVclRow(workload);
+    const double ratio = row.ava_ms / row.native_ms;
+    ratio_sum += ratio;
+    ratio_max = std::max(ratio_max, ratio);
+    ++vcl_rows;
+    std::printf("%-12s %12.1f %12.1f %9.2fx\n", row.name.c_str(),
+                row.native_ms, row.ava_ms, ratio);
+  }
+  Row inception = RunInceptionRow();
+  const double inception_ratio = inception.ava_ms / inception.native_ms;
+  std::printf("%-12s %12.1f %12.1f %9.2fx   (NCS stand-in)\n",
+              inception.name.c_str(), inception.native_ms, inception.ava_ms,
+              inception_ratio);
+  bench::PrintRule(50);
+  std::printf("OpenCL-suite mean overhead: %+.1f%%   worst: %+.1f%%\n",
+              100.0 * (ratio_sum / vcl_rows - 1.0),
+              100.0 * (ratio_max - 1.0));
+  std::printf("Inception overhead:         %+.1f%%\n",
+              100.0 * (inception_ratio - 1.0));
+  std::printf(
+      "\npaper: <=16%% worst, 8%% average (OpenCL); ~1%% (Movidius NCS)\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared plumbing for the benchmark binaries: stack assembly (guest +
+// router + server over a chosen transport), repetition/median timing, and
+// paper-style table printing.
+#ifndef AVA_BENCH_HARNESS_H_
+#define AVA_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mvnc_gen.h"
+#include "src/common/vclock.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+#include "src/vcl/silo.h"
+#include "src/mvnc/silo.h"
+#include "vcl_gen.h"
+
+namespace bench {
+
+enum class TransportKind { kInProc, kShmRing, kSocketPair };
+
+inline const char* TransportName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProc:
+      return "inproc";
+    case TransportKind::kShmRing:
+      return "shm-ring";
+    case TransportKind::kSocketPair:
+      return "socketpair";
+  }
+  return "?";
+}
+
+inline ava::ChannelPair MakeChannel(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProc:
+      return ava::MakeInProcChannel();
+    case TransportKind::kShmRing: {
+      auto c = ava::MakeShmRingChannel(8u << 20);
+      if (!c.ok()) {
+        std::fprintf(stderr, "shm channel failed: %s\n",
+                     c.status().ToString().c_str());
+        std::abort();
+      }
+      return std::move(*c);
+    }
+    case TransportKind::kSocketPair: {
+      auto c = ava::MakeSocketPairChannel();
+      if (!c.ok()) {
+        std::abort();
+      }
+      return std::move(*c);
+    }
+  }
+  return ava::MakeInProcChannel();
+}
+
+// One guest VM + its session, attached to a router the stack owns.
+struct GuestVm {
+  std::shared_ptr<ava::ApiServerSession> session;
+  std::shared_ptr<ava::GuestEndpoint> endpoint;
+
+  ava_gen_vcl::VclApi VclApi() const {
+    return ava_gen_vcl::MakeVclGuestApi(endpoint);
+  }
+  ava_gen_mvnc::MvncApi MvncApi() const {
+    return ava_gen_mvnc::MakeMvncGuestApi(endpoint);
+  }
+};
+
+class Stack {
+ public:
+  Stack() {
+    router_ = std::make_unique<ava::Router>();
+    router_->Start();
+  }
+  ~Stack() {
+    vms_.clear();
+    router_->Stop();
+  }
+
+  GuestVm& AddVm(ava::VmId vm_id, TransportKind transport = TransportKind::kShmRing,
+                 ava::GuestEndpoint::Options opts = {},
+                 ava::VmPolicy policy = {},
+                 std::shared_ptr<ava::SwapManager> swap = nullptr) {
+    auto pair = MakeChannel(transport);
+    auto vm = std::make_unique<GuestVm>();
+    vm->session = std::make_shared<ava::ApiServerSession>(vm_id, swap);
+    vm->session->RegisterApi(ava_gen_vcl::kApiId,
+                             ava_gen_vcl::MakeVclApiHandler());
+    vm->session->RegisterApi(ava_gen_mvnc::kApiId,
+                             ava_gen_mvnc::MakeMvncApiHandler());
+    if (!router_->AttachVm(vm_id, std::move(pair.host), vm->session, policy)
+             .ok()) {
+      std::abort();
+    }
+    opts.vm_id = vm_id;
+    vm->endpoint =
+        std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+  }
+
+  ava::Router& router() { return *router_; }
+
+ private:
+  std::unique_ptr<ava::Router> router_;
+  std::vector<std::unique_ptr<GuestVm>> vms_;
+};
+
+// Runs `fn` `reps` times and returns the median wall seconds.
+inline double MedianSeconds(int reps, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    ava::Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace bench
+
+#endif  // AVA_BENCH_HARNESS_H_

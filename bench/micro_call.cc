@@ -1,0 +1,133 @@
+// E9 — microbenchmarks (google-benchmark): forwarded-call latency and
+// marshaling/transport throughput, the primitives underneath every Figure 5
+// number.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace {
+
+// A stack shared by the benchmarks in this binary (constructed lazily so the
+// --benchmark_filter flag doesn't pay for it unnecessarily).
+struct SharedStack {
+  SharedStack() {
+    vcl::ResetDefaultSilo({});
+    stack = std::make_unique<bench::Stack>();
+    vm = &stack->AddVm(1, bench::TransportKind::kInProc);
+    api = vm->VclApi();
+    api.vclGetPlatformIDs(1, &platform, nullptr);
+    api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+    vcl_int err = VCL_SUCCESS;
+    ctx = api.vclCreateContext(&device, 1, &err);
+    queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+    buffer = api.vclCreateBuffer(ctx, 0, 16u << 20, nullptr, &err);
+  }
+
+  std::unique_ptr<bench::Stack> stack;
+  bench::GuestVm* vm = nullptr;
+  ava_gen_vcl::VclApi api;
+  vcl_platform_id platform = nullptr;
+  vcl_device_id device = nullptr;
+  vcl_context ctx = nullptr;
+  vcl_command_queue queue = nullptr;
+  vcl_mem buffer = nullptr;
+};
+
+SharedStack& Shared() {
+  static auto* shared = new SharedStack;
+  return *shared;
+}
+
+// Null synchronous call: the round-trip floor through guest stub, FIFO,
+// router verification, WFQ dispatch, handler, and reply.
+void BM_SyncNullCall(benchmark::State& state) {
+  auto& s = Shared();
+  vcl_uint n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.api.vclGetPlatformIDs(0, nullptr, &n));
+  }
+}
+BENCHMARK(BM_SyncNullCall);
+
+// Async call issue cost at the guest (transport send, no reply wait).
+void BM_AsyncCallIssue(benchmark::State& state) {
+  auto& s = Shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.api.vclFlush(s.queue));
+  }
+  s.api.vclFinish(s.queue);
+}
+BENCHMARK(BM_AsyncCallIssue);
+
+// Blocking write of `range(0)` bytes: marshal + transport + device copy.
+void BM_WriteBuffer(benchmark::State& state) {
+  auto& s = Shared();
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> data(bytes, 0xAB);
+  for (auto _ : state) {
+    s.api.vclEnqueueWriteBuffer(s.queue, s.buffer, VCL_TRUE, 0, bytes,
+                                data.data(), 0, nullptr, nullptr);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WriteBuffer)->Range(1 << 10, 16 << 20);
+
+// Blocking read of `range(0)` bytes.
+void BM_ReadBuffer(benchmark::State& state) {
+  auto& s = Shared();
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> data(bytes);
+  for (auto _ : state) {
+    s.api.vclEnqueueReadBuffer(s.queue, s.buffer, VCL_TRUE, 0, bytes,
+                               data.data(), 0, nullptr, nullptr);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ReadBuffer)->Range(1 << 10, 16 << 20);
+
+// Raw transport round trip (no API layer) for each transport kind.
+void TransportPingPong(benchmark::State& state, bench::TransportKind kind) {
+  auto channel = bench::MakeChannel(kind);
+  std::thread echo([&] {
+    while (true) {
+      auto m = channel.host->Recv();
+      if (!m.ok()) {
+        return;
+      }
+      if (!channel.host->Send(*m).ok()) {
+        return;
+      }
+    }
+  });
+  ava::Bytes message(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    if (!channel.guest->Send(message).ok()) {
+      break;
+    }
+    auto reply = channel.guest->Recv();
+    benchmark::DoNotOptimize(reply);
+  }
+  channel.guest->Close();
+  echo.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+
+void BM_TransportInProc(benchmark::State& state) {
+  TransportPingPong(state, bench::TransportKind::kInProc);
+}
+void BM_TransportShm(benchmark::State& state) {
+  TransportPingPong(state, bench::TransportKind::kShmRing);
+}
+void BM_TransportSocket(benchmark::State& state) {
+  TransportPingPong(state, bench::TransportKind::kSocketPair);
+}
+BENCHMARK(BM_TransportInProc)->Arg(64)->Arg(64 << 10);
+BENCHMARK(BM_TransportShm)->Arg(64)->Arg(64 << 10);
+BENCHMARK(BM_TransportSocket)->Arg(64)->Arg(64 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E2 — §5's asynchronous-forwarding result: "allowing certain API functions
+// to execute asynchronously ... achieving an 8.6% speedup compared to an
+// unoptimized specification and a 5% overhead compared to native".
+//
+// Three configurations per workload:
+//   native       — API table bound to the silo
+//   ava-sync     — remoted with force_sync (every call waits for its reply,
+//                  i.e. a specification with no async annotations)
+//   ava-async    — remoted with the spec's sync/async annotations honored
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace {
+
+constexpr int kReps = 3;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "S5 — asynchronous-forwarding optimization (paper: async spec is 8.6%%\n"
+      "faster than the all-sync spec and 5%% over native)\n\n");
+  std::printf("%-12s %10s %10s %10s %12s %12s\n", "benchmark", "native",
+              "ava-sync", "ava-async", "async-gain", "vs-native");
+  bench::PrintRule(72);
+
+  workloads::WorkloadOptions options;
+  double gain_sum = 0.0, over_sum = 0.0;
+  int rows = 0;
+  for (const auto& workload : workloads::AllVclWorkloads()) {
+    vcl::ResetDefaultSilo({});
+    auto native_api = ava_gen_vcl::MakeVclNativeApi();
+    const double native_ms = 1e3 * bench::MedianSeconds(kReps, [&] {
+      if (!workload.run(native_api, options).ok()) {
+        std::abort();
+      }
+    });
+
+    double sync_ms = 0.0, async_ms = 0.0;
+    for (bool force_sync : {true, false}) {
+      vcl::ResetDefaultSilo({});
+      bench::Stack stack;
+      ava::GuestEndpoint::Options opts;
+      opts.force_sync = force_sync;
+      auto& vm = stack.AddVm(1, bench::TransportKind::kInProc, opts);
+      auto api = vm.VclApi();
+      const double ms = 1e3 * bench::MedianSeconds(kReps, [&] {
+        if (!workload.run(api, options).ok()) {
+          std::abort();
+        }
+      });
+      (force_sync ? sync_ms : async_ms) = ms;
+    }
+    const double gain = 100.0 * (sync_ms - async_ms) / sync_ms;
+    const double over = 100.0 * (async_ms / native_ms - 1.0);
+    gain_sum += gain;
+    over_sum += over;
+    ++rows;
+    std::printf("%-12s %9.1fms %9.1fms %9.1fms %+11.1f%% %+11.1f%%\n",
+                workload.name.c_str(), native_ms, sync_ms, async_ms, gain,
+                over);
+  }
+  bench::PrintRule(72);
+  std::printf("mean async-forwarding speedup: %+.1f%%   (paper: 8.6%%)\n",
+              gain_sum / rows);
+  std::printf("mean overhead vs native:       %+.1f%%   (paper: 5%%)\n",
+              over_sum / rows);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// The CAvA developer workflow (paper Figure 2), end to end in one program:
+//
+//   1. `cava draft`: a preliminary specification is inferred from the
+//      unmodified C declarations of a brand-new accelerator API.
+//   2. The developer refines it (here: a string literal standing in for the
+//      edited file).
+//   3. `cava gen`: the refined spec becomes a complete remoting stack —
+//      guest library, server dispatch, native binding, and the API table.
+//
+// This is the paper's headline claim in executable form: "a single
+// developer could virtualize a core subset of OpenCL at near-native
+// performance in just a few days" — the per-API artifact is a spec file,
+// everything else is generated.
+//
+//   $ ./build/examples/cava_workflow
+#include <cstdio>
+
+#include "src/cava/draft.h"
+#include "src/cava/lint.h"
+#include "src/cava/emit.h"
+#include "src/cava/spec_parser.h"
+
+namespace {
+
+// The header of a hypothetical new accelerator ("Crypt Processing Unit"),
+// exactly as its vendor ships it.
+constexpr const char* kVendorHeader = R"(
+typedef struct cpu_ctx_rec* cpu_ctx;
+typedef unsigned int cpu_status;
+cpu_ctx cpuCreate(int flags, int* errcode);
+cpu_status cpuDestroy(cpu_ctx ctx);
+cpu_status cpuSetKey(cpu_ctx ctx, const void* key, int key_size);
+cpu_status cpuEncrypt(cpu_ctx ctx, const void* plain, int plain_size,
+                      void* cipher, int cipher_size);
+cpu_status cpuGetCounter(cpu_ctx ctx, long* ops_done);
+)";
+
+// What the developer's refinement pass produces: ownership classes,
+// sync/async decisions, costs, and migration recording added to the draft.
+constexpr const char* kRefinedSpec = R"(
+api cpu 7;
+include "cpu.h";
+
+type(cpu_status) { scalar; success(0); failure(1); }
+type(cpu_ctx) { handle; }
+
+cpu_ctx cpuCreate(int flags, int* errcode) {
+  sync;
+  record;
+  parameter(errcode) { out; element; }
+  return { allocates; }
+}
+
+cpu_status cpuDestroy(cpu_ctx ctx) {
+  async;
+  record;
+  parameter(ctx) { deallocates; }
+}
+
+cpu_status cpuSetKey(cpu_ctx ctx, const void* key, int key_size) {
+  async;
+  record;
+  parameter(key) { in; bytes(key_size); }
+}
+
+cpu_status cpuEncrypt(cpu_ctx ctx, const void* plain, int plain_size,
+                      void* cipher, int cipher_size) {
+  sync;
+  parameter(plain) { in; bytes(plain_size); }
+  parameter(cipher) { out; bytes(cipher_size); }
+  consumes(bandwidth, plain_size + cipher_size);
+  consumes(device_time, (long long)plain_size * 4);
+}
+
+cpu_status cpuGetCounter(cpu_ctx ctx, long* ops_done) {
+  sync;
+  parameter(ops_done) { out; element; }
+}
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("=== step 1: cava draft — inferred preliminary spec ===\n\n");
+  auto draft = cava::DraftSpecFromHeader(kVendorHeader, "cpu", 7);
+  if (!draft.ok()) {
+    std::fprintf(stderr, "draft failed: %s\n",
+                 draft.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", draft->c_str());
+
+  std::printf(
+      "=== step 2: developer refinement (ownership, async, costs) ===\n\n");
+  auto spec = cava::ParseSpec(kRefinedSpec);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec rejected: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  int async_count = 0, recorded = 0;
+  for (const auto& fn : spec->functions) {
+    async_count += fn.is_sync && fn.sync_condition.empty() ? 0 : 1;
+    recorded += fn.record ? 1 : 0;
+  }
+  std::printf("validated: api '%s' (id %u), %zu functions, %d async-capable, "
+              "%d recorded for migration\n",
+              spec->name.c_str(), spec->api_id, spec->functions.size(),
+              async_count, recorded);
+  auto findings = cava::LintSpec(*spec);
+  std::printf("cava lint: %zu finding(s)\n%s\n", findings.size(),
+              cava::FormatFindings(findings).c_str());
+
+  std::printf("=== step 3: cava gen — the generated stack ===\n\n");
+  auto files = cava::GenerateStack(*spec);
+  if (!files.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 files.status().ToString().c_str());
+    return 1;
+  }
+  std::size_t total = 0;
+  for (const auto& [name, content] : *files) {
+    std::printf("  %-22s %6zu bytes\n", name.c_str(), content.size());
+    total += content.size();
+  }
+  std::printf(
+      "\n%zu bytes of C++ (guest stubs, server dispatch, native binding,\n"
+      "API table) from %zu bytes of specification — the compatibility-\n"
+      "maintenance burden the paper's automation eliminates.\n",
+      total, std::string(kRefinedSpec).size());
+  return 0;
+}

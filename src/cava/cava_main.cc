@@ -1,0 +1,191 @@
+// CAvA command-line tool (paper Figure 2):
+//
+//   cava gen <spec.ava> -o <out_dir>
+//       Generates the full remoting stack (guest stubs, server dispatch,
+//       native binding, ids/table header) from an annotated specification.
+//
+//   cava draft <decls.h> --api <name> --id <n> [-o <out.ava>]
+//       Produces a preliminary specification from C declarations using
+//       type-based inference, for the developer to refine.
+//
+//   cava check <spec.ava>
+//       Parses and validates a specification, printing a summary.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/cava/draft.h"
+#include "src/cava/lint.h"
+#include "src/cava/emit.h"
+#include "src/cava/spec_parser.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage:\n"
+               "  cava gen <spec.ava> -o <out_dir>\n"
+               "  cava draft <decls.h> --api <name> --id <n> [-o <out.ava>]\n"
+               "  cava check <spec.ava>\n"
+               "  cava lint <spec.ava>\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cava: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cava: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+int RunGen(const std::string& spec_path, const std::string& out_dir) {
+  std::string source;
+  if (!ReadFile(spec_path, &source)) {
+    return 1;
+  }
+  auto spec = cava::ParseSpec(source);
+  if (!spec.ok()) {
+    std::cerr << "cava: " << spec_path << ": " << spec.status().ToString()
+              << "\n";
+    return 1;
+  }
+  auto files = cava::GenerateStack(*spec);
+  if (!files.ok()) {
+    std::cerr << "cava: " << files.status().ToString() << "\n";
+    return 1;
+  }
+  for (const auto& [name, content] : *files) {
+    const std::string path = out_dir + "/" + name;
+    if (!WriteFile(path, content)) {
+      return 1;
+    }
+    std::cout << "cava: wrote " << path << "\n";
+  }
+  return 0;
+}
+
+int RunDraft(const std::string& header_path, const std::string& api,
+             int api_id, const std::string& out_path) {
+  std::string source;
+  if (!ReadFile(header_path, &source)) {
+    return 1;
+  }
+  auto draft = cava::DraftSpecFromHeader(source, api, api_id);
+  if (!draft.ok()) {
+    std::cerr << "cava: " << draft.status().ToString() << "\n";
+    return 1;
+  }
+  if (out_path.empty()) {
+    std::cout << *draft;
+    return 0;
+  }
+  return WriteFile(out_path, *draft) ? 0 : 1;
+}
+
+int RunCheck(const std::string& spec_path) {
+  std::string source;
+  if (!ReadFile(spec_path, &source)) {
+    return 1;
+  }
+  auto spec = cava::ParseSpec(source);
+  if (!spec.ok()) {
+    std::cerr << "cava: " << spec_path << ": " << spec.status().ToString()
+              << "\n";
+    return 1;
+  }
+  int handles = 0;
+  for (const auto& [name, decl] : spec->types) {
+    if (decl.kind == cava::TypeKind::kHandle) {
+      ++handles;
+    }
+  }
+  int async_capable = 0;
+  int recorded = 0;
+  for (const auto& fn : spec->functions) {
+    if (!fn.is_sync || !fn.sync_condition.empty()) {
+      ++async_capable;
+    }
+    if (fn.record) {
+      ++recorded;
+    }
+  }
+  auto findings = cava::LintSpec(*spec);
+  std::cout << "api:            " << spec->name << " (id " << spec->api_id
+            << ")\n"
+            << "functions:      " << spec->functions.size() << "\n"
+            << "handle types:   " << handles << "\n"
+            << "async-capable:  " << async_capable << "\n"
+            << "recorded (mig): " << recorded << "\n"
+            << "lint findings:  " << findings.size() << "\n";
+  if (!findings.empty()) {
+    std::cout << cava::FormatFindings(findings);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  std::string input = argv[2];
+  std::string out;
+  std::string api = "api";
+  int api_id = 1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--api" && i + 1 < argc) {
+      api = argv[++i];
+    } else if (arg == "--id" && i + 1 < argc) {
+      api_id = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  if (cmd == "gen") {
+    if (out.empty()) {
+      return Usage();
+    }
+    return RunGen(input, out);
+  }
+  if (cmd == "draft") {
+    return RunDraft(input, api, api_id, out);
+  }
+  if (cmd == "check") {
+    return RunCheck(input);
+  }
+  if (cmd == "lint") {
+    std::string source;
+    if (!ReadFile(input, &source)) {
+      return 1;
+    }
+    auto spec = cava::ParseSpec(source);
+    if (!spec.ok()) {
+      std::cerr << "cava: " << spec.status().ToString() << "\n";
+      return 1;
+    }
+    auto findings = cava::LintSpec(*spec);
+    std::cout << cava::FormatFindings(findings);
+    return 0;
+  }
+  return Usage();
+}

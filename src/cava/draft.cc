@@ -1,0 +1,276 @@
+#include "src/cava/draft.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/cava/spec_lexer.h"
+#include "src/cava/spec_model.h"
+
+namespace cava {
+namespace {
+
+struct DraftParam {
+  CType type;
+  std::string name;
+};
+
+struct DraftFn {
+  CType ret;
+  std::string name;
+  std::vector<DraftParam> params;
+};
+
+class HeaderScanner {
+ public:
+  explicit HeaderScanner(std::vector<SpecToken> toks) : toks_(std::move(toks)) {}
+
+  ava::Status Run() {
+    while (!Check(STok::kEof)) {
+      if (CheckIdent("typedef")) {
+        AVA_RETURN_IF_ERROR(ParseTypedef());
+      } else {
+        AVA_RETURN_IF_ERROR(ParseFunction());
+      }
+    }
+    return ava::OkStatus();
+  }
+
+  const std::set<std::string>& handles() const { return handle_types_; }
+  const std::map<std::string, std::string>& scalars() const {
+    return scalar_types_;
+  }
+  const std::vector<DraftFn>& functions() const { return functions_; }
+
+ private:
+  const SpecToken& Peek(std::size_t d = 0) const {
+    std::size_t i = pos_ + d;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool Check(STok k) const { return Peek().kind == k; }
+  bool CheckIdent(const std::string& s) const {
+    return Peek().kind == STok::kIdent && Peek().text == s;
+  }
+  bool CheckPunct(const std::string& s) const {
+    return Peek().kind == STok::kPunct && Peek().text == s;
+  }
+  const SpecToken& Advance() {
+    const SpecToken& t = toks_[pos_];
+    if (pos_ + 1 < toks_.size()) {
+      ++pos_;
+    }
+    return t;
+  }
+  bool MatchIdent(const std::string& s) {
+    if (!CheckIdent(s)) {
+      return false;
+    }
+    Advance();
+    return true;
+  }
+  bool MatchPunct(const std::string& s) {
+    if (!CheckPunct(s)) {
+      return false;
+    }
+    Advance();
+    return true;
+  }
+  ava::Status Error(const std::string& m) const {
+    return ava::InvalidArgument("header line " + std::to_string(Peek().line) +
+                                ": " + m);
+  }
+
+  ava::Status ParseTypedef() {
+    Advance();  // typedef
+    if (MatchIdent("struct")) {
+      // typedef struct tag* name;
+      if (!Check(STok::kIdent)) {
+        return Error("expected struct tag");
+      }
+      Advance();  // tag
+      if (!MatchPunct("*")) {
+        return Error("only pointer-to-struct typedefs are recognized");
+      }
+      if (!Check(STok::kIdent)) {
+        return Error("expected typedef name");
+      }
+      handle_types_.insert(Advance().text);
+    } else {
+      // typedef <builtin...> name;
+      std::string base;
+      while (Check(STok::kIdent) && Peek(1).kind == STok::kIdent) {
+        if (!base.empty()) {
+          base += " ";
+        }
+        base += Advance().text;
+      }
+      if (!Check(STok::kIdent)) {
+        return Error("expected typedef name");
+      }
+      scalar_types_[Advance().text] = base;
+    }
+    while (!MatchPunct(";")) {
+      if (Check(STok::kEof)) {
+        return Error("unterminated typedef");
+      }
+      Advance();
+    }
+    return ava::OkStatus();
+  }
+
+  ava::Result<CType> ParseCType() {
+    CType t;
+    bool is_const = false;
+    while (MatchIdent("const")) {
+      is_const = true;
+    }
+    if (!Check(STok::kIdent)) {
+      return Error("expected type name");
+    }
+    t.base = Advance().text;
+    while ((t.base == "unsigned" || t.base == "long") && Check(STok::kIdent) &&
+           (CheckIdent("int") || CheckIdent("long") || CheckIdent("char"))) {
+      t.base += " " + Advance().text;
+    }
+    while (MatchIdent("const")) {
+      is_const = true;
+    }
+    if (MatchPunct("*")) {
+      t.is_pointer = true;
+      t.pointee_const = is_const;
+    }
+    return t;
+  }
+
+  ava::Status ParseFunction() {
+    DraftFn fn;
+    AVA_ASSIGN_OR_RETURN(fn.ret, ParseCType());
+    if (!Check(STok::kIdent)) {
+      return Error("expected function name");
+    }
+    fn.name = Advance().text;
+    if (!MatchPunct("(")) {
+      return Error("expected '(' after function name");
+    }
+    if (!CheckPunct(")")) {
+      do {
+        if (CheckIdent("void") && Peek(1).kind == STok::kPunct &&
+            Peek(1).text == ")") {
+          Advance();  // f(void)
+          break;
+        }
+        DraftParam p;
+        AVA_ASSIGN_OR_RETURN(p.type, ParseCType());
+        if (Check(STok::kIdent)) {
+          p.name = Advance().text;
+        } else {
+          p.name = "arg" + std::to_string(fn.params.size());
+        }
+        fn.params.push_back(std::move(p));
+      } while (MatchPunct(","));
+    }
+    if (!MatchPunct(")")) {
+      return Error("expected ')'");
+    }
+    if (!MatchPunct(";")) {
+      return Error("expected ';' after declaration");
+    }
+    functions_.push_back(std::move(fn));
+    return ava::OkStatus();
+  }
+
+  std::vector<SpecToken> toks_;
+  std::size_t pos_ = 0;
+  std::set<std::string> handle_types_;
+  std::map<std::string, std::string> scalar_types_;
+  std::vector<DraftFn> functions_;
+};
+
+// Finds a size-like sibling parameter for `ptr` ("<name>_size", "size",
+// "count", "num_<name>", "n") — the documented-convention inference.
+std::string FindSizeParam(const DraftFn& fn, const DraftParam& ptr) {
+  auto has = [&](const std::string& n) -> bool {
+    for (const auto& p : fn.params) {
+      if (p.name == n && !p.type.is_pointer) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (has(ptr.name + "_size")) {
+    return ptr.name + "_size";
+  }
+  if (has("num_" + ptr.name)) {
+    return "num_" + ptr.name;
+  }
+  for (const char* generic : {"size", "count", "n", "num", "length", "len"}) {
+    if (has(generic)) {
+      return generic;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+ava::Result<std::string> DraftSpecFromHeader(std::string_view header_decls,
+                                             const std::string& api_name,
+                                             int api_id) {
+  AVA_ASSIGN_OR_RETURN(auto toks, LexSpec(header_decls));
+  HeaderScanner scanner(std::move(toks));
+  AVA_RETURN_IF_ERROR(scanner.Run());
+
+  std::ostringstream out;
+  out << "// Preliminary specification drafted by `cava draft` — refine the\n"
+         "// TODO annotations, then feed to `cava gen` (see Figure 2 of the\n"
+         "// paper: spec -> developer refinement -> generation).\n";
+  out << "api " << api_name << " " << api_id << ";\n\n";
+  for (const auto& [name, base] : scanner.scalars()) {
+    out << "type(" << name << ") { scalar; }\n";
+  }
+  for (const auto& name : scanner.handles()) {
+    out << "type(" << name << ") { handle; }\n";
+  }
+  out << "\n";
+  for (const auto& fn : scanner.functions()) {
+    out << fn.ret.ToString() << " " << fn.name << "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << fn.params[i].type.ToString() << " " << fn.params[i].name;
+    }
+    out << ") {\n";
+    out << "  sync;  // TODO: annotate async if no outputs need replies\n";
+    for (const auto& p : fn.params) {
+      if (!p.type.is_pointer) {
+        continue;
+      }
+      const bool is_handle = scanner.handles().count(p.type.base) != 0;
+      const bool in = p.type.pointee_const;
+      std::string size = FindSizeParam(fn, p);
+      out << "  parameter(" << p.name << ") { " << (in ? "in; " : "out; ");
+      if (p.type.base == "char" && in) {
+        out << "string; ";
+      } else if (size.empty()) {
+        out << "element;  /* TODO: buffer(size-expr)? */ ";
+      } else if (p.type.base == "void") {
+        out << "bytes(" << size << "); ";
+      } else {
+        out << "buffer(" << size << "); ";
+      }
+      if (is_handle && !in) {
+        out << "allocates;  /* TODO: verify ownership */ ";
+      }
+      out << "}\n";
+    }
+    if (scanner.handles().count(fn.ret.base) != 0) {
+      out << "  return { allocates; }  // TODO: verify ownership\n";
+    }
+    out << "}\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace cava

@@ -1,0 +1,27 @@
+// `cava draft`: generates a preliminary API specification from C function
+// declarations, applying the paper's type-based inference (§3): const
+// pointers become in-buffers, `const char*` becomes a string, plain pointers
+// become out-parameters, unknown non-builtin types become opaque handles,
+// and a pointer whose neighbouring parameter is named `<ptr>_size` / `size`
+// / `count` is sized by it (the "documented convention" inference). The
+// developer then refines the emitted spec by hand (§4, Figure 2).
+#ifndef AVA_SRC_CAVA_DRAFT_H_
+#define AVA_SRC_CAVA_DRAFT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace cava {
+
+// `header_decls` is a C header reduced to declarations: typedefs of the form
+// `typedef struct x* name;` (handles), `typedef <builtin> name;` (scalars),
+// and function prototypes. Returns the draft spec text.
+ava::Result<std::string> DraftSpecFromHeader(std::string_view header_decls,
+                                             const std::string& api_name,
+                                             int api_id);
+
+}  // namespace cava
+
+#endif  // AVA_SRC_CAVA_DRAFT_H_

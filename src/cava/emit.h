@@ -1,0 +1,28 @@
+// CAvA code generation: ApiSpec -> C++ sources for the complete remoting
+// stack (paper §3: "AvA generates API-specific components of the API
+// remoting and interposition stack").
+//
+// For an API named `foo`, generation produces:
+//   foo_gen.h         — func ids, handle type tags, the FooApi call table,
+//                       factory declarations
+//   foo_gen_native.cc — MakeFooNativeApi(): table bound to the vendor silo
+//   foo_gen_guest.cc  — marshaling guest stubs + MakeFooGuestApi(endpoint)
+//   foo_gen_server.cc — MakeFooApiHandler(): the server-side dispatcher
+#ifndef AVA_SRC_CAVA_EMIT_H_
+#define AVA_SRC_CAVA_EMIT_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/cava/spec_model.h"
+
+namespace cava {
+
+// Generates every output file. Keys are file names (e.g. "vcl_gen.h").
+ava::Result<std::map<std::string, std::string>> GenerateStack(
+    const ApiSpec& spec);
+
+}  // namespace cava
+
+#endif  // AVA_SRC_CAVA_EMIT_H_

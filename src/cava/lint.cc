@@ -1,0 +1,170 @@
+#include "src/cava/lint.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace cava {
+namespace {
+
+bool AsyncCapable(const FunctionSpec& fn) {
+  return !fn.is_sync || !fn.sync_condition.empty();
+}
+
+bool MentionsParam(const std::string& expr, const std::string& name) {
+  // Token-boundary containment: good enough for guidance.
+  std::size_t pos = 0;
+  while ((pos = expr.find(name, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (!std::isalnum(static_cast<unsigned char>(expr[pos - 1])) &&
+                     expr[pos - 1] != '_');
+    const std::size_t end = pos + name.size();
+    const bool right_ok =
+        end >= expr.size() ||
+        (!std::isalnum(static_cast<unsigned char>(expr[end])) &&
+         expr[end] != '_');
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+bool LooksLikeEnqueue(const FunctionSpec& fn) {
+  return fn.name.find("Enqueue") != std::string::npos ||
+         fn.name.find("Load") != std::string::npos ||
+         fn.name.find("Submit") != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintSpec(const ApiSpec& spec) {
+  std::vector<LintFinding> findings;
+  auto warn = [&](const std::string& fn, const std::string& message) {
+    findings.push_back({LintFinding::Severity::kWarning, fn, message});
+  };
+  auto advise = [&](const std::string& fn, const std::string& message) {
+    findings.push_back({LintFinding::Severity::kAdvice, fn, message});
+  };
+
+  for (const auto& fn : spec.functions) {
+    const bool async_capable = AsyncCapable(fn);
+
+    bool allocates_something = fn.return_alloc == AllocClass::kAllocates;
+    for (const auto& p : fn.params) {
+      const TypeDecl* pt = spec.FindType(p.type.base);
+      const bool transient = pt != nullptr && pt->transient;
+      if (p.alloc == AllocClass::kAllocates && !transient) {
+        allocates_something = true;
+      }
+
+      // Out-parameters of async-capable functions must be shadowed or
+      // guarded by the sync condition naming them (e.g. `ev != nullptr`).
+      if (async_capable && p.type.is_pointer &&
+          p.direction != ParamDirection::kIn && p.shadow_on.empty()) {
+        const bool guarded =
+            !fn.sync_condition.empty() &&
+            MentionsParam(fn.sync_condition, p.name);
+        if (!guarded) {
+          warn(fn.name,
+               "out parameter '" + p.name +
+                   "' can be forwarded asynchronously without a shadow "
+                   "buffer or a sync-condition guard; its data would be "
+                   "lost (add shadow_on(...) or guard the condition)");
+        }
+      }
+
+      // Lifetime classes without record: migration replay would drift.
+      if ((p.alloc == AllocClass::kReferences ||
+           p.alloc == AllocClass::kDeallocates) &&
+          !fn.record && !transient &&
+          !(pt != nullptr && pt->interned)) {
+        advise(fn.name,
+               "'" + p.name + "' changes an object's lifetime but the "
+               "call is not `record`ed; retain counts will not survive "
+               "migration (mark the type `transient;` if intentional)");
+      }
+    }
+
+    if (allocates_something && !fn.record) {
+      warn(fn.name,
+           "allocates an object but is not `record`ed; the object cannot "
+           "be reconstructed after migration");
+    }
+    if (allocates_something) {
+      bool has_meta = !fn.registry_meta.empty();
+      const TypeDecl* ret_type = spec.FindType(fn.return_type.base);
+      const bool swappable_ret = ret_type != nullptr && ret_type->swappable;
+      if (swappable_ret && !has_meta) {
+        warn(fn.name,
+             "allocates a swappable object without registry_meta(size=..., "
+             "parent=...); the swap manager cannot size or re-create it");
+      } else if (!has_meta) {
+        advise(fn.name,
+               "allocates an object without registry_meta; parent/size "
+               "metadata improves migration and accounting");
+      }
+    }
+
+    // Enqueue-ish work without cost annotations starves the scheduler.
+    if (LooksLikeEnqueue(fn) && fn.cost_device_time.empty() &&
+        fn.cost_bandwidth.empty()) {
+      advise(fn.name,
+             "looks like a work-submission call but has no consumes(...) "
+             "annotation; the router will schedule it at zero cost");
+    }
+
+    // Conditional-sync without any async-capable benefit.
+    if (!fn.sync_condition.empty()) {
+      bool any_out = false;
+      for (const auto& p : fn.params) {
+        any_out = any_out ||
+                  (p.type.is_pointer && p.direction != ParamDirection::kIn);
+      }
+      if (!any_out && fn.return_alloc == AllocClass::kNone) {
+        advise(fn.name,
+               "conditional sync/async but no outputs; consider plain "
+               "`async;`");
+      }
+    }
+  }
+
+  // Type-level checks.
+  for (const auto& [name, decl] : spec.types) {
+    if (decl.kind != TypeKind::kHandle) {
+      continue;
+    }
+    bool used_as_shadow_event = false;
+    for (const auto& fn : spec.functions) {
+      for (const auto& p : fn.params) {
+        if (!p.shadow_on.empty()) {
+          const ParamSpec* ev = fn.FindParam(p.shadow_on);
+          if (ev != nullptr && ev->type.base == name) {
+            used_as_shadow_event = true;
+          }
+        }
+      }
+    }
+    if (used_as_shadow_event && decl.release_hook.empty()) {
+      warn("", "handle type '" + name +
+                   "' completes shadow buffers but has no release_hook; "
+                   "server-held events would leak");
+    }
+  }
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<LintFinding>& findings) {
+  std::ostringstream out;
+  for (const auto& finding : findings) {
+    out << (finding.severity == LintFinding::Severity::kWarning ? "warning"
+                                                                : "advice");
+    if (!finding.function.empty()) {
+      out << ": " << finding.function;
+    }
+    out << ": " << finding.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cava

@@ -1,0 +1,42 @@
+// `cava lint`: the guidance arrow of the paper's Figure 2 workflow. After
+// CAvA drafts a preliminary specification, the developer refines it *with
+// guidance from CAvA*; this pass is that guidance — it flags semantic
+// hazards the type-based inference cannot rule out:
+//
+//   - async-capable functions whose out-parameters are neither shadowed nor
+//     guarded by the sync condition (data would be silently lost)
+//   - allocating functions that are not `record`ed (migration would lose
+//     the object) or lack registry metadata for sizing/parentage
+//   - deallocators/referencers missing `record` (replayed retain counts
+//     would drift)
+//   - enqueue-style functions without `consumes(...)` (the scheduler would
+//     fly blind)
+//   - handle types with shadow users but no complete_hook, etc.
+#ifndef AVA_SRC_CAVA_LINT_H_
+#define AVA_SRC_CAVA_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cava/spec_model.h"
+
+namespace cava {
+
+struct LintFinding {
+  enum class Severity { kWarning, kAdvice };
+  Severity severity = Severity::kWarning;
+  std::string function;  // empty for type-level findings
+  std::string message;
+};
+
+// Analyzes a parsed, validated spec. Findings are guidance, not errors: a
+// spec with warnings still generates (matching the paper's "this simple
+// usage will provide virtualization, but will not enforce ..." framing).
+std::vector<LintFinding> LintSpec(const ApiSpec& spec);
+
+// Renders findings as "warning: fn: message" lines.
+std::string FormatFindings(const std::vector<LintFinding>& findings);
+
+}  // namespace cava
+
+#endif  // AVA_SRC_CAVA_LINT_H_

@@ -1,0 +1,158 @@
+#include "src/cava/spec_lexer.h"
+
+#include <cctype>
+
+namespace cava {
+
+ava::Result<std::vector<SpecToken>> LexSpec(std::string_view src) {
+  std::vector<SpecToken> out;
+  std::size_t i = 0;
+  int line = 1;
+  auto error = [&](const std::string& message) {
+    return ava::InvalidArgument("spec line " + std::to_string(line) + ": " +
+                                message);
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i + 1 >= src.size()) {
+        return error("unterminated block comment");
+      }
+      i += 2;
+      continue;
+    }
+    SpecToken tok;
+    tok.line = line;
+    // Verbatim block.
+    if (c == '{' && i + 1 < src.size() && src[i + 1] == '{') {
+      i += 2;
+      std::string body;
+      int depth = 1;
+      while (i < src.size()) {
+        if (src[i] == '{' && i + 1 < src.size() && src[i + 1] == '{') {
+          depth++;
+          body += "{{";
+          i += 2;
+          continue;
+        }
+        if (src[i] == '}' && i + 1 < src.size() && src[i + 1] == '}') {
+          depth--;
+          if (depth == 0) {
+            i += 2;
+            break;
+          }
+          body += "}}";
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') {
+          ++line;
+        }
+        body.push_back(src[i++]);
+      }
+      if (depth != 0) {
+        return error("unterminated verbatim block");
+      }
+      tok.kind = STok::kVerbatim;
+      tok.text = body;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      ++i;
+      std::string body;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\n') {
+          return error("newline in string literal");
+        }
+        body.push_back(src[i++]);
+      }
+      if (i >= src.size()) {
+        return error("unterminated string literal");
+      }
+      ++i;
+      tok.kind = STok::kString;
+      tok.text = body;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string body;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        body.push_back(src[i++]);
+      }
+      tok.kind = STok::kIdent;
+      tok.text = body;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string body;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '.' || src[i] == 'x')) {
+        body.push_back(src[i++]);
+      }
+      tok.kind = STok::kNumber;
+      tok.text = body;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators worth keeping whole (for condition expressions).
+    static const char* two_char[] = {"==", "!=", "<=", ">=", "&&", "||"};
+    bool matched = false;
+    for (const char* op : two_char) {
+      if (c == op[0] && i + 1 < src.size() && src[i + 1] == op[1]) {
+        tok.kind = STok::kPunct;
+        tok.text = op;
+        out.push_back(std::move(tok));
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    static const std::string kSingle = "(){}[]*;,=<>|&!+-/:.?%";
+    if (kSingle.find(c) != std::string::npos) {
+      tok.kind = STok::kPunct;
+      tok.text = std::string(1, c);
+      out.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  SpecToken eof;
+  eof.kind = STok::kEof;
+  eof.line = line;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace cava

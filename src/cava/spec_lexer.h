@@ -1,0 +1,33 @@
+// Tokenizer for the CAvA specification language: C-ish tokens plus string
+// literals and raw verbatim blocks ({{ ... }}).
+#ifndef AVA_SRC_CAVA_SPEC_LEXER_H_
+#define AVA_SRC_CAVA_SPEC_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace cava {
+
+enum class STok : std::uint8_t {
+  kEof,
+  kIdent,
+  kNumber,
+  kString,    // "..." (content in text, without quotes)
+  kVerbatim,  // {{ ... }} (raw content in text)
+  kPunct,     // single/multi char punctuation in text: ( ) { } [ ] * ; , = < > | & ! + - / :
+};
+
+struct SpecToken {
+  STok kind = STok::kEof;
+  std::string text;
+  int line = 0;
+};
+
+ava::Result<std::vector<SpecToken>> LexSpec(std::string_view source);
+
+}  // namespace cava
+
+#endif  // AVA_SRC_CAVA_SPEC_LEXER_H_

@@ -1,0 +1,160 @@
+// CAvA's model of an annotated API specification (paper §4.2, Figure 4).
+//
+// A spec file contains:
+//   api NAME ID;                       — API identity (wire api_id)
+//   include "header.h";                — the unmodified vendor header(s)
+//   type(NAME) { ...type props... }    — scalar widths, handle declarations
+//   RET NAME(PARAMS) { ...annot... }   — one block per forwarded function
+//
+// Type properties:
+//   scalar;                            — plain value type (width from C)
+//   handle;                            — opaque object handle
+//   interned;                          — handle the silo owns (platform/device)
+//   transient;                         — not migrated (events etc.)
+//   swappable;                         — device buffer subject to swapping
+//   success(EXPR);                     — value async stubs return
+//   retain_hook {{ C++ }}              — extra server-side retain (h in scope)
+//   release_hook {{ C++ }}             — server-side release
+//   complete_hook {{ C++ }}            — completion predicate (bool, h in scope)
+//
+// Function annotations:
+//   sync; | async; | if (EXPR) sync; else async;
+//   parameter(NAME) { in|out|inout; buffer(COUNT)|bytes(COUNT)|element|string;
+//                     allocates|references|deallocates; shadow_on(EVENT);
+//                     userdata; }
+//   return { allocates; }
+//   consumes(device_time|bandwidth, EXPR);
+//   record;
+//   retry_oom(BYTES_EXPR);
+//   registry_meta(target = PARAM|return, size = EXPR, parent = PARAM);
+#ifndef AVA_SRC_CAVA_SPEC_MODEL_H_
+#define AVA_SRC_CAVA_SPEC_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cava {
+
+// A (simplified) C type: base type name, optional single pointer, const.
+struct CType {
+  std::string base;      // "vcl_int", "size_t", "void", "char", ...
+  bool is_pointer = false;
+  bool pointee_const = false;
+
+  std::string ToString() const {
+    std::string s = pointee_const ? "const " + base : base;
+    if (is_pointer) {
+      s += "*";
+    }
+    return s;
+  }
+};
+
+enum class TypeKind : std::uint8_t { kScalar, kHandle };
+
+struct TypeDecl {
+  std::string name;
+  TypeKind kind = TypeKind::kScalar;
+  bool interned = false;
+  bool swappable = false;
+  // Transient objects (e.g. events) are deliberately NOT migrated: they
+  // only exist between a submission and its completion.
+  bool transient = false;
+  std::string success_value;   // verbatim expr, e.g. "VCL_SUCCESS"
+  std::string failure_value;   // value sync stubs return on transport failure
+  std::string retain_hook;     // verbatim C++; `h` (void*) in scope
+  std::string release_hook;
+  std::string complete_hook;   // verbatim C++ expression/stmt returning bool
+};
+
+enum class ParamDirection : std::uint8_t { kIn, kOut, kInOut };
+
+enum class ParamShape : std::uint8_t {
+  kScalar,        // non-pointer value
+  kHandle,        // non-pointer handle
+  kElement,       // pointer to a single element
+  kBuffer,        // pointer + element count expression
+  kBytesBuffer,   // pointer + byte count expression (void* etc.)
+  kString,        // NUL-terminated char*
+};
+
+enum class AllocClass : std::uint8_t {
+  kNone,
+  kAllocates,     // inserts a registry entry
+  kReferences,    // registry retain
+  kDeallocates,   // registry release
+};
+
+struct ParamSpec {
+  CType type;
+  std::string name;
+  ParamDirection direction = ParamDirection::kIn;
+  ParamShape shape = ParamShape::kScalar;
+  std::string count_expr;      // kBuffer / kBytesBuffer
+  AllocClass alloc = AllocClass::kNone;
+  std::string shadow_on;       // event param enabling deferred delivery
+  bool annotated = false;      // had an explicit parameter(...) block
+  bool direction_set = false;  // in/out/inout given explicitly
+  bool shape_set = false;      // buffer/bytes/element/string given explicitly
+};
+
+struct RegistryMeta {
+  std::string target;   // param name or "return"
+  std::string size_expr;
+  std::string parent_param;
+};
+
+struct FunctionSpec {
+  CType return_type;
+  std::string name;
+  std::vector<ParamSpec> params;
+
+  // Forwarding mode: if sync_condition empty -> unconditional (is_sync).
+  bool is_sync = true;
+  std::string sync_condition;  // verbatim: sync iff condition true
+
+  AllocClass return_alloc = AllocClass::kNone;
+  std::string cost_device_time;  // verbatim expr (vns)
+  std::string cost_bandwidth;    // verbatim expr (bytes)
+  bool record = false;
+  std::string retry_oom_bytes;   // verbatim expr
+  std::vector<RegistryMeta> registry_meta;
+
+  std::uint32_t func_id = 0;  // assigned by spec order
+  int line = 0;
+
+  const ParamSpec* FindParam(const std::string& n) const {
+    for (const auto& p : params) {
+      if (p.name == n) {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+};
+
+struct ApiSpec {
+  std::string name;          // "vcl"
+  std::uint16_t api_id = 0;  // wire id
+  std::vector<std::string> includes;
+  std::map<std::string, TypeDecl> types;
+  std::vector<FunctionSpec> functions;
+
+  const TypeDecl* FindType(const std::string& n) const {
+    auto it = types.find(n);
+    return it == types.end() ? nullptr : &it->second;
+  }
+  bool IsHandleType(const std::string& n) const {
+    const TypeDecl* t = FindType(n);
+    return t != nullptr && t->kind == TypeKind::kHandle;
+  }
+};
+
+// C built-in scalar types CAvA understands without a type() declaration.
+bool IsBuiltinScalar(const std::string& name);
+
+}  // namespace cava
+
+#endif  // AVA_SRC_CAVA_SPEC_MODEL_H_

@@ -1,0 +1,540 @@
+#include "src/cava/spec_parser.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cava/spec_lexer.h"
+
+namespace cava {
+
+bool IsBuiltinScalar(const std::string& name) {
+  static const std::set<std::string>* kScalars = new std::set<std::string>{
+      "void",   "char",     "int",      "unsigned", "long",     "short",
+      "float",  "double",   "size_t",   "int8_t",   "uint8_t",  "int16_t",
+      "uint16_t", "int32_t", "uint32_t", "int64_t",  "uint64_t", "bool",
+  };
+  return kScalars->count(name) != 0;
+}
+
+namespace {
+
+class SpecParser {
+ public:
+  explicit SpecParser(std::vector<SpecToken> toks) : toks_(std::move(toks)) {}
+
+  ava::Result<ApiSpec> Run() {
+    while (!Check(STok::kEof)) {
+      if (CheckIdent("api")) {
+        AVA_RETURN_IF_ERROR(ParseApiDecl());
+      } else if (CheckIdent("include")) {
+        AVA_RETURN_IF_ERROR(ParseInclude());
+      } else if (CheckIdent("type")) {
+        AVA_RETURN_IF_ERROR(ParseTypeDecl());
+      } else {
+        AVA_RETURN_IF_ERROR(ParseFunction());
+      }
+    }
+    AVA_RETURN_IF_ERROR(ApplySemantics());
+    return std::move(spec_);
+  }
+
+ private:
+  // ---------------------------- token helpers ------------------------------
+
+  const SpecToken& Peek(std::size_t d = 0) const {
+    std::size_t i = pos_ + d;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool Check(STok kind) const { return Peek().kind == kind; }
+  bool CheckPunct(const std::string& p) const {
+    return Peek().kind == STok::kPunct && Peek().text == p;
+  }
+  bool CheckIdent(const std::string& id) const {
+    return Peek().kind == STok::kIdent && Peek().text == id;
+  }
+  const SpecToken& Advance() {
+    const SpecToken& t = toks_[pos_];
+    if (pos_ + 1 < toks_.size()) {
+      ++pos_;
+    }
+    return t;
+  }
+  bool MatchPunct(const std::string& p) {
+    if (!CheckPunct(p)) {
+      return false;
+    }
+    Advance();
+    return true;
+  }
+  bool MatchIdent(const std::string& id) {
+    if (!CheckIdent(id)) {
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  ava::Status Error(const std::string& message) const {
+    return ava::InvalidArgument("spec line " + std::to_string(Peek().line) +
+                                ": " + message);
+  }
+
+  ava::Status ExpectPunct(const std::string& p) {
+    if (MatchPunct(p)) {
+      return ava::OkStatus();
+    }
+    return Error("expected '" + p + "', found '" + Peek().text + "'");
+  }
+
+  ava::Result<std::string> ExpectIdent() {
+    if (!Check(STok::kIdent)) {
+      return Error("expected identifier, found '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  // Captures tokens verbatim until the matching close paren (the opening
+  // paren is already consumed). Reconstructs with single spaces.
+  ava::Result<std::string> CaptureUntilCloseParen() {
+    std::string out;
+    int depth = 1;
+    while (true) {
+      if (Check(STok::kEof)) {
+        return Error("unterminated expression");
+      }
+      if (CheckPunct("(")) {
+        ++depth;
+      } else if (CheckPunct(")")) {
+        --depth;
+        if (depth == 0) {
+          Advance();
+          return out;
+        }
+      }
+      const SpecToken& t = Advance();
+      if (!out.empty()) {
+        out += " ";
+      }
+      if (t.kind == STok::kString) {
+        out += "\"" + t.text + "\"";
+      } else {
+        out += t.text;
+      }
+    }
+  }
+
+  // ----------------------------- top level ---------------------------------
+
+  ava::Status ParseApiDecl() {
+    Advance();  // api
+    AVA_ASSIGN_OR_RETURN(spec_.name, ExpectIdent());
+    if (!Check(STok::kNumber)) {
+      return Error("expected numeric api id");
+    }
+    spec_.api_id = static_cast<std::uint16_t>(std::stoul(Advance().text));
+    return ExpectPunct(";");
+  }
+
+  ava::Status ParseInclude() {
+    Advance();  // include
+    if (!Check(STok::kString)) {
+      return Error("expected \"header path\"");
+    }
+    spec_.includes.push_back(Advance().text);
+    return ExpectPunct(";");
+  }
+
+  ava::Status ParseTypeDecl() {
+    Advance();  // type
+    AVA_RETURN_IF_ERROR(ExpectPunct("("));
+    AVA_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    AVA_RETURN_IF_ERROR(ExpectPunct(")"));
+    AVA_RETURN_IF_ERROR(ExpectPunct("{"));
+    TypeDecl decl;
+    decl.name = name;
+    while (!MatchPunct("}")) {
+      AVA_ASSIGN_OR_RETURN(std::string prop, ExpectIdent());
+      if (prop == "scalar") {
+        decl.kind = TypeKind::kScalar;
+        AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (prop == "handle") {
+        decl.kind = TypeKind::kHandle;
+        AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (prop == "interned") {
+        decl.interned = true;
+        AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (prop == "transient") {
+        decl.transient = true;
+        AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (prop == "swappable") {
+        decl.swappable = true;
+        AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (prop == "success") {
+        AVA_RETURN_IF_ERROR(ExpectPunct("("));
+        AVA_ASSIGN_OR_RETURN(decl.success_value, CaptureUntilCloseParen());
+        AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (prop == "failure") {
+        AVA_RETURN_IF_ERROR(ExpectPunct("("));
+        AVA_ASSIGN_OR_RETURN(decl.failure_value, CaptureUntilCloseParen());
+        AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (prop == "retain_hook" || prop == "release_hook" ||
+                 prop == "complete_hook") {
+        if (!Check(STok::kVerbatim)) {
+          return Error(prop + " requires a {{ verbatim }} block");
+        }
+        std::string body = Advance().text;
+        if (prop == "retain_hook") {
+          decl.retain_hook = body;
+        } else if (prop == "release_hook") {
+          decl.release_hook = body;
+        } else {
+          decl.complete_hook = body;
+        }
+        MatchPunct(";");
+      } else {
+        return Error("unknown type property '" + prop + "'");
+      }
+    }
+    spec_.types[name] = std::move(decl);
+    return ava::OkStatus();
+  }
+
+  // ------------------------- function declarations -------------------------
+
+  ava::Result<CType> ParseCType() {
+    CType type;
+    bool is_const = false;
+    while (MatchIdent("const")) {
+      is_const = true;
+    }
+    AVA_ASSIGN_OR_RETURN(type.base, ExpectIdent());
+    // Multi-word builtins ("unsigned int", "long long") are collapsed.
+    while ((type.base == "unsigned" || type.base == "long") &&
+           Check(STok::kIdent) &&
+           (CheckIdent("int") || CheckIdent("long") || CheckIdent("char"))) {
+      type.base += " " + Advance().text;
+    }
+    while (MatchIdent("const")) {
+      is_const = true;
+    }
+    if (MatchPunct("*")) {
+      type.is_pointer = true;
+      type.pointee_const = is_const;
+      while (MatchIdent("const")) {
+        // pointer-to-const pointer qualifiers: ignore (top-level const)
+      }
+      if (CheckPunct("*")) {
+        return Error("multi-level pointers are not supported");
+      }
+    }
+    return type;
+  }
+
+  ava::Status ParseFunction() {
+    FunctionSpec fn;
+    fn.line = Peek().line;
+    AVA_ASSIGN_OR_RETURN(fn.return_type, ParseCType());
+    AVA_ASSIGN_OR_RETURN(fn.name, ExpectIdent());
+    AVA_RETURN_IF_ERROR(ExpectPunct("("));
+    if (!CheckPunct(")")) {
+      do {
+        if (CheckIdent("void") && Peek(1).kind == STok::kPunct &&
+            Peek(1).text == ")") {
+          Advance();  // f(void)
+          break;
+        }
+        ParamSpec param;
+        AVA_ASSIGN_OR_RETURN(param.type, ParseCType());
+        AVA_ASSIGN_OR_RETURN(param.name, ExpectIdent());
+        fn.params.push_back(std::move(param));
+      } while (MatchPunct(","));
+    }
+    AVA_RETURN_IF_ERROR(ExpectPunct(")"));
+    AVA_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!MatchPunct("}")) {
+      AVA_RETURN_IF_ERROR(ParseFunctionAnnotation(&fn));
+    }
+    fn.func_id = static_cast<std::uint32_t>(spec_.functions.size());
+    spec_.functions.push_back(std::move(fn));
+    return ava::OkStatus();
+  }
+
+  ava::Status ParseFunctionAnnotation(FunctionSpec* fn) {
+    if (MatchIdent("sync")) {
+      fn->is_sync = true;
+      fn->sync_condition.clear();
+      return ExpectPunct(";");
+    }
+    if (MatchIdent("async")) {
+      fn->is_sync = false;
+      fn->sync_condition.clear();
+      return ExpectPunct(";");
+    }
+    if (MatchIdent("if")) {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      AVA_ASSIGN_OR_RETURN(fn->sync_condition, CaptureUntilCloseParen());
+      // Accept exactly: sync; else async;
+      if (!MatchIdent("sync")) {
+        return Error("conditional forwarding must be 'if (...) sync; else async;'");
+      }
+      AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      if (!MatchIdent("else")) {
+        return Error("expected 'else async;'");
+      }
+      if (!MatchIdent("async")) {
+        return Error("expected 'else async;'");
+      }
+      return ExpectPunct(";");
+    }
+    if (MatchIdent("parameter")) {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      AVA_ASSIGN_OR_RETURN(std::string pname, ExpectIdent());
+      AVA_RETURN_IF_ERROR(ExpectPunct(")"));
+      ParamSpec* param = nullptr;
+      for (auto& p : fn->params) {
+        if (p.name == pname) {
+          param = &p;
+          break;
+        }
+      }
+      if (param == nullptr) {
+        return Error("parameter '" + pname + "' is not declared by " +
+                     fn->name);
+      }
+      param->annotated = true;
+      AVA_RETURN_IF_ERROR(ExpectPunct("{"));
+      while (!MatchPunct("}")) {
+        AVA_RETURN_IF_ERROR(ParseParamProp(param));
+      }
+      return ava::OkStatus();
+    }
+    if (MatchIdent("return")) {
+      AVA_RETURN_IF_ERROR(ExpectPunct("{"));
+      while (!MatchPunct("}")) {
+        AVA_ASSIGN_OR_RETURN(std::string prop, ExpectIdent());
+        if (prop == "allocates") {
+          fn->return_alloc = AllocClass::kAllocates;
+        } else {
+          return Error("unknown return property '" + prop + "'");
+        }
+        AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      }
+      return ava::OkStatus();
+    }
+    if (MatchIdent("consumes")) {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      AVA_ASSIGN_OR_RETURN(std::string resource, ExpectIdent());
+      AVA_RETURN_IF_ERROR(ExpectPunct(","));
+      AVA_ASSIGN_OR_RETURN(std::string expr, CaptureUntilCloseParen());
+      AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      if (resource == "device_time") {
+        fn->cost_device_time = expr;
+      } else if (resource == "bandwidth") {
+        fn->cost_bandwidth = expr;
+      } else {
+        return Error("unknown resource '" + resource + "'");
+      }
+      return ava::OkStatus();
+    }
+    if (MatchIdent("record")) {
+      fn->record = true;
+      return ExpectPunct(";");
+    }
+    if (MatchIdent("retry_oom")) {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      AVA_ASSIGN_OR_RETURN(fn->retry_oom_bytes, CaptureUntilCloseParen());
+      return ExpectPunct(";");
+    }
+    if (MatchIdent("registry_meta")) {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      RegistryMeta meta;
+      // key = value pairs separated by commas, until ')'.
+      while (true) {
+        AVA_ASSIGN_OR_RETURN(std::string key, ExpectIdent());
+        AVA_RETURN_IF_ERROR(ExpectPunct("="));
+        std::string value;
+        while (!CheckPunct(",") && !CheckPunct(")")) {
+          if (Check(STok::kEof)) {
+            return Error("unterminated registry_meta");
+          }
+          if (!value.empty()) {
+            value += " ";
+          }
+          value += Advance().text;
+        }
+        if (key == "target") {
+          meta.target = value;
+        } else if (key == "size") {
+          meta.size_expr = value;
+        } else if (key == "parent") {
+          meta.parent_param = value;
+        } else {
+          return Error("unknown registry_meta key '" + key + "'");
+        }
+        if (MatchPunct(")")) {
+          break;
+        }
+        AVA_RETURN_IF_ERROR(ExpectPunct(","));
+      }
+      AVA_RETURN_IF_ERROR(ExpectPunct(";"));
+      if (meta.target.empty()) {
+        meta.target = "return";
+      }
+      fn->registry_meta.push_back(std::move(meta));
+      return ava::OkStatus();
+    }
+    return Error("unknown annotation '" + Peek().text + "' in " + fn->name);
+  }
+
+  ava::Status ParseParamProp(ParamSpec* param) {
+    AVA_ASSIGN_OR_RETURN(std::string prop, ExpectIdent());
+    if (prop == "in") {
+      param->direction = ParamDirection::kIn;
+      param->direction_set = true;
+    } else if (prop == "out") {
+      param->direction = ParamDirection::kOut;
+      param->direction_set = true;
+    } else if (prop == "inout") {
+      param->direction = ParamDirection::kInOut;
+      param->direction_set = true;
+    } else if (prop == "buffer") {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      AVA_ASSIGN_OR_RETURN(param->count_expr, CaptureUntilCloseParen());
+      param->shape = ParamShape::kBuffer;
+      param->shape_set = true;
+    } else if (prop == "bytes") {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      AVA_ASSIGN_OR_RETURN(param->count_expr, CaptureUntilCloseParen());
+      param->shape = ParamShape::kBytesBuffer;
+      param->shape_set = true;
+    } else if (prop == "element") {
+      param->shape = ParamShape::kElement;
+      param->shape_set = true;
+    } else if (prop == "string") {
+      param->shape = ParamShape::kString;
+      param->shape_set = true;
+    } else if (prop == "allocates") {
+      param->alloc = AllocClass::kAllocates;
+    } else if (prop == "references") {
+      param->alloc = AllocClass::kReferences;
+    } else if (prop == "deallocates") {
+      param->alloc = AllocClass::kDeallocates;
+    } else if (prop == "shadow_on") {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      AVA_ASSIGN_OR_RETURN(param->shadow_on, CaptureUntilCloseParen());
+    } else {
+      return Error("unknown parameter property '" + prop + "'");
+    }
+    return ExpectPunct(";");
+  }
+
+  // --------------------------- semantic pass -------------------------------
+
+  ava::Status SemError(const FunctionSpec& fn, const std::string& message) {
+    return ava::InvalidArgument("spec line " + std::to_string(fn.line) + " (" +
+                                fn.name + "): " + message);
+  }
+
+  ava::Status ApplySemantics() {
+    if (spec_.name.empty()) {
+      return ava::InvalidArgument("spec is missing an 'api NAME ID;' line");
+    }
+    for (auto& fn : spec_.functions) {
+      // Return type must be a scalar or handle.
+      if (fn.return_type.is_pointer) {
+        return SemError(fn, "pointer return types are not supported");
+      }
+      const bool ret_handle = spec_.IsHandleType(fn.return_type.base);
+      if (!ret_handle && fn.return_type.base != "void" &&
+          !IsBuiltinScalar(fn.return_type.base) &&
+          spec_.FindType(fn.return_type.base) == nullptr) {
+        return SemError(fn, "unknown return type " + fn.return_type.base);
+      }
+      if (fn.return_alloc == AllocClass::kAllocates && !ret_handle) {
+        return SemError(fn, "return { allocates; } requires a handle type");
+      }
+      for (auto& param : fn.params) {
+        AVA_RETURN_IF_ERROR(InferParam(fn, &param));
+      }
+      // shadow_on targets must name a handle out-element param.
+      for (auto& param : fn.params) {
+        if (!param.shadow_on.empty()) {
+          const ParamSpec* ev = fn.FindParam(param.shadow_on);
+          if (ev == nullptr || !spec_.IsHandleType(ev->type.base) ||
+              ev->direction != ParamDirection::kOut) {
+            return SemError(fn, "shadow_on(" + param.shadow_on +
+                                    ") must name an out handle parameter");
+          }
+          const TypeDecl* t = spec_.FindType(ev->type.base);
+          if (t->complete_hook.empty()) {
+            return SemError(fn, "shadow_on requires complete_hook on type " +
+                                    ev->type.base);
+          }
+        }
+      }
+    }
+    return ava::OkStatus();
+  }
+
+  ava::Status InferParam(const FunctionSpec& fn, ParamSpec* param) {
+    const std::string& base = param->type.base;
+    const bool is_handle = spec_.IsHandleType(base);
+    const bool known_scalar =
+        IsBuiltinScalar(base) || (spec_.FindType(base) != nullptr && !is_handle);
+    if (!param->type.is_pointer) {
+      if (is_handle) {
+        param->shape = ParamShape::kHandle;
+      } else if (known_scalar) {
+        param->shape = ParamShape::kScalar;
+      } else {
+        return SemError(fn, "unknown type " + base + " for parameter " +
+                                param->name);
+      }
+      param->direction = ParamDirection::kIn;
+      return ava::OkStatus();
+    }
+    // Pointer parameter. Type-based inference (paper §3): const pointee =>
+    // input; otherwise output; const char* => string.
+    if (!param->shape_set) {
+      if (base == "char" && param->type.pointee_const) {
+        param->shape = ParamShape::kString;
+      } else if (base == "void") {
+        return SemError(fn, "void* parameter " + param->name +
+                                " requires bytes(expr)");
+      } else {
+        param->shape = ParamShape::kElement;
+      }
+    }
+    if (!param->direction_set) {
+      param->direction = param->type.pointee_const ? ParamDirection::kIn
+                                                   : ParamDirection::kOut;
+    }
+    if (param->shape == ParamShape::kBuffer && param->count_expr.empty()) {
+      return SemError(fn, "buffer parameter " + param->name +
+                              " requires a count expression");
+    }
+    if (base == "void" && param->shape != ParamShape::kBytesBuffer) {
+      return SemError(fn, "void* parameter " + param->name +
+                              " must use bytes(expr)");
+    }
+    if (is_handle && param->shape == ParamShape::kString) {
+      return SemError(fn, "handle parameter cannot be a string");
+    }
+    return ava::OkStatus();
+  }
+
+  std::vector<SpecToken> toks_;
+  std::size_t pos_ = 0;
+  ApiSpec spec_;
+};
+
+}  // namespace
+
+ava::Result<ApiSpec> ParseSpec(std::string_view source) {
+  AVA_ASSIGN_OR_RETURN(auto tokens, LexSpec(source));
+  return SpecParser(std::move(tokens)).Run();
+}
+
+}  // namespace cava

@@ -1,0 +1,20 @@
+// Parser + semantic pass for the CAvA spec language. Produces a validated
+// ApiSpec with inference-applied parameter annotations (paper §3: CAvA
+// infers semantics from types — const pointers are in-buffers, plain
+// pointers are out-parameters, `const char*` is a string — and the developer
+// refines the rest).
+#ifndef AVA_SRC_CAVA_SPEC_PARSER_H_
+#define AVA_SRC_CAVA_SPEC_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/cava/spec_model.h"
+
+namespace cava {
+
+ava::Result<ApiSpec> ParseSpec(std::string_view source);
+
+}  // namespace cava
+
+#endif  // AVA_SRC_CAVA_SPEC_PARSER_H_

@@ -1,0 +1,79 @@
+#include "src/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <string>
+
+namespace ava {
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("AVA_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "none") == 0) return LogLevel::kNone;
+  return LogLevel::kWarning;
+}
+
+std::atomic<int> g_level{static_cast<int>(LevelFromEnv())};
+std::mutex g_output_mutex;
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kNone:
+      return '?';
+  }
+  return '?';
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  std::string body = stream_.str();
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::fprintf(stderr, "%c %02d:%02d:%02d.%03ld %s:%d] %s\n", LevelTag(level_),
+               tm.tm_hour, tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000,
+               Basename(file_), line_, body.c_str());
+}
+
+}  // namespace log_internal
+}  // namespace ava

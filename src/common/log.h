@@ -1,0 +1,64 @@
+// Minimal leveled logging. Thread-safe line-at-a-time output to stderr.
+//
+//   AVA_LOG(INFO) << "router accepted vm " << vm_id;
+//   AVA_LOG(ERROR) << status;
+//
+// The global level defaults to kWarning so tests and benchmarks stay quiet;
+// set AVA_LOG_LEVEL=debug|info|warning|error in the environment or call
+// SetLogLevel().
+#ifndef AVA_SRC_COMMON_LOG_H_
+#define AVA_SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace ava {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+// Accumulates one log line and emits it (with level tag, timestamp, and
+// source location) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace ava
+
+#define AVA_LOG_LEVEL_DEBUG ::ava::LogLevel::kDebug
+#define AVA_LOG_LEVEL_INFO ::ava::LogLevel::kInfo
+#define AVA_LOG_LEVEL_WARNING ::ava::LogLevel::kWarning
+#define AVA_LOG_LEVEL_ERROR ::ava::LogLevel::kError
+
+#define AVA_LOG(severity)                                      \
+  if (AVA_LOG_LEVEL_##severity < ::ava::GetLogLevel()) {       \
+  } else                                                       \
+    ::ava::log_internal::LogMessage(AVA_LOG_LEVEL_##severity,  \
+                                    __FILE__, __LINE__)        \
+        .stream()
+
+#endif  // AVA_SRC_COMMON_LOG_H_

@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, the return type of fallible factories and
+// lookups throughout AvA.
+#ifndef AVA_SRC_COMMON_RESULT_H_
+#define AVA_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace ava {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit from value and from error Status, so call sites can
+  // `return value;` or `return InvalidArgument(...);`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace ava
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+// Usage: AVA_ASSIGN_OR_RETURN(auto buf, MakeBuffer(n));
+#define AVA_ASSIGN_OR_RETURN(lhs, expr)                   \
+  AVA_ASSIGN_OR_RETURN_IMPL_(                             \
+      AVA_RESULT_CONCAT_(ava_result_, __LINE__), lhs, expr)
+
+#define AVA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define AVA_RESULT_CONCAT_(a, b) AVA_RESULT_CONCAT_IMPL_(a, b)
+#define AVA_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // AVA_SRC_COMMON_RESULT_H_

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generation for tests, workloads, and synthetic
+// data. SplitMix64 core: tiny, fast, and identical across platforms, so every
+// experiment is reproducible from its seed.
+#ifndef AVA_SRC_COMMON_RNG_H_
+#define AVA_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace ava {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t NextU32() { return static_cast<std::uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, bound). bound == 0 yields 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    return bound == 0 ? 0 : NextU64() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) {
+      return lo;
+    }
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_COMMON_RNG_H_

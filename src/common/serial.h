@@ -1,0 +1,185 @@
+// Bounds-checked little-endian wire serialization.
+//
+// ByteWriter appends into a growable byte vector; ByteReader consumes a
+// read-only view and turns any out-of-bounds access into a sticky error
+// Status (never UB). All multi-byte integers are little-endian on the wire.
+#ifndef AVA_SRC_COMMON_SERIAL_H_
+#define AVA_SRC_COMMON_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ava {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Put requires a trivially copyable type");
+    const std::size_t offset = buf_.size();
+    buf_.resize(offset + sizeof(T));
+    std::memcpy(buf_.data() + offset, &value, sizeof(T));
+  }
+
+  void PutU8(std::uint8_t v) { Put(v); }
+  void PutU16(std::uint16_t v) { Put(v); }
+  void PutU32(std::uint32_t v) { Put(v); }
+  void PutU64(std::uint64_t v) { Put(v); }
+  void PutI32(std::int32_t v) { Put(v); }
+  void PutI64(std::int64_t v) { Put(v); }
+  void PutF32(float v) { Put(v); }
+  void PutF64(double v) { Put(v); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  // Length-prefixed (u64) byte blob.
+  void PutBlob(const void* data, std::size_t size) {
+    PutU64(static_cast<std::uint64_t>(size));
+    PutRaw(data, size);
+  }
+  void PutBlob(std::span<const std::uint8_t> data) {
+    PutBlob(data.data(), data.size());
+  }
+
+  // Length-prefixed UTF-8 string (no NUL terminator on the wire).
+  void PutString(std::string_view s) { PutBlob(s.data(), s.size()); }
+
+  // Raw bytes without a length prefix.
+  void PutRaw(const void* data, std::size_t size) {
+    if (size == 0) {
+      return;
+    }
+    const std::size_t offset = buf_.size();
+    buf_.resize(offset + size);
+    std::memcpy(buf_.data() + offset, data, size);
+  }
+
+  // Overwrites sizeof(T) bytes at `offset` (used for back-patching lengths).
+  template <typename T>
+  void PatchAt(std::size_t offset, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset + sizeof(T) <= buf_.size()) {
+      std::memcpy(buf_.data() + offset, &value, sizeof(T));
+    }
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes&& TakeBytes() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(std::span<const std::uint8_t> data)
+      : ByteReader(data.data(), data.size()) {}
+  explicit ByteReader(const Bytes& data) : ByteReader(data.data(), data.size()) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Get requires a trivially copyable type");
+    T value{};
+    if (!CheckAvailable(sizeof(T))) {
+      return value;
+    }
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::uint8_t GetU8() { return Get<std::uint8_t>(); }
+  std::uint16_t GetU16() { return Get<std::uint16_t>(); }
+  std::uint32_t GetU32() { return Get<std::uint32_t>(); }
+  std::uint64_t GetU64() { return Get<std::uint64_t>(); }
+  std::int32_t GetI32() { return Get<std::int32_t>(); }
+  std::int64_t GetI64() { return Get<std::int64_t>(); }
+  float GetF32() { return Get<float>(); }
+  double GetF64() { return Get<double>(); }
+  bool GetBool() { return GetU8() != 0; }
+
+  // Reads a length-prefixed blob as a view into the underlying buffer.
+  // The view is valid only while the backing storage is alive.
+  std::span<const std::uint8_t> GetBlobView() {
+    const std::uint64_t len = GetU64();
+    if (!CheckAvailable(len)) {
+      return {};
+    }
+    std::span<const std::uint8_t> view(data_ + pos_,
+                                       static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return view;
+  }
+
+  Bytes GetBlob() {
+    auto view = GetBlobView();
+    return Bytes(view.begin(), view.end());
+  }
+
+  std::string GetString() {
+    auto view = GetBlobView();
+    return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+  }
+
+  // Copies a length-prefixed blob into `out` (up to `out_size` bytes).
+  // Fails the reader if the encoded length exceeds out_size.
+  void GetBlobInto(void* out, std::size_t out_size) {
+    auto view = GetBlobView();
+    if (view.size() > out_size) {
+      failed_ = true;
+      return;
+    }
+    if (!view.empty() && out != nullptr) {
+      std::memcpy(out, view.data(), view.size());
+    }
+  }
+
+  void Skip(std::size_t n) {
+    if (CheckAvailable(n)) {
+      pos_ += n;
+    }
+  }
+
+  std::size_t remaining() const { return failed_ ? 0 : size_ - pos_; }
+  std::size_t position() const { return pos_; }
+  bool failed() const { return failed_; }
+
+  Status status() const {
+    return failed_ ? DataLoss("wire payload truncated or malformed")
+                   : OkStatus();
+  }
+
+ private:
+  bool CheckAvailable(std::uint64_t n) {
+    if (failed_ || n > size_ - pos_) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_COMMON_SERIAL_H_

@@ -1,0 +1,91 @@
+// Error-handling primitives used across all AvA modules.
+//
+// Modules communicate failure with Status (code + message) and Result<T>
+// (Status or value). No exceptions cross module boundaries; constructors that
+// can fail are replaced by factory functions returning Result<T>.
+#ifndef AVA_SRC_COMMON_STATUS_H_
+#define AVA_SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ava {
+
+// Canonical error space, loosely following absl::StatusCode. Wire-stable:
+// values are serialized into reply command blocks.
+enum class StatusCode : std::int32_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPermissionDenied = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kOutOfRange = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+  kUnavailable = 10,
+  kDeadlineExceeded = 11,
+  kAborted = 12,
+  kDataLoss = 13,
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, e.g. InvalidArgument("bad size").
+Status OkStatus();
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status PermissionDenied(std::string message);
+Status ResourceExhausted(std::string message);
+Status FailedPrecondition(std::string message);
+Status OutOfRange(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+Status Unavailable(std::string message);
+Status DeadlineExceeded(std::string message);
+Status Aborted(std::string message);
+Status DataLoss(std::string message);
+
+}  // namespace ava
+
+// Propagates a non-OK Status from an expression, absl-style.
+#define AVA_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ava::Status ava_status_ = (expr);          \
+    if (!ava_status_.ok()) return ava_status_;   \
+  } while (0)
+
+#endif  // AVA_SRC_COMMON_STATUS_H_

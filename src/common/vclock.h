@@ -1,0 +1,53 @@
+// Clocks: wall time for measurements, and a monotonically accumulating
+// virtual clock used by the simulated devices to charge deterministic
+// per-command costs (so scheduling experiments are reproducible on any host).
+#ifndef AVA_SRC_COMMON_VCLOCK_H_
+#define AVA_SRC_COMMON_VCLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ava {
+
+// Nanoseconds since an arbitrary epoch, monotonic.
+inline std::int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Scoped wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(MonotonicNowNs()) {}
+  void Reset() { start_ns_ = MonotonicNowNs(); }
+  std::int64_t ElapsedNs() const { return MonotonicNowNs() - start_ns_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNs()) * 1e-9;
+  }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+// Thread-safe accumulator of virtual device time, in virtual nanoseconds.
+// Devices advance it by the modeled cost of each executed command; the
+// router reads it for accounting and fairness measurements.
+class VirtualClock {
+ public:
+  void Advance(std::int64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  std::int64_t NowNs() const {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void Reset() { now_ns_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> now_ns_{0};
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_COMMON_VCLOCK_H_

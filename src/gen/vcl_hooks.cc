@@ -1,0 +1,137 @@
+#include "src/gen/vcl_hooks.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/common/log.h"
+#include "vcl_gen.h"
+
+namespace ava_gen_vcl {
+namespace {
+
+// Internal command queues used to synthesize data movement for buffers whose
+// guests are suspended or unaware (swap/migration). One queue per context.
+class QueueCache {
+ public:
+  ~QueueCache() {
+    for (auto& [context, queue] : queues_) {
+      vclReleaseCommandQueue(queue);
+    }
+  }
+
+  vcl_command_queue GetQueue(vcl_context context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queues_.find(context);
+    if (it != queues_.end()) {
+      return it->second;
+    }
+    vcl_device_id device = nullptr;
+    vcl_platform_id platform = nullptr;
+    if (vclGetPlatformIDs(1, &platform, nullptr) != VCL_SUCCESS ||
+        vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_ALL, 1, &device, nullptr) !=
+            VCL_SUCCESS) {
+      return nullptr;
+    }
+    vcl_int err = VCL_SUCCESS;
+    vcl_command_queue queue = vclCreateCommandQueue(context, device, 0, &err);
+    if (err != VCL_SUCCESS) {
+      return nullptr;
+    }
+    queues_[context] = queue;
+    return queue;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<vcl_context, vcl_command_queue> queues_;
+};
+
+vcl_context ContextOf(ava::ObjectRegistry* registry,
+                      const ava::ObjectRegistry::Entry& entry) {
+  auto ctx = registry->Translate(kTag_vcl_context, entry.parent);
+  if (!ctx.ok()) {
+    return nullptr;
+  }
+  return reinterpret_cast<vcl_context>(*ctx);
+}
+
+}  // namespace
+
+ava::BufferHooks MakeVclBufferHooks() {
+  auto cache = std::make_shared<QueueCache>();
+  ava::BufferHooks hooks;
+  hooks.buffer_type_tag = kTag_vcl_mem;
+
+  hooks.read_back = [cache](ava::ObjectRegistry* registry, ava::WireHandle id,
+                            ava::ObjectRegistry::Entry& entry,
+                            ava::Bytes* out) -> ava::Status {
+    vcl_context context = ContextOf(registry, entry);
+    if (context == nullptr) {
+      return ava::FailedPrecondition("buffer has no live parent context");
+    }
+    vcl_command_queue queue = cache->GetQueue(context);
+    if (queue == nullptr) {
+      return ava::Internal("cannot create internal queue for read-back");
+    }
+    out->resize(entry.size);
+    vcl_int rc = vclEnqueueReadBuffer(
+        queue, reinterpret_cast<vcl_mem>(entry.real), VCL_TRUE, 0, entry.size,
+        out->data(), 0, nullptr, nullptr);
+    if (rc != VCL_SUCCESS) {
+      return ava::Internal("read-back failed with code " + std::to_string(rc));
+    }
+    return ava::OkStatus();
+  };
+
+  hooks.free_buffer = [](ava::ObjectRegistry* registry,
+                         ava::ObjectRegistry::Entry& entry) {
+    if (entry.real != nullptr) {
+      vclReleaseMemObject(reinterpret_cast<vcl_mem>(entry.real));
+    }
+  };
+
+  hooks.realloc_buffer = [](ava::ObjectRegistry* registry, ava::WireHandle id,
+                            ava::ObjectRegistry::Entry& entry,
+                            const ava::Bytes& contents) -> void* {
+    vcl_context context = ContextOf(registry, entry);
+    if (context == nullptr) {
+      return nullptr;
+    }
+    vcl_int err = VCL_SUCCESS;
+    vcl_mem mem = vclCreateBuffer(context,
+                                  VCL_MEM_READ_WRITE | VCL_MEM_COPY_HOST_PTR,
+                                  entry.size, contents.data(), &err);
+    return err == VCL_SUCCESS ? reinterpret_cast<void*>(mem) : nullptr;
+  };
+
+  hooks.write_back = [cache](ava::ObjectRegistry* registry, ava::WireHandle id,
+                             ava::ObjectRegistry::Entry& entry,
+                             const ava::Bytes& contents) -> ava::Status {
+    vcl_context context = ContextOf(registry, entry);
+    if (context == nullptr) {
+      return ava::FailedPrecondition("buffer has no live parent context");
+    }
+    vcl_command_queue queue = cache->GetQueue(context);
+    if (queue == nullptr) {
+      return ava::Internal("cannot create internal queue for write-back");
+    }
+    if (entry.swapped) {
+      // Swapped-out buffers restore by replacing the host copy.
+      entry.swap_copy = contents;
+      return ava::OkStatus();
+    }
+    vcl_int rc = vclEnqueueWriteBuffer(
+        queue, reinterpret_cast<vcl_mem>(entry.real), VCL_TRUE, 0,
+        contents.size(), contents.data(), 0, nullptr, nullptr);
+    if (rc != VCL_SUCCESS) {
+      return ava::Internal("write-back failed with code " +
+                           std::to_string(rc));
+    }
+    return ava::OkStatus();
+  };
+
+  return hooks;
+}
+
+}  // namespace ava_gen_vcl

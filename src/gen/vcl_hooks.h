@@ -1,0 +1,17 @@
+// Buffer hooks for the VCL API: how the AvA runtime moves a vcl_mem's bytes
+// using only the public API (synthesized clEnqueueReadBuffer-style calls, as
+// §4.3 describes for migration and swapping).
+#ifndef AVA_SRC_GEN_VCL_HOOKS_H_
+#define AVA_SRC_GEN_VCL_HOOKS_H_
+
+#include "src/server/buffer_hooks.h"
+
+namespace ava_gen_vcl {
+
+// The returned hooks own an internal command-queue cache; destroy them (and
+// everything capturing them) before resetting the silo.
+ava::BufferHooks MakeVclBufferHooks();
+
+}  // namespace ava_gen_vcl
+
+#endif  // AVA_SRC_GEN_VCL_HOOKS_H_

@@ -1,0 +1,69 @@
+#include "src/migrate/recorder.h"
+
+#include <utility>
+
+namespace ava {
+
+void Recorder::OnRecordedCall(const CallHeader& header, const Bytes& payload,
+                              std::vector<WireHandle> created,
+                              std::vector<WireHandle> destroyed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_recorded_;
+  // Tombstone creators of destroyed objects first: a release call both
+  // destroys an id and gets recorded itself (it must replay to keep retain
+  // counts balanced for still-live objects).
+  for (WireHandle dead : destroyed) {
+    auto it = creator_index_.find(dead);
+    if (it == creator_index_.end()) {
+      continue;
+    }
+    Slot& slot = log_[it->second];
+    if (slot.created_alive > 0) {
+      --slot.created_alive;
+    }
+    if (slot.created_alive == 0) {
+      slot.dropped = true;
+    }
+    creator_index_.erase(it);
+  }
+  Slot slot;
+  slot.call.header = header;
+  slot.call.payload = payload;
+  slot.call.created = std::move(created);
+  slot.created_alive = slot.call.created.size();
+  const std::size_t index = log_.size();
+  for (WireHandle id : slot.call.created) {
+    creator_index_[id] = index;
+  }
+  log_.push_back(std::move(slot));
+}
+
+std::vector<RecordedCall> Recorder::LiveLog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RecordedCall> out;
+  out.reserve(log_.size());
+  for (const Slot& slot : log_) {
+    if (!slot.dropped) {
+      out.push_back(slot.call);
+    }
+  }
+  return out;
+}
+
+std::size_t Recorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(total_recorded_);
+}
+
+std::size_t Recorder::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const Slot& slot : log_) {
+    if (!slot.dropped) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace ava

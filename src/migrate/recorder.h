@@ -1,0 +1,53 @@
+// Migration call recorder (§4.3): during normal execution the API server
+// reports every call whose spec says `record;` — global configuration,
+// object allocation/deallocation, object modification — and the recorder
+// keeps the minimal replayable log. Object tracking (as in Nooks) lets it
+// drop records whose created objects have all been destroyed, so the log
+// tracks live state rather than history.
+#ifndef AVA_SRC_MIGRATE_RECORDER_H_
+#define AVA_SRC_MIGRATE_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/proto/wire.h"
+#include "src/server/api_server.h"
+
+namespace ava {
+
+struct RecordedCall {
+  CallHeader header;
+  Bytes payload;
+  std::vector<WireHandle> created;
+};
+
+class Recorder : public RecordSink {
+ public:
+  void OnRecordedCall(const CallHeader& header, const Bytes& payload,
+                      std::vector<WireHandle> created,
+                      std::vector<WireHandle> destroyed) override;
+
+  // Live records, in original order, with tombstoned entries elided.
+  std::vector<RecordedCall> LiveLog() const;
+
+  std::size_t TotalRecorded() const;
+  std::size_t LiveCount() const;
+
+ private:
+  struct Slot {
+    RecordedCall call;
+    std::size_t created_alive = 0;  // of the ids this call created
+    bool dropped = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Slot> log_;
+  std::unordered_map<WireHandle, std::size_t> creator_index_;
+  std::uint64_t total_recorded_ = 0;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_MIGRATE_RECORDER_H_

@@ -1,0 +1,160 @@
+#include "src/migrate/snapshot.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/common/vclock.h"
+
+namespace ava {
+
+Bytes VmSnapshot::Serialize() const {
+  ByteWriter w;
+  w.PutU64(vm_id);
+  w.PutU32(static_cast<std::uint32_t>(calls.size()));
+  for (const RecordedCall& call : calls) {
+    w.PutU16(call.header.api_id);
+    w.PutU32(call.header.func_id);
+    w.PutU64(call.header.call_id);
+    w.PutU64(call.header.vm_id);
+    w.PutU8(call.header.flags);
+    w.PutBlob(call.payload.data(), call.payload.size());
+    w.PutU32(static_cast<std::uint32_t>(call.created.size()));
+    for (WireHandle id : call.created) {
+      w.PutU64(id);
+    }
+  }
+  w.PutU32(static_cast<std::uint32_t>(buffers.size()));
+  for (const auto& [id, data] : buffers) {
+    w.PutU64(id);
+    w.PutBlob(data.data(), data.size());
+  }
+  return std::move(w).TakeBytes();
+}
+
+Result<VmSnapshot> VmSnapshot::Deserialize(const Bytes& data) {
+  ByteReader r(data);
+  VmSnapshot out;
+  out.vm_id = r.GetU64();
+  const std::uint32_t num_calls = r.GetU32();
+  out.calls.reserve(num_calls);
+  for (std::uint32_t i = 0; i < num_calls && !r.failed(); ++i) {
+    RecordedCall call;
+    call.header.api_id = r.GetU16();
+    call.header.func_id = r.GetU32();
+    call.header.call_id = r.GetU64();
+    call.header.vm_id = r.GetU64();
+    call.header.flags = r.GetU8();
+    call.payload = r.GetBlob();
+    const std::uint32_t num_created = r.GetU32();
+    for (std::uint32_t j = 0; j < num_created && !r.failed(); ++j) {
+      call.created.push_back(r.GetU64());
+    }
+    out.calls.push_back(std::move(call));
+  }
+  const std::uint32_t num_buffers = r.GetU32();
+  out.buffers.reserve(num_buffers);
+  for (std::uint32_t i = 0; i < num_buffers && !r.failed(); ++i) {
+    WireHandle id = r.GetU64();
+    out.buffers.emplace_back(id, r.GetBlob());
+  }
+  AVA_RETURN_IF_ERROR(r.status());
+  return out;
+}
+
+std::size_t VmSnapshot::TotalBufferBytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, data] : buffers) {
+    total += data.size();
+  }
+  return total;
+}
+
+Result<VmSnapshot> MigrationEngine::Capture(Router* router,
+                                            ApiServerSession* session,
+                                            const Recorder& recorder,
+                                            MigrationTimings* timings) {
+  Stopwatch suspend_watch;
+  if (router != nullptr) {
+    AVA_RETURN_IF_ERROR(router->PauseVm(session->vm_id()));
+  }
+  if (timings != nullptr) {
+    timings->suspend_ns = suspend_watch.ElapsedNs();
+  }
+
+  Stopwatch snapshot_watch;
+  VmSnapshot snapshot;
+  snapshot.vm_id = session->vm_id();
+  snapshot.calls = recorder.LiveLog();
+
+  // Copy out every extant device buffer. read_back is enqueued behind all
+  // outstanding device work, so contents are final. Swapped-out buffers
+  // already hold their bytes host-side.
+  Status read_status = OkStatus();
+  session->registry().ForEach(
+      hooks_.buffer_type_tag,
+      [&](WireHandle id, ObjectRegistry::Entry& entry) {
+        if (entry.swapped) {
+          snapshot.buffers.emplace_back(id, entry.swap_copy);
+          return;
+        }
+        Bytes contents;
+        Status s = hooks_.read_back(&session->registry(), id, entry, &contents);
+        if (!s.ok()) {
+          read_status = s;
+          return;
+        }
+        snapshot.buffers.emplace_back(id, std::move(contents));
+      });
+  AVA_RETURN_IF_ERROR(read_status);
+  if (timings != nullptr) {
+    timings->snapshot_ns = snapshot_watch.ElapsedNs();
+  }
+  return snapshot;
+}
+
+Status MigrationEngine::Restore(const VmSnapshot& snapshot,
+                                ApiServerSession* target,
+                                MigrationTimings* timings) {
+  Stopwatch replay_watch;
+  std::size_t skipped = 0;
+  for (const RecordedCall& call : snapshot.calls) {
+    Status s = target->Replay(call.header, call.payload, call.created);
+    if (!s.ok()) {
+      // Calls that reference objects destroyed before the snapshot (e.g. a
+      // kernel-arg binding to a freed buffer) fail translation; skip them.
+      ++skipped;
+      AVA_LOG(INFO) << "replay skipped call " << call.header.func_id << ": "
+                    << s;
+    }
+  }
+  if (skipped > 0) {
+    AVA_LOG(WARNING) << "replay skipped " << skipped << " of "
+                     << snapshot.calls.size() << " recorded calls";
+  }
+  if (timings != nullptr) {
+    timings->replay_ns = replay_watch.ElapsedNs();
+  }
+
+  Stopwatch restore_watch;
+  for (const auto& [id, data] : snapshot.buffers) {
+    ObjectRegistry::Entry* entry = target->registry().Find(id);
+    if (entry == nullptr) {
+      return Internal("restored registry is missing buffer " +
+                      std::to_string(id));
+    }
+    Status s = target->registry().WithEntry(
+        id, [&](ObjectRegistry::Entry& e) {
+          Status ws = hooks_.write_back(&target->registry(), id, e, data);
+          if (!ws.ok()) {
+            AVA_LOG(ERROR) << "buffer restore failed for " << id << ": " << ws;
+          }
+        });
+    AVA_RETURN_IF_ERROR(s);
+  }
+  if (timings != nullptr) {
+    timings->restore_buffers_ns = restore_watch.ElapsedNs();
+  }
+  return OkStatus();
+}
+
+}  // namespace ava

@@ -1,0 +1,62 @@
+// VM accelerator-state migration (§4.3): suspend → record/replay snapshot +
+// device-buffer copy-out → (any VM migration mechanism) → replay + copy-in →
+// resume. The snapshot serializes to bytes, so it can cross a socket to a
+// different host process in the disaggregated configuration.
+#ifndef AVA_SRC_MIGRATE_SNAPSHOT_H_
+#define AVA_SRC_MIGRATE_SNAPSHOT_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/migrate/recorder.h"
+#include "src/router/router.h"
+#include "src/server/buffer_hooks.h"
+
+namespace ava {
+
+struct VmSnapshot {
+  VmId vm_id = 0;
+  std::vector<RecordedCall> calls;
+  // Contents of every extant device buffer, keyed by wire id.
+  std::vector<std::pair<WireHandle, Bytes>> buffers;
+
+  Bytes Serialize() const;
+  static Result<VmSnapshot> Deserialize(const Bytes& data);
+
+  std::size_t TotalBufferBytes() const;
+};
+
+// Timings of a capture/restore, for the migration experiment (E6).
+struct MigrationTimings {
+  std::int64_t suspend_ns = 0;
+  std::int64_t snapshot_ns = 0;
+  std::int64_t replay_ns = 0;
+  std::int64_t restore_buffers_ns = 0;
+};
+
+class MigrationEngine {
+ public:
+  explicit MigrationEngine(BufferHooks hooks) : hooks_(std::move(hooks)) {}
+
+  // Suspends `vm_id` on `router` (drains its in-flight call; the device
+  // quiesces because buffer read-back is enqueued behind all outstanding
+  // work), then captures the replay log and all device buffers.
+  // The VM stays paused; the caller decides whether to Resume or migrate.
+  Result<VmSnapshot> Capture(Router* router, ApiServerSession* session,
+                             const Recorder& recorder,
+                             MigrationTimings* timings = nullptr);
+
+  // Rebuilds the VM's accelerator state in a fresh session: replays the
+  // recorded calls (restoring the original wire-handle space) and writes the
+  // buffer contents back. Calls referencing objects that died before the
+  // snapshot are skipped.
+  Status Restore(const VmSnapshot& snapshot, ApiServerSession* target,
+                 MigrationTimings* timings = nullptr);
+
+ private:
+  BufferHooks hooks_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_MIGRATE_SNAPSHOT_H_

@@ -1,0 +1,388 @@
+#include "src/mvnc/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace mvnc {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434E564D;  // "MVNC"
+constexpr std::uint32_t kVersion = 1;
+
+// Shape after a conv/pool layer given same/valid padding.
+std::int32_t OutDim(std::int32_t in, std::int32_t kernel, std::int32_t stride,
+                    bool same) {
+  if (same) {
+    return (in + stride - 1) / stride;
+  }
+  return (in - kernel) / stride + 1;
+}
+
+struct Shape {
+  bool flat = false;
+  std::int32_t c = 0, h = 0, w = 0, n = 0;
+  std::size_t Elements() const {
+    return flat ? static_cast<std::size_t>(n)
+                : static_cast<std::size_t>(c) * h * w;
+  }
+};
+
+ava::Result<Shape> InferShapes(const GraphDef& def,
+                               std::vector<Shape>* per_layer) {
+  Shape s;
+  s.c = def.input_c;
+  s.h = def.input_h;
+  s.w = def.input_w;
+  for (const Layer& layer : def.layers) {
+    switch (layer.kind) {
+      case LayerKind::kConv2d: {
+        if (s.flat) {
+          return ava::InvalidArgument("conv2d after flatten");
+        }
+        std::size_t expect = static_cast<std::size_t>(layer.out_channels) *
+                             s.c * layer.kernel * layer.kernel;
+        if (layer.weights.size() != expect ||
+            layer.bias.size() != static_cast<std::size_t>(layer.out_channels)) {
+          return ava::InvalidArgument("conv2d weight shape mismatch");
+        }
+        s.h = OutDim(s.h, layer.kernel, layer.stride, layer.same_padding);
+        s.w = OutDim(s.w, layer.kernel, layer.stride, layer.same_padding);
+        s.c = layer.out_channels;
+        break;
+      }
+      case LayerKind::kMaxPool: {
+        if (s.flat) {
+          return ava::InvalidArgument("maxpool after flatten");
+        }
+        s.h = (s.h - layer.kernel) / layer.stride + 1;
+        s.w = (s.w - layer.kernel) / layer.stride + 1;
+        if (s.h <= 0 || s.w <= 0) {
+          return ava::InvalidArgument("maxpool collapses activation");
+        }
+        break;
+      }
+      case LayerKind::kDense: {
+        std::size_t inputs = s.Elements();
+        std::size_t expect = static_cast<std::size_t>(layer.units) * inputs;
+        if (layer.weights.size() != expect ||
+            layer.bias.size() != static_cast<std::size_t>(layer.units)) {
+          return ava::InvalidArgument("dense weight shape mismatch");
+        }
+        s.flat = true;
+        s.n = layer.units;
+        break;
+      }
+      case LayerKind::kSoftmax:
+        if (!s.flat) {
+          return ava::InvalidArgument("softmax requires a flat activation");
+        }
+        break;
+    }
+    if (per_layer != nullptr) {
+      per_layer->push_back(s);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+ava::Bytes GraphDef::Serialize() const {
+  ava::ByteWriter w;
+  w.PutU32(kMagic);
+  w.PutU32(kVersion);
+  w.PutString(name);
+  w.PutI32(input_c);
+  w.PutI32(input_h);
+  w.PutI32(input_w);
+  w.PutU32(static_cast<std::uint32_t>(layers.size()));
+  for (const Layer& layer : layers) {
+    w.PutU8(static_cast<std::uint8_t>(layer.kind));
+    w.PutBool(layer.relu);
+    w.PutI32(layer.out_channels);
+    w.PutI32(layer.kernel);
+    w.PutI32(layer.stride);
+    w.PutBool(layer.same_padding);
+    w.PutI32(layer.units);
+    w.PutBlob(layer.weights.data(), layer.weights.size() * sizeof(float));
+    w.PutBlob(layer.bias.data(), layer.bias.size() * sizeof(float));
+  }
+  return std::move(w).TakeBytes();
+}
+
+ava::Result<GraphDef> GraphDef::Deserialize(const void* data,
+                                            std::size_t size) {
+  ava::ByteReader r(data, size);
+  if (r.GetU32() != kMagic) {
+    return ava::InvalidArgument("not an MVNC graph file");
+  }
+  if (r.GetU32() != kVersion) {
+    return ava::InvalidArgument("unsupported MVNC graph version");
+  }
+  GraphDef def;
+  def.name = r.GetString();
+  def.input_c = r.GetI32();
+  def.input_h = r.GetI32();
+  def.input_w = r.GetI32();
+  const std::uint32_t num_layers = r.GetU32();
+  if (def.input_c <= 0 || def.input_h <= 0 || def.input_w <= 0 ||
+      num_layers > 256) {
+    return ava::InvalidArgument("malformed MVNC graph header");
+  }
+  for (std::uint32_t i = 0; i < num_layers && !r.failed(); ++i) {
+    Layer layer;
+    layer.kind = static_cast<LayerKind>(r.GetU8());
+    layer.relu = r.GetBool();
+    layer.out_channels = r.GetI32();
+    layer.kernel = r.GetI32();
+    layer.stride = r.GetI32();
+    layer.same_padding = r.GetBool();
+    layer.units = r.GetI32();
+    auto weights = r.GetBlobView();
+    layer.weights.resize(weights.size() / sizeof(float));
+    if (!weights.empty()) {
+      std::memcpy(layer.weights.data(), weights.data(), weights.size());
+    }
+    auto bias = r.GetBlobView();
+    layer.bias.resize(bias.size() / sizeof(float));
+    if (!bias.empty()) {
+      std::memcpy(layer.bias.data(), bias.data(), bias.size());
+    }
+    def.layers.push_back(std::move(layer));
+  }
+  AVA_RETURN_IF_ERROR(r.status());
+  // Validate shapes now so AllocateGraph rejects bad files.
+  AVA_RETURN_IF_ERROR(InferShapes(def, nullptr).status());
+  return def;
+}
+
+ava::Result<std::size_t> GraphDef::OutputElements() const {
+  AVA_ASSIGN_OR_RETURN(Shape s, InferShapes(*this, nullptr));
+  return s.Elements();
+}
+
+ava::Result<Tensor> GraphDef::Run(const Tensor& input,
+                                  std::uint64_t* flops) const {
+  if (input.ElementCount() != InputElements()) {
+    return ava::InvalidArgument("input tensor has wrong element count");
+  }
+  std::uint64_t ops = 0;
+  // Current activation.
+  std::vector<float> act = input.data;
+  std::int32_t c = input_c, h = input_h, w = input_w;
+  bool flat = false;
+  std::int32_t flat_n = 0;
+
+  for (const Layer& layer : layers) {
+    switch (layer.kind) {
+      case LayerKind::kConv2d: {
+        const std::int32_t oc = layer.out_channels;
+        const std::int32_t k = layer.kernel;
+        const std::int32_t stride = layer.stride;
+        const std::int32_t oh = OutDim(h, k, stride, layer.same_padding);
+        const std::int32_t ow = OutDim(w, k, stride, layer.same_padding);
+        const std::int32_t pad =
+            layer.same_padding ? ((oh - 1) * stride + k - h + 1) / 2 : 0;
+        std::vector<float> out(static_cast<std::size_t>(oc) * oh * ow);
+        for (std::int32_t o = 0; o < oc; ++o) {
+          for (std::int32_t y = 0; y < oh; ++y) {
+            for (std::int32_t x = 0; x < ow; ++x) {
+              float acc = layer.bias[static_cast<std::size_t>(o)];
+              for (std::int32_t ic = 0; ic < c; ++ic) {
+                for (std::int32_t ky = 0; ky < k; ++ky) {
+                  const std::int32_t sy = y * stride + ky - pad;
+                  if (sy < 0 || sy >= h) {
+                    continue;
+                  }
+                  for (std::int32_t kx = 0; kx < k; ++kx) {
+                    const std::int32_t sx = x * stride + kx - pad;
+                    if (sx < 0 || sx >= w) {
+                      continue;
+                    }
+                    acc += act[(static_cast<std::size_t>(ic) * h + sy) * w +
+                               sx] *
+                           layer.weights[((static_cast<std::size_t>(o) * c +
+                                           ic) * k + ky) * k + kx];
+                  }
+                }
+              }
+              if (layer.relu && acc < 0.0f) {
+                acc = 0.0f;
+              }
+              out[(static_cast<std::size_t>(o) * oh + y) * ow + x] = acc;
+            }
+          }
+        }
+        ops += 2ull * oc * oh * ow * c * k * k;
+        act = std::move(out);
+        c = oc;
+        h = oh;
+        w = ow;
+        break;
+      }
+      case LayerKind::kMaxPool: {
+        const std::int32_t k = layer.kernel;
+        const std::int32_t stride = layer.stride;
+        const std::int32_t oh = (h - k) / stride + 1;
+        const std::int32_t ow = (w - k) / stride + 1;
+        std::vector<float> out(static_cast<std::size_t>(c) * oh * ow);
+        for (std::int32_t ic = 0; ic < c; ++ic) {
+          for (std::int32_t y = 0; y < oh; ++y) {
+            for (std::int32_t x = 0; x < ow; ++x) {
+              float best = -1e30f;
+              for (std::int32_t ky = 0; ky < k; ++ky) {
+                for (std::int32_t kx = 0; kx < k; ++kx) {
+                  best = std::max(
+                      best, act[(static_cast<std::size_t>(ic) * h +
+                                 y * stride + ky) * w + x * stride + kx]);
+                }
+              }
+              out[(static_cast<std::size_t>(ic) * oh + y) * ow + x] = best;
+            }
+          }
+        }
+        ops += static_cast<std::uint64_t>(c) * oh * ow * k * k;
+        act = std::move(out);
+        h = oh;
+        w = ow;
+        break;
+      }
+      case LayerKind::kDense: {
+        const std::size_t inputs = act.size();
+        const std::int32_t units = layer.units;
+        std::vector<float> out(static_cast<std::size_t>(units));
+        for (std::int32_t u = 0; u < units; ++u) {
+          float acc = layer.bias[static_cast<std::size_t>(u)];
+          const float* row =
+              layer.weights.data() + static_cast<std::size_t>(u) * inputs;
+          for (std::size_t i = 0; i < inputs; ++i) {
+            acc += row[i] * act[i];
+          }
+          if (layer.relu && acc < 0.0f) {
+            acc = 0.0f;
+          }
+          out[static_cast<std::size_t>(u)] = acc;
+        }
+        ops += 2ull * units * inputs;
+        act = std::move(out);
+        flat = true;
+        flat_n = units;
+        break;
+      }
+      case LayerKind::kSoftmax: {
+        float max_v = *std::max_element(act.begin(), act.end());
+        float sum = 0.0f;
+        for (float& v : act) {
+          v = std::exp(v - max_v);
+          sum += v;
+        }
+        for (float& v : act) {
+          v /= sum;
+        }
+        ops += 3ull * act.size();
+        break;
+      }
+    }
+  }
+  if (flops != nullptr) {
+    *flops += ops;
+  }
+  Tensor out;
+  if (flat) {
+    out.shape = {flat_n};
+  } else {
+    out.shape = {c, h, w};
+  }
+  out.data = std::move(act);
+  return out;
+}
+
+GraphBuilder::GraphBuilder(std::int32_t c, std::int32_t h, std::int32_t w,
+                           std::uint64_t seed)
+    : c_(c), h_(h), w_(w), rng_(seed) {
+  def_.input_c = c;
+  def_.input_h = h;
+  def_.input_w = w;
+  def_.name = "graph";
+}
+
+GraphBuilder& GraphBuilder::Conv2d(std::int32_t out_channels,
+                                   std::int32_t kernel, std::int32_t stride,
+                                   bool relu) {
+  Layer layer;
+  layer.kind = LayerKind::kConv2d;
+  layer.relu = relu;
+  layer.out_channels = out_channels;
+  layer.kernel = kernel;
+  layer.stride = stride;
+  layer.same_padding = true;
+  const std::size_t n = static_cast<std::size_t>(out_channels) * c_ * kernel *
+                        kernel;
+  layer.weights.resize(n);
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(c_ * kernel * kernel));
+  for (auto& v : layer.weights) {
+    v = rng_.NextFloat(-scale, scale);
+  }
+  layer.bias.resize(static_cast<std::size_t>(out_channels));
+  for (auto& v : layer.bias) {
+    v = rng_.NextFloat(-0.1f, 0.1f);
+  }
+  def_.layers.push_back(std::move(layer));
+  c_ = out_channels;
+  h_ = OutDim(h_, kernel, stride, true);
+  w_ = OutDim(w_, kernel, stride, true);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::MaxPool(std::int32_t kernel, std::int32_t stride) {
+  if (stride == 0) {
+    stride = kernel;
+  }
+  Layer layer;
+  layer.kind = LayerKind::kMaxPool;
+  layer.kernel = kernel;
+  layer.stride = stride;
+  def_.layers.push_back(std::move(layer));
+  h_ = (h_ - kernel) / stride + 1;
+  w_ = (w_ - kernel) / stride + 1;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::Dense(std::int32_t units, bool relu) {
+  const std::size_t inputs =
+      flat_ ? static_cast<std::size_t>(flat_n_)
+            : static_cast<std::size_t>(c_) * h_ * w_;
+  Layer layer;
+  layer.kind = LayerKind::kDense;
+  layer.relu = relu;
+  layer.units = units;
+  layer.weights.resize(static_cast<std::size_t>(units) * inputs);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(inputs));
+  for (auto& v : layer.weights) {
+    v = rng_.NextFloat(-scale, scale);
+  }
+  layer.bias.resize(static_cast<std::size_t>(units));
+  for (auto& v : layer.bias) {
+    v = rng_.NextFloat(-0.1f, 0.1f);
+  }
+  def_.layers.push_back(std::move(layer));
+  flat_ = true;
+  flat_n_ = units;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::Softmax() {
+  Layer layer;
+  layer.kind = LayerKind::kSoftmax;
+  def_.layers.push_back(std::move(layer));
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::Named(const std::string& name) {
+  def_.name = name;
+  return *this;
+}
+
+}  // namespace mvnc

@@ -1,0 +1,110 @@
+// The MVNC graph format and inference engine: a from-scratch forward-only
+// CNN evaluator (conv2d, maxpool, dense, relu, softmax) over NCHW float32
+// tensors, plus the serialized "compiled graph file" that mvncAllocateGraph
+// consumes and a builder for constructing networks in tests and workloads.
+#ifndef AVA_SRC_MVNC_GRAPH_H_
+#define AVA_SRC_MVNC_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/serial.h"
+
+namespace mvnc {
+
+// A dense float tensor with a [channels, height, width] or flat shape.
+struct Tensor {
+  std::vector<std::int32_t> shape;
+  std::vector<float> data;
+
+  static Tensor Chw(std::int32_t c, std::int32_t h, std::int32_t w) {
+    Tensor t;
+    t.shape = {c, h, w};
+    t.data.assign(static_cast<std::size_t>(c) * h * w, 0.0f);
+    return t;
+  }
+  static Tensor Flat(std::int32_t n) {
+    Tensor t;
+    t.shape = {n};
+    t.data.assign(static_cast<std::size_t>(n), 0.0f);
+    return t;
+  }
+  std::size_t ElementCount() const { return data.size(); }
+};
+
+enum class LayerKind : std::uint8_t {
+  kConv2d = 1,
+  kMaxPool = 2,
+  kDense = 3,
+  kSoftmax = 4,
+};
+
+struct Layer {
+  LayerKind kind = LayerKind::kDense;
+  bool relu = false;
+  // kConv2d: weights [out_ch][in_ch][k][k], bias [out_ch]; stride; same-pad.
+  std::int32_t out_channels = 0;
+  std::int32_t kernel = 0;
+  std::int32_t stride = 1;
+  bool same_padding = true;
+  // kMaxPool: kernel/stride reused.
+  // kDense: weights [units][inputs], bias [units].
+  std::int32_t units = 0;
+  std::vector<float> weights;
+  std::vector<float> bias;
+};
+
+struct GraphDef {
+  std::int32_t input_c = 0;
+  std::int32_t input_h = 0;
+  std::int32_t input_w = 0;
+  std::string name;
+  std::vector<Layer> layers;
+
+  std::size_t InputElements() const {
+    return static_cast<std::size_t>(input_c) * input_h * input_w;
+  }
+
+  // The "compiled graph file" (what mvncAllocateGraph takes).
+  ava::Bytes Serialize() const;
+  static ava::Result<GraphDef> Deserialize(const void* data, std::size_t size);
+
+  // Runs one forward pass. Returns the output tensor and accumulates the
+  // floating-point-op count into *flops (for the virtual-time model).
+  ava::Result<Tensor> Run(const Tensor& input, std::uint64_t* flops) const;
+
+  // Output element count for a valid graph (runs shape inference).
+  ava::Result<std::size_t> OutputElements() const;
+};
+
+// Builder for tests / workloads: appends layers with seeded random weights.
+class GraphBuilder {
+ public:
+  GraphBuilder(std::int32_t c, std::int32_t h, std::int32_t w,
+               std::uint64_t seed = 1);
+
+  GraphBuilder& Conv2d(std::int32_t out_channels, std::int32_t kernel,
+                       std::int32_t stride = 1, bool relu = true);
+  GraphBuilder& MaxPool(std::int32_t kernel, std::int32_t stride = 0);
+  GraphBuilder& Dense(std::int32_t units, bool relu = true);
+  GraphBuilder& Softmax();
+  GraphBuilder& Named(const std::string& name);
+
+  GraphDef Build() const { return def_; }
+  ava::Bytes BuildFile() const { return def_.Serialize(); }
+
+ private:
+  // Current activation shape, tracked for weight sizing.
+  std::int32_t c_, h_, w_;
+  bool flat_ = false;
+  std::int32_t flat_n_ = 0;
+  GraphDef def_;
+  ava::Rng rng_;
+};
+
+}  // namespace mvnc
+
+#endif  // AVA_SRC_MVNC_GRAPH_H_

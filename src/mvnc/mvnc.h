@@ -1,0 +1,72 @@
+// MVNC — the "vendor" neural-compute-stick silo used in place of the Intel
+// Movidius NCSDK (see DESIGN.md §2). API shape follows NCSDK v1: open a
+// device by name, allocate a compiled graph onto it, stream input tensors,
+// fetch results. 10 public entry points; everything below them (the graph
+// format, the inference engine, the device worker) is the silo.
+#ifndef AVA_SRC_MVNC_MVNC_H_
+#define AVA_SRC_MVNC_MVNC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" {
+
+using mvnc_status = std::int32_t;
+using mvnc_device = struct mvnc_device_rec*;
+using mvnc_graph = struct mvnc_graph_rec*;
+
+constexpr mvnc_status MVNC_OK = 0;
+constexpr mvnc_status MVNC_BUSY = -1;
+constexpr mvnc_status MVNC_ERROR = -2;
+constexpr mvnc_status MVNC_OUT_OF_MEMORY = -3;
+constexpr mvnc_status MVNC_DEVICE_NOT_FOUND = -4;
+constexpr mvnc_status MVNC_INVALID_PARAMETERS = -5;
+constexpr mvnc_status MVNC_INVALID_HANDLE = -7;
+constexpr mvnc_status MVNC_UNSUPPORTED_GRAPH_FILE = -10;
+constexpr mvnc_status MVNC_NO_DATA = -25;
+
+// Graph options (mvncGetGraphOption / mvncSetGraphOption).
+constexpr std::int32_t MVNC_ITERATIONS = 0;        // int32: inferences run
+constexpr std::int32_t MVNC_TIME_TAKEN = 1;        // float: last inference ms (virtual)
+constexpr std::int32_t MVNC_OUTPUT_SIZE = 2;       // int32: result bytes
+
+// Device options (mvncGetDeviceOption).
+constexpr std::int32_t MVNC_LOADED_GRAPHS = 100;   // int32
+constexpr std::int32_t MVNC_DEVICE_VTIME_NS = 101; // int64: virtual ns consumed
+
+// Enumerates virtual sticks: fills `name` ("ncs0", "ncs1", ...) for `index`,
+// MVNC_DEVICE_NOT_FOUND past the end.
+mvnc_status mvncGetDeviceName(std::int32_t index, char* name,
+                              std::uint32_t name_size);
+
+mvnc_status mvncOpenDevice(const char* name, mvnc_device* device);
+mvnc_status mvncCloseDevice(mvnc_device device);
+
+// Loads a compiled graph file (see graph.h for the format) onto the device.
+mvnc_status mvncAllocateGraph(mvnc_device device, mvnc_graph* graph,
+                              const void* graph_file,
+                              std::uint32_t graph_file_size);
+mvnc_status mvncDeallocateGraph(mvnc_graph graph);
+
+// Queues one input tensor (float32, the graph's input shape) for inference.
+mvnc_status mvncLoadTensor(mvnc_graph graph, const void* tensor,
+                           std::uint32_t tensor_size);
+
+// Blocks for the next completed inference; writes up to result_capacity
+// bytes and the true size.
+mvnc_status mvncGetResult(mvnc_graph graph, void* result,
+                          std::uint32_t result_capacity,
+                          std::uint32_t* result_size);
+
+mvnc_status mvncGetGraphOption(mvnc_graph graph, std::int32_t option,
+                               void* data, std::uint32_t data_capacity,
+                               std::uint32_t* data_size);
+mvnc_status mvncSetGraphOption(mvnc_graph graph, std::int32_t option,
+                               const void* data, std::uint32_t data_size);
+mvnc_status mvncGetDeviceOption(mvnc_device device, std::int32_t option,
+                                void* data, std::uint32_t data_capacity,
+                                std::uint32_t* data_size);
+
+}  // extern "C"
+
+#endif  // AVA_SRC_MVNC_MVNC_H_

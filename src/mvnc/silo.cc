@@ -1,0 +1,447 @@
+// The MVNC device engine and the 10 public API entry points.
+#include "src/mvnc/silo.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+
+#include "src/common/log.h"
+#include "src/mvnc/graph.h"
+
+// ---------------------------------------------------------------------------
+// Records.
+// ---------------------------------------------------------------------------
+
+struct mvnc_device_rec {
+  mvnc::MvncSilo* silo = nullptr;
+  mvnc::DeviceEngine* engine = nullptr;
+  std::int32_t index = 0;
+};
+
+struct mvnc_graph_rec {
+  mvnc_device device = nullptr;
+  mvnc::GraphDef def;
+  std::size_t weight_bytes = 0;
+  std::size_t output_elements = 0;
+  // Completed results, FIFO; guarded by the engine mutex.
+  std::deque<mvnc::Tensor> results;
+  std::uint32_t pending = 0;
+  std::int32_t iterations = 0;
+  float last_time_ms = 0.0f;
+};
+
+namespace mvnc {
+
+// One virtual compute stick: a worker thread running inferences FIFO.
+class DeviceEngine {
+ public:
+  explicit DeviceEngine(const MvncConfig& config) : config_(config) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+
+  ~DeviceEngine() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    if (worker_.joinable()) {
+      worker_.join();
+    }
+  }
+
+  bool ChargeMemory(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (memory_used_ + bytes > config_.device_memory_bytes) {
+      return false;
+    }
+    memory_used_ += bytes;
+    ++loaded_graphs_;
+    return true;
+  }
+
+  void RefundMemory(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    memory_used_ -= bytes;
+    --loaded_graphs_;
+  }
+
+  void SubmitInference(mvnc_graph graph, Tensor input) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++graph->pending;
+      queue_.emplace_back(graph, std::move(input));
+    }
+    work_cv_.notify_one();
+  }
+
+  // Blocks for the next completed result of `graph`.
+  mvnc_status WaitResult(mvnc_graph graph, Tensor* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return stopping_ || !graph->results.empty() ||
+             (graph->pending == 0 && graph->results.empty());
+    });
+    if (graph->results.empty()) {
+      return MVNC_NO_DATA;  // nothing queued: nothing will ever arrive
+    }
+    *out = std::move(graph->results.front());
+    graph->results.pop_front();
+    return MVNC_OK;
+  }
+
+  // Blocks until no inference for `graph` is queued or running.
+  void DrainGraph(mvnc_graph graph) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return stopping_ || graph->pending == 0; });
+    graph->results.clear();
+  }
+
+  std::int32_t loaded_graphs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return loaded_graphs_;
+  }
+
+  MvncCounters Counters() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+  }
+
+ private:
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+      auto [graph, input] = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+
+      std::uint64_t flops = 0;
+      auto result = graph->def.Run(input, &flops);
+
+      lock.lock();
+      const std::int64_t cost =
+          config_.vns_per_command +
+          static_cast<std::int64_t>(static_cast<double>(flops) *
+                                    config_.vns_per_flop);
+      counters_.virtual_time_ns += cost;
+      counters_.flops += flops;
+      ++counters_.inferences;
+      if (result.ok()) {
+        graph->results.push_back(std::move(*result));
+      } else {
+        AVA_LOG(WARNING) << "mvnc inference failed: " << result.status();
+        // Deliver an empty tensor so GetResult unblocks with NO_DATA later.
+      }
+      ++graph->iterations;
+      graph->last_time_ms = static_cast<float>(cost) * 1e-6f;
+      --graph->pending;
+      lock.unlock();
+      done_cv_.notify_all();
+      lock.lock();
+    }
+  }
+
+  MvncConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::pair<mvnc_graph, Tensor>> queue_;
+  bool stopping_ = false;
+  std::size_t memory_used_ = 0;
+  std::int32_t loaded_graphs_ = 0;
+  MvncCounters counters_;
+
+  std::thread worker_;
+};
+
+MvncSilo::MvncSilo(const MvncConfig& config) : config_(config) {
+  for (std::int32_t i = 0; i < config_.num_devices; ++i) {
+    engines_.push_back(std::make_unique<DeviceEngine>(config_));
+  }
+}
+
+MvncSilo::~MvncSilo() = default;
+
+void MvncSilo::RegisterHandle(void* handle) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  handles_.insert(handle);
+}
+
+void MvncSilo::UnregisterHandle(void* handle) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  handles_.erase(handle);
+}
+
+bool MvncSilo::ValidateHandle(void* handle) {
+  if (handle == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return handles_.count(handle) != 0;
+}
+
+MvncCounters MvncSilo::Counters() const {
+  MvncCounters total;
+  for (const auto& engine : engines_) {
+    MvncCounters c = engine->Counters();
+    total.inferences += c.inferences;
+    total.flops += c.flops;
+    total.virtual_time_ns += c.virtual_time_ns;
+  }
+  return total;
+}
+
+DeviceEngine* MvncSilo::EngineAt(std::int32_t index) {
+  if (index < 0 || index >= static_cast<std::int32_t>(engines_.size())) {
+    return nullptr;
+  }
+  return engines_[static_cast<std::size_t>(index)].get();
+}
+
+namespace {
+std::unique_ptr<MvncSilo>& SiloSlot() {
+  static auto* slot = new std::unique_ptr<MvncSilo>;
+  return *slot;
+}
+}  // namespace
+
+MvncSilo& DefaultMvncSilo() {
+  auto& slot = SiloSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<MvncSilo>(MvncConfig());
+  }
+  return *slot;
+}
+
+void ResetMvncSilo(const MvncConfig& config) {
+  auto& slot = SiloSlot();
+  slot.reset();
+  slot = std::make_unique<MvncSilo>(config);
+}
+
+}  // namespace mvnc
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+mvnc_status ReturnOption(const void* src, std::uint32_t src_size, void* data,
+                         std::uint32_t data_capacity,
+                         std::uint32_t* data_size) {
+  if (data != nullptr) {
+    if (data_capacity < src_size) {
+      return MVNC_INVALID_PARAMETERS;
+    }
+    std::memcpy(data, src, src_size);
+  }
+  if (data_size != nullptr) {
+    *data_size = src_size;
+  }
+  return MVNC_OK;
+}
+
+}  // namespace
+
+extern "C" {
+
+mvnc_status mvncGetDeviceName(std::int32_t index, char* name,
+                              std::uint32_t name_size) {
+  if (name == nullptr || name_size == 0) {
+    return MVNC_INVALID_PARAMETERS;
+  }
+  if (index < 0 || index >= mvnc::DefaultMvncSilo().num_devices()) {
+    return MVNC_DEVICE_NOT_FOUND;
+  }
+  std::string device_name = "ncs" + std::to_string(index);
+  if (device_name.size() + 1 > name_size) {
+    return MVNC_INVALID_PARAMETERS;
+  }
+  std::memcpy(name, device_name.c_str(), device_name.size() + 1);
+  return MVNC_OK;
+}
+
+mvnc_status mvncOpenDevice(const char* name, mvnc_device* device) {
+  if (name == nullptr || device == nullptr) {
+    return MVNC_INVALID_PARAMETERS;
+  }
+  std::string n(name);
+  if (n.rfind("ncs", 0) != 0) {
+    return MVNC_DEVICE_NOT_FOUND;
+  }
+  std::int32_t index = std::atoi(n.c_str() + 3);
+  mvnc::DeviceEngine* engine = mvnc::DefaultMvncSilo().EngineAt(index);
+  if (engine == nullptr) {
+    return MVNC_DEVICE_NOT_FOUND;
+  }
+  auto* rec = new mvnc_device_rec;
+  rec->silo = &mvnc::DefaultMvncSilo();
+  rec->engine = engine;
+  rec->index = index;
+  mvnc::DefaultMvncSilo().RegisterHandle(rec);
+  *device = rec;
+  return MVNC_OK;
+}
+
+mvnc_status mvncCloseDevice(mvnc_device device) {
+  if (!mvnc::DefaultMvncSilo().ValidateHandle(device)) {
+    return MVNC_INVALID_HANDLE;
+  }
+  if (device->engine->loaded_graphs() > 0) {
+    return MVNC_BUSY;
+  }
+  mvnc::DefaultMvncSilo().UnregisterHandle(device);
+  delete device;
+  return MVNC_OK;
+}
+
+mvnc_status mvncAllocateGraph(mvnc_device device, mvnc_graph* graph,
+                              const void* graph_file,
+                              std::uint32_t graph_file_size) {
+  if (!mvnc::DefaultMvncSilo().ValidateHandle(device)) {
+    return MVNC_INVALID_HANDLE;
+  }
+  if (graph == nullptr || graph_file == nullptr || graph_file_size == 0) {
+    return MVNC_INVALID_PARAMETERS;
+  }
+  auto def = mvnc::GraphDef::Deserialize(graph_file, graph_file_size);
+  if (!def.ok()) {
+    return MVNC_UNSUPPORTED_GRAPH_FILE;
+  }
+  std::size_t weight_bytes = 0;
+  for (const auto& layer : def->layers) {
+    weight_bytes += (layer.weights.size() + layer.bias.size()) * sizeof(float);
+  }
+  if (!device->engine->ChargeMemory(weight_bytes)) {
+    return MVNC_OUT_OF_MEMORY;
+  }
+  auto out_elems = def->OutputElements();
+  auto* rec = new mvnc_graph_rec;
+  rec->device = device;
+  rec->def = std::move(*def);
+  rec->weight_bytes = weight_bytes;
+  rec->output_elements = out_elems.ok() ? *out_elems : 0;
+  mvnc::DefaultMvncSilo().RegisterHandle(rec);
+  *graph = rec;
+  return MVNC_OK;
+}
+
+mvnc_status mvncDeallocateGraph(mvnc_graph graph) {
+  if (!mvnc::DefaultMvncSilo().ValidateHandle(graph)) {
+    return MVNC_INVALID_HANDLE;
+  }
+  graph->device->engine->DrainGraph(graph);
+  graph->device->engine->RefundMemory(graph->weight_bytes);
+  mvnc::DefaultMvncSilo().UnregisterHandle(graph);
+  delete graph;
+  return MVNC_OK;
+}
+
+mvnc_status mvncLoadTensor(mvnc_graph graph, const void* tensor,
+                           std::uint32_t tensor_size) {
+  if (!mvnc::DefaultMvncSilo().ValidateHandle(graph)) {
+    return MVNC_INVALID_HANDLE;
+  }
+  const std::size_t expect = graph->def.InputElements() * sizeof(float);
+  if (tensor == nullptr || tensor_size != expect) {
+    return MVNC_INVALID_PARAMETERS;
+  }
+  mvnc::Tensor input = mvnc::Tensor::Chw(graph->def.input_c,
+                                         graph->def.input_h,
+                                         graph->def.input_w);
+  std::memcpy(input.data.data(), tensor, tensor_size);
+  graph->device->engine->SubmitInference(graph, std::move(input));
+  return MVNC_OK;
+}
+
+mvnc_status mvncGetResult(mvnc_graph graph, void* result,
+                          std::uint32_t result_capacity,
+                          std::uint32_t* result_size) {
+  if (!mvnc::DefaultMvncSilo().ValidateHandle(graph)) {
+    return MVNC_INVALID_HANDLE;
+  }
+  mvnc::Tensor out;
+  mvnc_status status = graph->device->engine->WaitResult(graph, &out);
+  if (status != MVNC_OK) {
+    return status;
+  }
+  const std::uint32_t bytes =
+      static_cast<std::uint32_t>(out.data.size() * sizeof(float));
+  if (result_size != nullptr) {
+    *result_size = bytes;
+  }
+  if (result == nullptr || result_capacity < bytes) {
+    return MVNC_INVALID_PARAMETERS;
+  }
+  std::memcpy(result, out.data.data(), bytes);
+  return MVNC_OK;
+}
+
+mvnc_status mvncGetGraphOption(mvnc_graph graph, std::int32_t option,
+                               void* data, std::uint32_t data_capacity,
+                               std::uint32_t* data_size) {
+  if (!mvnc::DefaultMvncSilo().ValidateHandle(graph)) {
+    return MVNC_INVALID_HANDLE;
+  }
+  switch (option) {
+    case MVNC_ITERATIONS:
+      return ReturnOption(&graph->iterations, sizeof(graph->iterations), data,
+                          data_capacity, data_size);
+    case MVNC_TIME_TAKEN:
+      return ReturnOption(&graph->last_time_ms, sizeof(graph->last_time_ms),
+                          data, data_capacity, data_size);
+    case MVNC_OUTPUT_SIZE: {
+      std::int32_t bytes =
+          static_cast<std::int32_t>(graph->output_elements * sizeof(float));
+      return ReturnOption(&bytes, sizeof(bytes), data, data_capacity,
+                          data_size);
+    }
+    default:
+      return MVNC_INVALID_PARAMETERS;
+  }
+}
+
+mvnc_status mvncSetGraphOption(mvnc_graph graph, std::int32_t option,
+                               const void* data, std::uint32_t data_size) {
+  if (!mvnc::DefaultMvncSilo().ValidateHandle(graph)) {
+    return MVNC_INVALID_HANDLE;
+  }
+  if (option == MVNC_ITERATIONS && data != nullptr &&
+      data_size == sizeof(std::int32_t)) {
+    std::memcpy(&graph->iterations, data, sizeof(std::int32_t));
+    return MVNC_OK;
+  }
+  return MVNC_INVALID_PARAMETERS;
+}
+
+mvnc_status mvncGetDeviceOption(mvnc_device device, std::int32_t option,
+                                void* data, std::uint32_t data_capacity,
+                                std::uint32_t* data_size) {
+  if (!mvnc::DefaultMvncSilo().ValidateHandle(device)) {
+    return MVNC_INVALID_HANDLE;
+  }
+  switch (option) {
+    case MVNC_LOADED_GRAPHS: {
+      std::int32_t n = device->engine->loaded_graphs();
+      return ReturnOption(&n, sizeof(n), data, data_capacity, data_size);
+    }
+    case MVNC_DEVICE_VTIME_NS: {
+      std::int64_t v = device->engine->Counters().virtual_time_ns;
+      return ReturnOption(&v, sizeof(v), data, data_capacity, data_size);
+    }
+    default:
+      return MVNC_INVALID_PARAMETERS;
+  }
+}
+
+}  // extern "C"

@@ -1,0 +1,67 @@
+// Internal spine of the MVNC silo: configuration, device engines, handle
+// registry, and test hooks. Applications use only mvnc.h.
+#ifndef AVA_SRC_MVNC_SILO_H_
+#define AVA_SRC_MVNC_SILO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/mvnc/mvnc.h"
+
+namespace mvnc {
+
+struct MvncConfig {
+  std::int32_t num_devices = 1;
+  // Budget for loaded graph weights per stick (the NCS has scarce onboard
+  // memory — the paper notes such devices are best time-shared whole).
+  std::size_t device_memory_bytes = 64u << 20;
+  // Virtual-time model.
+  double vns_per_flop = 0.25;
+  std::int64_t vns_per_command = 5000;
+};
+
+struct MvncCounters {
+  std::uint64_t inferences = 0;
+  std::uint64_t flops = 0;
+  std::int64_t virtual_time_ns = 0;
+};
+
+class DeviceEngine;
+
+class MvncSilo {
+ public:
+  explicit MvncSilo(const MvncConfig& config);
+  ~MvncSilo();
+
+  MvncSilo(const MvncSilo&) = delete;
+  MvncSilo& operator=(const MvncSilo&) = delete;
+
+  const MvncConfig& config() const { return config_; }
+  std::int32_t num_devices() const { return config_.num_devices; }
+
+  // Live-handle registry (same role as the VCL one).
+  void RegisterHandle(void* handle);
+  void UnregisterHandle(void* handle);
+  bool ValidateHandle(void* handle);
+
+  MvncCounters Counters() const;
+
+  // Devices indexed 0..num_devices-1; named "ncs<i>".
+  DeviceEngine* EngineAt(std::int32_t index);
+
+ private:
+  MvncConfig config_;
+  std::vector<std::unique_ptr<DeviceEngine>> engines_;
+  mutable std::mutex registry_mutex_;
+  std::unordered_set<void*> handles_;
+};
+
+MvncSilo& DefaultMvncSilo();
+void ResetMvncSilo(const MvncConfig& config = MvncConfig());
+
+}  // namespace mvnc
+
+#endif  // AVA_SRC_MVNC_SILO_H_

@@ -1,0 +1,94 @@
+// Small marshaling helpers shared by CAvA-generated guest stubs and server
+// handlers. The generated code composes these with ByteWriter/ByteReader;
+// keeping them here keeps the emitted code thin and auditable.
+#ifndef AVA_SRC_PROTO_MARSHAL_H_
+#define AVA_SRC_PROTO_MARSHAL_H_
+
+#include <cstring>
+#include <string>
+
+#include "src/common/serial.h"
+#include "src/proto/wire.h"
+
+namespace ava {
+
+// ------------------------------ handles ------------------------------------
+
+// Guest-side handles ARE wire ids: the generated guest library fabricates
+// opaque pointers whose bit pattern is the per-VM registry id. The guest
+// never sees a host pointer.
+template <typename H>
+WireHandle HandleToWire(H handle) {
+  return static_cast<WireHandle>(reinterpret_cast<std::uintptr_t>(handle));
+}
+
+template <typename H>
+H WireToHandle(WireHandle id) {
+  return reinterpret_cast<H>(static_cast<std::uintptr_t>(id));
+}
+
+// ---------------------------- optional data --------------------------------
+
+// Nullable in-buffer: presence flag + raw bytes.
+inline void PutOptionalBytes(ByteWriter* w, const void* data,
+                             std::size_t bytes) {
+  w->PutBool(data != nullptr);
+  if (data != nullptr) {
+    w->PutBlob(data, bytes);
+  }
+}
+
+// Nullable NUL-terminated string.
+inline void PutOptionalCString(ByteWriter* w, const char* s) {
+  w->PutBool(s != nullptr);
+  if (s != nullptr) {
+    w->PutString(s);
+  }
+}
+
+// Out-parameter descriptor sent guest -> server: does the caller want the
+// value, and (for buffers) how many bytes of capacity it provided.
+inline void PutOutDesc(ByteWriter* w, const void* ptr, std::size_t capacity) {
+  w->PutBool(ptr != nullptr);
+  w->PutU64(static_cast<std::uint64_t>(capacity));
+}
+
+struct OutDesc {
+  bool wanted = false;
+  std::uint64_t capacity = 0;
+};
+
+inline OutDesc GetOutDesc(ByteReader* r) {
+  OutDesc d;
+  d.wanted = r->GetBool();
+  d.capacity = r->GetU64();
+  return d;
+}
+
+// Server -> guest out-buffer payload: presence + bytes. The guest copies
+// into the application pointer it kept across the call.
+inline void PutOutBytes(ByteWriter* w, bool present, const void* data,
+                        std::size_t bytes) {
+  w->PutBool(present);
+  if (present) {
+    w->PutBlob(data, bytes);
+  }
+}
+
+// Reads an out-buffer payload into `dst` (if non-null). Returns bytes copied.
+inline std::size_t GetOutBytes(ByteReader* r, void* dst,
+                               std::size_t capacity) {
+  if (!r->GetBool()) {
+    return 0;
+  }
+  auto view = r->GetBlobView();
+  const std::size_t n = view.size() < capacity ? view.size() : capacity;
+  if (dst != nullptr && n > 0) {
+    std::memcpy(dst, view.data(), n);
+  }
+  return n;
+}
+
+}  // namespace ava
+
+#endif  // AVA_SRC_PROTO_MARSHAL_H_

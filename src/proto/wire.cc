@@ -1,0 +1,188 @@
+#include "src/proto/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ava {
+namespace {
+
+// Layout offsets within a reply message (see ReplyBuilder):
+//   [0]  u8  kind
+//   [1]  u64 call_id
+//   [9]  u64 vm_id
+//   [17] i32 status
+//   [21] i64 cost
+//   [29] u64 payload blob (length + data)
+//   ...  u32 shadow count, then per shadow: u64 id + blob
+constexpr std::size_t kReplyCostOffset = 21;
+
+void PutCallHeader(ByteWriter* w, const CallHeader& h) {
+  w->PutU8(static_cast<std::uint8_t>(MsgKind::kCall));
+  w->PutU16(h.api_id);
+  w->PutU32(h.func_id);
+  w->PutU64(h.call_id);
+  w->PutU64(h.vm_id);
+  w->PutU8(h.flags);
+}
+
+}  // namespace
+
+Bytes EncodeCall(const CallHeader& header, const Bytes& payload) {
+  ByteWriter w;
+  PutCallHeader(&w, header);
+  w.PutRaw(payload.data(), payload.size());
+  return std::move(w).TakeBytes();
+}
+
+ByteWriter BeginCall(std::uint16_t api_id, std::uint32_t func_id) {
+  ByteWriter w;
+  CallHeader header;
+  header.api_id = api_id;
+  header.func_id = func_id;
+  PutCallHeader(&w, header);
+  return w;
+}
+
+void PatchCallIdentity(Bytes* message, CallId call_id, VmId vm_id,
+                       std::uint8_t flags) {
+  if (message->size() < kCallHeaderSize) {
+    return;
+  }
+  std::memcpy(message->data() + 7, &call_id, sizeof(call_id));
+  std::memcpy(message->data() + 15, &vm_id, sizeof(vm_id));
+  (*message)[23] = flags;
+}
+
+ReplyBuilder::ReplyBuilder(const ReplyHeader& header) {
+  writer_.PutU8(static_cast<std::uint8_t>(MsgKind::kReply));
+  writer_.PutU64(header.call_id);
+  writer_.PutU64(header.vm_id);
+  writer_.PutI32(header.status_code);
+  cost_offset_ = writer_.size();
+  writer_.PutI64(header.cost_vns);
+}
+
+void ReplyBuilder::SetPayload(const Bytes& payload) {
+  payload_set_ = true;
+  writer_.PutBlob(payload.data(), payload.size());
+  shadow_count_offset_ = writer_.size();
+  writer_.PutU32(0);
+}
+
+void ReplyBuilder::AddShadow(std::uint64_t shadow_id, const Bytes& data) {
+  if (!payload_set_) {
+    SetPayload({});
+  }
+  writer_.PutU64(shadow_id);
+  writer_.PutBlob(data.data(), data.size());
+  ++shadow_count_;
+  writer_.PatchAt<std::uint32_t>(shadow_count_offset_, shadow_count_);
+}
+
+void ReplyBuilder::SetCost(std::int64_t cost_vns) {
+  writer_.PatchAt<std::int64_t>(cost_offset_, cost_vns);
+}
+
+Bytes ReplyBuilder::Finish() && {
+  if (!payload_set_) {
+    SetPayload({});
+  }
+  return std::move(writer_).TakeBytes();
+}
+
+Bytes EncodeBatch(const std::vector<Bytes>& calls) {
+  ByteWriter w;
+  w.PutU8(static_cast<std::uint8_t>(MsgKind::kBatch));
+  w.PutU32(static_cast<std::uint32_t>(calls.size()));
+  for (const Bytes& call : calls) {
+    w.PutBlob(call.data(), call.size());
+  }
+  return std::move(w).TakeBytes();
+}
+
+Result<MsgKind> PeekKind(const Bytes& message) {
+  if (message.empty()) {
+    return DataLoss("empty message");
+  }
+  const std::uint8_t kind = message[0];
+  if (kind < 1 || kind > 3) {
+    return DataLoss("unknown message kind " + std::to_string(kind));
+  }
+  return static_cast<MsgKind>(kind);
+}
+
+Result<DecodedCall> DecodeCall(const Bytes& message) {
+  ByteReader r(message);
+  if (r.GetU8() != static_cast<std::uint8_t>(MsgKind::kCall)) {
+    return DataLoss("not a call message");
+  }
+  DecodedCall out;
+  out.header.api_id = r.GetU16();
+  out.header.func_id = r.GetU32();
+  out.header.call_id = r.GetU64();
+  out.header.vm_id = r.GetU64();
+  out.header.flags = r.GetU8();
+  AVA_RETURN_IF_ERROR(r.status());
+  // The payload is the remainder of the message.
+  out.payload = std::span<const std::uint8_t>(
+      message.data() + kCallHeaderSize, message.size() - kCallHeaderSize);
+  return out;
+}
+
+Result<DecodedReply> DecodeReply(const Bytes& message) {
+  ByteReader r(message);
+  if (r.GetU8() != static_cast<std::uint8_t>(MsgKind::kReply)) {
+    return DataLoss("not a reply message");
+  }
+  DecodedReply out;
+  out.header.call_id = r.GetU64();
+  out.header.vm_id = r.GetU64();
+  out.header.status_code = r.GetI32();
+  out.header.cost_vns = r.GetI64();
+  out.payload = r.GetBlobView();
+  const std::uint32_t shadow_count = r.GetU32();
+  // The count is untrusted: never pre-reserve from it, and stop at the
+  // first decode failure (a hostile count must not drive the loop).
+  out.shadows.reserve(std::min<std::uint32_t>(shadow_count, 64));
+  for (std::uint32_t i = 0; i < shadow_count && !r.failed(); ++i) {
+    ShadowUpdate update;
+    update.shadow_id = r.GetU64();
+    update.data = r.GetBlobView();
+    if (!r.failed()) {
+      out.shadows.push_back(update);
+    }
+  }
+  AVA_RETURN_IF_ERROR(r.status());
+  return out;
+}
+
+Result<std::vector<Bytes>> DecodeBatch(const Bytes& message) {
+  ByteReader r(message);
+  if (r.GetU8() != static_cast<std::uint8_t>(MsgKind::kBatch)) {
+    return DataLoss("not a batch message");
+  }
+  const std::uint32_t count = r.GetU32();
+  std::vector<Bytes> calls;
+  // The count is untrusted (see DecodeReply): bound the reserve and bail on
+  // the first truncated entry.
+  calls.reserve(std::min<std::uint32_t>(count, 64));
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    Bytes call = r.GetBlob();
+    if (!r.failed()) {
+      calls.push_back(std::move(call));
+    }
+  }
+  AVA_RETURN_IF_ERROR(r.status());
+  return calls;
+}
+
+Result<std::int64_t> PeekReplyCost(const Bytes& message) {
+  if (message.size() < kReplyCostOffset + sizeof(std::int64_t) ||
+      message[0] != static_cast<std::uint8_t>(MsgKind::kReply)) {
+    return DataLoss("not a reply message");
+  }
+  ByteReader r(message.data() + kReplyCostOffset, sizeof(std::int64_t));
+  return r.GetI64();
+}
+
+}  // namespace ava

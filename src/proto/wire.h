@@ -1,0 +1,144 @@
+// AvA wire protocol: command blocks exchanged between the generated guest
+// library, the router, and the API server.
+//
+// Message kinds:
+//   kCall   — one forwarded API invocation (header + marshaled arguments)
+//   kReply  — result of a synchronous call: transport status, marshaled
+//             return/out values, piggybacked shadow-buffer updates, and the
+//             server-accounted cost (read by the router for scheduling)
+//   kBatch  — a sequence of async kCall messages flushed together (lazy RPC /
+//             API batching, §4.2)
+//
+// All integers little-endian via ByteWriter/ByteReader. Handles cross the
+// wire as u64 ids minted by the per-VM ObjectRegistry; 0 is the null handle.
+#ifndef AVA_SRC_PROTO_WIRE_H_
+#define AVA_SRC_PROTO_WIRE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/result.h"
+#include "src/common/serial.h"
+
+namespace ava {
+
+using VmId = std::uint64_t;
+using CallId = std::uint64_t;
+using WireHandle = std::uint64_t;
+
+enum class MsgKind : std::uint8_t {
+  kCall = 1,
+  kReply = 2,
+  kBatch = 3,
+};
+
+// Call flags.
+inline constexpr std::uint8_t kCallFlagAsync = 0x1;
+
+// Reserved shadow id carrying latched async API errors (§4.2: asynchronous
+// forwarding cannot report errors faithfully; the server delivers them on a
+// later synchronous reply).
+inline constexpr std::uint64_t kAsyncErrorShadowId = 0;
+
+struct CallHeader {
+  std::uint16_t api_id = 0;
+  std::uint32_t func_id = 0;
+  CallId call_id = 0;
+  VmId vm_id = 0;
+  std::uint8_t flags = 0;
+
+  bool is_async() const { return (flags & kCallFlagAsync) != 0; }
+};
+
+struct ReplyHeader {
+  CallId call_id = 0;
+  VmId vm_id = 0;
+  // Transport/dispatch status (OK when the call reached and ran its
+  // handler; the API-level return code travels in the payload).
+  std::int32_t status_code = 0;
+  // Modeled device cost of this call, reported by the server and consumed by
+  // the router's fair scheduler (§4.3).
+  std::int64_t cost_vns = 0;
+};
+
+// One piggybacked shadow-buffer update: data the server produced for an
+// earlier asynchronous call (e.g. a non-blocking read) that the guest
+// endpoint must copy into the registered application pointer.
+struct ShadowUpdate {
+  std::uint64_t shadow_id = 0;
+  std::span<const std::uint8_t> data;
+};
+
+// ------------------------------- encoding ----------------------------------
+
+// Fixed size of an encoded call header; the argument payload is the
+// remainder of the message (no length prefix, no copy).
+inline constexpr std::size_t kCallHeaderSize = 1 + 2 + 4 + 8 + 8 + 1;
+
+// Starts a call message: writes the header with placeholder call/vm/flags
+// fields. Generated stubs marshal arguments directly into the returned
+// writer, avoiding a payload copy.
+ByteWriter BeginCall(std::uint16_t api_id, std::uint32_t func_id);
+
+// Back-patches the identity fields the endpoint owns.
+void PatchCallIdentity(Bytes* message, CallId call_id, VmId vm_id,
+                       std::uint8_t flags);
+
+// Serializes header + payload into one transport message (test/utility
+// path; the generated stubs use BeginCall instead).
+Bytes EncodeCall(const CallHeader& header, const Bytes& payload);
+
+// Reply message: header, payload, then shadow updates.
+class ReplyBuilder {
+ public:
+  explicit ReplyBuilder(const ReplyHeader& header);
+
+  // Appends the marshaled return/out-value payload (exactly once).
+  void SetPayload(const Bytes& payload);
+  void AddShadow(std::uint64_t shadow_id, const Bytes& data);
+  // Back-patches the cost field (known only after execution).
+  void SetCost(std::int64_t cost_vns);
+
+  Bytes Finish() &&;
+
+ private:
+  ByteWriter writer_;
+  std::size_t cost_offset_ = 0;
+  std::size_t shadow_count_offset_ = 0;
+  std::uint32_t shadow_count_ = 0;
+  bool payload_set_ = false;
+};
+
+// Batch of call messages (each length-prefixed).
+Bytes EncodeBatch(const std::vector<Bytes>& calls);
+
+// ------------------------------- decoding ----------------------------------
+
+// Peeks the message kind without consuming.
+Result<MsgKind> PeekKind(const Bytes& message);
+
+struct DecodedCall {
+  CallHeader header;
+  // View into the original message; valid while it lives.
+  std::span<const std::uint8_t> payload;
+};
+
+Result<DecodedCall> DecodeCall(const Bytes& message);
+
+struct DecodedReply {
+  ReplyHeader header;
+  std::span<const std::uint8_t> payload;
+  std::vector<ShadowUpdate> shadows;
+};
+
+Result<DecodedReply> DecodeReply(const Bytes& message);
+
+// Splits a batch into its constituent call messages (copies).
+Result<std::vector<Bytes>> DecodeBatch(const Bytes& message);
+
+// Reads just the cost field of an encoded reply (router fast path).
+Result<std::int64_t> PeekReplyCost(const Bytes& message);
+
+}  // namespace ava
+
+#endif  // AVA_SRC_PROTO_WIRE_H_

@@ -1,0 +1,151 @@
+#include "src/qat/codecs.h"
+
+#include <cstring>
+
+namespace qat {
+namespace {
+
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;
+
+}  // namespace
+
+std::size_t LzssBound(std::size_t size) {
+  return 4 + size + size / 8 + 2;
+}
+
+ava::Bytes LzssCompress(const std::uint8_t* src, std::size_t size) {
+  ava::ByteWriter w;
+  w.PutU32(static_cast<std::uint32_t>(size));
+  std::size_t pos = 0;
+  while (pos < size) {
+    const std::size_t flag_at = w.size();
+    w.PutU8(0);
+    std::uint8_t flags = 0;
+    for (int item = 0; item < 8 && pos < size; ++item) {
+      // Greedy search for the longest match in the window.
+      std::size_t best_len = 0;
+      std::size_t best_off = 0;
+      const std::size_t window_start = pos > kWindow ? pos - kWindow : 0;
+      const std::size_t max_len =
+          size - pos < kMaxMatch ? size - pos : kMaxMatch;
+      if (max_len >= kMinMatch) {
+        for (std::size_t cand = window_start; cand < pos; ++cand) {
+          std::size_t len = 0;
+          while (len < max_len && src[cand + len] == src[pos + len]) {
+            ++len;
+          }
+          if (len > best_len) {
+            best_len = len;
+            best_off = pos - cand;
+            if (len == max_len) {
+              break;
+            }
+          }
+        }
+      }
+      if (best_len >= kMinMatch) {
+        // Match: 12-bit offset (1-based), 4-bit length - kMinMatch.
+        const std::uint16_t token = static_cast<std::uint16_t>(
+            ((best_off - 1) << 4) | (best_len - kMinMatch));
+        w.PutU16(token);
+        pos += best_len;
+      } else {
+        flags = static_cast<std::uint8_t>(flags | (1u << item));
+        w.PutU8(src[pos++]);
+      }
+    }
+    w.PatchAt<std::uint8_t>(flag_at, flags);
+  }
+  return std::move(w).TakeBytes();
+}
+
+ava::Result<ava::Bytes> LzssDecompress(const std::uint8_t* src,
+                                       std::size_t size) {
+  ava::ByteReader r(src, size);
+  const std::uint32_t out_size = r.GetU32();
+  if (out_size > (1u << 30)) {
+    return ava::DataLoss("lzss: implausible output size");
+  }
+  ava::Bytes out;
+  out.reserve(out_size);
+  while (out.size() < out_size) {
+    const std::uint8_t flags = r.GetU8();
+    if (r.failed()) {
+      return ava::DataLoss("lzss: truncated stream");
+    }
+    for (int item = 0; item < 8 && out.size() < out_size; ++item) {
+      if (flags & (1u << item)) {
+        out.push_back(r.GetU8());
+      } else {
+        const std::uint16_t token = r.GetU16();
+        const std::size_t offset = (token >> 4) + 1;
+        const std::size_t length = (token & 0xF) + kMinMatch;
+        if (offset > out.size()) {
+          return ava::DataLoss("lzss: match offset before stream start");
+        }
+        for (std::size_t i = 0; i < length; ++i) {
+          out.push_back(out[out.size() - offset]);
+        }
+      }
+      if (r.failed()) {
+        return ava::DataLoss("lzss: truncated stream");
+      }
+    }
+  }
+  if (out.size() != out_size) {
+    return ava::DataLoss("lzss: size mismatch");
+  }
+  return out;
+}
+
+std::uint64_t Crc64(const std::uint8_t* data, std::size_t size) {
+  static const std::uint64_t* table = [] {
+    static std::uint64_t t[256];
+    constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;  // reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  std::uint64_t crc = ~0ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void XteaCtr(const std::uint32_t key[4], std::uint64_t nonce,
+             const std::uint8_t* src, std::uint8_t* dst, std::size_t size) {
+  std::uint64_t counter = 0;
+  std::size_t pos = 0;
+  while (pos < size) {
+    // Encrypt the (nonce, counter) block with 32 XTEA rounds.
+    std::uint32_t v0 = static_cast<std::uint32_t>(nonce ^ counter);
+    std::uint32_t v1 =
+        static_cast<std::uint32_t>((nonce >> 32) ^ (counter >> 32) ^ 0x9E3779B9u);
+    std::uint32_t sum = 0;
+    constexpr std::uint32_t kDelta = 0x9E3779B9u;
+    for (int round = 0; round < 32; ++round) {
+      v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+      sum += kDelta;
+      v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+    }
+    std::uint8_t keystream[8];
+    std::memcpy(keystream, &v0, 4);
+    std::memcpy(keystream + 4, &v1, 4);
+    const std::size_t n = size - pos < 8 ? size - pos : 8;
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[pos + i] = src[pos + i] ^ keystream[i];
+    }
+    pos += n;
+    ++counter;
+  }
+}
+
+}  // namespace qat

@@ -1,0 +1,37 @@
+// The QAT silo's internal engines: LZSS compression, CRC-64, XTEA-CTR.
+// Deliberately real (not stubs): round-trips are exact, the cipher is the
+// published XTEA schedule, and the CRC matches the CRC-64/XZ vector suite.
+#ifndef AVA_SRC_QAT_CODECS_H_
+#define AVA_SRC_QAT_CODECS_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/common/serial.h"
+
+namespace qat {
+
+// LZSS with a 4 KiB sliding window and 3..18-byte matches. Format: groups
+// of 8 items preceded by a flag byte (bit i set = literal); matches encode
+// (offset, length) in 2 bytes. Always terminates; worst case ~9/8 expansion
+// plus the 4-byte size header.
+ava::Bytes LzssCompress(const std::uint8_t* src, std::size_t size);
+
+// Returns DataLoss on malformed input (truncation, bad offsets).
+ava::Result<ava::Bytes> LzssDecompress(const std::uint8_t* src,
+                                       std::size_t size);
+
+// Upper bound of the compressed size for `size` input bytes.
+std::size_t LzssBound(std::size_t size);
+
+// CRC-64/XZ (poly 0x42F0E1EBA9EA3693 reflected, init/xorout ~0).
+std::uint64_t Crc64(const std::uint8_t* data, std::size_t size);
+
+// XTEA in counter mode: encrypt == decrypt. Key is 128 bits; the nonce is
+// supplied per call (the session uses a running message counter).
+void XteaCtr(const std::uint32_t key[4], std::uint64_t nonce,
+             const std::uint8_t* src, std::uint8_t* dst, std::size_t size);
+
+}  // namespace qat
+
+#endif  // AVA_SRC_QAT_CODECS_H_

@@ -1,0 +1,55 @@
+// QAT — a QuickAssist-style lookaside offload silo (compression, integrity,
+// symmetric crypto). The paper names Intel QuickAssist as the next API it
+// plans to auto-virtualize (§5); this silo realizes that plan on a software
+// device: a real LZSS compressor, CRC-64 integrity, and an XTEA stream
+// cipher behind a session-oriented C API. 8 public entry points.
+#ifndef AVA_SRC_QAT_QAT_H_
+#define AVA_SRC_QAT_QAT_H_
+
+#include <cstdint>
+
+extern "C" {
+
+using qat_status = std::int32_t;
+using qat_session = struct qat_session_rec*;
+
+constexpr qat_status QAT_OK = 0;
+constexpr qat_status QAT_FAIL = -1;
+constexpr qat_status QAT_INVALID_PARAM = -2;
+constexpr qat_status QAT_INVALID_SESSION = -3;
+constexpr qat_status QAT_BUFFER_TOO_SMALL = -4;
+constexpr qat_status QAT_NO_KEY = -5;
+constexpr qat_status QAT_CORRUPT_DATA = -6;
+
+// Session algorithms.
+constexpr std::int32_t QAT_SVC_COMPRESSION = 0;
+constexpr std::int32_t QAT_SVC_CRYPTO = 1;
+
+qat_status qatOpenSession(std::int32_t service, qat_session* session);
+qat_status qatCloseSession(qat_session session);
+
+// Compression service (LZSS). dst_size receives the produced byte count.
+qat_status qatCompress(qat_session session, const void* src,
+                       std::uint32_t src_size, void* dst,
+                       std::uint32_t dst_capacity, std::uint32_t* dst_size);
+qat_status qatDecompress(qat_session session, const void* src,
+                         std::uint32_t src_size, void* dst,
+                         std::uint32_t dst_capacity, std::uint32_t* dst_size);
+
+// Integrity (CRC-64/XZ polynomial).
+qat_status qatChecksum(qat_session session, const void* src,
+                       std::uint32_t src_size, std::uint64_t* crc);
+
+// Crypto service (XTEA-CTR): symmetric, so Encrypt is its own inverse.
+qat_status qatSetKey(qat_session session, const void* key,
+                     std::uint32_t key_size);  // exactly 16 bytes
+qat_status qatEncrypt(qat_session session, const void* src,
+                      std::uint32_t src_size, void* dst,
+                      std::uint32_t dst_capacity, std::uint32_t* dst_size);
+
+// Lifetime statistics for the session.
+qat_status qatGetStats(qat_session session, std::uint64_t* bytes_processed);
+
+}  // extern "C"
+
+#endif  // AVA_SRC_QAT_QAT_H_

@@ -1,0 +1,211 @@
+// The QAT silo implementation: the 8 public entry points over the codec
+// engines, with handle validation and accounting.
+#include "src/qat/silo.h"
+
+#include <cstring>
+
+#include "src/qat/codecs.h"
+
+struct qat_session_rec {
+  std::int32_t service = QAT_SVC_COMPRESSION;
+  bool has_key = false;
+  std::uint32_t key[4] = {0, 0, 0, 0};
+  std::uint64_t nonce = 0;
+  std::uint64_t bytes_processed = 0;
+};
+
+namespace qat {
+
+void QatSilo::RegisterHandle(void* handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handles_.insert(handle);
+}
+
+void QatSilo::UnregisterHandle(void* handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handles_.erase(handle);
+}
+
+bool QatSilo::ValidateHandle(void* handle) {
+  if (handle == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return handles_.count(handle) != 0;
+}
+
+void QatSilo::Charge(std::uint64_t in, std::uint64_t out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.operations;
+  counters_.bytes_in += in;
+  counters_.bytes_out += out;
+}
+
+QatCounters QatSilo::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+namespace {
+std::unique_ptr<QatSilo>& SiloSlot() {
+  static auto* slot = new std::unique_ptr<QatSilo>;
+  return *slot;
+}
+}  // namespace
+
+QatSilo& DefaultQatSilo() {
+  auto& slot = SiloSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<QatSilo>();
+  }
+  return *slot;
+}
+
+void ResetQatSilo() {
+  auto& slot = SiloSlot();
+  slot.reset();
+  slot = std::make_unique<QatSilo>();
+}
+
+}  // namespace qat
+
+extern "C" {
+
+qat_status qatOpenSession(std::int32_t service, qat_session* session) {
+  if (session == nullptr ||
+      (service != QAT_SVC_COMPRESSION && service != QAT_SVC_CRYPTO)) {
+    return QAT_INVALID_PARAM;
+  }
+  auto* rec = new qat_session_rec;
+  rec->service = service;
+  qat::DefaultQatSilo().RegisterHandle(rec);
+  *session = rec;
+  return QAT_OK;
+}
+
+qat_status qatCloseSession(qat_session session) {
+  if (!qat::DefaultQatSilo().ValidateHandle(session)) {
+    return QAT_INVALID_SESSION;
+  }
+  qat::DefaultQatSilo().UnregisterHandle(session);
+  delete session;
+  return QAT_OK;
+}
+
+qat_status qatCompress(qat_session session, const void* src,
+                       std::uint32_t src_size, void* dst,
+                       std::uint32_t dst_capacity, std::uint32_t* dst_size) {
+  if (!qat::DefaultQatSilo().ValidateHandle(session)) {
+    return QAT_INVALID_SESSION;
+  }
+  if (src == nullptr || dst == nullptr || session->service != QAT_SVC_COMPRESSION) {
+    return QAT_INVALID_PARAM;
+  }
+  ava::Bytes out = qat::LzssCompress(
+      static_cast<const std::uint8_t*>(src), src_size);
+  if (dst_size != nullptr) {
+    *dst_size = static_cast<std::uint32_t>(out.size());
+  }
+  if (out.size() > dst_capacity) {
+    return QAT_BUFFER_TOO_SMALL;
+  }
+  std::memcpy(dst, out.data(), out.size());
+  session->bytes_processed += src_size;
+  qat::DefaultQatSilo().Charge(src_size, out.size());
+  return QAT_OK;
+}
+
+qat_status qatDecompress(qat_session session, const void* src,
+                         std::uint32_t src_size, void* dst,
+                         std::uint32_t dst_capacity, std::uint32_t* dst_size) {
+  if (!qat::DefaultQatSilo().ValidateHandle(session)) {
+    return QAT_INVALID_SESSION;
+  }
+  if (src == nullptr || dst == nullptr || session->service != QAT_SVC_COMPRESSION) {
+    return QAT_INVALID_PARAM;
+  }
+  auto out = qat::LzssDecompress(static_cast<const std::uint8_t*>(src),
+                                 src_size);
+  if (!out.ok()) {
+    return QAT_CORRUPT_DATA;
+  }
+  if (dst_size != nullptr) {
+    *dst_size = static_cast<std::uint32_t>(out->size());
+  }
+  if (out->size() > dst_capacity) {
+    return QAT_BUFFER_TOO_SMALL;
+  }
+  std::memcpy(dst, out->data(), out->size());
+  session->bytes_processed += src_size;
+  qat::DefaultQatSilo().Charge(src_size, out->size());
+  return QAT_OK;
+}
+
+qat_status qatChecksum(qat_session session, const void* src,
+                       std::uint32_t src_size, std::uint64_t* crc) {
+  if (!qat::DefaultQatSilo().ValidateHandle(session)) {
+    return QAT_INVALID_SESSION;
+  }
+  if (src == nullptr || crc == nullptr) {
+    return QAT_INVALID_PARAM;
+  }
+  *crc = qat::Crc64(static_cast<const std::uint8_t*>(src), src_size);
+  session->bytes_processed += src_size;
+  qat::DefaultQatSilo().Charge(src_size, sizeof(*crc));
+  return QAT_OK;
+}
+
+qat_status qatSetKey(qat_session session, const void* key,
+                     std::uint32_t key_size) {
+  if (!qat::DefaultQatSilo().ValidateHandle(session)) {
+    return QAT_INVALID_SESSION;
+  }
+  if (key == nullptr || key_size != 16 || session->service != QAT_SVC_CRYPTO) {
+    return QAT_INVALID_PARAM;
+  }
+  std::memcpy(session->key, key, 16);
+  // Deterministic per-key nonce so the CTR stream is self-inverse across
+  // calls (toy-device property, documented in qat.h).
+  session->nonce = qat::Crc64(static_cast<const std::uint8_t*>(key), 16);
+  session->has_key = true;
+  return QAT_OK;
+}
+
+qat_status qatEncrypt(qat_session session, const void* src,
+                      std::uint32_t src_size, void* dst,
+                      std::uint32_t dst_capacity, std::uint32_t* dst_size) {
+  if (!qat::DefaultQatSilo().ValidateHandle(session)) {
+    return QAT_INVALID_SESSION;
+  }
+  if (src == nullptr || dst == nullptr || session->service != QAT_SVC_CRYPTO) {
+    return QAT_INVALID_PARAM;
+  }
+  if (!session->has_key) {
+    return QAT_NO_KEY;
+  }
+  if (dst_size != nullptr) {
+    *dst_size = src_size;
+  }
+  if (src_size > dst_capacity) {
+    return QAT_BUFFER_TOO_SMALL;
+  }
+  qat::XteaCtr(session->key, session->nonce,
+               static_cast<const std::uint8_t*>(src),
+               static_cast<std::uint8_t*>(dst), src_size);
+  session->bytes_processed += src_size;
+  qat::DefaultQatSilo().Charge(src_size, src_size);
+  return QAT_OK;
+}
+
+qat_status qatGetStats(qat_session session, std::uint64_t* bytes_processed) {
+  if (!qat::DefaultQatSilo().ValidateHandle(session)) {
+    return QAT_INVALID_SESSION;
+  }
+  if (bytes_processed == nullptr) {
+    return QAT_INVALID_PARAM;
+  }
+  *bytes_processed = session->bytes_processed;
+  return QAT_OK;
+}
+
+}  // extern "C"

@@ -1,0 +1,43 @@
+// Internal spine of the QAT silo: handle registry, counters, test hooks.
+// Unlike VCL/MVNC this device completes work synchronously in the call
+// (lookaside acceleration with immediate polling), so there is no worker
+// thread — which also exercises the spec language's all-sync corner.
+#ifndef AVA_SRC_QAT_SILO_H_
+#define AVA_SRC_QAT_SILO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/qat/qat.h"
+
+namespace qat {
+
+struct QatCounters {
+  std::uint64_t operations = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class QatSilo {
+ public:
+  void RegisterHandle(void* handle);
+  void UnregisterHandle(void* handle);
+  bool ValidateHandle(void* handle);
+
+  void Charge(std::uint64_t in, std::uint64_t out);
+  QatCounters Counters() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_set<void*> handles_;
+  QatCounters counters_;
+};
+
+QatSilo& DefaultQatSilo();
+void ResetQatSilo();
+
+}  // namespace qat
+
+#endif  // AVA_SRC_QAT_SILO_H_

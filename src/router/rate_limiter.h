@@ -1,0 +1,88 @@
+// Token-bucket rate limiter used by the router to enforce per-VM
+// calls-per-second and bytes-per-second policies at the transport layer
+// (§4.3 "the router enforces various policies, e.g. rate limiting").
+#ifndef AVA_SRC_ROUTER_RATE_LIMITER_H_
+#define AVA_SRC_ROUTER_RATE_LIMITER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "src/common/vclock.h"
+
+namespace ava {
+
+class TokenBucket {
+ public:
+  // rate == 0 disables the limiter. Burst defaults to one second of tokens.
+  explicit TokenBucket(double rate_per_sec = 0.0, double burst = 0.0)
+      : rate_(rate_per_sec),
+        burst_(burst > 0 ? burst : rate_per_sec),
+        tokens_(burst_),
+        last_refill_ns_(MonotonicNowNs()) {}
+
+  // Re-arms the limiter (not thread-safe; configure before use).
+  void Configure(double rate_per_sec, double burst = 0.0) {
+    rate_ = rate_per_sec;
+    burst_ = burst > 0 ? burst : rate_per_sec;
+    tokens_ = burst_;
+    last_refill_ns_ = MonotonicNowNs();
+  }
+
+  bool enabled() const { return rate_ > 0.0; }
+
+  // Blocks the calling thread until `amount` tokens are available, then
+  // consumes them. Returns the time spent waiting in nanoseconds.
+  std::int64_t Acquire(double amount) {
+    if (!enabled()) {
+      return 0;
+    }
+    std::int64_t waited = 0;
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Refill();
+        if (tokens_ >= amount) {
+          tokens_ -= amount;
+          return waited;
+        }
+      }
+      const std::int64_t t0 = MonotonicNowNs();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      waited += MonotonicNowNs() - t0;
+    }
+  }
+
+  // Non-blocking variant: consumes and returns true when enough tokens.
+  bool TryAcquire(double amount) {
+    if (!enabled()) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    Refill();
+    if (tokens_ >= amount) {
+      tokens_ -= amount;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void Refill() {
+    const std::int64_t now = MonotonicNowNs();
+    const double elapsed_s = static_cast<double>(now - last_refill_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+    last_refill_ns_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::int64_t last_refill_ns_;
+  std::mutex mutex_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_ROUTER_RATE_LIMITER_H_

@@ -1,0 +1,330 @@
+#include "src/router/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace ava {
+
+Router::Router() = default;
+
+Router::~Router() { Stop(); }
+
+Status Router::AttachVm(VmId vm_id, TransportPtr transport,
+                        std::shared_ptr<ApiServerSession> session,
+                        const VmPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (channels_.count(vm_id) != 0) {
+    return AlreadyExists("vm " + std::to_string(vm_id) + " already attached");
+  }
+  if (transport == nullptr || session == nullptr) {
+    return InvalidArgument("transport and session are required");
+  }
+  auto channel = std::make_unique<VmChannel>();
+  channel->vm_id = vm_id;
+  channel->transport = std::move(transport);
+  channel->session = std::move(session);
+  channel->policy = policy;
+  channel->call_bucket.Configure(policy.calls_per_sec);
+  channel->byte_bucket.Configure(policy.bytes_per_sec);
+  // Join the fair queue at the current minimum so the newcomer neither
+  // starves others nor forfeits its share.
+  double min_vruntime = 0.0;
+  bool first = true;
+  for (const auto& [id, ch] : channels_) {
+    if (first || ch->vruntime < min_vruntime) {
+      min_vruntime = ch->vruntime;
+      first = false;
+    }
+  }
+  channel->vruntime = first ? 0.0 : min_vruntime;
+  channel->debt_decay_ns = MonotonicNowNs();
+  VmChannel* raw = channel.get();
+  channels_[vm_id] = std::move(channel);
+  if (running_) {
+    raw->rx_thread = std::thread([this, raw] { RxLoop(raw); });
+    raw->exec_thread = std::thread([this, raw] { ExecLoop(raw); });
+  }
+  return OkStatus();
+}
+
+void Router::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  stopping_ = false;
+  for (auto& [id, channel] : channels_) {
+    VmChannel* raw = channel.get();
+    raw->rx_thread = std::thread([this, raw] { RxLoop(raw); });
+    raw->exec_thread = std::thread([this, raw] { ExecLoop(raw); });
+  }
+}
+
+void Router::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      return;
+    }
+    stopping_ = true;
+    for (auto& [id, channel] : channels_) {
+      channel->transport->Close();
+    }
+  }
+  sched_cv_.notify_all();
+  for (auto& [id, channel] : channels_) {
+    if (channel->rx_thread.joinable()) {
+      channel->rx_thread.join();
+    }
+    if (channel->exec_thread.joinable()) {
+      channel->exec_thread.join();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+Status Router::PauseVm(VmId vm_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = channels_.find(vm_id);
+  if (it == channels_.end()) {
+    return NotFound("unknown vm " + std::to_string(vm_id));
+  }
+  VmChannel* channel = it->second.get();
+  channel->paused = true;
+  // Drain the in-flight call.
+  sched_cv_.wait(lock, [&] { return !channel->in_flight || stopping_; });
+  return OkStatus();
+}
+
+Status Router::ResumeVm(VmId vm_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = channels_.find(vm_id);
+    if (it == channels_.end()) {
+      return NotFound("unknown vm " + std::to_string(vm_id));
+    }
+    it->second->paused = false;
+  }
+  sched_cv_.notify_all();
+  return OkStatus();
+}
+
+Result<Router::VmStats> Router::StatsFor(VmId vm_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = channels_.find(vm_id);
+  if (it == channels_.end()) {
+    return NotFound("unknown vm " + std::to_string(vm_id));
+  }
+  return it->second->stats;
+}
+
+void Router::RejectCall(VmChannel* channel, const CallHeader& header,
+                        StatusCode code) {
+  ++channel->stats.calls_rejected;
+  if (header.is_async()) {
+    return;  // nothing to reply to
+  }
+  ReplyHeader reply;
+  reply.call_id = header.call_id;
+  reply.vm_id = header.vm_id;
+  reply.status_code = static_cast<std::int32_t>(code);
+  ReplyBuilder builder(reply);
+  (void)channel->transport->Send(std::move(builder).Finish());
+}
+
+void Router::RxLoop(VmChannel* channel) {
+  while (true) {
+    auto message = channel->transport->Recv();
+    if (!message.ok()) {
+      break;  // transport closed
+    }
+    // ---- verification ----
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++channel->stats.messages_received;
+      channel->stats.bytes_received += message->size();
+    }
+    if (message->size() > channel->policy.max_message_bytes) {
+      AVA_LOG(WARNING) << "vm " << channel->vm_id
+                       << ": oversized message dropped";
+      continue;
+    }
+    auto kind = PeekKind(*message);
+    if (!kind.ok()) {
+      AVA_LOG(WARNING) << "vm " << channel->vm_id << ": unparseable message";
+      continue;
+    }
+    double call_count = 1.0;
+    if (*kind == MsgKind::kCall) {
+      auto decoded = DecodeCall(*message);
+      if (!decoded.ok()) {
+        AVA_LOG(WARNING) << "vm " << channel->vm_id << ": malformed call";
+        continue;
+      }
+      if (decoded->header.vm_id != channel->vm_id) {
+        // A guest claiming another VM's identity: the core isolation check.
+        AVA_LOG(WARNING) << "vm " << channel->vm_id
+                         << ": spoofed vm id " << decoded->header.vm_id;
+        RejectCall(channel, decoded->header, StatusCode::kPermissionDenied);
+        continue;
+      }
+    } else if (*kind == MsgKind::kBatch) {
+      auto calls = DecodeBatch(*message);
+      if (!calls.ok()) {
+        continue;
+      }
+      call_count = static_cast<double>(calls->size());
+      bool ok = true;
+      for (const Bytes& call : *calls) {
+        auto decoded = DecodeCall(call);
+        if (!decoded.ok() || decoded->header.vm_id != channel->vm_id ||
+            !decoded->header.is_async()) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        AVA_LOG(WARNING) << "vm " << channel->vm_id << ": bad batch dropped";
+        continue;
+      }
+    } else {
+      continue;  // replies never flow guest -> router
+    }
+    // ---- rate limiting (blocks this VM's stream only) ----
+    std::int64_t waited = channel->call_bucket.Acquire(call_count);
+    waited += channel->byte_bucket.Acquire(
+        static_cast<double>(message->size()));
+    // ---- enqueue for the scheduler ----
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      channel->stats.rate_limit_wait_ns += waited;
+      channel->last_activity_ns = MonotonicNowNs();
+      channel->pending.push_back(std::move(*message));
+    }
+    sched_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    channel->rx_done = true;
+  }
+  sched_cv_.notify_all();
+}
+
+// Weighted-fair arbitration is evaluated by each VM's executor thread
+// directly (no separate scheduler hop). A VM may dispatch its next call when
+// its weighted vruntime is not meaningfully ahead of any *active* contender
+// — active meaning it has work queued, in flight, or finished work recently.
+// The recency clause makes weights bind even for closed-loop guests whose
+// router queue is momentarily empty while they wait on device completions.
+namespace {
+constexpr double kWfqWindowVns = 250000.0;      // slack before a VM must wait
+constexpr std::int64_t kActiveWindowNs = 50000000;  // 50 ms recency
+}  // namespace
+
+bool Router::EligibleLocked(VmChannel* channel) {
+  if (stopping_) {
+    return true;
+  }
+  if (channel->paused || channel->in_flight || channel->pending.empty()) {
+    return false;
+  }
+  const std::int64_t now = MonotonicNowNs();
+  // Device-time allotment: drain the debt at the configured rate and hold
+  // the VM while it is still over budget.
+  if (channel->policy.device_vns_per_sec > 0.0) {
+    const double elapsed_s =
+        static_cast<double>(now - channel->debt_decay_ns) * 1e-9;
+    channel->debt_decay_ns = now;
+    channel->vns_debt = std::max(
+        0.0, channel->vns_debt - elapsed_s * channel->policy.device_vns_per_sec);
+    if (channel->vns_debt > 0.0) {
+      return false;
+    }
+  }
+  const double my_key =
+      channel->vruntime / std::max(channel->policy.weight, 1e-9);
+  for (auto& [id, other] : channels_) {
+    if (other.get() == channel || other->paused) {
+      continue;
+    }
+    const bool active = other->in_flight || !other->pending.empty() ||
+                        now - other->last_activity_ns < kActiveWindowNs;
+    if (!active) {
+      continue;
+    }
+    // A contender currently held by its own device-time allotment must not
+    // stall us: its stale (low) vruntime does not represent demand.
+    if (other->policy.device_vns_per_sec > 0.0) {
+      const double other_debt =
+          other->vns_debt -
+          static_cast<double>(now - other->debt_decay_ns) * 1e-9 *
+              other->policy.device_vns_per_sec;
+      if (other_debt > 0.0) {
+        continue;
+      }
+    }
+    const double key =
+        other->vruntime / std::max(other->policy.weight, 1e-9);
+    if (my_key > key + kWfqWindowVns) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Router::ExecLoop(VmChannel* channel) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    // wait_for rather than wait: debt-paced eligibility changes with wall
+    // time, not only with state transitions.
+    while (!EligibleLocked(channel)) {
+      sched_cv_.wait_for(lock, std::chrono::microseconds(200));
+    }
+    if (stopping_) {
+      return;
+    }
+    Bytes message = std::move(channel->pending.front());
+    channel->pending.pop_front();
+    channel->in_flight = true;
+    ++channel->stats.calls_forwarded;
+    lock.unlock();
+
+    const std::int64_t cost_before = channel->session->stats().cost_vns_total;
+    auto reply = channel->session->Execute(message);
+    std::int64_t cost =
+        channel->session->stats().cost_vns_total - cost_before;
+    if (reply.ok() && reply->has_value()) {
+      // The reply carries the server-accounted cost; prefer it.
+      auto peeked = PeekReplyCost(**reply);
+      if (peeked.ok()) {
+        cost = *peeked;
+      }
+    } else if (!reply.ok()) {
+      AVA_LOG(WARNING) << "vm " << channel->vm_id
+                       << ": execute failed: " << reply.status();
+    }
+
+    // Account BEFORE replying: a guest that receives the reply must observe
+    // the call's cost in the router's books.
+    lock.lock();
+    channel->vruntime += static_cast<double>(std::max<std::int64_t>(cost, 0));
+    channel->vns_debt += static_cast<double>(std::max<std::int64_t>(cost, 0));
+    channel->stats.cost_vns += std::max<std::int64_t>(cost, 0);
+    channel->last_activity_ns = MonotonicNowNs();
+    channel->in_flight = false;
+    sched_cv_.notify_all();
+    if (reply.ok() && reply->has_value()) {
+      lock.unlock();
+      (void)channel->transport->Send(**reply);
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace ava

@@ -1,0 +1,127 @@
+// The AvA invocation router: the hypervisor-resident interposition point
+// (Figure 3). Every forwarded API call crosses it, which is what restores
+// the interposition API remoting classically gives up (§2, §4.3).
+//
+// Responsibilities:
+//   - verification: parse and sanity-check every command block; reject
+//     messages whose vm_id does not match the attached channel
+//   - policy: per-VM token-bucket rate limiting (calls/s, bytes/s)
+//   - scheduling: weighted fair queuing over reported device cost — the VM
+//     with the smallest weighted virtual runtime runs next
+//   - accounting: per-VM forwarded calls, bytes, waits, and device cost
+//
+// Threads: one RX thread per VM (receive + verify + rate-limit), one
+// executor thread per VM (run the call on the VM's ApiServerSession, reply),
+// and one scheduler thread arbitrating which VM's pending call dispatches
+// next. Per-VM calls stay strictly FIFO with one call in flight, preserving
+// API ordering semantics.
+#ifndef AVA_SRC_ROUTER_ROUTER_H_
+#define AVA_SRC_ROUTER_ROUTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/proto/wire.h"
+#include "src/router/rate_limiter.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+
+// Per-VM resource policy, from the spec's resource-usage configuration.
+struct VmPolicy {
+  double weight = 1.0;          // share under backlog (weighted fair queuing)
+  double calls_per_sec = 0.0;   // 0 = unlimited
+  double bytes_per_sec = 0.0;   // 0 = unlimited
+  // Device-time allotment (§4.3 "how much of each specified API resource
+  // (e.g., device time) each VM is allotted"): the VM's calls may consume at
+  // most this much modeled device time per wall second; dispatch of further
+  // calls is delayed once the allotment is exhausted. 0 = unlimited.
+  double device_vns_per_sec = 0.0;
+  std::size_t max_message_bytes = 256u << 20;
+};
+
+class Router {
+ public:
+  struct VmStats {
+    std::uint64_t calls_forwarded = 0;
+    std::uint64_t calls_rejected = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t bytes_received = 0;
+    std::int64_t rate_limit_wait_ns = 0;
+    std::int64_t cost_vns = 0;  // device cost charged to this VM
+  };
+
+  Router();
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Attaches a VM: the host end of its transport and its API-server session.
+  // Must be called before Start() or while running (hot attach).
+  Status AttachVm(VmId vm_id, TransportPtr transport,
+                  std::shared_ptr<ApiServerSession> session,
+                  const VmPolicy& policy = VmPolicy());
+
+  void Start();
+  void Stop();
+
+  // Drains the VM's in-flight call and stops dispatching further ones
+  // (migration suspend). Queued calls stay queued.
+  Status PauseVm(VmId vm_id);
+  Status ResumeVm(VmId vm_id);
+
+  Result<VmStats> StatsFor(VmId vm_id) const;
+
+ private:
+  struct VmChannel {
+    VmId vm_id = 0;
+    TransportPtr transport;
+    std::shared_ptr<ApiServerSession> session;
+    VmPolicy policy;
+    TokenBucket call_bucket;
+    TokenBucket byte_bucket;
+
+    std::deque<Bytes> pending;    // verified, rate-limited, awaiting dispatch
+    bool in_flight = false;
+    bool paused = false;
+    bool rx_done = false;
+    double vruntime = 0.0;
+    // Device-time debt for the allotment pacer: completed calls add their
+    // cost; the debt drains at policy.device_vns_per_sec. A VM with positive
+    // debt is ineligible to dispatch.
+    double vns_debt = 0.0;
+    std::int64_t debt_decay_ns = 0;
+    std::int64_t last_activity_ns = 0;  // last enqueue or completion
+    VmStats stats;
+
+    std::thread rx_thread;
+    std::thread exec_thread;
+  };
+
+  void RxLoop(VmChannel* channel);
+  void ExecLoop(VmChannel* channel);
+  // True when `channel` holds the minimum weighted vruntime among VMs with
+  // pending work (the WFQ dispatch condition). Caller holds mutex_.
+  bool EligibleLocked(VmChannel* channel);
+  // Sends an error reply for a rejected synchronous call.
+  void RejectCall(VmChannel* channel, const CallHeader& header,
+                  StatusCode code);
+
+  mutable std::mutex mutex_;
+  std::condition_variable sched_cv_;
+  std::unordered_map<VmId, std::unique_ptr<VmChannel>> channels_;
+  bool running_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_ROUTER_ROUTER_H_

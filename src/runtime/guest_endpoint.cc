@@ -1,0 +1,144 @@
+#include "src/runtime/guest_endpoint.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace ava {
+
+GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
+    : options_(options), transport_(std::move(transport)) {}
+
+GuestEndpoint::~GuestEndpoint() {
+  if (transport_ != nullptr) {
+    // Best-effort: deliver buffered async work before going away.
+    std::lock_guard<std::mutex> lock(mutex_);
+    (void)FlushLocked();
+    transport_->Close();
+  }
+}
+
+Result<Bytes> GuestEndpoint::CallSync(std::uint16_t api_id,
+                                      std::uint32_t func_id, Bytes args) {
+  CallHeader header;
+  header.api_id = api_id;
+  header.func_id = func_id;
+  return CallSyncPrepared(EncodeCall(header, args));
+}
+
+Status GuestEndpoint::CallAsync(std::uint16_t api_id, std::uint32_t func_id,
+                                Bytes args) {
+  CallHeader header;
+  header.api_id = api_id;
+  header.func_id = func_id;
+  return CallAsyncPrepared(EncodeCall(header, args));
+}
+
+Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AVA_RETURN_IF_ERROR(FlushLocked());
+  const CallId call_id = next_call_id_++;
+  PatchCallIdentity(&message, call_id, options_.vm_id, 0);
+  AVA_RETURN_IF_ERROR(SendLocked(message));
+  ++stats_.sync_calls;
+
+  // Per-VM calls are fully serialized (one in-flight sync call), so the next
+  // reply is ours; tolerate stray replies defensively.
+  for (int attempts = 0; attempts < 1024; ++attempts) {
+    AVA_ASSIGN_OR_RETURN(Bytes raw, transport_->Recv());
+    stats_.bytes_received += raw.size();
+    AVA_ASSIGN_OR_RETURN(DecodedReply reply, DecodeReply(raw));
+    ApplyShadowsLocked(reply);
+    if (reply.header.call_id != call_id) {
+      AVA_LOG(WARNING) << "dropping stray reply for call "
+                       << reply.header.call_id;
+      continue;
+    }
+    if (reply.header.status_code != 0) {
+      return Status(static_cast<StatusCode>(reply.header.status_code),
+                    "call rejected by router/server");
+    }
+    return Bytes(reply.payload.begin(), reply.payload.end());
+  }
+  return Internal("no reply for call after draining 1024 messages");
+}
+
+Status GuestEndpoint::CallAsyncPrepared(Bytes message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PatchCallIdentity(&message, next_call_id_++, options_.vm_id,
+                    kCallFlagAsync);
+  ++stats_.async_calls;
+  if (options_.batch_max_calls > 1) {
+    pending_batch_.push_back(std::move(message));
+    if (pending_batch_.size() >= options_.batch_max_calls) {
+      return FlushLocked();
+    }
+    return OkStatus();
+  }
+  return SendLocked(message);
+}
+
+std::uint64_t GuestEndpoint::RegisterShadow(void* ptr, std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_shadow_id_++;
+  shadows_[id] = ShadowTarget{ptr, size};
+  return id;
+}
+
+Status GuestEndpoint::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FlushLocked();
+}
+
+std::int32_t GuestEndpoint::ConsumeAsyncError() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int32_t err = latched_async_error_;
+  latched_async_error_ = 0;
+  return err;
+}
+
+GuestEndpoint::Stats GuestEndpoint::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Status GuestEndpoint::SendLocked(const Bytes& message) {
+  stats_.bytes_sent += message.size();
+  ++stats_.messages_sent;
+  return transport_->Send(message);
+}
+
+Status GuestEndpoint::FlushLocked() {
+  if (pending_batch_.empty()) {
+    return OkStatus();
+  }
+  Bytes batch = EncodeBatch(pending_batch_);
+  pending_batch_.clear();
+  return SendLocked(batch);
+}
+
+void GuestEndpoint::ApplyShadowsLocked(const DecodedReply& reply) {
+  for (const ShadowUpdate& update : reply.shadows) {
+    if (update.shadow_id == kAsyncErrorShadowId) {
+      if (update.data.size() >= sizeof(std::int32_t)) {
+        std::memcpy(&latched_async_error_, update.data.data(),
+                    sizeof(std::int32_t));
+      }
+      continue;
+    }
+    auto it = shadows_.find(update.shadow_id);
+    if (it == shadows_.end()) {
+      AVA_LOG(WARNING) << "shadow update for unknown id " << update.shadow_id;
+      continue;
+    }
+    const std::size_t n = std::min(it->second.size, update.data.size());
+    if (it->second.ptr != nullptr && n > 0) {
+      std::memcpy(it->second.ptr, update.data.data(), n);
+    }
+    shadows_.erase(it);
+    ++stats_.shadow_updates;
+  }
+}
+
+}  // namespace ava

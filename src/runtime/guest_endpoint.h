@@ -1,0 +1,104 @@
+// GuestEndpoint: the API-agnostic, guest-side half of the AvA runtime.
+//
+// CAvA-generated guest stubs marshal arguments and hand them to this class,
+// which owns the transport, assigns call ids, waits for replies to
+// synchronous calls, batches asynchronous calls (lazy RPC, §4.2), and
+// applies piggybacked shadow-buffer updates to registered application
+// pointers (how a non-blocking read's data reaches the guest).
+#ifndef AVA_SRC_RUNTIME_GUEST_ENDPOINT_H_
+#define AVA_SRC_RUNTIME_GUEST_ENDPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/proto/wire.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+
+class GuestEndpoint {
+ public:
+  struct Options {
+    VmId vm_id = 1;
+    // Maximum async calls buffered before an automatic flush. 0 disables
+    // batching: every async call is sent immediately.
+    std::size_t batch_max_calls = 0;
+    // Ablation hook (§5 "unoptimized specification"): treat every call as
+    // synchronous regardless of its spec annotation. Generated stubs consult
+    // this flag.
+    bool force_sync = false;
+  };
+
+  struct Stats {
+    std::uint64_t sync_calls = 0;
+    std::uint64_t async_calls = 0;
+    std::uint64_t messages_sent = 0;   // transport messages (batches count 1)
+    std::uint64_t shadow_updates = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+  };
+
+  GuestEndpoint(TransportPtr transport, const Options& options);
+  ~GuestEndpoint();
+
+  GuestEndpoint(const GuestEndpoint&) = delete;
+  GuestEndpoint& operator=(const GuestEndpoint&) = delete;
+
+  // Synchronous call: flushes any pending batch, sends, blocks for the
+  // reply, applies shadow updates, and returns the reply payload. A non-OK
+  // status means the call never executed (transport failure or router
+  // rejection) — the generated stub maps it to the API's error code.
+  Result<Bytes> CallSync(std::uint16_t api_id, std::uint32_t func_id,
+                         Bytes args);
+
+  // Asynchronous call: fire-and-forget (or buffered when batching).
+  Status CallAsync(std::uint16_t api_id, std::uint32_t func_id, Bytes args);
+
+  // Zero-copy variants used by generated stubs: `message` was produced by
+  // ava::BeginCall + argument marshaling; the endpoint patches the identity
+  // fields in place and sends without re-encoding.
+  Result<Bytes> CallSyncPrepared(Bytes message);
+  Status CallAsyncPrepared(Bytes message);
+
+  // Registers an application pointer to receive a future shadow-buffer
+  // update of at most `size` bytes. Returns the shadow id to marshal.
+  std::uint64_t RegisterShadow(void* ptr, std::size_t size);
+
+  // Sends any buffered async batch now.
+  Status Flush();
+
+  // Last API error latched from an asynchronous call, delivered on a later
+  // reply (§4.2: async calls cannot report errors faithfully). 0 = none.
+  std::int32_t ConsumeAsyncError();
+
+  bool force_sync() const { return options_.force_sync; }
+  VmId vm_id() const { return options_.vm_id; }
+  Stats stats() const;
+
+ private:
+  Status SendLocked(const Bytes& message);
+  Status FlushLocked();
+  void ApplyShadowsLocked(const DecodedReply& reply);
+
+  Options options_;
+  TransportPtr transport_;
+
+  mutable std::mutex mutex_;
+  CallId next_call_id_ = 1;
+  std::uint64_t next_shadow_id_ = 1;
+  struct ShadowTarget {
+    void* ptr = nullptr;
+    std::size_t size = 0;
+  };
+  std::unordered_map<std::uint64_t, ShadowTarget> shadows_;
+  std::vector<Bytes> pending_batch_;
+  std::int32_t latched_async_error_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_RUNTIME_GUEST_ENDPOINT_H_

@@ -1,0 +1,187 @@
+#include "src/server/api_server.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace ava {
+
+ServerContext::ServerContext(VmId vm_id, ObjectRegistry* registry,
+                             SwapManager* swap)
+    : vm_id_(vm_id), registry_(registry), swap_(swap) {}
+
+Result<void*> ServerContext::TranslateSwappable(std::uint32_t type_tag,
+                                                WireHandle id) {
+  if (swap_ != nullptr) {
+    return swap_->TranslatePinned(registry_, id);
+  }
+  return registry_->Translate(type_tag, id);
+}
+
+void ServerContext::LatchAsyncError(std::int32_t api_error) {
+  // Keep the first unreported error (closest to a local execution's report).
+  if (latched_async_error_ == 0) {
+    latched_async_error_ = api_error;
+  }
+}
+
+void ServerContext::StashShadowReady(std::uint64_t shadow_id, Bytes data) {
+  ready_shadows_.emplace_back(shadow_id, std::move(data));
+}
+
+void ServerContext::StashShadowDeferred(std::uint64_t shadow_id,
+                                        std::function<bool(Bytes*)> poll) {
+  deferred_shadows_.push_back(DeferredShadow{shadow_id, std::move(poll)});
+}
+
+ApiServerSession::ApiServerSession(VmId vm_id,
+                                   std::shared_ptr<SwapManager> swap)
+    : vm_id_(vm_id),
+      registry_(vm_id),
+      swap_(std::move(swap)),
+      context_(vm_id, &registry_, swap_.get()) {
+  if (swap_ != nullptr) {
+    swap_->AttachRegistry(&registry_);
+  }
+}
+
+ApiServerSession::~ApiServerSession() {
+  if (swap_ != nullptr) {
+    swap_->DetachRegistry(&registry_);
+  }
+}
+
+void ApiServerSession::RegisterApi(std::uint16_t api_id, ApiHandler handler) {
+  handlers_[api_id] = std::move(handler);
+}
+
+Result<std::optional<Bytes>> ApiServerSession::Execute(const Bytes& message) {
+  AVA_ASSIGN_OR_RETURN(MsgKind kind, PeekKind(message));
+  if (kind == MsgKind::kBatch) {
+    AVA_ASSIGN_OR_RETURN(std::vector<Bytes> calls, DecodeBatch(message));
+    for (const Bytes& call : calls) {
+      AVA_ASSIGN_OR_RETURN(DecodedCall decoded, DecodeCall(call));
+      AVA_ASSIGN_OR_RETURN(auto reply, ExecuteCall(decoded));
+      (void)reply;  // batched calls are async by construction: no replies
+    }
+    return std::optional<Bytes>();
+  }
+  if (kind != MsgKind::kCall) {
+    return DataLoss("server received a non-call message");
+  }
+  AVA_ASSIGN_OR_RETURN(DecodedCall decoded, DecodeCall(message));
+  return ExecuteCall(decoded);
+}
+
+Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
+    const DecodedCall& call) {
+  auto handler_it = handlers_.find(call.header.api_id);
+  const bool is_async = call.header.is_async();
+
+  Status dispatch_status = OkStatus();
+  Bytes reply_payload;
+  if (handler_it == handlers_.end()) {
+    dispatch_status = NotFound(
+        "no handler for api " + std::to_string(call.header.api_id));
+  } else {
+    registry_.BeginCallCapture();
+    context_.record_requested_ = false;
+    ByteReader args(call.payload.data(), call.payload.size());
+    ByteWriter reply;
+    dispatch_status = handler_it->second(&context_, call.header.func_id,
+                                         &args, is_async, &reply);
+    reply_payload = std::move(reply).TakeBytes();
+    if (dispatch_status.ok() && context_.record_requested_ &&
+        record_sink_ != nullptr && !context_.replaying_) {
+      Bytes payload(call.payload.begin(), call.payload.end());
+      record_sink_->OnRecordedCall(call.header, payload,
+                                   registry_.TakeCreated(),
+                                   registry_.TakeDestroyed());
+    }
+    if (swap_ != nullptr) {
+      swap_->UnpinAll(&registry_);
+    }
+  }
+
+  ++stats_.calls_executed;
+  if (!dispatch_status.ok()) {
+    ++stats_.dispatch_errors;
+    AVA_LOG(WARNING) << "vm " << vm_id_ << " call "
+                     << call.header.func_id << " dispatch failed: "
+                     << dispatch_status;
+  }
+
+  if (is_async) {
+    ++stats_.async_calls;
+    if (!dispatch_status.ok()) {
+      // Cannot report faithfully (§4.2): latch for a later sync reply.
+      context_.LatchAsyncError(
+          static_cast<std::int32_t>(dispatch_status.code()));
+    }
+    stats_.cost_vns_total += context_.TakeCost();
+    return std::optional<Bytes>();
+  }
+
+  ReplyHeader header;
+  header.call_id = call.header.call_id;
+  header.vm_id = call.header.vm_id;
+  header.status_code = static_cast<std::int32_t>(dispatch_status.code());
+  ReplyBuilder builder(header);
+  builder.SetPayload(reply_payload);
+  ReapShadows(&builder);
+  const std::int64_t cost = context_.TakeCost();
+  stats_.cost_vns_total += cost;
+  builder.SetCost(cost);
+  return std::optional<Bytes>(std::move(builder).Finish());
+}
+
+void ApiServerSession::ReapShadows(ReplyBuilder* reply) {
+  // Latched async error rides the reserved shadow id.
+  if (context_.latched_async_error_ != 0) {
+    Bytes err(sizeof(std::int32_t));
+    std::memcpy(err.data(), &context_.latched_async_error_, sizeof(std::int32_t));
+    reply->AddShadow(kAsyncErrorShadowId, err);
+    context_.latched_async_error_ = 0;
+  }
+  for (auto& [id, data] : context_.ready_shadows_) {
+    reply->AddShadow(id, data);
+    ++stats_.shadows_delivered;
+  }
+  context_.ready_shadows_.clear();
+  auto it = context_.deferred_shadows_.begin();
+  while (it != context_.deferred_shadows_.end()) {
+    Bytes data;
+    if (it->poll(&data)) {
+      reply->AddShadow(it->shadow_id, data);
+      ++stats_.shadows_delivered;
+      it = context_.deferred_shadows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status ApiServerSession::Replay(const CallHeader& header, const Bytes& payload,
+                                const std::vector<WireHandle>& created_ids) {
+  auto handler_it = handlers_.find(header.api_id);
+  if (handler_it == handlers_.end()) {
+    return NotFound("no handler for api " + std::to_string(header.api_id));
+  }
+  registry_.PushForcedIds(created_ids);
+  registry_.BeginCallCapture();
+  context_.replaying_ = true;
+  context_.record_requested_ = false;
+  ByteReader args(payload.data(), payload.size());
+  ByteWriter reply;
+  Status status = handler_it->second(&context_, header.func_id, &args,
+                                     /*is_async=*/false, &reply);
+  context_.replaying_ = false;
+  (void)context_.TakeCost();
+  if (swap_ != nullptr) {
+    swap_->UnpinAll(&registry_);
+  }
+  return status;
+}
+
+}  // namespace ava

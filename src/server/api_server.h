@@ -1,0 +1,156 @@
+// The AvA API server: a non-privileged, per-VM execution session that runs
+// forwarded API calls against the real silo (Figure 3). One ApiServerSession
+// exists per guest VM; process-level isolation in the paper maps to
+// session-level isolation here (and to real processes in the fork-based
+// examples).
+//
+// CAvA-generated server handlers plug in through RegisterApi(); everything
+// else — reply construction, shadow-buffer reaping, cost accounting, async
+// error latching, migration recording hooks — is API-agnostic and lives
+// here.
+#ifndef AVA_SRC_SERVER_API_SERVER_H_
+#define AVA_SRC_SERVER_API_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/proto/wire.h"
+#include "src/server/object_registry.h"
+#include "src/server/swap_manager.h"
+
+namespace ava {
+
+class ServerContext;
+
+// One generated per-API dispatcher: unmarshals `args`, invokes the real API,
+// and (for synchronous calls) marshals return/out values into `reply`.
+// Returning non-OK means the call could not be dispatched (malformed
+// payload, unknown handle, ...) — distinct from an API-level error code,
+// which travels inside the reply payload.
+using ApiHandler =
+    std::function<Status(ServerContext* ctx, std::uint32_t func_id,
+                         ByteReader* args, bool is_async, ByteWriter* reply)>;
+
+// Sink for migration recording (implemented by migrate::Recorder). The
+// session reports every call whose spec says `record;`, with the object ids
+// it created/destroyed.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void OnRecordedCall(const CallHeader& header, const Bytes& payload,
+                              std::vector<WireHandle> created,
+                              std::vector<WireHandle> destroyed) = 0;
+};
+
+// Per-call execution context handed to generated handlers.
+class ServerContext {
+ public:
+  ServerContext(VmId vm_id, ObjectRegistry* registry, SwapManager* swap);
+
+  ObjectRegistry& registry() { return *registry_; }
+  SwapManager* swap() { return swap_; }
+  VmId vm_id() const { return vm_id_; }
+
+  // Translates a swappable buffer handle (swap-in + pin) when a swap manager
+  // is attached, else a plain registry lookup.
+  Result<void*> TranslateSwappable(std::uint32_t type_tag, WireHandle id);
+
+  // -------- cost accounting (read by the router's scheduler) --------
+  void ChargeCost(std::int64_t vns) { cost_vns_ += vns; }
+  std::int64_t TakeCost() {
+    std::int64_t c = cost_vns_;
+    cost_vns_ = 0;
+    return c;
+  }
+
+  // -------- async error latching (§4.2 fidelity loss) --------
+  void LatchAsyncError(std::int32_t api_error);
+
+  // -------- shadow buffers --------
+  // Data ready now (rare).
+  void StashShadowReady(std::uint64_t shadow_id, Bytes data);
+  // Data becomes ready later; `poll` returns true and fills *out once the
+  // producing command completed. Polled while building every sync reply.
+  void StashShadowDeferred(std::uint64_t shadow_id,
+                           std::function<bool(Bytes*)> poll);
+
+  // -------- migration recording --------
+  // Generated handlers call this for functions annotated `record;`.
+  void RecordCurrentCall() { record_requested_ = true; }
+  bool replaying() const { return replaying_; }
+
+ private:
+  friend class ApiServerSession;
+
+  struct DeferredShadow {
+    std::uint64_t shadow_id;
+    std::function<bool(Bytes*)> poll;
+  };
+
+  VmId vm_id_;
+  ObjectRegistry* registry_;
+  SwapManager* swap_;
+  std::int64_t cost_vns_ = 0;
+  std::int32_t latched_async_error_ = 0;
+  bool record_requested_ = false;
+  bool replaying_ = false;
+  std::vector<std::pair<std::uint64_t, Bytes>> ready_shadows_;
+  std::vector<DeferredShadow> deferred_shadows_;
+};
+
+class ApiServerSession {
+ public:
+  struct Stats {
+    std::uint64_t calls_executed = 0;
+    std::uint64_t async_calls = 0;
+    std::uint64_t dispatch_errors = 0;
+    std::uint64_t shadows_delivered = 0;
+    std::int64_t cost_vns_total = 0;
+  };
+
+  explicit ApiServerSession(VmId vm_id,
+                            std::shared_ptr<SwapManager> swap = nullptr);
+  ~ApiServerSession();
+
+  ApiServerSession(const ApiServerSession&) = delete;
+  ApiServerSession& operator=(const ApiServerSession&) = delete;
+
+  void RegisterApi(std::uint16_t api_id, ApiHandler handler);
+  void SetRecordSink(RecordSink* sink) { record_sink_ = sink; }
+
+  // Executes one transport message (call or batch). Returns the encoded
+  // reply for synchronous calls, nullopt for async/batch. A non-OK status
+  // means the message was unintelligible.
+  Result<std::optional<Bytes>> Execute(const Bytes& message);
+
+  // Replays a recorded call during migration restore: forces the original
+  // created ids and suppresses re-recording.
+  Status Replay(const CallHeader& header, const Bytes& payload,
+                const std::vector<WireHandle>& created_ids);
+
+  ObjectRegistry& registry() { return registry_; }
+  ServerContext& context() { return context_; }
+  VmId vm_id() const { return vm_id_; }
+  Stats stats() const { return stats_; }
+
+ private:
+  Result<std::optional<Bytes>> ExecuteCall(const DecodedCall& call);
+  void ReapShadows(ReplyBuilder* reply);
+
+  VmId vm_id_;
+  ObjectRegistry registry_;
+  std::shared_ptr<SwapManager> swap_;
+  ServerContext context_;
+  std::unordered_map<std::uint16_t, ApiHandler> handlers_;
+  RecordSink* record_sink_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_SERVER_API_SERVER_H_

@@ -1,0 +1,48 @@
+// API-specific buffer mechanics injected into the API-agnostic runtime.
+//
+// The spec's resource annotations say *which* objects are device buffers and
+// how big they are; these hooks say *how* to move their bytes — synthesized
+// from the API itself (read = clEnqueueReadBuffer-style calls, recreate =
+// clCreateBuffer with COPY_HOST_PTR). Used by both the SwapManager (§4.3
+// buffer-granularity swapping) and the migration engine (§4.3 record/replay
+// + device-buffer snapshot). See src/gen/vcl_hooks.cc for the VCL instance.
+#ifndef AVA_SRC_SERVER_BUFFER_HOOKS_H_
+#define AVA_SRC_SERVER_BUFFER_HOOKS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/result.h"
+#include "src/common/serial.h"
+#include "src/server/object_registry.h"
+
+namespace ava {
+
+struct BufferHooks {
+  // The registry type tag of device buffer objects.
+  std::uint32_t buffer_type_tag = 0;
+
+  // Reads the device contents of a resident buffer into `out` (blocking;
+  // enqueued behind any in-flight work so the content is stable).
+  std::function<Status(ObjectRegistry*, WireHandle, ObjectRegistry::Entry&,
+                       Bytes*)>
+      read_back;
+
+  // Releases the device buffer backing this entry.
+  std::function<void(ObjectRegistry*, ObjectRegistry::Entry&)> free_buffer;
+
+  // Recreates a device buffer with `contents`; returns the real handle or
+  // nullptr when the device is full.
+  std::function<void*(ObjectRegistry*, WireHandle, ObjectRegistry::Entry&,
+                      const Bytes&)>
+      realloc_buffer;
+
+  // Overwrites a resident buffer's device contents (migration restore).
+  std::function<Status(ObjectRegistry*, WireHandle, ObjectRegistry::Entry&,
+                       const Bytes&)>
+      write_back;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_SERVER_BUFFER_HOOKS_H_

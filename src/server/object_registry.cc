@@ -1,0 +1,177 @@
+#include "src/server/object_registry.h"
+
+#include <string>
+
+namespace ava {
+
+WireHandle ObjectRegistry::NextId() {
+  if (forced_cursor_ < forced_ids_.size()) {
+    WireHandle id = forced_ids_[forced_cursor_++];
+    if (id >= next_id_) {
+      next_id_ = id + 1;
+    }
+    return id;
+  }
+  return next_id_++;
+}
+
+WireHandle ObjectRegistry::Insert(std::uint32_t type_tag, void* real) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  const WireHandle id = NextId();
+  Entry entry;
+  entry.type_tag = type_tag;
+  entry.real = real;
+  entry.last_use_ns = MonotonicNowNs();
+  entries_[id] = std::move(entry);
+  created_in_call_.push_back(id);
+  return id;
+}
+
+WireHandle ObjectRegistry::InternOrFind(std::uint32_t type_tag, void* real) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = interned_reverse_.find(real);
+  if (it != interned_reverse_.end()) {
+    return it->second;
+  }
+  const WireHandle id = NextId();
+  Entry entry;
+  entry.type_tag = type_tag;
+  entry.real = real;
+  entry.interned = true;
+  entry.last_use_ns = MonotonicNowNs();
+  entries_[id] = std::move(entry);
+  interned_reverse_[real] = id;
+  // Interned handles minted inside a recorded call (e.g. device discovery)
+  // must replay with the same ids after migration.
+  created_in_call_.push_back(id);
+  return id;
+}
+
+Result<void*> ObjectRegistry::Translate(std::uint32_t type_tag, WireHandle id) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return NotFound("vm " + std::to_string(vm_id_) + ": unknown handle " +
+                    std::to_string(id));
+  }
+  if (it->second.type_tag != type_tag) {
+    return InvalidArgument("vm " + std::to_string(vm_id_) + ": handle " +
+                           std::to_string(id) + " has wrong type");
+  }
+  it->second.last_use_ns = MonotonicNowNs();
+  return it->second.real;
+}
+
+ObjectRegistry::Entry* ObjectRegistry::Find(WireHandle id) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status ObjectRegistry::Retain(WireHandle id) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return NotFound("retain of unknown handle " + std::to_string(id));
+  }
+  if (!it->second.interned) {
+    ++it->second.refcount;
+  }
+  return OkStatus();
+}
+
+Result<bool> ObjectRegistry::Release(WireHandle id, void** removed_real) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return NotFound("release of unknown handle " + std::to_string(id));
+  }
+  if (it->second.interned) {
+    return false;
+  }
+  if (--it->second.refcount > 0) {
+    return false;
+  }
+  if (removed_real != nullptr) {
+    *removed_real = it->second.real;
+  }
+  destroyed_in_call_.push_back(id);
+  entries_.erase(it);
+  return true;
+}
+
+void ObjectRegistry::SetMeta(WireHandle id, WireHandle parent,
+                             std::uint64_t size) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.parent = parent;
+    it->second.size = size;
+  }
+}
+
+void ObjectRegistry::Touch(WireHandle id) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.last_use_ns = MonotonicNowNs();
+  }
+}
+
+void ObjectRegistry::ForEach(
+    std::uint32_t type_tag,
+    const std::function<void(WireHandle, Entry&)>& fn) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  for (auto& [id, entry] : entries_) {
+    if (entry.type_tag == type_tag) {
+      fn(id, entry);
+    }
+  }
+}
+
+void ObjectRegistry::ForEachAll(
+    const std::function<void(WireHandle, Entry&)>& fn) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  for (auto& [id, entry] : entries_) {
+    fn(id, entry);
+  }
+}
+
+std::size_t ObjectRegistry::LiveCount() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ObjectRegistry::BeginCallCapture() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  created_in_call_.clear();
+  destroyed_in_call_.clear();
+}
+
+std::vector<WireHandle> ObjectRegistry::TakeCreated() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return std::move(created_in_call_);
+}
+
+std::vector<WireHandle> ObjectRegistry::TakeDestroyed() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return std::move(destroyed_in_call_);
+}
+
+void ObjectRegistry::PushForcedIds(const std::vector<WireHandle>& ids) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  forced_ids_.insert(forced_ids_.end(), ids.begin(), ids.end());
+}
+
+Status ObjectRegistry::WithEntry(WireHandle id,
+                                 const std::function<void(Entry&)>& fn) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return NotFound("unknown handle " + std::to_string(id));
+  }
+  fn(it->second);
+  return OkStatus();
+}
+
+}  // namespace ava

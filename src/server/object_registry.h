@@ -1,0 +1,110 @@
+// Per-VM object registry: the server-side mapping from guest-visible wire
+// handles to real silo handles.
+//
+// This is where AvA's isolation story lives: wire ids are minted per VM and
+// validated on every translation, so a guest can only ever name its own
+// objects. Entries also carry the metadata the spec's resource annotations
+// provide — object kind, byte size, parent object — which powers VM
+// migration (enumerate & snapshot) and buffer-granularity swapping.
+#ifndef AVA_SRC_SERVER_OBJECT_REGISTRY_H_
+#define AVA_SRC_SERVER_OBJECT_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/serial.h"
+#include "src/common/vclock.h"
+#include "src/proto/wire.h"
+
+namespace ava {
+
+class ObjectRegistry {
+ public:
+  struct Entry {
+    std::uint32_t type_tag = 0;  // API-specific discriminator (generated)
+    void* real = nullptr;        // silo handle; nullptr while swapped out
+    std::int32_t refcount = 1;   // guest-visible retain count
+    bool interned = false;       // platform/device-style: not refcounted
+    // Spec-provided resource metadata.
+    WireHandle parent = 0;       // e.g. buffer -> owning context id
+    std::uint64_t size = 0;      // e.g. buffer byte size
+    // Swap state (buffer objects only).
+    bool swapped = false;
+    Bytes swap_copy;
+    std::int32_t pinned = 0;  // pinned buffers are never evicted
+    std::int64_t last_use_ns = 0;
+  };
+
+  explicit ObjectRegistry(VmId vm_id) : vm_id_(vm_id) {}
+
+  VmId vm_id() const { return vm_id_; }
+
+  // Mints a new wire id for `real` (refcount 1). During replay the id comes
+  // from the forced-id queue instead, reproducing the original handle space.
+  WireHandle Insert(std::uint32_t type_tag, void* real);
+
+  // Finds the existing id for an interned object or mints one. Used for
+  // platform/device handles that the silo owns and never releases.
+  WireHandle InternOrFind(std::uint32_t type_tag, void* real);
+
+  // Resolves a wire id, checking the type tag. NotFound for foreign/stale
+  // ids — the isolation check.
+  Result<void*> Translate(std::uint32_t type_tag, WireHandle id);
+
+  Entry* Find(WireHandle id);
+
+  Status Retain(WireHandle id);
+
+  // Decrements; removes the entry at zero. `*removed_real` receives the real
+  // handle when the entry was removed (so the caller can observe it).
+  Result<bool> Release(WireHandle id, void** removed_real);
+
+  // Attaches spec-provided metadata to an entry.
+  void SetMeta(WireHandle id, WireHandle parent, std::uint64_t size);
+
+  // Stamps last-use time (swap LRU).
+  void Touch(WireHandle id);
+
+  // Iterates entries of one type under the lock.
+  void ForEach(std::uint32_t type_tag,
+               const std::function<void(WireHandle, Entry&)>& fn);
+  void ForEachAll(const std::function<void(WireHandle, Entry&)>& fn);
+
+  // Runs `fn` on the entry under the registry lock (recursive: `fn` may call
+  // back into the registry, e.g. swap hooks translating a parent handle).
+  // Returns NotFound when the id is unknown.
+  Status WithEntry(WireHandle id, const std::function<void(Entry&)>& fn);
+
+  std::size_t LiveCount() const;
+
+  // ---- per-call capture (migration recording) ----
+  void BeginCallCapture();
+  std::vector<WireHandle> TakeCreated();
+  std::vector<WireHandle> TakeDestroyed();
+
+  // ---- replay support ----
+  // While the forced-id queue is non-empty, Insert consumes ids from it
+  // instead of minting new ones (restores the original handle space).
+  void PushForcedIds(const std::vector<WireHandle>& ids);
+
+ private:
+  WireHandle NextId();
+
+  const VmId vm_id_;
+  mutable std::recursive_mutex mutex_;
+  std::unordered_map<WireHandle, Entry> entries_;
+  std::unordered_map<void*, WireHandle> interned_reverse_;
+  WireHandle next_id_ = 1;
+  std::vector<WireHandle> created_in_call_;
+  std::vector<WireHandle> destroyed_in_call_;
+  std::vector<WireHandle> forced_ids_;
+  std::size_t forced_cursor_ = 0;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_SERVER_OBJECT_REGISTRY_H_

@@ -1,0 +1,177 @@
+#include "src/server/swap_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace ava {
+
+SwapManager::SwapManager(Hooks hooks) : hooks_(std::move(hooks)) {}
+
+void SwapManager::AttachRegistry(ObjectRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registries_.push_back(registry);
+}
+
+void SwapManager::DetachRegistry(ObjectRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registries_.erase(
+      std::remove(registries_.begin(), registries_.end(), registry),
+      registries_.end());
+  pins_.erase(std::remove_if(pins_.begin(), pins_.end(),
+                             [&](const Pin& p) { return p.registry == registry; }),
+              pins_.end());
+}
+
+Result<void*> SwapManager::TranslatePinned(ObjectRegistry* registry,
+                                           WireHandle id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  void* real = nullptr;
+  bool needs_swap_in = false;
+  Status found = registry->WithEntry(id, [&](ObjectRegistry::Entry& entry) {
+    if (entry.type_tag != hooks_.buffer_type_tag) {
+      return;  // caught below via the regular Translate path
+    }
+    if (entry.swapped) {
+      needs_swap_in = true;
+    } else {
+      real = entry.real;
+    }
+  });
+  AVA_RETURN_IF_ERROR(found);
+  if (needs_swap_in) {
+    Status status = registry->WithEntry(id, [&](ObjectRegistry::Entry& entry) {
+      // Attempt the re-allocation; evict others on failure.
+      void* fresh =
+          hooks_.realloc_buffer(registry, id, entry, entry.swap_copy);
+      if (fresh == nullptr) {
+        // Make room (excluding this entry, which is swapped out anyway).
+        MakeRoomLockedHint(entry.size, registry);
+        fresh = hooks_.realloc_buffer(registry, id, entry, entry.swap_copy);
+      }
+      if (fresh != nullptr) {
+        entry.real = fresh;
+        entry.swapped = false;
+        entry.swap_copy.clear();
+        entry.swap_copy.shrink_to_fit();
+        ++stats_.swap_ins;
+        stats_.bytes_swapped_in += entry.size;
+        real = fresh;
+      }
+    });
+    AVA_RETURN_IF_ERROR(status);
+    if (real == nullptr) {
+      return ResourceExhausted("cannot swap buffer back in: device full");
+    }
+  }
+  if (real == nullptr) {
+    // Not a swappable type (or inconsistent state); fall back to Translate.
+    return registry->Translate(hooks_.buffer_type_tag, id);
+  }
+  // Pin until the end of the current call.
+  (void)registry->WithEntry(id, [&](ObjectRegistry::Entry& entry) {
+    ++entry.pinned;
+    entry.last_use_ns = MonotonicNowNs();
+  });
+  pins_.push_back(Pin{registry, id});
+  return real;
+}
+
+void SwapManager::UnpinAll(ObjectRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pins_.begin();
+  while (it != pins_.end()) {
+    if (it->registry == registry) {
+      (void)registry->WithEntry(it->id, [](ObjectRegistry::Entry& entry) {
+        if (entry.pinned > 0) {
+          --entry.pinned;
+        }
+      });
+      it = pins_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t SwapManager::MakeRoom(std::size_t bytes,
+                                  ObjectRegistry* requester) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MakeRoomLockedHint(bytes, requester);
+}
+
+void SwapManager::NoteCreated(ObjectRegistry* registry, WireHandle id) {
+  (void)registry->WithEntry(id, [](ObjectRegistry::Entry& entry) {
+    entry.last_use_ns = MonotonicNowNs();
+  });
+}
+
+SwapManager::Stats SwapManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Status SwapManager::EvictLocked(ObjectRegistry* registry, WireHandle id,
+                                ObjectRegistry::Entry& entry) {
+  Bytes contents;
+  AVA_RETURN_IF_ERROR(hooks_.read_back(registry, id, entry, &contents));
+  hooks_.free_buffer(registry, entry);
+  entry.swap_copy = std::move(contents);
+  entry.swapped = true;
+  entry.real = nullptr;
+  ++stats_.swap_outs;
+  stats_.bytes_swapped_out += entry.size;
+  AVA_LOG(INFO) << "swapped out buffer " << id << " (" << entry.size
+                << " bytes) of vm " << registry->vm_id();
+  return OkStatus();
+}
+
+std::size_t SwapManager::MakeRoomLockedHint(std::size_t bytes,
+                                            ObjectRegistry* requester) {
+  // Collect eviction candidates across all VMs: resident, unpinned buffers,
+  // least-recently-used first.
+  struct Candidate {
+    ObjectRegistry* registry;
+    WireHandle id;
+    std::int64_t last_use;
+    std::uint64_t size;
+  };
+  std::vector<Candidate> candidates;
+  for (ObjectRegistry* registry : registries_) {
+    registry->ForEach(hooks_.buffer_type_tag,
+                      [&](WireHandle id, ObjectRegistry::Entry& entry) {
+                        if (!entry.swapped && entry.pinned == 0 &&
+                            entry.real != nullptr) {
+                          candidates.push_back(Candidate{
+                              registry, id, entry.last_use_ns, entry.size});
+                        }
+                      });
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.last_use < b.last_use;
+            });
+  std::size_t freed = 0;
+  for (const Candidate& c : candidates) {
+    if (freed >= bytes) {
+      break;
+    }
+    Status status = c.registry->WithEntry(
+        c.id, [&](ObjectRegistry::Entry& entry) {
+          if (entry.swapped || entry.pinned != 0) {
+            return;
+          }
+          if (EvictLocked(c.registry, c.id, entry).ok()) {
+            freed += entry.size;
+          }
+        });
+    (void)status;
+  }
+  if (freed < bytes) {
+    ++stats_.failed_make_room;
+  }
+  return freed;
+}
+
+}  // namespace ava

@@ -1,0 +1,81 @@
+// Buffer-object-granularity memory swapping (§4.3): when a guest's
+// allocation fails because the device is full, the server transparently
+// evicts least-recently-used, unpinned buffer objects — possibly belonging
+// to other VMs — to host memory, and restores them on next use. Guests never
+// observe the contending VM's out-of-memory condition.
+//
+// API-specific mechanics (how to read back / free / recreate a buffer) are
+// injected as hooks synthesized from the API spec; see src/gen/vcl_hooks.cc.
+#ifndef AVA_SRC_SERVER_SWAP_MANAGER_H_
+#define AVA_SRC_SERVER_SWAP_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/server/buffer_hooks.h"
+#include "src/server/object_registry.h"
+
+namespace ava {
+
+class SwapManager {
+ public:
+  using Hooks = BufferHooks;
+
+  struct Stats {
+    std::uint64_t swap_outs = 0;
+    std::uint64_t swap_ins = 0;
+    std::uint64_t bytes_swapped_out = 0;
+    std::uint64_t bytes_swapped_in = 0;
+    std::uint64_t failed_make_room = 0;
+  };
+
+  explicit SwapManager(Hooks hooks);
+
+  // Registries participating in global LRU accounting (one per VM session).
+  void AttachRegistry(ObjectRegistry* registry);
+  void DetachRegistry(ObjectRegistry* registry);
+
+  // Translates a swappable handle, swapping it in if necessary, and pins it
+  // until UnpinAll. Pinned buffers are never evicted.
+  Result<void*> TranslatePinned(ObjectRegistry* registry, WireHandle id);
+
+  // Releases every pin taken by `registry`'s session (end of call).
+  void UnpinAll(ObjectRegistry* registry);
+
+  // Evicts unpinned LRU buffers until at least `bytes` were freed (or no
+  // candidates remain). Returns the number of bytes actually freed.
+  std::size_t MakeRoom(std::size_t bytes, ObjectRegistry* requester);
+
+  // Marks a freshly created buffer resident (no-op bookkeeping today; the
+  // registry entry itself carries the state).
+  void NoteCreated(ObjectRegistry* registry, WireHandle id);
+
+  Stats stats() const;
+
+ private:
+  struct Pin {
+    ObjectRegistry* registry;
+    WireHandle id;
+  };
+
+  // Swaps one entry out; caller holds mutex_.
+  Status EvictLocked(ObjectRegistry* registry, WireHandle id,
+                     ObjectRegistry::Entry& entry);
+
+  // MakeRoom body; caller holds mutex_.
+  std::size_t MakeRoomLockedHint(std::size_t bytes, ObjectRegistry* requester);
+
+  Hooks hooks_;
+  mutable std::mutex mutex_;
+  std::vector<ObjectRegistry*> registries_;
+  std::vector<Pin> pins_;
+  Stats stats_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_SERVER_SWAP_MANAGER_H_

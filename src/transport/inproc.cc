@@ -1,0 +1,109 @@
+// In-process transport: two bounded message queues cross-wired between the
+// endpoints. The reference implementation of the Transport contract.
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "src/transport/transport.h"
+
+namespace ava {
+namespace {
+
+// One direction of the channel.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable can_send;
+  std::condition_variable can_recv;
+  std::deque<Bytes> queue;
+  std::size_t capacity = 0;
+  bool closed = false;
+};
+
+struct Shared {
+  Pipe a_to_b;
+  Pipe b_to_a;
+};
+
+class InProcEndpoint final : public Transport {
+ public:
+  InProcEndpoint(std::shared_ptr<Shared> shared, Pipe* tx, Pipe* rx,
+                 std::string name)
+      : shared_(std::move(shared)), tx_(tx), rx_(rx), name_(std::move(name)) {}
+
+  ~InProcEndpoint() override { Close(); }
+
+  Status Send(const Bytes& message) override {
+    std::unique_lock<std::mutex> lock(tx_->mutex);
+    tx_->can_send.wait(lock, [&] {
+      return tx_->closed || tx_->queue.size() < tx_->capacity;
+    });
+    if (tx_->closed) {
+      return Unavailable("inproc channel closed");
+    }
+    tx_->queue.push_back(message);
+    lock.unlock();
+    tx_->can_recv.notify_one();
+    return OkStatus();
+  }
+
+  Result<Bytes> Recv() override {
+    std::unique_lock<std::mutex> lock(rx_->mutex);
+    rx_->can_recv.wait(lock, [&] { return rx_->closed || !rx_->queue.empty(); });
+    if (rx_->queue.empty()) {
+      return Unavailable("inproc channel closed");
+    }
+    Bytes message = std::move(rx_->queue.front());
+    rx_->queue.pop_front();
+    lock.unlock();
+    rx_->can_send.notify_one();
+    return message;
+  }
+
+  Result<Bytes> TryRecv() override {
+    std::unique_lock<std::mutex> lock(rx_->mutex);
+    if (rx_->queue.empty()) {
+      return rx_->closed ? Unavailable("inproc channel closed")
+                         : NotFound("no message pending");
+    }
+    Bytes message = std::move(rx_->queue.front());
+    rx_->queue.pop_front();
+    lock.unlock();
+    rx_->can_send.notify_one();
+    return message;
+  }
+
+  void Close() override {
+    for (Pipe* pipe : {tx_, rx_}) {
+      {
+        std::lock_guard<std::mutex> lock(pipe->mutex);
+        pipe->closed = true;
+      }
+      pipe->can_recv.notify_all();
+      pipe->can_send.notify_all();
+    }
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::shared_ptr<Shared> shared_;  // keeps the pipes alive
+  Pipe* tx_;
+  Pipe* rx_;
+  std::string name_;
+};
+
+}  // namespace
+
+ChannelPair MakeInProcChannel(std::size_t capacity_messages) {
+  auto shared = std::make_shared<Shared>();
+  shared->a_to_b.capacity = capacity_messages;
+  shared->b_to_a.capacity = capacity_messages;
+  ChannelPair pair;
+  pair.guest = std::make_unique<InProcEndpoint>(shared, &shared->a_to_b,
+                                                &shared->b_to_a, "inproc:guest");
+  pair.host = std::make_unique<InProcEndpoint>(shared, &shared->b_to_a,
+                                               &shared->a_to_b, "inproc:host");
+  return pair;
+}
+
+}  // namespace ava

@@ -1,0 +1,197 @@
+// Socket transports: AF_UNIX socketpair (cross-fork) and TCP (disaggregated
+// accelerators). Framing: u32 length prefix + payload.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "src/transport/transport.h"
+
+namespace ava {
+namespace {
+
+Status WriteAllFd(int fd, const void* data, std::size_t size) {
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::send(fd, src + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Unavailable(std::string("socket send failed: ") +
+                         std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status ReadAllFd(int fd, void* data, std::size_t size) {
+  auto* dst = static_cast<std::uint8_t*>(data);
+  std::size_t read = 0;
+  while (read < size) {
+    ssize_t n = ::recv(fd, dst + read, size - read, 0);
+    if (n == 0) {
+      return Unavailable("socket closed by peer");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Unavailable(std::string("socket recv failed: ") +
+                         std::strerror(errno));
+    }
+    read += static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+class SocketEndpoint final : public Transport {
+ public:
+  SocketEndpoint(int fd, std::string name) : fd_(fd), name_(std::move(name)) {}
+
+  ~SocketEndpoint() override { Close(); }
+
+  Status Send(const Bytes& message) override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (fd_ < 0) {
+      return Unavailable("socket closed");
+    }
+    const std::uint32_t len = static_cast<std::uint32_t>(message.size());
+    AVA_RETURN_IF_ERROR(WriteAllFd(fd_, &len, sizeof(len)));
+    return WriteAllFd(fd_, message.data(), message.size());
+  }
+
+  Result<Bytes> Recv() override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    if (fd_ < 0) {
+      return Unavailable("socket closed");
+    }
+    std::uint32_t len = 0;
+    AVA_RETURN_IF_ERROR(ReadAllFd(fd_, &len, sizeof(len)));
+    Bytes message(len);
+    AVA_RETURN_IF_ERROR(ReadAllFd(fd_, message.data(), len));
+    return message;
+  }
+
+  Result<Bytes> TryRecv() override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    if (fd_ < 0) {
+      return Unavailable("socket closed");
+    }
+    std::uint8_t probe;
+    ssize_t n = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0) {
+      return Unavailable("socket closed by peer");
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return NotFound("no message pending");
+      }
+      return Unavailable(std::string("socket peek failed: ") +
+                         std::strerror(errno));
+    }
+    std::uint32_t len = 0;
+    AVA_RETURN_IF_ERROR(ReadAllFd(fd_, &len, sizeof(len)));
+    Bytes message(len);
+    AVA_RETURN_IF_ERROR(ReadAllFd(fd_, message.data(), len));
+    return message;
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  int fd_;
+  std::mutex send_mutex_;
+  std::mutex recv_mutex_;
+  std::string name_;
+};
+
+}  // namespace
+
+Result<ChannelPair> MakeSocketPairChannel() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Internal(std::string("socketpair failed: ") + std::strerror(errno));
+  }
+  ChannelPair pair;
+  pair.guest = std::make_unique<SocketEndpoint>(fds[0], "unix:guest");
+  pair.host = std::make_unique<SocketEndpoint>(fds[1], "unix:host");
+  return pair;
+}
+
+Result<TransportPtr> TcpListenAccept(std::uint16_t port) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Internal("socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listener);
+    return Internal(std::string("bind failed: ") + std::strerror(errno));
+  }
+  if (::listen(listener, 1) != 0) {
+    ::close(listener);
+    return Internal("listen failed");
+  }
+  int conn = ::accept(listener, nullptr, nullptr);
+  ::close(listener);
+  if (conn < 0) {
+    return Internal("accept failed");
+  }
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TransportPtr(std::make_unique<SocketEndpoint>(
+      conn, "tcp:server:" + std::to_string(port)));
+}
+
+Result<TransportPtr> TcpConnect(const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Internal("socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgument("bad IPv4 address: " + host);
+  }
+  // Retry briefly: the server side may still be binding.
+  for (int attempt = 0;; ++attempt) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    if (attempt > 200) {
+      ::close(fd);
+      return Unavailable(std::string("connect failed: ") +
+                         std::strerror(errno));
+    }
+    ::usleep(10000);
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TransportPtr(std::make_unique<SocketEndpoint>(
+      fd, "tcp:client:" + std::to_string(port)));
+}
+
+}  // namespace ava

@@ -1,0 +1,82 @@
+// Transport abstraction for AvA's API remoting.
+//
+// The paper's key interposition claim is that API calls travel over
+// *hypervisor-managed* transport rather than an opaque RPC socket. This
+// module provides the pluggable transports:
+//
+//   - InProc:   bounded in-process queues (unit tests, single-process guests)
+//   - ShmRing:  a shared-memory ring pair usable across fork() — the stand-in
+//               for the virtio-style FIFO a hypervisor would manage
+//   - Socket:   AF_UNIX or TCP byte streams — disaggregated accelerators
+//
+// A Transport endpoint is a duplex message pipe: Send() delivers one
+// length-delimited message to the peer; Recv() blocks for the next one.
+// Thread-safety: any number of senders, one receiver at a time.
+#ifndef AVA_SRC_TRANSPORT_TRANSPORT_H_
+#define AVA_SRC_TRANSPORT_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/serial.h"
+
+namespace ava {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Delivers one message to the peer. Blocks while the channel is full.
+  // Fails with Unavailable once either side has closed.
+  virtual Status Send(const Bytes& message) = 0;
+
+  // Blocks for the next message. Fails with Unavailable when the channel is
+  // closed and drained.
+  virtual Result<Bytes> Recv() = 0;
+
+  // Non-blocking receive: returns NotFound immediately when no message is
+  // pending, Unavailable when closed and drained.
+  virtual Result<Bytes> TryRecv() = 0;
+
+  // Closes both directions; pending receivers wake with Unavailable after
+  // draining queued messages.
+  virtual void Close() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using TransportPtr = std::unique_ptr<Transport>;
+
+// A connected endpoint pair. By convention `guest` lives in the VM /
+// application and `host` in the router/API-server process.
+struct ChannelPair {
+  TransportPtr guest;
+  TransportPtr host;
+};
+
+// ----------------------------- constructors --------------------------------
+
+// In-process channel with a bounded per-direction queue (messages).
+ChannelPair MakeInProcChannel(std::size_t capacity_messages = 1024);
+
+// Shared-memory ring channel. Each direction is a single-producer,
+// single-consumer byte ring of `ring_bytes`. The backing pages are
+// MAP_SHARED | MAP_ANONYMOUS, so both endpoints remain usable across a
+// fork(): create the pair first, fork, then use `guest` in the child and
+// `host` in the parent (or vice versa). Multiple senders on one endpoint are
+// serialized internally.
+Result<ChannelPair> MakeShmRingChannel(std::size_t ring_bytes = 1u << 20);
+
+// AF_UNIX socketpair channel (also usable across fork()).
+Result<ChannelPair> MakeSocketPairChannel();
+
+// TCP endpoints for disaggregated accelerators: the API server listens, the
+// guest connects.
+Result<TransportPtr> TcpListenAccept(std::uint16_t port);
+Result<TransportPtr> TcpConnect(const std::string& host, std::uint16_t port);
+
+}  // namespace ava
+
+#endif  // AVA_SRC_TRANSPORT_TRANSPORT_H_

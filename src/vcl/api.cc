@@ -1,0 +1,1069 @@
+// Implementation of the 39 public VCL entry points (see vcl.h). Each entry
+// validates its handles against the silo's live-handle registry, performs
+// the operation against the object model, and routes device work through the
+// device engine.
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/vcl/compiler/codegen.h"
+#include "src/vcl/device.h"
+#include "src/vcl/object_model.h"
+#include "src/vcl/silo.h"
+#include "src/vcl/vcl.h"
+
+namespace {
+
+using vcl::DefaultSilo;
+using vcl::HandleKind;
+
+// Copies an info value into the caller's buffer with OpenCL's size protocol.
+vcl_int ReturnInfo(const void* src, std::size_t src_size,
+                   std::size_t param_value_size, void* param_value,
+                   std::size_t* param_value_size_ret) {
+  if (param_value != nullptr) {
+    if (param_value_size < src_size) {
+      return VCL_INVALID_VALUE;
+    }
+    std::memcpy(param_value, src, src_size);
+  }
+  if (param_value_size_ret != nullptr) {
+    *param_value_size_ret = src_size;
+  }
+  return VCL_SUCCESS;
+}
+
+vcl_int ReturnInfoString(const std::string& s, std::size_t param_value_size,
+                         void* param_value, std::size_t* param_value_size_ret) {
+  return ReturnInfo(s.c_str(), s.size() + 1, param_value_size, param_value,
+                    param_value_size_ret);
+}
+
+template <typename T>
+vcl_int ReturnInfoScalar(T v, std::size_t param_value_size, void* param_value,
+                         std::size_t* param_value_size_ret) {
+  return ReturnInfo(&v, sizeof(T), param_value_size, param_value,
+                    param_value_size_ret);
+}
+
+bool ValidQueue(vcl_command_queue q) {
+  return DefaultSilo().ValidateHandle(HandleKind::kQueue, q);
+}
+bool ValidMem(vcl_mem m) {
+  return DefaultSilo().ValidateHandle(HandleKind::kMem, m);
+}
+bool ValidEvent(vcl_event e) {
+  return DefaultSilo().ValidateHandle(HandleKind::kEvent, e);
+}
+bool ValidKernel(vcl_kernel k) {
+  return DefaultSilo().ValidateHandle(HandleKind::kKernel, k);
+}
+
+void SetErr(vcl_int* errcode_ret, vcl_int code) {
+  if (errcode_ret != nullptr) {
+    *errcode_ret = code;
+  }
+}
+
+// Creates the internal event for a command, registering it and giving the
+// command its reference. If the user asked for the event, grants a second
+// reference and stores the handle.
+vcl_event MakeCommandEvent(vcl_device_id device, vcl_event* user_event_out) {
+  auto* event = new vcl_event_rec;
+  event->device = device;
+  DefaultSilo().RegisterHandle(HandleKind::kEvent, event);
+  if (user_event_out != nullptr) {
+    vcl::RetainRec(event);
+    *user_event_out = event;
+  }
+  return event;
+}
+
+// Validates an event wait list and retains each event into `out`.
+vcl_int SnapshotWaitList(vcl_uint num_events, const vcl_event* list,
+                         std::vector<vcl_event>* out) {
+  if ((num_events == 0) != (list == nullptr)) {
+    return VCL_INVALID_EVENT_WAIT_LIST;
+  }
+  for (vcl_uint i = 0; i < num_events; ++i) {
+    if (!ValidEvent(list[i])) {
+      return VCL_INVALID_EVENT_WAIT_LIST;
+    }
+  }
+  out->reserve(num_events);
+  for (vcl_uint i = 0; i < num_events; ++i) {
+    vcl::RetainRec(list[i]);
+    out->push_back(list[i]);
+  }
+  return VCL_SUCCESS;
+}
+
+// Common prologue for buffer transfer enqueues.
+vcl_int ValidateTransfer(vcl_command_queue queue, vcl_mem buffer,
+                         std::size_t offset, std::size_t size,
+                         const void* ptr) {
+  if (!ValidQueue(queue)) {
+    return VCL_INVALID_COMMAND_QUEUE;
+  }
+  if (!ValidMem(buffer)) {
+    return VCL_INVALID_MEM_OBJECT;
+  }
+  if (ptr == nullptr || size == 0 || offset + size > buffer->size) {
+    return VCL_INVALID_VALUE;
+  }
+  if (buffer->context != queue->context) {
+    return VCL_INVALID_CONTEXT;
+  }
+  return VCL_SUCCESS;
+}
+
+}  // namespace
+
+namespace vcl {
+
+void ReleaseContextRef(vcl_context context) {
+  if (ReleaseRefOnly(context)) {
+    context->silo->UnregisterHandle(HandleKind::kContext, context);
+    delete context;
+  }
+}
+
+void ReleaseQueueRef(vcl_command_queue queue) {
+  if (ReleaseRefOnly(queue)) {
+    queue->context->silo->UnregisterHandle(HandleKind::kQueue, queue);
+    ReleaseContextRef(queue->context);
+    delete queue;
+  }
+}
+
+void ReleaseMemRef(vcl_mem mem) {
+  if (ReleaseRefOnly(mem)) {
+    mem->context->silo->UnregisterHandle(HandleKind::kMem, mem);
+    mem->device->engine->RefundMemory(mem->size);
+    ReleaseContextRef(mem->context);
+    delete mem;
+  }
+}
+
+void ReleaseProgramRef(vcl_program program) {
+  if (ReleaseRefOnly(program)) {
+    program->context->silo->UnregisterHandle(HandleKind::kProgram, program);
+    ReleaseContextRef(program->context);
+    delete program;
+  }
+}
+
+void ReleaseKernelRef(vcl_kernel kernel) {
+  if (ReleaseRefOnly(kernel)) {
+    kernel->program->context->silo->UnregisterHandle(HandleKind::kKernel,
+                                                     kernel);
+    for (auto& arg : kernel->args) {
+      if (arg.buffer != nullptr) {
+        ReleaseMemRef(arg.buffer);
+      }
+    }
+    ReleaseProgramRef(kernel->program);
+    delete kernel;
+  }
+}
+
+void ReleaseEventRef(vcl_event event) {
+  if (ReleaseRefOnly(event)) {
+    event->device->silo->UnregisterHandle(HandleKind::kEvent, event);
+    delete event;
+  }
+}
+
+}  // namespace vcl
+
+extern "C" {
+
+// ---------------------------------------------------------------------------
+// Platform & device discovery.
+// ---------------------------------------------------------------------------
+
+vcl_int vclGetPlatformIDs(vcl_uint num_entries, vcl_platform_id* platforms,
+                          vcl_uint* num_platforms) {
+  if (platforms == nullptr && num_platforms == nullptr) {
+    return VCL_INVALID_VALUE;
+  }
+  if (platforms != nullptr && num_entries == 0) {
+    return VCL_INVALID_VALUE;
+  }
+  if (platforms != nullptr) {
+    platforms[0] = DefaultSilo().platform();
+  }
+  if (num_platforms != nullptr) {
+    *num_platforms = 1;
+  }
+  return VCL_SUCCESS;
+}
+
+vcl_int vclGetPlatformInfo(vcl_platform_id platform, vcl_uint param_name,
+                           size_t param_value_size, void* param_value,
+                           size_t* param_value_size_ret) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kPlatform, platform)) {
+    return VCL_INVALID_PLATFORM;
+  }
+  switch (param_name) {
+    case VCL_PLATFORM_NAME:
+      return ReturnInfoString(platform->name, param_value_size, param_value,
+                              param_value_size_ret);
+    case VCL_PLATFORM_VENDOR:
+      return ReturnInfoString(platform->vendor, param_value_size, param_value,
+                              param_value_size_ret);
+    case VCL_PLATFORM_VERSION:
+      return ReturnInfoString(platform->version, param_value_size, param_value,
+                              param_value_size_ret);
+    default:
+      return VCL_INVALID_VALUE;
+  }
+}
+
+vcl_int vclGetDeviceIDs(vcl_platform_id platform, vcl_bitfield device_type,
+                        vcl_uint num_entries, vcl_device_id* devices,
+                        vcl_uint* num_devices) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kPlatform, platform)) {
+    return VCL_INVALID_PLATFORM;
+  }
+  if ((device_type & (VCL_DEVICE_TYPE_GPU | VCL_DEVICE_TYPE_ALL)) == 0) {
+    if (num_devices != nullptr) {
+      *num_devices = 0;
+    }
+    return VCL_DEVICE_NOT_FOUND;
+  }
+  const auto& all = DefaultSilo().devices();
+  if (devices != nullptr) {
+    if (num_entries == 0) {
+      return VCL_INVALID_VALUE;
+    }
+    const vcl_uint n =
+        std::min<vcl_uint>(num_entries, static_cast<vcl_uint>(all.size()));
+    for (vcl_uint i = 0; i < n; ++i) {
+      devices[i] = all[i];
+    }
+  }
+  if (num_devices != nullptr) {
+    *num_devices = static_cast<vcl_uint>(all.size());
+  }
+  return VCL_SUCCESS;
+}
+
+vcl_int vclGetDeviceInfo(vcl_device_id device, vcl_uint param_name,
+                         size_t param_value_size, void* param_value,
+                         size_t* param_value_size_ret) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kDevice, device)) {
+    return VCL_INVALID_DEVICE;
+  }
+  const vcl::SiloConfig& config = device->engine->config();
+  switch (param_name) {
+    case VCL_DEVICE_NAME:
+      return ReturnInfoString(device->name, param_value_size, param_value,
+                              param_value_size_ret);
+    case VCL_DEVICE_GLOBAL_MEM_SIZE:
+      return ReturnInfoScalar<vcl_ulong>(config.device_global_mem_bytes,
+                                         param_value_size, param_value,
+                                         param_value_size_ret);
+    case VCL_DEVICE_MAX_COMPUTE_UNITS:
+      return ReturnInfoScalar<vcl_uint>(config.compute_units, param_value_size,
+                                        param_value, param_value_size_ret);
+    case VCL_DEVICE_MAX_WORK_GROUP_SIZE:
+      return ReturnInfoScalar<size_t>(config.max_work_group_size,
+                                      param_value_size, param_value,
+                                      param_value_size_ret);
+    case VCL_DEVICE_LOCAL_MEM_SIZE:
+      return ReturnInfoScalar<vcl_ulong>(config.device_local_mem_bytes,
+                                         param_value_size, param_value,
+                                         param_value_size_ret);
+    default:
+      return VCL_INVALID_VALUE;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contexts.
+// ---------------------------------------------------------------------------
+
+vcl_context vclCreateContext(const vcl_device_id* devices, vcl_uint num_devices,
+                             vcl_int* errcode_ret) {
+  if (devices == nullptr || num_devices == 0) {
+    SetErr(errcode_ret, VCL_INVALID_VALUE);
+    return nullptr;
+  }
+  for (vcl_uint i = 0; i < num_devices; ++i) {
+    if (!DefaultSilo().ValidateHandle(HandleKind::kDevice, devices[i])) {
+      SetErr(errcode_ret, VCL_INVALID_DEVICE);
+      return nullptr;
+    }
+  }
+  auto* context = new vcl_context_rec;
+  context->silo = &DefaultSilo();
+  context->devices.assign(devices, devices + num_devices);
+  DefaultSilo().RegisterHandle(HandleKind::kContext, context);
+  SetErr(errcode_ret, VCL_SUCCESS);
+  return context;
+}
+
+vcl_int vclRetainContext(vcl_context context) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kContext, context)) {
+    return VCL_INVALID_CONTEXT;
+  }
+  vcl::RetainRec(context);
+  return VCL_SUCCESS;
+}
+
+vcl_int vclReleaseContext(vcl_context context) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kContext, context)) {
+    return VCL_INVALID_CONTEXT;
+  }
+  vcl::ReleaseContextRef(context);
+  return VCL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Command queues.
+// ---------------------------------------------------------------------------
+
+vcl_command_queue vclCreateCommandQueue(vcl_context context,
+                                        vcl_device_id device,
+                                        vcl_bitfield properties,
+                                        vcl_int* errcode_ret) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kContext, context)) {
+    SetErr(errcode_ret, VCL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (!DefaultSilo().ValidateHandle(HandleKind::kDevice, device)) {
+    SetErr(errcode_ret, VCL_INVALID_DEVICE);
+    return nullptr;
+  }
+  if (std::find(context->devices.begin(), context->devices.end(), device) ==
+      context->devices.end()) {
+    SetErr(errcode_ret, VCL_INVALID_DEVICE);
+    return nullptr;
+  }
+  if ((properties & ~VCL_QUEUE_PROFILING_ENABLE) != 0) {
+    SetErr(errcode_ret, VCL_INVALID_QUEUE_PROPERTIES);
+    return nullptr;
+  }
+  auto* queue = new vcl_command_queue_rec;
+  queue->context = context;
+  queue->device = device;
+  queue->properties = properties;
+  vcl::RetainRec(context);
+  DefaultSilo().RegisterHandle(HandleKind::kQueue, queue);
+  SetErr(errcode_ret, VCL_SUCCESS);
+  return queue;
+}
+
+vcl_int vclRetainCommandQueue(vcl_command_queue queue) {
+  if (!ValidQueue(queue)) {
+    return VCL_INVALID_COMMAND_QUEUE;
+  }
+  vcl::RetainRec(queue);
+  return VCL_SUCCESS;
+}
+
+vcl_int vclReleaseCommandQueue(vcl_command_queue queue) {
+  if (!ValidQueue(queue)) {
+    return VCL_INVALID_COMMAND_QUEUE;
+  }
+  vcl::ReleaseQueueRef(queue);
+  return VCL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Buffers.
+// ---------------------------------------------------------------------------
+
+vcl_mem vclCreateBuffer(vcl_context context, vcl_bitfield flags, size_t size,
+                        const void* host_ptr, vcl_int* errcode_ret) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kContext, context)) {
+    SetErr(errcode_ret, VCL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (size == 0) {
+    SetErr(errcode_ret, VCL_INVALID_BUFFER_SIZE);
+    return nullptr;
+  }
+  const bool copy_host = (flags & VCL_MEM_COPY_HOST_PTR) != 0;
+  if (copy_host && host_ptr == nullptr) {
+    SetErr(errcode_ret, VCL_INVALID_VALUE);
+    return nullptr;
+  }
+  vcl_device_id device = context->devices.front();
+  if (!device->engine->ChargeMemory(size)) {
+    SetErr(errcode_ret, VCL_MEM_OBJECT_ALLOCATION_FAILURE);
+    return nullptr;
+  }
+  auto* mem = new vcl_mem_rec;
+  mem->context = context;
+  mem->device = device;
+  mem->flags = flags == 0 ? VCL_MEM_READ_WRITE : flags;
+  mem->size = size;
+  mem->data = std::make_unique<std::uint8_t[]>(size);
+  if (copy_host) {
+    std::memcpy(mem->data.get(), host_ptr, size);
+  } else {
+    std::memset(mem->data.get(), 0, size);
+  }
+  vcl::RetainRec(context);
+  DefaultSilo().RegisterHandle(HandleKind::kMem, mem);
+  SetErr(errcode_ret, VCL_SUCCESS);
+  return mem;
+}
+
+vcl_int vclRetainMemObject(vcl_mem mem) {
+  if (!ValidMem(mem)) {
+    return VCL_INVALID_MEM_OBJECT;
+  }
+  vcl::RetainRec(mem);
+  return VCL_SUCCESS;
+}
+
+vcl_int vclReleaseMemObject(vcl_mem mem) {
+  if (!ValidMem(mem)) {
+    return VCL_INVALID_MEM_OBJECT;
+  }
+  vcl::ReleaseMemRef(mem);
+  return VCL_SUCCESS;
+}
+
+vcl_int vclGetMemObjectInfo(vcl_mem mem, vcl_uint param_name,
+                            size_t param_value_size, void* param_value,
+                            size_t* param_value_size_ret) {
+  if (!ValidMem(mem)) {
+    return VCL_INVALID_MEM_OBJECT;
+  }
+  switch (param_name) {
+    case VCL_MEM_SIZE:
+      return ReturnInfoScalar<size_t>(mem->size, param_value_size, param_value,
+                                      param_value_size_ret);
+    case VCL_MEM_FLAGS:
+      return ReturnInfoScalar<vcl_bitfield>(mem->flags, param_value_size,
+                                            param_value, param_value_size_ret);
+    case VCL_MEM_REFERENCE_COUNT:
+      return ReturnInfoScalar<vcl_uint>(
+          static_cast<vcl_uint>(mem->refcount.load(std::memory_order_relaxed)),
+          param_value_size, param_value, param_value_size_ret);
+    default:
+      return VCL_INVALID_VALUE;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Programs.
+// ---------------------------------------------------------------------------
+
+vcl_program vclCreateProgramWithSource(vcl_context context, const char* source,
+                                       vcl_int* errcode_ret) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kContext, context)) {
+    SetErr(errcode_ret, VCL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (source == nullptr || *source == '\0') {
+    SetErr(errcode_ret, VCL_INVALID_VALUE);
+    return nullptr;
+  }
+  auto* program = new vcl_program_rec;
+  program->context = context;
+  program->source = source;
+  vcl::RetainRec(context);
+  DefaultSilo().RegisterHandle(HandleKind::kProgram, program);
+  SetErr(errcode_ret, VCL_SUCCESS);
+  return program;
+}
+
+vcl_int vclBuildProgram(vcl_program program, const char* options) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kProgram, program)) {
+    return VCL_INVALID_PROGRAM;
+  }
+  (void)options;  // no build options are recognized yet
+  auto compiled = vcl::CompileSource(program->source);
+  if (!compiled.ok()) {
+    program->build_status = VCL_BUILD_ERROR;
+    program->build_log = compiled.status().message();
+    return VCL_BUILD_PROGRAM_FAILURE;
+  }
+  program->compiled = std::move(compiled).value();
+  program->build_status = VCL_BUILD_SUCCESS;
+  program->build_log = "build succeeded";
+  return VCL_SUCCESS;
+}
+
+vcl_int vclGetProgramBuildInfo(vcl_program program, vcl_uint param_name,
+                               size_t param_value_size, void* param_value,
+                               size_t* param_value_size_ret) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kProgram, program)) {
+    return VCL_INVALID_PROGRAM;
+  }
+  switch (param_name) {
+    case VCL_PROGRAM_BUILD_STATUS:
+      return ReturnInfoScalar<vcl_int>(program->build_status, param_value_size,
+                                       param_value, param_value_size_ret);
+    case VCL_PROGRAM_BUILD_LOG:
+      return ReturnInfoString(program->build_log, param_value_size,
+                              param_value, param_value_size_ret);
+    default:
+      return VCL_INVALID_VALUE;
+  }
+}
+
+vcl_int vclRetainProgram(vcl_program program) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kProgram, program)) {
+    return VCL_INVALID_PROGRAM;
+  }
+  vcl::RetainRec(program);
+  return VCL_SUCCESS;
+}
+
+vcl_int vclReleaseProgram(vcl_program program) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kProgram, program)) {
+    return VCL_INVALID_PROGRAM;
+  }
+  vcl::ReleaseProgramRef(program);
+  return VCL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels.
+// ---------------------------------------------------------------------------
+
+vcl_kernel vclCreateKernel(vcl_program program, const char* kernel_name,
+                           vcl_int* errcode_ret) {
+  if (!DefaultSilo().ValidateHandle(HandleKind::kProgram, program)) {
+    SetErr(errcode_ret, VCL_INVALID_PROGRAM);
+    return nullptr;
+  }
+  if (program->build_status != VCL_BUILD_SUCCESS) {
+    SetErr(errcode_ret, VCL_INVALID_PROGRAM_EXECUTABLE);
+    return nullptr;
+  }
+  if (kernel_name == nullptr) {
+    SetErr(errcode_ret, VCL_INVALID_VALUE);
+    return nullptr;
+  }
+  const vcl::CompiledKernel* compiled =
+      program->compiled.FindKernel(kernel_name);
+  if (compiled == nullptr) {
+    SetErr(errcode_ret, VCL_INVALID_KERNEL_NAME);
+    return nullptr;
+  }
+  auto* kernel = new vcl_kernel_rec;
+  kernel->program = program;
+  kernel->compiled = compiled;
+  kernel->args.resize(compiled->params.size());
+  vcl::RetainRec(program);
+  DefaultSilo().RegisterHandle(HandleKind::kKernel, kernel);
+  SetErr(errcode_ret, VCL_SUCCESS);
+  return kernel;
+}
+
+vcl_int vclRetainKernel(vcl_kernel kernel) {
+  if (!ValidKernel(kernel)) {
+    return VCL_INVALID_KERNEL;
+  }
+  vcl::RetainRec(kernel);
+  return VCL_SUCCESS;
+}
+
+vcl_int vclReleaseKernel(vcl_kernel kernel) {
+  if (!ValidKernel(kernel)) {
+    return VCL_INVALID_KERNEL;
+  }
+  vcl::ReleaseKernelRef(kernel);
+  return VCL_SUCCESS;
+}
+
+vcl_int vclSetKernelArgScalar(vcl_kernel kernel, vcl_uint arg_index,
+                              size_t arg_size, const void* arg_value) {
+  if (!ValidKernel(kernel)) {
+    return VCL_INVALID_KERNEL;
+  }
+  if (arg_index >= kernel->compiled->params.size()) {
+    return VCL_INVALID_ARG_INDEX;
+  }
+  const vcl::ParamInfo& param = kernel->compiled->params[arg_index];
+  if (param.kind != vcl::ParamKind::kScalar) {
+    return VCL_INVALID_VALUE;
+  }
+  auto cell = vcl::ScalarArgToCell(param.scalar, arg_value, arg_size);
+  if (!cell.ok()) {
+    return VCL_INVALID_ARG_SIZE;
+  }
+  auto& binding = kernel->args[arg_index];
+  binding.kind = vcl::KernelArg::Kind::kScalar;
+  binding.scalar_cell = *cell;
+  return VCL_SUCCESS;
+}
+
+vcl_int vclSetKernelArgBuffer(vcl_kernel kernel, vcl_uint arg_index,
+                              vcl_mem buffer) {
+  if (!ValidKernel(kernel)) {
+    return VCL_INVALID_KERNEL;
+  }
+  if (arg_index >= kernel->compiled->params.size()) {
+    return VCL_INVALID_ARG_INDEX;
+  }
+  if (!ValidMem(buffer)) {
+    return VCL_INVALID_MEM_OBJECT;
+  }
+  const vcl::ParamInfo& param = kernel->compiled->params[arg_index];
+  if (param.kind != vcl::ParamKind::kGlobalPtr) {
+    return VCL_INVALID_VALUE;
+  }
+  auto& binding = kernel->args[arg_index];
+  if (binding.buffer != nullptr) {
+    vclReleaseMemObject(binding.buffer);
+  }
+  vcl::RetainRec(buffer);
+  binding.kind = vcl::KernelArg::Kind::kBuffer;
+  binding.buffer = buffer;
+  return VCL_SUCCESS;
+}
+
+vcl_int vclSetKernelArgLocal(vcl_kernel kernel, vcl_uint arg_index,
+                             size_t local_size) {
+  if (!ValidKernel(kernel)) {
+    return VCL_INVALID_KERNEL;
+  }
+  if (arg_index >= kernel->compiled->params.size()) {
+    return VCL_INVALID_ARG_INDEX;
+  }
+  const vcl::ParamInfo& param = kernel->compiled->params[arg_index];
+  if (param.kind != vcl::ParamKind::kLocalPtr) {
+    return VCL_INVALID_VALUE;
+  }
+  if (local_size == 0) {
+    return VCL_INVALID_ARG_SIZE;
+  }
+  auto& binding = kernel->args[arg_index];
+  binding.kind = vcl::KernelArg::Kind::kLocal;
+  binding.local_size = local_size;
+  return VCL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Command submission.
+// ---------------------------------------------------------------------------
+
+vcl_int vclEnqueueNDRangeKernel(vcl_command_queue queue, vcl_kernel kernel,
+                                vcl_uint work_dim,
+                                const size_t* global_work_offset,
+                                const size_t* global_work_size,
+                                const size_t* local_work_size,
+                                vcl_uint num_events_in_wait_list,
+                                const vcl_event* event_wait_list,
+                                vcl_event* event) {
+  if (!ValidQueue(queue)) {
+    return VCL_INVALID_COMMAND_QUEUE;
+  }
+  if (!ValidKernel(kernel)) {
+    return VCL_INVALID_KERNEL;
+  }
+  if (work_dim < 1 || work_dim > 3) {
+    return VCL_INVALID_WORK_DIMENSION;
+  }
+  if (global_work_size == nullptr) {
+    return VCL_INVALID_VALUE;
+  }
+  const vcl::SiloConfig& config = queue->device->engine->config();
+  vcl::LaunchConfig launch;
+  launch.work_dim = work_dim;
+  for (vcl_uint d = 0; d < work_dim; ++d) {
+    if (global_work_size[d] == 0) {
+      return VCL_INVALID_VALUE;
+    }
+    launch.global_size[d] = global_work_size[d];
+    launch.global_offset[d] =
+        global_work_offset != nullptr ? global_work_offset[d] : 0;
+  }
+  // Choose or validate the work-group shape.
+  std::size_t group_items = 1;
+  for (vcl_uint d = 0; d < work_dim; ++d) {
+    std::size_t local;
+    if (local_work_size != nullptr) {
+      local = local_work_size[d];
+      if (local == 0 || launch.global_size[d] % local != 0) {
+        return VCL_INVALID_WORK_GROUP_SIZE;
+      }
+    } else if (d == 0) {
+      // Default: largest divisor of the global size within the budget.
+      local = std::min(launch.global_size[0], config.max_work_group_size);
+      while (launch.global_size[0] % local != 0) {
+        --local;
+      }
+    } else {
+      local = 1;
+    }
+    launch.local_size[d] = local;
+    group_items *= local;
+  }
+  if (group_items > config.max_work_group_size) {
+    return VCL_INVALID_WORK_GROUP_SIZE;
+  }
+  // Snapshot arguments; every parameter must be bound.
+  std::vector<vcl::KernelArg> args(kernel->compiled->params.size());
+  std::vector<vcl_mem> retained;
+  std::size_t dynamic_local_bytes = kernel->compiled->fixed_local_bytes;
+  for (std::size_t i = 0; i < kernel->args.size(); ++i) {
+    const auto& binding = kernel->args[i];
+    if (binding.kind == vcl::KernelArg::Kind::kUnset) {
+      return VCL_INVALID_KERNEL_ARGS;
+    }
+    args[i].kind = binding.kind;
+    switch (binding.kind) {
+      case vcl::KernelArg::Kind::kScalar:
+        args[i].scalar_cell = binding.scalar_cell;
+        break;
+      case vcl::KernelArg::Kind::kBuffer:
+        if (!ValidMem(binding.buffer) ||
+            binding.buffer->context != queue->context) {
+          return VCL_INVALID_MEM_OBJECT;
+        }
+        args[i].buffer_data = binding.buffer->data.get();
+        args[i].buffer_size = binding.buffer->size;
+        retained.push_back(binding.buffer);
+        break;
+      case vcl::KernelArg::Kind::kLocal:
+        args[i].local_size = binding.local_size;
+        dynamic_local_bytes += binding.local_size;
+        break;
+      case vcl::KernelArg::Kind::kUnset:
+        break;
+    }
+  }
+  if (dynamic_local_bytes > config.device_local_mem_bytes) {
+    return VCL_OUT_OF_RESOURCES;
+  }
+  auto command = std::make_unique<vcl::Device::Command>();
+  command->kind = vcl::Device::Command::Kind::kNDRange;
+  vcl_int wl = SnapshotWaitList(num_events_in_wait_list, event_wait_list,
+                                &command->wait_list);
+  if (wl != VCL_SUCCESS) {
+    return wl;
+  }
+  for (vcl_mem m : retained) {
+    vcl::RetainRec(m);
+  }
+  vcl::RetainRec(queue);
+  vcl::RetainRec(kernel);
+  command->queue = queue;
+  command->kernel = kernel;
+  command->launch = launch;
+  command->args = std::move(args);
+  command->retained_buffers = std::move(retained);
+  command->event = MakeCommandEvent(queue->device, event);
+  queue->device->engine->Enqueue(std::move(command));
+  return VCL_SUCCESS;
+}
+
+vcl_int vclEnqueueReadBuffer(vcl_command_queue queue, vcl_mem buffer,
+                             vcl_bool blocking_read, size_t offset, size_t size,
+                             void* ptr, vcl_uint num_events_in_wait_list,
+                             const vcl_event* event_wait_list,
+                             vcl_event* event) {
+  vcl_int v = ValidateTransfer(queue, buffer, offset, size, ptr);
+  if (v != VCL_SUCCESS) {
+    return v;
+  }
+  auto command = std::make_unique<vcl::Device::Command>();
+  command->kind = vcl::Device::Command::Kind::kRead;
+  vcl_int wl = SnapshotWaitList(num_events_in_wait_list, event_wait_list,
+                                &command->wait_list);
+  if (wl != VCL_SUCCESS) {
+    return wl;
+  }
+  vcl::RetainRec(queue);
+  vcl::RetainRec(buffer);
+  command->queue = queue;
+  command->buffer = buffer;
+  command->offset = offset;
+  command->size = size;
+  command->host_dst = ptr;
+  vcl_event completion = MakeCommandEvent(queue->device, event);
+  command->event = completion;
+  if (blocking_read == VCL_TRUE) {
+    // Hold our own reference across the wait: the command's reference dies
+    // when the command completes.
+    vcl::RetainRec(completion);
+    queue->device->engine->Enqueue(std::move(command));
+    vcl_int status = queue->device->engine->WaitEvent(completion);
+    vclReleaseEvent(completion);
+    return status;
+  }
+  queue->device->engine->Enqueue(std::move(command));
+  return VCL_SUCCESS;
+}
+
+vcl_int vclEnqueueWriteBuffer(vcl_command_queue queue, vcl_mem buffer,
+                              vcl_bool blocking_write, size_t offset,
+                              size_t size, const void* ptr,
+                              vcl_uint num_events_in_wait_list,
+                              const vcl_event* event_wait_list,
+                              vcl_event* event) {
+  vcl_int v = ValidateTransfer(queue, buffer, offset, size, ptr);
+  if (v != VCL_SUCCESS) {
+    return v;
+  }
+  auto command = std::make_unique<vcl::Device::Command>();
+  command->kind = vcl::Device::Command::Kind::kWrite;
+  vcl_int wl = SnapshotWaitList(num_events_in_wait_list, event_wait_list,
+                                &command->wait_list);
+  if (wl != VCL_SUCCESS) {
+    return wl;
+  }
+  vcl::RetainRec(queue);
+  vcl::RetainRec(buffer);
+  command->queue = queue;
+  command->buffer = buffer;
+  command->offset = offset;
+  command->size = size;
+  vcl_event completion = MakeCommandEvent(queue->device, event);
+  command->event = completion;
+  if (blocking_write == VCL_TRUE) {
+    // Blocking writes use the caller's memory directly: it stays valid until
+    // the wait below returns.
+    command->host_src_ptr = ptr;
+    vcl::RetainRec(completion);
+    queue->device->engine->Enqueue(std::move(command));
+    vcl_int status = queue->device->engine->WaitEvent(completion);
+    vclReleaseEvent(completion);
+    return status;
+  }
+  const auto* src = static_cast<const std::uint8_t*>(ptr);
+  command->host_src.assign(src, src + size);
+  queue->device->engine->Enqueue(std::move(command));
+  return VCL_SUCCESS;
+}
+
+vcl_int vclEnqueueCopyBuffer(vcl_command_queue queue, vcl_mem src_buffer,
+                             vcl_mem dst_buffer, size_t src_offset,
+                             size_t dst_offset, size_t size,
+                             vcl_uint num_events_in_wait_list,
+                             const vcl_event* event_wait_list,
+                             vcl_event* event) {
+  if (!ValidQueue(queue)) {
+    return VCL_INVALID_COMMAND_QUEUE;
+  }
+  if (!ValidMem(src_buffer) || !ValidMem(dst_buffer)) {
+    return VCL_INVALID_MEM_OBJECT;
+  }
+  if (size == 0 || src_offset + size > src_buffer->size ||
+      dst_offset + size > dst_buffer->size) {
+    return VCL_INVALID_VALUE;
+  }
+  if (src_buffer->context != queue->context ||
+      dst_buffer->context != queue->context) {
+    return VCL_INVALID_CONTEXT;
+  }
+  auto command = std::make_unique<vcl::Device::Command>();
+  command->kind = vcl::Device::Command::Kind::kCopy;
+  vcl_int wl = SnapshotWaitList(num_events_in_wait_list, event_wait_list,
+                                &command->wait_list);
+  if (wl != VCL_SUCCESS) {
+    return wl;
+  }
+  vcl::RetainRec(queue);
+  vcl::RetainRec(src_buffer);
+  vcl::RetainRec(dst_buffer);
+  command->queue = queue;
+  command->src = src_buffer;
+  command->src_offset = src_offset;
+  command->buffer = dst_buffer;
+  command->offset = dst_offset;
+  command->size = size;
+  command->event = MakeCommandEvent(queue->device, event);
+  queue->device->engine->Enqueue(std::move(command));
+  return VCL_SUCCESS;
+}
+
+vcl_int vclEnqueueFillBuffer(vcl_command_queue queue, vcl_mem buffer,
+                             const void* pattern, size_t pattern_size,
+                             size_t offset, size_t size,
+                             vcl_uint num_events_in_wait_list,
+                             const vcl_event* event_wait_list,
+                             vcl_event* event) {
+  vcl_int v = ValidateTransfer(queue, buffer, offset, size, pattern);
+  if (v != VCL_SUCCESS) {
+    return v;
+  }
+  if (pattern_size == 0 || size % pattern_size != 0) {
+    return VCL_INVALID_VALUE;
+  }
+  auto command = std::make_unique<vcl::Device::Command>();
+  command->kind = vcl::Device::Command::Kind::kFill;
+  vcl_int wl = SnapshotWaitList(num_events_in_wait_list, event_wait_list,
+                                &command->wait_list);
+  if (wl != VCL_SUCCESS) {
+    return wl;
+  }
+  vcl::RetainRec(queue);
+  vcl::RetainRec(buffer);
+  command->queue = queue;
+  command->buffer = buffer;
+  command->offset = offset;
+  command->size = size;
+  const auto* pat = static_cast<const std::uint8_t*>(pattern);
+  command->pattern.assign(pat, pat + pattern_size);
+  command->event = MakeCommandEvent(queue->device, event);
+  queue->device->engine->Enqueue(std::move(command));
+  return VCL_SUCCESS;
+}
+
+vcl_int vclEnqueueBarrier(vcl_command_queue queue) {
+  if (!ValidQueue(queue)) {
+    return VCL_INVALID_COMMAND_QUEUE;
+  }
+  auto command = std::make_unique<vcl::Device::Command>();
+  command->kind = vcl::Device::Command::Kind::kMarker;
+  vcl::RetainRec(queue);
+  command->queue = queue;
+  command->event = MakeCommandEvent(queue->device, nullptr);
+  queue->device->engine->Enqueue(std::move(command));
+  return VCL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization.
+// ---------------------------------------------------------------------------
+
+vcl_int vclFlush(vcl_command_queue queue) {
+  if (!ValidQueue(queue)) {
+    return VCL_INVALID_COMMAND_QUEUE;
+  }
+  // Commands are handed to the device at enqueue time; nothing is batched.
+  return VCL_SUCCESS;
+}
+
+vcl_int vclFinish(vcl_command_queue queue) {
+  if (!ValidQueue(queue)) {
+    return VCL_INVALID_COMMAND_QUEUE;
+  }
+  return queue->device->engine->FinishQueue(queue);
+}
+
+vcl_int vclWaitForEvents(vcl_uint num_events, const vcl_event* event_list) {
+  if (num_events == 0 || event_list == nullptr) {
+    return VCL_INVALID_VALUE;
+  }
+  for (vcl_uint i = 0; i < num_events; ++i) {
+    if (!ValidEvent(event_list[i])) {
+      return VCL_INVALID_EVENT;
+    }
+  }
+  vcl_int status = VCL_SUCCESS;
+  for (vcl_uint i = 0; i < num_events; ++i) {
+    vcl_int s = event_list[i]->device->engine->WaitEvent(event_list[i]);
+    if (s != VCL_SUCCESS) {
+      status = s;
+    }
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Event queries.
+// ---------------------------------------------------------------------------
+
+vcl_int vclGetEventInfo(vcl_event event, vcl_uint param_name,
+                        size_t param_value_size, void* param_value,
+                        size_t* param_value_size_ret) {
+  if (!ValidEvent(event)) {
+    return VCL_INVALID_EVENT;
+  }
+  switch (param_name) {
+    case VCL_EVENT_COMMAND_EXECUTION_STATUS: {
+      vcl_int status;
+      {
+        std::lock_guard<std::mutex> lock(event->device->engine->mutex());
+        status = event->status;
+      }
+      return ReturnInfoScalar<vcl_int>(status, param_value_size, param_value,
+                                       param_value_size_ret);
+    }
+    default:
+      return VCL_INVALID_VALUE;
+  }
+}
+
+vcl_int vclGetEventProfilingInfo(vcl_event event, vcl_uint param_name,
+                                 size_t param_value_size, void* param_value,
+                                 size_t* param_value_size_ret) {
+  if (!ValidEvent(event)) {
+    return VCL_INVALID_EVENT;
+  }
+  std::int64_t value;
+  {
+    std::lock_guard<std::mutex> lock(event->device->engine->mutex());
+    if (event->status != VCL_COMPLETE && event->status >= 0) {
+      return VCL_INVALID_OPERATION;  // profiling info only after completion
+    }
+    switch (param_name) {
+      case VCL_PROFILING_COMMAND_QUEUED:
+        value = event->queued_vns;
+        break;
+      case VCL_PROFILING_COMMAND_SUBMIT:
+        value = event->submit_vns;
+        break;
+      case VCL_PROFILING_COMMAND_START:
+        value = event->start_vns;
+        break;
+      case VCL_PROFILING_COMMAND_END:
+        value = event->end_vns;
+        break;
+      default:
+        return VCL_INVALID_VALUE;
+    }
+  }
+  return ReturnInfoScalar<vcl_ulong>(static_cast<vcl_ulong>(value),
+                                     param_value_size, param_value,
+                                     param_value_size_ret);
+}
+
+vcl_int vclRetainEvent(vcl_event event) {
+  if (!ValidEvent(event)) {
+    return VCL_INVALID_EVENT;
+  }
+  vcl::RetainRec(event);
+  return VCL_SUCCESS;
+}
+
+vcl_int vclReleaseEvent(vcl_event event) {
+  if (!ValidEvent(event)) {
+    return VCL_INVALID_EVENT;
+  }
+  vcl::ReleaseEventRef(event);
+  return VCL_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel/work-group queries.
+// ---------------------------------------------------------------------------
+
+vcl_int vclGetKernelWorkGroupInfo(vcl_kernel kernel, vcl_device_id device,
+                                  vcl_uint param_name, size_t param_value_size,
+                                  void* param_value,
+                                  size_t* param_value_size_ret) {
+  if (!ValidKernel(kernel)) {
+    return VCL_INVALID_KERNEL;
+  }
+  if (!DefaultSilo().ValidateHandle(HandleKind::kDevice, device)) {
+    return VCL_INVALID_DEVICE;
+  }
+  switch (param_name) {
+    case VCL_KERNEL_WORK_GROUP_SIZE:
+      return ReturnInfoScalar<size_t>(device->engine->config().max_work_group_size,
+                                      param_value_size, param_value,
+                                      param_value_size_ret);
+    case VCL_KERNEL_LOCAL_MEM_SIZE:
+      return ReturnInfoScalar<vcl_ulong>(kernel->compiled->fixed_local_bytes,
+                                         param_value_size, param_value,
+                                         param_value_size_ret);
+    default:
+      return VCL_INVALID_VALUE;
+  }
+}
+
+}  // extern "C"

@@ -1,0 +1,182 @@
+// AST for the VCL kernel language. Built by the parser, consumed by the
+// bytecode generator. Ownership is strict unique_ptr parent→child.
+#ifndef AVA_SRC_VCL_COMPILER_AST_H_
+#define AVA_SRC_VCL_COMPILER_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcl {
+
+// -------------------------------- Types ------------------------------------
+
+enum class Scalar : std::uint8_t {
+  kVoid,
+  kInt,    // 32-bit signed (stored as i64 at runtime)
+  kUint,   // 32-bit unsigned (stored as i64 at runtime)
+  kLong,   // 64-bit signed (also used for size_t)
+  kFloat,  // 32-bit IEEE
+};
+
+enum class MemSpace : std::uint8_t {
+  kNone,     // scalar value, not a pointer
+  kGlobal,   // device global memory (a kernel-argument buffer binding)
+  kLocal,    // work-group local memory
+  kPrivate,  // per-work-item arrays declared in the kernel body
+};
+
+// A scalar type or a pointer-to-scalar in some memory space.
+struct Type {
+  Scalar scalar = Scalar::kVoid;
+  MemSpace space = MemSpace::kNone;  // kNone => not a pointer
+  bool is_const = false;
+
+  bool IsPointer() const { return space != MemSpace::kNone; }
+  bool IsFloat() const { return !IsPointer() && scalar == Scalar::kFloat; }
+  bool IsInteger() const {
+    return !IsPointer() && (scalar == Scalar::kInt || scalar == Scalar::kUint ||
+                            scalar == Scalar::kLong);
+  }
+  bool IsVoid() const { return !IsPointer() && scalar == Scalar::kVoid; }
+
+  static Type Void() { return Type{Scalar::kVoid, MemSpace::kNone, false}; }
+  static Type Int() { return Type{Scalar::kInt, MemSpace::kNone, false}; }
+  static Type Uint() { return Type{Scalar::kUint, MemSpace::kNone, false}; }
+  static Type Long() { return Type{Scalar::kLong, MemSpace::kNone, false}; }
+  static Type Float() { return Type{Scalar::kFloat, MemSpace::kNone, false}; }
+  static Type Pointer(Scalar elem, MemSpace space, bool is_const = false) {
+    return Type{elem, space, is_const};
+  }
+
+  bool operator==(const Type& o) const {
+    return scalar == o.scalar && space == o.space;
+  }
+};
+
+// Byte width of a scalar element in device memory.
+std::size_t ScalarSize(Scalar s);
+std::string TypeName(const Type& t);
+
+// ----------------------------- Expressions ---------------------------------
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kFloatLit,
+  kVarRef,
+  kUnary,    // -x, !x, ~x is unsupported
+  kBinary,   // arithmetic / comparison / logical / bitwise
+  kAssign,   // =, +=, -=, *=, /= ; target is VarRef or Index
+  kIndex,    // ptr[expr] or array[expr]
+  kCall,     // builtin call
+  kCast,     // (type) expr
+  kTernary,  // cond ? a : b
+  kIncDec,   // ++x, x++, --x, x--
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogAnd, kLogOr,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kLogNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // Filled by the type checker during codegen.
+  Type type;
+
+  // kIntLit / kFloatLit
+  std::int64_t int_value = 0;
+  float float_value = 0.0f;
+
+  // kVarRef / kCall
+  std::string name;
+
+  // kUnary / kBinary / kAssign / kIndex / kCast / kTernary / kIncDec
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  bool is_prefix = false;     // kIncDec
+  bool is_increment = false;  // kIncDec: ++ vs --
+  BinOp assign_op = BinOp::kAdd;  // compound assignment operator
+  bool is_compound_assign = false;
+  Type cast_type;             // kCast
+
+  ExprPtr a;                  // operand / lhs / base / cond / callee-arg0
+  ExprPtr b;                  // rhs / index / then
+  ExprPtr c;                  // else
+  std::vector<ExprPtr> args;  // kCall arguments
+};
+
+// ----------------------------- Statements ----------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kBlock,
+  kDecl,
+  kExpr,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // kBlock
+  std::vector<StmtPtr> body;
+
+  // kDecl: a single declarator. `array_size > 0` means a fixed-size array
+  // (private, or __local when decl_type.space == kLocal).
+  Type decl_type;
+  std::string decl_name;
+  std::int64_t array_size = 0;
+  ExprPtr init;
+
+  // kExpr / kReturn
+  ExprPtr expr;
+
+  // kIf / kWhile / kDoWhile / kFor
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;
+  StmtPtr for_init;   // kFor (a kDecl or kExpr statement)
+  ExprPtr for_step;   // kFor
+};
+
+// ------------------------------- Kernels -----------------------------------
+
+struct KernelParam {
+  Type type;            // pointer (global/local) or scalar
+  std::string name;
+};
+
+struct KernelDef {
+  std::string name;
+  std::vector<KernelParam> params;
+  StmtPtr body;  // kBlock
+  int line = 0;
+};
+
+struct Program {
+  std::vector<KernelDef> kernels;
+};
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_COMPILER_AST_H_

@@ -1,0 +1,153 @@
+// Bytecode for the VCL kernel VM: a typed stack machine with explicit
+// memory-space-tagged pointers and resumable barriers.
+//
+// Runtime value model: every stack slot and variable slot is a raw 64-bit
+// cell. Integer ops treat cells as int64 (int/uint are 32-bit at the language
+// level but computed in 64-bit two's complement and truncated on store to
+// memory); float ops use the low 32 bits as an IEEE float; pointers are
+// packed as  [space:2][block:14][byte_offset:48].
+#ifndef AVA_SRC_VCL_COMPILER_BYTECODE_H_
+#define AVA_SRC_VCL_COMPILER_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vcl/compiler/ast.h"
+
+namespace vcl {
+
+enum class Op : std::uint8_t {
+  kNop = 0,
+  kPushI,   // imm.i
+  kPushF,   // imm.f
+  kLoadSlot,   // a = slot
+  kStoreSlot,  // a = slot
+  kDup,
+  kPop,
+  // Integer arithmetic (int64 cells).
+  kAddI, kSubI, kMulI, kDivI, kRemI, kNegI,
+  kAndI, kOrI, kXorI, kShlI, kShrI,
+  // Float arithmetic (f32 in low bits).
+  kAddF, kSubF, kMulF, kDivF, kNegF,
+  // Comparisons push 0/1 as int64.
+  kEqI, kNeI, kLtI, kLeI, kGtI, kGeI,
+  kEqF, kNeF, kLtF, kLeF, kGtF, kGeF,
+  kLogNot,
+  // Conversions.
+  kI2F, kF2I,
+  // Control flow. a = absolute instruction index.
+  kJmp, kJz, kJnz,
+  // Pointers. a = element byte size; pops (index:int, base:ptr) -> ptr.
+  kPtrAdd,
+  // Memory. a = MemElem; pops ptr -> pushes value / pops (value, ptr).
+  kLd, kSt,
+  // Work-item geometry; pops dim:int, pushes int64.
+  kGetGlobalId, kGetLocalId, kGetGroupId,
+  kGetGlobalSize, kGetLocalSize, kGetNumGroups,
+  // Work-group barrier; a = static barrier id.
+  kBarrier,
+  // Builtin math; a = Builtin id. Pops arity operands, pushes result.
+  kBuiltin,
+  // End of work-item.
+  kRet,
+};
+
+// Element types addressable through pointers.
+enum class MemElem : std::int32_t { kF32 = 0, kI32 = 1, kU32 = 2, kI64 = 3 };
+
+std::size_t MemElemSize(MemElem e);
+MemElem MemElemFromScalar(Scalar s);
+
+enum class Builtin : std::int32_t {
+  kSqrt, kFabs, kExp, kLog, kPow, kFmax, kFmin, kFloor, kCeil, kSin, kCos,
+  kMinI, kMaxI, kAbsI,
+};
+
+int BuiltinArity(Builtin b);
+
+struct Instr {
+  Op op = Op::kNop;
+  std::int32_t a = 0;  // slot index / jump target / elem size / builtin id
+  union {
+    std::int64_t i;
+    float f;
+  } imm{0};
+};
+
+// Pointer packing.
+inline constexpr std::uint64_t kPtrSpaceShift = 62;
+inline constexpr std::uint64_t kPtrBlockShift = 48;
+inline constexpr std::uint64_t kPtrBlockMask = 0x3FFF;
+inline constexpr std::uint64_t kPtrOffsetMask = (1ull << 48) - 1;
+
+// Space tags inside a packed pointer.
+enum class PtrSpace : std::uint64_t { kGlobal = 0, kLocal = 1, kPrivate = 2 };
+
+inline std::uint64_t PackPtr(PtrSpace space, std::uint32_t block,
+                             std::uint64_t byte_offset) {
+  return (static_cast<std::uint64_t>(space) << kPtrSpaceShift) |
+         ((static_cast<std::uint64_t>(block) & kPtrBlockMask)
+          << kPtrBlockShift) |
+         (byte_offset & kPtrOffsetMask);
+}
+inline PtrSpace PtrSpaceOf(std::uint64_t p) {
+  return static_cast<PtrSpace>(p >> kPtrSpaceShift);
+}
+inline std::uint32_t PtrBlockOf(std::uint64_t p) {
+  return static_cast<std::uint32_t>((p >> kPtrBlockShift) & kPtrBlockMask);
+}
+inline std::uint64_t PtrOffsetOf(std::uint64_t p) { return p & kPtrOffsetMask; }
+
+// ---------------------------------------------------------------------------
+// Compiled artifacts.
+// ---------------------------------------------------------------------------
+
+enum class ParamKind : std::uint8_t { kScalar, kGlobalPtr, kLocalPtr };
+
+struct ParamInfo {
+  ParamKind kind = ParamKind::kScalar;
+  Scalar scalar = Scalar::kInt;  // scalar type, or pointee type for pointers
+  std::string name;
+  bool pointee_const = false;    // for kGlobalPtr: declared const (read-only)
+};
+
+// One work-group-local memory block: either a fixed-size __local array
+// declared in the kernel, or a __local pointer parameter whose size is set
+// by vclSetKernelArgLocal (byte_size == 0, param_index >= 0).
+struct LocalBlockInfo {
+  std::size_t byte_size = 0;
+  int param_index = -1;
+};
+
+struct PrivateBlockInfo {
+  std::size_t byte_size = 0;
+};
+
+struct CompiledKernel {
+  std::string name;
+  std::vector<ParamInfo> params;
+  std::vector<Instr> code;
+  std::uint32_t num_slots = 0;  // scalar variable slots (params first)
+  std::vector<LocalBlockInfo> local_blocks;
+  std::vector<PrivateBlockInfo> private_blocks;
+  int num_barriers = 0;
+  std::size_t fixed_local_bytes = 0;  // sum of fixed-size local blocks
+};
+
+struct CompiledProgram {
+  std::vector<CompiledKernel> kernels;
+
+  const CompiledKernel* FindKernel(const std::string& name) const {
+    for (const auto& k : kernels) {
+      if (k.name == name) {
+        return &k;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_COMPILER_BYTECODE_H_

@@ -1,0 +1,1076 @@
+#include "src/vcl/compiler/codegen.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/vcl/compiler/parser.h"
+
+namespace vcl {
+
+std::size_t ScalarSize(Scalar s) {
+  switch (s) {
+    case Scalar::kVoid:
+      return 0;
+    case Scalar::kInt:
+    case Scalar::kUint:
+    case Scalar::kFloat:
+      return 4;
+    case Scalar::kLong:
+      return 8;
+  }
+  return 0;
+}
+
+std::string TypeName(const Type& t) {
+  std::string name;
+  switch (t.scalar) {
+    case Scalar::kVoid:
+      name = "void";
+      break;
+    case Scalar::kInt:
+      name = "int";
+      break;
+    case Scalar::kUint:
+      name = "uint";
+      break;
+    case Scalar::kLong:
+      name = "long";
+      break;
+    case Scalar::kFloat:
+      name = "float";
+      break;
+  }
+  switch (t.space) {
+    case MemSpace::kNone:
+      break;
+    case MemSpace::kGlobal:
+      name = "__global " + name + "*";
+      break;
+    case MemSpace::kLocal:
+      name = "__local " + name + "*";
+      break;
+    case MemSpace::kPrivate:
+      name = "__private " + name + "*";
+      break;
+  }
+  return name;
+}
+
+std::size_t MemElemSize(MemElem e) {
+  switch (e) {
+    case MemElem::kF32:
+    case MemElem::kI32:
+    case MemElem::kU32:
+      return 4;
+    case MemElem::kI64:
+      return 8;
+  }
+  return 0;
+}
+
+MemElem MemElemFromScalar(Scalar s) {
+  switch (s) {
+    case Scalar::kFloat:
+      return MemElem::kF32;
+    case Scalar::kInt:
+      return MemElem::kI32;
+    case Scalar::kUint:
+      return MemElem::kU32;
+    case Scalar::kLong:
+      return MemElem::kI64;
+    case Scalar::kVoid:
+      break;
+  }
+  return MemElem::kI32;
+}
+
+int BuiltinArity(Builtin b) {
+  switch (b) {
+    case Builtin::kPow:
+    case Builtin::kFmax:
+    case Builtin::kFmin:
+    case Builtin::kMinI:
+    case Builtin::kMaxI:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+namespace {
+
+struct BuiltinSig {
+  Builtin id;
+  int arity;
+  bool is_float;  // float args & result; otherwise integer
+};
+
+const std::unordered_map<std::string, BuiltinSig>& BuiltinTable() {
+  static const auto* table = new std::unordered_map<std::string, BuiltinSig>{
+      {"sqrt", {Builtin::kSqrt, 1, true}},
+      {"fabs", {Builtin::kFabs, 1, true}},
+      {"exp", {Builtin::kExp, 1, true}},
+      {"log", {Builtin::kLog, 1, true}},
+      {"pow", {Builtin::kPow, 2, true}},
+      {"fmax", {Builtin::kFmax, 2, true}},
+      {"fmin", {Builtin::kFmin, 2, true}},
+      {"floor", {Builtin::kFloor, 1, true}},
+      {"ceil", {Builtin::kCeil, 1, true}},
+      {"sin", {Builtin::kSin, 1, true}},
+      {"cos", {Builtin::kCos, 1, true}},
+      {"min", {Builtin::kMinI, 2, false}},
+      {"max", {Builtin::kMaxI, 2, false}},
+      {"abs", {Builtin::kAbsI, 1, false}},
+  };
+  return *table;
+}
+
+// Work-item geometry functions mapped to their opcode.
+const std::unordered_map<std::string, Op>& GeometryTable() {
+  static const auto* table = new std::unordered_map<std::string, Op>{
+      {"get_global_id", Op::kGetGlobalId},
+      {"get_local_id", Op::kGetLocalId},
+      {"get_group_id", Op::kGetGroupId},
+      {"get_global_size", Op::kGetGlobalSize},
+      {"get_local_size", Op::kGetLocalSize},
+      {"get_num_groups", Op::kGetNumGroups},
+  };
+  return *table;
+}
+
+// Named integer constants usable in kernel source.
+const std::unordered_map<std::string, std::int64_t>& NamedConstants() {
+  static const auto* table = new std::unordered_map<std::string, std::int64_t>{
+      {"CLK_LOCAL_MEM_FENCE", 1},
+      {"CLK_GLOBAL_MEM_FENCE", 2},
+  };
+  return *table;
+}
+
+// Where a named variable lives.
+enum class VarLoc : std::uint8_t { kSlot, kLocalBlock, kPrivateBlock };
+
+struct VarInfo {
+  Type type;        // scalar type, or pointer type for arrays/pointer params
+  VarLoc loc = VarLoc::kSlot;
+  int index = 0;    // slot index or block index
+};
+
+class KernelCompiler {
+ public:
+  explicit KernelCompiler(const KernelDef& def) : def_(def) {}
+
+  ava::Result<CompiledKernel> Run() {
+    out_.k.name = def_.name;
+    PushScope();
+    AVA_RETURN_IF_ERROR(BindParams());
+    AVA_RETURN_IF_ERROR(GenStmt(*def_.body));
+    Emit(Op::kRet);
+    PopScope();
+    out_.k.num_slots = static_cast<std::uint32_t>(next_slot_);
+    out_.k.num_barriers = barrier_count_;
+    return std::move(out_.k);
+  }
+
+ private:
+  struct Output {
+    CompiledKernel k;
+  };
+
+  // ------------------------------ helpers ----------------------------------
+
+  ava::Status Error(int line, const std::string& message) const {
+    return ava::InvalidArgument("kernel '" + def_.name + "' line " +
+                                std::to_string(line) + ": " + message);
+  }
+
+  int Emit(Op op, std::int32_t a = 0) {
+    Instr ins;
+    ins.op = op;
+    ins.a = a;
+    out_.k.code.push_back(ins);
+    return static_cast<int>(out_.k.code.size()) - 1;
+  }
+
+  int EmitPushI(std::int64_t v) {
+    Instr ins;
+    ins.op = Op::kPushI;
+    ins.imm.i = v;
+    out_.k.code.push_back(ins);
+    return static_cast<int>(out_.k.code.size()) - 1;
+  }
+
+  int EmitPushF(float v) {
+    Instr ins;
+    ins.op = Op::kPushF;
+    ins.imm.f = v;
+    out_.k.code.push_back(ins);
+    return static_cast<int>(out_.k.code.size()) - 1;
+  }
+
+  int Here() const { return static_cast<int>(out_.k.code.size()); }
+  void Patch(int instr_index, int target) {
+    out_.k.code[static_cast<std::size_t>(instr_index)].a = target;
+  }
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  const VarInfo* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return &found->second;
+      }
+    }
+    return nullptr;
+  }
+
+  ava::Status Declare(int line, const std::string& name, VarInfo info) {
+    auto& scope = scopes_.back();
+    if (scope.count(name) != 0) {
+      return Error(line, "redeclaration of '" + name + "'");
+    }
+    scope.emplace(name, info);
+    return ava::OkStatus();
+  }
+
+  int AllocSlot() { return next_slot_++; }
+
+  int TempSlot() {
+    if (temp_slot_ < 0) {
+      temp_slot_ = AllocSlot();
+    }
+    return temp_slot_;
+  }
+
+  ava::Status BindParams() {
+    for (const auto& p : def_.params) {
+      ParamInfo info;
+      info.name = p.name;
+      info.scalar = p.type.scalar;
+      VarInfo var;
+      var.loc = VarLoc::kSlot;
+      var.index = AllocSlot();
+      if (p.type.IsPointer()) {
+        if (p.type.space == MemSpace::kGlobal) {
+          info.kind = ParamKind::kGlobalPtr;
+          info.pointee_const = p.type.is_const;
+        } else {
+          info.kind = ParamKind::kLocalPtr;
+          LocalBlockInfo block;
+          block.byte_size = 0;  // sized by vclSetKernelArgLocal
+          block.param_index = static_cast<int>(out_.k.params.size());
+          out_.k.local_blocks.push_back(block);
+        }
+        var.type = p.type;
+      } else {
+        info.kind = ParamKind::kScalar;
+        var.type = p.type;
+      }
+      out_.k.params.push_back(info);
+      AVA_RETURN_IF_ERROR(Declare(def_.line, p.name, var));
+    }
+    return ava::OkStatus();
+  }
+
+  // ------------------------- type conversion -------------------------------
+
+  static bool SameClass(const Type& a, const Type& b) {
+    return a.IsPointer() == b.IsPointer();
+  }
+
+  // Emits the conversion from `from` to `to` for the value on stack top.
+  ava::Status Convert(int line, const Type& from, const Type& to) {
+    if (from.IsPointer() || to.IsPointer()) {
+      if (from.IsPointer() && to.IsPointer() && from.scalar == to.scalar &&
+          from.space == to.space) {
+        return ava::OkStatus();
+      }
+      return Error(line, "cannot convert " + TypeName(from) + " to " +
+                             TypeName(to));
+    }
+    if (from.IsVoid() || to.IsVoid()) {
+      return Error(line, "void value in expression");
+    }
+    if (from.IsFloat() == to.IsFloat()) {
+      return ava::OkStatus();
+    }
+    if (to.IsFloat()) {
+      Emit(Op::kI2F);
+    } else {
+      Emit(Op::kF2I);
+    }
+    return ava::OkStatus();
+  }
+
+  static Type Unify(const Type& a, const Type& b) {
+    if (a.IsFloat() || b.IsFloat()) {
+      return Type::Float();
+    }
+    if (a.scalar == Scalar::kLong || b.scalar == Scalar::kLong) {
+      return Type::Long();
+    }
+    if (a.scalar == Scalar::kUint || b.scalar == Scalar::kUint) {
+      return Type::Uint();
+    }
+    return Type::Int();
+  }
+
+  // --------------------------- lvalue handling -----------------------------
+
+  struct LValue {
+    bool is_slot = false;
+    int slot = 0;         // when is_slot
+    MemElem elem{};       // when !is_slot: address is on the stack
+    Type type;            // value type
+  };
+
+  // For memory lvalues this leaves the address on the stack.
+  ava::Result<LValue> GenLValue(const Expr& e) {
+    if (e.kind == ExprKind::kVarRef) {
+      const VarInfo* var = Lookup(e.name);
+      if (var == nullptr) {
+        return Error(e.line, "undeclared identifier '" + e.name + "'");
+      }
+      if (var->loc != VarLoc::kSlot) {
+        return Error(e.line, "cannot assign to array '" + e.name + "'");
+      }
+      LValue lv;
+      lv.is_slot = true;
+      lv.slot = var->index;
+      lv.type = var->type;
+      return lv;
+    }
+    if (e.kind == ExprKind::kIndex) {
+      AVA_ASSIGN_OR_RETURN(Type base_type, GenExpr(*e.a));
+      if (!base_type.IsPointer()) {
+        return Error(e.line, "subscripted value is not a pointer or array");
+      }
+      AVA_ASSIGN_OR_RETURN(Type idx_type, GenExpr(*e.b));
+      AVA_RETURN_IF_ERROR(Convert(e.line, idx_type, Type::Long()));
+      MemElem elem = MemElemFromScalar(base_type.scalar);
+      Emit(Op::kPtrAdd, static_cast<std::int32_t>(MemElemSize(elem)));
+      LValue lv;
+      lv.is_slot = false;
+      lv.elem = elem;
+      lv.type = Type{base_type.scalar, MemSpace::kNone, false};
+      return lv;
+    }
+    return Error(e.line, "expression is not assignable");
+  }
+
+  // ------------------------------ expressions ------------------------------
+
+  ava::Result<Type> GenExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        EmitPushI(e.int_value);
+        return Type::Int();
+      case ExprKind::kFloatLit:
+        EmitPushF(e.float_value);
+        return Type::Float();
+      case ExprKind::kVarRef:
+        return GenVarRef(e);
+      case ExprKind::kUnary:
+        return GenUnary(e);
+      case ExprKind::kBinary:
+        return GenBinary(e);
+      case ExprKind::kAssign:
+        return GenAssign(e, /*need_value=*/true);
+      case ExprKind::kIndex:
+        return GenIndexLoad(e);
+      case ExprKind::kCall:
+        return GenCall(e, /*as_statement=*/false);
+      case ExprKind::kCast:
+        return GenCast(e);
+      case ExprKind::kTernary:
+        return GenTernary(e);
+      case ExprKind::kIncDec:
+        return GenIncDec(e, /*need_value=*/true);
+    }
+    return Error(e.line, "internal: unknown expression kind");
+  }
+
+  ava::Status GenExprAs(const Expr& e, const Type& want) {
+    AVA_ASSIGN_OR_RETURN(Type got, GenExpr(e));
+    return Convert(e.line, got, want);
+  }
+
+  ava::Result<Type> GenVarRef(const Expr& e) {
+    const VarInfo* var = Lookup(e.name);
+    if (var == nullptr) {
+      auto named = NamedConstants().find(e.name);
+      if (named != NamedConstants().end()) {
+        EmitPushI(named->second);
+        return Type::Int();
+      }
+      return Error(e.line, "undeclared identifier '" + e.name + "'");
+    }
+    switch (var->loc) {
+      case VarLoc::kSlot:
+        Emit(Op::kLoadSlot, var->index);
+        return var->type;
+      case VarLoc::kLocalBlock:
+        EmitPushI(static_cast<std::int64_t>(PackPtr(
+            PtrSpace::kLocal, static_cast<std::uint32_t>(var->index), 0)));
+        return var->type;
+      case VarLoc::kPrivateBlock:
+        EmitPushI(static_cast<std::int64_t>(PackPtr(
+            PtrSpace::kPrivate, static_cast<std::uint32_t>(var->index), 0)));
+        return var->type;
+    }
+    return Error(e.line, "internal: unknown variable location");
+  }
+
+  ava::Result<Type> GenUnary(const Expr& e) {
+    AVA_ASSIGN_OR_RETURN(Type t, GenExpr(*e.a));
+    if (e.un_op == UnOp::kNeg) {
+      if (t.IsFloat()) {
+        Emit(Op::kNegF);
+        return Type::Float();
+      }
+      if (t.IsInteger()) {
+        Emit(Op::kNegI);
+        return t;
+      }
+      return Error(e.line, "cannot negate " + TypeName(t));
+    }
+    // Logical not.
+    if (t.IsFloat()) {
+      EmitPushF(0.0f);
+      Emit(Op::kEqF);
+      return Type::Int();
+    }
+    if (t.IsInteger()) {
+      Emit(Op::kLogNot);
+      return Type::Int();
+    }
+    return Error(e.line, "cannot apply '!' to " + TypeName(t));
+  }
+
+  ava::Result<Type> GenBinary(const Expr& e) {
+    switch (e.bin_op) {
+      case BinOp::kLogAnd:
+      case BinOp::kLogOr:
+        return GenLogical(e);
+      default:
+        break;
+    }
+    // Pointer arithmetic: ptr +/- int.
+    if ((e.bin_op == BinOp::kAdd || e.bin_op == BinOp::kSub)) {
+      // Peek types without emitting: simplest is to classify syntactically by
+      // generating the left side first and checking its type.
+      AVA_ASSIGN_OR_RETURN(Type lt, GenExpr(*e.a));
+      if (lt.IsPointer()) {
+        AVA_ASSIGN_OR_RETURN(Type rt, GenExpr(*e.b));
+        if (!rt.IsInteger()) {
+          return Error(e.line, "pointer arithmetic requires an integer");
+        }
+        if (e.bin_op == BinOp::kSub) {
+          Emit(Op::kNegI);
+        }
+        Emit(Op::kPtrAdd, static_cast<std::int32_t>(
+                              MemElemSize(MemElemFromScalar(lt.scalar))));
+        return lt;
+      }
+      return GenArithRhs(e, lt);
+    }
+    AVA_ASSIGN_OR_RETURN(Type lt, GenExpr(*e.a));
+    if (lt.IsPointer()) {
+      return Error(e.line, "invalid operands to binary operator");
+    }
+    return GenArithRhs(e, lt);
+  }
+
+  // Completes a binary op whose left operand (type `lt`, non-pointer) is
+  // already on the stack.
+  ava::Result<Type> GenArithRhs(const Expr& e, Type lt) {
+    // We need the unified type before converting the left operand, but the
+    // left value is already emitted. Infer the right type on a dry run is
+    // costly; instead: if the left is int and right turns out float, we patch
+    // by inserting a conversion via a temp slot.
+    int lhs_end = Here();
+    AVA_ASSIGN_OR_RETURN(Type rt, GenExpr(*e.b));
+    if (rt.IsPointer()) {
+      return Error(e.line, "invalid pointer operand");
+    }
+    Type common = Unify(lt, rt);
+    bool is_cmp = false;
+    switch (e.bin_op) {
+      case BinOp::kEq:
+      case BinOp::kNe:
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe:
+        is_cmp = true;
+        break;
+      case BinOp::kRem:
+      case BinOp::kBitAnd:
+      case BinOp::kBitOr:
+      case BinOp::kBitXor:
+      case BinOp::kShl:
+      case BinOp::kShr:
+        if (common.IsFloat()) {
+          return Error(e.line, "operator requires integer operands");
+        }
+        break;
+      default:
+        break;
+    }
+    // Convert left operand if needed by splicing a conversion before the RHS
+    // code. Conversions are single instructions, so insert at lhs_end.
+    if (lt.IsFloat() != common.IsFloat()) {
+      Instr conv;
+      conv.op = common.IsFloat() ? Op::kI2F : Op::kF2I;
+      out_.k.code.insert(out_.k.code.begin() + lhs_end, conv);
+      // Fix any jump targets? Jumps within the RHS are relative to absolute
+      // indices; inserting shifts them. RHS may contain jumps (ternary,
+      // logical ops). Patch all jump targets >= lhs_end in RHS range.
+      for (std::size_t i = static_cast<std::size_t>(lhs_end) + 1;
+           i < out_.k.code.size(); ++i) {
+        Instr& ins = out_.k.code[i];
+        if ((ins.op == Op::kJmp || ins.op == Op::kJz || ins.op == Op::kJnz) &&
+            ins.a >= lhs_end) {
+          ins.a += 1;
+        }
+      }
+    }
+    AVA_RETURN_IF_ERROR(Convert(e.line, rt, common));
+    bool f = common.IsFloat();
+    switch (e.bin_op) {
+      case BinOp::kAdd:
+        Emit(f ? Op::kAddF : Op::kAddI);
+        break;
+      case BinOp::kSub:
+        Emit(f ? Op::kSubF : Op::kSubI);
+        break;
+      case BinOp::kMul:
+        Emit(f ? Op::kMulF : Op::kMulI);
+        break;
+      case BinOp::kDiv:
+        Emit(f ? Op::kDivF : Op::kDivI);
+        break;
+      case BinOp::kRem:
+        Emit(Op::kRemI);
+        break;
+      case BinOp::kBitAnd:
+        Emit(Op::kAndI);
+        break;
+      case BinOp::kBitOr:
+        Emit(Op::kOrI);
+        break;
+      case BinOp::kBitXor:
+        Emit(Op::kXorI);
+        break;
+      case BinOp::kShl:
+        Emit(Op::kShlI);
+        break;
+      case BinOp::kShr:
+        Emit(Op::kShrI);
+        break;
+      case BinOp::kEq:
+        Emit(f ? Op::kEqF : Op::kEqI);
+        break;
+      case BinOp::kNe:
+        Emit(f ? Op::kNeF : Op::kNeI);
+        break;
+      case BinOp::kLt:
+        Emit(f ? Op::kLtF : Op::kLtI);
+        break;
+      case BinOp::kLe:
+        Emit(f ? Op::kLeF : Op::kLeI);
+        break;
+      case BinOp::kGt:
+        Emit(f ? Op::kGtF : Op::kGtI);
+        break;
+      case BinOp::kGe:
+        Emit(f ? Op::kGeF : Op::kGeI);
+        break;
+      case BinOp::kLogAnd:
+      case BinOp::kLogOr:
+        return Error(e.line, "internal: logical op in arithmetic path");
+    }
+    return is_cmp ? Type::Int() : common;
+  }
+
+  ava::Result<Type> GenLogical(const Expr& e) {
+    // a && b:  a; JZ F; b; JZ F; push 1; JMP E; F: push 0; E:
+    // a || b:  a; JNZ T; b; JNZ T; push 0; JMP E; T: push 1; E:
+    const bool is_and = e.bin_op == BinOp::kLogAnd;
+    AVA_ASSIGN_OR_RETURN(Type lt, GenExpr(*e.a));
+    AVA_RETURN_IF_ERROR(TruthConvert(e.line, lt));
+    int j1 = Emit(is_and ? Op::kJz : Op::kJnz);
+    AVA_ASSIGN_OR_RETURN(Type rt, GenExpr(*e.b));
+    AVA_RETURN_IF_ERROR(TruthConvert(e.line, rt));
+    int j2 = Emit(is_and ? Op::kJz : Op::kJnz);
+    EmitPushI(is_and ? 1 : 0);
+    int jend = Emit(Op::kJmp);
+    int shortcut = Here();
+    EmitPushI(is_and ? 0 : 1);
+    int end = Here();
+    Patch(j1, shortcut);
+    Patch(j2, shortcut);
+    Patch(jend, end);
+    return Type::Int();
+  }
+
+  // Ensures stack top is an integer truth value.
+  ava::Status TruthConvert(int line, const Type& t) {
+    if (t.IsInteger()) {
+      return ava::OkStatus();
+    }
+    if (t.IsFloat()) {
+      EmitPushF(0.0f);
+      Emit(Op::kNeF);
+      return ava::OkStatus();
+    }
+    return Error(line, "condition must be a scalar value");
+  }
+
+  ava::Result<Type> GenAssign(const Expr& e, bool need_value) {
+    AVA_ASSIGN_OR_RETURN(LValue lv, GenLValue(*e.a));
+    if (lv.is_slot) {
+      if (e.is_compound_assign) {
+        Emit(Op::kLoadSlot, lv.slot);
+        AVA_ASSIGN_OR_RETURN(Type rt, GenExpr(*e.b));
+        AVA_RETURN_IF_ERROR(
+            ApplyCompound(e.line, e.assign_op, lv.type, rt));
+      } else {
+        AVA_RETURN_IF_ERROR(GenExprAs(*e.b, lv.type));
+      }
+      if (need_value) {
+        Emit(Op::kDup);
+      }
+      Emit(Op::kStoreSlot, lv.slot);
+      return lv.type;
+    }
+    // Memory lvalue: address is on the stack.
+    if (e.is_compound_assign) {
+      Emit(Op::kDup);
+      Emit(Op::kLd, static_cast<std::int32_t>(lv.elem));
+      AVA_ASSIGN_OR_RETURN(Type rt, GenExpr(*e.b));
+      AVA_RETURN_IF_ERROR(ApplyCompound(e.line, e.assign_op, lv.type, rt));
+    } else {
+      AVA_RETURN_IF_ERROR(GenExprAs(*e.b, lv.type));
+    }
+    if (need_value) {
+      int tmp = TempSlot();
+      Emit(Op::kStoreSlot, tmp);
+      Emit(Op::kLoadSlot, tmp);
+      Emit(Op::kSt, static_cast<std::int32_t>(lv.elem));
+      Emit(Op::kLoadSlot, tmp);
+    } else {
+      Emit(Op::kSt, static_cast<std::int32_t>(lv.elem));
+    }
+    return lv.type;
+  }
+
+  // Stack holds (old_value, rhs_value_of_type_rt); applies `op` yielding a
+  // value of lv_type.
+  ava::Status ApplyCompound(int line, BinOp op, const Type& lv_type, Type rt) {
+    // Promote rhs to the lvalue's arithmetic class.
+    AVA_RETURN_IF_ERROR(Convert(line, rt, lv_type));
+    bool f = lv_type.IsFloat();
+    switch (op) {
+      case BinOp::kAdd:
+        Emit(f ? Op::kAddF : Op::kAddI);
+        return ava::OkStatus();
+      case BinOp::kSub:
+        Emit(f ? Op::kSubF : Op::kSubI);
+        return ava::OkStatus();
+      case BinOp::kMul:
+        Emit(f ? Op::kMulF : Op::kMulI);
+        return ava::OkStatus();
+      case BinOp::kDiv:
+        Emit(f ? Op::kDivF : Op::kDivI);
+        return ava::OkStatus();
+      default:
+        return Error(line, "unsupported compound assignment");
+    }
+  }
+
+  ava::Result<Type> GenIndexLoad(const Expr& e) {
+    AVA_ASSIGN_OR_RETURN(Type base_type, GenExpr(*e.a));
+    if (!base_type.IsPointer()) {
+      return Error(e.line, "subscripted value is not a pointer or array");
+    }
+    AVA_ASSIGN_OR_RETURN(Type idx_type, GenExpr(*e.b));
+    if (!idx_type.IsInteger()) {
+      return Error(e.line, "array index must be an integer");
+    }
+    MemElem elem = MemElemFromScalar(base_type.scalar);
+    Emit(Op::kPtrAdd, static_cast<std::int32_t>(MemElemSize(elem)));
+    Emit(Op::kLd, static_cast<std::int32_t>(elem));
+    return Type{base_type.scalar, MemSpace::kNone, false};
+  }
+
+  ava::Result<Type> GenCall(const Expr& e, bool as_statement) {
+    // barrier(...)
+    if (e.name == "barrier") {
+      for (const auto& arg : e.args) {
+        AVA_ASSIGN_OR_RETURN(Type t, GenExpr(*arg));
+        (void)t;
+        Emit(Op::kPop);  // fence flags are accepted and ignored
+      }
+      Emit(Op::kBarrier, barrier_count_++);
+      return Type::Void();
+    }
+    auto geom = GeometryTable().find(e.name);
+    if (geom != GeometryTable().end()) {
+      if (e.args.size() != 1) {
+        return Error(e.line, e.name + " takes exactly one argument");
+      }
+      AVA_RETURN_IF_ERROR(GenExprAs(*e.args[0], Type::Int()));
+      Emit(geom->second);
+      return Type::Long();
+    }
+    auto b = BuiltinTable().find(e.name);
+    if (b == BuiltinTable().end()) {
+      return Error(e.line, "unknown function '" + e.name + "'");
+    }
+    const BuiltinSig& sig = b->second;
+    if (static_cast<int>(e.args.size()) != sig.arity) {
+      return Error(e.line, "'" + e.name + "' expects " +
+                               std::to_string(sig.arity) + " argument(s)");
+    }
+    Type want = sig.is_float ? Type::Float() : Type::Long();
+    for (const auto& arg : e.args) {
+      AVA_RETURN_IF_ERROR(GenExprAs(*arg, want));
+    }
+    Emit(Op::kBuiltin, static_cast<std::int32_t>(sig.id));
+    return sig.is_float ? Type::Float() : Type::Long();
+  }
+
+  ava::Result<Type> GenCast(const Expr& e) {
+    AVA_ASSIGN_OR_RETURN(Type t, GenExpr(*e.a));
+    AVA_RETURN_IF_ERROR(Convert(e.line, t, e.cast_type));
+    return e.cast_type;
+  }
+
+  ava::Result<Type> GenTernary(const Expr& e) {
+    AVA_ASSIGN_OR_RETURN(Type ct, GenExpr(*e.a));
+    AVA_RETURN_IF_ERROR(TruthConvert(e.line, ct));
+    int jz = Emit(Op::kJz);
+    // We must know the unified result type; compile the "then" branch, then
+    // the "else", unify, and insert conversions. To keep it simple we require
+    // both arms to already have the same arithmetic class after Unify by
+    // converting each arm to the unified type — computed from a first pass.
+    AVA_ASSIGN_OR_RETURN(Type then_t, GenExpr(*e.b));
+    int then_conv_point = Here();
+    int jend = Emit(Op::kJmp);
+    int else_start = Here();
+    AVA_ASSIGN_OR_RETURN(Type else_t, GenExpr(*e.c));
+    if (then_t.IsPointer() || else_t.IsPointer()) {
+      if (!(then_t == else_t)) {
+        return Error(e.line, "ternary arms have incompatible types");
+      }
+      Patch(jz, else_start);
+      Patch(jend, Here());
+      return then_t;
+    }
+    Type common = Unify(then_t, else_t);
+    AVA_RETURN_IF_ERROR(Convert(e.line, else_t, common));
+    // Convert the then-arm by splicing before its trailing jump if needed.
+    if (then_t.IsFloat() != common.IsFloat()) {
+      Instr conv;
+      conv.op = common.IsFloat() ? Op::kI2F : Op::kF2I;
+      out_.k.code.insert(out_.k.code.begin() + then_conv_point, conv);
+      for (std::size_t i = static_cast<std::size_t>(then_conv_point) + 1;
+           i < out_.k.code.size(); ++i) {
+        Instr& ins = out_.k.code[i];
+        if ((ins.op == Op::kJmp || ins.op == Op::kJz || ins.op == Op::kJnz) &&
+            ins.a >= then_conv_point) {
+          ins.a += 1;
+        }
+      }
+      jend += 1;
+      else_start += 1;
+    }
+    Patch(jz, else_start);
+    Patch(jend, Here());
+    return common;
+  }
+
+  ava::Result<Type> GenIncDec(const Expr& e, bool need_value) {
+    AVA_ASSIGN_OR_RETURN(LValue lv, GenLValue(*e.a));
+    if (!lv.type.IsInteger() && !lv.type.IsFloat()) {
+      return Error(e.line, "++/-- requires a numeric lvalue");
+    }
+    const bool f = lv.type.IsFloat();
+    Op add_op = f ? Op::kAddF : Op::kAddI;
+    Op sub_op = f ? Op::kSubF : Op::kSubI;
+    Op delta_op = e.is_increment ? add_op : sub_op;
+    auto push_one = [&] {
+      if (f) {
+        EmitPushF(1.0f);
+      } else {
+        EmitPushI(1);
+      }
+    };
+    if (lv.is_slot) {
+      Emit(Op::kLoadSlot, lv.slot);
+      if (need_value && !e.is_prefix) {
+        Emit(Op::kDup);  // old value stays as result
+      }
+      push_one();
+      Emit(delta_op);
+      if (need_value && e.is_prefix) {
+        Emit(Op::kDup);
+      }
+      Emit(Op::kStoreSlot, lv.slot);
+      return lv.type;
+    }
+    // Memory lvalue; address on stack.
+    Emit(Op::kDup);
+    Emit(Op::kLd, static_cast<std::int32_t>(lv.elem));
+    // Stack: [addr][old]
+    int tmp = TempSlot();
+    if (need_value && !e.is_prefix) {
+      Emit(Op::kDup);
+      Emit(Op::kStoreSlot, tmp);  // save old
+    }
+    push_one();
+    Emit(delta_op);
+    if (need_value && e.is_prefix) {
+      Emit(Op::kDup);
+      Emit(Op::kStoreSlot, tmp);  // save new
+    }
+    Emit(Op::kSt, static_cast<std::int32_t>(lv.elem));
+    if (need_value) {
+      Emit(Op::kLoadSlot, tmp);
+    }
+    return lv.type;
+  }
+
+  // ------------------------------ statements -------------------------------
+
+  ava::Status GenStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        PushScope();
+        for (const auto& child : s.body) {
+          AVA_RETURN_IF_ERROR(GenStmt(*child));
+        }
+        PopScope();
+        return ava::OkStatus();
+      }
+      case StmtKind::kDecl:
+        return GenDecl(s);
+      case StmtKind::kExpr:
+        return GenExprStatement(*s.expr);
+      case StmtKind::kIf: {
+        AVA_ASSIGN_OR_RETURN(Type ct, GenExpr(*s.cond));
+        AVA_RETURN_IF_ERROR(TruthConvert(s.line, ct));
+        int jz = Emit(Op::kJz);
+        AVA_RETURN_IF_ERROR(GenStmt(*s.then_branch));
+        if (s.else_branch != nullptr) {
+          int jend = Emit(Op::kJmp);
+          Patch(jz, Here());
+          AVA_RETURN_IF_ERROR(GenStmt(*s.else_branch));
+          Patch(jend, Here());
+        } else {
+          Patch(jz, Here());
+        }
+        return ava::OkStatus();
+      }
+      case StmtKind::kWhile: {
+        int top = Here();
+        AVA_ASSIGN_OR_RETURN(Type ct, GenExpr(*s.cond));
+        AVA_RETURN_IF_ERROR(TruthConvert(s.line, ct));
+        int jz = Emit(Op::kJz);
+        LoopContext loop;
+        loop.continue_target = top;
+        loops_.push_back(loop);
+        AVA_RETURN_IF_ERROR(GenStmt(*s.then_branch));
+        Emit(Op::kJmp, top);
+        Patch(jz, Here());
+        FinishLoop(Here());
+        return ava::OkStatus();
+      }
+      case StmtKind::kDoWhile: {
+        int top = Here();
+        LoopContext loop;
+        loop.continue_target = -1;  // patched to the condition start
+        loops_.push_back(loop);
+        AVA_RETURN_IF_ERROR(GenStmt(*s.then_branch));
+        int cond_start = Here();
+        AVA_ASSIGN_OR_RETURN(Type ct, GenExpr(*s.cond));
+        AVA_RETURN_IF_ERROR(TruthConvert(s.line, ct));
+        Emit(Op::kJnz, top);
+        // Patch continue jumps to the condition.
+        for (int idx : loops_.back().continue_jumps) {
+          Patch(idx, cond_start);
+        }
+        loops_.back().continue_jumps.clear();
+        FinishLoop(Here());
+        return ava::OkStatus();
+      }
+      case StmtKind::kFor: {
+        PushScope();
+        if (s.for_init != nullptr) {
+          AVA_RETURN_IF_ERROR(GenStmt(*s.for_init));
+        }
+        int top = Here();
+        int jz = -1;
+        if (s.cond != nullptr) {
+          AVA_ASSIGN_OR_RETURN(Type ct, GenExpr(*s.cond));
+          AVA_RETURN_IF_ERROR(TruthConvert(s.line, ct));
+          jz = Emit(Op::kJz);
+        }
+        LoopContext loop;
+        loop.continue_target = -1;  // patched to the step
+        loops_.push_back(loop);
+        AVA_RETURN_IF_ERROR(GenStmt(*s.then_branch));
+        int step_start = Here();
+        if (s.for_step != nullptr) {
+          AVA_RETURN_IF_ERROR(GenExprStatement(*s.for_step));
+        }
+        Emit(Op::kJmp, top);
+        for (int idx : loops_.back().continue_jumps) {
+          Patch(idx, step_start);
+        }
+        loops_.back().continue_jumps.clear();
+        if (jz >= 0) {
+          Patch(jz, Here());
+        }
+        FinishLoop(Here());
+        PopScope();
+        return ava::OkStatus();
+      }
+      case StmtKind::kReturn:
+        Emit(Op::kRet);
+        return ava::OkStatus();
+      case StmtKind::kBreak: {
+        if (loops_.empty()) {
+          return Error(s.line, "'break' outside a loop");
+        }
+        loops_.back().break_jumps.push_back(Emit(Op::kJmp));
+        return ava::OkStatus();
+      }
+      case StmtKind::kContinue: {
+        if (loops_.empty()) {
+          return Error(s.line, "'continue' outside a loop");
+        }
+        if (loops_.back().continue_target >= 0) {
+          Emit(Op::kJmp, loops_.back().continue_target);
+        } else {
+          loops_.back().continue_jumps.push_back(Emit(Op::kJmp));
+        }
+        return ava::OkStatus();
+      }
+    }
+    return Error(s.line, "internal: unknown statement kind");
+  }
+
+  ava::Status GenDecl(const Stmt& s) {
+    if (s.array_size > 0) {
+      std::size_t bytes = static_cast<std::size_t>(s.array_size) *
+                          ScalarSize(s.decl_type.scalar);
+      VarInfo var;
+      var.type = Type::Pointer(s.decl_type.scalar,
+                               s.decl_type.space == MemSpace::kLocal
+                                   ? MemSpace::kLocal
+                                   : MemSpace::kPrivate);
+      if (s.decl_type.space == MemSpace::kLocal) {
+        var.loc = VarLoc::kLocalBlock;
+        var.index = static_cast<int>(out_.k.local_blocks.size());
+        LocalBlockInfo block;
+        block.byte_size = bytes;
+        out_.k.local_blocks.push_back(block);
+        out_.k.fixed_local_bytes += bytes;
+      } else {
+        var.loc = VarLoc::kPrivateBlock;
+        var.index = static_cast<int>(out_.k.private_blocks.size());
+        PrivateBlockInfo block;
+        block.byte_size = bytes;
+        out_.k.private_blocks.push_back(block);
+      }
+      return Declare(s.line, s.decl_name, var);
+    }
+    VarInfo var;
+    var.type = s.decl_type;
+    var.loc = VarLoc::kSlot;
+    var.index = AllocSlot();
+    AVA_RETURN_IF_ERROR(Declare(s.line, s.decl_name, var));
+    if (s.init != nullptr) {
+      AVA_RETURN_IF_ERROR(GenExprAs(*s.init, var.type));
+      Emit(Op::kStoreSlot, var.index);
+    }
+    return ava::OkStatus();
+  }
+
+  // Expression used as a statement: avoid materializing values when possible.
+  ava::Status GenExprStatement(const Expr& e) {
+    if (e.kind == ExprKind::kAssign) {
+      AVA_ASSIGN_OR_RETURN(Type t, GenAssign(e, /*need_value=*/false));
+      (void)t;
+      return ava::OkStatus();
+    }
+    if (e.kind == ExprKind::kIncDec) {
+      AVA_ASSIGN_OR_RETURN(Type t, GenIncDec(e, /*need_value=*/false));
+      (void)t;
+      return ava::OkStatus();
+    }
+    if (e.kind == ExprKind::kCall) {
+      AVA_ASSIGN_OR_RETURN(Type t, GenCall(e, /*as_statement=*/true));
+      if (!t.IsVoid()) {
+        Emit(Op::kPop);
+      }
+      return ava::OkStatus();
+    }
+    AVA_ASSIGN_OR_RETURN(Type t, GenExpr(e));
+    if (!t.IsVoid()) {
+      Emit(Op::kPop);
+    }
+    return ava::OkStatus();
+  }
+
+  struct LoopContext {
+    int continue_target = -1;           // >= 0: jump directly
+    std::vector<int> continue_jumps;    // patched by the loop footer
+    std::vector<int> break_jumps;
+  };
+
+  void FinishLoop(int break_target) {
+    for (int idx : loops_.back().break_jumps) {
+      Patch(idx, break_target);
+    }
+    loops_.pop_back();
+  }
+
+  const KernelDef& def_;
+  Output out_;
+  std::vector<std::unordered_map<std::string, VarInfo>> scopes_;
+  std::vector<LoopContext> loops_;
+  int next_slot_ = 0;
+  int temp_slot_ = -1;
+  int barrier_count_ = 0;
+};
+
+}  // namespace
+
+ava::Result<CompiledProgram> CompileProgram(const Program& program) {
+  CompiledProgram out;
+  for (const auto& def : program.kernels) {
+    for (const auto& existing : out.kernels) {
+      if (existing.name == def.name) {
+        return ava::InvalidArgument("duplicate kernel '" + def.name + "'");
+      }
+    }
+    AVA_ASSIGN_OR_RETURN(CompiledKernel k, KernelCompiler(def).Run());
+    out.kernels.push_back(std::move(k));
+  }
+  return out;
+}
+
+ava::Result<CompiledProgram> CompileSource(std::string_view source) {
+  AVA_ASSIGN_OR_RETURN(Program ast, ParseProgram(source));
+  return CompileProgram(ast);
+}
+
+}  // namespace vcl

@@ -1,0 +1,21 @@
+// Bytecode generator + type checker: Program AST in, CompiledProgram out.
+#ifndef AVA_SRC_VCL_COMPILER_CODEGEN_H_
+#define AVA_SRC_VCL_COMPILER_CODEGEN_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/vcl/compiler/ast.h"
+#include "src/vcl/compiler/bytecode.h"
+
+namespace vcl {
+
+// Compiles a parsed program. Diagnostics are "line: message" strings.
+ava::Result<CompiledProgram> CompileProgram(const Program& program);
+
+// Convenience: lex + parse + compile in one step (what vclBuildProgram runs).
+ava::Result<CompiledProgram> CompileSource(std::string_view source);
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_COMPILER_CODEGEN_H_

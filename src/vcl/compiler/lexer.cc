@@ -1,0 +1,407 @@
+#include "src/vcl/compiler/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+namespace vcl {
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string_view, TokKind>{
+      {"__kernel", TokKind::kKwKernel}, {"kernel", TokKind::kKwKernel},
+      {"__global", TokKind::kKwGlobal}, {"global", TokKind::kKwGlobal},
+      {"__local", TokKind::kKwLocal},   {"local", TokKind::kKwLocal},
+      {"const", TokKind::kKwConst},     {"void", TokKind::kKwVoid},
+      {"int", TokKind::kKwInt},         {"uint", TokKind::kKwUint},
+      {"long", TokKind::kKwLong},       {"size_t", TokKind::kKwLong},
+      {"float", TokKind::kKwFloat},     {"if", TokKind::kKwIf},
+      {"else", TokKind::kKwElse},       {"for", TokKind::kKwFor},
+      {"while", TokKind::kKwWhile},     {"do", TokKind::kKwDo},
+      {"return", TokKind::kKwReturn},   {"break", TokKind::kKwBreak},
+      {"continue", TokKind::kKwContinue},
+  };
+  return *table;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view source) : src_(source) {}
+
+  ava::Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      AVA_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (AtEnd()) {
+        tok.kind = TokKind::kEof;
+        out.push_back(std::move(tok));
+        return out;
+      }
+      char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexIdentifier(&tok);
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && pos_ + 1 < src_.size() &&
+                  std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        AVA_RETURN_IF_ERROR(LexNumber(&tok));
+      } else {
+        AVA_RETURN_IF_ERROR(LexPunct(&tok));
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  char PeekAt(std::size_t delta) const {
+    return pos_ + delta < src_.size() ? src_[pos_ + delta] : '\0';
+  }
+
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool Match(char expected) {
+    if (AtEnd() || Peek() != expected) {
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  ava::Status Error(const std::string& message) const {
+    return ava::InvalidArgument(std::to_string(line_) + ":" +
+                                std::to_string(column_) + ": " + message);
+  }
+
+  ava::Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '/' && PeekAt(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+      } else if (c == '/' && PeekAt(1) == '*') {
+        Advance();
+        Advance();
+        bool closed = false;
+        while (!AtEnd()) {
+          if (Peek() == '*' && PeekAt(1) == '/') {
+            Advance();
+            Advance();
+            closed = true;
+            break;
+          }
+          Advance();
+        }
+        if (!closed) {
+          return Error("unterminated block comment");
+        }
+      } else {
+        break;
+      }
+    }
+    return ava::OkStatus();
+  }
+
+  void LexIdentifier(Token* tok) {
+    std::string text;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      text.push_back(Advance());
+    }
+    auto it = KeywordTable().find(text);
+    if (it != KeywordTable().end()) {
+      tok->kind = it->second;
+    } else {
+      tok->kind = TokKind::kIdent;
+    }
+    tok->text = std::move(text);
+  }
+
+  ava::Status LexNumber(Token* tok) {
+    std::string text;
+    bool is_float = false;
+    bool is_hex = false;
+    if (Peek() == '0' && (PeekAt(1) == 'x' || PeekAt(1) == 'X')) {
+      is_hex = true;
+      text.push_back(Advance());
+      text.push_back(Advance());
+      while (!AtEnd() && std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+      if (text.size() == 2) {
+        return Error("malformed hex literal");
+      }
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+      if (!AtEnd() && Peek() == '.') {
+        is_float = true;
+        text.push_back(Advance());
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          text.push_back(Advance());
+        }
+      }
+      if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+        is_float = true;
+        text.push_back(Advance());
+        if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+          text.push_back(Advance());
+        }
+        if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+          return Error("malformed float exponent");
+        }
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          text.push_back(Advance());
+        }
+      }
+    }
+    // Suffixes: f/F force float; u/U are accepted and ignored.
+    if (!AtEnd() && (Peek() == 'f' || Peek() == 'F') && !is_hex) {
+      is_float = true;
+      Advance();
+    } else if (!AtEnd() && (Peek() == 'u' || Peek() == 'U')) {
+      Advance();
+    }
+    tok->text = text;
+    if (is_float) {
+      tok->kind = TokKind::kFloatLit;
+      tok->float_value = std::strtof(text.c_str(), nullptr);
+    } else {
+      tok->kind = TokKind::kIntLit;
+      tok->int_value = std::strtoll(text.c_str(), nullptr, is_hex ? 16 : 10);
+    }
+    return ava::OkStatus();
+  }
+
+  ava::Status LexPunct(Token* tok) {
+    char c = Advance();
+    switch (c) {
+      case '(':
+        tok->kind = TokKind::kLParen;
+        return ava::OkStatus();
+      case ')':
+        tok->kind = TokKind::kRParen;
+        return ava::OkStatus();
+      case '{':
+        tok->kind = TokKind::kLBrace;
+        return ava::OkStatus();
+      case '}':
+        tok->kind = TokKind::kRBrace;
+        return ava::OkStatus();
+      case '[':
+        tok->kind = TokKind::kLBracket;
+        return ava::OkStatus();
+      case ']':
+        tok->kind = TokKind::kRBracket;
+        return ava::OkStatus();
+      case ';':
+        tok->kind = TokKind::kSemi;
+        return ava::OkStatus();
+      case ',':
+        tok->kind = TokKind::kComma;
+        return ava::OkStatus();
+      case '+':
+        tok->kind = Match('+')   ? TokKind::kPlusPlus
+                    : Match('=') ? TokKind::kPlusAssign
+                                 : TokKind::kPlus;
+        return ava::OkStatus();
+      case '-':
+        tok->kind = Match('-')   ? TokKind::kMinusMinus
+                    : Match('=') ? TokKind::kMinusAssign
+                                 : TokKind::kMinus;
+        return ava::OkStatus();
+      case '*':
+        tok->kind = Match('=') ? TokKind::kStarAssign : TokKind::kStar;
+        return ava::OkStatus();
+      case '/':
+        tok->kind = Match('=') ? TokKind::kSlashAssign : TokKind::kSlash;
+        return ava::OkStatus();
+      case '%':
+        tok->kind = TokKind::kPercent;
+        return ava::OkStatus();
+      case '=':
+        tok->kind = Match('=') ? TokKind::kEq : TokKind::kAssign;
+        return ava::OkStatus();
+      case '!':
+        tok->kind = Match('=') ? TokKind::kNe : TokKind::kBang;
+        return ava::OkStatus();
+      case '<':
+        tok->kind = Match('<')   ? TokKind::kShl
+                    : Match('=') ? TokKind::kLe
+                                 : TokKind::kLt;
+        return ava::OkStatus();
+      case '>':
+        tok->kind = Match('>')   ? TokKind::kShr
+                    : Match('=') ? TokKind::kGe
+                                 : TokKind::kGt;
+        return ava::OkStatus();
+      case '&':
+        tok->kind = Match('&') ? TokKind::kAndAnd : TokKind::kAmp;
+        return ava::OkStatus();
+      case '|':
+        tok->kind = Match('|') ? TokKind::kOrOr : TokKind::kPipe;
+        return ava::OkStatus();
+      case '^':
+        tok->kind = TokKind::kCaret;
+        return ava::OkStatus();
+      case '?':
+        tok->kind = TokKind::kQuestion;
+        return ava::OkStatus();
+      case ':':
+        tok->kind = TokKind::kColon;
+        return ava::OkStatus();
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+ava::Result<std::vector<Token>> Lex(std::string_view source) {
+  return LexerImpl(source).Run();
+}
+
+std::string_view TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof:
+      return "end of input";
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kIntLit:
+      return "integer literal";
+    case TokKind::kFloatLit:
+      return "float literal";
+    case TokKind::kKwKernel:
+      return "'__kernel'";
+    case TokKind::kKwGlobal:
+      return "'__global'";
+    case TokKind::kKwLocal:
+      return "'__local'";
+    case TokKind::kKwConst:
+      return "'const'";
+    case TokKind::kKwVoid:
+      return "'void'";
+    case TokKind::kKwInt:
+      return "'int'";
+    case TokKind::kKwUint:
+      return "'uint'";
+    case TokKind::kKwLong:
+      return "'long'";
+    case TokKind::kKwFloat:
+      return "'float'";
+    case TokKind::kKwIf:
+      return "'if'";
+    case TokKind::kKwElse:
+      return "'else'";
+    case TokKind::kKwFor:
+      return "'for'";
+    case TokKind::kKwWhile:
+      return "'while'";
+    case TokKind::kKwDo:
+      return "'do'";
+    case TokKind::kKwReturn:
+      return "'return'";
+    case TokKind::kKwBreak:
+      return "'break'";
+    case TokKind::kKwContinue:
+      return "'continue'";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kSemi:
+      return "';'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kPlus:
+      return "'+'";
+    case TokKind::kMinus:
+      return "'-'";
+    case TokKind::kStar:
+      return "'*'";
+    case TokKind::kSlash:
+      return "'/'";
+    case TokKind::kPercent:
+      return "'%'";
+    case TokKind::kAssign:
+      return "'='";
+    case TokKind::kPlusAssign:
+      return "'+='";
+    case TokKind::kMinusAssign:
+      return "'-='";
+    case TokKind::kStarAssign:
+      return "'*='";
+    case TokKind::kSlashAssign:
+      return "'/='";
+    case TokKind::kPlusPlus:
+      return "'++'";
+    case TokKind::kMinusMinus:
+      return "'--'";
+    case TokKind::kEq:
+      return "'=='";
+    case TokKind::kNe:
+      return "'!='";
+    case TokKind::kLt:
+      return "'<'";
+    case TokKind::kLe:
+      return "'<='";
+    case TokKind::kGt:
+      return "'>'";
+    case TokKind::kGe:
+      return "'>='";
+    case TokKind::kAndAnd:
+      return "'&&'";
+    case TokKind::kOrOr:
+      return "'||'";
+    case TokKind::kBang:
+      return "'!'";
+    case TokKind::kAmp:
+      return "'&'";
+    case TokKind::kPipe:
+      return "'|'";
+    case TokKind::kCaret:
+      return "'^'";
+    case TokKind::kShl:
+      return "'<<'";
+    case TokKind::kShr:
+      return "'>>'";
+    case TokKind::kQuestion:
+      return "'?'";
+    case TokKind::kColon:
+      return "':'";
+  }
+  return "unknown token";
+}
+
+}  // namespace vcl

@@ -1,0 +1,97 @@
+// Lexer for the VCL kernel language (a C subset with OpenCL-style
+// __kernel/__global/__local qualifiers). Produces a flat token stream with
+// line/column info for diagnostics that end up in the program build log.
+#ifndef AVA_SRC_VCL_COMPILER_LEXER_H_
+#define AVA_SRC_VCL_COMPILER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace vcl {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  // Keywords.
+  kKwKernel,    // __kernel
+  kKwGlobal,    // __global
+  kKwLocal,     // __local
+  kKwConst,     // const
+  kKwVoid,
+  kKwInt,
+  kKwUint,
+  kKwLong,
+  kKwFloat,
+  kKwIf,
+  kKwElse,
+  kKwFor,
+  kKwWhile,
+  kKwDo,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAssign,      // =
+  kPlusAssign,  // +=
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kEq,  // ==
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kBang,
+  kAmp,
+  kPipe,
+  kCaret,
+  kShl,
+  kShr,
+  kQuestion,
+  kColon,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;          // Identifier spelling or literal text.
+  std::int64_t int_value = 0;
+  float float_value = 0.0f;
+  int line = 0;
+  int column = 0;
+};
+
+// Tokenizes `source`. Returns InvalidArgument with a "line:col: message"
+// diagnostic on malformed input (stray characters, bad literals,
+// unterminated comments).
+ava::Result<std::vector<Token>> Lex(std::string_view source);
+
+// Debug name of a token kind ("'+='", "identifier", ...).
+std::string_view TokKindName(TokKind kind);
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_COMPILER_LEXER_H_

@@ -1,0 +1,686 @@
+#include "src/vcl/compiler/parser.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/vcl/compiler/lexer.h"
+
+namespace vcl {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  ava::Result<Program> Run() {
+    Program program;
+    while (!Check(TokKind::kEof)) {
+      auto kernel = ParseKernel();
+      if (!kernel.ok()) {
+        return kernel.status();
+      }
+      program.kernels.push_back(std::move(kernel).value());
+    }
+    if (program.kernels.empty()) {
+      return ava::InvalidArgument("program contains no __kernel functions");
+    }
+    return program;
+  }
+
+ private:
+  // ------------------------------ token helpers ----------------------------
+
+  const Token& Peek(std::size_t delta = 0) const {
+    std::size_t i = pos_ + delta;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool Check(TokKind kind) const { return Peek().kind == kind; }
+
+  const Token& Advance() {
+    const Token& t = toks_[pos_];
+    if (pos_ + 1 < toks_.size()) {
+      ++pos_;
+    }
+    return t;
+  }
+
+  bool Match(TokKind kind) {
+    if (!Check(kind)) {
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  ava::Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return ava::InvalidArgument(std::to_string(t.line) + ":" +
+                                std::to_string(t.column) + ": " + message);
+  }
+
+  ava::Status Expect(TokKind kind) {
+    if (Match(kind)) {
+      return ava::OkStatus();
+    }
+    return Error(std::string("expected ") + std::string(TokKindName(kind)) +
+                 ", found " + std::string(TokKindName(Peek().kind)) +
+                 (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+  }
+
+  // ------------------------------- types -----------------------------------
+
+  static bool IsScalarKeyword(TokKind k) {
+    return k == TokKind::kKwVoid || k == TokKind::kKwInt ||
+           k == TokKind::kKwUint || k == TokKind::kKwLong ||
+           k == TokKind::kKwFloat;
+  }
+
+  static bool IsTypeStart(TokKind k) {
+    return IsScalarKeyword(k) || k == TokKind::kKwGlobal ||
+           k == TokKind::kKwLocal || k == TokKind::kKwConst;
+  }
+
+  static Scalar ScalarFromKeyword(TokKind k) {
+    switch (k) {
+      case TokKind::kKwInt:
+        return Scalar::kInt;
+      case TokKind::kKwUint:
+        return Scalar::kUint;
+      case TokKind::kKwLong:
+        return Scalar::kLong;
+      case TokKind::kKwFloat:
+        return Scalar::kFloat;
+      default:
+        return Scalar::kVoid;
+    }
+  }
+
+  // Parses `[__global|__local|const]* scalar [const]* [*]`.
+  ava::Result<Type> ParseType() {
+    MemSpace space = MemSpace::kNone;
+    bool is_const = false;
+    bool saw_space_qualifier = false;
+    while (true) {
+      if (Match(TokKind::kKwGlobal)) {
+        space = MemSpace::kGlobal;
+        saw_space_qualifier = true;
+      } else if (Match(TokKind::kKwLocal)) {
+        space = MemSpace::kLocal;
+        saw_space_qualifier = true;
+      } else if (Match(TokKind::kKwConst)) {
+        is_const = true;
+      } else {
+        break;
+      }
+    }
+    if (!IsScalarKeyword(Peek().kind)) {
+      return Error("expected a type name");
+    }
+    Scalar scalar = ScalarFromKeyword(Advance().kind);
+    while (Match(TokKind::kKwConst)) {
+      is_const = true;
+    }
+    bool is_pointer = Match(TokKind::kStar);
+    while (Match(TokKind::kKwConst)) {
+      // `T* const p` — the pointer itself is const; irrelevant here.
+    }
+    if (is_pointer) {
+      if (scalar == Scalar::kVoid) {
+        return Error("void* is not supported in kernels");
+      }
+      if (space == MemSpace::kNone) {
+        // Pointers without an address space qualifier are private-array
+        // pointers (produced only internally); forbid in source.
+        return Error("pointer parameters require __global or __local");
+      }
+      return Type::Pointer(scalar, space, is_const);
+    }
+    if (saw_space_qualifier && space == MemSpace::kLocal) {
+      // `__local float name[N]` declaration: scalar type carrying the local
+      // space; the declarator supplies the array.
+      Type t{scalar, MemSpace::kNone, is_const};
+      // Encoded via separate flag path in ParseDecl; return scalar type and
+      // let caller see the __local through local_pending_.
+      local_pending_ = true;
+      return t;
+    }
+    if (saw_space_qualifier) {
+      return Error("__global requires a pointer type");
+    }
+    Type t{scalar, MemSpace::kNone, is_const};
+    return t;
+  }
+
+  // ------------------------------ kernels ----------------------------------
+
+  ava::Result<KernelDef> ParseKernel() {
+    AVA_RETURN_IF_ERROR(Expect(TokKind::kKwKernel));
+    KernelDef def;
+    def.line = Peek().line;
+    AVA_RETURN_IF_ERROR(Expect(TokKind::kKwVoid));
+    if (!Check(TokKind::kIdent)) {
+      return Error("expected kernel name");
+    }
+    def.name = Advance().text;
+    AVA_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+    if (!Check(TokKind::kRParen)) {
+      do {
+        KernelParam param;
+        local_pending_ = false;
+        auto type = ParseType();
+        if (!type.ok()) {
+          return type.status();
+        }
+        if (local_pending_) {
+          return Error("__local kernel parameters must be pointers");
+        }
+        param.type = *type;
+        if (!Check(TokKind::kIdent)) {
+          return Error("expected parameter name");
+        }
+        param.name = Advance().text;
+        def.params.push_back(std::move(param));
+      } while (Match(TokKind::kComma));
+    }
+    AVA_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+    auto body = ParseBlock();
+    if (!body.ok()) {
+      return body.status();
+    }
+    def.body = std::move(body).value();
+    return def;
+  }
+
+  // ----------------------------- statements --------------------------------
+
+  ava::Result<StmtPtr> ParseBlock() {
+    int line = Peek().line;
+    AVA_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->line = line;
+    while (!Check(TokKind::kRBrace) && !Check(TokKind::kEof)) {
+      AVA_RETURN_IF_ERROR(ParseStatementInto(&block->body));
+    }
+    AVA_RETURN_IF_ERROR(Expect(TokKind::kRBrace));
+    return StmtPtr(std::move(block));
+  }
+
+  // Appends one parsed statement (possibly several kDecl statements for
+  // `int i, j;`) into `out`.
+  ava::Status ParseStatementInto(std::vector<StmtPtr>* out) {
+    if (Check(TokKind::kLBrace)) {
+      AVA_ASSIGN_OR_RETURN(auto block, ParseBlock());
+      out->push_back(std::move(block));
+      return ava::OkStatus();
+    }
+    if (IsTypeStart(Peek().kind)) {
+      return ParseDeclList(out);
+    }
+    AVA_ASSIGN_OR_RETURN(auto stmt, ParseSimpleStatement());
+    if (stmt != nullptr) {
+      out->push_back(std::move(stmt));
+    }
+    return ava::OkStatus();
+  }
+
+  // Declarations: `type declarator (',' declarator)* ';'`.
+  ava::Status ParseDeclList(std::vector<StmtPtr>* out) {
+    local_pending_ = false;
+    AVA_ASSIGN_OR_RETURN(Type base, ParseType());
+    bool is_local = local_pending_;
+    do {
+      AVA_ASSIGN_OR_RETURN(auto decl, ParseDeclarator(base, is_local));
+      out->push_back(std::move(decl));
+    } while (Match(TokKind::kComma));
+    return Expect(TokKind::kSemi);
+  }
+
+  ava::Result<StmtPtr> ParseDeclarator(Type base, bool is_local) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kDecl;
+    stmt->line = Peek().line;
+    stmt->decl_type = base;
+    if (!Check(TokKind::kIdent)) {
+      return Error("expected variable name");
+    }
+    stmt->decl_name = Advance().text;
+    if (Match(TokKind::kLBracket)) {
+      if (!Check(TokKind::kIntLit)) {
+        return Error("array size must be an integer literal");
+      }
+      stmt->array_size = Advance().int_value;
+      if (stmt->array_size <= 0) {
+        return Error("array size must be positive");
+      }
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kRBracket));
+      stmt->decl_type.space = is_local ? MemSpace::kLocal : MemSpace::kPrivate;
+    } else if (is_local) {
+      return Error("__local variables must be arrays");
+    }
+    if (Match(TokKind::kAssign)) {
+      if (stmt->array_size > 0) {
+        return Error("array initializers are not supported");
+      }
+      AVA_ASSIGN_OR_RETURN(stmt->init, ParseAssignment());
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  // Statements other than blocks and declarations. Returns nullptr for a
+  // bare ';'.
+  ava::Result<StmtPtr> ParseSimpleStatement() {
+    int line = Peek().line;
+    if (Match(TokKind::kSemi)) {
+      return StmtPtr(nullptr);
+    }
+    if (Match(TokKind::kKwIf)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kIf;
+      stmt->line = line;
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+      AVA_ASSIGN_OR_RETURN(stmt->cond, ParseExpression());
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+      AVA_ASSIGN_OR_RETURN(stmt->then_branch, ParseNestedStatement());
+      if (Match(TokKind::kKwElse)) {
+        AVA_ASSIGN_OR_RETURN(stmt->else_branch, ParseNestedStatement());
+      }
+      return StmtPtr(std::move(stmt));
+    }
+    if (Match(TokKind::kKwWhile)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kWhile;
+      stmt->line = line;
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+      AVA_ASSIGN_OR_RETURN(stmt->cond, ParseExpression());
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+      AVA_ASSIGN_OR_RETURN(stmt->then_branch, ParseNestedStatement());
+      return StmtPtr(std::move(stmt));
+    }
+    if (Match(TokKind::kKwDo)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kDoWhile;
+      stmt->line = line;
+      AVA_ASSIGN_OR_RETURN(stmt->then_branch, ParseNestedStatement());
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kKwWhile));
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+      AVA_ASSIGN_OR_RETURN(stmt->cond, ParseExpression());
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      return StmtPtr(std::move(stmt));
+    }
+    if (Match(TokKind::kKwFor)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kFor;
+      stmt->line = line;
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+      if (!Match(TokKind::kSemi)) {
+        if (IsTypeStart(Peek().kind)) {
+          local_pending_ = false;
+          AVA_ASSIGN_OR_RETURN(Type base, ParseType());
+          if (local_pending_) {
+            return Error("__local declarations are not allowed in for-init");
+          }
+          AVA_ASSIGN_OR_RETURN(stmt->for_init, ParseDeclarator(base, false));
+        } else {
+          auto init = std::make_unique<Stmt>();
+          init->kind = StmtKind::kExpr;
+          init->line = line;
+          AVA_ASSIGN_OR_RETURN(init->expr, ParseExpression());
+          stmt->for_init = std::move(init);
+        }
+        AVA_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      }
+      if (!Check(TokKind::kSemi)) {
+        AVA_ASSIGN_OR_RETURN(stmt->cond, ParseExpression());
+      }
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      if (!Check(TokKind::kRParen)) {
+        AVA_ASSIGN_OR_RETURN(stmt->for_step, ParseExpression());
+      }
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+      AVA_ASSIGN_OR_RETURN(stmt->then_branch, ParseNestedStatement());
+      return StmtPtr(std::move(stmt));
+    }
+    if (Match(TokKind::kKwReturn)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kReturn;
+      stmt->line = line;
+      if (!Check(TokKind::kSemi)) {
+        return Error("kernels return void; 'return' takes no value");
+      }
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      return StmtPtr(std::move(stmt));
+    }
+    if (Match(TokKind::kKwBreak)) {
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kBreak;
+      stmt->line = line;
+      return StmtPtr(std::move(stmt));
+    }
+    if (Match(TokKind::kKwContinue)) {
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kContinue;
+      stmt->line = line;
+      return StmtPtr(std::move(stmt));
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kExpr;
+    stmt->line = line;
+    AVA_ASSIGN_OR_RETURN(stmt->expr, ParseExpression());
+    AVA_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+    return StmtPtr(std::move(stmt));
+  }
+
+  // A statement used as an if/loop body: a block or a single statement
+  // (wrapped so downstream code always sees a block for scoping).
+  ava::Result<StmtPtr> ParseNestedStatement() {
+    if (Check(TokKind::kLBrace)) {
+      return ParseBlock();
+    }
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->line = Peek().line;
+    AVA_RETURN_IF_ERROR(ParseStatementInto(&block->body));
+    return StmtPtr(std::move(block));
+  }
+
+  // ----------------------------- expressions -------------------------------
+
+  ava::Result<ExprPtr> ParseExpression() { return ParseAssignment(); }
+
+  ava::Result<ExprPtr> ParseAssignment() {
+    AVA_ASSIGN_OR_RETURN(auto lhs, ParseTernary());
+    TokKind k = Peek().kind;
+    bool compound = false;
+    BinOp op = BinOp::kAdd;
+    switch (k) {
+      case TokKind::kAssign:
+        break;
+      case TokKind::kPlusAssign:
+        compound = true;
+        op = BinOp::kAdd;
+        break;
+      case TokKind::kMinusAssign:
+        compound = true;
+        op = BinOp::kSub;
+        break;
+      case TokKind::kStarAssign:
+        compound = true;
+        op = BinOp::kMul;
+        break;
+      case TokKind::kSlashAssign:
+        compound = true;
+        op = BinOp::kDiv;
+        break;
+      default:
+        return lhs;
+    }
+    int line = Peek().line;
+    Advance();
+    AVA_ASSIGN_OR_RETURN(auto rhs, ParseAssignment());
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kAssign;
+    node->line = line;
+    node->is_compound_assign = compound;
+    node->assign_op = op;
+    node->a = std::move(lhs);
+    node->b = std::move(rhs);
+    return ExprPtr(std::move(node));
+  }
+
+  ava::Result<ExprPtr> ParseTernary() {
+    AVA_ASSIGN_OR_RETURN(auto cond, ParseBinary(0));
+    if (!Match(TokKind::kQuestion)) {
+      return cond;
+    }
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kTernary;
+    node->line = cond->line;
+    node->a = std::move(cond);
+    AVA_ASSIGN_OR_RETURN(node->b, ParseAssignment());
+    AVA_RETURN_IF_ERROR(Expect(TokKind::kColon));
+    AVA_ASSIGN_OR_RETURN(node->c, ParseAssignment());
+    return ExprPtr(std::move(node));
+  }
+
+  // Precedence-climbing over binary operators. Level 0 is weakest (||).
+  static int BinPrecedence(TokKind k) {
+    switch (k) {
+      case TokKind::kOrOr:
+        return 1;
+      case TokKind::kAndAnd:
+        return 2;
+      case TokKind::kPipe:
+        return 3;
+      case TokKind::kCaret:
+        return 4;
+      case TokKind::kAmp:
+        return 5;
+      case TokKind::kEq:
+      case TokKind::kNe:
+        return 6;
+      case TokKind::kLt:
+      case TokKind::kLe:
+      case TokKind::kGt:
+      case TokKind::kGe:
+        return 7;
+      case TokKind::kShl:
+      case TokKind::kShr:
+        return 8;
+      case TokKind::kPlus:
+      case TokKind::kMinus:
+        return 9;
+      case TokKind::kStar:
+      case TokKind::kSlash:
+      case TokKind::kPercent:
+        return 10;
+      default:
+        return -1;
+    }
+  }
+
+  static BinOp BinOpFromToken(TokKind k) {
+    switch (k) {
+      case TokKind::kOrOr:
+        return BinOp::kLogOr;
+      case TokKind::kAndAnd:
+        return BinOp::kLogAnd;
+      case TokKind::kPipe:
+        return BinOp::kBitOr;
+      case TokKind::kCaret:
+        return BinOp::kBitXor;
+      case TokKind::kAmp:
+        return BinOp::kBitAnd;
+      case TokKind::kEq:
+        return BinOp::kEq;
+      case TokKind::kNe:
+        return BinOp::kNe;
+      case TokKind::kLt:
+        return BinOp::kLt;
+      case TokKind::kLe:
+        return BinOp::kLe;
+      case TokKind::kGt:
+        return BinOp::kGt;
+      case TokKind::kGe:
+        return BinOp::kGe;
+      case TokKind::kShl:
+        return BinOp::kShl;
+      case TokKind::kShr:
+        return BinOp::kShr;
+      case TokKind::kPlus:
+        return BinOp::kAdd;
+      case TokKind::kMinus:
+        return BinOp::kSub;
+      case TokKind::kStar:
+        return BinOp::kMul;
+      case TokKind::kSlash:
+        return BinOp::kDiv;
+      default:
+        return BinOp::kRem;
+    }
+  }
+
+  ava::Result<ExprPtr> ParseBinary(int min_prec) {
+    AVA_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (true) {
+      int prec = BinPrecedence(Peek().kind);
+      if (prec < 0 || prec < min_prec) {
+        return lhs;
+      }
+      TokKind op_tok = Peek().kind;
+      int line = Peek().line;
+      Advance();
+      AVA_ASSIGN_OR_RETURN(auto rhs, ParseBinary(prec + 1));
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->line = line;
+      node->bin_op = BinOpFromToken(op_tok);
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      lhs = std::move(node);
+    }
+  }
+
+  ava::Result<ExprPtr> ParseUnary() {
+    int line = Peek().line;
+    if (Match(TokKind::kMinus)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = line;
+      node->un_op = UnOp::kNeg;
+      AVA_ASSIGN_OR_RETURN(node->a, ParseUnary());
+      return ExprPtr(std::move(node));
+    }
+    if (Match(TokKind::kPlus)) {
+      return ParseUnary();
+    }
+    if (Match(TokKind::kBang)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = line;
+      node->un_op = UnOp::kLogNot;
+      AVA_ASSIGN_OR_RETURN(node->a, ParseUnary());
+      return ExprPtr(std::move(node));
+    }
+    if (Check(TokKind::kPlusPlus) || Check(TokKind::kMinusMinus)) {
+      bool inc = Check(TokKind::kPlusPlus);
+      Advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kIncDec;
+      node->line = line;
+      node->is_prefix = true;
+      node->is_increment = inc;
+      AVA_ASSIGN_OR_RETURN(node->a, ParseUnary());
+      return ExprPtr(std::move(node));
+    }
+    // Cast: '(' scalar-type ')' unary.
+    if (Check(TokKind::kLParen) && IsScalarKeyword(Peek(1).kind) &&
+        Peek(2).kind == TokKind::kRParen) {
+      Advance();  // (
+      Scalar s = ScalarFromKeyword(Advance().kind);
+      Advance();  // )
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kCast;
+      node->line = line;
+      node->cast_type = Type{s, MemSpace::kNone, false};
+      AVA_ASSIGN_OR_RETURN(node->a, ParseUnary());
+      return ExprPtr(std::move(node));
+    }
+    return ParsePostfix();
+  }
+
+  ava::Result<ExprPtr> ParsePostfix() {
+    AVA_ASSIGN_OR_RETURN(auto expr, ParsePrimary());
+    while (true) {
+      if (Match(TokKind::kLBracket)) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kIndex;
+        node->line = expr->line;
+        node->a = std::move(expr);
+        AVA_ASSIGN_OR_RETURN(node->b, ParseExpression());
+        AVA_RETURN_IF_ERROR(Expect(TokKind::kRBracket));
+        expr = std::move(node);
+      } else if (Check(TokKind::kPlusPlus) || Check(TokKind::kMinusMinus)) {
+        bool inc = Check(TokKind::kPlusPlus);
+        int line = Peek().line;
+        Advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kIncDec;
+        node->line = line;
+        node->is_prefix = false;
+        node->is_increment = inc;
+        node->a = std::move(expr);
+        expr = std::move(node);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  ava::Result<ExprPtr> ParsePrimary() {
+    int line = Peek().line;
+    if (Check(TokKind::kIntLit)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kIntLit;
+      node->line = line;
+      node->int_value = Advance().int_value;
+      return ExprPtr(std::move(node));
+    }
+    if (Check(TokKind::kFloatLit)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kFloatLit;
+      node->line = line;
+      node->float_value = Advance().float_value;
+      return ExprPtr(std::move(node));
+    }
+    if (Match(TokKind::kLParen)) {
+      AVA_ASSIGN_OR_RETURN(auto inner, ParseExpression());
+      AVA_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+      return inner;
+    }
+    if (Check(TokKind::kIdent)) {
+      std::string name = Advance().text;
+      if (Match(TokKind::kLParen)) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kCall;
+        node->line = line;
+        node->name = std::move(name);
+        if (!Check(TokKind::kRParen)) {
+          do {
+            AVA_ASSIGN_OR_RETURN(auto arg, ParseAssignment());
+            node->args.push_back(std::move(arg));
+          } while (Match(TokKind::kComma));
+        }
+        AVA_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+        return ExprPtr(std::move(node));
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kVarRef;
+      node->line = line;
+      node->name = std::move(name);
+      return ExprPtr(std::move(node));
+    }
+    return Error(std::string("unexpected token ") +
+                 std::string(TokKindName(Peek().kind)) + " in expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  bool local_pending_ = false;
+};
+
+}  // namespace
+
+ava::Result<Program> ParseProgram(std::string_view source) {
+  auto tokens = Lex(source);
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  return Parser(std::move(tokens).value()).Run();
+}
+
+}  // namespace vcl

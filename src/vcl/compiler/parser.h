@@ -1,0 +1,19 @@
+// Recursive-descent parser for the VCL kernel language: a token stream in,
+// a Program AST out. All diagnostics are "line:col: message" strings suitable
+// for the build log returned by vclGetProgramBuildInfo.
+#ifndef AVA_SRC_VCL_COMPILER_PARSER_H_
+#define AVA_SRC_VCL_COMPILER_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/vcl/compiler/ast.h"
+
+namespace vcl {
+
+// Lexes and parses `source` into a Program (one or more __kernel functions).
+ava::Result<Program> ParseProgram(std::string_view source);
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_COMPILER_PARSER_H_

@@ -1,0 +1,784 @@
+#include "src/vcl/compiler/vm.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+namespace vcl {
+namespace {
+
+constexpr std::uint64_t kDefaultMaxInstrPerItem = 1ull << 26;
+constexpr std::size_t kStackCapacity = 512;
+
+inline float CellToF(std::uint64_t cell) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(cell));
+}
+inline std::uint64_t FToCell(float f) {
+  return static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(f));
+}
+inline std::int64_t CellToI(std::uint64_t cell) {
+  return static_cast<std::int64_t>(cell);
+}
+inline std::uint64_t IToCell(std::int64_t i) {
+  return static_cast<std::uint64_t>(i);
+}
+
+// Execution state of one work-item, resumable at barriers.
+struct ItemState {
+  std::vector<std::uint64_t> slots;
+  std::vector<std::uint64_t> stack;
+  std::size_t sp = 0;
+  std::uint32_t pc = 0;
+  int at_barrier = -1;  // barrier id the item is parked at, or -1
+  bool done = false;
+  std::uint64_t instr_budget = 0;
+  std::size_t gid[3] = {0, 0, 0};
+  std::size_t lid[3] = {0, 0, 0};
+  std::vector<std::vector<std::uint8_t>> private_blocks;
+};
+
+// Why a work-item stopped running.
+enum class StopReason { kDone, kBarrier, kTrap };
+
+class GroupRunner {
+ public:
+  GroupRunner(const CompiledKernel& kernel, const LaunchConfig& config,
+              const std::vector<KernelArg>& args, std::uint64_t max_instr)
+      : kernel_(kernel), config_(config), args_(args), max_instr_(max_instr) {}
+
+  ava::Result<ExecStats> Run() {
+    AVA_RETURN_IF_ERROR(PrepareLocalBlocks());
+    std::size_t num_groups[3];
+    for (int d = 0; d < 3; ++d) {
+      if (config_.local_size[d] == 0 || config_.global_size[d] == 0) {
+        return ava::InvalidArgument("zero-sized NDRange dimension");
+      }
+      if (config_.global_size[d] % config_.local_size[d] != 0) {
+        return ava::InvalidArgument(
+            "global size not divisible by local size");
+      }
+      num_groups[d] = config_.global_size[d] / config_.local_size[d];
+    }
+    group_size_ = config_.local_size[0] * config_.local_size[1] *
+                  config_.local_size[2];
+
+    for (std::size_t gz = 0; gz < num_groups[2]; ++gz) {
+      for (std::size_t gy = 0; gy < num_groups[1]; ++gy) {
+        for (std::size_t gx = 0; gx < num_groups[0]; ++gx) {
+          std::size_t group[3] = {gx, gy, gz};
+          AVA_RETURN_IF_ERROR(RunGroup(group));
+        }
+      }
+    }
+    return stats_;
+  }
+
+ private:
+  ava::Status Trap(const ItemState& item, const std::string& message) const {
+    return ava::Aborted("kernel '" + kernel_.name + "' trapped at pc " +
+                        std::to_string(item.pc) + ", work-item (" +
+                        std::to_string(item.gid[0]) + "," +
+                        std::to_string(item.gid[1]) + "," +
+                        std::to_string(item.gid[2]) + "): " + message);
+  }
+
+  ava::Status PrepareLocalBlocks() {
+    local_blocks_.resize(kernel_.local_blocks.size());
+    for (std::size_t i = 0; i < kernel_.local_blocks.size(); ++i) {
+      const LocalBlockInfo& info = kernel_.local_blocks[i];
+      std::size_t bytes = info.byte_size;
+      if (info.param_index >= 0) {
+        const std::size_t idx = static_cast<std::size_t>(info.param_index);
+        if (idx >= args_.size() ||
+            args_[idx].kind != KernelArg::Kind::kLocal) {
+          return ava::FailedPrecondition(
+              "__local parameter " + std::to_string(info.param_index) +
+              " of kernel '" + kernel_.name + "' not set");
+        }
+        bytes = args_[idx].local_size;
+      }
+      local_blocks_[i].assign(bytes, 0);
+    }
+    return ava::OkStatus();
+  }
+
+  void InitItem(ItemState* item, const std::size_t group[3],
+                std::size_t lx, std::size_t ly, std::size_t lz) {
+    item->slots.assign(kernel_.num_slots, 0);
+    if (item->stack.size() < kStackCapacity) {
+      item->stack.resize(kStackCapacity);
+    }
+    item->sp = 0;
+    item->pc = 0;
+    item->at_barrier = -1;
+    item->done = false;
+    item->instr_budget = max_instr_;
+    item->lid[0] = lx;
+    item->lid[1] = ly;
+    item->lid[2] = lz;
+    item->gid[0] = config_.global_offset[0] +
+                   group[0] * config_.local_size[0] + lx;
+    item->gid[1] = config_.global_offset[1] +
+                   group[1] * config_.local_size[1] + ly;
+    item->gid[2] = config_.global_offset[2] +
+                   group[2] * config_.local_size[2] + lz;
+    // Bind parameter slots.
+    item->private_blocks.resize(kernel_.private_blocks.size());
+    for (std::size_t i = 0; i < kernel_.private_blocks.size(); ++i) {
+      item->private_blocks[i].assign(kernel_.private_blocks[i].byte_size, 0);
+    }
+    int local_block_cursor = 0;
+    for (std::size_t p = 0; p < kernel_.params.size(); ++p) {
+      const ParamInfo& info = kernel_.params[p];
+      switch (info.kind) {
+        case ParamKind::kScalar:
+          item->slots[p] = args_[p].scalar_cell;
+          break;
+        case ParamKind::kGlobalPtr:
+          item->slots[p] = PackPtr(PtrSpace::kGlobal,
+                                   static_cast<std::uint32_t>(p), 0);
+          break;
+        case ParamKind::kLocalPtr: {
+          // Local blocks for pointer params appear in declaration order at
+          // the front of local_blocks (see codegen BindParams).
+          while (kernel_.local_blocks[static_cast<std::size_t>(
+                     local_block_cursor)].param_index !=
+                 static_cast<int>(p)) {
+            ++local_block_cursor;
+          }
+          item->slots[p] =
+              PackPtr(PtrSpace::kLocal,
+                      static_cast<std::uint32_t>(local_block_cursor), 0);
+          ++local_block_cursor;
+          break;
+        }
+      }
+    }
+  }
+
+  ava::Status RunGroup(const std::size_t group[3]) {
+    // Zero local memory for each group (matches a fresh-allocation model).
+    for (auto& block : local_blocks_) {
+      std::fill(block.begin(), block.end(), 0);
+    }
+    if (kernel_.num_barriers == 0) {
+      // Fast path: no barriers, items are independent; reuse one state.
+      ItemState item;
+      for (std::size_t lz = 0; lz < config_.local_size[2]; ++lz) {
+        for (std::size_t ly = 0; ly < config_.local_size[1]; ++ly) {
+          for (std::size_t lx = 0; lx < config_.local_size[0]; ++lx) {
+            InitItem(&item, group, lx, ly, lz);
+            AVA_ASSIGN_OR_RETURN(StopReason reason, RunItem(&item));
+            if (reason == StopReason::kBarrier) {
+              return Trap(item, "barrier in kernel compiled without barriers");
+            }
+            ++stats_.work_items;
+          }
+        }
+      }
+      return ava::OkStatus();
+    }
+    // Barrier path: all items of the group live simultaneously.
+    std::vector<ItemState> items(group_size_);
+    std::size_t idx = 0;
+    for (std::size_t lz = 0; lz < config_.local_size[2]; ++lz) {
+      for (std::size_t ly = 0; ly < config_.local_size[1]; ++ly) {
+        for (std::size_t lx = 0; lx < config_.local_size[0]; ++lx) {
+          InitItem(&items[idx++], group, lx, ly, lz);
+        }
+      }
+    }
+    while (true) {
+      bool any_running = false;
+      for (auto& item : items) {
+        if (item.done) {
+          continue;
+        }
+        AVA_ASSIGN_OR_RETURN(StopReason reason, RunItem(&item));
+        (void)reason;
+        any_running = true;
+      }
+      if (!any_running) {
+        break;
+      }
+      // All live items are now parked at a barrier or done. Check coherence.
+      int barrier_id = -2;
+      bool any_at_barrier = false;
+      bool any_done = false;
+      for (auto& item : items) {
+        if (item.done) {
+          any_done = true;
+          continue;
+        }
+        any_at_barrier = true;
+        if (barrier_id == -2) {
+          barrier_id = item.at_barrier;
+        } else if (barrier_id != item.at_barrier) {
+          return Trap(item, "barrier divergence across work-items");
+        }
+      }
+      if (!any_at_barrier) {
+        break;  // every item finished
+      }
+      if (any_done) {
+        for (auto& item : items) {
+          if (!item.done) {
+            return Trap(item,
+                        "barrier divergence: some work-items already returned");
+          }
+        }
+      }
+      // Release the barrier.
+      for (auto& item : items) {
+        if (!item.done) {
+          item.at_barrier = -1;
+        }
+      }
+    }
+    stats_.work_items += group_size_;
+    return ava::OkStatus();
+  }
+
+  // Resolves a packed pointer to (base, block_size). Returns false on a bad
+  // block index.
+  bool ResolvePtr(ItemState* item, std::uint64_t ptr, std::uint8_t** base,
+                  std::size_t* size) {
+    const std::uint32_t block = PtrBlockOf(ptr);
+    switch (PtrSpaceOf(ptr)) {
+      case PtrSpace::kGlobal: {
+        if (block >= args_.size() ||
+            args_[block].kind != KernelArg::Kind::kBuffer) {
+          return false;
+        }
+        *base = args_[block].buffer_data;
+        *size = args_[block].buffer_size;
+        return true;
+      }
+      case PtrSpace::kLocal: {
+        if (block >= local_blocks_.size()) {
+          return false;
+        }
+        *base = local_blocks_[block].data();
+        *size = local_blocks_[block].size();
+        return true;
+      }
+      case PtrSpace::kPrivate: {
+        if (block >= item->private_blocks.size()) {
+          return false;
+        }
+        *base = item->private_blocks[block].data();
+        *size = item->private_blocks[block].size();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Runs one work-item until it completes, parks at a barrier, or traps.
+  ava::Result<StopReason> RunItem(ItemState* item) {
+    const Instr* code = kernel_.code.data();
+    const std::size_t code_size = kernel_.code.size();
+    std::uint64_t* stack = item->stack.data();
+    std::size_t sp = item->sp;
+    std::uint32_t pc = item->pc;
+    std::uint64_t budget = item->instr_budget;
+    std::uint64_t executed = 0;
+
+    auto sync_back = [&] {
+      item->sp = sp;
+      item->pc = pc;
+      // The budget is per work-item across barrier resumes.
+      item->instr_budget = budget > executed ? budget - executed : 0;
+      stats_.instructions += executed;
+    };
+
+#define VM_TRAP(msg)            \
+  do {                          \
+    sync_back();                \
+    return Trap(*item, (msg));  \
+  } while (0)
+
+    while (true) {
+      if (pc >= code_size) {
+        VM_TRAP("pc out of range");
+      }
+      if (executed >= budget) {
+        VM_TRAP("instruction budget exceeded (possible infinite loop)");
+      }
+      const Instr& ins = code[pc];
+      ++pc;
+      ++executed;
+      switch (ins.op) {
+        case Op::kNop:
+          break;
+        case Op::kPushI:
+          if (sp >= kStackCapacity) VM_TRAP("value stack overflow");
+          stack[sp++] = IToCell(ins.imm.i);
+          break;
+        case Op::kPushF:
+          if (sp >= kStackCapacity) VM_TRAP("value stack overflow");
+          stack[sp++] = FToCell(ins.imm.f);
+          break;
+        case Op::kLoadSlot:
+          if (sp >= kStackCapacity) VM_TRAP("value stack overflow");
+          stack[sp++] = item->slots[static_cast<std::size_t>(ins.a)];
+          break;
+        case Op::kStoreSlot:
+          item->slots[static_cast<std::size_t>(ins.a)] = stack[--sp];
+          break;
+        case Op::kDup:
+          if (sp >= kStackCapacity) VM_TRAP("value stack overflow");
+          stack[sp] = stack[sp - 1];
+          ++sp;
+          break;
+        case Op::kPop:
+          --sp;
+          break;
+        case Op::kAddI:
+          stack[sp - 2] = IToCell(CellToI(stack[sp - 2]) + CellToI(stack[sp - 1]));
+          --sp;
+          break;
+        case Op::kSubI:
+          stack[sp - 2] = IToCell(CellToI(stack[sp - 2]) - CellToI(stack[sp - 1]));
+          --sp;
+          break;
+        case Op::kMulI:
+          stack[sp - 2] = IToCell(CellToI(stack[sp - 2]) * CellToI(stack[sp - 1]));
+          --sp;
+          break;
+        case Op::kDivI: {
+          std::int64_t d = CellToI(stack[sp - 1]);
+          if (d == 0) VM_TRAP("integer division by zero");
+          stack[sp - 2] = IToCell(CellToI(stack[sp - 2]) / d);
+          --sp;
+          break;
+        }
+        case Op::kRemI: {
+          std::int64_t d = CellToI(stack[sp - 1]);
+          if (d == 0) VM_TRAP("integer remainder by zero");
+          stack[sp - 2] = IToCell(CellToI(stack[sp - 2]) % d);
+          --sp;
+          break;
+        }
+        case Op::kNegI:
+          stack[sp - 1] = IToCell(-CellToI(stack[sp - 1]));
+          break;
+        case Op::kAndI:
+          stack[sp - 2] = stack[sp - 2] & stack[sp - 1];
+          --sp;
+          break;
+        case Op::kOrI:
+          stack[sp - 2] = stack[sp - 2] | stack[sp - 1];
+          --sp;
+          break;
+        case Op::kXorI:
+          stack[sp - 2] = stack[sp - 2] ^ stack[sp - 1];
+          --sp;
+          break;
+        case Op::kShlI:
+          stack[sp - 2] = IToCell(CellToI(stack[sp - 2])
+                                  << (stack[sp - 1] & 63));
+          --sp;
+          break;
+        case Op::kShrI:
+          stack[sp - 2] = IToCell(CellToI(stack[sp - 2]) >>
+                                  (stack[sp - 1] & 63));
+          --sp;
+          break;
+        case Op::kAddF:
+          stack[sp - 2] = FToCell(CellToF(stack[sp - 2]) + CellToF(stack[sp - 1]));
+          --sp;
+          break;
+        case Op::kSubF:
+          stack[sp - 2] = FToCell(CellToF(stack[sp - 2]) - CellToF(stack[sp - 1]));
+          --sp;
+          break;
+        case Op::kMulF:
+          stack[sp - 2] = FToCell(CellToF(stack[sp - 2]) * CellToF(stack[sp - 1]));
+          --sp;
+          break;
+        case Op::kDivF:
+          stack[sp - 2] = FToCell(CellToF(stack[sp - 2]) / CellToF(stack[sp - 1]));
+          --sp;
+          break;
+        case Op::kNegF:
+          stack[sp - 1] = FToCell(-CellToF(stack[sp - 1]));
+          break;
+        case Op::kEqI:
+          stack[sp - 2] = CellToI(stack[sp - 2]) == CellToI(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kNeI:
+          stack[sp - 2] = CellToI(stack[sp - 2]) != CellToI(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kLtI:
+          stack[sp - 2] = CellToI(stack[sp - 2]) < CellToI(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kLeI:
+          stack[sp - 2] = CellToI(stack[sp - 2]) <= CellToI(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kGtI:
+          stack[sp - 2] = CellToI(stack[sp - 2]) > CellToI(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kGeI:
+          stack[sp - 2] = CellToI(stack[sp - 2]) >= CellToI(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kEqF:
+          stack[sp - 2] = CellToF(stack[sp - 2]) == CellToF(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kNeF:
+          stack[sp - 2] = CellToF(stack[sp - 2]) != CellToF(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kLtF:
+          stack[sp - 2] = CellToF(stack[sp - 2]) < CellToF(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kLeF:
+          stack[sp - 2] = CellToF(stack[sp - 2]) <= CellToF(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kGtF:
+          stack[sp - 2] = CellToF(stack[sp - 2]) > CellToF(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kGeF:
+          stack[sp - 2] = CellToF(stack[sp - 2]) >= CellToF(stack[sp - 1]);
+          --sp;
+          break;
+        case Op::kLogNot:
+          stack[sp - 1] = stack[sp - 1] == 0;
+          break;
+        case Op::kI2F:
+          stack[sp - 1] = FToCell(static_cast<float>(CellToI(stack[sp - 1])));
+          break;
+        case Op::kF2I:
+          stack[sp - 1] =
+              IToCell(static_cast<std::int64_t>(CellToF(stack[sp - 1])));
+          break;
+        case Op::kJmp:
+          pc = static_cast<std::uint32_t>(ins.a);
+          break;
+        case Op::kJz:
+          if (stack[--sp] == 0) {
+            pc = static_cast<std::uint32_t>(ins.a);
+          }
+          break;
+        case Op::kJnz:
+          if (stack[--sp] != 0) {
+            pc = static_cast<std::uint32_t>(ins.a);
+          }
+          break;
+        case Op::kPtrAdd: {
+          std::int64_t index = CellToI(stack[--sp]);
+          std::uint64_t ptr = stack[sp - 1];
+          std::uint64_t offset =
+              (PtrOffsetOf(ptr) +
+               static_cast<std::uint64_t>(index * ins.a)) &
+              kPtrOffsetMask;
+          stack[sp - 1] = PackPtr(PtrSpaceOf(ptr), PtrBlockOf(ptr), offset);
+          break;
+        }
+        case Op::kLd: {
+          std::uint64_t ptr = stack[sp - 1];
+          std::uint8_t* base;
+          std::size_t size;
+          if (!ResolvePtr(item, ptr, &base, &size)) {
+            VM_TRAP("load through invalid pointer");
+          }
+          const std::uint64_t off = PtrOffsetOf(ptr);
+          const MemElem elem = static_cast<MemElem>(ins.a);
+          const std::size_t esz = MemElemSize(elem);
+          if (off + esz > size) {
+            VM_TRAP("out-of-bounds load at byte offset " + std::to_string(off));
+          }
+          std::uint64_t value = 0;
+          switch (elem) {
+            case MemElem::kF32: {
+              std::uint32_t raw;
+              std::memcpy(&raw, base + off, 4);
+              value = raw;
+              break;
+            }
+            case MemElem::kI32: {
+              std::int32_t raw;
+              std::memcpy(&raw, base + off, 4);
+              value = IToCell(raw);
+              break;
+            }
+            case MemElem::kU32: {
+              std::uint32_t raw;
+              std::memcpy(&raw, base + off, 4);
+              value = raw;
+              break;
+            }
+            case MemElem::kI64: {
+              std::memcpy(&value, base + off, 8);
+              break;
+            }
+          }
+          if (PtrSpaceOf(ptr) == PtrSpace::kGlobal) {
+            stats_.bytes_accessed += esz;
+          }
+          stack[sp - 1] = value;
+          break;
+        }
+        case Op::kSt: {
+          std::uint64_t value = stack[--sp];
+          std::uint64_t ptr = stack[--sp];
+          std::uint8_t* base;
+          std::size_t size;
+          if (!ResolvePtr(item, ptr, &base, &size)) {
+            VM_TRAP("store through invalid pointer");
+          }
+          const std::uint64_t off = PtrOffsetOf(ptr);
+          const MemElem elem = static_cast<MemElem>(ins.a);
+          const std::size_t esz = MemElemSize(elem);
+          if (off + esz > size) {
+            VM_TRAP("out-of-bounds store at byte offset " +
+                    std::to_string(off));
+          }
+          switch (elem) {
+            case MemElem::kF32:
+            case MemElem::kU32:
+            case MemElem::kI32: {
+              std::uint32_t raw = static_cast<std::uint32_t>(value);
+              std::memcpy(base + off, &raw, 4);
+              break;
+            }
+            case MemElem::kI64:
+              std::memcpy(base + off, &value, 8);
+              break;
+          }
+          if (PtrSpaceOf(ptr) == PtrSpace::kGlobal) {
+            stats_.bytes_accessed += esz;
+          }
+          break;
+        }
+        case Op::kGetGlobalId: {
+          std::int64_t d = CellToI(stack[sp - 1]);
+          stack[sp - 1] = IToCell(
+              d >= 0 && d < 3 ? static_cast<std::int64_t>(item->gid[d]) : 0);
+          break;
+        }
+        case Op::kGetLocalId: {
+          std::int64_t d = CellToI(stack[sp - 1]);
+          stack[sp - 1] = IToCell(
+              d >= 0 && d < 3 ? static_cast<std::int64_t>(item->lid[d]) : 0);
+          break;
+        }
+        case Op::kGetGroupId: {
+          std::int64_t d = CellToI(stack[sp - 1]);
+          std::int64_t v = 0;
+          if (d >= 0 && d < 3) {
+            v = static_cast<std::int64_t>(
+                (item->gid[d] - config_.global_offset[d]) /
+                config_.local_size[d]);
+          }
+          stack[sp - 1] = IToCell(v);
+          break;
+        }
+        case Op::kGetGlobalSize: {
+          std::int64_t d = CellToI(stack[sp - 1]);
+          stack[sp - 1] = IToCell(
+              d >= 0 && d < 3 ? static_cast<std::int64_t>(config_.global_size[d])
+                              : 1);
+          break;
+        }
+        case Op::kGetLocalSize: {
+          std::int64_t d = CellToI(stack[sp - 1]);
+          stack[sp - 1] = IToCell(
+              d >= 0 && d < 3 ? static_cast<std::int64_t>(config_.local_size[d])
+                              : 1);
+          break;
+        }
+        case Op::kGetNumGroups: {
+          std::int64_t d = CellToI(stack[sp - 1]);
+          std::int64_t v = 1;
+          if (d >= 0 && d < 3) {
+            v = static_cast<std::int64_t>(config_.global_size[d] /
+                                          config_.local_size[d]);
+          }
+          stack[sp - 1] = IToCell(v);
+          break;
+        }
+        case Op::kBarrier:
+          item->at_barrier = ins.a;
+          sync_back();
+          return StopReason::kBarrier;
+        case Op::kBuiltin: {
+          const Builtin b = static_cast<Builtin>(ins.a);
+          switch (b) {
+            case Builtin::kSqrt:
+              stack[sp - 1] = FToCell(std::sqrt(CellToF(stack[sp - 1])));
+              break;
+            case Builtin::kFabs:
+              stack[sp - 1] = FToCell(std::fabs(CellToF(stack[sp - 1])));
+              break;
+            case Builtin::kExp:
+              stack[sp - 1] = FToCell(std::exp(CellToF(stack[sp - 1])));
+              break;
+            case Builtin::kLog:
+              stack[sp - 1] = FToCell(std::log(CellToF(stack[sp - 1])));
+              break;
+            case Builtin::kPow:
+              stack[sp - 2] = FToCell(
+                  std::pow(CellToF(stack[sp - 2]), CellToF(stack[sp - 1])));
+              --sp;
+              break;
+            case Builtin::kFmax:
+              stack[sp - 2] = FToCell(
+                  std::fmax(CellToF(stack[sp - 2]), CellToF(stack[sp - 1])));
+              --sp;
+              break;
+            case Builtin::kFmin:
+              stack[sp - 2] = FToCell(
+                  std::fmin(CellToF(stack[sp - 2]), CellToF(stack[sp - 1])));
+              --sp;
+              break;
+            case Builtin::kFloor:
+              stack[sp - 1] = FToCell(std::floor(CellToF(stack[sp - 1])));
+              break;
+            case Builtin::kCeil:
+              stack[sp - 1] = FToCell(std::ceil(CellToF(stack[sp - 1])));
+              break;
+            case Builtin::kSin:
+              stack[sp - 1] = FToCell(std::sin(CellToF(stack[sp - 1])));
+              break;
+            case Builtin::kCos:
+              stack[sp - 1] = FToCell(std::cos(CellToF(stack[sp - 1])));
+              break;
+            case Builtin::kMinI: {
+              std::int64_t x = CellToI(stack[sp - 2]);
+              std::int64_t y = CellToI(stack[sp - 1]);
+              stack[sp - 2] = IToCell(x < y ? x : y);
+              --sp;
+              break;
+            }
+            case Builtin::kMaxI: {
+              std::int64_t x = CellToI(stack[sp - 2]);
+              std::int64_t y = CellToI(stack[sp - 1]);
+              stack[sp - 2] = IToCell(x > y ? x : y);
+              --sp;
+              break;
+            }
+            case Builtin::kAbsI: {
+              std::int64_t x = CellToI(stack[sp - 1]);
+              stack[sp - 1] = IToCell(x < 0 ? -x : x);
+              break;
+            }
+          }
+          break;
+        }
+        case Op::kRet:
+          item->done = true;
+          sync_back();
+          return StopReason::kDone;
+      }
+    }
+#undef VM_TRAP
+  }
+
+  const CompiledKernel& kernel_;
+  const LaunchConfig& config_;
+  const std::vector<KernelArg>& args_;
+  const std::uint64_t max_instr_;
+  std::vector<std::vector<std::uint8_t>> local_blocks_;
+  std::size_t group_size_ = 0;
+  ExecStats stats_;
+};
+
+}  // namespace
+
+ava::Result<ExecStats> ExecuteKernel(const CompiledKernel& kernel,
+                                     const LaunchConfig& config,
+                                     const std::vector<KernelArg>& args,
+                                     std::uint64_t max_instructions_per_item) {
+  if (args.size() < kernel.params.size()) {
+    return ava::FailedPrecondition("kernel '" + kernel.name +
+                                   "': not all arguments set");
+  }
+  for (std::size_t i = 0; i < kernel.params.size(); ++i) {
+    const ParamInfo& p = kernel.params[i];
+    const KernelArg& a = args[i];
+    const char* want = nullptr;
+    switch (p.kind) {
+      case ParamKind::kScalar:
+        if (a.kind != KernelArg::Kind::kScalar) want = "scalar";
+        break;
+      case ParamKind::kGlobalPtr:
+        if (a.kind != KernelArg::Kind::kBuffer) want = "buffer";
+        break;
+      case ParamKind::kLocalPtr:
+        if (a.kind != KernelArg::Kind::kLocal) want = "local size";
+        break;
+    }
+    if (want != nullptr) {
+      return ava::FailedPrecondition(
+          "kernel '" + kernel.name + "' argument " + std::to_string(i) +
+          " ('" + p.name + "'): expected a " + want + " argument");
+    }
+  }
+  std::uint64_t budget = max_instructions_per_item == 0
+                             ? kDefaultMaxInstrPerItem
+                             : max_instructions_per_item;
+  return GroupRunner(kernel, config, args, budget).Run();
+}
+
+ava::Result<std::uint64_t> ScalarArgToCell(Scalar declared, const void* bytes,
+                                           std::size_t size) {
+  if (bytes == nullptr) {
+    return ava::InvalidArgument("null scalar argument value");
+  }
+  switch (declared) {
+    case Scalar::kInt: {
+      if (size != 4) {
+        return ava::InvalidArgument("int argument requires 4 bytes");
+      }
+      std::int32_t v;
+      std::memcpy(&v, bytes, 4);
+      return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+    }
+    case Scalar::kUint: {
+      if (size != 4) {
+        return ava::InvalidArgument("uint argument requires 4 bytes");
+      }
+      std::uint32_t v;
+      std::memcpy(&v, bytes, 4);
+      return static_cast<std::uint64_t>(v);
+    }
+    case Scalar::kLong: {
+      if (size != 8 && size != 4) {
+        return ava::InvalidArgument("long argument requires 8 bytes");
+      }
+      if (size == 8) {
+        std::int64_t v;
+        std::memcpy(&v, bytes, 8);
+        return static_cast<std::uint64_t>(v);
+      }
+      std::int32_t v;
+      std::memcpy(&v, bytes, 4);
+      return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+    }
+    case Scalar::kFloat: {
+      if (size != 4) {
+        return ava::InvalidArgument("float argument requires 4 bytes");
+      }
+      std::uint32_t v;
+      std::memcpy(&v, bytes, 4);
+      return static_cast<std::uint64_t>(v);
+    }
+    case Scalar::kVoid:
+      break;
+  }
+  return ava::InvalidArgument("unsupported scalar parameter type");
+}
+
+}  // namespace vcl

@@ -1,0 +1,56 @@
+// The VCL kernel VM: executes a CompiledKernel over an NDRange with
+// work-groups, barriers, local memory, and bounds-checked device memory
+// access. Used by the VCL device engine; has no knowledge of the API layer.
+#ifndef AVA_SRC_VCL_COMPILER_VM_H_
+#define AVA_SRC_VCL_COMPILER_VM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/vcl/compiler/bytecode.h"
+
+namespace vcl {
+
+struct LaunchConfig {
+  std::uint32_t work_dim = 1;
+  std::size_t global_offset[3] = {0, 0, 0};
+  std::size_t global_size[3] = {1, 1, 1};
+  std::size_t local_size[3] = {1, 1, 1};
+};
+
+// One bound kernel argument. The device engine builds these from the
+// vclSetKernelArg* calls before launching.
+struct KernelArg {
+  enum class Kind : std::uint8_t { kUnset, kScalar, kBuffer, kLocal };
+  Kind kind = Kind::kUnset;
+  std::uint64_t scalar_cell = 0;    // kScalar: the 64-bit VM cell value
+  std::uint8_t* buffer_data = nullptr;  // kBuffer: device memory
+  std::size_t buffer_size = 0;
+  std::size_t local_size = 0;       // kLocal: bytes of local memory
+};
+
+struct ExecStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t work_items = 0;
+  std::uint64_t bytes_accessed = 0;  // global memory traffic (loads + stores)
+};
+
+// Executes the full NDRange. Returns kernel-trap errors (out-of-bounds,
+// divide-by-zero, barrier divergence, instruction budget exceeded) as
+// non-OK Status. `max_instructions_per_item` guards infinite loops (0 means
+// a default of 1<<26).
+ava::Result<ExecStats> ExecuteKernel(const CompiledKernel& kernel,
+                                     const LaunchConfig& config,
+                                     const std::vector<KernelArg>& args,
+                                     std::uint64_t max_instructions_per_item = 0);
+
+// Converts raw scalar argument bytes (from vclSetKernelArgScalar) into a VM
+// cell per the parameter's declared scalar type. Returns an error if the
+// size does not match the declared type.
+ava::Result<std::uint64_t> ScalarArgToCell(Scalar declared, const void* bytes,
+                                           std::size_t size);
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_COMPILER_VM_H_

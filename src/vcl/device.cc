@@ -1,0 +1,258 @@
+#include "src/vcl/device.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace vcl {
+
+Device::Device(Silo* silo, vcl_device_id self, const SiloConfig& config)
+    : silo_(silo), self_(self), config_(config) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+Device::~Device() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+bool Device::ChargeMemory(std::size_t bytes) {
+  std::size_t current = mem_in_use_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current + bytes > config_.device_global_mem_bytes) {
+      return false;
+    }
+    if (mem_in_use_.compare_exchange_weak(current, current + bytes,
+                                          std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void Device::RefundMemory(std::size_t bytes) {
+  mem_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t Device::MemoryInUse() const {
+  return mem_in_use_.load(std::memory_order_relaxed);
+}
+
+void Device::Enqueue(std::unique_ptr<Command> command) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    command->event->status = VCL_SUBMITTED;
+    command->event->queued_vns = virtual_now_ns_;
+    command->event->submit_vns = virtual_now_ns_;
+    if (command->queue != nullptr) {
+      ++command->queue->pending;
+    }
+    ++in_flight_;
+    pending_.push_back(std::move(command));
+  }
+  work_cv_.notify_one();
+}
+
+void Device::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+vcl_int Device::WaitEvent(vcl_event event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return event->status == VCL_COMPLETE || event->status < 0;
+  });
+  return event->status == VCL_COMPLETE ? VCL_SUCCESS : event->status;
+}
+
+vcl_int Device::FinishQueue(vcl_command_queue queue) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return queue->pending == 0; });
+  return VCL_SUCCESS;
+}
+
+std::int64_t Device::VirtualNowNs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return virtual_now_ns_;
+}
+
+SiloCounters Device::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiloCounters c = counters_;
+  c.virtual_time_ns = virtual_now_ns_;
+  return c;
+}
+
+void Device::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stopping_) {
+        return;
+      }
+      continue;
+    }
+    std::unique_ptr<Command> command = std::move(pending_.front());
+    pending_.pop_front();
+    command->event->status = VCL_RUNNING;
+    command->event->start_vns = virtual_now_ns_;
+    lock.unlock();
+
+    // Wait-list events were all enqueued before this command on this
+    // in-order device, so they are already complete; a failed dependency
+    // fails this command.
+    vcl_int dep_status = VCL_SUCCESS;
+    for (vcl_event dep : command->wait_list) {
+      vcl_int s = WaitEvent(dep);
+      if (s != VCL_SUCCESS) {
+        dep_status = s;
+      }
+    }
+
+    ExecStats stats;
+    vcl_int final_status = VCL_COMPLETE;
+    std::string trap_message;
+    if (dep_status != VCL_SUCCESS) {
+      final_status = dep_status;
+      trap_message = "failed event in wait list";
+    } else {
+      switch (command->kind) {
+        case Command::Kind::kRead:
+          std::memcpy(command->host_dst,
+                      command->buffer->data.get() + command->offset,
+                      command->size);
+          break;
+        case Command::Kind::kWrite:
+          std::memcpy(command->buffer->data.get() + command->offset,
+                      command->host_src_ptr != nullptr
+                          ? command->host_src_ptr
+                          : command->host_src.data(),
+                      command->size);
+          break;
+        case Command::Kind::kCopy:
+          std::memmove(command->buffer->data.get() + command->offset,
+                       command->src->data.get() + command->src_offset,
+                       command->size);
+          break;
+        case Command::Kind::kFill: {
+          std::uint8_t* dst = command->buffer->data.get() + command->offset;
+          const std::size_t pat = command->pattern.size();
+          for (std::size_t i = 0; i < command->size; i += pat) {
+            std::memcpy(dst + i, command->pattern.data(),
+                        std::min(pat, command->size - i));
+          }
+          break;
+        }
+        case Command::Kind::kNDRange: {
+          auto result =
+              ExecuteKernel(*command->kernel->compiled, command->launch,
+                            command->args, config_.max_instructions_per_item);
+          if (result.ok()) {
+            stats = *result;
+          } else {
+            final_status = VCL_KERNEL_TRAP;
+            trap_message = result.status().message();
+            AVA_LOG(WARNING) << "kernel trap: " << trap_message;
+          }
+          break;
+        }
+        case Command::Kind::kMarker:
+          break;
+      }
+    }
+
+    // Release data references (buffers, kernel) BEFORE signaling completion:
+    // memory refunds must be visible to a caller that wakes on the event and
+    // immediately retries an allocation.
+    ReleaseDataRefs(command.get());
+
+    lock.lock();
+    const std::int64_t cost = CommandCostVns(*command, stats);
+    virtual_now_ns_ += cost;
+    ++counters_.commands_executed;
+    counters_.instructions_executed += stats.instructions;
+    if (command->kind == Command::Kind::kNDRange) {
+      ++counters_.kernel_launches;
+    } else if (command->kind != Command::Kind::kMarker) {
+      counters_.bytes_transferred += command->size;
+    }
+    command->event->status = final_status;
+    command->event->trap_message = std::move(trap_message);
+    command->event->end_vns = virtual_now_ns_;
+    if (command->queue != nullptr) {
+      --command->queue->pending;
+    }
+    lock.unlock();
+    done_cv_.notify_all();
+    ReleaseControlRefs(command.get());
+    command.reset();
+    lock.lock();
+    --in_flight_;
+    if (in_flight_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+std::int64_t Device::CommandCostVns(const Command& command,
+                                    const ExecStats& stats) const {
+  double vns = static_cast<double>(config_.vns_per_command);
+  switch (command.kind) {
+    case Command::Kind::kRead:
+    case Command::Kind::kWrite:
+    case Command::Kind::kCopy:
+    case Command::Kind::kFill:
+      vns += static_cast<double>(command.size) * config_.vns_per_byte;
+      break;
+    case Command::Kind::kNDRange:
+      vns += static_cast<double>(stats.instructions) *
+             config_.vns_per_instruction /
+             static_cast<double>(config_.compute_units);
+      vns += static_cast<double>(stats.bytes_accessed) * config_.vns_per_byte;
+      break;
+    case Command::Kind::kMarker:
+      break;
+  }
+  return static_cast<std::int64_t>(vns);
+}
+
+void Device::ReleaseDataRefs(Command* command) {
+  if (command->buffer != nullptr) {
+    ReleaseMemRef(command->buffer);
+    command->buffer = nullptr;
+  }
+  if (command->src != nullptr) {
+    ReleaseMemRef(command->src);
+    command->src = nullptr;
+  }
+  if (command->kernel != nullptr) {
+    ReleaseKernelRef(command->kernel);
+    command->kernel = nullptr;
+  }
+  for (vcl_mem m : command->retained_buffers) {
+    ReleaseMemRef(m);
+  }
+  command->retained_buffers.clear();
+}
+
+void Device::ReleaseControlRefs(Command* command) {
+  if (command->queue != nullptr) {
+    ReleaseQueueRef(command->queue);
+  }
+  if (command->event != nullptr) {
+    ReleaseEventRef(command->event);
+  }
+  for (vcl_event dep : command->wait_list) {
+    ReleaseEventRef(dep);
+  }
+}
+
+}  // namespace vcl

@@ -1,0 +1,131 @@
+// The VCL device engine: one worker thread per device executing an in-order
+// command stream (reads, writes, copies, fills, kernel launches), a bounded
+// global-memory budget, event lifecycle, and the virtual-time cost model.
+#ifndef AVA_SRC_VCL_DEVICE_H_
+#define AVA_SRC_VCL_DEVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/serial.h"
+#include "src/vcl/compiler/vm.h"
+#include "src/vcl/object_model.h"
+#include "src/vcl/silo.h"
+#include "src/vcl/vcl.h"
+
+namespace vcl {
+
+class Device {
+ public:
+  Device(Silo* silo, vcl_device_id self, const SiloConfig& config);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // ------------------------- memory budget ---------------------------------
+
+  // Charges `bytes` against the device's global memory. Returns false when
+  // the budget is exhausted (VCL_MEM_OBJECT_ALLOCATION_FAILURE upstream).
+  bool ChargeMemory(std::size_t bytes);
+  void RefundMemory(std::size_t bytes);
+  std::size_t MemoryInUse() const;
+  std::size_t MemoryCapacity() const { return config_.device_global_mem_bytes; }
+
+  // ------------------------- command stream --------------------------------
+
+  struct Command {
+    enum class Kind : std::uint8_t {
+      kRead, kWrite, kCopy, kFill, kNDRange, kMarker,
+    };
+    Kind kind = Kind::kMarker;
+    vcl_command_queue queue = nullptr;  // retained
+    vcl_event event = nullptr;          // retained; always present
+    std::vector<vcl_event> wait_list;   // retained
+
+    // kRead / kWrite / kFill target.
+    vcl_mem buffer = nullptr;  // retained
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    void* host_dst = nullptr;  // kRead destination (caller keeps it alive)
+    ava::Bytes host_src;       // kWrite payload (copied at enqueue)
+    // Blocking-write fast path: the caller's pointer is used directly (it
+    // stays valid until the enqueue call returns, which is after execution).
+    const void* host_src_ptr = nullptr;
+    ava::Bytes pattern;        // kFill
+
+    // kCopy.
+    vcl_mem src = nullptr;  // retained
+    std::size_t src_offset = 0;
+
+    // kNDRange.
+    vcl_kernel kernel = nullptr;  // retained
+    LaunchConfig launch;
+    std::vector<KernelArg> args;
+    std::vector<vcl_mem> retained_buffers;
+  };
+
+  // Takes ownership; stamps queued/submit timestamps; wakes the worker.
+  // The caller must have retained every handle referenced by the command.
+  void Enqueue(std::unique_ptr<Command> command);
+
+  // Blocks until `event` completes (or fails). Returns its final status
+  // (VCL_COMPLETE or a negative error).
+  vcl_int WaitEvent(vcl_event event);
+
+  // Blocks until every command previously enqueued on `queue` completed.
+  vcl_int FinishQueue(vcl_command_queue queue);
+
+  // Blocks until the device has fully retired every enqueued command
+  // (including reference releases). Used by silo teardown.
+  void WaitIdle();
+
+  // ------------------------- introspection ---------------------------------
+
+  std::int64_t VirtualNowNs() const;
+  SiloCounters Counters() const;
+  const SiloConfig& config() const { return config_; }
+
+  // The mutex guarding event status fields; exposed so the API layer can
+  // read event state consistently.
+  std::mutex& mutex() { return mutex_; }
+
+ private:
+  void WorkerLoop();
+  void ExecuteCommand(Command* command);
+  // Returns the modeled virtual-ns cost of an executed command.
+  std::int64_t CommandCostVns(const Command& command,
+                              const ExecStats& stats) const;
+  // Released after execution but before the completion broadcast, so memory
+  // refunds are visible to woken waiters.
+  void ReleaseDataRefs(Command* command);
+  // Released after the completion broadcast (queue/pending bookkeeping and
+  // the event itself).
+  void ReleaseControlRefs(Command* command);
+
+  Silo* silo_;
+  vcl_device_id self_;
+  SiloConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // worker wakeups
+  std::condition_variable done_cv_;   // completion broadcasts
+  std::deque<std::unique_ptr<Command>> pending_;
+  std::uint64_t in_flight_ = 0;  // enqueued but not yet fully retired
+  bool stopping_ = false;
+  std::int64_t virtual_now_ns_ = 0;
+
+  std::atomic<std::size_t> mem_in_use_{0};
+  SiloCounters counters_;
+
+  std::thread worker_;
+};
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_DEVICE_H_

@@ -1,0 +1,126 @@
+// Definitions of the opaque handle structs declared in vcl.h, plus the
+// ref-counting helpers. Internal to the silo.
+#ifndef AVA_SRC_VCL_OBJECT_MODEL_H_
+#define AVA_SRC_VCL_OBJECT_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/vcl/compiler/bytecode.h"
+#include "src/vcl/compiler/vm.h"
+#include "src/vcl/silo.h"
+#include "src/vcl/vcl.h"
+
+namespace vcl {
+class Device;
+}  // namespace vcl
+
+// All records live in the global namespace because the public header
+// declares them as `struct vcl_*_rec`.
+
+struct vcl_platform_rec {
+  vcl::Silo* silo = nullptr;
+  std::string name;
+  std::string vendor;
+  std::string version;
+};
+
+struct vcl_device_rec {
+  vcl::Silo* silo = nullptr;
+  std::unique_ptr<vcl::Device> engine;
+  std::string name;
+};
+
+struct vcl_context_rec {
+  std::atomic<std::int32_t> refcount{1};
+  vcl::Silo* silo = nullptr;
+  std::vector<vcl_device_id> devices;
+};
+
+struct vcl_command_queue_rec {
+  std::atomic<std::int32_t> refcount{1};
+  vcl_context context = nullptr;
+  vcl_device_id device = nullptr;
+  vcl_bitfield properties = 0;
+  // Number of enqueued-but-incomplete commands; guarded by the device mutex.
+  std::uint64_t pending = 0;
+};
+
+struct vcl_mem_rec {
+  std::atomic<std::int32_t> refcount{1};
+  vcl_context context = nullptr;
+  vcl_device_id device = nullptr;  // device whose memory budget holds it
+  vcl_bitfield flags = 0;
+  std::size_t size = 0;
+  std::unique_ptr<std::uint8_t[]> data;
+};
+
+struct vcl_program_rec {
+  std::atomic<std::int32_t> refcount{1};
+  vcl_context context = nullptr;
+  std::string source;
+  vcl_int build_status = VCL_BUILD_NONE;
+  std::string build_log;
+  vcl::CompiledProgram compiled;
+};
+
+struct vcl_kernel_rec {
+  std::atomic<std::int32_t> refcount{1};
+  vcl_program program = nullptr;
+  const vcl::CompiledKernel* compiled = nullptr;
+  // Pending argument bindings (buffer args hold a reference to the vcl_mem
+  // so the buffer outlives the binding). Guarded by the device mutex during
+  // enqueue snapshots; API-level races on the same kernel object are the
+  // application's responsibility, as in OpenCL.
+  struct ArgBinding {
+    vcl::KernelArg::Kind kind = vcl::KernelArg::Kind::kUnset;
+    std::uint64_t scalar_cell = 0;
+    vcl_mem buffer = nullptr;
+    std::size_t local_size = 0;
+  };
+  std::vector<ArgBinding> args;
+};
+
+struct vcl_event_rec {
+  std::atomic<std::int32_t> refcount{1};
+  vcl_device_id device = nullptr;
+  // Execution status: VCL_QUEUED/SUBMITTED/RUNNING/COMPLETE or a negative
+  // error code. Guarded by the device mutex; broadcast on change.
+  vcl_int status = VCL_QUEUED;
+  std::string trap_message;
+  // Profiling timestamps in virtual device nanoseconds.
+  std::int64_t queued_vns = 0;
+  std::int64_t submit_vns = 0;
+  std::int64_t start_vns = 0;
+  std::int64_t end_vns = 0;
+};
+
+namespace vcl {
+
+// Ref-count helpers. `Release` returns true when it destroyed the object.
+template <typename Rec>
+void RetainRec(Rec* rec) {
+  rec->refcount.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <typename Rec>
+bool ReleaseRefOnly(Rec* rec) {
+  return rec->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+// Internal release paths that locate the owning silo through the object
+// graph instead of the process-wide default. The device worker must use
+// these: during silo teardown the global slot is already being replaced.
+void ReleaseContextRef(vcl_context context);
+void ReleaseQueueRef(vcl_command_queue queue);
+void ReleaseMemRef(vcl_mem mem);
+void ReleaseProgramRef(vcl_program program);
+void ReleaseKernelRef(vcl_kernel kernel);
+void ReleaseEventRef(vcl_event event);
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_OBJECT_MODEL_H_

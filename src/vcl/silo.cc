@@ -1,0 +1,95 @@
+#include "src/vcl/silo.h"
+
+#include <memory>
+#include <string>
+
+#include "src/vcl/device.h"
+#include "src/vcl/object_model.h"
+
+namespace vcl {
+
+Silo::Silo(const SiloConfig& config) : config_(config) {
+  auto* platform = new vcl_platform_rec;
+  platform->silo = this;
+  platform->name = "AvA VCL Platform";
+  platform->vendor = "AvA Project";
+  platform->version = "VCL 1.0";
+  platform_ = platform;
+  RegisterHandle(HandleKind::kPlatform, platform_);
+  for (std::uint32_t i = 0; i < config_.num_devices; ++i) {
+    auto* dev = new vcl_device_rec;
+    dev->silo = this;
+    dev->name = "AvA Virtual GPU " + std::to_string(i);
+    dev->engine = std::make_unique<Device>(this, dev, config_);
+    devices_.push_back(dev);
+    RegisterHandle(HandleKind::kDevice, dev);
+  }
+}
+
+Silo::~Silo() {
+  // Drain every device before destroying any: a command on one device may
+  // hold references to objects charged against another.
+  for (vcl_device_id dev : devices_) {
+    dev->engine->WaitIdle();
+  }
+  for (vcl_device_id dev : devices_) {
+    UnregisterHandle(HandleKind::kDevice, dev);
+    delete dev;  // joins the device worker thread
+  }
+  UnregisterHandle(HandleKind::kPlatform, platform_);
+  delete platform_;
+}
+
+void Silo::RegisterHandle(HandleKind kind, void* handle) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  handles_[static_cast<int>(kind)].insert(handle);
+}
+
+void Silo::UnregisterHandle(HandleKind kind, void* handle) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  handles_[static_cast<int>(kind)].erase(handle);
+}
+
+bool Silo::ValidateHandle(HandleKind kind, void* handle) {
+  if (handle == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return handles_[static_cast<int>(kind)].count(handle) != 0;
+}
+
+SiloCounters Silo::Counters() const {
+  SiloCounters total;
+  for (vcl_device_id dev : devices_) {
+    SiloCounters c = dev->engine->Counters();
+    total.commands_executed += c.commands_executed;
+    total.kernel_launches += c.kernel_launches;
+    total.bytes_transferred += c.bytes_transferred;
+    total.instructions_executed += c.instructions_executed;
+    total.virtual_time_ns += c.virtual_time_ns;
+  }
+  return total;
+}
+
+namespace {
+std::unique_ptr<Silo>& DefaultSiloSlot() {
+  static auto* slot = new std::unique_ptr<Silo>;
+  return *slot;
+}
+}  // namespace
+
+Silo& DefaultSilo() {
+  auto& slot = DefaultSiloSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<Silo>(SiloConfig());
+  }
+  return *slot;
+}
+
+void ResetDefaultSilo(const SiloConfig& config) {
+  auto& slot = DefaultSiloSlot();
+  slot.reset();
+  slot = std::make_unique<Silo>(config);
+}
+
+}  // namespace vcl

@@ -1,0 +1,95 @@
+// Internal spine of the VCL silo: configuration, the silo instance (platform,
+// devices, live-handle registry), and test/benchmark hooks. Applications use
+// only vcl.h; the AvA server and tests may use ResetDefaultSilo() and
+// SiloStats() to configure deterministic experiments.
+#ifndef AVA_SRC_VCL_SILO_H_
+#define AVA_SRC_VCL_SILO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/vcl/vcl.h"
+
+namespace vcl {
+
+class Device;
+
+struct SiloConfig {
+  std::uint32_t num_devices = 1;
+  std::size_t device_global_mem_bytes = 256ull << 20;  // 256 MiB
+  std::size_t device_local_mem_bytes = 64u << 10;      // 64 KiB per group
+  std::uint32_t compute_units = 16;
+  std::size_t max_work_group_size = 256;
+  // Virtual-time cost model (see DESIGN.md §5): deterministic device time
+  // charged per command, independent of host speed.
+  double vns_per_instruction = 1.0;
+  double vns_per_byte = 0.05;
+  std::int64_t vns_per_command = 2000;
+  std::uint64_t max_instructions_per_item = 1ull << 26;
+};
+
+// Aggregate counters across all devices, for experiments and tests.
+struct SiloCounters {
+  std::uint64_t commands_executed = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t bytes_transferred = 0;   // read/write/copy/fill traffic
+  std::uint64_t instructions_executed = 0;
+  std::int64_t virtual_time_ns = 0;      // summed device virtual time
+};
+
+// Kinds of handles tracked by the live-handle registry.
+enum class HandleKind : std::uint8_t {
+  kPlatform,
+  kDevice,
+  kContext,
+  kQueue,
+  kMem,
+  kProgram,
+  kKernel,
+  kEvent,
+};
+
+class Silo {
+ public:
+  explicit Silo(const SiloConfig& config);
+  ~Silo();
+
+  Silo(const Silo&) = delete;
+  Silo& operator=(const Silo&) = delete;
+
+  const SiloConfig& config() const { return config_; }
+  vcl_platform_id platform() { return platform_; }
+  const std::vector<vcl_device_id>& devices() const { return devices_; }
+
+  // Live-handle registry: every created object registers itself; every
+  // destroyed object unregisters. API entry points validate incoming handles
+  // against it, so stale or foreign pointers fail cleanly instead of
+  // crashing.
+  void RegisterHandle(HandleKind kind, void* handle);
+  void UnregisterHandle(HandleKind kind, void* handle);
+  bool ValidateHandle(HandleKind kind, void* handle);
+
+  SiloCounters Counters() const;
+
+ private:
+  SiloConfig config_;
+  vcl_platform_id platform_ = nullptr;
+  std::vector<vcl_device_id> devices_;
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_set<void*> handles_[8];
+};
+
+// The process-wide silo instance that the vcl* C API operates on.
+Silo& DefaultSilo();
+
+// Destroys the current default silo (all outstanding handles become invalid)
+// and builds a fresh one with `config`. Test/benchmark hook.
+void ResetDefaultSilo(const SiloConfig& config = SiloConfig());
+
+}  // namespace vcl
+
+#endif  // AVA_SRC_VCL_SILO_H_

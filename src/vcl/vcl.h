@@ -1,0 +1,264 @@
+// VCL — the "vendor" accelerator silo used in place of a proprietary OpenCL
+// stack (see DESIGN.md §2). This header is the silo's only public,
+// stable interface: exactly the kind of user-mode API surface AvA interposes.
+//
+// The API mirrors a core subset of OpenCL 1.2: platforms, devices,
+// ref-counted contexts / queues / buffers / programs / kernels / events,
+// in-order command queues executed by a device worker thread, and a real
+// kernel compiler for the VCL kernel language (a C subset; see
+// src/vcl/compiler/). There are exactly 39 entry points, matching the paper's
+// "39 commonly used OpenCL functions".
+//
+// Everything below the line `vcl*` functions in this file — the compiler, the
+// device engine, the command scheduler — is the *silo*: tightly coupled,
+// deliberately not exposed, exactly as Figure 1 of the paper describes.
+#ifndef AVA_SRC_VCL_VCL_H_
+#define AVA_SRC_VCL_VCL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" {
+
+// ---------------------------------------------------------------------------
+// Scalar and handle types.
+// ---------------------------------------------------------------------------
+
+using vcl_int = std::int32_t;
+using vcl_uint = std::uint32_t;
+using vcl_long = std::int64_t;
+using vcl_ulong = std::uint64_t;
+using vcl_bool = std::uint32_t;
+using vcl_bitfield = std::uint64_t;
+
+// Opaque handles. Guests of the AvA stack never see real pointers; the
+// generated guest library fabricates wire ids with these types.
+using vcl_platform_id = struct vcl_platform_rec*;
+using vcl_device_id = struct vcl_device_rec*;
+using vcl_context = struct vcl_context_rec*;
+using vcl_command_queue = struct vcl_command_queue_rec*;
+using vcl_mem = struct vcl_mem_rec*;
+using vcl_program = struct vcl_program_rec*;
+using vcl_kernel = struct vcl_kernel_rec*;
+using vcl_event = struct vcl_event_rec*;
+
+// ---------------------------------------------------------------------------
+// Error codes (subset of OpenCL's, same style).
+// ---------------------------------------------------------------------------
+
+constexpr vcl_int VCL_SUCCESS = 0;
+constexpr vcl_int VCL_DEVICE_NOT_FOUND = -1;
+constexpr vcl_int VCL_OUT_OF_RESOURCES = -5;
+constexpr vcl_int VCL_MEM_OBJECT_ALLOCATION_FAILURE = -4;
+constexpr vcl_int VCL_BUILD_PROGRAM_FAILURE = -11;
+constexpr vcl_int VCL_INVALID_VALUE = -30;
+constexpr vcl_int VCL_INVALID_PLATFORM = -32;
+constexpr vcl_int VCL_INVALID_DEVICE = -33;
+constexpr vcl_int VCL_INVALID_CONTEXT = -34;
+constexpr vcl_int VCL_INVALID_QUEUE_PROPERTIES = -35;
+constexpr vcl_int VCL_INVALID_COMMAND_QUEUE = -36;
+constexpr vcl_int VCL_INVALID_MEM_OBJECT = -38;
+constexpr vcl_int VCL_INVALID_PROGRAM = -44;
+constexpr vcl_int VCL_INVALID_PROGRAM_EXECUTABLE = -45;
+constexpr vcl_int VCL_INVALID_KERNEL_NAME = -46;
+constexpr vcl_int VCL_INVALID_KERNEL = -48;
+constexpr vcl_int VCL_INVALID_ARG_INDEX = -49;
+constexpr vcl_int VCL_INVALID_ARG_SIZE = -51;
+constexpr vcl_int VCL_INVALID_KERNEL_ARGS = -52;
+constexpr vcl_int VCL_INVALID_WORK_DIMENSION = -53;
+constexpr vcl_int VCL_INVALID_WORK_GROUP_SIZE = -54;
+constexpr vcl_int VCL_INVALID_EVENT_WAIT_LIST = -57;
+constexpr vcl_int VCL_INVALID_EVENT = -58;
+constexpr vcl_int VCL_INVALID_OPERATION = -59;
+constexpr vcl_int VCL_INVALID_BUFFER_SIZE = -61;
+// Kernel trapped at runtime (out-of-bounds access, div by zero, ...). VCL
+// extension; reported as the execution status of the command's event.
+constexpr vcl_int VCL_KERNEL_TRAP = -70;
+
+// ---------------------------------------------------------------------------
+// Enums and bitfields.
+// ---------------------------------------------------------------------------
+
+constexpr vcl_bool VCL_FALSE = 0;
+constexpr vcl_bool VCL_TRUE = 1;
+
+// Device types for vclGetDeviceIDs.
+constexpr vcl_bitfield VCL_DEVICE_TYPE_GPU = 1u << 0;
+constexpr vcl_bitfield VCL_DEVICE_TYPE_ALL = ~0ull;
+
+// Buffer flags.
+constexpr vcl_bitfield VCL_MEM_READ_WRITE = 1u << 0;
+constexpr vcl_bitfield VCL_MEM_WRITE_ONLY = 1u << 1;
+constexpr vcl_bitfield VCL_MEM_READ_ONLY = 1u << 2;
+constexpr vcl_bitfield VCL_MEM_COPY_HOST_PTR = 1u << 5;
+
+// Command-queue properties.
+constexpr vcl_bitfield VCL_QUEUE_PROFILING_ENABLE = 1u << 1;
+
+// vclGetPlatformInfo params.
+constexpr vcl_uint VCL_PLATFORM_NAME = 0x0902;
+constexpr vcl_uint VCL_PLATFORM_VENDOR = 0x0903;
+constexpr vcl_uint VCL_PLATFORM_VERSION = 0x0901;
+
+// vclGetDeviceInfo params.
+constexpr vcl_uint VCL_DEVICE_NAME = 0x102B;
+constexpr vcl_uint VCL_DEVICE_GLOBAL_MEM_SIZE = 0x101F;
+constexpr vcl_uint VCL_DEVICE_MAX_COMPUTE_UNITS = 0x1002;
+constexpr vcl_uint VCL_DEVICE_MAX_WORK_GROUP_SIZE = 0x1004;
+constexpr vcl_uint VCL_DEVICE_LOCAL_MEM_SIZE = 0x1023;
+
+// vclGetMemObjectInfo params.
+constexpr vcl_uint VCL_MEM_SIZE = 0x1102;
+constexpr vcl_uint VCL_MEM_FLAGS = 0x1101;
+constexpr vcl_uint VCL_MEM_REFERENCE_COUNT = 0x1105;
+
+// vclGetProgramBuildInfo params.
+constexpr vcl_uint VCL_PROGRAM_BUILD_STATUS = 0x1181;
+constexpr vcl_uint VCL_PROGRAM_BUILD_LOG = 0x1183;
+
+// Build status values.
+constexpr vcl_int VCL_BUILD_NONE = -1;
+constexpr vcl_int VCL_BUILD_ERROR = -2;
+constexpr vcl_int VCL_BUILD_SUCCESS = 0;
+
+// vclGetEventInfo params.
+constexpr vcl_uint VCL_EVENT_COMMAND_EXECUTION_STATUS = 0x11D3;
+
+// Event execution status values.
+constexpr vcl_int VCL_COMPLETE = 0x0;
+constexpr vcl_int VCL_RUNNING = 0x1;
+constexpr vcl_int VCL_SUBMITTED = 0x2;
+constexpr vcl_int VCL_QUEUED = 0x3;
+
+// vclGetEventProfilingInfo params (values in device nanoseconds).
+constexpr vcl_uint VCL_PROFILING_COMMAND_QUEUED = 0x1280;
+constexpr vcl_uint VCL_PROFILING_COMMAND_SUBMIT = 0x1281;
+constexpr vcl_uint VCL_PROFILING_COMMAND_START = 0x1282;
+constexpr vcl_uint VCL_PROFILING_COMMAND_END = 0x1283;
+
+// vclGetKernelWorkGroupInfo params.
+constexpr vcl_uint VCL_KERNEL_WORK_GROUP_SIZE = 0x11B0;
+constexpr vcl_uint VCL_KERNEL_LOCAL_MEM_SIZE = 0x11B2;
+
+// ---------------------------------------------------------------------------
+// The 39 public entry points.
+// ---------------------------------------------------------------------------
+
+// Platform & device discovery. Out arrays may be null when only counting.
+vcl_int vclGetPlatformIDs(vcl_uint num_entries, vcl_platform_id* platforms,
+                          vcl_uint* num_platforms);
+vcl_int vclGetPlatformInfo(vcl_platform_id platform, vcl_uint param_name,
+                           size_t param_value_size, void* param_value,
+                           size_t* param_value_size_ret);
+vcl_int vclGetDeviceIDs(vcl_platform_id platform, vcl_bitfield device_type,
+                        vcl_uint num_entries, vcl_device_id* devices,
+                        vcl_uint* num_devices);
+vcl_int vclGetDeviceInfo(vcl_device_id device, vcl_uint param_name,
+                         size_t param_value_size, void* param_value,
+                         size_t* param_value_size_ret);
+
+// Contexts.
+vcl_context vclCreateContext(const vcl_device_id* devices, vcl_uint num_devices,
+                             vcl_int* errcode_ret);
+vcl_int vclRetainContext(vcl_context context);
+vcl_int vclReleaseContext(vcl_context context);
+
+// Command queues (in-order; optional profiling).
+vcl_command_queue vclCreateCommandQueue(vcl_context context,
+                                        vcl_device_id device,
+                                        vcl_bitfield properties,
+                                        vcl_int* errcode_ret);
+vcl_int vclRetainCommandQueue(vcl_command_queue queue);
+vcl_int vclReleaseCommandQueue(vcl_command_queue queue);
+
+// Buffer objects, allocated from the device's bounded global memory.
+vcl_mem vclCreateBuffer(vcl_context context, vcl_bitfield flags, size_t size,
+                        const void* host_ptr, vcl_int* errcode_ret);
+vcl_int vclRetainMemObject(vcl_mem mem);
+vcl_int vclReleaseMemObject(vcl_mem mem);
+vcl_int vclGetMemObjectInfo(vcl_mem mem, vcl_uint param_name,
+                            size_t param_value_size, void* param_value,
+                            size_t* param_value_size_ret);
+
+// Programs: VCL kernel-language source, compiled by vclBuildProgram.
+vcl_program vclCreateProgramWithSource(vcl_context context, const char* source,
+                                       vcl_int* errcode_ret);
+vcl_int vclBuildProgram(vcl_program program, const char* options);
+vcl_int vclGetProgramBuildInfo(vcl_program program, vcl_uint param_name,
+                               size_t param_value_size, void* param_value,
+                               size_t* param_value_size_ret);
+vcl_int vclRetainProgram(vcl_program program);
+vcl_int vclReleaseProgram(vcl_program program);
+
+// Kernels.
+vcl_kernel vclCreateKernel(vcl_program program, const char* kernel_name,
+                           vcl_int* errcode_ret);
+vcl_int vclRetainKernel(vcl_kernel kernel);
+vcl_int vclReleaseKernel(vcl_kernel kernel);
+
+// Kernel arguments. VCL splits OpenCL's clSetKernelArg into three typed entry
+// points so the remoting layer never has to guess whether 8 bytes are a
+// handle or a scalar (the classic clSetKernelArg ambiguity).
+vcl_int vclSetKernelArgScalar(vcl_kernel kernel, vcl_uint arg_index,
+                              size_t arg_size, const void* arg_value);
+vcl_int vclSetKernelArgBuffer(vcl_kernel kernel, vcl_uint arg_index,
+                              vcl_mem buffer);
+vcl_int vclSetKernelArgLocal(vcl_kernel kernel, vcl_uint arg_index,
+                             size_t local_size);
+
+// Command submission. All enqueues are asynchronous unless stated otherwise;
+// `event` (if non-null) receives a fresh event tracking the command.
+vcl_int vclEnqueueNDRangeKernel(vcl_command_queue queue, vcl_kernel kernel,
+                                vcl_uint work_dim,
+                                const size_t* global_work_offset,
+                                const size_t* global_work_size,
+                                const size_t* local_work_size,
+                                vcl_uint num_events_in_wait_list,
+                                const vcl_event* event_wait_list,
+                                vcl_event* event);
+vcl_int vclEnqueueReadBuffer(vcl_command_queue queue, vcl_mem buffer,
+                             vcl_bool blocking_read, size_t offset, size_t size,
+                             void* ptr, vcl_uint num_events_in_wait_list,
+                             const vcl_event* event_wait_list, vcl_event* event);
+vcl_int vclEnqueueWriteBuffer(vcl_command_queue queue, vcl_mem buffer,
+                              vcl_bool blocking_write, size_t offset,
+                              size_t size, const void* ptr,
+                              vcl_uint num_events_in_wait_list,
+                              const vcl_event* event_wait_list,
+                              vcl_event* event);
+vcl_int vclEnqueueCopyBuffer(vcl_command_queue queue, vcl_mem src_buffer,
+                             vcl_mem dst_buffer, size_t src_offset,
+                             size_t dst_offset, size_t size,
+                             vcl_uint num_events_in_wait_list,
+                             const vcl_event* event_wait_list, vcl_event* event);
+vcl_int vclEnqueueFillBuffer(vcl_command_queue queue, vcl_mem buffer,
+                             const void* pattern, size_t pattern_size,
+                             size_t offset, size_t size,
+                             vcl_uint num_events_in_wait_list,
+                             const vcl_event* event_wait_list, vcl_event* event);
+vcl_int vclEnqueueBarrier(vcl_command_queue queue);
+
+// Synchronization.
+vcl_int vclFlush(vcl_command_queue queue);
+vcl_int vclFinish(vcl_command_queue queue);
+vcl_int vclWaitForEvents(vcl_uint num_events, const vcl_event* event_list);
+
+// Event queries.
+vcl_int vclGetEventInfo(vcl_event event, vcl_uint param_name,
+                        size_t param_value_size, void* param_value,
+                        size_t* param_value_size_ret);
+vcl_int vclGetEventProfilingInfo(vcl_event event, vcl_uint param_name,
+                                 size_t param_value_size, void* param_value,
+                                 size_t* param_value_size_ret);
+vcl_int vclRetainEvent(vcl_event event);
+vcl_int vclReleaseEvent(vcl_event event);
+
+// Kernel/work-group queries.
+vcl_int vclGetKernelWorkGroupInfo(vcl_kernel kernel, vcl_device_id device,
+                                  vcl_uint param_name, size_t param_value_size,
+                                  void* param_value,
+                                  size_t* param_value_size_ret);
+
+}  // extern "C"
+
+#endif  // AVA_SRC_VCL_VCL_H_

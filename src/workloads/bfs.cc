@@ -1,0 +1,139 @@
+// bfs — Rodinia-style frontier BFS over a CSR graph. Mix: many small kernel
+// launches with a tiny blocking readback (the "changed" flag) per level —
+// the call-latency-sensitive end of Figure 5.
+#include <deque>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace workloads {
+namespace {
+
+constexpr const char* kSource = R"(
+__kernel void bfs_step(__global const int* offsets, __global const int* edges,
+                       __global int* frontier, __global int* next_frontier,
+                       __global int* visited, __global int* cost,
+                       __global int* changed, int n, int level) {
+  int v = get_global_id(0);
+  if (v >= n) return;
+  if (frontier[v] == 0) return;
+  frontier[v] = 0;
+  for (int e = offsets[v]; e < offsets[v + 1]; e++) {
+    int u = edges[e];
+    if (visited[u] == 0) {
+      visited[u] = 1;
+      cost[u] = level + 1;
+      next_frontier[u] = 1;
+      changed[0] = 1;
+    }
+  }
+}
+)";
+
+}  // namespace
+
+ava::Status RunBfs(const ava_gen_vcl::VclApi& api,
+                   const WorkloadOptions& options) {
+  const int n = 20000 * options.scale;
+  const int avg_degree = 4;
+  ava::Rng rng(options.seed);
+
+  // Random digraph in CSR form, plus a chain thread so it has real depth.
+  std::vector<std::vector<std::int32_t>> adj(static_cast<std::size_t>(n));
+  for (int v = 0; v + 1 < n; v += 7) {
+    adj[static_cast<std::size_t>(v)].push_back(v + 1);
+  }
+  for (int e = 0; e < n * avg_degree; ++e) {
+    int a = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+    int b = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+    adj[static_cast<std::size_t>(a)].push_back(b);
+  }
+  std::vector<std::int32_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::int32_t> edges;
+  for (int v = 0; v < n; ++v) {
+    offsets[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(edges.size());
+    for (std::int32_t u : adj[static_cast<std::size_t>(v)]) {
+      edges.push_back(u);
+    }
+  }
+  offsets[static_cast<std::size_t>(n)] =
+      static_cast<std::int32_t>(edges.size());
+
+  AVA_ASSIGN_OR_RETURN(VclSession s, VclSession::Open(api));
+  AVA_ASSIGN_OR_RETURN(vcl_kernel step, s.BuildKernel(kSource, "bfs_step"));
+
+  std::vector<std::int32_t> frontier(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> visited(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> cost(static_cast<std::size_t>(n), -1);
+  frontier[0] = 1;
+  visited[0] = 1;
+  cost[0] = 0;
+
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_off,
+                       s.MakeBuffer(offsets.size() * 4, offsets.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_edges,
+                       s.MakeBuffer(std::max<std::size_t>(edges.size(), 1) * 4,
+                                    edges.empty() ? nullptr : edges.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_front,
+                       s.MakeBuffer(frontier.size() * 4, frontier.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_next, s.MakeBuffer(frontier.size() * 4));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_visited,
+                       s.MakeBuffer(visited.size() * 4, visited.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_cost,
+                       s.MakeBuffer(cost.size() * 4, cost.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_changed, s.MakeBuffer(4));
+
+  api.vclSetKernelArgBuffer(step, 0, d_off);
+  api.vclSetKernelArgBuffer(step, 1, d_edges);
+  api.vclSetKernelArgBuffer(step, 4, d_visited);
+  api.vclSetKernelArgBuffer(step, 5, d_cost);
+  api.vclSetKernelArgBuffer(step, 6, d_changed);
+  api.vclSetKernelArgScalar(step, 7, sizeof(int), &n);
+
+  vcl_mem cur = d_front;
+  vcl_mem next = d_next;
+  const std::int32_t zero = 0;
+  for (int level = 0; level < n; ++level) {
+    api.vclEnqueueFillBuffer(s.queue(), d_changed, &zero, 4, 0, 4, 0, nullptr,
+                             nullptr);
+    api.vclSetKernelArgBuffer(step, 2, cur);
+    api.vclSetKernelArgBuffer(step, 3, next);
+    api.vclSetKernelArgScalar(step, 8, sizeof(int), &level);
+    AVA_RETURN_IF_ERROR(s.Launch1D(step, static_cast<std::size_t>(n)));
+    std::int32_t changed = 0;
+    AVA_RETURN_IF_ERROR(s.Read(d_changed, &changed, 4));
+    if (changed == 0) {
+      break;
+    }
+    std::swap(cur, next);
+  }
+  std::vector<std::int32_t> got(static_cast<std::size_t>(n), 0);
+  AVA_RETURN_IF_ERROR(
+      s.Read(d_cost, got.data(), got.size() * 4));
+
+  if (!options.validate) {
+    return ava::OkStatus();
+  }
+  // CPU reference BFS.
+  std::vector<std::int32_t> want(static_cast<std::size_t>(n), -1);
+  std::deque<int> queue = {0};
+  want[0] = 0;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    for (std::int32_t e = offsets[static_cast<std::size_t>(v)];
+         e < offsets[static_cast<std::size_t>(v) + 1]; ++e) {
+      std::int32_t u = edges[static_cast<std::size_t>(e)];
+      if (want[static_cast<std::size_t>(u)] < 0) {
+        want[static_cast<std::size_t>(u)] =
+            want[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return CheckEqual(got, want, "bfs levels");
+}
+
+}  // namespace workloads

@@ -1,0 +1,203 @@
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "src/workloads/vcl_workloads.h"
+
+namespace workloads {
+
+ava::Result<VclSession> VclSession::Open(const ava_gen_vcl::VclApi& api) {
+  VclSession s(&api);
+  if (api.vclGetPlatformIDs(1, &s.platform_, nullptr) != VCL_SUCCESS) {
+    return ava::Unavailable("no VCL platform");
+  }
+  if (api.vclGetDeviceIDs(s.platform_, VCL_DEVICE_TYPE_GPU, 1, &s.device_,
+                          nullptr) != VCL_SUCCESS) {
+    return ava::Unavailable("no VCL device");
+  }
+  vcl_int err = VCL_SUCCESS;
+  s.context_ = api.vclCreateContext(&s.device_, 1, &err);
+  if (err != VCL_SUCCESS) {
+    return ava::Internal("vclCreateContext failed: " + std::to_string(err));
+  }
+  s.queue_ = api.vclCreateCommandQueue(s.context_, s.device_,
+                                       VCL_QUEUE_PROFILING_ENABLE, &err);
+  if (err != VCL_SUCCESS) {
+    return ava::Internal("vclCreateCommandQueue failed: " +
+                         std::to_string(err));
+  }
+  return s;
+}
+
+VclSession::VclSession(VclSession&& other) noexcept
+    : api_(other.api_),
+      platform_(other.platform_),
+      device_(other.device_),
+      context_(other.context_),
+      queue_(other.queue_),
+      buffers_(std::move(other.buffers_)),
+      programs_(std::move(other.programs_)),
+      kernels_(std::move(other.kernels_)) {
+  other.context_ = nullptr;
+  other.queue_ = nullptr;
+  other.buffers_.clear();
+  other.programs_.clear();
+  other.kernels_.clear();
+}
+
+VclSession::~VclSession() {
+  for (vcl_kernel k : kernels_) {
+    api_->vclReleaseKernel(k);
+  }
+  for (vcl_program p : programs_) {
+    api_->vclReleaseProgram(p);
+  }
+  for (vcl_mem m : buffers_) {
+    api_->vclReleaseMemObject(m);
+  }
+  if (queue_ != nullptr) {
+    api_->vclFinish(queue_);
+    api_->vclReleaseCommandQueue(queue_);
+  }
+  if (context_ != nullptr) {
+    api_->vclReleaseContext(context_);
+  }
+}
+
+ava::Result<vcl_program> VclSession::BuildProgram(const char* source) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_program program = api_->vclCreateProgramWithSource(context_, source,
+                                                         &err);
+  if (err != VCL_SUCCESS) {
+    return ava::Internal("vclCreateProgramWithSource failed");
+  }
+  programs_.push_back(program);
+  if (api_->vclBuildProgram(program, nullptr) != VCL_SUCCESS) {
+    char log[2048] = {0};
+    api_->vclGetProgramBuildInfo(program, VCL_PROGRAM_BUILD_LOG, sizeof(log),
+                                 log, nullptr);
+    return ava::InvalidArgument(std::string("kernel build failed: ") + log);
+  }
+  return program;
+}
+
+ava::Result<vcl_kernel> VclSession::BuildKernel(const char* source,
+                                                const char* name) {
+  AVA_ASSIGN_OR_RETURN(vcl_program program, BuildProgram(source));
+  vcl_int err = VCL_SUCCESS;
+  vcl_kernel kernel = api_->vclCreateKernel(program, name, &err);
+  if (err != VCL_SUCCESS) {
+    return ava::Internal(std::string("vclCreateKernel failed for ") + name);
+  }
+  kernels_.push_back(kernel);
+  return kernel;
+}
+
+ava::Result<vcl_mem> VclSession::MakeBuffer(std::size_t bytes,
+                                            const void* init) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_bitfield flags = VCL_MEM_READ_WRITE;
+  if (init != nullptr) {
+    flags |= VCL_MEM_COPY_HOST_PTR;
+  }
+  vcl_mem mem = api_->vclCreateBuffer(context_, flags, bytes, init, &err);
+  if (err != VCL_SUCCESS) {
+    return ava::ResourceExhausted("vclCreateBuffer failed: " +
+                                  std::to_string(err));
+  }
+  buffers_.push_back(mem);
+  return mem;
+}
+
+ava::Status VclSession::Write(vcl_mem buffer, const void* data,
+                              std::size_t bytes, bool blocking) {
+  vcl_int rc = api_->vclEnqueueWriteBuffer(queue_, buffer,
+                                           blocking ? VCL_TRUE : VCL_FALSE, 0,
+                                           bytes, data, 0, nullptr, nullptr);
+  return rc == VCL_SUCCESS
+             ? ava::OkStatus()
+             : ava::Internal("write failed: " + std::to_string(rc));
+}
+
+ava::Status VclSession::Read(vcl_mem buffer, void* data, std::size_t bytes) {
+  vcl_int rc = api_->vclEnqueueReadBuffer(queue_, buffer, VCL_TRUE, 0, bytes,
+                                          data, 0, nullptr, nullptr);
+  return rc == VCL_SUCCESS
+             ? ava::OkStatus()
+             : ava::Internal("read failed: " + std::to_string(rc));
+}
+
+ava::Status VclSession::Launch1D(vcl_kernel kernel, std::size_t global,
+                                 std::size_t local) {
+  vcl_int rc = api_->vclEnqueueNDRangeKernel(
+      queue_, kernel, 1, nullptr, &global, local != 0 ? &local : nullptr, 0,
+      nullptr, nullptr);
+  return rc == VCL_SUCCESS
+             ? ava::OkStatus()
+             : ava::Internal("launch failed: " + std::to_string(rc));
+}
+
+ava::Status VclSession::Launch2D(vcl_kernel kernel, std::size_t gx,
+                                 std::size_t gy, std::size_t lx,
+                                 std::size_t ly) {
+  std::size_t global[2] = {gx, gy};
+  std::size_t local[2] = {lx, ly};
+  vcl_int rc = api_->vclEnqueueNDRangeKernel(
+      queue_, kernel, 2, nullptr, global, lx != 0 ? local : nullptr, 0,
+      nullptr, nullptr);
+  return rc == VCL_SUCCESS
+             ? ava::OkStatus()
+             : ava::Internal("2D launch failed: " + std::to_string(rc));
+}
+
+ava::Status VclSession::Finish() {
+  vcl_int rc = api_->vclFinish(queue_);
+  return rc == VCL_SUCCESS
+             ? ava::OkStatus()
+             : ava::Internal("finish failed: " + std::to_string(rc));
+}
+
+ava::Status CheckClose(const std::vector<float>& got,
+                       const std::vector<float>& want, float tol,
+                       const std::string& what) {
+  if (got.size() != want.size()) {
+    return ava::Internal(what + ": size mismatch");
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float scale = std::max(1.0f, std::fabs(want[i]));
+    if (std::fabs(got[i] - want[i]) > tol * scale) {
+      return ava::Internal(what + ": mismatch at " + std::to_string(i) +
+                           ": got " + std::to_string(got[i]) + ", want " +
+                           std::to_string(want[i]));
+    }
+  }
+  return ava::OkStatus();
+}
+
+ava::Status CheckEqual(const std::vector<std::int32_t>& got,
+                       const std::vector<std::int32_t>& want,
+                       const std::string& what) {
+  if (got.size() != want.size()) {
+    return ava::Internal(what + ": size mismatch");
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) {
+      return ava::Internal(what + ": mismatch at " + std::to_string(i) +
+                           ": got " + std::to_string(got[i]) + ", want " +
+                           std::to_string(want[i]));
+    }
+  }
+  return ava::OkStatus();
+}
+
+const std::vector<VclWorkload>& AllVclWorkloads() {
+  static const auto* workloads = new std::vector<VclWorkload>{
+      {"backprop", &RunBackprop}, {"bfs", &RunBfs},
+      {"gaussian", &RunGaussian}, {"hotspot", &RunHotspot},
+      {"nn", &RunNn},             {"nw", &RunNw},
+      {"pathfinder", &RunPathfinder}, {"srad", &RunSrad},
+  };
+  return *workloads;
+}
+
+}  // namespace workloads

@@ -1,0 +1,120 @@
+// gaussian — Rodinia-style Gaussian elimination: two tiny kernels per pivot
+// row, so hundreds of small launches dominate. This is the worst case for
+// API-remoting overhead in Figure 5.
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace workloads {
+namespace {
+
+constexpr const char* kSource = R"(
+__kernel void fan1(__global const float* a, __global float* m, int n, int t) {
+  int i = get_global_id(0);
+  if (i >= n - 1 - t) return;
+  m[(t + 1 + i) * n + t] = a[(t + 1 + i) * n + t] / a[t * n + t];
+}
+
+__kernel void fan2(__global float* a, __global float* b,
+                   __global const float* m, int n, int t) {
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  if (gx >= n - 1 - t) return;
+  if (gy >= n - t) return;
+  int row = t + 1 + gx;
+  int col = t + gy;
+  a[row * n + col] = a[row * n + col] - m[row * n + t] * a[t * n + col];
+  if (gy == 0) {
+    b[row] = b[row] - m[row * n + t] * b[t];
+  }
+}
+)";
+
+}  // namespace
+
+ava::Status RunGaussian(const ava_gen_vcl::VclApi& api,
+                        const WorkloadOptions& options) {
+  const int n = 128 * options.scale;
+  ava::Rng rng(options.seed);
+  // Diagonally dominant system for numeric stability.
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  std::vector<float> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    float row_sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      float v = rng.NextFloat(-1.0f, 1.0f);
+      a[static_cast<std::size_t>(i) * n + j] = v;
+      row_sum += std::fabs(v);
+    }
+    a[static_cast<std::size_t>(i) * n + i] = row_sum + 1.0f;
+    b[static_cast<std::size_t>(i)] = rng.NextFloat(-10.0f, 10.0f);
+  }
+  const std::vector<float> a0 = a;
+  const std::vector<float> b0 = b;
+
+  AVA_ASSIGN_OR_RETURN(VclSession s, VclSession::Open(api));
+  AVA_ASSIGN_OR_RETURN(vcl_program program, s.BuildProgram(kSource));
+  vcl_int err = VCL_SUCCESS;
+  vcl_kernel fan1 = api.vclCreateKernel(program, "fan1", &err);
+  vcl_kernel fan2 = api.vclCreateKernel(program, "fan2", &err);
+  if (err != VCL_SUCCESS) {
+    return ava::Internal("kernel creation failed");
+  }
+
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_a, s.MakeBuffer(a.size() * 4, a.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_b, s.MakeBuffer(b.size() * 4, b.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_m, s.MakeBuffer(a.size() * 4));
+
+  api.vclSetKernelArgBuffer(fan1, 0, d_a);
+  api.vclSetKernelArgBuffer(fan1, 1, d_m);
+  api.vclSetKernelArgScalar(fan1, 2, sizeof(int), &n);
+  api.vclSetKernelArgBuffer(fan2, 0, d_a);
+  api.vclSetKernelArgBuffer(fan2, 1, d_b);
+  api.vclSetKernelArgBuffer(fan2, 2, d_m);
+  api.vclSetKernelArgScalar(fan2, 3, sizeof(int), &n);
+
+  for (int t = 0; t < n - 1; ++t) {
+    api.vclSetKernelArgScalar(fan1, 3, sizeof(int), &t);
+    api.vclSetKernelArgScalar(fan2, 4, sizeof(int), &t);
+    AVA_RETURN_IF_ERROR(s.Launch1D(fan1, static_cast<std::size_t>(n)));
+    AVA_RETURN_IF_ERROR(
+        s.Launch2D(fan2, static_cast<std::size_t>(n),
+                   static_cast<std::size_t>(n)));
+  }
+  AVA_RETURN_IF_ERROR(s.Read(d_a, a.data(), a.size() * 4));
+  AVA_RETURN_IF_ERROR(s.Read(d_b, b.data(), b.size() * 4));
+
+  // Back-substitution on the host.
+  std::vector<float> x(static_cast<std::size_t>(n), 0.0f);
+  for (int i = n - 1; i >= 0; --i) {
+    float acc = b[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      acc -= a[static_cast<std::size_t>(i) * n + j] *
+             x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] =
+        acc / a[static_cast<std::size_t>(i) * n + i];
+  }
+  if (!options.validate) {
+    return ava::OkStatus();
+  }
+  // Residual check against the original system: ||A0 x - b0|| small.
+  for (int i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      acc += a0[static_cast<std::size_t>(i) * n + j] *
+             x[static_cast<std::size_t>(j)];
+    }
+    const float want = b0[static_cast<std::size_t>(i)];
+    if (std::fabs(acc - want) > 1e-2f * std::max(1.0f, std::fabs(want))) {
+      return ava::Internal("gaussian residual too large at row " +
+                           std::to_string(i) + ": " + std::to_string(acc) +
+                           " vs " + std::to_string(want));
+    }
+  }
+  return ava::OkStatus();
+}
+
+}  // namespace workloads

@@ -1,0 +1,98 @@
+// hotspot — Rodinia-style thermal stencil: one medium 2D-grid kernel per
+// time step over ping-pong temperature buffers. Compute-dominated with a
+// moderate launch count.
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace workloads {
+namespace {
+
+constexpr const char* kSource = R"(
+__kernel void hotspot_step(__global const float* temp_in,
+                           __global const float* power,
+                           __global float* temp_out, int rows, int cols,
+                           float cap, float rx, float ry, float rz,
+                           float amb) {
+  int idx = get_global_id(0);
+  if (idx >= rows * cols) return;
+  int r = idx / cols;
+  int c = idx % cols;
+  float t = temp_in[idx];
+  float tn = (r > 0) ? temp_in[idx - cols] : t;
+  float ts = (r < rows - 1) ? temp_in[idx + cols] : t;
+  float tw = (c > 0) ? temp_in[idx - 1] : t;
+  float te = (c < cols - 1) ? temp_in[idx + 1] : t;
+  float delta = cap * (power[idx] + (tn + ts - 2.0f * t) * ry +
+                       (te + tw - 2.0f * t) * rx + (amb - t) * rz);
+  temp_out[idx] = t + delta;
+}
+)";
+
+}  // namespace
+
+ava::Status RunHotspot(const ava_gen_vcl::VclApi& api,
+                       const WorkloadOptions& options) {
+  const int rows = 192 * options.scale;
+  const int cols = 192;
+  const int steps = 30;
+  const float cap = 0.5f, rx = 0.2f, ry = 0.2f, rz = 0.05f, amb = 80.0f;
+  ava::Rng rng(options.seed);
+  const std::size_t cells = static_cast<std::size_t>(rows) * cols;
+  std::vector<float> temp(cells), power(cells);
+  for (auto& v : temp) {
+    v = rng.NextFloat(70.0f, 90.0f);
+  }
+  for (auto& v : power) {
+    v = rng.NextFloat(0.0f, 0.5f);
+  }
+
+  AVA_ASSIGN_OR_RETURN(VclSession s, VclSession::Open(api));
+  AVA_ASSIGN_OR_RETURN(vcl_kernel step, s.BuildKernel(kSource, "hotspot_step"));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_a, s.MakeBuffer(cells * 4, temp.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_b, s.MakeBuffer(cells * 4));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_p, s.MakeBuffer(cells * 4, power.data()));
+
+  api.vclSetKernelArgBuffer(step, 1, d_p);
+  api.vclSetKernelArgScalar(step, 3, sizeof(int), &rows);
+  api.vclSetKernelArgScalar(step, 4, sizeof(int), &cols);
+  api.vclSetKernelArgScalar(step, 5, sizeof(float), &cap);
+  api.vclSetKernelArgScalar(step, 6, sizeof(float), &rx);
+  api.vclSetKernelArgScalar(step, 7, sizeof(float), &ry);
+  api.vclSetKernelArgScalar(step, 8, sizeof(float), &rz);
+  api.vclSetKernelArgScalar(step, 9, sizeof(float), &amb);
+
+  vcl_mem src = d_a, dst = d_b;
+  for (int it = 0; it < steps; ++it) {
+    api.vclSetKernelArgBuffer(step, 0, src);
+    api.vclSetKernelArgBuffer(step, 2, dst);
+    AVA_RETURN_IF_ERROR(s.Launch1D(step, cells));
+    std::swap(src, dst);
+  }
+  std::vector<float> got(cells, 0.0f);
+  AVA_RETURN_IF_ERROR(s.Read(src, got.data(), cells * 4));
+
+  if (!options.validate) {
+    return ava::OkStatus();
+  }
+  std::vector<float> cur = temp, nxt(cells, 0.0f);
+  for (int it = 0; it < steps; ++it) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const std::size_t idx = static_cast<std::size_t>(r) * cols + c;
+        const float t = cur[idx];
+        const float tn = r > 0 ? cur[idx - cols] : t;
+        const float ts = r < rows - 1 ? cur[idx + cols] : t;
+        const float tw = c > 0 ? cur[idx - 1] : t;
+        const float te = c < cols - 1 ? cur[idx + 1] : t;
+        nxt[idx] = t + cap * (power[idx] + (tn + ts - 2.0f * t) * ry +
+                              (te + tw - 2.0f * t) * rx + (amb - t) * rz);
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  return CheckClose(got, cur, 1e-3f, "hotspot temperatures");
+}
+
+}  // namespace workloads

@@ -1,0 +1,95 @@
+#include "src/workloads/inception.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mvnc/graph.h"
+
+namespace workloads {
+namespace {
+
+// A small CNN standing in for Inception v3: same API call pattern, scaled
+// FLOPs (see DESIGN.md §2).
+mvnc::GraphDef InceptionSimGraph(std::uint64_t seed) {
+  return mvnc::GraphBuilder(3, 32, 32, seed)
+      .Named("inception-sim")
+      .Conv2d(12, 3)
+      .MaxPool(2)
+      .Conv2d(24, 3)
+      .MaxPool(2)
+      .Dense(64)
+      .Dense(10, /*relu=*/false)
+      .Softmax()
+      .Build();
+}
+
+}  // namespace
+
+ava::Status RunInception(const ava_gen_mvnc::MvncApi& api,
+                         const WorkloadOptions& options, int images) {
+  mvnc::GraphDef def = InceptionSimGraph(options.seed);
+  ava::Bytes file = def.Serialize();
+
+  mvnc_device dev = nullptr;
+  if (api.mvncOpenDevice("ncs0", &dev) != MVNC_OK) {
+    return ava::Unavailable("cannot open ncs0");
+  }
+  mvnc_graph graph = nullptr;
+  if (api.mvncAllocateGraph(dev, &graph, file.data(),
+                            static_cast<std::uint32_t>(file.size())) !=
+      MVNC_OK) {
+    api.mvncCloseDevice(dev);
+    return ava::Internal("mvncAllocateGraph failed");
+  }
+
+  ava::Rng rng(options.seed + 1);
+  const std::size_t in_elems = def.InputElements();
+  ava::Status failure = ava::OkStatus();
+  for (int img = 0; img < images; ++img) {
+    std::vector<float> input(in_elems);
+    for (auto& v : input) {
+      v = rng.NextFloat(-1.0f, 1.0f);
+    }
+    if (api.mvncLoadTensor(
+            graph, input.data(),
+            static_cast<std::uint32_t>(in_elems * sizeof(float))) !=
+        MVNC_OK) {
+      failure = ava::Internal("mvncLoadTensor failed");
+      break;
+    }
+    std::vector<float> result(10, 0.0f);
+    std::uint32_t result_size = 0;
+    if (api.mvncGetResult(graph, result.data(), 10 * sizeof(float),
+                          &result_size) != MVNC_OK ||
+        result_size != 10 * sizeof(float)) {
+      failure = ava::Internal("mvncGetResult failed");
+      break;
+    }
+    if (options.validate) {
+      mvnc::Tensor in = mvnc::Tensor::Chw(3, 32, 32);
+      in.data = input;
+      auto want = def.Run(in, nullptr);
+      if (!want.ok()) {
+        failure = want.status();
+        break;
+      }
+      for (int i = 0; i < 10; ++i) {
+        if (std::fabs(result[static_cast<std::size_t>(i)] -
+                      want->data[static_cast<std::size_t>(i)]) > 1e-4f) {
+          failure = ava::Internal("inception result mismatch at class " +
+                                  std::to_string(i));
+          break;
+        }
+      }
+      if (!failure.ok()) {
+        break;
+      }
+    }
+  }
+  api.mvncDeallocateGraph(graph);
+  api.mvncCloseDevice(dev);
+  return failure;
+}
+
+}  // namespace workloads

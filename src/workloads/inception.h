@@ -1,0 +1,20 @@
+// inception-sim — the Movidius workload of Figure 5: a CNN with the
+// Inception-v3 call pattern (allocate graph once, stream input tensors,
+// fetch classification results), scaled to this repo's software NCS.
+#ifndef AVA_SRC_WORKLOADS_INCEPTION_H_
+#define AVA_SRC_WORKLOADS_INCEPTION_H_
+
+#include "mvnc_gen.h"
+#include "src/common/result.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace workloads {
+
+// Runs `images` inferences through the MVNC API table, validating each
+// result against a direct run of the inference engine.
+ava::Status RunInception(const ava_gen_mvnc::MvncApi& api,
+                         const WorkloadOptions& options, int images = 8);
+
+}  // namespace workloads
+
+#endif  // AVA_SRC_WORKLOADS_INCEPTION_H_

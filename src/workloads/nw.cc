@@ -1,0 +1,89 @@
+// nw — Needleman-Wunsch sequence alignment: anti-diagonal wavefront over the
+// score matrix, one small launch per diagonal. Like gaussian, heavily
+// call-latency-bound.
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace workloads {
+namespace {
+
+constexpr const char* kSource = R"(
+__kernel void nw_diag(__global int* score, __global const int* ref, int n,
+                      int d, int penalty) {
+  int k = get_global_id(0);
+  int i_min = (d - n > 1) ? (d - n) : 1;
+  int i = i_min + k;
+  int j = d - i;
+  if (i > n || j < 1 || j > n) return;
+  int w = n + 1;
+  int up = score[(i - 1) * w + j] - penalty;
+  int left = score[i * w + (j - 1)] - penalty;
+  int diag = score[(i - 1) * w + (j - 1)] + ref[(i - 1) * n + (j - 1)];
+  int best = max(max(up, left), diag);
+  score[i * w + j] = best;
+}
+)";
+
+}  // namespace
+
+ava::Status RunNw(const ava_gen_vcl::VclApi& api,
+                  const WorkloadOptions& options) {
+  const int n = 224 * options.scale;
+  const int penalty = 10;
+  const int w = n + 1;
+  ava::Rng rng(options.seed);
+  std::vector<std::int32_t> ref(static_cast<std::size_t>(n) * n);
+  for (auto& v : ref) {
+    v = static_cast<std::int32_t>(rng.NextInRange(-6, 6));
+  }
+  std::vector<std::int32_t> score(static_cast<std::size_t>(w) * w, 0);
+  for (int i = 0; i <= n; ++i) {
+    score[static_cast<std::size_t>(i) * w] = -i * penalty;
+    score[static_cast<std::size_t>(i)] = -i * penalty;
+  }
+
+  AVA_ASSIGN_OR_RETURN(VclSession s, VclSession::Open(api));
+  AVA_ASSIGN_OR_RETURN(vcl_kernel diag, s.BuildKernel(kSource, "nw_diag"));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_score,
+                       s.MakeBuffer(score.size() * 4, score.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_ref, s.MakeBuffer(ref.size() * 4, ref.data()));
+
+  api.vclSetKernelArgBuffer(diag, 0, d_score);
+  api.vclSetKernelArgBuffer(diag, 1, d_ref);
+  api.vclSetKernelArgScalar(diag, 2, sizeof(int), &n);
+  api.vclSetKernelArgScalar(diag, 4, sizeof(int), &penalty);
+
+  for (int d = 2; d <= 2 * n; ++d) {
+    const int i_min = std::max(1, d - n);
+    const int i_max = std::min(n, d - 1);
+    const int len = i_max - i_min + 1;
+    api.vclSetKernelArgScalar(diag, 3, sizeof(int), &d);
+    AVA_RETURN_IF_ERROR(s.Launch1D(diag, static_cast<std::size_t>(len)));
+  }
+  std::vector<std::int32_t> got(score.size(), 0);
+  AVA_RETURN_IF_ERROR(s.Read(d_score, got.data(), got.size() * 4));
+
+  if (!options.validate) {
+    return ava::OkStatus();
+  }
+  std::vector<std::int32_t> want = score;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      const std::int32_t up =
+          want[static_cast<std::size_t>(i - 1) * w + j] - penalty;
+      const std::int32_t left =
+          want[static_cast<std::size_t>(i) * w + (j - 1)] - penalty;
+      const std::int32_t dd =
+          want[static_cast<std::size_t>(i - 1) * w + (j - 1)] +
+          ref[static_cast<std::size_t>(i - 1) * n + (j - 1)];
+      want[static_cast<std::size_t>(i) * w + j] =
+          std::max({up, left, dd});
+    }
+  }
+  return CheckEqual(got, want, "nw score matrix");
+}
+
+}  // namespace workloads

@@ -1,0 +1,83 @@
+// pathfinder — Rodinia-style dynamic programming over a wide grid: one wide,
+// shallow kernel per row. Balanced call/compute mix.
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace workloads {
+namespace {
+
+constexpr const char* kSource = R"(
+__kernel void path_step(__global const int* wall, __global const int* src,
+                        __global int* dst, int cols, int row) {
+  int c = get_global_id(0);
+  if (c >= cols) return;
+  int best = src[c];
+  if (c > 0) best = min(best, src[c - 1]);
+  if (c < cols - 1) best = min(best, src[c + 1]);
+  dst[c] = wall[row * cols + c] + best;
+}
+)";
+
+}  // namespace
+
+ava::Status RunPathfinder(const ava_gen_vcl::VclApi& api,
+                          const WorkloadOptions& options) {
+  const int cols = 100000 * options.scale;
+  const int rows = 50;
+  ava::Rng rng(options.seed);
+  std::vector<std::int32_t> wall(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : wall) {
+    v = static_cast<std::int32_t>(rng.NextBelow(10));
+  }
+
+  AVA_ASSIGN_OR_RETURN(VclSession s, VclSession::Open(api));
+  AVA_ASSIGN_OR_RETURN(vcl_kernel step, s.BuildKernel(kSource, "path_step"));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_wall,
+                       s.MakeBuffer(wall.size() * 4, wall.data()));
+  // dp row 0 = wall row 0.
+  AVA_ASSIGN_OR_RETURN(
+      vcl_mem d_src,
+      s.MakeBuffer(static_cast<std::size_t>(cols) * 4, wall.data()));
+  AVA_ASSIGN_OR_RETURN(vcl_mem d_dst,
+                       s.MakeBuffer(static_cast<std::size_t>(cols) * 4));
+
+  api.vclSetKernelArgBuffer(step, 0, d_wall);
+  api.vclSetKernelArgScalar(step, 3, sizeof(int), &cols);
+
+  vcl_mem src = d_src, dst = d_dst;
+  for (int row = 1; row < rows; ++row) {
+    api.vclSetKernelArgBuffer(step, 1, src);
+    api.vclSetKernelArgBuffer(step, 2, dst);
+    api.vclSetKernelArgScalar(step, 4, sizeof(int), &row);
+    AVA_RETURN_IF_ERROR(s.Launch1D(step, static_cast<std::size_t>(cols)));
+    std::swap(src, dst);
+  }
+  std::vector<std::int32_t> got(static_cast<std::size_t>(cols), 0);
+  AVA_RETURN_IF_ERROR(s.Read(src, got.data(), got.size() * 4));
+
+  if (!options.validate) {
+    return ava::OkStatus();
+  }
+  std::vector<std::int32_t> cur(wall.begin(), wall.begin() + cols);
+  std::vector<std::int32_t> nxt(static_cast<std::size_t>(cols), 0);
+  for (int row = 1; row < rows; ++row) {
+    for (int c = 0; c < cols; ++c) {
+      std::int32_t best = cur[static_cast<std::size_t>(c)];
+      if (c > 0) {
+        best = std::min(best, cur[static_cast<std::size_t>(c - 1)]);
+      }
+      if (c < cols - 1) {
+        best = std::min(best, cur[static_cast<std::size_t>(c + 1)]);
+      }
+      nxt[static_cast<std::size_t>(c)] =
+          wall[static_cast<std::size_t>(row) * cols + c] + best;
+    }
+    std::swap(cur, nxt);
+  }
+  return CheckEqual(got, cur, "pathfinder dp row");
+}
+
+}  // namespace workloads

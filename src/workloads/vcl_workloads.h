@@ -1,0 +1,114 @@
+// Rodinia-style benchmark workloads ported to the VCL kernel language.
+//
+// Every workload is written against the generated VclApi table, so the same
+// code runs native (table bound to the silo) or virtualized (table bound to
+// the AvA guest stubs) — exactly how Figure 5 compares the two. Each
+// workload validates its device results against a CPU reference and fails
+// loudly on divergence.
+#ifndef AVA_SRC_WORKLOADS_VCL_WORKLOADS_H_
+#define AVA_SRC_WORKLOADS_VCL_WORKLOADS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "vcl_gen.h"
+
+namespace workloads {
+
+struct WorkloadOptions {
+  // Problem-size multiplier: 1 = the default (sub-second native) size.
+  int scale = 1;
+  std::uint64_t seed = 42;
+  bool validate = true;
+};
+
+struct VclWorkload {
+  std::string name;
+  // Runs end to end (setup, transfers, kernels, validation, teardown).
+  std::function<ava::Status(const ava_gen_vcl::VclApi&,
+                            const WorkloadOptions&)>
+      run;
+};
+
+// The eight Rodinia-style workloads of Figure 5, in the paper's order.
+const std::vector<VclWorkload>& AllVclWorkloads();
+
+// Individual accessors (used by focused tests/benches).
+ava::Status RunBackprop(const ava_gen_vcl::VclApi& api,
+                        const WorkloadOptions& options);
+ava::Status RunBfs(const ava_gen_vcl::VclApi& api,
+                   const WorkloadOptions& options);
+ava::Status RunGaussian(const ava_gen_vcl::VclApi& api,
+                        const WorkloadOptions& options);
+ava::Status RunHotspot(const ava_gen_vcl::VclApi& api,
+                       const WorkloadOptions& options);
+ava::Status RunNn(const ava_gen_vcl::VclApi& api,
+                  const WorkloadOptions& options);
+ava::Status RunNw(const ava_gen_vcl::VclApi& api,
+                  const WorkloadOptions& options);
+ava::Status RunPathfinder(const ava_gen_vcl::VclApi& api,
+                          const WorkloadOptions& options);
+ava::Status RunSrad(const ava_gen_vcl::VclApi& api,
+                    const WorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// Shared plumbing for workload implementations.
+// ---------------------------------------------------------------------------
+
+// RAII bundle of platform/device/context/queue plus helpers, all through the
+// API table.
+class VclSession {
+ public:
+  static ava::Result<VclSession> Open(const ava_gen_vcl::VclApi& api);
+  ~VclSession();
+
+  VclSession(VclSession&& other) noexcept;
+  VclSession& operator=(VclSession&&) = delete;
+  VclSession(const VclSession&) = delete;
+
+  const ava_gen_vcl::VclApi& api() const { return *api_; }
+  vcl_context context() const { return context_; }
+  vcl_command_queue queue() const { return queue_; }
+  vcl_device_id device() const { return device_; }
+
+  // Builds a program or returns the build log as an error.
+  ava::Result<vcl_program> BuildProgram(const char* source);
+  ava::Result<vcl_kernel> BuildKernel(const char* source, const char* name);
+
+  ava::Result<vcl_mem> MakeBuffer(std::size_t bytes,
+                                  const void* init = nullptr);
+  ava::Status Write(vcl_mem buffer, const void* data, std::size_t bytes,
+                    bool blocking = true);
+  ava::Status Read(vcl_mem buffer, void* data, std::size_t bytes);
+  ava::Status Launch1D(vcl_kernel kernel, std::size_t global,
+                       std::size_t local = 0);
+  ava::Status Launch2D(vcl_kernel kernel, std::size_t gx, std::size_t gy,
+                       std::size_t lx = 0, std::size_t ly = 0);
+  ava::Status Finish();
+
+ private:
+  explicit VclSession(const ava_gen_vcl::VclApi* api) : api_(api) {}
+
+  const ava_gen_vcl::VclApi* api_;
+  vcl_platform_id platform_ = nullptr;
+  vcl_device_id device_ = nullptr;
+  vcl_context context_ = nullptr;
+  vcl_command_queue queue_ = nullptr;
+  std::vector<vcl_mem> buffers_;
+  std::vector<vcl_program> programs_;
+  std::vector<vcl_kernel> kernels_;
+};
+
+// Verifies |got - want| <= tol * max(1, |want|) elementwise.
+ava::Status CheckClose(const std::vector<float>& got,
+                       const std::vector<float>& want, float tol,
+                       const std::string& what);
+ava::Status CheckEqual(const std::vector<std::int32_t>& got,
+                       const std::vector<std::int32_t>& want,
+                       const std::string& what);
+
+}  // namespace workloads
+
+#endif  // AVA_SRC_WORKLOADS_VCL_WORKLOADS_H_

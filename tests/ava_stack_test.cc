@@ -1,0 +1,387 @@
+// End-to-end integration tests of the full AvA stack: CAvA-generated guest
+// stubs -> GuestEndpoint -> transport -> Router (verify/rate-limit/schedule)
+// -> ApiServerSession -> CAvA-generated handlers -> the VCL silo.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/proto/marshal.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+#include "src/vcl/silo.h"
+#include "vcl_gen.h"
+
+namespace {
+
+using ava_gen_vcl::MakeVclApiHandler;
+using ava_gen_vcl::MakeVclGuestApi;
+using ava_gen_vcl::MakeVclNativeApi;
+using ava_gen_vcl::VclApi;
+
+constexpr const char* kVaddSrc =
+    "__kernel void vadd(__global const float* a, __global const float* b,"
+    "                   __global float* c, int n) {"
+    "  int i = get_global_id(0);"
+    "  if (i < n) { c[i] = a[i] + b[i]; }"
+    "}";
+
+// One guest VM attached to a router and server over a chosen transport.
+struct GuestVm {
+  std::shared_ptr<ava::ApiServerSession> session;
+  std::shared_ptr<ava::GuestEndpoint> endpoint;
+  VclApi api;
+};
+
+class StackFixture {
+ public:
+  explicit StackFixture(vcl::SiloConfig silo_config = {}) {
+    vcl::ResetDefaultSilo(silo_config);
+    router_ = std::make_unique<ava::Router>();
+    router_->Start();
+  }
+
+  ~StackFixture() {
+    // Endpoints close their transports; stop the router before sessions die.
+    vms_.clear();
+    router_->Stop();
+  }
+
+  GuestVm& AddVm(ava::VmId vm_id, ava::ChannelPair pair,
+                 ava::GuestEndpoint::Options opts = {},
+                 ava::VmPolicy policy = {}) {
+    opts.vm_id = vm_id;
+    auto vm = std::make_unique<GuestVm>();
+    vm->session = std::make_shared<ava::ApiServerSession>(vm_id);
+    vm->session->RegisterApi(ava_gen_vcl::kApiId, MakeVclApiHandler());
+    EXPECT_TRUE(
+        router_->AttachVm(vm_id, std::move(pair.host), vm->session, policy)
+            .ok());
+    vm->endpoint =
+        std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+    vm->api = MakeVclGuestApi(vm->endpoint);
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+  }
+
+  GuestVm& AddInProcVm(ava::VmId vm_id, ava::GuestEndpoint::Options opts = {},
+                       ava::VmPolicy policy = {}) {
+    return AddVm(vm_id, ava::MakeInProcChannel(), opts, policy);
+  }
+
+  ava::Router& router() { return *router_; }
+
+ private:
+  std::unique_ptr<ava::Router> router_;
+  std::vector<std::unique_ptr<GuestVm>> vms_;
+};
+
+// Runs the canonical vector-add workload through `api`; returns the result.
+std::vector<float> RunVadd(const VclApi& api, int n) {
+  std::vector<float> a(n), b(n), c(n, -1.0f);
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = static_cast<float>(3 * i);
+  }
+  vcl_platform_id platform = nullptr;
+  EXPECT_EQ(api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  vcl_device_id device = nullptr;
+  EXPECT_EQ(api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device,
+                                nullptr),
+            VCL_SUCCESS);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  vcl_mem da = api.vclCreateBuffer(ctx, VCL_MEM_COPY_HOST_PTR, n * 4,
+                                   a.data(), &err);
+  vcl_mem db = api.vclCreateBuffer(ctx, VCL_MEM_COPY_HOST_PTR, n * 4,
+                                   b.data(), &err);
+  vcl_mem dc = api.vclCreateBuffer(ctx, VCL_MEM_READ_WRITE, n * 4, nullptr,
+                                   &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  vcl_program prog = api.vclCreateProgramWithSource(ctx, kVaddSrc, &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  EXPECT_EQ(api.vclBuildProgram(prog, nullptr), VCL_SUCCESS);
+  vcl_kernel kernel = api.vclCreateKernel(prog, "vadd", &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  EXPECT_EQ(api.vclSetKernelArgBuffer(kernel, 0, da), VCL_SUCCESS);
+  EXPECT_EQ(api.vclSetKernelArgBuffer(kernel, 1, db), VCL_SUCCESS);
+  EXPECT_EQ(api.vclSetKernelArgBuffer(kernel, 2, dc), VCL_SUCCESS);
+  EXPECT_EQ(api.vclSetKernelArgScalar(kernel, 3, sizeof(int), &n),
+            VCL_SUCCESS);
+  size_t global = n;
+  EXPECT_EQ(api.vclEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                        nullptr, 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(api.vclEnqueueReadBuffer(queue, dc, VCL_TRUE, 0, n * 4, c.data(),
+                                     0, nullptr, nullptr),
+            VCL_SUCCESS);
+  api.vclReleaseKernel(kernel);
+  api.vclReleaseProgram(prog);
+  api.vclReleaseMemObject(da);
+  api.vclReleaseMemObject(db);
+  api.vclReleaseMemObject(dc);
+  api.vclReleaseCommandQueue(queue);
+  api.vclReleaseContext(ctx);
+  return c;
+}
+
+TEST(AvaStackTest, NativeVadd) {
+  vcl::ResetDefaultSilo({});
+  VclApi api = MakeVclNativeApi();
+  auto c = RunVadd(api, 256);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_FLOAT_EQ(c[i], 4.0f * i);
+  }
+}
+
+TEST(AvaStackTest, RemotedVaddMatchesNative) {
+  StackFixture stack;
+  GuestVm& vm = stack.AddInProcVm(1);
+  auto c = RunVadd(vm.api, 512);
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_FLOAT_EQ(c[i], 4.0f * i) << "at " << i;
+  }
+  // Async calls actually flowed: SetKernelArg*/Release* are async-annotated.
+  EXPECT_GT(vm.endpoint->stats().async_calls, 0u);
+  EXPECT_GT(vm.endpoint->stats().sync_calls, 0u);
+  EXPECT_EQ(vm.endpoint->ConsumeAsyncError(), 0);
+}
+
+TEST(AvaStackTest, RemotedOverShmRing) {
+  StackFixture stack;
+  auto channel = ava::MakeShmRingChannel(1u << 16);  // small ring: streaming
+  ASSERT_TRUE(channel.ok());
+  GuestVm& vm = stack.AddVm(1, std::move(*channel));
+  auto c = RunVadd(vm.api, 300);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_FLOAT_EQ(c[i], 4.0f * i);
+  }
+}
+
+TEST(AvaStackTest, RemotedOverSocketPair) {
+  StackFixture stack;
+  auto channel = ava::MakeSocketPairChannel();
+  ASSERT_TRUE(channel.ok());
+  GuestVm& vm = stack.AddVm(1, std::move(*channel));
+  auto c = RunVadd(vm.api, 128);
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_FLOAT_EQ(c[i], 4.0f * i);
+  }
+}
+
+TEST(AvaStackTest, ForceSyncModeStillCorrect) {
+  StackFixture stack;
+  ava::GuestEndpoint::Options opts;
+  opts.force_sync = true;  // the §5 "unoptimized specification" ablation
+  GuestVm& vm = stack.AddInProcVm(1, opts);
+  auto c = RunVadd(vm.api, 200);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_FLOAT_EQ(c[i], 4.0f * i);
+  }
+  EXPECT_EQ(vm.endpoint->stats().async_calls, 0u);
+}
+
+TEST(AvaStackTest, BatchingModeStillCorrect) {
+  StackFixture stack;
+  ava::GuestEndpoint::Options opts;
+  opts.batch_max_calls = 16;
+  GuestVm& vm = stack.AddInProcVm(1, opts);
+  auto c = RunVadd(vm.api, 200);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_FLOAT_EQ(c[i], 4.0f * i);
+  }
+  // Batching shrinks the number of transport messages below the call count.
+  auto s = vm.endpoint->stats();
+  EXPECT_LT(s.messages_sent, s.sync_calls + s.async_calls);
+}
+
+TEST(AvaStackTest, DeviceInfoStringsCrossTheWire) {
+  StackFixture stack;
+  GuestVm& vm = stack.AddInProcVm(1);
+  vcl_platform_id platform = nullptr;
+  ASSERT_EQ(vm.api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  char name[64] = {0};
+  size_t name_size = 0;
+  ASSERT_EQ(vm.api.vclGetPlatformInfo(platform, VCL_PLATFORM_NAME,
+                                      sizeof(name), name, &name_size),
+            VCL_SUCCESS);
+  EXPECT_EQ(std::string(name), "AvA VCL Platform");
+  EXPECT_EQ(name_size, std::string("AvA VCL Platform").size() + 1);
+  vcl_device_id device = nullptr;
+  ASSERT_EQ(vm.api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_ALL, 1, &device,
+                                   nullptr),
+            VCL_SUCCESS);
+  vcl_ulong mem = 0;
+  ASSERT_EQ(vm.api.vclGetDeviceInfo(device, VCL_DEVICE_GLOBAL_MEM_SIZE,
+                                    sizeof(mem), &mem, nullptr),
+            VCL_SUCCESS);
+  EXPECT_GT(mem, 0u);
+}
+
+TEST(AvaStackTest, NonBlockingReadDeliversViaShadowBuffer) {
+  StackFixture stack;
+  GuestVm& vm = stack.AddInProcVm(1);
+  const VclApi& api = vm.api;
+  vcl_platform_id platform = nullptr;
+  api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  std::vector<std::uint32_t> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint32_t>(i * 13);
+  }
+  vcl_mem buf = api.vclCreateBuffer(ctx, VCL_MEM_COPY_HOST_PTR, 1024,
+                                    data.data(), &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  std::vector<std::uint32_t> readback(256, 0);
+  // Non-blocking read, no event: forwarded asynchronously; the data arrives
+  // as a shadow-buffer update on the next synchronous reply.
+  ASSERT_EQ(api.vclEnqueueReadBuffer(queue, buf, VCL_FALSE, 0, 1024,
+                                     readback.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  ASSERT_EQ(api.vclFinish(queue), VCL_SUCCESS);
+  EXPECT_EQ(readback, data);
+  EXPECT_GE(vm.endpoint->stats().shadow_updates, 1u);
+  api.vclReleaseMemObject(buf);
+  api.vclReleaseCommandQueue(queue);
+  api.vclReleaseContext(ctx);
+}
+
+TEST(AvaStackTest, AsyncErrorIsLatchedAndDeliveredLater) {
+  StackFixture stack;
+  GuestVm& vm = stack.AddInProcVm(1);
+  const VclApi& api = vm.api;
+  vcl_platform_id platform = nullptr;
+  api.vclGetPlatformIDs(1, &platform, nullptr);  // sync: establishes session
+  // Async release of a handle this VM never created: the server cannot
+  // report it synchronously (§4.2); it is latched...
+  vcl_mem bogus = ava::WireToHandle<vcl_mem>(0x12345);
+  EXPECT_EQ(api.vclReleaseMemObject(bogus), VCL_SUCCESS);  // async "success"
+  // ...and surfaces after the next synchronous call.
+  vcl_uint n = 0;
+  EXPECT_EQ(api.vclGetPlatformIDs(0, nullptr, &n), VCL_SUCCESS);
+  EXPECT_NE(vm.endpoint->ConsumeAsyncError(), 0);
+}
+
+TEST(AvaStackTest, CrossVmHandleIsolation) {
+  StackFixture stack;
+  GuestVm& vm1 = stack.AddInProcVm(1);
+  GuestVm& vm2 = stack.AddInProcVm(2);
+  // VM1 creates a context.
+  vcl_platform_id platform = nullptr;
+  vm1.api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  vm1.api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx1 = vm1.api.vclCreateContext(&device, 1, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  ASSERT_NE(ctx1, nullptr);
+  // VM2 attempts to use VM1's wire handle: rejected by VM2's registry.
+  vcl_int err2 = VCL_SUCCESS;
+  vcl_mem stolen = vm2.api.vclCreateBuffer(ctx1, 0, 64, nullptr, &err2);
+  EXPECT_EQ(stolen, nullptr);
+  vm1.api.vclReleaseContext(ctx1);
+}
+
+TEST(AvaStackTest, RouterCountsAndCostAccounting) {
+  StackFixture stack;
+  GuestVm& vm = stack.AddInProcVm(7);
+  RunVadd(vm.api, 128);
+  auto stats = stack.router().StatsFor(7);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->calls_forwarded, 10u);
+  EXPECT_GT(stats->bytes_received, 1000u);
+  EXPECT_GT(stats->cost_vns, 0);  // consumes(...) annotations flowed through
+  EXPECT_EQ(stats->calls_rejected, 0u);
+}
+
+TEST(AvaStackTest, RateLimitThrottlesCallStream) {
+  StackFixture stack;
+  ava::VmPolicy policy;
+  policy.calls_per_sec = 200.0;
+  GuestVm& vm = stack.AddInProcVm(1, {}, policy);
+  vcl_platform_id platform = nullptr;
+  vm.api.vclGetPlatformIDs(1, &platform, nullptr);
+  ava::Stopwatch watch;
+  // Burst is 200 tokens; issue ~400 calls => at least ~1s of throttling.
+  for (int i = 0; i < 400; ++i) {
+    vcl_uint n = 0;
+    vm.api.vclGetPlatformIDs(0, nullptr, &n);
+  }
+  EXPECT_GT(watch.ElapsedSeconds(), 0.8);
+  auto stats = stack.router().StatsFor(1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->rate_limit_wait_ns, 0);
+}
+
+TEST(AvaStackTest, SessionRegistryTracksLiveObjects) {
+  StackFixture stack;
+  GuestVm& vm = stack.AddInProcVm(1);
+  const VclApi& api = vm.api;
+  vcl_platform_id platform = nullptr;
+  api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  const std::size_t base = vm.session->registry().LiveCount();
+  vcl_mem buf = api.vclCreateBuffer(ctx, 0, 256, nullptr, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  EXPECT_EQ(vm.session->registry().LiveCount(), base + 1);
+  api.vclReleaseMemObject(buf);
+  api.vclFinish(nullptr);  // harmless sync to drain async release
+  // Releasing drops the entry (async call already executed by FIFO order).
+  vcl_uint n = 0;
+  api.vclGetPlatformIDs(0, nullptr, &n);  // one more sync round trip
+  EXPECT_EQ(vm.session->registry().LiveCount(), base);
+  api.vclReleaseContext(ctx);
+}
+
+}  // namespace
+
+namespace {
+
+// Consolidation stress: four VMs run full workloads concurrently against
+// one silo; every VM's results stay correct and isolated.
+TEST(AvaStackTest, FourVmsConcurrently) {
+  StackFixture stack;
+  std::vector<GuestVm*> vms;
+  for (ava::VmId id = 1; id <= 4; ++id) {
+    vms.push_back(&stack.AddInProcVm(id));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      auto c = RunVadd(vms[static_cast<std::size_t>(i)]->api, 256 + i * 16);
+      for (std::size_t j = 0; j < c.size(); ++j) {
+        if (c[j] != 4.0f * static_cast<float>(j)) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (ava::VmId id = 1; id <= 4; ++id) {
+    auto stats = stack.router().StatsFor(id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GT(stats->calls_forwarded, 10u);
+    EXPECT_EQ(stats->calls_rejected, 0u);
+  }
+}
+
+}  // namespace

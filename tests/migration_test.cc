@@ -1,0 +1,311 @@
+// Tests for §4.3 VM migration: record/replay of state-establishing calls,
+// device-buffer snapshot/restore, tombstoning of destroyed objects, and
+// end-to-end equivalence of a workload migrated mid-flight.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/gen/vcl_hooks.h"
+#include "src/proto/marshal.h"
+#include "src/migrate/recorder.h"
+#include "src/migrate/snapshot.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+#include "src/vcl/silo.h"
+#include "vcl_gen.h"
+
+namespace {
+
+using ava_gen_vcl::MakeVclApiHandler;
+using ava_gen_vcl::MakeVclBufferHooks;
+using ava_gen_vcl::MakeVclGuestApi;
+using ava_gen_vcl::VclApi;
+
+constexpr const char* kScaleSrc =
+    "__kernel void scale(__global float* data, float k, int n) {"
+    "  int i = get_global_id(0);"
+    "  if (i < n) { data[i] = data[i] * k; }"
+    "}";
+
+// A migratable guest: session + recorder + endpoint, attached to a router.
+struct MigratableVm {
+  std::shared_ptr<ava::ApiServerSession> session;
+  std::unique_ptr<ava::Recorder> recorder;
+  std::shared_ptr<ava::GuestEndpoint> endpoint;
+  VclApi api;
+};
+
+class MigrationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vcl::ResetDefaultSilo({});
+    router_ = std::make_unique<ava::Router>();
+    router_->Start();
+  }
+
+  void TearDown() override {
+    vms_.clear();
+    router_->Stop();
+    router_.reset();
+  }
+
+  MigratableVm& AddVm(ava::VmId vm_id) {
+    auto pair = ava::MakeInProcChannel();
+    auto vm = std::make_unique<MigratableVm>();
+    vm->session = std::make_shared<ava::ApiServerSession>(vm_id);
+    vm->session->RegisterApi(ava_gen_vcl::kApiId, MakeVclApiHandler());
+    vm->recorder = std::make_unique<ava::Recorder>();
+    vm->session->SetRecordSink(vm->recorder.get());
+    EXPECT_TRUE(
+        router_->AttachVm(vm_id, std::move(pair.host), vm->session).ok());
+    ava::GuestEndpoint::Options opts;
+    opts.vm_id = vm_id;
+    vm->endpoint =
+        std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+    vm->api = MakeVclGuestApi(vm->endpoint);
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+  }
+
+  // A fresh destination session not attached to any router (restore target).
+  std::shared_ptr<ava::ApiServerSession> MakeTarget(ava::VmId vm_id) {
+    auto session = std::make_shared<ava::ApiServerSession>(vm_id);
+    session->RegisterApi(ava_gen_vcl::kApiId, MakeVclApiHandler());
+    return session;
+  }
+
+  std::unique_ptr<ava::Router> router_;
+  std::vector<std::unique_ptr<MigratableVm>> vms_;
+};
+
+TEST_F(MigrationFixture, RecorderCapturesStateEstablishingCalls) {
+  MigratableVm& vm = AddVm(1);
+  vcl_platform_id platform = nullptr;
+  vm.api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  vm.api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = vm.api.vclCreateContext(&device, 1, &err);
+  vcl_command_queue q = vm.api.vclCreateCommandQueue(ctx, device, 0, &err);
+  vcl_mem buf = vm.api.vclCreateBuffer(ctx, 0, 1024, nullptr, &err);
+  vm.api.vclFinish(q);  // drain async releases below
+  EXPECT_GE(vm.recorder->LiveCount(), 5u);  // discovery + creates
+  // Destroying the buffer tombstones its create record.
+  const std::size_t before = vm.recorder->LiveCount();
+  vm.api.vclReleaseMemObject(buf);
+  vm.api.vclFinish(q);
+  // The create record AND the release record both leave the live log
+  // (release of a fully-destroyed object has nothing to replay).
+  EXPECT_LT(vm.recorder->LiveCount(), before + 1);
+  vm.api.vclReleaseCommandQueue(q);
+  vm.api.vclReleaseContext(ctx);
+}
+
+TEST_F(MigrationFixture, SnapshotSerializationRoundTrip) {
+  ava::VmSnapshot snap;
+  snap.vm_id = 17;
+  ava::RecordedCall call;
+  call.header.api_id = 1;
+  call.header.func_id = 4;
+  call.header.call_id = 99;
+  call.header.vm_id = 17;
+  call.payload = {1, 2, 3};
+  call.created = {11, 12};
+  snap.calls.push_back(call);
+  snap.buffers.emplace_back(12, ava::Bytes{9, 9, 9, 9});
+
+  ava::Bytes wire = snap.Serialize();
+  auto restored = ava::VmSnapshot::Deserialize(wire);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->vm_id, 17u);
+  ASSERT_EQ(restored->calls.size(), 1u);
+  EXPECT_EQ(restored->calls[0].header.func_id, 4u);
+  EXPECT_EQ(restored->calls[0].created, (std::vector<ava::WireHandle>{11, 12}));
+  ASSERT_EQ(restored->buffers.size(), 1u);
+  EXPECT_EQ(restored->buffers[0].second, ava::Bytes({9, 9, 9, 9}));
+  EXPECT_EQ(restored->TotalBufferBytes(), 4u);
+
+  EXPECT_FALSE(ava::VmSnapshot::Deserialize({1, 2}).ok());
+}
+
+TEST_F(MigrationFixture, MidWorkloadMigrationPreservesResults) {
+  MigratableVm& vm = AddVm(1);
+  const VclApi& api = vm.api;
+  const int n = 1000;
+
+  // Phase 1 on the source: set up and run half the iterations.
+  vcl_platform_id platform = nullptr;
+  api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  std::vector<float> init(n, 1.0f);
+  vcl_mem buf = api.vclCreateBuffer(ctx, VCL_MEM_COPY_HOST_PTR, n * 4,
+                                    init.data(), &err);
+  vcl_program prog = api.vclCreateProgramWithSource(ctx, kScaleSrc, &err);
+  ASSERT_EQ(api.vclBuildProgram(prog, nullptr), VCL_SUCCESS);
+  vcl_kernel kernel = api.vclCreateKernel(prog, "scale", &err);
+  float k = 2.0f;
+  api.vclSetKernelArgBuffer(kernel, 0, buf);
+  api.vclSetKernelArgScalar(kernel, 1, sizeof(float), &k);
+  api.vclSetKernelArgScalar(kernel, 2, sizeof(int), &n);
+  size_t global = n;
+  for (int iter = 0; iter < 3; ++iter) {
+    ASSERT_EQ(api.vclEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                          nullptr, 0, nullptr, nullptr),
+              VCL_SUCCESS);
+  }
+  ASSERT_EQ(api.vclFinish(queue), VCL_SUCCESS);
+
+  // Migrate: suspend + capture on the source, restore into a fresh session.
+  ava::MigrationEngine engine(MakeVclBufferHooks());
+  ava::MigrationTimings timings;
+  auto snapshot = engine.Capture(router_.get(), vm.session.get(),
+                                 *vm.recorder, &timings);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_GE(snapshot->TotalBufferBytes(), static_cast<std::size_t>(n * 4));
+  EXPECT_GT(timings.snapshot_ns, 0);
+
+  // Serialize across the "migration" boundary.
+  ava::Bytes wire = snapshot->Serialize();
+  auto arrived = ava::VmSnapshot::Deserialize(wire);
+  ASSERT_TRUE(arrived.ok());
+
+  auto target = MakeTarget(1);
+  ASSERT_TRUE(engine.Restore(*arrived, target.get(), &timings).ok());
+  EXPECT_GT(timings.replay_ns, 0);
+
+  // Phase 2 on the destination: attach the SAME guest endpoint state to the
+  // restored session via a new channel, and finish the workload. Handles the
+  // guest still holds (ctx/queue/buf/kernel ids) must remain valid.
+  auto pair2 = ava::MakeInProcChannel();
+  auto router2 = std::make_unique<ava::Router>();
+  router2->Start();
+  ASSERT_TRUE(router2->AttachVm(1, std::move(pair2.host), target).ok());
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  auto endpoint2 =
+      std::make_shared<ava::GuestEndpoint>(std::move(pair2.guest), opts);
+  VclApi api2 = MakeVclGuestApi(endpoint2);
+
+  for (int iter = 0; iter < 3; ++iter) {
+    ASSERT_EQ(api2.vclEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                           nullptr, 0, nullptr, nullptr),
+              VCL_SUCCESS);
+  }
+  std::vector<float> result(n, 0.0f);
+  ASSERT_EQ(api2.vclEnqueueReadBuffer(queue, buf, VCL_TRUE, 0, n * 4,
+                                      result.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  // 6 total doublings of 1.0 = 64.0 — identical to an unmigrated run.
+  for (int i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(result[i], 64.0f) << "at " << i;
+  }
+  api2.vclReleaseKernel(kernel);
+  api2.vclReleaseProgram(prog);
+  api2.vclReleaseMemObject(buf);
+  api2.vclReleaseCommandQueue(queue);
+  api2.vclReleaseContext(ctx);
+  endpoint2.reset();
+  router2->Stop();
+}
+
+TEST_F(MigrationFixture, ReplaySkipsCallsReferencingDeadObjects) {
+  MigratableVm& vm = AddVm(1);
+  const VclApi& api = vm.api;
+  vcl_platform_id platform = nullptr;
+  api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  vcl_command_queue q = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  // Create and destroy a buffer: its create is tombstoned; the release call
+  // that destroyed it is skipped at replay (references a dead id).
+  vcl_mem temp = api.vclCreateBuffer(ctx, 0, 512, nullptr, &err);
+  api.vclReleaseMemObject(temp);
+  // Keep one live buffer.
+  vcl_mem keep = api.vclCreateBuffer(ctx, 0, 256, nullptr, &err);
+  api.vclFinish(q);
+
+  ava::MigrationEngine engine(MakeVclBufferHooks());
+  auto snapshot =
+      engine.Capture(router_.get(), vm.session.get(), *vm.recorder, nullptr);
+  ASSERT_TRUE(snapshot.ok());
+  // Only the live buffer is snapshotted.
+  ASSERT_EQ(snapshot->buffers.size(), 1u);
+  EXPECT_EQ(snapshot->buffers[0].second.size(), 256u);
+
+  auto target = MakeTarget(1);
+  ASSERT_TRUE(engine.Restore(*snapshot, target.get(), nullptr).ok());
+  // The live buffer's wire id resolves in the restored registry.
+  auto real = target->registry().Translate(
+      ava_gen_vcl::kTag_vcl_mem, ava::HandleToWire(keep));
+  EXPECT_TRUE(real.ok()) << real.status().ToString();
+  // The destroyed buffer's id does not.
+  auto dead = target->registry().Translate(ava_gen_vcl::kTag_vcl_mem,
+                                           ava::HandleToWire(temp));
+  EXPECT_FALSE(dead.ok());
+}
+
+TEST_F(MigrationFixture, KernelArgBindingsSurviveMigration) {
+  MigratableVm& vm = AddVm(1);
+  const VclApi& api = vm.api;
+  const int n = 64;
+  vcl_platform_id platform = nullptr;
+  api.vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  std::vector<float> data(n, 3.0f);
+  vcl_mem buf = api.vclCreateBuffer(ctx, VCL_MEM_COPY_HOST_PTR, n * 4,
+                                    data.data(), &err);
+  vcl_program prog = api.vclCreateProgramWithSource(ctx, kScaleSrc, &err);
+  api.vclBuildProgram(prog, nullptr);
+  vcl_kernel kernel = api.vclCreateKernel(prog, "scale", &err);
+  float k = 10.0f;
+  // Bind args BEFORE migration; launch only AFTER restore.
+  api.vclSetKernelArgBuffer(kernel, 0, buf);
+  api.vclSetKernelArgScalar(kernel, 1, sizeof(float), &k);
+  api.vclSetKernelArgScalar(kernel, 2, sizeof(int), &n);
+  api.vclFinish(queue);
+
+  ava::MigrationEngine engine(MakeVclBufferHooks());
+  auto snapshot =
+      engine.Capture(router_.get(), vm.session.get(), *vm.recorder, nullptr);
+  ASSERT_TRUE(snapshot.ok());
+  auto target = MakeTarget(1);
+  ASSERT_TRUE(engine.Restore(*snapshot, target.get(), nullptr).ok());
+
+  auto pair2 = ava::MakeInProcChannel();
+  auto router2 = std::make_unique<ava::Router>();
+  router2->Start();
+  ASSERT_TRUE(router2->AttachVm(1, std::move(pair2.host), target).ok());
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  auto endpoint2 =
+      std::make_shared<ava::GuestEndpoint>(std::move(pair2.guest), opts);
+  VclApi api2 = MakeVclGuestApi(endpoint2);
+  size_t global = n;
+  ASSERT_EQ(api2.vclEnqueueNDRangeKernel(queue, kernel, 1, nullptr, &global,
+                                         nullptr, 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  std::vector<float> out(n, 0.0f);
+  ASSERT_EQ(api2.vclEnqueueReadBuffer(queue, buf, VCL_TRUE, 0, n * 4,
+                                      out.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(out[i], 30.0f);
+  }
+  endpoint2.reset();
+  router2->Stop();
+}
+
+}  // namespace

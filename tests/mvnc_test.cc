@@ -1,0 +1,371 @@
+// Tests for the MVNC silo: graph serialization, the inference engine's layer
+// math (against hand-computed references), the NCSDK-shaped API, and the
+// CAvA-remoted stack producing bit-identical inference results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "mvnc_gen.h"
+#include "src/mvnc/graph.h"
+#include "src/mvnc/silo.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+
+namespace {
+
+using ava_gen_mvnc::MakeMvncApiHandler;
+using ava_gen_mvnc::MakeMvncGuestApi;
+using ava_gen_mvnc::MakeMvncNativeApi;
+using ava_gen_mvnc::MvncApi;
+
+// ------------------------------ engine math --------------------------------
+
+TEST(MvncEngineTest, DenseLayerHandComputed) {
+  mvnc::GraphDef def;
+  def.input_c = 1;
+  def.input_h = 1;
+  def.input_w = 3;
+  mvnc::Layer dense;
+  dense.kind = mvnc::LayerKind::kDense;
+  dense.units = 2;
+  dense.weights = {1.0f, 2.0f, 3.0f,   // unit 0
+                   -1.0f, 0.0f, 1.0f}; // unit 1
+  dense.bias = {0.5f, -0.5f};
+  dense.relu = false;
+  def.layers.push_back(dense);
+
+  mvnc::Tensor in = mvnc::Tensor::Chw(1, 1, 3);
+  in.data = {1.0f, 2.0f, 3.0f};
+  std::uint64_t flops = 0;
+  auto out = def.Run(in, &flops);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->data.size(), 2u);
+  EXPECT_FLOAT_EQ(out->data[0], 1 + 4 + 9 + 0.5f);   // 14.5
+  EXPECT_FLOAT_EQ(out->data[1], -1 + 0 + 3 - 0.5f);  // 1.5
+  EXPECT_GT(flops, 0u);
+}
+
+TEST(MvncEngineTest, ReluClampsNegatives) {
+  mvnc::GraphDef def;
+  def.input_c = 1;
+  def.input_h = 1;
+  def.input_w = 2;
+  mvnc::Layer dense;
+  dense.kind = mvnc::LayerKind::kDense;
+  dense.units = 1;
+  dense.weights = {1.0f, 1.0f};
+  dense.bias = {-100.0f};
+  dense.relu = true;
+  def.layers.push_back(dense);
+  mvnc::Tensor in = mvnc::Tensor::Chw(1, 1, 2);
+  in.data = {1.0f, 2.0f};
+  auto out = def.Run(in, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out->data[0], 0.0f);
+}
+
+TEST(MvncEngineTest, Conv2dIdentityKernel) {
+  // A 1x1 conv with weight 1 and bias 0 is the identity.
+  mvnc::GraphDef def;
+  def.input_c = 1;
+  def.input_h = 3;
+  def.input_w = 3;
+  mvnc::Layer conv;
+  conv.kind = mvnc::LayerKind::kConv2d;
+  conv.out_channels = 1;
+  conv.kernel = 1;
+  conv.stride = 1;
+  conv.same_padding = true;
+  conv.weights = {1.0f};
+  conv.bias = {0.0f};
+  conv.relu = false;
+  def.layers.push_back(conv);
+  mvnc::Tensor in = mvnc::Tensor::Chw(1, 3, 3);
+  std::iota(in.data.begin(), in.data.end(), 1.0f);
+  auto out = def.Run(in, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->data, in.data);
+}
+
+TEST(MvncEngineTest, Conv2dSumKernelHandComputed) {
+  // 3x3 all-ones kernel, same padding: center output = sum of neighborhood.
+  mvnc::GraphDef def;
+  def.input_c = 1;
+  def.input_h = 3;
+  def.input_w = 3;
+  mvnc::Layer conv;
+  conv.kind = mvnc::LayerKind::kConv2d;
+  conv.out_channels = 1;
+  conv.kernel = 3;
+  conv.stride = 1;
+  conv.same_padding = true;
+  conv.weights.assign(9, 1.0f);
+  conv.bias = {0.0f};
+  def.layers.push_back(conv);
+  mvnc::Tensor in = mvnc::Tensor::Chw(1, 3, 3);
+  std::iota(in.data.begin(), in.data.end(), 1.0f);  // 1..9
+  auto out = def.Run(in, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out->data[4], 45.0f);           // full 3x3 sum at center
+  EXPECT_FLOAT_EQ(out->data[0], 1 + 2 + 4 + 5);   // top-left corner
+}
+
+TEST(MvncEngineTest, MaxPoolHandComputed) {
+  mvnc::GraphDef def;
+  def.input_c = 1;
+  def.input_h = 4;
+  def.input_w = 4;
+  mvnc::Layer pool;
+  pool.kind = mvnc::LayerKind::kMaxPool;
+  pool.kernel = 2;
+  pool.stride = 2;
+  def.layers.push_back(pool);
+  mvnc::Tensor in = mvnc::Tensor::Chw(1, 4, 4);
+  std::iota(in.data.begin(), in.data.end(), 1.0f);  // 1..16 row-major
+  auto out = def.Run(in, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->data, (std::vector<float>{6, 8, 14, 16}));
+}
+
+TEST(MvncEngineTest, SoftmaxNormalizes) {
+  mvnc::GraphDef def;
+  def.input_c = 1;
+  def.input_h = 1;
+  def.input_w = 4;
+  mvnc::Layer dense;
+  dense.kind = mvnc::LayerKind::kDense;
+  dense.units = 4;
+  dense.weights.assign(16, 0.0f);
+  for (int i = 0; i < 4; ++i) {
+    dense.weights[static_cast<std::size_t>(i * 4 + i)] = 1.0f;  // identity
+  }
+  dense.bias.assign(4, 0.0f);
+  dense.relu = false;
+  def.layers.push_back(dense);
+  mvnc::Layer softmax;
+  softmax.kind = mvnc::LayerKind::kSoftmax;
+  def.layers.push_back(softmax);
+  mvnc::Tensor in = mvnc::Tensor::Chw(1, 1, 4);
+  in.data = {1.0f, 2.0f, 3.0f, 4.0f};
+  auto out = def.Run(in, nullptr);
+  ASSERT_TRUE(out.ok());
+  float sum = 0.0f;
+  for (float v : out->data) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  // Monotonic: larger logits -> larger probabilities.
+  EXPECT_LT(out->data[0], out->data[3]);
+}
+
+TEST(MvncEngineTest, GraphFileRoundTrip) {
+  auto file = mvnc::GraphBuilder(3, 16, 16, /*seed=*/7)
+                  .Named("tiny")
+                  .Conv2d(8, 3)
+                  .MaxPool(2)
+                  .Dense(10)
+                  .Softmax()
+                  .BuildFile();
+  auto def = mvnc::GraphDef::Deserialize(file.data(), file.size());
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->name, "tiny");
+  EXPECT_EQ(def->layers.size(), 4u);
+  auto out_elems = def->OutputElements();
+  ASSERT_TRUE(out_elems.ok());
+  EXPECT_EQ(*out_elems, 10u);
+  // Same seed => same serialized bytes (deterministic builder).
+  auto file2 = mvnc::GraphBuilder(3, 16, 16, 7)
+                   .Named("tiny")
+                   .Conv2d(8, 3)
+                   .MaxPool(2)
+                   .Dense(10)
+                   .Softmax()
+                   .BuildFile();
+  EXPECT_EQ(file, file2);
+}
+
+TEST(MvncEngineTest, MalformedGraphFilesRejected) {
+  EXPECT_FALSE(mvnc::GraphDef::Deserialize("junk", 4).ok());
+  ava::Bytes empty;
+  EXPECT_FALSE(mvnc::GraphDef::Deserialize(empty.data(), 0).ok());
+  // Corrupted weights (wrong length for the declared shape).
+  mvnc::GraphDef bad;
+  bad.input_c = 1;
+  bad.input_h = 2;
+  bad.input_w = 2;
+  mvnc::Layer dense;
+  dense.kind = mvnc::LayerKind::kDense;
+  dense.units = 3;
+  dense.weights = {1.0f};  // should be 12
+  dense.bias = {0, 0, 0};
+  bad.layers.push_back(dense);
+  ava::Bytes wire = bad.Serialize();
+  EXPECT_FALSE(mvnc::GraphDef::Deserialize(wire.data(), wire.size()).ok());
+}
+
+// ------------------------------- native API --------------------------------
+
+class MvncApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override { mvnc::ResetMvncSilo({}); }
+};
+
+TEST_F(MvncApiTest, DeviceEnumerationAndOpenClose) {
+  char name[32];
+  ASSERT_EQ(mvncGetDeviceName(0, name, sizeof(name)), MVNC_OK);
+  EXPECT_EQ(std::string(name), "ncs0");
+  EXPECT_EQ(mvncGetDeviceName(5, name, sizeof(name)), MVNC_DEVICE_NOT_FOUND);
+  mvnc_device dev = nullptr;
+  ASSERT_EQ(mvncOpenDevice(name, &dev), MVNC_OK);
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(mvncCloseDevice(dev), MVNC_OK);
+  EXPECT_EQ(mvncCloseDevice(dev), MVNC_INVALID_HANDLE);  // stale
+  EXPECT_EQ(mvncOpenDevice("gpu0", &dev), MVNC_DEVICE_NOT_FOUND);
+}
+
+TEST_F(MvncApiTest, InferenceRoundTrip) {
+  mvnc_device dev = nullptr;
+  ASSERT_EQ(mvncOpenDevice("ncs0", &dev), MVNC_OK);
+  auto file = mvnc::GraphBuilder(1, 8, 8, 3).Conv2d(4, 3).Dense(5).Softmax()
+                  .BuildFile();
+  mvnc_graph graph = nullptr;
+  ASSERT_EQ(mvncAllocateGraph(dev, &graph, file.data(),
+                              static_cast<std::uint32_t>(file.size())),
+            MVNC_OK);
+  // Closing a device with a loaded graph is refused.
+  EXPECT_EQ(mvncCloseDevice(dev), MVNC_BUSY);
+
+  std::vector<float> input(64, 0.5f);
+  ASSERT_EQ(mvncLoadTensor(graph, input.data(), 64 * sizeof(float)), MVNC_OK);
+  std::vector<float> result(5, 0.0f);
+  std::uint32_t result_size = 0;
+  ASSERT_EQ(mvncGetResult(graph, result.data(), 5 * sizeof(float),
+                          &result_size),
+            MVNC_OK);
+  EXPECT_EQ(result_size, 5 * sizeof(float));
+  float sum = 0.0f;
+  for (float v : result) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+
+  std::int32_t iterations = 0;
+  std::uint32_t opt_size = 0;
+  ASSERT_EQ(mvncGetGraphOption(graph, MVNC_ITERATIONS, &iterations,
+                               sizeof(iterations), &opt_size),
+            MVNC_OK);
+  EXPECT_EQ(iterations, 1);
+  float time_ms = 0.0f;
+  ASSERT_EQ(mvncGetGraphOption(graph, MVNC_TIME_TAKEN, &time_ms,
+                               sizeof(time_ms), &opt_size),
+            MVNC_OK);
+  EXPECT_GT(time_ms, 0.0f);
+
+  ASSERT_EQ(mvncDeallocateGraph(graph), MVNC_OK);
+  EXPECT_EQ(mvncCloseDevice(dev), MVNC_OK);
+}
+
+TEST_F(MvncApiTest, ErrorsAreReported) {
+  mvnc_device dev = nullptr;
+  ASSERT_EQ(mvncOpenDevice("ncs0", &dev), MVNC_OK);
+  mvnc_graph graph = nullptr;
+  // Garbage graph file.
+  EXPECT_EQ(mvncAllocateGraph(dev, &graph, "nope", 4),
+            MVNC_UNSUPPORTED_GRAPH_FILE);
+  auto file = mvnc::GraphBuilder(1, 4, 4, 1).Dense(2).BuildFile();
+  ASSERT_EQ(mvncAllocateGraph(dev, &graph, file.data(),
+                              static_cast<std::uint32_t>(file.size())),
+            MVNC_OK);
+  // Wrong tensor size.
+  float small = 0.0f;
+  EXPECT_EQ(mvncLoadTensor(graph, &small, sizeof(small)),
+            MVNC_INVALID_PARAMETERS);
+  // GetResult with nothing queued returns NO_DATA instead of hanging.
+  float out[2];
+  std::uint32_t out_size = 0;
+  EXPECT_EQ(mvncGetResult(graph, out, sizeof(out), &out_size), MVNC_NO_DATA);
+  mvncDeallocateGraph(graph);
+  mvncCloseDevice(dev);
+}
+
+TEST_F(MvncApiTest, GraphMemoryBudgetEnforced) {
+  mvnc::MvncConfig config;
+  config.device_memory_bytes = 64u << 10;  // 64 KiB of weights
+  mvnc::ResetMvncSilo(config);
+  mvnc_device dev = nullptr;
+  ASSERT_EQ(mvncOpenDevice("ncs0", &dev), MVNC_OK);
+  // ~16x16x64 dense weights = 64K floats = 256 KiB > budget.
+  auto big = mvnc::GraphBuilder(1, 32, 32, 2).Dense(64).BuildFile();
+  mvnc_graph graph = nullptr;
+  EXPECT_EQ(mvncAllocateGraph(dev, &graph, big.data(),
+                              static_cast<std::uint32_t>(big.size())),
+            MVNC_OUT_OF_MEMORY);
+  mvncCloseDevice(dev);
+}
+
+// ------------------------------ remoted stack ------------------------------
+
+TEST(MvncStackTest, RemotedInferenceMatchesNative) {
+  mvnc::ResetMvncSilo({});
+  auto file = mvnc::GraphBuilder(3, 16, 16, 11)
+                  .Conv2d(8, 3)
+                  .MaxPool(2)
+                  .Dense(10)
+                  .Softmax()
+                  .BuildFile();
+  std::vector<float> input(3 * 16 * 16);
+  ava::Rng rng(5);
+  for (auto& v : input) {
+    v = rng.NextFloat(-1.0f, 1.0f);
+  }
+
+  auto run = [&](const MvncApi& api) {
+    mvnc_device dev = nullptr;
+    EXPECT_EQ(api.mvncOpenDevice("ncs0", &dev), MVNC_OK);
+    mvnc_graph graph = nullptr;
+    EXPECT_EQ(api.mvncAllocateGraph(dev, &graph, file.data(),
+                                    static_cast<std::uint32_t>(file.size())),
+              MVNC_OK);
+    EXPECT_EQ(api.mvncLoadTensor(
+                  graph, input.data(),
+                  static_cast<std::uint32_t>(input.size() * sizeof(float))),
+              MVNC_OK);
+    std::vector<float> out(10, 0.0f);
+    std::uint32_t out_size = 0;
+    EXPECT_EQ(api.mvncGetResult(graph, out.data(), 10 * sizeof(float),
+                                &out_size),
+              MVNC_OK);
+    EXPECT_EQ(api.mvncDeallocateGraph(graph), MVNC_OK);
+    EXPECT_EQ(api.mvncCloseDevice(dev), MVNC_OK);
+    return out;
+  };
+
+  auto native = run(MakeMvncNativeApi());
+
+  auto router = std::make_unique<ava::Router>();
+  router->Start();
+  auto pair = ava::MakeInProcChannel();
+  auto session = std::make_shared<ava::ApiServerSession>(1);
+  session->RegisterApi(ava_gen_mvnc::kApiId, MakeMvncApiHandler());
+  ASSERT_TRUE(router->AttachVm(1, std::move(pair.host), session).ok());
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  auto endpoint =
+      std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+  auto remoted = run(MakeMvncGuestApi(endpoint));
+  endpoint.reset();
+  router->Stop();
+
+  ASSERT_EQ(native.size(), remoted.size());
+  for (std::size_t i = 0; i < native.size(); ++i) {
+    ASSERT_FLOAT_EQ(native[i], remoted[i]) << "at " << i;
+  }
+}
+
+}  // namespace

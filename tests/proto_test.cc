@@ -1,0 +1,213 @@
+// Tests for the wire protocol: call/reply/batch encoding, shadow updates,
+// cost back-patching, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/proto/marshal.h"
+#include "src/proto/wire.h"
+
+namespace ava {
+namespace {
+
+TEST(WireTest, CallRoundTrip) {
+  CallHeader header;
+  header.api_id = 3;
+  header.func_id = 17;
+  header.call_id = 999;
+  header.vm_id = 42;
+  header.flags = kCallFlagAsync;
+  Bytes payload = {1, 2, 3, 4, 5};
+  Bytes message = EncodeCall(header, payload);
+
+  auto kind = PeekKind(message);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MsgKind::kCall);
+
+  auto decoded = DecodeCall(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.api_id, 3);
+  EXPECT_EQ(decoded->header.func_id, 17u);
+  EXPECT_EQ(decoded->header.call_id, 999u);
+  EXPECT_EQ(decoded->header.vm_id, 42u);
+  EXPECT_TRUE(decoded->header.is_async());
+  EXPECT_EQ(Bytes(decoded->payload.begin(), decoded->payload.end()), payload);
+}
+
+TEST(WireTest, ReplyRoundTripWithShadows) {
+  ReplyHeader header;
+  header.call_id = 5;
+  header.vm_id = 2;
+  header.status_code = 0;
+  ReplyBuilder builder(header);
+  Bytes payload = {9, 8, 7};
+  builder.SetPayload(payload);
+  builder.AddShadow(11, Bytes{1, 1, 1});
+  builder.AddShadow(22, Bytes{2, 2});
+  builder.SetCost(123456);
+  Bytes message = std::move(builder).Finish();
+
+  auto cost = PeekReplyCost(message);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(*cost, 123456);
+
+  auto decoded = DecodeReply(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.call_id, 5u);
+  EXPECT_EQ(decoded->header.cost_vns, 123456);
+  EXPECT_EQ(Bytes(decoded->payload.begin(), decoded->payload.end()), payload);
+  ASSERT_EQ(decoded->shadows.size(), 2u);
+  EXPECT_EQ(decoded->shadows[0].shadow_id, 11u);
+  EXPECT_EQ(decoded->shadows[0].data.size(), 3u);
+  EXPECT_EQ(decoded->shadows[1].shadow_id, 22u);
+}
+
+TEST(WireTest, EmptyReply) {
+  ReplyHeader header;
+  header.call_id = 1;
+  ReplyBuilder builder(header);
+  Bytes message = std::move(builder).Finish();
+  auto decoded = DecodeReply(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload.empty());
+  EXPECT_TRUE(decoded->shadows.empty());
+}
+
+TEST(WireTest, BatchRoundTrip) {
+  std::vector<Bytes> calls;
+  for (int i = 0; i < 5; ++i) {
+    CallHeader h;
+    h.func_id = static_cast<std::uint32_t>(i);
+    h.flags = kCallFlagAsync;
+    calls.push_back(EncodeCall(h, Bytes(static_cast<std::size_t>(i), 0xAA)));
+  }
+  Bytes batch = EncodeBatch(calls);
+  auto kind = PeekKind(batch);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MsgKind::kBatch);
+  auto decoded = DecodeBatch(batch);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto call = DecodeCall((*decoded)[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(call.ok());
+    EXPECT_EQ(call->header.func_id, static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(WireTest, MalformedMessagesRejected) {
+  EXPECT_FALSE(PeekKind({}).ok());
+  EXPECT_FALSE(PeekKind({99}).ok());
+  EXPECT_FALSE(DecodeCall({1, 2}).ok());       // truncated call
+  EXPECT_FALSE(DecodeReply({1}).ok());         // call kind, not reply
+  EXPECT_FALSE(DecodeBatch({2}).ok());         // reply kind, not batch
+  EXPECT_FALSE(PeekReplyCost({2, 0}).ok());    // too short
+  Bytes truncated_reply = {2, 0, 0, 0};
+  EXPECT_FALSE(DecodeReply(truncated_reply).ok());
+}
+
+TEST(WireTest, ReplyWithErrorStatus) {
+  ReplyHeader header;
+  header.call_id = 77;
+  header.status_code = static_cast<std::int32_t>(StatusCode::kPermissionDenied);
+  ReplyBuilder builder(header);
+  Bytes message = std::move(builder).Finish();
+  auto decoded = DecodeReply(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.status_code,
+            static_cast<std::int32_t>(StatusCode::kPermissionDenied));
+}
+
+TEST(MarshalTest, OptionalBytesAndStrings) {
+  ByteWriter w;
+  PutOptionalBytes(&w, nullptr, 100);
+  const char data[4] = {1, 2, 3, 4};
+  PutOptionalBytes(&w, data, 4);
+  PutOptionalCString(&w, nullptr);
+  PutOptionalCString(&w, "hi");
+
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.GetBool());
+  EXPECT_TRUE(r.GetBool());
+  EXPECT_EQ(r.GetBlob(), Bytes({1, 2, 3, 4}));
+  EXPECT_FALSE(r.GetBool());
+  EXPECT_TRUE(r.GetBool());
+  EXPECT_EQ(r.GetString(), "hi");
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(MarshalTest, OutDescAndOutBytes) {
+  ByteWriter w;
+  int dummy = 0;
+  PutOutDesc(&w, &dummy, 4);
+  PutOutDesc(&w, nullptr, 0);
+  ByteReader r(w.bytes());
+  OutDesc d1 = GetOutDesc(&r);
+  EXPECT_TRUE(d1.wanted);
+  EXPECT_EQ(d1.capacity, 4u);
+  OutDesc d2 = GetOutDesc(&r);
+  EXPECT_FALSE(d2.wanted);
+
+  ByteWriter w2;
+  std::uint32_t value = 0xBEEF;
+  PutOutBytes(&w2, true, &value, sizeof(value));
+  PutOutBytes(&w2, false, nullptr, 0);
+  ByteReader r2(w2.bytes());
+  std::uint32_t out = 0;
+  EXPECT_EQ(GetOutBytes(&r2, &out, sizeof(out)), sizeof(out));
+  EXPECT_EQ(out, 0xBEEFu);
+  EXPECT_EQ(GetOutBytes(&r2, &out, sizeof(out)), 0u);
+}
+
+TEST(MarshalTest, HandleWireConversion) {
+  struct Opaque;
+  auto* fake = reinterpret_cast<Opaque*>(static_cast<std::uintptr_t>(0xABCD));
+  WireHandle wire = HandleToWire(fake);
+  EXPECT_EQ(wire, 0xABCDu);
+  EXPECT_EQ(WireToHandle<Opaque*>(wire), fake);
+  EXPECT_EQ(WireToHandle<Opaque*>(0), nullptr);
+}
+
+// Property: random reply shapes decode losslessly.
+TEST(WirePropertyTest, RandomRepliesRoundTrip) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 100; ++trial) {
+    ReplyHeader header;
+    header.call_id = rng.NextU64();
+    header.vm_id = rng.NextU64();
+    header.status_code = static_cast<std::int32_t>(rng.NextBelow(14));
+    ReplyBuilder builder(header);
+    Bytes payload(rng.NextBelow(300));
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    builder.SetPayload(payload);
+    const int shadows = static_cast<int>(rng.NextBelow(5));
+    std::vector<std::pair<std::uint64_t, Bytes>> expect;
+    for (int i = 0; i < shadows; ++i) {
+      Bytes data(rng.NextBelow(64));
+      for (auto& b : data) {
+        b = static_cast<std::uint8_t>(rng.NextU64());
+      }
+      std::uint64_t id = rng.NextU64() | 1;  // nonzero
+      builder.AddShadow(id, data);
+      expect.emplace_back(id, data);
+    }
+    builder.SetCost(static_cast<std::int64_t>(rng.NextU64() >> 2));
+    Bytes message = std::move(builder).Finish();
+    auto decoded = DecodeReply(message);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->header.call_id, header.call_id);
+    ASSERT_EQ(Bytes(decoded->payload.begin(), decoded->payload.end()),
+              payload);
+    ASSERT_EQ(decoded->shadows.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      ASSERT_EQ(decoded->shadows[i].shadow_id, expect[i].first);
+      ASSERT_EQ(Bytes(decoded->shadows[i].data.begin(),
+                      decoded->shadows[i].data.end()),
+                expect[i].second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ava

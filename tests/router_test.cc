@@ -1,0 +1,285 @@
+// Router unit tests: verification, WFQ weights under backlog, device-time
+// allotment, pause/resume, and stats plumbing, using a synthetic API so the
+// router's behavior is isolated from the silo.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+
+namespace {
+
+constexpr std::uint16_t kTestApi = 42;
+
+// Handler that sleeps `busy_us` (simulating execution) and charges
+// `cost_vns` to the scheduler.
+ava::ApiHandler MakeSyntheticHandler(int busy_us, std::int64_t cost_vns) {
+  return [busy_us, cost_vns](ava::ServerContext* ctx, std::uint32_t func_id,
+                             ava::ByteReader* args, bool is_async,
+                             ava::ByteWriter* reply) -> ava::Status {
+    if (busy_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(busy_us));
+    }
+    ctx->ChargeCost(cost_vns);
+    reply->PutU32(777);
+    return ava::OkStatus();
+  };
+}
+
+struct TestVm {
+  std::shared_ptr<ava::ApiServerSession> session;
+  std::shared_ptr<ava::GuestEndpoint> endpoint;
+};
+
+TestVm Attach(ava::Router* router, ava::VmId vm_id, ava::VmPolicy policy,
+              int busy_us = 0, std::int64_t cost_vns = 1000) {
+  auto pair = ava::MakeInProcChannel();
+  TestVm vm;
+  vm.session = std::make_shared<ava::ApiServerSession>(vm_id);
+  vm.session->RegisterApi(kTestApi, MakeSyntheticHandler(busy_us, cost_vns));
+  EXPECT_TRUE(
+      router->AttachVm(vm_id, std::move(pair.host), vm.session, policy).ok());
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = vm_id;
+  vm.endpoint =
+      std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+  return vm;
+}
+
+TEST(RouterTest, SyncCallRoundTrip) {
+  ava::Router router;
+  router.Start();
+  TestVm vm = Attach(&router, 1, {});
+  auto reply = vm.endpoint->CallSync(kTestApi, 0, {});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ava::ByteReader r(*reply);
+  EXPECT_EQ(r.GetU32(), 777u);
+  auto stats = router.StatsFor(1);
+  EXPECT_EQ(stats->calls_forwarded, 1u);
+  EXPECT_EQ(stats->cost_vns, 1000);
+  vm.endpoint.reset();
+  router.Stop();
+}
+
+TEST(RouterTest, UnknownApiRejectedCleanly) {
+  ava::Router router;
+  router.Start();
+  TestVm vm = Attach(&router, 1, {});
+  auto reply = vm.endpoint->CallSync(kTestApi + 1, 0, {});
+  EXPECT_FALSE(reply.ok());  // dispatch error surfaces as non-OK status
+  vm.endpoint.reset();
+  router.Stop();
+}
+
+TEST(RouterTest, SpoofedVmIdRejected) {
+  ava::Router router;
+  router.Start();
+  // Endpoint claims vm 9 on a channel attached as vm 1.
+  auto pair = ava::MakeInProcChannel();
+  auto session = std::make_shared<ava::ApiServerSession>(1);
+  session->RegisterApi(kTestApi, MakeSyntheticHandler(0, 0));
+  ASSERT_TRUE(router.AttachVm(1, std::move(pair.host), session).ok());
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = 9;  // lie
+  auto endpoint =
+      std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+  auto reply = endpoint->CallSync(kTestApi, 0, {});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ava::StatusCode::kPermissionDenied);
+  auto stats = router.StatsFor(1);
+  EXPECT_EQ(stats->calls_rejected, 1u);
+  EXPECT_EQ(stats->calls_forwarded, 0u);
+  endpoint.reset();
+  router.Stop();
+}
+
+TEST(RouterTest, WfqWeightsShapeDispatchUnderBacklog) {
+  ava::Router router;
+  router.Start();
+  ava::VmPolicy heavy, light;
+  heavy.weight = 3.0;
+  light.weight = 1.0;
+  TestVm vm1 = Attach(&router, 1, heavy, /*busy_us=*/200, /*cost=*/100000);
+  TestVm vm2 = Attach(&router, 2, light, /*busy_us=*/200, /*cost=*/100000);
+  auto flood = [](ava::GuestEndpoint* ep, double seconds) {
+    ava::Stopwatch watch;
+    while (watch.ElapsedSeconds() < seconds) {
+      (void)ep->CallAsync(kTestApi, 0, {});
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+  std::thread t1([&] { flood(vm1.endpoint.get(), 1.0); });
+  std::thread t2([&] { flood(vm2.endpoint.get(), 1.0); });
+  t1.join();
+  t2.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto s1 = router.StatsFor(1);
+  auto s2 = router.StatsFor(2);
+  const double ratio = static_cast<double>(s1->cost_vns) /
+                       static_cast<double>(std::max<std::int64_t>(
+                           s2->cost_vns, 1));
+  EXPECT_GT(ratio, 2.0) << "weights 3:1 should shape dispatch";
+  EXPECT_LT(ratio, 4.5);
+  vm1.endpoint.reset();
+  vm2.endpoint.reset();
+  router.Stop();
+}
+
+TEST(RouterTest, DeviceTimeAllotmentThrottles) {
+  ava::Router router;
+  router.Start();
+  ava::VmPolicy capped;
+  capped.device_vns_per_sec = 200000;  // each call costs 100k vns
+  TestVm vm = Attach(&router, 1, capped, /*busy_us=*/0, /*cost=*/100000);
+  ava::Stopwatch watch;
+  // 8 calls x 100k vns at 200k vns/s should take >= ~3 s unthrottled-free;
+  // run 6 calls and require at least ~2 s.
+  for (int i = 0; i < 6; ++i) {
+    auto reply = vm.endpoint->CallSync(kTestApi, 0, {});
+    ASSERT_TRUE(reply.ok());
+  }
+  EXPECT_GT(watch.ElapsedSeconds(), 1.8);
+  vm.endpoint.reset();
+  router.Stop();
+}
+
+TEST(RouterTest, PauseDrainsAndBlocksDispatch) {
+  ava::Router router;
+  router.Start();
+  TestVm vm = Attach(&router, 1, {}, /*busy_us=*/1000);
+  // Async call keeps the exec thread busy ~1ms; pause must drain it.
+  ASSERT_TRUE(vm.endpoint->CallAsync(kTestApi, 0, {}).ok());
+  // Wait until the call actually started or finished executing before
+  // pausing (the router has no obligation to dispatch instantly).
+  for (int i = 0; i < 1000 && vm.session->stats().calls_executed == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_TRUE(router.PauseVm(1).ok());
+  // Queue another call while paused: it must not run.
+  ASSERT_TRUE(vm.endpoint->CallAsync(kTestApi, 0, {}).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(vm.session->stats().calls_executed, 1u);
+  ASSERT_TRUE(router.ResumeVm(1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(vm.session->stats().calls_executed, 2u);
+  vm.endpoint.reset();
+  router.Stop();
+}
+
+TEST(RouterTest, PauseUnknownVmFails) {
+  ava::Router router;
+  router.Start();
+  EXPECT_FALSE(router.PauseVm(77).ok());
+  EXPECT_FALSE(router.ResumeVm(77).ok());
+  EXPECT_FALSE(router.StatsFor(77).ok());
+  router.Stop();
+}
+
+TEST(RouterTest, DuplicateAttachRejected) {
+  ava::Router router;
+  auto pair1 = ava::MakeInProcChannel();
+  auto pair2 = ava::MakeInProcChannel();
+  auto session = std::make_shared<ava::ApiServerSession>(1);
+  EXPECT_TRUE(router.AttachVm(1, std::move(pair1.host), session).ok());
+  EXPECT_FALSE(router.AttachVm(1, std::move(pair2.host), session).ok());
+  EXPECT_FALSE(router.AttachVm(2, nullptr, session).ok());
+}
+
+TEST(RouterTest, BatchCountsAsMultipleCalls) {
+  ava::Router router;
+  router.Start();
+  TestVm vm = Attach(&router, 1, {});
+  ava::GuestEndpoint::Options opts;
+  // Re-create endpoint with batching on the same channel is complex; use a
+  // fresh vm with batching instead.
+  auto pair = ava::MakeInProcChannel();
+  auto session = std::make_shared<ava::ApiServerSession>(2);
+  session->RegisterApi(kTestApi, MakeSyntheticHandler(0, 10));
+  ASSERT_TRUE(router.AttachVm(2, std::move(pair.host), session).ok());
+  opts.vm_id = 2;
+  opts.batch_max_calls = 8;
+  auto endpoint =
+      std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(endpoint->CallAsync(kTestApi, 0, {}).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(session->stats().calls_executed, 8u);
+  auto stats = router.StatsFor(2);
+  EXPECT_EQ(stats->messages_received, 1u);  // one batch message
+  endpoint.reset();
+  vm.endpoint.reset();
+  router.Stop();
+}
+
+}  // namespace
+
+namespace {
+
+// Robustness: garbage and adversarial messages must never crash the router
+// or the server — they are dropped or rejected, and the channel stays
+// usable for well-formed traffic afterwards.
+TEST(RouterRobustnessTest, GarbageMessagesAreSurvivable) {
+  ava::Router router;
+  router.Start();
+  auto pair = ava::MakeInProcChannel();
+  auto session = std::make_shared<ava::ApiServerSession>(1);
+  session->RegisterApi(kTestApi, MakeSyntheticHandler(0, 1));
+  ASSERT_TRUE(router.AttachVm(1, std::move(pair.host), session).ok());
+
+  ava::Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    ava::Bytes junk(rng.NextBelow(200));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    ASSERT_TRUE(pair.guest->Send(junk).ok());
+  }
+  // Truncated-but-valid-kind messages.
+  ASSERT_TRUE(pair.guest->Send({1}).ok());            // call kind, no header
+  ASSERT_TRUE(pair.guest->Send({3, 0, 0}).ok());      // batch, bad count
+  ASSERT_TRUE(pair.guest->Send({2, 0, 0, 0}).ok());   // reply to the router!?
+
+  // The channel still works for a real call.
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  ava::GuestEndpoint endpoint(std::move(pair.guest), opts);
+  auto reply = endpoint.CallSync(kTestApi, 0, {});
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  router.Stop();
+}
+
+// Malformed *arguments* inside a well-formed call reach the generated
+// handler's bounds-checked reader and come back as a clean dispatch error.
+TEST(RouterRobustnessTest, TruncatedArgumentsRejectedCleanly) {
+  ava::Router router;
+  router.Start();
+  auto pair = ava::MakeInProcChannel();
+  auto session = std::make_shared<ava::ApiServerSession>(1);
+  // Handler that reads more than the payload holds.
+  session->RegisterApi(
+      kTestApi, [](ava::ServerContext*, std::uint32_t, ava::ByteReader* args,
+                   bool, ava::ByteWriter*) -> ava::Status {
+        args->GetU64();
+        args->GetU64();
+        if (args->failed()) {
+          return ava::DataLoss("malformed arguments");
+        }
+        return ava::OkStatus();
+      });
+  ASSERT_TRUE(router.AttachVm(1, std::move(pair.host), session).ok());
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  ava::GuestEndpoint endpoint(std::move(pair.guest), opts);
+  auto reply = endpoint.CallSync(kTestApi, 0, ava::Bytes{1, 2, 3});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ava::StatusCode::kDataLoss);
+  router.Stop();
+}
+
+}  // namespace

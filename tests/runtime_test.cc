@@ -1,0 +1,275 @@
+// Unit tests for the API-agnostic guest runtime: call framing, batching
+// flush rules, shadow-buffer registration/application, and async error
+// latching — exercised against a scripted fake server on the other end of
+// an in-process channel.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/proto/wire.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+namespace {
+
+// A scripted peer: runs a lambda per received message on its own thread.
+class FakeServer {
+ public:
+  using Handler = std::function<void(Transport*, const Bytes&)>;
+
+  FakeServer(TransportPtr transport, Handler handler)
+      : transport_(std::move(transport)), handler_(std::move(handler)) {
+    thread_ = std::thread([this] {
+      while (true) {
+        auto message = transport_->Recv();
+        if (!message.ok()) {
+          return;
+        }
+        handler_(transport_.get(), *message);
+      }
+    });
+  }
+
+  ~FakeServer() {
+    transport_->Close();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  TransportPtr transport_;
+  Handler handler_;
+  std::thread thread_;
+};
+
+// Echo server: replies to sync calls with their own payload.
+void EchoHandler(Transport* transport, const Bytes& message) {
+  auto call = DecodeCall(message);
+  if (!call.ok() || call->header.is_async()) {
+    return;
+  }
+  ReplyHeader header;
+  header.call_id = call->header.call_id;
+  header.vm_id = call->header.vm_id;
+  ReplyBuilder builder(header);
+  builder.SetPayload(Bytes(call->payload.begin(), call->payload.end()));
+  (void)transport->Send(std::move(builder).Finish());
+}
+
+TEST(GuestEndpointTest, SyncCallEchoesPayload) {
+  auto channel = MakeInProcChannel();
+  FakeServer server(std::move(channel.host), EchoHandler);
+  GuestEndpoint endpoint(std::move(channel.guest), {});
+  Bytes args = {1, 2, 3, 4};
+  auto reply = endpoint.CallSync(5, 6, args);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, args);
+  EXPECT_EQ(endpoint.stats().sync_calls, 1u);
+}
+
+TEST(GuestEndpointTest, CallIdsIncreaseAndVmIdStamped) {
+  auto channel = MakeInProcChannel();
+  std::vector<CallHeader> seen;
+  std::mutex mu;
+  FakeServer server(std::move(channel.host),
+                    [&](Transport* transport, const Bytes& message) {
+                      auto call = DecodeCall(message);
+                      {
+                        std::lock_guard<std::mutex> lock(mu);
+                        seen.push_back(call->header);
+                      }
+                      EchoHandler(transport, message);
+                    });
+  GuestEndpoint::Options opts;
+  opts.vm_id = 31;
+  GuestEndpoint endpoint(std::move(channel.guest), opts);
+  ASSERT_TRUE(endpoint.CallSync(1, 1, {}).ok());
+  ASSERT_TRUE(endpoint.CallAsync(1, 2, {}).ok());
+  ASSERT_TRUE(endpoint.CallSync(1, 3, {}).ok());
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_LT(seen[0].call_id, seen[1].call_id);
+  EXPECT_LT(seen[1].call_id, seen[2].call_id);
+  for (const auto& header : seen) {
+    EXPECT_EQ(header.vm_id, 31u);
+  }
+  EXPECT_TRUE(seen[1].is_async());
+  EXPECT_FALSE(seen[2].is_async());
+}
+
+TEST(GuestEndpointTest, BatchingBuffersUntilThresholdOrSync) {
+  auto channel = MakeInProcChannel();
+  std::atomic<int> batches{0};
+  std::atomic<int> calls_in_batches{0};
+  FakeServer server(std::move(channel.host),
+                    [&](Transport* transport, const Bytes& message) {
+                      auto kind = PeekKind(message);
+                      if (kind.ok() && *kind == MsgKind::kBatch) {
+                        auto calls = DecodeBatch(message);
+                        ++batches;
+                        calls_in_batches += static_cast<int>(calls->size());
+                        return;
+                      }
+                      EchoHandler(transport, message);
+                    });
+  GuestEndpoint::Options opts;
+  opts.batch_max_calls = 4;
+  GuestEndpoint endpoint(std::move(channel.guest), opts);
+  // 3 async calls: below threshold, nothing sent yet.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(endpoint.CallAsync(1, 1, {}).ok());
+  }
+  EXPECT_EQ(endpoint.stats().messages_sent, 0u);
+  // A sync call flushes the batch first.
+  ASSERT_TRUE(endpoint.CallSync(1, 2, {}).ok());
+  EXPECT_EQ(batches.load(), 1);
+  EXPECT_EQ(calls_in_batches.load(), 3);
+  // Reaching the threshold flushes automatically.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(endpoint.CallAsync(1, 1, {}).ok());
+  }
+  for (int i = 0; i < 100 && batches.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(batches.load(), 2);
+  EXPECT_EQ(calls_in_batches.load(), 7);
+}
+
+TEST(GuestEndpointTest, ExplicitFlushSendsPartialBatch) {
+  auto channel = MakeInProcChannel();
+  std::atomic<int> batches{0};
+  FakeServer server(std::move(channel.host),
+                    [&](Transport*, const Bytes& message) {
+                      auto kind = PeekKind(message);
+                      if (kind.ok() && *kind == MsgKind::kBatch) {
+                        ++batches;
+                      }
+                    });
+  GuestEndpoint::Options opts;
+  opts.batch_max_calls = 100;
+  GuestEndpoint endpoint(std::move(channel.guest), opts);
+  ASSERT_TRUE(endpoint.CallAsync(1, 1, {}).ok());
+  ASSERT_TRUE(endpoint.Flush().ok());
+  for (int i = 0; i < 100 && batches.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(batches.load(), 1);
+}
+
+TEST(GuestEndpointTest, ShadowUpdatesApplyToRegisteredPointers) {
+  auto channel = MakeInProcChannel();
+  FakeServer server(
+      std::move(channel.host), [&](Transport* transport, const Bytes& message) {
+        auto call = DecodeCall(message);
+        if (!call.ok() || call->header.is_async()) {
+          return;
+        }
+        // The call payload names a shadow id; reply delivers data for it.
+        ByteReader r(call->payload.data(), call->payload.size());
+        const std::uint64_t shadow_id = r.GetU64();
+        ReplyHeader header;
+        header.call_id = call->header.call_id;
+        ReplyBuilder builder(header);
+        builder.SetPayload({});
+        builder.AddShadow(shadow_id, Bytes{9, 8, 7, 6});
+        (void)transport->Send(std::move(builder).Finish());
+      });
+  GuestEndpoint endpoint(std::move(channel.guest), {});
+  std::uint8_t target[4] = {0, 0, 0, 0};
+  const std::uint64_t shadow_id = endpoint.RegisterShadow(target, sizeof(target));
+  EXPECT_NE(shadow_id, kAsyncErrorShadowId);
+  ByteWriter args;
+  args.PutU64(shadow_id);
+  ASSERT_TRUE(endpoint.CallSync(1, 1, std::move(args).TakeBytes()).ok());
+  EXPECT_EQ(target[0], 9);
+  EXPECT_EQ(target[3], 6);
+  EXPECT_EQ(endpoint.stats().shadow_updates, 1u);
+}
+
+TEST(GuestEndpointTest, ShadowRespectsRegisteredCapacity) {
+  auto channel = MakeInProcChannel();
+  FakeServer server(
+      std::move(channel.host), [&](Transport* transport, const Bytes& message) {
+        auto call = DecodeCall(message);
+        if (!call.ok()) {
+          return;
+        }
+        ByteReader r(call->payload.data(), call->payload.size());
+        ReplyHeader header;
+        header.call_id = call->header.call_id;
+        ReplyBuilder builder(header);
+        builder.SetPayload({});
+        // Oversized shadow payload: must be clamped to the registration.
+        builder.AddShadow(r.GetU64(), Bytes(64, 0xEE));
+        (void)transport->Send(std::move(builder).Finish());
+      });
+  GuestEndpoint endpoint(std::move(channel.guest), {});
+  std::uint8_t target[4] = {0, 0, 0, 0};
+  std::uint8_t sentinel = 0x55;
+  std::uint8_t* guard = &sentinel;  // adjacency is synthetic; check target only
+  (void)guard;
+  const std::uint64_t shadow_id = endpoint.RegisterShadow(target, 2);
+  ByteWriter args;
+  args.PutU64(shadow_id);
+  ASSERT_TRUE(endpoint.CallSync(1, 1, std::move(args).TakeBytes()).ok());
+  EXPECT_EQ(target[0], 0xEE);
+  EXPECT_EQ(target[1], 0xEE);
+  EXPECT_EQ(target[2], 0);  // beyond registered size: untouched
+  EXPECT_EQ(target[3], 0);
+}
+
+TEST(GuestEndpointTest, AsyncErrorShadowLatches) {
+  auto channel = MakeInProcChannel();
+  FakeServer server(
+      std::move(channel.host), [&](Transport* transport, const Bytes& message) {
+        auto call = DecodeCall(message);
+        if (!call.ok() || call->header.is_async()) {
+          return;
+        }
+        ReplyHeader header;
+        header.call_id = call->header.call_id;
+        ReplyBuilder builder(header);
+        builder.SetPayload({});
+        std::int32_t code = -59;
+        Bytes err(sizeof(code));
+        std::memcpy(err.data(), &code, sizeof(code));
+        builder.AddShadow(kAsyncErrorShadowId, err);
+        (void)transport->Send(std::move(builder).Finish());
+      });
+  GuestEndpoint endpoint(std::move(channel.guest), {});
+  ASSERT_TRUE(endpoint.CallSync(1, 1, {}).ok());
+  EXPECT_EQ(endpoint.ConsumeAsyncError(), -59);
+  EXPECT_EQ(endpoint.ConsumeAsyncError(), 0);  // consumed
+}
+
+TEST(GuestEndpointTest, RouterRejectionSurfacesStatusCode) {
+  auto channel = MakeInProcChannel();
+  FakeServer server(
+      std::move(channel.host), [&](Transport* transport, const Bytes& message) {
+        auto call = DecodeCall(message);
+        ReplyHeader header;
+        header.call_id = call->header.call_id;
+        header.status_code =
+            static_cast<std::int32_t>(StatusCode::kPermissionDenied);
+        ReplyBuilder builder(header);
+        (void)transport->Send(std::move(builder).Finish());
+      });
+  GuestEndpoint endpoint(std::move(channel.guest), {});
+  auto reply = endpoint.CallSync(1, 1, {});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(GuestEndpointTest, ClosedTransportFailsCleanly) {
+  auto channel = MakeInProcChannel();
+  channel.host->Close();
+  GuestEndpoint endpoint(std::move(channel.guest), {});
+  auto reply = endpoint.CallSync(1, 1, {});
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace ava

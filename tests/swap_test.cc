@@ -1,0 +1,203 @@
+// Tests for §4.3 buffer-object-granularity memory swapping: a VM whose
+// allocation would fail gets room made by transparently evicting LRU buffers
+// (including other VMs'), which are restored on next use with contents
+// intact. Guests never observe the contention as OOM.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/gen/vcl_hooks.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+#include "src/vcl/silo.h"
+#include "vcl_gen.h"
+
+namespace {
+
+using ava_gen_vcl::MakeVclApiHandler;
+using ava_gen_vcl::MakeVclBufferHooks;
+using ava_gen_vcl::MakeVclGuestApi;
+using ava_gen_vcl::VclApi;
+
+struct SwapVm {
+  std::shared_ptr<ava::ApiServerSession> session;
+  std::shared_ptr<ava::GuestEndpoint> endpoint;
+  VclApi api;
+  vcl_context ctx = nullptr;
+  vcl_command_queue queue = nullptr;
+};
+
+class SwapFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vcl::SiloConfig config;
+    config.device_global_mem_bytes = 8u << 20;  // 8 MiB device
+    vcl::ResetDefaultSilo(config);
+    swap_ = std::make_shared<ava::SwapManager>(MakeVclBufferHooks());
+    router_ = std::make_unique<ava::Router>();
+    router_->Start();
+  }
+
+  void TearDown() override {
+    vms_.clear();
+    router_->Stop();
+    swap_.reset();
+  }
+
+  SwapVm& AddVm(ava::VmId vm_id) {
+    auto pair = ava::MakeInProcChannel();
+    auto vm = std::make_unique<SwapVm>();
+    vm->session = std::make_shared<ava::ApiServerSession>(vm_id, swap_);
+    vm->session->RegisterApi(ava_gen_vcl::kApiId, MakeVclApiHandler());
+    EXPECT_TRUE(
+        router_->AttachVm(vm_id, std::move(pair.host), vm->session).ok());
+    ava::GuestEndpoint::Options opts;
+    opts.vm_id = vm_id;
+    vm->endpoint =
+        std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+    vm->api = MakeVclGuestApi(vm->endpoint);
+    // Standard setup.
+    vcl_platform_id platform = nullptr;
+    vm->api.vclGetPlatformIDs(1, &platform, nullptr);
+    vcl_device_id device = nullptr;
+    vm->api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device,
+                            nullptr);
+    vcl_int err = VCL_SUCCESS;
+    vm->ctx = vm->api.vclCreateContext(&device, 1, &err);
+    vm->queue = vm->api.vclCreateCommandQueue(vm->ctx, device, 0, &err);
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+  }
+
+  std::shared_ptr<ava::SwapManager> swap_;
+  std::unique_ptr<ava::Router> router_;
+  std::vector<std::unique_ptr<SwapVm>> vms_;
+};
+
+vcl_mem FillBuffer(const VclApi& api, vcl_context ctx, vcl_command_queue q,
+                   std::size_t bytes, std::uint32_t pattern) {
+  std::vector<std::uint32_t> data(bytes / 4, pattern);
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem buf = api.vclCreateBuffer(ctx, VCL_MEM_COPY_HOST_PTR, bytes,
+                                    data.data(), &err);
+  EXPECT_EQ(err, VCL_SUCCESS) << "allocation failed for " << bytes;
+  return buf;
+}
+
+bool CheckBuffer(const VclApi& api, vcl_command_queue q, vcl_mem buf,
+                 std::size_t bytes, std::uint32_t pattern) {
+  std::vector<std::uint32_t> data(bytes / 4, 0);
+  if (api.vclEnqueueReadBuffer(q, buf, VCL_TRUE, 0, bytes, data.data(), 0,
+                               nullptr, nullptr) != VCL_SUCCESS) {
+    return false;
+  }
+  for (auto v : data) {
+    if (v != pattern) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST_F(SwapFixture, OversubscriptionTriggersSwapInsteadOfOom) {
+  SwapVm& vm1 = AddVm(1);
+  SwapVm& vm2 = AddVm(2);
+
+  // VM1 fills most of the 8 MiB device.
+  constexpr std::size_t kChunk = 2u << 20;
+  std::vector<vcl_mem> vm1_bufs;
+  for (int i = 0; i < 3; ++i) {
+    vm1_bufs.push_back(FillBuffer(vm1.api, vm1.ctx, vm1.queue, kChunk,
+                                  0x1000u + static_cast<std::uint32_t>(i)));
+  }
+  // VM2 now asks for 4 MiB: without swapping this would fail.
+  vcl_mem vm2_buf = FillBuffer(vm2.api, vm2.ctx, vm2.queue, 2 * kChunk,
+                               0x2222);
+  ASSERT_NE(vm2_buf, nullptr);
+  auto stats = swap_->stats();
+  EXPECT_GE(stats.swap_outs, 1u);
+
+  // VM1's swapped buffers transparently swap back in on access, with
+  // contents intact (which may in turn evict others).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(CheckBuffer(vm1.api, vm1.queue, vm1_bufs[i], kChunk,
+                            0x1000u + static_cast<std::uint32_t>(i)))
+        << "buffer " << i;
+  }
+  EXPECT_GE(swap_->stats().swap_ins, 1u);
+  // And VM2's data also survived the shuffle.
+  EXPECT_TRUE(CheckBuffer(vm2.api, vm2.queue, vm2_buf, 2 * kChunk, 0x2222));
+}
+
+TEST_F(SwapFixture, SingleVmCanOversubscribeItsOwnMemory) {
+  SwapVm& vm = AddVm(1);
+  constexpr std::size_t kChunk = 3u << 20;
+  // 4 x 3 MiB = 12 MiB through an 8 MiB device.
+  std::vector<vcl_mem> bufs;
+  for (int i = 0; i < 4; ++i) {
+    bufs.push_back(FillBuffer(vm.api, vm.ctx, vm.queue, kChunk,
+                              0x7000u + static_cast<std::uint32_t>(i)));
+    ASSERT_NE(bufs.back(), nullptr);
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(CheckBuffer(vm.api, vm.queue, bufs[i], kChunk,
+                              0x7000u + static_cast<std::uint32_t>(i)))
+          << "round " << round << " buffer " << i;
+    }
+  }
+  EXPECT_GE(swap_->stats().swap_outs, 2u);
+}
+
+TEST_F(SwapFixture, KernelsRunAgainstSwappedInBuffers) {
+  SwapVm& vm = AddVm(1);
+  const int n = 1 << 18;  // 1 MiB of floats
+  std::vector<float> ones(n, 1.0f);
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem data = vm.api.vclCreateBuffer(vm.ctx, VCL_MEM_COPY_HOST_PTR, n * 4,
+                                        ones.data(), &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  // Blow the data buffer out of the device with filler allocations.
+  std::vector<vcl_mem> filler;
+  for (int i = 0; i < 4; ++i) {
+    filler.push_back(FillBuffer(vm.api, vm.ctx, vm.queue, 2u << 20, 0xF));
+  }
+  EXPECT_GE(swap_->stats().swap_outs, 1u);
+  // Launch a kernel against the (possibly swapped) buffer: the swap-aware
+  // translate path restores it first.
+  vcl_program prog = vm.api.vclCreateProgramWithSource(
+      vm.ctx,
+      "__kernel void inc(__global float* d, int n) {"
+      "  int i = get_global_id(0); if (i < n) { d[i] = d[i] + 1.0f; } }",
+      &err);
+  ASSERT_EQ(vm.api.vclBuildProgram(prog, nullptr), VCL_SUCCESS);
+  vcl_kernel kernel = vm.api.vclCreateKernel(prog, "inc", &err);
+  vm.api.vclSetKernelArgBuffer(kernel, 0, data);
+  vm.api.vclSetKernelArgScalar(kernel, 1, sizeof(int), &n);
+  size_t global = n;
+  ASSERT_EQ(vm.api.vclEnqueueNDRangeKernel(vm.queue, kernel, 1, nullptr,
+                                           &global, nullptr, 0, nullptr,
+                                           nullptr),
+            VCL_SUCCESS);
+  std::vector<float> out(n, 0.0f);
+  ASSERT_EQ(vm.api.vclEnqueueReadBuffer(vm.queue, data, VCL_TRUE, 0, n * 4,
+                                        out.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  for (int i = 0; i < n; i += 997) {
+    ASSERT_FLOAT_EQ(out[i], 2.0f) << "at " << i;
+  }
+}
+
+TEST_F(SwapFixture, TrulyImpossibleAllocationStillFails) {
+  SwapVm& vm = AddVm(1);
+  vcl_int err = VCL_SUCCESS;
+  // 64 MiB cannot fit in an 8 MiB device no matter what gets evicted.
+  vcl_mem huge = vm.api.vclCreateBuffer(vm.ctx, 0, 64u << 20, nullptr, &err);
+  EXPECT_EQ(huge, nullptr);
+  EXPECT_EQ(err, VCL_MEM_OBJECT_ALLOCATION_FAILURE);
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Tests for the pluggable transports: in-process channel, shared-memory
+// ring (including cross-fork), and sockets. All transports must satisfy the
+// same contract: ordered, length-delimited, duplex message delivery.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+namespace {
+
+Bytes MakeMessage(std::size_t size, std::uint8_t seed) {
+  Bytes m(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    m[i] = static_cast<std::uint8_t>(seed + i * 31);
+  }
+  return m;
+}
+
+using ChannelFactory = std::function<ChannelPair()>;
+
+class TransportContractTest
+    : public ::testing::TestWithParam<std::pair<const char*, ChannelFactory>> {
+ protected:
+  ChannelPair MakeChannel() { return GetParam().second(); }
+};
+
+TEST_P(TransportContractTest, PingPong) {
+  ChannelPair channel = MakeChannel();
+  Bytes ping = MakeMessage(64, 1);
+  ASSERT_TRUE(channel.guest->Send(ping).ok());
+  auto got = channel.host->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ping);
+  Bytes pong = MakeMessage(32, 9);
+  ASSERT_TRUE(channel.host->Send(pong).ok());
+  auto got2 = channel.guest->Recv();
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(*got2, pong);
+}
+
+TEST_P(TransportContractTest, PreservesOrderAndContent) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kCount = 200;
+  std::thread sender([&] {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(
+          channel.guest->Send(MakeMessage(1 + (i * 7) % 512,
+                                          static_cast<std::uint8_t>(i)))
+              .ok());
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    auto got = channel.host->Recv();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, MakeMessage(1 + (i * 7) % 512,
+                                static_cast<std::uint8_t>(i)));
+  }
+  sender.join();
+}
+
+TEST_P(TransportContractTest, EmptyMessage) {
+  ChannelPair channel = MakeChannel();
+  ASSERT_TRUE(channel.guest->Send({}).ok());
+  auto got = channel.host->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_P(TransportContractTest, LargeMessageStreamsThrough) {
+  ChannelPair channel = MakeChannel();
+  Bytes big = MakeMessage(3u << 20, 42);  // 3 MiB > shm ring size
+  std::thread sender([&] { ASSERT_TRUE(channel.guest->Send(big).ok()); });
+  auto got = channel.host->Recv();
+  sender.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST_P(TransportContractTest, TryRecvNonBlocking) {
+  ChannelPair channel = MakeChannel();
+  auto nothing = channel.host->TryRecv();
+  EXPECT_FALSE(nothing.ok());
+  EXPECT_EQ(nothing.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(channel.guest->Send(MakeMessage(16, 5)).ok());
+  // May need a beat on socket transports.
+  for (int i = 0; i < 1000; ++i) {
+    auto got = channel.host->TryRecv();
+    if (got.ok()) {
+      EXPECT_EQ(*got, MakeMessage(16, 5));
+      return;
+    }
+    usleep(1000);
+  }
+  FAIL() << "message never became available";
+}
+
+TEST_P(TransportContractTest, CloseWakesReceiver) {
+  ChannelPair channel = MakeChannel();
+  std::thread closer([&] {
+    usleep(20000);
+    channel.guest->Close();
+  });
+  auto got = channel.host->Recv();
+  closer.join();
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_P(TransportContractTest, ConcurrentSendersDoNotInterleave) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kPerSender = 50;
+  auto send_loop = [&](std::uint8_t seed) {
+    for (int i = 0; i < kPerSender; ++i) {
+      ASSERT_TRUE(channel.guest->Send(MakeMessage(128, seed)).ok());
+    }
+  };
+  std::thread t1(send_loop, 11);
+  std::thread t2(send_loop, 77);
+  int seen11 = 0, seen77 = 0;
+  for (int i = 0; i < 2 * kPerSender; ++i) {
+    auto got = channel.host->Recv();
+    ASSERT_TRUE(got.ok());
+    if (*got == MakeMessage(128, 11)) {
+      ++seen11;
+    } else if (*got == MakeMessage(128, 77)) {
+      ++seen77;
+    } else {
+      FAIL() << "corrupted message " << i;
+    }
+  }
+  t1.join();
+  t2.join();
+  EXPECT_EQ(seen11, kPerSender);
+  EXPECT_EQ(seen77, kPerSender);
+}
+
+ChannelPair MustShm() {
+  auto c = MakeShmRingChannel(1u << 16);
+  EXPECT_TRUE(c.ok());
+  return std::move(*c);
+}
+
+ChannelPair MustSocket() {
+  auto c = MakeSocketPairChannel();
+  EXPECT_TRUE(c.ok());
+  return std::move(*c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportContractTest,
+    ::testing::Values(
+        std::make_pair("inproc", ChannelFactory([] {
+                         return MakeInProcChannel(64);
+                       })),
+        std::make_pair("shm_ring", ChannelFactory(&MustShm)),
+        std::make_pair("socketpair", ChannelFactory(&MustSocket))),
+    [](const ::testing::TestParamInfo<TransportContractTest::ParamType>& info) {
+      return info.param.first;
+    });
+
+// Fork-based test: the shm ring works across processes (the VM boundary).
+TEST(ShmRingForkTest, CrossProcessRoundTrip) {
+  auto channel = MakeShmRingChannel(1u << 14);
+  ASSERT_TRUE(channel.ok());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child = guest: send 50 messages, expect doubled replies.
+    for (int i = 0; i < 50; ++i) {
+      Bytes m = MakeMessage(100 + i, static_cast<std::uint8_t>(i));
+      if (!channel->guest->Send(m).ok()) {
+        _exit(1);
+      }
+      auto reply = channel->guest->Recv();
+      if (!reply.ok() || reply->size() != m.size() * 2) {
+        _exit(2);
+      }
+    }
+    _exit(0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto got = channel->host->Recv();
+    ASSERT_TRUE(got.ok());
+    Bytes doubled(got->size() * 2);
+    ASSERT_TRUE(channel->host->Send(doubled).ok());
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(SocketPairForkTest, CrossProcessRoundTrip) {
+  auto channel = MakeSocketPairChannel();
+  ASSERT_TRUE(channel.ok());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    Bytes m = MakeMessage(4096, 3);
+    _exit(channel->guest->Send(m).ok() && channel->guest->Recv().ok() ? 0 : 1);
+  }
+  auto got = channel->host->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 4096u);
+  ASSERT_TRUE(channel->host->Send(*got).ok());
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// Property test: random message sizes survive the shm ring byte-exactly,
+// including sizes around the ring capacity (wrap-around paths).
+TEST(ShmRingPropertyTest, RandomSizesRoundTrip) {
+  auto channel = MakeShmRingChannel(4096);
+  ASSERT_TRUE(channel.ok());
+  Rng rng(7);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < 100; ++i) {
+    sent.push_back(MakeMessage(rng.NextBelow(10000),
+                               static_cast<std::uint8_t>(rng.NextU64())));
+  }
+  std::thread sender([&] {
+    for (const auto& m : sent) {
+      ASSERT_TRUE(channel->guest->Send(m).ok());
+    }
+  });
+  for (const auto& m : sent) {
+    auto got = channel->host->Recv();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, m);
+  }
+  sender.join();
+}
+
+}  // namespace
+}  // namespace ava

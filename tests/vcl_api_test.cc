@@ -1,0 +1,553 @@
+// Tests for the 39-function VCL public API: discovery, object lifecycle,
+// command queues, transfers, kernel execution, events/profiling, and error
+// paths. This exercises the silo exactly the way the AvA API server does.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/vcl/silo.h"
+#include "src/vcl/vcl.h"
+
+namespace {
+
+const char* kVaddSrc =
+    "__kernel void vadd(__global const float* a, __global const float* b,"
+    "                   __global float* c, int n) {"
+    "  int i = get_global_id(0);"
+    "  if (i < n) { c[i] = a[i] + b[i]; }"
+    "}";
+
+class VclApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vcl::SiloConfig config;
+    config.device_global_mem_bytes = 32u << 20;
+    vcl::ResetDefaultSilo(config);
+    ASSERT_EQ(vclGetPlatformIDs(1, &platform_, nullptr), VCL_SUCCESS);
+    ASSERT_EQ(vclGetDeviceIDs(platform_, VCL_DEVICE_TYPE_GPU, 1, &device_,
+                              nullptr),
+              VCL_SUCCESS);
+    vcl_int err = VCL_SUCCESS;
+    context_ = vclCreateContext(&device_, 1, &err);
+    ASSERT_EQ(err, VCL_SUCCESS);
+    queue_ = vclCreateCommandQueue(context_, device_,
+                                   VCL_QUEUE_PROFILING_ENABLE, &err);
+    ASSERT_EQ(err, VCL_SUCCESS);
+  }
+
+  void TearDown() override {
+    if (queue_ != nullptr) {
+      vclReleaseCommandQueue(queue_);
+    }
+    if (context_ != nullptr) {
+      vclReleaseContext(context_);
+    }
+  }
+
+  vcl_kernel BuildKernel(const char* src, const char* name) {
+    vcl_int err = VCL_SUCCESS;
+    vcl_program program = vclCreateProgramWithSource(context_, src, &err);
+    EXPECT_EQ(err, VCL_SUCCESS);
+    EXPECT_EQ(vclBuildProgram(program, nullptr), VCL_SUCCESS);
+    vcl_kernel kernel = vclCreateKernel(program, name, &err);
+    EXPECT_EQ(err, VCL_SUCCESS);
+    vclReleaseProgram(program);  // kernel keeps the program alive
+    return kernel;
+  }
+
+  vcl_platform_id platform_ = nullptr;
+  vcl_device_id device_ = nullptr;
+  vcl_context context_ = nullptr;
+  vcl_command_queue queue_ = nullptr;
+};
+
+TEST_F(VclApiTest, PlatformDiscovery) {
+  vcl_uint n = 0;
+  EXPECT_EQ(vclGetPlatformIDs(0, nullptr, &n), VCL_SUCCESS);
+  EXPECT_EQ(n, 1u);
+  char name[64];
+  size_t name_size = 0;
+  EXPECT_EQ(vclGetPlatformInfo(platform_, VCL_PLATFORM_NAME, sizeof(name),
+                               name, &name_size),
+            VCL_SUCCESS);
+  EXPECT_GT(name_size, 0u);
+  EXPECT_EQ(std::string(name), "AvA VCL Platform");
+  EXPECT_EQ(vclGetPlatformInfo(nullptr, VCL_PLATFORM_NAME, sizeof(name), name,
+                               nullptr),
+            VCL_INVALID_PLATFORM);
+}
+
+TEST_F(VclApiTest, DeviceInfoQueries) {
+  vcl_ulong mem = 0;
+  EXPECT_EQ(vclGetDeviceInfo(device_, VCL_DEVICE_GLOBAL_MEM_SIZE, sizeof(mem),
+                             &mem, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(mem, 32u << 20);
+  vcl_uint cus = 0;
+  EXPECT_EQ(vclGetDeviceInfo(device_, VCL_DEVICE_MAX_COMPUTE_UNITS,
+                             sizeof(cus), &cus, nullptr),
+            VCL_SUCCESS);
+  EXPECT_GT(cus, 0u);
+  size_t wg = 0;
+  EXPECT_EQ(vclGetDeviceInfo(device_, VCL_DEVICE_MAX_WORK_GROUP_SIZE,
+                             sizeof(wg), &wg, nullptr),
+            VCL_SUCCESS);
+  EXPECT_GT(wg, 0u);
+  // Undersized output buffer is rejected.
+  char tiny[2];
+  EXPECT_EQ(vclGetDeviceInfo(device_, VCL_DEVICE_NAME, sizeof(tiny), tiny,
+                             nullptr),
+            VCL_INVALID_VALUE);
+}
+
+TEST_F(VclApiTest, BufferWriteReadRoundTrip) {
+  vcl_int err = VCL_SUCCESS;
+  const size_t n = 4096;
+  vcl_mem buf = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, n, nullptr, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  std::vector<std::uint8_t> src(n), dst(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  ASSERT_EQ(vclEnqueueWriteBuffer(queue_, buf, VCL_TRUE, 0, n, src.data(), 0,
+                                  nullptr, nullptr),
+            VCL_SUCCESS);
+  ASSERT_EQ(vclEnqueueReadBuffer(queue_, buf, VCL_TRUE, 0, n, dst.data(), 0,
+                                 nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(src, dst);
+  EXPECT_EQ(vclReleaseMemObject(buf), VCL_SUCCESS);
+}
+
+TEST_F(VclApiTest, CopyHostPtrInitializesBuffer) {
+  std::vector<float> init = {1.0f, 2.0f, 3.0f, 4.0f};
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem buf = vclCreateBuffer(context_,
+                                VCL_MEM_READ_ONLY | VCL_MEM_COPY_HOST_PTR,
+                                init.size() * sizeof(float), init.data(), &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  std::vector<float> out(4, 0.0f);
+  ASSERT_EQ(vclEnqueueReadBuffer(queue_, buf, VCL_TRUE, 0, 16, out.data(), 0,
+                                 nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(out, init);
+  vclReleaseMemObject(buf);
+}
+
+TEST_F(VclApiTest, PartialOffsetReadWrite) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem buf = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 64, nullptr, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  std::uint32_t value = 0xCAFEBABE;
+  ASSERT_EQ(vclEnqueueWriteBuffer(queue_, buf, VCL_TRUE, 16, 4, &value, 0,
+                                  nullptr, nullptr),
+            VCL_SUCCESS);
+  std::uint32_t readback = 0;
+  ASSERT_EQ(vclEnqueueReadBuffer(queue_, buf, VCL_TRUE, 16, 4, &readback, 0,
+                                 nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(readback, value);
+  // Out-of-range access is rejected at enqueue.
+  EXPECT_EQ(vclEnqueueReadBuffer(queue_, buf, VCL_TRUE, 62, 4, &readback, 0,
+                                 nullptr, nullptr),
+            VCL_INVALID_VALUE);
+  vclReleaseMemObject(buf);
+}
+
+TEST_F(VclApiTest, FillAndCopyBuffer) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem a = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 64, nullptr, &err);
+  vcl_mem b = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 64, nullptr, &err);
+  std::uint32_t pattern = 0x01020304;
+  ASSERT_EQ(vclEnqueueFillBuffer(queue_, a, &pattern, 4, 0, 64, 0, nullptr,
+                                 nullptr),
+            VCL_SUCCESS);
+  ASSERT_EQ(vclEnqueueCopyBuffer(queue_, a, b, 0, 0, 64, 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  ASSERT_EQ(vclFinish(queue_), VCL_SUCCESS);
+  std::vector<std::uint32_t> out(16, 0);
+  ASSERT_EQ(vclEnqueueReadBuffer(queue_, b, VCL_TRUE, 0, 64, out.data(), 0,
+                                 nullptr, nullptr),
+            VCL_SUCCESS);
+  for (auto v : out) {
+    EXPECT_EQ(v, pattern);
+  }
+  vclReleaseMemObject(a);
+  vclReleaseMemObject(b);
+}
+
+TEST_F(VclApiTest, DeviceMemoryExhaustion) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem big = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 30u << 20,
+                                nullptr, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  vcl_mem too_big = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 4u << 20,
+                                    nullptr, &err);
+  EXPECT_EQ(too_big, nullptr);
+  EXPECT_EQ(err, VCL_MEM_OBJECT_ALLOCATION_FAILURE);
+  // Releasing frees budget for a new allocation.
+  vclReleaseMemObject(big);
+  vcl_mem again = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 4u << 20,
+                                  nullptr, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  vclReleaseMemObject(again);
+}
+
+TEST_F(VclApiTest, ProgramBuildFailureHasLog) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_program program = vclCreateProgramWithSource(
+      context_, "__kernel void broken( { }", &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  EXPECT_EQ(vclBuildProgram(program, nullptr), VCL_BUILD_PROGRAM_FAILURE);
+  vcl_int status = VCL_BUILD_NONE;
+  EXPECT_EQ(vclGetProgramBuildInfo(program, VCL_PROGRAM_BUILD_STATUS,
+                                   sizeof(status), &status, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(status, VCL_BUILD_ERROR);
+  char log[512];
+  size_t log_size = 0;
+  EXPECT_EQ(vclGetProgramBuildInfo(program, VCL_PROGRAM_BUILD_LOG, sizeof(log),
+                                   log, &log_size),
+            VCL_SUCCESS);
+  EXPECT_GT(log_size, 1u);
+  // Creating a kernel from an unbuilt program fails.
+  vcl_kernel kernel = vclCreateKernel(program, "broken", &err);
+  EXPECT_EQ(kernel, nullptr);
+  EXPECT_EQ(err, VCL_INVALID_PROGRAM_EXECUTABLE);
+  vclReleaseProgram(program);
+}
+
+TEST_F(VclApiTest, KernelEndToEnd) {
+  vcl_kernel kernel = BuildKernel(kVaddSrc, "vadd");
+  const int n = 512;
+  std::vector<float> a(n), b(n), c(n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = 1.0f;
+  }
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem da = vclCreateBuffer(context_, VCL_MEM_COPY_HOST_PTR, n * 4,
+                               a.data(), &err);
+  vcl_mem db = vclCreateBuffer(context_, VCL_MEM_COPY_HOST_PTR, n * 4,
+                               b.data(), &err);
+  vcl_mem dc = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, n * 4, nullptr,
+                               &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  ASSERT_EQ(vclSetKernelArgBuffer(kernel, 0, da), VCL_SUCCESS);
+  ASSERT_EQ(vclSetKernelArgBuffer(kernel, 1, db), VCL_SUCCESS);
+  ASSERT_EQ(vclSetKernelArgBuffer(kernel, 2, dc), VCL_SUCCESS);
+  ASSERT_EQ(vclSetKernelArgScalar(kernel, 3, sizeof(int), &n), VCL_SUCCESS);
+  size_t global = n;
+  vcl_event ev = nullptr;
+  ASSERT_EQ(vclEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &global,
+                                    nullptr, 0, nullptr, &ev),
+            VCL_SUCCESS);
+  ASSERT_EQ(vclWaitForEvents(1, &ev), VCL_SUCCESS);
+  // Event is complete; profiling timestamps are ordered.
+  vcl_ulong t_queued = 0, t_start = 0, t_end = 0;
+  EXPECT_EQ(vclGetEventProfilingInfo(ev, VCL_PROFILING_COMMAND_QUEUED,
+                                     sizeof(t_queued), &t_queued, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vclGetEventProfilingInfo(ev, VCL_PROFILING_COMMAND_START,
+                                     sizeof(t_start), &t_start, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vclGetEventProfilingInfo(ev, VCL_PROFILING_COMMAND_END,
+                                     sizeof(t_end), &t_end, nullptr),
+            VCL_SUCCESS);
+  EXPECT_LE(t_queued, t_start);
+  EXPECT_LT(t_start, t_end);
+  vcl_int status = 0;
+  EXPECT_EQ(vclGetEventInfo(ev, VCL_EVENT_COMMAND_EXECUTION_STATUS,
+                            sizeof(status), &status, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(status, VCL_COMPLETE);
+  vclReleaseEvent(ev);
+  ASSERT_EQ(vclEnqueueReadBuffer(queue_, dc, VCL_TRUE, 0, n * 4, c.data(), 0,
+                                 nullptr, nullptr),
+            VCL_SUCCESS);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(c[i], static_cast<float>(i) + 1.0f);
+  }
+  vclReleaseMemObject(da);
+  vclReleaseMemObject(db);
+  vclReleaseMemObject(dc);
+  vclReleaseKernel(kernel);
+}
+
+TEST_F(VclApiTest, KernelArgValidation) {
+  vcl_kernel kernel = BuildKernel(kVaddSrc, "vadd");
+  int n = 4;
+  // Wrong arg kinds.
+  EXPECT_EQ(vclSetKernelArgScalar(kernel, 0, sizeof(int), &n),
+            VCL_INVALID_VALUE);
+  EXPECT_EQ(vclSetKernelArgLocal(kernel, 3, 16), VCL_INVALID_VALUE);
+  // Bad index.
+  EXPECT_EQ(vclSetKernelArgScalar(kernel, 9, sizeof(int), &n),
+            VCL_INVALID_ARG_INDEX);
+  // Bad size for int parameter.
+  std::int64_t big = 1;
+  EXPECT_EQ(vclSetKernelArgScalar(kernel, 3, sizeof(big), &big),
+            VCL_INVALID_ARG_SIZE);
+  // Launch with unset args is rejected.
+  size_t global = 4;
+  EXPECT_EQ(vclEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &global,
+                                    nullptr, 0, nullptr, nullptr),
+            VCL_INVALID_KERNEL_ARGS);
+  vclReleaseKernel(kernel);
+}
+
+TEST_F(VclApiTest, UnknownKernelNameRejected) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_program program = vclCreateProgramWithSource(context_, kVaddSrc, &err);
+  ASSERT_EQ(vclBuildProgram(program, nullptr), VCL_SUCCESS);
+  vcl_kernel kernel = vclCreateKernel(program, "nope", &err);
+  EXPECT_EQ(kernel, nullptr);
+  EXPECT_EQ(err, VCL_INVALID_KERNEL_NAME);
+  vclReleaseProgram(program);
+}
+
+TEST_F(VclApiTest, KernelTrapSurfacesOnEvent) {
+  vcl_kernel kernel = BuildKernel(
+      "__kernel void oob(__global int* out) { out[123456] = 1; }", "oob");
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem buf = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 16, nullptr,
+                                &err);
+  ASSERT_EQ(vclSetKernelArgBuffer(kernel, 0, buf), VCL_SUCCESS);
+  size_t global = 1;
+  vcl_event ev = nullptr;
+  ASSERT_EQ(vclEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &global,
+                                    nullptr, 0, nullptr, &ev),
+            VCL_SUCCESS);
+  EXPECT_EQ(vclWaitForEvents(1, &ev), VCL_KERNEL_TRAP);
+  vcl_int status = 0;
+  EXPECT_EQ(vclGetEventInfo(ev, VCL_EVENT_COMMAND_EXECUTION_STATUS,
+                            sizeof(status), &status, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(status, VCL_KERNEL_TRAP);
+  vclReleaseEvent(ev);
+  vclReleaseMemObject(buf);
+  vclReleaseKernel(kernel);
+}
+
+TEST_F(VclApiTest, EventWaitListChainsCommands) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem buf = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 16, nullptr,
+                                &err);
+  std::uint32_t one = 1, two = 2;
+  vcl_event e1 = nullptr;
+  ASSERT_EQ(vclEnqueueWriteBuffer(queue_, buf, VCL_FALSE, 0, 4, &one, 0,
+                                  nullptr, &e1),
+            VCL_SUCCESS);
+  vcl_event e2 = nullptr;
+  ASSERT_EQ(vclEnqueueWriteBuffer(queue_, buf, VCL_FALSE, 0, 4, &two, 1, &e1,
+                                  &e2),
+            VCL_SUCCESS);
+  ASSERT_EQ(vclWaitForEvents(1, &e2), VCL_SUCCESS);
+  std::uint32_t out = 0;
+  ASSERT_EQ(vclEnqueueReadBuffer(queue_, buf, VCL_TRUE, 0, 4, &out, 0, nullptr,
+                                 nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(out, 2u);
+  vclReleaseEvent(e1);
+  vclReleaseEvent(e2);
+  vclReleaseMemObject(buf);
+}
+
+TEST_F(VclApiTest, StaleHandleRejected) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem buf = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 16, nullptr,
+                                &err);
+  ASSERT_EQ(vclReleaseMemObject(buf), VCL_SUCCESS);
+  // The handle is now dangling; the registry rejects it.
+  EXPECT_EQ(vclRetainMemObject(buf), VCL_INVALID_MEM_OBJECT);
+  std::uint32_t x = 0;
+  EXPECT_EQ(vclEnqueueReadBuffer(queue_, buf, VCL_TRUE, 0, 4, &x, 0, nullptr,
+                                 nullptr),
+            VCL_INVALID_MEM_OBJECT);
+}
+
+TEST_F(VclApiTest, RetainReleaseKeepsObjectAlive) {
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem buf = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 16, nullptr,
+                                &err);
+  ASSERT_EQ(vclRetainMemObject(buf), VCL_SUCCESS);
+  ASSERT_EQ(vclReleaseMemObject(buf), VCL_SUCCESS);
+  // Still alive due to the extra reference.
+  vcl_uint refs = 0;
+  EXPECT_EQ(vclGetMemObjectInfo(buf, VCL_MEM_REFERENCE_COUNT, sizeof(refs),
+                                &refs, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(refs, 1u);
+  EXPECT_EQ(vclReleaseMemObject(buf), VCL_SUCCESS);
+}
+
+TEST_F(VclApiTest, LocalMemoryKernelThroughApi) {
+  vcl_kernel kernel = BuildKernel(
+      "__kernel void bsum(__global const float* in, __global float* out,"
+      "                   __local float* scratch) {"
+      "  int lid = get_local_id(0);"
+      "  scratch[lid] = in[get_global_id(0)];"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  if (lid == 0) {"
+      "    float acc = 0.0f;"
+      "    for (int i = 0; i < get_local_size(0); i++) { acc += scratch[i]; }"
+      "    out[get_group_id(0)] = acc;"
+      "  }"
+      "}",
+      "bsum");
+  const int groups = 4, lsz = 32, n = groups * lsz;
+  std::vector<float> in(n, 2.0f), out(groups, 0.0f);
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem din = vclCreateBuffer(context_, VCL_MEM_COPY_HOST_PTR, n * 4,
+                                in.data(), &err);
+  vcl_mem dout = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, groups * 4,
+                                 nullptr, &err);
+  ASSERT_EQ(vclSetKernelArgBuffer(kernel, 0, din), VCL_SUCCESS);
+  ASSERT_EQ(vclSetKernelArgBuffer(kernel, 1, dout), VCL_SUCCESS);
+  ASSERT_EQ(vclSetKernelArgLocal(kernel, 2, lsz * sizeof(float)), VCL_SUCCESS);
+  size_t global = n, local = lsz;
+  ASSERT_EQ(vclEnqueueNDRangeKernel(queue_, kernel, 1, nullptr, &global,
+                                    &local, 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  ASSERT_EQ(vclEnqueueReadBuffer(queue_, dout, VCL_TRUE, 0, groups * 4,
+                                 out.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  for (int g = 0; g < groups; ++g) {
+    EXPECT_FLOAT_EQ(out[g], 2.0f * lsz);
+  }
+  vclReleaseMemObject(din);
+  vclReleaseMemObject(dout);
+  vclReleaseKernel(kernel);
+}
+
+TEST_F(VclApiTest, WorkGroupInfoQueries) {
+  vcl_kernel kernel = BuildKernel(
+      "__kernel void f(__global int* a) { __local float tile[32]; "
+      " tile[0] = 0.0f; a[0] = (int)tile[0]; }",
+      "f");
+  size_t wg = 0;
+  EXPECT_EQ(vclGetKernelWorkGroupInfo(kernel, device_,
+                                      VCL_KERNEL_WORK_GROUP_SIZE, sizeof(wg),
+                                      &wg, nullptr),
+            VCL_SUCCESS);
+  EXPECT_GT(wg, 0u);
+  vcl_ulong local_bytes = 0;
+  EXPECT_EQ(vclGetKernelWorkGroupInfo(kernel, device_,
+                                      VCL_KERNEL_LOCAL_MEM_SIZE,
+                                      sizeof(local_bytes), &local_bytes,
+                                      nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(local_bytes, 32 * sizeof(float));
+  vclReleaseKernel(kernel);
+}
+
+TEST_F(VclApiTest, SiloCountersAdvance) {
+  auto before = vcl::DefaultSilo().Counters();
+  vcl_int err = VCL_SUCCESS;
+  vcl_mem buf = vclCreateBuffer(context_, VCL_MEM_READ_WRITE, 1024, nullptr,
+                                &err);
+  std::vector<std::uint8_t> data(1024, 1);
+  ASSERT_EQ(vclEnqueueWriteBuffer(queue_, buf, VCL_TRUE, 0, 1024, data.data(),
+                                  0, nullptr, nullptr),
+            VCL_SUCCESS);
+  auto after = vcl::DefaultSilo().Counters();
+  EXPECT_GT(after.commands_executed, before.commands_executed);
+  EXPECT_GE(after.bytes_transferred, before.bytes_transferred + 1024);
+  EXPECT_GT(after.virtual_time_ns, before.virtual_time_ns);
+  vclReleaseMemObject(buf);
+}
+
+TEST_F(VclApiTest, EnqueueBarrierAndFlushSucceed) {
+  EXPECT_EQ(vclEnqueueBarrier(queue_), VCL_SUCCESS);
+  EXPECT_EQ(vclFlush(queue_), VCL_SUCCESS);
+  EXPECT_EQ(vclFinish(queue_), VCL_SUCCESS);
+}
+
+TEST_F(VclApiTest, InvalidHandlesEverywhere) {
+  EXPECT_EQ(vclRetainContext(nullptr), VCL_INVALID_CONTEXT);
+  EXPECT_EQ(vclFinish(nullptr), VCL_INVALID_COMMAND_QUEUE);
+  EXPECT_EQ(vclBuildProgram(nullptr, nullptr), VCL_INVALID_PROGRAM);
+  EXPECT_EQ(vclRetainKernel(nullptr), VCL_INVALID_KERNEL);
+  EXPECT_EQ(vclRetainEvent(nullptr), VCL_INVALID_EVENT);
+  EXPECT_EQ(vclWaitForEvents(0, nullptr), VCL_INVALID_VALUE);
+  vcl_int err = VCL_SUCCESS;
+  EXPECT_EQ(vclCreateBuffer(nullptr, 0, 16, nullptr, &err), nullptr);
+  EXPECT_EQ(err, VCL_INVALID_CONTEXT);
+  EXPECT_EQ(vclCreateContext(nullptr, 0, &err), nullptr);
+  EXPECT_EQ(err, VCL_INVALID_VALUE);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(VclSiloConfigTest, MultipleDevicesEnumerate) {
+  vcl::SiloConfig config;
+  config.num_devices = 3;
+  vcl::ResetDefaultSilo(config);
+  vcl_platform_id platform = nullptr;
+  ASSERT_EQ(vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  vcl_uint n = 0;
+  vcl_device_id devices[3] = {nullptr, nullptr, nullptr};
+  ASSERT_EQ(vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_ALL, 3, devices, &n),
+            VCL_SUCCESS);
+  EXPECT_EQ(n, 3u);
+  EXPECT_NE(devices[0], devices[1]);
+  EXPECT_NE(devices[1], devices[2]);
+  // Each device has its own memory budget and queue machinery.
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = vclCreateContext(&devices[1], 1, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  vcl_command_queue q = vclCreateCommandQueue(ctx, devices[1], 0, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  EXPECT_EQ(vclFinish(q), VCL_SUCCESS);
+  // A queue on a device outside the context is rejected.
+  vcl_command_queue bad = vclCreateCommandQueue(ctx, devices[0], 0, &err);
+  EXPECT_EQ(bad, nullptr);
+  EXPECT_EQ(err, VCL_INVALID_DEVICE);
+  vclReleaseCommandQueue(q);
+  vclReleaseContext(ctx);
+}
+
+TEST(VclSiloConfigTest, DefaultLocalSizePicksDivisor) {
+  vcl::SiloConfig config;
+  config.max_work_group_size = 64;
+  vcl::ResetDefaultSilo(config);
+  vcl_platform_id platform = nullptr;
+  vclGetPlatformIDs(1, &platform, nullptr);
+  vcl_device_id device = nullptr;
+  vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = vclCreateContext(&device, 1, &err);
+  vcl_command_queue q = vclCreateCommandQueue(ctx, device, 0, &err);
+  vcl_program prog = vclCreateProgramWithSource(
+      ctx, "__kernel void f(__global int* o) { o[get_global_id(0)] = 1; }",
+      &err);
+  vclBuildProgram(prog, nullptr);
+  vcl_kernel k = vclCreateKernel(prog, "f", &err);
+  // A prime global size (97) has no divisor <= 64 except 1: the default
+  // local-size heuristic must still produce a legal launch.
+  vcl_mem buf = vclCreateBuffer(ctx, 0, 97 * 4, nullptr, &err);
+  vclSetKernelArgBuffer(k, 0, buf);
+  size_t global = 97;
+  ASSERT_EQ(vclEnqueueNDRangeKernel(q, k, 1, nullptr, &global, nullptr, 0,
+                                    nullptr, nullptr),
+            VCL_SUCCESS);
+  ASSERT_EQ(vclFinish(q), VCL_SUCCESS);
+  std::vector<std::int32_t> out(97, 0);
+  ASSERT_EQ(vclEnqueueReadBuffer(q, buf, VCL_TRUE, 0, 97 * 4, out.data(), 0,
+                                 nullptr, nullptr),
+            VCL_SUCCESS);
+  for (auto v : out) {
+    EXPECT_EQ(v, 1);
+  }
+  vclReleaseMemObject(buf);
+  vclReleaseKernel(k);
+  vclReleaseProgram(prog);
+  vclReleaseCommandQueue(q);
+  vclReleaseContext(ctx);
+}
+
+}  // namespace

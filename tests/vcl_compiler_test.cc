@@ -1,0 +1,886 @@
+// Tests for the VCL kernel-language compiler and VM: lexing, parsing,
+// codegen diagnostics, end-to-end kernel execution, barriers, traps, and
+// differential property tests against C++ reference implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/vcl/compiler/codegen.h"
+#include "src/vcl/compiler/lexer.h"
+#include "src/vcl/compiler/parser.h"
+#include "src/vcl/compiler/vm.h"
+
+namespace vcl {
+namespace {
+
+// ------------------------------ helpers ------------------------------------
+
+template <typename T>
+KernelArg BufferArgT(std::vector<T>& data) {
+  KernelArg arg;
+  arg.kind = KernelArg::Kind::kBuffer;
+  arg.buffer_data = reinterpret_cast<std::uint8_t*>(data.data());
+  arg.buffer_size = data.size() * sizeof(T);
+  return arg;
+}
+
+KernelArg IntArg(std::int32_t v) {
+  KernelArg arg;
+  arg.kind = KernelArg::Kind::kScalar;
+  arg.scalar_cell = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+  return arg;
+}
+
+KernelArg LocalArg(std::size_t bytes) {
+  KernelArg arg;
+  arg.kind = KernelArg::Kind::kLocal;
+  arg.local_size = bytes;
+  return arg;
+}
+
+const CompiledKernel& MustCompile(const std::string& src,
+                                  CompiledProgram* storage,
+                                  const std::string& name) {
+  auto result = CompileSource(src);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  *storage = std::move(result).value();
+  const CompiledKernel* k = storage->FindKernel(name);
+  EXPECT_NE(k, nullptr);
+  return *k;
+}
+
+// ------------------------------- lexer -------------------------------------
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  auto toks = Lex("x += 42 * 3.5f; // comment\n y <<= 1");
+  ASSERT_TRUE(toks.ok());
+  // x += 42 * 3.5f ; y << = 1 EOF   (no <<= token: lexes as << then =)
+  EXPECT_EQ((*toks)[0].kind, TokKind::kIdent);
+  EXPECT_EQ((*toks)[1].kind, TokKind::kPlusAssign);
+  EXPECT_EQ((*toks)[2].kind, TokKind::kIntLit);
+  EXPECT_EQ((*toks)[2].int_value, 42);
+  EXPECT_EQ((*toks)[3].kind, TokKind::kStar);
+  EXPECT_EQ((*toks)[4].kind, TokKind::kFloatLit);
+  EXPECT_FLOAT_EQ((*toks)[4].float_value, 3.5f);
+  EXPECT_EQ((*toks)[5].kind, TokKind::kSemi);
+}
+
+TEST(LexerTest, HexAndExponentLiterals) {
+  auto toks = Lex("0xFF 1e3 2.5e-2 7u");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].int_value, 255);
+  EXPECT_FLOAT_EQ((*toks)[1].float_value, 1000.0f);
+  EXPECT_FLOAT_EQ((*toks)[2].float_value, 0.025f);
+  EXPECT_EQ((*toks)[3].int_value, 7);
+}
+
+TEST(LexerTest, BlockCommentsAndKeywords) {
+  auto toks = Lex("__kernel /* a\nmulti\nline */ void");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokKind::kKwKernel);
+  EXPECT_EQ((*toks)[1].kind, TokKind::kKwVoid);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Lex("int a = $;").ok());
+  EXPECT_FALSE(Lex("/* unterminated").ok());
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto toks = Lex("a\nb\n  c");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[2].line, 3);
+  EXPECT_EQ((*toks)[2].column, 3);
+}
+
+// ------------------------------- parser ------------------------------------
+
+TEST(ParserTest, ParsesMinimalKernel) {
+  auto prog = ParseProgram("__kernel void f(__global float* a) { a[0] = 1.0f; }");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_EQ(prog->kernels.size(), 1u);
+  EXPECT_EQ(prog->kernels[0].name, "f");
+  ASSERT_EQ(prog->kernels[0].params.size(), 1u);
+  EXPECT_TRUE(prog->kernels[0].params[0].type.IsPointer());
+}
+
+TEST(ParserTest, ParsesMultipleKernels) {
+  auto prog = ParseProgram(
+      "__kernel void f(int n) {}\n__kernel void g(float x) {}");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->kernels.size(), 2u);
+}
+
+TEST(ParserTest, RejectsMissingBrace) {
+  EXPECT_FALSE(ParseProgram("__kernel void f(int n) {").ok());
+}
+
+TEST(ParserTest, RejectsEmptyProgram) {
+  EXPECT_FALSE(ParseProgram("   ").ok());
+}
+
+TEST(ParserTest, RejectsPointerWithoutSpace) {
+  EXPECT_FALSE(ParseProgram("__kernel void f(float* a) {}").ok());
+}
+
+TEST(ParserTest, RejectsReturnWithValue) {
+  EXPECT_FALSE(
+      ParseProgram("__kernel void f(int n) { return n; }").ok());
+}
+
+TEST(ParserTest, MultiDeclaratorsStayInScope) {
+  auto prog = ParseProgram(
+      "__kernel void f(__global int* a) { int i = 1, j = 2; a[0] = i + j; }");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+}
+
+// ----------------------------- codegen diagnostics -------------------------
+
+TEST(CodegenTest, RejectsUndeclaredIdentifier) {
+  auto r = CompileSource("__kernel void f(__global int* a) { a[0] = zz; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("undeclared"), std::string::npos);
+}
+
+TEST(CodegenTest, RejectsUnknownFunction) {
+  auto r = CompileSource("__kernel void f(__global float* a) { a[0] = tan(1.0f); }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown function"), std::string::npos);
+}
+
+TEST(CodegenTest, RejectsRedeclaration) {
+  auto r = CompileSource("__kernel void f(int n) { int n = 2; int x; int x; }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodegenTest, RejectsBreakOutsideLoop) {
+  auto r = CompileSource("__kernel void f(int n) { break; }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodegenTest, RejectsFloatModulo) {
+  auto r = CompileSource(
+      "__kernel void f(__global float* a) { a[0] = 1.5f % 2.0f; }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodegenTest, RejectsAssignToArrayName) {
+  auto r = CompileSource(
+      "__kernel void f(int n) { float tmp[4]; tmp = 1.0f; }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodegenTest, RejectsDuplicateKernelNames) {
+  auto r = CompileSource("__kernel void f(int n) {}\n__kernel void f(int m) {}");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodegenTest, CountsParamsAndBarriers) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void f(__global float* a, __local float* tile, int n) {"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "}",
+      &prog, "f");
+  EXPECT_EQ(k.params.size(), 3u);
+  EXPECT_EQ(k.params[0].kind, ParamKind::kGlobalPtr);
+  EXPECT_EQ(k.params[1].kind, ParamKind::kLocalPtr);
+  EXPECT_EQ(k.params[2].kind, ParamKind::kScalar);
+  EXPECT_EQ(k.num_barriers, 2);
+  ASSERT_EQ(k.local_blocks.size(), 1u);
+  EXPECT_EQ(k.local_blocks[0].param_index, 1);
+}
+
+// ----------------------------- end-to-end execution ------------------------
+
+TEST(VmTest, VectorAdd) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void vadd(__global const float* a, __global const float* b,"
+      "                   __global float* c, int n) {"
+      "  int i = get_global_id(0);"
+      "  if (i < n) { c[i] = a[i] + b[i]; }"
+      "}",
+      &prog, "vadd");
+  const int n = 1000;
+  std::vector<float> a(n), b(n), c(n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = static_cast<float>(2 * i);
+  }
+  LaunchConfig cfg;
+  cfg.global_size[0] = n;
+  cfg.local_size[0] = 50;
+  std::vector<KernelArg> args = {BufferArgT(a), BufferArgT(b), BufferArgT(c),
+                                 IntArg(n)};
+  auto stats = ExecuteKernel(k, cfg, args);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->work_items, static_cast<std::uint64_t>(n));
+  EXPECT_GT(stats->instructions, 0u);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(c[i], 3.0f * static_cast<float>(i)) << "at " << i;
+  }
+}
+
+TEST(VmTest, ControlFlowLoopsAndConditionals) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void collatz_len(__global const int* in, __global int* out,"
+      "                          int n) {"
+      "  int i = get_global_id(0);"
+      "  if (i >= n) return;"
+      "  int x = in[i];"
+      "  int steps = 0;"
+      "  while (x != 1) {"
+      "    if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }"
+      "    steps++;"
+      "  }"
+      "  out[i] = steps;"
+      "}",
+      &prog, "collatz_len");
+  std::vector<std::int32_t> in = {1, 2, 3, 6, 7, 27};
+  std::vector<std::int32_t> out(in.size(), -1);
+  LaunchConfig cfg;
+  cfg.global_size[0] = in.size();
+  cfg.local_size[0] = in.size();
+  std::vector<KernelArg> args = {BufferArgT(in), BufferArgT(out),
+                                 IntArg(static_cast<int>(in.size()))};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  auto collatz = [](int x) {
+    int s = 0;
+    while (x != 1) {
+      x = (x % 2 == 0) ? x / 2 : 3 * x + 1;
+      ++s;
+    }
+    return s;
+  };
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], collatz(in[i]));
+  }
+}
+
+TEST(VmTest, ForLoopTernaryAndCompoundAssign) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void poly(__global float* out, int n) {"
+      "  int i = get_global_id(0);"
+      "  float acc = 0.0f;"
+      "  for (int j = 0; j < n; j++) {"
+      "    acc += (j % 2 == 0) ? 1.5f : -0.5f;"
+      "  }"
+      "  out[i] = acc;"
+      "}",
+      &prog, "poly");
+  std::vector<float> out(4, 0.0f);
+  LaunchConfig cfg;
+  cfg.global_size[0] = 4;
+  cfg.local_size[0] = 4;
+  std::vector<KernelArg> args = {BufferArgT(out), IntArg(7)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  // 4 even (j=0,2,4,6) * 1.5 + 3 odd * -0.5 = 6.0 - 1.5 = 4.5
+  for (float v : out) {
+    EXPECT_FLOAT_EQ(v, 4.5f);
+  }
+}
+
+TEST(VmTest, BarriersWithLocalMemoryReduction) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void block_sum(__global const float* in, __global float* out,"
+      "                        __local float* scratch) {"
+      "  int lid = get_local_id(0);"
+      "  int gid = get_global_id(0);"
+      "  int lsz = get_local_size(0);"
+      "  scratch[lid] = in[gid];"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  for (int stride = lsz / 2; stride > 0; stride = stride / 2) {"
+      "    if (lid < stride) {"
+      "      scratch[lid] = scratch[lid] + scratch[lid + stride];"
+      "    }"
+      "    barrier(CLK_LOCAL_MEM_FENCE);"
+      "  }"
+      "  if (lid == 0) { out[get_group_id(0)] = scratch[0]; }"
+      "}",
+      &prog, "block_sum");
+  const int groups = 8, lsz = 64, n = groups * lsz;
+  std::vector<float> in(n), out(groups, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    in[i] = 1.0f;
+  }
+  LaunchConfig cfg;
+  cfg.global_size[0] = n;
+  cfg.local_size[0] = lsz;
+  std::vector<KernelArg> args = {BufferArgT(in), BufferArgT(out),
+                                 LocalArg(lsz * sizeof(float))};
+  auto stats = ExecuteKernel(k, cfg, args);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (int g = 0; g < groups; ++g) {
+    EXPECT_FLOAT_EQ(out[g], static_cast<float>(lsz));
+  }
+}
+
+TEST(VmTest, FixedLocalArrayAndPrivateArray) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void windows(__global const int* in, __global int* out) {"
+      "  __local int tile[16];"
+      "  int priv[4];"
+      "  int lid = get_local_id(0);"
+      "  tile[lid] = in[get_global_id(0)];"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  for (int j = 0; j < 4; j++) {"
+      "    priv[j] = tile[(lid + j) % 16];"
+      "  }"
+      "  int acc = 0;"
+      "  for (int j = 0; j < 4; j++) { acc += priv[j]; }"
+      "  out[get_global_id(0)] = acc;"
+      "}",
+      &prog, "windows");
+  std::vector<std::int32_t> in(16), out(16, 0);
+  for (int i = 0; i < 16; ++i) {
+    in[i] = i;
+  }
+  LaunchConfig cfg;
+  cfg.global_size[0] = 16;
+  cfg.local_size[0] = 16;
+  std::vector<KernelArg> args = {BufferArgT(in), BufferArgT(out)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  for (int i = 0; i < 16; ++i) {
+    int expect = 0;
+    for (int j = 0; j < 4; ++j) {
+      expect += (i + j) % 16;
+    }
+    EXPECT_EQ(out[i], expect);
+  }
+}
+
+TEST(VmTest, TwoDimensionalNDRange) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void idx2d(__global int* out, int width) {"
+      "  int x = get_global_id(0);"
+      "  int y = get_global_id(1);"
+      "  out[y * width + x] = x * 100 + y;"
+      "}",
+      &prog, "idx2d");
+  const int w = 8, h = 4;
+  std::vector<std::int32_t> out(w * h, -1);
+  LaunchConfig cfg;
+  cfg.work_dim = 2;
+  cfg.global_size[0] = w;
+  cfg.global_size[1] = h;
+  cfg.local_size[0] = 4;
+  cfg.local_size[1] = 2;
+  std::vector<KernelArg> args = {BufferArgT(out), IntArg(w)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      EXPECT_EQ(out[y * w + x], x * 100 + y);
+    }
+  }
+}
+
+TEST(VmTest, MathBuiltins) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void mathy(__global float* out) {"
+      "  out[0] = sqrt(16.0f);"
+      "  out[1] = fabs(-2.5f);"
+      "  out[2] = exp(0.0f);"
+      "  out[3] = fmax(1.0f, 2.0f);"
+      "  out[4] = fmin(1.0f, 2.0f);"
+      "  out[5] = pow(2.0f, 10.0f);"
+      "  out[6] = floor(1.9f);"
+      "  out[7] = ceil(1.1f);"
+      "  out[8] = (float)min(3, 5);"
+      "  out[9] = (float)max(3, 5);"
+      "  out[10] = (float)abs(-7);"
+      "  out[11] = log(1.0f);"
+      "}",
+      &prog, "mathy");
+  std::vector<float> out(12, -1.0f);
+  LaunchConfig cfg;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.5f);
+  EXPECT_FLOAT_EQ(out[2], 1.0f);
+  EXPECT_FLOAT_EQ(out[3], 2.0f);
+  EXPECT_FLOAT_EQ(out[4], 1.0f);
+  EXPECT_FLOAT_EQ(out[5], 1024.0f);
+  EXPECT_FLOAT_EQ(out[6], 1.0f);
+  EXPECT_FLOAT_EQ(out[7], 2.0f);
+  EXPECT_FLOAT_EQ(out[8], 3.0f);
+  EXPECT_FLOAT_EQ(out[9], 5.0f);
+  EXPECT_FLOAT_EQ(out[10], 7.0f);
+  EXPECT_FLOAT_EQ(out[11], 0.0f);
+}
+
+TEST(VmTest, IntegerOpsAndUintLoads) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void bits(__global const uint* in, __global uint* out) {"
+      "  int i = get_global_id(0);"
+      "  uint x = in[i];"
+      "  out[i] = ((x << 3) | (x >> 2)) ^ (x & 0xF);"
+      "}",
+      &prog, "bits");
+  std::vector<std::uint32_t> in = {1, 2, 0xFF, 12345};
+  std::vector<std::uint32_t> out(4, 0);
+  LaunchConfig cfg;
+  cfg.global_size[0] = 4;
+  cfg.local_size[0] = 4;
+  std::vector<KernelArg> args = {BufferArgT(in), BufferArgT(out)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t x = in[static_cast<std::size_t>(i)];
+    std::uint32_t expect =
+        static_cast<std::uint32_t>(((x << 3) | (x >> 2)) ^ (x & 0xF));
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], expect);
+  }
+}
+
+TEST(VmTest, DoWhileAndPrefixPostfix) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void counting(__global int* out) {"
+      "  int i = 0;"
+      "  int sum = 0;"
+      "  do { sum += i++; } while (i < 5);"
+      "  out[0] = sum;"          // 0+1+2+3+4 = 10
+      "  int j = 10;"
+      "  out[1] = --j;"          // 9
+      "  out[2] = j++;"          // 9, j becomes 10
+      "  out[3] = j;"            // 10
+      "}",
+      &prog, "counting");
+  std::vector<std::int32_t> out(4, -1);
+  LaunchConfig cfg;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], 9);
+  EXPECT_EQ(out[2], 9);
+  EXPECT_EQ(out[3], 10);
+}
+
+TEST(VmTest, BreakAndContinue) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void bc(__global int* out) {"
+      "  int sum = 0;"
+      "  for (int i = 0; i < 100; i++) {"
+      "    if (i % 2 == 0) continue;"
+      "    if (i > 10) break;"
+      "    sum += i;"
+      "  }"
+      "  out[0] = sum;"  // 1+3+5+7+9 = 25
+      "}",
+      &prog, "bc");
+  std::vector<std::int32_t> out(1, 0);
+  LaunchConfig cfg;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  EXPECT_EQ(out[0], 25);
+}
+
+// ------------------------------- traps -------------------------------------
+
+TEST(VmTrapTest, OutOfBoundsStoreTraps) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void oob(__global int* out) { out[9999] = 1; }", &prog, "oob");
+  std::vector<std::int32_t> out(4, 0);
+  LaunchConfig cfg;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  auto r = ExecuteKernel(k, cfg, args);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out-of-bounds"), std::string::npos);
+}
+
+TEST(VmTrapTest, NegativeIndexTraps) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void neg(__global int* out) { out[-1] = 1; }", &prog, "neg");
+  std::vector<std::int32_t> out(4, 0);
+  LaunchConfig cfg;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  EXPECT_FALSE(ExecuteKernel(k, cfg, args).ok());
+}
+
+TEST(VmTrapTest, DivisionByZeroTraps) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void dz(__global int* out, int d) { out[0] = 10 / d; }",
+      &prog, "dz");
+  std::vector<std::int32_t> out(1, 0);
+  LaunchConfig cfg;
+  std::vector<KernelArg> args = {BufferArgT(out), IntArg(0)};
+  auto r = ExecuteKernel(k, cfg, args);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("division by zero"), std::string::npos);
+}
+
+TEST(VmTrapTest, InfiniteLoopHitsBudget) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void spin(__global int* out) { while (1) { out[0] = 1; } }",
+      &prog, "spin");
+  std::vector<std::int32_t> out(1, 0);
+  LaunchConfig cfg;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  auto r = ExecuteKernel(k, cfg, args, /*max_instructions_per_item=*/10000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("budget"), std::string::npos);
+}
+
+TEST(VmTrapTest, BarrierDivergenceTraps) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void div(__global int* out) {"
+      "  if (get_local_id(0) == 0) { barrier(CLK_LOCAL_MEM_FENCE); }"
+      "  out[get_global_id(0)] = 1;"
+      "}",
+      &prog, "div");
+  std::vector<std::int32_t> out(4, 0);
+  LaunchConfig cfg;
+  cfg.global_size[0] = 4;
+  cfg.local_size[0] = 4;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  auto r = ExecuteKernel(k, cfg, args);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("divergence"), std::string::npos);
+}
+
+TEST(VmTrapTest, MissingArgumentFailsPrecondition) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void f(__global int* out, int n) { out[0] = n; }", &prog, "f");
+  std::vector<std::int32_t> out(1, 0);
+  LaunchConfig cfg;
+  std::vector<KernelArg> args = {BufferArgT(out), KernelArg{}};
+  EXPECT_FALSE(ExecuteKernel(k, cfg, args).ok());
+}
+
+TEST(VmTrapTest, NonDivisibleLocalSizeRejected) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void f(__global int* out) { out[0] = 1; }", &prog, "f");
+  std::vector<std::int32_t> out(1, 0);
+  LaunchConfig cfg;
+  cfg.global_size[0] = 10;
+  cfg.local_size[0] = 3;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  EXPECT_FALSE(ExecuteKernel(k, cfg, args).ok());
+}
+
+// ----------------------- differential property tests -----------------------
+
+// Property: a random arithmetic expression over ints evaluated by the VM
+// matches the same expression evaluated in C++. The expression is generated
+// structurally so it is valid in both languages.
+class ExprGen {
+ public:
+  explicit ExprGen(ava::Rng* rng) : rng_(rng) {}
+
+  // Returns a pair (source, evaluator) for an int expression over variable v.
+  std::string Gen(int depth, std::vector<std::int64_t>* consts) {
+    if (depth == 0 || rng_->NextBelow(4) == 0) {
+      if (rng_->NextBool()) {
+        std::int64_t c = rng_->NextInRange(1, 50);
+        consts->push_back(c);
+        return std::to_string(c);
+      }
+      return "v";
+    }
+    std::string a = Gen(depth - 1, consts);
+    std::string b = Gen(depth - 1, consts);
+    static const char* ops[] = {"+", "-", "*"};
+    const char* op = ops[rng_->NextBelow(3)];
+    return "(" + a + " " + op + " " + b + ")";
+  }
+
+ private:
+  ava::Rng* rng_;
+};
+
+std::int64_t EvalExpr(const std::string& expr, std::size_t* pos,
+                      std::int64_t v) {
+  // Tiny recursive evaluator for the generated parenthesized grammar.
+  if (expr[*pos] == '(') {
+    ++*pos;  // (
+    std::int64_t a = EvalExpr(expr, pos, v);
+    ++*pos;  // space
+    char op = expr[*pos];
+    *pos += 2;  // op + space
+    std::int64_t b = EvalExpr(expr, pos, v);
+    ++*pos;  // )
+    switch (op) {
+      case '+':
+        return a + b;
+      case '-':
+        return a - b;
+      case '*':
+        return a * b;
+    }
+    return 0;
+  }
+  if (expr[*pos] == 'v') {
+    ++*pos;
+    return v;
+  }
+  std::size_t start = *pos;
+  while (*pos < expr.size() && isdigit(expr[*pos])) {
+    ++*pos;
+  }
+  return std::stoll(expr.substr(start, *pos - start));
+}
+
+TEST(VmPropertyTest, RandomIntExpressionsMatchCpp) {
+  ava::Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    ExprGen gen(&rng);
+    std::vector<std::int64_t> consts;
+    std::string expr = gen.Gen(4, &consts);
+    std::string src = "__kernel void f(__global int* out, int v) { out[0] = " +
+                      expr + "; }";
+    auto compiled = CompileSource(src);
+    ASSERT_TRUE(compiled.ok()) << src << "\n" << compiled.status().ToString();
+    const CompiledKernel* k = compiled->FindKernel("f");
+    ASSERT_NE(k, nullptr);
+    for (int vi = -3; vi <= 3; ++vi) {
+      std::vector<std::int32_t> out(1, 0);
+      LaunchConfig cfg;
+      std::vector<KernelArg> args = {BufferArgT(out), IntArg(vi)};
+      ASSERT_TRUE(ExecuteKernel(*k, cfg, args).ok());
+      std::size_t pos = 0;
+      std::int64_t expect = EvalExpr(expr, &pos, vi);
+      ASSERT_EQ(out[0], static_cast<std::int32_t>(expect))
+          << expr << " with v=" << vi;
+    }
+  }
+}
+
+// Property: prefix-sum style loops over random data match C++ reference.
+TEST(VmPropertyTest, RandomDataScanMatchesCpp) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void scan_serial(__global const int* in, __global int* out,"
+      "                          int n) {"
+      "  if (get_global_id(0) != 0) return;"
+      "  int acc = 0;"
+      "  for (int i = 0; i < n; i++) { acc += in[i]; out[i] = acc; }"
+      "}",
+      &prog, "scan_serial");
+  ava::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.NextBelow(200)) + 1;
+    std::vector<std::int32_t> in(n), out(n, 0), expect(n);
+    std::int32_t acc = 0;
+    for (int i = 0; i < n; ++i) {
+      in[i] = static_cast<std::int32_t>(rng.NextInRange(-100, 100));
+      acc += in[i];
+      expect[i] = acc;
+    }
+    LaunchConfig cfg;
+    std::vector<KernelArg> args = {BufferArgT(in), BufferArgT(out), IntArg(n)};
+    ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+    ASSERT_EQ(out, expect);
+  }
+}
+
+}  // namespace
+}  // namespace vcl
+
+namespace vcl {
+namespace {
+
+// Differential property test over float arithmetic: random expression trees
+// evaluated by the VM must match the same float operations in C++ (both are
+// IEEE-754 single precision in identical order).
+struct FExpr {
+  // 0 literal, 1 var, 2 add, 3 sub, 4 mul
+  int kind = 0;
+  float lit = 0.0f;
+  std::unique_ptr<FExpr> a, b;
+
+  std::string Source() const {
+    switch (kind) {
+      case 0: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9gf", lit);
+        std::string s = buf;
+        // Ensure the literal lexes as float (e.g. "3f" -> "3.0f").
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos) {
+          s.insert(s.size() - 1, ".0");
+        }
+        return s;
+      }
+      case 1:
+        return "v";
+      case 2:
+        return "(" + a->Source() + " + " + b->Source() + ")";
+      case 3:
+        return "(" + a->Source() + " - " + b->Source() + ")";
+      default:
+        return "(" + a->Source() + " * " + b->Source() + ")";
+    }
+  }
+
+  float Eval(float v) const {
+    switch (kind) {
+      case 0:
+        return lit;
+      case 1:
+        return v;
+      case 2:
+        return a->Eval(v) + b->Eval(v);
+      case 3:
+        return a->Eval(v) - b->Eval(v);
+      default:
+        return a->Eval(v) * b->Eval(v);
+    }
+  }
+};
+
+std::unique_ptr<FExpr> GenF(ava::Rng* rng, int depth) {
+  auto e = std::make_unique<FExpr>();
+  if (depth == 0 || rng->NextBelow(3) == 0) {
+    if (rng->NextBool()) {
+      e->kind = 0;
+      e->lit = rng->NextFloat(-4.0f, 4.0f);
+    } else {
+      e->kind = 1;
+    }
+    return e;
+  }
+  e->kind = 2 + static_cast<int>(rng->NextBelow(3));
+  e->a = GenF(rng, depth - 1);
+  e->b = GenF(rng, depth - 1);
+  return e;
+}
+
+TEST(VmPropertyTest, RandomFloatExpressionsMatchCpp) {
+  ava::Rng rng(424242);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto expr = GenF(&rng, 4);
+    std::string src =
+        "__kernel void f(__global float* out, float v) { out[0] = " +
+        expr->Source() + "; }";
+    auto compiled = CompileSource(src);
+    ASSERT_TRUE(compiled.ok()) << src << "\n" << compiled.status().ToString();
+    const CompiledKernel* k = compiled->FindKernel("f");
+    for (float v : {-2.5f, 0.0f, 1.0f, 3.25f}) {
+      std::vector<float> out(1, -1.0f);
+      LaunchConfig cfg;
+      std::vector<KernelArg> args = {BufferArgT(out), [&] {
+                                       KernelArg a;
+                                       a.kind = KernelArg::Kind::kScalar;
+                                       std::uint32_t bits;
+                                       std::memcpy(&bits, &v, 4);
+                                       a.scalar_cell = bits;
+                                       return a;
+                                     }()};
+      ASSERT_TRUE(ExecuteKernel(*k, cfg, args).ok()) << src;
+      const float want = expr->Eval(v);
+      ASSERT_EQ(out[0], want) << src << " with v=" << v;
+    }
+  }
+}
+
+TEST(VmTest, ThreeDimensionalNDRange) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void idx3(__global int* out, int w, int h) {"
+      "  int x = get_global_id(0);"
+      "  int y = get_global_id(1);"
+      "  int z = get_global_id(2);"
+      "  out[(z * h + y) * w + x] = x + 10 * y + 100 * z;"
+      "}",
+      &prog, "idx3");
+  const int w = 4, h = 3, d = 2;
+  std::vector<std::int32_t> out(static_cast<std::size_t>(w) * h * d, -1);
+  LaunchConfig cfg;
+  cfg.work_dim = 3;
+  cfg.global_size[0] = w;
+  cfg.global_size[1] = h;
+  cfg.global_size[2] = d;
+  cfg.local_size[0] = 2;
+  cfg.local_size[1] = 1;
+  cfg.local_size[2] = 1;
+  std::vector<KernelArg> args = {BufferArgT(out), IntArg(w), IntArg(h)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  for (int z = 0; z < d; ++z) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        EXPECT_EQ(out[static_cast<std::size_t>((z * h + y) * w + x)],
+                  x + 10 * y + 100 * z);
+      }
+    }
+  }
+}
+
+TEST(VmTest, GlobalOffsetRespected) {
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void off(__global int* out) {"
+      "  int i = get_global_id(0);"
+      "  out[i] = i;"
+      "}",
+      &prog, "off");
+  std::vector<std::int32_t> out(16, -1);
+  LaunchConfig cfg;
+  cfg.global_offset[0] = 8;
+  cfg.global_size[0] = 8;
+  cfg.local_size[0] = 4;
+  std::vector<KernelArg> args = {BufferArgT(out)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], -1);      // untouched
+    EXPECT_EQ(out[static_cast<std::size_t>(8 + i)], 8 + i);
+  }
+}
+
+TEST(VmTest, MultipleBarrierPhases) {
+  // Two barrier-separated phases: phase 1 writes local memory, phase 2
+  // rotates it, phase 3 reads — classic three-stage pipeline in one group.
+  CompiledProgram prog;
+  const CompiledKernel& k = MustCompile(
+      "__kernel void rot(__global const int* in, __global int* out,"
+      "                  __local int* t1, __local int* t2) {"
+      "  int lid = get_local_id(0);"
+      "  int lsz = get_local_size(0);"
+      "  t1[lid] = in[get_global_id(0)];"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  t2[(lid + 1) % lsz] = t1[lid];"
+      "  barrier(CLK_LOCAL_MEM_FENCE);"
+      "  out[get_global_id(0)] = t2[lid];"
+      "}",
+      &prog, "rot");
+  const int n = 8;
+  std::vector<std::int32_t> in(n), out(n, -1);
+  for (int i = 0; i < n; ++i) {
+    in[static_cast<std::size_t>(i)] = i * 11;
+  }
+  LaunchConfig cfg;
+  cfg.global_size[0] = n;
+  cfg.local_size[0] = n;
+  std::vector<KernelArg> args = {BufferArgT(in), BufferArgT(out),
+                                 LocalArg(n * 4), LocalArg(n * 4)};
+  ASSERT_TRUE(ExecuteKernel(k, cfg, args).ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)],
+              in[static_cast<std::size_t>((i + n - 1) % n)]);
+  }
+}
+
+}  // namespace
+}  // namespace vcl

@@ -1,0 +1,94 @@
+// Validates every Figure 5 workload both native and fully remoted: each
+// workload self-checks against its CPU reference, so a pass here means the
+// kernels, the VM, and the remoting stack all computed the right answer.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+#include "src/vcl/silo.h"
+#include "src/mvnc/silo.h"
+#include "src/workloads/inception.h"
+#include "src/workloads/vcl_workloads.h"
+
+namespace {
+
+using workloads::AllVclWorkloads;
+using workloads::WorkloadOptions;
+
+class RemotedApi {
+ public:
+  RemotedApi() {
+    router_ = std::make_unique<ava::Router>();
+    router_->Start();
+    auto pair = ava::MakeInProcChannel();
+    session_ = std::make_shared<ava::ApiServerSession>(1);
+    session_->RegisterApi(ava_gen_vcl::kApiId,
+                          ava_gen_vcl::MakeVclApiHandler());
+    session_->RegisterApi(ava_gen_mvnc::kApiId,
+                          ava_gen_mvnc::MakeMvncApiHandler());
+    EXPECT_TRUE(router_->AttachVm(1, std::move(pair.host), session_).ok());
+    ava::GuestEndpoint::Options opts;
+    opts.vm_id = 1;
+    endpoint_ =
+        std::make_shared<ava::GuestEndpoint>(std::move(pair.guest), opts);
+  }
+
+  ~RemotedApi() {
+    endpoint_.reset();
+    router_->Stop();
+  }
+
+  ava_gen_vcl::VclApi vcl() { return ava_gen_vcl::MakeVclGuestApi(endpoint_); }
+  ava_gen_mvnc::MvncApi mvnc() {
+    return ava_gen_mvnc::MakeMvncGuestApi(endpoint_);
+  }
+
+ private:
+  std::unique_ptr<ava::Router> router_;
+  std::shared_ptr<ava::ApiServerSession> session_;
+  std::shared_ptr<ava::GuestEndpoint> endpoint_;
+};
+
+class VclWorkloadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VclWorkloadTest, NativeProducesCorrectResults) {
+  vcl::ResetDefaultSilo({});
+  const auto& workload = AllVclWorkloads()[GetParam()];
+  WorkloadOptions options;
+  ava::Status status = workload.run(ava_gen_vcl::MakeVclNativeApi(), options);
+  EXPECT_TRUE(status.ok()) << workload.name << ": " << status.ToString();
+}
+
+TEST_P(VclWorkloadTest, RemotedProducesCorrectResults) {
+  vcl::ResetDefaultSilo({});
+  const auto& workload = AllVclWorkloads()[GetParam()];
+  RemotedApi remote;
+  WorkloadOptions options;
+  ava::Status status = workload.run(remote.vcl(), options);
+  EXPECT_TRUE(status.ok()) << workload.name << ": " << status.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, VclWorkloadTest,
+    ::testing::Range<std::size_t>(0, 8),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return workloads::AllVclWorkloads()[info.param].name;
+    });
+
+TEST(InceptionWorkloadTest, NativeAndRemotedMatchReference) {
+  mvnc::ResetMvncSilo({});
+  WorkloadOptions options;
+  ava::Status native = workloads::RunInception(
+      ava_gen_mvnc::MakeMvncNativeApi(), options, /*images=*/3);
+  EXPECT_TRUE(native.ok()) << native.ToString();
+  RemotedApi remote;
+  ava::Status remoted =
+      workloads::RunInception(remote.mvnc(), options, /*images=*/3);
+  EXPECT_TRUE(remoted.ok()) << remoted.ToString();
+}
+
+}  // namespace
