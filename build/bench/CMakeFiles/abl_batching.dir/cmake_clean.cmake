@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_batching.dir/abl_batching.cc.o"
+  "CMakeFiles/abl_batching.dir/abl_batching.cc.o.d"
+  "abl_batching"
+  "abl_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_migration.dir/abl_migration.cc.o"
+  "CMakeFiles/abl_migration.dir/abl_migration.cc.o.d"
+  "abl_migration"
+  "abl_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

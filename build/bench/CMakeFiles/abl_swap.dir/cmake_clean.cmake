@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_swap.dir/abl_swap.cc.o"
+  "CMakeFiles/abl_swap.dir/abl_swap.cc.o.d"
+  "abl_swap"
+  "abl_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

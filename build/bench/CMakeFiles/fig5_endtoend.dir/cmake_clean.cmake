@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_endtoend.dir/fig5_endtoend.cc.o"
+  "CMakeFiles/fig5_endtoend.dir/fig5_endtoend.cc.o.d"
+  "fig5_endtoend"
+  "fig5_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

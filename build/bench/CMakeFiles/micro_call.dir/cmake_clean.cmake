@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_call.dir/micro_call.cc.o"
+  "CMakeFiles/micro_call.dir/micro_call.cc.o.d"
+  "micro_call"
+  "micro_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_api_coverage.dir/sec5_api_coverage.cc.o"
+  "CMakeFiles/sec5_api_coverage.dir/sec5_api_coverage.cc.o.d"
+  "sec5_api_coverage"
+  "sec5_api_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_api_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

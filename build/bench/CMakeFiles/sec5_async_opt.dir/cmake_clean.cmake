@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_async_opt.dir/sec5_async_opt.cc.o"
+  "CMakeFiles/sec5_async_opt.dir/sec5_async_opt.cc.o.d"
+  "sec5_async_opt"
+  "sec5_async_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_async_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

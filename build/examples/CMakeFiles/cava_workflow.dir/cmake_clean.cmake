@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_workflow.dir/cava_workflow.cpp.o"
+  "CMakeFiles/cava_workflow.dir/cava_workflow.cpp.o.d"
+  "cava_workflow"
+  "cava_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/disaggregated.cpp" "examples/CMakeFiles/disaggregated.dir/disaggregated.cpp.o" "gcc" "examples/CMakeFiles/disaggregated.dir/disaggregated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ava_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/ava_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ava_gen_vcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcl/CMakeFiles/ava_vcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ava_gen_mvnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ava_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvnc/CMakeFiles/ava_mvnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ava_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ava_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ava_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ava_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregated.dir/disaggregated.cpp.o"
+  "CMakeFiles/disaggregated.dir/disaggregated.cpp.o.d"
+  "disaggregated"
+  "disaggregated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("vcl")
+subdirs("transport")
+subdirs("proto")
+subdirs("runtime")
+subdirs("server")
+subdirs("router")
+subdirs("migrate")
+subdirs("cava")
+subdirs("mvnc")
+subdirs("qat")
+subdirs("gen")
+subdirs("workloads")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cava/draft.cc" "src/cava/CMakeFiles/ava_cava.dir/draft.cc.o" "gcc" "src/cava/CMakeFiles/ava_cava.dir/draft.cc.o.d"
+  "/root/repo/src/cava/emit.cc" "src/cava/CMakeFiles/ava_cava.dir/emit.cc.o" "gcc" "src/cava/CMakeFiles/ava_cava.dir/emit.cc.o.d"
+  "/root/repo/src/cava/lint.cc" "src/cava/CMakeFiles/ava_cava.dir/lint.cc.o" "gcc" "src/cava/CMakeFiles/ava_cava.dir/lint.cc.o.d"
+  "/root/repo/src/cava/spec_lexer.cc" "src/cava/CMakeFiles/ava_cava.dir/spec_lexer.cc.o" "gcc" "src/cava/CMakeFiles/ava_cava.dir/spec_lexer.cc.o.d"
+  "/root/repo/src/cava/spec_parser.cc" "src/cava/CMakeFiles/ava_cava.dir/spec_parser.cc.o" "gcc" "src/cava/CMakeFiles/ava_cava.dir/spec_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ava_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

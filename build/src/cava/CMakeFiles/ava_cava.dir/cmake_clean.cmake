@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_cava.dir/draft.cc.o"
+  "CMakeFiles/ava_cava.dir/draft.cc.o.d"
+  "CMakeFiles/ava_cava.dir/emit.cc.o"
+  "CMakeFiles/ava_cava.dir/emit.cc.o.d"
+  "CMakeFiles/ava_cava.dir/lint.cc.o"
+  "CMakeFiles/ava_cava.dir/lint.cc.o.d"
+  "CMakeFiles/ava_cava.dir/spec_lexer.cc.o"
+  "CMakeFiles/ava_cava.dir/spec_lexer.cc.o.d"
+  "CMakeFiles/ava_cava.dir/spec_parser.cc.o"
+  "CMakeFiles/ava_cava.dir/spec_parser.cc.o.d"
+  "libava_cava.a"
+  "libava_cava.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_cava.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

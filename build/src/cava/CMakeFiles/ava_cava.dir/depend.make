@@ -1,0 +1,2 @@
+# Empty dependencies file for ava_cava.
+# This may be replaced when dependencies are built.

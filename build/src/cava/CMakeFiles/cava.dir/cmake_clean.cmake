@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava.dir/cava_main.cc.o"
+  "CMakeFiles/cava.dir/cava_main.cc.o.d"
+  "cava"
+  "cava.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_common.dir/log.cc.o"
+  "CMakeFiles/ava_common.dir/log.cc.o.d"
+  "CMakeFiles/ava_common.dir/status.cc.o"
+  "CMakeFiles/ava_common.dir/status.cc.o.d"
+  "libava_common.a"
+  "libava_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

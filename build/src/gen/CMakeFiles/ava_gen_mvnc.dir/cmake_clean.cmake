@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../../gen/mvnc_gen.h"
+  "../../gen/mvnc_gen_guest.cc"
+  "../../gen/mvnc_gen_native.cc"
+  "../../gen/mvnc_gen_server.cc"
+  "CMakeFiles/ava_gen_mvnc.dir/__/__/gen/mvnc_gen_guest.cc.o"
+  "CMakeFiles/ava_gen_mvnc.dir/__/__/gen/mvnc_gen_guest.cc.o.d"
+  "CMakeFiles/ava_gen_mvnc.dir/__/__/gen/mvnc_gen_native.cc.o"
+  "CMakeFiles/ava_gen_mvnc.dir/__/__/gen/mvnc_gen_native.cc.o.d"
+  "CMakeFiles/ava_gen_mvnc.dir/__/__/gen/mvnc_gen_server.cc.o"
+  "CMakeFiles/ava_gen_mvnc.dir/__/__/gen/mvnc_gen_server.cc.o.d"
+  "libava_gen_mvnc.a"
+  "libava_gen_mvnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_gen_mvnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../../gen/qat_gen.h"
+  "../../gen/qat_gen_guest.cc"
+  "../../gen/qat_gen_native.cc"
+  "../../gen/qat_gen_server.cc"
+  "CMakeFiles/ava_gen_qat.dir/__/__/gen/qat_gen_guest.cc.o"
+  "CMakeFiles/ava_gen_qat.dir/__/__/gen/qat_gen_guest.cc.o.d"
+  "CMakeFiles/ava_gen_qat.dir/__/__/gen/qat_gen_native.cc.o"
+  "CMakeFiles/ava_gen_qat.dir/__/__/gen/qat_gen_native.cc.o.d"
+  "CMakeFiles/ava_gen_qat.dir/__/__/gen/qat_gen_server.cc.o"
+  "CMakeFiles/ava_gen_qat.dir/__/__/gen/qat_gen_server.cc.o.d"
+  "libava_gen_qat.a"
+  "libava_gen_qat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_gen_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

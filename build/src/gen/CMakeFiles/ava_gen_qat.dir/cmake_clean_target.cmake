@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libava_gen_qat.a"
+)

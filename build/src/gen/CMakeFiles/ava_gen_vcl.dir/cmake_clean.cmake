@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../../gen/vcl_gen.h"
+  "../../gen/vcl_gen_guest.cc"
+  "../../gen/vcl_gen_native.cc"
+  "../../gen/vcl_gen_server.cc"
+  "CMakeFiles/ava_gen_vcl.dir/__/__/gen/vcl_gen_guest.cc.o"
+  "CMakeFiles/ava_gen_vcl.dir/__/__/gen/vcl_gen_guest.cc.o.d"
+  "CMakeFiles/ava_gen_vcl.dir/__/__/gen/vcl_gen_native.cc.o"
+  "CMakeFiles/ava_gen_vcl.dir/__/__/gen/vcl_gen_native.cc.o.d"
+  "CMakeFiles/ava_gen_vcl.dir/__/__/gen/vcl_gen_server.cc.o"
+  "CMakeFiles/ava_gen_vcl.dir/__/__/gen/vcl_gen_server.cc.o.d"
+  "libava_gen_vcl.a"
+  "libava_gen_vcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_gen_vcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

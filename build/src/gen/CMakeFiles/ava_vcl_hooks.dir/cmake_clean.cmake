@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_vcl_hooks.dir/vcl_hooks.cc.o"
+  "CMakeFiles/ava_vcl_hooks.dir/vcl_hooks.cc.o.d"
+  "libava_vcl_hooks.a"
+  "libava_vcl_hooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_vcl_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

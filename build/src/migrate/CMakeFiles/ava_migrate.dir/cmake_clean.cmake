@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_migrate.dir/recorder.cc.o"
+  "CMakeFiles/ava_migrate.dir/recorder.cc.o.d"
+  "CMakeFiles/ava_migrate.dir/snapshot.cc.o"
+  "CMakeFiles/ava_migrate.dir/snapshot.cc.o.d"
+  "libava_migrate.a"
+  "libava_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

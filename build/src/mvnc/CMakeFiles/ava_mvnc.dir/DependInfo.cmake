@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mvnc/graph.cc" "src/mvnc/CMakeFiles/ava_mvnc.dir/graph.cc.o" "gcc" "src/mvnc/CMakeFiles/ava_mvnc.dir/graph.cc.o.d"
+  "/root/repo/src/mvnc/silo.cc" "src/mvnc/CMakeFiles/ava_mvnc.dir/silo.cc.o" "gcc" "src/mvnc/CMakeFiles/ava_mvnc.dir/silo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ava_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

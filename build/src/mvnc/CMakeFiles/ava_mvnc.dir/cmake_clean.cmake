@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_mvnc.dir/graph.cc.o"
+  "CMakeFiles/ava_mvnc.dir/graph.cc.o.d"
+  "CMakeFiles/ava_mvnc.dir/silo.cc.o"
+  "CMakeFiles/ava_mvnc.dir/silo.cc.o.d"
+  "libava_mvnc.a"
+  "libava_mvnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_mvnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ava_mvnc.
+# This may be replaced when dependencies are built.

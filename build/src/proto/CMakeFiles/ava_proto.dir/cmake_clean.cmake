@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_proto.dir/wire.cc.o"
+  "CMakeFiles/ava_proto.dir/wire.cc.o.d"
+  "libava_proto.a"
+  "libava_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_qat.dir/codecs.cc.o"
+  "CMakeFiles/ava_qat.dir/codecs.cc.o.d"
+  "CMakeFiles/ava_qat.dir/silo.cc.o"
+  "CMakeFiles/ava_qat.dir/silo.cc.o.d"
+  "libava_qat.a"
+  "libava_qat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_router.dir/router.cc.o"
+  "CMakeFiles/ava_router.dir/router.cc.o.d"
+  "libava_router.a"
+  "libava_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

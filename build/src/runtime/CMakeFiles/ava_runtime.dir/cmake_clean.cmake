@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_runtime.dir/guest_endpoint.cc.o"
+  "CMakeFiles/ava_runtime.dir/guest_endpoint.cc.o.d"
+  "libava_runtime.a"
+  "libava_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

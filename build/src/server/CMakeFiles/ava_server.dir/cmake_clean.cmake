@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_server.dir/api_server.cc.o"
+  "CMakeFiles/ava_server.dir/api_server.cc.o.d"
+  "CMakeFiles/ava_server.dir/object_registry.cc.o"
+  "CMakeFiles/ava_server.dir/object_registry.cc.o.d"
+  "CMakeFiles/ava_server.dir/swap_manager.cc.o"
+  "CMakeFiles/ava_server.dir/swap_manager.cc.o.d"
+  "libava_server.a"
+  "libava_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

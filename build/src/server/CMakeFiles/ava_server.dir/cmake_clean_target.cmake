@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libava_server.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/inproc.cc" "src/transport/CMakeFiles/ava_transport.dir/inproc.cc.o" "gcc" "src/transport/CMakeFiles/ava_transport.dir/inproc.cc.o.d"
+  "/root/repo/src/transport/shm_ring.cc" "src/transport/CMakeFiles/ava_transport.dir/shm_ring.cc.o" "gcc" "src/transport/CMakeFiles/ava_transport.dir/shm_ring.cc.o.d"
+  "/root/repo/src/transport/socket.cc" "src/transport/CMakeFiles/ava_transport.dir/socket.cc.o" "gcc" "src/transport/CMakeFiles/ava_transport.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ava_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

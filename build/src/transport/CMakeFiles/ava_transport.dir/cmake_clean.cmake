@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_transport.dir/inproc.cc.o"
+  "CMakeFiles/ava_transport.dir/inproc.cc.o.d"
+  "CMakeFiles/ava_transport.dir/shm_ring.cc.o"
+  "CMakeFiles/ava_transport.dir/shm_ring.cc.o.d"
+  "CMakeFiles/ava_transport.dir/socket.cc.o"
+  "CMakeFiles/ava_transport.dir/socket.cc.o.d"
+  "libava_transport.a"
+  "libava_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcl/api.cc" "src/vcl/CMakeFiles/ava_vcl.dir/api.cc.o" "gcc" "src/vcl/CMakeFiles/ava_vcl.dir/api.cc.o.d"
+  "/root/repo/src/vcl/compiler/codegen.cc" "src/vcl/CMakeFiles/ava_vcl.dir/compiler/codegen.cc.o" "gcc" "src/vcl/CMakeFiles/ava_vcl.dir/compiler/codegen.cc.o.d"
+  "/root/repo/src/vcl/compiler/lexer.cc" "src/vcl/CMakeFiles/ava_vcl.dir/compiler/lexer.cc.o" "gcc" "src/vcl/CMakeFiles/ava_vcl.dir/compiler/lexer.cc.o.d"
+  "/root/repo/src/vcl/compiler/parser.cc" "src/vcl/CMakeFiles/ava_vcl.dir/compiler/parser.cc.o" "gcc" "src/vcl/CMakeFiles/ava_vcl.dir/compiler/parser.cc.o.d"
+  "/root/repo/src/vcl/compiler/vm.cc" "src/vcl/CMakeFiles/ava_vcl.dir/compiler/vm.cc.o" "gcc" "src/vcl/CMakeFiles/ava_vcl.dir/compiler/vm.cc.o.d"
+  "/root/repo/src/vcl/device.cc" "src/vcl/CMakeFiles/ava_vcl.dir/device.cc.o" "gcc" "src/vcl/CMakeFiles/ava_vcl.dir/device.cc.o.d"
+  "/root/repo/src/vcl/silo.cc" "src/vcl/CMakeFiles/ava_vcl.dir/silo.cc.o" "gcc" "src/vcl/CMakeFiles/ava_vcl.dir/silo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ava_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

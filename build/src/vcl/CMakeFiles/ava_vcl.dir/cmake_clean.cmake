@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_vcl.dir/api.cc.o"
+  "CMakeFiles/ava_vcl.dir/api.cc.o.d"
+  "CMakeFiles/ava_vcl.dir/compiler/codegen.cc.o"
+  "CMakeFiles/ava_vcl.dir/compiler/codegen.cc.o.d"
+  "CMakeFiles/ava_vcl.dir/compiler/lexer.cc.o"
+  "CMakeFiles/ava_vcl.dir/compiler/lexer.cc.o.d"
+  "CMakeFiles/ava_vcl.dir/compiler/parser.cc.o"
+  "CMakeFiles/ava_vcl.dir/compiler/parser.cc.o.d"
+  "CMakeFiles/ava_vcl.dir/compiler/vm.cc.o"
+  "CMakeFiles/ava_vcl.dir/compiler/vm.cc.o.d"
+  "CMakeFiles/ava_vcl.dir/device.cc.o"
+  "CMakeFiles/ava_vcl.dir/device.cc.o.d"
+  "CMakeFiles/ava_vcl.dir/silo.cc.o"
+  "CMakeFiles/ava_vcl.dir/silo.cc.o.d"
+  "libava_vcl.a"
+  "libava_vcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_vcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

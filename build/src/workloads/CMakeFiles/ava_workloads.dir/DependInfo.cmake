@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cc" "src/workloads/CMakeFiles/ava_workloads.dir/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/backprop.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/ava_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/common.cc" "src/workloads/CMakeFiles/ava_workloads.dir/common.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/common.cc.o.d"
+  "/root/repo/src/workloads/gaussian.cc" "src/workloads/CMakeFiles/ava_workloads.dir/gaussian.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/gaussian.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/workloads/CMakeFiles/ava_workloads.dir/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/hotspot.cc.o.d"
+  "/root/repo/src/workloads/inception.cc" "src/workloads/CMakeFiles/ava_workloads.dir/inception.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/inception.cc.o.d"
+  "/root/repo/src/workloads/nn.cc" "src/workloads/CMakeFiles/ava_workloads.dir/nn.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/nn.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/workloads/CMakeFiles/ava_workloads.dir/nw.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/nw.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/workloads/CMakeFiles/ava_workloads.dir/pathfinder.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/workloads/CMakeFiles/ava_workloads.dir/srad.cc.o" "gcc" "src/workloads/CMakeFiles/ava_workloads.dir/srad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/ava_gen_vcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ava_gen_mvnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcl/CMakeFiles/ava_vcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ava_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ava_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ava_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ava_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvnc/CMakeFiles/ava_mvnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ava_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

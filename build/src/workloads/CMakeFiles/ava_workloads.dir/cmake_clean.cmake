@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_workloads.dir/backprop.cc.o"
+  "CMakeFiles/ava_workloads.dir/backprop.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/bfs.cc.o"
+  "CMakeFiles/ava_workloads.dir/bfs.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/common.cc.o"
+  "CMakeFiles/ava_workloads.dir/common.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/gaussian.cc.o"
+  "CMakeFiles/ava_workloads.dir/gaussian.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/hotspot.cc.o"
+  "CMakeFiles/ava_workloads.dir/hotspot.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/inception.cc.o"
+  "CMakeFiles/ava_workloads.dir/inception.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/nn.cc.o"
+  "CMakeFiles/ava_workloads.dir/nn.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/nw.cc.o"
+  "CMakeFiles/ava_workloads.dir/nw.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/pathfinder.cc.o"
+  "CMakeFiles/ava_workloads.dir/pathfinder.cc.o.d"
+  "CMakeFiles/ava_workloads.dir/srad.cc.o"
+  "CMakeFiles/ava_workloads.dir/srad.cc.o.d"
+  "libava_workloads.a"
+  "libava_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

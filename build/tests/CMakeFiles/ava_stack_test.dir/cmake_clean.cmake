@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ava_stack_test.dir/ava_stack_test.cc.o"
+  "CMakeFiles/ava_stack_test.dir/ava_stack_test.cc.o.d"
+  "ava_stack_test"
+  "ava_stack_test.pdb"
+  "ava_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ava_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

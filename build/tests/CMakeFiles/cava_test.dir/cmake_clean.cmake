@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_test.dir/cava_test.cc.o"
+  "CMakeFiles/cava_test.dir/cava_test.cc.o.d"
+  "cava_test"
+  "cava_test.pdb"
+  "cava_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvnc_test.dir/mvnc_test.cc.o"
+  "CMakeFiles/mvnc_test.dir/mvnc_test.cc.o.d"
+  "mvnc_test"
+  "mvnc_test.pdb"
+  "mvnc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvnc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

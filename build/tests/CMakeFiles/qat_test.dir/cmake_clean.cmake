@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qat_test.dir/qat_test.cc.o"
+  "CMakeFiles/qat_test.dir/qat_test.cc.o.d"
+  "qat_test"
+  "qat_test.pdb"
+  "qat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

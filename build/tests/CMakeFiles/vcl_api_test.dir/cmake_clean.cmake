@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_api_test.dir/vcl_api_test.cc.o"
+  "CMakeFiles/vcl_api_test.dir/vcl_api_test.cc.o.d"
+  "vcl_api_test"
+  "vcl_api_test.pdb"
+  "vcl_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcl_compiler_test.dir/vcl_compiler_test.cc.o"
+  "CMakeFiles/vcl_compiler_test.dir/vcl_compiler_test.cc.o.d"
+  "vcl_compiler_test"
+  "vcl_compiler_test.pdb"
+  "vcl_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcl_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
