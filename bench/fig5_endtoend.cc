@@ -9,6 +9,8 @@
 // ones (nn, hotspot, inception) near 1.0.
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/harness.h"
 #include "src/workloads/inception.h"
@@ -22,6 +24,8 @@ struct Row {
   std::string name;
   double native_ms;
   double ava_ms;
+  // Forwarded sync-call round-trip distribution during the AvA runs.
+  ava::obs::HistogramSnapshot latency;
 };
 
 Row RunVclRow(const workloads::VclWorkload& workload) {
@@ -54,6 +58,7 @@ Row RunVclRow(const workloads::VclWorkload& workload) {
       std::abort();
     }
   });
+  row.latency = vm.endpoint->sync_latency();
   return row;
 }
 
@@ -79,12 +84,16 @@ Row RunInceptionRow() {
       std::abort();
     }
   });
+  row.latency = vm.endpoint->sync_latency();
   return row;
 }
 
 }  // namespace
 
 int main() {
+  // Latency sampling is off by default to keep hot paths clean; this bench
+  // exists to report distributions, so switch it on before building VMs.
+  ava::obs::SetSamplingEnabled(true);
   std::printf("Figure 5 — end-to-end relative execution time (AvA / native)\n");
   std::printf("native = direct silo calls; AvA = generated stack through the router over the\n");
   std::printf("para-virtual FIFO transport (median of %d runs; see abl_transport\nfor shm-ring and socket numbers)\n\n", kReps);
@@ -95,6 +104,7 @@ int main() {
   double ratio_sum = 0.0;
   double ratio_max = 0.0;
   int vcl_rows = 0;
+  std::vector<Row> rows;
   for (const auto& workload : workloads::AllVclWorkloads()) {
     Row row = RunVclRow(workload);
     const double ratio = row.ava_ms / row.native_ms;
@@ -103,6 +113,7 @@ int main() {
     ++vcl_rows;
     std::printf("%-12s %12.1f %12.1f %9.2fx\n", row.name.c_str(),
                 row.native_ms, row.ava_ms, ratio);
+    rows.push_back(std::move(row));
   }
   Row inception = RunInceptionRow();
   const double inception_ratio = inception.ava_ms / inception.native_ms;
@@ -117,5 +128,12 @@ int main() {
               100.0 * (inception_ratio - 1.0));
   std::printf(
       "\npaper: <=16%% worst, 8%% average (OpenCL); ~1%% (Movidius NCS)\n");
+
+  std::printf("\nforwarded sync-call round-trip latency per workload\n");
+  bench::PrintRule(78);
+  rows.push_back(std::move(inception));
+  for (const Row& row : rows) {
+    bench::PrintLatencyPercentiles(row.name.c_str(), row.latency);
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "mvnc_gen.h"
 #include "src/common/vclock.h"
+#include "src/obs/metrics.h"
 #include "src/router/router.h"
 #include "src/runtime/guest_endpoint.h"
 #include "src/server/api_server.h"
@@ -132,6 +133,20 @@ inline void PrintRule(int width = 78) {
     std::putchar('-');
   }
   std::putchar('\n');
+}
+
+// Paper-style latency-distribution line from an obs histogram snapshot
+// (e.g. GuestEndpoint::sync_latency()). Values are nanoseconds.
+inline void PrintLatencyPercentiles(const char* label,
+                                    const ava::obs::HistogramSnapshot& snap) {
+  if (snap.empty()) {
+    std::printf("%-14s (no sampled calls)\n", label);
+    return;
+  }
+  std::printf(
+      "%-14s n=%-8llu p50=%8.0fns  p95=%8.0fns  p99=%8.0fns  mean=%8.0fns\n",
+      label, static_cast<unsigned long long>(snap.count), snap.Percentile(50),
+      snap.Percentile(95), snap.Percentile(99), snap.Mean());
 }
 
 }  // namespace bench

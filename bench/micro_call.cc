@@ -130,4 +130,24 @@ BENCHMARK(BM_TransportSocket)->Arg(64)->Arg(64 << 10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a latency-distribution epilogue: after the benchmarks
+// run, report percentiles of the forwarded sync calls the shared stack saw.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto latency = Shared().vm->endpoint->sync_latency();
+  if (!latency.empty()) {
+    std::printf("\nforwarded sync-call round-trip latency\n");
+    bench::PrintLatencyPercentiles("sync_call", latency);
+  } else {
+    std::printf(
+        "\n(no latency samples — run with AVA_METRICS_DUMP=stderr or "
+        "AVA_TRACE=1 to sample per-call distributions)\n");
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 //
 //   AVA_LOG(INFO) << "router accepted vm " << vm_id;
 //   AVA_LOG(ERROR) << status;
+//   AVA_LOG_EVERY_N(WARNING, 64) << "malformed message";  // 1st, 65th, ...
 //
 // The global level defaults to kWarning so tests and benchmarks stay quiet;
 // set AVA_LOG_LEVEL=debug|info|warning|error in the environment or call
@@ -9,6 +10,8 @@
 #ifndef AVA_SRC_COMMON_LOG_H_
 #define AVA_SRC_COMMON_LOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
@@ -46,6 +49,17 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Rate-limit predicate behind AVA_LOG_EVERY_N: true on the 1st call and
+// every nth after (occurrences 0, n, 2n, ...). n <= 1 always logs. The
+// counter is per call site and advances on every invocation that passes the
+// severity check, from any thread.
+inline bool ShouldLogEveryN(std::atomic<std::uint64_t>* counter,
+                            std::uint64_t n) {
+  const std::uint64_t occurrence =
+      counter->fetch_add(1, std::memory_order_relaxed);
+  return n <= 1 || occurrence % n == 0;
+}
+
 }  // namespace log_internal
 }  // namespace ava
 
@@ -59,6 +73,19 @@ class LogMessage {
   } else                                                       \
     ::ava::log_internal::LogMessage(AVA_LOG_LEVEL_##severity,  \
                                     __FILE__, __LINE__)        \
+        .stream()
+
+// Rate-limited logging for flood-prone paths (e.g. router RX rejecting a
+// stream of malformed messages under fault load): emits the 1st occurrence
+// and every nth after it, counted per call site.
+#define AVA_LOG_EVERY_N(severity, n)                                         \
+  if (AVA_LOG_LEVEL_##severity < ::ava::GetLogLevel()) {                     \
+  } else if (static ::std::atomic<::std::uint64_t> ava_log_every_n_count{0}; \
+             !::ava::log_internal::ShouldLogEveryN(&ava_log_every_n_count,   \
+                                                   (n))) {                   \
+  } else                                                                     \
+    ::ava::log_internal::LogMessage(AVA_LOG_LEVEL_##severity,                \
+                                    __FILE__, __LINE__)                      \
         .stream()
 
 #endif  // AVA_SRC_COMMON_LOG_H_

@@ -1,0 +1,348 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace ava::obs {
+
+// ----------------------------- sampling flag -------------------------------
+
+namespace {
+
+bool SamplingFromEnv() {
+  const char* trace = std::getenv("AVA_TRACE");
+  if (trace != nullptr && trace[0] != '\0' &&
+      std::strcmp(trace, "0") != 0) {
+    return true;
+  }
+  const char* dump = std::getenv("AVA_METRICS_DUMP");
+  return dump != nullptr && dump[0] != '\0';
+}
+
+}  // namespace
+
+namespace metrics_internal {
+std::atomic<bool> g_sampling_enabled{SamplingFromEnv()};
+}  // namespace metrics_internal
+
+void SetSamplingEnabled(bool enabled) {
+  metrics_internal::g_sampling_enabled.store(enabled,
+                                             std::memory_order_relaxed);
+}
+
+// ------------------------------ histogram ----------------------------------
+
+std::int64_t Histogram::BucketLow(int bucket) {
+  if (bucket <= 0) {
+    return 0;
+  }
+  return std::int64_t{1} << (bucket - 1);
+}
+
+std::int64_t Histogram::BucketHigh(int bucket) {
+  if (bucket <= 0) {
+    return 0;
+  }
+  if (bucket >= kHistogramBuckets - 1) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+void Histogram::Record(std::int64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::int64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::Mean() const {
+  if (count == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank (1-based): the smallest rank covering fraction p.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  double value = static_cast<double>(max == std::numeric_limits<std::int64_t>::min() ? 0 : max);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    if (cumulative + buckets[b] >= rank) {
+      // Interpolate position within the bucket's value range.
+      const double lo = static_cast<double>(Histogram::BucketLow(b));
+      const double hi =
+          b >= kHistogramBuckets - 1
+              ? static_cast<double>(max)
+              : static_cast<double>(Histogram::BucketHigh(b));
+      const double frac = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(buckets[b]);
+      value = lo + (hi - lo) * frac;
+      break;
+    }
+    cumulative += buckets[b];
+  }
+  // Clamp to the exact observed range: single-sample and narrow
+  // distributions report exact values instead of bucket edges.
+  value = std::max(value, static_cast<double>(min));
+  value = std::min(value, static_cast<double>(max));
+  return value;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+// ------------------------------ registry -----------------------------------
+
+struct MetricRegistry::Impl {
+  struct Entry {
+    std::weak_ptr<Counter> counter;
+    std::weak_ptr<Gauge> gauge;
+    std::weak_ptr<Histogram> histogram;
+  };
+  // Final values of cells whose owners have been destroyed. Folding on cell
+  // destruction keeps the exit dump complete even when every endpoint /
+  // session is torn down before atexit runs.
+  struct Retired {
+    std::uint64_t counter_sum = 0;
+    bool has_counter = false;
+    std::int64_t gauge_sum = 0;
+    bool has_gauge = false;
+    HistogramSnapshot histogram;
+    bool has_histogram = false;
+  };
+  mutable std::mutex mutex;
+  std::multimap<std::string, Entry> entries;
+  std::map<std::string, Retired> retired;
+
+  void Prune() {
+    for (auto it = entries.begin(); it != entries.end();) {
+      const Entry& e = it->second;
+      if (e.counter.expired() && e.gauge.expired() && e.histogram.expired()) {
+        it = entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+MetricRegistry::MetricRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricRegistry::~MetricRegistry() = default;
+
+namespace {
+
+void DumpAtExit() {
+  const char* dest = std::getenv("AVA_METRICS_DUMP");
+  if (dest == nullptr || dest[0] == '\0' || std::strcmp(dest, "0") == 0) {
+    return;
+  }
+  const std::string text = MetricRegistry::Default().Dump();
+  if (std::strcmp(dest, "stdout") == 0 || std::strcmp(dest, "-") == 0) {
+    std::fputs(text.c_str(), stdout);
+  } else if (std::strcmp(dest, "stderr") == 0 || std::strcmp(dest, "1") == 0) {
+    std::fputs(text.c_str(), stderr);
+  } else {
+    std::FILE* f = std::fopen(dest, "w");
+    if (f != nullptr) {
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "AVA_METRICS_DUMP: cannot open %s\n", dest);
+    }
+  }
+}
+
+}  // namespace
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = [] {
+    auto* r = new MetricRegistry();
+    std::atexit(DumpAtExit);
+    return r;
+  }();
+  return *registry;
+}
+
+// The cell deleters reference impl_ directly; Default() leaks its registry,
+// so the Impl outlives every cell, including cells owned by globals.
+std::shared_ptr<Counter> MetricRegistry::NewCounter(std::string name) {
+  Impl* impl = impl_.get();
+  std::shared_ptr<Counter> cell(new Counter(), [impl, name](Counter* c) {
+    {
+      std::lock_guard<std::mutex> lock(impl->mutex);
+      auto& retired = impl->retired[name];
+      retired.counter_sum += c->Value();
+      retired.has_counter = true;
+    }
+    delete c;
+  });
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->Prune();
+  Impl::Entry entry;
+  entry.counter = cell;
+  impl_->entries.emplace(std::move(name), std::move(entry));
+  return cell;
+}
+
+std::shared_ptr<Gauge> MetricRegistry::NewGauge(std::string name) {
+  Impl* impl = impl_.get();
+  std::shared_ptr<Gauge> cell(new Gauge(), [impl, name](Gauge* g) {
+    {
+      std::lock_guard<std::mutex> lock(impl->mutex);
+      auto& retired = impl->retired[name];
+      retired.gauge_sum += g->Value();
+      retired.has_gauge = true;
+    }
+    delete g;
+  });
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->Prune();
+  Impl::Entry entry;
+  entry.gauge = cell;
+  impl_->entries.emplace(std::move(name), std::move(entry));
+  return cell;
+}
+
+std::shared_ptr<Histogram> MetricRegistry::NewHistogram(std::string name) {
+  Impl* impl = impl_.get();
+  std::shared_ptr<Histogram> cell(new Histogram(), [impl, name](Histogram* h) {
+    {
+      std::lock_guard<std::mutex> lock(impl->mutex);
+      auto& retired = impl->retired[name];
+      retired.histogram.Merge(h->Snapshot());
+      retired.has_histogram = true;
+    }
+    delete h;
+  });
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->Prune();
+  Impl::Entry entry;
+  entry.histogram = cell;
+  impl_->entries.emplace(std::move(name), std::move(entry));
+  return cell;
+}
+
+std::string MetricRegistry::Dump() const {
+  // Aggregate live cells by name.
+  struct Agg {
+    std::uint64_t counter_sum = 0;
+    bool has_counter = false;
+    std::int64_t gauge_sum = 0;
+    bool has_gauge = false;
+    HistogramSnapshot histogram;
+    bool has_histogram = false;
+  };
+  std::map<std::string, Agg> by_name;
+  // Pin the live cells and release the pins only after unlocking: if lock()
+  // here grabbed the last reference to a dying cell, destroying it inside
+  // this scope would re-take the registry mutex in the cell's deleter.
+  std::vector<std::shared_ptr<Counter>> live_counters;
+  std::vector<std::shared_ptr<Gauge>> live_gauges;
+  std::vector<std::shared_ptr<Histogram>> live_histograms;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& [name, retired] : impl_->retired) {
+      Agg& agg = by_name[name];
+      agg.counter_sum += retired.counter_sum;
+      agg.has_counter |= retired.has_counter;
+      agg.gauge_sum += retired.gauge_sum;
+      agg.has_gauge |= retired.has_gauge;
+      if (retired.has_histogram) {
+        agg.histogram.Merge(retired.histogram);
+        agg.has_histogram = true;
+      }
+    }
+    for (const auto& [name, entry] : impl_->entries) {
+      Agg& agg = by_name[name];
+      if (auto c = entry.counter.lock()) {
+        agg.counter_sum += c->Value();
+        agg.has_counter = true;
+        live_counters.push_back(std::move(c));
+      }
+      if (auto g = entry.gauge.lock()) {
+        agg.gauge_sum += g->Value();
+        agg.has_gauge = true;
+        live_gauges.push_back(std::move(g));
+      }
+      if (auto h = entry.histogram.lock()) {
+        agg.histogram.Merge(h->Snapshot());
+        agg.has_histogram = true;
+        live_histograms.push_back(std::move(h));
+      }
+    }
+  }
+  live_counters.clear();
+  live_gauges.clear();
+  live_histograms.clear();
+  std::ostringstream out;
+  out << "=== ava metrics ===\n";
+  for (const auto& [name, agg] : by_name) {
+    if (agg.has_counter) {
+      out << "counter   " << name << " = " << agg.counter_sum << "\n";
+    }
+    if (agg.has_gauge) {
+      out << "gauge     " << name << " = " << agg.gauge_sum << "\n";
+    }
+    if (agg.has_histogram) {
+      const HistogramSnapshot& h = agg.histogram;
+      out << "histogram " << name << " count=" << h.count;
+      if (!h.empty()) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      " mean=%.1f p50=%.1f p95=%.1f p99=%.1f min=%lld max=%lld",
+                      h.Mean(), h.Percentile(50), h.Percentile(95),
+                      h.Percentile(99), static_cast<long long>(h.min),
+                      static_cast<long long>(h.max));
+        out << buf;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ava::obs

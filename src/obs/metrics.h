@@ -1,0 +1,156 @@
+// Lock-light metrics for the AvA stack: counters, gauges, and fixed-bucket
+// latency histograms with percentile queries, usable from any thread.
+//
+// Design:
+//   - A metric cell (Counter/Gauge/Histogram) is a bundle of relaxed atomics;
+//     updating one never takes a lock.
+//   - The process-wide MetricRegistry hands out cells and remembers them by
+//     name (weak references, so a cell dies with its owner). Creating a cell
+//     takes the registry lock once; hot paths must cache the returned
+//     shared_ptr, never re-resolve by name per operation.
+//   - The same name may be registered many times (e.g. one `guest.sync_calls`
+//     per endpoint instance). Each owner keeps exact per-instance values;
+//     Dump() aggregates live cells by name (sum counters, merge histograms).
+//   - Set AVA_METRICS_DUMP=stderr|stdout|<path> to print the aggregated
+//     registry at process exit.
+//
+// Histogram buckets are fixed powers of two: bucket 0 holds values <= 0,
+// bucket b >= 1 holds [2^(b-1), 2^b - 1]. Percentile queries interpolate
+// linearly inside the selected bucket and clamp to the exact observed
+// min/max, so a single-sample histogram reports that sample exactly.
+#ifndef AVA_SRC_OBS_METRICS_H_
+#define AVA_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+namespace ava::obs {
+
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+inline constexpr int kHistogramBuckets = 64;
+
+// Point-in-time copy of a histogram, with the percentile math. Snapshots of
+// same-named histograms can be merged for aggregate views.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+  std::uint64_t buckets[kHistogramBuckets] = {};
+
+  bool empty() const { return count == 0; }
+  double Mean() const;
+  // p in [0, 100]. Empty histograms report 0.
+  double Percentile(double p) const;
+  void Merge(const HistogramSnapshot& other);
+};
+
+class Histogram {
+ public:
+  static int BucketFor(std::int64_t value) {
+    if (value <= 0) {
+      return 0;
+    }
+    const int width = std::bit_width(static_cast<std::uint64_t>(value));
+    return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+  }
+  // Lower/upper value covered by a bucket (upper is inclusive).
+  static std::int64_t BucketLow(int bucket);
+  static std::int64_t BucketHigh(int bucket);
+
+  void Record(std::int64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+class MetricRegistry {
+ public:
+  // The process-wide registry. First use arms the AVA_METRICS_DUMP
+  // exit hook.
+  static MetricRegistry& Default();
+
+  // Each call creates a fresh cell registered under `name`; the registry
+  // holds only a weak reference. Callers cache the shared_ptr and update
+  // through it.
+  std::shared_ptr<Counter> NewCounter(std::string name);
+  std::shared_ptr<Gauge> NewGauge(std::string name);
+  std::shared_ptr<Histogram> NewHistogram(std::string name);
+
+  // Human-readable dump of all live cells, aggregated by name and sorted.
+  std::string Dump() const;
+
+  MetricRegistry();
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Latency sampling switch. Counters are cheap enough to stay on
+// unconditionally, but every timing site (clock reads + histogram records +
+// span emission) checks this flag first so an uninstrumented run pays only
+// relaxed counter increments on the call hot path. The flag starts true when
+// AVA_TRACE or AVA_METRICS_DUMP is set in the environment; benches and tests
+// that want distributions without env plumbing call SetSamplingEnabled(true).
+namespace metrics_internal {
+extern std::atomic<bool> g_sampling_enabled;
+}  // namespace metrics_internal
+
+inline bool SamplingEnabled() {
+  return metrics_internal::g_sampling_enabled.load(std::memory_order_relaxed);
+}
+void SetSamplingEnabled(bool enabled);
+
+// Convenience constructors against the default registry.
+inline std::shared_ptr<Counter> NewCounter(std::string name) {
+  return MetricRegistry::Default().NewCounter(std::move(name));
+}
+inline std::shared_ptr<Gauge> NewGauge(std::string name) {
+  return MetricRegistry::Default().NewGauge(std::move(name));
+}
+inline std::shared_ptr<Histogram> NewHistogram(std::string name) {
+  return MetricRegistry::Default().NewHistogram(std::move(name));
+}
+
+}  // namespace ava::obs
+
+#endif  // AVA_SRC_OBS_METRICS_H_

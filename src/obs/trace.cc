@@ -1,0 +1,201 @@
+#include "src/obs/trace.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "src/common/log.h"
+
+namespace ava::obs {
+
+namespace {
+// Cap the in-memory event buffer; a runaway traced loop should degrade the
+// trace, not the process.
+constexpr std::size_t kMaxEvents = 1u << 20;
+}  // namespace
+
+struct Tracer::Impl {
+  struct Event {
+    const char* name;
+    TraceLane lane;
+    std::uint64_t vm_id;
+    std::uint64_t trace_id;
+    std::int64_t start_ns;
+    std::int64_t end_ns;
+    std::vector<TraceArg> args;
+  };
+
+  mutable std::mutex mutex;
+  std::vector<Event> events;
+  std::size_t dropped = 0;
+  std::string path;
+  pid_t origin_pid = 0;
+};
+
+Tracer::Tracer() : impl_(std::make_unique<Impl>()) {
+  const char* env = std::getenv("AVA_TRACE");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0) {
+    return;
+  }
+  impl_->path = std::strcmp(env, "1") == 0 ? "ava_trace.json" : env;
+  impl_->origin_pid = ::getpid();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    std::atexit([] { Tracer::Default().Flush(); });
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::RecordSpan(TraceLane lane, const char* name, std::uint64_t vm_id,
+                        std::uint64_t trace_id, std::int64_t start_ns,
+                        std::int64_t end_ns,
+                        std::initializer_list<TraceArg> args) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->events.size() >= kMaxEvents) {
+    ++impl_->dropped;
+    return;
+  }
+  Impl::Event event;
+  event.name = name;
+  event.lane = lane;
+  event.vm_id = vm_id;
+  event.trace_id = trace_id;
+  event.start_ns = start_ns;
+  event.end_ns = end_ns;
+  event.args.assign(args.begin(), args.end());
+  impl_->events.push_back(std::move(event));
+}
+
+std::string Tracer::SerializeJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  // Thread-name metadata: one entry per (vm, lane) pair seen.
+  std::set<std::pair<std::uint64_t, int>> lanes;
+  for (const auto& event : impl_->events) {
+    lanes.emplace(event.vm_id, static_cast<int>(event.lane));
+  }
+  for (const auto& [vm, lane] : lanes) {
+    const char* lane_name = lane == 1 ? "guest" : lane == 2 ? "router"
+                                                            : "server";
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%llu,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", static_cast<unsigned long long>(vm), lane,
+                  lane_name);
+    out << buf;
+    first = false;
+  }
+  for (const auto& event : impl_->events) {
+    const double ts_us = static_cast<double>(event.start_ns) / 1000.0;
+    const double dur_us =
+        static_cast<double>(event.end_ns - event.start_ns) / 1000.0;
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"ava\",\"ph\":\"X\","
+                  "\"pid\":%llu,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"args\":{\"trace_id\":%llu",
+                  first ? "" : ",", event.name,
+                  static_cast<unsigned long long>(event.vm_id),
+                  static_cast<int>(event.lane), ts_us,
+                  dur_us < 0 ? 0.0 : dur_us,
+                  static_cast<unsigned long long>(event.trace_id));
+    out << buf;
+    first = false;
+    for (const TraceArg& arg : event.args) {
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%lld", arg.key,
+                    static_cast<long long>(arg.value));
+      out << buf;
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  const std::string json = SerializeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open trace file " + path);
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    return Internal("short write to trace file " + path);
+  }
+  return OkStatus();
+}
+
+void Tracer::Flush() {
+  if (!enabled()) {
+    return;
+  }
+  std::string path;
+  std::size_t dropped = 0;
+  bool empty = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    path = impl_->path;
+    dropped = impl_->dropped;
+    empty = impl_->events.empty();
+    // A forked child flushing the shared path would clobber the parent's
+    // trace; give it its own file.
+    if (impl_->origin_pid != 0 && ::getpid() != impl_->origin_pid) {
+      path += "." + std::to_string(::getpid());
+    }
+  }
+  if (path.empty() || empty) {
+    return;
+  }
+  Status status = WriteFile(path);
+  if (!status.ok()) {
+    AVA_LOG(ERROR) << "trace flush failed: " << status;
+    return;
+  }
+  if (dropped > 0) {
+    AVA_LOG(WARNING) << "trace buffer overflowed; dropped " << dropped
+                     << " spans";
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->events.size();
+}
+
+std::size_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->dropped;
+}
+
+void Tracer::EnableForTest(std::string path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->path = std::move(path);
+  impl_->origin_pid = ::getpid();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->events.clear();
+  impl_->dropped = 0;
+}
+
+}  // namespace ava::obs

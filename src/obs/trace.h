@@ -1,0 +1,99 @@
+// Per-call distributed tracing for the AvA stack.
+//
+// A traced API call carries a trace context (trace id + hop timestamps) in
+// the wire CallHeader/ReplyHeader, so one forwarded invocation can be
+// followed guest-stub -> transport -> router RX / queue / rate-limit wait ->
+// scheduler dispatch -> ApiServerSession execute (with its reported device
+// cost) -> reply -> guest wake.
+//
+// Each layer reports what it saw to the process-wide Tracer, which renders a
+// chrome://tracing / Perfetto-compatible JSON file at process exit:
+//   pid  = VM id
+//   tid  = pipeline lane (1 guest, 2 router, 3 server)
+//   span = one "X" (complete) event; hop timestamps ride in "args"
+//
+// Enable with AVA_TRACE=1 (writes ava_trace.json in the CWD) or
+// AVA_TRACE=<path>. When disabled (the default), trace ids stay 0 and the
+// stack skips all trace work; the wire fields are still present but zero.
+#ifndef AVA_SRC_OBS_TRACE_H_
+#define AVA_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ava::obs {
+
+// Pipeline lane a span was observed on (becomes the chrome-trace tid).
+enum class TraceLane : int {
+  kGuest = 1,
+  kRouter = 2,
+  kServer = 3,
+};
+
+struct TraceArg {
+  const char* key;  // must be a string literal / static storage
+  std::int64_t value;
+};
+
+class Tracer {
+ public:
+  // Process-wide tracer, configured from AVA_TRACE on first use. First use
+  // also arms the exit hook that writes the trace file.
+  static Tracer& Default();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Mints a nonzero trace id.
+  std::uint64_t NextTraceId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Records one complete span. `name` must be a string literal; timestamps
+  // are MonotonicNowNs() values. No-op while disabled.
+  void RecordSpan(TraceLane lane, const char* name, std::uint64_t vm_id,
+                  std::uint64_t trace_id, std::int64_t start_ns,
+                  std::int64_t end_ns, std::initializer_list<TraceArg> args);
+
+  // Chrome trace JSON of everything recorded so far.
+  std::string SerializeJson() const;
+
+  // Writes SerializeJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  // Writes to the AVA_TRACE-configured path (appending ".<pid>" in a forked
+  // child so parent and child do not clobber each other). No-op if disabled
+  // or nothing was recorded.
+  void Flush();
+
+  std::size_t event_count() const;
+  std::size_t dropped_count() const;
+
+  // Test hooks: force-enable without the environment, and reset state.
+  void EnableForTest(std::string path = "");
+  void Clear();
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  struct Impl;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::unique_ptr<Impl> impl_;
+};
+
+// Shorthand used by instrumentation sites.
+inline bool TraceEnabled() { return Tracer::Default().enabled(); }
+
+}  // namespace ava::obs
+
+#endif  // AVA_SRC_OBS_TRACE_H_

@@ -1,0 +1,310 @@
+#include "src/obs/trace_check.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <unordered_set>
+
+namespace ava::obs {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue value;
+    AVA_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return DataLoss("JSON parse error at offset " + std::to_string(pos_) +
+                    ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        return ParseLiteral("true", [out] {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = true;
+        });
+      case 'f':
+        return ParseLiteral("false", [out] {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = false;
+        });
+      case 'n':
+        return ParseLiteral("null",
+                            [out] { out->kind = JsonValue::Kind::kNull; });
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  template <typename Fn>
+  Status ParseLiteral(const char* literal, Fn apply) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (!Consume(*p)) {
+        return Error(std::string("bad literal, expected ") + literal);
+      }
+    }
+    apply();
+    return OkStatus();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+      return Error("malformed number '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return OkStatus();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return OkStatus();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // Keep it simple: decode only as a replacement '?' — the tracer
+            // never emits \u escapes.
+            if (text_.size() - pos_ < 4) {
+              return Error("truncated \\u escape");
+            }
+            pos_ += 4;
+            out->push_back('?');
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    Consume('{');
+    SkipWs();
+    if (Consume('}')) {
+      return OkStatus();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      AVA_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      SkipWs();
+      JsonValue value;
+      AVA_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return OkStatus();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) {
+      return OkStatus();
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      AVA_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return OkStatus();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// The hop timestamps a complete guest roundtrip span must carry.
+constexpr const char* kHopKeys[] = {
+    "t_send_ns",       "t_rx_ns",       "t_dispatch_ns",
+    "t_exec_start_ns", "t_exec_end_ns", "t_wake_ns",
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+Result<TraceCheckReport> CheckChromeTrace(const std::string& json_text,
+                                          int min_hops) {
+  AVA_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json_text));
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return DataLoss("trace document has no traceEvents array");
+  }
+
+  TraceCheckReport report;
+  std::unordered_set<std::uint64_t> router_ids;
+  std::unordered_set<std::uint64_t> server_ids;
+  struct GuestSpan {
+    std::uint64_t trace_id;
+    int distinct_hops;
+  };
+  std::vector<GuestSpan> guest_spans;
+
+  for (const JsonValue& event : events->array) {
+    if (!event.is_object()) {
+      return DataLoss("traceEvents entry is not an object");
+    }
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->string != "X") {
+      continue;  // metadata etc.
+    }
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* dur = event.Find("dur");
+    const JsonValue* args = event.Find("args");
+    if (name == nullptr || ts == nullptr || dur == nullptr ||
+        args == nullptr || !args->is_object()) {
+      return DataLoss("span missing name/ts/dur/args");
+    }
+    const JsonValue* trace_id = args->Find("trace_id");
+    if (trace_id == nullptr) {
+      return DataLoss("span '" + name->string + "' missing args.trace_id");
+    }
+    const auto id = static_cast<std::uint64_t>(trace_id->number);
+    ++report.events;
+    if (name->string == "router.queue") {
+      ++report.router_spans;
+      router_ids.insert(id);
+    } else if (name->string == "server.exec") {
+      ++report.server_spans;
+      server_ids.insert(id);
+    } else if (name->string == "call.sync") {
+      ++report.guest_spans;
+      std::set<std::int64_t> distinct;
+      for (const char* key : kHopKeys) {
+        const JsonValue* hop = args->Find(key);
+        if (hop == nullptr) {
+          return DataLoss("guest span missing hop " + std::string(key));
+        }
+        distinct.insert(static_cast<std::int64_t>(hop->number));
+      }
+      guest_spans.push_back(
+          GuestSpan{id, static_cast<int>(distinct.size())});
+    }
+  }
+
+  for (const GuestSpan& span : guest_spans) {
+    if (span.distinct_hops >= min_hops && router_ids.count(span.trace_id) &&
+        server_ids.count(span.trace_id)) {
+      ++report.complete_spans;
+    }
+  }
+  return report;
+}
+
+}  // namespace ava::obs

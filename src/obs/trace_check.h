@@ -1,0 +1,56 @@
+// Validation of emitted chrome-trace JSON, used by the obs unit tests and
+// the quickstart trace smoke test. Includes a minimal self-contained JSON
+// parser (objects, arrays, strings, numbers, literals) so the check needs no
+// external dependency.
+#ifndef AVA_SRC_OBS_TRACE_CHECK_H_
+#define AVA_SRC_OBS_TRACE_CHECK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace ava::obs {
+
+// A parsed JSON value. Numbers are held as doubles (sufficient for trace
+// validation).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  // Returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses a complete JSON document; trailing garbage is an error.
+Result<JsonValue> ParseJson(const std::string& text);
+
+struct TraceCheckReport {
+  std::size_t events = 0;        // "X" events of any lane
+  std::size_t guest_spans = 0;   // guest "call.sync" roundtrip spans
+  std::size_t complete_spans = 0;  // guest spans with full hop coverage
+  std::size_t server_spans = 0;  // "server.exec" spans
+  std::size_t router_spans = 0;  // "router.queue" spans
+};
+
+// Validates a chrome-trace document emitted by obs::Tracer: well-formed
+// JSON, a traceEvents array, and — for every guest roundtrip span — at least
+// `min_hops` distinct hop timestamps in its args plus matching router and
+// server spans carrying the same trace id. Returns the tally on success.
+Result<TraceCheckReport> CheckChromeTrace(const std::string& json_text,
+                                          int min_hops = 5);
+
+}  // namespace ava::obs
+
+#endif  // AVA_SRC_OBS_TRACE_CHECK_H_

@@ -12,9 +12,25 @@ namespace {
 //   [9]  u64 vm_id
 //   [17] i32 status
 //   [21] i64 cost
-//   [29] u64 payload blob (length + data)
+//   [29] u64 trace_id
+//   [37] i64 t_rx_ns        (patched by the router)
+//   [45] i64 t_dispatch_ns  (patched by the router)
+//   [53] i64 t_exec_start_ns
+//   [61] i64 t_exec_end_ns
+//   [69] u64 payload blob (length + data)
 //   ...  u32 shadow count, then per shadow: u64 id + blob
 constexpr std::size_t kReplyCostOffset = 21;
+constexpr std::size_t kReplyTraceIdOffset = 29;
+constexpr std::size_t kReplyRxOffset = 37;
+constexpr std::size_t kReplyDispatchOffset = 45;
+
+// Offsets of the back-patchable call-header fields (see PutCallHeader):
+// call_id at 7, vm_id at 15, flags at 23, trace_id at 24, t_send_ns at 32.
+constexpr std::size_t kCallIdOffset = 7;
+constexpr std::size_t kCallVmOffset = 15;
+constexpr std::size_t kCallFlagsOffset = 23;
+constexpr std::size_t kCallTraceIdOffset = 24;
+constexpr std::size_t kCallSendNsOffset = 32;
 
 void PutCallHeader(ByteWriter* w, const CallHeader& h) {
   w->PutU8(static_cast<std::uint8_t>(MsgKind::kCall));
@@ -23,6 +39,8 @@ void PutCallHeader(ByteWriter* w, const CallHeader& h) {
   w->PutU64(h.call_id);
   w->PutU64(h.vm_id);
   w->PutU8(h.flags);
+  w->PutU64(h.trace_id);
+  w->PutI64(h.t_send_ns);
 }
 
 }  // namespace
@@ -48,9 +66,20 @@ void PatchCallIdentity(Bytes* message, CallId call_id, VmId vm_id,
   if (message->size() < kCallHeaderSize) {
     return;
   }
-  std::memcpy(message->data() + 7, &call_id, sizeof(call_id));
-  std::memcpy(message->data() + 15, &vm_id, sizeof(vm_id));
-  (*message)[23] = flags;
+  std::memcpy(message->data() + kCallIdOffset, &call_id, sizeof(call_id));
+  std::memcpy(message->data() + kCallVmOffset, &vm_id, sizeof(vm_id));
+  (*message)[kCallFlagsOffset] = flags;
+}
+
+void PatchCallTrace(Bytes* message, std::uint64_t trace_id,
+                    std::int64_t t_send_ns) {
+  if (message->size() < kCallHeaderSize) {
+    return;
+  }
+  std::memcpy(message->data() + kCallTraceIdOffset, &trace_id,
+              sizeof(trace_id));
+  std::memcpy(message->data() + kCallSendNsOffset, &t_send_ns,
+              sizeof(t_send_ns));
 }
 
 ReplyBuilder::ReplyBuilder(const ReplyHeader& header) {
@@ -60,6 +89,11 @@ ReplyBuilder::ReplyBuilder(const ReplyHeader& header) {
   writer_.PutI32(header.status_code);
   cost_offset_ = writer_.size();
   writer_.PutI64(header.cost_vns);
+  writer_.PutU64(header.trace_id);
+  writer_.PutI64(header.t_rx_ns);
+  writer_.PutI64(header.t_dispatch_ns);
+  writer_.PutI64(header.t_exec_start_ns);
+  writer_.PutI64(header.t_exec_end_ns);
 }
 
 void ReplyBuilder::SetPayload(const Bytes& payload) {
@@ -122,6 +156,8 @@ Result<DecodedCall> DecodeCall(const Bytes& message) {
   out.header.call_id = r.GetU64();
   out.header.vm_id = r.GetU64();
   out.header.flags = r.GetU8();
+  out.header.trace_id = r.GetU64();
+  out.header.t_send_ns = r.GetI64();
   AVA_RETURN_IF_ERROR(r.status());
   // The payload is the remainder of the message.
   out.payload = std::span<const std::uint8_t>(
@@ -139,6 +175,11 @@ Result<DecodedReply> DecodeReply(const Bytes& message) {
   out.header.vm_id = r.GetU64();
   out.header.status_code = r.GetI32();
   out.header.cost_vns = r.GetI64();
+  out.header.trace_id = r.GetU64();
+  out.header.t_rx_ns = r.GetI64();
+  out.header.t_dispatch_ns = r.GetI64();
+  out.header.t_exec_start_ns = r.GetI64();
+  out.header.t_exec_end_ns = r.GetI64();
   out.payload = r.GetBlobView();
   const std::uint32_t shadow_count = r.GetU32();
   // The count is untrusted: never pre-reserve from it, and stop at the
@@ -183,6 +224,26 @@ Result<std::int64_t> PeekReplyCost(const Bytes& message) {
   }
   ByteReader r(message.data() + kReplyCostOffset, sizeof(std::int64_t));
   return r.GetI64();
+}
+
+Result<std::uint64_t> PeekReplyTraceId(const Bytes& message) {
+  if (message.size() < kReplyTraceIdOffset + sizeof(std::uint64_t) ||
+      message[0] != static_cast<std::uint8_t>(MsgKind::kReply)) {
+    return DataLoss("not a reply message");
+  }
+  ByteReader r(message.data() + kReplyTraceIdOffset, sizeof(std::uint64_t));
+  return r.GetU64();
+}
+
+void PatchReplyRouterTrace(Bytes* message, std::int64_t t_rx_ns,
+                           std::int64_t t_dispatch_ns) {
+  if (message->size() < kReplyDispatchOffset + sizeof(std::int64_t) ||
+      (*message)[0] != static_cast<std::uint8_t>(MsgKind::kReply)) {
+    return;
+  }
+  std::memcpy(message->data() + kReplyRxOffset, &t_rx_ns, sizeof(t_rx_ns));
+  std::memcpy(message->data() + kReplyDispatchOffset, &t_dispatch_ns,
+              sizeof(t_dispatch_ns));
 }
 
 }  // namespace ava

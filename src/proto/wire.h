@@ -46,6 +46,11 @@ struct CallHeader {
   CallId call_id = 0;
   VmId vm_id = 0;
   std::uint8_t flags = 0;
+  // Trace context (observability): nonzero trace_id marks the call as
+  // traced; t_send_ns is the guest-side send timestamp. Zero when tracing
+  // is disabled.
+  std::uint64_t trace_id = 0;
+  std::int64_t t_send_ns = 0;
 
   bool is_async() const { return (flags & kCallFlagAsync) != 0; }
 };
@@ -59,6 +64,16 @@ struct ReplyHeader {
   // Modeled device cost of this call, reported by the server and consumed by
   // the router's fair scheduler (§4.3).
   std::int64_t cost_vns = 0;
+  // Trace context carried back to the guest: the call's trace id plus the
+  // hop timestamps the hypervisor side observed. The server fills the
+  // execute pair when it builds the reply; the router back-patches the
+  // RX/dispatch pair before sending (PatchReplyRouterTrace). All zero for
+  // untraced calls.
+  std::uint64_t trace_id = 0;
+  std::int64_t t_rx_ns = 0;          // router received the message
+  std::int64_t t_dispatch_ns = 0;    // WFQ scheduler dispatched it
+  std::int64_t t_exec_start_ns = 0;  // server handler entered
+  std::int64_t t_exec_end_ns = 0;    // server handler returned
 };
 
 // One piggybacked shadow-buffer update: data the server produced for an
@@ -72,8 +87,10 @@ struct ShadowUpdate {
 // ------------------------------- encoding ----------------------------------
 
 // Fixed size of an encoded call header; the argument payload is the
-// remainder of the message (no length prefix, no copy).
-inline constexpr std::size_t kCallHeaderSize = 1 + 2 + 4 + 8 + 8 + 1;
+// remainder of the message (no length prefix, no copy). Layout:
+// kind(1) api_id(2) func_id(4) call_id(8) vm_id(8) flags(1) trace_id(8)
+// t_send_ns(8).
+inline constexpr std::size_t kCallHeaderSize = 1 + 2 + 4 + 8 + 8 + 1 + 8 + 8;
 
 // Starts a call message: writes the header with placeholder call/vm/flags
 // fields. Generated stubs marshal arguments directly into the returned
@@ -83,6 +100,11 @@ ByteWriter BeginCall(std::uint16_t api_id, std::uint32_t func_id);
 // Back-patches the identity fields the endpoint owns.
 void PatchCallIdentity(Bytes* message, CallId call_id, VmId vm_id,
                        std::uint8_t flags);
+
+// Back-patches the trace context of an encoded call (endpoint-owned, set
+// only when tracing is enabled).
+void PatchCallTrace(Bytes* message, std::uint64_t trace_id,
+                    std::int64_t t_send_ns);
 
 // Serializes header + payload into one transport message (test/utility
 // path; the generated stubs use BeginCall instead).
@@ -138,6 +160,15 @@ Result<std::vector<Bytes>> DecodeBatch(const Bytes& message);
 
 // Reads just the cost field of an encoded reply (router fast path).
 Result<std::int64_t> PeekReplyCost(const Bytes& message);
+
+// Reads just the trace id of an encoded reply (router fast path; 0 means
+// the call was not traced).
+Result<std::uint64_t> PeekReplyTraceId(const Bytes& message);
+
+// Back-patches the router-observed hop timestamps into an encoded reply
+// (the server cannot know them; see ReplyHeader).
+void PatchReplyRouterTrace(Bytes* message, std::int64_t t_rx_ns,
+                           std::int64_t t_dispatch_ns);
 
 }  // namespace ava
 

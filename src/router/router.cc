@@ -6,10 +6,16 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/obs/trace.h"
 
 namespace ava {
 
-Router::Router() = default;
+Router::Router() {
+  auto& registry = obs::MetricRegistry::Default();
+  queue_wait_ns_ = registry.NewHistogram("router.queue_wait_ns");
+  exec_ns_ = registry.NewHistogram("router.exec_ns");
+  rate_wait_ns_ = registry.NewHistogram("router.rate_limit_wait_ns");
+}
 
 Router::~Router() { Stop(); }
 
@@ -30,6 +36,19 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
   channel->policy = policy;
   channel->call_bucket.Configure(policy.calls_per_sec);
   channel->byte_bucket.Configure(policy.bytes_per_sec);
+  const std::string prefix = "router.vm" + std::to_string(vm_id) + ".";
+  auto& registry = obs::MetricRegistry::Default();
+  channel->metrics.calls_forwarded =
+      registry.NewCounter(prefix + "calls_forwarded");
+  channel->metrics.calls_rejected =
+      registry.NewCounter(prefix + "calls_rejected");
+  channel->metrics.messages_received =
+      registry.NewCounter(prefix + "messages_received");
+  channel->metrics.bytes_received =
+      registry.NewCounter(prefix + "bytes_received");
+  channel->metrics.rate_limit_wait_ns =
+      registry.NewCounter(prefix + "rate_limit_wait_ns");
+  channel->metrics.cost_vns = registry.NewCounter(prefix + "cost_vns");
   // Join the fair queue at the current minimum so the newcomer neither
   // starves others nor forfeits its share.
   double min_vruntime = 0.0;
@@ -121,12 +140,21 @@ Result<Router::VmStats> Router::StatsFor(VmId vm_id) const {
   if (it == channels_.end()) {
     return NotFound("unknown vm " + std::to_string(vm_id));
   }
-  return it->second->stats;
+  const VmMetrics& m = it->second->metrics;
+  VmStats stats;
+  stats.calls_forwarded = m.calls_forwarded->Value();
+  stats.calls_rejected = m.calls_rejected->Value();
+  stats.messages_received = m.messages_received->Value();
+  stats.bytes_received = m.bytes_received->Value();
+  stats.rate_limit_wait_ns =
+      static_cast<std::int64_t>(m.rate_limit_wait_ns->Value());
+  stats.cost_vns = static_cast<std::int64_t>(m.cost_vns->Value());
+  return stats;
 }
 
 void Router::RejectCall(VmChannel* channel, const CallHeader& header,
                         StatusCode code) {
-  ++channel->stats.calls_rejected;
+  channel->metrics.calls_rejected->Increment();
   if (header.is_async()) {
     return;  // nothing to reply to
   }
@@ -144,33 +172,35 @@ void Router::RxLoop(VmChannel* channel) {
     if (!message.ok()) {
       break;  // transport closed
     }
+    const bool sampling = obs::SamplingEnabled();
+    const std::int64_t rx_ns = sampling ? MonotonicNowNs() : 0;
     // ---- verification ----
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++channel->stats.messages_received;
-      channel->stats.bytes_received += message->size();
-    }
+    channel->metrics.messages_received->Increment();
+    channel->metrics.bytes_received->Increment(message->size());
     if (message->size() > channel->policy.max_message_bytes) {
-      AVA_LOG(WARNING) << "vm " << channel->vm_id
-                       << ": oversized message dropped";
+      AVA_LOG_EVERY_N(WARNING, 64) << "vm " << channel->vm_id
+                                   << ": oversized message dropped";
       continue;
     }
     auto kind = PeekKind(*message);
     if (!kind.ok()) {
-      AVA_LOG(WARNING) << "vm " << channel->vm_id << ": unparseable message";
+      AVA_LOG_EVERY_N(WARNING, 64)
+          << "vm " << channel->vm_id << ": unparseable message";
       continue;
     }
     double call_count = 1.0;
     if (*kind == MsgKind::kCall) {
       auto decoded = DecodeCall(*message);
       if (!decoded.ok()) {
-        AVA_LOG(WARNING) << "vm " << channel->vm_id << ": malformed call";
+        AVA_LOG_EVERY_N(WARNING, 64)
+            << "vm " << channel->vm_id << ": malformed call";
         continue;
       }
       if (decoded->header.vm_id != channel->vm_id) {
         // A guest claiming another VM's identity: the core isolation check.
-        AVA_LOG(WARNING) << "vm " << channel->vm_id
-                         << ": spoofed vm id " << decoded->header.vm_id;
+        AVA_LOG_EVERY_N(WARNING, 64)
+            << "vm " << channel->vm_id << ": spoofed vm id "
+            << decoded->header.vm_id;
         RejectCall(channel, decoded->header, StatusCode::kPermissionDenied);
         continue;
       }
@@ -190,7 +220,8 @@ void Router::RxLoop(VmChannel* channel) {
         }
       }
       if (!ok) {
-        AVA_LOG(WARNING) << "vm " << channel->vm_id << ": bad batch dropped";
+        AVA_LOG_EVERY_N(WARNING, 64)
+            << "vm " << channel->vm_id << ": bad batch dropped";
         continue;
       }
     } else {
@@ -200,12 +231,16 @@ void Router::RxLoop(VmChannel* channel) {
     std::int64_t waited = channel->call_bucket.Acquire(call_count);
     waited += channel->byte_bucket.Acquire(
         static_cast<double>(message->size()));
+    if (sampling && waited > 0) {
+      rate_wait_ns_->Record(waited);
+    }
     // ---- enqueue for the scheduler ----
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      channel->stats.rate_limit_wait_ns += waited;
+      channel->metrics.rate_limit_wait_ns->Increment(
+          static_cast<std::uint64_t>(waited));
       channel->last_activity_ns = MonotonicNowNs();
-      channel->pending.push_back(std::move(*message));
+      channel->pending.push_back(PendingCall{std::move(*message), rx_ns});
     }
     sched_cv_.notify_all();
   }
@@ -289,25 +324,46 @@ void Router::ExecLoop(VmChannel* channel) {
     if (stopping_) {
       return;
     }
-    Bytes message = std::move(channel->pending.front());
+    PendingCall pending = std::move(channel->pending.front());
     channel->pending.pop_front();
     channel->in_flight = true;
-    ++channel->stats.calls_forwarded;
+    channel->metrics.calls_forwarded->Increment();
     lock.unlock();
 
-    const std::int64_t cost_before = channel->session->stats().cost_vns_total;
+    Bytes message = std::move(pending.message);
+    const bool sampling = obs::SamplingEnabled();
+    const std::int64_t dispatch_ns = sampling ? MonotonicNowNs() : 0;
+    if (sampling) {
+      queue_wait_ns_->Record(dispatch_ns - pending.rx_ns);
+    }
+
+    const std::int64_t cost_before = channel->session->cost_vns_total();
     auto reply = channel->session->Execute(message);
-    std::int64_t cost =
-        channel->session->stats().cost_vns_total - cost_before;
+    std::int64_t cost = channel->session->cost_vns_total() - cost_before;
     if (reply.ok() && reply->has_value()) {
       // The reply carries the server-accounted cost; prefer it.
       auto peeked = PeekReplyCost(**reply);
       if (peeked.ok()) {
         cost = *peeked;
       }
+      // Stamp the router hops into the reply so the guest can close the
+      // span, and emit the router's own view of the queue wait.
+      if (sampling) {
+        auto trace_id = PeekReplyTraceId(**reply);
+        if (trace_id.ok() && *trace_id != 0) {
+          PatchReplyRouterTrace(&**reply, pending.rx_ns, dispatch_ns);
+          obs::Tracer::Default().RecordSpan(
+              obs::TraceLane::kRouter, "router.queue", channel->vm_id,
+              *trace_id, pending.rx_ns, dispatch_ns,
+              {{"queue_wait_ns", dispatch_ns - pending.rx_ns}});
+        }
+      }
     } else if (!reply.ok()) {
       AVA_LOG(WARNING) << "vm " << channel->vm_id
                        << ": execute failed: " << reply.status();
+    }
+    if (sampling) {
+      exec_ns_->Record(MonotonicNowNs() - dispatch_ns);
     }
 
     // Account BEFORE replying: a guest that receives the reply must observe
@@ -315,7 +371,8 @@ void Router::ExecLoop(VmChannel* channel) {
     lock.lock();
     channel->vruntime += static_cast<double>(std::max<std::int64_t>(cost, 0));
     channel->vns_debt += static_cast<double>(std::max<std::int64_t>(cost, 0));
-    channel->stats.cost_vns += std::max<std::int64_t>(cost, 0);
+    channel->metrics.cost_vns->Increment(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(cost, 0)));
     channel->last_activity_ns = MonotonicNowNs();
     channel->in_flight = false;
     sched_cv_.notify_all();

@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 #include "src/proto/wire.h"
 #include "src/router/rate_limiter.h"
 #include "src/server/api_server.h"
@@ -49,6 +50,8 @@ struct VmPolicy {
 
 class Router {
  public:
+  // Thin view composed from the channel's obs::MetricRegistry cells
+  // (router.vm<id>.*); kept for existing callers.
   struct VmStats {
     std::uint64_t calls_forwarded = 0;
     std::uint64_t calls_rejected = 0;
@@ -81,6 +84,24 @@ class Router {
   Result<VmStats> StatsFor(VmId vm_id) const;
 
  private:
+  // One verified, rate-limited message awaiting dispatch, with the hop
+  // timestamp the router observed at receive time (per-call tracing).
+  struct PendingCall {
+    Bytes message;
+    std::int64_t rx_ns = 0;
+  };
+
+  // Per-VM accounting cells, registered as router.vm<id>.* in the default
+  // MetricRegistry. StatsFor() composes them into a VmStats.
+  struct VmMetrics {
+    std::shared_ptr<obs::Counter> calls_forwarded;
+    std::shared_ptr<obs::Counter> calls_rejected;
+    std::shared_ptr<obs::Counter> messages_received;
+    std::shared_ptr<obs::Counter> bytes_received;
+    std::shared_ptr<obs::Counter> rate_limit_wait_ns;
+    std::shared_ptr<obs::Counter> cost_vns;
+  };
+
   struct VmChannel {
     VmId vm_id = 0;
     TransportPtr transport;
@@ -88,8 +109,9 @@ class Router {
     VmPolicy policy;
     TokenBucket call_bucket;
     TokenBucket byte_bucket;
+    VmMetrics metrics;
 
-    std::deque<Bytes> pending;    // verified, rate-limited, awaiting dispatch
+    std::deque<PendingCall> pending;  // verified, awaiting dispatch
     bool in_flight = false;
     bool paused = false;
     bool rx_done = false;
@@ -100,7 +122,6 @@ class Router {
     double vns_debt = 0.0;
     std::int64_t debt_decay_ns = 0;
     std::int64_t last_activity_ns = 0;  // last enqueue or completion
-    VmStats stats;
 
     std::thread rx_thread;
     std::thread exec_thread;
@@ -120,6 +141,11 @@ class Router {
   std::unordered_map<VmId, std::unique_ptr<VmChannel>> channels_;
   bool running_ = false;
   bool stopping_ = false;
+
+  // Per-hop latency distributions (ns), shared across this router's VMs.
+  std::shared_ptr<obs::Histogram> queue_wait_ns_;   // RX -> dispatch
+  std::shared_ptr<obs::Histogram> exec_ns_;         // dispatch -> reply built
+  std::shared_ptr<obs::Histogram> rate_wait_ns_;    // token-bucket stalls
 };
 
 }  // namespace ava

@@ -1,14 +1,28 @@
 #include "src/runtime/guest_endpoint.h"
 
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/common/vclock.h"
+#include "src/obs/trace.h"
 
 namespace ava {
 
 GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
-    : options_(options), transport_(std::move(transport)) {}
+    : options_(options), transport_(std::move(transport)) {
+  const std::string prefix = "guest.vm" + std::to_string(options_.vm_id) + ".";
+  auto& registry = obs::MetricRegistry::Default();
+  sync_calls_ = registry.NewCounter(prefix + "sync_calls");
+  async_calls_ = registry.NewCounter(prefix + "async_calls");
+  messages_sent_ = registry.NewCounter(prefix + "messages_sent");
+  shadow_updates_ = registry.NewCounter(prefix + "shadow_updates");
+  bytes_sent_ = registry.NewCounter(prefix + "bytes_sent");
+  bytes_received_ = registry.NewCounter(prefix + "bytes_received");
+  sync_latency_ns_ = registry.NewHistogram("guest.sync_roundtrip_ns");
+  trace_enabled_ = obs::TraceEnabled();
+}
 
 GuestEndpoint::~GuestEndpoint() {
   if (transport_ != nullptr) {
@@ -40,20 +54,43 @@ Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message) {
   AVA_RETURN_IF_ERROR(FlushLocked());
   const CallId call_id = next_call_id_++;
   PatchCallIdentity(&message, call_id, options_.vm_id, 0);
+  const bool sampling = obs::SamplingEnabled();
+  const std::int64_t t_send = sampling ? MonotonicNowNs() : 0;
+  if (trace_enabled_) {
+    PatchCallTrace(&message, obs::Tracer::Default().NextTraceId(), t_send);
+  }
   AVA_RETURN_IF_ERROR(SendLocked(message));
-  ++stats_.sync_calls;
+  sync_calls_->Increment();
 
   // Per-VM calls are fully serialized (one in-flight sync call), so the next
   // reply is ours; tolerate stray replies defensively.
   for (int attempts = 0; attempts < 1024; ++attempts) {
     AVA_ASSIGN_OR_RETURN(Bytes raw, transport_->Recv());
-    stats_.bytes_received += raw.size();
+    bytes_received_->Increment(raw.size());
     AVA_ASSIGN_OR_RETURN(DecodedReply reply, DecodeReply(raw));
     ApplyShadowsLocked(reply);
     if (reply.header.call_id != call_id) {
       AVA_LOG(WARNING) << "dropping stray reply for call "
                        << reply.header.call_id;
       continue;
+    }
+    const std::int64_t t_wake = sampling ? MonotonicNowNs() : 0;
+    if (sampling) {
+      sync_latency_ns_->Record(t_wake - t_send);
+    }
+    if (reply.header.trace_id != 0) {
+      // Close the span: the guest is the only layer that sees every hop.
+      obs::Tracer::Default().RecordSpan(
+          obs::TraceLane::kGuest, "call.sync", options_.vm_id,
+          reply.header.trace_id, t_send, t_wake,
+          {{"t_send_ns", t_send},
+           {"t_rx_ns", reply.header.t_rx_ns},
+           {"t_dispatch_ns", reply.header.t_dispatch_ns},
+           {"t_exec_start_ns", reply.header.t_exec_start_ns},
+           {"t_exec_end_ns", reply.header.t_exec_end_ns},
+           {"t_wake_ns", t_wake},
+           {"call_id", static_cast<std::int64_t>(call_id)},
+           {"cost_vns", reply.header.cost_vns}});
     }
     if (reply.header.status_code != 0) {
       return Status(static_cast<StatusCode>(reply.header.status_code),
@@ -68,7 +105,11 @@ Status GuestEndpoint::CallAsyncPrepared(Bytes message) {
   std::lock_guard<std::mutex> lock(mutex_);
   PatchCallIdentity(&message, next_call_id_++, options_.vm_id,
                     kCallFlagAsync);
-  ++stats_.async_calls;
+  if (trace_enabled_) {
+    PatchCallTrace(&message, obs::Tracer::Default().NextTraceId(),
+                   MonotonicNowNs());
+  }
+  async_calls_->Increment();
   if (options_.batch_max_calls > 1) {
     pending_batch_.push_back(std::move(message));
     if (pending_batch_.size() >= options_.batch_max_calls) {
@@ -99,13 +140,19 @@ std::int32_t GuestEndpoint::ConsumeAsyncError() {
 }
 
 GuestEndpoint::Stats GuestEndpoint::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats stats;
+  stats.sync_calls = sync_calls_->Value();
+  stats.async_calls = async_calls_->Value();
+  stats.messages_sent = messages_sent_->Value();
+  stats.shadow_updates = shadow_updates_->Value();
+  stats.bytes_sent = bytes_sent_->Value();
+  stats.bytes_received = bytes_received_->Value();
+  return stats;
 }
 
 Status GuestEndpoint::SendLocked(const Bytes& message) {
-  stats_.bytes_sent += message.size();
-  ++stats_.messages_sent;
+  bytes_sent_->Increment(message.size());
+  messages_sent_->Increment();
   return transport_->Send(message);
 }
 
@@ -137,7 +184,7 @@ void GuestEndpoint::ApplyShadowsLocked(const DecodedReply& reply) {
       std::memcpy(it->second.ptr, update.data.data(), n);
     }
     shadows_.erase(it);
-    ++stats_.shadow_updates;
+    shadow_updates_->Increment();
   }
 }
 

@@ -9,11 +9,13 @@
 #define AVA_SRC_RUNTIME_GUEST_ENDPOINT_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 #include "src/proto/wire.h"
 #include "src/transport/transport.h"
 
@@ -32,6 +34,8 @@ class GuestEndpoint {
     bool force_sync = false;
   };
 
+  // Thin view over the endpoint's obs::MetricRegistry cells
+  // (guest.vm<id>.*); kept for existing callers.
   struct Stats {
     std::uint64_t sync_calls = 0;
     std::uint64_t async_calls = 0;
@@ -78,6 +82,12 @@ class GuestEndpoint {
   VmId vm_id() const { return options_.vm_id; }
   Stats stats() const;
 
+  // Distribution of synchronous forwarded-call round-trip latency (ns),
+  // from send to reply receipt. Use Percentile(50/95/99) for tail views.
+  obs::HistogramSnapshot sync_latency() const {
+    return sync_latency_ns_->Snapshot();
+  }
+
  private:
   Status SendLocked(const Bytes& message);
   Status FlushLocked();
@@ -96,7 +106,16 @@ class GuestEndpoint {
   std::unordered_map<std::uint64_t, ShadowTarget> shadows_;
   std::vector<Bytes> pending_batch_;
   std::int32_t latched_async_error_ = 0;
-  Stats stats_;
+
+  // Metric cells (registered as guest.vm<id>.*; stats() composes them).
+  std::shared_ptr<obs::Counter> sync_calls_;
+  std::shared_ptr<obs::Counter> async_calls_;
+  std::shared_ptr<obs::Counter> messages_sent_;
+  std::shared_ptr<obs::Counter> shadow_updates_;
+  std::shared_ptr<obs::Counter> bytes_sent_;
+  std::shared_ptr<obs::Counter> bytes_received_;
+  std::shared_ptr<obs::Histogram> sync_latency_ns_;
+  bool trace_enabled_ = false;  // cached Tracer state at construction
 };
 
 }  // namespace ava

@@ -1,9 +1,13 @@
 #include "src/server/api_server.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/common/vclock.h"
+#include "src/obs/trace.h"
 
 namespace ava {
 
@@ -44,6 +48,15 @@ ApiServerSession::ApiServerSession(VmId vm_id,
   if (swap_ != nullptr) {
     swap_->AttachRegistry(&registry_);
   }
+  const std::string prefix = "server.vm" + std::to_string(vm_id) + ".";
+  auto& registry = obs::MetricRegistry::Default();
+  calls_executed_ = registry.NewCounter(prefix + "calls_executed");
+  async_calls_ = registry.NewCounter(prefix + "async_calls");
+  dispatch_errors_ = registry.NewCounter(prefix + "dispatch_errors");
+  shadows_delivered_ = registry.NewCounter(prefix + "shadows_delivered");
+  cost_vns_total_ = registry.NewCounter(prefix + "cost_vns_total");
+  exec_ns_ = registry.NewHistogram("server.exec_ns");
+  trace_enabled_ = obs::TraceEnabled();
 }
 
 ApiServerSession::~ApiServerSession() {
@@ -74,10 +87,22 @@ Result<std::optional<Bytes>> ApiServerSession::Execute(const Bytes& message) {
   return ExecuteCall(decoded);
 }
 
+ApiServerSession::Stats ApiServerSession::stats() const {
+  Stats stats;
+  stats.calls_executed = calls_executed_->Value();
+  stats.async_calls = async_calls_->Value();
+  stats.dispatch_errors = dispatch_errors_->Value();
+  stats.shadows_delivered = shadows_delivered_->Value();
+  stats.cost_vns_total = static_cast<std::int64_t>(cost_vns_total_->Value());
+  return stats;
+}
+
 Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
     const DecodedCall& call) {
   auto handler_it = handlers_.find(call.header.api_id);
   const bool is_async = call.header.is_async();
+  const bool sampling = obs::SamplingEnabled();
+  const std::int64_t exec_start = sampling ? MonotonicNowNs() : 0;
 
   Status dispatch_status = OkStatus();
   Bytes reply_payload;
@@ -104,22 +129,35 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
     }
   }
 
-  ++stats_.calls_executed;
+  const std::int64_t exec_end = sampling ? MonotonicNowNs() : 0;
+  if (sampling) {
+    exec_ns_->Record(exec_end - exec_start);
+  }
+  calls_executed_->Increment();
   if (!dispatch_status.ok()) {
-    ++stats_.dispatch_errors;
+    dispatch_errors_->Increment();
     AVA_LOG(WARNING) << "vm " << vm_id_ << " call "
                      << call.header.func_id << " dispatch failed: "
                      << dispatch_status;
   }
+  if (trace_enabled_ && call.header.trace_id != 0) {
+    obs::Tracer::Default().RecordSpan(
+        obs::TraceLane::kServer, "server.exec", vm_id_, call.header.trace_id,
+        exec_start, exec_end,
+        {{"func_id", static_cast<std::int64_t>(call.header.func_id)},
+         {"async", is_async ? 1 : 0}});
+  }
 
   if (is_async) {
-    ++stats_.async_calls;
+    async_calls_->Increment();
     if (!dispatch_status.ok()) {
       // Cannot report faithfully (§4.2): latch for a later sync reply.
       context_.LatchAsyncError(
           static_cast<std::int32_t>(dispatch_status.code()));
     }
-    stats_.cost_vns_total += context_.TakeCost();
+    cost_vns_total_->Increment(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            context_.TakeCost(), 0)));
     return std::optional<Bytes>();
   }
 
@@ -127,11 +165,17 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
   header.call_id = call.header.call_id;
   header.vm_id = call.header.vm_id;
   header.status_code = static_cast<std::int32_t>(dispatch_status.code());
+  // Propagate the per-call trace context so the guest can close its span.
+  // The router patches t_rx/t_dispatch into the encoded reply afterwards.
+  header.trace_id = call.header.trace_id;
+  header.t_exec_start_ns = exec_start;
+  header.t_exec_end_ns = exec_end;
   ReplyBuilder builder(header);
   builder.SetPayload(reply_payload);
   ReapShadows(&builder);
   const std::int64_t cost = context_.TakeCost();
-  stats_.cost_vns_total += cost;
+  cost_vns_total_->Increment(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(cost, 0)));
   builder.SetCost(cost);
   return std::optional<Bytes>(std::move(builder).Finish());
 }
@@ -146,7 +190,7 @@ void ApiServerSession::ReapShadows(ReplyBuilder* reply) {
   }
   for (auto& [id, data] : context_.ready_shadows_) {
     reply->AddShadow(id, data);
-    ++stats_.shadows_delivered;
+    shadows_delivered_->Increment();
   }
   context_.ready_shadows_.clear();
   auto it = context_.deferred_shadows_.begin();
@@ -154,7 +198,7 @@ void ApiServerSession::ReapShadows(ReplyBuilder* reply) {
     Bytes data;
     if (it->poll(&data)) {
       reply->AddShadow(it->shadow_id, data);
-      ++stats_.shadows_delivered;
+      shadows_delivered_->Increment();
       it = context_.deferred_shadows_.erase(it);
     } else {
       ++it;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 #include "src/proto/wire.h"
 #include "src/server/object_registry.h"
 #include "src/server/swap_manager.h"
@@ -105,6 +106,8 @@ class ServerContext {
 
 class ApiServerSession {
  public:
+  // Thin view over the session's obs::MetricRegistry cells
+  // (server.vm<id>.*); kept for existing callers.
   struct Stats {
     std::uint64_t calls_executed = 0;
     std::uint64_t async_calls = 0;
@@ -136,7 +139,17 @@ class ApiServerSession {
   ObjectRegistry& registry() { return registry_; }
   ServerContext& context() { return context_; }
   VmId vm_id() const { return vm_id_; }
-  Stats stats() const { return stats_; }
+  Stats stats() const;
+
+  // Hot-path accessor for the router's per-call cost delta; avoids
+  // composing the full Stats view twice per forwarded call.
+  std::int64_t cost_vns_total() const {
+    return static_cast<std::int64_t>(cost_vns_total_->Value());
+  }
+
+  // Distribution of per-call handler execution time (ns), as measured by
+  // the session around the generated handler (device cost included).
+  obs::HistogramSnapshot exec_latency() const { return exec_ns_->Snapshot(); }
 
  private:
   Result<std::optional<Bytes>> ExecuteCall(const DecodedCall& call);
@@ -148,7 +161,15 @@ class ApiServerSession {
   ServerContext context_;
   std::unordered_map<std::uint16_t, ApiHandler> handlers_;
   RecordSink* record_sink_ = nullptr;
-  Stats stats_;
+
+  // Metric cells (registered as server.vm<id>.*; stats() composes them).
+  std::shared_ptr<obs::Counter> calls_executed_;
+  std::shared_ptr<obs::Counter> async_calls_;
+  std::shared_ptr<obs::Counter> dispatch_errors_;
+  std::shared_ptr<obs::Counter> shadows_delivered_;
+  std::shared_ptr<obs::Counter> cost_vns_total_;
+  std::shared_ptr<obs::Histogram> exec_ns_;
+  bool trace_enabled_ = false;  // cached Tracer state at construction
 };
 
 }  // namespace ava

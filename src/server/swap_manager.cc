@@ -7,7 +7,14 @@
 
 namespace ava {
 
-SwapManager::SwapManager(Hooks hooks) : hooks_(std::move(hooks)) {}
+SwapManager::SwapManager(Hooks hooks) : hooks_(std::move(hooks)) {
+  auto& registry = obs::MetricRegistry::Default();
+  swap_outs_ = registry.NewCounter("swap.swap_outs");
+  swap_ins_ = registry.NewCounter("swap.swap_ins");
+  bytes_swapped_out_ = registry.NewCounter("swap.bytes_swapped_out");
+  bytes_swapped_in_ = registry.NewCounter("swap.bytes_swapped_in");
+  failed_make_room_ = registry.NewCounter("swap.failed_make_room");
+}
 
 void SwapManager::AttachRegistry(ObjectRegistry* registry) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -55,8 +62,8 @@ Result<void*> SwapManager::TranslatePinned(ObjectRegistry* registry,
         entry.swapped = false;
         entry.swap_copy.clear();
         entry.swap_copy.shrink_to_fit();
-        ++stats_.swap_ins;
-        stats_.bytes_swapped_in += entry.size;
+        swap_ins_->Increment();
+        bytes_swapped_in_->Increment(entry.size);
         real = fresh;
       }
     });
@@ -108,8 +115,13 @@ void SwapManager::NoteCreated(ObjectRegistry* registry, WireHandle id) {
 }
 
 SwapManager::Stats SwapManager::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats stats;
+  stats.swap_outs = swap_outs_->Value();
+  stats.swap_ins = swap_ins_->Value();
+  stats.bytes_swapped_out = bytes_swapped_out_->Value();
+  stats.bytes_swapped_in = bytes_swapped_in_->Value();
+  stats.failed_make_room = failed_make_room_->Value();
+  return stats;
 }
 
 Status SwapManager::EvictLocked(ObjectRegistry* registry, WireHandle id,
@@ -120,8 +132,8 @@ Status SwapManager::EvictLocked(ObjectRegistry* registry, WireHandle id,
   entry.swap_copy = std::move(contents);
   entry.swapped = true;
   entry.real = nullptr;
-  ++stats_.swap_outs;
-  stats_.bytes_swapped_out += entry.size;
+  swap_outs_->Increment();
+  bytes_swapped_out_->Increment(entry.size);
   AVA_LOG(INFO) << "swapped out buffer " << id << " (" << entry.size
                 << " bytes) of vm " << registry->vm_id();
   return OkStatus();
@@ -169,7 +181,7 @@ std::size_t SwapManager::MakeRoomLockedHint(std::size_t bytes,
     (void)status;
   }
   if (freed < bytes) {
-    ++stats_.failed_make_room;
+    failed_make_room_->Increment();
   }
   return freed;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 #include "src/server/buffer_hooks.h"
 #include "src/server/object_registry.h"
 
@@ -25,6 +26,8 @@ class SwapManager {
  public:
   using Hooks = BufferHooks;
 
+  // Thin view over the manager's obs::MetricRegistry cells (swap.*); kept
+  // for existing callers.
   struct Stats {
     std::uint64_t swap_outs = 0;
     std::uint64_t swap_ins = 0;
@@ -73,7 +76,13 @@ class SwapManager {
   mutable std::mutex mutex_;
   std::vector<ObjectRegistry*> registries_;
   std::vector<Pin> pins_;
-  Stats stats_;
+
+  // Metric cells (registered as swap.*; stats() composes them).
+  std::shared_ptr<obs::Counter> swap_outs_;
+  std::shared_ptr<obs::Counter> swap_ins_;
+  std::shared_ptr<obs::Counter> bytes_swapped_out_;
+  std::shared_ptr<obs::Counter> bytes_swapped_in_;
+  std::shared_ptr<obs::Counter> failed_make_room_;
 };
 
 }  // namespace ava

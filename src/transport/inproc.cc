@@ -4,10 +4,18 @@
 #include <deque>
 #include <mutex>
 
+#include "src/common/vclock.h"
 #include "src/transport/transport.h"
+#include "src/transport/transport_metrics.h"
 
 namespace ava {
 namespace {
+
+transport_internal::KindMetrics& Metrics() {
+  static transport_internal::KindMetrics metrics =
+      transport_internal::MakeKindMetrics("inproc");
+  return metrics;
+}
 
 // One direction of the channel.
 struct Pipe {
@@ -33,6 +41,9 @@ class InProcEndpoint final : public Transport {
   ~InProcEndpoint() override { Close(); }
 
   Status Send(const Bytes& message) override {
+    const bool sampling = obs::SamplingEnabled();
+    const std::int64_t start_ns = sampling ? MonotonicNowNs() : 0;
+    transport_internal::KindMetrics& m = Metrics();
     std::unique_lock<std::mutex> lock(tx_->mutex);
     tx_->can_send.wait(lock, [&] {
       return tx_->closed || tx_->queue.size() < tx_->capacity;
@@ -43,6 +54,11 @@ class InProcEndpoint final : public Transport {
     tx_->queue.push_back(message);
     lock.unlock();
     tx_->can_recv.notify_one();
+    m.msgs_sent->Increment();
+    m.bytes_sent->Increment(message.size());
+    if (sampling) {
+      m.send_ns->Record(MonotonicNowNs() - start_ns);
+    }
     return OkStatus();
   }
 
@@ -56,6 +72,9 @@ class InProcEndpoint final : public Transport {
     rx_->queue.pop_front();
     lock.unlock();
     rx_->can_send.notify_one();
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
     return message;
   }
 
@@ -69,6 +88,9 @@ class InProcEndpoint final : public Transport {
     rx_->queue.pop_front();
     lock.unlock();
     rx_->can_send.notify_one();
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
     return message;
   }
 

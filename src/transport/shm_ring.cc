@@ -13,10 +13,18 @@
 #include <mutex>
 #include <thread>
 
+#include "src/common/vclock.h"
 #include "src/transport/transport.h"
+#include "src/transport/transport_metrics.h"
 
 namespace ava {
 namespace {
+
+transport_internal::KindMetrics& Metrics() {
+  static transport_internal::KindMetrics metrics =
+      transport_internal::MakeKindMetrics("shm");
+  return metrics;
+}
 
 struct RingHeader {
   std::atomic<std::uint64_t> produced;  // total bytes written
@@ -171,10 +179,19 @@ class ShmEndpoint final : public Transport {
   ~ShmEndpoint() override { Close(); }
 
   Status Send(const Bytes& message) override {
+    const bool sampling = obs::SamplingEnabled();
+    const std::int64_t start_ns = sampling ? MonotonicNowNs() : 0;
+    transport_internal::KindMetrics& m = Metrics();
     std::lock_guard<std::mutex> lock(send_mutex_);
     const std::uint32_t len = static_cast<std::uint32_t>(message.size());
     AVA_RETURN_IF_ERROR(tx_.WriteAll(&len, sizeof(len)));
-    return tx_.WriteAll(message.data(), message.size());
+    AVA_RETURN_IF_ERROR(tx_.WriteAll(message.data(), message.size()));
+    m.msgs_sent->Increment();
+    m.bytes_sent->Increment(message.size());
+    if (sampling) {
+      m.send_ns->Record(MonotonicNowNs() - start_ns);
+    }
+    return OkStatus();
   }
 
   Result<Bytes> Recv() override {
@@ -183,6 +200,9 @@ class ShmEndpoint final : public Transport {
     AVA_RETURN_IF_ERROR(rx_.ReadAll(&len, sizeof(len)));
     Bytes message(len);
     AVA_RETURN_IF_ERROR(rx_.ReadAll(message.data(), len));
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
     return message;
   }
 
@@ -196,6 +216,9 @@ class ShmEndpoint final : public Transport {
     AVA_RETURN_IF_ERROR(rx_.ReadAll(&len, sizeof(len)));
     Bytes message(len);
     AVA_RETURN_IF_ERROR(rx_.ReadAll(message.data(), len));
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
     return message;
   }
 

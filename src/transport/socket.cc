@@ -11,10 +11,18 @@
 #include <mutex>
 #include <string>
 
+#include "src/common/vclock.h"
 #include "src/transport/transport.h"
+#include "src/transport/transport_metrics.h"
 
 namespace ava {
 namespace {
+
+transport_internal::KindMetrics& Metrics() {
+  static transport_internal::KindMetrics metrics =
+      transport_internal::MakeKindMetrics("socket");
+  return metrics;
+}
 
 Status WriteAllFd(int fd, const void* data, std::size_t size) {
   const auto* src = static_cast<const std::uint8_t*>(data);
@@ -60,13 +68,22 @@ class SocketEndpoint final : public Transport {
   ~SocketEndpoint() override { Close(); }
 
   Status Send(const Bytes& message) override {
+    const bool sampling = obs::SamplingEnabled();
+    const std::int64_t start_ns = sampling ? MonotonicNowNs() : 0;
+    transport_internal::KindMetrics& m = Metrics();
     std::lock_guard<std::mutex> lock(send_mutex_);
     if (fd_ < 0) {
       return Unavailable("socket closed");
     }
     const std::uint32_t len = static_cast<std::uint32_t>(message.size());
     AVA_RETURN_IF_ERROR(WriteAllFd(fd_, &len, sizeof(len)));
-    return WriteAllFd(fd_, message.data(), message.size());
+    AVA_RETURN_IF_ERROR(WriteAllFd(fd_, message.data(), message.size()));
+    m.msgs_sent->Increment();
+    m.bytes_sent->Increment(message.size());
+    if (sampling) {
+      m.send_ns->Record(MonotonicNowNs() - start_ns);
+    }
+    return OkStatus();
   }
 
   Result<Bytes> Recv() override {
@@ -78,6 +95,9 @@ class SocketEndpoint final : public Transport {
     AVA_RETURN_IF_ERROR(ReadAllFd(fd_, &len, sizeof(len)));
     Bytes message(len);
     AVA_RETURN_IF_ERROR(ReadAllFd(fd_, message.data(), len));
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
     return message;
   }
 
@@ -102,6 +122,9 @@ class SocketEndpoint final : public Transport {
     AVA_RETURN_IF_ERROR(ReadAllFd(fd_, &len, sizeof(len)));
     Bytes message(len);
     AVA_RETURN_IF_ERROR(ReadAllFd(fd_, message.data(), len));
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
     return message;
   }
 

@@ -1,0 +1,38 @@
+// Per-kind transport counters, shared by the concrete transports. Each
+// transport kind (inproc, shm, socket) owns one static set of cells named
+// transport.<kind>.*; all endpoints of that kind aggregate into them.
+#ifndef AVA_SRC_TRANSPORT_TRANSPORT_METRICS_H_
+#define AVA_SRC_TRANSPORT_TRANSPORT_METRICS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace ava {
+namespace transport_internal {
+
+struct KindMetrics {
+  std::shared_ptr<obs::Counter> msgs_sent;
+  std::shared_ptr<obs::Counter> bytes_sent;
+  std::shared_ptr<obs::Counter> msgs_received;
+  std::shared_ptr<obs::Counter> bytes_received;
+  std::shared_ptr<obs::Histogram> send_ns;
+};
+
+inline KindMetrics MakeKindMetrics(const char* kind) {
+  auto& registry = obs::MetricRegistry::Default();
+  const std::string prefix = std::string("transport.") + kind + ".";
+  KindMetrics m;
+  m.msgs_sent = registry.NewCounter(prefix + "msgs_sent");
+  m.bytes_sent = registry.NewCounter(prefix + "bytes_sent");
+  m.msgs_received = registry.NewCounter(prefix + "msgs_received");
+  m.bytes_received = registry.NewCounter(prefix + "bytes_received");
+  m.send_ns = registry.NewHistogram(prefix + "send_ns");
+  return m;
+}
+
+}  // namespace transport_internal
+}  // namespace ava
+
+#endif  // AVA_SRC_TRANSPORT_TRANSPORT_METRICS_H_

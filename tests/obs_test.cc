@@ -1,0 +1,311 @@
+// Unit tests for src/obs: histogram percentile math, registry aggregation,
+// concurrent counter updates, trace-context propagation through the wire
+// format, and chrome-trace emission/validation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_check.h"
+#include "src/proto/wire.h"
+
+namespace ava {
+namespace {
+
+// ------------------------------ histograms ---------------------------------
+
+TEST(HistogramTest, EmptyReportsZeros) {
+  obs::Histogram h;
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsExactAtEveryPercentile) {
+  obs::Histogram h;
+  h.Record(12345);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 12345);
+  EXPECT_EQ(snap.max, 12345);
+  for (double p : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(snap.Percentile(p), 12345.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(snap.Mean(), 12345.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds v <= 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(obs::Histogram::BucketFor(-5), 0);
+  EXPECT_EQ(obs::Histogram::BucketFor(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketFor(1), 1);
+  EXPECT_EQ(obs::Histogram::BucketFor(2), 2);
+  EXPECT_EQ(obs::Histogram::BucketFor(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketFor(4), 3);
+  EXPECT_EQ(obs::Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(obs::Histogram::BucketFor(1024), 11);
+  EXPECT_EQ(obs::Histogram::BucketFor(std::numeric_limits<std::int64_t>::max()),
+            obs::kHistogramBuckets - 1);
+  for (int b = 1; b < obs::kHistogramBuckets - 1; ++b) {
+    EXPECT_EQ(obs::Histogram::BucketFor(obs::Histogram::BucketLow(b)), b);
+    EXPECT_EQ(obs::Histogram::BucketFor(obs::Histogram::BucketHigh(b)), b);
+  }
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndBounded) {
+  obs::Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i);
+  }
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  double prev = 0.0;
+  for (double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0}) {
+    const double v = snap.Percentile(p);
+    EXPECT_GE(v, static_cast<double>(snap.min));
+    EXPECT_LE(v, static_cast<double>(snap.max));
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  // With power-of-two buckets the p50 must land inside the bucket holding
+  // the true median (512 -> [512, 1023]), and p100 is the exact max.
+  EXPECT_GE(snap.Percentile(50), 256.0);
+  EXPECT_LE(snap.Percentile(50), 1023.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 1000.0);
+}
+
+TEST(HistogramTest, TailSampleDominatesHighPercentilesOnly) {
+  obs::Histogram h;
+  for (int i = 0; i < 99; ++i) {
+    h.Record(10);
+  }
+  h.Record(1000000);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_LT(snap.Percentile(50), 16.0);   // inside 10's bucket [8, 15]
+  EXPECT_LT(snap.Percentile(99), 16.0);   // rank 99 is still a 10
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 1000000.0);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndRange) {
+  obs::Histogram a;
+  obs::Histogram b;
+  a.Record(4);
+  b.Record(400);
+  obs::HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.min, 4);
+  EXPECT_EQ(merged.max, 400);
+  EXPECT_EQ(merged.sum, 404);
+}
+
+// ------------------------------ registry -----------------------------------
+
+TEST(MetricRegistryTest, ConcurrentCounterIncrements) {
+  auto counter = obs::NewCounter("obs_test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricRegistryTest, SameNameCellsStayPerInstanceButAggregateInDump) {
+  auto a = obs::NewCounter("obs_test.shared_name");
+  auto b = obs::NewCounter("obs_test.shared_name");
+  a->Increment(3);
+  b->Increment(4);
+  // Distinct cells: per-owner values are exact.
+  EXPECT_EQ(a->Value(), 3u);
+  EXPECT_EQ(b->Value(), 4u);
+  // The dump aggregates live cells by name.
+  const std::string dump = obs::MetricRegistry::Default().Dump();
+  EXPECT_NE(dump.find("obs_test.shared_name = 7"), std::string::npos) << dump;
+}
+
+TEST(MetricRegistryTest, GaugeSetAndAdd) {
+  auto gauge = obs::NewGauge("obs_test.gauge");
+  gauge->Set(10);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->Value(), 7);
+}
+
+TEST(MetricRegistryTest, DeadCellsFoldIntoRetiredAggregate) {
+  {
+    auto counter = obs::NewCounter("obs_test.retired_counter");
+    counter->Increment(41);
+    auto histogram = obs::NewHistogram("obs_test.retired_histogram");
+    histogram->Record(1000);
+  }  // owners destroyed — values must survive in the dump
+  auto counter = obs::NewCounter("obs_test.retired_counter");
+  counter->Increment(1);
+  const std::string dump = obs::MetricRegistry::Default().Dump();
+  EXPECT_NE(dump.find("obs_test.retired_counter = 42"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("obs_test.retired_histogram count=1"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(MetricRegistryTest, SamplingFlagToggles) {
+  const bool initial = obs::SamplingEnabled();
+  obs::SetSamplingEnabled(true);
+  EXPECT_TRUE(obs::SamplingEnabled());
+  obs::SetSamplingEnabled(false);
+  EXPECT_FALSE(obs::SamplingEnabled());
+  obs::SetSamplingEnabled(initial);
+}
+
+// --------------------- trace context on the wire ---------------------------
+
+TEST(TraceWireTest, CallTraceFieldsRoundTrip) {
+  CallHeader header;
+  header.api_id = 7;
+  header.func_id = 42;
+  Bytes message = EncodeCall(header, {1, 2, 3});
+  PatchCallIdentity(&message, /*call_id=*/9, /*vm_id=*/5, /*flags=*/0);
+  PatchCallTrace(&message, /*trace_id=*/0xABCDEF, /*t_send_ns=*/777);
+
+  auto decoded = DecodeCall(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.call_id, 9u);
+  EXPECT_EQ(decoded->header.vm_id, 5u);
+  EXPECT_EQ(decoded->header.trace_id, 0xABCDEFu);
+  EXPECT_EQ(decoded->header.t_send_ns, 777);
+  ASSERT_EQ(decoded->payload.size(), 3u);
+}
+
+TEST(TraceWireTest, ReplyTraceFieldsRoundTripWithRouterPatch) {
+  ReplyHeader header;
+  header.call_id = 11;
+  header.vm_id = 5;
+  header.trace_id = 0x1234;
+  header.t_exec_start_ns = 300;
+  header.t_exec_end_ns = 400;
+  ReplyBuilder builder(header);
+  builder.SetPayload({9});
+  builder.SetCost(55);
+  Bytes message = std::move(builder).Finish();
+
+  auto peeked = PeekReplyTraceId(message);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, 0x1234u);
+
+  // The router back-patches its hops into the encoded reply.
+  PatchReplyRouterTrace(&message, /*t_rx_ns=*/100, /*t_dispatch_ns=*/200);
+
+  auto decoded = DecodeReply(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.trace_id, 0x1234u);
+  EXPECT_EQ(decoded->header.t_rx_ns, 100);
+  EXPECT_EQ(decoded->header.t_dispatch_ns, 200);
+  EXPECT_EQ(decoded->header.t_exec_start_ns, 300);
+  EXPECT_EQ(decoded->header.t_exec_end_ns, 400);
+  EXPECT_EQ(decoded->header.cost_vns, 55);
+}
+
+TEST(TraceWireTest, PatchHelpersIgnoreShortOrForeignMessages) {
+  Bytes tiny = {2, 0};
+  PatchCallTrace(&tiny, 1, 1);  // must not write out of bounds
+  PatchReplyRouterTrace(&tiny, 1, 2);
+  EXPECT_FALSE(PeekReplyTraceId(tiny).ok());
+  Bytes call = EncodeCall(CallHeader{}, {});
+  EXPECT_FALSE(PeekReplyTraceId(call).ok());  // not a reply
+}
+
+TEST(TraceWireTest, UntracedCallCarriesZeroTraceContext) {
+  Bytes message = EncodeCall(CallHeader{}, {});
+  auto decoded = DecodeCall(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.trace_id, 0u);
+  EXPECT_EQ(decoded->header.t_send_ns, 0);
+}
+
+// ----------------------------- tracer / JSON -------------------------------
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(obs::ParseJson("{} trailing").ok());
+  EXPECT_FALSE(obs::ParseJson("\"unterminated").ok());
+  auto ok = obs::ParseJson(R"({"a": [1, -2.5e3, true, null, "s\n"]})");
+  ASSERT_TRUE(ok.ok());
+  const obs::JsonValue* a = ok->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->array.size(), 5u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, -2500.0);
+}
+
+TEST(TracerTest, SerializedSpansPassTheChromeTraceCheck) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  tracer.EnableForTest();  // no output path: flush-at-exit is a no-op
+  tracer.Clear();
+
+  const std::uint64_t id = tracer.NextTraceId();
+  EXPECT_NE(id, 0u);
+  tracer.RecordSpan(obs::TraceLane::kRouter, "router.queue", /*vm_id=*/1, id,
+                    200, 250, {{"queue_wait_ns", 50}});
+  tracer.RecordSpan(obs::TraceLane::kServer, "server.exec", /*vm_id=*/1, id,
+                    260, 330, {{"func_id", 4}, {"async", 0}});
+  tracer.RecordSpan(obs::TraceLane::kGuest, "call.sync", /*vm_id=*/1, id, 100,
+                    400,
+                    {{"t_send_ns", 100},
+                     {"t_rx_ns", 200},
+                     {"t_dispatch_ns", 250},
+                     {"t_exec_start_ns", 260},
+                     {"t_exec_end_ns", 330},
+                     {"t_wake_ns", 400},
+                     {"call_id", 1},
+                     {"cost_vns", 70}});
+  EXPECT_EQ(tracer.event_count(), 3u);
+
+  const std::string json = tracer.SerializeJson();
+  auto report = obs::CheckChromeTrace(json, /*min_hops=*/5);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->guest_spans, 1u);
+  EXPECT_EQ(report->complete_spans, 1u);
+  EXPECT_EQ(report->router_spans, 1u);
+  EXPECT_EQ(report->server_spans, 1u);
+  tracer.Clear();
+}
+
+TEST(TracerTest, IncompleteGuestSpanIsCountedButNotComplete) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  tracer.EnableForTest();
+  tracer.Clear();
+  const std::uint64_t id = tracer.NextTraceId();
+  // Hops collapse to two distinct values and there is no router/server span.
+  tracer.RecordSpan(obs::TraceLane::kGuest, "call.sync", 1, id, 100, 400,
+                    {{"t_send_ns", 100},
+                     {"t_rx_ns", 100},
+                     {"t_dispatch_ns", 100},
+                     {"t_exec_start_ns", 100},
+                     {"t_exec_end_ns", 100},
+                     {"t_wake_ns", 400}});
+  auto report = obs::CheckChromeTrace(tracer.SerializeJson(), 5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->guest_spans, 1u);
+  EXPECT_EQ(report->complete_spans, 0u);
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace ava

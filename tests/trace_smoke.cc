@@ -1,0 +1,68 @@
+// End-to-end trace smoke test: runs the quickstart example (argv[1]) with
+// AVA_TRACE pointing at a scratch file, then validates the emitted chrome
+// trace — well-formed JSON, and one complete span (>= 5 distinct hop
+// timestamps plus matching router and server spans) for every forwarded
+// synchronous call.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/trace_check.h"
+
+namespace {
+
+int Fail(const std::string& why) {
+  std::fprintf(stderr, "trace_smoke: FAIL: %s\n", why.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: trace_smoke <path-to-quickstart>");
+  }
+  const std::string trace_path = "trace_smoke_quickstart.json";
+  std::remove(trace_path.c_str());
+
+  ::setenv("AVA_TRACE", trace_path.c_str(), /*overwrite=*/1);
+  const std::string command = std::string(argv[1]) + " > /dev/null 2>&1";
+  const int rc = std::system(command.c_str());
+  if (rc != 0) {
+    return Fail("quickstart exited with status " + std::to_string(rc));
+  }
+
+  std::ifstream in(trace_path);
+  if (!in) {
+    return Fail("quickstart produced no trace file at " + trace_path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  auto report = ava::obs::CheckChromeTrace(json, /*min_hops=*/5);
+  if (!report.ok()) {
+    return Fail("trace validation: " + report.status().ToString());
+  }
+  if (report->guest_spans == 0) {
+    return Fail("no guest roundtrip spans recorded");
+  }
+  if (report->complete_spans != report->guest_spans) {
+    return Fail("only " + std::to_string(report->complete_spans) + " of " +
+                std::to_string(report->guest_spans) +
+                " guest spans are complete");
+  }
+  if (report->router_spans == 0 || report->server_spans == 0) {
+    return Fail("router/server spans missing");
+  }
+
+  std::printf(
+      "trace_smoke: OK — %zu events, %zu complete guest spans, "
+      "%zu router, %zu server\n",
+      report->events, report->complete_spans, report->router_spans,
+      report->server_spans);
+  std::remove(trace_path.c_str());
+  return 0;
+}
