@@ -114,6 +114,21 @@ std::vector<LintFinding> LintSpec(const ApiSpec& spec) {
              "annotation; the router will schedule it at zero cost");
     }
 
+    // Retry only exists on the synchronous path; an idempotent marking on a
+    // pure-async function can never take effect.
+    if (fn.idempotent && !fn.is_sync && fn.sync_condition.empty()) {
+      advise(fn.name,
+             "`idempotent;` has no effect on an async-only function; "
+             "retries apply to synchronous forwarding");
+    }
+    // Mutating names marked idempotent deserve a second look: a retried
+    // call re-executes on the server.
+    if (fn.idempotent && LooksLikeEnqueue(fn)) {
+      warn(fn.name,
+           "marked `idempotent;` but looks like a work-submission call; a "
+           "transport-level retry would re-execute the work");
+    }
+
     // Conditional-sync without any async-capable benefit.
     if (!fn.sync_condition.empty()) {
       bool any_out = false;

@@ -119,6 +119,9 @@ struct FunctionSpec {
   std::string cost_device_time;  // verbatim expr (vns)
   std::string cost_bandwidth;    // verbatim expr (bytes)
   bool record = false;
+  // Declares the call safe to re-send after a transport-classified failure
+  // (the guest endpoint retries only annotated calls; see GuestEndpoint).
+  bool idempotent = false;
   std::string retry_oom_bytes;   // verbatim expr
   std::vector<RegistryMeta> registry_meta;
 

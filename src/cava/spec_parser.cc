@@ -342,6 +342,10 @@ class SpecParser {
       fn->record = true;
       return ExpectPunct(";");
     }
+    if (MatchIdent("idempotent")) {
+      fn->idempotent = true;
+      return ExpectPunct(";");
+    }
     if (MatchIdent("retry_oom")) {
       AVA_RETURN_IF_ERROR(ExpectPunct("("));
       AVA_ASSIGN_OR_RETURN(fn->retry_oom_bytes, CaptureUntilCloseParen());

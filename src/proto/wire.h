@@ -170,6 +170,31 @@ Result<std::uint64_t> PeekReplyTraceId(const Bytes& message);
 void PatchReplyRouterTrace(Bytes* message, std::int64_t t_rx_ns,
                            std::int64_t t_dispatch_ns);
 
+// Reads just the status field of an encoded reply (router fast path; lets
+// the scheduler notice a dead backend without a full decode).
+Result<std::int32_t> PeekReplyStatus(const Bytes& message);
+
+// ------------------------------ framing CRC --------------------------------
+//
+// Frames sealed at the transport boundary carry a trailing CRC32 so a
+// corrupted message is rejected per-call (DataLoss) instead of being decoded
+// into garbage. Sealing happens exactly once per direction, after every
+// back-patch (PatchCallIdentity / PatchCallTrace / SetCost /
+// PatchReplyRouterTrace); the receiving side checks and strips before any
+// decode, so encoders and inner batch entries never see the checksum.
+
+// CRC-32C (Castagnoli polynomial, reflected). Uses the SSE4.2 crc32
+// instruction when the CPU has it; software fallback computes the same
+// polynomial, so values agree across hosts either way.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+// Appends the CRC32 of `*message` to it.
+void SealFrame(Bytes* message);
+
+// Verifies and removes a trailing CRC32. DataLoss when the frame is shorter
+// than a checksum or the CRC does not match.
+Status CheckAndStripFrame(Bytes* message);
+
 }  // namespace ava
 
 #endif  // AVA_SRC_PROTO_WIRE_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "src/common/log.h"
 #include "src/obs/trace.h"
@@ -15,6 +17,8 @@ Router::Router() {
   queue_wait_ns_ = registry.NewHistogram("router.queue_wait_ns");
   exec_ns_ = registry.NewHistogram("router.exec_ns");
   rate_wait_ns_ = registry.NewHistogram("router.rate_limit_wait_ns");
+  sessions_reaped_ = registry.NewCounter("sessions.reaped");
+  crc_rejected_ = registry.NewCounter("router.crc_rejected");
 }
 
 Router::~Router() { Stop(); }
@@ -22,6 +26,30 @@ Router::~Router() { Stop(); }
 Status Router::AttachVm(VmId vm_id, TransportPtr transport,
                         std::shared_ptr<ApiServerSession> session,
                         const VmPolicy& policy) {
+  // A dead channel under this id is replaced: its threads are joined outside
+  // the lock (they only need mutex_ transiently to finish exiting).
+  std::unique_ptr<VmChannel> stale;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = channels_.find(vm_id);
+    if (it != channels_.end()) {
+      if (!it->second->dead) {
+        return AlreadyExists("vm " + std::to_string(vm_id) +
+                             " already attached");
+      }
+      stale = std::move(it->second);
+      channels_.erase(it);
+    }
+  }
+  if (stale != nullptr) {
+    if (stale->rx_thread.joinable()) {
+      stale->rx_thread.join();
+    }
+    if (stale->exec_thread.joinable()) {
+      stale->exec_thread.join();
+    }
+    stale.reset();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (channels_.count(vm_id) != 0) {
     return AlreadyExists("vm " + std::to_string(vm_id) + " already attached");
@@ -152,6 +180,41 @@ Result<Router::VmStats> Router::StatsFor(VmId vm_id) const {
   return stats;
 }
 
+void Router::MarkDeadLocked(VmChannel* channel) {
+  if (channel->dead) {
+    return;
+  }
+  channel->dead = true;
+  sessions_reaped_->Increment();
+  channel->transport->Close();  // unblocks the RX thread if still alive
+  AVA_LOG(INFO) << "vm " << channel->vm_id << ": session reaped";
+}
+
+std::size_t Router::ReapDeadVms() {
+  std::vector<std::unique_ptr<VmChannel>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = channels_.begin(); it != channels_.end();) {
+      if (it->second->dead) {
+        dead.push_back(std::move(it->second));
+        it = channels_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: the exiting threads may still touch mutex_.
+  for (auto& channel : dead) {
+    if (channel->rx_thread.joinable()) {
+      channel->rx_thread.join();
+    }
+    if (channel->exec_thread.joinable()) {
+      channel->exec_thread.join();
+    }
+  }
+  return dead.size();
+}
+
 void Router::RejectCall(VmChannel* channel, const CallHeader& header,
                         StatusCode code) {
   channel->metrics.calls_rejected->Increment();
@@ -163,7 +226,9 @@ void Router::RejectCall(VmChannel* channel, const CallHeader& header,
   reply.vm_id = header.vm_id;
   reply.status_code = static_cast<std::int32_t>(code);
   ReplyBuilder builder(reply);
-  (void)channel->transport->Send(std::move(builder).Finish());
+  Bytes frame = std::move(builder).Finish();
+  SealFrame(&frame);
+  (void)channel->transport->Send(frame);
 }
 
 void Router::RxLoop(VmChannel* channel) {
@@ -177,9 +242,24 @@ void Router::RxLoop(VmChannel* channel) {
     // ---- verification ----
     channel->metrics.messages_received->Increment();
     channel->metrics.bytes_received->Increment(message->size());
+    // Checksum first: nothing in a corrupt frame (not even the call id) can
+    // be trusted, so there is no one to send an error reply to — reject and
+    // let the guest's deadline/retry machinery handle the loss per-call.
+    if (Status crc = CheckAndStripFrame(&*message); !crc.ok()) {
+      crc_rejected_->Increment();
+      channel->metrics.calls_rejected->Increment();
+      AVA_LOG_EVERY_N(WARNING, 64)
+          << "vm " << channel->vm_id << ": corrupt frame rejected";
+      continue;
+    }
     if (message->size() > channel->policy.max_message_bytes) {
       AVA_LOG_EVERY_N(WARNING, 64) << "vm " << channel->vm_id
-                                   << ": oversized message dropped";
+                                   << ": oversized message rejected";
+      // The frame verified, so its header is trustworthy enough to answer:
+      // a sync caller gets a classified error instead of a hang.
+      if (auto oversized = DecodeCall(*message); oversized.ok()) {
+        RejectCall(channel, oversized->header, StatusCode::kInvalidArgument);
+      }
       continue;
     }
     auto kind = PeekKind(*message);
@@ -285,7 +365,7 @@ bool Router::EligibleLocked(VmChannel* channel) {
   const double my_key =
       channel->vruntime / std::max(channel->policy.weight, 1e-9);
   for (auto& [id, other] : channels_) {
-    if (other.get() == channel || other->paused) {
+    if (other.get() == channel || other->paused || other->dead) {
       continue;
     }
     const bool active = other->in_flight || !other->pending.empty() ||
@@ -319,6 +399,15 @@ void Router::ExecLoop(VmChannel* channel) {
     // wait_for rather than wait: debt-paced eligibility changes with wall
     // time, not only with state transitions.
     while (!EligibleLocked(channel)) {
+      // Graceful degradation: once the guest's transport is gone and every
+      // queued call has drained, the session is dead — mark it reaped and
+      // exit instead of idling forever.
+      if (channel->rx_done && channel->pending.empty() &&
+          !channel->in_flight) {
+        MarkDeadLocked(channel);
+        sched_cv_.notify_all();
+        return;
+      }
       sched_cv_.wait_for(lock, std::chrono::microseconds(200));
     }
     if (stopping_) {
@@ -361,6 +450,17 @@ void Router::ExecLoop(VmChannel* channel) {
     } else if (!reply.ok()) {
       AVA_LOG(WARNING) << "vm " << channel->vm_id
                        << ": execute failed: " << reply.status();
+      // A sync caller is blocked on this call: answer with a classified
+      // error frame rather than leaving it to its deadline.
+      if (auto call = DecodeCall(message);
+          call.ok() && !call->header.is_async()) {
+        ReplyHeader error;
+        error.call_id = call->header.call_id;
+        error.vm_id = call->header.vm_id;
+        error.status_code = static_cast<std::int32_t>(reply.status().code());
+        ReplyBuilder builder(error);
+        reply = std::optional<Bytes>(std::move(builder).Finish());
+      }
     }
     if (sampling) {
       exec_ns_->Record(MonotonicNowNs() - dispatch_ns);
@@ -378,8 +478,14 @@ void Router::ExecLoop(VmChannel* channel) {
     sched_cv_.notify_all();
     if (reply.ok() && reply->has_value()) {
       lock.unlock();
-      (void)channel->transport->Send(**reply);
+      SealFrame(&**reply);
+      const Status sent = channel->transport->Send(**reply);
       lock.lock();
+      if (!sent.ok()) {
+        // The guest can no longer hear us; finish draining and reap.
+        AVA_LOG_EVERY_N(WARNING, 64)
+            << "vm " << channel->vm_id << ": reply send failed: " << sent;
+      }
     }
   }
 }

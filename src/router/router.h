@@ -83,6 +83,14 @@ class Router {
 
   Result<VmStats> StatsFor(VmId vm_id) const;
 
+  // Detaches every dead VM (peer transport gone, work drained): joins its
+  // threads and frees its channel. Returns how many were removed. Dead
+  // channels are also replaced transparently when AttachVm() reuses the id.
+  std::size_t ReapDeadVms();
+
+  // Total sessions this router has marked dead (monotone; survives reaping).
+  std::uint64_t sessions_reaped() const { return sessions_reaped_->Value(); }
+
  private:
   // One verified, rate-limited message awaiting dispatch, with the hop
   // timestamp the router observed at receive time (per-call tracing).
@@ -115,6 +123,10 @@ class Router {
     bool in_flight = false;
     bool paused = false;
     bool rx_done = false;
+    // Set by the executor when the session is finished (transport closed and
+    // work drained, or a reply send failed). A dead channel schedules
+    // nothing; its threads have exited or are exiting.
+    bool dead = false;
     double vruntime = 0.0;
     // Device-time debt for the allotment pacer: completed calls add their
     // cost; the debt drains at policy.device_vns_per_sec. A VM with positive
@@ -129,6 +141,8 @@ class Router {
 
   void RxLoop(VmChannel* channel);
   void ExecLoop(VmChannel* channel);
+  // Marks a channel dead and closes its transport. Caller holds mutex_.
+  void MarkDeadLocked(VmChannel* channel);
   // True when `channel` holds the minimum weighted vruntime among VMs with
   // pending work (the WFQ dispatch condition). Caller holds mutex_.
   bool EligibleLocked(VmChannel* channel);
@@ -146,6 +160,9 @@ class Router {
   std::shared_ptr<obs::Histogram> queue_wait_ns_;   // RX -> dispatch
   std::shared_ptr<obs::Histogram> exec_ns_;         // dispatch -> reply built
   std::shared_ptr<obs::Histogram> rate_wait_ns_;    // token-bucket stalls
+  // Failure-handling counters.
+  std::shared_ptr<obs::Counter> sessions_reaped_;
+  std::shared_ptr<obs::Counter> crc_rejected_;
 };
 
 }  // namespace ava

@@ -1,7 +1,10 @@
 #include "src/runtime/guest_endpoint.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "src/common/log.h"
@@ -9,9 +12,41 @@
 #include "src/obs/trace.h"
 
 namespace ava {
+namespace {
+
+// Transport-classified failures: the call may never have executed (or its
+// reply was lost), so an idempotent call is safe to re-send. Everything else
+// (router rejection, server handler error) already carries an answer —
+// retrying would only repeat it.
+bool IsTransportFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kDataLoss;
+}
+
+std::int64_t DeadlineMsFromEnv() {
+  const char* env = std::getenv("AVA_CALL_DEADLINE_MS");
+  if (env == nullptr || env[0] == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long long ms = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || ms < 0) {
+    AVA_LOG(ERROR) << "ignoring malformed AVA_CALL_DEADLINE_MS: " << env;
+    return 0;
+  }
+  return static_cast<std::int64_t>(ms);
+}
+
+}  // namespace
 
 GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
-    : options_(options), transport_(std::move(transport)) {
+    : options_(options),
+      transport_(std::move(transport)),
+      retry_rng_(0x5eedULL ^ options.vm_id) {
+  if (options_.call_deadline_ms < 0) {
+    options_.call_deadline_ms = DeadlineMsFromEnv();
+  }
   const std::string prefix = "guest.vm" + std::to_string(options_.vm_id) + ".";
   auto& registry = obs::MetricRegistry::Default();
   sync_calls_ = registry.NewCounter(prefix + "sync_calls");
@@ -21,6 +56,9 @@ GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
   bytes_sent_ = registry.NewCounter(prefix + "bytes_sent");
   bytes_received_ = registry.NewCounter(prefix + "bytes_received");
   sync_latency_ns_ = registry.NewHistogram("guest.sync_roundtrip_ns");
+  calls_retried_ = registry.NewCounter("calls.retried");
+  calls_deadline_exceeded_ = registry.NewCounter("calls.deadline_exceeded");
+  breaker_fast_fails_ = registry.NewCounter("calls.breaker_fast_fails");
   trace_enabled_ = obs::TraceEnabled();
 }
 
@@ -49,24 +87,80 @@ Status GuestEndpoint::CallAsync(std::uint16_t api_id, std::uint32_t func_id,
   return CallAsyncPrepared(EncodeCall(header, args));
 }
 
-Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message) {
+Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message, bool retriable) {
   std::lock_guard<std::mutex> lock(mutex_);
+  AVA_RETURN_IF_ERROR(BreakerAdmitLocked());
   AVA_RETURN_IF_ERROR(FlushLocked());
+  const int max_attempts =
+      retriable ? 1 + std::max(options_.max_retries, 0) : 1;
+  std::int64_t backoff_us = options_.retry_backoff_us;
+  Status last = OkStatus();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      calls_retried_->Increment();
+      const std::int64_t jitter_us =
+          backoff_us > 0 ? retry_rng_.NextInRange(0, backoff_us) : 0;
+      if (backoff_us + jitter_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(backoff_us + jitter_us));
+      }
+      backoff_us *= 2;
+      // Each attempt re-sends the sealed frame from the previous one: strip
+      // the checksum so the identity patch + reseal see the raw message.
+      message.resize(message.size() - sizeof(std::uint32_t));
+    }
+    Result<Bytes> reply = SyncAttemptLocked(&message);
+    if (reply.ok()) {
+      BreakerRecordLocked(/*transport_ok=*/true);
+      return reply;
+    }
+    last = reply.status();
+    if (!IsTransportFailure(last.code())) {
+      // An answered rejection (rate limit, handler error) is not a channel
+      // problem — no breaker bump, no retry.
+      return last;
+    }
+    BreakerRecordLocked(/*transport_ok=*/false);
+  }
+  return last;
+}
+
+// One send + reply wait. A fresh call id per attempt means a late reply to
+// an earlier attempt is identifiable as stray and dropped, rather than being
+// mistaken for this attempt's answer.
+Result<Bytes> GuestEndpoint::SyncAttemptLocked(Bytes* message) {
   const CallId call_id = next_call_id_++;
-  PatchCallIdentity(&message, call_id, options_.vm_id, 0);
+  PatchCallIdentity(message, call_id, options_.vm_id, 0);
   const bool sampling = obs::SamplingEnabled();
   const std::int64_t t_send = sampling ? MonotonicNowNs() : 0;
   if (trace_enabled_) {
-    PatchCallTrace(&message, obs::Tracer::Default().NextTraceId(), t_send);
+    PatchCallTrace(message, obs::Tracer::Default().NextTraceId(), t_send);
   }
-  AVA_RETURN_IF_ERROR(SendLocked(message));
+  const std::int64_t deadline_ns =
+      options_.call_deadline_ms > 0
+          ? MonotonicNowNs() + options_.call_deadline_ms * 1000000
+          : 0;
+  AVA_RETURN_IF_ERROR(SendSealedLocked(message));
   sync_calls_->Increment();
 
   // Per-VM calls are fully serialized (one in-flight sync call), so the next
   // reply is ours; tolerate stray replies defensively.
-  for (int attempts = 0; attempts < 1024; ++attempts) {
-    AVA_ASSIGN_OR_RETURN(Bytes raw, transport_->Recv());
+  for (int drains = 0; drains < 1024; ++drains) {
+    Result<Bytes> received =
+        deadline_ns > 0
+            ? transport_->RecvTimeout(deadline_ns - MonotonicNowNs())
+            : transport_->Recv();
+    if (!received.ok()) {
+      if (received.status().code() == StatusCode::kDeadlineExceeded) {
+        calls_deadline_exceeded_->Increment();
+      }
+      return received.status();
+    }
+    Bytes raw = *std::move(received);
     bytes_received_->Increment(raw.size());
+    // A corrupted reply is a per-call DataLoss, not a dead session: the
+    // channel itself stays usable.
+    AVA_RETURN_IF_ERROR(CheckAndStripFrame(&raw));
     AVA_ASSIGN_OR_RETURN(DecodedReply reply, DecodeReply(raw));
     ApplyShadowsLocked(reply);
     if (reply.header.call_id != call_id) {
@@ -101,6 +195,36 @@ Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message) {
   return Internal("no reply for call after draining 1024 messages");
 }
 
+Status GuestEndpoint::BreakerAdmitLocked() {
+  if (options_.breaker_threshold <= 0 || breaker_open_until_ns_ == 0) {
+    return OkStatus();
+  }
+  if (MonotonicNowNs() < breaker_open_until_ns_) {
+    breaker_fast_fails_->Increment();
+    return Unavailable("circuit breaker open (consecutive transport failures)");
+  }
+  // Cooldown elapsed: half-open. Let this call through as the probe; its
+  // outcome (BreakerRecordLocked) re-opens or resets the breaker.
+  breaker_open_until_ns_ = 0;
+  return OkStatus();
+}
+
+void GuestEndpoint::BreakerRecordLocked(bool transport_ok) {
+  if (options_.breaker_threshold <= 0) {
+    return;
+  }
+  if (transport_ok) {
+    consecutive_failures_ = 0;
+    breaker_open_until_ns_ = 0;
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.breaker_threshold) {
+    breaker_open_until_ns_ =
+        MonotonicNowNs() + options_.breaker_cooldown_ms * 1000000;
+  }
+}
+
 Status GuestEndpoint::CallAsyncPrepared(Bytes message) {
   std::lock_guard<std::mutex> lock(mutex_);
   PatchCallIdentity(&message, next_call_id_++, options_.vm_id,
@@ -111,13 +235,15 @@ Status GuestEndpoint::CallAsyncPrepared(Bytes message) {
   }
   async_calls_->Increment();
   if (options_.batch_max_calls > 1) {
+    // Batched entries stay unsealed: the checksum protects the outer
+    // transport frame, and the batch is sealed once at flush.
     pending_batch_.push_back(std::move(message));
     if (pending_batch_.size() >= options_.batch_max_calls) {
       return FlushLocked();
     }
     return OkStatus();
   }
-  return SendLocked(message);
+  return SendSealedLocked(&message);
 }
 
 std::uint64_t GuestEndpoint::RegisterShadow(void* ptr, std::size_t size) {
@@ -150,10 +276,11 @@ GuestEndpoint::Stats GuestEndpoint::stats() const {
   return stats;
 }
 
-Status GuestEndpoint::SendLocked(const Bytes& message) {
-  bytes_sent_->Increment(message.size());
+Status GuestEndpoint::SendSealedLocked(Bytes* message) {
+  SealFrame(message);
+  bytes_sent_->Increment(message->size());
   messages_sent_->Increment();
-  return transport_->Send(message);
+  return transport_->Send(*message);
 }
 
 Status GuestEndpoint::FlushLocked() {
@@ -162,7 +289,7 @@ Status GuestEndpoint::FlushLocked() {
   }
   Bytes batch = EncodeBatch(pending_batch_);
   pending_batch_.clear();
-  return SendLocked(batch);
+  return SendSealedLocked(&batch);
 }
 
 void GuestEndpoint::ApplyShadowsLocked(const DecodedReply& reply) {

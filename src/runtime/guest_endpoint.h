@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/rng.h"
 #include "src/obs/metrics.h"
 #include "src/proto/wire.h"
 #include "src/transport/transport.h"
@@ -32,6 +33,24 @@ class GuestEndpoint {
     // synchronous regardless of its spec annotation. Generated stubs consult
     // this flag.
     bool force_sync = false;
+    // Per-sync-call deadline, milliseconds. 0 = wait forever. A negative
+    // value (the default) reads AVA_CALL_DEADLINE_MS at construction,
+    // falling back to 0 when unset. Expiry classifies as DeadlineExceeded;
+    // a closed/dead transport classifies as Unavailable.
+    std::int64_t call_deadline_ms = -1;
+    // Retries for calls the CAvA spec marks `idempotent` (retry eligibility
+    // never extends further: a retried non-idempotent call could re-execute
+    // side effects). 0 disables retry entirely.
+    int max_retries = 2;
+    // First retry backoff; doubles each attempt, plus uniform jitter of up
+    // to the current backoff (decorrelates competing guests).
+    std::int64_t retry_backoff_us = 200;
+    // Circuit breaker: after this many consecutive transport-layer failures
+    // sync calls fail fast with Unavailable instead of re-probing a dead
+    // channel. <= 0 disables the breaker.
+    int breaker_threshold = 8;
+    // How long the breaker stays open before admitting one probe call.
+    std::int64_t breaker_cooldown_ms = 100;
   };
 
   // Thin view over the endpoint's obs::MetricRegistry cells
@@ -63,8 +82,10 @@ class GuestEndpoint {
 
   // Zero-copy variants used by generated stubs: `message` was produced by
   // ava::BeginCall + argument marshaling; the endpoint patches the identity
-  // fields in place and sends without re-encoding.
-  Result<Bytes> CallSyncPrepared(Bytes message);
+  // fields in place and sends without re-encoding. `retriable` comes from
+  // the spec's `idempotent` annotation: only such calls are re-sent (with a
+  // fresh call id) after a transport-classified failure.
+  Result<Bytes> CallSyncPrepared(Bytes message, bool retriable = false);
   Status CallAsyncPrepared(Bytes message);
 
   // Registers an application pointer to receive a future shadow-buffer
@@ -89,9 +110,15 @@ class GuestEndpoint {
   }
 
  private:
-  Status SendLocked(const Bytes& message);
+  Status SendSealedLocked(Bytes* message);
   Status FlushLocked();
   void ApplyShadowsLocked(const DecodedReply& reply);
+  // One send + reply-wait under the configured deadline. `*message` must be
+  // unsealed on entry and comes back sealed (strip 4 bytes to reuse it).
+  Result<Bytes> SyncAttemptLocked(Bytes* message);
+  // Breaker admission: OK, or fail-fast Unavailable while open.
+  Status BreakerAdmitLocked();
+  void BreakerRecordLocked(bool transport_ok);
 
   Options options_;
   TransportPtr transport_;
@@ -107,6 +134,11 @@ class GuestEndpoint {
   std::vector<Bytes> pending_batch_;
   std::int32_t latched_async_error_ = 0;
 
+  // Circuit-breaker state (all under mutex_).
+  int consecutive_failures_ = 0;
+  std::int64_t breaker_open_until_ns_ = 0;
+  Rng retry_rng_;
+
   // Metric cells (registered as guest.vm<id>.*; stats() composes them).
   std::shared_ptr<obs::Counter> sync_calls_;
   std::shared_ptr<obs::Counter> async_calls_;
@@ -115,6 +147,11 @@ class GuestEndpoint {
   std::shared_ptr<obs::Counter> bytes_sent_;
   std::shared_ptr<obs::Counter> bytes_received_;
   std::shared_ptr<obs::Histogram> sync_latency_ns_;
+  // Failure-handling counters (process-global names; the registry
+  // aggregates same-named cells across endpoints).
+  std::shared_ptr<obs::Counter> calls_retried_;
+  std::shared_ptr<obs::Counter> calls_deadline_exceeded_;
+  std::shared_ptr<obs::Counter> breaker_fast_fails_;
   bool trace_enabled_ = false;  // cached Tracer state at construction
 };
 

@@ -1,0 +1,210 @@
+// FaultyTransport implementation. See faulty.h for the spec grammar.
+#include "src/transport/faulty.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/common/rng.h"
+#include "src/obs/metrics.h"
+
+namespace ava {
+namespace {
+
+struct FaultMetrics {
+  std::shared_ptr<obs::Counter> injected;
+  std::shared_ptr<obs::Counter> dropped;
+  std::shared_ptr<obs::Counter> corrupted;
+  std::shared_ptr<obs::Counter> delayed;
+  std::shared_ptr<obs::Counter> disconnects;
+};
+
+FaultMetrics& Metrics() {
+  static FaultMetrics metrics = [] {
+    auto& registry = obs::MetricRegistry::Default();
+    FaultMetrics m;
+    m.injected = registry.NewCounter("faults.injected");
+    m.dropped = registry.NewCounter("faults.dropped");
+    m.corrupted = registry.NewCounter("faults.corrupted");
+    m.delayed = registry.NewCounter("faults.delayed");
+    m.disconnects = registry.NewCounter("faults.disconnects");
+    return m;
+  }();
+  return metrics;
+}
+
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(TransportPtr inner, const FaultSpec& spec)
+      : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {}
+
+  Status Send(const Bytes& message) override {
+    FaultMetrics& m = Metrics();
+    std::int64_t sleep_us = 0;
+    bool drop = false;
+    bool corrupt = false;
+    bool disconnect = false;
+    {
+      // One lock for all randomized decisions keeps multi-threaded runs
+      // deterministic in aggregate (same seed → same fault counts).
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (spec_.disconnect_after >= 0 && sends_ >= spec_.disconnect_after) {
+        disconnect = true;
+      } else {
+        ++sends_;
+        drop = spec_.drop > 0.0 && rng_.NextBool(spec_.drop);
+        corrupt =
+            !drop && spec_.corrupt > 0.0 && rng_.NextBool(spec_.corrupt);
+        sleep_us = spec_.delay_us;
+        if (spec_.jitter_us > 0) {
+          sleep_us += rng_.NextInRange(0, spec_.jitter_us);
+        }
+      }
+    }
+    if (disconnect) {
+      m.injected->Increment();
+      m.disconnects->Increment();
+      inner_->Close();
+      return Unavailable("fault injection: forced disconnect");
+    }
+    if (sleep_us > 0) {
+      m.delayed->Increment();
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    }
+    if (drop) {
+      // A dropped message still "succeeds" from the sender's point of view —
+      // exactly what a lossy interconnect looks like to the caller.
+      m.injected->Increment();
+      m.dropped->Increment();
+      return OkStatus();
+    }
+    if (corrupt && !message.empty()) {
+      m.injected->Increment();
+      m.corrupted->Increment();
+      Bytes mangled = message;
+      std::size_t at;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        at = static_cast<std::size_t>(rng_.NextBelow(mangled.size()));
+      }
+      mangled[at] ^= 0xFF;
+      return inner_->Send(mangled);
+    }
+    return inner_->Send(message);
+  }
+
+  Result<Bytes> Recv() override { return inner_->Recv(); }
+
+  Result<Bytes> RecvTimeout(std::int64_t timeout_ns) override {
+    return inner_->RecvTimeout(timeout_ns);
+  }
+
+  Result<Bytes> TryRecv() override { return inner_->TryRecv(); }
+
+  void Close() override { inner_->Close(); }
+
+  std::string name() const override { return "faulty:" + inner_->name(); }
+
+ private:
+  TransportPtr inner_;
+  const FaultSpec spec_;
+  std::mutex mutex_;
+  Rng rng_;
+  std::int64_t sends_ = 0;
+};
+
+// Parses one scalar; returns false on garbage or trailing characters.
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+bool ParseInt(const std::string& text, std::int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+bool ParseU64(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(const std::string& text) {
+  FaultSpec spec;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    const std::string pair = text.substr(start, comma - start);
+    start = comma + 1;
+    if (pair.empty()) {
+      continue;
+    }
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgument("fault spec entry missing '=': " + pair);
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    bool ok = false;
+    if (key == "drop") {
+      ok = ParseDouble(value, &spec.drop) && spec.drop >= 0.0 &&
+           spec.drop <= 1.0;
+    } else if (key == "corrupt") {
+      ok = ParseDouble(value, &spec.corrupt) && spec.corrupt >= 0.0 &&
+           spec.corrupt <= 1.0;
+    } else if (key == "delay_us") {
+      ok = ParseInt(value, &spec.delay_us) && spec.delay_us >= 0;
+    } else if (key == "jitter_us") {
+      ok = ParseInt(value, &spec.jitter_us) && spec.jitter_us >= 0;
+    } else if (key == "disconnect_after") {
+      ok = ParseInt(value, &spec.disconnect_after) &&
+           spec.disconnect_after >= 0;
+    } else if (key == "seed") {
+      ok = ParseU64(value, &spec.seed);
+    } else {
+      return InvalidArgument("unknown fault spec key: " + key);
+    }
+    if (!ok) {
+      return InvalidArgument("bad fault spec value: " + pair);
+    }
+  }
+  return spec;
+}
+
+Result<FaultSpec> FaultSpecFromEnv() {
+  const char* env = std::getenv("AVA_FAULT_SPEC");
+  if (env == nullptr || env[0] == '\0') {
+    return FaultSpec{};
+  }
+  return ParseFaultSpec(env);
+}
+
+TransportPtr MakeFaultyTransport(TransportPtr inner, const FaultSpec& spec) {
+  return std::make_unique<FaultyTransport>(std::move(inner), spec);
+}
+
+TransportPtr WrapFaultyFromEnv(TransportPtr inner) {
+  Result<FaultSpec> spec = FaultSpecFromEnv();
+  if (!spec.ok()) {
+    AVA_LOG(ERROR) << "ignoring malformed AVA_FAULT_SPEC: "
+                   << spec.status().message();
+    return inner;
+  }
+  if (!spec->Enabled()) {
+    return inner;
+  }
+  return MakeFaultyTransport(std::move(inner), *spec);
+}
+
+}  // namespace ava

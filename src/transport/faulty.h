@@ -1,0 +1,62 @@
+// FaultyTransport: a deterministic fault-injection decorator over any
+// Transport. Wraps an inner endpoint and perturbs traffic according to a
+// FaultSpec — dropped sends, added latency, flipped payload bits, and forced
+// disconnects — so failure handling up the stack (deadlines, retry, CRC
+// rejection, session reaping) can be exercised reproducibly from a seed.
+//
+// Spec grammar (comma-separated key=value pairs, all keys optional):
+//
+//   drop=P               probability in [0,1] a Send is silently dropped
+//   corrupt=P            probability a sent payload gets one byte flipped
+//   delay_us=N           fixed extra latency, microseconds, on each Send
+//   jitter_us=N          extra uniform [0,N] microseconds on each Send
+//   disconnect_after=N   hard-Close the transport after N successful Sends
+//   seed=S               RNG seed (default 1)
+//
+// Example: AVA_FAULT_SPEC="drop=0.01,delay_us=500,corrupt=0.001"
+//
+// Faults apply on the Send path only: one faulty side is enough to exercise
+// both directions of a call, and keeping Recv passthrough preserves the
+// receiver's blocking/timeout semantics exactly.
+#ifndef AVA_SRC_TRANSPORT_FAULTY_H_
+#define AVA_SRC_TRANSPORT_FAULTY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+
+struct FaultSpec {
+  double drop = 0.0;
+  double corrupt = 0.0;
+  std::int64_t delay_us = 0;
+  std::int64_t jitter_us = 0;
+  // < 0 means "never". 0 means "disconnect before the first send".
+  std::int64_t disconnect_after = -1;
+  std::uint64_t seed = 1;
+
+  bool Enabled() const {
+    return drop > 0.0 || corrupt > 0.0 || delay_us > 0 || jitter_us > 0 ||
+           disconnect_after >= 0;
+  }
+};
+
+// Parses the grammar above. Unknown keys and malformed values are errors, so
+// a typo in AVA_FAULT_SPEC cannot silently disable a chaos run.
+Result<FaultSpec> ParseFaultSpec(const std::string& text);
+
+// Reads AVA_FAULT_SPEC. Returns a disabled (default) spec when unset or
+// empty; fails on a malformed value.
+Result<FaultSpec> FaultSpecFromEnv();
+
+// Wraps `inner` when AVA_FAULT_SPEC is set and valid; returns `inner`
+// unchanged when unset. A malformed spec logs and also returns `inner`
+// unchanged (tests use ParseFaultSpec directly for strictness).
+TransportPtr WrapFaultyFromEnv(TransportPtr inner);
+
+}  // namespace ava
+
+#endif  // AVA_SRC_TRANSPORT_FAULTY_H_

@@ -78,6 +78,29 @@ class InProcEndpoint final : public Transport {
     return message;
   }
 
+  Result<Bytes> RecvTimeout(std::int64_t timeout_ns) override {
+    std::unique_lock<std::mutex> lock(rx_->mutex);
+    // Message queues hand over whole frames, so a timeout never leaves a
+    // partially consumed message behind: no poisoning needed here.
+    const bool ready = rx_->can_recv.wait_for(
+        lock, std::chrono::nanoseconds(std::max<std::int64_t>(timeout_ns, 0)),
+        [&] { return rx_->closed || !rx_->queue.empty(); });
+    if (!ready) {
+      return DeadlineExceeded("inproc recv timed out");
+    }
+    if (rx_->queue.empty()) {
+      return Unavailable("inproc channel closed");
+    }
+    Bytes message = std::move(rx_->queue.front());
+    rx_->queue.pop_front();
+    lock.unlock();
+    rx_->can_send.notify_one();
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
+    return message;
+  }
+
   Result<Bytes> TryRecv() override {
     std::unique_lock<std::mutex> lock(rx_->mutex);
     if (rx_->queue.empty()) {

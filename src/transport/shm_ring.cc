@@ -8,6 +8,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <mutex>
@@ -99,6 +100,39 @@ class Ring {
       CopyIn(produced, src + written, n);
       header_->produced.store(produced + n, std::memory_order_release);
       written += n;
+    }
+    return OkStatus();
+  }
+
+  // ReadAll with a monotonic deadline. Partial progress before expiry is
+  // reported via `*consumed_any` so the caller can decide about poisoning.
+  Status ReadAllDeadline(void* data, std::size_t size,
+                         std::int64_t deadline_ns, bool* consumed_any) {
+    auto* dst = static_cast<std::uint8_t*>(data);
+    std::size_t read = 0;
+    int spins = 0;
+    while (read < size) {
+      const std::uint64_t consumed =
+          header_->consumed.load(std::memory_order_relaxed);
+      const std::uint64_t produced =
+          header_->produced.load(std::memory_order_acquire);
+      const std::size_t avail = static_cast<std::size_t>(produced - consumed);
+      if (avail == 0) {
+        if (IsClosed()) {
+          return Unavailable("shm ring closed");
+        }
+        if (MonotonicNowNs() >= deadline_ns) {
+          return DeadlineExceeded("shm ring recv timed out");
+        }
+        BackoffWait(&spins);
+        continue;
+      }
+      spins = 0;
+      const std::size_t n = std::min(avail, size - read);
+      CopyOut(consumed, dst + read, n);
+      header_->consumed.store(consumed + n, std::memory_order_release);
+      read += n;
+      *consumed_any = true;
     }
     return OkStatus();
   }
@@ -200,6 +234,35 @@ class ShmEndpoint final : public Transport {
     AVA_RETURN_IF_ERROR(rx_.ReadAll(&len, sizeof(len)));
     Bytes message(len);
     AVA_RETURN_IF_ERROR(rx_.ReadAll(message.data(), len));
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
+    return message;
+  }
+
+  Result<Bytes> RecvTimeout(std::int64_t timeout_ns) override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    const std::int64_t deadline_ns =
+        MonotonicNowNs() + std::max<std::int64_t>(timeout_ns, 0);
+    std::uint32_t len = 0;
+    bool consumed_any = false;
+    Status status =
+        rx_.ReadAllDeadline(&len, sizeof(len), deadline_ns, &consumed_any);
+    Bytes message;
+    if (status.ok()) {
+      message.resize(len);
+      status = rx_.ReadAllDeadline(message.data(), len, deadline_ns,
+                                   &consumed_any);
+    }
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kDeadlineExceeded && consumed_any) {
+        // The next reader would misparse the remaining payload bytes as a
+        // length prefix; a byte ring cannot resync mid-frame, so poison it.
+        Close();
+        return DeadlineExceeded("shm ring recv timed out mid-frame (poisoned)");
+      }
+      return status;
+    }
     transport_internal::KindMetrics& m = Metrics();
     m.msgs_received->Increment();
     m.bytes_received->Increment(message.size());

@@ -3,9 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
@@ -61,18 +64,74 @@ Status ReadAllFd(int fd, void* data, std::size_t size) {
   return OkStatus();
 }
 
+// Waits until `fd` is readable or `deadline_ns` (monotonic) passes. Returns
+// OK when readable, DeadlineExceeded on expiry, Unavailable on poll error.
+Status WaitReadable(int fd, std::int64_t deadline_ns) {
+  for (;;) {
+    const std::int64_t remaining_ns = deadline_ns - MonotonicNowNs();
+    if (remaining_ns <= 0) {
+      return DeadlineExceeded("socket recv timed out");
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int timeout_ms =
+        static_cast<int>(std::min<std::int64_t>((remaining_ns + 999999) / 1000000,
+                                                1000));
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Unavailable(std::string("socket poll failed: ") +
+                         std::strerror(errno));
+    }
+    if (rc > 0) {
+      return OkStatus();  // readable, an error, or EOF — recv() will tell
+    }
+  }
+}
+
+// ReadAllFd under a deadline. `*consumed_any` reports whether any byte was
+// taken off the stream before a failure, which is what decides poisoning.
+Status ReadAllFdDeadline(int fd, void* data, std::size_t size,
+                         std::int64_t deadline_ns, bool* consumed_any) {
+  auto* dst = static_cast<std::uint8_t*>(data);
+  std::size_t read = 0;
+  while (read < size) {
+    AVA_RETURN_IF_ERROR(WaitReadable(fd, deadline_ns));
+    ssize_t n = ::recv(fd, dst + read, size - read, MSG_DONTWAIT);
+    if (n == 0) {
+      return Unavailable("socket closed by peer");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Unavailable(std::string("socket recv failed: ") +
+                         std::strerror(errno));
+    }
+    read += static_cast<std::size_t>(n);
+    *consumed_any = true;
+  }
+  return OkStatus();
+}
+
 class SocketEndpoint final : public Transport {
  public:
   SocketEndpoint(int fd, std::string name) : fd_(fd), name_(std::move(name)) {}
 
-  ~SocketEndpoint() override { Close(); }
+  ~SocketEndpoint() override {
+    Close();
+    ::close(fd_);
+  }
 
   Status Send(const Bytes& message) override {
     const bool sampling = obs::SamplingEnabled();
     const std::int64_t start_ns = sampling ? MonotonicNowNs() : 0;
     transport_internal::KindMetrics& m = Metrics();
     std::lock_guard<std::mutex> lock(send_mutex_);
-    if (fd_ < 0) {
+    if (closed_.load(std::memory_order_acquire)) {
       return Unavailable("socket closed");
     }
     const std::uint32_t len = static_cast<std::uint32_t>(message.size());
@@ -88,7 +147,7 @@ class SocketEndpoint final : public Transport {
 
   Result<Bytes> Recv() override {
     std::lock_guard<std::mutex> lock(recv_mutex_);
-    if (fd_ < 0) {
+    if (closed_.load(std::memory_order_acquire)) {
       return Unavailable("socket closed");
     }
     std::uint32_t len = 0;
@@ -101,9 +160,41 @@ class SocketEndpoint final : public Transport {
     return message;
   }
 
+  Result<Bytes> RecvTimeout(std::int64_t timeout_ns) override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    if (closed_.load(std::memory_order_acquire)) {
+      return Unavailable("socket closed");
+    }
+    const std::int64_t deadline_ns =
+        MonotonicNowNs() + std::max<std::int64_t>(timeout_ns, 0);
+    std::uint32_t len = 0;
+    bool consumed_any = false;
+    Status status = ReadAllFdDeadline(fd_, &len, sizeof(len), deadline_ns,
+                                      &consumed_any);
+    Bytes message;
+    if (status.ok()) {
+      message.resize(len);
+      status = ReadAllFdDeadline(fd_, message.data(), len, deadline_ns,
+                                 &consumed_any);
+    }
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kDeadlineExceeded && consumed_any) {
+        // A partial frame sits on the stream; there is no way to resync a
+        // byte stream mid-frame, so poison the endpoint.
+        Close();
+        return DeadlineExceeded("socket recv timed out mid-frame (poisoned)");
+      }
+      return status;
+    }
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
+    return message;
+  }
+
   Result<Bytes> TryRecv() override {
     std::lock_guard<std::mutex> lock(recv_mutex_);
-    if (fd_ < 0) {
+    if (closed_.load(std::memory_order_acquire)) {
       return Unavailable("socket closed");
     }
     std::uint8_t probe;
@@ -129,17 +220,20 @@ class SocketEndpoint final : public Transport {
   }
 
   void Close() override {
-    if (fd_ >= 0) {
+    // Only shutdown() here: another thread may be blocked in recv()/send() on
+    // fd_, and close() would free the descriptor number for reuse under it.
+    // shutdown() wakes blocked peers with EOF/EPIPE; the destructor (sole
+    // owner, no concurrent calls by contract) releases the fd.
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
       ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
     }
   }
 
   std::string name() const override { return name_; }
 
  private:
-  int fd_;
+  const int fd_;
+  std::atomic<bool> closed_{false};
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
   std::string name_;

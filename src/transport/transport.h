@@ -36,6 +36,14 @@ class Transport {
   // closed and drained.
   virtual Result<Bytes> Recv() = 0;
 
+  // Recv with a relative timeout. Expiring while no byte of the next frame
+  // has been consumed returns DeadlineExceeded and leaves the channel
+  // intact; expiring mid-frame (a peer stalled or died halfway through a
+  // message) cannot be resynchronized on byte-stream transports, so the
+  // endpoint is closed ("poisoned") before DeadlineExceeded is returned.
+  // timeout_ns <= 0 means "only what is already deliverable".
+  virtual Result<Bytes> RecvTimeout(std::int64_t timeout_ns) = 0;
+
   // Non-blocking receive: returns NotFound immediately when no message is
   // pending, Unavailable when closed and drained.
   virtual Result<Bytes> TryRecv() = 0;
@@ -76,6 +84,11 @@ Result<ChannelPair> MakeSocketPairChannel();
 // guest connects.
 Result<TransportPtr> TcpListenAccept(std::uint16_t port);
 Result<TransportPtr> TcpConnect(const std::string& host, std::uint16_t port);
+
+// Decorator injecting deterministic faults (see src/transport/faulty.h).
+// Declared here so callers can wrap any endpoint without a new include.
+struct FaultSpec;
+TransportPtr MakeFaultyTransport(TransportPtr inner, const FaultSpec& spec);
 
 }  // namespace ava
 

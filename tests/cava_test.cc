@@ -360,6 +360,71 @@ buf alloc(st n) {
   EXPECT_TRUE(found);
 }
 
+TEST(SpecParserTest, IdempotentAnnotationCaptured) {
+  auto spec = ParseSpec(R"(
+api t 1;
+int f(int x) { sync; idempotent; }
+int g(int x) { sync; }
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->functions.size(), 2u);
+  EXPECT_TRUE(spec->functions[0].idempotent);
+  EXPECT_FALSE(spec->functions[1].idempotent);
+}
+
+TEST(EmitTest, IdempotentCallsEmitRetriableStubs) {
+  auto spec = ParseSpec(R"(
+api t 1;
+type(t_int) { scalar; success(0); failure(-1); }
+t_int f(t_int x) { sync; idempotent; }
+t_int g(t_int x) { sync; }
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto files = GenerateStack(*spec);
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  const std::string& guest = files->at("t_gen_guest.cc");
+  // The idempotent function's stub opts into transport-level retry; the
+  // unannotated one must not.
+  const std::size_t f_at = guest.find("stub_f");
+  const std::size_t g_at = guest.find("stub_g");
+  ASSERT_NE(f_at, std::string::npos);
+  ASSERT_NE(g_at, std::string::npos);
+  const std::string f_body = guest.substr(f_at, g_at - f_at);
+  const std::string g_body = guest.substr(g_at);
+  EXPECT_NE(f_body.find("/*retriable=*/true"), std::string::npos) << f_body;
+  EXPECT_EQ(g_body.find("/*retriable=*/true"), std::string::npos) << g_body;
+}
+
+TEST(LintTest, IdempotentSubmissionCallWarns) {
+  auto spec = ParseSpec(R"(
+api t 1;
+int fooSubmit(int x) { sync; idempotent; }
+)");
+  ASSERT_TRUE(spec.ok());
+  bool warned = false;
+  for (const auto& finding : LintSpec(*spec)) {
+    warned = warned ||
+             (finding.severity == LintFinding::Severity::kWarning &&
+              finding.message.find("re-execute") != std::string::npos);
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(LintTest, IdempotentOnAsyncOnlyFunctionAdvises) {
+  auto spec = ParseSpec(R"(
+api t 1;
+int f(int x) { async; idempotent; }
+)");
+  ASSERT_TRUE(spec.ok());
+  bool advised = false;
+  for (const auto& finding : LintSpec(*spec)) {
+    advised = advised ||
+              (finding.severity == LintFinding::Severity::kAdvice &&
+               finding.message.find("no effect") != std::string::npos);
+  }
+  EXPECT_TRUE(advised);
+}
+
 // The shipped specs must stay warning-free (advisories allowed).
 TEST(LintTest, ShippedSpecsHaveNoWarnings) {
   for (const char* name : {"/vcl.ava", "/mvnc.ava", "/qat.ava"}) {

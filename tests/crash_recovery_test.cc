@@ -1,0 +1,201 @@
+// End-to-end crash recovery: a real child process stands in for the API
+// server's silo work. It is SIGKILLed mid-call, and the stack must (a) give
+// the guest a classified Unavailable well within its deadline, (b) let the
+// router reap the dead session, and (c) serve a fresh session for the same
+// VM id afterwards. This is the paper's failure story in miniature: the
+// interposition layer turns a dead backend into an API-level error instead
+// of a wedged guest.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "src/common/vclock.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+namespace {
+
+constexpr std::uint16_t kTestApi = 42;
+constexpr std::uint32_t kOpEcho = 1;
+constexpr std::uint32_t kOpHang = 0xDD;  // child swallows the request
+
+// Child side of the backhaul: a minimal silo worker. Echoes requests, or
+// goes silent on kOpHang (simulating work in flight when the kill lands).
+[[noreturn]] void ChildServerLoop(Transport* backhaul) {
+  while (true) {
+    auto request = backhaul->Recv();
+    if (!request.ok()) {
+      _exit(0);
+    }
+    if (!request->empty() && (*request)[0] == 0xDD) {
+      ::pause();  // never replies; parent SIGKILLs us here
+    }
+    if (!backhaul->Send(*request).ok()) {
+      _exit(0);
+    }
+  }
+}
+
+// Parent-side handler: forwards each call over the backhaul to the child
+// process and waits (bounded) for its answer. A dead or silent child
+// classifies as Unavailable — the session itself keeps functioning.
+ApiHandler MakeProxyHandler(Transport* backhaul) {
+  return [backhaul](ServerContext*, std::uint32_t, ByteReader* args, bool,
+                    ByteWriter* reply) -> Status {
+    const std::uint32_t op = args->GetU32();
+    Bytes request = {static_cast<std::uint8_t>(op)};
+    AVA_RETURN_IF_ERROR(backhaul->Send(request));
+    auto echo = backhaul->RecvTimeout(500LL * 1000000);  // 500 ms
+    if (!echo.ok()) {
+      return Unavailable("api server process unreachable: " +
+                         echo.status().ToString());
+    }
+    reply->PutU32(1);
+    return OkStatus();
+  };
+}
+
+ApiHandler MakeLocalEchoHandler() {
+  return [](ServerContext*, std::uint32_t, ByteReader* args, bool,
+            ByteWriter* reply) -> Status {
+    reply->PutU32(args->GetU32());
+    return OkStatus();
+  };
+}
+
+Result<Bytes> CallOp(GuestEndpoint* endpoint, std::uint32_t op) {
+  ByteWriter args;
+  args.PutU32(op);
+  return endpoint->CallSync(kTestApi, 0, std::move(args).TakeBytes());
+}
+
+TEST(CrashRecoveryTest, ServerDeathClassifiesReapsAndRecovers) {
+  // The backhaul must exist before the fork; nothing else may (no threads
+  // cross fork()).
+  auto backhaul = MakeSocketPairChannel();
+  ASSERT_TRUE(backhaul.ok());
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ChildServerLoop(backhaul->guest.get());  // never returns
+  }
+
+  constexpr VmId kVm = 7;
+  Router router;
+  router.Start();
+  auto session = std::make_shared<ApiServerSession>(kVm);
+  session->RegisterApi(kTestApi, MakeProxyHandler(backhaul->host.get()));
+  auto channel = MakeInProcChannel();
+  ASSERT_TRUE(
+      router.AttachVm(kVm, std::move(channel.host), session).ok());
+  GuestEndpoint::Options opts;
+  opts.vm_id = kVm;
+  opts.call_deadline_ms = 2000;
+  opts.max_retries = 0;
+  auto endpoint =
+      std::make_unique<GuestEndpoint>(std::move(channel.guest), opts);
+
+  // Warm call proves the full guest -> router -> session -> child path.
+  auto warm = CallOp(endpoint.get(), kOpEcho);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // Kill the child mid-call: the request is in its hands when SIGKILL lands.
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_EQ(kill(child, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+  });
+  const std::int64_t t0 = MonotonicNowNs();
+  auto dead = CallOp(endpoint.get(), kOpHang);
+  const std::int64_t elapsed_ms = (MonotonicNowNs() - t0) / 1000000;
+  killer.join();
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable)
+      << dead.status().ToString();
+  // Classified well within the guest's own deadline: the handler's bounded
+  // backhaul wait (500 ms) is what answered, not the guest giving up.
+  EXPECT_LT(elapsed_ms, opts.call_deadline_ms);
+
+  // The session survives its backend: a further call classifies again
+  // rather than wedging the channel.
+  auto again = CallOp(endpoint.get(), kOpEcho);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
+
+  // Guest goes away -> the router notices the drained channel and reaps it.
+  endpoint.reset();
+  std::size_t reaped = 0;
+  for (int i = 0; i < 500 && reaped == 0; ++i) {
+    reaped = router.ReapDeadVms();
+    if (reaped == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(reaped, 1u);
+  EXPECT_GE(router.sessions_reaped(), 1u);
+
+  // Same VM id attaches fresh and completes a call: full recovery.
+  auto session2 = std::make_shared<ApiServerSession>(kVm);
+  session2->RegisterApi(kTestApi, MakeLocalEchoHandler());
+  auto channel2 = MakeInProcChannel();
+  ASSERT_TRUE(
+      router.AttachVm(kVm, std::move(channel2.host), session2).ok());
+  GuestEndpoint endpoint2(std::move(channel2.guest), opts);
+  auto fresh = CallOp(&endpoint2, 1234);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ByteReader r(*fresh);
+  EXPECT_EQ(r.GetU32(), 1234u);
+  router.Stop();
+}
+
+// A dead channel is also replaced transparently when AttachVm() reuses the
+// id without an explicit reap — the hot-reattach path.
+TEST(CrashRecoveryTest, AttachVmReplacesDeadChannelInPlace) {
+  constexpr VmId kVm = 3;
+  Router router;
+  router.Start();
+  auto session = std::make_shared<ApiServerSession>(kVm);
+  session->RegisterApi(kTestApi, MakeLocalEchoHandler());
+  auto channel = MakeInProcChannel();
+  ASSERT_TRUE(router.AttachVm(kVm, std::move(channel.host), session).ok());
+  {
+    GuestEndpoint::Options opts;
+    opts.vm_id = kVm;
+    GuestEndpoint endpoint(std::move(channel.guest), opts);
+    ASSERT_TRUE(CallOp(&endpoint, 1).ok());
+  }  // endpoint destroyed: transport closed, channel drains and dies
+
+  // Wait for the router to mark the session dead (visible via the counter),
+  // then re-attach the same id without calling ReapDeadVms() first.
+  for (int i = 0; i < 500 && router.sessions_reaped() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(router.sessions_reaped(), 1u);
+
+  auto session2 = std::make_shared<ApiServerSession>(kVm);
+  session2->RegisterApi(kTestApi, MakeLocalEchoHandler());
+  auto channel2 = MakeInProcChannel();
+  ASSERT_TRUE(
+      router.AttachVm(kVm, std::move(channel2.host), session2).ok());
+  GuestEndpoint::Options opts;
+  opts.vm_id = kVm;
+  GuestEndpoint endpoint2(std::move(channel2.guest), opts);
+  auto reply = CallOp(&endpoint2, 2);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  router.Stop();
+}
+
+}  // namespace
+}  // namespace ava

@@ -1,0 +1,434 @@
+// Fault-injection matrix: every transport × every fault class × retry
+// on/off. The invariant under test is the PR's headline guarantee — a call
+// under injected faults always terminates with a classified status (or a
+// successful retried call), never a hang or an unclassified error.
+//
+// The peer mirrors the router's framing exactly (CRC-check + strip on
+// receive, seal on send), so corruption exercises the real rejection path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/proto/wire.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/transport/faulty.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+namespace {
+
+constexpr std::uint16_t kApi = 42;
+
+// Aborts the whole process if a cell wedges: a hang is the one failure mode
+// this suite exists to rule out, so it must not be mistaken for a slow test.
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::seconds limit) {
+    thread_ = std::thread([this, limit] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!cv_.wait_for(lock, limit, [this] { return disarmed_; })) {
+        std::fprintf(stderr, "fault-matrix watchdog fired: cell hung\n");
+        std::abort();
+      }
+    });
+  }
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+// Router-faithful echo peer: CRC-checks and strips incoming frames (silently
+// dropping corrupt ones, as the router does), echoes sync call payloads back
+// in sealed replies.
+class EchoPeer {
+ public:
+  explicit EchoPeer(TransportPtr transport) : transport_(std::move(transport)) {
+    thread_ = std::thread([this] {
+      while (true) {
+        auto message = transport_->Recv();
+        if (!message.ok()) {
+          return;
+        }
+        if (!CheckAndStripFrame(&*message).ok()) {
+          continue;  // corrupt frame: nothing in it can be trusted
+        }
+        auto call = DecodeCall(*message);
+        if (!call.ok() || call->header.is_async()) {
+          continue;
+        }
+        ReplyHeader header;
+        header.call_id = call->header.call_id;
+        header.vm_id = call->header.vm_id;
+        ReplyBuilder builder(header);
+        builder.SetPayload(Bytes(call->payload.begin(), call->payload.end()));
+        Bytes frame = std::move(builder).Finish();
+        SealFrame(&frame);
+        (void)transport_->Send(frame);
+      }
+    });
+  }
+  ~EchoPeer() {
+    transport_->Close();
+    thread_.join();
+  }
+
+ private:
+  TransportPtr transport_;
+  std::thread thread_;
+};
+
+ChannelPair MakeChannelByName(const std::string& name) {
+  if (name == "inproc") {
+    return MakeInProcChannel(64);
+  }
+  if (name == "shm_ring") {
+    auto c = MakeShmRingChannel(1u << 16);
+    EXPECT_TRUE(c.ok());
+    return std::move(*c);
+  }
+  auto c = MakeSocketPairChannel();
+  EXPECT_TRUE(c.ok());
+  return std::move(*c);
+}
+
+// A retriable prepared call, the way a CAvA stub for an `idempotent;`
+// function issues it.
+Result<Bytes> Call(GuestEndpoint* endpoint, bool retriable) {
+  ByteWriter w = BeginCall(kApi, 1);
+  w.PutU32(0xC0FFEE);
+  return endpoint->CallSyncPrepared(std::move(w).TakeBytes(), retriable);
+}
+
+// Transport-classified outcomes a faulted call may legally end in.
+bool Classified(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kDataLoss;
+}
+
+// What a deterministic (probability 0/1) fault spec must produce.
+enum class Expect {
+  kOk,                    // fault is pure latency: call succeeds
+  kDeadline,              // request never arrives intact: deadline expires
+  kUnavailableAfterWarm,  // first call fine, channel then hard-fails
+};
+
+struct FaultCase {
+  const char* name;
+  const char* spec;
+  Expect expect;
+};
+
+constexpr FaultCase kFaultCases[] = {
+    {"drop", "drop=1,seed=9", Expect::kDeadline},
+    {"delay", "delay_us=2000,jitter_us=500,seed=9", Expect::kOk},
+    {"corrupt", "corrupt=1,seed=9", Expect::kDeadline},
+    {"disconnect", "disconnect_after=1,seed=9",
+     Expect::kUnavailableAfterWarm},
+};
+
+class FaultMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, FaultCase, bool>> {};
+
+TEST_P(FaultMatrixTest, CallTerminatesClassified) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  const auto& [transport_name, fault, retry] = GetParam();
+
+  ChannelPair channel = MakeChannelByName(transport_name);
+  auto spec = ParseFaultSpec(fault.spec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  TransportPtr faulty =
+      MakeFaultyTransport(std::move(channel.guest), *spec);
+
+  EchoPeer peer(std::move(channel.host));
+  GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  opts.call_deadline_ms = 150;  // bounds lost-request cells
+  opts.max_retries = retry ? 2 : 0;
+  opts.retry_backoff_us = 100;
+  opts.breaker_threshold = 0;  // breaker behavior has its own tests
+  GuestEndpoint endpoint(std::move(faulty), opts);
+
+  if (fault.expect == Expect::kUnavailableAfterWarm) {
+    auto warm = Call(&endpoint, retry);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  }
+  auto reply = Call(&endpoint, retry);
+  switch (fault.expect) {
+    case Expect::kOk:
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      break;
+    case Expect::kDeadline:
+      ASSERT_FALSE(reply.ok());
+      EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded)
+          << reply.status().ToString();
+      break;
+    case Expect::kUnavailableAfterWarm:
+      ASSERT_FALSE(reply.ok());
+      EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable)
+          << reply.status().ToString();
+      break;
+  }
+  if (!reply.ok()) {
+    EXPECT_TRUE(Classified(reply.status())) << reply.status().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, FaultMatrixTest,
+    ::testing::Combine(::testing::Values("inproc", "shm_ring", "socketpair"),
+                       ::testing::ValuesIn(kFaultCases),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<FaultMatrixTest::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param).name +
+             (std::get<2>(info.param) ? "_retry" : "_noretry");
+    });
+
+// ---------------------------------------------------------------------------
+// Retry behavior (deterministic, via seed search against the same RNG the
+// FaultyTransport draws from: one NextBool per send when only `drop` is set).
+
+std::uint64_t SeedDroppingOnlyFirstSend() {
+  for (std::uint64_t seed = 1; seed < 100000; ++seed) {
+    Rng rng(seed);
+    if (rng.NextBool(0.5) && !rng.NextBool(0.5) && !rng.NextBool(0.5)) {
+      return seed;
+    }
+  }
+  ADD_FAILURE() << "no suitable seed below 100000";
+  return 1;
+}
+
+TEST(FaultRetryTest, RetrySucceedsAfterSingleDrop) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  auto channel = MakeInProcChannel(64);
+  FaultSpec spec;
+  spec.drop = 0.5;
+  spec.seed = SeedDroppingOnlyFirstSend();
+  TransportPtr faulty = MakeFaultyTransport(std::move(channel.guest), spec);
+  EchoPeer peer(std::move(channel.host));
+  GuestEndpoint::Options opts;
+  opts.call_deadline_ms = 100;
+  opts.max_retries = 2;
+  opts.retry_backoff_us = 100;
+  GuestEndpoint endpoint(std::move(faulty), opts);
+  auto reply = Call(&endpoint, /*retriable=*/true);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  // First attempt dropped + one successful retry = exactly two sends.
+  EXPECT_EQ(endpoint.stats().messages_sent, 2u);
+}
+
+TEST(FaultRetryTest, NonRetriableCallNeverResent) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  auto channel = MakeInProcChannel(64);
+  FaultSpec spec;
+  spec.drop = 1.0;
+  TransportPtr faulty = MakeFaultyTransport(std::move(channel.guest), spec);
+  EchoPeer peer(std::move(channel.host));
+  GuestEndpoint::Options opts;
+  opts.call_deadline_ms = 100;
+  opts.max_retries = 5;  // available but must not be used
+  GuestEndpoint endpoint(std::move(faulty), opts);
+  auto reply = Call(&endpoint, /*retriable=*/false);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(endpoint.stats().messages_sent, 1u);
+}
+
+TEST(FaultRetryTest, RetriableCallExhaustsAttempts) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  auto channel = MakeInProcChannel(64);
+  FaultSpec spec;
+  spec.drop = 1.0;
+  TransportPtr faulty = MakeFaultyTransport(std::move(channel.guest), spec);
+  EchoPeer peer(std::move(channel.host));
+  GuestEndpoint::Options opts;
+  opts.call_deadline_ms = 50;
+  opts.max_retries = 2;
+  opts.retry_backoff_us = 100;
+  opts.breaker_threshold = 0;
+  GuestEndpoint endpoint(std::move(faulty), opts);
+  auto reply = Call(&endpoint, /*retriable=*/true);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(endpoint.stats().messages_sent, 3u);  // 1 try + 2 retries
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker.
+
+TEST(CircuitBreakerTest, OpensAfterThresholdAndFailsFast) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  auto channel = MakeInProcChannel(64);
+  channel.host->Close();  // every send fails Unavailable immediately
+  GuestEndpoint::Options opts;
+  opts.breaker_threshold = 3;
+  opts.breaker_cooldown_ms = 60000;  // stays open for the rest of the test
+  opts.max_retries = 0;
+  GuestEndpoint endpoint(std::move(channel.guest), opts);
+  for (int i = 0; i < 3; ++i) {
+    auto reply = Call(&endpoint, false);
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(endpoint.stats().messages_sent, 3u);
+  // Breaker now open: calls fail fast without touching the transport.
+  auto reply = Call(&endpoint, false);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(endpoint.stats().messages_sent, 3u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesAfterCooldown) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  auto channel = MakeInProcChannel(64);
+  channel.host->Close();
+  GuestEndpoint::Options opts;
+  opts.breaker_threshold = 2;
+  opts.breaker_cooldown_ms = 20;
+  opts.max_retries = 0;
+  GuestEndpoint endpoint(std::move(channel.guest), opts);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_FALSE(Call(&endpoint, false).ok());
+  }
+  EXPECT_EQ(endpoint.stats().messages_sent, 2u);
+  ASSERT_FALSE(Call(&endpoint, false).ok());  // fast-failed
+  EXPECT_EQ(endpoint.stats().messages_sent, 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // Cooldown elapsed: the next call is admitted as the half-open probe and
+  // reaches the (still dead) transport again.
+  ASSERT_FALSE(Call(&endpoint, false).ok());
+  EXPECT_EQ(endpoint.stats().messages_sent, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport unit behavior.
+
+TEST(FaultyTransportTest, DropAllDeliversNothing) {
+  auto channel = MakeInProcChannel(64);
+  FaultSpec spec;
+  spec.drop = 1.0;
+  TransportPtr faulty = MakeFaultyTransport(std::move(channel.guest), spec);
+  ASSERT_TRUE(faulty->Send({1, 2, 3}).ok());  // lossy link: sender sees OK
+  auto got = channel.host->TryRecv();
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FaultyTransportTest, CorruptAllFlipsExactlyOneByte) {
+  auto channel = MakeInProcChannel(64);
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  TransportPtr faulty = MakeFaultyTransport(std::move(channel.guest), spec);
+  const Bytes original(33, 0x5A);
+  ASSERT_TRUE(faulty->Send(original).ok());
+  auto got = channel.host->Recv();
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), original.size());
+  int diffs = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    diffs += (*got)[i] != original[i];
+  }
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST(FaultyTransportTest, DisconnectAfterZeroFailsFirstSend) {
+  auto channel = MakeInProcChannel(64);
+  FaultSpec spec;
+  spec.disconnect_after = 0;
+  TransportPtr faulty = MakeFaultyTransport(std::move(channel.guest), spec);
+  auto status = faulty->Send({1});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  // The inner transport is closed too: the peer observes Unavailable.
+  auto got = channel.host->Recv();
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultyTransportTest, RecvSidePassesThrough) {
+  auto channel = MakeInProcChannel(64);
+  FaultSpec spec;
+  spec.drop = 1.0;  // faults never touch the receive path
+  TransportPtr faulty = MakeFaultyTransport(std::move(channel.guest), spec);
+  ASSERT_TRUE(channel.host->Send({9, 9}).ok());
+  auto got = faulty->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-spec grammar.
+
+TEST(FaultSpecTest, ParsesFullGrammar) {
+  auto spec = ParseFaultSpec(
+      "drop=0.01,delay_us=500,corrupt=0.001,jitter_us=50,"
+      "disconnect_after=10,seed=77");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_DOUBLE_EQ(spec->drop, 0.01);
+  EXPECT_DOUBLE_EQ(spec->corrupt, 0.001);
+  EXPECT_EQ(spec->delay_us, 500);
+  EXPECT_EQ(spec->jitter_us, 50);
+  EXPECT_EQ(spec->disconnect_after, 10);
+  EXPECT_EQ(spec->seed, 77u);
+  EXPECT_TRUE(spec->Enabled());
+}
+
+TEST(FaultSpecTest, EmptySpecIsDisabled) {
+  auto spec = ParseFaultSpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->Enabled());
+}
+
+TEST(FaultSpecTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseFaultSpec("drop").ok());            // missing '='
+  EXPECT_FALSE(ParseFaultSpec("frobnicate=1").ok());    // unknown key
+  EXPECT_FALSE(ParseFaultSpec("drop=abc").ok());        // non-numeric
+  EXPECT_FALSE(ParseFaultSpec("drop=1.5").ok());        // out of range
+  EXPECT_FALSE(ParseFaultSpec("delay_us=-4").ok());     // negative
+  EXPECT_FALSE(ParseFaultSpec("drop=0.1x").ok());       // trailing garbage
+}
+
+TEST(FaultSpecTest, EnvWrapperRespectsUnsetAndMalformed) {
+  ::unsetenv("AVA_FAULT_SPEC");
+  auto disabled = FaultSpecFromEnv();
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_FALSE(disabled->Enabled());
+
+  ::setenv("AVA_FAULT_SPEC", "drop=0.25,seed=3", 1);
+  auto enabled = FaultSpecFromEnv();
+  ASSERT_TRUE(enabled.ok());
+  EXPECT_TRUE(enabled->Enabled());
+
+  // A malformed env spec must not silently produce a faulting transport.
+  ::setenv("AVA_FAULT_SPEC", "drop=oops", 1);
+  auto channel = MakeInProcChannel(4);
+  TransportPtr wrapped = WrapFaultyFromEnv(std::move(channel.guest));
+  EXPECT_EQ(wrapped->name().rfind("faulty:", 0), std::string::npos);
+  ::unsetenv("AVA_FAULT_SPEC");
+}
+
+}  // namespace
+}  // namespace ava

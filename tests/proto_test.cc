@@ -105,6 +105,56 @@ TEST(WireTest, MalformedMessagesRejected) {
   EXPECT_FALSE(DecodeReply(truncated_reply).ok());
 }
 
+TEST(FrameChecksumTest, SealAndCheckRoundTrip) {
+  CallHeader header;
+  header.api_id = 3;
+  header.func_id = 14;
+  Bytes frame = EncodeCall(header, {1, 2, 3, 4, 5});
+  const Bytes original = frame;
+  SealFrame(&frame);
+  ASSERT_EQ(frame.size(), original.size() + 4);
+  ASSERT_TRUE(CheckAndStripFrame(&frame).ok());
+  EXPECT_EQ(frame, original);
+}
+
+TEST(FrameChecksumTest, DetectsEverySingleByteFlip) {
+  CallHeader header;
+  Bytes sealed = EncodeCall(header, {7, 7, 7});
+  SealFrame(&sealed);
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    Bytes mangled = sealed;
+    mangled[i] ^= 0xFF;
+    auto status = CheckAndStripFrame(&mangled);
+    ASSERT_FALSE(status.ok()) << "flip at byte " << i << " went undetected";
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(FrameChecksumTest, ShortFrameRejected) {
+  Bytes tiny = {1, 2, 3};
+  EXPECT_EQ(CheckAndStripFrame(&tiny).code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameChecksumTest, Crc32MatchesKnownVector) {
+  // The standard CRC-32C (Castagnoli) check value for "123456789". Pins the
+  // polynomial: the hardware and software paths must both produce this, or
+  // mixed-host deployments would reject every frame.
+  EXPECT_EQ(Crc32("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(WireTest, PeekReplyStatusReadsCodeWithoutDecoding) {
+  ReplyHeader header;
+  header.call_id = 8;
+  header.status_code = static_cast<std::int32_t>(StatusCode::kUnavailable);
+  ReplyBuilder builder(header);
+  Bytes message = std::move(builder).Finish();
+  auto code = PeekReplyStatus(message);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(*code, static_cast<std::int32_t>(StatusCode::kUnavailable));
+  EXPECT_FALSE(PeekReplyStatus({2, 0, 0}).ok());  // too short
+}
+
 TEST(WireTest, ReplyWithErrorStatus) {
   ReplyHeader header;
   header.call_id = 77;

@@ -13,7 +13,15 @@
 namespace ava {
 namespace {
 
+// Seals a hand-built frame the way the router does before sending.
+void SendSealed(Transport* transport, Bytes frame) {
+  SealFrame(&frame);
+  (void)transport->Send(frame);
+}
+
 // A scripted peer: runs a lambda per received message on its own thread.
+// Incoming frames are CRC-checked and stripped, mirroring the router, so
+// handlers see the raw wire message.
 class FakeServer {
  public:
   using Handler = std::function<void(Transport*, const Bytes&)>;
@@ -25,6 +33,9 @@ class FakeServer {
         auto message = transport_->Recv();
         if (!message.ok()) {
           return;
+        }
+        if (!CheckAndStripFrame(&*message).ok()) {
+          continue;
         }
         handler_(transport_.get(), *message);
       }
@@ -55,7 +66,7 @@ void EchoHandler(Transport* transport, const Bytes& message) {
   header.vm_id = call->header.vm_id;
   ReplyBuilder builder(header);
   builder.SetPayload(Bytes(call->payload.begin(), call->payload.end()));
-  (void)transport->Send(std::move(builder).Finish());
+  SendSealed(transport, std::move(builder).Finish());
 }
 
 TEST(GuestEndpointTest, SyncCallEchoesPayload) {
@@ -174,7 +185,7 @@ TEST(GuestEndpointTest, ShadowUpdatesApplyToRegisteredPointers) {
         ReplyBuilder builder(header);
         builder.SetPayload({});
         builder.AddShadow(shadow_id, Bytes{9, 8, 7, 6});
-        (void)transport->Send(std::move(builder).Finish());
+        SendSealed(transport, std::move(builder).Finish());
       });
   GuestEndpoint endpoint(std::move(channel.guest), {});
   std::uint8_t target[4] = {0, 0, 0, 0};
@@ -203,7 +214,7 @@ TEST(GuestEndpointTest, ShadowRespectsRegisteredCapacity) {
         builder.SetPayload({});
         // Oversized shadow payload: must be clamped to the registration.
         builder.AddShadow(r.GetU64(), Bytes(64, 0xEE));
-        (void)transport->Send(std::move(builder).Finish());
+        SendSealed(transport, std::move(builder).Finish());
       });
   GuestEndpoint endpoint(std::move(channel.guest), {});
   std::uint8_t target[4] = {0, 0, 0, 0};
@@ -236,7 +247,7 @@ TEST(GuestEndpointTest, AsyncErrorShadowLatches) {
         Bytes err(sizeof(code));
         std::memcpy(err.data(), &code, sizeof(code));
         builder.AddShadow(kAsyncErrorShadowId, err);
-        (void)transport->Send(std::move(builder).Finish());
+        SendSealed(transport, std::move(builder).Finish());
       });
   GuestEndpoint endpoint(std::move(channel.guest), {});
   ASSERT_TRUE(endpoint.CallSync(1, 1, {}).ok());
@@ -254,7 +265,7 @@ TEST(GuestEndpointTest, RouterRejectionSurfacesStatusCode) {
         header.status_code =
             static_cast<std::int32_t>(StatusCode::kPermissionDenied);
         ReplyBuilder builder(header);
-        (void)transport->Send(std::move(builder).Finish());
+        SendSealed(transport, std::move(builder).Finish());
       });
   GuestEndpoint endpoint(std::move(channel.guest), {});
   auto reply = endpoint.CallSync(1, 1, {});

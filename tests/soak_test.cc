@@ -1,0 +1,222 @@
+// Soak test (ctest configuration "soak", excluded from the default run):
+// multi-threaded call churn through the full stack with ~1% injected faults
+// for a configurable duration. Passes when every call terminates classified,
+// no thread wedges (a watchdog aborts the run otherwise), and the stack's
+// failure counters stay monotone.
+//
+// Usage: soak_test [duration_seconds]   (default 30)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/vclock.h"
+#include "src/proto/wire.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/faulty.h"
+#include "src/transport/transport.h"
+
+namespace {
+
+constexpr std::uint16_t kApi = 42;
+
+ava::ApiHandler MakeHandler() {
+  return [](ava::ServerContext* ctx, std::uint32_t, ava::ByteReader* args,
+            bool, ava::ByteWriter* reply) -> ava::Status {
+    ctx->ChargeCost(1000);
+    reply->PutU32(args->GetU32());
+    return ava::OkStatus();
+  };
+}
+
+// Transport-classified failures plus the breaker's fast-fail: the complete
+// set of legal error outcomes for a faulted but well-formed call.
+bool Classified(const ava::Status& status) {
+  switch (status.code()) {
+    case ava::StatusCode::kUnavailable:
+    case ava::StatusCode::kDeadlineExceeded:
+    case ava::StatusCode::kDataLoss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Vm {
+  std::shared_ptr<ava::ApiServerSession> session;
+  std::shared_ptr<ava::GuestEndpoint> endpoint;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int duration_s = argc > 1 ? std::atoi(argv[1]) : 30;
+  if (duration_s <= 0) {
+    std::fprintf(stderr, "soak_test: bad duration '%s'\n", argv[1]);
+    return 2;
+  }
+
+  // Hard watchdog: if shutdown wedges, crash loudly instead of timing out
+  // silently under ctest.
+  std::atomic<bool> done{false};
+  std::thread watchdog([&] {
+    const auto limit = std::chrono::seconds(duration_s + 120);
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!done.load()) {
+      if (std::chrono::steady_clock::now() - t0 > limit) {
+        std::fprintf(stderr, "soak_test: watchdog fired, aborting\n");
+        std::abort();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+
+  ava::Router router;
+  router.Start();
+
+  // Three VMs, one per transport flavor, each behind a lossy link.
+  std::vector<Vm> vms;
+  for (ava::VmId vm_id = 1; vm_id <= 3; ++vm_id) {
+    ava::ChannelPair channel;
+    if (vm_id == 1) {
+      channel = ava::MakeInProcChannel(64);
+    } else if (vm_id == 2) {
+      auto c = ava::MakeShmRingChannel(1u << 16);
+      if (!c.ok()) {
+        std::fprintf(stderr, "shm channel: %s\n", c.status().ToString().c_str());
+        return 2;
+      }
+      channel = std::move(*c);
+    } else {
+      auto c = ava::MakeSocketPairChannel();
+      if (!c.ok()) {
+        std::fprintf(stderr, "socket channel: %s\n",
+                     c.status().ToString().c_str());
+        return 2;
+      }
+      channel = std::move(*c);
+    }
+    ava::FaultSpec spec;
+    spec.drop = 0.01;
+    spec.corrupt = 0.005;
+    spec.delay_us = 20;
+    spec.seed = 1000 + vm_id;
+    ava::TransportPtr faulty =
+        ava::MakeFaultyTransport(std::move(channel.guest), spec);
+
+    Vm vm;
+    vm.session = std::make_shared<ava::ApiServerSession>(vm_id);
+    vm.session->RegisterApi(kApi, MakeHandler());
+    if (!router.AttachVm(vm_id, std::move(channel.host), vm.session).ok()) {
+      std::fprintf(stderr, "AttachVm %llu failed\n",
+                   static_cast<unsigned long long>(vm_id));
+      return 2;
+    }
+    ava::GuestEndpoint::Options opts;
+    opts.vm_id = vm_id;
+    opts.call_deadline_ms = 100;
+    opts.max_retries = 2;
+    opts.retry_backoff_us = 100;
+    vm.endpoint =
+        std::make_shared<ava::GuestEndpoint>(std::move(faulty), opts);
+    vms.push_back(std::move(vm));
+  }
+
+  std::atomic<std::uint64_t> ok_calls{0};
+  std::atomic<std::uint64_t> classified_errors{0};
+  std::atomic<std::uint64_t> unclassified_errors{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (auto& vm : vms) {
+    for (int t = 0; t < 2; ++t) {
+      workers.emplace_back([&vm, t, &ok_calls, &classified_errors,
+                            &unclassified_errors, &stop] {
+        std::uint32_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          ava::ByteWriter w = ava::BeginCall(kApi, 0);
+          w.PutU32(++i);
+          auto reply = vm.endpoint->CallSyncPrepared(
+              std::move(w).TakeBytes(), /*retriable=*/true);
+          if (reply.ok()) {
+            ok_calls.fetch_add(1, std::memory_order_relaxed);
+          } else if (Classified(reply.status())) {
+            classified_errors.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            unclassified_errors.fetch_add(1, std::memory_order_relaxed);
+            std::fprintf(stderr, "unclassified: %s\n",
+                         reply.status().ToString().c_str());
+          }
+          if ((t & 1) != 0) {
+            // Odd workers also exercise the async/batch path under faults.
+            (void)vm.endpoint->CallAsync(kApi, 0, {});
+          }
+        }
+      });
+    }
+  }
+
+  // Main thread samples counters once a second and checks monotonicity.
+  bool monotone = true;
+  std::uint64_t last_sent = 0;
+  std::uint64_t last_reaped = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(duration_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    std::uint64_t sent = 0;
+    for (const auto& vm : vms) {
+      sent += vm.endpoint->stats().messages_sent;
+    }
+    const std::uint64_t reaped = router.sessions_reaped();
+    if (sent < last_sent || reaped < last_reaped) {
+      monotone = false;
+      std::fprintf(stderr, "counter regression: sent %llu->%llu reaped %llu->%llu\n",
+                   static_cast<unsigned long long>(last_sent),
+                   static_cast<unsigned long long>(sent),
+                   static_cast<unsigned long long>(last_reaped),
+                   static_cast<unsigned long long>(reaped));
+    }
+    last_sent = sent;
+    last_reaped = reaped;
+  }
+
+  stop.store(true);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  // Endpoints close their transports; the router drains and stops cleanly.
+  for (auto& vm : vms) {
+    vm.endpoint.reset();
+  }
+  router.Stop();
+  done.store(true);
+  watchdog.join();
+
+  const std::uint64_t ok = ok_calls.load();
+  const std::uint64_t classified = classified_errors.load();
+  const std::uint64_t unclassified = unclassified_errors.load();
+  std::fprintf(stderr,
+               "soak: %llus, %llu ok, %llu classified errors, "
+               "%llu unclassified\n",
+               static_cast<unsigned long long>(duration_s),
+               static_cast<unsigned long long>(ok),
+               static_cast<unsigned long long>(classified),
+               static_cast<unsigned long long>(unclassified));
+
+  if (ok == 0) {
+    std::fprintf(stderr, "soak_test: no call ever succeeded\n");
+    return 1;
+  }
+  if (unclassified != 0 || !monotone) {
+    return 1;
+  }
+  std::puts("soak_test OK");
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -139,6 +141,113 @@ TEST_P(TransportContractTest, ConcurrentSendersDoNotInterleave) {
   t2.join();
   EXPECT_EQ(seen11, kPerSender);
   EXPECT_EQ(seen77, kPerSender);
+}
+
+TEST_P(TransportContractTest, RecvTimeoutExpiresCleanlyThenDelivers) {
+  ChannelPair channel = MakeChannel();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto got = channel.host->RecvTimeout(50LL * 1000000);  // 50 ms
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+  // A clean timeout (no frame bytes consumed) must not poison the channel:
+  // the next message still comes through intact.
+  ASSERT_TRUE(channel.guest->Send(MakeMessage(64, 5)).ok());
+  got = channel.host->RecvTimeout(2000LL * 1000000);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, MakeMessage(64, 5));
+}
+
+TEST_P(TransportContractTest, RecvTimeoutReturnsPendingImmediately) {
+  ChannelPair channel = MakeChannel();
+  ASSERT_TRUE(channel.guest->Send(MakeMessage(128, 9)).ok());
+  auto got = channel.host->RecvTimeout(5000LL * 1000000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, MakeMessage(128, 9));
+}
+
+TEST_P(TransportContractTest, RecvTimeoutZeroBudgetExpiresImmediately) {
+  ChannelPair channel = MakeChannel();
+  auto got = channel.host->RecvTimeout(0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_P(TransportContractTest, RecvTimeoutOnClosedChannelUnavailable) {
+  ChannelPair channel = MakeChannel();
+  channel.guest->Close();
+  auto got = channel.host->RecvTimeout(2000LL * 1000000);
+  ASSERT_FALSE(got.ok());
+  // Closed beats expired: a dead channel is Unavailable, not a timeout.
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_P(TransportContractTest, RecvTimeoutDrainsBeforeReportingClosed) {
+  ChannelPair channel = MakeChannel();
+  ASSERT_TRUE(channel.guest->Send(MakeMessage(32, 2)).ok());
+  channel.guest->Close();
+  auto got = channel.host->RecvTimeout(2000LL * 1000000);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, MakeMessage(32, 2));
+  got = channel.host->RecvTimeout(2000LL * 1000000);
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+// ---- Close/shutdown audit (regression tests for the PR's close fixes) ----
+
+TEST_P(TransportContractTest, PeerCloseWakesSenderBlockedOnFullChannel) {
+  ChannelPair channel = MakeChannel();
+  std::atomic<bool> send_failed{false};
+  std::thread sender([&] {
+    // Far more data than any transport buffers: the sender must block, and
+    // the peer's Close() must wake it with a failure rather than leave it
+    // wedged forever.
+    for (int i = 0; i < 100000; ++i) {
+      if (!channel.guest->Send(MakeMessage(1024, 1)).ok()) {
+        send_failed = true;
+        return;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  channel.host->Close();
+  sender.join();
+  EXPECT_TRUE(send_failed.load());
+}
+
+TEST_P(TransportContractTest, ConcurrentAndDoubleCloseDuringRecvIsSafe) {
+  ChannelPair channel = MakeChannel();
+  std::thread receiver([&] {
+    auto got = channel.host->Recv();
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Two threads race to close the endpoint the receiver is blocked on; each
+  // closes twice. Must neither crash, double-free, nor strand the receiver.
+  std::thread closer1([&] {
+    channel.host->Close();
+    channel.host->Close();
+  });
+  std::thread closer2([&] {
+    channel.host->Close();
+    channel.host->Close();
+  });
+  closer1.join();
+  closer2.join();
+  receiver.join();
+  // The already-closed endpoint stays in a terminal, non-blocking state.
+  EXPECT_FALSE(channel.host->Recv().ok());
+  EXPECT_FALSE(channel.guest->Send({1}).ok());
+}
+
+TEST_P(TransportContractTest, SendAfterOwnCloseFailsCleanly) {
+  ChannelPair channel = MakeChannel();
+  channel.guest->Close();
+  auto status = channel.guest->Send(MakeMessage(8, 4));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
 }
 
 ChannelPair MustShm() {
