@@ -2,10 +2,92 @@
 // system architectures"): the same workloads over the in-process FIFO, the
 // cross-process shared-memory ring, and a Unix socket (the disaggregated
 // configuration's transport).
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 #include "src/workloads/vcl_workloads.h"
+
+namespace {
+
+// One guest VM with a context/queue/device buffer ready for bulk transfers.
+struct BulkRig {
+  bench::GuestVm* vm = nullptr;
+  ava_gen_vcl::VclApi api;
+  vcl_command_queue queue = nullptr;
+  vcl_mem mem = nullptr;
+
+  explicit BulkRig(bench::Stack& stack, ava::VmId vm_id,
+                   std::int64_t arena_threshold, std::size_t bytes) {
+    ava::GuestEndpoint::Options opts;
+    opts.arena_threshold_bytes = arena_threshold;
+    vm = &stack.AddVm(vm_id, bench::TransportKind::kShmRing, opts);
+    api = vm->VclApi();
+    vcl_platform_id platform = nullptr;
+    api.vclGetPlatformIDs(1, &platform, nullptr);
+    vcl_device_id device = nullptr;
+    api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+    vcl_int err = VCL_SUCCESS;
+    vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+    queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+    mem = api.vclCreateBuffer(ctx, 0, bytes, nullptr, &err);
+  }
+
+  double RoundTripNs(std::uint8_t* host, std::size_t bytes) {
+    ava::Stopwatch watch;
+    api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, bytes, host, 0,
+                              nullptr, nullptr);
+    api.vclEnqueueReadBuffer(queue, mem, VCL_TRUE, 0, bytes, host, 0,
+                             nullptr, nullptr);
+    return watch.ElapsedSeconds() * 1e9;
+  }
+};
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Interleaved A/B of the bulk data path on the shm transport: the same
+// blocking write+read round trip with the arena disabled (inline
+// marshaling, the pre-arena wire format) and enabled. Interleaving keeps
+// both sides exposed to the same machine state (the honest way to compare;
+// see the verify notes on run-to-run noise).
+void BulkDataPathAblation() {
+  std::printf(
+      "\nBulk data path on shm-ring — inline marshaling vs. shared-memory "
+      "arena\n\n");
+  std::printf("%-12s %14s %14s %10s\n", "buffer", "inline", "arena",
+              "speedup");
+  bench::PrintRule(56);
+  const std::size_t kSizes[] = {256u << 10, 1u << 20, 4u << 20, 16u << 20};
+  constexpr int kReps = 15;
+  for (std::size_t bytes : kSizes) {
+    vcl::ResetDefaultSilo({});
+    bench::Stack stack;
+    BulkRig inline_rig(stack, 1, /*arena_threshold=*/0, bytes);
+    BulkRig arena_rig(stack, 2, /*arena_threshold=*/64 << 10, bytes);
+    std::vector<std::uint8_t> host(bytes, 0x5A);
+    std::vector<double> inline_ns, arena_ns;
+    inline_rig.RoundTripNs(host.data(), bytes);  // warm both paths
+    arena_rig.RoundTripNs(host.data(), bytes);
+    for (int rep = 0; rep < kReps; ++rep) {
+      inline_ns.push_back(inline_rig.RoundTripNs(host.data(), bytes));
+      arena_ns.push_back(arena_rig.RoundTripNs(host.data(), bytes));
+    }
+    const double inline_med = Median(inline_ns);
+    const double arena_med = Median(arena_ns);
+    std::printf("%8zu KiB %12.0fns %12.0fns %9.2fx\n", bytes >> 10,
+                inline_med, arena_med, inline_med / arena_med);
+  }
+  bench::PrintRule(56);
+  std::printf(
+      "inline = bytes serialized into the command block (two copies +\n"
+      "ring trip); arena = out-of-band shm slots, descriptor-only frames.\n");
+}
+
+}  // namespace
 
 int main() {
   constexpr int kReps = 3;
@@ -49,5 +131,7 @@ int main() {
       "\ninproc = condvar-signaled FIFO (virtio-style kick);\n"
       "shm-ring = polled shared-memory rings usable across fork();\n"
       "socket = AF_UNIX stream (remote/disaggregated accelerators).\n");
+
+  BulkDataPathAblation();
   return 0;
 }

@@ -1,0 +1,155 @@
+// Perf-regression gate (`ctest -L perf`): measures the two numbers the rest
+// of the performance story is built on — the forwarded null-call round trip
+// and a 4 MiB bulk-buffer round trip over the shm transport (arena path) —
+// and fails when either regresses more than the configured margin past the
+// baseline checked into bench/baselines.json.
+//
+// Baselines are deliberately set WIDE of the observed medians (see the
+// "note" field in the JSON): the gate exists to catch structural
+// regressions (an accidental copy, a lost fast path, a serialization blowup),
+// not to flake on a loaded CI box. Medians over several repetitions absorb
+// scheduler noise. To refresh after an intentional change, run the binary
+// and copy the printed medians (plus headroom) into baselines.json.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace {
+
+// Minimal extractor for the flat {"key": number, ...} shape of
+// baselines.json (no external JSON dependency in this repo).
+bool FindNumber(const std::string& json, const std::string& key,
+                double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  const std::size_t colon = json.find(':', at + needle.size());
+  if (colon == std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(json.c_str() + colon + 1, &end);
+  if (end == json.c_str() + colon + 1) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// Median per-iteration nanoseconds over `reps` repetitions of `iters`
+// iterations each. Medians make single descheduling spikes harmless.
+double MedianNsPerIter(int reps, int iters, const std::function<void()>& fn) {
+  const double median_s =
+      bench::MedianSeconds(reps, [&] {
+        for (int i = 0; i < iters; ++i) {
+          fn();
+        }
+      });
+  return median_s * 1e9 / iters;
+}
+
+struct GateRow {
+  const char* name;
+  double measured_ns;
+  double baseline_ns;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: perf_gate <baselines.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "perf_gate: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  double null_call_baseline = 0, bulk_baseline = 0, margin = 0;
+  if (!FindNumber(json, "null_call_ns", &null_call_baseline) ||
+      !FindNumber(json, "bulk_4mib_roundtrip_ns", &bulk_baseline) ||
+      !FindNumber(json, "regression_margin", &margin)) {
+    std::fprintf(stderr, "perf_gate: malformed %s\n", argv[1]);
+    return 2;
+  }
+
+  // --- null call: the small-call hot path (inproc, like micro_call) ---
+  vcl::ResetDefaultSilo({});
+  double null_call_ns = 0;
+  {
+    bench::Stack stack;
+    auto& vm = stack.AddVm(1, bench::TransportKind::kInProc);
+    auto api = vm.VclApi();
+    vcl_uint n = 0;
+    api.vclGetPlatformIDs(0, nullptr, &n);  // warm the stack
+    null_call_ns = MedianNsPerIter(
+        7, 2000, [&] { api.vclGetPlatformIDs(0, nullptr, &n); });
+  }
+
+  // --- 4 MiB buffer round trip: the bulk path (shm ring + arena) ---
+  constexpr std::size_t kBulkBytes = 4u << 20;
+  double bulk_ns = 0;
+  {
+    vcl::ResetDefaultSilo({});
+    bench::Stack stack;
+    auto& vm = stack.AddVm(1, bench::TransportKind::kShmRing);
+    auto api = vm.VclApi();
+    vcl_platform_id platform = nullptr;
+    api.vclGetPlatformIDs(1, &platform, nullptr);
+    vcl_device_id device = nullptr;
+    api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+    vcl_int err = VCL_SUCCESS;
+    vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+    vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+    vcl_mem mem = api.vclCreateBuffer(ctx, 0, kBulkBytes, nullptr, &err);
+    std::vector<std::uint8_t> host(kBulkBytes, 0x77);
+    bulk_ns = MedianNsPerIter(7, 8, [&] {
+      api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kBulkBytes,
+                                host.data(), 0, nullptr, nullptr);
+      api.vclEnqueueReadBuffer(queue, mem, VCL_TRUE, 0, kBulkBytes,
+                               host.data(), 0, nullptr, nullptr);
+    });
+    api.vclReleaseMemObject(mem);
+    api.vclReleaseCommandQueue(queue);
+    api.vclReleaseContext(ctx);
+  }
+
+  const GateRow rows[] = {
+      {"null_call", null_call_ns, null_call_baseline},
+      {"bulk_4mib_roundtrip", bulk_ns, bulk_baseline},
+  };
+  int failures = 0;
+  std::printf("perf gate (fail above baseline x %.2f)\n", margin);
+  std::printf("%-22s %14s %14s %10s  %s\n", "metric", "measured",
+              "baseline", "ratio", "verdict");
+  bench::PrintRule(72);
+  for (const auto& row : rows) {
+    const double limit = row.baseline_ns * margin;
+    const bool ok = row.measured_ns <= limit;
+    failures += ok ? 0 : 1;
+    std::printf("%-22s %12.0fns %12.0fns %9.2fx  %s\n", row.name,
+                row.measured_ns, row.baseline_ns,
+                row.measured_ns / row.baseline_ns, ok ? "ok" : "REGRESSED");
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "\nperf_gate: %d metric(s) regressed past the margin. If "
+                 "the change is intentional, refresh bench/baselines.json "
+                 "with the printed medians plus headroom.\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

@@ -46,6 +46,41 @@ inline void PutOptionalCString(ByteWriter* w, const char* s) {
   }
 }
 
+// ----------------------------- bulk buffers --------------------------------
+//
+// Large `buffer(size)` parameters travel either inline in the command block
+// or out-of-band in a shared-memory buffer arena (src/transport/arena.h). A
+// one-byte marker selects the encoding; the arena form carries only this
+// compact descriptor instead of the bytes. Encoding 0/1 deliberately matches
+// the older PutBool presence flag, so the inline form is byte-identical to
+// the pre-arena wire format.
+inline constexpr std::uint8_t kBulkNull = 0;    // absent (null pointer)
+inline constexpr std::uint8_t kBulkInline = 1;  // length-prefixed blob follows
+inline constexpr std::uint8_t kBulkArena = 2;   // ArenaDesc follows
+
+struct ArenaDesc {
+  std::uint32_t arena_id = 0;    // which arena (guards cross-channel mixups)
+  std::uint32_t slot = 0;        // slot index; byte offset = slot * slot_bytes
+  std::uint64_t length = 0;      // valid bytes (in) or capacity (out)
+  std::uint32_t generation = 0;  // slot generation at acquire; stale = reject
+};
+
+inline void PutArenaDesc(ByteWriter* w, const ArenaDesc& d) {
+  w->PutU32(d.arena_id);
+  w->PutU32(d.slot);
+  w->PutU64(d.length);
+  w->PutU32(d.generation);
+}
+
+inline ArenaDesc GetArenaDesc(ByteReader* r) {
+  ArenaDesc d;
+  d.arena_id = r->GetU32();
+  d.slot = r->GetU32();
+  d.length = r->GetU64();
+  d.generation = r->GetU32();
+  return d;
+}
+
 // Out-parameter descriptor sent guest -> server: does the caller want the
 // value, and (for buffers) how many bytes of capacity it provided.
 inline void PutOutDesc(ByteWriter* w, const void* ptr, std::size_t capacity) {

@@ -26,7 +26,8 @@ constexpr std::size_t kReplyRxOffset = 37;
 constexpr std::size_t kReplyDispatchOffset = 45;
 
 // Offsets of the back-patchable call-header fields (see PutCallHeader):
-// call_id at 7, vm_id at 15, flags at 23, trace_id at 24, t_send_ns at 32.
+// call_id at 7, vm_id at 15, flags at 23, trace_id at 24, t_send_ns at 32,
+// bulk_bytes at 40 (kCallBulkBytesOffset, public: stubs patch it directly).
 constexpr std::size_t kCallIdOffset = 7;
 constexpr std::size_t kCallVmOffset = 15;
 constexpr std::size_t kCallFlagsOffset = 23;
@@ -42,6 +43,7 @@ void PutCallHeader(ByteWriter* w, const CallHeader& h) {
   w->PutU8(h.flags);
   w->PutU64(h.trace_id);
   w->PutI64(h.t_send_ns);
+  w->PutU64(h.bulk_bytes);
 }
 
 }  // namespace
@@ -159,6 +161,7 @@ Result<DecodedCall> DecodeCall(const Bytes& message) {
   out.header.flags = r.GetU8();
   out.header.trace_id = r.GetU64();
   out.header.t_send_ns = r.GetI64();
+  out.header.bulk_bytes = r.GetU64();
   AVA_RETURN_IF_ERROR(r.status());
   // The payload is the remainder of the message.
   out.payload = std::span<const std::uint8_t>(
@@ -245,6 +248,15 @@ void PatchReplyRouterTrace(Bytes* message, std::int64_t t_rx_ns,
   std::memcpy(message->data() + kReplyRxOffset, &t_rx_ns, sizeof(t_rx_ns));
   std::memcpy(message->data() + kReplyDispatchOffset, &t_dispatch_ns,
               sizeof(t_dispatch_ns));
+}
+
+Result<std::uint64_t> PeekCallBulkBytes(const Bytes& message) {
+  if (message.size() < kCallHeaderSize ||
+      message[0] != static_cast<std::uint8_t>(MsgKind::kCall)) {
+    return DataLoss("not a call message");
+  }
+  ByteReader r(message.data() + kCallBulkBytesOffset, sizeof(std::uint64_t));
+  return r.GetU64();
 }
 
 Result<std::int32_t> PeekReplyStatus(const Bytes& message) {

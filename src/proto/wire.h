@@ -51,6 +51,11 @@ struct CallHeader {
   // is disabled.
   std::uint64_t trace_id = 0;
   std::int64_t t_send_ns = 0;
+  // Bytes this call moved out-of-band through the shared-memory buffer
+  // arena (descriptors in the payload point at them). The router adds this
+  // to the frame size for bytes-per-second policies, so arena traffic is
+  // not invisible to rate limiting. Zero for inline-only calls.
+  std::uint64_t bulk_bytes = 0;
 
   bool is_async() const { return (flags & kCallFlagAsync) != 0; }
 };
@@ -89,8 +94,14 @@ struct ShadowUpdate {
 // Fixed size of an encoded call header; the argument payload is the
 // remainder of the message (no length prefix, no copy). Layout:
 // kind(1) api_id(2) func_id(4) call_id(8) vm_id(8) flags(1) trace_id(8)
-// t_send_ns(8).
-inline constexpr std::size_t kCallHeaderSize = 1 + 2 + 4 + 8 + 8 + 1 + 8 + 8;
+// t_send_ns(8) bulk_bytes(8).
+inline constexpr std::size_t kCallHeaderSize =
+    1 + 2 + 4 + 8 + 8 + 1 + 8 + 8 + 8;
+
+// Offset of the bulk_bytes field within an encoded call. Generated stubs
+// back-patch it (via ByteWriter::PatchAt) after marshaling arena-resident
+// arguments; the router reads it without a full decode.
+inline constexpr std::size_t kCallBulkBytesOffset = 40;
 
 // Starts a call message: writes the header with placeholder call/vm/flags
 // fields. Generated stubs marshal arguments directly into the returned
@@ -173,6 +184,10 @@ void PatchReplyRouterTrace(Bytes* message, std::int64_t t_rx_ns,
 // Reads just the status field of an encoded reply (router fast path; lets
 // the scheduler notice a dead backend without a full decode).
 Result<std::int32_t> PeekReplyStatus(const Bytes& message);
+
+// Reads just the bulk_bytes field of an encoded call (router fast path:
+// arena accounting without a full decode).
+Result<std::uint64_t> PeekCallBulkBytes(const Bytes& message);
 
 // ------------------------------ framing CRC --------------------------------
 //

@@ -5,6 +5,7 @@
 #define AVA_SRC_ROUTER_RATE_LIMITER_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <thread>
@@ -20,28 +21,41 @@ class TokenBucket {
       : rate_(rate_per_sec),
         burst_(burst > 0 ? burst : rate_per_sec),
         tokens_(burst_),
-        last_refill_ns_(MonotonicNowNs()) {}
+        last_refill_ns_(MonotonicNowNs()),
+        enabled_(rate_per_sec > 0.0) {}
 
-  // Re-arms the limiter (not thread-safe; configure before use).
+  // Re-arms the limiter. Safe to call while other threads are inside
+  // Acquire/TryAcquire: the router reconfigures buckets on hot attach while
+  // RX threads are already drawing from them. A thread blocked in Acquire
+  // observes the new rate on its next refill check (including rate 0, which
+  // releases it immediately).
   void Configure(double rate_per_sec, double burst = 0.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
     rate_ = rate_per_sec;
     burst_ = burst > 0 ? burst : rate_per_sec;
     tokens_ = burst_;
     last_refill_ns_ = MonotonicNowNs();
+    enabled_.store(rate_per_sec > 0.0, std::memory_order_relaxed);
   }
 
-  bool enabled() const { return rate_ > 0.0; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Blocks the calling thread until `amount` tokens are available, then
   // consumes them. Returns the time spent waiting in nanoseconds.
   std::int64_t Acquire(double amount) {
-    if (!enabled()) {
+    // Disabled is the common case on the per-call path; skip the lock. A
+    // racing Configure is benign either way: the locked loop below
+    // re-checks rate_ before ever consuming or waiting.
+    if (!enabled_.load(std::memory_order_relaxed)) {
       return 0;
     }
     std::int64_t waited = 0;
     while (true) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (rate_ <= 0.0) {
+          return waited;  // limiter disabled (possibly mid-wait)
+        }
         Refill();
         if (tokens_ >= amount) {
           tokens_ -= amount;
@@ -56,10 +70,13 @@ class TokenBucket {
 
   // Non-blocking variant: consumes and returns true when enough tokens.
   bool TryAcquire(double amount) {
-    if (!enabled()) {
+    if (!enabled_.load(std::memory_order_relaxed)) {
       return true;
     }
     std::lock_guard<std::mutex> lock(mutex_);
+    if (rate_ <= 0.0) {
+      return true;
+    }
     Refill();
     if (tokens_ >= amount) {
       tokens_ -= amount;
@@ -80,7 +97,10 @@ class TokenBucket {
   double burst_;
   double tokens_;
   std::int64_t last_refill_ns_;
-  std::mutex mutex_;
+  // Lock-free mirror of `rate_ > 0` so disabled buckets cost one relaxed
+  // load per call instead of a mutex round trip.
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace ava

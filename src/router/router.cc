@@ -19,6 +19,7 @@ Router::Router() {
   rate_wait_ns_ = registry.NewHistogram("router.rate_limit_wait_ns");
   sessions_reaped_ = registry.NewCounter("sessions.reaped");
   crc_rejected_ = registry.NewCounter("router.crc_rejected");
+  arena_bytes_ = registry.NewCounter("router.arena_bytes");
 }
 
 Router::~Router() { Stop(); }
@@ -61,6 +62,9 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
   channel->vm_id = vm_id;
   channel->transport = std::move(transport);
   channel->session = std::move(session);
+  // Capability negotiation: the session may only resolve arena descriptors
+  // against the arena reachable through this VM's own transport.
+  channel->session->SetArena(channel->transport->arena());
   channel->policy = policy;
   channel->call_bucket.Configure(policy.calls_per_sec);
   channel->byte_bucket.Configure(policy.bytes_per_sec);
@@ -269,7 +273,11 @@ void Router::RxLoop(VmChannel* channel) {
       continue;
     }
     double call_count = 1.0;
+    std::uint64_t bulk_bytes = 0;
     if (*kind == MsgKind::kCall) {
+      if (auto bulk = PeekCallBulkBytes(*message); bulk.ok()) {
+        bulk_bytes = *bulk;
+      }
       auto decoded = DecodeCall(*message);
       if (!decoded.ok()) {
         AVA_LOG_EVERY_N(WARNING, 64)
@@ -308,9 +316,16 @@ void Router::RxLoop(VmChannel* channel) {
       continue;  // replies never flow guest -> router
     }
     // ---- rate limiting (blocks this VM's stream only) ----
+    // Arena pass-through bytes never cross the command ring, but they are
+    // still data the VM moved: charge them against the same byte budget so
+    // the out-of-band path cannot launder bandwidth past policy.
+    if (bulk_bytes > 0) {
+      arena_bytes_->Increment(bulk_bytes);
+    }
     std::int64_t waited = channel->call_bucket.Acquire(call_count);
     waited += channel->byte_bucket.Acquire(
-        static_cast<double>(message->size()));
+        static_cast<double>(message->size()) +
+        static_cast<double>(bulk_bytes));
     if (sampling && waited > 0) {
       rate_wait_ns_->Record(waited);
     }

@@ -163,6 +163,9 @@ class Router {
   // Failure-handling counters.
   std::shared_ptr<obs::Counter> sessions_reaped_;
   std::shared_ptr<obs::Counter> crc_rejected_;
+  // Bulk bytes that moved out-of-band through the buffer arena (accounted
+  // against the per-VM byte budget alongside on-wire bytes).
+  std::shared_ptr<obs::Counter> arena_bytes_;
 };
 
 }  // namespace ava

@@ -38,6 +38,22 @@ std::int64_t DeadlineMsFromEnv() {
   return static_cast<std::int64_t>(ms);
 }
 
+constexpr std::int64_t kDefaultArenaThresholdBytes = 64 << 10;
+
+std::int64_t ArenaThresholdFromEnv() {
+  const char* env = std::getenv("AVA_ARENA_THRESHOLD");
+  if (env == nullptr || env[0] == '\0') {
+    return kDefaultArenaThresholdBytes;
+  }
+  char* end = nullptr;
+  const long long bytes = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || bytes < 0) {
+    AVA_LOG(ERROR) << "ignoring malformed AVA_ARENA_THRESHOLD: " << env;
+    return kDefaultArenaThresholdBytes;
+  }
+  return static_cast<std::int64_t>(bytes);
+}
+
 }  // namespace
 
 GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
@@ -46,6 +62,16 @@ GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
       retry_rng_(0x5eedULL ^ options.vm_id) {
   if (options_.call_deadline_ms < 0) {
     options_.call_deadline_ms = DeadlineMsFromEnv();
+  }
+  if (options_.arena_threshold_bytes < 0) {
+    options_.arena_threshold_bytes = ArenaThresholdFromEnv();
+  }
+  if (options_.arena_threshold_bytes > 0 && transport_ != nullptr) {
+    arena_ = transport_->arena();
+    if (arena_ != nullptr) {
+      arena_threshold_ =
+          static_cast<std::size_t>(options_.arena_threshold_bytes);
+    }
   }
   const std::string prefix = "guest.vm" + std::to_string(options_.vm_id) + ".";
   auto& registry = obs::MetricRegistry::Default();
@@ -59,8 +85,18 @@ GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
   calls_retried_ = registry.NewCounter("calls.retried");
   calls_deadline_exceeded_ = registry.NewCounter("calls.deadline_exceeded");
   breaker_fast_fails_ = registry.NewCounter("calls.breaker_fast_fails");
+  arena_bytes_ = registry.NewCounter("guest.arena_bytes");
+  arena_allocs_ = registry.NewCounter("guest.arena_allocs");
+  arena_fallbacks_ = registry.NewCounter("guest.arena_fallbacks");
   trace_enabled_ = obs::TraceEnabled();
 }
+
+void GuestEndpoint::NoteArenaAlloc(std::uint64_t bytes) {
+  arena_allocs_->Increment();
+  arena_bytes_->Increment(bytes);
+}
+
+void GuestEndpoint::NoteArenaFallback() { arena_fallbacks_->Increment(); }
 
 GuestEndpoint::~GuestEndpoint() {
   if (transport_ != nullptr) {
@@ -313,6 +349,107 @@ void GuestEndpoint::ApplyShadowsLocked(const DecodedReply& reply) {
     shadows_.erase(it);
     shadow_updates_->Increment();
   }
+}
+
+// ------------------------------- BulkScope ---------------------------------
+
+BulkScope::BulkScope(GuestEndpoint* endpoint, bool allow_arena)
+    : endpoint_(endpoint) {
+  if (allow_arena) {
+    arena_ = endpoint_->bulk_arena();
+    threshold_ = endpoint_->arena_threshold_bytes();
+  }
+}
+
+BulkScope::~BulkScope() {
+  // The scope outlives the call (including every retry attempt), so slots
+  // release only after no descriptor referencing them can still be in
+  // flight. Release is generation-checked, so this is safe even if the
+  // reply was lost and the server never observed the call.
+  for (const BufferArena::Slot& slot : held_) {
+    arena_->Release(slot.slot, slot.generation);
+  }
+}
+
+void BulkScope::PutIn(ByteWriter* w, const void* data, std::size_t bytes) {
+  if (data == nullptr) {
+    w->PutU8(kBulkNull);
+    return;
+  }
+  if (Eligible(bytes)) {
+    BufferArena::Slot slot;
+    if (arena_->Acquire(bytes, &slot)) {
+      std::memcpy(slot.data, data, bytes);
+      held_.push_back(slot);
+      w->PutU8(kBulkArena);
+      PutArenaDesc(w, arena_->DescFor(slot, bytes));
+      arena_bytes_count_ += bytes;
+      endpoint_->NoteArenaAlloc(bytes);
+      return;
+    }
+    endpoint_->NoteArenaFallback();
+  }
+  w->PutU8(kBulkInline);
+  w->PutBlob(data, bytes);
+}
+
+void BulkScope::PutOut(ByteWriter* w, void* ptr, std::size_t capacity) {
+  if (ptr == nullptr) {
+    w->PutU8(kBulkNull);
+    PushOut(-1);
+    return;
+  }
+  if (Eligible(capacity)) {
+    BufferArena::Slot slot;
+    if (arena_->Acquire(capacity, &slot)) {
+      held_.push_back(slot);
+      PushOut(static_cast<int>(held_.size()) - 1);
+      w->PutU8(kBulkArena);
+      PutArenaDesc(w, arena_->DescFor(slot, capacity));
+      arena_bytes_count_ += capacity;
+      endpoint_->NoteArenaAlloc(capacity);
+      return;
+    }
+    endpoint_->NoteArenaFallback();
+  }
+  w->PutU8(kBulkInline);
+  w->PutU64(static_cast<std::uint64_t>(capacity));
+  PushOut(-1);
+}
+
+std::size_t BulkScope::ReadOut(ByteReader* r, void* dst,
+                               std::size_t capacity) {
+  int held_index = -1;
+  if (next_out_ < outs_count_) {
+    held_index = OutAt(next_out_);
+  }
+  ++next_out_;
+  const std::uint8_t marker = r->GetU8();
+  if (marker == kBulkArena) {
+    // The reply only carries the byte count; the payload is already in the
+    // slot this scope pre-acquired in PutOut.
+    const std::uint64_t length = r->GetU64();
+    if (held_index < 0 || !r->status().ok()) {
+      return 0;
+    }
+    const BufferArena::Slot& slot = held_[static_cast<std::size_t>(held_index)];
+    const std::size_t n =
+        std::min(static_cast<std::size_t>(length), capacity);
+    if (dst != nullptr && n > 0) {
+      std::memcpy(dst, slot.data, n);
+    }
+    return n;
+  }
+  if (marker == kBulkInline) {
+    auto view = r->GetBlobView();
+    const std::size_t n = std::min(view.size(), capacity);
+    if (dst != nullptr && n > 0) {
+      std::memcpy(dst, view.data(), n);
+    }
+    return n;
+  }
+  // kBulkNull (server produced no value) or garbage (reader flags failure).
+  return 0;
 }
 
 }  // namespace ava

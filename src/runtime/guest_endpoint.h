@@ -17,7 +17,9 @@
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/obs/metrics.h"
+#include "src/proto/marshal.h"
 #include "src/proto/wire.h"
+#include "src/transport/arena.h"
 #include "src/transport/transport.h"
 
 namespace ava {
@@ -51,6 +53,12 @@ class GuestEndpoint {
     int breaker_threshold = 8;
     // How long the breaker stays open before admitting one probe call.
     std::int64_t breaker_cooldown_ms = 100;
+    // Bulk buffers at least this large go out-of-band through the shared
+    // buffer arena when the transport provides one (shm ring); smaller
+    // buffers and arena-less transports marshal inline. 0 disables the
+    // arena path entirely. A negative value (the default) reads
+    // AVA_ARENA_THRESHOLD at construction, falling back to 64 KiB.
+    std::int64_t arena_threshold_bytes = -1;
   };
 
   // Thin view over the endpoint's obs::MetricRegistry cells
@@ -103,6 +111,15 @@ class GuestEndpoint {
   VmId vm_id() const { return options_.vm_id; }
   Stats stats() const;
 
+  // Out-of-band bulk path, as negotiated with the transport at construction.
+  // Null when the transport shares no memory or the threshold disables it.
+  const std::shared_ptr<BufferArena>& bulk_arena() const { return arena_; }
+  std::size_t arena_threshold_bytes() const { return arena_threshold_; }
+  // Arena-path health, for tests and diagnostics: buffers that moved
+  // out-of-band, and eligible buffers that fell back inline (exhaustion).
+  std::uint64_t arena_allocs() const { return arena_allocs_->Value(); }
+  std::uint64_t arena_fallbacks() const { return arena_fallbacks_->Value(); }
+
   // Distribution of synchronous forwarded-call round-trip latency (ns),
   // from send to reply receipt. Use Percentile(50/95/99) for tail views.
   obs::HistogramSnapshot sync_latency() const {
@@ -110,6 +127,10 @@ class GuestEndpoint {
   }
 
  private:
+  friend class BulkScope;
+  void NoteArenaAlloc(std::uint64_t bytes);
+  void NoteArenaFallback();
+
   Status SendSealedLocked(Bytes* message);
   Status FlushLocked();
   void ApplyShadowsLocked(const DecodedReply& reply);
@@ -122,6 +143,8 @@ class GuestEndpoint {
 
   Options options_;
   TransportPtr transport_;
+  std::shared_ptr<BufferArena> arena_;  // from transport_->arena(), may be null
+  std::size_t arena_threshold_ = 0;     // resolved; 0 = arena path disabled
 
   mutable std::mutex mutex_;
   CallId next_call_id_ = 1;
@@ -152,7 +175,80 @@ class GuestEndpoint {
   std::shared_ptr<obs::Counter> calls_retried_;
   std::shared_ptr<obs::Counter> calls_deadline_exceeded_;
   std::shared_ptr<obs::Counter> breaker_fast_fails_;
+  // Arena-path counters (process-global; aggregated across endpoints).
+  std::shared_ptr<obs::Counter> arena_bytes_;
+  std::shared_ptr<obs::Counter> arena_allocs_;
+  std::shared_ptr<obs::Counter> arena_fallbacks_;
   bool trace_enabled_ = false;  // cached Tracer state at construction
+};
+
+// BulkScope: per-call owner of the bulk-buffer encoding decision. Generated
+// stubs create one on the stack around a call, marshal every eligible
+// `buffer(size)` parameter through it, patch the accumulated byte count into
+// the call header (router bytes-per-second accounting), and let the
+// destructor release any arena slots once the reply has been consumed — the
+// release point that makes the zero-copy out-path safe: the server writes
+// into the slot before replying, the guest copies out after the reply, and
+// only then does the slot recycle.
+//
+// `allow_arena = false` forces inline marshaling (async/batched calls, and
+// `record;`-annotated calls whose payloads are replayed after migration —
+// a replayed arena descriptor would point at a recycled slot).
+class BulkScope {
+ public:
+  BulkScope(GuestEndpoint* endpoint, bool allow_arena);
+  ~BulkScope();
+
+  BulkScope(const BulkScope&) = delete;
+  BulkScope& operator=(const BulkScope&) = delete;
+
+  // Marshals a nullable in-buffer: marker + (inline blob | arena descriptor).
+  void PutIn(ByteWriter* w, const void* data, std::size_t bytes);
+
+  // Marshals an out-buffer request: where the server should put `capacity`
+  // bytes. Arena-backed outs pre-acquire the slot here so the reply only
+  // needs to carry a length.
+  void PutOut(ByteWriter* w, void* ptr, std::size_t capacity);
+
+  // Reads one out-buffer result from the reply, in PutOut order, copying up
+  // to `capacity` bytes into `dst`. Returns bytes copied.
+  std::size_t ReadOut(ByteReader* r, void* dst, std::size_t capacity);
+
+  // Total bytes routed through the arena, for the call header's bulk_bytes
+  // field (router policy accounting).
+  std::uint64_t arena_bytes() const { return arena_bytes_count_; }
+
+ private:
+  bool Eligible(std::size_t bytes) const {
+    return arena_ != nullptr && threshold_ > 0 && bytes >= threshold_;
+  }
+
+  // Per PutOut: index into held_, or -1 (non-arena). Inline storage keeps
+  // the common all-inline call free of heap traffic; no spec function comes
+  // close to the cap, but overflow degrades to the vector rather than UB.
+  void PushOut(int held_index) {
+    if (outs_count_ < kInlineOuts) {
+      outs_inline_[outs_count_] = held_index;
+    } else {
+      outs_overflow_.push_back(held_index);
+    }
+    ++outs_count_;
+  }
+  int OutAt(std::size_t i) const {
+    return i < kInlineOuts ? outs_inline_[i] : outs_overflow_[i - kInlineOuts];
+  }
+
+  static constexpr std::size_t kInlineOuts = 8;
+
+  GuestEndpoint* endpoint_;
+  std::shared_ptr<BufferArena> arena_;  // null when disallowed or absent
+  std::size_t threshold_ = 0;
+  std::vector<BufferArena::Slot> held_;  // allocates only on the arena path
+  int outs_inline_[kInlineOuts];
+  std::vector<int> outs_overflow_;
+  std::size_t outs_count_ = 0;
+  std::size_t next_out_ = 0;
+  std::uint64_t arena_bytes_count_ = 0;
 };
 
 }  // namespace ava

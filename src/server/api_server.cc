@@ -23,6 +23,86 @@ Result<void*> ServerContext::TranslateSwappable(std::uint32_t type_tag,
   return registry_->Translate(type_tag, id);
 }
 
+Status ServerContext::ReadBulkIn(ByteReader* r, BulkIn* out) {
+  *out = BulkIn{};
+  const std::uint8_t marker = r->GetU8();
+  if (marker == kBulkNull) {
+    return r->status();
+  }
+  if (marker == kBulkInline) {
+    auto view = r->GetBlobView();
+    AVA_RETURN_IF_ERROR(r->status());
+    out->present = true;
+    out->data = view.data();
+    out->size = view.size();
+    return OkStatus();
+  }
+  if (marker == kBulkArena) {
+    const ArenaDesc desc = GetArenaDesc(r);
+    AVA_RETURN_IF_ERROR(r->status());
+    if (arena_ == nullptr) {
+      return InvalidArgument("arena descriptor on an arena-less session");
+    }
+    AVA_ASSIGN_OR_RETURN(auto span, arena_->Resolve(desc));
+    out->present = true;
+    out->data = span.data();
+    out->size = span.size();
+    return OkStatus();
+  }
+  return InvalidArgument("bad bulk-buffer marker");
+}
+
+Status ServerContext::ReadBulkOut(ByteReader* r, BulkOut* out) {
+  *out = BulkOut{};
+  const std::uint8_t marker = r->GetU8();
+  if (marker == kBulkNull) {
+    return r->status();
+  }
+  if (marker == kBulkInline) {
+    out->capacity = r->GetU64();
+    AVA_RETURN_IF_ERROR(r->status());
+    out->wanted = true;
+    return OkStatus();
+  }
+  if (marker == kBulkArena) {
+    const ArenaDesc desc = GetArenaDesc(r);
+    AVA_RETURN_IF_ERROR(r->status());
+    if (arena_ == nullptr) {
+      return InvalidArgument("arena descriptor on an arena-less session");
+    }
+    AVA_ASSIGN_OR_RETURN(auto span, arena_->Resolve(desc));
+    out->wanted = true;
+    out->capacity = desc.length;  // guest-provided capacity
+    out->via_arena = true;
+    out->arena_data = span.data();
+    return OkStatus();
+  }
+  return InvalidArgument("bad bulk-buffer marker");
+}
+
+void ServerContext::PutBulkOut(ByteWriter* w, const BulkOut& desc,
+                               bool present, const void* data,
+                               std::size_t bytes) {
+  if (!present) {
+    w->PutU8(kBulkNull);
+    return;
+  }
+  if (desc.via_arena) {
+    const std::size_t n =
+        std::min(bytes, static_cast<std::size_t>(desc.capacity));
+    // Handlers normally write through arena_data directly; tolerate ones
+    // that produced the value elsewhere.
+    if (data != nullptr && data != desc.arena_data && n > 0) {
+      std::memcpy(desc.arena_data, data, n);
+    }
+    w->PutU8(kBulkArena);
+    w->PutU64(static_cast<std::uint64_t>(n));
+    return;
+  }
+  w->PutU8(kBulkInline);
+  w->PutBlob(data, bytes);
+}
+
 void ServerContext::LatchAsyncError(std::int32_t api_error) {
   // Keep the first unreported error (closest to a local execution's report).
   if (latched_async_error_ == 0) {

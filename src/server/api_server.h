@@ -20,9 +20,11 @@
 
 #include "src/common/result.h"
 #include "src/obs/metrics.h"
+#include "src/proto/marshal.h"
 #include "src/proto/wire.h"
 #include "src/server/object_registry.h"
 #include "src/server/swap_manager.h"
+#include "src/transport/arena.h"
 
 namespace ava {
 
@@ -61,6 +63,43 @@ class ServerContext {
   // is attached, else a plain registry lookup.
   Result<void*> TranslateSwappable(std::uint32_t type_tag, WireHandle id);
 
+  // -------- bulk buffers (inline or shared-memory arena) --------
+  //
+  // Generated handlers unmarshal every `buffer(size)` parameter through
+  // these. A call frame can mix encodings per parameter; the marker byte
+  // decides. Arena descriptors are fully validated (Resolve) before any
+  // byte is touched — a corrupt or forged descriptor yields InvalidArgument,
+  // which the session turns into a sealed error reply.
+
+  // A decoded in-buffer. `data` points either into the call frame (inline)
+  // or into the arena slot (64-byte aligned); both stay valid for the
+  // duration of the handler.
+  struct BulkIn {
+    bool present = false;
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+  };
+  Status ReadBulkIn(ByteReader* r, BulkIn* out);
+
+  // A decoded out-buffer request. For the arena form the guest pre-acquired
+  // the slot; the handler writes its output through `arena_data` and the
+  // reply carries only the produced length.
+  struct BulkOut {
+    bool wanted = false;
+    std::uint64_t capacity = 0;
+    bool via_arena = false;
+    std::uint8_t* arena_data = nullptr;  // valid only when via_arena
+  };
+  Status ReadBulkOut(ByteReader* r, BulkOut* out);
+
+  // Marshals an out-buffer result matching `desc`. Inline outs carry the
+  // bytes; arena outs carry only the length (copying into the slot first if
+  // the handler produced the data elsewhere).
+  void PutBulkOut(ByteWriter* w, const BulkOut& desc, bool present,
+                  const void* data, std::size_t bytes);
+
+  const std::shared_ptr<BufferArena>& arena() const { return arena_; }
+
   // -------- cost accounting (read by the router's scheduler) --------
   void ChargeCost(std::int64_t vns) { cost_vns_ += vns; }
   std::int64_t TakeCost() {
@@ -96,6 +135,7 @@ class ServerContext {
   VmId vm_id_;
   ObjectRegistry* registry_;
   SwapManager* swap_;
+  std::shared_ptr<BufferArena> arena_;  // null = inline-only session
   std::int64_t cost_vns_ = 0;
   std::int32_t latched_async_error_ = 0;
   bool record_requested_ = false;
@@ -125,6 +165,13 @@ class ApiServerSession {
 
   void RegisterApi(std::uint16_t api_id, ApiHandler handler);
   void SetRecordSink(RecordSink* sink) { record_sink_ = sink; }
+
+  // Attaches the transport's shared-memory buffer arena (capability
+  // negotiation: the router calls this with transport->arena() when it
+  // attaches the VM). Sessions without one reject arena descriptors.
+  void SetArena(std::shared_ptr<BufferArena> arena) {
+    context_.arena_ = std::move(arena);
+  }
 
   // Executes one transport message (call or batch). Returns the encoded
   // reply for synchronous calls, nullopt for async/batch. A non-OK status

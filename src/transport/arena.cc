@@ -1,0 +1,123 @@
+#include "src/transport/arena.h"
+
+#include <sys/mman.h>
+
+#include <string>
+
+namespace ava {
+namespace {
+
+// Arena ids are minted process-wide. Peers obtain the same arena by sharing
+// the object across fork() (like the shm ring's Region), so ids created
+// before the fork agree on both sides; a descriptor minted against any other
+// arena fails the id check in Resolve.
+std::atomic<std::uint32_t> g_next_arena_id{1};
+
+}  // namespace
+
+Result<std::shared_ptr<BufferArena>> BufferArena::Create(
+    std::size_t slot_bytes, std::uint32_t slot_count) {
+  if (slot_bytes == 0 || slot_count == 0) {
+    return InvalidArgument("arena needs at least one non-empty slot");
+  }
+  // Keep slots cache-line aligned: the control block is 64 * slot_count
+  // bytes, so aligning slot_bytes keeps every data slot 64-byte aligned,
+  // which lets the server cast arena views to element types directly.
+  slot_bytes = (slot_bytes + 63) & ~static_cast<std::size_t>(63);
+  const std::size_t total =
+      static_cast<std::size_t>(slot_count) * sizeof(SlotCtl) +
+      static_cast<std::size_t>(slot_count) * slot_bytes;
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return Internal("mmap failed for buffer arena (" + std::to_string(total) +
+                    " bytes)");
+  }
+  const std::uint32_t id =
+      g_next_arena_id.fetch_add(1, std::memory_order_relaxed);
+  auto arena = std::shared_ptr<BufferArena>(new BufferArena(
+      id, static_cast<std::uint8_t*>(base), total, slot_bytes, slot_count));
+  for (std::uint32_t i = 0; i < slot_count; ++i) {
+    arena->ctl(i)->state.store(0, std::memory_order_relaxed);
+    arena->ctl(i)->generation.store(0, std::memory_order_relaxed);
+  }
+  return arena;
+}
+
+BufferArena::~BufferArena() {
+  if (base_ != nullptr) {
+    ::munmap(base_, total_);
+  }
+}
+
+bool BufferArena::Acquire(std::size_t bytes, Slot* out) {
+  if (bytes > slot_bytes_) {
+    return false;
+  }
+  const std::uint32_t start =
+      next_.fetch_add(1, std::memory_order_relaxed) % slot_count_;
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    const std::uint32_t slot = (start + i) % slot_count_;
+    std::uint32_t expected = 0;
+    if (ctl(slot)->state.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      const std::uint32_t gen =
+          ctl(slot)->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+      out->slot = slot;
+      out->generation = gen;
+      out->data = data(slot);
+      return true;
+    }
+  }
+  return false;
+}
+
+void BufferArena::Release(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slot_count_) {
+    return;
+  }
+  // Only the generation that acquired the slot may free it: a stale or
+  // duplicate release (the slot was already recycled) must not free someone
+  // else's allocation.
+  if (ctl(slot)->generation.load(std::memory_order_acquire) != generation) {
+    return;
+  }
+  std::uint32_t expected = 1;
+  ctl(slot)->state.compare_exchange_strong(expected, 0,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed);
+}
+
+Result<std::span<std::uint8_t>> BufferArena::Resolve(const ArenaDesc& desc) {
+  if (desc.arena_id != id_) {
+    return InvalidArgument("arena descriptor for wrong arena " +
+                           std::to_string(desc.arena_id));
+  }
+  if (desc.slot >= slot_count_) {
+    return InvalidArgument("arena slot out of range: " +
+                           std::to_string(desc.slot));
+  }
+  if (desc.length > slot_bytes_) {
+    return InvalidArgument("arena descriptor length exceeds slot size");
+  }
+  if (ctl(desc.slot)->state.load(std::memory_order_acquire) != 1) {
+    return InvalidArgument("arena slot not held");
+  }
+  if (ctl(desc.slot)->generation.load(std::memory_order_acquire) !=
+      desc.generation) {
+    return InvalidArgument("stale arena descriptor generation");
+  }
+  return std::span<std::uint8_t>(data(desc.slot),
+                                 static_cast<std::size_t>(desc.length));
+}
+
+std::uint32_t BufferArena::SlotsInUse() const {
+  std::uint32_t held = 0;
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    held += ctl(i)->state.load(std::memory_order_acquire) == 1 ? 1 : 0;
+  }
+  return held;
+}
+
+}  // namespace ava

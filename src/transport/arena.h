@@ -1,0 +1,132 @@
+// BufferArena: a fixed-slot shared-memory arena for out-of-band bulk data.
+//
+// Serializing a multi-megabyte buffer argument into the command block costs
+// two full copies plus a trip through the transport ring. When guest and API
+// server already share memory (the shm-ring transport's fork-shared
+// mapping), the bytes can instead be placed once into an arena slot and the
+// wire frame carries only a 20-byte ArenaDesc. The arena lives in its own
+// MAP_SHARED | MAP_ANONYMOUS mapping, created alongside the ring pair before
+// fork(), so both processes address the same pages.
+//
+// Concurrency/ownership model:
+//   - Slots are acquired with a CAS on a per-slot state word and stamped
+//     with a generation counter; the descriptor carries that generation.
+//   - The GUEST owns every slot it acquires (for in-arguments it fills them;
+//     for out-arguments the server writes into them) and releases them after
+//     the call's reply is consumed. The server only resolves descriptors —
+//     it never acquires or releases, so a crashed or malicious peer cannot
+//     corrupt the guest's allocation state.
+//   - Release is generation-checked and idempotent: double release and
+//     release of a recycled slot are no-ops.
+//   - Resolve validates arena id, slot index, held state, generation, and
+//     length, so a corrupt or forged descriptor is rejected with a clean
+//     Status instead of ever dereferencing out-of-bounds memory.
+//
+// Exhaustion is not an error: Acquire returns false and the caller marshals
+// inline (the pre-arena wire format), trading throughput for progress.
+#ifndef AVA_SRC_TRANSPORT_ARENA_H_
+#define AVA_SRC_TRANSPORT_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "src/common/result.h"
+#include "src/proto/marshal.h"
+
+namespace ava {
+
+class BufferArena {
+ public:
+  static constexpr std::size_t kDefaultSlotBytes = 8u << 20;  // 8 MiB
+  static constexpr std::uint32_t kDefaultSlotCount = 16;
+
+  // Maps the shared region and initializes slot controls. The mapping is
+  // lazily committed, so an idle arena costs virtual address space only.
+  static Result<std::shared_ptr<BufferArena>> Create(
+      std::size_t slot_bytes = kDefaultSlotBytes,
+      std::uint32_t slot_count = kDefaultSlotCount);
+
+  ~BufferArena();
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  // A held slot, as seen by its owner.
+  struct Slot {
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+    std::uint8_t* data = nullptr;
+  };
+
+  // Acquires a free slot able to hold `bytes`. Returns false when `bytes`
+  // exceeds the slot size or all slots are held (caller falls back inline).
+  bool Acquire(std::size_t bytes, Slot* out);
+
+  // Releases a held slot. Generation-checked and idempotent.
+  void Release(std::uint32_t slot, std::uint32_t generation);
+
+  // Validates `desc` against this arena and maps it to the slot's bytes.
+  // InvalidArgument on any mismatch: wrong arena id, slot out of range, slot
+  // not held, stale generation, or length exceeding the slot.
+  Result<std::span<std::uint8_t>> Resolve(const ArenaDesc& desc);
+
+  // Descriptor for a held slot carrying `length` valid (or expected) bytes.
+  ArenaDesc DescFor(const Slot& slot, std::uint64_t length) const {
+    ArenaDesc d;
+    d.arena_id = id_;
+    d.slot = slot.slot;
+    d.length = length;
+    d.generation = slot.generation;
+    return d;
+  }
+
+  std::uint32_t id() const { return id_; }
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  std::uint32_t slot_count() const { return slot_count_; }
+
+  // Held-slot count (tests and exhaustion diagnostics; O(slot_count)).
+  std::uint32_t SlotsInUse() const;
+
+ private:
+  // Per-slot control word, padded to a cache line. Lives in the shared
+  // mapping so acquire/release/resolve agree across fork().
+  struct SlotCtl {
+    std::atomic<std::uint32_t> state;       // 0 = free, 1 = held
+    std::atomic<std::uint32_t> generation;  // bumped on every acquire
+    std::uint8_t pad[56];
+  };
+  static_assert(sizeof(SlotCtl) == 64);
+  static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+                "slot controls must be lock-free to work across processes");
+
+  BufferArena(std::uint32_t id, std::uint8_t* base, std::size_t total,
+              std::size_t slot_bytes, std::uint32_t slot_count)
+      : id_(id),
+        base_(base),
+        total_(total),
+        slot_bytes_(slot_bytes),
+        slot_count_(slot_count) {}
+
+  SlotCtl* ctl(std::uint32_t slot) const {
+    return reinterpret_cast<SlotCtl*>(base_) + slot;
+  }
+  std::uint8_t* data(std::uint32_t slot) const {
+    return base_ + static_cast<std::size_t>(slot_count_) * sizeof(SlotCtl) +
+           static_cast<std::size_t>(slot) * slot_bytes_;
+  }
+
+  const std::uint32_t id_;
+  std::uint8_t* base_;
+  const std::size_t total_;
+  const std::size_t slot_bytes_;
+  const std::uint32_t slot_count_;
+  // Rotating start index spreads acquisition across slots (process-local;
+  // purely a scan-start hint, correctness comes from the CAS).
+  std::atomic<std::uint32_t> next_{0};
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_TRANSPORT_ARENA_H_

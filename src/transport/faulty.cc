@@ -108,6 +108,13 @@ class FaultyTransport final : public Transport {
 
   std::string name() const override { return "faulty:" + inner_->name(); }
 
+  // Fault injection targets the command stream; the bulk arena (when the
+  // inner transport has one) passes through so arena descriptors inside
+  // corrupted frames still resolve against real slots.
+  std::shared_ptr<BufferArena> arena() const override {
+    return inner_->arena();
+  }
+
  private:
   TransportPtr inner_;
   const FaultSpec spec_;

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "src/common/vclock.h"
+#include "src/transport/arena.h"
 #include "src/transport/transport.h"
 #include "src/transport/transport_metrics.h"
 
@@ -207,8 +208,12 @@ struct Region {
 class ShmEndpoint final : public Transport {
  public:
   ShmEndpoint(std::shared_ptr<Region> region, Ring tx, Ring rx,
-              std::string name)
-      : region_(std::move(region)), tx_(tx), rx_(rx), name_(std::move(name)) {}
+              std::string name, std::shared_ptr<BufferArena> arena)
+      : region_(std::move(region)),
+        tx_(tx),
+        rx_(rx),
+        name_(std::move(name)),
+        arena_(std::move(arena)) {}
 
   ~ShmEndpoint() override { Close(); }
 
@@ -292,6 +297,8 @@ class ShmEndpoint final : public Transport {
 
   std::string name() const override { return name_; }
 
+  std::shared_ptr<BufferArena> arena() const override { return arena_; }
+
  private:
   std::shared_ptr<Region> region_;
   Ring tx_;
@@ -299,6 +306,7 @@ class ShmEndpoint final : public Transport {
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
   std::string name_;
+  std::shared_ptr<BufferArena> arena_;
 };
 
 }  // namespace
@@ -323,9 +331,20 @@ Result<ChannelPair> MakeShmRingChannel(std::size_t ring_bytes) {
   g2h.Init();
   h2g.Init();
 
+  // The bulk-data arena shares the channel's fork lifecycle: created here,
+  // before any fork, so both endpoints address the same pages. The mapping
+  // is lazily committed — channels that never move bulk data pay nothing.
+  // Arena creation failure degrades to inline marshaling, not an error.
+  std::shared_ptr<BufferArena> arena;
+  if (auto created = BufferArena::Create(); created.ok()) {
+    arena = *std::move(created);
+  }
+
   ChannelPair pair;
-  pair.guest = std::make_unique<ShmEndpoint>(region, g2h, h2g, "shm:guest");
-  pair.host = std::make_unique<ShmEndpoint>(region, h2g, g2h, "shm:host");
+  pair.guest =
+      std::make_unique<ShmEndpoint>(region, g2h, h2g, "shm:guest", arena);
+  pair.host =
+      std::make_unique<ShmEndpoint>(region, h2g, g2h, "shm:host", arena);
   return pair;
 }
 

@@ -24,6 +24,8 @@
 
 namespace ava {
 
+class BufferArena;
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -53,6 +55,13 @@ class Transport {
   virtual void Close() = 0;
 
   virtual std::string name() const = 0;
+
+  // Capability negotiation for the out-of-band bulk path: the shared-memory
+  // buffer arena reachable from both ends of this channel, or nullptr when
+  // the transport cannot share memory (inproc pairs could but gain nothing;
+  // sockets may cross machines). Callers fall back to inline marshaling
+  // when absent — the wire format is valid either way.
+  virtual std::shared_ptr<BufferArena> arena() const { return nullptr; }
 };
 
 using TransportPtr = std::unique_ptr<Transport>;

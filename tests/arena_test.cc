@@ -1,0 +1,474 @@
+// Shared-memory buffer-arena tests: slot lifecycle and descriptor
+// validation at the unit level, then the negotiated out-of-band bulk path
+// end-to-end through the real stack (CAvA stubs -> GuestEndpoint ->
+// shm ring -> Router -> ApiServerSession -> handlers), including the
+// fault-matrix cases: corrupt descriptors must yield a clean sealed error
+// reply (never a crash or out-of-bounds read) and arena exhaustion must
+// fall back to inline marshaling.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/proto/marshal.h"
+#include "src/proto/wire.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/arena.h"
+#include "src/transport/transport.h"
+#include "src/vcl/silo.h"
+#include "vcl_gen.h"
+
+namespace ava {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BufferArena unit behavior.
+
+TEST(BufferArenaTest, AcquireProvidesAlignedSlotResolveMatches) {
+  auto arena = BufferArena::Create(4096, 4);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  BufferArena::Slot slot;
+  ASSERT_TRUE((*arena)->Acquire(100, &slot));
+  ASSERT_NE(slot.data, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(slot.data) % 64, 0u);
+  std::memset(slot.data, 0xAB, 100);
+  auto span = (*arena)->Resolve((*arena)->DescFor(slot, 100));
+  ASSERT_TRUE(span.ok()) << span.status().ToString();
+  ASSERT_EQ(span->size(), 100u);
+  EXPECT_EQ(span->data(), slot.data);
+  EXPECT_EQ((*span)[99], 0xAB);
+  (*arena)->Release(slot.slot, slot.generation);
+  EXPECT_EQ((*arena)->SlotsInUse(), 0u);
+}
+
+TEST(BufferArenaTest, OversizedAcquireFails) {
+  auto arena = BufferArena::Create(4096, 2);
+  ASSERT_TRUE(arena.ok());
+  BufferArena::Slot slot;
+  EXPECT_FALSE((*arena)->Acquire((*arena)->slot_bytes() + 1, &slot));
+  EXPECT_EQ((*arena)->SlotsInUse(), 0u);
+}
+
+TEST(BufferArenaTest, ExhaustionAndReleaseCycle) {
+  auto arena = BufferArena::Create(1024, 3);
+  ASSERT_TRUE(arena.ok());
+  BufferArena::Slot slots[3];
+  for (auto& s : slots) {
+    ASSERT_TRUE((*arena)->Acquire(64, &s));
+  }
+  EXPECT_EQ((*arena)->SlotsInUse(), 3u);
+  BufferArena::Slot extra;
+  EXPECT_FALSE((*arena)->Acquire(64, &extra));  // exhausted, not an error
+  (*arena)->Release(slots[1].slot, slots[1].generation);
+  ASSERT_TRUE((*arena)->Acquire(64, &extra));
+  EXPECT_EQ(extra.slot, slots[1].slot);
+  EXPECT_EQ((*arena)->SlotsInUse(), 3u);
+}
+
+TEST(BufferArenaTest, ReleaseIsGenerationCheckedAndIdempotent) {
+  auto arena = BufferArena::Create(1024, 1);
+  ASSERT_TRUE(arena.ok());
+  BufferArena::Slot first;
+  ASSERT_TRUE((*arena)->Acquire(16, &first));
+  (*arena)->Release(first.slot, first.generation);
+  (*arena)->Release(first.slot, first.generation);  // double release: no-op
+  BufferArena::Slot second;
+  ASSERT_TRUE((*arena)->Acquire(16, &second));
+  EXPECT_GT(second.generation, first.generation);
+  // A stale release (the old generation) must not free the new holder.
+  (*arena)->Release(first.slot, first.generation);
+  EXPECT_EQ((*arena)->SlotsInUse(), 1u);
+  BufferArena::Slot third;
+  EXPECT_FALSE((*arena)->Acquire(16, &third));
+  // Out-of-range slot indices are ignored outright.
+  (*arena)->Release(99, 1);
+}
+
+TEST(BufferArenaTest, ResolveRejectsCorruptDescriptors) {
+  auto arena = BufferArena::Create(4096, 4);
+  ASSERT_TRUE(arena.ok());
+  BufferArena::Slot slot;
+  ASSERT_TRUE((*arena)->Acquire(256, &slot));
+  const ArenaDesc good = (*arena)->DescFor(slot, 256);
+
+  ArenaDesc wrong_arena = good;
+  wrong_arena.arena_id += 1;
+  EXPECT_EQ((*arena)->Resolve(wrong_arena).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ArenaDesc bad_slot = good;
+  bad_slot.slot = (*arena)->slot_count() + 7;
+  EXPECT_EQ((*arena)->Resolve(bad_slot).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ArenaDesc too_long = good;
+  too_long.length = (*arena)->slot_bytes() + 1;
+  EXPECT_EQ((*arena)->Resolve(too_long).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ArenaDesc stale = good;
+  stale.generation -= 1;
+  EXPECT_EQ((*arena)->Resolve(stale).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A descriptor for a slot nobody holds is rejected even when everything
+  // else lines up (release-then-resolve, the use-after-free shape).
+  (*arena)->Release(slot.slot, slot.generation);
+  EXPECT_EQ((*arena)->Resolve(good).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over the real stack.
+
+struct GuestVm {
+  std::shared_ptr<ApiServerSession> session;
+  std::shared_ptr<GuestEndpoint> endpoint;
+  ava_gen_vcl::VclApi api;
+};
+
+class ArenaStack {
+ public:
+  ArenaStack() {
+    vcl::ResetDefaultSilo({});
+    router_ = std::make_unique<Router>();
+    router_->Start();
+  }
+  ~ArenaStack() {
+    vms_.clear();
+    router_->Stop();
+  }
+
+  GuestVm& AddVm(VmId vm_id, ChannelPair pair,
+                 GuestEndpoint::Options opts = {}) {
+    opts.vm_id = vm_id;
+    if (opts.call_deadline_ms < 0) {
+      opts.call_deadline_ms = 20000;  // bound any wedge; never expected
+    }
+    auto vm = std::make_unique<GuestVm>();
+    vm->session = std::make_shared<ApiServerSession>(vm_id);
+    vm->session->RegisterApi(ava_gen_vcl::kApiId,
+                             ava_gen_vcl::MakeVclApiHandler());
+    EXPECT_TRUE(
+        router_->AttachVm(vm_id, std::move(pair.host), vm->session).ok());
+    vm->endpoint =
+        std::make_shared<GuestEndpoint>(std::move(pair.guest), opts);
+    vm->api = ava_gen_vcl::MakeVclGuestApi(vm->endpoint);
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+  }
+
+ private:
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<GuestVm>> vms_;
+};
+
+ChannelPair MustShm() {
+  auto c = MakeShmRingChannel(1u << 16);
+  EXPECT_TRUE(c.ok());
+  return std::move(*c);
+}
+
+// Writes `bytes` of patterned data into a fresh device buffer and reads it
+// back through the forwarded API; returns true when the round trip is
+// byte-exact.
+bool WriteReadRoundTrip(GuestVm& vm, std::size_t bytes) {
+  auto& api = vm.api;
+  vcl_platform_id platform = nullptr;
+  EXPECT_EQ(api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  vcl_device_id device = nullptr;
+  EXPECT_EQ(
+      api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr),
+      VCL_SUCCESS);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  vcl_mem mem = api.vclCreateBuffer(ctx, VCL_MEM_READ_WRITE, bytes, nullptr,
+                                    &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+
+  std::vector<std::uint8_t> out(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  std::vector<std::uint8_t> in(bytes, 0);
+  EXPECT_EQ(api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, bytes,
+                                      out.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(api.vclEnqueueReadBuffer(queue, mem, VCL_TRUE, 0, bytes,
+                                     in.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  const bool match = in == out;
+
+  api.vclReleaseMemObject(mem);
+  api.vclReleaseCommandQueue(queue);
+  api.vclReleaseContext(ctx);
+  return match;
+}
+
+TEST(ArenaStackTest, LargeBuffersTravelThroughArena) {
+  ArenaStack stack;
+  GuestEndpoint::Options opts;
+  opts.arena_threshold_bytes = 4096;
+  GuestVm& vm = stack.AddVm(1, MustShm(), opts);
+  ASSERT_NE(vm.endpoint->bulk_arena(), nullptr)
+      << "shm transport must negotiate an arena";
+  EXPECT_TRUE(WriteReadRoundTrip(vm, 256u << 10));
+  // Both the 256 KiB write (bulk in) and the read (bulk out) cross the
+  // threshold: the bytes moved out-of-band, not through the ring.
+  EXPECT_GE(vm.endpoint->arena_allocs(), 2u);
+  EXPECT_EQ(vm.endpoint->arena_fallbacks(), 0u);
+  // Every slot went back to the pool once the replies were consumed.
+  EXPECT_EQ(vm.endpoint->bulk_arena()->SlotsInUse(), 0u);
+}
+
+TEST(ArenaStackTest, SmallBuffersStayInline) {
+  ArenaStack stack;
+  GuestEndpoint::Options opts;
+  opts.arena_threshold_bytes = 4096;
+  GuestVm& vm = stack.AddVm(1, MustShm(), opts);
+  EXPECT_TRUE(WriteReadRoundTrip(vm, 512));  // below threshold
+  EXPECT_EQ(vm.endpoint->arena_allocs(), 0u);
+}
+
+TEST(ArenaStackTest, ZeroThresholdDisablesArenaPath) {
+  ArenaStack stack;
+  GuestEndpoint::Options opts;
+  opts.arena_threshold_bytes = 0;
+  GuestVm& vm = stack.AddVm(1, MustShm(), opts);
+  EXPECT_EQ(vm.endpoint->bulk_arena(), nullptr);
+  EXPECT_TRUE(WriteReadRoundTrip(vm, 256u << 10));
+  EXPECT_EQ(vm.endpoint->arena_allocs(), 0u);
+}
+
+TEST(ArenaStackTest, ExhaustedArenaFallsBackInline) {
+  ArenaStack stack;
+  GuestEndpoint::Options opts;
+  opts.arena_threshold_bytes = 4096;
+  GuestVm& vm = stack.AddVm(1, MustShm(), opts);
+  const auto& arena = vm.endpoint->bulk_arena();
+  ASSERT_NE(arena, nullptr);
+  // Hold every slot so the stub's Acquire fails and it marshals inline.
+  std::vector<BufferArena::Slot> hostage;
+  BufferArena::Slot s;
+  while (arena->Acquire(1, &s)) {
+    hostage.push_back(s);
+  }
+  ASSERT_EQ(arena->SlotsInUse(), arena->slot_count());
+  EXPECT_TRUE(WriteReadRoundTrip(vm, 256u << 10));
+  EXPECT_EQ(vm.endpoint->arena_allocs(), 0u);
+  EXPECT_GE(vm.endpoint->arena_fallbacks(), 2u);  // write in + read out
+  for (const auto& h : hostage) {
+    arena->Release(h.slot, h.generation);
+  }
+}
+
+TEST(ArenaStackTest, RecordedCallsMarshalInlineForReplayFidelity) {
+  ArenaStack stack;
+  GuestEndpoint::Options opts;
+  opts.arena_threshold_bytes = 4096;
+  GuestVm& vm = stack.AddVm(1, MustShm(), opts);
+  auto& api = vm.api;
+  vcl_platform_id platform = nullptr;
+  ASSERT_EQ(api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  vcl_device_id device = nullptr;
+  ASSERT_EQ(
+      api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr),
+      VCL_SUCCESS);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  // vclCreateBuffer is `record;`-annotated: its 256 KiB initializer must
+  // travel inline even above the threshold, so a migration replay of the
+  // recorded payload never dereferences a long-recycled arena slot.
+  std::vector<std::uint8_t> init(256u << 10, 0x5C);
+  vcl_mem mem = api.vclCreateBuffer(ctx, VCL_MEM_COPY_HOST_PTR, init.size(),
+                                    init.data(), &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  EXPECT_EQ(vm.endpoint->arena_allocs(), 0u);
+  // The data still arrived: read it back (reads are unrecorded, so this leg
+  // may use the arena).
+  vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+  std::vector<std::uint8_t> back(init.size(), 0);
+  EXPECT_EQ(api.vclEnqueueReadBuffer(queue, mem, VCL_TRUE, 0, back.size(),
+                                     back.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(back, init);
+  api.vclReleaseMemObject(mem);
+  api.vclReleaseCommandQueue(queue);
+  api.vclReleaseContext(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Fault matrix: corrupt descriptors through the full router path. A custom
+// API handler decodes one bulk in-parameter the way generated handlers do,
+// so a forged ArenaDesc hits ServerContext::ReadBulkIn -> Resolve and the
+// resulting InvalidArgument must come back as a sealed error reply that
+// leaves the channel usable.
+
+constexpr std::uint16_t kBulkEchoApi = 99;
+
+ApiHandler MakeBulkEchoHandler() {
+  return [](ServerContext* ctx, std::uint32_t, ByteReader* args, bool,
+            ByteWriter* reply) -> Status {
+    ServerContext::BulkIn in;
+    AVA_RETURN_IF_ERROR(ctx->ReadBulkIn(args, &in));
+    reply->PutU64(in.size);
+    return OkStatus();
+  };
+}
+
+// One raw bulk-echo call carrying `payload_fn`-written bulk bytes.
+Result<Bytes> RawBulkCall(GuestEndpoint* ep,
+                          const std::function<void(ByteWriter*)>& payload_fn) {
+  ByteWriter w = BeginCall(kBulkEchoApi, 1);
+  payload_fn(&w);
+  return ep->CallSyncPrepared(std::move(w).TakeBytes(), /*retriable=*/false);
+}
+
+class ArenaFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vcl::ResetDefaultSilo({});
+    router_.Start();
+  }
+  void TearDown() override {
+    endpoint_.reset();
+    router_.Stop();
+  }
+
+  void Attach(ChannelPair pair) {
+    session_ = std::make_shared<ApiServerSession>(7);
+    session_->RegisterApi(kBulkEchoApi, MakeBulkEchoHandler());
+    ASSERT_TRUE(router_.AttachVm(7, std::move(pair.host), session_).ok());
+    GuestEndpoint::Options opts;
+    opts.vm_id = 7;
+    opts.call_deadline_ms = 20000;
+    opts.arena_threshold_bytes = 4096;
+    endpoint_ =
+        std::make_shared<GuestEndpoint>(std::move(pair.guest), opts);
+  }
+
+  // The channel survived: a well-formed inline call still round-trips.
+  void ExpectChannelUsable() {
+    auto ok_reply = RawBulkCall(endpoint_.get(), [](ByteWriter* w) {
+      w->PutU8(kBulkInline);
+      const std::uint8_t blob[3] = {1, 2, 3};
+      w->PutBlob(blob, sizeof(blob));
+    });
+    ASSERT_TRUE(ok_reply.ok()) << ok_reply.status().ToString();
+    ByteReader r(*ok_reply);
+    EXPECT_EQ(r.GetU64(), 3u);
+  }
+
+  Router router_;
+  std::shared_ptr<ApiServerSession> session_;
+  std::shared_ptr<GuestEndpoint> endpoint_;
+};
+
+TEST_F(ArenaFaultTest, CorruptDescriptorsYieldSealedErrorReplies) {
+  Attach(MustShm());
+  const auto& arena = endpoint_->bulk_arena();
+  ASSERT_NE(arena, nullptr);
+  BufferArena::Slot slot;
+  ASSERT_TRUE(arena->Acquire(64, &slot));
+  const ArenaDesc good = arena->DescFor(slot, 64);
+
+  struct Corruption {
+    const char* name;
+    ArenaDesc desc;
+  };
+  ArenaDesc wrong_arena = good;
+  wrong_arena.arena_id += 13;
+  ArenaDesc bad_slot = good;
+  bad_slot.slot = 1u << 20;
+  ArenaDesc huge_len = good;
+  huge_len.length = ~0ull;
+  ArenaDesc stale_gen = good;
+  stale_gen.generation += 9;
+  const Corruption kCorruptions[] = {{"wrong_arena", wrong_arena},
+                                     {"bad_slot", bad_slot},
+                                     {"huge_len", huge_len},
+                                     {"stale_gen", stale_gen}};
+  for (const auto& c : kCorruptions) {
+    auto reply = RawBulkCall(endpoint_.get(), [&c](ByteWriter* w) {
+      w->PutU8(kBulkArena);
+      PutArenaDesc(w, c.desc);
+    });
+    ASSERT_FALSE(reply.ok()) << c.name;
+    EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument) << c.name;
+    ExpectChannelUsable();
+  }
+  arena->Release(slot.slot, slot.generation);
+  EXPECT_GE(session_->stats().dispatch_errors, 4u);
+}
+
+TEST_F(ArenaFaultTest, DescriptorForReleasedSlotRejected) {
+  Attach(MustShm());
+  const auto& arena = endpoint_->bulk_arena();
+  ASSERT_NE(arena, nullptr);
+  BufferArena::Slot slot;
+  ASSERT_TRUE(arena->Acquire(64, &slot));
+  const ArenaDesc desc = arena->DescFor(slot, 64);
+  arena->Release(slot.slot, slot.generation);
+  auto reply = RawBulkCall(endpoint_.get(), [&desc](ByteWriter* w) {
+    w->PutU8(kBulkArena);
+    PutArenaDesc(w, desc);
+  });
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  ExpectChannelUsable();
+}
+
+TEST_F(ArenaFaultTest, ArenalessSessionRejectsDescriptors) {
+  // Inproc transports share no memory: a descriptor arriving there is by
+  // definition forged and must bounce, not crash.
+  Attach(MakeInProcChannel(64));
+  ASSERT_EQ(endpoint_->bulk_arena(), nullptr);
+  ArenaDesc forged;
+  forged.arena_id = 1;
+  forged.slot = 0;
+  forged.length = 64;
+  forged.generation = 1;
+  auto reply = RawBulkCall(endpoint_.get(), [&forged](ByteWriter* w) {
+    w->PutU8(kBulkArena);
+    PutArenaDesc(w, forged);
+  });
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  ExpectChannelUsable();
+}
+
+TEST_F(ArenaFaultTest, UnknownBulkMarkerRejected) {
+  Attach(MustShm());
+  auto reply = RawBulkCall(endpoint_.get(),
+                           [](ByteWriter* w) { w->PutU8(7); });
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  ExpectChannelUsable();
+}
+
+TEST_F(ArenaFaultTest, TruncatedDescriptorRejected) {
+  Attach(MustShm());
+  auto reply = RawBulkCall(endpoint_.get(), [](ByteWriter* w) {
+    w->PutU8(kBulkArena);
+    w->PutU32(1);  // arena_id only; the rest of the ArenaDesc is missing
+  });
+  ASSERT_FALSE(reply.ok());
+  // The truncated read fails the reader; either classification is a clean
+  // rejection, never an over-read.
+  EXPECT_TRUE(reply.status().code() == StatusCode::kInvalidArgument ||
+              reply.status().code() == StatusCode::kDataLoss)
+      << reply.status().ToString();
+  ExpectChannelUsable();
+}
+
+}  // namespace
+}  // namespace ava

@@ -5,6 +5,11 @@
 //
 // The peer mirrors the router's framing exactly (CRC-check + strip on
 // receive, seal on send), so corruption exercises the real rejection path.
+//
+// The buffer-arena cells of the matrix — corrupt/forged/stale descriptors
+// answered with sealed error replies, exhaustion falling back to inline
+// marshaling — live in tests/arena_test.cc (same `fault` ctest label): they
+// need the real router + ApiServerSession rather than this echo peer.
 #include <gtest/gtest.h>
 
 #include <atomic>

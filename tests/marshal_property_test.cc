@@ -1,0 +1,392 @@
+// Property/round-trip tests for the serialization stack: ByteWriter /
+// ByteReader primitives, the marshal.h helpers generated code composes, and
+// sealed wire frames. Three properties, each driven by seeded (SplitMix64)
+// randomized programs:
+//
+//   1. Round trip: any sequence of typed writes reads back exactly.
+//   2. Truncation: every strict prefix of an encoding fails with a clean
+//      sticky Status — never an over-read (run under -DAVA_SANITIZE= too).
+//   3. Corruption: single-bit flips anywhere in a frame either decode to
+//      (possibly different) in-bounds values or fail cleanly; sealed frames
+//      are rejected by the CRC check.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/serial.h"
+#include "src/proto/marshal.h"
+#include "src/proto/wire.h"
+
+namespace ava {
+namespace {
+
+// One randomly typed value, rememberable for the read-back comparison.
+struct Op {
+  enum Kind { kU8, kU16, kU32, kU64, kI32, kI64, kF64, kBool, kBlob, kString };
+  Kind kind;
+  std::uint64_t scalar = 0;
+  double real = 0.0;
+  Bytes blob;
+  std::string text;
+};
+
+Op RandomOp(Rng* rng) {
+  Op op;
+  op.kind = static_cast<Op::Kind>(rng->NextBelow(10));
+  switch (op.kind) {
+    case Op::kU8:
+      op.scalar = rng->NextU64() & 0xFF;
+      break;
+    case Op::kU16:
+      op.scalar = rng->NextU64() & 0xFFFF;
+      break;
+    case Op::kU32:
+      op.scalar = rng->NextU64() & 0xFFFFFFFF;
+      break;
+    case Op::kU64:
+    case Op::kI32:
+    case Op::kI64:
+      op.scalar = rng->NextU64();
+      break;
+    case Op::kF64:
+      op.real = static_cast<double>(rng->NextU64()) * 1e-3;
+      break;
+    case Op::kBool:
+      op.scalar = rng->NextU64() & 1;
+      break;
+    case Op::kBlob: {
+      op.blob.resize(rng->NextBelow(200));
+      for (auto& b : op.blob) {
+        b = static_cast<std::uint8_t>(rng->NextU64());
+      }
+      break;
+    }
+    case Op::kString: {
+      op.text.resize(rng->NextBelow(64));
+      for (auto& c : op.text) {
+        c = static_cast<char>('a' + rng->NextBelow(26));
+      }
+      break;
+    }
+  }
+  return op;
+}
+
+void WriteOp(ByteWriter* w, const Op& op) {
+  switch (op.kind) {
+    case Op::kU8:
+      w->PutU8(static_cast<std::uint8_t>(op.scalar));
+      break;
+    case Op::kU16:
+      w->PutU16(static_cast<std::uint16_t>(op.scalar));
+      break;
+    case Op::kU32:
+      w->PutU32(static_cast<std::uint32_t>(op.scalar));
+      break;
+    case Op::kU64:
+      w->PutU64(op.scalar);
+      break;
+    case Op::kI32:
+      w->PutI32(static_cast<std::int32_t>(op.scalar));
+      break;
+    case Op::kI64:
+      w->PutI64(static_cast<std::int64_t>(op.scalar));
+      break;
+    case Op::kF64:
+      w->PutF64(op.real);
+      break;
+    case Op::kBool:
+      w->PutBool(op.scalar != 0);
+      break;
+    case Op::kBlob:
+      w->PutBlob(op.blob.data(), op.blob.size());
+      break;
+    case Op::kString:
+      w->PutString(op.text);
+      break;
+  }
+}
+
+// Reads one op and checks the value when `verify` (full-buffer round trips);
+// truncated/corrupt reads only exercise the access pattern.
+void ReadOp(ByteReader* r, const Op& op, bool verify) {
+  switch (op.kind) {
+    case Op::kU8: {
+      auto v = r->GetU8();
+      if (verify) EXPECT_EQ(v, static_cast<std::uint8_t>(op.scalar));
+      break;
+    }
+    case Op::kU16: {
+      auto v = r->GetU16();
+      if (verify) EXPECT_EQ(v, static_cast<std::uint16_t>(op.scalar));
+      break;
+    }
+    case Op::kU32: {
+      auto v = r->GetU32();
+      if (verify) EXPECT_EQ(v, static_cast<std::uint32_t>(op.scalar));
+      break;
+    }
+    case Op::kU64: {
+      auto v = r->GetU64();
+      if (verify) EXPECT_EQ(v, op.scalar);
+      break;
+    }
+    case Op::kI32: {
+      auto v = r->GetI32();
+      if (verify) EXPECT_EQ(v, static_cast<std::int32_t>(op.scalar));
+      break;
+    }
+    case Op::kI64: {
+      auto v = r->GetI64();
+      if (verify) EXPECT_EQ(v, static_cast<std::int64_t>(op.scalar));
+      break;
+    }
+    case Op::kF64: {
+      auto v = r->GetF64();
+      if (verify) EXPECT_EQ(v, op.real);
+      break;
+    }
+    case Op::kBool: {
+      auto v = r->GetBool();
+      if (verify) EXPECT_EQ(v, op.scalar != 0);
+      break;
+    }
+    case Op::kBlob: {
+      auto v = r->GetBlob();
+      if (verify) EXPECT_EQ(v, op.blob);
+      break;
+    }
+    case Op::kString: {
+      auto v = r->GetString();
+      if (verify) EXPECT_EQ(v, op.text);
+      break;
+    }
+  }
+}
+
+// Copies an encoding into an exactly-sized heap allocation so that any
+// over-read past the logical end trips ASan instead of silently reading
+// the vector's spare capacity.
+struct TightBuffer {
+  explicit TightBuffer(const Bytes& src)
+      : size(src.size()), data(new std::uint8_t[src.size() ? src.size() : 1]) {
+    if (!src.empty()) {
+      std::memcpy(data.get(), src.data(), src.size());
+    }
+  }
+  std::size_t size;
+  std::unique_ptr<std::uint8_t[]> data;
+};
+
+TEST(SerialPropertyTest, RandomProgramsRoundTripExactly) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const std::size_t count = 1 + rng.NextBelow(40);
+    std::vector<Op> program;
+    ByteWriter w;
+    for (std::size_t i = 0; i < count; ++i) {
+      program.push_back(RandomOp(&rng));
+      WriteOp(&w, program.back());
+    }
+    TightBuffer buf(w.bytes());
+    ByteReader r(buf.data.get(), buf.size);
+    for (const Op& op : program) {
+      ReadOp(&r, op, /*verify=*/true);
+    }
+    EXPECT_FALSE(r.failed()) << "seed " << seed;
+    EXPECT_EQ(r.remaining(), 0u) << "seed " << seed;
+    EXPECT_TRUE(r.status().ok());
+  }
+}
+
+TEST(SerialPropertyTest, EveryTruncationFailsCleanlyWithoutOverread) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const std::size_t count = 1 + rng.NextBelow(12);
+    std::vector<Op> program;
+    ByteWriter w;
+    for (std::size_t i = 0; i < count; ++i) {
+      program.push_back(RandomOp(&rng));
+      WriteOp(&w, program.back());
+    }
+    const Bytes& full = w.bytes();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      TightBuffer buf(Bytes(full.begin(), full.begin() + cut));
+      ByteReader r(buf.data.get(), buf.size);
+      for (const Op& op : program) {
+        ReadOp(&r, op, /*verify=*/false);
+      }
+      // A strict prefix always cuts at least the final value short: the
+      // reader must end failed (sticky), with a classified Status and a
+      // remaining() that reads as zero rather than underflowing.
+      EXPECT_TRUE(r.failed()) << "seed " << seed << " cut " << cut;
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+      EXPECT_EQ(r.remaining(), 0u);
+    }
+  }
+}
+
+TEST(SerialPropertyTest, SingleBitFlipsNeverOverread) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const std::size_t count = 1 + rng.NextBelow(10);
+    std::vector<Op> program;
+    ByteWriter w;
+    for (std::size_t i = 0; i < count; ++i) {
+      program.push_back(RandomOp(&rng));
+      WriteOp(&w, program.back());
+    }
+    const Bytes& full = w.bytes();
+    for (std::size_t bit = 0; bit < full.size() * 8; ++bit) {
+      Bytes mutated = full;
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      TightBuffer buf(mutated);
+      ByteReader r(buf.data.get(), buf.size);
+      for (const Op& op : program) {
+        ReadOp(&r, op, /*verify=*/false);
+      }
+      // Flipping a length prefix can inflate a blob beyond the buffer; the
+      // reader must classify, not over-read. Any terminal state is legal as
+      // long as the Status is coherent with it.
+      if (r.failed()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+      } else {
+        EXPECT_TRUE(r.status().ok());
+      }
+    }
+  }
+}
+
+TEST(SerialPropertyTest, GetBlobIntoRejectsOversizedPayload) {
+  ByteWriter w;
+  const std::uint8_t payload[16] = {1, 2, 3};
+  w.PutBlob(payload, sizeof(payload));
+  std::uint8_t small[8] = {};
+  ByteReader r(w.bytes());
+  r.GetBlobInto(small, sizeof(small));
+  EXPECT_TRUE(r.failed());
+}
+
+// ---------------------------------------------------------------------------
+// marshal.h helpers.
+
+TEST(MarshalPropertyTest, OptionalBytesAndOutDescRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    Bytes data(rng.NextBelow(300));
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    const bool present = rng.NextBool(0.7);
+    const std::uint64_t capacity = rng.NextU64() & 0xFFFF;
+
+    ByteWriter w;
+    PutOptionalBytes(&w, present ? data.data() : nullptr, data.size());
+    PutOutDesc(&w, present ? data.data() : nullptr, capacity);
+    PutOutBytes(&w, present, data.data(), data.size());
+
+    ByteReader r(w.bytes());
+    if (present) {
+      EXPECT_TRUE(r.GetBool());
+      EXPECT_EQ(r.GetBlob(), data);
+    } else {
+      EXPECT_FALSE(r.GetBool());
+    }
+    OutDesc desc = GetOutDesc(&r);
+    EXPECT_EQ(desc.wanted, present);
+    EXPECT_EQ(desc.capacity, capacity);
+    Bytes sink(data.size() + 32, 0);
+    const std::size_t copied = GetOutBytes(&r, sink.data(), sink.size());
+    EXPECT_EQ(copied, present ? data.size() : 0u);
+    EXPECT_FALSE(r.failed());
+  }
+}
+
+TEST(MarshalPropertyTest, GetOutBytesHonorsCapacity) {
+  ByteWriter w;
+  const std::uint8_t payload[32] = {9, 9, 9};
+  PutOutBytes(&w, true, payload, sizeof(payload));
+  std::uint8_t small[8] = {};
+  ByteReader r(w.bytes());
+  // Capacity caps the copy; the extra wire bytes are consumed, not leaked
+  // into the next field.
+  EXPECT_EQ(GetOutBytes(&r, small, sizeof(small)), sizeof(small));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(MarshalPropertyTest, ArenaDescRoundTripsAndRejectsTruncation) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    ArenaDesc d;
+    d.arena_id = static_cast<std::uint32_t>(rng.NextU64());
+    d.slot = static_cast<std::uint32_t>(rng.NextU64());
+    d.length = rng.NextU64();
+    d.generation = static_cast<std::uint32_t>(rng.NextU64());
+    ByteWriter w;
+    PutArenaDesc(&w, d);
+    ASSERT_EQ(w.size(), 20u);  // the compact wire form: 4+4+8+4
+
+    ByteReader r(w.bytes());
+    ArenaDesc back = GetArenaDesc(&r);
+    EXPECT_EQ(back.arena_id, d.arena_id);
+    EXPECT_EQ(back.slot, d.slot);
+    EXPECT_EQ(back.length, d.length);
+    EXPECT_EQ(back.generation, d.generation);
+    EXPECT_FALSE(r.failed());
+
+    for (std::size_t cut = 0; cut < w.size(); ++cut) {
+      TightBuffer buf(Bytes(w.bytes().begin(), w.bytes().begin() + cut));
+      ByteReader tr(buf.data.get(), buf.size);
+      (void)GetArenaDesc(&tr);
+      EXPECT_TRUE(tr.failed()) << "cut " << cut;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sealed frames: random payloads survive seal/check; any single-bit flip in
+// the sealed frame is rejected by the CRC.
+
+TEST(FramePropertyTest, SealedFramesDetectEverySingleBitFlip) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    ByteWriter w = BeginCall(7, static_cast<std::uint32_t>(seed));
+    Bytes payload(1 + rng.NextBelow(120));
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    w.PutBlob(payload.data(), payload.size());
+    Bytes frame = std::move(w).TakeBytes();
+    SealFrame(&frame);
+
+    Bytes clean = frame;
+    ASSERT_TRUE(CheckAndStripFrame(&clean).ok());
+
+    for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+      Bytes mutated = frame;
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      EXPECT_FALSE(CheckAndStripFrame(&mutated).ok())
+          << "seed " << seed << " bit " << bit;
+    }
+  }
+}
+
+TEST(FramePropertyTest, PeekCallBulkBytesMatchesPatchedHeader) {
+  ByteWriter w = BeginCall(7, 3);
+  w.PutU8(kBulkArena);
+  w.PatchAt<std::uint64_t>(kCallBulkBytesOffset, 123456789ull);
+  Bytes frame = std::move(w).TakeBytes();
+  auto peeked = PeekCallBulkBytes(frame);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, 123456789ull);
+  // Too-short frames are rejected, not over-read.
+  Bytes stub(frame.begin(), frame.begin() + 8);
+  EXPECT_FALSE(PeekCallBulkBytes(stub).ok());
+}
+
+}  // namespace
+}  // namespace ava

@@ -3,10 +3,14 @@
 // router's behavior is isolated from the silo.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "src/common/rng.h"
+#include "src/router/rate_limiter.h"
 #include "src/router/router.h"
 #include "src/runtime/guest_endpoint.h"
 #include "src/server/api_server.h"
@@ -280,6 +284,60 @@ TEST(RouterRobustnessTest, TruncatedArgumentsRejectedCleanly) {
   ASSERT_FALSE(reply.ok());
   EXPECT_EQ(reply.status().code(), ava::StatusCode::kDataLoss);
   router.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucket thread safety. The router reconfigures buckets on hot attach
+// while its RX threads are drawing from them, so Configure must be safe
+// under concurrent Acquire/TryAcquire — including disabling (rate 0), which
+// must release a blocked waiter instead of stranding it.
+
+TEST(TokenBucketTest, ConfigureToZeroReleasesBlockedAcquire) {
+  ava::TokenBucket bucket(/*rate_per_sec=*/1.0, /*burst=*/1.0);
+  bucket.Acquire(1.0);  // drain the initial burst
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    bucket.Acquire(50.0);  // ~50 s at rate 1 — must not actually wait
+    released = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  bucket.Configure(0.0);  // disable mid-wait
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(TokenBucketTest, ReconfigureUnderConcurrentAcquireIsSafe) {
+  ava::TokenBucket bucket(/*rate_per_sec=*/1e6, /*burst=*/1e6);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        bucket.Acquire(1.0);
+        bucket.TryAcquire(2.0);
+        (void)bucket.enabled();
+        acquisitions.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Hammer Configure with alternating rates, including transient disables,
+  // while the workers draw. Pre-fix this raced on rate_/tokens_ (torn
+  // doubles, lost refills); now every transition must stay coherent and the
+  // workers must never wedge. Keep churning until every worker has made
+  // real progress under reconfiguration (so the overlap actually happened).
+  for (int i = 0; acquisitions.load(std::memory_order_relaxed) < 1000 ||
+                  i < 2000;
+       ++i) {
+    bucket.Configure(i % 3 == 0 ? 0.0 : 1e6, 1e6);
+  }
+  bucket.Configure(0.0);  // leave disabled so blocked workers drain out
+  stop = true;
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_GT(acquisitions.load(), 0u);
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
-// Tests for the pluggable transports: in-process channel, shared-memory
-// ring (including cross-fork), and sockets. All transports must satisfy the
-// same contract: ordered, length-delimited, duplex message delivery.
+// Transport conformance suite: one parameterized fixture run against every
+// pluggable transport (in-process channel, shared-memory ring, socket pair),
+// plus shm-specific cross-fork and wrap-around tests. All transports must
+// satisfy the same contract: ordered, length-delimited, duplex message
+// delivery; clean timeout/close semantics; and agreement between the two
+// endpoints on the negotiated bulk-buffer arena capability.
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -8,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -248,6 +252,119 @@ TEST_P(TransportContractTest, SendAfterOwnCloseFailsCleanly) {
   auto status = channel.guest->Send(MakeMessage(8, 4));
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+// Messages sized right around the shm ring's capacity (the factories below
+// use a 64 KiB ring): one byte under, exactly at, one byte over, and a
+// multiple — every wrap/streaming seam. For the non-ring transports these
+// are simply large messages; the contract is identical.
+TEST_P(TransportContractTest, BoundarySizedMessagesSweepTheRingSeam) {
+  ChannelPair channel = MakeChannel();
+  constexpr std::size_t kCap = 1u << 16;
+  const std::size_t sizes[] = {kCap - 65, kCap - 1,  kCap,
+                               kCap + 1,  kCap + 63, 2 * kCap + 5};
+  std::thread sender([&] {
+    std::uint8_t seed = 0;
+    for (std::size_t size : sizes) {
+      ASSERT_TRUE(channel.guest->Send(MakeMessage(size, ++seed)).ok());
+    }
+  });
+  std::uint8_t seed = 0;
+  for (std::size_t size : sizes) {
+    auto got = channel.host->Recv();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, MakeMessage(size, ++seed)) << "size " << size;
+  }
+  sender.join();
+}
+
+// Odd-sized messages march the ring's write offset through every alignment
+// (977 is prime, so offsets mod any power-of-two capacity cycle through all
+// residues), catching header-split and payload-split wrap bugs.
+TEST_P(TransportContractTest, OddSizedStreamWrapsAtEveryOffset) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kCount = 300;
+  constexpr std::size_t kSize = 977;
+  std::thread sender([&] {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(
+          channel.guest->Send(MakeMessage(kSize, static_cast<std::uint8_t>(i)))
+              .ok());
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    auto got = channel.host->Recv();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, MakeMessage(kSize, static_cast<std::uint8_t>(i)));
+  }
+  sender.join();
+}
+
+// Full duplex: both directions stream concurrently without cross-talk (the
+// guest's TX ring is the host's RX ring and vice versa — a shared-cursor bug
+// would corrupt one direction under simultaneous load).
+TEST_P(TransportContractTest, FullDuplexConcurrentTraffic) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kCount = 150;
+  auto pump = [&](Transport* tx, std::uint8_t seed) {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(
+          tx->Send(MakeMessage(64 + i, static_cast<std::uint8_t>(seed + i)))
+              .ok());
+    }
+  };
+  auto drain = [&](Transport* rx, std::uint8_t seed) {
+    for (int i = 0; i < kCount; ++i) {
+      auto got = rx->Recv();
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got,
+                MakeMessage(64 + i, static_cast<std::uint8_t>(seed + i)));
+    }
+  };
+  std::thread guest_tx(pump, channel.guest.get(), 1);
+  std::thread host_tx(pump, channel.host.get(), 101);
+  std::thread guest_rx(drain, channel.guest.get(), 101);
+  drain(channel.host.get(), 1);
+  guest_tx.join();
+  host_tx.join();
+  guest_rx.join();
+}
+
+// Zero-length sends interleaved with data: empties are real messages with
+// their own place in the order, not dropped or merged.
+TEST_P(TransportContractTest, ZeroLengthInterleavedWithData) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kPairs = 30;
+  std::thread sender([&] {
+    for (int i = 0; i < kPairs; ++i) {
+      ASSERT_TRUE(channel.guest->Send({}).ok());
+      ASSERT_TRUE(
+          channel.guest->Send(MakeMessage(40, static_cast<std::uint8_t>(i)))
+              .ok());
+    }
+  });
+  for (int i = 0; i < kPairs; ++i) {
+    auto empty = channel.host->Recv();
+    ASSERT_TRUE(empty.ok());
+    EXPECT_TRUE(empty->empty());
+    auto data = channel.host->Recv();
+    ASSERT_TRUE(data.ok());
+    ASSERT_EQ(*data, MakeMessage(40, static_cast<std::uint8_t>(i)));
+  }
+  sender.join();
+}
+
+// Capability negotiation: the two endpoints of a channel must agree on the
+// out-of-band buffer arena — same arena object on both ends (shm ring) or
+// none on either (transports that share no memory).
+TEST_P(TransportContractTest, EndpointsAgreeOnArenaCapability) {
+  ChannelPair channel = MakeChannel();
+  EXPECT_EQ(channel.guest->arena(), channel.host->arena());
+  if (std::string(GetParam().first) == "shm_ring") {
+    EXPECT_NE(channel.guest->arena(), nullptr);
+  } else {
+    EXPECT_EQ(channel.guest->arena(), nullptr);
+  }
 }
 
 ChannelPair MustShm() {
