@@ -1,8 +1,10 @@
-// Perf-regression gate (`ctest -L perf`): measures the two numbers the rest
-// of the performance story is built on — the forwarded null-call round trip
-// and a 4 MiB bulk-buffer round trip over the shm transport (arena path) —
-// and fails when either regresses more than the configured margin past the
-// baseline checked into bench/baselines.json.
+// Perf-regression gate (`ctest -L perf`): measures the numbers the rest of
+// the performance story is built on — the forwarded null-call round trip, a
+// cold 4 MiB bulk-buffer round trip over the shm transport (arena path), a
+// repeated-identical 1 MiB write on the transfer-cache hit path, and the
+// policed cached-vs-arena speedup — and fails when a latency regresses more
+// than the configured margin past the baseline checked into
+// bench/baselines.json, or the policed speedup drops below its floor.
 //
 // Baselines are deliberately set WIDE of the observed medians (see the
 // "note" field in the JSON): the gate exists to catch structural
@@ -78,8 +80,11 @@ int main(int argc, char** argv) {
   const std::string json = ss.str();
 
   double null_call_baseline = 0, bulk_baseline = 0, margin = 0;
+  double hit_baseline = 0, min_speedup = 0;
   if (!FindNumber(json, "null_call_ns", &null_call_baseline) ||
       !FindNumber(json, "bulk_4mib_roundtrip_ns", &bulk_baseline) ||
+      !FindNumber(json, "xfer_cache_hit_1mib_ns", &hit_baseline) ||
+      !FindNumber(json, "xfer_cache_policed_min_speedup", &min_speedup) ||
       !FindNumber(json, "regression_margin", &margin)) {
     std::fprintf(stderr, "perf_gate: malformed %s\n", argv[1]);
     return 2;
@@ -115,7 +120,14 @@ int main(int argc, char** argv) {
     vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
     vcl_mem mem = api.vclCreateBuffer(ctx, 0, kBulkBytes, nullptr, &err);
     std::vector<std::uint8_t> host(kBulkBytes, 0x77);
+    // Mutate a byte inside the transfer-cache prefix probe every iteration
+    // so each write is brand-new content: this row measures the COLD bulk
+    // path (arena transfer + the cache's prefix probe), which is where an
+    // accidental extra copy or a lost fast path would show up. The cache's
+    // own hit path has its own row below.
+    std::uint8_t tick = 0;
     bulk_ns = MedianNsPerIter(7, 8, [&] {
+      host[0] = ++tick;
       api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kBulkBytes,
                                 host.data(), 0, nullptr, nullptr);
       api.vclEnqueueReadBuffer(queue, mem, VCL_TRUE, 0, kBulkBytes,
@@ -126,9 +138,98 @@ int main(int argc, char** argv) {
     api.vclReleaseContext(ctx);
   }
 
+  // --- transfer-cache hit: repeated identical 1 MiB write (shm + cache) ---
+  constexpr std::size_t kHitBytes = 1u << 20;
+  double hit_ns = 0;
+  double policed_speedup = 0;
+  {
+    vcl::ResetDefaultSilo({});
+    bench::Stack stack;
+    auto& vm = stack.AddVm(1, bench::TransportKind::kShmRing);
+    auto api = vm.VclApi();
+    vcl_platform_id platform = nullptr;
+    api.vclGetPlatformIDs(1, &platform, nullptr);
+    vcl_device_id device = nullptr;
+    api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr);
+    vcl_int err = VCL_SUCCESS;
+    vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+    vcl_command_queue queue = api.vclCreateCommandQueue(ctx, device, 0, &err);
+    vcl_mem mem = api.vclCreateBuffer(ctx, 0, kHitBytes, nullptr, &err);
+    std::vector<std::uint8_t> host(kHitBytes, 0x33);
+    // Two warm sends: sighting, then install. Everything after is a hit —
+    // one full Hash64 pass plus a 24-byte descriptor round trip.
+    for (int i = 0; i < 2; ++i) {
+      api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kHitBytes,
+                                host.data(), 0, nullptr, nullptr);
+    }
+    hit_ns = MedianNsPerIter(7, 16, [&] {
+      api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kHitBytes,
+                                host.data(), 0, nullptr, nullptr);
+    });
+    api.vclReleaseMemObject(mem);
+    api.vclReleaseCommandQueue(queue);
+    api.vclReleaseContext(ctx);
+  }
+
+  // --- policed speedup: the headline the cache exists for. Under a per-VM
+  // byte budget the router charges cached hits only their descriptor
+  // bytes, so a guest re-sending resident content is bounded by the round
+  // trip while an arena-only guest is bounded by policy. ---
+  {
+    constexpr double kBytesPerSec = 64.0 * (1u << 20);
+    vcl::ResetDefaultSilo({});
+    bench::Stack stack;
+    ava::VmPolicy policy;
+    policy.bytes_per_sec = kBytesPerSec;
+    ava::GuestEndpoint::Options arena_opts;
+    arena_opts.arena_threshold_bytes = 64 << 10;
+    arena_opts.xfer_cache_min_bytes = 0;  // PR 3 behavior: no cache path
+    ava::GuestEndpoint::Options cache_opts;
+    cache_opts.arena_threshold_bytes = 64 << 10;
+    auto& arena_vm = stack.AddVm(1, bench::TransportKind::kShmRing,
+                                 arena_opts, policy);
+    auto& cache_vm = stack.AddVm(2, bench::TransportKind::kShmRing,
+                                 cache_opts, policy);
+    auto measure = [&](bench::GuestVm& vm) {
+      auto api = vm.VclApi();
+      vcl_platform_id platform = nullptr;
+      api.vclGetPlatformIDs(1, &platform, nullptr);
+      vcl_device_id device = nullptr;
+      api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device,
+                          nullptr);
+      vcl_int err = VCL_SUCCESS;
+      vcl_context ctx = api.vclCreateContext(&device, 1, &err);
+      vcl_command_queue queue =
+          api.vclCreateCommandQueue(ctx, device, 0, &err);
+      vcl_mem mem = api.vclCreateBuffer(ctx, 0, kHitBytes, nullptr, &err);
+      std::vector<std::uint8_t> host(kHitBytes, 0x44);
+      // Drain the token bucket's one-second burst so the measured region
+      // is steady-state policing.
+      const int burst =
+          static_cast<int>(kBytesPerSec / static_cast<double>(kHitBytes)) +
+          2;
+      for (int i = 0; i < burst; ++i) {
+        api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kHitBytes,
+                                  host.data(), 0, nullptr, nullptr);
+      }
+      const double ns = MedianNsPerIter(5, 1, [&] {
+        api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kHitBytes,
+                                  host.data(), 0, nullptr, nullptr);
+      });
+      api.vclReleaseMemObject(mem);
+      api.vclReleaseCommandQueue(queue);
+      api.vclReleaseContext(ctx);
+      return ns;
+    };
+    const double arena_ns = measure(arena_vm);
+    const double cached_ns = measure(cache_vm);
+    policed_speedup = arena_ns / cached_ns;
+  }
+
   const GateRow rows[] = {
       {"null_call", null_call_ns, null_call_baseline},
       {"bulk_4mib_roundtrip", bulk_ns, bulk_baseline},
+      {"xfer_cache_hit_1mib", hit_ns, hit_baseline},
   };
   int failures = 0;
   std::printf("perf gate (fail above baseline x %.2f)\n", margin);
@@ -142,6 +243,16 @@ int main(int argc, char** argv) {
     std::printf("%-22s %12.0fns %12.0fns %9.2fx  %s\n", row.name,
                 row.measured_ns, row.baseline_ns,
                 row.measured_ns / row.baseline_ns, ok ? "ok" : "REGRESSED");
+  }
+  {
+    // Floor check, not a ceiling: the policed cached path must keep its
+    // structural advantage over paying full freight against the byte
+    // budget.
+    const bool ok = policed_speedup >= min_speedup;
+    failures += ok ? 0 : 1;
+    std::printf("%-22s %13.1fx %13.1fx %9s  %s\n",
+                "xfer_policed_speedup", policed_speedup, min_speedup,
+                "(min)", ok ? "ok" : "REGRESSED");
   }
   if (failures > 0) {
     std::fprintf(stderr,

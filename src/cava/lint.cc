@@ -129,6 +129,27 @@ std::vector<LintFinding> LintSpec(const ApiSpec& spec) {
            "transport-level retry would re-execute the work");
     }
 
+    // Large input payloads on hot submission paths are where the transfer
+    // cache pays off; suggest `reusable;` where it is missing, and flag
+    // placements where the annotation can never take effect.
+    for (const auto& p : fn.params) {
+      const bool bulk_in = (p.shape == ParamShape::kBuffer ||
+                            p.shape == ParamShape::kBytesBuffer) &&
+                           p.direction == ParamDirection::kIn;
+      if (!p.reusable && bulk_in && !fn.record && LooksLikeEnqueue(fn)) {
+        advise(fn.name,
+               "in-buffer '" + p.name + "' on a work-submission call is a "
+               "transfer-cache candidate; `reusable;` would let repeated "
+               "identical payloads travel as a digest descriptor");
+      }
+      if (p.reusable && !fn.is_sync && fn.sync_condition.empty()) {
+        warn(fn.name,
+             "`reusable;` on '" + p.name + "' has no effect on an "
+             "async-only function; the cache-miss handshake needs a "
+             "synchronous reply");
+      }
+    }
+
     // Conditional-sync without any async-capable benefit.
     if (!fn.sync_condition.empty()) {
       bool any_out = false;

@@ -21,7 +21,7 @@
 //   sync; | async; | if (EXPR) sync; else async;
 //   parameter(NAME) { in|out|inout; buffer(COUNT)|bytes(COUNT)|element|string;
 //                     allocates|references|deallocates; shadow_on(EVENT);
-//                     userdata; }
+//                     reusable; userdata; }
 //   return { allocates; }
 //   consumes(device_time|bandwidth, EXPR);
 //   record;
@@ -95,6 +95,12 @@ struct ParamSpec {
   std::string count_expr;      // kBuffer / kBytesBuffer
   AllocClass alloc = AllocClass::kNone;
   std::string shadow_on;       // event param enabling deferred delivery
+  // In-buffer whose contents tend to be re-sent unchanged (model weights,
+  // per-timestep input matrices): the guest routes it through the
+  // content-addressed transfer cache, so the Nth identical send travels as
+  // a 24-byte digest descriptor instead of the bytes. Valid only on `in`
+  // buffer/bytes parameters of non-`record` functions.
+  bool reusable = false;
   bool annotated = false;      // had an explicit parameter(...) block
   bool direction_set = false;  // in/out/inout given explicitly
   bool shape_set = false;      // buffer/bytes/element/string given explicitly

@@ -425,6 +425,8 @@ class SpecParser {
       param->alloc = AllocClass::kReferences;
     } else if (prop == "deallocates") {
       param->alloc = AllocClass::kDeallocates;
+    } else if (prop == "reusable") {
+      param->reusable = true;
     } else if (prop == "shadow_on") {
       AVA_RETURN_IF_ERROR(ExpectPunct("("));
       AVA_ASSIGN_OR_RETURN(param->shadow_on, CaptureUntilCloseParen());
@@ -461,6 +463,32 @@ class SpecParser {
       }
       for (auto& param : fn.params) {
         AVA_RETURN_IF_ERROR(InferParam(fn, &param));
+      }
+      // `reusable;` is only meaningful for input payloads the guest can
+      // fingerprint before the call: out/inout data is produced by the
+      // server, and `record;` calls replay their payloads after migration
+      // (a replayed cache descriptor could alias whatever the cache holds
+      // by then).
+      for (auto& param : fn.params) {
+        if (!param.reusable) {
+          continue;
+        }
+        if (param.shape != ParamShape::kBuffer &&
+            param.shape != ParamShape::kBytesBuffer) {
+          return SemError(fn, "reusable parameter " + param.name +
+                                  " must be a buffer(...) or bytes(...) "
+                                  "parameter");
+        }
+        if (param.direction != ParamDirection::kIn) {
+          return SemError(fn, "reusable parameter " + param.name +
+                                  " must be `in` (the cache deduplicates "
+                                  "guest-supplied payloads only)");
+        }
+        if (fn.record) {
+          return SemError(fn, "reusable parameter " + param.name +
+                                  " is not allowed on a `record;` function "
+                                  "(replayed descriptors would dangle)");
+        }
       }
       // shadow_on targets must name a handle out-element param.
       for (auto& param : fn.params) {

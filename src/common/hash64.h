@@ -1,0 +1,36 @@
+// Fast 64-bit content fingerprint for the bulk-transfer cache.
+//
+// xxHash64-style construction: four independent 64-bit accumulator lanes
+// over 32-byte stripes, merged and avalanched. The stripe loop has a
+// runtime-dispatched AVX2 variant (same output bit-for-bit; the 64x64
+// multiplies are decomposed onto vpmuludq) used for large buffers on CPUs
+// that have it, since eligible transfer-cache payloads start at tens of
+// kilobytes. Not cryptographic: digests gate a cache lookup whose contents
+// were verified against the same function at install time, so a collision
+// can at worst serve bytes that hash identically — an accepted risk class
+// for a 64-bit content cache, not a security boundary.
+#ifndef AVA_SRC_COMMON_HASH64_H_
+#define AVA_SRC_COMMON_HASH64_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ava {
+
+// Digest of `size` bytes at `data`. Deterministic across processes and
+// instruction-set variants (guest hashes at send, server re-hashes at
+// install; the two must agree byte-for-byte).
+std::uint64_t Hash64(const void* data, std::size_t size);
+
+// True when the AVX2 stripe loop is compiled in and the CPU supports it.
+// Exposed so tests can assert scalar/SIMD agreement on hardware that has
+// both paths.
+bool Hash64HasSimd();
+
+// Scalar-only variant, for differential testing against the dispatched
+// path. Same output as Hash64 always.
+std::uint64_t Hash64Scalar(const void* data, std::size_t size);
+
+}  // namespace ava
+
+#endif  // AVA_SRC_COMMON_HASH64_H_

@@ -32,6 +32,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ABORTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kCacheMiss:
+      return "CACHE_MISS";
   }
   return "UNKNOWN";
 }
@@ -89,6 +91,9 @@ Status Aborted(std::string message) {
 }
 Status DataLoss(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status CacheMiss(std::string message) {
+  return Status(StatusCode::kCacheMiss, std::move(message));
 }
 
 }  // namespace ava

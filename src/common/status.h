@@ -31,6 +31,11 @@ enum class StatusCode : std::int32_t {
   kDeadlineExceeded = 11,
   kAborted = 12,
   kDataLoss = 13,
+  // Transfer-cache miss: the server does not hold the bytes a kBulkCached
+  // descriptor named. Returned before the API call executes, so the guest
+  // may safely re-send the call with the payload inlined (even for
+  // non-idempotent functions).
+  kCacheMiss = 14,
 };
 
 // Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -78,6 +83,7 @@ Status Unavailable(std::string message);
 Status DeadlineExceeded(std::string message);
 Status Aborted(std::string message);
 Status DataLoss(std::string message);
+Status CacheMiss(std::string message);
 
 }  // namespace ava
 

@@ -57,6 +57,13 @@ inline void PutOptionalCString(ByteWriter* w, const char* s) {
 inline constexpr std::uint8_t kBulkNull = 0;    // absent (null pointer)
 inline constexpr std::uint8_t kBulkInline = 1;  // length-prefixed blob follows
 inline constexpr std::uint8_t kBulkArena = 2;   // ArenaDesc follows
+// Content-addressed transfer cache (src/server/xfer_cache.h): the payload is
+// bytes the server already holds; only a CachedDesc travels.
+inline constexpr std::uint8_t kBulkCached = 3;  // CachedDesc follows
+// Cache install: CachedDesc, then a one-byte inner marker (kBulkInline or
+// kBulkArena) carrying the actual bytes. The server verifies the digest over
+// the received bytes, installs them, and acks residency on the reply.
+inline constexpr std::uint8_t kBulkCachedInstall = 4;
 
 struct ArenaDesc {
   std::uint32_t arena_id = 0;    // which arena (guards cross-channel mixups)
@@ -78,6 +85,33 @@ inline ArenaDesc GetArenaDesc(ByteReader* r) {
   d.slot = r->GetU32();
   d.length = r->GetU64();
   d.generation = r->GetU32();
+  return d;
+}
+
+// Transfer-cache descriptor: 24 bytes naming content the server (should)
+// hold. `slot` is the server-assigned install slot, advisory on lookups —
+// the cache is keyed by (hash, length); a recycled slot can never serve
+// wrong bytes. `reserved` keeps the struct 8-byte aligned for future use.
+struct CachedDesc {
+  std::uint64_t hash = 0;      // Hash64 of the payload bytes
+  std::uint64_t length = 0;    // payload length in bytes
+  std::uint32_t slot = 0;      // server install slot (advisory)
+  std::uint32_t reserved = 0;
+};
+
+inline void PutCachedDesc(ByteWriter* w, const CachedDesc& d) {
+  w->PutU64(d.hash);
+  w->PutU64(d.length);
+  w->PutU32(d.slot);
+  w->PutU32(d.reserved);
+}
+
+inline CachedDesc GetCachedDesc(ByteReader* r) {
+  CachedDesc d;
+  d.hash = r->GetU64();
+  d.length = r->GetU64();
+  d.slot = r->GetU32();
+  d.reserved = r->GetU32();
   return d;
 }
 

@@ -44,6 +44,7 @@ void PutCallHeader(ByteWriter* w, const CallHeader& h) {
   w->PutU64(h.trace_id);
   w->PutI64(h.t_send_ns);
   w->PutU64(h.bulk_bytes);
+  w->PutU64(h.cached_bytes);
 }
 
 }  // namespace
@@ -162,6 +163,7 @@ Result<DecodedCall> DecodeCall(const Bytes& message) {
   out.header.trace_id = r.GetU64();
   out.header.t_send_ns = r.GetI64();
   out.header.bulk_bytes = r.GetU64();
+  out.header.cached_bytes = r.GetU64();
   AVA_RETURN_IF_ERROR(r.status());
   // The payload is the remainder of the message.
   out.payload = std::span<const std::uint8_t>(
@@ -256,6 +258,16 @@ Result<std::uint64_t> PeekCallBulkBytes(const Bytes& message) {
     return DataLoss("not a call message");
   }
   ByteReader r(message.data() + kCallBulkBytesOffset, sizeof(std::uint64_t));
+  return r.GetU64();
+}
+
+Result<std::uint64_t> PeekCallCachedBytes(const Bytes& message) {
+  if (message.size() < kCallHeaderSize ||
+      message[0] != static_cast<std::uint8_t>(MsgKind::kCall)) {
+    return DataLoss("not a call message");
+  }
+  ByteReader r(message.data() + kCallCachedBytesOffset,
+               sizeof(std::uint64_t));
   return r.GetU64();
 }
 

@@ -40,6 +40,12 @@ inline constexpr std::uint8_t kCallFlagAsync = 0x1;
 // later synchronous reply).
 inline constexpr std::uint64_t kAsyncErrorShadowId = 0;
 
+// Reserved shadow id carrying transfer-cache install acknowledgements: a
+// sequence of CachedDesc records for digests the server installed while
+// executing this call. The guest endpoint consumes it (marking the digests
+// resident) instead of routing it to an application shadow buffer.
+inline constexpr std::uint64_t kXferCacheAckShadowId = ~0ull;
+
 struct CallHeader {
   std::uint16_t api_id = 0;
   std::uint32_t func_id = 0;
@@ -56,6 +62,12 @@ struct CallHeader {
   // to the frame size for bytes-per-second policies, so arena traffic is
   // not invisible to rate limiting. Zero for inline-only calls.
   std::uint64_t bulk_bytes = 0;
+  // Logical payload bytes this call references through the content-addressed
+  // transfer cache (kBulkCached descriptors) — bytes the server already
+  // holds, which never cross the transport. The router counts them for
+  // observability but does NOT charge them against bytes-per-second budgets:
+  // deduplicated traffic costs only its descriptors.
+  std::uint64_t cached_bytes = 0;
 
   bool is_async() const { return (flags & kCallFlagAsync) != 0; }
 };
@@ -94,14 +106,18 @@ struct ShadowUpdate {
 // Fixed size of an encoded call header; the argument payload is the
 // remainder of the message (no length prefix, no copy). Layout:
 // kind(1) api_id(2) func_id(4) call_id(8) vm_id(8) flags(1) trace_id(8)
-// t_send_ns(8) bulk_bytes(8).
+// t_send_ns(8) bulk_bytes(8) cached_bytes(8).
 inline constexpr std::size_t kCallHeaderSize =
-    1 + 2 + 4 + 8 + 8 + 1 + 8 + 8 + 8;
+    1 + 2 + 4 + 8 + 8 + 1 + 8 + 8 + 8 + 8;
 
 // Offset of the bulk_bytes field within an encoded call. Generated stubs
 // back-patch it (via ByteWriter::PatchAt) after marshaling arena-resident
 // arguments; the router reads it without a full decode.
 inline constexpr std::size_t kCallBulkBytesOffset = 40;
+
+// Offset of the cached_bytes field (same back-patch/peek discipline as
+// bulk_bytes).
+inline constexpr std::size_t kCallCachedBytesOffset = 48;
 
 // Starts a call message: writes the header with placeholder call/vm/flags
 // fields. Generated stubs marshal arguments directly into the returned
@@ -188,6 +204,10 @@ Result<std::int32_t> PeekReplyStatus(const Bytes& message);
 // Reads just the bulk_bytes field of an encoded call (router fast path:
 // arena accounting without a full decode).
 Result<std::uint64_t> PeekCallBulkBytes(const Bytes& message);
+
+// Reads just the cached_bytes field of an encoded call (router fast path:
+// transfer-cache observability without a full decode).
+Result<std::uint64_t> PeekCallCachedBytes(const Bytes& message);
 
 // ------------------------------ framing CRC --------------------------------
 //

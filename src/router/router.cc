@@ -20,6 +20,7 @@ Router::Router() {
   sessions_reaped_ = registry.NewCounter("sessions.reaped");
   crc_rejected_ = registry.NewCounter("router.crc_rejected");
   arena_bytes_ = registry.NewCounter("router.arena_bytes");
+  cached_bytes_ = registry.NewCounter("router.cached_bytes");
 }
 
 Router::~Router() { Stop(); }
@@ -274,9 +275,13 @@ void Router::RxLoop(VmChannel* channel) {
     }
     double call_count = 1.0;
     std::uint64_t bulk_bytes = 0;
+    std::uint64_t cached_bytes = 0;
     if (*kind == MsgKind::kCall) {
       if (auto bulk = PeekCallBulkBytes(*message); bulk.ok()) {
         bulk_bytes = *bulk;
+      }
+      if (auto cached = PeekCallCachedBytes(*message); cached.ok()) {
+        cached_bytes = *cached;
       }
       auto decoded = DecodeCall(*message);
       if (!decoded.ok()) {
@@ -321,6 +326,13 @@ void Router::RxLoop(VmChannel* channel) {
     // the out-of-band path cannot launder bandwidth past policy.
     if (bulk_bytes > 0) {
       arena_bytes_->Increment(bulk_bytes);
+    }
+    // Transfer-cache hits are the opposite case: the named bytes never move
+    // at all — the server already holds them — so they are counted for
+    // observability but NOT charged against the byte budget. Policed guests
+    // keep their full bandwidth allotment for bytes that actually travel.
+    if (cached_bytes > 0) {
+      cached_bytes_->Increment(cached_bytes);
     }
     std::int64_t waited = channel->call_bucket.Acquire(call_count);
     waited += channel->byte_bucket.Acquire(

@@ -166,6 +166,10 @@ class Router {
   // Bulk bytes that moved out-of-band through the buffer arena (accounted
   // against the per-VM byte budget alongside on-wire bytes).
   std::shared_ptr<obs::Counter> arena_bytes_;
+  // Bulk bytes elided by transfer-cache hits: the server already held the
+  // payload, so nothing moved. Observed but never charged against the
+  // per-VM byte budget — that is the point of the cache.
+  std::shared_ptr<obs::Counter> cached_bytes_;
 };
 
 }  // namespace ava

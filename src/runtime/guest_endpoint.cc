@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/hash64.h"
 #include "src/common/log.h"
 #include "src/common/vclock.h"
 #include "src/obs/trace.h"
@@ -54,6 +55,46 @@ std::int64_t ArenaThresholdFromEnv() {
   return static_cast<std::int64_t>(bytes);
 }
 
+constexpr std::int64_t kDefaultXferCacheMinBytes = 64 << 10;
+
+std::int64_t XferCacheMinFromEnv() {
+  const char* env = std::getenv("AVA_XFER_CACHE_MIN");
+  if (env == nullptr || env[0] == '\0') {
+    return kDefaultXferCacheMinBytes;
+  }
+  char* end = nullptr;
+  const long long bytes = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || bytes < 0) {
+    AVA_LOG(ERROR) << "ignoring malformed AVA_XFER_CACHE_MIN: " << env;
+    return kDefaultXferCacheMinBytes;
+  }
+  return static_cast<std::int64_t>(bytes);
+}
+
+// The server cache is sized by AVA_XFER_CACHE_BYTES; an explicit 0 disables
+// it, so the guest should not spend hashes and install traffic either. Only
+// a well-formed "0" disables — anything else defers to the server default.
+bool XferCacheDisabledByEnv() {
+  const char* env = std::getenv("AVA_XFER_CACHE_BYTES");
+  if (env == nullptr || env[0] == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  const long long bytes = std::strtoll(env, &end, 10);
+  return end != env && *end == '\0' && bytes == 0;
+}
+
+// Resident-digest cap: past this, arbitrary entries are dropped. 8192
+// digests is ~192 KiB of bookkeeping and far beyond what a 64 MiB server
+// budget can keep resident for >=64 KiB payloads.
+constexpr std::size_t kResidentDigestCap = 8192;
+
+// How much of a payload the sighting pre-filter fingerprints. Big enough
+// that unrelated payloads virtually never collide, small enough that a
+// never-repeating stream pays ~a microsecond per send instead of a
+// full-payload hash pass.
+constexpr std::size_t kXferPrefixProbeBytes = 4096;
+
 }  // namespace
 
 GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
@@ -73,6 +114,13 @@ GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
           static_cast<std::size_t>(options_.arena_threshold_bytes);
     }
   }
+  if (options_.xfer_cache_min_bytes < 0) {
+    options_.xfer_cache_min_bytes = XferCacheMinFromEnv();
+  }
+  if (XferCacheDisabledByEnv()) {
+    options_.xfer_cache_min_bytes = 0;
+  }
+  xfer_cache_min_ = static_cast<std::size_t>(options_.xfer_cache_min_bytes);
   const std::string prefix = "guest.vm" + std::to_string(options_.vm_id) + ".";
   auto& registry = obs::MetricRegistry::Default();
   sync_calls_ = registry.NewCounter(prefix + "sync_calls");
@@ -88,6 +136,10 @@ GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
   arena_bytes_ = registry.NewCounter("guest.arena_bytes");
   arena_allocs_ = registry.NewCounter("guest.arena_allocs");
   arena_fallbacks_ = registry.NewCounter("guest.arena_fallbacks");
+  xfer_hits_ = registry.NewCounter("guest.xfer_hits");
+  xfer_installs_ = registry.NewCounter("guest.xfer_installs");
+  xfer_bytes_saved_ = registry.NewCounter("guest.xfer_bytes_saved");
+  xfer_miss_retries_ = registry.NewCounter("calls.cache_miss_retried");
   trace_enabled_ = obs::TraceEnabled();
 }
 
@@ -97,6 +149,58 @@ void GuestEndpoint::NoteArenaAlloc(std::uint64_t bytes) {
 }
 
 void GuestEndpoint::NoteArenaFallback() { arena_fallbacks_->Increment(); }
+
+bool GuestEndpoint::XferLookupResident(std::uint64_t hash,
+                                       std::uint64_t length,
+                                       std::uint32_t* slot) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = resident_.find(hash);
+  if (it == resident_.end() || it->second.length != length) {
+    return false;
+  }
+  *slot = it->second.slot;
+  return true;
+}
+
+void GuestEndpoint::XferDropResident(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  resident_.erase(hash);
+}
+
+void GuestEndpoint::XferMarkResident(const CachedDesc& desc) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (resident_.size() >= kResidentDigestCap &&
+      resident_.find(desc.hash) == resident_.end()) {
+    resident_.erase(resident_.begin());
+  }
+  resident_[desc.hash] = ResidentDigest{desc.length, desc.slot};
+}
+
+bool GuestEndpoint::XferNoteSighting(std::uint64_t prefix_key,
+                                     std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = seen_once_.find(prefix_key);
+  if (it != seen_once_.end() && it->second == length) {
+    return true;
+  }
+  if (seen_once_.size() >= kResidentDigestCap && it == seen_once_.end()) {
+    seen_once_.erase(seen_once_.begin());
+  }
+  seen_once_[prefix_key] = length;
+  return false;
+}
+
+void GuestEndpoint::NoteXferHit(std::uint64_t bytes) {
+  xfer_hits_->Increment();
+  xfer_bytes_saved_->Increment(bytes);
+}
+
+void GuestEndpoint::NoteXferInstall() { xfer_installs_->Increment(); }
+
+std::size_t GuestEndpoint::xfer_resident_count() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return resident_.size();
+}
 
 GuestEndpoint::~GuestEndpoint() {
   if (transport_ != nullptr) {
@@ -123,42 +227,59 @@ Status GuestEndpoint::CallAsync(std::uint16_t api_id, std::uint32_t func_id,
   return CallAsyncPrepared(EncodeCall(header, args));
 }
 
-Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message, bool retriable) {
+Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message, bool retriable,
+                                              BulkScope* bulk) {
   std::lock_guard<std::mutex> lock(mutex_);
   AVA_RETURN_IF_ERROR(BreakerAdmitLocked());
   AVA_RETURN_IF_ERROR(FlushLocked());
   const int max_attempts =
       retriable ? 1 + std::max(options_.max_retries, 0) : 1;
   std::int64_t backoff_us = options_.retry_backoff_us;
+  bool miss_retried = false;
+  int attempt = 0;
   Status last = OkStatus();
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (attempt > 0) {
-      calls_retried_->Increment();
-      const std::int64_t jitter_us =
-          backoff_us > 0 ? retry_rng_.NextInRange(0, backoff_us) : 0;
-      if (backoff_us + jitter_us > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(backoff_us + jitter_us));
-      }
-      backoff_us *= 2;
-      // Each attempt re-sends the sealed frame from the previous one: strip
-      // the checksum so the identity patch + reseal see the raw message.
-      message.resize(message.size() - sizeof(std::uint32_t));
-    }
+  while (true) {
     Result<Bytes> reply = SyncAttemptLocked(&message);
     if (reply.ok()) {
       BreakerRecordLocked(/*transport_ok=*/true);
       return reply;
     }
     last = reply.status();
+    if (last.code() == StatusCode::kCacheMiss && bulk != nullptr &&
+        bulk->has_cache_hits() && !miss_retried) {
+      // The server no longer holds a digest this call referenced (evicted
+      // or restarted). It rejected the call before executing anything, so
+      // one immediate inline retransmission-and-install is safe even for
+      // non-idempotent calls — and it does not consume the transport retry
+      // budget. SyncAttemptLocked left the frame sealed: strip the checksum
+      // so the rewrite and the next seal see the raw message.
+      miss_retried = true;
+      xfer_miss_retries_->Increment();
+      message.resize(message.size() - sizeof(std::uint32_t));
+      bulk->RewriteForMiss(&message);
+      continue;
+    }
     if (!IsTransportFailure(last.code())) {
       // An answered rejection (rate limit, handler error) is not a channel
       // problem — no breaker bump, no retry.
       return last;
     }
     BreakerRecordLocked(/*transport_ok=*/false);
+    if (++attempt >= max_attempts) {
+      return last;
+    }
+    calls_retried_->Increment();
+    const std::int64_t jitter_us =
+        backoff_us > 0 ? retry_rng_.NextInRange(0, backoff_us) : 0;
+    if (backoff_us + jitter_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backoff_us + jitter_us));
+    }
+    backoff_us *= 2;
+    // Each attempt re-sends the sealed frame from the previous one: strip
+    // the checksum so the identity patch + reseal see the raw message.
+    message.resize(message.size() - sizeof(std::uint32_t));
   }
-  return last;
 }
 
 // One send + reply wait. A fresh call id per attempt means a late reply to
@@ -330,6 +451,19 @@ Status GuestEndpoint::FlushLocked() {
 
 void GuestEndpoint::ApplyShadowsLocked(const DecodedReply& reply) {
   for (const ShadowUpdate& update : reply.shadows) {
+    if (update.shadow_id == kXferCacheAckShadowId) {
+      // Transfer-cache install acks: the server verified and installed
+      // these digests while executing the call. Delivered even on error
+      // replies — the installs happened regardless of the call's outcome.
+      ByteReader r(update.data);
+      while (r.remaining() > 0 && !r.failed()) {
+        const CachedDesc desc = GetCachedDesc(&r);
+        if (!r.failed()) {
+          XferMarkResident(desc);
+        }
+      }
+      continue;
+    }
     if (update.shadow_id == kAsyncErrorShadowId) {
       if (update.data.size() >= sizeof(std::int32_t)) {
         std::memcpy(&latched_async_error_, update.data.data(),
@@ -358,6 +492,11 @@ BulkScope::BulkScope(GuestEndpoint* endpoint, bool allow_arena)
   if (allow_arena) {
     arena_ = endpoint_->bulk_arena();
     threshold_ = endpoint_->arena_threshold_bytes();
+    // Unlike the arena, the cache path needs no shared memory — it works on
+    // any transport — but it does need a sync reply (for the kCacheMiss
+    // handshake) and no replay (a replayed descriptor could alias whatever
+    // the cache holds later), the same conditions allow_arena encodes.
+    cache_min_ = endpoint_->xfer_cache_min_bytes();
   }
 }
 
@@ -371,11 +510,61 @@ BulkScope::~BulkScope() {
   }
 }
 
-void BulkScope::PutIn(ByteWriter* w, const void* data, std::size_t bytes) {
+void BulkScope::PutIn(ByteWriter* w, const void* data, std::size_t bytes,
+                      bool reusable) {
   if (data == nullptr) {
     w->PutU8(kBulkNull);
     return;
   }
+  if (reusable && CacheEligible(bytes)) {
+    // Cheap pre-filter before any full-payload work: fingerprint only the
+    // first few KiB. A prefix never seen before means this content cannot
+    // be resident, so a cold stream pays ~a microsecond here and sends the
+    // payload plain — no full hash, no install. Only once a prefix repeats
+    // does the full digest get computed. A prefix collision between
+    // different payloads merely triggers a redundant install attempt; the
+    // full digest (verified server-side) is what keys the cache.
+    const std::size_t prefix_len =
+        bytes < kXferPrefixProbeBytes ? bytes : kXferPrefixProbeBytes;
+    const std::uint64_t prefix_key = Hash64(data, prefix_len);
+    if (!endpoint_->XferNoteSighting(prefix_key, bytes)) {
+      PutInPayload(w, data, bytes);
+      return;
+    }
+    // Re-hash the full payload at every send past the filter: the digest
+    // always describes the bytes as they are NOW, so a guest that mutated
+    // the buffer since the last call can never alias a stale cache entry.
+    CachedDesc desc;
+    desc.hash = Hash64(data, bytes);
+    desc.length = bytes;
+    if (endpoint_->XferLookupResident(desc.hash, desc.length, &desc.slot)) {
+      CacheRecord record;
+      record.marker_offset = w->size();
+      record.data = data;
+      record.bytes = bytes;
+      record.hash = desc.hash;
+      cache_records_.push_back(record);
+      w->PutU8(kBulkCached);
+      PutCachedDesc(w, desc);
+      cached_bytes_count_ += bytes;
+      endpoint_->NoteXferHit(bytes);
+      return;
+    }
+    // Seen before but not resident: send the payload once more, asking the
+    // server to install it under this digest. The install ack arrives as a
+    // shadow on the reply; the next identical send becomes a
+    // descriptor-only hit.
+    w->PutU8(kBulkCachedInstall);
+    PutCachedDesc(w, desc);
+    endpoint_->NoteXferInstall();
+    PutInPayload(w, data, bytes);
+    return;
+  }
+  PutInPayload(w, data, bytes);
+}
+
+void BulkScope::PutInPayload(ByteWriter* w, const void* data,
+                             std::size_t bytes) {
   if (Eligible(bytes)) {
     BufferArena::Slot slot;
     if (arena_->Acquire(bytes, &slot)) {
@@ -391,6 +580,53 @@ void BulkScope::PutIn(ByteWriter* w, const void* data, std::size_t bytes) {
   }
   w->PutU8(kBulkInline);
   w->PutBlob(data, bytes);
+}
+
+void BulkScope::RewriteForMiss(Bytes* message) {
+  if (cache_records_.empty()) {
+    return;
+  }
+  // Each hit in the frame is marker (1) + CachedDesc (24); it becomes
+  // kBulkCachedInstall + the same descriptor + an inline blob, so the
+  // server verifies the digest and installs before executing the call.
+  constexpr std::size_t kHitEncodingSize = 25;
+  std::size_t extra = 0;
+  for (const CacheRecord& record : cache_records_) {
+    extra += 1 + sizeof(std::uint64_t) + record.bytes;
+  }
+  Bytes out;
+  out.reserve(message->size() + extra);
+  std::size_t pos = 0;
+  for (const CacheRecord& record : cache_records_) {
+    out.insert(out.end(), message->begin() + pos,
+               message->begin() + static_cast<std::ptrdiff_t>(
+                                      record.marker_offset));
+    out.push_back(kBulkCachedInstall);
+    out.insert(out.end(),
+               message->begin() +
+                   static_cast<std::ptrdiff_t>(record.marker_offset + 1),
+               message->begin() + static_cast<std::ptrdiff_t>(
+                                      record.marker_offset + kHitEncodingSize));
+    out.push_back(kBulkInline);
+    const std::uint64_t length = record.bytes;
+    const auto* length_bytes = reinterpret_cast<const std::uint8_t*>(&length);
+    out.insert(out.end(), length_bytes, length_bytes + sizeof(length));
+    const auto* payload = static_cast<const std::uint8_t*>(record.data);
+    out.insert(out.end(), payload, payload + record.bytes);
+    pos = record.marker_offset + kHitEncodingSize;
+    // The server evidently lost this digest; forget it so later calls
+    // re-install instead of repeating the miss.
+    endpoint_->XferDropResident(record.hash);
+  }
+  out.insert(out.end(), message->begin() + static_cast<std::ptrdiff_t>(pos),
+             message->end());
+  // The elided bytes now travel in the frame: zero the header's
+  // cached_bytes field so router accounting matches what is on the wire.
+  const std::uint64_t zero = 0;
+  std::memcpy(out.data() + kCallCachedBytesOffset, &zero, sizeof(zero));
+  *message = std::move(out);
+  cache_records_.clear();
+  cached_bytes_count_ = 0;
 }
 
 void BulkScope::PutOut(ByteWriter* w, void* ptr, std::size_t capacity) {

@@ -24,6 +24,8 @@
 
 namespace ava {
 
+class BulkScope;
+
 class GuestEndpoint {
  public:
   struct Options {
@@ -59,6 +61,13 @@ class GuestEndpoint {
     // arena path entirely. A negative value (the default) reads
     // AVA_ARENA_THRESHOLD at construction, falling back to 64 KiB.
     std::int64_t arena_threshold_bytes = -1;
+    // `reusable;` in-buffers at least this large go through the
+    // content-addressed transfer cache: hashed at every send, and sent as a
+    // 24-byte descriptor once the server acks the digest as resident. 0
+    // disables the guest-side cache path entirely. A negative value (the
+    // default) reads AVA_XFER_CACHE_MIN at construction, falling back to
+    // 64 KiB; AVA_XFER_CACHE_BYTES=0 (server cache off) also disables it.
+    std::int64_t xfer_cache_min_bytes = -1;
   };
 
   // Thin view over the endpoint's obs::MetricRegistry cells
@@ -92,8 +101,13 @@ class GuestEndpoint {
   // ava::BeginCall + argument marshaling; the endpoint patches the identity
   // fields in place and sends without re-encoding. `retriable` comes from
   // the spec's `idempotent` annotation: only such calls are re-sent (with a
-  // fresh call id) after a transport-classified failure.
-  Result<Bytes> CallSyncPrepared(Bytes message, bool retriable = false);
+  // fresh call id) after a transport-classified failure. `bulk` is the
+  // call's BulkScope when it marshaled any transfer-cache hit: a kCacheMiss
+  // reply (server evicted or restarted) triggers exactly one inline
+  // retransmission-and-install retry — safe regardless of idempotency,
+  // because the server rejects a missing digest before executing the call.
+  Result<Bytes> CallSyncPrepared(Bytes message, bool retriable = false,
+                                 BulkScope* bulk = nullptr);
   Status CallAsyncPrepared(Bytes message);
 
   // Registers an application pointer to receive a future shadow-buffer
@@ -120,6 +134,18 @@ class GuestEndpoint {
   std::uint64_t arena_allocs() const { return arena_allocs_->Value(); }
   std::uint64_t arena_fallbacks() const { return arena_fallbacks_->Value(); }
 
+  // Transfer-cache path, as resolved at construction. 0 = disabled.
+  std::size_t xfer_cache_min_bytes() const { return xfer_cache_min_; }
+  // Cache-path health: descriptor-only sends, install sends, and calls
+  // re-sent inline after a server-side kCacheMiss.
+  std::uint64_t xfer_hits() const { return xfer_hits_->Value(); }
+  std::uint64_t xfer_installs() const { return xfer_installs_->Value(); }
+  std::uint64_t xfer_miss_retries() const {
+    return xfer_miss_retries_->Value();
+  }
+  // Digests the server has acked as resident (test/diagnostic view).
+  std::size_t xfer_resident_count() const;
+
   // Distribution of synchronous forwarded-call round-trip latency (ns),
   // from send to reply receipt. Use Percentile(50/95/99) for tail views.
   obs::HistogramSnapshot sync_latency() const {
@@ -130,6 +156,20 @@ class GuestEndpoint {
   friend class BulkScope;
   void NoteArenaAlloc(std::uint64_t bytes);
   void NoteArenaFallback();
+  // Resident-digest set shared with BulkScope. Guarded by cache_mutex_
+  // (not mutex_): PutIn runs during stub marshaling, before the endpoint
+  // lock is taken. Lock order where both are held: mutex_ then cache_mutex_.
+  bool XferLookupResident(std::uint64_t hash, std::uint64_t length,
+                          std::uint32_t* slot);
+  void XferDropResident(std::uint64_t hash);
+  void XferMarkResident(const CachedDesc& desc);
+  // Records a sighting of a payload's cheap prefix fingerprint and reports
+  // whether it has been seen before. Full-payload hashing and installs are
+  // gated on the SECOND sighting: a stream of never-repeating payloads
+  // pays only the few-KiB prefix probe per send.
+  bool XferNoteSighting(std::uint64_t prefix_key, std::uint64_t length);
+  void NoteXferHit(std::uint64_t bytes);
+  void NoteXferInstall();
 
   Status SendSealedLocked(Bytes* message);
   Status FlushLocked();
@@ -145,6 +185,24 @@ class GuestEndpoint {
   TransportPtr transport_;
   std::shared_ptr<BufferArena> arena_;  // from transport_->arena(), may be null
   std::size_t arena_threshold_ = 0;     // resolved; 0 = arena path disabled
+  std::size_t xfer_cache_min_ = 0;      // resolved; 0 = cache path disabled
+
+  // Digests the server acked as resident, keyed by hash. Bounded: past the
+  // cap, arbitrary entries are dropped (a dropped digest only costs a
+  // redundant install; a server-side eviction is discovered through the
+  // kCacheMiss retry either way).
+  mutable std::mutex cache_mutex_;
+  struct ResidentDigest {
+    std::uint64_t length = 0;
+    std::uint32_t slot = 0;
+  };
+  std::unordered_map<std::uint64_t, ResidentDigest> resident_;
+  // Prefix fingerprints of payloads sighted at least once, keyed by the
+  // prefix digest with the payload length as the value. Same cap/drop
+  // policy as resident_; losing an entry merely delays an install by one
+  // more sighting, and a prefix collision only costs a redundant install
+  // attempt (the cache itself is keyed by verified full digests).
+  std::unordered_map<std::uint64_t, std::uint64_t> seen_once_;
 
   mutable std::mutex mutex_;
   CallId next_call_id_ = 1;
@@ -179,6 +237,11 @@ class GuestEndpoint {
   std::shared_ptr<obs::Counter> arena_bytes_;
   std::shared_ptr<obs::Counter> arena_allocs_;
   std::shared_ptr<obs::Counter> arena_fallbacks_;
+  // Transfer-cache counters (process-global; aggregated across endpoints).
+  std::shared_ptr<obs::Counter> xfer_hits_;
+  std::shared_ptr<obs::Counter> xfer_installs_;
+  std::shared_ptr<obs::Counter> xfer_bytes_saved_;
+  std::shared_ptr<obs::Counter> xfer_miss_retries_;
   bool trace_enabled_ = false;  // cached Tracer state at construction
 };
 
@@ -193,7 +256,10 @@ class GuestEndpoint {
 //
 // `allow_arena = false` forces inline marshaling (async/batched calls, and
 // `record;`-annotated calls whose payloads are replayed after migration —
-// a replayed arena descriptor would point at a recycled slot).
+// a replayed arena descriptor would point at a recycled slot). The same
+// flag gates the transfer-cache path: a replayed kBulkCached descriptor
+// would dangle just like a replayed arena slot, and async calls have no
+// sync reply to carry the kCacheMiss retry handshake.
 class BulkScope {
  public:
   BulkScope(GuestEndpoint* endpoint, bool allow_arena);
@@ -202,8 +268,15 @@ class BulkScope {
   BulkScope(const BulkScope&) = delete;
   BulkScope& operator=(const BulkScope&) = delete;
 
-  // Marshals a nullable in-buffer: marker + (inline blob | arena descriptor).
-  void PutIn(ByteWriter* w, const void* data, std::size_t bytes);
+  // Marshals a nullable in-buffer: marker + (inline blob | arena descriptor
+  // | transfer-cache descriptor). `reusable` comes from the spec's
+  // `reusable;` annotation: such buffers are re-hashed at every send (a
+  // guest that mutated the bytes since the last call can never alias a
+  // stale digest) and travel as a 24-byte kBulkCached descriptor once the
+  // server has acked the digest, or as a kBulkCachedInstall (descriptor +
+  // payload) until then.
+  void PutIn(ByteWriter* w, const void* data, std::size_t bytes,
+             bool reusable = false);
 
   // Marshals an out-buffer request: where the server should put `capacity`
   // bytes. Arena-backed outs pre-acquire the slot here so the reply only
@@ -218,10 +291,32 @@ class BulkScope {
   // field (router policy accounting).
   std::uint64_t arena_bytes() const { return arena_bytes_count_; }
 
+  // Total payload bytes elided by transfer-cache hits, for the call
+  // header's cached_bytes field. The router counts these for observability
+  // but does not charge them against the per-VM byte budget — the whole
+  // point of the cache.
+  std::uint64_t cached_bytes() const { return cached_bytes_count_; }
+
+  // True when this call's frame carries at least one kBulkCached hit that a
+  // kCacheMiss reply would require re-sending.
+  bool has_cache_hits() const { return !cache_records_.empty(); }
+
+  // Rewrites `message` (unsealed) after a kCacheMiss reply: every
+  // kBulkCached hit descriptor becomes a kBulkCachedInstall carrying the
+  // payload inline, the header's cached_bytes field drops to zero, and the
+  // hit digests are forgotten endpoint-wide (the server evidently lost
+  // them). Called at most once per call by CallSyncPrepared.
+  void RewriteForMiss(Bytes* message);
+
  private:
   bool Eligible(std::size_t bytes) const {
     return arena_ != nullptr && threshold_ > 0 && bytes >= threshold_;
   }
+  bool CacheEligible(std::size_t bytes) const {
+    return cache_min_ > 0 && bytes >= cache_min_;
+  }
+  // The arena-or-inline encoding shared by plain and install-path in-buffers.
+  void PutInPayload(ByteWriter* w, const void* data, std::size_t bytes);
 
   // Per PutOut: index into held_, or -1 (non-arena). Inline storage keeps
   // the common all-inline call free of heap traffic; no spec function comes
@@ -240,15 +335,28 @@ class BulkScope {
 
   static constexpr std::size_t kInlineOuts = 8;
 
+  // One per kBulkCached hit in the frame: enough to splice the payload back
+  // in if the server misses. `data` stays valid for the whole call — the
+  // caller's buffer outlives the stub invocation by contract.
+  struct CacheRecord {
+    std::size_t marker_offset = 0;  // offset of the marker byte in the frame
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+    std::uint64_t hash = 0;
+  };
+
   GuestEndpoint* endpoint_;
   std::shared_ptr<BufferArena> arena_;  // null when disallowed or absent
   std::size_t threshold_ = 0;
+  std::size_t cache_min_ = 0;  // 0 = transfer-cache path disabled
   std::vector<BufferArena::Slot> held_;  // allocates only on the arena path
+  std::vector<CacheRecord> cache_records_;
   int outs_inline_[kInlineOuts];
   std::vector<int> outs_overflow_;
   std::size_t outs_count_ = 0;
   std::size_t next_out_ = 0;
   std::uint64_t arena_bytes_count_ = 0;
+  std::uint64_t cached_bytes_count_ = 0;
 };
 
 }  // namespace ava

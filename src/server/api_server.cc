@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "src/common/hash64.h"
 #include "src/common/log.h"
 #include "src/common/vclock.h"
 #include "src/obs/trace.h"
@@ -13,7 +14,10 @@ namespace ava {
 
 ServerContext::ServerContext(VmId vm_id, ObjectRegistry* registry,
                              SwapManager* swap)
-    : vm_id_(vm_id), registry_(registry), swap_(swap) {}
+    : vm_id_(vm_id),
+      registry_(registry),
+      swap_(swap),
+      xfer_cache_(std::make_unique<TransferCache>(XferCacheBudgetFromEnv())) {}
 
 Result<void*> ServerContext::TranslateSwappable(std::uint32_t type_tag,
                                                 WireHandle id) {
@@ -24,6 +28,11 @@ Result<void*> ServerContext::TranslateSwappable(std::uint32_t type_tag,
 }
 
 Status ServerContext::ReadBulkIn(ByteReader* r, BulkIn* out) {
+  return ReadBulkInInner(r, out, /*allow_cached=*/true);
+}
+
+Status ServerContext::ReadBulkInInner(ByteReader* r, BulkIn* out,
+                                      bool allow_cached) {
   *out = BulkIn{};
   const std::uint8_t marker = r->GetU8();
   if (marker == kBulkNull) {
@@ -47,6 +56,48 @@ Status ServerContext::ReadBulkIn(ByteReader* r, BulkIn* out) {
     out->present = true;
     out->data = span.data();
     out->size = span.size();
+    return OkStatus();
+  }
+  if (marker == kBulkCached && allow_cached) {
+    const CachedDesc desc = GetCachedDesc(r);
+    AVA_RETURN_IF_ERROR(r->status());
+    std::shared_ptr<const Bytes> entry =
+        xfer_cache_->Lookup(desc.hash, desc.length);
+    if (entry == nullptr) {
+      // Pre-execution by construction (handlers unmarshal before calling
+      // the API), so the guest's inline re-send is safe even for
+      // non-idempotent functions.
+      return CacheMiss("transfer cache does not hold the named digest");
+    }
+    out->present = true;
+    out->data = entry->data();
+    out->size = entry->size();
+    call_cache_refs_.push_back(std::move(entry));
+    return OkStatus();
+  }
+  if (marker == kBulkCachedInstall && allow_cached) {
+    const CachedDesc desc = GetCachedDesc(r);
+    AVA_RETURN_IF_ERROR(r->status());
+    BulkIn inner;
+    AVA_RETURN_IF_ERROR(ReadBulkInInner(r, &inner, /*allow_cached=*/false));
+    if (!inner.present) {
+      return InvalidArgument("cache install carries no payload");
+    }
+    // Re-hash on the server: the digest is what later hits are served by,
+    // so it must describe the bytes that actually arrived. This also
+    // covers arena-slot payloads, which the frame CRC does not.
+    if (inner.size != desc.length ||
+        Hash64(inner.data, inner.size) != desc.hash) {
+      return InvalidArgument("transfer-cache digest mismatch on install");
+    }
+    const TransferCache::InstallResult installed = xfer_cache_->Install(
+        desc.hash, std::span<const std::uint8_t>(inner.data, inner.size));
+    if (installed.installed) {
+      CachedDesc ack = desc;
+      ack.slot = installed.slot;
+      pending_cache_acks_.push_back(ack);
+    }
+    *out = inner;
     return OkStatus();
   }
   return InvalidArgument("bad bulk-buffer marker");
@@ -207,6 +258,9 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
     if (swap_ != nullptr) {
       swap_->UnpinAll(&registry_);
     }
+    // The call is over: cache entries served to it may now be reclaimed by
+    // future evictions.
+    context_.call_cache_refs_.clear();
   }
 
   const std::int64_t exec_end = sampling ? MonotonicNowNs() : 0;
@@ -261,6 +315,17 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
 }
 
 void ApiServerSession::ReapShadows(ReplyBuilder* reply) {
+  // Transfer-cache install acks ride their reserved shadow id. Delivered
+  // even on error replies: the installs did happen, and an un-acked install
+  // would just cost the guest a redundant re-install later.
+  if (!context_.pending_cache_acks_.empty()) {
+    ByteWriter acks;
+    for (const CachedDesc& desc : context_.pending_cache_acks_) {
+      PutCachedDesc(&acks, desc);
+    }
+    reply->AddShadow(kXferCacheAckShadowId, std::move(acks).TakeBytes());
+    context_.pending_cache_acks_.clear();
+  }
   // Latched async error rides the reserved shadow id.
   if (context_.latched_async_error_ != 0) {
     Bytes err(sizeof(std::int32_t));
@@ -305,6 +370,7 @@ Status ApiServerSession::Replay(const CallHeader& header, const Bytes& payload,
   if (swap_ != nullptr) {
     swap_->UnpinAll(&registry_);
   }
+  context_.call_cache_refs_.clear();
   return status;
 }
 

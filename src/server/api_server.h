@@ -24,6 +24,7 @@
 #include "src/proto/wire.h"
 #include "src/server/object_registry.h"
 #include "src/server/swap_manager.h"
+#include "src/server/xfer_cache.h"
 #include "src/transport/arena.h"
 
 namespace ava {
@@ -69,7 +70,12 @@ class ServerContext {
   // these. A call frame can mix encodings per parameter; the marker byte
   // decides. Arena descriptors are fully validated (Resolve) before any
   // byte is touched — a corrupt or forged descriptor yields InvalidArgument,
-  // which the session turns into a sealed error reply.
+  // which the session turns into a sealed error reply. Transfer-cache
+  // markers resolve against the per-VM content cache: a kBulkCached miss
+  // yields kCacheMiss (before the API call runs — unmarshaling precedes
+  // execution, so the guest's single inline retry is always safe), and a
+  // kBulkCachedInstall whose bytes do not re-hash to the descriptor's
+  // digest yields InvalidArgument.
 
   // A decoded in-buffer. `data` points either into the call frame (inline)
   // or into the arena slot (64-byte aligned); both stay valid for the
@@ -99,6 +105,11 @@ class ServerContext {
                   const void* data, std::size_t bytes);
 
   const std::shared_ptr<BufferArena>& arena() const { return arena_; }
+
+  // Per-VM content-addressed transfer cache. Always non-null; a zero byte
+  // budget (AVA_XFER_CACHE_BYTES=0) makes every lookup miss and every
+  // install a no-op. Exposed for tests (forced eviction, budget changes).
+  TransferCache& xfer_cache() { return *xfer_cache_; }
 
   // -------- cost accounting (read by the router's scheduler) --------
   void ChargeCost(std::int64_t vns) { cost_vns_ += vns; }
@@ -132,6 +143,11 @@ class ServerContext {
     std::function<bool(Bytes*)> poll;
   };
 
+  // Inner body of ReadBulkIn. `allow_cached` is false when decoding the
+  // payload nested inside a kBulkCachedInstall, so a hostile frame cannot
+  // nest cache markers.
+  Status ReadBulkInInner(ByteReader* r, BulkIn* out, bool allow_cached);
+
   VmId vm_id_;
   ObjectRegistry* registry_;
   SwapManager* swap_;
@@ -142,6 +158,14 @@ class ServerContext {
   bool replaying_ = false;
   std::vector<std::pair<std::uint64_t, Bytes>> ready_shadows_;
   std::vector<DeferredShadow> deferred_shadows_;
+  std::unique_ptr<TransferCache> xfer_cache_;
+  // Cache entries served to the in-flight call: keeps their bytes alive
+  // even if a later install within the same call evicts them. Cleared by
+  // the session when the call completes.
+  std::vector<std::shared_ptr<const Bytes>> call_cache_refs_;
+  // Digests installed while executing the current call; flushed to the
+  // guest as a kXferCacheAckShadowId shadow on the next sync reply.
+  std::vector<CachedDesc> pending_cache_acks_;
 };
 
 class ApiServerSession {

@@ -1,0 +1,105 @@
+#include "src/server/xfer_cache.h"
+
+#include <cstdlib>
+
+#include "src/common/log.h"
+
+namespace ava {
+
+std::size_t XferCacheBudgetFromEnv() {
+  const char* env = std::getenv("AVA_XFER_CACHE_BYTES");
+  if (env == nullptr || *env == '\0') {
+    return kDefaultXferCacheBytes;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0) {
+    AVA_LOG(ERROR) << "malformed AVA_XFER_CACHE_BYTES '" << env
+                   << "', using default " << kDefaultXferCacheBytes;
+    return kDefaultXferCacheBytes;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+TransferCache::TransferCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {
+  auto& registry = obs::MetricRegistry::Default();
+  hits_ = registry.NewCounter("xfer_cache.hits");
+  misses_ = registry.NewCounter("xfer_cache.misses");
+  installs_ = registry.NewCounter("xfer_cache.installs");
+  evictions_ = registry.NewCounter("xfer_cache.evictions");
+  bytes_saved_ = registry.NewCounter("xfer_cache.bytes_saved");
+}
+
+std::shared_ptr<const Bytes> TransferCache::Lookup(std::uint64_t hash,
+                                                   std::uint64_t length) {
+  auto it = entries_.find(hash);
+  if (it == entries_.end() || it->second.data->size() != length) {
+    ++stats_.misses;
+    misses_->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  stats_.bytes_saved += length;
+  hits_->Increment();
+  bytes_saved_->Increment(length);
+  return it->second.data;
+}
+
+TransferCache::InstallResult TransferCache::Install(
+    std::uint64_t hash, std::span<const std::uint8_t> data) {
+  if (budget_bytes_ == 0 || data.size() > budget_bytes_) {
+    return {};
+  }
+  auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    // Refresh: same digest, possibly different bytes (hash collision or a
+    // re-install after a length-mismatch miss). Replace contents.
+    size_bytes_ -= it->second.data->size();
+    EvictToFit(data.size());
+    it->second.data = std::make_shared<const Bytes>(data.begin(), data.end());
+    size_bytes_ += data.size();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    ++stats_.installs;
+    installs_->Increment();
+    return {true, it->second.slot};
+  }
+  EvictToFit(data.size());
+  Entry entry;
+  entry.data = std::make_shared<const Bytes>(data.begin(), data.end());
+  entry.slot = next_slot_++;
+  lru_.push_front(hash);
+  entry.lru_it = lru_.begin();
+  size_bytes_ += data.size();
+  const std::uint32_t slot = entry.slot;
+  entries_.emplace(hash, std::move(entry));
+  ++stats_.installs;
+  installs_->Increment();
+  return {true, slot};
+}
+
+void TransferCache::EvictToFit(std::size_t incoming_bytes) {
+  while (size_bytes_ + incoming_bytes > budget_bytes_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    auto it = entries_.find(victim);
+    size_bytes_ -= it->second.data->size();
+    lru_.pop_back();
+    entries_.erase(it);
+    ++stats_.evictions;
+    evictions_->Increment();
+  }
+}
+
+void TransferCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  size_bytes_ = 0;
+}
+
+void TransferCache::Reconfigure(std::size_t budget_bytes) {
+  budget_bytes_ = budget_bytes;
+  EvictToFit(0);
+}
+
+}  // namespace ava

@@ -1,0 +1,120 @@
+// Per-VM content-addressed transfer cache (server side).
+//
+// Holds verbatim copies of bulk `in buffer` payloads the guest marked
+// `reusable;`, keyed by their 64-bit content digest (src/common/hash64.h).
+// Once a payload is installed, later calls that re-send the same bytes
+// travel as a 24-byte CachedDesc instead of the payload — the Nth identical
+// weight upload or input matrix costs a descriptor, not megabytes.
+//
+// Correctness never depends on cache state: a lookup miss surfaces as a
+// kCacheMiss status BEFORE the API call executes, and the guest re-sends
+// the call once with the bytes inlined. Digests are verified at install
+// time by re-hashing the received bytes on the server, so a forged or
+// corrupted descriptor can never alias wrong contents into the cache.
+//
+// Eviction is LRU under a byte budget (AVA_XFER_CACHE_BYTES, default
+// 64 MiB; 0 disables the cache). Entries are handed out as shared_ptr so an
+// entry serving the in-flight call survives an eviction triggered by a
+// later parameter of the same call (the session drops its per-call
+// references when the call completes).
+//
+// Not thread-safe: one TransferCache belongs to one ServerContext, and the
+// router executes a VM's calls on a single thread — the same discipline the
+// rest of the session state relies on.
+#ifndef AVA_SRC_SERVER_XFER_CACHE_H_
+#define AVA_SRC_SERVER_XFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "src/common/serial.h"
+#include "src/obs/metrics.h"
+
+namespace ava {
+
+// Default byte budget when AVA_XFER_CACHE_BYTES is unset.
+inline constexpr std::size_t kDefaultXferCacheBytes = 64u << 20;
+
+// Resolves the cache byte budget: AVA_XFER_CACHE_BYTES when set and
+// well-formed (0 disables the cache), else the default. Malformed values
+// log and fall back to the default, like the other AVA_* knobs.
+std::size_t XferCacheBudgetFromEnv();
+
+class TransferCache {
+ public:
+  // Per-instance view, for tests and diagnostics. Process-global
+  // xfer_cache.* metric cells aggregate the same events across sessions.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t installs = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes_saved = 0;
+  };
+
+  struct InstallResult {
+    bool installed = false;
+    std::uint32_t slot = 0;
+  };
+
+  explicit TransferCache(std::size_t budget_bytes);
+
+  TransferCache(const TransferCache&) = delete;
+  TransferCache& operator=(const TransferCache&) = delete;
+
+  // Returns the resident bytes for (hash, length), touching LRU recency, or
+  // null on a miss. A present digest with a different length counts as a
+  // miss (different content that collided on the 64-bit hash).
+  std::shared_ptr<const Bytes> Lookup(std::uint64_t hash,
+                                      std::uint64_t length);
+
+  // Installs a copy of `data` under `hash`, evicting least-recently-used
+  // entries to fit the budget. Re-installing a resident digest refreshes
+  // its bytes and recency. Returns installed=false when the cache is
+  // disabled or the payload alone exceeds the budget.
+  InstallResult Install(std::uint64_t hash,
+                        std::span<const std::uint8_t> data);
+
+  // Drops every entry (test hook; models a server-side flush the guest
+  // only discovers through misses).
+  void Clear();
+
+  // Changes the byte budget, evicting LRU entries down to the new limit.
+  void Reconfigure(std::size_t budget_bytes);
+
+  std::size_t size_bytes() const { return size_bytes_; }
+  std::size_t entries() const { return entries_.size(); }
+  std::size_t budget_bytes() const { return budget_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Bytes> data;
+    std::uint32_t slot = 0;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  void EvictToFit(std::size_t incoming_bytes);
+
+  std::size_t budget_bytes_;
+  std::size_t size_bytes_ = 0;
+  std::uint32_t next_slot_ = 1;
+  // Front = most recently used; values are digest keys into entries_.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  Stats stats_;
+
+  // Process-global cells (aggregated across sessions by the registry).
+  std::shared_ptr<obs::Counter> hits_;
+  std::shared_ptr<obs::Counter> misses_;
+  std::shared_ptr<obs::Counter> installs_;
+  std::shared_ptr<obs::Counter> evictions_;
+  std::shared_ptr<obs::Counter> bytes_saved_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_SERVER_XFER_CACHE_H_

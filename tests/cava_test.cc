@@ -425,6 +425,129 @@ int f(int x) { async; idempotent; }
   EXPECT_TRUE(advised);
 }
 
+TEST(SpecParserTest, ReusableAnnotationCaptured) {
+  auto spec = ParseSpec(R"(
+api t 1;
+int f(size_t size, const void* data) {
+  sync;
+  parameter(data) { in; bytes(size); reusable; }
+}
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const ParamSpec* data = spec->functions[0].FindParam("data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_TRUE(data->reusable);
+}
+
+TEST(SpecParserTest, ReusableRejectedOnInvalidPlacements) {
+  // Not an in-parameter: the cache deduplicates guest-supplied payloads.
+  EXPECT_FALSE(ParseSpec(R"(
+api t 1;
+int f(float* out, int n) {
+  sync;
+  parameter(out) { out; buffer(n); reusable; }
+}
+)")
+                   .ok());
+  // Not a buffer shape.
+  EXPECT_FALSE(ParseSpec(R"(
+api t 1;
+int f(int* x) {
+  sync;
+  parameter(x) { in; element; reusable; }
+}
+)")
+                   .ok());
+  // `record;` functions replay from the log; a cached descriptor recorded
+  // today would dangle after migration.
+  EXPECT_FALSE(ParseSpec(R"(
+api t 1;
+int f(size_t size, const void* data) {
+  sync;
+  record;
+  parameter(data) { in; bytes(size); reusable; }
+}
+)")
+                   .ok());
+}
+
+TEST(EmitTest, ReusableParamsRouteThroughTransferCache) {
+  auto spec = ParseSpec(R"(
+api t 1;
+type(t_int) { scalar; success(0); failure(-1); }
+t_int fEnqueue(size_t size, const void* data) {
+  sync;
+  parameter(data) { in; bytes(size); reusable; }
+  consumes(bandwidth, size);
+}
+t_int g(size_t size, const void* data) {
+  sync;
+  parameter(data) { in; bytes(size); }
+  consumes(bandwidth, size);
+}
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto files = GenerateStack(*spec);
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  const std::string& guest = files->at("t_gen_guest.cc");
+  const std::size_t f_at = guest.find("stub_fEnqueue");
+  const std::size_t g_at = guest.find("stub_g");
+  ASSERT_NE(f_at, std::string::npos);
+  ASSERT_NE(g_at, std::string::npos);
+  const std::string f_body = guest.substr(f_at, g_at - f_at);
+  const std::string g_body = guest.substr(g_at);
+  // The annotated stub opts its payload into the cache, patches the
+  // cached-bytes header field, and hands the scope to CallSyncPrepared so
+  // a kCacheMiss can be retried with the bytes spliced back in.
+  EXPECT_NE(f_body.find("/*reusable=*/true"), std::string::npos) << f_body;
+  EXPECT_NE(f_body.find("kCallCachedBytesOffset"), std::string::npos);
+  EXPECT_NE(f_body.find("&bulk__"), std::string::npos);
+  // The unannotated stub takes none of that machinery.
+  EXPECT_EQ(g_body.find("/*reusable=*/true"), std::string::npos) << g_body;
+  EXPECT_EQ(g_body.find("kCallCachedBytesOffset"), std::string::npos);
+  EXPECT_EQ(g_body.find("&bulk__"), std::string::npos);
+}
+
+TEST(LintTest, MissingReusableOnSubmissionInBufferAdvises) {
+  auto spec = ParseSpec(R"(
+api t 1;
+int fooEnqueue(size_t size, const void* data) {
+  sync;
+  parameter(data) { in; bytes(size); }
+  consumes(bandwidth, size);
+}
+)");
+  ASSERT_TRUE(spec.ok());
+  bool advised = false;
+  for (const auto& finding : LintSpec(*spec)) {
+    advised = advised ||
+              (finding.severity == LintFinding::Severity::kAdvice &&
+               finding.message.find("transfer-cache candidate") !=
+                   std::string::npos);
+  }
+  EXPECT_TRUE(advised);
+}
+
+TEST(LintTest, ReusableOnAsyncOnlyFunctionWarns) {
+  auto spec = ParseSpec(R"(
+api t 1;
+int f(size_t size, const void* data) {
+  async;
+  parameter(data) { in; bytes(size); reusable; }
+  consumes(bandwidth, size);
+}
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  bool warned = false;
+  for (const auto& finding : LintSpec(*spec)) {
+    warned = warned ||
+             (finding.severity == LintFinding::Severity::kWarning &&
+              finding.message.find("cache-miss handshake") !=
+                  std::string::npos);
+  }
+  EXPECT_TRUE(warned);
+}
+
 // The shipped specs must stay warning-free (advisories allowed).
 TEST(LintTest, ShippedSpecsHaveNoWarnings) {
   for (const char* name : {"/vcl.ava", "/mvnc.ava", "/qat.ava"}) {

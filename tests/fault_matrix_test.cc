@@ -9,7 +9,10 @@
 // The buffer-arena cells of the matrix — corrupt/forged/stale descriptors
 // answered with sealed error replies, exhaustion falling back to inline
 // marshaling — live in tests/arena_test.cc (same `fault` ctest label): they
-// need the real router + ApiServerSession rather than this echo peer.
+// need the real router + ApiServerSession rather than this echo peer. The
+// transfer-cache cells — forged digests, eviction mid-flight, corrupt
+// kBulkCached descriptors, install digest mismatches — live in
+// tests/xfer_cache_test.cc for the same reason.
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -1,0 +1,791 @@
+// Content-addressed transfer-cache tests: Hash64 and TransferCache at the
+// unit level, then the cache lifecycle end-to-end through the real stack
+// (CAvA `reusable;` stubs -> GuestEndpoint -> Router -> ApiServerSession):
+// install -> hit -> evict -> transparent miss-retry-reinstall, the
+// mutation-rehash regression (a guest flipping one byte between sends must
+// never alias a stale digest), per-VM isolation, and the fault cells —
+// forged digests, corrupt kBulkCached descriptors, and install digest
+// mismatches all end in classified errors with the channel still usable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/hash64.h"
+#include "src/proto/marshal.h"
+#include "src/proto/wire.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/server/xfer_cache.h"
+#include "src/transport/transport.h"
+#include "src/vcl/silo.h"
+#include "vcl_gen.h"
+
+namespace ava {
+namespace {
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 131 + seed);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Hash64 unit behavior.
+
+TEST(Hash64Test, DeterministicAndContentSensitive) {
+  const auto a = Pattern(4096, 1);
+  auto b = a;
+  EXPECT_EQ(Hash64(a.data(), a.size()), Hash64(b.data(), b.size()));
+  b[1234] ^= 1;  // one flipped bit must change the digest
+  EXPECT_NE(Hash64(a.data(), a.size()), Hash64(b.data(), b.size()));
+  EXPECT_NE(Hash64(a.data(), 4095), Hash64(a.data(), 4096));
+}
+
+TEST(Hash64Test, ScalarAndDispatchedAgreeOnAllTailShapes) {
+  // Stripe boundary (32) and every tail length around it, plus sizes large
+  // enough to take the SIMD path when present.
+  const auto data = Pattern(3000, 7);
+  for (std::size_t n = 0; n <= 70; ++n) {
+    EXPECT_EQ(Hash64(data.data(), n), Hash64Scalar(data.data(), n)) << n;
+  }
+  for (std::size_t n : {511u, 512u, 513u, 1024u, 2999u}) {
+    EXPECT_EQ(Hash64(data.data(), n), Hash64Scalar(data.data(), n)) << n;
+  }
+  const auto big = Pattern(1u << 20, 3);
+  EXPECT_EQ(Hash64(big.data(), big.size()),
+            Hash64Scalar(big.data(), big.size()));
+}
+
+TEST(Hash64Test, EmptyAndUnalignedInputs) {
+  const auto data = Pattern(256, 9);
+  EXPECT_EQ(Hash64(data.data(), 0), Hash64Scalar(data.data(), 0));
+  // Misaligned base pointer: memcpy-based loads must not care.
+  EXPECT_EQ(Hash64(data.data() + 1, 100), Hash64Scalar(data.data() + 1, 100));
+}
+
+// ---------------------------------------------------------------------------
+// TransferCache unit behavior.
+
+std::span<const std::uint8_t> AsSpan(const std::vector<std::uint8_t>& v) {
+  return std::span<const std::uint8_t>(v.data(), v.size());
+}
+
+TEST(TransferCacheTest, InstallThenLookupHit) {
+  TransferCache cache(1u << 20);
+  const auto payload = Pattern(1000, 1);
+  const std::uint64_t h = Hash64(payload.data(), payload.size());
+  EXPECT_EQ(cache.Lookup(h, payload.size()), nullptr);  // never installed
+  const auto installed = cache.Install(h, AsSpan(payload));
+  EXPECT_TRUE(installed.installed);
+  EXPECT_NE(installed.slot, 0u);
+  auto entry = cache.Lookup(h, payload.size());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(*entry, payload);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().installs, 1u);
+  EXPECT_EQ(cache.stats().bytes_saved, payload.size());
+}
+
+TEST(TransferCacheTest, LengthMismatchIsMiss) {
+  // Same 64-bit digest, different length: treated as a miss, never served.
+  TransferCache cache(1u << 20);
+  const auto payload = Pattern(1000, 2);
+  const std::uint64_t h = Hash64(payload.data(), payload.size());
+  ASSERT_TRUE(cache.Install(h, AsSpan(payload)).installed);
+  EXPECT_EQ(cache.Lookup(h, payload.size() + 1), nullptr);
+}
+
+TEST(TransferCacheTest, LruEvictionUnderByteBudget) {
+  TransferCache cache(2500);
+  const auto a = Pattern(1000, 1);
+  const auto b = Pattern(1000, 2);
+  const auto c = Pattern(1000, 3);
+  const std::uint64_t ha = Hash64(a.data(), a.size());
+  const std::uint64_t hb = Hash64(b.data(), b.size());
+  const std::uint64_t hc = Hash64(c.data(), c.size());
+  ASSERT_TRUE(cache.Install(ha, AsSpan(a)).installed);
+  ASSERT_TRUE(cache.Install(hb, AsSpan(b)).installed);
+  // Touch A so B is the least recently used, then overflow the budget.
+  ASSERT_NE(cache.Lookup(ha, a.size()), nullptr);
+  ASSERT_TRUE(cache.Install(hc, AsSpan(c)).installed);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(ha, a.size()), nullptr);
+  EXPECT_EQ(cache.Lookup(hb, b.size()), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(hc, c.size()), nullptr);
+  EXPECT_LE(cache.size_bytes(), 2500u);
+}
+
+TEST(TransferCacheTest, ReinstallRefreshesInPlace) {
+  TransferCache cache(1u << 20);
+  const auto payload = Pattern(500, 4);
+  const std::uint64_t h = Hash64(payload.data(), payload.size());
+  const auto first = cache.Install(h, AsSpan(payload));
+  const auto second = cache.Install(h, AsSpan(payload));
+  EXPECT_TRUE(second.installed);
+  EXPECT_EQ(second.slot, first.slot);  // same identity, refreshed recency
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.size_bytes(), payload.size());
+}
+
+TEST(TransferCacheTest, ZeroBudgetDisablesInstalls) {
+  TransferCache cache(0);
+  const auto payload = Pattern(100, 5);
+  const std::uint64_t h = Hash64(payload.data(), payload.size());
+  EXPECT_FALSE(cache.Install(h, AsSpan(payload)).installed);
+  EXPECT_EQ(cache.Lookup(h, payload.size()), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(TransferCacheTest, OversizedPayloadNotInstalled) {
+  TransferCache cache(100);
+  const auto payload = Pattern(101, 6);
+  EXPECT_FALSE(
+      cache.Install(Hash64(payload.data(), payload.size()), AsSpan(payload))
+          .installed);
+}
+
+TEST(TransferCacheTest, ReconfigureShrinksByEvictingLru) {
+  TransferCache cache(4000);
+  const auto a = Pattern(1000, 1);
+  const auto b = Pattern(1000, 2);
+  const std::uint64_t ha = Hash64(a.data(), a.size());
+  const std::uint64_t hb = Hash64(b.data(), b.size());
+  ASSERT_TRUE(cache.Install(ha, AsSpan(a)).installed);
+  ASSERT_TRUE(cache.Install(hb, AsSpan(b)).installed);
+  cache.Reconfigure(1500);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.Lookup(ha, a.size()), nullptr);  // older entry went first
+  EXPECT_NE(cache.Lookup(hb, b.size()), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(TransferCacheTest, EntrySurvivesEvictionWhilePinned) {
+  // The shared_ptr contract ServerContext::call_cache_refs_ relies on: an
+  // entry serving an in-flight call stays valid after an install-triggered
+  // eviction removes it from the cache.
+  TransferCache cache(1200);
+  const auto a = Pattern(1000, 1);
+  const std::uint64_t ha = Hash64(a.data(), a.size());
+  ASSERT_TRUE(cache.Install(ha, AsSpan(a)).installed);
+  auto pinned = cache.Lookup(ha, a.size());
+  ASSERT_NE(pinned, nullptr);
+  const auto b = Pattern(1000, 2);
+  ASSERT_TRUE(cache.Install(Hash64(b.data(), b.size()), AsSpan(b)).installed);
+  EXPECT_EQ(cache.Lookup(ha, a.size()), nullptr);  // evicted from the cache
+  EXPECT_EQ(*pinned, a);                           // but the bytes live on
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over the real stack, via the `reusable;` vcl stub.
+
+struct GuestVm {
+  std::shared_ptr<ApiServerSession> session;
+  std::shared_ptr<GuestEndpoint> endpoint;
+  ava_gen_vcl::VclApi api;
+};
+
+// A raw echo API for descriptor-level tests: one bool (fail request), one
+// bulk in-parameter; replies with the received size and content digest so a
+// test can prove which bytes reached the server.
+constexpr std::uint16_t kCacheEchoApi = 98;
+
+ApiHandler MakeCacheEchoHandler() {
+  return [](ServerContext* ctx, std::uint32_t, ByteReader* args, bool,
+            ByteWriter* reply) -> Status {
+    const bool fail = args->GetBool();
+    ServerContext::BulkIn in;
+    AVA_RETURN_IF_ERROR(ctx->ReadBulkIn(args, &in));
+    if (fail) {
+      return InvalidArgument("echo handler failure requested");
+    }
+    reply->PutU64(in.size);
+    reply->PutU64(in.present ? Hash64(in.data, in.size) : 0);
+    return OkStatus();
+  };
+}
+
+class CacheStack {
+ public:
+  CacheStack() {
+    vcl::ResetDefaultSilo({});
+    router_ = std::make_unique<Router>();
+    router_->Start();
+  }
+  ~CacheStack() {
+    vms_.clear();
+    router_->Stop();
+  }
+
+  GuestVm& AddVm(VmId vm_id, ChannelPair pair,
+                 GuestEndpoint::Options opts = {}) {
+    opts.vm_id = vm_id;
+    if (opts.call_deadline_ms < 0) {
+      opts.call_deadline_ms = 20000;  // bound any wedge; never expected
+    }
+    auto vm = std::make_unique<GuestVm>();
+    vm->session = std::make_shared<ApiServerSession>(vm_id);
+    vm->session->RegisterApi(ava_gen_vcl::kApiId,
+                             ava_gen_vcl::MakeVclApiHandler());
+    vm->session->RegisterApi(kCacheEchoApi, MakeCacheEchoHandler());
+    EXPECT_TRUE(
+        router_->AttachVm(vm_id, std::move(pair.host), vm->session).ok());
+    vm->endpoint =
+        std::make_shared<GuestEndpoint>(std::move(pair.guest), opts);
+    vm->api = ava_gen_vcl::MakeVclGuestApi(vm->endpoint);
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+  }
+
+  Router& router() { return *router_; }
+
+ private:
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<GuestVm>> vms_;
+};
+
+ChannelPair MustShm() {
+  auto c = MakeShmRingChannel(1u << 16);
+  EXPECT_TRUE(c.ok());
+  return std::move(*c);
+}
+
+GuestEndpoint::Options CacheOpts(std::int64_t min_bytes = 4096) {
+  GuestEndpoint::Options opts;
+  opts.arena_threshold_bytes = 4096;
+  opts.xfer_cache_min_bytes = min_bytes;
+  return opts;
+}
+
+struct VclHandles {
+  vcl_command_queue queue = nullptr;
+  vcl_mem mem = nullptr;
+  vcl_context ctx = nullptr;
+};
+
+VclHandles SetupBuffer(GuestVm& vm, std::size_t bytes) {
+  auto& api = vm.api;
+  VclHandles h;
+  vcl_platform_id platform = nullptr;
+  EXPECT_EQ(api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  vcl_device_id device = nullptr;
+  EXPECT_EQ(
+      api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device, nullptr),
+      VCL_SUCCESS);
+  vcl_int err = VCL_SUCCESS;
+  h.ctx = vm.api.vclCreateContext(&device, 1, &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  h.queue = api.vclCreateCommandQueue(h.ctx, device, 0, &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  h.mem = api.vclCreateBuffer(h.ctx, VCL_MEM_READ_WRITE, bytes, nullptr, &err);
+  EXPECT_EQ(err, VCL_SUCCESS);
+  return h;
+}
+
+void Teardown(GuestVm& vm, VclHandles& h) {
+  vm.api.vclReleaseMemObject(h.mem);
+  vm.api.vclReleaseCommandQueue(h.queue);
+  vm.api.vclReleaseContext(h.ctx);
+}
+
+std::vector<std::uint8_t> ReadBack(GuestVm& vm, VclHandles& h,
+                                   std::size_t bytes) {
+  std::vector<std::uint8_t> back(bytes, 0);
+  EXPECT_EQ(vm.api.vclEnqueueReadBuffer(h.queue, h.mem, VCL_TRUE, 0, bytes,
+                                        back.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  return back;
+}
+
+TEST(CacheStackTest, RepeatedIdenticalSendGraduatesToDescriptor) {
+  CacheStack stack;
+  GuestVm& vm = stack.AddVm(1, MustShm(), CacheOpts());
+  constexpr std::size_t kBytes = 64u << 10;
+  VclHandles h = SetupBuffer(vm, kBytes);
+  const auto payload = Pattern(kBytes, 1);
+
+  // First sighting: the payload travels plain (install gating keeps cold
+  // streams cheap) — nothing installed anywhere yet.
+  ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
+                                         payload.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vm.endpoint->xfer_installs(), 0u);
+  EXPECT_EQ(vm.endpoint->xfer_resident_count(), 0u);
+  EXPECT_EQ(vm.session->context().xfer_cache().entries(), 0u);
+
+  // Second sighting: the send carries an install request; the ack on the
+  // reply makes the digest resident on both sides.
+  ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
+                                         payload.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vm.endpoint->xfer_installs(), 1u);
+  EXPECT_EQ(vm.endpoint->xfer_hits(), 0u);
+  EXPECT_EQ(vm.endpoint->xfer_resident_count(), 1u);
+  EXPECT_EQ(vm.session->context().xfer_cache().entries(), 1u);
+
+  // Third sighting: a 24-byte descriptor instead of the bytes.
+  ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
+                                         payload.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vm.endpoint->xfer_installs(), 1u);
+  EXPECT_EQ(vm.endpoint->xfer_hits(), 1u);
+  EXPECT_EQ(vm.session->context().xfer_cache().stats().hits, 1u);
+
+  EXPECT_EQ(ReadBack(vm, h, kBytes), payload);
+  Teardown(vm, h);
+}
+
+// Satellite regression: a guest that mutates the buffer between calls must
+// never alias a stale digest — PutIn re-hashes at every send, so flipping
+// one byte turns the would-be hit into a fresh install and the NEW contents
+// arrive at the server.
+TEST(CacheStackTest, MutatedBufferIsRehashedNeverAliased) {
+  CacheStack stack;
+  GuestVm& vm = stack.AddVm(1, MustShm(), CacheOpts());
+  constexpr std::size_t kBytes = 64u << 10;
+  VclHandles h = SetupBuffer(vm, kBytes);
+  auto payload = Pattern(kBytes, 2);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0,
+                                           kBytes, payload.data(), 0, nullptr,
+                                           nullptr),
+              VCL_SUCCESS);
+  }
+  ASSERT_EQ(vm.endpoint->xfer_hits(), 1u);  // the cache path is active
+
+  // Mutate a byte OUTSIDE the 4 KiB prefix probe: the sighting filter
+  // still matches, so the full-payload re-hash is what must notice the
+  // change — the hardest aliasing shape.
+  payload[12345] ^= 0xFF;
+  ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
+                                         payload.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  // The re-hash produced a fresh digest: an install of the NEW bytes, never
+  // a stale hit against the old entry.
+  EXPECT_EQ(vm.endpoint->xfer_hits(), 1u);
+  EXPECT_EQ(vm.endpoint->xfer_installs(), 2u);
+  EXPECT_EQ(ReadBack(vm, h, kBytes), payload);
+  // Mutating INSIDE the prefix makes the payload brand-new to the filter:
+  // it travels plain, and still lands byte-exact.
+  payload[100] ^= 0xFF;
+  ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
+                                         payload.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vm.endpoint->xfer_installs(), 2u);
+  EXPECT_EQ(ReadBack(vm, h, kBytes), payload);
+  Teardown(vm, h);
+}
+
+// Lifecycle: install -> hit -> server-side eviction -> the next descriptor
+// send misses, and the endpoint transparently re-sends inline exactly once
+// (re-installing the digest) — the caller only ever sees VCL_SUCCESS.
+TEST(CacheStackTest, EvictionTriggersTransparentMissRetryAndReinstall) {
+  CacheStack stack;
+  GuestVm& vm = stack.AddVm(1, MustShm(), CacheOpts());
+  constexpr std::size_t kBytes = 64u << 10;
+  VclHandles h = SetupBuffer(vm, kBytes);
+  const auto payload = Pattern(kBytes, 3);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0,
+                                           kBytes, payload.data(), 0, nullptr,
+                                           nullptr),
+              VCL_SUCCESS);
+  }
+  ASSERT_EQ(vm.endpoint->xfer_hits(), 1u);
+
+  // Model an eviction/restart the guest has not heard about.
+  vm.session->context().xfer_cache().Clear();
+
+  ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
+                                         payload.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vm.endpoint->xfer_miss_retries(), 1u);
+  EXPECT_EQ(ReadBack(vm, h, kBytes), payload);
+  // The retry re-installed the digest: the next send is a clean hit again
+  // (hits count at encode time, so the retried send was hit #2).
+  EXPECT_EQ(vm.session->context().xfer_cache().entries(), 1u);
+  ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
+                                         payload.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vm.endpoint->xfer_hits(), 3u);
+  EXPECT_EQ(vm.endpoint->xfer_miss_retries(), 1u);
+  Teardown(vm, h);
+}
+
+TEST(CacheStackTest, LruEvictionThroughTheStack) {
+  CacheStack stack;
+  GuestVm& vm = stack.AddVm(1, MustShm(), CacheOpts());
+  constexpr std::size_t kBytes = 64u << 10;
+  VclHandles h = SetupBuffer(vm, kBytes);
+  // Budget for one payload: installing B evicts A.
+  vm.session->context().xfer_cache().Reconfigure(kBytes + 1024);
+  const auto a = Pattern(kBytes, 4);
+  const auto b = Pattern(kBytes, 5);
+  for (int i = 0; i < 2; ++i) {  // second sighting installs A
+    ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0,
+                                           kBytes, a.data(), 0, nullptr,
+                                           nullptr),
+              VCL_SUCCESS);
+  }
+  ASSERT_EQ(vm.session->context().xfer_cache().entries(), 1u);
+  for (int i = 0; i < 2; ++i) {  // installing B overflows the budget
+    ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0,
+                                           kBytes, b.data(), 0, nullptr,
+                                           nullptr),
+              VCL_SUCCESS);
+  }
+  EXPECT_EQ(vm.session->context().xfer_cache().entries(), 1u);
+  EXPECT_GE(vm.session->context().xfer_cache().stats().evictions, 1u);
+  // Re-sending A (whose digest the guest still believes resident) misses,
+  // retries inline, and lands the right bytes.
+  ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
+                                         a.data(), 0, nullptr, nullptr),
+            VCL_SUCCESS);
+  EXPECT_EQ(vm.endpoint->xfer_miss_retries(), 1u);
+  EXPECT_EQ(ReadBack(vm, h, kBytes), a);
+  Teardown(vm, h);
+}
+
+TEST(CacheStackTest, PerVmCachesAreIsolated) {
+  CacheStack stack;
+  GuestVm& a = stack.AddVm(1, MustShm(), CacheOpts());
+  GuestVm& b = stack.AddVm(2, MustShm(), CacheOpts());
+  constexpr std::size_t kBytes = 64u << 10;
+  VclHandles ha = SetupBuffer(a, kBytes);
+  const auto payload = Pattern(kBytes, 6);
+  for (int i = 0; i < 2; ++i) {  // second sighting installs into A's cache
+    ASSERT_EQ(a.api.vclEnqueueWriteBuffer(ha.queue, ha.mem, VCL_TRUE, 0,
+                                          kBytes, payload.data(), 0, nullptr,
+                                          nullptr),
+              VCL_SUCCESS);
+  }
+  ASSERT_EQ(a.session->context().xfer_cache().entries(), 1u);
+  EXPECT_EQ(b.session->context().xfer_cache().entries(), 0u);
+
+  // VM B naming VM A's digest raw on the wire gets a classified kCacheMiss:
+  // A's installs are invisible to B's session.
+  CachedDesc desc;
+  desc.hash = Hash64(payload.data(), payload.size());
+  desc.length = payload.size();
+  ByteWriter w = BeginCall(kCacheEchoApi, 1);
+  w.PutBool(false);
+  w.PutU8(kBulkCached);
+  PutCachedDesc(&w, desc);
+  auto reply = b.endpoint->CallSyncPrepared(std::move(w).TakeBytes());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kCacheMiss);
+
+  // VM B sending the same bytes through the stub installs into B's own
+  // cache — never a cross-VM hit.
+  VclHandles hb = SetupBuffer(b, kBytes);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(b.api.vclEnqueueWriteBuffer(hb.queue, hb.mem, VCL_TRUE, 0,
+                                          kBytes, payload.data(), 0, nullptr,
+                                          nullptr),
+              VCL_SUCCESS);
+  }
+  EXPECT_EQ(b.endpoint->xfer_hits(), 0u);
+  EXPECT_EQ(b.session->context().xfer_cache().entries(), 1u);
+  Teardown(a, ha);
+  Teardown(b, hb);
+}
+
+TEST(CacheStackTest, GuestPathDisabledByZeroMin) {
+  CacheStack stack;
+  GuestVm& vm = stack.AddVm(1, MustShm(), CacheOpts(/*min_bytes=*/0));
+  constexpr std::size_t kBytes = 64u << 10;
+  VclHandles h = SetupBuffer(vm, kBytes);
+  const auto payload = Pattern(kBytes, 7);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0,
+                                           kBytes, payload.data(), 0, nullptr,
+                                           nullptr),
+              VCL_SUCCESS);
+  }
+  EXPECT_EQ(vm.endpoint->xfer_installs(), 0u);
+  EXPECT_EQ(vm.endpoint->xfer_hits(), 0u);
+  EXPECT_EQ(vm.session->context().xfer_cache().entries(), 0u);
+  EXPECT_EQ(ReadBack(vm, h, kBytes), payload);
+  Teardown(vm, h);
+}
+
+TEST(CacheStackTest, SmallPayloadsBypassTheCache) {
+  CacheStack stack;
+  GuestVm& vm = stack.AddVm(1, MustShm(), CacheOpts(/*min_bytes=*/4096));
+  constexpr std::size_t kBytes = 512;  // below the cache minimum
+  VclHandles h = SetupBuffer(vm, kBytes);
+  const auto payload = Pattern(kBytes, 8);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0,
+                                           kBytes, payload.data(), 0, nullptr,
+                                           nullptr),
+              VCL_SUCCESS);
+  }
+  EXPECT_EQ(vm.endpoint->xfer_installs(), 0u);
+  EXPECT_EQ(vm.endpoint->xfer_hits(), 0u);
+  Teardown(vm, h);
+}
+
+// Install acks ride the reply even when the call itself fails: the installs
+// happened regardless of the handler's outcome, and forgetting them would
+// only cost redundant re-installs.
+TEST(CacheStackTest, InstallAcksDeliveredOnErrorReplies) {
+  CacheStack stack;
+  GuestVm& vm = stack.AddVm(1, MustShm(), CacheOpts());
+  const auto payload = Pattern(32u << 10, 9);
+  CachedDesc desc;
+  desc.hash = Hash64(payload.data(), payload.size());
+  desc.length = payload.size();
+
+  ByteWriter w = BeginCall(kCacheEchoApi, 1);
+  w.PutBool(true);  // handler fails after unmarshaling (and installing)
+  w.PutU8(kBulkCachedInstall);
+  PutCachedDesc(&w, desc);
+  w.PutU8(kBulkInline);
+  w.PutBlob(payload.data(), payload.size());
+  auto reply = vm.endpoint->CallSyncPrepared(std::move(w).TakeBytes());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+
+  // The digest is resident on both sides despite the error reply.
+  EXPECT_EQ(vm.endpoint->xfer_resident_count(), 1u);
+  EXPECT_EQ(vm.session->context().xfer_cache().entries(), 1u);
+  ByteWriter w2 = BeginCall(kCacheEchoApi, 1);
+  w2.PutBool(false);
+  w2.PutU8(kBulkCached);
+  PutCachedDesc(&w2, desc);
+  auto hit = vm.endpoint->CallSyncPrepared(std::move(w2).TakeBytes());
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  ByteReader r(*hit);
+  EXPECT_EQ(r.GetU64(), payload.size());
+  EXPECT_EQ(r.GetU64(), desc.hash);
+}
+
+// PR 2 reattach path: the server-side cache belongs to the session, so a
+// guest reconnecting after a channel death finds its installs still
+// resident — a raw descriptor lookup succeeds without re-sending bytes.
+TEST(CacheStackTest, CacheSurvivesChannelDeathAndReattach) {
+  vcl::ResetDefaultSilo({});
+  constexpr VmId kVm = 5;
+  Router router;
+  router.Start();
+  auto session = std::make_shared<ApiServerSession>(kVm);
+  session->RegisterApi(kCacheEchoApi, MakeCacheEchoHandler());
+
+  const auto payload = Pattern(32u << 10, 10);
+  CachedDesc desc;
+  desc.hash = Hash64(payload.data(), payload.size());
+  desc.length = payload.size();
+
+  auto channel = MakeInProcChannel();
+  ASSERT_TRUE(router.AttachVm(kVm, std::move(channel.host), session).ok());
+  {
+    GuestEndpoint::Options opts;
+    opts.vm_id = kVm;
+    opts.call_deadline_ms = 20000;
+    GuestEndpoint endpoint(std::move(channel.guest), opts);
+    ByteWriter w = BeginCall(kCacheEchoApi, 1);
+    w.PutBool(false);
+    w.PutU8(kBulkCachedInstall);
+    PutCachedDesc(&w, desc);
+    w.PutU8(kBulkInline);
+    w.PutBlob(payload.data(), payload.size());
+    auto reply = endpoint.CallSyncPrepared(std::move(w).TakeBytes());
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }  // endpoint destroyed: transport closed, channel drains and dies
+
+  for (int i = 0; i < 500 && router.sessions_reaped() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(router.sessions_reaped(), 1u);
+  ASSERT_EQ(session->context().xfer_cache().entries(), 1u);
+
+  // Reattach the SAME session on a fresh channel: the digest still serves.
+  auto channel2 = MakeInProcChannel();
+  ASSERT_TRUE(router.AttachVm(kVm, std::move(channel2.host), session).ok());
+  GuestEndpoint::Options opts;
+  opts.vm_id = kVm;
+  opts.call_deadline_ms = 20000;
+  GuestEndpoint endpoint2(std::move(channel2.guest), opts);
+  ByteWriter w = BeginCall(kCacheEchoApi, 1);
+  w.PutBool(false);
+  w.PutU8(kBulkCached);
+  PutCachedDesc(&w, desc);
+  auto reply = endpoint2.CallSyncPrepared(std::move(w).TakeBytes());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ByteReader r(*reply);
+  EXPECT_EQ(r.GetU64(), payload.size());
+  router.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Fault cells: forged digests, corrupt descriptors, digest mismatches. All
+// classified errors or clean rejections; the channel stays usable.
+
+class CacheFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vcl::ResetDefaultSilo({});
+    router_.Start();
+  }
+  void TearDown() override {
+    endpoint_.reset();
+    router_.Stop();
+  }
+
+  void Attach(ChannelPair pair) {
+    session_ = std::make_shared<ApiServerSession>(7);
+    session_->RegisterApi(kCacheEchoApi, MakeCacheEchoHandler());
+    ASSERT_TRUE(router_.AttachVm(7, std::move(pair.host), session_).ok());
+    GuestEndpoint::Options opts;
+    opts.vm_id = 7;
+    opts.call_deadline_ms = 20000;
+    opts.xfer_cache_min_bytes = 4096;
+    endpoint_ = std::make_shared<GuestEndpoint>(std::move(pair.guest), opts);
+  }
+
+  Result<Bytes> RawCall(const std::function<void(ByteWriter*)>& payload_fn) {
+    ByteWriter w = BeginCall(kCacheEchoApi, 1);
+    w.PutBool(false);
+    payload_fn(&w);
+    return endpoint_->CallSyncPrepared(std::move(w).TakeBytes());
+  }
+
+  void ExpectChannelUsable() {
+    auto ok_reply = RawCall([](ByteWriter* w) {
+      w->PutU8(kBulkInline);
+      const std::uint8_t blob[3] = {1, 2, 3};
+      w->PutBlob(blob, sizeof(blob));
+    });
+    ASSERT_TRUE(ok_reply.ok()) << ok_reply.status().ToString();
+    ByteReader r(*ok_reply);
+    EXPECT_EQ(r.GetU64(), 3u);
+  }
+
+  Router router_;
+  std::shared_ptr<ApiServerSession> session_;
+  std::shared_ptr<GuestEndpoint> endpoint_;
+};
+
+TEST_F(CacheFaultTest, ForgedDigestYieldsClassifiedCacheMiss) {
+  Attach(MustShm());
+  CachedDesc forged;
+  forged.hash = 0xDEADBEEFCAFEF00Dull;
+  forged.length = 4096;
+  forged.slot = 42;
+  auto reply = RawCall([&forged](ByteWriter* w) {
+    w->PutU8(kBulkCached);
+    PutCachedDesc(w, forged);
+  });
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kCacheMiss);
+  ExpectChannelUsable();
+  EXPECT_GE(session_->stats().dispatch_errors, 1u);
+}
+
+TEST_F(CacheFaultTest, TruncatedCachedDescriptorRejected) {
+  Attach(MustShm());
+  auto reply = RawCall([](ByteWriter* w) {
+    w->PutU8(kBulkCached);
+    w->PutU32(7);  // 4 bytes where a 24-byte CachedDesc belongs
+  });
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().code() == StatusCode::kInvalidArgument ||
+              reply.status().code() == StatusCode::kDataLoss)
+      << reply.status().ToString();
+  ExpectChannelUsable();
+}
+
+TEST_F(CacheFaultTest, InstallDigestMismatchRejectedAndNotInstalled) {
+  Attach(MustShm());
+  const auto payload = Pattern(8192, 11);
+  CachedDesc lying;
+  lying.hash = Hash64(payload.data(), payload.size()) ^ 1;  // wrong digest
+  lying.length = payload.size();
+  auto reply = RawCall([&](ByteWriter* w) {
+    w->PutU8(kBulkCachedInstall);
+    PutCachedDesc(w, lying);
+    w->PutU8(kBulkInline);
+    w->PutBlob(payload.data(), payload.size());
+  });
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session_->context().xfer_cache().entries(), 0u);
+  ExpectChannelUsable();
+}
+
+TEST_F(CacheFaultTest, InstallLengthMismatchRejected) {
+  Attach(MustShm());
+  const auto payload = Pattern(8192, 12);
+  CachedDesc lying;
+  lying.hash = Hash64(payload.data(), payload.size());
+  lying.length = payload.size() - 1;  // right hash, wrong length
+  auto reply = RawCall([&](ByteWriter* w) {
+    w->PutU8(kBulkCachedInstall);
+    PutCachedDesc(w, lying);
+    w->PutU8(kBulkInline);
+    w->PutBlob(payload.data(), payload.size());
+  });
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  ExpectChannelUsable();
+}
+
+TEST_F(CacheFaultTest, NestedCacheMarkersRejected) {
+  // A hostile frame nesting cache markers inside an install must bounce —
+  // the inner payload may only be inline or arena.
+  Attach(MustShm());
+  const auto payload = Pattern(8192, 13);
+  CachedDesc desc;
+  desc.hash = Hash64(payload.data(), payload.size());
+  desc.length = payload.size();
+  auto reply = RawCall([&](ByteWriter* w) {
+    w->PutU8(kBulkCachedInstall);
+    PutCachedDesc(w, desc);
+    w->PutU8(kBulkCached);  // nested cache marker: invalid
+    PutCachedDesc(w, desc);
+  });
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  ExpectChannelUsable();
+}
+
+TEST_F(CacheFaultTest, ZeroBudgetServerNeverInstallsButCallsSucceed) {
+  Attach(MustShm());
+  session_->context().xfer_cache().Reconfigure(0);
+  const auto payload = Pattern(8192, 14);
+  CachedDesc desc;
+  desc.hash = Hash64(payload.data(), payload.size());
+  desc.length = payload.size();
+  auto reply = RawCall([&](ByteWriter* w) {
+    w->PutU8(kBulkCachedInstall);
+    PutCachedDesc(w, desc);
+    w->PutU8(kBulkInline);
+    w->PutBlob(payload.data(), payload.size());
+  });
+  // The payload traveled with the install request: the call succeeds even
+  // though the disabled cache refused to keep the bytes.
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ByteReader r(*reply);
+  EXPECT_EQ(r.GetU64(), payload.size());
+  EXPECT_EQ(r.GetU64(), desc.hash);
+  EXPECT_EQ(session_->context().xfer_cache().entries(), 0u);
+  // No ack means the guest never marks the digest resident.
+  EXPECT_EQ(endpoint_->xfer_resident_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ava
