@@ -508,6 +508,12 @@ BulkScope::~BulkScope() {
   for (const BufferArena::Slot& slot : held_) {
     arena_->Release(slot.slot, slot.generation);
   }
+  // Hit accounting is settled here, not at marshal time: a kCacheMiss reply
+  // makes RewriteForMiss splice the payload back inline (and drop its
+  // record), so those bytes traveled after all and must not count as saved.
+  for (const CacheRecord& record : cache_records_) {
+    endpoint_->NoteXferHit(record.bytes);
+  }
 }
 
 void BulkScope::PutIn(ByteWriter* w, const void* data, std::size_t bytes,
@@ -547,7 +553,6 @@ void BulkScope::PutIn(ByteWriter* w, const void* data, std::size_t bytes,
       w->PutU8(kBulkCached);
       PutCachedDesc(w, desc);
       cached_bytes_count_ += bytes;
-      endpoint_->NoteXferHit(bytes);
       return;
     }
     // Seen before but not resident: send the payload once more, asking the

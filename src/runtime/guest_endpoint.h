@@ -137,8 +137,11 @@ class GuestEndpoint {
   // Transfer-cache path, as resolved at construction. 0 = disabled.
   std::size_t xfer_cache_min_bytes() const { return xfer_cache_min_; }
   // Cache-path health: descriptor-only sends, install sends, and calls
-  // re-sent inline after a server-side kCacheMiss.
+  // re-sent inline after a server-side kCacheMiss. A send whose payload was
+  // spliced back inline by a miss retry settles as neither hit nor saved
+  // bytes — hits/bytes_saved count only payloads that never traveled.
   std::uint64_t xfer_hits() const { return xfer_hits_->Value(); }
+  std::uint64_t xfer_bytes_saved() const { return xfer_bytes_saved_->Value(); }
   std::uint64_t xfer_installs() const { return xfer_installs_->Value(); }
   std::uint64_t xfer_miss_retries() const {
     return xfer_miss_retries_->Value();

@@ -52,27 +52,29 @@ TransferCache::InstallResult TransferCache::Install(
   if (budget_bytes_ == 0 || data.size() > budget_bytes_) {
     return {};
   }
+  std::uint32_t slot;
   auto it = entries_.find(hash);
   if (it != entries_.end()) {
     // Refresh: same digest, possibly different bytes (hash collision or a
-    // re-install after a length-mismatch miss). Replace contents.
+    // re-install after a length-mismatch miss). Fully detach the old entry
+    // before making room: EvictToFit walks the LRU list, and when the
+    // refreshed entry sits at its tail with a payload growing past the
+    // remaining budget it would otherwise evict — and free — the very
+    // entry being refreshed (and subtract its size a second time).
+    slot = it->second.slot;
     size_bytes_ -= it->second.data->size();
-    EvictToFit(data.size());
-    it->second.data = std::make_shared<const Bytes>(data.begin(), data.end());
-    size_bytes_ += data.size();
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    ++stats_.installs;
-    installs_->Increment();
-    return {true, it->second.slot};
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  } else {
+    slot = next_slot_++;
   }
   EvictToFit(data.size());
   Entry entry;
   entry.data = std::make_shared<const Bytes>(data.begin(), data.end());
-  entry.slot = next_slot_++;
+  entry.slot = slot;
   lru_.push_front(hash);
   entry.lru_it = lru_.begin();
   size_bytes_ += data.size();
-  const std::uint32_t slot = entry.slot;
   entries_.emplace(hash, std::move(entry));
   ++stats_.installs;
   installs_->Increment();

@@ -137,6 +137,33 @@ TEST(TransferCacheTest, ReinstallRefreshesInPlace) {
   EXPECT_EQ(cache.size_bytes(), payload.size());
 }
 
+TEST(TransferCacheTest, RefreshOfLruTailLargerThanRemainingBudget) {
+  // Regression: re-installing a resident digest with a larger payload while
+  // it sat at the LRU tail under a tight budget used to let EvictToFit evict
+  // the very entry being refreshed — a use-after-free on the freed map/list
+  // nodes plus a double size subtraction that underflowed size_bytes_ and
+  // poisoned all later accounting. Run under ASan (ctest default config).
+  TransferCache cache(100);
+  const auto a_old = Pattern(10, 1);
+  const auto b = Pattern(80, 2);
+  const auto a_new = Pattern(30, 3);  // same digest key, grown contents
+  const std::uint64_t ha = Hash64(a_old.data(), a_old.size());
+  const std::uint64_t hb = Hash64(b.data(), b.size());
+  const auto first = cache.Install(ha, AsSpan(a_old));
+  ASSERT_TRUE(first.installed);
+  ASSERT_TRUE(cache.Install(hb, AsSpan(b)).installed);
+  // A is now the LRU tail, and its refresh overflows the 10B of headroom.
+  const auto refreshed = cache.Install(ha, AsSpan(a_new));
+  EXPECT_TRUE(refreshed.installed);
+  EXPECT_EQ(refreshed.slot, first.slot);  // refresh keeps the entry identity
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.size_bytes(), a_new.size());
+  EXPECT_EQ(cache.Lookup(hb, b.size()), nullptr);  // B evicted to make room
+  auto entry = cache.Lookup(ha, a_new.size());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(*entry, a_new);
+}
+
 TEST(TransferCacheTest, ZeroBudgetDisablesInstalls) {
   TransferCache cache(0);
   const auto payload = Pattern(100, 5);
@@ -409,18 +436,22 @@ TEST(CacheStackTest, EvictionTriggersTransparentMissRetryAndReinstall) {
   // Model an eviction/restart the guest has not heard about.
   vm.session->context().xfer_cache().Clear();
 
+  const std::uint64_t saved_before_miss = vm.endpoint->xfer_bytes_saved();
   ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
                                          payload.data(), 0, nullptr, nullptr),
             VCL_SUCCESS);
   EXPECT_EQ(vm.endpoint->xfer_miss_retries(), 1u);
+  // The retried send's payload traveled inline after all: it settles as
+  // neither a hit nor saved bytes, matching what was actually on the wire.
+  EXPECT_EQ(vm.endpoint->xfer_hits(), 1u);
+  EXPECT_EQ(vm.endpoint->xfer_bytes_saved(), saved_before_miss);
   EXPECT_EQ(ReadBack(vm, h, kBytes), payload);
-  // The retry re-installed the digest: the next send is a clean hit again
-  // (hits count at encode time, so the retried send was hit #2).
+  // The retry re-installed the digest: the next send is a clean hit again.
   EXPECT_EQ(vm.session->context().xfer_cache().entries(), 1u);
   ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(h.queue, h.mem, VCL_TRUE, 0, kBytes,
                                          payload.data(), 0, nullptr, nullptr),
             VCL_SUCCESS);
-  EXPECT_EQ(vm.endpoint->xfer_hits(), 3u);
+  EXPECT_EQ(vm.endpoint->xfer_hits(), 2u);
   EXPECT_EQ(vm.endpoint->xfer_miss_retries(), 1u);
   Teardown(vm, h);
 }
