@@ -12,14 +12,17 @@
 // not to flake on a loaded CI box. Medians over several repetitions absorb
 // scheduler noise. To refresh after an intentional change, run the binary
 // and copy the printed medians (plus headroom) into baselines.json.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/proto/wire.h"
 
 namespace {
 
@@ -63,6 +66,77 @@ struct GateRow {
   double baseline_ns;
 };
 
+// ---- concurrent-caller rows (per-object execution lanes) ----
+// These measure the multi-threaded guest path end to end: four application
+// threads multiplex one endpoint, each keyed to its own execution lane, with
+// the VM's parallelism bound at 4. Raw prepared calls against a trivial
+// handler keep the row about dispatch mechanics (demux + lanes + worker
+// pool), not API semantics.
+
+constexpr std::uint16_t kLaneApi = 77;
+
+ava::ApiHandler MakeLaneGateHandler() {
+  return [](ava::ServerContext* ctx, std::uint32_t func_id,
+            ava::ByteReader* args, bool, ava::ByteWriter* reply)
+             -> ava::Status {
+    if (func_id == 0) {
+      reply->PutU32(args->GetU32());
+    } else {
+      reply->PutU64(static_cast<std::uint64_t>(args->GetBlobView().size()));
+    }
+    ctx->ChargeCost(100);
+    return ava::OkStatus();
+  };
+}
+
+// Aggregate ns per completed call across 4 caller threads on 4 lanes.
+double FourThreadNsPerCall(std::size_t bulk_bytes, int iters,
+                           bench::TransportKind transport) {
+  constexpr int kThreads = 4;
+  bench::Stack stack;
+  ava::VmPolicy policy;
+  policy.max_parallelism = kThreads;
+  auto& vm = stack.AddVm(1, transport, {}, policy);
+  vm.session->RegisterApi(kLaneApi, MakeLaneGateHandler());
+  const std::vector<std::uint8_t> payload(bulk_bytes, 0x5C);
+  auto make_call = [&](std::uint64_t lane) {
+    ava::ByteWriter w = ava::BeginCall(kLaneApi, bulk_bytes > 0 ? 1 : 0);
+    if (bulk_bytes > 0) {
+      w.PutBlob(payload.data(), payload.size());
+    } else {
+      w.PutU32(7);
+    }
+    ava::Bytes message = std::move(w).TakeBytes();
+    ava::PatchCallLaneKey(&message, lane);
+    return message;
+  };
+  for (int t = 0; t < kThreads; ++t) {  // warm each lane
+    (void)vm.endpoint->CallSyncPrepared(make_call(t + 1));
+  }
+  std::atomic<int> failures{0};
+  const double median_s = bench::MedianSeconds(5, [&] {
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kThreads; ++t) {
+      callers.emplace_back([&, t] {
+        for (int i = 0; i < iters; ++i) {
+          if (!vm.endpoint->CallSyncPrepared(make_call(t + 1)).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& caller : callers) {
+      caller.join();
+    }
+  });
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "perf_gate: %d concurrent call(s) failed\n",
+                 failures.load());
+    std::exit(2);
+  }
+  return median_s * 1e9 / (kThreads * iters);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,10 +155,13 @@ int main(int argc, char** argv) {
 
   double null_call_baseline = 0, bulk_baseline = 0, margin = 0;
   double hit_baseline = 0, min_speedup = 0;
+  double null4_baseline = 0, bulk4_baseline = 0;
   if (!FindNumber(json, "null_call_ns", &null_call_baseline) ||
       !FindNumber(json, "bulk_4mib_roundtrip_ns", &bulk_baseline) ||
       !FindNumber(json, "xfer_cache_hit_1mib_ns", &hit_baseline) ||
       !FindNumber(json, "xfer_cache_policed_min_speedup", &min_speedup) ||
+      !FindNumber(json, "null_call_4thread_ns", &null4_baseline) ||
+      !FindNumber(json, "bulk_1mib_4thread_ns", &bulk4_baseline) ||
       !FindNumber(json, "regression_margin", &margin)) {
     std::fprintf(stderr, "perf_gate: malformed %s\n", argv[1]);
     return 2;
@@ -226,10 +303,20 @@ int main(int argc, char** argv) {
     policed_speedup = arena_ns / cached_ns;
   }
 
+  // --- concurrent-caller rows: 4 threads, 4 lanes, parallelism 4 ---
+  vcl::ResetDefaultSilo({});
+  const double null4_ns =
+      FourThreadNsPerCall(0, 500, bench::TransportKind::kInProc);
+  vcl::ResetDefaultSilo({});
+  const double bulk4_ns =
+      FourThreadNsPerCall(1u << 20, 8, bench::TransportKind::kShmRing);
+
   const GateRow rows[] = {
       {"null_call", null_call_ns, null_call_baseline},
       {"bulk_4mib_roundtrip", bulk_ns, bulk_baseline},
       {"xfer_cache_hit_1mib", hit_ns, hit_baseline},
+      {"null_call_4thread", null4_ns, null4_baseline},
+      {"bulk_1mib_4thread", bulk4_ns, bulk4_baseline},
   };
   int failures = 0;
   std::printf("perf gate (fail above baseline x %.2f)\n", margin);

@@ -150,6 +150,26 @@ std::vector<LintFinding> LintSpec(const ApiSpec& spec) {
       }
     }
 
+    // Lane-key derivation picks the FIRST by-value handle parameter. When a
+    // call touches several objects (kernel + queue, graph + device) that
+    // choice is a policy decision the spec author should make explicitly:
+    // concurrent lanes only order calls that share a key.
+    {
+      int value_handles = 0;
+      for (const auto& p : fn.params) {
+        if (!p.type.is_pointer && spec.IsHandleType(p.type.base)) {
+          ++value_handles;
+        }
+      }
+      if (value_handles >= 2 && fn.lane_param.empty()) {
+        advise(fn.name,
+               "touches " + std::to_string(value_handles) +
+                   " handle objects; the execution lane defaults to the "
+                   "first one — add `lane(param);` to pick the ordering "
+                   "object explicitly");
+      }
+    }
+
     // Conditional-sync without any async-capable benefit.
     if (!fn.sync_condition.empty()) {
       bool any_out = false;

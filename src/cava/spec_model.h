@@ -25,6 +25,7 @@
 //   return { allocates; }
 //   consumes(device_time|bandwidth, EXPR);
 //   record;
+//   lane(PARAM);
 //   retry_oom(BYTES_EXPR);
 //   registry_meta(target = PARAM|return, size = EXPR, parent = PARAM);
 #ifndef AVA_SRC_CAVA_SPEC_MODEL_H_
@@ -128,6 +129,11 @@ struct FunctionSpec {
   // Declares the call safe to re-send after a transport-classified failure
   // (the guest endpoint retries only annotated calls; see GuestEndpoint).
   bool idempotent = false;
+  // Execution-lane override (`lane(param);`): names the handle parameter
+  // whose wire id keys this call's per-object execution lane. Empty means
+  // the emitter derives it — first non-pointer handle parameter, or the
+  // shared default lane (key 0) when the function has none.
+  std::string lane_param;
   std::string retry_oom_bytes;   // verbatim expr
   std::vector<RegistryMeta> registry_meta;
 

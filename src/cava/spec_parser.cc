@@ -346,6 +346,12 @@ class SpecParser {
       fn->idempotent = true;
       return ExpectPunct(";");
     }
+    if (MatchIdent("lane")) {
+      AVA_RETURN_IF_ERROR(ExpectPunct("("));
+      AVA_ASSIGN_OR_RETURN(fn->lane_param, ExpectIdent());
+      AVA_RETURN_IF_ERROR(ExpectPunct(")"));
+      return ExpectPunct(";");
+    }
     if (MatchIdent("retry_oom")) {
       AVA_RETURN_IF_ERROR(ExpectPunct("("));
       AVA_ASSIGN_OR_RETURN(fn->retry_oom_bytes, CaptureUntilCloseParen());
@@ -488,6 +494,21 @@ class SpecParser {
           return SemError(fn, "reusable parameter " + param.name +
                                   " is not allowed on a `record;` function "
                                   "(replayed descriptors would dangle)");
+        }
+      }
+      // `lane(param);` must name a by-value handle parameter: the lane key
+      // is the handle's wire id, patched into the call header at marshal
+      // time, so the parameter must be marshaled as a handle value (not a
+      // pointer the guest owns).
+      if (!fn.lane_param.empty()) {
+        const ParamSpec* lp = fn.FindParam(fn.lane_param);
+        if (lp == nullptr) {
+          return SemError(fn, "lane(" + fn.lane_param +
+                                  ") does not name a declared parameter");
+        }
+        if (lp->type.is_pointer || !spec_.IsHandleType(lp->type.base)) {
+          return SemError(fn, "lane(" + fn.lane_param +
+                                  ") must name a by-value handle parameter");
         }
       }
       // shadow_on targets must name a handle out-element param.

@@ -45,6 +45,7 @@ void PutCallHeader(ByteWriter* w, const CallHeader& h) {
   w->PutI64(h.t_send_ns);
   w->PutU64(h.bulk_bytes);
   w->PutU64(h.cached_bytes);
+  w->PutU64(h.lane_key);
 }
 
 }  // namespace
@@ -164,6 +165,7 @@ Result<DecodedCall> DecodeCall(const Bytes& message) {
   out.header.t_send_ns = r.GetI64();
   out.header.bulk_bytes = r.GetU64();
   out.header.cached_bytes = r.GetU64();
+  out.header.lane_key = r.GetU64();
   AVA_RETURN_IF_ERROR(r.status());
   // The payload is the remainder of the message.
   out.payload = std::span<const std::uint8_t>(
@@ -269,6 +271,24 @@ Result<std::uint64_t> PeekCallCachedBytes(const Bytes& message) {
   ByteReader r(message.data() + kCallCachedBytesOffset,
                sizeof(std::uint64_t));
   return r.GetU64();
+}
+
+Result<std::uint64_t> PeekCallLaneKey(const Bytes& message) {
+  if (message.size() < kCallHeaderSize ||
+      message[0] != static_cast<std::uint8_t>(MsgKind::kCall)) {
+    return DataLoss("not a call message");
+  }
+  ByteReader r(message.data() + kCallLaneKeyOffset, sizeof(std::uint64_t));
+  return r.GetU64();
+}
+
+void PatchCallLaneKey(Bytes* message, std::uint64_t lane_key) {
+  if (message->size() < kCallHeaderSize ||
+      (*message)[0] != static_cast<std::uint8_t>(MsgKind::kCall)) {
+    return;
+  }
+  std::memcpy(message->data() + kCallLaneKeyOffset, &lane_key,
+              sizeof(lane_key));
 }
 
 Result<std::int32_t> PeekReplyStatus(const Bytes& message) {

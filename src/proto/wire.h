@@ -68,6 +68,12 @@ struct CallHeader {
   // observability but does NOT charge them against bytes-per-second budgets:
   // deduplicated traffic costs only its descriptors.
   std::uint64_t cached_bytes = 0;
+  // Execution-lane key: calls carrying the same nonzero key (derived by the
+  // generated stub from the function's lane handle parameter, see CAvA
+  // `lane(param);`) execute strictly in issue order; calls on distinct keys
+  // from the same VM may run concurrently when the VM's parallelism allows
+  // it. Zero is the default lane for functions without a handle parameter.
+  std::uint64_t lane_key = 0;
 
   bool is_async() const { return (flags & kCallFlagAsync) != 0; }
 };
@@ -106,9 +112,9 @@ struct ShadowUpdate {
 // Fixed size of an encoded call header; the argument payload is the
 // remainder of the message (no length prefix, no copy). Layout:
 // kind(1) api_id(2) func_id(4) call_id(8) vm_id(8) flags(1) trace_id(8)
-// t_send_ns(8) bulk_bytes(8) cached_bytes(8).
+// t_send_ns(8) bulk_bytes(8) cached_bytes(8) lane_key(8).
 inline constexpr std::size_t kCallHeaderSize =
-    1 + 2 + 4 + 8 + 8 + 1 + 8 + 8 + 8 + 8;
+    1 + 2 + 4 + 8 + 8 + 1 + 8 + 8 + 8 + 8 + 8;
 
 // Offset of the bulk_bytes field within an encoded call. Generated stubs
 // back-patch it (via ByteWriter::PatchAt) after marshaling arena-resident
@@ -118,6 +124,11 @@ inline constexpr std::size_t kCallBulkBytesOffset = 40;
 // Offset of the cached_bytes field (same back-patch/peek discipline as
 // bulk_bytes).
 inline constexpr std::size_t kCallCachedBytesOffset = 48;
+
+// Offset of the lane_key field (same back-patch/peek discipline as
+// bulk_bytes; generated stubs patch it with the wire id of the function's
+// lane handle right after marshaling it).
+inline constexpr std::size_t kCallLaneKeyOffset = 56;
 
 // Starts a call message: writes the header with placeholder call/vm/flags
 // fields. Generated stubs marshal arguments directly into the returned
@@ -208,6 +219,15 @@ Result<std::uint64_t> PeekCallBulkBytes(const Bytes& message);
 // Reads just the cached_bytes field of an encoded call (router fast path:
 // transfer-cache observability without a full decode).
 Result<std::uint64_t> PeekCallCachedBytes(const Bytes& message);
+
+// Reads just the lane_key field of an encoded call (router fast path: the
+// RX loop sorts calls into per-object execution lanes without a full
+// decode).
+Result<std::uint64_t> PeekCallLaneKey(const Bytes& message);
+
+// Back-patches the lane_key field of an encoded call (tests and hand-rolled
+// call builders; generated stubs patch the offset directly).
+void PatchCallLaneKey(Bytes* message, std::uint64_t lane_key);
 
 // ------------------------------ framing CRC --------------------------------
 //

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <optional>
 #include <utility>
@@ -11,12 +12,44 @@
 #include "src/obs/trace.h"
 
 namespace ava {
+namespace {
+
+// Backstop on the shared executor pool: the pool is sized to the sum of the
+// attached VMs' parallelism bounds, capped here so a crowd of wide VMs
+// cannot spawn unbounded threads.
+constexpr std::size_t kMaxWorkers = 64;
+
+}  // namespace
+
+int ResolveVmParallelism(int requested, std::size_t vm_count) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("AVA_VM_PARALLELISM");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+    AVA_LOG(ERROR) << "malformed AVA_VM_PARALLELISM '" << env
+                   << "', using auto";
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  const std::size_t vms = std::max<std::size_t>(vm_count, 1);
+  return std::max(1, static_cast<int>(hw / vms));
+}
 
 Router::Router() {
   auto& registry = obs::MetricRegistry::Default();
   queue_wait_ns_ = registry.NewHistogram("router.queue_wait_ns");
   exec_ns_ = registry.NewHistogram("router.exec_ns");
   rate_wait_ns_ = registry.NewHistogram("router.rate_limit_wait_ns");
+  lanes_active_ = registry.NewGauge("router.lanes_active");
+  lane_queue_depth_ = registry.NewHistogram("router.lane_queue_depth");
   sessions_reaped_ = registry.NewCounter("sessions.reaped");
   crc_rejected_ = registry.NewCounter("router.crc_rejected");
   arena_bytes_ = registry.NewCounter("router.arena_bytes");
@@ -28,8 +61,8 @@ Router::~Router() { Stop(); }
 Status Router::AttachVm(VmId vm_id, TransportPtr transport,
                         std::shared_ptr<ApiServerSession> session,
                         const VmPolicy& policy) {
-  // A dead channel under this id is replaced: its threads are joined outside
-  // the lock (they only need mutex_ transiently to finish exiting).
+  // A dead channel under this id is replaced: its RX thread is joined
+  // outside the lock (it only needs mutex_ transiently to finish exiting).
   std::unique_ptr<VmChannel> stale;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -46,9 +79,6 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
   if (stale != nullptr) {
     if (stale->rx_thread.joinable()) {
       stale->rx_thread.join();
-    }
-    if (stale->exec_thread.joinable()) {
-      stale->exec_thread.join();
     }
     stale.reset();
   }
@@ -67,6 +97,8 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
   // against the arena reachable through this VM's own transport.
   channel->session->SetArena(channel->transport->arena());
   channel->policy = policy;
+  channel->max_parallelism =
+      ResolveVmParallelism(policy.max_parallelism, channels_.size() + 1);
   channel->call_bucket.Configure(policy.calls_per_sec);
   channel->byte_bucket.Configure(policy.bytes_per_sec);
   const std::string prefix = "router.vm" + std::to_string(vm_id) + ".";
@@ -96,9 +128,9 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
   channel->debt_decay_ns = MonotonicNowNs();
   VmChannel* raw = channel.get();
   channels_[vm_id] = std::move(channel);
-  if (running_) {
+  if (running_ && !stopping_) {
     raw->rx_thread = std::thread([this, raw] { RxLoop(raw); });
-    raw->exec_thread = std::thread([this, raw] { ExecLoop(raw); });
+    EnsureWorkersLocked();
   }
   return OkStatus();
 }
@@ -113,11 +145,28 @@ void Router::Start() {
   for (auto& [id, channel] : channels_) {
     VmChannel* raw = channel.get();
     raw->rx_thread = std::thread([this, raw] { RxLoop(raw); });
-    raw->exec_thread = std::thread([this, raw] { ExecLoop(raw); });
+  }
+  EnsureWorkersLocked();
+}
+
+void Router::EnsureWorkersLocked() {
+  if (!running_ || stopping_) {
+    return;
+  }
+  std::size_t target = 0;
+  for (const auto& [id, channel] : channels_) {
+    if (!channel->dead) {
+      target += static_cast<std::size_t>(channel->max_parallelism);
+    }
+  }
+  target = std::min(target, kMaxWorkers);
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
 void Router::Stop() {
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) {
@@ -127,14 +176,18 @@ void Router::Stop() {
     for (auto& [id, channel] : channels_) {
       channel->transport->Close();
     }
+    workers.swap(workers_);
   }
   sched_cv_.notify_all();
+  drain_cv_.notify_all();
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
   for (auto& [id, channel] : channels_) {
     if (channel->rx_thread.joinable()) {
       channel->rx_thread.join();
-    }
-    if (channel->exec_thread.joinable()) {
-      channel->exec_thread.join();
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -149,8 +202,8 @@ Status Router::PauseVm(VmId vm_id) {
   }
   VmChannel* channel = it->second.get();
   channel->paused = true;
-  // Drain the in-flight call.
-  sched_cv_.wait(lock, [&] { return !channel->in_flight || stopping_; });
+  // Drain every in-flight call.
+  drain_cv_.wait(lock, [&] { return channel->in_flight == 0 || stopping_; });
   return OkStatus();
 }
 
@@ -185,6 +238,15 @@ Result<Router::VmStats> Router::StatsFor(VmId vm_id) const {
   return stats;
 }
 
+Result<int> Router::ParallelismFor(VmId vm_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = channels_.find(vm_id);
+  if (it == channels_.end()) {
+    return NotFound("unknown vm " + std::to_string(vm_id));
+  }
+  return it->second->max_parallelism;
+}
+
 void Router::MarkDeadLocked(VmChannel* channel) {
   if (channel->dead) {
     return;
@@ -213,9 +275,6 @@ std::size_t Router::ReapDeadVms() {
     if (channel->rx_thread.joinable()) {
       channel->rx_thread.join();
     }
-    if (channel->exec_thread.joinable()) {
-      channel->exec_thread.join();
-    }
   }
   return dead.size();
 }
@@ -236,7 +295,22 @@ void Router::RejectCall(VmChannel* channel, const CallHeader& header,
   (void)channel->transport->Send(frame);
 }
 
+void Router::EnqueueLocked(VmChannel* channel, std::uint64_t lane_key,
+                           Bytes message, std::int64_t rx_ns) {
+  Lane& lane = channel->lanes[lane_key];
+  lane.queue.push_back(PendingCall{std::move(message), rx_ns});
+  ++channel->queued_calls;
+  if (!lane.busy && lane.queue.size() == 1) {
+    channel->ready_lanes.push_back(lane_key);
+  }
+  if (obs::SamplingEnabled()) {
+    lane_queue_depth_->Record(static_cast<std::int64_t>(lane.queue.size()));
+  }
+}
+
 void Router::RxLoop(VmChannel* channel) {
+  // max_parallelism is written before this thread starts, constant after.
+  const bool lanes_on = channel->max_parallelism > 1;
   while (true) {
     auto message = channel->transport->Recv();
     if (!message.ok()) {
@@ -276,6 +350,12 @@ void Router::RxLoop(VmChannel* channel) {
     double call_count = 1.0;
     std::uint64_t bulk_bytes = 0;
     std::uint64_t cached_bytes = 0;
+    // The dispatch units this frame expands to: (message, lane key). A
+    // batch splits into per-call units when the VM runs lanes concurrently
+    // so each call lands on its object's lane; at parallelism 1 everything
+    // shares lane 0 and the batch stays whole — identical behavior to the
+    // classic serial executor.
+    std::vector<std::pair<Bytes, std::uint64_t>> units;
     if (*kind == MsgKind::kCall) {
       if (auto bulk = PeekCallBulkBytes(*message); bulk.ok()) {
         bulk_bytes = *bulk;
@@ -297,6 +377,8 @@ void Router::RxLoop(VmChannel* channel) {
         RejectCall(channel, decoded->header, StatusCode::kPermissionDenied);
         continue;
       }
+      const std::uint64_t lane_key = lanes_on ? decoded->header.lane_key : 0;
+      units.emplace_back(std::move(*message), lane_key);
     } else if (*kind == MsgKind::kBatch) {
       auto calls = DecodeBatch(*message);
       if (!calls.ok()) {
@@ -304,6 +386,8 @@ void Router::RxLoop(VmChannel* channel) {
       }
       call_count = static_cast<double>(calls->size());
       bool ok = true;
+      std::vector<std::uint64_t> lane_keys;
+      lane_keys.reserve(calls->size());
       for (const Bytes& call : *calls) {
         auto decoded = DecodeCall(call);
         if (!decoded.ok() || decoded->header.vm_id != channel->vm_id ||
@@ -311,11 +395,19 @@ void Router::RxLoop(VmChannel* channel) {
           ok = false;
           break;
         }
+        lane_keys.push_back(decoded->header.lane_key);
       }
       if (!ok) {
         AVA_LOG_EVERY_N(WARNING, 64)
             << "vm " << channel->vm_id << ": bad batch dropped";
         continue;
+      }
+      if (lanes_on) {
+        for (std::size_t i = 0; i < calls->size(); ++i) {
+          units.emplace_back(std::move((*calls)[i]), lane_keys[i]);
+        }
+      } else {
+        units.emplace_back(std::move(*message), 0);
       }
     } else {
       continue;  // replies never flow guest -> router
@@ -341,27 +433,36 @@ void Router::RxLoop(VmChannel* channel) {
     if (sampling && waited > 0) {
       rate_wait_ns_->Record(waited);
     }
-    // ---- enqueue for the scheduler ----
+    // ---- enqueue for the workers ----
     {
       std::lock_guard<std::mutex> lock(mutex_);
       channel->metrics.rate_limit_wait_ns->Increment(
           static_cast<std::uint64_t>(waited));
       channel->last_activity_ns = MonotonicNowNs();
-      channel->pending.push_back(PendingCall{std::move(*message), rx_ns});
+      for (auto& [unit, lane_key] : units) {
+        EnqueueLocked(channel, lane_key, std::move(unit), rx_ns);
+      }
     }
-    sched_cv_.notify_all();
+    // One new dispatchable unit needs one worker; wake the whole pool only
+    // when a batch split fanned out across lanes.
+    if (units.size() == 1) {
+      sched_cv_.notify_one();
+    } else {
+      sched_cv_.notify_all();
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     channel->rx_done = true;
   }
   sched_cv_.notify_all();
+  drain_cv_.notify_all();
 }
 
-// Weighted-fair arbitration is evaluated by each VM's executor thread
-// directly (no separate scheduler hop). A VM may dispatch its next call when
-// its weighted vruntime is not meaningfully ahead of any *active* contender
-// — active meaning it has work queued, in flight, or finished work recently.
+// Weighted-fair arbitration is evaluated by the shared worker pool directly
+// (no separate scheduler hop). A VM may dispatch its next call when its
+// weighted vruntime is not meaningfully ahead of any *active* contender —
+// active meaning it has work queued, in flight, or finished work recently.
 // The recency clause makes weights bind even for closed-loop guests whose
 // router queue is momentarily empty while they wait on device completions.
 namespace {
@@ -369,14 +470,11 @@ constexpr double kWfqWindowVns = 250000.0;      // slack before a VM must wait
 constexpr std::int64_t kActiveWindowNs = 50000000;  // 50 ms recency
 }  // namespace
 
-bool Router::EligibleLocked(VmChannel* channel) {
-  if (stopping_) {
-    return true;
-  }
-  if (channel->paused || channel->in_flight || channel->pending.empty()) {
+bool Router::EligibleLocked(VmChannel* channel, std::int64_t now) {
+  if (channel->paused || channel->dead || channel->ready_lanes.empty() ||
+      channel->in_flight >= channel->max_parallelism) {
     return false;
   }
-  const std::int64_t now = MonotonicNowNs();
   // Device-time allotment: drain the debt at the configured rate and hold
   // the VM while it is still over budget.
   if (channel->policy.device_vns_per_sec > 0.0) {
@@ -395,7 +493,7 @@ bool Router::EligibleLocked(VmChannel* channel) {
     if (other.get() == channel || other->paused || other->dead) {
       continue;
     }
-    const bool active = other->in_flight || !other->pending.empty() ||
+    const bool active = other->in_flight > 0 || other->queued_calls > 0 ||
                         now - other->last_activity_ns < kActiveWindowNs;
     if (!active) {
       continue;
@@ -420,99 +518,147 @@ bool Router::EligibleLocked(VmChannel* channel) {
   return true;
 }
 
-void Router::ExecLoop(VmChannel* channel) {
+Router::VmChannel* Router::PickChannelLocked() {
+  const std::int64_t now = MonotonicNowNs();
+  VmChannel* best = nullptr;
+  double best_key = 0.0;
+  for (auto& [id, entry] : channels_) {
+    VmChannel* channel = entry.get();
+    // Graceful degradation: once the guest's transport is gone and every
+    // queued call has drained, the session is dead — mark it reaped so
+    // ReapDeadVms() (or a reattach) can collect it.
+    if (!channel->dead && channel->rx_done && channel->queued_calls == 0 &&
+        channel->in_flight == 0) {
+      MarkDeadLocked(channel);
+      sched_cv_.notify_all();
+      continue;
+    }
+    if (!EligibleLocked(channel, now)) {
+      continue;
+    }
+    const double key =
+        channel->vruntime / std::max(channel->policy.weight, 1e-9);
+    if (best == nullptr || key < best_key) {
+      best = channel;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+void Router::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
-  while (true) {
-    // wait_for rather than wait: debt-paced eligibility changes with wall
-    // time, not only with state transitions.
-    while (!EligibleLocked(channel)) {
-      // Graceful degradation: once the guest's transport is gone and every
-      // queued call has drained, the session is dead — mark it reaped and
-      // exit instead of idling forever.
-      if (channel->rx_done && channel->pending.empty() &&
-          !channel->in_flight) {
-        MarkDeadLocked(channel);
-        sched_cv_.notify_all();
-        return;
-      }
+  while (!stopping_) {
+    VmChannel* pick = PickChannelLocked();
+    if (pick == nullptr) {
+      // wait_for rather than wait: debt-paced eligibility changes with wall
+      // time, not only with state transitions.
       sched_cv_.wait_for(lock, std::chrono::microseconds(200));
+      continue;
     }
-    if (stopping_) {
-      return;
+    DispatchOne(pick, lock);
+  }
+}
+
+void Router::DispatchOne(VmChannel* channel,
+                         std::unique_lock<std::mutex>& lock) {
+  const std::uint64_t lane_key = channel->ready_lanes.front();
+  channel->ready_lanes.pop_front();
+  Lane& lane = channel->lanes.find(lane_key)->second;
+  lane.busy = true;
+  PendingCall pending = std::move(lane.queue.front());
+  lane.queue.pop_front();
+  --channel->queued_calls;
+  ++channel->in_flight;
+  channel->metrics.calls_forwarded->Increment();
+  lanes_active_->Add(1);
+  lock.unlock();
+
+  Bytes message = std::move(pending.message);
+  const bool sampling = obs::SamplingEnabled();
+  const std::int64_t dispatch_ns = sampling ? MonotonicNowNs() : 0;
+  if (sampling) {
+    queue_wait_ns_->Record(dispatch_ns - pending.rx_ns);
+  }
+
+  std::int64_t cost = 0;
+  auto reply = channel->session->Execute(message, &cost);
+  if (reply.ok() && reply->has_value()) {
+    // The reply carries the server-accounted cost; prefer it.
+    auto peeked = PeekReplyCost(**reply);
+    if (peeked.ok()) {
+      cost = *peeked;
     }
-    PendingCall pending = std::move(channel->pending.front());
-    channel->pending.pop_front();
-    channel->in_flight = true;
-    channel->metrics.calls_forwarded->Increment();
+    // Stamp the router hops into the reply so the guest can close the
+    // span, and emit the router's own view of the queue wait.
+    if (sampling) {
+      auto trace_id = PeekReplyTraceId(**reply);
+      if (trace_id.ok() && *trace_id != 0) {
+        PatchReplyRouterTrace(&**reply, pending.rx_ns, dispatch_ns);
+        obs::Tracer::Default().RecordSpan(
+            obs::TraceLane::kRouter, "router.queue", channel->vm_id,
+            *trace_id, pending.rx_ns, dispatch_ns,
+            {{"queue_wait_ns", dispatch_ns - pending.rx_ns}});
+      }
+    }
+  } else if (!reply.ok()) {
+    AVA_LOG(WARNING) << "vm " << channel->vm_id
+                     << ": execute failed: " << reply.status();
+    // A sync caller is blocked on this call: answer with a classified
+    // error frame rather than leaving it to its deadline.
+    if (auto call = DecodeCall(message);
+        call.ok() && !call->header.is_async()) {
+      ReplyHeader error;
+      error.call_id = call->header.call_id;
+      error.vm_id = call->header.vm_id;
+      error.status_code = static_cast<std::int32_t>(reply.status().code());
+      ReplyBuilder builder(error);
+      reply = std::optional<Bytes>(std::move(builder).Finish());
+    }
+  }
+  if (sampling) {
+    exec_ns_->Record(MonotonicNowNs() - dispatch_ns);
+  }
+
+  // Account BEFORE replying: a guest that receives the reply must observe
+  // the call's cost in the router's books.
+  lock.lock();
+  channel->vruntime += static_cast<double>(std::max<std::int64_t>(cost, 0));
+  channel->vns_debt += static_cast<double>(std::max<std::int64_t>(cost, 0));
+  channel->metrics.cost_vns->Increment(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(cost, 0)));
+  channel->last_activity_ns = MonotonicNowNs();
+  // Lane bookkeeping: re-find the lane — the map may have rehashed while
+  // the lock was dropped. The entry itself cannot have been erased: a busy
+  // lane is never in ready_lanes and only this worker finishes it.
+  auto lane_it = channel->lanes.find(lane_key);
+  lane_it->second.busy = false;
+  if (lane_it->second.queue.empty()) {
+    channel->lanes.erase(lane_it);
+  } else {
+    channel->ready_lanes.push_back(lane_key);
+  }
+  --channel->in_flight;
+  lanes_active_->Add(-1);
+  // This worker loops back to PickChannelLocked itself, so at most one
+  // *additional* worker can use the freed capacity — waking the whole pool
+  // on every completion just burns context switches on small calls.
+  if (!channel->ready_lanes.empty() &&
+      channel->in_flight < channel->max_parallelism) {
+    sched_cv_.notify_one();
+  }
+  if (channel->in_flight == 0) {
+    drain_cv_.notify_all();
+  }
+  if (reply.ok() && reply->has_value()) {
     lock.unlock();
-
-    Bytes message = std::move(pending.message);
-    const bool sampling = obs::SamplingEnabled();
-    const std::int64_t dispatch_ns = sampling ? MonotonicNowNs() : 0;
-    if (sampling) {
-      queue_wait_ns_->Record(dispatch_ns - pending.rx_ns);
-    }
-
-    const std::int64_t cost_before = channel->session->cost_vns_total();
-    auto reply = channel->session->Execute(message);
-    std::int64_t cost = channel->session->cost_vns_total() - cost_before;
-    if (reply.ok() && reply->has_value()) {
-      // The reply carries the server-accounted cost; prefer it.
-      auto peeked = PeekReplyCost(**reply);
-      if (peeked.ok()) {
-        cost = *peeked;
-      }
-      // Stamp the router hops into the reply so the guest can close the
-      // span, and emit the router's own view of the queue wait.
-      if (sampling) {
-        auto trace_id = PeekReplyTraceId(**reply);
-        if (trace_id.ok() && *trace_id != 0) {
-          PatchReplyRouterTrace(&**reply, pending.rx_ns, dispatch_ns);
-          obs::Tracer::Default().RecordSpan(
-              obs::TraceLane::kRouter, "router.queue", channel->vm_id,
-              *trace_id, pending.rx_ns, dispatch_ns,
-              {{"queue_wait_ns", dispatch_ns - pending.rx_ns}});
-        }
-      }
-    } else if (!reply.ok()) {
-      AVA_LOG(WARNING) << "vm " << channel->vm_id
-                       << ": execute failed: " << reply.status();
-      // A sync caller is blocked on this call: answer with a classified
-      // error frame rather than leaving it to its deadline.
-      if (auto call = DecodeCall(message);
-          call.ok() && !call->header.is_async()) {
-        ReplyHeader error;
-        error.call_id = call->header.call_id;
-        error.vm_id = call->header.vm_id;
-        error.status_code = static_cast<std::int32_t>(reply.status().code());
-        ReplyBuilder builder(error);
-        reply = std::optional<Bytes>(std::move(builder).Finish());
-      }
-    }
-    if (sampling) {
-      exec_ns_->Record(MonotonicNowNs() - dispatch_ns);
-    }
-
-    // Account BEFORE replying: a guest that receives the reply must observe
-    // the call's cost in the router's books.
+    SealFrame(&**reply);
+    const Status sent = channel->transport->Send(**reply);
     lock.lock();
-    channel->vruntime += static_cast<double>(std::max<std::int64_t>(cost, 0));
-    channel->vns_debt += static_cast<double>(std::max<std::int64_t>(cost, 0));
-    channel->metrics.cost_vns->Increment(
-        static_cast<std::uint64_t>(std::max<std::int64_t>(cost, 0)));
-    channel->last_activity_ns = MonotonicNowNs();
-    channel->in_flight = false;
-    sched_cv_.notify_all();
-    if (reply.ok() && reply->has_value()) {
-      lock.unlock();
-      SealFrame(&**reply);
-      const Status sent = channel->transport->Send(**reply);
-      lock.lock();
-      if (!sent.ok()) {
-        // The guest can no longer hear us; finish draining and reap.
-        AVA_LOG_EVERY_N(WARNING, 64)
-            << "vm " << channel->vm_id << ": reply send failed: " << sent;
-      }
+    if (!sent.ok()) {
+      // The guest can no longer hear us; finish draining and reap.
+      AVA_LOG_EVERY_N(WARNING, 64)
+          << "vm " << channel->vm_id << ": reply send failed: " << sent;
     }
   }
 }

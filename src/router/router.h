@@ -10,11 +10,16 @@
 //     with the smallest weighted virtual runtime runs next
 //   - accounting: per-VM forwarded calls, bytes, waits, and device cost
 //
-// Threads: one RX thread per VM (receive + verify + rate-limit), one
-// executor thread per VM (run the call on the VM's ApiServerSession, reply),
-// and one scheduler thread arbitrating which VM's pending call dispatches
-// next. Per-VM calls stay strictly FIFO with one call in flight, preserving
-// API ordering semantics.
+// Threads: one RX thread per VM (receive + verify + rate-limit) and a shared
+// pool of executor workers that dispatch calls onto ApiServerSessions.
+// Within a VM, calls are partitioned into per-object execution lanes keyed
+// by the call's lane key (the wire id of the object it operates on, stamped
+// by the generated guest stub). Calls in one lane stay strictly FIFO with at
+// most one in flight — API ordering per object is preserved — while calls in
+// distinct lanes may run concurrently, bounded by the VM's resolved
+// parallelism (VmPolicy::max_parallelism / AVA_VM_PARALLELISM). At
+// parallelism 1 every call shares a single lane, restoring the historical
+// strictly-serial per-VM ordering exactly.
 #ifndef AVA_SRC_ROUTER_ROUTER_H_
 #define AVA_SRC_ROUTER_ROUTER_H_
 
@@ -25,6 +30,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/obs/metrics.h"
@@ -34,6 +40,11 @@
 #include "src/transport/transport.h"
 
 namespace ava {
+
+// Resolves a VM's intra-VM parallelism bound: `requested` when positive,
+// else AVA_VM_PARALLELISM when set and well-formed, else hardware threads
+// divided by the number of attached VMs (floor 1). Exposed for tests.
+int ResolveVmParallelism(int requested, std::size_t vm_count);
 
 // Per-VM resource policy, from the spec's resource-usage configuration.
 struct VmPolicy {
@@ -46,6 +57,11 @@ struct VmPolicy {
   // calls is delayed once the allotment is exhausted. 0 = unlimited.
   double device_vns_per_sec = 0.0;
   std::size_t max_message_bytes = 256u << 20;
+  // Upper bound on this VM's concurrently executing calls (its distinct
+  // execution lanes in flight at once). 0 = auto: AVA_VM_PARALLELISM when
+  // set, else hardware threads / attached VM count (floor 1). Resolved once
+  // at attach time. 1 restores the classic one-call-in-flight-per-VM model.
+  int max_parallelism = 0;
 };
 
 class Router {
@@ -76,15 +92,18 @@ class Router {
   void Start();
   void Stop();
 
-  // Drains the VM's in-flight call and stops dispatching further ones
+  // Drains the VM's in-flight calls and stops dispatching further ones
   // (migration suspend). Queued calls stay queued.
   Status PauseVm(VmId vm_id);
   Status ResumeVm(VmId vm_id);
 
   Result<VmStats> StatsFor(VmId vm_id) const;
 
+  // The parallelism bound resolved for this VM at attach time.
+  Result<int> ParallelismFor(VmId vm_id) const;
+
   // Detaches every dead VM (peer transport gone, work drained): joins its
-  // threads and frees its channel. Returns how many were removed. Dead
+  // RX thread and frees its channel. Returns how many were removed. Dead
   // channels are also replaced transparently when AttachVm() reuses the id.
   std::size_t ReapDeadVms();
 
@@ -97,6 +116,14 @@ class Router {
   struct PendingCall {
     Bytes message;
     std::int64_t rx_ns = 0;
+  };
+
+  // One per-object execution lane: a FIFO of verified calls touching the
+  // same object, with at most one call in flight (`busy`). Lanes exist only
+  // while they hold or execute work; an idle lane is erased.
+  struct Lane {
+    std::deque<PendingCall> queue;
+    bool busy = false;
   };
 
   // Per-VM accounting cells, registered as router.vm<id>.* in the default
@@ -115,17 +142,22 @@ class Router {
     TransportPtr transport;
     std::shared_ptr<ApiServerSession> session;
     VmPolicy policy;
+    int max_parallelism = 1;  // resolved at attach
     TokenBucket call_bucket;
     TokenBucket byte_bucket;
     VmMetrics metrics;
 
-    std::deque<PendingCall> pending;  // verified, awaiting dispatch
-    bool in_flight = false;
+    // Verified calls awaiting dispatch, partitioned by lane key.
+    std::unordered_map<std::uint64_t, Lane> lanes;
+    // Dispatch order across this VM's lanes. Invariant: a lane key appears
+    // here exactly once iff its lane has queued work and is not busy.
+    std::deque<std::uint64_t> ready_lanes;
+    std::size_t queued_calls = 0;  // total across all lanes
+    int in_flight = 0;             // executing now, bounded by parallelism
     bool paused = false;
     bool rx_done = false;
-    // Set by the executor when the session is finished (transport closed and
-    // work drained, or a reply send failed). A dead channel schedules
-    // nothing; its threads have exited or are exiting.
+    // Set when the session is finished (transport closed and work drained,
+    // or a reply send failed). A dead channel schedules nothing.
     bool dead = false;
     double vruntime = 0.0;
     // Device-time debt for the allotment pacer: completed calls add their
@@ -136,23 +168,43 @@ class Router {
     std::int64_t last_activity_ns = 0;  // last enqueue or completion
 
     std::thread rx_thread;
-    std::thread exec_thread;
   };
 
   void RxLoop(VmChannel* channel);
-  void ExecLoop(VmChannel* channel);
+  void WorkerLoop();
+  // Appends `message` to its lane, maintaining the ready-lane invariant.
+  // Caller holds mutex_.
+  void EnqueueLocked(VmChannel* channel, std::uint64_t lane_key,
+                     Bytes message, std::int64_t rx_ns);
+  // Picks the WFQ-minimal channel that may dispatch now, folding dead-VM
+  // detection into the scan. Null when nothing is dispatchable. Caller
+  // holds mutex_.
+  VmChannel* PickChannelLocked();
+  // True when `channel` may dispatch (capacity, ready work, debt) and its
+  // weighted vruntime is not meaningfully ahead of any *active* contender.
+  // Caller holds mutex_.
+  bool EligibleLocked(VmChannel* channel, std::int64_t now);
+  // Pops one call from `channel`'s front ready lane and executes it,
+  // dropping `lock` around the session call and reply send. Caller holds
+  // `lock`; it is held again on return.
+  void DispatchOne(VmChannel* channel, std::unique_lock<std::mutex>& lock);
+  // Spawns workers until the pool matches current demand. Caller holds
+  // mutex_; only grows, never shrinks (Stop() joins everything).
+  void EnsureWorkersLocked();
   // Marks a channel dead and closes its transport. Caller holds mutex_.
   void MarkDeadLocked(VmChannel* channel);
-  // True when `channel` holds the minimum weighted vruntime among VMs with
-  // pending work (the WFQ dispatch condition). Caller holds mutex_.
-  bool EligibleLocked(VmChannel* channel);
   // Sends an error reply for a rejected synchronous call.
   void RejectCall(VmChannel* channel, const CallHeader& header,
                   StatusCode code);
 
   mutable std::mutex mutex_;
+  // Workers sleep on sched_cv_; control-plane waiters (PauseVm's drain)
+  // sleep on drain_cv_. Keeping them apart lets the hot enqueue/complete
+  // paths wake a single worker without racing a drain waiter for the signal.
   std::condition_variable sched_cv_;
+  std::condition_variable drain_cv_;
   std::unordered_map<VmId, std::unique_ptr<VmChannel>> channels_;
+  std::vector<std::thread> workers_;
   bool running_ = false;
   bool stopping_ = false;
 
@@ -160,6 +212,10 @@ class Router {
   std::shared_ptr<obs::Histogram> queue_wait_ns_;   // RX -> dispatch
   std::shared_ptr<obs::Histogram> exec_ns_;         // dispatch -> reply built
   std::shared_ptr<obs::Histogram> rate_wait_ns_;    // token-bucket stalls
+  // Lane occupancy: calls executing concurrently right now (all VMs), and
+  // the per-lane queue depth observed at each enqueue.
+  std::shared_ptr<obs::Gauge> lanes_active_;
+  std::shared_ptr<obs::Histogram> lane_queue_depth_;
   // Failure-handling counters.
   std::shared_ptr<obs::Counter> sessions_reaped_;
   std::shared_ptr<obs::Counter> crc_rejected_;

@@ -129,6 +129,7 @@ GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
   shadow_updates_ = registry.NewCounter(prefix + "shadow_updates");
   bytes_sent_ = registry.NewCounter(prefix + "bytes_sent");
   bytes_received_ = registry.NewCounter(prefix + "bytes_received");
+  concurrent_callers_ = registry.NewGauge("guest.concurrent_callers");
   sync_latency_ns_ = registry.NewHistogram("guest.sync_roundtrip_ns");
   calls_retried_ = registry.NewCounter("calls.retried");
   calls_deadline_exceeded_ = registry.NewCounter("calls.deadline_exceeded");
@@ -229,7 +230,17 @@ Status GuestEndpoint::CallAsync(std::uint16_t api_id, std::uint32_t func_id,
 
 Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message, bool retriable,
                                               BulkScope* bulk) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  concurrent_callers_->Add(1);
+  Result<Bytes> result =
+      CallSyncPreparedImpl(std::move(message), retriable, bulk);
+  concurrent_callers_->Add(-1);
+  return result;
+}
+
+Result<Bytes> GuestEndpoint::CallSyncPreparedImpl(Bytes message,
+                                                  bool retriable,
+                                                  BulkScope* bulk) {
+  std::unique_lock<std::mutex> lock(mutex_);
   AVA_RETURN_IF_ERROR(BreakerAdmitLocked());
   AVA_RETURN_IF_ERROR(FlushLocked());
   const int max_attempts =
@@ -239,7 +250,7 @@ Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message, bool retriable,
   int attempt = 0;
   Status last = OkStatus();
   while (true) {
-    Result<Bytes> reply = SyncAttemptLocked(&message);
+    Result<Bytes> reply = SyncAttempt(lock, &message);
     if (reply.ok()) {
       BreakerRecordLocked(/*transport_ok=*/true);
       return reply;
@@ -251,7 +262,7 @@ Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message, bool retriable,
       // or restarted). It rejected the call before executing anything, so
       // one immediate inline retransmission-and-install is safe even for
       // non-idempotent calls — and it does not consume the transport retry
-      // budget. SyncAttemptLocked left the frame sealed: strip the checksum
+      // budget. SyncAttempt left the frame sealed: strip the checksum
       // so the rewrite and the next seal see the raw message.
       miss_retried = true;
       xfer_miss_retries_->Increment();
@@ -272,8 +283,11 @@ Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message, bool retriable,
     const std::int64_t jitter_us =
         backoff_us > 0 ? retry_rng_.NextInRange(0, backoff_us) : 0;
     if (backoff_us + jitter_us > 0) {
+      // Back off without the lock: other application threads keep calling.
+      lock.unlock();
       std::this_thread::sleep_for(
           std::chrono::microseconds(backoff_us + jitter_us));
+      lock.lock();
     }
     backoff_us *= 2;
     // Each attempt re-sends the sealed frame from the previous one: strip
@@ -285,7 +299,16 @@ Result<Bytes> GuestEndpoint::CallSyncPrepared(Bytes message, bool retriable,
 // One send + reply wait. A fresh call id per attempt means a late reply to
 // an earlier attempt is identifiable as stray and dropped, rather than being
 // mistaken for this attempt's answer.
-Result<Bytes> GuestEndpoint::SyncAttemptLocked(Bytes* message) {
+//
+// Multiplexing protocol: each blocked caller registers a waiter under its
+// call id. At most one caller — the reader — drains the transport (without
+// the lock) and routes every reply to its waiter; the rest sleep on
+// reply_cv_. The reader steps down after each receive, so when its own
+// reply arrives (or its deadline fires) another blocked caller takes over.
+// A dead transport fails every waiter at once; a caller's deadline fails
+// only that caller.
+Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
+                                         Bytes* message) {
   const CallId call_id = next_call_id_++;
   PatchCallIdentity(message, call_id, options_.vm_id, 0);
   const bool sampling = obs::SamplingEnabled();
@@ -297,59 +320,125 @@ Result<Bytes> GuestEndpoint::SyncAttemptLocked(Bytes* message) {
       options_.call_deadline_ms > 0
           ? MonotonicNowNs() + options_.call_deadline_ms * 1000000
           : 0;
-  AVA_RETURN_IF_ERROR(SendSealedLocked(message));
+  SyncWaiter waiter;
+  waiters_[call_id] = &waiter;
+  if (Status sent = SendSealedLocked(message); !sent.ok()) {
+    waiters_.erase(call_id);
+    return sent;
+  }
   sync_calls_->Increment();
 
-  // Per-VM calls are fully serialized (one in-flight sync call), so the next
-  // reply is ours; tolerate stray replies defensively.
-  for (int drains = 0; drains < 1024; ++drains) {
-    Result<Bytes> received =
-        deadline_ns > 0
-            ? transport_->RecvTimeout(deadline_ns - MonotonicNowNs())
-            : transport_->Recv();
-    if (!received.ok()) {
-      if (received.status().code() == StatusCode::kDeadlineExceeded) {
-        calls_deadline_exceeded_->Increment();
+  while (!waiter.done) {
+    if (!reader_active_) {
+      // ---- reader: drain the transport for everyone ----
+      reader_active_ = true;
+      lock.unlock();
+      Result<Bytes> received =
+          deadline_ns > 0
+              ? transport_->RecvTimeout(deadline_ns - MonotonicNowNs())
+              : transport_->Recv();
+      lock.lock();
+      reader_active_ = false;
+      if (!received.ok()) {
+        const Status err = received.status();
+        if (err.code() == StatusCode::kDeadlineExceeded) {
+          // Only this caller's deadline fired; the channel itself may be
+          // fine. Hand the reader role to another waiter and bail out.
+          reply_cv_.notify_all();
+          if (!waiter.done) {
+            waiters_.erase(call_id);
+            calls_deadline_exceeded_->Increment();
+            return err;
+          }
+          break;
+        }
+        // The transport is gone: no waiter's reply can arrive anymore.
+        for (auto& [id, other] : waiters_) {
+          if (!other->done) {
+            other->done = true;
+            other->status = err;
+          }
+        }
+        reply_cv_.notify_all();
+        waiters_.erase(call_id);
+        return err;
       }
-      return received.status();
-    }
-    Bytes raw = *std::move(received);
-    bytes_received_->Increment(raw.size());
-    // A corrupted reply is a per-call DataLoss, not a dead session: the
-    // channel itself stays usable.
-    AVA_RETURN_IF_ERROR(CheckAndStripFrame(&raw));
-    AVA_ASSIGN_OR_RETURN(DecodedReply reply, DecodeReply(raw));
-    ApplyShadowsLocked(reply);
-    if (reply.header.call_id != call_id) {
-      AVA_LOG(WARNING) << "dropping stray reply for call "
-                       << reply.header.call_id;
+      Bytes raw = *std::move(received);
+      bytes_received_->Increment(raw.size());
+      if (Status crc = CheckAndStripFrame(&raw); !crc.ok()) {
+        // A corrupted reply names no trustworthy call id, so it cannot be
+        // routed. Classify it to this caller — matching the classic
+        // single-caller behavior exactly — and let any other affected
+        // caller's own deadline cover the loss.
+        reply_cv_.notify_all();
+        waiters_.erase(call_id);
+        return crc;
+      }
+      auto decoded = DecodeReply(raw);
+      if (!decoded.ok()) {
+        reply_cv_.notify_all();
+        waiters_.erase(call_id);
+        return decoded.status();
+      }
+      // Shadows apply at routing time (we hold the lock), whichever caller
+      // the reply belongs to: piggybacked state must land before that
+      // caller — possibly this thread — resumes.
+      ApplyShadowsLocked(*decoded);
+      auto it = waiters_.find(decoded->header.call_id);
+      if (it == waiters_.end()) {
+        AVA_LOG(WARNING) << "dropping stray reply for call "
+                         << decoded->header.call_id;
+        continue;
+      }
+      it->second->raw = std::move(raw);
+      it->second->done = true;
+      reply_cv_.notify_all();
       continue;
     }
-    const std::int64_t t_wake = sampling ? MonotonicNowNs() : 0;
-    if (sampling) {
-      sync_latency_ns_->Record(t_wake - t_send);
+    // ---- follower: wait for my reply or for the reader role ----
+    if (deadline_ns > 0) {
+      const std::int64_t remaining_ns = deadline_ns - MonotonicNowNs();
+      const bool woke =
+          remaining_ns > 0 &&
+          reply_cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns),
+                             [&] { return waiter.done || !reader_active_; });
+      if (!woke && !waiter.done) {
+        waiters_.erase(call_id);
+        calls_deadline_exceeded_->Increment();
+        return DeadlineExceeded("sync call deadline exceeded");
+      }
+    } else {
+      reply_cv_.wait(lock, [&] { return waiter.done || !reader_active_; });
     }
-    if (reply.header.trace_id != 0) {
-      // Close the span: the guest is the only layer that sees every hop.
-      obs::Tracer::Default().RecordSpan(
-          obs::TraceLane::kGuest, "call.sync", options_.vm_id,
-          reply.header.trace_id, t_send, t_wake,
-          {{"t_send_ns", t_send},
-           {"t_rx_ns", reply.header.t_rx_ns},
-           {"t_dispatch_ns", reply.header.t_dispatch_ns},
-           {"t_exec_start_ns", reply.header.t_exec_start_ns},
-           {"t_exec_end_ns", reply.header.t_exec_end_ns},
-           {"t_wake_ns", t_wake},
-           {"call_id", static_cast<std::int64_t>(call_id)},
-           {"cost_vns", reply.header.cost_vns}});
-    }
-    if (reply.header.status_code != 0) {
-      return Status(static_cast<StatusCode>(reply.header.status_code),
-                    "call rejected by router/server");
-    }
-    return Bytes(reply.payload.begin(), reply.payload.end());
   }
-  return Internal("no reply for call after draining 1024 messages");
+  waiters_.erase(call_id);
+  if (!waiter.status.ok()) {
+    return waiter.status;
+  }
+  AVA_ASSIGN_OR_RETURN(DecodedReply reply, DecodeReply(waiter.raw));
+  const std::int64_t t_wake = sampling ? MonotonicNowNs() : 0;
+  if (sampling) {
+    sync_latency_ns_->Record(t_wake - t_send);
+  }
+  if (reply.header.trace_id != 0) {
+    // Close the span: the guest is the only layer that sees every hop.
+    obs::Tracer::Default().RecordSpan(
+        obs::TraceLane::kGuest, "call.sync", options_.vm_id,
+        reply.header.trace_id, t_send, t_wake,
+        {{"t_send_ns", t_send},
+         {"t_rx_ns", reply.header.t_rx_ns},
+         {"t_dispatch_ns", reply.header.t_dispatch_ns},
+         {"t_exec_start_ns", reply.header.t_exec_start_ns},
+         {"t_exec_end_ns", reply.header.t_exec_end_ns},
+         {"t_wake_ns", t_wake},
+         {"call_id", static_cast<std::int64_t>(call_id)},
+         {"cost_vns", reply.header.cost_vns}});
+  }
+  if (reply.header.status_code != 0) {
+    return Status(static_cast<StatusCode>(reply.header.status_code),
+                  "call rejected by router/server");
+  }
+  return Bytes(reply.payload.begin(), reply.payload.end());
 }
 
 Status GuestEndpoint::BreakerAdmitLocked() {

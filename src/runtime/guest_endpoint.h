@@ -5,9 +5,18 @@
 // synchronous calls, batches asynchronous calls (lazy RPC, §4.2), and
 // applies piggybacked shadow-buffer updates to registered application
 // pointers (how a non-blocking read's data reaches the guest).
+//
+// Safe for concurrent application threads multiplexing the one channel:
+// sends serialize under the endpoint lock, and replies demultiplex by call
+// id. At any moment at most one blocked caller is the *reader* — it drains
+// the transport without holding the lock, routes each reply to the waiter
+// whose call id it names, and hands the reader role off when its own reply
+// (or deadline) arrives. Callers whose replies arrive out of order wake
+// individually; nobody's reply is ever consumed by the wrong thread.
 #ifndef AVA_SRC_RUNTIME_GUEST_ENDPOINT_H_
 #define AVA_SRC_RUNTIME_GUEST_ENDPOINT_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -177,9 +186,16 @@ class GuestEndpoint {
   Status SendSealedLocked(Bytes* message);
   Status FlushLocked();
   void ApplyShadowsLocked(const DecodedReply& reply);
+  // CallSyncPrepared body; split out so the public wrapper can maintain the
+  // guest.concurrent_callers gauge across every return path.
+  Result<Bytes> CallSyncPreparedImpl(Bytes message, bool retriable,
+                                     BulkScope* bulk);
   // One send + reply-wait under the configured deadline. `*message` must be
   // unsealed on entry and comes back sealed (strip 4 bytes to reuse it).
-  Result<Bytes> SyncAttemptLocked(Bytes* message);
+  // Enters and returns with `lock` held; drops it while reading the
+  // transport (reader role) or waiting on reply_cv_ (follower).
+  Result<Bytes> SyncAttempt(std::unique_lock<std::mutex>& lock,
+                            Bytes* message);
   // Breaker admission: OK, or fail-fast Unavailable while open.
   Status BreakerAdmitLocked();
   void BreakerRecordLocked(bool transport_ok);
@@ -218,6 +234,19 @@ class GuestEndpoint {
   std::vector<Bytes> pending_batch_;
   std::int32_t latched_async_error_ = 0;
 
+  // Reply demultiplexing (all under mutex_). One stack-allocated waiter per
+  // blocked sync caller, keyed by call id. The reader routes each received
+  // reply to its waiter (raw = checksum-stripped frame; the waiter decodes
+  // it after waking) or fails every waiter when the transport dies.
+  struct SyncWaiter {
+    Bytes raw;
+    bool done = false;
+    Status status = OkStatus();  // non-OK: transport failed while waiting
+  };
+  std::unordered_map<CallId, SyncWaiter*> waiters_;
+  bool reader_active_ = false;
+  std::condition_variable reply_cv_;
+
   // Circuit-breaker state (all under mutex_).
   int consecutive_failures_ = 0;
   std::int64_t breaker_open_until_ns_ = 0;
@@ -230,6 +259,9 @@ class GuestEndpoint {
   std::shared_ptr<obs::Counter> shadow_updates_;
   std::shared_ptr<obs::Counter> bytes_sent_;
   std::shared_ptr<obs::Counter> bytes_received_;
+  // Application threads currently inside a sync call (process-global name;
+  // the registry aggregates same-named cells across endpoints).
+  std::shared_ptr<obs::Gauge> concurrent_callers_;
   std::shared_ptr<obs::Histogram> sync_latency_ns_;
   // Failure-handling counters (process-global names; the registry
   // aggregates same-named cells across endpoints).

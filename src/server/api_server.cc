@@ -12,6 +12,9 @@
 
 namespace ava {
 
+thread_local ServerContext::CallScratch* ServerContext::tls_scratch_ =
+    nullptr;
+
 ServerContext::ServerContext(VmId vm_id, ObjectRegistry* registry,
                              SwapManager* swap)
     : vm_id_(vm_id),
@@ -72,7 +75,7 @@ Status ServerContext::ReadBulkInInner(ByteReader* r, BulkIn* out,
     out->present = true;
     out->data = entry->data();
     out->size = entry->size();
-    call_cache_refs_.push_back(std::move(entry));
+    scratch().cache_refs.push_back(std::move(entry));
     return OkStatus();
   }
   if (marker == kBulkCachedInstall && allow_cached) {
@@ -95,7 +98,7 @@ Status ServerContext::ReadBulkInInner(ByteReader* r, BulkIn* out,
     if (installed.installed) {
       CachedDesc ack = desc;
       ack.slot = installed.slot;
-      pending_cache_acks_.push_back(ack);
+      scratch().cache_acks.push_back(ack);
     }
     *out = inner;
     return OkStatus();
@@ -155,6 +158,7 @@ void ServerContext::PutBulkOut(ByteWriter* w, const BulkOut& desc,
 }
 
 void ServerContext::LatchAsyncError(std::int32_t api_error) {
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
   // Keep the first unreported error (closest to a local execution's report).
   if (latched_async_error_ == 0) {
     latched_async_error_ = api_error;
@@ -162,11 +166,13 @@ void ServerContext::LatchAsyncError(std::int32_t api_error) {
 }
 
 void ServerContext::StashShadowReady(std::uint64_t shadow_id, Bytes data) {
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
   ready_shadows_.emplace_back(shadow_id, std::move(data));
 }
 
 void ServerContext::StashShadowDeferred(std::uint64_t shadow_id,
                                         std::function<bool(Bytes*)> poll) {
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
   deferred_shadows_.push_back(DeferredShadow{shadow_id, std::move(poll)});
 }
 
@@ -200,14 +206,22 @@ void ApiServerSession::RegisterApi(std::uint16_t api_id, ApiHandler handler) {
   handlers_[api_id] = std::move(handler);
 }
 
-Result<std::optional<Bytes>> ApiServerSession::Execute(const Bytes& message) {
+Result<std::optional<Bytes>> ApiServerSession::Execute(
+    const Bytes& message, std::int64_t* cost_vns) {
+  if (cost_vns != nullptr) {
+    *cost_vns = 0;
+  }
   AVA_ASSIGN_OR_RETURN(MsgKind kind, PeekKind(message));
   if (kind == MsgKind::kBatch) {
     AVA_ASSIGN_OR_RETURN(std::vector<Bytes> calls, DecodeBatch(message));
     for (const Bytes& call : calls) {
       AVA_ASSIGN_OR_RETURN(DecodedCall decoded, DecodeCall(call));
-      AVA_ASSIGN_OR_RETURN(auto reply, ExecuteCall(decoded));
+      std::int64_t call_cost = 0;
+      AVA_ASSIGN_OR_RETURN(auto reply, ExecuteCall(decoded, &call_cost));
       (void)reply;  // batched calls are async by construction: no replies
+      if (cost_vns != nullptr) {
+        *cost_vns += call_cost;
+      }
     }
     return std::optional<Bytes>();
   }
@@ -215,7 +229,7 @@ Result<std::optional<Bytes>> ApiServerSession::Execute(const Bytes& message) {
     return DataLoss("server received a non-call message");
   }
   AVA_ASSIGN_OR_RETURN(DecodedCall decoded, DecodeCall(message));
-  return ExecuteCall(decoded);
+  return ExecuteCall(decoded, cost_vns);
 }
 
 ApiServerSession::Stats ApiServerSession::stats() const {
@@ -229,11 +243,16 @@ ApiServerSession::Stats ApiServerSession::stats() const {
 }
 
 Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
-    const DecodedCall& call) {
+    const DecodedCall& call, std::int64_t* cost_vns) {
   auto handler_it = handlers_.find(call.header.api_id);
   const bool is_async = call.header.is_async();
   const bool sampling = obs::SamplingEnabled();
   const std::int64_t exec_start = sampling ? MonotonicNowNs() : 0;
+
+  // Per-call state lives on this stack frame and is visible to the handler
+  // through the thread-local installer: concurrent lanes each get their own.
+  ServerContext::CallScratch scratch;
+  ServerContext::ScopedScratch scoped(&scratch);
 
   Status dispatch_status = OkStatus();
   Bytes reply_payload;
@@ -242,14 +261,13 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
         "no handler for api " + std::to_string(call.header.api_id));
   } else {
     registry_.BeginCallCapture();
-    context_.record_requested_ = false;
     ByteReader args(call.payload.data(), call.payload.size());
     ByteWriter reply;
     dispatch_status = handler_it->second(&context_, call.header.func_id,
                                          &args, is_async, &reply);
     reply_payload = std::move(reply).TakeBytes();
-    if (dispatch_status.ok() && context_.record_requested_ &&
-        record_sink_ != nullptr && !context_.replaying_) {
+    if (dispatch_status.ok() && scratch.record_requested &&
+        record_sink_ != nullptr) {
       Bytes payload(call.payload.begin(), call.payload.end());
       record_sink_->OnRecordedCall(call.header, payload,
                                    registry_.TakeCreated(),
@@ -259,8 +277,7 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
       swap_->UnpinAll(&registry_);
     }
     // The call is over: cache entries served to it may now be reclaimed by
-    // future evictions.
-    context_.call_cache_refs_.clear();
+    // future evictions (scratch.cache_refs releases with this frame).
   }
 
   const std::int64_t exec_end = sampling ? MonotonicNowNs() : 0;
@@ -282,6 +299,13 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
          {"async", is_async ? 1 : 0}});
   }
 
+  const std::int64_t cost = context_.TakeCost();
+  cost_vns_total_->Increment(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(cost, 0)));
+  if (cost_vns != nullptr) {
+    *cost_vns = cost;
+  }
+
   if (is_async) {
     async_calls_->Increment();
     if (!dispatch_status.ok()) {
@@ -289,9 +313,13 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
       context_.LatchAsyncError(
           static_cast<std::int32_t>(dispatch_status.code()));
     }
-    cost_vns_total_->Increment(
-        static_cast<std::uint64_t>(std::max<std::int64_t>(
-            context_.TakeCost(), 0)));
+    if (!scratch.cache_acks.empty()) {
+      // No reply to ride: park the acks for the next sync reply.
+      std::lock_guard<std::mutex> lock(context_.shadow_mutex_);
+      context_.deferred_cache_acks_.insert(
+          context_.deferred_cache_acks_.end(), scratch.cache_acks.begin(),
+          scratch.cache_acks.end());
+    }
     return std::optional<Bytes>();
   }
 
@@ -306,25 +334,30 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
   header.t_exec_end_ns = exec_end;
   ReplyBuilder builder(header);
   builder.SetPayload(reply_payload);
-  ReapShadows(&builder);
-  const std::int64_t cost = context_.TakeCost();
-  cost_vns_total_->Increment(
-      static_cast<std::uint64_t>(std::max<std::int64_t>(cost, 0)));
+  ReapShadows(&builder, &scratch);
   builder.SetCost(cost);
   return std::optional<Bytes>(std::move(builder).Finish());
 }
 
-void ApiServerSession::ReapShadows(ReplyBuilder* reply) {
+void ApiServerSession::ReapShadows(ReplyBuilder* reply,
+                                   ServerContext::CallScratch* scratch) {
+  std::lock_guard<std::mutex> lock(context_.shadow_mutex_);
   // Transfer-cache install acks ride their reserved shadow id. Delivered
   // even on error replies: the installs did happen, and an un-acked install
-  // would just cost the guest a redundant re-install later.
-  if (!context_.pending_cache_acks_.empty()) {
+  // would just cost the guest a redundant re-install later. This call's own
+  // installs plus any parked by async calls since the last sync reply.
+  if (!scratch->cache_acks.empty() ||
+      !context_.deferred_cache_acks_.empty()) {
     ByteWriter acks;
-    for (const CachedDesc& desc : context_.pending_cache_acks_) {
+    for (const CachedDesc& desc : scratch->cache_acks) {
+      PutCachedDesc(&acks, desc);
+    }
+    for (const CachedDesc& desc : context_.deferred_cache_acks_) {
       PutCachedDesc(&acks, desc);
     }
     reply->AddShadow(kXferCacheAckShadowId, std::move(acks).TakeBytes());
-    context_.pending_cache_acks_.clear();
+    scratch->cache_acks.clear();
+    context_.deferred_cache_acks_.clear();
   }
   // Latched async error rides the reserved shadow id.
   if (context_.latched_async_error_ != 0) {
@@ -359,18 +392,16 @@ Status ApiServerSession::Replay(const CallHeader& header, const Bytes& payload,
   }
   registry_.PushForcedIds(created_ids);
   registry_.BeginCallCapture();
-  context_.replaying_ = true;
-  context_.record_requested_ = false;
+  ServerContext::CallScratch scratch;
+  scratch.replaying = true;
+  ServerContext::ScopedScratch scoped(&scratch);
   ByteReader args(payload.data(), payload.size());
   ByteWriter reply;
   Status status = handler_it->second(&context_, header.func_id, &args,
                                      /*is_async=*/false, &reply);
-  context_.replaying_ = false;
-  (void)context_.TakeCost();
   if (swap_ != nullptr) {
     swap_->UnpinAll(&registry_);
   }
-  context_.call_cache_refs_.clear();
   return status;
 }
 

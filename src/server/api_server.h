@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -112,10 +113,11 @@ class ServerContext {
   TransferCache& xfer_cache() { return *xfer_cache_; }
 
   // -------- cost accounting (read by the router's scheduler) --------
-  void ChargeCost(std::int64_t vns) { cost_vns_ += vns; }
+  void ChargeCost(std::int64_t vns) { scratch().cost_vns += vns; }
   std::int64_t TakeCost() {
-    std::int64_t c = cost_vns_;
-    cost_vns_ = 0;
+    CallScratch& s = scratch();
+    std::int64_t c = s.cost_vns;
+    s.cost_vns = 0;
     return c;
   }
 
@@ -132,8 +134,8 @@ class ServerContext {
 
   // -------- migration recording --------
   // Generated handlers call this for functions annotated `record;`.
-  void RecordCurrentCall() { record_requested_ = true; }
-  bool replaying() const { return replaying_; }
+  void RecordCurrentCall() { scratch().record_requested = true; }
+  bool replaying() { return scratch().replaying; }
 
  private:
   friend class ApiServerSession;
@@ -142,6 +144,45 @@ class ServerContext {
     std::uint64_t shadow_id;
     std::function<bool(Bytes*)> poll;
   };
+
+  // State scoped to one in-flight call. The session installs one
+  // thread-locally around each handler invocation, so calls executing
+  // concurrently on different worker lanes never share per-call state
+  // (cost, record flag, cache pins) — only the explicitly session-wide
+  // state below is shared, and that is mutex-guarded.
+  struct CallScratch {
+    std::int64_t cost_vns = 0;
+    bool record_requested = false;
+    bool replaying = false;
+    // Cache entries served to this call: keeps their bytes alive even if a
+    // later install (from this or a concurrent call) evicts them.
+    std::vector<std::shared_ptr<const Bytes>> cache_refs;
+    // Digests installed while executing this call; flushed to the guest as
+    // a kXferCacheAckShadowId shadow on this call's sync reply (async
+    // installs are parked session-wide for the next sync reply).
+    std::vector<CachedDesc> cache_acks;
+  };
+
+  // RAII installer for the thread-local current-call scratch.
+  class ScopedScratch {
+   public:
+    explicit ScopedScratch(CallScratch* s) : prev_(tls_scratch_) {
+      tls_scratch_ = s;
+    }
+    ~ScopedScratch() { tls_scratch_ = prev_; }
+    ScopedScratch(const ScopedScratch&) = delete;
+    ScopedScratch& operator=(const ScopedScratch&) = delete;
+
+   private:
+    CallScratch* prev_;
+  };
+
+  // The in-flight call's scratch. Outside a session-executed call (direct
+  // context use in tests, single-threaded by nature) falls back to a
+  // session-lifetime scratch so the old semantics hold.
+  CallScratch& scratch() {
+    return tls_scratch_ != nullptr ? *tls_scratch_ : fallback_scratch_;
+  }
 
   // Inner body of ReadBulkIn. `allow_cached` is false when decoding the
   // payload nested inside a kBulkCachedInstall, so a hostile frame cannot
@@ -152,20 +193,17 @@ class ServerContext {
   ObjectRegistry* registry_;
   SwapManager* swap_;
   std::shared_ptr<BufferArena> arena_;  // null = inline-only session
-  std::int64_t cost_vns_ = 0;
+  static thread_local CallScratch* tls_scratch_;
+  CallScratch fallback_scratch_;
+  // Session-wide state shared across concurrent lanes; every access goes
+  // through shadow_mutex_ (leaf lock: nothing is acquired while held).
+  std::mutex shadow_mutex_;
   std::int32_t latched_async_error_ = 0;
-  bool record_requested_ = false;
-  bool replaying_ = false;
   std::vector<std::pair<std::uint64_t, Bytes>> ready_shadows_;
   std::vector<DeferredShadow> deferred_shadows_;
+  // Install acks from async calls, delivered on the next sync reply.
+  std::vector<CachedDesc> deferred_cache_acks_;
   std::unique_ptr<TransferCache> xfer_cache_;
-  // Cache entries served to the in-flight call: keeps their bytes alive
-  // even if a later install within the same call evicts them. Cleared by
-  // the session when the call completes.
-  std::vector<std::shared_ptr<const Bytes>> call_cache_refs_;
-  // Digests installed while executing the current call; flushed to the
-  // guest as a kXferCacheAckShadowId shadow on the next sync reply.
-  std::vector<CachedDesc> pending_cache_acks_;
 };
 
 class ApiServerSession {
@@ -199,8 +237,13 @@ class ApiServerSession {
 
   // Executes one transport message (call or batch). Returns the encoded
   // reply for synchronous calls, nullopt for async/batch. A non-OK status
-  // means the message was unintelligible.
-  Result<std::optional<Bytes>> Execute(const Bytes& message);
+  // means the message was unintelligible. When `cost_vns` is non-null it
+  // receives the modeled device cost this message charged — the router
+  // reads it per call so concurrent lanes never race on a shared total.
+  // Safe to call from multiple threads concurrently (per-call state is
+  // thread-local; registry/cache/shadow state is internally locked).
+  Result<std::optional<Bytes>> Execute(const Bytes& message,
+                                       std::int64_t* cost_vns = nullptr);
 
   // Replays a recorded call during migration restore: forces the original
   // created ids and suppresses re-recording.
@@ -223,8 +266,9 @@ class ApiServerSession {
   obs::HistogramSnapshot exec_latency() const { return exec_ns_->Snapshot(); }
 
  private:
-  Result<std::optional<Bytes>> ExecuteCall(const DecodedCall& call);
-  void ReapShadows(ReplyBuilder* reply);
+  Result<std::optional<Bytes>> ExecuteCall(const DecodedCall& call,
+                                           std::int64_t* cost_vns);
+  void ReapShadows(ReplyBuilder* reply, ServerContext::CallScratch* scratch);
 
   VmId vm_id_;
   ObjectRegistry registry_;

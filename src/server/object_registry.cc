@@ -3,6 +3,17 @@
 #include <string>
 
 namespace ava {
+namespace {
+
+// Per-call capture buffers (see BeginCallCapture in the header): a call
+// executes wholly on one worker thread, so thread-local storage keeps
+// concurrent calls' created/destroyed sets apart without widening the
+// registry lock. BeginCallCapture clears them, so reuse of a worker thread
+// across calls (or across registries) cannot leak ids between captures.
+thread_local std::vector<WireHandle> tls_created_in_call;
+thread_local std::vector<WireHandle> tls_destroyed_in_call;
+
+}  // namespace
 
 WireHandle ObjectRegistry::NextId() {
   if (forced_cursor_ < forced_ids_.size()) {
@@ -23,7 +34,7 @@ WireHandle ObjectRegistry::Insert(std::uint32_t type_tag, void* real) {
   entry.real = real;
   entry.last_use_ns = MonotonicNowNs();
   entries_[id] = std::move(entry);
-  created_in_call_.push_back(id);
+  tls_created_in_call.push_back(id);
   return id;
 }
 
@@ -43,7 +54,7 @@ WireHandle ObjectRegistry::InternOrFind(std::uint32_t type_tag, void* real) {
   interned_reverse_[real] = id;
   // Interned handles minted inside a recorded call (e.g. device discovery)
   // must replay with the same ids after migration.
-  created_in_call_.push_back(id);
+  tls_created_in_call.push_back(id);
   return id;
 }
 
@@ -95,7 +106,7 @@ Result<bool> ObjectRegistry::Release(WireHandle id, void** removed_real) {
   if (removed_real != nullptr) {
     *removed_real = it->second.real;
   }
-  destroyed_in_call_.push_back(id);
+  tls_destroyed_in_call.push_back(id);
   entries_.erase(it);
   return true;
 }
@@ -143,19 +154,20 @@ std::size_t ObjectRegistry::LiveCount() const {
 }
 
 void ObjectRegistry::BeginCallCapture() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  created_in_call_.clear();
-  destroyed_in_call_.clear();
+  tls_created_in_call.clear();
+  tls_destroyed_in_call.clear();
 }
 
 std::vector<WireHandle> ObjectRegistry::TakeCreated() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  return std::move(created_in_call_);
+  std::vector<WireHandle> out;
+  out.swap(tls_created_in_call);
+  return out;
 }
 
 std::vector<WireHandle> ObjectRegistry::TakeDestroyed() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  return std::move(destroyed_in_call_);
+  std::vector<WireHandle> out;
+  out.swap(tls_destroyed_in_call);
+  return out;
 }
 
 void ObjectRegistry::PushForcedIds(const std::vector<WireHandle>& ids) {

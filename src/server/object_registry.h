@@ -82,6 +82,10 @@ class ObjectRegistry {
   std::size_t LiveCount() const;
 
   // ---- per-call capture (migration recording) ----
+  // Capture is per thread: a call executes wholly on one worker, so the
+  // ids it creates/destroys accumulate in thread-local storage and calls
+  // running concurrently on other lanes never mix into each other's
+  // record. Begin/Take must run on the thread that executed the call.
   void BeginCallCapture();
   std::vector<WireHandle> TakeCreated();
   std::vector<WireHandle> TakeDestroyed();
@@ -99,8 +103,6 @@ class ObjectRegistry {
   std::unordered_map<WireHandle, Entry> entries_;
   std::unordered_map<void*, WireHandle> interned_reverse_;
   WireHandle next_id_ = 1;
-  std::vector<WireHandle> created_in_call_;
-  std::vector<WireHandle> destroyed_in_call_;
   std::vector<WireHandle> forced_ids_;
   std::size_t forced_cursor_ = 0;
 };

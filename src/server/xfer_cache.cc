@@ -33,6 +33,7 @@ TransferCache::TransferCache(std::size_t budget_bytes)
 
 std::shared_ptr<const Bytes> TransferCache::Lookup(std::uint64_t hash,
                                                    std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(hash);
   if (it == entries_.end() || it->second.data->size() != length) {
     ++stats_.misses;
@@ -49,6 +50,7 @@ std::shared_ptr<const Bytes> TransferCache::Lookup(std::uint64_t hash,
 
 TransferCache::InstallResult TransferCache::Install(
     std::uint64_t hash, std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (budget_bytes_ == 0 || data.size() > budget_bytes_) {
     return {};
   }
@@ -94,12 +96,14 @@ void TransferCache::EvictToFit(std::size_t incoming_bytes) {
 }
 
 void TransferCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
   size_bytes_ = 0;
 }
 
 void TransferCache::Reconfigure(std::size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   budget_bytes_ = budget_bytes;
   EvictToFit(0);
 }

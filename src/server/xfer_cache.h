@@ -18,15 +18,18 @@
 // later parameter of the same call (the session drops its per-call
 // references when the call completes).
 //
-// Not thread-safe: one TransferCache belongs to one ServerContext, and the
-// router executes a VM's calls on a single thread — the same discipline the
-// rest of the session state relies on.
+// Thread-safe: the router may execute a VM's calls on several worker lanes
+// concurrently (AVA_VM_PARALLELISM), so every cache operation runs under an
+// internal mutex. Entries are shared_ptr, so a concurrent eviction can never
+// free bytes a lane is still reading — the lane's per-call reference keeps
+// them alive.
 #ifndef AVA_SRC_SERVER_XFER_CACHE_H_
 #define AVA_SRC_SERVER_XFER_CACHE_H_
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 
@@ -85,10 +88,22 @@ class TransferCache {
   // Changes the byte budget, evicting LRU entries down to the new limit.
   void Reconfigure(std::size_t budget_bytes);
 
-  std::size_t size_bytes() const { return size_bytes_; }
-  std::size_t entries() const { return entries_.size(); }
-  std::size_t budget_bytes() const { return budget_bytes_; }
-  const Stats& stats() const { return stats_; }
+  std::size_t size_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_bytes_;
+  }
+  std::size_t entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  std::size_t budget_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return budget_bytes_;
+  }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
 
  private:
   struct Entry {
@@ -97,8 +112,9 @@ class TransferCache {
     std::list<std::uint64_t>::iterator lru_it;
   };
 
-  void EvictToFit(std::size_t incoming_bytes);
+  void EvictToFit(std::size_t incoming_bytes);  // caller holds mutex_
 
+  mutable std::mutex mutex_;
   std::size_t budget_bytes_;
   std::size_t size_bytes_ = 0;
   std::uint32_t next_slot_ = 1;

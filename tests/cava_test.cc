@@ -425,6 +425,117 @@ int f(int x) { async; idempotent; }
   EXPECT_TRUE(advised);
 }
 
+TEST(SpecParserTest, LaneAnnotationCaptured) {
+  auto spec = ParseSpec(R"(
+api t 1;
+type(t_ctx) { handle; }
+type(t_buf) { handle; }
+int f(t_ctx ctx, t_buf buf) { sync; lane(buf); }
+int g(t_ctx ctx) { sync; }
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->functions[0].lane_param, "buf");
+  EXPECT_TRUE(spec->functions[1].lane_param.empty());
+}
+
+TEST(SpecParserTest, LaneRejectedOnInvalidPlacements) {
+  // Unknown parameter name.
+  auto unknown = ParseSpec(R"(
+api t 1;
+type(t_ctx) { handle; }
+int f(t_ctx ctx) { sync; lane(nope); }
+)");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find("does not name"),
+            std::string::npos);
+  // Not a handle type: the lane key is the handle's wire id.
+  auto scalar = ParseSpec(R"(
+api t 1;
+int f(int x) { sync; lane(x); }
+)");
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_NE(scalar.status().ToString().find("by-value handle"),
+            std::string::npos);
+  // Pointer-to-handle is guest memory, not a marshaled handle value.
+  auto pointer = ParseSpec(R"(
+api t 1;
+type(t_ev) { handle; }
+int f(t_ev* ev) { sync; parameter(ev) { out; element; allocates; } lane(ev); }
+)");
+  ASSERT_FALSE(pointer.ok());
+  EXPECT_NE(pointer.status().ToString().find("by-value handle"),
+            std::string::npos);
+}
+
+TEST(EmitTest, LaneKeyStampedInGuestStubs) {
+  auto spec = ParseSpec(R"(
+api t 1;
+type(t_int) { scalar; success(0); failure(-1); }
+type(t_ctx) { handle; }
+type(t_buf) { handle; }
+t_int annotated(t_ctx ctx, t_buf buf) { sync; lane(buf); }
+t_int inferred(t_ctx ctx, t_buf buf) { sync; }
+t_int handleless(t_int x) { sync; }
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto files = GenerateStack(*spec);
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  const std::string& guest = files->at("t_gen_guest.cc");
+  const std::size_t annotated_at = guest.find("stub_annotated");
+  const std::size_t inferred_at = guest.find("stub_inferred");
+  const std::size_t handleless_at = guest.find("stub_handleless");
+  ASSERT_NE(annotated_at, std::string::npos);
+  ASSERT_NE(inferred_at, std::string::npos);
+  ASSERT_NE(handleless_at, std::string::npos);
+  const std::string annotated_body =
+      guest.substr(annotated_at, inferred_at - annotated_at);
+  const std::string inferred_body =
+      guest.substr(inferred_at, handleless_at - inferred_at);
+  const std::string handleless_body = guest.substr(handleless_at);
+  // lane(buf) overrides the first-handle default...
+  EXPECT_NE(annotated_body.find(
+                "ava::kCallLaneKeyOffset, ava::HandleToWire(buf)"),
+            std::string::npos)
+      << annotated_body;
+  // ...which otherwise picks the first by-value handle parameter...
+  EXPECT_NE(inferred_body.find(
+                "ava::kCallLaneKeyOffset, ava::HandleToWire(ctx)"),
+            std::string::npos)
+      << inferred_body;
+  // ...and a handle-free call stays on the shared default lane.
+  EXPECT_EQ(handleless_body.find("kCallLaneKeyOffset"), std::string::npos)
+      << handleless_body;
+}
+
+TEST(LintTest, AmbiguousLaneAdvisesAndAnnotationSilences) {
+  auto ambiguous = ParseSpec(R"(
+api t 1;
+type(t_ctx) { handle; }
+type(t_buf) { handle; }
+int f(t_ctx ctx, t_buf buf) { sync; }
+)");
+  ASSERT_TRUE(ambiguous.ok());
+  bool advised = false;
+  for (const auto& finding : LintSpec(*ambiguous)) {
+    advised = advised ||
+              (finding.severity == LintFinding::Severity::kAdvice &&
+               finding.message.find("lane(") != std::string::npos);
+  }
+  EXPECT_TRUE(advised);
+
+  auto annotated = ParseSpec(R"(
+api t 1;
+type(t_ctx) { handle; }
+type(t_buf) { handle; }
+int f(t_ctx ctx, t_buf buf) { sync; lane(buf); }
+)");
+  ASSERT_TRUE(annotated.ok());
+  for (const auto& finding : LintSpec(*annotated)) {
+    EXPECT_EQ(finding.message.find("lane("), std::string::npos)
+        << finding.message;
+  }
+}
+
 TEST(SpecParserTest, ReusableAnnotationCaptured) {
   auto spec = ParseSpec(R"(
 api t 1;

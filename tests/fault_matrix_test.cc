@@ -25,6 +25,7 @@
 #include <string>
 #include <thread>
 #include <tuple>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/proto/wire.h"
@@ -210,6 +211,88 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::ValuesIn(kFaultCases),
                        ::testing::Bool()),
     [](const ::testing::TestParamInfo<FaultMatrixTest::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param).name +
+             (std::get<2>(info.param) ? "_retry" : "_noretry");
+    });
+
+// The same matrix with four application threads multiplexing one endpoint:
+// the guarantee must survive the concurrent-caller reply demux. Outcomes are
+// per-caller — under a fault one blocked caller may classify DeadlineExceeded
+// while the stream poisoning it triggered surfaces to the others as
+// Unavailable — so the invariant here is "every caller terminates OK or
+// classified", plus the deterministic all-succeed / all-fail split.
+class ConcurrentFaultMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, FaultCase, bool>> {};
+
+TEST_P(ConcurrentFaultMatrixTest, EveryCallerTerminatesClassified) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  const auto& [transport_name, fault, retry] = GetParam();
+  constexpr int kCallers = 4;
+  constexpr int kCallsPerCaller = 2;
+
+  ChannelPair channel = MakeChannelByName(transport_name);
+  auto spec = ParseFaultSpec(fault.spec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  TransportPtr faulty = MakeFaultyTransport(std::move(channel.guest), *spec);
+
+  EchoPeer peer(std::move(channel.host));
+  GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  opts.call_deadline_ms = 150;
+  opts.max_retries = retry ? 2 : 0;
+  opts.retry_backoff_us = 100;
+  opts.breaker_threshold = 0;
+  GuestEndpoint endpoint(std::move(faulty), opts);
+
+  if (fault.expect == Expect::kUnavailableAfterWarm) {
+    auto warm = Call(&endpoint, retry);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  }
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> classified_count{0};
+  std::atomic<int> unclassified_count{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      for (int c = 0; c < kCallsPerCaller; ++c) {
+        auto reply = Call(&endpoint, retry);
+        if (reply.ok()) {
+          ok_count.fetch_add(1);
+        } else if (Classified(reply.status())) {
+          classified_count.fetch_add(1);
+        } else {
+          unclassified_count.fetch_add(1);
+          ADD_FAILURE() << "unclassified: " << reply.status().ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) {
+    caller.join();
+  }
+
+  EXPECT_EQ(unclassified_count.load(), 0);
+  const int total = kCallers * kCallsPerCaller;
+  if (fault.expect == Expect::kOk) {
+    EXPECT_EQ(ok_count.load(), total);  // pure latency: everyone succeeds
+  } else {
+    EXPECT_EQ(classified_count.load(), total)
+        << "deterministic fault let " << ok_count.load()
+        << " concurrent calls through";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, ConcurrentFaultMatrixTest,
+    ::testing::Combine(::testing::Values("inproc", "shm_ring", "socketpair"),
+                       ::testing::ValuesIn(kFaultCases),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ConcurrentFaultMatrixTest::ParamType>&
+           info) {
       return std::string(std::get<0>(info.param)) + "_" +
              std::get<1>(info.param).name +
              (std::get<2>(info.param) ? "_retry" : "_noretry");

@@ -256,7 +256,8 @@ class CacheStack {
   }
 
   GuestVm& AddVm(VmId vm_id, ChannelPair pair,
-                 GuestEndpoint::Options opts = {}) {
+                 GuestEndpoint::Options opts = {},
+                 const VmPolicy& policy = {}) {
     opts.vm_id = vm_id;
     if (opts.call_deadline_ms < 0) {
       opts.call_deadline_ms = 20000;  // bound any wedge; never expected
@@ -267,7 +268,8 @@ class CacheStack {
                              ava_gen_vcl::MakeVclApiHandler());
     vm->session->RegisterApi(kCacheEchoApi, MakeCacheEchoHandler());
     EXPECT_TRUE(
-        router_->AttachVm(vm_id, std::move(pair.host), vm->session).ok());
+        router_->AttachVm(vm_id, std::move(pair.host), vm->session, policy)
+            .ok());
     vm->endpoint =
         std::make_shared<GuestEndpoint>(std::move(pair.guest), opts);
     vm->api = ava_gen_vcl::MakeVclGuestApi(vm->endpoint);
@@ -532,6 +534,61 @@ TEST(CacheStackTest, PerVmCachesAreIsolated) {
   EXPECT_EQ(b.session->context().xfer_cache().entries(), 1u);
   Teardown(a, ha);
   Teardown(b, hb);
+}
+
+// kCacheMiss under concurrency: four application threads, each with its own
+// queue/buffer (own execution lane) and its own resident digest, all hit a
+// wiped server cache at once. Every caller's miss must be spliced and
+// re-sent transparently — replies and miss errors arriving out of issue
+// order across the shared channel must never cross wires between callers.
+TEST(CacheStackTest, ConcurrentCallersMissRetryTransparently) {
+  CacheStack stack;
+  VmPolicy policy;
+  policy.max_parallelism = 4;
+  GuestVm& vm = stack.AddVm(1, MustShm(), CacheOpts(), policy);
+  constexpr int kThreads = 4;
+  constexpr std::size_t kBytes = 16u << 10;
+  std::vector<VclHandles> handles;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int t = 0; t < kThreads; ++t) {
+    handles.push_back(SetupBuffer(vm, kBytes));
+    payloads.push_back(Pattern(kBytes, static_cast<std::uint8_t>(40 + t)));
+  }
+  // Graduate every thread's payload to resident: sighting, install, hit.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(handles[t].queue, handles[t].mem,
+                                             VCL_TRUE, 0, kBytes,
+                                             payloads[t].data(), 0, nullptr,
+                                             nullptr),
+                VCL_SUCCESS);
+    }
+  }
+  ASSERT_EQ(vm.endpoint->xfer_miss_retries(), 0u);
+  // Wipe the server cache: every digest the guest believes resident is now
+  // a guaranteed miss.
+  vm.session->context().xfer_cache().Reconfigure(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&vm, &handles, &payloads, t] {
+      EXPECT_EQ(vm.api.vclEnqueueWriteBuffer(handles[t].queue, handles[t].mem,
+                                             VCL_TRUE, 0, kBytes,
+                                             payloads[t].data(), 0, nullptr,
+                                             nullptr),
+                VCL_SUCCESS);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // One transparent retry per caller, and every buffer holds its own
+  // caller's bytes (no cross-caller splice).
+  EXPECT_EQ(vm.endpoint->xfer_miss_retries(),
+            static_cast<std::uint64_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ReadBack(vm, handles[t], kBytes), payloads[t]) << "caller " << t;
+    Teardown(vm, handles[t]);
+  }
 }
 
 TEST(CacheStackTest, GuestPathDisabledByZeroMin) {
