@@ -12,7 +12,10 @@
 // not to flake on a loaded CI box. Medians over several repetitions absorb
 // scheduler noise. To refresh after an intentional change, run the binary
 // and copy the printed medians (plus headroom) into baselines.json.
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/obs/admin.h"
 #include "src/proto/wire.h"
 
 namespace {
@@ -156,12 +160,14 @@ int main(int argc, char** argv) {
   double null_call_baseline = 0, bulk_baseline = 0, margin = 0;
   double hit_baseline = 0, min_speedup = 0;
   double null4_baseline = 0, bulk4_baseline = 0;
+  double null_scraped_baseline = 0;
   if (!FindNumber(json, "null_call_ns", &null_call_baseline) ||
       !FindNumber(json, "bulk_4mib_roundtrip_ns", &bulk_baseline) ||
       !FindNumber(json, "xfer_cache_hit_1mib_ns", &hit_baseline) ||
       !FindNumber(json, "xfer_cache_policed_min_speedup", &min_speedup) ||
       !FindNumber(json, "null_call_4thread_ns", &null4_baseline) ||
       !FindNumber(json, "bulk_1mib_4thread_ns", &bulk4_baseline) ||
+      !FindNumber(json, "null_call_scraped_ns", &null_scraped_baseline) ||
       !FindNumber(json, "regression_margin", &margin)) {
     std::fprintf(stderr, "perf_gate: malformed %s\n", argv[1]);
     return 2;
@@ -178,6 +184,53 @@ int main(int argc, char** argv) {
     api.vclGetPlatformIDs(0, nullptr, &n);  // warm the stack
     null_call_ns = MedianNsPerIter(
         7, 2000, [&] { api.vclGetPlatformIDs(0, nullptr, &n); });
+  }
+
+  // --- null call under a live 10 Hz admin scrape: the introspection plane
+  // must not tax the hot path. A scraper thread hits `metrics` (a full
+  // registry snapshot + Prometheus render) and `account` (ledger fold +
+  // EWMA + gauge refresh) every 100 ms while the same null call as above
+  // is measured; the row shares the null-call margin. ---
+  double null_scraped_ns = 0;
+  {
+    vcl::ResetDefaultSilo({});
+    bench::Stack stack;
+    auto& vm = stack.AddVm(1, bench::TransportKind::kInProc);
+    auto api = vm.VclApi();
+    vcl_uint n = 0;
+    api.vclGetPlatformIDs(0, nullptr, &n);
+
+    ava::obs::AdminChannel admin;
+    stack.router().RegisterAdmin(&admin);
+    const std::string sock =
+        "/tmp/ava_perf_gate." + std::to_string(::getpid()) + ".sock";
+    if (!admin.Serve(sock).ok()) {
+      std::fprintf(stderr, "perf_gate: cannot serve admin socket %s\n",
+                   sock.c_str());
+      return 2;
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> scrapes{0};
+    std::thread scraper([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (ava::obs::AdminQuery(sock, "metrics").ok() &&
+            ava::obs::AdminQuery(sock, "account").ok()) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+    null_scraped_ns = MedianNsPerIter(
+        7, 2000, [&] { api.vclGetPlatformIDs(0, nullptr, &n); });
+    stop.store(true);
+    scraper.join();
+    admin.Stop();
+    if (scrapes.load() == 0) {
+      std::fprintf(stderr,
+                   "perf_gate: no admin scrape completed during the "
+                   "null_call_scraped row\n");
+      return 2;
+    }
   }
 
   // --- 4 MiB buffer round trip: the bulk path (shm ring + arena) ---
@@ -313,6 +366,7 @@ int main(int argc, char** argv) {
 
   const GateRow rows[] = {
       {"null_call", null_call_ns, null_call_baseline},
+      {"null_call_scraped", null_scraped_ns, null_scraped_baseline},
       {"bulk_4mib_roundtrip", bulk_ns, bulk_baseline},
       {"xfer_cache_hit_1mib", hit_ns, hit_baseline},
       {"null_call_4thread", null4_ns, null4_baseline},

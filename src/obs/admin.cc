@@ -1,0 +1,300 @@
+#include "src/obs/admin.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "src/obs/flight.h"
+#include "src/obs/metrics.h"
+
+namespace ava::obs {
+
+namespace {
+
+// Dot-stuffs payload lines and appends the "." terminator.
+std::string FrameReply(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 16);
+  std::size_t start = 0;
+  while (start <= payload.size()) {
+    std::size_t end = payload.find('\n', start);
+    const bool last = end == std::string::npos;
+    std::string_view line(payload.data() + start,
+                          (last ? payload.size() : end) - start);
+    if (last && line.empty()) {
+      break;  // trailing newline already closed the final line
+    }
+    if (!line.empty() && line[0] == '.') {
+      out.push_back('.');
+    }
+    out.append(line);
+    out.push_back('\n');
+    if (last) {
+      break;
+    }
+    start = end + 1;
+  }
+  out.append(".\n");
+  return out;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AdminChannel::AdminChannel() {
+  RegisterCommand("ping", [](const std::string&) { return "pong"; });
+  RegisterCommand("metrics", [](const std::string&) {
+    return MetricRegistry::Default().Snapshot().PrometheusText();
+  });
+  RegisterCommand("flight", [](const std::string&) {
+    return FlightRecorder::Default().Text();
+  });
+}
+
+AdminChannel::~AdminChannel() { Stop(); }
+
+Status AdminChannel::Serve(const std::string& path) {
+  sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("admin socket path too long: " + path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_.load(std::memory_order_relaxed)) {
+      return FailedPrecondition("admin channel already serving " + path_);
+    }
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // replace a stale socket from a dead process
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Internal("bind/listen " + path + ": " + err);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = path;
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void AdminChannel::Stop() {
+  int fd = -1;
+  std::thread joiner;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.exchange(false)) {
+      return;
+    }
+    fd = listen_fd_;
+    listen_fd_ = -1;
+    joiner = std::move(accept_thread_);
+  }
+  if (joiner.joinable()) {
+    joiner.join();
+  }
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+  }
+}
+
+void AdminChannel::RegisterCommand(const std::string& verb, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[verb] = std::move(handler);
+}
+
+bool AdminChannel::serving() const {
+  return running_.load(std::memory_order_acquire);
+}
+
+void AdminChannel::AcceptLoop() {
+  // Poll with a short timeout so Stop() is observed promptly; connections
+  // are served serially on this thread (the admin plane is low-rate).
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc <= 0) {
+      continue;
+    }
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    // Bound a stalled client so it cannot wedge the admin plane.
+    timeval tv{2, 0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void AdminChannel::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[1024];
+  while (running_.load(std::memory_order_acquire)) {
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        return;  // EOF, timeout, or error: drop the connection
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      if (buffer.size() > 4096) {
+        return;  // no sane request is this long
+      }
+    }
+    std::string line = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!SendAll(fd, FrameReply(Dispatch(line)))) {
+      return;
+    }
+  }
+}
+
+std::string AdminChannel::Dispatch(const std::string& line) {
+  const std::size_t space = line.find(' ');
+  const std::string verb = line.substr(0, space);
+  const std::string args =
+      space == std::string::npos ? std::string() : line.substr(space + 1);
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = handlers_.find(verb);
+    if (it != handlers_.end()) {
+      handler = it->second;
+    }
+  }
+  if (!handler) {
+    return "ERR unknown command: " + verb;
+  }
+  return handler(args);
+}
+
+AdminChannel& AdminChannel::Default() {
+  // Leaked: handlers registered by long-lived components may be invoked by
+  // late admin queries; tear-down order is not worth racing at exit.
+  static AdminChannel* channel = new AdminChannel();
+  return *channel;
+}
+
+void AdminChannel::EnsureDefaultServing() {
+  const char* path = std::getenv("AVA_ADMIN_SOCK");
+  if (path == nullptr || path[0] == '\0') {
+    return;
+  }
+  AdminChannel& channel = Default();
+  if (channel.serving()) {
+    return;
+  }
+  static std::mutex serve_mutex;
+  std::lock_guard<std::mutex> lock(serve_mutex);
+  if (!channel.serving()) {
+    (void)channel.Serve(path);  // failure logged by callers via serving()
+  }
+}
+
+Result<std::string> AdminQuery(const std::string& path,
+                               const std::string& command) {
+  sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("admin socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Unavailable("connect " + path + ": " + err);
+  }
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (!SendAll(fd, command + "\n")) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Unavailable("send: " + err);
+  }
+  std::string raw;
+  char chunk[4096];
+  bool terminated = false;
+  while (!terminated) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Unavailable("admin reply truncated (no terminator)");
+    }
+    raw.append(chunk, static_cast<std::size_t>(n));
+    // Terminator: a "." alone on a line.
+    if (raw == ".\n" || (raw.size() >= 3 &&
+                         raw.compare(raw.size() - 3, 3, "\n.\n") == 0)) {
+      terminated = true;
+    }
+  }
+  ::close(fd);
+  // Strip the terminator line, un-stuff leading dots.
+  raw.erase(raw.size() - 2);  // drop ".\n" (possibly leaving "" or "...\n")
+  std::string payload;
+  payload.reserve(raw.size());
+  std::size_t start = 0;
+  while (start < raw.size()) {
+    std::size_t end = raw.find('\n', start);
+    if (end == std::string::npos) {
+      end = raw.size();
+    }
+    std::string_view line(raw.data() + start, end - start);
+    if (!line.empty() && line[0] == '.') {
+      line.remove_prefix(1);
+    }
+    payload.append(line);
+    payload.push_back('\n');
+    start = end + 1;
+  }
+  if (payload.compare(0, 4, "ERR ") == 0) {
+    payload.pop_back();
+    return Internal(payload.substr(4));
+  }
+  return payload;
+}
+
+}  // namespace ava::obs

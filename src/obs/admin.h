@@ -1,0 +1,88 @@
+// Live introspection endpoint: a unix-domain-socket admin channel served
+// in-process by the router / API server, spoken to by `avactl`.
+//
+// Protocol (line-oriented, text):
+//   request  := one line, "<command>[ <args>]\n"
+//   response := zero or more payload lines, then a lone "." line
+//   error    := "ERR <message>" line, then the "." terminator
+// A connection may issue multiple requests; either side closing ends it.
+// Payload lines that would start with "." are dotted-stuffed (".." prefix),
+// SMTP-style, so any command output round-trips.
+//
+// Built-in commands: `ping` (liveness), `metrics` (Prometheus text
+// exposition of the live MetricRegistry snapshot — never stalls hot-path
+// updates), `flight` (flight-recorder text dump). Components register more
+// (`sessions`, `account`) via RegisterCommand.
+//
+// The process-wide instance serves AVA_ADMIN_SOCK when that env var is set;
+// both Router::Start() and ApiServerSession construction call
+// EnsureDefaultServing() so whichever half of the stack comes up first
+// exposes the plane.
+#ifndef AVA_SRC_OBS_ADMIN_H_
+#define AVA_SRC_OBS_ADMIN_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/result.h"
+
+namespace ava::obs {
+
+class AdminChannel {
+ public:
+  // Handler: command args (text after the verb, possibly empty) → reply
+  // payload. Runs on the admin accept thread; must not block on the call
+  // hot path (read metrics/snapshots, don't take dispatch locks).
+  using Handler = std::function<std::string(const std::string& args)>;
+
+  AdminChannel();
+  ~AdminChannel();
+  AdminChannel(const AdminChannel&) = delete;
+  AdminChannel& operator=(const AdminChannel&) = delete;
+
+  // Binds, listens, and starts the accept thread. Replaces a stale socket
+  // file at `path`. Serving twice (or a path longer than sun_path) fails.
+  Status Serve(const std::string& path);
+  void Stop();
+
+  // Last registration under a verb wins; registering "sessions"/"account"
+  // re-binds them to the newest router, matching every other
+  // latest-wins singleton in the stack.
+  void RegisterCommand(const std::string& verb, Handler handler);
+
+  bool serving() const;
+  const std::string& path() const { return path_; }
+
+  // The process-wide channel (lazily created, never destroyed).
+  static AdminChannel& Default();
+  // Starts Default() on AVA_ADMIN_SOCK if set and not yet serving.
+  // Idempotent and cheap; safe to call from every Router/session start.
+  static void EnsureDefaultServing();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  std::string Dispatch(const std::string& line);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Handler> handlers_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+};
+
+// Client side, used by avactl and tests: connect, send `command`, read the
+// dot-terminated reply. Returns the payload (dot-stuffing undone) or the
+// connection/protocol error.
+Result<std::string> AdminQuery(const std::string& path,
+                               const std::string& command);
+
+}  // namespace ava::obs
+
+#endif  // AVA_SRC_OBS_ADMIN_H_

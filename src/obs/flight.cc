@@ -1,0 +1,313 @@
+#include "src/obs/flight.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "src/common/status.h"
+#include "src/common/vclock.h"
+
+namespace ava::obs {
+
+namespace {
+
+constexpr char kFlightMagic[8] = {'A', 'V', 'A', 'F', 'L', 'T', '0', '1'};
+constexpr std::size_t kFlightHeaderBytes = 8 + 8 + 8;
+
+std::size_t FlightDepthFromEnv() {
+  std::size_t depth = kDefaultFlightDepth;
+  const char* env = std::getenv("AVA_FLIGHT_DEPTH");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      depth = static_cast<std::size_t>(v);
+    } else {
+      std::fprintf(stderr, "AVA_FLIGHT_DEPTH: malformed value '%s', using %zu\n",
+                   env, depth);
+    }
+  }
+  depth = std::clamp<std::size_t>(depth, 64, std::size_t{1} << 20);
+  return std::bit_ceil(depth);
+}
+
+void PackRecord(const FlightRecord& rec, std::uint64_t words[kFlightRecordWords]) {
+  words[0] = rec.ticket;
+  words[1] = rec.t_ns;
+  words[2] = rec.trace_id;
+  words[3] = rec.call_id;
+  words[4] = rec.arg;
+  words[5] = static_cast<std::uint64_t>(rec.vm_id) << 32 |
+             static_cast<std::uint64_t>(rec.kind) << 16 |
+             static_cast<std::uint64_t>(rec.code);
+}
+
+FlightRecord UnpackRecord(const std::uint64_t words[kFlightRecordWords]) {
+  FlightRecord rec;
+  rec.ticket = words[0];
+  rec.t_ns = words[1];
+  rec.trace_id = words[2];
+  rec.call_id = words[3];
+  rec.arg = words[4];
+  rec.vm_id = static_cast<std::uint32_t>(words[5] >> 32);
+  rec.kind = static_cast<std::uint16_t>(words[5] >> 16);
+  rec.code = static_cast<std::uint16_t>(words[5]);
+  return rec;
+}
+
+const char* FlightKindName(std::uint16_t kind) {
+  switch (static_cast<FlightKind>(kind)) {
+    case FlightKind::kNone:
+      return "none";
+    case FlightKind::kExecBegin:
+      return "exec_begin";
+    case FlightKind::kExecEnd:
+      return "exec_end";
+    case FlightKind::kReject:
+      return "reject";
+    case FlightKind::kVmDead:
+      return "vm_dead";
+    case FlightKind::kEvent:
+      return "event";
+  }
+  return "?";
+}
+
+// Writes all of `data`, retrying short writes; async-signal-safe.
+bool WriteAll(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Default() {
+  // Leaked: signal handlers and late-dying threads may record at any time.
+  static FlightRecorder* recorder = new FlightRecorder(FlightDepthFromEnv());
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder(std::size_t depth)
+    : depth_(std::bit_ceil(std::max<std::size_t>(depth, 2))),
+      mask_(depth_ - 1),
+      slots_(new Slot[depth_]) {}
+
+void FlightRecorder::Record(FlightRecord rec) {
+  if (rec.t_ns == 0) {
+    rec.t_ns = static_cast<std::uint64_t>(MonotonicNowNs());
+  }
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  rec.ticket = ticket;
+  std::uint64_t words[kFlightRecordWords];
+  PackRecord(rec, words);
+  Slot& slot = slots_[ticket & mask_];
+  // Per-slot seqlock: 0 = write in progress; ticket+1 (never 0) = published.
+  // A reader that straddles the write sees either seq==0 or a seq/ticket
+  // mismatch and drops the slot — it never blocks or reads freely.
+  slot.seq.store(0, std::memory_order_release);
+  for (std::size_t i = 0; i < kFlightRecordWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+void FlightRecorder::RecordEvent(FlightKind kind, std::uint32_t vm_id,
+                                 std::uint64_t trace_id, std::uint64_t call_id,
+                                 std::uint64_t arg, std::uint16_t code) {
+  FlightRecord rec;
+  rec.trace_id = trace_id;
+  rec.call_id = call_id;
+  rec.arg = arg;
+  rec.vm_id = vm_id;
+  rec.kind = static_cast<std::uint16_t>(kind);
+  rec.code = code;
+  Record(rec);
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(depth_);
+  for (std::size_t i = 0; i < depth_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == 0) {
+      continue;
+    }
+    std::uint64_t words[kFlightRecordWords];
+    for (std::size_t w = 0; w < kFlightRecordWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_acquire);
+    }
+    if (slot.seq.load(std::memory_order_acquire) != seq ||
+        words[0] != seq - 1) {
+      continue;  // torn by a concurrent writer; drop
+    }
+    out.push_back(UnpackRecord(words));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.ticket < b.ticket;
+            });
+  return out;
+}
+
+bool FlightRecorder::DumpToFd(int fd) const {
+  // Header: magic | depth | head. All multi-byte fields host-endian (the
+  // dump is consumed on the same machine).
+  std::uint8_t header[kFlightHeaderBytes];
+  std::memcpy(header, kFlightMagic, 8);
+  const std::uint64_t depth = depth_;
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  std::memcpy(header + 8, &depth, 8);
+  std::memcpy(header + 16, &head, 8);
+  if (!WriteAll(fd, header, sizeof(header))) {
+    return false;
+  }
+  // Slots, one write per slot from a stack buffer: no allocation, atomic
+  // loads only. Torn slots are written as-is; the parser's ticket check
+  // drops them.
+  for (std::size_t i = 0; i < depth_; ++i) {
+    const Slot& slot = slots_[i];
+    std::uint64_t words[kFlightRecordWords];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    for (std::size_t w = 0; w < kFlightRecordWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_acquire);
+    }
+    if (seq == 0 || slot.seq.load(std::memory_order_acquire) != seq ||
+        words[0] != seq - 1) {
+      std::memset(words, 0, sizeof(words));  // empty/torn → blank slot
+    }
+    if (!WriteAll(fd, words, sizeof(words))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlightRecorder::Text() const {
+  return RenderFlightRecords(Snapshot());
+}
+
+std::string RenderFlightRecords(const std::vector<FlightRecord>& records) {
+  std::ostringstream out;
+  out << "=== ava flight recorder: " << records.size() << " records ===\n";
+  for (const FlightRecord& r : records) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "#%llu t=%llu vm=%u %s trace=%llx call=%llu arg=%llu "
+                  "code=%u\n",
+                  static_cast<unsigned long long>(r.ticket),
+                  static_cast<unsigned long long>(r.t_ns), r.vm_id,
+                  FlightKindName(r.kind),
+                  static_cast<unsigned long long>(r.trace_id),
+                  static_cast<unsigned long long>(r.call_id),
+                  static_cast<unsigned long long>(r.arg), r.code);
+    out << line;
+  }
+  return out.str();
+}
+
+bool ParseFlightDump(std::span<const std::uint8_t> data,
+                     std::vector<FlightRecord>* out) {
+  out->clear();
+  if (data.size() < kFlightHeaderBytes ||
+      std::memcmp(data.data(), kFlightMagic, 8) != 0) {
+    return false;
+  }
+  std::uint64_t depth = 0;
+  std::memcpy(&depth, data.data() + 8, 8);
+  const std::size_t slot_bytes = kFlightRecordWords * 8;
+  const std::size_t slots =
+      std::min<std::size_t>(depth, (data.size() - kFlightHeaderBytes) / slot_bytes);
+  for (std::size_t i = 0; i < slots; ++i) {
+    std::uint64_t words[kFlightRecordWords];
+    std::memcpy(words, data.data() + kFlightHeaderBytes + i * slot_bytes,
+                slot_bytes);
+    FlightRecord rec = UnpackRecord(words);
+    // Blank slots (never written, or blanked as torn by the dumper) have
+    // kind == 0 and t_ns == 0; real records always stamp a clock.
+    if (rec.t_ns == 0 && rec.kind == 0) {
+      continue;
+    }
+    out->push_back(rec);
+  }
+  std::sort(out->begin(), out->end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.ticket < b.ticket;
+            });
+  return true;
+}
+
+// ------------------------- crash handler ----------------------------------
+
+namespace {
+
+// Resolved at install time so the handler allocates nothing.
+char g_dump_path[512] = {0};
+std::atomic<bool> g_handler_installed{false};
+
+void CrashDumpHandler(int sig) {
+  // Async-signal-safe only: open/write/close + atomic loads.
+  if (g_dump_path[0] != '\0') {
+    const int fd =
+        ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      FlightRecorder::Default().DumpToFd(fd);
+      ::close(fd);
+      const char msg[] = "ava: flight recorder dumped to ";
+      (void)!::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+      (void)!::write(STDERR_FILENO, g_dump_path,
+                     std::strlen(g_dump_path));
+      (void)!::write(STDERR_FILENO, "\n", 1);
+    }
+  }
+  // Restore default disposition and re-raise: core files and wait statuses
+  // look exactly as they would without the recorder.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void InstallCrashHandler() {
+  bool expected = false;
+  if (!g_handler_installed.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  const char* env = std::getenv("AVA_FLIGHT_DUMP");
+  if (env != nullptr && env[0] != '\0') {
+    std::snprintf(g_dump_path, sizeof(g_dump_path), "%s", env);
+  } else {
+    std::snprintf(g_dump_path, sizeof(g_dump_path), "ava_flight.%d.bin",
+                  static_cast<int>(::getpid()));
+  }
+  // Touch Default() now so the handler never constructs it.
+  FlightRecorder::Default();
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = CrashDumpHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+}
+
+}  // namespace ava::obs

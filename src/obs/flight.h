@@ -1,0 +1,137 @@
+// Always-on crash-safe flight recorder: a fixed-size lock-free ring of the
+// last N call/event records, kept cheap enough to feed from the dispatch hot
+// path (a handful of relaxed atomic stores, no allocation, no locks).
+//
+// Purpose: when a long soak dies with SIGSEGV, the core tells you where the
+// process was; the flight ring tells you what the remoting plane was *doing*
+// — the last ~4k forwarded calls with vm/trace/call ids, statuses, and
+// costs. The ring is dumped from an async-signal-safe handler on
+// SIGSEGV/SIGABRT (InstallCrashHandler) and on demand over the admin
+// channel (`avactl flight`).
+//
+// Record protocol (per-slot seqlock, writer side):
+//   ticket = head.fetch_add(1)             // global order, never reused
+//   slot   = ticket % depth
+//   slot.seq = 0                           // mark busy
+//   slot.words[..] = record (incl. ticket) // relaxed atomic stores
+//   slot.seq = ticket + 1 (release)        // publish; seq is never 0 again
+// Readers (Snapshot / the signal handler) accept a slot only when seq is
+// non-zero, stable across the read, and matches the ticket stored inside
+// the record — a torn or in-progress slot is silently dropped, never
+// blocked on. Every slot access is a relaxed/acquire atomic, so concurrent
+// record+snapshot is data-race-free (TSan-clean) by construction.
+//
+// Signal-safety rules (DumpToFd + the crash handler):
+//   - only async-signal-safe calls: open/write/close, atomic loads
+//   - no allocation, no locking, no stdio; the dump path and a scratch
+//     buffer are precomputed at InstallCrashHandler() time
+//   - after dumping, the handler re-raises with SIG_DFL so the default
+//     crash semantics (core, non-zero exit) are preserved.
+//
+// Binary dump format (little-endian, parse with ParseFlightDump):
+//   magic "AVAFLT01" | u64 depth | u64 head | depth * FlightRecord
+#ifndef AVA_SRC_OBS_FLIGHT_H_
+#define AVA_SRC_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ava::obs {
+
+// Default ring depth when AVA_FLIGHT_DEPTH is unset (rounded up to a power
+// of two, clamped to [64, 1<<20]).
+inline constexpr std::size_t kDefaultFlightDepth = 4096;
+
+enum class FlightKind : std::uint16_t {
+  kNone = 0,
+  kExecBegin = 1,  // arg = api_id<<32 | func_id, code = 0
+  kExecEnd = 2,    // arg = cost_vns, code = status
+  kReject = 3,     // arg = api_id<<32 | func_id, code = reject status
+  kVmDead = 4,     // arg = 0, code = status that killed the channel
+  kEvent = 5,      // free-form marker (tests, tools)
+};
+
+// One ring record: 48 bytes of PODs, fixed layout (serialized verbatim).
+struct FlightRecord {
+  std::uint64_t ticket = 0;    // global sequence number (0 = empty slot)
+  std::uint64_t t_ns = 0;      // MonotonicNowNs at record time
+  std::uint64_t trace_id = 0;
+  std::uint64_t call_id = 0;
+  std::uint64_t arg = 0;       // kind-specific payload (see FlightKind)
+  std::uint32_t vm_id = 0;
+  std::uint16_t kind = 0;      // FlightKind
+  std::uint16_t code = 0;      // kind-specific status code
+};
+inline constexpr std::size_t kFlightRecordWords = 6;
+static_assert(sizeof(FlightRecord) == kFlightRecordWords * 8);
+
+class FlightRecorder {
+ public:
+  // Process-wide ring; depth from AVA_FLIGHT_DEPTH on first use.
+  static FlightRecorder& Default();
+
+  explicit FlightRecorder(std::size_t depth);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Lock-free, allocation-free; safe from any thread. `rec.ticket` is
+  // assigned internally; `rec.t_ns`, if zero, is stamped with the current
+  // monotonic clock.
+  void Record(FlightRecord rec);
+
+  // Convenience for one-line call-site ergonomics.
+  void RecordEvent(FlightKind kind, std::uint32_t vm_id,
+                   std::uint64_t trace_id, std::uint64_t call_id,
+                   std::uint64_t arg, std::uint16_t code);
+
+  // Consistent copy of the ring, oldest first; torn/in-progress slots are
+  // dropped. Lock-free (reads slots with acquire loads).
+  std::vector<FlightRecord> Snapshot() const;
+
+  // Async-signal-safe binary dump (header + raw slots) using only write().
+  // Returns false if any write failed/short-wrote.
+  bool DumpToFd(int fd) const;
+
+  // Human-readable rendering of Snapshot() (one line per record) — the
+  // admin channel's `flight` reply.
+  std::string Text() const;
+
+  std::size_t depth() const { return depth_; }
+  std::uint64_t records_written() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kFlightRecordWords];
+  };
+
+  std::size_t depth_;  // power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+// Installs SIGSEGV/SIGABRT handlers that dump FlightRecorder::Default() to
+// AVA_FLIGHT_DUMP (or "ava_flight.<pid>.bin" in the cwd) and re-raise with
+// default disposition. Idempotent; resolves the path at install time so the
+// handler itself allocates nothing.
+void InstallCrashHandler();
+
+// Parses a binary dump produced by DumpToFd. Invalid/torn slots are
+// dropped; records come back oldest first. Returns false only when the
+// header is unparseable (bad magic / truncated).
+bool ParseFlightDump(std::span<const std::uint8_t> data,
+                     std::vector<FlightRecord>* out);
+
+// Renders records as Text() does (shared by avactl and tests).
+std::string RenderFlightRecords(const std::vector<FlightRecord>& records);
+
+}  // namespace ava::obs
+
+#endif  // AVA_SRC_OBS_FLIGHT_H_

@@ -1,0 +1,153 @@
+#include "src/obs/ledger.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/status.h"
+#include "src/common/vclock.h"
+
+namespace ava::obs {
+
+namespace {
+
+// EWMA update over an irregular interval: decay the old rate towards the
+// interval's average rate with alpha = 1 - exp(-dt/tau).
+void Ewma(double* rate, double interval_rate, double dt_s, double tau_s) {
+  const double alpha = 1.0 - std::exp(-dt_s / tau_s);
+  *rate += (interval_rate - *rate) * alpha;
+}
+
+}  // namespace
+
+unsigned VmAccount::ShardIndex() {
+  static std::atomic<unsigned> next{0};
+  static thread_local unsigned index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index & (kLedgerShards - 1);
+}
+
+VmAccount::VmAccount(std::uint64_t vm_id) : vm_id_(vm_id) {
+  const std::string prefix = "ledger.vm" + std::to_string(vm_id) + ".";
+  g_cost_vns_ = NewGauge(prefix + "cost_vns");
+  g_wire_bytes_ = NewGauge(prefix + "wire_bytes");
+  g_cached_bytes_ = NewGauge(prefix + "cached_bytes");
+  g_calls_ = NewGauge(prefix + "calls");
+  g_vns_rate_1s_ = NewGauge(prefix + "vns_rate_1s");
+}
+
+VmAccountSnapshot VmAccount::Snapshot(std::int64_t now_ns) {
+  if (now_ns == 0) {
+    now_ns = MonotonicNowNs();
+  }
+  VmAccountSnapshot snap;
+  snap.vm_id = vm_id_;
+  for (const Shard& s : shards_) {
+    snap.calls += s.calls.load(std::memory_order_relaxed);
+    snap.ok_calls += s.ok_calls.load(std::memory_order_relaxed);
+    snap.cost_vns += s.cost_vns.load(std::memory_order_relaxed);
+    snap.wire_bytes += s.wire_bytes.load(std::memory_order_relaxed);
+    snap.cached_bytes += s.cached_bytes.load(std::memory_order_relaxed);
+    for (unsigned i = 0; i < kLedgerStatusSlots; ++i) {
+      snap.status_counts[i] +=
+          s.status_counts[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (last_ns_ == 0) {
+    // First observation: totals become the baseline; rates start at 0.
+    last_ns_ = now_ns;
+    last_vns_ = snap.cost_vns;
+    last_wire_ = snap.wire_bytes;
+  } else if (now_ns > last_ns_) {
+    const double dt_s =
+        static_cast<double>(now_ns - last_ns_) / 1e9;
+    const double vns_rate =
+        static_cast<double>(snap.cost_vns - last_vns_) / dt_s;
+    const double wire_rate =
+        static_cast<double>(snap.wire_bytes - last_wire_) / dt_s;
+    Ewma(&vns_rate_1s_, vns_rate, dt_s, 1.0);
+    Ewma(&vns_rate_10s_, vns_rate, dt_s, 10.0);
+    Ewma(&wire_rate_1s_, wire_rate, dt_s, 1.0);
+    Ewma(&wire_rate_10s_, wire_rate, dt_s, 10.0);
+    last_ns_ = now_ns;
+    last_vns_ = snap.cost_vns;
+    last_wire_ = snap.wire_bytes;
+  }
+  snap.vns_rate_1s = vns_rate_1s_;
+  snap.vns_rate_10s = vns_rate_10s_;
+  snap.wire_rate_1s = wire_rate_1s_;
+  snap.wire_rate_10s = wire_rate_10s_;
+
+  g_cost_vns_->Set(static_cast<std::int64_t>(snap.cost_vns));
+  g_wire_bytes_->Set(static_cast<std::int64_t>(snap.wire_bytes));
+  g_cached_bytes_->Set(static_cast<std::int64_t>(snap.cached_bytes));
+  g_calls_->Set(static_cast<std::int64_t>(snap.calls));
+  g_vns_rate_1s_->Set(static_cast<std::int64_t>(snap.vns_rate_1s));
+  return snap;
+}
+
+std::shared_ptr<VmAccount> AccountingLedger::AccountFor(std::uint64_t vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = accounts_[vm_id];
+  if (slot == nullptr) {
+    slot = std::make_shared<VmAccount>(vm_id);
+  }
+  return slot;
+}
+
+std::vector<VmAccountSnapshot> AccountingLedger::SnapshotAll(
+    std::int64_t now_ns) {
+  std::vector<std::shared_ptr<VmAccount>> accounts;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accounts.reserve(accounts_.size());
+    for (const auto& [id, account] : accounts_) {
+      accounts.push_back(account);
+    }
+  }
+  std::vector<VmAccountSnapshot> out;
+  out.reserve(accounts.size());
+  for (const auto& account : accounts) {
+    out.push_back(account->Snapshot(now_ns));
+  }
+  return out;
+}
+
+std::string AccountingLedger::Text() {
+  const std::vector<VmAccountSnapshot> snaps = SnapshotAll();
+  std::ostringstream out;
+  out << "vm calls ok cost_vns wire_bytes cached_bytes "
+         "vns_rate_1s vns_rate_10s wire_rate_1s statuses\n";
+  for (const VmAccountSnapshot& s : snaps) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%llu %llu %llu %llu %llu %llu %.0f %.0f %.0f ",
+                  static_cast<unsigned long long>(s.vm_id),
+                  static_cast<unsigned long long>(s.calls),
+                  static_cast<unsigned long long>(s.ok_calls),
+                  static_cast<unsigned long long>(s.cost_vns),
+                  static_cast<unsigned long long>(s.wire_bytes),
+                  static_cast<unsigned long long>(s.cached_bytes),
+                  s.vns_rate_1s, s.vns_rate_10s, s.wire_rate_1s);
+    out << line;
+    bool first = true;
+    for (unsigned i = 0; i < kLedgerStatusSlots; ++i) {
+      if (s.status_counts[i] == 0) {
+        continue;
+      }
+      out << (first ? "" : ",")
+          << StatusCodeName(static_cast<StatusCode>(i)) << "="
+          << s.status_counts[i];
+      first = false;
+    }
+    if (first) {
+      out << "-";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ava::obs

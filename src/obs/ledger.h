@@ -1,0 +1,143 @@
+// Per-VM accounting ledger: the substrate the fair scheduler (ROADMAP
+// item 1) will read, fed by the router on every call completion.
+//
+// Tracks, per VM: cumulative virtual-device-nanoseconds, wire bytes,
+// cached-bytes-not-charged (transfer-cache savings), and calls by status —
+// plus 1 s / 10 s EWMA rates of vns and wire bytes so `avactl account` and
+// the scheduler can see *recent* load, not just lifetime totals.
+//
+// Update cost is the whole point: RecordCall() is a handful of relaxed
+// fetch_adds into a per-thread shard (cache-line aligned, so concurrent
+// lanes of the same VM never bounce a line), no locks, no allocation — it
+// rides the null-call path. All folding (shard sums, EWMA decay, registry
+// gauge refresh) happens lazily on the *reader* side, under a snapshot
+// mutex that updaters never touch.
+#ifndef AVA_SRC_OBS_LEDGER_H_
+#define AVA_SRC_OBS_LEDGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace ava::obs {
+
+// Shard count: power of two, sized for the router's worker-lane fan-out.
+inline constexpr unsigned kLedgerShards = 8;
+// Status codes >= this fold into the last slot (covers StatusCode today
+// with headroom; the wire carries a u8 anyway).
+inline constexpr unsigned kLedgerStatusSlots = 16;
+
+struct VmAccountSnapshot {
+  std::uint64_t vm_id = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t ok_calls = 0;
+  std::uint64_t cost_vns = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t cached_bytes = 0;  // bytes served from cache, not re-sent
+  std::uint64_t status_counts[kLedgerStatusSlots] = {};
+  // EWMA rates (per second), decayed against a 1 s / 10 s time constant.
+  double vns_rate_1s = 0.0;
+  double vns_rate_10s = 0.0;
+  double wire_rate_1s = 0.0;
+  double wire_rate_10s = 0.0;
+};
+
+// One VM's account. Create through AccountingLedger::AccountFor().
+class VmAccount {
+ public:
+  explicit VmAccount(std::uint64_t vm_id);
+  VmAccount(const VmAccount&) = delete;
+  VmAccount& operator=(const VmAccount&) = delete;
+
+  // Hot path: relaxed atomics into this thread's shard, nothing else.
+  void RecordCall(std::int64_t cost_vns, std::uint64_t wire_bytes,
+                  std::uint64_t cached_bytes, std::uint8_t status) {
+    Shard& s = shards_[ShardIndex()];
+    s.calls.fetch_add(1, std::memory_order_relaxed);
+    if (status == 0) {
+      s.ok_calls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (cost_vns > 0) {
+      s.cost_vns.fetch_add(static_cast<std::uint64_t>(cost_vns),
+                           std::memory_order_relaxed);
+    }
+    s.wire_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
+    s.cached_bytes.fetch_add(cached_bytes, std::memory_order_relaxed);
+    const unsigned slot = status < kLedgerStatusSlots
+                              ? status
+                              : kLedgerStatusSlots - 1;
+    s.status_counts[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Reader side: folds shards and advances the EWMA state (under a mutex
+  // updaters never take). `now_ns` defaults to the monotonic clock; tests
+  // inject time to exercise decay deterministically.
+  VmAccountSnapshot Snapshot(std::int64_t now_ns = 0);
+
+  std::uint64_t vm_id() const { return vm_id_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> ok_calls{0};
+    std::atomic<std::uint64_t> cost_vns{0};
+    std::atomic<std::uint64_t> wire_bytes{0};
+    std::atomic<std::uint64_t> cached_bytes{0};
+    std::atomic<std::uint64_t> status_counts[kLedgerStatusSlots] = {};
+  };
+
+  static unsigned ShardIndex();
+
+  std::uint64_t vm_id_;
+  Shard shards_[kLedgerShards];
+
+  // EWMA state, only touched under snapshot_mutex_.
+  std::mutex snapshot_mutex_;
+  std::int64_t last_ns_ = 0;
+  std::uint64_t last_vns_ = 0;
+  std::uint64_t last_wire_ = 0;
+  double vns_rate_1s_ = 0.0;
+  double vns_rate_10s_ = 0.0;
+  double wire_rate_1s_ = 0.0;
+  double wire_rate_10s_ = 0.0;
+
+  // Registry gauges (ledger.vm<id>.*), refreshed on Snapshot so a metrics
+  // scrape sees the ledger without touching the admin `account` command.
+  std::shared_ptr<Gauge> g_cost_vns_;
+  std::shared_ptr<Gauge> g_wire_bytes_;
+  std::shared_ptr<Gauge> g_cached_bytes_;
+  std::shared_ptr<Gauge> g_calls_;
+  std::shared_ptr<Gauge> g_vns_rate_1s_;
+};
+
+// The per-router collection of VM accounts.
+class AccountingLedger {
+ public:
+  AccountingLedger() = default;
+  AccountingLedger(const AccountingLedger&) = delete;
+  AccountingLedger& operator=(const AccountingLedger&) = delete;
+
+  // Create-or-get; the returned pointer stays valid for the ledger's life
+  // (callers cache it per channel, never re-resolve per call).
+  std::shared_ptr<VmAccount> AccountFor(std::uint64_t vm_id);
+
+  // Snapshots every account, ordered by vm id.
+  std::vector<VmAccountSnapshot> SnapshotAll(std::int64_t now_ns = 0);
+
+  // Human-readable table — the admin channel's `account` reply.
+  std::string Text();
+
+ private:
+  std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<VmAccount>> accounts_;
+};
+
+}  // namespace ava::obs
+
+#endif  // AVA_SRC_OBS_LEDGER_H_

@@ -266,16 +266,11 @@ std::shared_ptr<Histogram> MetricRegistry::NewHistogram(std::string name) {
   return cell;
 }
 
-std::string MetricRegistry::Dump() const {
-  // Aggregate live cells by name.
-  struct Agg {
-    std::uint64_t counter_sum = 0;
-    bool has_counter = false;
-    std::int64_t gauge_sum = 0;
-    bool has_gauge = false;
-    HistogramSnapshot histogram;
-    bool has_histogram = false;
-  };
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  // Aggregate live cells by name. std::map keeps the aggregate
+  // deterministically name-sorted regardless of registration order or the
+  // multimap's bucket layout.
+  using Agg = MetricsSnapshot::Entry;
   std::map<std::string, Agg> by_name;
   // Pin the live cells and release the pins only after unlocking: if lock()
   // here grabbed the last reference to a dying cell, destroying it inside
@@ -318,18 +313,39 @@ std::string MetricRegistry::Dump() const {
   live_counters.clear();
   live_gauges.clear();
   live_histograms.clear();
+  MetricsSnapshot snap;
+  snap.entries.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) {
+    agg.name = name;
+    snap.entries.push_back(std::move(agg));
+  }
+  return snap;
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(
+    std::string_view name) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+std::string MetricsSnapshot::HumanText() const {
   std::ostringstream out;
   out << "=== ava metrics ===\n";
-  for (const auto& [name, agg] : by_name) {
+  for (const Entry& agg : entries) {
     if (agg.has_counter) {
-      out << "counter   " << name << " = " << agg.counter_sum << "\n";
+      out << "counter   " << agg.name << " = " << agg.counter_sum << "\n";
     }
     if (agg.has_gauge) {
-      out << "gauge     " << name << " = " << agg.gauge_sum << "\n";
+      out << "gauge     " << agg.name << " = " << agg.gauge_sum << "\n";
     }
     if (agg.has_histogram) {
       const HistogramSnapshot& h = agg.histogram;
-      out << "histogram " << name << " count=" << h.count;
+      out << "histogram " << agg.name << " count=" << h.count;
       if (!h.empty()) {
         char buf[160];
         std::snprintf(buf, sizeof(buf),
@@ -344,5 +360,52 @@ std::string MetricRegistry::Dump() const {
   }
   return out.str();
 }
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "ava_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::PrometheusText() const {
+  std::ostringstream out;
+  char buf[160];
+  for (const Entry& agg : entries) {
+    const std::string prom = PrometheusName(agg.name);
+    if (agg.has_counter) {
+      out << "# TYPE " << prom << " counter\n"
+          << prom << " " << agg.counter_sum << "\n";
+    }
+    if (agg.has_gauge) {
+      out << "# TYPE " << prom << " gauge\n"
+          << prom << " " << agg.gauge_sum << "\n";
+    }
+    if (agg.has_histogram) {
+      const HistogramSnapshot& h = agg.histogram;
+      out << "# TYPE " << prom << " summary\n";
+      if (!h.empty()) {
+        std::snprintf(buf, sizeof(buf), "%.1f", h.Percentile(50));
+        out << prom << "{quantile=\"0.5\"} " << buf << "\n";
+        std::snprintf(buf, sizeof(buf), "%.1f", h.Percentile(95));
+        out << prom << "{quantile=\"0.95\"} " << buf << "\n";
+        std::snprintf(buf, sizeof(buf), "%.1f", h.Percentile(99));
+        out << prom << "{quantile=\"0.99\"} " << buf << "\n";
+      }
+      out << prom << "_sum " << agg.histogram.sum << "\n"
+          << prom << "_count " << agg.histogram.count << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricRegistry::Dump() const { return Snapshot().HumanText(); }
 
 }  // namespace ava::obs

@@ -27,6 +27,8 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace ava::obs {
 
@@ -99,6 +101,33 @@ class Histogram {
   std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
 };
 
+// Point-in-time aggregate of the whole registry: every live cell folded
+// into its name plus the retired totals, deterministically name-sorted.
+// Produced by MetricRegistry::Snapshot() without stalling hot-path updates
+// (cells are relaxed atomics; only the name table is briefly locked).
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    std::uint64_t counter_sum = 0;
+    bool has_counter = false;
+    std::int64_t gauge_sum = 0;
+    bool has_gauge = false;
+    HistogramSnapshot histogram;
+    bool has_histogram = false;
+  };
+  std::vector<Entry> entries;  // sorted ascending by name, no duplicates
+
+  // Binary search by exact name; null when absent.
+  const Entry* Find(std::string_view name) const;
+
+  // The classic `=== ava metrics ===` human dump.
+  std::string HumanText() const;
+  // Prometheus text exposition format: names are prefixed `ava_` with
+  // non-[a-zA-Z0-9_] characters mapped to `_`; histograms render as
+  // summaries (_count/_sum plus p50/p95/p99 quantile samples).
+  std::string PrometheusText() const;
+};
+
 class MetricRegistry {
  public:
   // The process-wide registry. First use arms the AVA_METRICS_DUMP
@@ -112,7 +141,14 @@ class MetricRegistry {
   std::shared_ptr<Gauge> NewGauge(std::string name);
   std::shared_ptr<Histogram> NewHistogram(std::string name);
 
-  // Human-readable dump of all live cells, aggregated by name and sorted.
+  // Structured aggregate of all cells (live + retired), name-sorted. Holds
+  // the registry mutex only while walking the name table; concurrent cell
+  // updates proceed untouched (they are relaxed atomics), so a scrape never
+  // stalls the call hot path.
+  MetricsSnapshot Snapshot() const;
+
+  // Human-readable dump of all live cells, aggregated by name and sorted
+  // (= Snapshot().HumanText()).
   std::string Dump() const;
 
   MetricRegistry();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace ava::obs {
@@ -248,10 +249,11 @@ Result<TraceCheckReport> CheckChromeTrace(const std::string& json_text,
 
   TraceCheckReport report;
   std::unordered_set<std::uint64_t> router_ids;
-  std::unordered_set<std::uint64_t> server_ids;
+  std::unordered_map<std::uint64_t, int> server_span_counts;
   struct GuestSpan {
     std::uint64_t trace_id;
     int distinct_hops;
+    int retry;
   };
   std::vector<GuestSpan> guest_spans;
 
@@ -282,7 +284,7 @@ Result<TraceCheckReport> CheckChromeTrace(const std::string& json_text,
       router_ids.insert(id);
     } else if (name->string == "server.exec") {
       ++report.server_spans;
-      server_ids.insert(id);
+      ++server_span_counts[id];
     } else if (name->string == "call.sync") {
       ++report.guest_spans;
       std::set<std::int64_t> distinct;
@@ -293,15 +295,30 @@ Result<TraceCheckReport> CheckChromeTrace(const std::string& json_text,
         }
         distinct.insert(static_cast<std::int64_t>(hop->number));
       }
+      int retry = 0;
+      if (const JsonValue* r = args->Find("retry"); r != nullptr) {
+        retry = static_cast<int>(r->number);
+      }
       guest_spans.push_back(
-          GuestSpan{id, static_cast<int>(distinct.size())});
+          GuestSpan{id, static_cast<int>(distinct.size()), retry});
     }
   }
 
   for (const GuestSpan& span : guest_spans) {
+    auto server_it = server_span_counts.find(span.trace_id);
+    const int server_count =
+        server_it == server_span_counts.end() ? 0 : server_it->second;
     if (span.distinct_hops >= min_hops && router_ids.count(span.trace_id) &&
-        server_ids.count(span.trace_id)) {
+        server_count > 0) {
       ++report.complete_spans;
+    }
+    if (span.retry > 0) {
+      ++report.retried_spans;
+      // A linked retry means the original attempt reached the server under
+      // the SAME trace id: at least retry+1 server.exec spans share it.
+      if (server_count >= span.retry + 1) {
+        ++report.linked_retries;
+      }
     }
   }
   return report;

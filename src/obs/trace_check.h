@@ -42,6 +42,12 @@ struct TraceCheckReport {
   std::size_t complete_spans = 0;  // guest spans with full hop coverage
   std::size_t server_spans = 0;  // "server.exec" spans
   std::size_t router_spans = 0;  // "router.queue" spans
+  // Retry linkage (transfer-cache miss resend, transport retries): guest
+  // spans carrying args.retry > 0, and how many of those share their trace
+  // id with >= 2 server.exec spans — i.e. the resend is stitched to the
+  // original attempt as ONE logical call instead of disconnected spans.
+  std::size_t retried_spans = 0;
+  std::size_t linked_retries = 0;
 };
 
 // Validates a chrome-trace document emitted by obs::Tracer: well-formed

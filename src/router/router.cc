@@ -5,10 +5,12 @@
 #include <cstdlib>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <utility>
 #include <vector>
 
 #include "src/common/log.h"
+#include "src/obs/flight.h"
 #include "src/obs/trace.h"
 
 namespace ava {
@@ -18,6 +20,12 @@ namespace {
 // attached VMs' parallelism bounds, capped here so a crowd of wide VMs
 // cannot spawn unbounded threads.
 constexpr std::size_t kMaxWorkers = 64;
+
+// The router currently answering admin `sessions`/`account` queries.
+// Latest-wins (like every other singleton in the stack); cleared on
+// destruction so a stale query gets an error, never a dangling pointer.
+std::mutex g_admin_router_mutex;
+Router* g_admin_router = nullptr;
 
 }  // namespace
 
@@ -56,7 +64,13 @@ Router::Router() {
   cached_bytes_ = registry.NewCounter("router.cached_bytes");
 }
 
-Router::~Router() { Stop(); }
+Router::~Router() {
+  Stop();
+  std::lock_guard<std::mutex> lock(g_admin_router_mutex);
+  if (g_admin_router == this) {
+    g_admin_router = nullptr;
+  }
+}
 
 Status Router::AttachVm(VmId vm_id, TransportPtr transport,
                         std::shared_ptr<ApiServerSession> session,
@@ -114,6 +128,7 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
   channel->metrics.rate_limit_wait_ns =
       registry.NewCounter(prefix + "rate_limit_wait_ns");
   channel->metrics.cost_vns = registry.NewCounter(prefix + "cost_vns");
+  channel->account = ledger_.AccountFor(vm_id);
   // Join the fair queue at the current minimum so the newcomer neither
   // starves others nor forfeits its share.
   double min_vruntime = 0.0;
@@ -136,6 +151,10 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
 }
 
 void Router::Start() {
+  // Expose the introspection plane before accepting traffic: serve
+  // AVA_ADMIN_SOCK if configured and point `sessions`/`account` here.
+  obs::AdminChannel::EnsureDefaultServing();
+  RegisterAdmin(&obs::AdminChannel::Default());
   std::lock_guard<std::mutex> lock(mutex_);
   if (running_) {
     return;
@@ -238,6 +257,73 @@ Result<Router::VmStats> Router::StatsFor(VmId vm_id) const {
   return stats;
 }
 
+void Router::RegisterAdmin(obs::AdminChannel* admin) {
+  {
+    std::lock_guard<std::mutex> lock(g_admin_router_mutex);
+    g_admin_router = this;
+  }
+  // Handlers capture nothing: they resolve the live router through the
+  // guarded global, so a query after this router dies gets an error line,
+  // never a dangling pointer.
+  admin->RegisterCommand("sessions", [](const std::string&) -> std::string {
+    std::lock_guard<std::mutex> lock(g_admin_router_mutex);
+    if (g_admin_router == nullptr) {
+      return "ERR no live router";
+    }
+    return g_admin_router->SessionsText();
+  });
+  admin->RegisterCommand("account", [](const std::string&) -> std::string {
+    std::lock_guard<std::mutex> lock(g_admin_router_mutex);
+    if (g_admin_router == nullptr) {
+      return "ERR no live router";
+    }
+    return g_admin_router->ledger().Text();
+  });
+}
+
+std::string Router::SessionsText() const {
+  // Breaker state lives guest-side; it reaches the router only through the
+  // guest.vm<id>.breaker_open registry gauge, so snapshot the registry
+  // first (its mutex is independent of ours — no ordering hazard).
+  const obs::MetricsSnapshot metrics =
+      obs::MetricRegistry::Default().Snapshot();
+  std::ostringstream out;
+  out << "vm state lanes ready queued in_flight parallelism forwarded "
+         "rejected cost_vns breaker_open xfer_entries xfer_bytes "
+         "xfer_budget\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const VmChannel*> rows;
+  rows.reserve(channels_.size());
+  for (const auto& [id, channel] : channels_) {
+    rows.push_back(channel.get());
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const VmChannel* a, const VmChannel* b) {
+              return a->vm_id < b->vm_id;
+            });
+  for (const VmChannel* channel : rows) {
+    const char* state =
+        channel->dead ? "dead" : (channel->paused ? "paused" : "running");
+    std::int64_t breaker_open = 0;
+    if (const auto* cell = metrics.Find(
+            "guest.vm" + std::to_string(channel->vm_id) + ".breaker_open");
+        cell != nullptr && cell->has_gauge) {
+      breaker_open = cell->gauge_sum;
+    }
+    const TransferCache& cache = channel->session->context().xfer_cache();
+    out << channel->vm_id << " " << state << " " << channel->lanes.size()
+        << " " << channel->ready_lanes.size() << " "
+        << channel->queued_calls << " " << channel->in_flight << " "
+        << channel->max_parallelism << " "
+        << channel->metrics.calls_forwarded->Value() << " "
+        << channel->metrics.calls_rejected->Value() << " "
+        << channel->metrics.cost_vns->Value() << " " << breaker_open << " "
+        << cache.entries() << " " << cache.size_bytes() << " "
+        << cache.budget_bytes() << "\n";
+  }
+  return out.str();
+}
+
 Result<int> Router::ParallelismFor(VmId vm_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = channels_.find(vm_id);
@@ -253,6 +339,9 @@ void Router::MarkDeadLocked(VmChannel* channel) {
   }
   channel->dead = true;
   sessions_reaped_->Increment();
+  obs::FlightRecorder::Default().RecordEvent(
+      obs::FlightKind::kVmDead, static_cast<std::uint32_t>(channel->vm_id),
+      0, 0, 0, 0);
   channel->transport->Close();  // unblocks the RX thread if still alive
   AVA_LOG(INFO) << "vm " << channel->vm_id << ": session reaped";
 }
@@ -282,6 +371,14 @@ std::size_t Router::ReapDeadVms() {
 void Router::RejectCall(VmChannel* channel, const CallHeader& header,
                         StatusCode code) {
   channel->metrics.calls_rejected->Increment();
+  if (channel->account != nullptr) {
+    channel->account->RecordCall(0, 0, 0, static_cast<std::uint8_t>(code));
+  }
+  obs::FlightRecorder::Default().RecordEvent(
+      obs::FlightKind::kReject, static_cast<std::uint32_t>(channel->vm_id),
+      header.trace_id, header.call_id,
+      static_cast<std::uint64_t>(header.api_id) << 32 | header.func_id,
+      static_cast<std::uint16_t>(code));
   if (header.is_async()) {
     return;  // nothing to reply to
   }
@@ -582,12 +679,17 @@ void Router::DispatchOne(VmChannel* channel,
   }
 
   std::int64_t cost = 0;
+  std::uint8_t ledger_status = 0;
   auto reply = channel->session->Execute(message, &cost);
   if (reply.ok() && reply->has_value()) {
     // The reply carries the server-accounted cost; prefer it.
     auto peeked = PeekReplyCost(**reply);
     if (peeked.ok()) {
       cost = *peeked;
+    }
+    if (auto status = PeekReplyStatus(**reply); status.ok()) {
+      ledger_status = static_cast<std::uint8_t>(
+          std::clamp<std::int32_t>(*status, 0, 255));
     }
     // Stamp the router hops into the reply so the guest can close the
     // span, and emit the router's own view of the queue wait.
@@ -602,6 +704,7 @@ void Router::DispatchOne(VmChannel* channel,
       }
     }
   } else if (!reply.ok()) {
+    ledger_status = static_cast<std::uint8_t>(reply.status().code());
     AVA_LOG(WARNING) << "vm " << channel->vm_id
                      << ": execute failed: " << reply.status();
     // A sync caller is blocked on this call: answer with a classified
@@ -618,6 +721,22 @@ void Router::DispatchOne(VmChannel* channel,
   }
   if (sampling) {
     exec_ns_->Record(MonotonicNowNs() - dispatch_ns);
+  }
+
+  // Ledger: every completion (success or failure) lands in the VM's
+  // account — relaxed atomics into a per-thread shard, no locks, cheap
+  // enough for the null-call path. Wire bytes = frame + arena pass-through;
+  // cache-elided bytes are tracked separately (never charged).
+  {
+    std::uint64_t wire_bytes = message.size();
+    if (auto bulk = PeekCallBulkBytes(message); bulk.ok()) {
+      wire_bytes += *bulk;
+    }
+    std::uint64_t cached = 0;
+    if (auto c = PeekCallCachedBytes(message); c.ok()) {
+      cached = *c;
+    }
+    channel->account->RecordCall(cost, wire_bytes, cached, ledger_status);
   }
 
   // Account BEFORE replying: a guest that receives the reply must observe

@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/admin.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/proto/wire.h"
 #include "src/router/rate_limiter.h"
@@ -110,6 +112,18 @@ class Router {
   // Total sessions this router has marked dead (monotone; survives reaping).
   std::uint64_t sessions_reaped() const { return sessions_reaped_->Value(); }
 
+  // ---- live introspection plane ----
+  // Per-VM accounting ledger fed on every call completion (cumulative +
+  // EWMA device-time/bytes; the future fair scheduler's input).
+  obs::AccountingLedger& ledger() { return ledger_; }
+  // Binds this router (latest-wins) behind the admin channel's `sessions`
+  // and `account` commands. Start() does this automatically against
+  // AdminChannel::Default(); tests may register a private channel.
+  void RegisterAdmin(obs::AdminChannel* admin);
+  // The `sessions` table: one row per attached VM with scheduler state,
+  // lane/queue depths, circuit-breaker and transfer-cache residency.
+  std::string SessionsText() const;
+
  private:
   // One verified, rate-limited message awaiting dispatch, with the hop
   // timestamp the router observed at receive time (per-call tracing).
@@ -146,6 +160,9 @@ class Router {
     TokenBucket call_bucket;
     TokenBucket byte_bucket;
     VmMetrics metrics;
+    // Ledger account, cached at attach so the completion path never
+    // re-resolves by id (relaxed-atomic updates only).
+    std::shared_ptr<obs::VmAccount> account;
 
     // Verified calls awaiting dispatch, partitioned by lane key.
     std::unordered_map<std::uint64_t, Lane> lanes;
@@ -226,6 +243,8 @@ class Router {
   // payload, so nothing moved. Observed but never charged against the
   // per-VM byte budget — that is the point of the cache.
   std::shared_ptr<obs::Counter> cached_bytes_;
+  // Per-VM accounting ledger (see ledger()).
+  obs::AccountingLedger ledger_;
 };
 
 }  // namespace ava

@@ -134,6 +134,7 @@ GuestEndpoint::GuestEndpoint(TransportPtr transport, const Options& options)
   calls_retried_ = registry.NewCounter("calls.retried");
   calls_deadline_exceeded_ = registry.NewCounter("calls.deadline_exceeded");
   breaker_fast_fails_ = registry.NewCounter("calls.breaker_fast_fails");
+  breaker_open_ = registry.NewGauge(prefix + "breaker_open");
   arena_bytes_ = registry.NewCounter("guest.arena_bytes");
   arena_allocs_ = registry.NewCounter("guest.arena_allocs");
   arena_fallbacks_ = registry.NewCounter("guest.arena_fallbacks");
@@ -248,9 +249,15 @@ Result<Bytes> GuestEndpoint::CallSyncPreparedImpl(Bytes message,
   std::int64_t backoff_us = options_.retry_backoff_us;
   bool miss_retried = false;
   int attempt = 0;
+  // One trace id per *logical* call: transport retries and the cache-miss
+  // resend all stamp the same id, so the trace shows one call with a
+  // `retry` count instead of disconnected spans.
+  const std::uint64_t trace_id =
+      trace_enabled_ ? obs::Tracer::Default().NextTraceId() : 0;
+  int resend_count = 0;
   Status last = OkStatus();
   while (true) {
-    Result<Bytes> reply = SyncAttempt(lock, &message);
+    Result<Bytes> reply = SyncAttempt(lock, &message, trace_id, resend_count);
     if (reply.ok()) {
       BreakerRecordLocked(/*transport_ok=*/true);
       return reply;
@@ -265,6 +272,7 @@ Result<Bytes> GuestEndpoint::CallSyncPreparedImpl(Bytes message,
       // budget. SyncAttempt left the frame sealed: strip the checksum
       // so the rewrite and the next seal see the raw message.
       miss_retried = true;
+      ++resend_count;
       xfer_miss_retries_->Increment();
       message.resize(message.size() - sizeof(std::uint32_t));
       bulk->RewriteForMiss(&message);
@@ -280,6 +288,7 @@ Result<Bytes> GuestEndpoint::CallSyncPreparedImpl(Bytes message,
       return last;
     }
     calls_retried_->Increment();
+    ++resend_count;
     const std::int64_t jitter_us =
         backoff_us > 0 ? retry_rng_.NextInRange(0, backoff_us) : 0;
     if (backoff_us + jitter_us > 0) {
@@ -308,13 +317,14 @@ Result<Bytes> GuestEndpoint::CallSyncPreparedImpl(Bytes message,
 // A dead transport fails every waiter at once; a caller's deadline fails
 // only that caller.
 Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
-                                         Bytes* message) {
+                                         Bytes* message,
+                                         std::uint64_t trace_id, int retry) {
   const CallId call_id = next_call_id_++;
   PatchCallIdentity(message, call_id, options_.vm_id, 0);
   const bool sampling = obs::SamplingEnabled();
   const std::int64_t t_send = sampling ? MonotonicNowNs() : 0;
   if (trace_enabled_) {
-    PatchCallTrace(message, obs::Tracer::Default().NextTraceId(), t_send);
+    PatchCallTrace(message, trace_id, t_send);
   }
   const std::int64_t deadline_ns =
       options_.call_deadline_ms > 0
@@ -432,6 +442,7 @@ Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
          {"t_exec_end_ns", reply.header.t_exec_end_ns},
          {"t_wake_ns", t_wake},
          {"call_id", static_cast<std::int64_t>(call_id)},
+         {"retry", retry},
          {"cost_vns", reply.header.cost_vns}});
   }
   if (reply.header.status_code != 0) {
@@ -452,6 +463,7 @@ Status GuestEndpoint::BreakerAdmitLocked() {
   // Cooldown elapsed: half-open. Let this call through as the probe; its
   // outcome (BreakerRecordLocked) re-opens or resets the breaker.
   breaker_open_until_ns_ = 0;
+  breaker_open_->Set(0);
   return OkStatus();
 }
 
@@ -462,12 +474,14 @@ void GuestEndpoint::BreakerRecordLocked(bool transport_ok) {
   if (transport_ok) {
     consecutive_failures_ = 0;
     breaker_open_until_ns_ = 0;
+    breaker_open_->Set(0);
     return;
   }
   ++consecutive_failures_;
   if (consecutive_failures_ >= options_.breaker_threshold) {
     breaker_open_until_ns_ =
         MonotonicNowNs() + options_.breaker_cooldown_ms * 1000000;
+    breaker_open_->Set(1);
   }
 }
 

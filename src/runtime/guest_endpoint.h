@@ -194,8 +194,13 @@ class GuestEndpoint {
   // unsealed on entry and comes back sealed (strip 4 bytes to reuse it).
   // Enters and returns with `lock` held; drops it while reading the
   // transport (reader role) or waiting on reply_cv_ (follower).
+  // `trace_id` is minted once per *logical* call by the caller: every
+  // attempt (transport retry or cache-miss resend) re-stamps the same id,
+  // so Perfetto shows one logical call. `retry` counts prior attempts and
+  // is attached to the closing span as the `retry` arg.
   Result<Bytes> SyncAttempt(std::unique_lock<std::mutex>& lock,
-                            Bytes* message);
+                            Bytes* message, std::uint64_t trace_id,
+                            int retry);
   // Breaker admission: OK, or fail-fast Unavailable while open.
   Status BreakerAdmitLocked();
   void BreakerRecordLocked(bool transport_ok);
@@ -277,6 +282,9 @@ class GuestEndpoint {
   std::shared_ptr<obs::Counter> xfer_installs_;
   std::shared_ptr<obs::Counter> xfer_bytes_saved_;
   std::shared_ptr<obs::Counter> xfer_miss_retries_;
+  // 1 while the circuit breaker is open (guest.vm<id>.breaker_open); the
+  // router's admin `sessions` table reads it from the registry snapshot.
+  std::shared_ptr<obs::Gauge> breaker_open_;
   bool trace_enabled_ = false;  // cached Tracer state at construction
 };
 

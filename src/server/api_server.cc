@@ -8,6 +8,8 @@
 #include "src/common/hash64.h"
 #include "src/common/log.h"
 #include "src/common/vclock.h"
+#include "src/obs/admin.h"
+#include "src/obs/flight.h"
 #include "src/obs/trace.h"
 
 namespace ava {
@@ -194,6 +196,10 @@ ApiServerSession::ApiServerSession(VmId vm_id,
   cost_vns_total_ = registry.NewCounter(prefix + "cost_vns_total");
   exec_ns_ = registry.NewHistogram("server.exec_ns");
   trace_enabled_ = obs::TraceEnabled();
+  // The API server half of the stack also exposes the admin plane: in a
+  // split deployment whichever process hosts sessions serves AVA_ADMIN_SOCK
+  // (idempotent when the router already did).
+  obs::AdminChannel::EnsureDefaultServing();
 }
 
 ApiServerSession::~ApiServerSession() {
@@ -254,6 +260,16 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
   ServerContext::CallScratch scratch;
   ServerContext::ScopedScratch scoped(&scratch);
 
+  // Flight recorder: the begin record lands before the handler runs, so a
+  // crash inside the handler leaves a begin with no matching end — that IS
+  // the post-mortem signal (`avactl flight` / the SIGSEGV dump).
+  obs::FlightRecorder::Default().RecordEvent(
+      obs::FlightKind::kExecBegin, static_cast<std::uint32_t>(vm_id_),
+      call.header.trace_id, call.header.call_id,
+      static_cast<std::uint64_t>(call.header.api_id) << 32 |
+          call.header.func_id,
+      0);
+
   Status dispatch_status = OkStatus();
   Bytes reply_payload;
   if (handler_it == handlers_.end()) {
@@ -305,6 +321,11 @@ Result<std::optional<Bytes>> ApiServerSession::ExecuteCall(
   if (cost_vns != nullptr) {
     *cost_vns = cost;
   }
+  obs::FlightRecorder::Default().RecordEvent(
+      obs::FlightKind::kExecEnd, static_cast<std::uint32_t>(vm_id_),
+      call.header.trace_id, call.header.call_id,
+      static_cast<std::uint64_t>(std::max<std::int64_t>(cost, 0)),
+      static_cast<std::uint16_t>(dispatch_status.code()));
 
   if (is_async) {
     async_calls_->Increment();

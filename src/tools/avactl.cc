@@ -1,0 +1,93 @@
+// avactl: command-line client for the AvA live introspection plane.
+//
+//   avactl [-s SOCKET] metrics    Prometheus text snapshot of the registry
+//   avactl [-s SOCKET] sessions   per-VM table (state, lanes, queues, cache)
+//   avactl [-s SOCKET] account    per-VM accounting ledger
+//   avactl [-s SOCKET] flight     flight-recorder dump of the live process
+//   avactl [-s SOCKET] ping       liveness probe
+//   avactl flight <dump.bin>      decode a crash dump written by the
+//                                 SIGSEGV/SIGABRT handler (no socket needed)
+//
+// The socket defaults to $AVA_ADMIN_SOCK — the same variable that makes the
+// router/API server serve the channel, so `AVA_ADMIN_SOCK=/tmp/ava.sock
+// avactl sessions` just works on both ends.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/admin.h"
+#include "src/obs/flight.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: avactl [-s SOCKET] metrics|sessions|account|flight|ping\n"
+      "       avactl flight <dump.bin>\n"
+      "SOCKET defaults to $AVA_ADMIN_SOCK.\n");
+  return 2;
+}
+
+int DecodeDumpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "avactl: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  std::vector<ava::obs::FlightRecord> records;
+  if (!ava::obs::ParseFlightDump(data, &records)) {
+    std::fprintf(stderr, "avactl: %s is not a flight-recorder dump\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fputs(ava::obs::RenderFlightRecords(records).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  if (const char* env = std::getenv("AVA_ADMIN_SOCK");
+      env != nullptr && env[0] != '\0') {
+    socket_path = env;
+  }
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "-s") == 0 && arg + 1 < argc) {
+      socket_path = argv[arg + 1];
+      arg += 2;
+    } else {
+      return Usage();
+    }
+  }
+  if (arg >= argc) {
+    return Usage();
+  }
+  const std::string command = argv[arg++];
+  if (command == "flight" && arg < argc) {
+    return DecodeDumpFile(argv[arg]);
+  }
+  if (command != "metrics" && command != "sessions" && command != "account" &&
+      command != "flight" && command != "ping") {
+    return Usage();
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr,
+                 "avactl: no admin socket (pass -s or set AVA_ADMIN_SOCK)\n");
+    return 2;
+  }
+  auto reply = ava::obs::AdminQuery(socket_path, command);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "avactl: %s\n", reply.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(reply->c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,575 @@
+// Live introspection plane, end-to-end: the admin channel served by a
+// running router answers `metrics` / `sessions` / `account` / `flight`
+// queries with live data while calls are in flight; the flight recorder's
+// SIGSEGV handler writes a parseable post-mortem dump that contains the
+// crashing call's exec-begin record; a transfer-cache miss resend is
+// stitched to its original attempt under ONE trace id; and the metric
+// registry survives register/retire churn from four threads concurrent
+// with snapshot scrapes.
+//
+// Custom main: `introspect_test --crash-child` turns the binary into the
+// crash victim (build a stack, install the handler, dispatch a call whose
+// handler dereferences null) so the gtest parent can fork+exec itself.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/admin.h"
+#include "src/obs/flight.h"
+#include "src/obs/ledger.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_check.h"
+#include "src/proto/marshal.h"
+#include "src/proto/wire.h"
+#include "src/router/router.h"
+#include "src/runtime/guest_endpoint.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
+#include "src/vcl/silo.h"
+#include "vcl_gen.h"
+
+namespace ava {
+namespace {
+
+// The crash victim API: func kCrashFunc dereferences null mid-handler, so
+// the flight ring holds its exec_begin with no matching exec_end.
+constexpr std::uint16_t kCrashApi = 97;
+constexpr std::uint32_t kCrashFunc = 77;
+
+ApiHandler MakeCrashHandler() {
+  return [](ServerContext*, std::uint32_t func_id, ByteReader*, bool,
+            ByteWriter* reply) -> Status {
+    if (func_id == kCrashFunc) {
+      volatile int* null_pointer = nullptr;
+      *null_pointer = 1;  // SIGSEGV on the dispatch thread
+    }
+    reply->PutU64(0);
+    return OkStatus();
+  };
+}
+
+struct GuestVm {
+  std::shared_ptr<ApiServerSession> session;
+  std::shared_ptr<GuestEndpoint> endpoint;
+  ava_gen_vcl::VclApi api;
+};
+
+ChannelPair MustShm() {
+  auto channel = MakeShmRingChannel(1u << 16);
+  EXPECT_TRUE(channel.ok());
+  return std::move(*channel);
+}
+
+// Minimal real-stack harness (mirrors the xfer-cache suite's shape).
+class IntroStack {
+ public:
+  IntroStack() {
+    vcl::ResetDefaultSilo({});
+    router_ = std::make_unique<Router>();
+    router_->Start();
+  }
+  ~IntroStack() {
+    vms_.clear();
+    router_->Stop();
+  }
+
+  GuestVm& AddVm(VmId vm_id, GuestEndpoint::Options opts = {},
+                 const VmPolicy& policy = {}) {
+    ChannelPair pair = MustShm();
+    opts.vm_id = vm_id;
+    if (opts.call_deadline_ms < 0) {
+      opts.call_deadline_ms = 20000;
+    }
+    auto vm = std::make_unique<GuestVm>();
+    vm->session = std::make_shared<ApiServerSession>(vm_id);
+    vm->session->RegisterApi(ava_gen_vcl::kApiId,
+                             ava_gen_vcl::MakeVclApiHandler());
+    vm->session->RegisterApi(kCrashApi, MakeCrashHandler());
+    EXPECT_TRUE(
+        router_->AttachVm(vm_id, std::move(pair.host), vm->session, policy)
+            .ok());
+    vm->endpoint =
+        std::make_shared<GuestEndpoint>(std::move(pair.guest), opts);
+    vm->api = ava_gen_vcl::MakeVclGuestApi(vm->endpoint);
+    vms_.push_back(std::move(vm));
+    return *vms_.back();
+  }
+
+  Router& router() { return *router_; }
+
+ private:
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<GuestVm>> vms_;
+};
+
+GuestEndpoint::Options CacheOpts() {
+  GuestEndpoint::Options opts;
+  opts.arena_threshold_bytes = 4096;
+  opts.xfer_cache_min_bytes = 4096;
+  return opts;
+}
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 131 + seed);
+  }
+  return v;
+}
+
+std::string TempPath(const char* tag) {
+  return std::string("/tmp/ava_introspect.") + tag + "." +
+         std::to_string(::getpid());
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole acceptance: avactl's four verbs answer with LIVE data from a
+// router under load — the stack keeps running before, during, and after
+// every query.
+
+TEST(AdminPlaneTest, LiveQueriesUnderLoad) {
+  ASSERT_EQ(
+      ::setenv("AVA_ADMIN_SOCK", (TempPath("admin") + ".sock").c_str(), 1),
+      0);
+  IntroStack stack;  // Router::Start serves the admin channel from the env
+  ASSERT_TRUE(obs::AdminChannel::Default().serving());
+  const std::string sock = obs::AdminChannel::Default().path();
+  ASSERT_FALSE(sock.empty());
+  GuestVm& vm = stack.AddVm(1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> calls_done{0};
+  std::thread load([&vm, &stop, &calls_done] {
+    vcl_platform_id platform = nullptr;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (vm.api.vclGetPlatformIDs(1, &platform, nullptr) == VCL_SUCCESS) {
+        calls_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Ensure real traffic has flowed before the first scrape.
+  while (calls_done.load(std::memory_order_relaxed) < 100) {
+    std::this_thread::yield();
+  }
+
+  auto ping = obs::AdminQuery(sock, "ping");
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_EQ(*ping, "pong\n");
+
+  // `account`: the ledger row for vm 1 shows forwarded calls and bytes.
+  auto account = obs::AdminQuery(sock, "account");
+  ASSERT_TRUE(account.ok()) << account.status().ToString();
+  EXPECT_NE(account->find("vm calls ok cost_vns"), std::string::npos)
+      << *account;
+  EXPECT_NE(account->find("\n1 "), std::string::npos) << *account;
+  EXPECT_NE(account->find("OK="), std::string::npos) << *account;
+
+  // `metrics`: Prometheus text with router counters AND the ledger gauges
+  // the `account` snapshot just refreshed.
+  auto metrics = obs::AdminQuery(sock, "metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->find("ava_"), std::string::npos);
+  EXPECT_NE(metrics->find("ava_ledger_vm1_calls"), std::string::npos)
+      << metrics->substr(0, 2000);
+
+  // `sessions`: vm 1 is running, with live queue/cache columns.
+  auto sessions = obs::AdminQuery(sock, "sessions");
+  ASSERT_TRUE(sessions.ok()) << sessions.status().ToString();
+  EXPECT_NE(sessions->find("vm state lanes"), std::string::npos) << *sessions;
+  EXPECT_NE(sessions->find("\n1 running "), std::string::npos) << *sessions;
+
+  // `flight`: the ring carries exec records for the forwarded calls.
+  auto flight = obs::AdminQuery(sock, "flight");
+  ASSERT_TRUE(flight.ok()) << flight.status().ToString();
+  EXPECT_NE(flight->find("exec_begin"), std::string::npos);
+  EXPECT_NE(flight->find("exec_end"), std::string::npos);
+
+  const std::uint64_t before = calls_done.load(std::memory_order_relaxed);
+  stop.store(true);
+  load.join();
+  // The stack survived every query and kept forwarding: still answerable
+  // and the load made progress past the first scrape.
+  EXPECT_GE(calls_done.load(std::memory_order_relaxed), before);
+  vcl_platform_id platform = nullptr;
+  EXPECT_EQ(vm.api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  ASSERT_TRUE(obs::AdminQuery(sock, "ping").ok());
+  ::unsetenv("AVA_ADMIN_SOCK");
+}
+
+#ifdef AVA_AVACTL_PATH
+// The real avactl binary (not just its AdminQuery library path) against a
+// live router: `sessions` over the env-configured socket, `flight` decode
+// of a binary dump, and the usage error path.
+TEST(AdminPlaneTest, AvactlBinaryTalksToLiveRouter) {
+  ASSERT_EQ(
+      ::setenv("AVA_ADMIN_SOCK", (TempPath("avactl") + ".sock").c_str(), 1),
+      0);
+  IntroStack stack;
+  ASSERT_TRUE(obs::AdminChannel::Default().serving());
+  // The default channel is a leaked singleton: when several tests run in
+  // one process it keeps the FIRST path it ever bound, so ask it.
+  const std::string sock = obs::AdminChannel::Default().path();
+  ASSERT_FALSE(sock.empty());
+  GuestVm& vm = stack.AddVm(2);
+  vcl_platform_id platform = nullptr;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(vm.api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  }
+
+  const std::string cmd =
+      std::string(AVA_AVACTL_PATH) + " -s " + sock + " sessions 2>&1";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string out;
+  char chunk[512];
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) {
+    out += chunk;
+  }
+  EXPECT_EQ(::pclose(pipe), 0) << out;
+  EXPECT_NE(out.find("vm state lanes"), std::string::npos) << out;
+  EXPECT_NE(out.find("\n2 running "), std::string::npos) << out;
+
+  // `avactl flight <dump.bin>` decodes a binary dump offline.
+  const std::string dump = TempPath("avactl_dump") + ".bin";
+  {
+    std::FILE* f = std::fopen(dump.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(obs::FlightRecorder::Default().DumpToFd(fileno(f)));
+    std::fclose(f);
+  }
+  const std::string decode_cmd =
+      std::string(AVA_AVACTL_PATH) + " flight " + dump + " 2>&1";
+  pipe = ::popen(decode_cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  out.clear();
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) {
+    out += chunk;
+  }
+  EXPECT_EQ(::pclose(pipe), 0) << out;
+  EXPECT_NE(out.find("flight recorder"), std::string::npos) << out;
+  EXPECT_NE(out.find("exec_begin"), std::string::npos) << out;
+  ::unlink(dump.c_str());
+
+  // No subcommand: usage on stderr, exit 2.
+  const std::string usage_cmd = std::string(AVA_AVACTL_PATH) + " 2>/dev/null";
+  pipe = ::popen(usage_cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) {
+  }
+  const int usage_status = ::pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(usage_status) && WEXITSTATUS(usage_status) == 2);
+  ::unsetenv("AVA_ADMIN_SOCK");
+}
+#endif  // AVA_AVACTL_PATH
+
+TEST(AdminPlaneTest, AccountLedgerChargesCostAndCacheSavings) {
+  IntroStack stack;
+  GuestVm& vm = stack.AddVm(5, CacheOpts());
+  constexpr std::size_t kBytes = 64u << 10;
+  const auto payload = Pattern(kBytes, 11);
+
+  // Graduate the payload to a descriptor send (sighting, install, hit).
+  vcl_platform_id platform = nullptr;
+  ASSERT_EQ(vm.api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+  vcl_device_id device = nullptr;
+  ASSERT_EQ(
+      vm.api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1, &device,
+                             nullptr),
+      VCL_SUCCESS);
+  vcl_int err = VCL_SUCCESS;
+  vcl_context ctx = vm.api.vclCreateContext(&device, 1, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  vcl_command_queue queue = vm.api.vclCreateCommandQueue(ctx, device, 0, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  vcl_mem mem =
+      vm.api.vclCreateBuffer(ctx, VCL_MEM_READ_WRITE, kBytes, nullptr, &err);
+  ASSERT_EQ(err, VCL_SUCCESS);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kBytes,
+                                           payload.data(), 0, nullptr,
+                                           nullptr),
+              VCL_SUCCESS);
+  }
+  ASSERT_EQ(vm.endpoint->xfer_hits(), 1u);
+
+  auto account = stack.router().ledger().AccountFor(5);
+  const obs::VmAccountSnapshot snap = account->Snapshot();
+  EXPECT_GT(snap.calls, 0u);
+  EXPECT_EQ(snap.calls, snap.ok_calls);
+  EXPECT_GT(snap.cost_vns, 0u);
+  // The two inline sends crossed the wire; the third (descriptor hit) was
+  // charged as cached bytes instead.
+  EXPECT_GT(snap.wire_bytes, 2 * kBytes);
+  EXPECT_GE(snap.cached_bytes, kBytes);
+  EXPECT_EQ(snap.status_counts[0], snap.calls);
+
+  vm.api.vclReleaseMemObject(mem);
+  vm.api.vclReleaseCommandQueue(queue);
+  vm.api.vclReleaseContext(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: a kCacheMiss splice-and-resend is the SAME logical call — the
+// resent attempt reuses the original trace id and marks itself retry=1, and
+// the trace checker can stitch the two server executions together.
+
+TEST(TraceRetryTest, CacheMissResendKeepsTraceIdAndMarksRetry) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  tracer.EnableForTest();  // before the stack: endpoints sample at ctor
+  tracer.Clear();
+  {
+    IntroStack stack;
+    GuestVm& vm = stack.AddVm(1, CacheOpts());
+    constexpr std::size_t kBytes = 64u << 10;
+    const auto payload = Pattern(kBytes, 3);
+    vcl_platform_id platform = nullptr;
+    ASSERT_EQ(vm.api.vclGetPlatformIDs(1, &platform, nullptr), VCL_SUCCESS);
+    vcl_device_id device = nullptr;
+    ASSERT_EQ(vm.api.vclGetDeviceIDs(platform, VCL_DEVICE_TYPE_GPU, 1,
+                                     &device, nullptr),
+              VCL_SUCCESS);
+    vcl_int err = VCL_SUCCESS;
+    vcl_context ctx = vm.api.vclCreateContext(&device, 1, &err);
+    ASSERT_EQ(err, VCL_SUCCESS);
+    vcl_command_queue queue =
+        vm.api.vclCreateCommandQueue(ctx, device, 0, &err);
+    ASSERT_EQ(err, VCL_SUCCESS);
+    vcl_mem mem = vm.api.vclCreateBuffer(ctx, VCL_MEM_READ_WRITE, kBytes,
+                                         nullptr, &err);
+    ASSERT_EQ(err, VCL_SUCCESS);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kBytes,
+                                             payload.data(), 0, nullptr,
+                                             nullptr),
+                VCL_SUCCESS);
+    }
+    ASSERT_EQ(vm.endpoint->xfer_hits(), 1u);
+
+    // Wipe the server cache behind the guest's back: the next descriptor
+    // send comes back kCacheMiss and is spliced + resent transparently.
+    vm.session->context().xfer_cache().Clear();
+    ASSERT_EQ(vm.api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kBytes,
+                                           payload.data(), 0, nullptr,
+                                           nullptr),
+              VCL_SUCCESS);
+    ASSERT_EQ(vm.endpoint->xfer_miss_retries(), 1u);
+    vm.api.vclReleaseMemObject(mem);
+    vm.api.vclReleaseCommandQueue(queue);
+    vm.api.vclReleaseContext(ctx);
+  }
+
+  auto report = obs::CheckChromeTrace(tracer.SerializeJson(), /*min_hops=*/5);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The miss attempt recorded a retry=0 span, the resend a retry=1 span,
+  // and both server executions carry the one trace id: stitched, not
+  // disconnected.
+  EXPECT_GE(report->retried_spans, 1u);
+  EXPECT_GE(report->linked_retries, 1u);
+  tracer.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: registry churn — cells registering and retiring from four
+// threads while a scraper loops Snapshot()/PrometheusText(). Run under TSan
+// via the fault label; here we also assert ordering invariants hold on
+// every mid-churn snapshot and retired totals survive.
+
+TEST(RegistryChurnTest, SnapshotStaysSortedDuringRegisterRetireStorm) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> churned{0};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 4; ++t) {
+    churners.emplace_back([t, &stop, &churned] {
+      std::uint64_t i = 0;
+      const std::string base = "churn.t" + std::to_string(t) + ".";
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto counter =
+            obs::NewCounter(base + "c" + std::to_string(i & 7));
+        counter->Increment();
+        auto gauge = obs::NewGauge(base + "g" + std::to_string(i & 7));
+        gauge->Set(static_cast<std::int64_t>(i));
+        auto histogram =
+            obs::NewHistogram(base + "h" + std::to_string(i & 7));
+        histogram->Record(static_cast<std::int64_t>(i & 1023));
+        ++i;  // all three cells retire here, folding into the registry
+        churned.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // An anchor cell (outside the churn.* namespace counted below) plus a
+  // wait for the first churn iteration: the scrape loop must observe a
+  // non-empty registry even if it wins the race against thread startup.
+  auto anchor = obs::NewCounter("churn_anchor.scraper");
+  anchor->Increment();
+  while (churned.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+  std::size_t scrapes = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const obs::MetricsSnapshot snap =
+        obs::MetricRegistry::Default().Snapshot();
+    EXPECT_TRUE(std::is_sorted(
+        snap.entries.begin(), snap.entries.end(),
+        [](const obs::MetricsSnapshot::Entry& x,
+           const obs::MetricsSnapshot::Entry& y) { return x.name < y.name; }));
+    const std::string prom = snap.PrometheusText();
+    EXPECT_FALSE(prom.empty());
+    ++scrapes;
+  }
+  stop.store(true);
+  for (auto& thread : churners) {
+    thread.join();
+  }
+  EXPECT_GT(scrapes, 0u);
+  EXPECT_GT(churned.load(), 0u);
+
+  // Retired cells folded: every churned counter increment is still counted.
+  std::uint64_t total = 0;
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::Default().Snapshot();
+  for (const obs::MetricsSnapshot::Entry& entry : snap.entries) {
+    if (entry.name.rfind("churn.", 0) == 0 && entry.has_counter) {
+      total += entry.counter_sum;
+    }
+  }
+  EXPECT_EQ(total, churned.load());
+}
+
+// ---------------------------------------------------------------------------
+// Crash acceptance: a SIGSEGV mid-handler produces a parseable flight dump
+// that contains the crashing call's exec_begin — and no exec_end for it.
+
+TEST(FlightCrashTest, SigsegvChildWritesParseableDumpWithCrashingCall) {
+  const std::string dump = TempPath("crash") + ".bin";
+  ::unlink(dump.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::setenv("AVA_FLIGHT_DUMP", dump.c_str(), 1);
+    ::unsetenv("AVA_ADMIN_SOCK");
+    ::unsetenv("AVA_TRACE");
+    struct rlimit no_core {0, 0};
+    ::setrlimit(RLIMIT_CORE, &no_core);  // the dump is the artifact we want
+    ::execl("/proc/self/exe", "introspect_test", "--crash-child",
+            static_cast<char*>(nullptr));
+    ::_exit(99);  // exec failed
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  // The handler re-raises with default disposition, so the child dies by
+  // SIGSEGV (sanitizer builds may intercept and exit non-zero instead —
+  // either way it must NOT look like success).
+  EXPECT_FALSE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  if (WIFSIGNALED(status)) {
+    EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+  }
+
+  std::ifstream in(dump, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "crash handler wrote no dump at " << dump;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  std::vector<obs::FlightRecord> records;
+  ASSERT_TRUE(obs::ParseFlightDump(bytes, &records));
+  ASSERT_FALSE(records.empty());
+
+  const std::uint64_t crash_sig =
+      (std::uint64_t{kCrashApi} << 32) | kCrashFunc;
+  bool begin_found = false;
+  for (const obs::FlightRecord& r : records) {
+    if (r.arg == crash_sig &&
+        r.kind == static_cast<std::uint16_t>(obs::FlightKind::kExecBegin)) {
+      begin_found = true;
+      EXPECT_EQ(r.vm_id, 1u);
+      EXPECT_NE(r.call_id, 0u);
+    }
+  }
+  EXPECT_TRUE(begin_found)
+      << "dump lacks the crashing call's exec_begin:\n"
+      << obs::RenderFlightRecords(records);
+
+  // The crashing call never completed: walking backwards, the newest
+  // exec_begin is the crash signature and no exec_end comes after it.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->kind == static_cast<std::uint16_t>(obs::FlightKind::kExecEnd)) {
+      ADD_FAILURE() << "exec_end recorded after the crashing exec_begin:\n"
+                    << obs::RenderFlightRecords(records);
+      break;
+    }
+    if (it->kind ==
+        static_cast<std::uint16_t>(obs::FlightKind::kExecBegin)) {
+      EXPECT_EQ(it->arg, crash_sig);
+      break;
+    }
+  }
+  ::unlink(dump.c_str());
+}
+
+}  // namespace
+
+// --crash-child: the victim half of FlightCrashTest. Outside the anonymous
+// namespace so main() below can reach it.
+int RunCrashChild() {
+  obs::InstallCrashHandler();
+  vcl::ResetDefaultSilo({});
+  Router router;
+  router.Start();
+  auto session = std::make_shared<ApiServerSession>(1);
+  session->RegisterApi(ava_gen_vcl::kApiId, ava_gen_vcl::MakeVclApiHandler());
+  session->RegisterApi(kCrashApi, MakeCrashHandler());
+  auto pair = MakeShmRingChannel(1u << 16);
+  if (!pair.ok()) {
+    return 3;
+  }
+  if (!router.AttachVm(1, std::move(pair->host), session, {}).ok()) {
+    return 3;
+  }
+  GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  opts.call_deadline_ms = 20000;
+  auto endpoint =
+      std::make_shared<GuestEndpoint>(std::move(pair->guest), opts);
+
+  // A few healthy calls first so the ring holds begin/end pairs before the
+  // fatal one.
+  for (int i = 0; i < 4; ++i) {
+    ByteWriter w = BeginCall(kCrashApi, /*func_id=*/1);
+    if (!endpoint->CallSyncPrepared(std::move(w).TakeBytes()).ok()) {
+      return 3;
+    }
+  }
+  ByteWriter w = BeginCall(kCrashApi, kCrashFunc);
+  (void)endpoint->CallSyncPrepared(std::move(w).TakeBytes());
+  return 4;  // the dispatch above must never return
+}
+
+}  // namespace ava
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--crash-child") == 0) {
+    return ava::RunCrashChild();
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

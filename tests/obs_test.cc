@@ -1,13 +1,25 @@
 // Unit tests for src/obs: histogram percentile math, registry aggregation,
 // concurrent counter updates, trace-context propagation through the wire
-// format, and chrome-trace emission/validation.
+// format, chrome-trace emission/validation, and the introspection plane
+// (metrics snapshots, admin channel framing, flight recorder, ledger).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/obs/admin.h"
+#include "src/obs/flight.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_check.h"
@@ -305,6 +317,332 @@ TEST(TracerTest, IncompleteGuestSpanIsCountedButNotComplete) {
   EXPECT_EQ(report->guest_spans, 1u);
   EXPECT_EQ(report->complete_spans, 0u);
   tracer.Clear();
+}
+
+// --------------------------- metrics snapshot ------------------------------
+
+TEST(MetricsSnapshotTest, EntriesAreDeterministicallyNameSorted) {
+  // Register in shuffled order; the snapshot must come back name-sorted and
+  // identical across repeated takes (stable operator text for diffing).
+  auto z = obs::NewCounter("obs_test.sort.zz");
+  auto a = obs::NewCounter("obs_test.sort.aa");
+  auto m = obs::NewGauge("obs_test.sort.mm");
+  auto h = obs::NewHistogram("obs_test.sort.hh");
+  z->Increment(1);
+  a->Increment(2);
+  m->Set(3);
+  h->Record(4);
+
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::Default().Snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.entries.begin(), snap.entries.end(),
+      [](const obs::MetricsSnapshot::Entry& x,
+         const obs::MetricsSnapshot::Entry& y) { return x.name < y.name; }));
+
+  const obs::MetricsSnapshot::Entry* aa = snap.Find("obs_test.sort.aa");
+  ASSERT_NE(aa, nullptr);
+  EXPECT_TRUE(aa->has_counter);
+  EXPECT_EQ(aa->counter_sum, 2u);
+  const obs::MetricsSnapshot::Entry* mm = snap.Find("obs_test.sort.mm");
+  ASSERT_NE(mm, nullptr);
+  EXPECT_TRUE(mm->has_gauge);
+  EXPECT_EQ(mm->gauge_sum, 3);
+  EXPECT_EQ(snap.Find("obs_test.sort.nope"), nullptr);
+
+  // Determinism: two takes with no updates in between render byte-identical.
+  EXPECT_EQ(snap.HumanText(),
+            obs::MetricRegistry::Default().Snapshot().HumanText());
+  // Dump() is the human rendering of the same snapshot.
+  EXPECT_EQ(obs::MetricRegistry::Default().Dump(),
+            obs::MetricRegistry::Default().Snapshot().HumanText());
+}
+
+TEST(MetricsSnapshotTest, PrometheusTextRendersAllCellKinds) {
+  auto c = obs::NewCounter("obs_test.prom.counter");
+  auto g = obs::NewGauge("obs_test.prom-gauge");  // '-' must sanitize to '_'
+  auto h = obs::NewHistogram("obs_test.prom.hist");
+  c->Increment(5);
+  g->Set(-7);
+  for (int i = 1; i <= 100; ++i) {
+    h->Record(i);
+  }
+  const std::string text =
+      obs::MetricRegistry::Default().Snapshot().PrometheusText();
+  EXPECT_NE(text.find("# TYPE ava_obs_test_prom_counter counter\n"
+                      "ava_obs_test_prom_counter 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE ava_obs_test_prom_gauge gauge\n"
+                      "ava_obs_test_prom_gauge -7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE ava_obs_test_prom_hist summary\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ava_obs_test_prom_hist{quantile=\"0.5\"} "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ava_obs_test_prom_hist{quantile=\"0.99\"} "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ava_obs_test_prom_hist_sum 5050\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ava_obs_test_prom_hist_count 100\n"),
+            std::string::npos)
+      << text;
+}
+
+// ----------------------------- flight recorder -----------------------------
+
+TEST(FlightRecorderTest, RingKeepsLastDepthRecordsInTicketOrder) {
+  obs::FlightRecorder ring(64);
+  EXPECT_EQ(ring.depth(), 64u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ring.RecordEvent(obs::FlightKind::kEvent, /*vm_id=*/7, /*trace_id=*/i,
+                     /*call_id=*/i, /*arg=*/i * 3, /*code=*/2);
+  }
+  EXPECT_EQ(ring.records_written(), 100u);
+  const auto snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 64u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const obs::FlightRecord& r = snap[i];
+    EXPECT_EQ(r.ticket, 36 + i);  // the oldest 36 were overwritten
+    EXPECT_EQ(r.call_id, r.ticket);
+    EXPECT_EQ(r.trace_id, r.ticket);
+    EXPECT_EQ(r.arg, r.ticket * 3);
+    EXPECT_EQ(r.vm_id, 7u);
+    EXPECT_EQ(r.kind, static_cast<std::uint16_t>(obs::FlightKind::kEvent));
+    EXPECT_EQ(r.code, 2u);
+    EXPECT_GT(r.t_ns, 0u);
+  }
+}
+
+TEST(FlightRecorderTest, DumpParseRoundTripAndRendering) {
+  obs::FlightRecorder ring(64);
+  ring.RecordEvent(obs::FlightKind::kExecBegin, 1, 0xAB, 9,
+                   (std::uint64_t{7} << 32) | 42, 0);
+  ring.RecordEvent(obs::FlightKind::kExecEnd, 1, 0xAB, 9, 1234, 0);
+
+  const std::string path =
+      "/tmp/ava_obs_flight_test." + std::to_string(::getpid()) + ".bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(ring.DumpToFd(fileno(f)));
+    std::fclose(f);
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  ::unlink(path.c_str());
+  ASSERT_EQ(bytes.size(), 24u + ring.depth() * sizeof(obs::FlightRecord));
+
+  std::vector<obs::FlightRecord> parsed;
+  ASSERT_TRUE(obs::ParseFlightDump(bytes, &parsed));
+  ASSERT_EQ(parsed.size(), 2u);  // empty slots dropped
+  EXPECT_EQ(parsed[0].kind,
+            static_cast<std::uint16_t>(obs::FlightKind::kExecBegin));
+  EXPECT_EQ(parsed[0].arg, (std::uint64_t{7} << 32) | 42);
+  EXPECT_EQ(parsed[1].kind,
+            static_cast<std::uint16_t>(obs::FlightKind::kExecEnd));
+  EXPECT_EQ(parsed[1].arg, 1234u);
+
+  const std::string text = obs::RenderFlightRecords(parsed);
+  EXPECT_NE(text.find("2 records"), std::string::npos) << text;
+  EXPECT_NE(text.find("exec_begin"), std::string::npos) << text;
+  EXPECT_NE(text.find("exec_end"), std::string::npos) << text;
+  EXPECT_EQ(ring.Text(), text);
+
+  // Bad magic / truncated header: parser refuses instead of misreading.
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(obs::ParseFlightDump(bytes, &parsed));
+  const std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(obs::ParseFlightDump(tiny, &parsed));
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordAndSnapshotNeverTear) {
+  // 4 writers hammer a tiny ring (maximum slot reuse) while a reader
+  // snapshots continuously. Every surfaced record must satisfy the writer's
+  // cross-field invariant — a torn slot would break it.
+  obs::FlightRecorder ring(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&ring, &stop, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ring.RecordEvent(obs::FlightKind::kEvent,
+                         static_cast<std::uint32_t>(t), /*trace_id=*/i,
+                         /*call_id=*/i, /*arg=*/i * 2 + 1, /*code=*/1);
+        ++i;
+      }
+    });
+  }
+  // Don't start reading until the ring has wrapped at least once — the
+  // snapshot loop can outrun writer-thread startup otherwise.
+  while (ring.records_written() < 2 * ring.depth()) {
+    std::this_thread::yield();
+  }
+  std::size_t seen = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    for (const obs::FlightRecord& r : ring.Snapshot()) {
+      EXPECT_EQ(r.arg, r.call_id * 2 + 1)
+          << "torn record at ticket " << r.ticket;
+      EXPECT_EQ(r.trace_id, r.call_id);
+      ++seen;
+    }
+  }
+  stop.store(true);
+  for (auto& w : writers) {
+    w.join();
+  }
+  EXPECT_GT(seen, 0u);
+}
+
+// ------------------------------ ledger -------------------------------------
+
+TEST(LedgerTest, RecordCallFoldsAcrossThreadsAndClampsStatus) {
+  obs::VmAccount account(21);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&account] {
+      for (int i = 0; i < kPerThread; ++i) {
+        account.RecordCall(/*cost_vns=*/10, /*wire_bytes=*/100,
+                           /*cached_bytes=*/7, /*status=*/0);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  account.RecordCall(5, 50, 0, /*status=*/14);   // kCacheMiss
+  account.RecordCall(-1, 0, 0, /*status=*/200);  // clamps to the last slot
+  const obs::VmAccountSnapshot snap = account.Snapshot();
+  EXPECT_EQ(snap.vm_id, 21u);
+  EXPECT_EQ(snap.calls, kThreads * kPerThread + 2u);
+  EXPECT_EQ(snap.ok_calls, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.cost_vns, kThreads * kPerThread * 10u + 5u);
+  EXPECT_EQ(snap.wire_bytes, kThreads * kPerThread * 100u + 50u);
+  EXPECT_EQ(snap.cached_bytes, kThreads * kPerThread * 7u);
+  EXPECT_EQ(snap.status_counts[0],
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.status_counts[14], 1u);
+  EXPECT_EQ(snap.status_counts[obs::kLedgerStatusSlots - 1], 1u);
+}
+
+TEST(LedgerTest, EwmaRatesRiseWithLoadAndDecayWhenIdle) {
+  obs::VmAccount account(22);
+  const std::int64_t t0 = 1'000'000'000;  // injected clock: decays are exact
+  account.RecordCall(1000, 4000, 0, 0);
+  obs::VmAccountSnapshot snap = account.Snapshot(t0);
+  EXPECT_DOUBLE_EQ(snap.vns_rate_1s, 0.0);  // first observation = baseline
+
+  // +1000 vns and +4000 bytes over exactly 1 s: interval rate 1000 vns/s,
+  // EWMA(1 s) pulls 1-exp(-1) of the way there.
+  account.RecordCall(1000, 4000, 0, 0);
+  snap = account.Snapshot(t0 + 1'000'000'000);
+  EXPECT_NEAR(snap.vns_rate_1s, 1000.0 * (1.0 - std::exp(-1.0)), 1.0);
+  EXPECT_NEAR(snap.vns_rate_10s, 1000.0 * (1.0 - std::exp(-0.1)), 1.0);
+  EXPECT_NEAR(snap.wire_rate_1s, 4000.0 * (1.0 - std::exp(-1.0)), 1.0);
+  const double rate_after_load = snap.vns_rate_1s;
+
+  // 10 idle seconds: the 1 s rate all but vanishes, the 10 s rate lingers.
+  snap = account.Snapshot(t0 + 11'000'000'000);
+  EXPECT_LT(snap.vns_rate_1s, rate_after_load * 0.01);
+  EXPECT_GT(snap.vns_rate_10s, snap.vns_rate_1s);
+  // Totals are cumulative and unaffected by decay.
+  EXPECT_EQ(snap.cost_vns, 2000u);
+  EXPECT_EQ(snap.wire_bytes, 8000u);
+}
+
+TEST(LedgerTest, SnapshotRefreshesRegistryGauges) {
+  obs::VmAccount account(23);
+  account.RecordCall(111, 222, 33, 0);
+  (void)account.Snapshot();
+  const obs::MetricsSnapshot metrics =
+      obs::MetricRegistry::Default().Snapshot();
+  const obs::MetricsSnapshot::Entry* cost =
+      metrics.Find("ledger.vm23.cost_vns");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->gauge_sum, 111);
+  const obs::MetricsSnapshot::Entry* calls = metrics.Find("ledger.vm23.calls");
+  ASSERT_NE(calls, nullptr);
+  EXPECT_EQ(calls->gauge_sum, 1);
+}
+
+TEST(LedgerTest, CollectionIsOrderedSharedAndRendered) {
+  obs::AccountingLedger ledger;
+  auto b = ledger.AccountFor(31);
+  auto a = ledger.AccountFor(30);
+  EXPECT_EQ(ledger.AccountFor(31).get(), b.get());  // create-or-get
+  a->RecordCall(10, 100, 0, 0);
+  b->RecordCall(20, 200, 0, 14);
+  const auto snaps = ledger.SnapshotAll();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].vm_id, 30u);  // ordered by vm id
+  EXPECT_EQ(snaps[1].vm_id, 31u);
+  const std::string text = ledger.Text();
+  EXPECT_NE(text.find("vm calls ok cost_vns"), std::string::npos) << text;
+  EXPECT_NE(text.find("\n30 1 1 10 100 0 "), std::string::npos) << text;
+  EXPECT_NE(text.find("OK=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("CACHE_MISS=1"), std::string::npos) << text;
+}
+
+// ---------------------------- admin channel --------------------------------
+
+std::string TestSocketPath(const char* tag) {
+  return std::string("/tmp/ava_admin_test.") + tag + "." +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(AdminChannelTest, ServeQueryRoundTripWithDotStuffing) {
+  obs::AdminChannel channel;
+  channel.RegisterCommand(
+      "echo", [](const std::string& args) { return "you said: " + args; });
+  channel.RegisterCommand("dotty", [](const std::string&) {
+    // Lines starting with '.' must survive the SMTP-style framing.
+    return std::string(".leading\n..double\nplain\n");
+  });
+  const std::string path = TestSocketPath("roundtrip");
+  ASSERT_TRUE(channel.Serve(path).ok());
+  EXPECT_TRUE(channel.serving());
+  // Double-serve is refused, not silently rebound.
+  EXPECT_FALSE(channel.Serve(path).ok());
+
+  auto pong = obs::AdminQuery(path, "ping");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(*pong, "pong\n");
+
+  auto echoed = obs::AdminQuery(path, "echo live introspection");
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(*echoed, "you said: live introspection\n");
+
+  auto dotty = obs::AdminQuery(path, "dotty");
+  ASSERT_TRUE(dotty.ok());
+  EXPECT_EQ(*dotty, ".leading\n..double\nplain\n");
+
+  // Built-in metrics handler speaks Prometheus.
+  auto counter = obs::NewCounter("obs_test.admin.visible");
+  counter->Increment(9);
+  auto metrics = obs::AdminQuery(path, "metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("ava_obs_test_admin_visible 9"), std::string::npos);
+
+  auto unknown = obs::AdminQuery(path, "frobnicate");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find("unknown command"),
+            std::string::npos);
+
+  channel.Stop();
+  EXPECT_FALSE(channel.serving());
+  EXPECT_FALSE(obs::AdminQuery(path, "ping").ok());  // socket unlinked
+}
+
+TEST(AdminChannelTest, QueryAgainstMissingSocketFailsFast) {
+  auto reply = obs::AdminQuery(TestSocketPath("absent"), "ping");
+  EXPECT_FALSE(reply.ok());
 }
 
 }  // namespace
