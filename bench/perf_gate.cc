@@ -1,10 +1,12 @@
 // Perf-regression gate (`ctest -L perf`): measures the numbers the rest of
 // the performance story is built on — the forwarded null-call round trip, a
 // cold 4 MiB bulk-buffer round trip over the shm transport (arena path), a
-// repeated-identical 1 MiB write on the transfer-cache hit path, and the
-// policed cached-vs-arena speedup — and fails when a latency regresses more
-// than the configured margin past the baseline checked into
-// bench/baselines.json, or the policed speedup drops below its floor.
+// repeated-identical 1 MiB write on the transfer-cache hit path, the
+// policed cached-vs-arena speedup, the null call through the epoll front
+// end, and the 64-tenant WFQ fairness index — and fails when a latency
+// regresses more than the configured margin past the baseline checked into
+// bench/baselines.json, or a floor metric (speedup, fairness) drops below
+// its minimum.
 //
 // Baselines are deliberately set WIDE of the observed medians (see the
 // "note" field in the JSON): the gate exists to catch structural
@@ -25,8 +27,10 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/common/rng.h"
 #include "src/obs/admin.h"
 #include "src/proto/wire.h"
+#include "src/router/wfq.h"
 
 namespace {
 
@@ -141,6 +145,53 @@ double FourThreadNsPerCall(std::size_t bulk_bytes, int iters,
   return median_s * 1e9 / (kThreads * iters);
 }
 
+// ---- scheduler fairness row (weighted fair queuing over virtual time) ----
+// Deterministic: a hand-advanced clock drives the real WFQ core through a
+// 64-tenant backlog with seeded per-dispatch costs, so the measured Jain
+// index is exactly reproducible — any drop below the floor is a scheduler
+// change, never machine noise.
+
+class GateFakeClock final : public ava::SchedClock {
+ public:
+  std::int64_t NowNs() const override { return now_ns_; }
+  void Advance(std::int64_t ns) { now_ns_ += ns; }
+
+ private:
+  std::int64_t now_ns_ = 1;
+};
+
+double FairnessJain64Vm() {
+  constexpr int kTenants = 64;
+  constexpr int kDispatches = 40000;
+  GateFakeClock clock;
+  ava::WfqScheduler sched(&clock);
+  ava::Rng rng(0x64f41ULL);
+  std::vector<double> weights(kTenants);
+  std::vector<double> charged(kTenants, 0.0);
+  for (int i = 0; i < kTenants; ++i) {
+    weights[i] = static_cast<double>(1 << (i % 4));  // 1, 2, 4, 8
+    sched.AddTenant(static_cast<std::uint64_t>(i) + 1, weights[i],
+                    /*allot_vns_per_sec=*/0.0);
+    sched.SetRunnable(static_cast<std::uint64_t>(i) + 1, true);
+  }
+  for (int iter = 0; iter < kDispatches; ++iter) {
+    std::uint64_t vm = 0;
+    if (!sched.PickNext(&vm)) {
+      std::fprintf(stderr, "perf_gate: backlogged scheduler went idle\n");
+      std::exit(2);
+    }
+    const std::int64_t cost = rng.NextInRange(5000, 15000);
+    sched.Charge(vm, cost);
+    clock.Advance(cost);
+    charged[vm - 1] += static_cast<double>(cost);
+  }
+  std::vector<double> normalized(kTenants);
+  for (int i = 0; i < kTenants; ++i) {
+    normalized[i] = charged[i] / weights[i];
+  }
+  return ava::JainIndex(normalized);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +212,7 @@ int main(int argc, char** argv) {
   double hit_baseline = 0, min_speedup = 0;
   double null4_baseline = 0, bulk4_baseline = 0;
   double null_scraped_baseline = 0;
+  double null_epoll_baseline = 0, min_jain = 0;
   if (!FindNumber(json, "null_call_ns", &null_call_baseline) ||
       !FindNumber(json, "bulk_4mib_roundtrip_ns", &bulk_baseline) ||
       !FindNumber(json, "xfer_cache_hit_1mib_ns", &hit_baseline) ||
@@ -168,6 +220,8 @@ int main(int argc, char** argv) {
       !FindNumber(json, "null_call_4thread_ns", &null4_baseline) ||
       !FindNumber(json, "bulk_1mib_4thread_ns", &bulk4_baseline) ||
       !FindNumber(json, "null_call_scraped_ns", &null_scraped_baseline) ||
+      !FindNumber(json, "null_call_epoll_ns", &null_epoll_baseline) ||
+      !FindNumber(json, "fairness_jain_64vm_min", &min_jain) ||
       !FindNumber(json, "regression_margin", &margin)) {
     std::fprintf(stderr, "perf_gate: malformed %s\n", argv[1]);
     return 2;
@@ -231,6 +285,23 @@ int main(int argc, char** argv) {
                    "null_call_scraped row\n");
       return 2;
     }
+  }
+
+  // --- null call over the epoll front end: the same round trip as the
+  // null_call row, but over a socketpair channel whose host side is served
+  // by the router's event loop (readiness -> drain -> WFQ dispatch) instead
+  // of the inproc fallback's blocking reader. Guards the event-driven
+  // path's per-call overhead against the thread-per-session baseline. ---
+  double null_epoll_ns = 0;
+  {
+    vcl::ResetDefaultSilo({});
+    bench::Stack stack;
+    auto& vm = stack.AddVm(1, bench::TransportKind::kSocketPair);
+    auto api = vm.VclApi();
+    vcl_uint n = 0;
+    api.vclGetPlatformIDs(0, nullptr, &n);  // warm the stack
+    null_epoll_ns = MedianNsPerIter(
+        7, 2000, [&] { api.vclGetPlatformIDs(0, nullptr, &n); });
   }
 
   // --- 4 MiB buffer round trip: the bulk path (shm ring + arena) ---
@@ -334,13 +405,22 @@ int main(int argc, char** argv) {
       vcl_mem mem = api.vclCreateBuffer(ctx, 0, kHitBytes, nullptr, &err);
       std::vector<std::uint8_t> host(kHitBytes, 0x44);
       // Drain the token bucket's one-second burst so the measured region
-      // is steady-state policing.
-      const int burst =
-          static_cast<int>(kBytesPerSec / static_cast<double>(kHitBytes)) +
-          2;
-      for (int i = 0; i < burst; ++i) {
+      // is steady-state policing. A fixed write count races the bucket's
+      // refill — on a slow or loaded machine each round trip refills a
+      // slice of the budget and the burst can end with credit still
+      // banked, leaving the measured region unpoliced — so write until
+      // two consecutive calls each block for a solid fraction of the
+      // ~16 ms a 1 MiB frame needs to refill at 64 MiB/s. The cache VM
+      // never blocks (hits are charged descriptor bytes only), so the
+      // iteration cap bounds its loop.
+      const auto slow = std::chrono::milliseconds(6);
+      int consecutive_slow = 0;
+      for (int i = 0; i < 300 && consecutive_slow < 2; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
         api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kHitBytes,
                                   host.data(), 0, nullptr, nullptr);
+        const bool blocked = std::chrono::steady_clock::now() - t0 >= slow;
+        consecutive_slow = blocked ? consecutive_slow + 1 : 0;
       }
       const double ns = MedianNsPerIter(5, 1, [&] {
         api.vclEnqueueWriteBuffer(queue, mem, VCL_TRUE, 0, kHitBytes,
@@ -364,9 +444,12 @@ int main(int argc, char** argv) {
   const double bulk4_ns =
       FourThreadNsPerCall(1u << 20, 8, bench::TransportKind::kShmRing);
 
+  const double fairness_jain = FairnessJain64Vm();
+
   const GateRow rows[] = {
       {"null_call", null_call_ns, null_call_baseline},
       {"null_call_scraped", null_scraped_ns, null_scraped_baseline},
+      {"null_call_epoll", null_epoll_ns, null_epoll_baseline},
       {"bulk_4mib_roundtrip", bulk_ns, bulk_baseline},
       {"xfer_cache_hit_1mib", hit_ns, hit_baseline},
       {"null_call_4thread", null4_ns, null4_baseline},
@@ -394,6 +477,14 @@ int main(int argc, char** argv) {
     std::printf("%-22s %13.1fx %13.1fx %9s  %s\n",
                 "xfer_policed_speedup", policed_speedup, min_speedup,
                 "(min)", ok ? "ok" : "REGRESSED");
+  }
+  {
+    // Floor check: weight-normalized service across a deterministic
+    // 64-tenant backlog must stay near-perfectly fair.
+    const bool ok = fairness_jain >= min_jain;
+    failures += ok ? 0 : 1;
+    std::printf("%-22s %14.3f %14.3f %9s  %s\n", "fairness_jain_64vm",
+                fairness_jain, min_jain, "(min)", ok ? "ok" : "REGRESSED");
   }
   if (failures > 0) {
     std::fprintf(stderr,

@@ -46,6 +46,7 @@ void PutCallHeader(ByteWriter* w, const CallHeader& h) {
   w->PutU64(h.bulk_bytes);
   w->PutU64(h.cached_bytes);
   w->PutU64(h.lane_key);
+  w->PutU64(h.cost_hint);
 }
 
 }  // namespace
@@ -166,6 +167,7 @@ Result<DecodedCall> DecodeCall(const Bytes& message) {
   out.header.bulk_bytes = r.GetU64();
   out.header.cached_bytes = r.GetU64();
   out.header.lane_key = r.GetU64();
+  out.header.cost_hint = r.GetU64();
   AVA_RETURN_IF_ERROR(r.status());
   // The payload is the remainder of the message.
   out.payload = std::span<const std::uint8_t>(
@@ -289,6 +291,24 @@ void PatchCallLaneKey(Bytes* message, std::uint64_t lane_key) {
   }
   std::memcpy(message->data() + kCallLaneKeyOffset, &lane_key,
               sizeof(lane_key));
+}
+
+Result<std::uint64_t> PeekCallCostHint(const Bytes& message) {
+  if (message.size() < kCallHeaderSize ||
+      message[0] != static_cast<std::uint8_t>(MsgKind::kCall)) {
+    return DataLoss("not a call message");
+  }
+  ByteReader r(message.data() + kCallCostHintOffset, sizeof(std::uint64_t));
+  return r.GetU64();
+}
+
+void PatchCallCostHint(Bytes* message, std::uint64_t cost_hint) {
+  if (message->size() < kCallHeaderSize ||
+      (*message)[0] != static_cast<std::uint8_t>(MsgKind::kCall)) {
+    return;
+  }
+  std::memcpy(message->data() + kCallCostHintOffset, &cost_hint,
+              sizeof(cost_hint));
 }
 
 Result<std::int32_t> PeekReplyStatus(const Bytes& message) {

@@ -74,6 +74,14 @@ struct CallHeader {
   // from the same VM may run concurrently when the VM's parallelism allows
   // it. Zero is the default lane for functions without a handle parameter.
   std::uint64_t lane_key = 0;
+  // Predicted device cost (vns) of this call, evaluated guest-side by the
+  // generated stub from the spec's `consumes(device_time|bandwidth, EXPR)`
+  // clauses. The router's fair scheduler pre-charges it at dispatch and
+  // reconciles against the server-accounted cost at completion, so a wide
+  // VM cannot over-dispatch expensive calls before their first completion
+  // lands. Zero means "no estimate" (the scheduler charges everything at
+  // completion, as before). Advisory only: never trusted for accounting.
+  std::uint64_t cost_hint = 0;
 
   bool is_async() const { return (flags & kCallFlagAsync) != 0; }
 };
@@ -112,9 +120,9 @@ struct ShadowUpdate {
 // Fixed size of an encoded call header; the argument payload is the
 // remainder of the message (no length prefix, no copy). Layout:
 // kind(1) api_id(2) func_id(4) call_id(8) vm_id(8) flags(1) trace_id(8)
-// t_send_ns(8) bulk_bytes(8) cached_bytes(8) lane_key(8).
+// t_send_ns(8) bulk_bytes(8) cached_bytes(8) lane_key(8) cost_hint(8).
 inline constexpr std::size_t kCallHeaderSize =
-    1 + 2 + 4 + 8 + 8 + 1 + 8 + 8 + 8 + 8 + 8;
+    1 + 2 + 4 + 8 + 8 + 1 + 8 + 8 + 8 + 8 + 8 + 8;
 
 // Offset of the bulk_bytes field within an encoded call. Generated stubs
 // back-patch it (via ByteWriter::PatchAt) after marshaling arena-resident
@@ -129,6 +137,11 @@ inline constexpr std::size_t kCallCachedBytesOffset = 48;
 // bulk_bytes; generated stubs patch it with the wire id of the function's
 // lane handle right after marshaling it).
 inline constexpr std::size_t kCallLaneKeyOffset = 56;
+
+// Offset of the cost_hint field (same back-patch/peek discipline as
+// bulk_bytes; generated stubs patch it with the spec cost expression
+// evaluated against the call's own arguments).
+inline constexpr std::size_t kCallCostHintOffset = 64;
 
 // Starts a call message: writes the header with placeholder call/vm/flags
 // fields. Generated stubs marshal arguments directly into the returned
@@ -228,6 +241,14 @@ Result<std::uint64_t> PeekCallLaneKey(const Bytes& message);
 // Back-patches the lane_key field of an encoded call (tests and hand-rolled
 // call builders; generated stubs patch the offset directly).
 void PatchCallLaneKey(Bytes* message, std::uint64_t lane_key);
+
+// Reads just the cost_hint field of an encoded call (router fast path: the
+// scheduler pre-charges the estimate at dispatch without a full decode).
+Result<std::uint64_t> PeekCallCostHint(const Bytes& message);
+
+// Back-patches the cost_hint field of an encoded call (tests and
+// hand-rolled call builders; generated stubs patch the offset directly).
+void PatchCallCostHint(Bytes* message, std::uint64_t cost_hint);
 
 // ------------------------------ framing CRC --------------------------------
 //

@@ -1,0 +1,106 @@
+#include "src/router/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ava {
+namespace {
+
+// Token reserved for the internal wake eventfd. User tokens are VM ids,
+// which never reach ~0 (the admin plane would have collapsed long before).
+constexpr std::uint64_t kWakeToken = ~0ull;
+
+constexpr int kMaxEventsPerWait = 128;
+
+}  // namespace
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return Internal(std::string("epoll_create1 failed: ") +
+                    std::strerror(errno));
+  }
+  const int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    ::close(epoll_fd);
+    return Internal(std::string("eventfd failed: ") + std::strerror(errno));
+  }
+  auto loop = std::unique_ptr<EventLoop>(new EventLoop(epoll_fd, wake_fd));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeToken;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
+    return Internal(std::string("epoll_ctl(wake) failed: ") +
+                    std::strerror(errno));
+  }
+  return loop;
+}
+
+EventLoop::EventLoop(int epoll_fd, int wake_fd)
+    : epoll_fd_(epoll_fd), wake_fd_(wake_fd) {}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, std::uint64_t token) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Internal(std::string("epoll_ctl(add) failed: ") +
+                    std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status EventLoop::Mod(int fd, std::uint64_t token, bool want_read) {
+  epoll_event ev{};
+  ev.events = want_read ? EPOLLIN : 0;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Internal(std::string("epoll_ctl(mod) failed: ") +
+                    std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+void EventLoop::Remove(int fd) {
+  // The fd may already be closed (epoll auto-deregisters) — errors are fine.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::Wake() {
+  const std::uint64_t one = 1;
+  // Coalesced by the eventfd counter; full only at 2^64-2, unreachable.
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+const std::vector<EventLoop::Event>& EventLoop::Wait(int timeout_ms) {
+  out_.clear();
+  epoll_event events[kMaxEventsPerWait];
+  int n = 0;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, kMaxEventsPerWait, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.u64 == kWakeToken) {
+      std::uint64_t drained = 0;
+      (void)!::read(wake_fd_, &drained, sizeof(drained));
+      continue;
+    }
+    Event out;
+    out.token = events[i].data.u64;
+    out.readable = (events[i].events & EPOLLIN) != 0;
+    out.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+    out_.push_back(out);
+  }
+  return out_;
+}
+
+}  // namespace ava

@@ -1,0 +1,64 @@
+// Thin epoll wrapper behind the router's event-driven front end: one loop
+// thread multiplexes every readiness-capable guest transport (sockets, shm
+// doorbells), replacing the thread-per-VM blocking readers that capped the
+// router at a handful of sessions. Transports without a readiness fd
+// (inproc, fault-injection wrappers) keep the legacy blocking reader.
+//
+// Level-triggered: the router drains each ready transport via TryRecv until
+// NotFound, so a wakeup can never be lost between drain and re-arm. Wake()
+// (an eventfd) interrupts Wait() for control-plane work (stop, park retry).
+//
+// Thread-safety: Add/Mod/Remove/Wake may be called from any thread
+// (epoll_ctl and eventfd writes are kernel-serialized); Wait() is owned by
+// the single loop thread.
+#ifndef AVA_SRC_ROUTER_EVENT_LOOP_H_
+#define AVA_SRC_ROUTER_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace ava {
+
+class EventLoop {
+ public:
+  struct Event {
+    std::uint64_t token = 0;
+    bool readable = false;
+    bool hangup = false;  // EPOLLHUP/EPOLLERR: peer side is gone
+  };
+
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` for read readiness, delivering `token` with its events.
+  Status Add(int fd, std::uint64_t token);
+  // Re-arms or parks an fd: want_read=false leaves it registered but mute
+  // (ingress backpressure while a rate-limited frame waits for tokens).
+  Status Mod(int fd, std::uint64_t token, bool want_read);
+  void Remove(int fd);
+
+  // Interrupts a concurrent Wait(). Coalesced; consumed internally (no
+  // Event is surfaced for it).
+  void Wake();
+
+  // Blocks up to timeout_ms (-1 = until an event or Wake) and returns the
+  // ready set. The returned reference is invalidated by the next Wait.
+  const std::vector<Event>& Wait(int timeout_ms);
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd);
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::vector<Event> out_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_ROUTER_EVENT_LOOP_H_

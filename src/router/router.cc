@@ -21,6 +21,17 @@ namespace {
 // cannot spawn unbounded threads.
 constexpr std::size_t kMaxWorkers = 64;
 
+// Frames drained from one channel per event-loop visit. Level-triggered
+// epoll re-reports a still-readable fd, and the loop re-queues the channel
+// behind its siblings, so the cap bounds per-visit latency without losing
+// data — one flooding VM cannot monopolize the loop thread.
+constexpr int kMaxFramesPerVisit = 64;
+
+// Ceiling on a guest-supplied cost hint: the hint is advisory scheduling
+// input, and completion reconciliation refunds any overshoot, but a hostile
+// 2^63 hint would still wedge the tenant until the refund lands.
+constexpr std::uint64_t kMaxCostHint = 1ull << 40;
+
 // The router currently answering admin `sessions`/`account` queries.
 // Latest-wins (like every other singleton in the stack); cleared on
 // destruction so a stale query gets an error, never a dangling pointer.
@@ -51,7 +62,7 @@ int ResolveVmParallelism(int requested, std::size_t vm_count) {
   return std::max(1, static_cast<int>(hw / vms));
 }
 
-Router::Router() {
+Router::Router() : wfq_(&sched_clock_) {
   auto& registry = obs::MetricRegistry::Default();
   queue_wait_ns_ = registry.NewHistogram("router.queue_wait_ns");
   exec_ns_ = registry.NewHistogram("router.exec_ns");
@@ -60,6 +71,7 @@ Router::Router() {
   lane_queue_depth_ = registry.NewHistogram("router.lane_queue_depth");
   sessions_reaped_ = registry.NewCounter("sessions.reaped");
   crc_rejected_ = registry.NewCounter("router.crc_rejected");
+  overload_rejected_ = registry.NewCounter("router.overload_rejected");
   arena_bytes_ = registry.NewCounter("router.arena_bytes");
   cached_bytes_ = registry.NewCounter("router.cached_bytes");
 }
@@ -77,7 +89,7 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
                         const VmPolicy& policy) {
   // A dead channel under this id is replaced: its RX thread is joined
   // outside the lock (it only needs mutex_ transiently to finish exiting).
-  std::unique_ptr<VmChannel> stale;
+  std::shared_ptr<VmChannel> stale;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = channels_.find(vm_id);
@@ -103,7 +115,7 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
   if (transport == nullptr || session == nullptr) {
     return InvalidArgument("transport and session are required");
   }
-  auto channel = std::make_unique<VmChannel>();
+  auto channel = std::make_shared<VmChannel>();
   channel->vm_id = vm_id;
   channel->transport = std::move(transport);
   channel->session = std::move(session);
@@ -111,8 +123,10 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
   // against the arena reachable through this VM's own transport.
   channel->session->SetArena(channel->transport->arena());
   channel->policy = policy;
+  channel->weight = ResolveVmWeight(policy.weight);
   channel->max_parallelism =
       ResolveVmParallelism(policy.max_parallelism, channels_.size() + 1);
+  channel->ingress.set_capacity(ResolveQueueDepth(policy.queue_depth));
   channel->call_bucket.Configure(policy.calls_per_sec);
   channel->byte_bucket.Configure(policy.bytes_per_sec);
   const std::string prefix = "router.vm" + std::to_string(vm_id) + ".";
@@ -129,25 +143,47 @@ Status Router::AttachVm(VmId vm_id, TransportPtr transport,
       registry.NewCounter(prefix + "rate_limit_wait_ns");
   channel->metrics.cost_vns = registry.NewCounter(prefix + "cost_vns");
   channel->account = ledger_.AccountFor(vm_id);
-  // Join the fair queue at the current minimum so the newcomer neither
-  // starves others nor forfeits its share.
-  double min_vruntime = 0.0;
-  bool first = true;
-  for (const auto& [id, ch] : channels_) {
-    if (first || ch->vruntime < min_vruntime) {
-      min_vruntime = ch->vruntime;
-      first = false;
-    }
-  }
-  channel->vruntime = first ? 0.0 : min_vruntime;
-  channel->debt_decay_ns = MonotonicNowNs();
+  // The scheduler joins the newcomer at the current active minimum so it
+  // neither starves others nor forfeits its share.
+  wfq_.AddTenant(vm_id, channel->weight, policy.device_vns_per_sec);
   VmChannel* raw = channel.get();
   channels_[vm_id] = std::move(channel);
   if (running_ && !stopping_) {
-    raw->rx_thread = std::thread([this, raw] { RxLoop(raw); });
+    StartIngestLocked(raw);
     EnsureWorkersLocked();
   }
   return OkStatus();
+}
+
+bool Router::EnsureLoopLocked() {
+  if (loop_ != nullptr) {
+    return true;
+  }
+  auto created = EventLoop::Create();
+  if (!created.ok()) {
+    AVA_LOG(ERROR) << "event loop unavailable, using reader threads: "
+                   << created.status();
+    return false;
+  }
+  loop_ = std::move(*created);
+  loop_stop_ = false;
+  loop_thread_ = std::thread([this] { LoopMain(); });
+  return true;
+}
+
+void Router::StartIngestLocked(VmChannel* channel) {
+  const int fd = channel->transport->readiness_fd();
+  if (fd >= 0 && EnsureLoopLocked()) {
+    if (Status added = loop_->Add(fd, channel->vm_id); added.ok()) {
+      channel->on_loop = true;
+      return;
+    } else {
+      AVA_LOG(ERROR) << "vm " << channel->vm_id
+                     << ": epoll registration failed (" << added
+                     << "), using reader thread";
+    }
+  }
+  channel->rx_thread = std::thread([this, channel] { RxLoop(channel); });
 }
 
 void Router::Start() {
@@ -162,8 +198,7 @@ void Router::Start() {
   running_ = true;
   stopping_ = false;
   for (auto& [id, channel] : channels_) {
-    VmChannel* raw = channel.get();
-    raw->rx_thread = std::thread([this, raw] { RxLoop(raw); });
+    StartIngestLocked(channel.get());
   }
   EnsureWorkersLocked();
 }
@@ -186,19 +221,30 @@ void Router::EnsureWorkersLocked() {
 
 void Router::Stop() {
   std::vector<std::thread> workers;
+  std::thread loop_thread;
+  EventLoop* loop = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) {
       return;
     }
     stopping_ = true;
+    loop_stop_ = true;
+    loop = loop_.get();
     for (auto& [id, channel] : channels_) {
       channel->transport->Close();
     }
     workers.swap(workers_);
+    loop_thread.swap(loop_thread_);
+  }
+  if (loop != nullptr) {
+    loop->Wake();
   }
   sched_cv_.notify_all();
   drain_cv_.notify_all();
+  if (loop_thread.joinable()) {
+    loop_thread.join();
+  }
   for (std::thread& worker : workers) {
     if (worker.joinable()) {
       worker.join();
@@ -221,6 +267,7 @@ Status Router::PauseVm(VmId vm_id) {
   }
   VmChannel* channel = it->second.get();
   channel->paused = true;
+  UpdateRunnableLocked(channel);
   // Drain every in-flight call.
   drain_cv_.wait(lock, [&] { return channel->in_flight == 0 || stopping_; });
   return OkStatus();
@@ -234,6 +281,7 @@ Status Router::ResumeVm(VmId vm_id) {
       return NotFound("unknown vm " + std::to_string(vm_id));
     }
     it->second->paused = false;
+    UpdateRunnableLocked(it->second.get());
   }
   sched_cv_.notify_all();
   return OkStatus();
@@ -290,7 +338,7 @@ std::string Router::SessionsText() const {
   std::ostringstream out;
   out << "vm state lanes ready queued in_flight parallelism forwarded "
          "rejected cost_vns breaker_open xfer_entries xfer_bytes "
-         "xfer_budget\n";
+         "xfer_budget weight deficit\n";
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<const VmChannel*> rows;
   rows.reserve(channels_.size());
@@ -311,15 +359,18 @@ std::string Router::SessionsText() const {
       breaker_open = cell->gauge_sum;
     }
     const TransferCache& cache = channel->session->context().xfer_cache();
-    out << channel->vm_id << " " << state << " " << channel->lanes.size()
-        << " " << channel->ready_lanes.size() << " "
-        << channel->queued_calls << " " << channel->in_flight << " "
+    const double deficit =
+        wfq_.HasTenant(channel->vm_id) ? wfq_.DeficitOf(channel->vm_id) : 0.0;
+    out << channel->vm_id << " " << state << " " << channel->ingress.lanes()
+        << " " << channel->ingress.ready() << " "
+        << channel->ingress.queued() << " " << channel->in_flight << " "
         << channel->max_parallelism << " "
         << channel->metrics.calls_forwarded->Value() << " "
         << channel->metrics.calls_rejected->Value() << " "
         << channel->metrics.cost_vns->Value() << " " << breaker_open << " "
         << cache.entries() << " " << cache.size_bytes() << " "
-        << cache.budget_bytes() << "\n";
+        << cache.budget_bytes() << " " << channel->weight << " "
+        << static_cast<std::int64_t>(deficit) << "\n";
   }
   return out.str();
 }
@@ -333,11 +384,36 @@ Result<int> Router::ParallelismFor(VmId vm_id) const {
   return it->second->max_parallelism;
 }
 
+void Router::UpdateRunnableLocked(VmChannel* channel) {
+  const bool runnable = !channel->paused && !channel->dead &&
+                        channel->ingress.HasReady() &&
+                        channel->in_flight < channel->max_parallelism;
+  wfq_.SetRunnable(channel->vm_id, runnable);
+}
+
+void Router::MaybeMarkDeadLocked(VmChannel* channel) {
+  // Graceful degradation: once the guest's transport is gone and every
+  // queued call has drained, the session is dead — mark it reaped so
+  // ReapDeadVms() (or a reattach) can collect it.
+  if (!channel->dead && channel->rx_done &&
+      channel->ingress.queued() == 0 && channel->in_flight == 0) {
+    MarkDeadLocked(channel);
+  }
+}
+
 void Router::MarkDeadLocked(VmChannel* channel) {
   if (channel->dead) {
     return;
   }
   channel->dead = true;
+  wfq_.SetRunnable(channel->vm_id, false);
+  wfq_.RemoveTenant(channel->vm_id);
+  if (channel->on_loop && loop_ != nullptr) {
+    const int fd = channel->transport->readiness_fd();
+    if (fd >= 0) {
+      loop_->Remove(fd);
+    }
+  }
   sessions_reaped_->Increment();
   obs::FlightRecorder::Default().RecordEvent(
       obs::FlightKind::kVmDead, static_cast<std::uint32_t>(channel->vm_id),
@@ -347,7 +423,7 @@ void Router::MarkDeadLocked(VmChannel* channel) {
 }
 
 std::size_t Router::ReapDeadVms() {
-  std::vector<std::unique_ptr<VmChannel>> dead;
+  std::vector<std::shared_ptr<VmChannel>> dead;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = channels_.begin(); it != channels_.end();) {
@@ -392,283 +468,453 @@ void Router::RejectCall(VmChannel* channel, const CallHeader& header,
   (void)channel->transport->Send(frame);
 }
 
-void Router::EnqueueLocked(VmChannel* channel, std::uint64_t lane_key,
-                           Bytes message, std::int64_t rx_ns) {
-  Lane& lane = channel->lanes[lane_key];
-  lane.queue.push_back(PendingCall{std::move(message), rx_ns});
-  ++channel->queued_calls;
-  if (!lane.busy && lane.queue.size() == 1) {
-    channel->ready_lanes.push_back(lane_key);
+Bytes Router::RejectUnitLocked(VmChannel* channel, const Bytes& unit) {
+  overload_rejected_->Increment();
+  const StatusCode code = StatusCode::kResourceExhausted;
+  auto kind = PeekKind(unit);
+  if (kind.ok() && *kind == MsgKind::kBatch) {
+    // A whole batch frame (parallelism 1). Batches are async-only: no reply
+    // is owed, but every constituent call lands in the books.
+    std::uint64_t n = 1;
+    if (auto calls = DecodeBatch(unit); calls.ok()) {
+      n = calls->size();
+    }
+    channel->metrics.calls_rejected->Increment(n);
+    if (channel->account != nullptr) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        channel->account->RecordCall(0, 0, 0, static_cast<std::uint8_t>(code));
+      }
+    }
+    obs::FlightRecorder::Default().RecordEvent(
+        obs::FlightKind::kReject, static_cast<std::uint32_t>(channel->vm_id),
+        0, 0, 0, static_cast<std::uint16_t>(code));
+    return Bytes();
   }
-  if (obs::SamplingEnabled()) {
-    lane_queue_depth_->Record(static_cast<std::int64_t>(lane.queue.size()));
+  auto decoded = DecodeCall(unit);
+  if (!decoded.ok()) {
+    channel->metrics.calls_rejected->Increment();
+    return Bytes();
+  }
+  const CallHeader& header = decoded->header;
+  channel->metrics.calls_rejected->Increment();
+  if (channel->account != nullptr) {
+    channel->account->RecordCall(0, 0, 0, static_cast<std::uint8_t>(code));
+  }
+  obs::FlightRecorder::Default().RecordEvent(
+      obs::FlightKind::kReject, static_cast<std::uint32_t>(channel->vm_id),
+      header.trace_id, header.call_id,
+      static_cast<std::uint64_t>(header.api_id) << 32 | header.func_id,
+      static_cast<std::uint16_t>(code));
+  if (header.is_async()) {
+    return Bytes();
+  }
+  ReplyHeader reply;
+  reply.call_id = header.call_id;
+  reply.vm_id = header.vm_id;
+  reply.status_code = static_cast<std::int32_t>(code);
+  ReplyBuilder builder(reply);
+  return std::move(builder).Finish();
+}
+
+bool Router::VerifyFrame(VmChannel* channel, Bytes message, IngestBatch* out) {
+  const bool sampling = obs::SamplingEnabled();
+  out->rx_ns = sampling ? MonotonicNowNs() : 0;
+  // ---- verification ----
+  channel->metrics.messages_received->Increment();
+  channel->metrics.bytes_received->Increment(message.size());
+  // Checksum first: nothing in a corrupt frame (not even the call id) can
+  // be trusted, so there is no one to send an error reply to — reject and
+  // let the guest's deadline/retry machinery handle the loss per-call.
+  if (Status crc = CheckAndStripFrame(&message); !crc.ok()) {
+    crc_rejected_->Increment();
+    channel->metrics.calls_rejected->Increment();
+    AVA_LOG_EVERY_N(WARNING, 64)
+        << "vm " << channel->vm_id << ": corrupt frame rejected";
+    return false;
+  }
+  if (message.size() > channel->policy.max_message_bytes) {
+    AVA_LOG_EVERY_N(WARNING, 64) << "vm " << channel->vm_id
+                                 << ": oversized message rejected";
+    // The frame verified, so its header is trustworthy enough to answer:
+    // a sync caller gets a classified error instead of a hang.
+    if (auto oversized = DecodeCall(message); oversized.ok()) {
+      RejectCall(channel, oversized->header, StatusCode::kInvalidArgument);
+    }
+    return false;
+  }
+  auto kind = PeekKind(message);
+  if (!kind.ok()) {
+    AVA_LOG_EVERY_N(WARNING, 64)
+        << "vm " << channel->vm_id << ": unparseable message";
+    return false;
+  }
+  // max_parallelism is written before ingest starts, constant after.
+  const bool lanes_on = channel->max_parallelism > 1;
+  const std::size_t frame_bytes = message.size();
+  std::uint64_t bulk_bytes = 0;
+  std::uint64_t cached_bytes = 0;
+  // The dispatch units this frame expands to: (message, lane key). A batch
+  // splits into per-call units when the VM runs lanes concurrently so each
+  // call lands on its object's lane; at parallelism 1 everything shares
+  // lane 0 and the batch stays whole — identical behavior to the classic
+  // serial executor.
+  if (*kind == MsgKind::kCall) {
+    if (auto bulk = PeekCallBulkBytes(message); bulk.ok()) {
+      bulk_bytes = *bulk;
+    }
+    if (auto cached = PeekCallCachedBytes(message); cached.ok()) {
+      cached_bytes = *cached;
+    }
+    auto decoded = DecodeCall(message);
+    if (!decoded.ok()) {
+      AVA_LOG_EVERY_N(WARNING, 64)
+          << "vm " << channel->vm_id << ": malformed call";
+      return false;
+    }
+    if (decoded->header.vm_id != channel->vm_id) {
+      // A guest claiming another VM's identity: the core isolation check.
+      AVA_LOG_EVERY_N(WARNING, 64)
+          << "vm " << channel->vm_id << ": spoofed vm id "
+          << decoded->header.vm_id;
+      RejectCall(channel, decoded->header, StatusCode::kPermissionDenied);
+      return false;
+    }
+    const std::uint64_t lane_key = lanes_on ? decoded->header.lane_key : 0;
+    out->units.emplace_back(std::move(message), lane_key);
+  } else if (*kind == MsgKind::kBatch) {
+    auto calls = DecodeBatch(message);
+    if (!calls.ok()) {
+      return false;
+    }
+    out->call_count = static_cast<double>(calls->size());
+    bool ok = true;
+    std::vector<std::uint64_t> lane_keys;
+    lane_keys.reserve(calls->size());
+    for (const Bytes& call : *calls) {
+      auto decoded = DecodeCall(call);
+      if (!decoded.ok() || decoded->header.vm_id != channel->vm_id ||
+          !decoded->header.is_async()) {
+        ok = false;
+        break;
+      }
+      lane_keys.push_back(decoded->header.lane_key);
+    }
+    if (!ok) {
+      AVA_LOG_EVERY_N(WARNING, 64)
+          << "vm " << channel->vm_id << ": bad batch dropped";
+      return false;
+    }
+    if (lanes_on) {
+      for (std::size_t i = 0; i < calls->size(); ++i) {
+        out->units.emplace_back(std::move((*calls)[i]), lane_keys[i]);
+      }
+    } else {
+      out->units.emplace_back(std::move(message), 0);
+    }
+  } else {
+    return false;  // replies never flow guest -> router
+  }
+  // Arena pass-through bytes never cross the command ring, but they are
+  // still data the VM moved: charge them against the same byte budget so
+  // the out-of-band path cannot launder bandwidth past policy.
+  if (bulk_bytes > 0) {
+    arena_bytes_->Increment(bulk_bytes);
+  }
+  // Transfer-cache hits are the opposite case: the named bytes never move
+  // at all — the server already holds them — so they are counted for
+  // observability but NOT charged against the byte budget. Policed guests
+  // keep their full bandwidth allotment for bytes that actually travel.
+  if (cached_bytes > 0) {
+    cached_bytes_->Increment(cached_bytes);
+  }
+  out->charge_bytes =
+      static_cast<double>(frame_bytes) + static_cast<double>(bulk_bytes);
+  return true;
+}
+
+void Router::EnqueueBatch(VmChannel* channel, IngestBatch* batch,
+                          std::int64_t waited_ns) {
+  const bool sampling = obs::SamplingEnabled();
+  std::vector<Bytes> error_replies;
+  std::size_t enqueued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    channel->metrics.rate_limit_wait_ns->Increment(
+        static_cast<std::uint64_t>(waited_ns));
+    wfq_.TouchActivity(channel->vm_id);
+    for (auto& [unit, lane_key] : batch->units) {
+      // ---- admission control ----
+      if (channel->ingress.Full()) {
+        Bytes reply = RejectUnitLocked(channel, unit);
+        if (!reply.empty()) {
+          error_replies.push_back(std::move(reply));
+        }
+        continue;
+      }
+      channel->ingress.Push(lane_key,
+                            PendingCall{std::move(unit), batch->rx_ns});
+      ++enqueued;
+      if (sampling) {
+        lane_queue_depth_->Record(
+            static_cast<std::int64_t>(channel->ingress.LaneDepth(lane_key)));
+      }
+    }
+    UpdateRunnableLocked(channel);
+  }
+  // One new dispatchable unit needs one worker; wake the whole pool only
+  // when a batch split fanned out across lanes.
+  if (enqueued == 1) {
+    sched_cv_.notify_one();
+  } else if (enqueued > 1) {
+    sched_cv_.notify_all();
+  }
+  for (Bytes& reply : error_replies) {
+    SealFrame(&reply);
+    (void)channel->transport->Send(reply);
   }
 }
 
 void Router::RxLoop(VmChannel* channel) {
-  // max_parallelism is written before this thread starts, constant after.
-  const bool lanes_on = channel->max_parallelism > 1;
   while (true) {
     auto message = channel->transport->Recv();
     if (!message.ok()) {
       break;  // transport closed
     }
-    const bool sampling = obs::SamplingEnabled();
-    const std::int64_t rx_ns = sampling ? MonotonicNowNs() : 0;
-    // ---- verification ----
-    channel->metrics.messages_received->Increment();
-    channel->metrics.bytes_received->Increment(message->size());
-    // Checksum first: nothing in a corrupt frame (not even the call id) can
-    // be trusted, so there is no one to send an error reply to — reject and
-    // let the guest's deadline/retry machinery handle the loss per-call.
-    if (Status crc = CheckAndStripFrame(&*message); !crc.ok()) {
-      crc_rejected_->Increment();
-      channel->metrics.calls_rejected->Increment();
-      AVA_LOG_EVERY_N(WARNING, 64)
-          << "vm " << channel->vm_id << ": corrupt frame rejected";
+    IngestBatch batch;
+    if (!VerifyFrame(channel, std::move(*message), &batch)) {
       continue;
-    }
-    if (message->size() > channel->policy.max_message_bytes) {
-      AVA_LOG_EVERY_N(WARNING, 64) << "vm " << channel->vm_id
-                                   << ": oversized message rejected";
-      // The frame verified, so its header is trustworthy enough to answer:
-      // a sync caller gets a classified error instead of a hang.
-      if (auto oversized = DecodeCall(*message); oversized.ok()) {
-        RejectCall(channel, oversized->header, StatusCode::kInvalidArgument);
-      }
-      continue;
-    }
-    auto kind = PeekKind(*message);
-    if (!kind.ok()) {
-      AVA_LOG_EVERY_N(WARNING, 64)
-          << "vm " << channel->vm_id << ": unparseable message";
-      continue;
-    }
-    double call_count = 1.0;
-    std::uint64_t bulk_bytes = 0;
-    std::uint64_t cached_bytes = 0;
-    // The dispatch units this frame expands to: (message, lane key). A
-    // batch splits into per-call units when the VM runs lanes concurrently
-    // so each call lands on its object's lane; at parallelism 1 everything
-    // shares lane 0 and the batch stays whole — identical behavior to the
-    // classic serial executor.
-    std::vector<std::pair<Bytes, std::uint64_t>> units;
-    if (*kind == MsgKind::kCall) {
-      if (auto bulk = PeekCallBulkBytes(*message); bulk.ok()) {
-        bulk_bytes = *bulk;
-      }
-      if (auto cached = PeekCallCachedBytes(*message); cached.ok()) {
-        cached_bytes = *cached;
-      }
-      auto decoded = DecodeCall(*message);
-      if (!decoded.ok()) {
-        AVA_LOG_EVERY_N(WARNING, 64)
-            << "vm " << channel->vm_id << ": malformed call";
-        continue;
-      }
-      if (decoded->header.vm_id != channel->vm_id) {
-        // A guest claiming another VM's identity: the core isolation check.
-        AVA_LOG_EVERY_N(WARNING, 64)
-            << "vm " << channel->vm_id << ": spoofed vm id "
-            << decoded->header.vm_id;
-        RejectCall(channel, decoded->header, StatusCode::kPermissionDenied);
-        continue;
-      }
-      const std::uint64_t lane_key = lanes_on ? decoded->header.lane_key : 0;
-      units.emplace_back(std::move(*message), lane_key);
-    } else if (*kind == MsgKind::kBatch) {
-      auto calls = DecodeBatch(*message);
-      if (!calls.ok()) {
-        continue;
-      }
-      call_count = static_cast<double>(calls->size());
-      bool ok = true;
-      std::vector<std::uint64_t> lane_keys;
-      lane_keys.reserve(calls->size());
-      for (const Bytes& call : *calls) {
-        auto decoded = DecodeCall(call);
-        if (!decoded.ok() || decoded->header.vm_id != channel->vm_id ||
-            !decoded->header.is_async()) {
-          ok = false;
-          break;
-        }
-        lane_keys.push_back(decoded->header.lane_key);
-      }
-      if (!ok) {
-        AVA_LOG_EVERY_N(WARNING, 64)
-            << "vm " << channel->vm_id << ": bad batch dropped";
-        continue;
-      }
-      if (lanes_on) {
-        for (std::size_t i = 0; i < calls->size(); ++i) {
-          units.emplace_back(std::move((*calls)[i]), lane_keys[i]);
-        }
-      } else {
-        units.emplace_back(std::move(*message), 0);
-      }
-    } else {
-      continue;  // replies never flow guest -> router
     }
     // ---- rate limiting (blocks this VM's stream only) ----
-    // Arena pass-through bytes never cross the command ring, but they are
-    // still data the VM moved: charge them against the same byte budget so
-    // the out-of-band path cannot launder bandwidth past policy.
-    if (bulk_bytes > 0) {
-      arena_bytes_->Increment(bulk_bytes);
-    }
-    // Transfer-cache hits are the opposite case: the named bytes never move
-    // at all — the server already holds them — so they are counted for
-    // observability but NOT charged against the byte budget. Policed guests
-    // keep their full bandwidth allotment for bytes that actually travel.
-    if (cached_bytes > 0) {
-      cached_bytes_->Increment(cached_bytes);
-    }
-    std::int64_t waited = channel->call_bucket.Acquire(call_count);
-    waited += channel->byte_bucket.Acquire(
-        static_cast<double>(message->size()) +
-        static_cast<double>(bulk_bytes));
-    if (sampling && waited > 0) {
+    std::int64_t waited = channel->call_bucket.Acquire(batch.call_count);
+    waited += channel->byte_bucket.Acquire(batch.charge_bytes);
+    if (waited > 0 && obs::SamplingEnabled()) {
       rate_wait_ns_->Record(waited);
     }
-    // ---- enqueue for the workers ----
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      channel->metrics.rate_limit_wait_ns->Increment(
-          static_cast<std::uint64_t>(waited));
-      channel->last_activity_ns = MonotonicNowNs();
-      for (auto& [unit, lane_key] : units) {
-        EnqueueLocked(channel, lane_key, std::move(unit), rx_ns);
-      }
-    }
-    // One new dispatchable unit needs one worker; wake the whole pool only
-    // when a batch split fanned out across lanes.
-    if (units.size() == 1) {
-      sched_cv_.notify_one();
-    } else {
-      sched_cv_.notify_all();
-    }
+    EnqueueBatch(channel, &batch, waited);
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     channel->rx_done = true;
+    MaybeMarkDeadLocked(channel);
   }
   sched_cv_.notify_all();
   drain_cv_.notify_all();
 }
 
-// Weighted-fair arbitration is evaluated by the shared worker pool directly
-// (no separate scheduler hop). A VM may dispatch its next call when its
-// weighted vruntime is not meaningfully ahead of any *active* contender —
-// active meaning it has work queued, in flight, or finished work recently.
-// The recency clause makes weights bind even for closed-loop guests whose
-// router queue is momentarily empty while they wait on device completions.
-namespace {
-constexpr double kWfqWindowVns = 250000.0;      // slack before a VM must wait
-constexpr std::int64_t kActiveWindowNs = 50000000;  // 50 ms recency
-}  // namespace
+// ---------------------- event-driven front end -----------------------------
 
-bool Router::EligibleLocked(VmChannel* channel, std::int64_t now) {
-  if (channel->paused || channel->dead || channel->ready_lanes.empty() ||
-      channel->in_flight >= channel->max_parallelism) {
-    return false;
-  }
-  // Device-time allotment: drain the debt at the configured rate and hold
-  // the VM while it is still over budget.
-  if (channel->policy.device_vns_per_sec > 0.0) {
-    const double elapsed_s =
-        static_cast<double>(now - channel->debt_decay_ns) * 1e-9;
-    channel->debt_decay_ns = now;
-    channel->vns_debt = std::max(
-        0.0, channel->vns_debt - elapsed_s * channel->policy.device_vns_per_sec);
-    if (channel->vns_debt > 0.0) {
-      return false;
+void Router::LoopMain() {
+  // Channels owed a drain pass. A channel that still had frames after its
+  // per-visit cap is re-queued behind its siblings — round-robin across hot
+  // sessions, so one flood cannot monopolize the loop.
+  std::deque<VmId> work;
+  while (true) {
+    int timeout_ms = -1;
+    if (!work.empty()) {
+      timeout_ms = 0;
+    } else if (!parked_vms_.empty()) {
+      timeout_ms = 1;  // token-bucket refills happen on wall time
     }
-  }
-  const double my_key =
-      channel->vruntime / std::max(channel->policy.weight, 1e-9);
-  for (auto& [id, other] : channels_) {
-    if (other.get() == channel || other->paused || other->dead) {
-      continue;
-    }
-    const bool active = other->in_flight > 0 || other->queued_calls > 0 ||
-                        now - other->last_activity_ns < kActiveWindowNs;
-    if (!active) {
-      continue;
-    }
-    // A contender currently held by its own device-time allotment must not
-    // stall us: its stale (low) vruntime does not represent demand.
-    if (other->policy.device_vns_per_sec > 0.0) {
-      const double other_debt =
-          other->vns_debt -
-          static_cast<double>(now - other->debt_decay_ns) * 1e-9 *
-              other->policy.device_vns_per_sec;
-      if (other_debt > 0.0) {
-        continue;
+    const auto& events = loop_->Wait(timeout_ms);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (loop_stop_) {
+        return;
       }
     }
-    const double key =
-        other->vruntime / std::max(other->policy.weight, 1e-9);
-    if (my_key > key + kWfqWindowVns) {
-      return false;
+    for (const auto& event : events) {
+      work.push_back(static_cast<VmId>(event.token));
+    }
+    if (!parked_vms_.empty()) {
+      RetryParked();
+    }
+    const std::size_t slice = work.size();
+    for (std::size_t i = 0; i < slice; ++i) {
+      const VmId vm = work.front();
+      work.pop_front();
+      // Pin the channel before draining outside mutex_: a concurrent reap
+      // may erase it from the map but cannot free it under us.
+      std::shared_ptr<VmChannel> channel;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (loop_stop_) {
+          return;
+        }
+        auto it = channels_.find(vm);
+        if (it == channels_.end() || !it->second->on_loop ||
+            it->second->dead) {
+          continue;
+        }
+        channel = it->second;
+      }
+      if (channel->parked != nullptr) {
+        continue;  // fd is muted until the parked frame wins its tokens
+      }
+      if (DrainChannel(channel)) {
+        work.push_back(vm);
+      }
     }
   }
-  return true;
 }
 
-Router::VmChannel* Router::PickChannelLocked() {
-  const std::int64_t now = MonotonicNowNs();
-  VmChannel* best = nullptr;
-  double best_key = 0.0;
-  for (auto& [id, entry] : channels_) {
-    VmChannel* channel = entry.get();
-    // Graceful degradation: once the guest's transport is gone and every
-    // queued call has drained, the session is dead — mark it reaped so
-    // ReapDeadVms() (or a reattach) can collect it.
-    if (!channel->dead && channel->rx_done && channel->queued_calls == 0 &&
-        channel->in_flight == 0) {
-      MarkDeadLocked(channel);
+bool Router::DrainChannel(const std::shared_ptr<VmChannel>& channel) {
+  // Ack BEFORE draining: a doorbell ring that lands after this point
+  // re-arms readiness, so no wakeup is lost between drain and re-wait.
+  channel->transport->AckReadiness();
+  for (int i = 0; i < kMaxFramesPerVisit; ++i) {
+    auto message = channel->transport->TryRecv();
+    if (!message.ok()) {
+      if (message.status().code() == StatusCode::kNotFound) {
+        return false;  // dry (possibly a spurious wakeup — benign)
+      }
+      // Unavailable: the transport is closed; this session's ingest is done.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        channel->rx_done = true;
+        if (loop_ != nullptr) {
+          const int fd = channel->transport->readiness_fd();
+          if (fd >= 0) {
+            loop_->Remove(fd);
+          }
+        }
+        MaybeMarkDeadLocked(channel.get());
+      }
       sched_cv_.notify_all();
+      drain_cv_.notify_all();
+      return false;
+    }
+    IngestBatch batch;
+    if (!VerifyFrame(channel.get(), std::move(*message), &batch)) {
       continue;
     }
-    if (!EligibleLocked(channel, now)) {
-      continue;
+    // ---- rate limiting, non-blocking ----
+    // The loop thread must never sleep on one VM's budget: a frame that
+    // cannot take its tokens parks the channel (epoll-muted) and the loop
+    // retries on its 1 ms tick.
+    const bool call_ok = channel->call_bucket.TryAcquire(batch.call_count);
+    const bool bytes_ok =
+        call_ok && channel->byte_bucket.TryAcquire(batch.charge_bytes);
+    if (!call_ok || !bytes_ok) {
+      ParkChannel(channel.get(), std::move(batch), call_ok);
+      return false;
     }
-    const double key =
-        channel->vruntime / std::max(channel->policy.weight, 1e-9);
-    if (best == nullptr || key < best_key) {
-      best = channel;
-      best_key = key;
+    EnqueueBatch(channel.get(), &batch, 0);
+  }
+  return true;  // frame cap hit: more may be pending, revisit
+}
+
+void Router::ParkChannel(VmChannel* channel, IngestBatch batch,
+                         bool call_paid) {
+  channel->parked = std::make_unique<IngestBatch>(std::move(batch));
+  channel->parked_call_paid = call_paid;
+  channel->park_start_ns = MonotonicNowNs();
+  if (loop_ != nullptr) {
+    const int fd = channel->transport->readiness_fd();
+    if (fd >= 0) {
+      (void)loop_->Mod(fd, channel->vm_id, /*want_read=*/false);
     }
   }
-  return best;
+  parked_vms_.push_back(channel->vm_id);
 }
+
+void Router::RetryParked() {
+  std::vector<VmId> still_parked;
+  for (const VmId vm : parked_vms_) {
+    std::shared_ptr<VmChannel> channel;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = channels_.find(vm);
+      if (it != channels_.end() && !it->second->dead) {
+        channel = it->second;
+      }
+    }
+    if (channel == nullptr || channel->parked == nullptr) {
+      continue;  // channel died or was replaced; the parked frame is gone
+    }
+    if (!channel->parked_call_paid) {
+      if (!channel->call_bucket.TryAcquire(channel->parked->call_count)) {
+        still_parked.push_back(vm);
+        continue;
+      }
+      channel->parked_call_paid = true;
+    }
+    if (!channel->byte_bucket.TryAcquire(channel->parked->charge_bytes)) {
+      still_parked.push_back(vm);
+      continue;
+    }
+    const std::int64_t waited = MonotonicNowNs() - channel->park_start_ns;
+    if (waited > 0 && obs::SamplingEnabled()) {
+      rate_wait_ns_->Record(waited);
+    }
+    auto batch = std::move(channel->parked);
+    channel->parked_call_paid = false;
+    EnqueueBatch(channel.get(), batch.get(), waited);
+    if (loop_ != nullptr) {
+      const int fd = channel->transport->readiness_fd();
+      if (fd >= 0) {
+        (void)loop_->Mod(fd, vm, /*want_read=*/true);
+      }
+    }
+  }
+  parked_vms_.swap(still_parked);
+}
+
+// ------------------------------ dispatch -----------------------------------
 
 void Router::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (!stopping_) {
-    VmChannel* pick = PickChannelLocked();
-    if (pick == nullptr) {
-      // wait_for rather than wait: debt-paced eligibility changes with wall
-      // time, not only with state transitions.
-      sched_cv_.wait_for(lock, std::chrono::microseconds(200));
+    std::uint64_t vm = 0;
+    if (!wfq_.PickNext(&vm)) {
+      if (wfq_.throttle_pending() && !sched_poller_active_) {
+        // Pacing and window-veto eligibility change with wall time, not
+        // only with state transitions — but one timed poller is enough to
+        // notice. The rest of the pool blocks until an enqueue, a
+        // completion, or the poller's dispatch signals it.
+        sched_poller_active_ = true;
+        sched_cv_.wait_for(lock, std::chrono::microseconds(200));
+        sched_poller_active_ = false;
+      } else {
+        sched_cv_.wait(lock);
+      }
       continue;
     }
-    DispatchOne(pick, lock);
+    // If other tenants are still time-gated, hand the polling duty to
+    // another worker before this one commits to a dispatch.
+    if (wfq_.throttle_pending()) {
+      sched_cv_.notify_one();
+    }
+    auto it = channels_.find(vm);
+    if (it == channels_.end() || it->second->dead) {
+      // Scheduler/channel state raced; silence the stale tenant and rescan.
+      wfq_.SetRunnable(vm, false);
+      continue;
+    }
+    DispatchOne(it->second.get(), lock);
   }
 }
 
 void Router::DispatchOne(VmChannel* channel,
                          std::unique_lock<std::mutex>& lock) {
-  const std::uint64_t lane_key = channel->ready_lanes.front();
-  channel->ready_lanes.pop_front();
-  Lane& lane = channel->lanes.find(lane_key)->second;
-  lane.busy = true;
-  PendingCall pending = std::move(lane.queue.front());
-  lane.queue.pop_front();
-  --channel->queued_calls;
+  std::uint64_t lane_key = 0;
+  PendingCall pending;
+  if (!channel->ingress.PopReady(&lane_key, &pending)) {
+    UpdateRunnableLocked(channel);  // stale runnable bit; resync
+    return;
+  }
   ++channel->in_flight;
   channel->metrics.calls_forwarded->Increment();
   lanes_active_->Add(1);
+  // Pre-charge the CAvA-emitted cost hint (CallHeader::cost_hint) so a
+  // burst of expensive calls cannot all look free until their completions
+  // land; the completion charge below reconciles hint against the
+  // server-accounted truth.
+  std::int64_t hint = 0;
+  if (auto peeked = PeekCallCostHint(pending.message); peeked.ok()) {
+    hint = static_cast<std::int64_t>(std::min(*peeked, kMaxCostHint));
+  }
+  wfq_.Charge(channel->vm_id, hint);
+  UpdateRunnableLocked(channel);
   lock.unlock();
 
   Bytes message = std::move(pending.message);
@@ -740,29 +986,21 @@ void Router::DispatchOne(VmChannel* channel,
   }
 
   // Account BEFORE replying: a guest that receives the reply must observe
-  // the call's cost in the router's books.
+  // the call's cost in the router's books. The scheduler charge reconciles
+  // the dispatch-time hint against the server-accounted cost (net: cost).
   lock.lock();
-  channel->vruntime += static_cast<double>(std::max<std::int64_t>(cost, 0));
-  channel->vns_debt += static_cast<double>(std::max<std::int64_t>(cost, 0));
+  wfq_.Charge(channel->vm_id, cost - hint);
   channel->metrics.cost_vns->Increment(
       static_cast<std::uint64_t>(std::max<std::int64_t>(cost, 0)));
-  channel->last_activity_ns = MonotonicNowNs();
-  // Lane bookkeeping: re-find the lane — the map may have rehashed while
-  // the lock was dropped. The entry itself cannot have been erased: a busy
-  // lane is never in ready_lanes and only this worker finishes it.
-  auto lane_it = channel->lanes.find(lane_key);
-  lane_it->second.busy = false;
-  if (lane_it->second.queue.empty()) {
-    channel->lanes.erase(lane_it);
-  } else {
-    channel->ready_lanes.push_back(lane_key);
-  }
+  channel->ingress.FinishLane(lane_key);
   --channel->in_flight;
   lanes_active_->Add(-1);
-  // This worker loops back to PickChannelLocked itself, so at most one
-  // *additional* worker can use the freed capacity — waking the whole pool
-  // on every completion just burns context switches on small calls.
-  if (!channel->ready_lanes.empty() &&
+  UpdateRunnableLocked(channel);
+  MaybeMarkDeadLocked(channel);
+  // This worker loops back to PickNext itself, so at most one *additional*
+  // worker can use the freed capacity — waking the whole pool on every
+  // completion just burns context switches on small calls.
+  if (channel->ingress.HasReady() &&
       channel->in_flight < channel->max_parallelism) {
     sched_cv_.notify_one();
   }

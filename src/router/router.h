@@ -6,12 +6,20 @@
 //   - verification: parse and sanity-check every command block; reject
 //     messages whose vm_id does not match the attached channel
 //   - policy: per-VM token-bucket rate limiting (calls/s, bytes/s)
-//   - scheduling: weighted fair queuing over reported device cost — the VM
-//     with the smallest weighted virtual runtime runs next
+//   - admission: bounded per-VM ingress queues; work beyond the bound is
+//     rejected with ResourceExhausted instead of queued without limit
+//   - scheduling: deficit-weighted fair queueing over virtual device time
+//     (src/router/wfq.h) — WFQ picks the VM, lanes order work within it
 //   - accounting: per-VM forwarded calls, bytes, waits, and device cost
 //
-// Threads: one RX thread per VM (receive + verify + rate-limit) and a shared
-// pool of executor workers that dispatch calls onto ApiServerSessions.
+// Threads: ingest is event-driven — a single epoll loop thread
+// (src/router/event_loop.h) multiplexes every readiness-capable guest
+// transport (sockets, shm doorbell rings), so a thousand attached sessions
+// cost one thread, not a thousand. Transports without a readiness fd
+// (inproc, fault-injection wrappers) keep a dedicated blocking reader
+// thread. A shared pool of executor workers dispatches verified calls onto
+// ApiServerSessions.
+//
 // Within a VM, calls are partitioned into per-object execution lanes keyed
 // by the call's lane key (the wire id of the object it operates on, stamped
 // by the generated guest stub). Calls in one lane stay strictly FIFO with at
@@ -37,7 +45,9 @@
 #include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/proto/wire.h"
+#include "src/router/event_loop.h"
 #include "src/router/rate_limiter.h"
+#include "src/router/wfq.h"
 #include "src/server/api_server.h"
 #include "src/transport/transport.h"
 
@@ -50,7 +60,9 @@ int ResolveVmParallelism(int requested, std::size_t vm_count);
 
 // Per-VM resource policy, from the spec's resource-usage configuration.
 struct VmPolicy {
-  double weight = 1.0;          // share under backlog (weighted fair queuing)
+  // Scheduler share under backlog (deficit-weighted fair queueing). 0 = auto:
+  // AVA_VM_WEIGHT when set and well-formed, else 1.0.
+  double weight = 0.0;
   double calls_per_sec = 0.0;   // 0 = unlimited
   double bytes_per_sec = 0.0;   // 0 = unlimited
   // Device-time allotment (§4.3 "how much of each specified API resource
@@ -59,6 +71,10 @@ struct VmPolicy {
   // calls is delayed once the allotment is exhausted. 0 = unlimited.
   double device_vns_per_sec = 0.0;
   std::size_t max_message_bytes = 256u << 20;
+  // Admission bound: total verified calls queued for this VM at once.
+  // Ingress beyond the bound is rejected with ResourceExhausted. 0 = auto:
+  // AVA_ROUTER_QUEUE_DEPTH when set, else kDefaultQueueDepth.
+  std::size_t queue_depth = 0;
   // Upper bound on this VM's concurrently executing calls (its distinct
   // execution lanes in flight at once). 0 = auto: AVA_VM_PARALLELISM when
   // set, else hardware threads / attached VM count (floor 1). Resolved once
@@ -105,8 +121,9 @@ class Router {
   Result<int> ParallelismFor(VmId vm_id) const;
 
   // Detaches every dead VM (peer transport gone, work drained): joins its
-  // RX thread and frees its channel. Returns how many were removed. Dead
-  // channels are also replaced transparently when AttachVm() reuses the id.
+  // RX thread (if any) and frees its channel. Returns how many were removed.
+  // Dead channels are also replaced transparently when AttachVm() reuses the
+  // id.
   std::size_t ReapDeadVms();
 
   // Total sessions this router has marked dead (monotone; survives reaping).
@@ -114,14 +131,15 @@ class Router {
 
   // ---- live introspection plane ----
   // Per-VM accounting ledger fed on every call completion (cumulative +
-  // EWMA device-time/bytes; the future fair scheduler's input).
+  // EWMA device-time/bytes; the fair scheduler's input signal).
   obs::AccountingLedger& ledger() { return ledger_; }
   // Binds this router (latest-wins) behind the admin channel's `sessions`
   // and `account` commands. Start() does this automatically against
   // AdminChannel::Default(); tests may register a private channel.
   void RegisterAdmin(obs::AdminChannel* admin);
   // The `sessions` table: one row per attached VM with scheduler state,
-  // lane/queue depths, circuit-breaker and transfer-cache residency.
+  // lane/queue depths, circuit-breaker and transfer-cache residency, and the
+  // WFQ weight/deficit columns.
   std::string SessionsText() const;
 
  private:
@@ -130,14 +148,6 @@ class Router {
   struct PendingCall {
     Bytes message;
     std::int64_t rx_ns = 0;
-  };
-
-  // One per-object execution lane: a FIFO of verified calls touching the
-  // same object, with at most one call in flight (`busy`). Lanes exist only
-  // while they hold or execute work; an idle lane is erased.
-  struct Lane {
-    std::deque<PendingCall> queue;
-    bool busy = false;
   };
 
   // Per-VM accounting cells, registered as router.vm<id>.* in the default
@@ -151,12 +161,22 @@ class Router {
     std::shared_ptr<obs::Counter> cost_vns;
   };
 
+  // The dispatch units one verified frame expands to, plus its token-bucket
+  // charges. Produced by VerifyFrame, consumed by the two ingest paths.
+  struct IngestBatch {
+    std::vector<std::pair<Bytes, std::uint64_t>> units;  // (frame, lane key)
+    double call_count = 1.0;
+    double charge_bytes = 0.0;
+    std::int64_t rx_ns = 0;
+  };
+
   struct VmChannel {
     VmId vm_id = 0;
     TransportPtr transport;
     std::shared_ptr<ApiServerSession> session;
     VmPolicy policy;
-    int max_parallelism = 1;  // resolved at attach
+    double weight = 1.0;          // resolved at attach (ResolveVmWeight)
+    int max_parallelism = 1;      // resolved at attach
     TokenBucket call_bucket;
     TokenBucket byte_bucket;
     VmMetrics metrics;
@@ -164,43 +184,60 @@ class Router {
     // re-resolves by id (relaxed-atomic updates only).
     std::shared_ptr<obs::VmAccount> account;
 
-    // Verified calls awaiting dispatch, partitioned by lane key.
-    std::unordered_map<std::uint64_t, Lane> lanes;
-    // Dispatch order across this VM's lanes. Invariant: a lane key appears
-    // here exactly once iff its lane has queued work and is not busy.
-    std::deque<std::uint64_t> ready_lanes;
-    std::size_t queued_calls = 0;  // total across all lanes
-    int in_flight = 0;             // executing now, bounded by parallelism
+    // Verified calls awaiting dispatch, partitioned into per-object FIFO
+    // lanes with a bounded total depth (admission control).
+    LaneSet<PendingCall> ingress;
+    int in_flight = 0;  // executing now, bounded by parallelism
     bool paused = false;
     bool rx_done = false;
     // Set when the session is finished (transport closed and work drained,
     // or a reply send failed). A dead channel schedules nothing.
     bool dead = false;
-    double vruntime = 0.0;
-    // Device-time debt for the allotment pacer: completed calls add their
-    // cost; the debt drains at policy.device_vns_per_sec. A VM with positive
-    // debt is ineligible to dispatch.
-    double vns_debt = 0.0;
-    std::int64_t debt_decay_ns = 0;
-    std::int64_t last_activity_ns = 0;  // last enqueue or completion
 
+    // True when this channel's ingest is driven by the shared event loop
+    // (transport has a readiness fd); false = dedicated blocking RX thread.
+    bool on_loop = false;
     std::thread rx_thread;
+
+    // A frame that verified but could not take its rate-limit tokens
+    // without blocking. Owned by the loop thread exclusively: the channel's
+    // fd is parked (epoll-muted) while this is set, and only the loop
+    // thread parks/unparks.
+    std::unique_ptr<IngestBatch> parked;
+    bool parked_call_paid = false;   // call bucket already satisfied
+    std::int64_t park_start_ns = 0;  // for rate_limit_wait accounting
   };
 
+  // ---- ingest (loop thread or per-VM RX thread) ----
   void RxLoop(VmChannel* channel);
+  void LoopMain();
+  // Verifies one frame (CRC, size, vm id, parse) and expands it into
+  // dispatch units. False when the frame was consumed here (rejected or
+  // dropped); metrics and error replies are already handled.
+  bool VerifyFrame(VmChannel* channel, Bytes message, IngestBatch* out);
+  // Enqueues a verified batch under mutex_: admission control, lane
+  // bookkeeping, scheduler runnable/activity updates, worker wakeup.
+  void EnqueueBatch(VmChannel* channel, IngestBatch* batch,
+                    std::int64_t waited_ns);
+  // Drains `channel`'s transport via TryRecv until dry, parked, or the
+  // per-visit frame cap. Returns true when more frames may be pending
+  // (revisit without waiting).
+  bool DrainChannel(const std::shared_ptr<VmChannel>& channel);
+  // Parks a verified-but-unpaid frame on its channel and mutes the fd until
+  // RetryParked() wins the tokens. Loop thread only.
+  void ParkChannel(VmChannel* channel, IngestBatch batch, bool call_paid);
+  // Retries the rate-limit tokens of every parked channel; unparks (re-arms
+  // epoll) on success. Loop thread only.
+  void RetryParked();
+  // Starts ingest for a channel: event-loop registration when the transport
+  // exposes a readiness fd, else a blocking RX thread. Caller holds mutex_.
+  void StartIngestLocked(VmChannel* channel);
+  // Lazily creates the event loop + its thread. False if epoll setup failed
+  // (callers fall back to an RX thread). Caller holds mutex_.
+  bool EnsureLoopLocked();
+
+  // ---- dispatch (worker pool) ----
   void WorkerLoop();
-  // Appends `message` to its lane, maintaining the ready-lane invariant.
-  // Caller holds mutex_.
-  void EnqueueLocked(VmChannel* channel, std::uint64_t lane_key,
-                     Bytes message, std::int64_t rx_ns);
-  // Picks the WFQ-minimal channel that may dispatch now, folding dead-VM
-  // detection into the scan. Null when nothing is dispatchable. Caller
-  // holds mutex_.
-  VmChannel* PickChannelLocked();
-  // True when `channel` may dispatch (capacity, ready work, debt) and its
-  // weighted vruntime is not meaningfully ahead of any *active* contender.
-  // Caller holds mutex_.
-  bool EligibleLocked(VmChannel* channel, std::int64_t now);
   // Pops one call from `channel`'s front ready lane and executes it,
   // dropping `lock` around the session call and reply send. Caller holds
   // `lock`; it is held again on return.
@@ -208,11 +245,22 @@ class Router {
   // Spawns workers until the pool matches current demand. Caller holds
   // mutex_; only grows, never shrinks (Stop() joins everything).
   void EnsureWorkersLocked();
-  // Marks a channel dead and closes its transport. Caller holds mutex_.
+  // Recomputes the channel's WFQ runnable bit from queue/pause/death/
+  // parallelism state. Caller holds mutex_.
+  void UpdateRunnableLocked(VmChannel* channel);
+  // Marks the channel dead when its transport is done and all work has
+  // drained. Caller holds mutex_.
+  void MaybeMarkDeadLocked(VmChannel* channel);
+  // Marks a channel dead, deregisters it from the scheduler and event loop,
+  // and closes its transport. Caller holds mutex_.
   void MarkDeadLocked(VmChannel* channel);
   // Sends an error reply for a rejected synchronous call.
   void RejectCall(VmChannel* channel, const CallHeader& header,
                   StatusCode code);
+  // Admission reject for one queued-beyond-bound unit (may be a whole async
+  // batch frame). Counts, ledgers, flight-records; returns the error reply
+  // to send (sync calls only) so the caller can send it outside mutex_.
+  Bytes RejectUnitLocked(VmChannel* channel, const Bytes& unit);
 
   mutable std::mutex mutex_;
   // Workers sleep on sched_cv_; control-plane waiters (PauseVm's drain)
@@ -220,10 +268,29 @@ class Router {
   // paths wake a single worker without racing a drain waiter for the signal.
   std::condition_variable sched_cv_;
   std::condition_variable drain_cv_;
-  std::unordered_map<VmId, std::unique_ptr<VmChannel>> channels_;
+  // True while one worker holds the timed-poll duty for time-gated WFQ
+  // eligibility (allotment pacing, vruntime window veto). Everyone else
+  // blocks until signaled — a thousand idle sessions must not cost a
+  // worker-pool's worth of 200us wakeups. Guarded by mutex_.
+  bool sched_poller_active_ = false;
+  // shared_ptr: the loop thread pins a channel while draining its transport
+  // outside mutex_, so a concurrent reap can never free it mid-drain.
+  std::unordered_map<VmId, std::shared_ptr<VmChannel>> channels_;
   std::vector<std::thread> workers_;
   bool running_ = false;
   bool stopping_ = false;
+
+  // ---- event-driven front end ----
+  std::unique_ptr<EventLoop> loop_;  // created lazily, guarded by mutex_
+  std::thread loop_thread_;
+  bool loop_stop_ = false;  // guarded by mutex_
+  // Channels currently parked on rate limits. Loop thread only.
+  std::vector<VmId> parked_vms_;
+
+  // ---- scheduling ----
+  MonotonicSchedClock sched_clock_;
+  // Deficit-weighted fair queue over virtual device time. Guarded by mutex_.
+  WfqScheduler wfq_;
 
   // Per-hop latency distributions (ns), shared across this router's VMs.
   std::shared_ptr<obs::Histogram> queue_wait_ns_;   // RX -> dispatch
@@ -236,6 +303,8 @@ class Router {
   // Failure-handling counters.
   std::shared_ptr<obs::Counter> sessions_reaped_;
   std::shared_ptr<obs::Counter> crc_rejected_;
+  // Admission-control rejects (per-VM ingress queue full).
+  std::shared_ptr<obs::Counter> overload_rejected_;
   // Bulk bytes that moved out-of-band through the buffer arena (accounted
   // against the per-VM byte budget alongside on-wire bytes).
   std::shared_ptr<obs::Counter> arena_bytes_;

@@ -1,0 +1,301 @@
+#include "src/router/wfq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/log.h"
+
+namespace ava {
+
+WfqScheduler::WfqScheduler(const SchedClock* clock, WfqOptions options)
+    : clock_(clock), options_(options) {}
+
+WfqScheduler::Tenant* WfqScheduler::Find(std::uint64_t id) {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+const WfqScheduler::Tenant* WfqScheduler::Find(std::uint64_t id) const {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+void WfqScheduler::DecayDebt(Tenant* t, std::int64_t now) const {
+  if (t->allot_per_sec <= 0.0) {
+    return;
+  }
+  const double elapsed_s = static_cast<double>(now - t->debt_decay_ns) * 1e-9;
+  t->debt_decay_ns = now;
+  t->vns_debt = std::max(0.0, t->vns_debt - elapsed_s * t->allot_per_sec);
+}
+
+bool WfqScheduler::MinActiveKey(std::int64_t now, const Tenant* skip,
+                                double* key) const {
+  bool found = false;
+  for (const auto& [id, t] : tenants_) {
+    if (&t == skip) {
+      continue;
+    }
+    const bool active =
+        t.runnable || now - t.last_activity_ns < options_.active_window_ns;
+    if (!active) {
+      continue;
+    }
+    // A contender currently held by its own allotment must not stall (or
+    // anchor) anyone: its stale low vruntime does not represent demand.
+    if (t.allot_per_sec > 0.0) {
+      const double debt =
+          t.vns_debt - static_cast<double>(now - t.debt_decay_ns) * 1e-9 *
+                           t.allot_per_sec;
+      if (debt > 0.0) {
+        continue;
+      }
+    }
+    const double k = t.vruntime / t.weight;
+    if (!found || k < *key) {
+      *key = k;
+      found = true;
+    }
+  }
+  return found;
+}
+
+void WfqScheduler::AddTenant(std::uint64_t id, double weight,
+                             double allot_vns_per_sec) {
+  const std::int64_t now = clock_->NowNs();
+  const double w = std::max(weight, 1e-9);
+  if (Tenant* existing = Find(id); existing != nullptr) {
+    existing->weight = w;
+    existing->allot_per_sec = allot_vns_per_sec;
+    return;
+  }
+  Tenant t;
+  t.weight = w;
+  t.allot_per_sec = allot_vns_per_sec;
+  t.debt_decay_ns = now;
+  t.last_activity_ns = now;
+  // Join at the active minimum so the newcomer neither starves incumbents
+  // (an ancient key would veto them) nor forfeits its share.
+  double min_key = 0.0;
+  if (MinActiveKey(now, nullptr, &min_key)) {
+    t.vruntime = min_key * t.weight;
+  }
+  tenants_.emplace(id, t);
+  ring_.push_back(id);
+}
+
+void WfqScheduler::RemoveTenant(std::uint64_t id) {
+  if (tenants_.erase(id) == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i] == id) {
+      ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (i < cursor_) {
+        --cursor_;
+      }
+      break;
+    }
+  }
+  if (cursor_ >= ring_.size()) {
+    cursor_ = 0;
+  }
+}
+
+bool WfqScheduler::HasTenant(std::uint64_t id) const {
+  return tenants_.count(id) != 0;
+}
+
+void WfqScheduler::SetRunnable(std::uint64_t id, bool runnable) {
+  Tenant* t = Find(id);
+  if (t == nullptr || t->runnable == runnable) {
+    return;
+  }
+  if (runnable) {
+    const std::int64_t now = clock_->NowNs();
+    if (now - t->last_activity_ns >= options_.active_window_ns) {
+      // Re-joining after a real idle gap: snap the vruntime forward to the
+      // active floor. Without this, the stale low key would veto every
+      // incumbent until the returner "caught up" — unbounded backlog credit.
+      double min_key = 0.0;
+      if (MinActiveKey(now, t, &min_key)) {
+        t->vruntime = std::max(t->vruntime, min_key * t->weight);
+      }
+    }
+    t->runnable = true;
+    t->last_activity_ns = now;
+  } else {
+    t->runnable = false;
+    // Classic DRR: leaving the runnable set forfeits banked credit (at most
+    // one quantum round); overdraft from post-paid charging persists.
+    t->deficit = std::min(t->deficit, 0.0);
+  }
+}
+
+void WfqScheduler::TouchActivity(std::uint64_t id) {
+  if (Tenant* t = Find(id); t != nullptr) {
+    t->last_activity_ns = clock_->NowNs();
+  }
+}
+
+void WfqScheduler::Charge(std::uint64_t id, std::int64_t cost_vns) {
+  Tenant* t = Find(id);
+  if (t == nullptr) {
+    return;  // died with calls in flight
+  }
+  const std::int64_t now = clock_->NowNs();
+  const double c = static_cast<double>(cost_vns);
+  t->vruntime = std::max(0.0, t->vruntime + c);
+  // Negative c is hint reconciliation (refund); the cap keeps a refund from
+  // banking more than one round of credit.
+  t->deficit =
+      std::min(t->deficit - c, options_.quantum_vns * t->weight);
+  if (t->allot_per_sec > 0.0) {
+    DecayDebt(t, now);
+    t->vns_debt = std::max(0.0, t->vns_debt + c);
+  }
+  t->last_activity_ns = now;
+}
+
+bool WfqScheduler::PickNext(std::uint64_t* out_id) {
+  throttle_pending_ = false;
+  const std::size_t n = ring_.size();
+  if (n == 0) {
+    return false;
+  }
+  const std::int64_t now = clock_->NowNs();
+  double min_key = 0.0;
+  const bool have_min = MinActiveKey(now, nullptr, &min_key);
+
+  // Pass 1: serve by deficit. The cursor holder keeps its turn while its
+  // deficit lasts; moving the cursor onto a tenant refills it (capped at one
+  // quantum x weight — the no-banked-credit rule).
+  std::vector<std::size_t> candidates;  // overdrawn but otherwise eligible
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (cursor_ + i) % n;
+    Tenant* t = Find(ring_[idx]);
+    if (t == nullptr || !t->runnable) {
+      continue;
+    }
+    DecayDebt(t, now);
+    if (t->allot_per_sec > 0.0 && t->vns_debt > 0.0) {
+      throttle_pending_ = true;  // eligibility returns with wall time
+      continue;
+    }
+    if (have_min &&
+        t->vruntime / t->weight > min_key + options_.window_vns) {
+      throttle_pending_ = true;  // held for slower active contenders
+      continue;
+    }
+    if (i > 0) {
+      t->deficit = std::min(t->deficit + options_.quantum_vns * t->weight,
+                            options_.quantum_vns * t->weight);
+    }
+    if (t->deficit > 0.0) {
+      cursor_ = idx;
+      *out_id = ring_[idx];
+      return true;
+    }
+    candidates.push_back(idx);
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  // Pass 2: every eligible tenant is overdrawn (post-paid charging). Fast-
+  // forward the empty refill rounds the ring would otherwise idle through:
+  // find the fewest rounds that bring someone positive, grant that many to
+  // every candidate (capped), then serve the first winner in ring order.
+  double min_rounds = 0.0;
+  bool first = true;
+  for (const std::size_t idx : candidates) {
+    Tenant* t = Find(ring_[idx]);
+    const double per_round = options_.quantum_vns * t->weight;
+    const double rounds = std::floor(-t->deficit / per_round) + 1.0;
+    if (first || rounds < min_rounds) {
+      min_rounds = rounds;
+      first = false;
+    }
+  }
+  for (const std::size_t idx : candidates) {
+    Tenant* t = Find(ring_[idx]);
+    const double per_round = options_.quantum_vns * t->weight;
+    t->deficit =
+        std::min(t->deficit + min_rounds * per_round, per_round);
+  }
+  for (const std::size_t idx : candidates) {
+    Tenant* t = Find(ring_[idx]);
+    if (t->deficit > 0.0) {
+      cursor_ = idx;
+      *out_id = ring_[idx];
+      return true;
+    }
+  }
+  return false;  // unreachable: min_rounds made someone positive
+}
+
+double WfqScheduler::WeightOf(std::uint64_t id) const {
+  const Tenant* t = Find(id);
+  return t == nullptr ? 0.0 : t->weight;
+}
+
+double WfqScheduler::DeficitOf(std::uint64_t id) const {
+  const Tenant* t = Find(id);
+  return t == nullptr ? 0.0 : t->deficit;
+}
+
+double WfqScheduler::VruntimeOf(std::uint64_t id) const {
+  const Tenant* t = Find(id);
+  return t == nullptr ? 0.0 : t->vruntime;
+}
+
+double ResolveVmWeight(double requested) {
+  if (requested > 0.0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("AVA_VM_WEIGHT");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && *end == '\0' && parsed > 0.0 && parsed <= 1e6) {
+      return parsed;
+    }
+    AVA_LOG(ERROR) << "malformed AVA_VM_WEIGHT '" << env << "', using 1.0";
+  }
+  return 1.0;
+}
+
+std::size_t ResolveQueueDepth(std::size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("AVA_ROUTER_QUEUE_DEPTH");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= (1 << 20)) {
+      return static_cast<std::size_t>(parsed);
+    }
+    AVA_LOG(ERROR) << "malformed AVA_ROUTER_QUEUE_DEPTH '" << env
+                   << "', using default";
+  }
+  return kDefaultQueueDepth;
+}
+
+double JainIndex(const std::vector<double>& shares) {
+  if (shares.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+}  // namespace ava

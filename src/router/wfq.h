@@ -1,0 +1,250 @@
+// Deficit-weighted fair queueing over virtual device time (vns) — the
+// router's tenant scheduler, replacing the original ad-hoc vruntime scan.
+//
+// The paper's interposition claim (§4.3) is that the virtual-device boundary
+// lets the hypervisor "rate-limit, schedule, and account" guest work. This
+// module is the schedule part, as a self-contained core:
+//
+//   - Deficit round robin over a tenant ring: each time the service cursor
+//     reaches a tenant its deficit is refilled by quantum × weight, capped
+//     at one quantum × weight — a tenant that idles banks *nothing*, so an
+//     idle-then-bursty VM can claim at most one deficit round of credit.
+//   - Post-paid charging: device cost is known only after execution (the
+//     reply carries the server-accounted vns), so a tenant may overdraw its
+//     deficit by at most one call; the overdraft carries forward and is
+//     repaid out of future refills. CAvA cost hints (CallHeader::cost_hint)
+//     let the router pre-charge an estimate at dispatch to shrink the
+//     overdraft window.
+//   - A normalized-vruntime window veto for closed-loop guests: a tenant
+//     whose vruntime/weight is more than a window ahead of the slowest
+//     *active* contender is held even when it has work, which makes weights
+//     bind for request-reply guests whose queue is momentarily empty while
+//     they wait on completions (the deficit ring alone cannot see them).
+//   - Device-time allotment pacing (VmPolicy::device_vns_per_sec): charged
+//     cost accrues as debt that drains at the allotted rate; a tenant with
+//     positive debt is ineligible.
+//
+// Everything time-dependent goes through a SchedClock, so the deterministic
+// simulator in tests/sched_sim_test.cc can drive thousands of virtual
+// tenants through this exact code with zero real threads. The class is NOT
+// internally synchronized: the router calls it under its own mutex, the
+// simulator from one thread.
+#ifndef AVA_SRC_ROUTER_WFQ_H_
+#define AVA_SRC_ROUTER_WFQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/vclock.h"
+
+namespace ava {
+
+// Time source for the scheduler. The router injects the monotonic clock;
+// the simulator injects a hand-advanced fake.
+class SchedClock {
+ public:
+  virtual ~SchedClock() = default;
+  virtual std::int64_t NowNs() const = 0;
+};
+
+class MonotonicSchedClock final : public SchedClock {
+ public:
+  std::int64_t NowNs() const override { return MonotonicNowNs(); }
+};
+
+struct WfqOptions {
+  // Service a tenant may accumulate per ring visit (and the cap on banked
+  // credit). Roughly a few small calls or a fraction of one large kernel.
+  double quantum_vns = 50000.0;
+  // Normalized-vruntime slack before a tenant must wait for active
+  // contenders (the closed-loop weight-enforcement window).
+  double window_vns = 250000.0;
+  // How recently a tenant must have been charged/touched to count as an
+  // active contender for the window veto and for vruntime re-join snapping.
+  std::int64_t active_window_ns = 50000000;  // 50 ms
+};
+
+class WfqScheduler {
+ public:
+  explicit WfqScheduler(const SchedClock* clock, WfqOptions options = {});
+
+  // Registers a tenant. Its vruntime joins at the current active minimum so
+  // a newcomer neither starves others nor forfeits its share. weight <= 0 is
+  // clamped to a tiny positive share. allot_vns_per_sec 0 = unlimited.
+  void AddTenant(std::uint64_t id, double weight, double allot_vns_per_sec);
+  void RemoveTenant(std::uint64_t id);
+  bool HasTenant(std::uint64_t id) const;
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+  // Declares whether the tenant has dispatchable work *and* capacity right
+  // now (the router folds queue, pause, death and parallelism into this).
+  // Going not-runnable forfeits any banked positive deficit — the classic
+  // DRR "queue empty resets the deficit counter" rule; overdraft persists.
+  // Coming back after an idle gap re-joins at the active vruntime floor.
+  void SetRunnable(std::uint64_t id, bool runnable);
+
+  // Records scheduling-relevant activity (enqueue/dispatch) for the recency
+  // window without charging cost.
+  void TouchActivity(std::uint64_t id);
+
+  // Picks the tenant to serve next, honoring ring order, deficits, the
+  // window veto, and allotment pacing. Returns false when nothing may
+  // dispatch right now. Does not consume anything: callers report the
+  // dispatch back via Charge() (hint) and/or the completion charge.
+  bool PickNext(std::uint64_t* out_id);
+
+  // Charges `cost_vns` of device time: vruntime and allotment debt grow,
+  // the deficit shrinks. Negative cost is the reconciliation path (the
+  // pre-charged hint exceeded the server-accounted cost). Unknown ids are
+  // ignored (the tenant died with calls in flight).
+  void Charge(std::uint64_t id, std::int64_t cost_vns);
+
+  // True when the last PickNext() held back at least one runnable tenant on
+  // pacing or the window veto: eligibility then changes with wall time, so
+  // idle workers must poll rather than sleep indefinitely.
+  bool throttle_pending() const { return throttle_pending_; }
+
+  // Introspection (admin `sessions` table, tests).
+  double WeightOf(std::uint64_t id) const;
+  double DeficitOf(std::uint64_t id) const;
+  double VruntimeOf(std::uint64_t id) const;
+
+ private:
+  struct Tenant {
+    double weight = 1.0;
+    double allot_per_sec = 0.0;
+    double deficit = 0.0;
+    double vruntime = 0.0;   // cumulative charged vns
+    double vns_debt = 0.0;   // allotment pacing debt
+    std::int64_t debt_decay_ns = 0;
+    std::int64_t last_activity_ns = 0;
+    bool runnable = false;
+  };
+
+  Tenant* Find(std::uint64_t id);
+  const Tenant* Find(std::uint64_t id) const;
+  // Drains allotment debt at the configured rate up to `now`.
+  void DecayDebt(Tenant* t, std::int64_t now) const;
+  // Smallest vruntime/weight among tenants active within the recency
+  // window and not held by pacing. Returns false when no one is active.
+  bool MinActiveKey(std::int64_t now, const Tenant* skip, double* key) const;
+
+  const SchedClock* clock_;
+  WfqOptions options_;
+  std::unordered_map<std::uint64_t, Tenant> tenants_;
+  // Service rotation. Ids are appended at AddTenant and erased at
+  // RemoveTenant; cursor_ indexes the tenant currently holding the turn.
+  std::vector<std::uint64_t> ring_;
+  std::size_t cursor_ = 0;
+  bool throttle_pending_ = false;
+};
+
+// Resolves a VM's scheduler weight: `requested` when positive, else
+// AVA_VM_WEIGHT when set and well-formed (0 < w <= 1e6), else 1.0.
+double ResolveVmWeight(double requested);
+
+// Resolves a VM's bounded ingress-queue depth (admission control):
+// `requested` when positive, else AVA_ROUTER_QUEUE_DEPTH when set and
+// well-formed (1..1048576), else kDefaultQueueDepth.
+inline constexpr std::size_t kDefaultQueueDepth = 4096;
+std::size_t ResolveQueueDepth(std::size_t requested);
+
+// Jain's fairness index over per-tenant (weight-normalized) service shares:
+// (Σx)² / (n·Σx²). 1.0 = perfectly fair, 1/n = one tenant took everything.
+// Empty or all-zero input yields 1.0 (nothing was unfairly divided).
+double JainIndex(const std::vector<double>& shares);
+
+// Per-tenant FIFO execution lanes with a bounded total queue — the intra-VM
+// half of the scheduler (WFQ picks the VM, lanes order work within it).
+// Extracted from the router so the deterministic simulator runs the same
+// bookkeeping the live router runs. Semantics (unchanged from PR 5):
+//   - items with one lane key stay strictly FIFO, at most one in flight
+//     (`busy`); distinct lanes may overlap
+//   - a lane exists only while it holds or executes work
+//   - Push beyond `capacity` total queued items is refused (admission
+//     control; 0 = unbounded)
+// Not internally synchronized (router's mutex / simulator's single thread).
+template <typename Item>
+class LaneSet {
+ public:
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+
+  // False when the set is full — the caller rejects the item.
+  bool Push(std::uint64_t lane_key, Item item) {
+    if (capacity_ != 0 && queued_ >= capacity_) {
+      return false;
+    }
+    Lane& lane = lanes_[lane_key];
+    lane.queue.push_back(std::move(item));
+    ++queued_;
+    if (!lane.busy && lane.queue.size() == 1) {
+      ready_.push_back(lane_key);
+    }
+    return true;
+  }
+
+  bool HasReady() const { return !ready_.empty(); }
+
+  // True when the next Push would be refused. Callers that need the item
+  // intact on rejection (to build an error reply) test this first.
+  bool Full() const { return capacity_ != 0 && queued_ >= capacity_; }
+
+  // Pops the front item of the front ready lane and marks that lane busy.
+  // False when nothing is ready.
+  bool PopReady(std::uint64_t* lane_key, Item* item) {
+    if (ready_.empty()) {
+      return false;
+    }
+    *lane_key = ready_.front();
+    ready_.pop_front();
+    Lane& lane = lanes_.find(*lane_key)->second;
+    lane.busy = true;
+    *item = std::move(lane.queue.front());
+    lane.queue.pop_front();
+    --queued_;
+    return true;
+  }
+
+  // Completion: un-busies the lane, re-readies it if it still holds work,
+  // erases it otherwise.
+  void FinishLane(std::uint64_t lane_key) {
+    auto it = lanes_.find(lane_key);
+    if (it == lanes_.end()) {
+      return;
+    }
+    it->second.busy = false;
+    if (it->second.queue.empty()) {
+      lanes_.erase(it);
+    } else {
+      ready_.push_back(lane_key);
+    }
+  }
+
+  std::size_t queued() const { return queued_; }
+  std::size_t lanes() const { return lanes_.size(); }
+  std::size_t ready() const { return ready_.size(); }
+  std::size_t LaneDepth(std::uint64_t lane_key) const {
+    auto it = lanes_.find(lane_key);
+    return it == lanes_.end() ? 0 : it->second.queue.size();
+  }
+
+ private:
+  struct Lane {
+    std::deque<Item> queue;
+    bool busy = false;
+  };
+
+  std::unordered_map<std::uint64_t, Lane> lanes_;
+  std::deque<std::uint64_t> ready_;
+  std::size_t queued_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_ROUTER_WFQ_H_

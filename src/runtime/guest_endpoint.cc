@@ -278,12 +278,20 @@ Result<Bytes> GuestEndpoint::CallSyncPreparedImpl(Bytes message,
       bulk->RewriteForMiss(&message);
       continue;
     }
-    if (!IsTransportFailure(last.code())) {
+    // An admission reject (the router's bounded ingress queue was full) is
+    // transient by construction: queued work is draining. Idempotent calls
+    // retry through it with the normal backoff, but the channel itself is
+    // healthy — the breaker must not trip on load shedding.
+    const bool admission_reject =
+        last.code() == StatusCode::kResourceExhausted;
+    if (!admission_reject && !IsTransportFailure(last.code())) {
       // An answered rejection (rate limit, handler error) is not a channel
       // problem — no breaker bump, no retry.
       return last;
     }
-    BreakerRecordLocked(/*transport_ok=*/false);
+    if (!admission_reject) {
+      BreakerRecordLocked(/*transport_ok=*/false);
+    }
     if (++attempt >= max_attempts) {
       return last;
     }

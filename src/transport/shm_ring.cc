@@ -5,8 +5,11 @@
 //
 // Framing: u32 length prefix + payload, written as a byte stream (a message
 // larger than the ring is streamed through it chunk by chunk).
+#include <sys/eventfd.h>
 #include <sys/mman.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <algorithm>
 #include <atomic>
@@ -78,7 +81,13 @@ class Ring {
   }
 
   // Writes exactly `size` bytes, blocking for space. Fails when closed.
-  Status WriteAll(const void* data, std::size_t size) {
+  // `progress_doorbell` (an eventfd, -1 to disable) is rung after every
+  // partial write that leaves the writer waiting for space: an event-driven
+  // reader parked mid-frame must learn there are new bytes to drain, or the
+  // blocked writer and the doorbell-waiting reader deadlock on any message
+  // larger than the ring.
+  Status WriteAll(const void* data, std::size_t size,
+                  int progress_doorbell = -1) {
     const auto* src = static_cast<const std::uint8_t*>(data);
     std::size_t written = 0;
     int spins = 0;
@@ -101,8 +110,28 @@ class Ring {
       CopyIn(produced, src + written, n);
       header_->produced.store(produced + n, std::memory_order_release);
       written += n;
+      if (written < size && progress_doorbell >= 0) {
+        const std::uint64_t one = 1;
+        (void)!::write(progress_doorbell, &one, sizeof(one));
+      }
     }
     return OkStatus();
+  }
+
+  // Non-blocking partial read: consumes up to `max` immediately available
+  // bytes, returns how many (0 when the ring is empty right now).
+  std::size_t ReadSome(void* data, std::size_t max) {
+    const std::uint64_t consumed =
+        header_->consumed.load(std::memory_order_relaxed);
+    const std::uint64_t produced =
+        header_->produced.load(std::memory_order_acquire);
+    const std::size_t avail = static_cast<std::size_t>(produced - consumed);
+    const std::size_t n = std::min(avail, max);
+    if (n > 0) {
+      CopyOut(consumed, static_cast<std::uint8_t*>(data), n);
+      header_->consumed.store(consumed + n, std::memory_order_release);
+    }
+    return n;
   }
 
   // ReadAll with a monotonic deadline. Partial progress before expiry is
@@ -207,15 +236,31 @@ struct Region {
 
 class ShmEndpoint final : public Transport {
  public:
+  // The doorbells are eventfds created before any fork (each endpoint owns
+  // its pair of descriptors — dup()ed per endpoint, so destruction on one
+  // side, or in one process, never closes the other's). door_tx is rung
+  // after every Send/Close; door_rx is this endpoint's readiness fd. Either
+  // may be -1 (doorbell-less legacy channel).
   ShmEndpoint(std::shared_ptr<Region> region, Ring tx, Ring rx,
-              std::string name, std::shared_ptr<BufferArena> arena)
+              std::string name, std::shared_ptr<BufferArena> arena,
+              int door_tx = -1, int door_rx = -1)
       : region_(std::move(region)),
         tx_(tx),
         rx_(rx),
         name_(std::move(name)),
-        arena_(std::move(arena)) {}
+        arena_(std::move(arena)),
+        door_tx_(door_tx),
+        door_rx_(door_rx) {}
 
-  ~ShmEndpoint() override { Close(); }
+  ~ShmEndpoint() override {
+    Close();
+    if (door_tx_ >= 0) {
+      ::close(door_tx_);
+    }
+    if (door_rx_ >= 0) {
+      ::close(door_rx_);
+    }
+  }
 
   Status Send(const Bytes& message) override {
     const bool sampling = obs::SamplingEnabled();
@@ -223,8 +268,9 @@ class ShmEndpoint final : public Transport {
     transport_internal::KindMetrics& m = Metrics();
     std::lock_guard<std::mutex> lock(send_mutex_);
     const std::uint32_t len = static_cast<std::uint32_t>(message.size());
-    AVA_RETURN_IF_ERROR(tx_.WriteAll(&len, sizeof(len)));
-    AVA_RETURN_IF_ERROR(tx_.WriteAll(message.data(), message.size()));
+    AVA_RETURN_IF_ERROR(tx_.WriteAll(&len, sizeof(len), door_tx_));
+    AVA_RETURN_IF_ERROR(tx_.WriteAll(message.data(), message.size(), door_tx_));
+    RingDoorbell();
     m.msgs_sent->Increment();
     m.bytes_sent->Increment(message.size());
     if (sampling) {
@@ -235,29 +281,40 @@ class ShmEndpoint final : public Transport {
 
   Result<Bytes> Recv() override {
     std::lock_guard<std::mutex> lock(recv_mutex_);
-    std::uint32_t len = 0;
-    AVA_RETURN_IF_ERROR(rx_.ReadAll(&len, sizeof(len)));
-    Bytes message(len);
-    AVA_RETURN_IF_ERROR(rx_.ReadAll(message.data(), len));
-    transport_internal::KindMetrics& m = Metrics();
-    m.msgs_received->Increment();
-    m.bytes_received->Increment(message.size());
-    return message;
+    if (!body_active_) {
+      AVA_RETURN_IF_ERROR(
+          rx_.ReadAll(len_buf_ + len_have_, sizeof(len_buf_) - len_have_));
+      BeginBodyLocked();
+    }
+    AVA_RETURN_IF_ERROR(
+        rx_.ReadAll(body_.data() + body_have_, body_.size() - body_have_));
+    body_have_ = body_.size();
+    return FinishBodyLocked();
   }
 
   Result<Bytes> RecvTimeout(std::int64_t timeout_ns) override {
     std::lock_guard<std::mutex> lock(recv_mutex_);
     const std::int64_t deadline_ns =
         MonotonicNowNs() + std::max<std::int64_t>(timeout_ns, 0);
-    std::uint32_t len = 0;
-    bool consumed_any = false;
-    Status status =
-        rx_.ReadAllDeadline(&len, sizeof(len), deadline_ns, &consumed_any);
-    Bytes message;
-    if (status.ok()) {
-      message.resize(len);
-      status = rx_.ReadAllDeadline(message.data(), len, deadline_ns,
+    // A partial frame left behind by an earlier TryRecv counts as consumed
+    // progress: expiring now would strand the reader mid-frame too.
+    bool consumed_any = len_have_ > 0 || body_active_;
+    Status status = OkStatus();
+    if (!body_active_) {
+      status = rx_.ReadAllDeadline(len_buf_ + len_have_,
+                                   sizeof(len_buf_) - len_have_, deadline_ns,
                                    &consumed_any);
+      if (status.ok()) {
+        BeginBodyLocked();
+      }
+    }
+    if (status.ok()) {
+      status = rx_.ReadAllDeadline(body_.data() + body_have_,
+                                   body_.size() - body_have_, deadline_ns,
+                                   &consumed_any);
+      if (status.ok()) {
+        body_have_ = body_.size();
+      }
     }
     if (!status.ok()) {
       if (status.code() == StatusCode::kDeadlineExceeded && consumed_any) {
@@ -268,38 +325,96 @@ class ShmEndpoint final : public Transport {
       }
       return status;
     }
-    transport_internal::KindMetrics& m = Metrics();
-    m.msgs_received->Increment();
-    m.bytes_received->Increment(message.size());
-    return message;
+    return FinishBodyLocked();
   }
 
+  // Incremental non-blocking receive: consumes whatever bytes are available
+  // right now and parks the partial frame in endpoint state when the ring
+  // runs dry. Safe for an event-loop caller — never blocks, even mid-frame
+  // (the writer's progress doorbell re-arms readiness as more bytes land).
   Result<Bytes> TryRecv() override {
     std::lock_guard<std::mutex> lock(recv_mutex_);
-    if (rx_.AvailableToRead() < sizeof(std::uint32_t)) {
-      return rx_.IsClosed() ? Unavailable("shm ring closed")
-                            : NotFound("no message pending");
+    while (!body_active_) {
+      const std::size_t n =
+          rx_.ReadSome(len_buf_ + len_have_, sizeof(len_buf_) - len_have_);
+      if (n == 0) {
+        if (rx_.IsClosed() && rx_.AvailableToRead() == 0) {
+          return Unavailable("shm ring closed");
+        }
+        return NotFound("no message pending");
+      }
+      len_have_ += n;
+      if (len_have_ == sizeof(len_buf_)) {
+        BeginBodyLocked();
+      }
     }
-    std::uint32_t len = 0;
-    AVA_RETURN_IF_ERROR(rx_.ReadAll(&len, sizeof(len)));
-    Bytes message(len);
-    AVA_RETURN_IF_ERROR(rx_.ReadAll(message.data(), len));
-    transport_internal::KindMetrics& m = Metrics();
-    m.msgs_received->Increment();
-    m.bytes_received->Increment(message.size());
-    return message;
+    while (body_have_ < body_.size()) {
+      const std::size_t n =
+          rx_.ReadSome(body_.data() + body_have_, body_.size() - body_have_);
+      if (n == 0) {
+        if (rx_.IsClosed() && rx_.AvailableToRead() == 0) {
+          return Unavailable("shm ring closed mid-frame");
+        }
+        return NotFound("no message pending");
+      }
+      body_have_ += n;
+    }
+    return FinishBodyLocked();
   }
 
   void Close() override {
     tx_.Close();
     rx_.Close();
+    // Wake an event-driven receiver so it observes the closed ring.
+    RingDoorbell();
   }
 
   std::string name() const override { return name_; }
 
   std::shared_ptr<BufferArena> arena() const override { return arena_; }
 
+  int readiness_fd() const override { return door_rx_; }
+
+  void AckReadiness() override {
+    if (door_rx_ < 0) {
+      return;
+    }
+    std::uint64_t drained = 0;
+    // Nonblocking (EFD_NONBLOCK): EAGAIN just means no pending rings.
+    (void)!::read(door_rx_, &drained, sizeof(drained));
+  }
+
  private:
+  void RingDoorbell() {
+    if (door_tx_ < 0) {
+      return;
+    }
+    const std::uint64_t one = 1;
+    (void)!::write(door_tx_, &one, sizeof(one));
+  }
+
+  // Completed length prefix → allocate the body and switch phases.
+  // recv_mutex_ held.
+  void BeginBodyLocked() {
+    std::uint32_t len = 0;
+    std::memcpy(&len, len_buf_, sizeof(len));
+    len_have_ = 0;
+    body_.resize(len);
+    body_have_ = 0;
+    body_active_ = true;
+  }
+
+  // Completed body → reset reassembly state and hand the frame out.
+  // recv_mutex_ held.
+  Bytes FinishBodyLocked() {
+    body_active_ = false;
+    body_have_ = 0;
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(body_.size());
+    return std::move(body_);
+  }
+
   std::shared_ptr<Region> region_;
   Ring tx_;
   Ring rx_;
@@ -307,6 +422,16 @@ class ShmEndpoint final : public Transport {
   std::mutex recv_mutex_;
   std::string name_;
   std::shared_ptr<BufferArena> arena_;
+  const int door_tx_;
+  const int door_rx_;
+
+  // Partial-frame reassembly state, shared by the blocking and non-blocking
+  // receive paths; guarded by recv_mutex_.
+  std::uint8_t len_buf_[4] = {0, 0, 0, 0};
+  std::size_t len_have_ = 0;
+  Bytes body_;
+  std::size_t body_have_ = 0;
+  bool body_active_ = false;
 };
 
 }  // namespace
@@ -340,11 +465,36 @@ Result<ChannelPair> MakeShmRingChannel(std::size_t ring_bytes) {
     arena = *std::move(created);
   }
 
+  // Doorbell eventfds, one per direction, created before any fork so both
+  // processes share the same kernel counters. Each endpoint gets its own
+  // descriptor for each doorbell (dup), so per-endpoint destruction closes
+  // only its copies. Failure degrades to doorbell-less rings (readiness -1,
+  // the router falls back to a blocking reader thread).
+  const int bell_g2h = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  const int bell_h2g = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  int guest_tx = -1, guest_rx = -1, host_tx = -1, host_rx = -1;
+  if (bell_g2h >= 0 && bell_h2g >= 0) {
+    guest_tx = bell_g2h;  // guest sends ring the g2h bell
+    guest_rx = bell_h2g;  // guest wakes on the h2g bell
+    host_tx = ::dup(bell_h2g);
+    host_rx = ::dup(bell_g2h);
+    if (host_tx < 0 || host_rx < 0) {
+      if (host_tx >= 0) ::close(host_tx);
+      if (host_rx >= 0) ::close(host_rx);
+      ::close(bell_g2h);
+      ::close(bell_h2g);
+      guest_tx = guest_rx = host_tx = host_rx = -1;
+    }
+  } else {
+    if (bell_g2h >= 0) ::close(bell_g2h);
+    if (bell_h2g >= 0) ::close(bell_h2g);
+  }
+
   ChannelPair pair;
-  pair.guest =
-      std::make_unique<ShmEndpoint>(region, g2h, h2g, "shm:guest", arena);
-  pair.host =
-      std::make_unique<ShmEndpoint>(region, h2g, g2h, "shm:host", arena);
+  pair.guest = std::make_unique<ShmEndpoint>(region, g2h, h2g, "shm:guest",
+                                             arena, guest_tx, guest_rx);
+  pair.host = std::make_unique<ShmEndpoint>(region, h2g, g2h, "shm:host",
+                                            arena, host_tx, host_rx);
   return pair;
 }
 

@@ -150,14 +150,15 @@ class SocketEndpoint final : public Transport {
     if (closed_.load(std::memory_order_acquire)) {
       return Unavailable("socket closed");
     }
-    std::uint32_t len = 0;
-    AVA_RETURN_IF_ERROR(ReadAllFd(fd_, &len, sizeof(len)));
-    Bytes message(len);
-    AVA_RETURN_IF_ERROR(ReadAllFd(fd_, message.data(), len));
-    transport_internal::KindMetrics& m = Metrics();
-    m.msgs_received->Increment();
-    m.bytes_received->Increment(message.size());
-    return message;
+    // Complete any frame TryRecv() left half-assembled before this call.
+    if (!body_active_) {
+      AVA_RETURN_IF_ERROR(
+          ReadAllFd(fd_, len_buf_ + len_have_, sizeof(len_buf_) - len_have_));
+      BeginBodyLocked();
+    }
+    AVA_RETURN_IF_ERROR(
+        ReadAllFd(fd_, body_.data() + body_have_, body_.size() - body_have_));
+    return FinishBodyLocked();
   }
 
   Result<Bytes> RecvTimeout(std::int64_t timeout_ns) override {
@@ -167,14 +168,21 @@ class SocketEndpoint final : public Transport {
     }
     const std::int64_t deadline_ns =
         MonotonicNowNs() + std::max<std::int64_t>(timeout_ns, 0);
-    std::uint32_t len = 0;
-    bool consumed_any = false;
-    Status status = ReadAllFdDeadline(fd_, &len, sizeof(len), deadline_ns,
-                                      &consumed_any);
-    Bytes message;
+    // A frame TryRecv() left half-assembled counts as consumed stream bytes:
+    // expiring now is a mid-frame expiry, which must poison.
+    bool consumed_any = len_have_ > 0 || body_active_;
+    Status status = OkStatus();
+    if (!body_active_) {
+      status = ReadAllFdDeadline(fd_, len_buf_ + len_have_,
+                                 sizeof(len_buf_) - len_have_, deadline_ns,
+                                 &consumed_any);
+      if (status.ok()) {
+        BeginBodyLocked();
+      }
+    }
     if (status.ok()) {
-      message.resize(len);
-      status = ReadAllFdDeadline(fd_, message.data(), len, deadline_ns,
+      status = ReadAllFdDeadline(fd_, body_.data() + body_have_,
+                                 body_.size() - body_have_, deadline_ns,
                                  &consumed_any);
     }
     if (!status.ok()) {
@@ -186,37 +194,59 @@ class SocketEndpoint final : public Transport {
       }
       return status;
     }
-    transport_internal::KindMetrics& m = Metrics();
-    m.msgs_received->Increment();
-    m.bytes_received->Increment(message.size());
-    return message;
+    return FinishBodyLocked();
   }
 
+  // Non-blocking incremental reassembly: reads whatever the kernel has,
+  // remembers partial progress across calls, and never stalls the caller —
+  // the event loop serves hundreds of sessions from one thread, so a guest
+  // that has written half a frame must cost NotFound, not a blocked read.
   Result<Bytes> TryRecv() override {
     std::lock_guard<std::mutex> lock(recv_mutex_);
     if (closed_.load(std::memory_order_acquire)) {
       return Unavailable("socket closed");
     }
-    std::uint8_t probe;
-    ssize_t n = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-    if (n == 0) {
-      return Unavailable("socket closed by peer");
-    }
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return NotFound("no message pending");
+    while (!body_active_) {
+      ssize_t n = ::recv(fd_, len_buf_ + len_have_,
+                         sizeof(len_buf_) - len_have_, MSG_DONTWAIT);
+      if (n == 0) {
+        return Unavailable("socket closed by peer");
       }
-      return Unavailable(std::string("socket peek failed: ") +
-                         std::strerror(errno));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return NotFound("no message pending");
+        }
+        return Unavailable(std::string("socket recv failed: ") +
+                           std::strerror(errno));
+      }
+      len_have_ += static_cast<std::size_t>(n);
+      if (len_have_ == sizeof(len_buf_)) {
+        BeginBodyLocked();
+      }
     }
-    std::uint32_t len = 0;
-    AVA_RETURN_IF_ERROR(ReadAllFd(fd_, &len, sizeof(len)));
-    Bytes message(len);
-    AVA_RETURN_IF_ERROR(ReadAllFd(fd_, message.data(), len));
-    transport_internal::KindMetrics& m = Metrics();
-    m.msgs_received->Increment();
-    m.bytes_received->Increment(message.size());
-    return message;
+    while (body_have_ < body_.size()) {
+      ssize_t n = ::recv(fd_, body_.data() + body_have_,
+                         body_.size() - body_have_, MSG_DONTWAIT);
+      if (n == 0) {
+        return Unavailable("socket closed by peer");
+      }
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Partial frame parked; the fd turning readable resumes it here.
+          return NotFound("no message pending");
+        }
+        return Unavailable(std::string("socket recv failed: ") +
+                           std::strerror(errno));
+      }
+      body_have_ += static_cast<std::size_t>(n);
+    }
+    return FinishBodyLocked();
   }
 
   void Close() override {
@@ -231,15 +261,50 @@ class SocketEndpoint final : public Transport {
 
   std::string name() const override { return name_; }
 
+  // The socket is its own readiness signal (level-triggered on buffered
+  // bytes, HUP on peer close); no doorbell or ack needed.
+  int readiness_fd() const override { return fd_; }
+
  private:
+  // Length prefix complete: switch reassembly to the payload phase.
+  void BeginBodyLocked() {
+    std::uint32_t len = 0;
+    std::memcpy(&len, len_buf_, sizeof(len));
+    len_have_ = 0;
+    body_.resize(len);
+    body_have_ = 0;
+    body_active_ = true;
+  }
+
+  // Payload complete: reset reassembly state and hand the frame out.
+  Result<Bytes> FinishBodyLocked() {
+    body_active_ = false;
+    body_have_ = 0;
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(body_.size());
+    return std::move(body_);
+  }
+
   const int fd_;
   std::atomic<bool> closed_{false};
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
   std::string name_;
+  // Frame-reassembly state (guarded by recv_mutex_): a frame may arrive in
+  // arbitrarily many readable chunks under the event loop.
+  std::uint8_t len_buf_[sizeof(std::uint32_t)] = {};
+  std::size_t len_have_ = 0;
+  Bytes body_;
+  std::size_t body_have_ = 0;
+  bool body_active_ = false;
 };
 
 }  // namespace
+
+TransportPtr MakeSocketTransportFromFd(int fd, std::string name) {
+  return std::make_unique<SocketEndpoint>(fd, std::move(name));
+}
 
 Result<ChannelPair> MakeSocketPairChannel() {
   int fds[2];

@@ -56,6 +56,20 @@ class Transport {
 
   virtual std::string name() const = 0;
 
+  // ---- readiness plumbing (event-driven receivers) ----
+  // A pollable fd that becomes readable when TryRecv() may make progress:
+  // the socket fd itself, or an eventfd doorbell for shared-memory rings.
+  // -1 means "no readiness support" — the router falls back to a dedicated
+  // blocking reader thread (inproc, fault-injection wrappers).
+  virtual int readiness_fd() const { return -1; }
+
+  // Clears the edge state behind readiness_fd() (drains a doorbell
+  // counter). Call BEFORE draining messages with TryRecv(): a signal
+  // arriving after the ack re-arms the fd, so no wakeup is ever lost.
+  // Spurious wakeups (ack then nothing pending) are expected and benign —
+  // TryRecv() simply returns NotFound. No-op for level-triggered fds.
+  virtual void AckReadiness() {}
+
   // Capability negotiation for the out-of-band bulk path: the shared-memory
   // buffer arena reachable from both ends of this channel, or nullptr when
   // the transport cannot share memory (inproc pairs could but gain nothing;
@@ -88,6 +102,11 @@ Result<ChannelPair> MakeShmRingChannel(std::size_t ring_bytes = 1u << 20);
 
 // AF_UNIX socketpair channel (also usable across fork()).
 Result<ChannelPair> MakeSocketPairChannel();
+
+// Wraps an already-connected stream socket fd (takes ownership). Used by
+// tests that need byte-level control of the peer side (partial frames,
+// abrupt closes) while this end behaves like any socket transport.
+TransportPtr MakeSocketTransportFromFd(int fd, std::string name);
 
 // TCP endpoints for disaggregated accelerators: the API server listens, the
 // guest connects.

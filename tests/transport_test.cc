@@ -5,6 +5,7 @@
 // delivery; clean timeout/close semantics; and agreement between the two
 // endpoints on the negotiated bulk-buffer arena capability.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/router/event_loop.h"
 #include "src/transport/transport.h"
 
 namespace ava {
@@ -463,6 +465,155 @@ TEST(ShmRingPropertyTest, RandomSizesRoundTrip) {
     ASSERT_EQ(*got, m);
   }
   sender.join();
+}
+
+// ---------------------------------------------------------------------------
+// Readiness contract: the event-driven router front end multiplexes every
+// transport that exposes a readiness fd (socket fd, shm doorbell) on one
+// epoll loop and drains it with AckReadiness + TryRecv. These tests pin the
+// three behaviors that loop depends on: a spurious wakeup drains cleanly to
+// NotFound, a frame that arrives in pieces parks and resumes without data
+// loss, and a dead peer surfaces through the loop so the fd can be reaped.
+
+class ReadinessContractTest
+    : public ::testing::TestWithParam<std::pair<const char*, ChannelFactory>> {
+ protected:
+  ChannelPair MakeChannel() { return GetParam().second(); }
+};
+
+// Waits until the loop reports `token` readable (several Wait rounds are
+// legal: readiness may be ack'd and re-raised).
+bool WaitForToken(EventLoop* loop, std::uint64_t token, int rounds = 50) {
+  for (int i = 0; i < rounds; ++i) {
+    for (const auto& event : loop->Wait(100)) {
+      if (event.token == token) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST_P(ReadinessContractTest, SpuriousWakeupDrainsToNotFound) {
+  ChannelPair channel = MakeChannel();
+  ASSERT_GE(channel.host->readiness_fd(), 0);
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  ASSERT_TRUE((*loop)->Add(channel.host->readiness_fd(), 7).ok());
+
+  // Nothing pending: the level-triggered drain protocol must land on
+  // NotFound, not block or fabricate a message.
+  channel.host->AckReadiness();
+  auto nothing = channel.host->TryRecv();
+  ASSERT_FALSE(nothing.ok());
+  EXPECT_EQ(nothing.status().code(), StatusCode::kNotFound);
+
+  // A real arrival raises readiness; the drain yields exactly one message
+  // and then NotFound again — the extra TryRecv after the queue empties is
+  // the everyday "spurious" case the loop must absorb.
+  Bytes m = MakeMessage(512, 5);
+  ASSERT_TRUE(channel.guest->Send(m).ok());
+  ASSERT_TRUE(WaitForToken(loop->get(), 7));
+  channel.host->AckReadiness();
+  auto got = channel.host->TryRecv();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, m);
+  auto empty = channel.host->TryRecv();
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kNotFound);
+  (*loop)->Remove(channel.host->readiness_fd());
+}
+
+TEST_P(ReadinessContractTest, DeadPeerSurfacesThroughEventLoop) {
+  ChannelPair channel = MakeChannel();
+  ASSERT_GE(channel.host->readiness_fd(), 0);
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  ASSERT_TRUE((*loop)->Add(channel.host->readiness_fd(), 9).ok());
+
+  channel.guest->Close();
+  // The close must wake the loop (EOF readability or doorbell), and the
+  // drain must classify the channel as gone so the router reaps the fd.
+  ASSERT_TRUE(WaitForToken(loop->get(), 9));
+  channel.host->AckReadiness();
+  Status dead = OkStatus();
+  for (int i = 0; i < 50; ++i) {
+    auto got = channel.host->TryRecv();
+    if (!got.ok() && got.status().code() != StatusCode::kNotFound) {
+      dead = got.status();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(dead.code(), StatusCode::kUnavailable) << dead.ToString();
+  (*loop)->Remove(channel.host->readiness_fd());
+  // After the reap, the loop must go quiet: no stale events for the token.
+  for (const auto& event : (*loop)->Wait(20)) {
+    EXPECT_NE(event.token, 9u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReadinessTransports, ReadinessContractTest,
+    ::testing::Values(
+        std::make_pair("shm_ring",
+                       ChannelFactory([] {
+                         auto c = MakeShmRingChannel(1u << 16);
+                         EXPECT_TRUE(c.ok());
+                         return std::move(*c);
+                       })),
+        std::make_pair("socketpair", ChannelFactory([] {
+                         auto c = MakeSocketPairChannel();
+                         EXPECT_TRUE(c.ok());
+                         return std::move(*c);
+                       }))),
+    [](const ::testing::TestParamInfo<ReadinessContractTest::ParamType>&
+           info) { return std::string(info.param.first); });
+
+// A frame that arrives in pieces must park as partial state and complete
+// once the rest lands — never block the loop, never tear the message. Raw
+// fd writes simulate a slow sender mid-frame.
+TEST(ReadinessPartialFrameTest, PartialFrameParksThenCompletes) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  TransportPtr host = MakeSocketTransportFromFd(fds[0], "test-host");
+  ASSERT_NE(host, nullptr);
+  ASSERT_GE(host->readiness_fd(), 0);
+
+  Bytes m = MakeMessage(1024, 9);
+  const std::uint32_t len = static_cast<std::uint32_t>(m.size());
+  // Length prefix plus the first half of the body.
+  ASSERT_EQ(write(fds[1], &len, sizeof(len)),
+            static_cast<ssize_t>(sizeof(len)));
+  ASSERT_EQ(write(fds[1], m.data(), 512), 512);
+
+  host->AckReadiness();
+  auto partial = host->TryRecv();
+  ASSERT_FALSE(partial.ok());
+  EXPECT_EQ(partial.status().code(), StatusCode::kNotFound)
+      << "partial frame must park, not error: "
+      << partial.status().ToString();
+
+  // The rest arrives; the parked frame completes byte-exact.
+  ASSERT_EQ(write(fds[1], m.data() + 512, 512), 512);
+  auto got = host->TryRecv();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, m);
+
+  // And a mid-length-prefix split parks too (the hardest boundary).
+  Bytes m2 = MakeMessage(64, 17);
+  const std::uint32_t len2 = static_cast<std::uint32_t>(m2.size());
+  ASSERT_EQ(write(fds[1], &len2, 2), 2);
+  auto half_prefix = host->TryRecv();
+  ASSERT_FALSE(half_prefix.ok());
+  EXPECT_EQ(half_prefix.status().code(), StatusCode::kNotFound);
+  ASSERT_EQ(write(fds[1], reinterpret_cast<const char*>(&len2) + 2, 2), 2);
+  ASSERT_EQ(write(fds[1], m2.data(), m2.size()),
+            static_cast<ssize_t>(m2.size()));
+  auto got2 = host->TryRecv();
+  ASSERT_TRUE(got2.ok()) << got2.status().ToString();
+  EXPECT_EQ(*got2, m2);
+  close(fds[1]);
 }
 
 }  // namespace
