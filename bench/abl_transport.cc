@@ -96,9 +96,9 @@ int main() {
   workloads::WorkloadOptions options;
 
   std::printf("Transport ablation — same stack, pluggable transport\n\n");
-  std::printf("%-12s %10s %10s %10s %10s\n", "benchmark", "native",
-              "inproc", "shm-ring", "socket");
-  bench::PrintRule(58);
+  std::printf("%-12s %10s %10s %10s %10s %10s\n", "benchmark", "native",
+              "inproc", "shm-ring", "socket", "sqcq");
+  bench::PrintRule(70);
   for (int row = 0; row < 3; ++row) {
     const auto& workload = workloads::AllVclWorkloads()[indices[row]];
     vcl::ResetDefaultSilo({});
@@ -108,11 +108,12 @@ int main() {
         std::abort();
       }
     });
-    double ms[3] = {0, 0, 0};
+    double ms[4] = {0, 0, 0, 0};
     const bench::TransportKind kinds[] = {bench::TransportKind::kInProc,
                                           bench::TransportKind::kShmRing,
-                                          bench::TransportKind::kSocketPair};
-    for (int t = 0; t < 3; ++t) {
+                                          bench::TransportKind::kSocketPair,
+                                          bench::TransportKind::kSqcq};
+    for (int t = 0; t < 4; ++t) {
       vcl::ResetDefaultSilo({});
       bench::Stack stack;
       auto& vm = stack.AddVm(1, kinds[t]);
@@ -123,14 +124,15 @@ int main() {
         }
       });
     }
-    std::printf("%-12s %8.1fms %8.1fms %8.1fms %8.1fms\n",
-                names[row], native_ms, ms[0], ms[1], ms[2]);
+    std::printf("%-12s %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
+                names[row], native_ms, ms[0], ms[1], ms[2], ms[3]);
   }
-  bench::PrintRule(58);
+  bench::PrintRule(70);
   std::printf(
       "\ninproc = condvar-signaled FIFO (virtio-style kick);\n"
       "shm-ring = polled shared-memory rings usable across fork();\n"
-      "socket = AF_UNIX stream (remote/disaggregated accelerators).\n");
+      "socket = AF_UNIX stream (remote/disaggregated accelerators);\n"
+      "sqcq = submission/completion record rings, wait-free submit.\n");
 
   BulkDataPathAblation();
   return 0;

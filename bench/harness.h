@@ -13,6 +13,7 @@
 
 #include "mvnc_gen.h"
 #include "src/common/vclock.h"
+#include "src/transport/sqcq_ring.h"
 #include "src/obs/metrics.h"
 #include "src/router/router.h"
 #include "src/runtime/guest_endpoint.h"
@@ -24,7 +25,7 @@
 
 namespace bench {
 
-enum class TransportKind { kInProc, kShmRing, kSocketPair };
+enum class TransportKind { kInProc, kShmRing, kSocketPair, kSqcq };
 
 inline const char* TransportName(TransportKind kind) {
   switch (kind) {
@@ -34,6 +35,8 @@ inline const char* TransportName(TransportKind kind) {
       return "shm-ring";
     case TransportKind::kSocketPair:
       return "socketpair";
+    case TransportKind::kSqcq:
+      return "sqcq";
   }
   return "?";
 }
@@ -54,6 +57,15 @@ inline ava::ChannelPair MakeChannel(TransportKind kind) {
     case TransportKind::kSocketPair: {
       auto c = ava::MakeSocketPairChannel();
       if (!c.ok()) {
+        std::abort();
+      }
+      return std::move(*c);
+    }
+    case TransportKind::kSqcq: {
+      auto c = ava::MakeSqcqChannel();
+      if (!c.ok()) {
+        std::fprintf(stderr, "sqcq channel failed: %s\n",
+                     c.status().ToString().c_str());
         std::abort();
       }
       return std::move(*c);

@@ -68,6 +68,17 @@ class TokenBucket {
     }
   }
 
+  // Returns tokens taken by a TryAcquire whose frame was not admitted after
+  // all (e.g. folded back into a parked batch to preserve FIFO). Capped at
+  // burst, like any refill.
+  void Refund(double amount) {
+    if (!enabled_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    tokens_ = std::min(burst_, tokens_ + amount);
+  }
+
   // Non-blocking variant: consumes and returns true when enough tokens.
   bool TryAcquire(double amount) {
     if (!enabled_.load(std::memory_order_relaxed)) {

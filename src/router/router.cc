@@ -761,46 +761,90 @@ bool Router::DrainChannel(const std::shared_ptr<VmChannel>& channel) {
   // Ack BEFORE draining: a doorbell ring that lands after this point
   // re-arms readiness, so no wakeup is lost between drain and re-wait.
   channel->transport->AckReadiness();
-  for (int i = 0; i < kMaxFramesPerVisit; ++i) {
-    auto message = channel->transport->TryRecv();
-    if (!message.ok()) {
-      if (message.status().code() == StatusCode::kNotFound) {
-        return false;  // dry (possibly a spurious wakeup — benign)
-      }
-      // Unavailable: the transport is closed; this session's ingest is done.
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        channel->rx_done = true;
-        if (loop_ != nullptr) {
-          const int fd = channel->transport->readiness_fd();
-          if (fd >= 0) {
-            loop_->Remove(fd);
-          }
-        }
-        MaybeMarkDeadLocked(channel.get());
-      }
-      sched_cv_.notify_all();
-      drain_cv_.notify_all();
-      return false;
+  // Pull the whole published batch in one transport pass (a record-ring CQ
+  // hands it over under a single lock), verify and rate-limit frame by
+  // frame, and enqueue everything admitted through ONE EnqueueBatch — one
+  // router-mutex acquisition and one scheduler wakeup per drain, not per
+  // frame.
+  std::vector<Bytes> frames;
+  auto reaped = channel->transport->TryRecvBatch(&frames, kMaxFramesPerVisit);
+  if (!reaped.ok()) {
+    if (reaped.status().code() == StatusCode::kNotFound) {
+      return false;  // dry (possibly a spurious wakeup — benign)
     }
+    // Unavailable: the transport is closed; this session's ingest is done.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      channel->rx_done = true;
+      if (loop_ != nullptr) {
+        const int fd = channel->transport->readiness_fd();
+        if (fd >= 0) {
+          loop_->Remove(fd);
+        }
+      }
+      MaybeMarkDeadLocked(channel.get());
+    }
+    sched_cv_.notify_all();
+    drain_cv_.notify_all();
+    return false;
+  }
+  IngestBatch admitted;
+  admitted.call_count = 0.0;
+  bool have_admitted = false;
+  bool parked = false;
+  for (Bytes& message : frames) {
     IngestBatch batch;
-    if (!VerifyFrame(channel.get(), std::move(*message), &batch)) {
+    if (!VerifyFrame(channel.get(), std::move(message), &batch)) {
+      continue;
+    }
+    if (parked) {
+      // A frame behind the parked one was already reaped off the ring; it
+      // must not overtake, so it folds into the parked batch. Its tokens
+      // were never attempted — downgrade the parked batch to fully unpaid
+      // (refunding the head's call tokens if taken) so the retry charges
+      // the merged totals uniformly.
+      if (channel->parked_call_paid) {
+        channel->call_bucket.Refund(channel->parked->call_count);
+        channel->parked_call_paid = false;
+      }
+      channel->parked->units.insert(
+          channel->parked->units.end(),
+          std::make_move_iterator(batch.units.begin()),
+          std::make_move_iterator(batch.units.end()));
+      channel->parked->call_count += batch.call_count;
+      channel->parked->charge_bytes += batch.charge_bytes;
       continue;
     }
     // ---- rate limiting, non-blocking ----
     // The loop thread must never sleep on one VM's budget: a frame that
     // cannot take its tokens parks the channel (epoll-muted) and the loop
-    // retries on its 1 ms tick.
+    // retries on its 1 ms tick. Frames admitted before the parked one keep
+    // their tokens and are enqueued below.
     const bool call_ok = channel->call_bucket.TryAcquire(batch.call_count);
     const bool bytes_ok =
         call_ok && channel->byte_bucket.TryAcquire(batch.charge_bytes);
     if (!call_ok || !bytes_ok) {
       ParkChannel(channel.get(), std::move(batch), call_ok);
-      return false;
+      parked = true;
+      continue;
     }
-    EnqueueBatch(channel.get(), &batch, 0);
+    admitted.units.insert(admitted.units.end(),
+                          std::make_move_iterator(batch.units.begin()),
+                          std::make_move_iterator(batch.units.end()));
+    admitted.call_count += batch.call_count;
+    admitted.charge_bytes += batch.charge_bytes;
+    if (!have_admitted) {
+      admitted.rx_ns = batch.rx_ns;
+      have_admitted = true;
+    }
   }
-  return true;  // frame cap hit: more may be pending, revisit
+  if (have_admitted && !admitted.units.empty()) {
+    EnqueueBatch(channel.get(), &admitted, 0);
+  }
+  if (parked) {
+    return false;  // fd is muted; the parked batch retries on the tick
+  }
+  return *reaped >= static_cast<std::size_t>(kMaxFramesPerVisit);
 }
 
 void Router::ParkChannel(VmChannel* channel, IngestBatch batch,

@@ -355,6 +355,17 @@ Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
           deadline_ns > 0
               ? transport_->RecvTimeout(deadline_ns - MonotonicNowNs())
               : transport_->Recv();
+      // Bulk completion reap: with one reply in hand, opportunistically
+      // drain whatever else is already deliverable so every waiting caller
+      // gets routed under a single lock acquisition instead of one
+      // reader-wakeup round trip each (the SQ/CQ transport hands the whole
+      // published completion batch over in one pass).
+      std::vector<Bytes> reaped;
+      if (received.ok()) {
+        reaped.push_back(*std::move(received));
+        constexpr std::size_t kReapBatch = 16;
+        (void)transport_->TryRecvBatch(&reaped, kReapBatch - 1);
+      }
       lock.lock();
       reader_active_ = false;
       if (!received.ok()) {
@@ -381,36 +392,47 @@ Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
         waiters_.erase(call_id);
         return err;
       }
-      Bytes raw = *std::move(received);
-      bytes_received_->Increment(raw.size());
-      if (Status crc = CheckAndStripFrame(&raw); !crc.ok()) {
-        // A corrupted reply names no trustworthy call id, so it cannot be
-        // routed. Classify it to this caller — matching the classic
-        // single-caller behavior exactly — and let any other affected
-        // caller's own deadline cover the loss.
-        reply_cv_.notify_all();
-        waiters_.erase(call_id);
-        return crc;
+      Status routing_error = OkStatus();
+      for (Bytes& raw : reaped) {
+        bytes_received_->Increment(raw.size());
+        if (Status crc = CheckAndStripFrame(&raw); !crc.ok()) {
+          // A corrupted reply names no trustworthy call id, so it cannot
+          // be routed. Classify it to this caller — matching the classic
+          // single-caller behavior exactly — after the rest of the batch
+          // is routed; any other affected caller's own deadline covers the
+          // loss.
+          if (routing_error.ok()) {
+            routing_error = crc;
+          }
+          continue;
+        }
+        auto decoded = DecodeReply(raw);
+        if (!decoded.ok()) {
+          if (routing_error.ok()) {
+            routing_error = decoded.status();
+          }
+          continue;
+        }
+        // Shadows apply at routing time (we hold the lock), whichever
+        // caller the reply belongs to: piggybacked state must land before
+        // that caller — possibly this thread — resumes.
+        ApplyShadowsLocked(*decoded);
+        auto it = waiters_.find(decoded->header.call_id);
+        if (it == waiters_.end()) {
+          AVA_LOG(WARNING) << "dropping stray reply for call "
+                           << decoded->header.call_id;
+          continue;
+        }
+        it->second->raw = std::move(raw);
+        it->second->done = true;
       }
-      auto decoded = DecodeReply(raw);
-      if (!decoded.ok()) {
-        reply_cv_.notify_all();
-        waiters_.erase(call_id);
-        return decoded.status();
-      }
-      // Shadows apply at routing time (we hold the lock), whichever caller
-      // the reply belongs to: piggybacked state must land before that
-      // caller — possibly this thread — resumes.
-      ApplyShadowsLocked(*decoded);
-      auto it = waiters_.find(decoded->header.call_id);
-      if (it == waiters_.end()) {
-        AVA_LOG(WARNING) << "dropping stray reply for call "
-                         << decoded->header.call_id;
-        continue;
-      }
-      it->second->raw = std::move(raw);
-      it->second->done = true;
+      // One notification for the whole reaped batch: followers whose
+      // replies landed wake together instead of one per reader lap.
       reply_cv_.notify_all();
+      if (!routing_error.ok() && !waiter.done) {
+        waiters_.erase(call_id);
+        return routing_error;
+      }
       continue;
     }
     // ---- follower: wait for my reply or for the reader role ----

@@ -104,6 +104,14 @@ class FaultyTransport final : public Transport {
 
   Result<Bytes> TryRecv() override { return inner_->TryRecv(); }
 
+  // Receive-side faults don't exist (every fault injects on Send), so batch
+  // reaping forwards wholesale — a wrapped record ring keeps its one-lock
+  // drain.
+  Result<std::size_t> TryRecvBatch(std::vector<Bytes>* out,
+                                   std::size_t max) override {
+    return inner_->TryRecvBatch(out, max);
+  }
+
   void Close() override { inner_->Close(); }
 
   std::string name() const override { return "faulty:" + inner_->name(); }

@@ -1,0 +1,758 @@
+// SQ/CQ record-ring transport implementation. See sqcq_ring.h for the
+// layout and DESIGN.md §15 for the memory-ordering contract. The protocol
+// in one paragraph:
+//
+//   Producers claim `n` contiguous slots with claim.fetch_add(n) (wait-free;
+//   no lock, no CAS loop), wait for each claimed slot to come free
+//   (slot.seq == pos, acquire — pairs with the consumer's release when it
+//   freed the previous lap), write header + payload as plain stores, then
+//   publish each slot with slot.seq = pos + 1 (release). The single
+//   consumer reads head's record only when every slot of it is published
+//   (acquire), copies out, and frees with slot.seq = pos + depth (release).
+//   Doorbells are Dekker-paired with the armed flag: the producer's
+//   seq_cst fence after publish vs the consumer's seq_cst armed-store
+//   before its final emptiness re-check — one of them always observes the
+//   other, so a sleeping consumer is never missed and an awake one costs
+//   no syscall.
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/vclock.h"
+#include "src/transport/arena.h"
+#include "src/transport/sqcq_ring.h"
+#include "src/transport/transport_metrics.h"
+
+namespace ava {
+namespace {
+
+using sqcq::kEnd;
+using sqcq::kMid;
+using sqcq::kSlotHdrBytes;
+using sqcq::kStart;
+using sqcq::kWhole;
+using sqcq::RingHdr;
+using sqcq::SlotHdr;
+
+transport_internal::KindMetrics& Metrics() {
+  static transport_internal::KindMetrics metrics =
+      transport_internal::MakeKindMetrics("sqcq");
+  return metrics;
+}
+
+// Same escalation policy as the byte ring (see shm_ring.cc): spin briefly,
+// then sleep with growing duration — no yield() phase.
+void BackoffWait(int* spins) {
+  if (*spins < 1024) {
+    ++*spins;
+    return;
+  }
+  const int level = std::min((*spins - 1024) / 8, 4);
+  ++*spins;
+  std::this_thread::sleep_for(std::chrono::microseconds(10 << level));
+}
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// On a single-CPU machine pause-spinning is worse than useless: the waiter
+// burns the exact quantum the producer needs to publish. There the spin
+// phase yields instead — the scheduler hands the core to the peer, and
+// because `armed` stays 0 the whole time, the peer's publish skips the
+// doorbell syscall entirely.
+bool SingleCpu() {
+  static const bool single = std::thread::hardware_concurrency() <= 1;
+  return single;
+}
+
+std::int64_t EnvInt(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return end == value ? fallback : static_cast<std::int64_t>(parsed);
+}
+
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+struct Region {
+  std::uint8_t* base = nullptr;
+  std::size_t total = 0;
+  ~Region() {
+    if (base != nullptr) {
+      ::munmap(base, total);
+    }
+  }
+};
+
+// Every knob resolved once at channel creation; both endpoints share it.
+struct Resolved {
+  std::size_t depth;
+  std::size_t stride;
+  std::size_t payload;
+  std::size_t wave_slots;  // max slots per record (contiguous claim bound)
+  std::size_t wave_bytes;
+  std::size_t max_message_bytes;
+  std::int64_t coalesce_ns;
+  int coalesce_calls;
+  std::int64_t spin_ns;
+};
+
+std::size_t SlotsFor(std::size_t bytes, std::size_t payload) {
+  return bytes == 0 ? 1 : (bytes + payload - 1) / payload;
+}
+
+class SqcqEndpoint final : public Transport {
+ public:
+  SqcqEndpoint(std::shared_ptr<Region> region, SqcqRawRing tx, SqcqRawRing rx,
+               Resolved cfg, std::uint64_t initial_cursor, std::string name,
+               std::shared_ptr<BufferArena> arena, int door_tx, int door_rx)
+      : region_(std::move(region)),
+        tx_(tx),
+        rx_(rx),
+        cfg_(cfg),
+        name_(std::move(name)),
+        arena_(std::move(arena)),
+        door_tx_(door_tx),
+        door_rx_(door_rx),
+        rx_head_(initial_cursor) {}
+
+  ~SqcqEndpoint() override {
+    Close();
+    if (door_tx_ >= 0) {
+      ::close(door_tx_);
+    }
+    if (door_rx_ >= 0) {
+      ::close(door_rx_);
+    }
+  }
+
+  Status Send(const Bytes& message) override {
+    const bool sampling = obs::SamplingEnabled();
+    const std::int64_t start_ns = sampling ? MonotonicNowNs() : 0;
+    if (message.size() > cfg_.max_message_bytes) {
+      return InvalidArgument("sqcq message exceeds max_message_bytes");
+    }
+    // SendRecord only re-checks the flag while waiting for a slot to free
+    // up, so an empty ring needs this entry check to refuse post-close
+    // sends (own close and peer close both mark the ring).
+    if (tx_.hdr->closed.load(std::memory_order_acquire) != 0) {
+      return Unavailable("sqcq ring closed");
+    }
+    if (message.size() <= cfg_.wave_bytes) {
+      // Fast path: one contiguous record, no lock anywhere.
+      AVA_RETURN_IF_ERROR(SendRecord(kWhole, message.data(), message.size(),
+                                     message.size()));
+    } else {
+      // Giant message: serialize fragments on this endpoint so the
+      // consumer sees exactly one interleaved stream per direction.
+      // Records from *other* whole-message senders may interleave freely —
+      // they carry their own role flag and deliver immediately.
+      std::lock_guard<std::mutex> lock(stream_mutex_);
+      std::size_t off = 0;
+      bool first = true;
+      while (off < message.size()) {
+        const std::size_t chunk =
+            std::min(cfg_.wave_bytes, message.size() - off);
+        const std::uint16_t role =
+            first ? kStart : (off + chunk == message.size() ? kEnd : kMid);
+        AVA_RETURN_IF_ERROR(
+            SendRecord(role, message.data() + off, chunk, message.size()));
+        off += chunk;
+        first = false;
+      }
+    }
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_sent->Increment();
+    m.bytes_sent->Increment(message.size());
+    if (sampling) {
+      m.send_ns->Record(MonotonicNowNs() - start_ns);
+    }
+    return OkStatus();
+  }
+
+  Result<Bytes> Recv() override { return RecvInternal(/*deadline_ns=*/0); }
+
+  Result<Bytes> RecvTimeout(std::int64_t timeout_ns) override {
+    const std::int64_t deadline_ns =
+        MonotonicNowNs() + std::max<std::int64_t>(timeout_ns, 0);
+    return RecvInternal(deadline_ns);
+  }
+
+  Result<Bytes> TryRecv() override {
+    FlushDoorbell();
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    for (;;) {
+      auto message = PollMessageLocked();
+      if (message.ok() || message.status().code() != StatusCode::kNotFound) {
+        return message;
+      }
+      if (ArmLocked()) {
+        continue;  // a record landed (or close raced) while arming
+      }
+      return NotFound("no message pending");
+    }
+  }
+
+  Result<std::size_t> TryRecvBatch(std::vector<Bytes>* out,
+                                   std::size_t max) override {
+    FlushDoorbell();
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    std::size_t got = 0;
+    while (got < max) {
+      auto message = PollMessageLocked();
+      if (message.ok()) {
+        out->push_back(*std::move(message));
+        ++got;
+        continue;
+      }
+      if (message.status().code() == StatusCode::kNotFound) {
+        if (ArmLocked()) {
+          continue;
+        }
+        // Drained dry and armed: the next publish rings the doorbell, so
+        // an event-loop caller can go back to waiting with nothing lost.
+        if (got == 0) {
+          return message.status();
+        }
+        return got;
+      }
+      // Unavailable / DataLoss: deliver what we reaped; the terminal
+      // status resurfaces on the next call.
+      if (got == 0) {
+        return message.status();
+      }
+      return got;
+    }
+    return got;  // hit `max` without going dry: caller should revisit
+  }
+
+  void Close() override {
+    tx_.hdr->closed.store(1, std::memory_order_release);
+    rx_.hdr->closed.store(1, std::memory_order_release);
+    // Wake the peer's consumer *and* our own (a reader of this endpoint may
+    // be asleep in ppoll on door_rx_ — it must observe the closed flag).
+    FlushDoorbell();
+    RingFd(door_tx_);
+    RingFd(door_rx_);
+  }
+
+  std::string name() const override { return name_; }
+
+  std::shared_ptr<BufferArena> arena() const override { return arena_; }
+
+  int readiness_fd() const override { return door_rx_; }
+
+  void AckReadiness() override {
+    if (door_rx_ < 0) {
+      return;
+    }
+    std::uint64_t drained = 0;
+    (void)!::read(door_rx_, &drained, sizeof(drained));
+    // We are clearly awake and about to drain; suppress producer doorbells
+    // until the drain goes dry and re-arms.
+    rx_.hdr->armed.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // ---------------------------- producer side ----------------------------
+
+  Status SendRecord(std::uint16_t role, const std::uint8_t* src,
+                    std::size_t frag_len, std::size_t total_len) {
+    const std::size_t nslots = SlotsFor(frag_len, cfg_.payload);
+    const std::uint64_t pos =
+        tx_.hdr->claim.fetch_add(nslots, std::memory_order_relaxed);
+    std::size_t off = 0;
+    for (std::size_t k = 0; k < nslots; ++k) {
+      SlotHdr* slot = tx_.slot(pos + k);
+      int spins = 0;
+      // Wait for the slot to come around (consumer freed the previous
+      // lap). The acquire pairs with the consumer's release-free, so its
+      // reads of the old payload happen-before our overwrite.
+      while (slot->seq.load(std::memory_order_acquire) != pos + k) {
+        if (tx_.hdr->closed.load(std::memory_order_acquire) != 0) {
+          return Unavailable("sqcq ring closed");
+        }
+        BackoffWait(&spins);
+      }
+      if (k == 0) {
+        slot->frag_len = static_cast<std::uint32_t>(frag_len);
+        slot->flags = role;
+        slot->reserved = 0;
+        slot->total_len = total_len;
+      }
+      const std::size_t chunk = std::min(cfg_.payload, frag_len - off);
+      if (chunk > 0) {
+        std::memcpy(tx_.slot_payload(pos + k), src + off, chunk);
+      }
+      off += chunk;
+    }
+    for (std::size_t k = 0; k < nslots; ++k) {
+      tx_.slot(pos + k)->seq.store(pos + k + 1, std::memory_order_release);
+    }
+    DoorbellAfterPublish();
+    return OkStatus();
+  }
+
+  void DoorbellAfterPublish() {
+    // Dekker pair with ArmLocked(): publish (release) → fence → armed load
+    // vs armed store (seq_cst) → record re-check. At least one side sees
+    // the other's write; a sleeping consumer is never missed.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (tx_.hdr->armed.load(std::memory_order_relaxed) == 0) {
+      return;  // consumer is awake (draining or spinning): no syscall owed
+    }
+    if (cfg_.coalesce_ns <= 0) {
+      RingFd(door_tx_);
+      return;
+    }
+    // Adaptive coalescing: defer the wakeup until enough submissions or
+    // enough time has accumulated. Consumers cap their sleep at ~2 windows
+    // (see SleepCapNs), so a deferred doorbell is still observed promptly.
+    const int pending = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::int64_t now = MonotonicNowNs();
+    if (pending == 1) {
+      first_pending_ns_.store(now, std::memory_order_relaxed);
+    }
+    if (pending >= cfg_.coalesce_calls ||
+        now - first_pending_ns_.load(std::memory_order_relaxed) >=
+            cfg_.coalesce_ns) {
+      FlushDoorbell();
+    }
+  }
+
+  // Flushes any doorbell deferred by coalescing. Called on the count/
+  // deadline thresholds, on Close, and at the entry of every receive on
+  // this endpoint (a sync caller about to sleep must push its own
+  // submissions out first, or it waits on a reply the server never saw).
+  void FlushDoorbell() {
+    if (pending_.exchange(0, std::memory_order_relaxed) > 0) {
+      RingFd(door_tx_);
+    }
+  }
+
+  static void RingFd(int fd) {
+    if (fd < 0) {
+      return;
+    }
+    const std::uint64_t one = 1;
+    (void)!::write(fd, &one, sizeof(one));
+  }
+
+  // ---------------------------- consumer side ----------------------------
+  // All consumer state (rx_head_, stream reassembly, recv_error_) is
+  // guarded by recv_mutex_; the shared hdr->head is a diagnostic mirror
+  // only and never trusted for reads, so a forged head cannot over-read.
+
+  bool RxClosedLocked() const {
+    return rx_.hdr->closed.load(std::memory_order_acquire) != 0;
+  }
+
+  // Would PollMessageLocked() make progress right now? True when the head
+  // record is fully published, the header is malformed (poisoning is
+  // progress), or the ring is closed (Unavailable is progress).
+  bool RecordReadyLocked() const {
+    const std::uint64_t pos = rx_head_;
+    const SlotHdr* first = rx_.slot(pos);
+    if (first->seq.load(std::memory_order_acquire) != pos + 1) {
+      return RxClosedLocked();
+    }
+    const std::uint32_t frag_len = first->frag_len;
+    if (frag_len > cfg_.wave_bytes) {
+      return true;
+    }
+    const std::size_t nslots = SlotsFor(frag_len, cfg_.payload);
+    for (std::size_t k = 1; k < nslots; ++k) {
+      if (rx_.slot(pos + k)->seq.load(std::memory_order_acquire) !=
+          pos + k + 1) {
+        return RxClosedLocked();
+      }
+    }
+    return true;
+  }
+
+  Result<Bytes> PoisonLocked(const char* why) {
+    recv_error_ = DataLoss(why);
+    Close();
+    return recv_error_;
+  }
+
+  // Pulls the next complete *message* without waiting. NotFound: nothing
+  // fully published (a partially published record or fragment stream stays
+  // parked — record rings resynchronize, unlike byte streams). Unavailable:
+  // closed and the head record will never complete (this is where a crashed
+  // producer's claimed-but-unpublished sqe gets skipped). DataLoss: the
+  // peer wrote a malformed header; the ring is poisoned, never over-read.
+  Result<Bytes> PollMessageLocked() {
+    if (!recv_error_.ok()) {
+      return recv_error_;
+    }
+    for (;;) {
+      const std::uint64_t pos = rx_head_;
+      SlotHdr* first = rx_.slot(pos);
+      if (first->seq.load(std::memory_order_acquire) != pos + 1) {
+        if (RxClosedLocked()) {
+          return Unavailable("sqcq ring closed");
+        }
+        return NotFound("no message pending");
+      }
+      const std::uint32_t frag_len = first->frag_len;
+      const std::uint16_t flags = first->flags;
+      const std::uint64_t total_len = first->total_len;
+      if (frag_len > cfg_.wave_bytes || flags > kEnd ||
+          total_len > cfg_.max_message_bytes) {
+        return PoisonLocked("sqcq record header invalid");
+      }
+      const std::size_t nslots = SlotsFor(frag_len, cfg_.payload);
+      bool complete = true;
+      for (std::size_t k = 1; k < nslots; ++k) {
+        if (rx_.slot(pos + k)->seq.load(std::memory_order_acquire) !=
+            pos + k + 1) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) {
+        if (RxClosedLocked()) {
+          return Unavailable("sqcq ring closed mid-record");
+        }
+        return NotFound("no message pending");
+      }
+      // Copy the record out, then free its slots for the next lap.
+      Bytes record(frag_len);
+      std::size_t off = 0;
+      for (std::size_t k = 0; k < nslots; ++k) {
+        const std::size_t chunk = std::min(cfg_.payload, frag_len - off);
+        if (chunk > 0) {
+          std::memcpy(record.data() + off, rx_.slot_payload(pos + k), chunk);
+        }
+        off += chunk;
+        rx_.slot(pos + k)->seq.store(pos + k + cfg_.depth,
+                                     std::memory_order_release);
+      }
+      rx_head_ = pos + nslots;
+      rx_.hdr->head.store(rx_head_, std::memory_order_relaxed);
+
+      switch (flags) {
+        case kWhole:
+          if (stream_active_ || total_len != frag_len) {
+            return PoisonLocked("sqcq whole record inconsistent");
+          }
+          return Delivered(std::move(record));
+        case kStart:
+          if (stream_active_ || total_len <= frag_len) {
+            return PoisonLocked("sqcq fragment start inconsistent");
+          }
+          stream_active_ = true;
+          stream_total_ = total_len;
+          stream_ = std::move(record);
+          stream_.reserve(total_len);
+          continue;
+        case kMid:
+        case kEnd:
+          if (!stream_active_ || total_len != stream_total_ ||
+              stream_.size() + frag_len > stream_total_) {
+            return PoisonLocked("sqcq fragment continuation inconsistent");
+          }
+          stream_.insert(stream_.end(), record.begin(), record.end());
+          if (flags == kEnd) {
+            if (stream_.size() != stream_total_) {
+              return PoisonLocked("sqcq fragment stream truncated");
+            }
+            stream_active_ = false;
+            stream_total_ = 0;
+            return Delivered(std::move(stream_));
+          }
+          continue;
+        default:
+          return PoisonLocked("sqcq record role invalid");
+      }
+    }
+  }
+
+  Result<Bytes> Delivered(Bytes&& message) {
+    transport_internal::KindMetrics& m = Metrics();
+    m.msgs_received->Increment();
+    m.bytes_received->Increment(message.size());
+    return std::move(message);
+  }
+
+  // Arms the doorbell, then re-checks for progress (the Dekker pair with
+  // DoorbellAfterPublish). Returns true — disarmed, caller must retry —
+  // when a record completed or the ring closed during the race window.
+  bool ArmLocked() {
+    rx_.hdr->armed.store(1, std::memory_order_seq_cst);
+    if (RecordReadyLocked()) {
+      rx_.hdr->armed.store(0, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // With coalescing on, a producer may owe us a doorbell for up to one
+  // window; never sleep much longer than that or a deferred wakeup becomes
+  // a stall. Off (the default): sleep until rung.
+  std::int64_t SleepCapNs() const {
+    if (cfg_.coalesce_ns <= 0) {
+      return -1;
+    }
+    return std::max<std::int64_t>(2 * cfg_.coalesce_ns, 200000);
+  }
+
+  Result<Bytes> RecvInternal(std::int64_t deadline_ns) {
+    FlushDoorbell();
+    std::unique_lock<std::mutex> lock(recv_mutex_);
+    int fallback_spins = 0;
+    for (;;) {
+      auto message = PollMessageLocked();
+      if (message.ok() || message.status().code() != StatusCode::kNotFound) {
+        return message;
+      }
+      std::int64_t now = MonotonicNowNs();
+      if (deadline_ns > 0 && now >= deadline_ns) {
+        return DeadlineExceeded("sqcq recv timed out");
+      }
+      // Polling phase of the hybrid: spin briefly before paying for the
+      // eventfd round trip — under load the next record lands within the
+      // spin window and the doorbell stays silent.
+      if (cfg_.spin_ns > 0) {
+        std::int64_t spin_end = now + cfg_.spin_ns;
+        if (deadline_ns > 0) {
+          spin_end = std::min(spin_end, deadline_ns);
+        }
+        bool ready = false;
+        while (!ready && MonotonicNowNs() < spin_end) {
+          if (SingleCpu()) {
+            std::this_thread::yield();
+            ready = RecordReadyLocked();
+          } else {
+            for (int i = 0; i < 64 && !ready; ++i) {
+              ready = RecordReadyLocked();
+              CpuRelax();
+            }
+          }
+        }
+        if (ready) {
+          continue;
+        }
+      }
+      if (door_rx_ < 0) {
+        // Doorbell-less fallback (eventfd creation failed): degrade to the
+        // byte ring's escalating backoff poll.
+        BackoffWait(&fallback_spins);
+        continue;
+      }
+      if (ArmLocked()) {
+        continue;
+      }
+      std::int64_t wait_ns = deadline_ns > 0 ? deadline_ns - MonotonicNowNs()
+                                             : -1;
+      const std::int64_t cap = SleepCapNs();
+      if (cap > 0 && (wait_ns < 0 || wait_ns > cap)) {
+        wait_ns = cap;
+      }
+      struct pollfd pfd = {door_rx_, POLLIN, 0};
+      if (wait_ns < 0) {
+        (void)::poll(&pfd, 1, -1);
+      } else {
+        struct timespec ts;
+        ts.tv_sec = wait_ns / 1000000000;
+        ts.tv_nsec = wait_ns % 1000000000;
+        (void)::ppoll(&pfd, 1, &ts, nullptr);
+      }
+      std::uint64_t drained = 0;
+      (void)!::read(door_rx_, &drained, sizeof(drained));
+      rx_.hdr->armed.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::shared_ptr<Region> region_;
+  SqcqRawRing tx_;
+  SqcqRawRing rx_;
+  const Resolved cfg_;
+  std::string name_;
+  std::shared_ptr<BufferArena> arena_;
+  const int door_tx_;
+  const int door_rx_;
+
+  // Producer-side: fragment streams serialize here; whole records never
+  // touch it. Coalescing state is endpoint-local (a deferred doorbell is
+  // owed by whoever published, flushed by whoever acts next).
+  std::mutex stream_mutex_;
+  std::atomic<int> pending_{0};
+  std::atomic<std::int64_t> first_pending_ns_{0};
+
+  // Consumer-side, guarded by recv_mutex_.
+  std::mutex recv_mutex_;
+  std::uint64_t rx_head_;
+  bool stream_active_ = false;
+  std::uint64_t stream_total_ = 0;
+  Bytes stream_;
+  Status recv_error_ = OkStatus();
+};
+
+void InitRing(const SqcqRawRing& ring, std::uint64_t initial_cursor) {
+  new (ring.hdr) RingHdr;
+  ring.hdr->claim.store(initial_cursor, std::memory_order_relaxed);
+  ring.hdr->head.store(initial_cursor, std::memory_order_relaxed);
+  ring.hdr->closed.store(0, std::memory_order_relaxed);
+  // Born armed: until a consumer runs its first drain (which disarms and
+  // re-arms on dry), every publish rings the doorbell. An epoll consumer
+  // attaches the fd and simply waits — without this, the first message
+  // would race the consumer's first arm and nobody would ever be rung.
+  ring.hdr->armed.store(1, std::memory_order_relaxed);
+  const std::uint64_t mask = ring.depth - 1;
+  for (std::uint64_t p = 0; p < ring.depth; ++p) {
+    // First position >= initial_cursor that maps to physical slot p
+    // (wrap-safe u64 arithmetic — the wraparound property test starts the
+    // index space just below UINT64_MAX).
+    std::uint64_t s = (initial_cursor & ~mask) | p;
+    if (s - initial_cursor >= ring.depth) {
+      s += ring.depth;
+    }
+    SlotHdr* slot = reinterpret_cast<SlotHdr*>(ring.slot_base + p * ring.stride);
+    new (slot) SlotHdr;
+    slot->seq.store(s, std::memory_order_relaxed);
+    slot->frag_len = 0;
+    slot->flags = 0;
+    slot->reserved = 0;
+    slot->total_len = 0;
+  }
+}
+
+}  // namespace
+
+Result<ChannelPair> MakeSqcqChannel(const SqcqConfig& config, SqcqRaw* raw) {
+  Resolved r;
+  std::size_t depth =
+      config.depth != 0
+          ? config.depth
+          : static_cast<std::size_t>(
+                std::max<std::int64_t>(EnvInt("AVA_SQCQ_DEPTH", 256), 4));
+  depth = RoundUpPow2(std::max<std::size_t>(depth, 4));
+  if (depth > (1u << 20)) {
+    return InvalidArgument("sqcq depth too large");
+  }
+  std::size_t slot_bytes =
+      config.slot_bytes != 0
+          ? config.slot_bytes
+          : static_cast<std::size_t>(
+                std::max<std::int64_t>(EnvInt("AVA_SQCQ_SLOT_BYTES", 512), 64));
+  slot_bytes = std::max<std::size_t>(slot_bytes, 64);
+  slot_bytes = (slot_bytes + 7) & ~std::size_t{7};
+  r.depth = depth;
+  r.stride = slot_bytes;
+  r.payload = slot_bytes - kSlotHdrBytes;
+  r.wave_slots = std::max<std::size_t>(depth / 4, 1);
+  r.wave_bytes = r.wave_slots * r.payload;
+  r.max_message_bytes = config.max_message_bytes;
+  const std::int64_t coalesce_us =
+      config.coalesce_us >= 0 ? config.coalesce_us
+                              : std::max<std::int64_t>(
+                                    EnvInt("AVA_SQCQ_COALESCE_US", 0), 0);
+  r.coalesce_ns = coalesce_us * 1000;
+  r.coalesce_calls =
+      config.coalesce_calls > 0
+          ? config.coalesce_calls
+          : static_cast<int>(std::max<std::int64_t>(
+                EnvInt("AVA_SQCQ_COALESCE_CALLS", 16), 1));
+  const std::int64_t spin_us =
+      config.spin_us >= 0
+          ? config.spin_us
+          : std::min<std::int64_t>(
+                std::max<std::int64_t>(EnvInt("AVA_SQCQ_SPIN_US", 60), 0),
+                100000);
+  r.spin_ns = spin_us * 1000;
+
+  const std::size_t per_ring = sizeof(RingHdr) + depth * slot_bytes;
+  const std::size_t total = 2 * per_ring;
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return Internal("mmap failed for sqcq ring");
+  }
+  auto region = std::make_shared<Region>();
+  region->base = static_cast<std::uint8_t*>(base);
+  region->total = total;
+
+  auto make_view = [&](std::size_t offset) {
+    SqcqRawRing ring;
+    ring.hdr = reinterpret_cast<RingHdr*>(region->base + offset);
+    ring.slot_base = region->base + offset + sizeof(RingHdr);
+    ring.depth = static_cast<std::uint32_t>(depth);
+    ring.stride = static_cast<std::uint32_t>(slot_bytes);
+    ring.payload = static_cast<std::uint32_t>(r.payload);
+    return ring;
+  };
+  SqcqRawRing g2h = make_view(0);
+  SqcqRawRing h2g = make_view(per_ring);
+  InitRing(g2h, config.initial_cursor);
+  InitRing(h2g, config.initial_cursor);
+  if (raw != nullptr) {
+    raw->g2h = g2h;
+    raw->h2g = h2g;
+  }
+
+  // Bulk-data arena and doorbell eventfds: same pre-fork lifecycle and
+  // degradation story as MakeShmRingChannel (see shm_ring.cc).
+  std::shared_ptr<BufferArena> arena;
+  if (auto created = BufferArena::Create(); created.ok()) {
+    arena = *std::move(created);
+  }
+  const int bell_g2h = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  const int bell_h2g = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  int guest_tx = -1, guest_rx = -1, host_tx = -1, host_rx = -1;
+  if (bell_g2h >= 0 && bell_h2g >= 0) {
+    guest_tx = bell_g2h;
+    guest_rx = bell_h2g;
+    host_tx = ::dup(bell_h2g);
+    host_rx = ::dup(bell_g2h);
+    if (host_tx < 0 || host_rx < 0) {
+      if (host_tx >= 0) ::close(host_tx);
+      if (host_rx >= 0) ::close(host_rx);
+      ::close(bell_g2h);
+      ::close(bell_h2g);
+      guest_tx = guest_rx = host_tx = host_rx = -1;
+    }
+  } else {
+    if (bell_g2h >= 0) ::close(bell_g2h);
+    if (bell_h2g >= 0) ::close(bell_h2g);
+  }
+
+  ChannelPair pair;
+  pair.guest = std::make_unique<SqcqEndpoint>(region, g2h, h2g, r,
+                                              config.initial_cursor,
+                                              "sqcq:guest", arena, guest_tx,
+                                              guest_rx);
+  pair.host = std::make_unique<SqcqEndpoint>(region, h2g, g2h, r,
+                                             config.initial_cursor,
+                                             "sqcq:host", arena, host_tx,
+                                             host_rx);
+  return pair;
+}
+
+}  // namespace ava

@@ -1,0 +1,137 @@
+// Submission/completion-queue shared-memory transport (DESIGN.md §15).
+//
+// Where the classic shm byte ring (shm_ring.cc) streams length-prefixed
+// bytes through two SPSC rings — serializing every Send under a mutex and
+// ringing an eventfd per message — this transport is a pair of fixed-depth
+// *record* rings modeled on hardware RPC queue pairs: each direction is a
+// multi-producer single-consumer array of slots claimed wait-free with
+// fetch_add and published with per-slot sequence numbers, so concurrent
+// senders never take a lock and the doorbell eventfd is written only when
+// the consumer is actually asleep ("armed").
+//
+// Layout per direction (one anonymous MAP_SHARED mapping holds both):
+//
+//   RingHdr   { claim | head | closed+armed }   (one cache line each)
+//   Slot[depth] { seq | frag_len flags total_len | payload[stride-32] }
+//
+// A message that fits `wave` slots travels as one contiguous record
+// (kWhole); larger messages serialize on a per-endpoint streamer mutex and
+// travel as fragment records (kStart/kMid/kEnd) the consumer reassembles —
+// so the lock-free fast path covers every command-sized frame while 3 MiB
+// bulk frames still stream through a 128 KiB ring.
+//
+// The consumer (router event loop via TryRecv/TryRecvBatch, guest reply
+// reaper via Recv/RecvTimeout) reaps *batches*: one mutex acquisition
+// drains every published record. Blocking receivers spin briefly
+// (AVA_SQCQ_SPIN_US) before arming the doorbell — the polling-vs-wakeup
+// hybrid — and producers may defer an armed doorbell for
+// AVA_SQCQ_COALESCE_US / AVA_SQCQ_COALESCE_CALLS to batch wakeups.
+#ifndef AVA_SRC_TRANSPORT_SQCQ_RING_H_
+#define AVA_SRC_TRANSPORT_SQCQ_RING_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/transport/transport.h"
+
+namespace ava {
+
+struct SqcqConfig {
+  // Slots per direction; 0 = $AVA_SQCQ_DEPTH or 256. Rounded up to a power
+  // of two, floor 4.
+  std::size_t depth = 0;
+  // Bytes per slot including the 32-byte record header; 0 =
+  // $AVA_SQCQ_SLOT_BYTES or 512. Floor 64.
+  std::size_t slot_bytes = 0;
+  // Producer-side doorbell coalescing window; <0 = $AVA_SQCQ_COALESCE_US or
+  // 0 (off). When on, a doorbell owed to an armed consumer may be deferred
+  // until this many microseconds — or `coalesce_calls` publishes — have
+  // accumulated, and consumers cap their sleep so a deferred doorbell is
+  // still observed within ~2 windows.
+  std::int64_t coalesce_us = -1;
+  // Publish-count flush threshold; 0 = $AVA_SQCQ_COALESCE_CALLS or 16.
+  int coalesce_calls = 0;
+  // Blocking-receive spin budget before arming the doorbell eventfd; <0 =
+  // $AVA_SQCQ_SPIN_US or 20.
+  std::int64_t spin_us = -1;
+  // Test hook: start both index spaces at this cursor (wraparound tests
+  // begin near UINT64_MAX). 0 for production channels.
+  std::uint64_t initial_cursor = 0;
+  // Upper bound accepted for a single message (validated on the consumer
+  // side too: a forged total_len beyond this poisons the ring cleanly).
+  std::size_t max_message_bytes = 256u << 20;
+};
+
+namespace sqcq {
+
+// Record roles carried in Slot flags. A record is one contiguous slot claim;
+// a message is one kWhole record or a kStart (+kMid...) +kEnd sequence.
+inline constexpr std::uint16_t kWhole = 0;
+inline constexpr std::uint16_t kStart = 1;
+inline constexpr std::uint16_t kMid = 2;
+inline constexpr std::uint16_t kEnd = 3;
+
+// Shared-memory ring header. Each contended field sits on its own cache
+// line; `claim` is bumped by producers, `head` and `armed` by the consumer.
+struct alignas(64) RingHdr {
+  std::atomic<std::uint64_t> claim;  // next unclaimed slot position
+  char pad0[56];
+  std::atomic<std::uint64_t> head;   // next unconsumed slot position
+  char pad1[56];
+  std::atomic<std::uint32_t> closed;
+  std::atomic<std::uint32_t> armed;  // 1 = consumer sleeping, ring the bell
+  char pad2[56];
+};
+static_assert(sizeof(RingHdr) == 192);
+
+// Per-slot record header; payload follows at byte 32. `seq` is the Vyukov
+// sequence gate: == pos → free to claim, == pos+1 → published, == pos+depth
+// → consumed (free for the next lap). The plain fields are written by the
+// claiming producer before the release-publish of `seq` and read by the
+// consumer after its acquire-load — that pair is their only ordering.
+struct SlotHdr {
+  std::atomic<std::uint64_t> seq;
+  std::uint32_t frag_len;   // payload bytes in THIS record
+  std::uint16_t flags;      // kWhole / kStart / kMid / kEnd
+  std::uint16_t reserved;
+  std::uint64_t total_len;  // whole-message bytes (kWhole/kStart: authoritative)
+};
+inline constexpr std::size_t kSlotHdrBytes = 32;
+static_assert(sizeof(SlotHdr) <= kSlotHdrBytes);
+
+}  // namespace sqcq
+
+// Raw pointers into one live ring's shared state. Test-only: lets property
+// and crash tests play a malicious or dying peer (forge cursors, claim a
+// slot and never publish) without friending the implementation.
+struct SqcqRawRing {
+  sqcq::RingHdr* hdr = nullptr;
+  std::uint8_t* slot_base = nullptr;
+  std::uint32_t depth = 0;
+  std::uint32_t stride = 0;   // slot_bytes
+  std::uint32_t payload = 0;  // stride - kSlotHdrBytes
+
+  sqcq::SlotHdr* slot(std::uint64_t pos) const {
+    return reinterpret_cast<sqcq::SlotHdr*>(
+        slot_base + (pos & (depth - 1)) * stride);
+  }
+  std::uint8_t* slot_payload(std::uint64_t pos) const {
+    return slot_base + (pos & (depth - 1)) * stride + sqcq::kSlotHdrBytes;
+  }
+};
+
+struct SqcqRaw {
+  SqcqRawRing g2h;  // guest submissions (sqe ring)
+  SqcqRawRing h2g;  // host completions (cqe ring)
+};
+
+// Creates a connected SQ/CQ channel pair. Like MakeShmRingChannel the
+// backing pages are MAP_SHARED | MAP_ANONYMOUS and the doorbell eventfds
+// are created before any fork(), so the pair stays usable across one.
+// `raw`, when non-null, receives test-only views into the shared state.
+Result<ChannelPair> MakeSqcqChannel(const SqcqConfig& config = {},
+                                    SqcqRaw* raw = nullptr);
+
+}  // namespace ava
+
+#endif  // AVA_SRC_TRANSPORT_SQCQ_RING_H_

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/common/serial.h"
@@ -49,6 +50,29 @@ class Transport {
   // Non-blocking receive: returns NotFound immediately when no message is
   // pending, Unavailable when closed and drained.
   virtual Result<Bytes> TryRecv() = 0;
+
+  // Bulk non-blocking receive: appends up to `max` immediately deliverable
+  // messages to *out and returns how many landed. Returns the TryRecv()
+  // error (NotFound / Unavailable) only when *zero* messages were reaped;
+  // a terminal status behind reaped messages resurfaces on the next call.
+  // The default adapts TryRecv(); record-ring transports override it to
+  // drain a whole completion batch under one lock acquisition.
+  virtual Result<std::size_t> TryRecvBatch(std::vector<Bytes>* out,
+                                           std::size_t max) {
+    std::size_t got = 0;
+    while (got < max) {
+      auto message = TryRecv();
+      if (!message.ok()) {
+        if (got == 0) {
+          return message.status();
+        }
+        break;
+      }
+      out->push_back(*std::move(message));
+      ++got;
+    }
+    return got;
+  }
 
   // Closes both directions; pending receivers wake with Unavailable after
   // draining queued messages.
@@ -102,6 +126,10 @@ Result<ChannelPair> MakeShmRingChannel(std::size_t ring_bytes = 1u << 20);
 
 // AF_UNIX socketpair channel (also usable across fork()).
 Result<ChannelPair> MakeSocketPairChannel();
+
+// Submission/completion-queue record-ring channel (lock-free multi-producer
+// submit, batch reaping, doorbell suppression). Full declaration with its
+// config struct and test hooks lives in src/transport/sqcq_ring.h.
 
 // Wraps an already-connected stream socket fd (takes ownership). Used by
 // tests that need byte-level control of the peer side (partial frames,

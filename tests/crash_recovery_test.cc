@@ -20,6 +20,7 @@
 #include "src/router/router.h"
 #include "src/runtime/guest_endpoint.h"
 #include "src/server/api_server.h"
+#include "src/transport/sqcq_ring.h"
 #include "src/transport/transport.h"
 
 namespace ava {
@@ -194,6 +195,103 @@ TEST(CrashRecoveryTest, AttachVmReplacesDeadChannelInPlace) {
   GuestEndpoint endpoint2(std::move(channel2.guest), opts);
   auto reply = CallOp(&endpoint2, 2);
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  router.Stop();
+}
+
+// The SQ/CQ ring's crash window: a guest dies BETWEEN claiming a submission
+// slot (claim.fetch_add) and publishing it (seq release-store). The claimed
+// slot can never complete, so the router's consumer must park — not block,
+// not fabricate an sqe — while every other VM keeps calling; once the dead
+// guest's side is closed, the unpublished sqe is skipped, the drain
+// classifies the channel Unavailable, and the session is reaped through the
+// ordinary event-loop path. A fresh attach for the same VM id then works.
+TEST(CrashRecoveryTest, SqcqGuestDeathBetweenClaimAndPublishSkipsAndReaps) {
+  // Channel (and its raw view) must exist before the fork so the child
+  // shares the mapping; the child touches ONLY the shared atomics — no
+  // locks, no allocation — because router threads do not cross fork().
+  SqcqRaw raw;
+  auto channel_a = MakeSqcqChannel(SqcqConfig{}, &raw);
+  ASSERT_TRUE(channel_a.ok());
+  auto channel_b = MakeSqcqChannel();
+  ASSERT_TRUE(channel_b.ok());
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // The dying guest: claim an sqe slot, never publish it, die mid-call.
+    raw.g2h.hdr->claim.fetch_add(1, std::memory_order_relaxed);
+    kill(getpid(), SIGKILL);
+    _exit(99);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  constexpr VmId kVmA = 11;
+  constexpr VmId kVmB = 12;
+  Router router;
+  router.Start();
+  auto session_a = std::make_shared<ApiServerSession>(kVmA);
+  session_a->RegisterApi(kTestApi, MakeLocalEchoHandler());
+  ASSERT_TRUE(
+      router.AttachVm(kVmA, std::move(channel_a->host), session_a).ok());
+  auto session_b = std::make_shared<ApiServerSession>(kVmB);
+  session_b->RegisterApi(kTestApi, MakeLocalEchoHandler());
+  ASSERT_TRUE(
+      router.AttachVm(kVmB, std::move(channel_b->host), session_b).ok());
+
+  GuestEndpoint::Options opts;
+  opts.vm_id = kVmB;
+  GuestEndpoint endpoint_b(std::move(channel_b->guest), opts);
+
+  // Other VMs are unaffected by A's wedged ring: B's calls complete while
+  // the router's consumer is parked on A's unpublished slot.
+  for (int i = 0; i < 20; ++i) {
+    auto reply = CallOp(&endpoint_b, 100 + i);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+
+  // A frame submitted BEHIND the dead guest's hole stays parked: FIFO is
+  // preserved (the router may not reorder around an incomplete sqe), so the
+  // caller's own deadline classifies it — the stack must not wedge.
+  GuestEndpoint::Options opts_a;
+  opts_a.vm_id = kVmA;
+  opts_a.call_deadline_ms = 300;
+  opts_a.max_retries = 0;
+  auto endpoint_a =
+      std::make_unique<GuestEndpoint>(std::move(channel_a->guest), opts_a);
+  auto behind_hole = CallOp(endpoint_a.get(), 1);
+  ASSERT_FALSE(behind_hole.ok());
+  EXPECT_EQ(behind_hole.status().code(), StatusCode::kDeadlineExceeded)
+      << behind_hole.status().ToString();
+
+  // The guest side goes away entirely -> closed ring. The consumer now
+  // skips the unpublished sqe (Unavailable instead of waiting forever) and
+  // the event loop reaps the session.
+  endpoint_a.reset();
+  std::size_t reaped = 0;
+  for (int i = 0; i < 500 && reaped == 0; ++i) {
+    reaped = router.ReapDeadVms();
+    if (reaped == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(reaped, 1u);
+
+  // B never noticed; A re-attaches fresh over a new ring and completes.
+  auto still_fine = CallOp(&endpoint_b, 7);
+  ASSERT_TRUE(still_fine.ok()) << still_fine.status().ToString();
+  auto channel_a2 = MakeSqcqChannel();
+  ASSERT_TRUE(channel_a2.ok());
+  auto session_a2 = std::make_shared<ApiServerSession>(kVmA);
+  session_a2->RegisterApi(kTestApi, MakeLocalEchoHandler());
+  ASSERT_TRUE(
+      router.AttachVm(kVmA, std::move(channel_a2->host), session_a2).ok());
+  opts_a.call_deadline_ms = 2000;
+  GuestEndpoint endpoint_a2(std::move(channel_a2->guest), opts_a);
+  auto recovered = CallOp(&endpoint_a2, 55);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   router.Stop();
 }
 

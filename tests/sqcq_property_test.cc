@@ -1,0 +1,478 @@
+// Seeded property and adversarial-peer tests for the SQ/CQ record-ring
+// transport (src/transport/sqcq_ring.cc). Three families:
+//
+//  1. Round-trip properties: random message sizes sweeping every encoding
+//     cutoff (empty, sub-slot, multi-slot kWhole, fragmented), and traffic
+//     that carries the 64-bit cursor space across its wraparound boundary.
+//  2. Protocol-edge properties: full-vs-empty disambiguation at exact
+//     capacity, torn doorbells (rung before the record is fully published),
+//     and stale doorbells (rung with nothing pending).
+//  3. Malicious-peer properties: using the SqcqRaw test view to play a peer
+//     that forges header fields, cursors, and sequence numbers. The
+//     invariant under attack: the consumer never over-reads, never
+//     double-completes, and every call returns a clean status — ok,
+//     NotFound, Unavailable, DeadlineExceeded, or DataLoss — never UB.
+//     These cases are deliberately single-threaded so the sanitizer runs
+//     (ASan+UBSan, TSan) check memory safety, not scheduling luck.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/transport/sqcq_ring.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+namespace {
+
+Bytes PatternMessage(std::size_t size, std::uint8_t seed) {
+  Bytes m(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    m[i] = static_cast<std::uint8_t>(seed + i * 31);
+  }
+  return m;
+}
+
+// Statuses a consumer may legally surface, no matter what a malicious peer
+// writes into the shared mapping.
+bool CleanStatus(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kNotFound:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDataLoss:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Geometry used throughout: depth 8 x 64-byte slots = 32-byte payloads,
+// wave = 2 slots, so whole records cover <= 64 bytes and anything larger
+// fragments. Small enough that every test laps the ring many times.
+SqcqConfig SmallConfig() {
+  SqcqConfig config;
+  config.depth = 8;
+  config.slot_bytes = 64;
+  return config;
+}
+constexpr std::size_t kPayload = 32;    // slot_bytes - kSlotHdrBytes
+constexpr std::size_t kWaveBytes = 64;  // (depth/4) * payload
+
+// --------------------------------------------------------------------------
+// 1. Round-trip properties.
+
+TEST(SqcqPropertyTest, RandomSizesSweepEveryEncodingCutoff) {
+  auto channel = MakeSqcqChannel(SmallConfig());
+  ASSERT_TRUE(channel.ok());
+  Rng rng(11);
+  std::vector<Bytes> sent;
+  // Bias toward the interesting boundaries: 0, payload edge, wave edge,
+  // then a tail of arbitrary fragmented sizes.
+  const std::size_t edges[] = {0,  1,  kPayload - 1, kPayload, kPayload + 1,
+                               kWaveBytes - 1, kWaveBytes, kWaveBytes + 1};
+  for (std::size_t e : edges) {
+    sent.push_back(PatternMessage(e, static_cast<std::uint8_t>(e)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    sent.push_back(PatternMessage(rng.NextBelow(2000),
+                                  static_cast<std::uint8_t>(rng.NextU64())));
+  }
+  std::thread sender([&] {
+    for (const Bytes& m : sent) {
+      ASSERT_TRUE(channel->guest->Send(m).ok());
+    }
+  });
+  for (const Bytes& m : sent) {
+    auto got = channel->host->Recv();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(*got, m);
+  }
+  sender.join();
+}
+
+TEST(SqcqPropertyTest, CursorWrapsAcrossIndexSpaceBoundary) {
+  // Start both cursors 40 positions below 2^64; a few hundred multi-slot
+  // messages carry claim/head/seq across the wraparound. The protocol uses
+  // equality-only comparisons on u64 positions, so the lap must be
+  // invisible — same bytes, same order, both directions.
+  SqcqConfig config;
+  config.depth = 16;
+  config.slot_bytes = 64;
+  config.initial_cursor = UINT64_MAX - 40;
+  auto channel = MakeSqcqChannel(config);
+  ASSERT_TRUE(channel.ok());
+  Rng rng(23);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < 300; ++i) {
+    sent.push_back(PatternMessage(rng.NextBelow(500),
+                                  static_cast<std::uint8_t>(rng.NextU64())));
+  }
+  std::thread sender([&] {
+    for (const Bytes& m : sent) {
+      ASSERT_TRUE(channel->guest->Send(m).ok());
+    }
+  });
+  for (const Bytes& m : sent) {
+    auto got = channel->host->Recv();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(*got, m);
+  }
+  sender.join();
+  // The reply direction wraps too.
+  for (int i = 0; i < 50; ++i) {
+    Bytes m = PatternMessage(100 + i, static_cast<std::uint8_t>(i));
+    ASSERT_TRUE(channel->host->Send(m).ok());
+    auto got = channel->guest->Recv();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, m);
+  }
+}
+
+// --------------------------------------------------------------------------
+// 2. Protocol-edge properties.
+
+TEST(SqcqPropertyTest, FullAndEmptyAreDistinguishedAtExactCapacity) {
+  // depth 4 -> wave is a single slot, so <=32-byte messages take exactly
+  // one slot each. Fill all 4 slots without consuming: claim == head+depth
+  // is "full", which the Vyukov seq gate must not confuse with "empty"
+  // (claim == head) — the same physical configuration a plain head==tail
+  // ring cannot tell apart.
+  SqcqConfig config;
+  config.depth = 4;
+  config.slot_bytes = 64;
+  auto channel = MakeSqcqChannel(config);
+  ASSERT_TRUE(channel.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(channel->guest->Send(PatternMessage(
+                    8, static_cast<std::uint8_t>(i))).ok());
+  }
+  // Ring full: the next Send must BLOCK (not drop, not overwrite), and
+  // complete as soon as one slot frees.
+  std::atomic<bool> fifth_done{false};
+  std::thread fifth([&] {
+    ASSERT_TRUE(channel->guest->Send(PatternMessage(8, 99)).ok());
+    fifth_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(fifth_done.load()) << "send into a full ring must block";
+  auto first = channel->host->TryRecv();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, PatternMessage(8, 0));
+  fifth.join();
+  EXPECT_TRUE(fifth_done.load());
+  // Drain the remaining 4 in order, then the ring must read empty — the
+  // freed-and-refilled slots must not replay.
+  for (int i = 1; i < 4; ++i) {
+    auto got = channel->host->TryRecv();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, PatternMessage(8, static_cast<std::uint8_t>(i)));
+  }
+  auto fifth_msg = channel->host->TryRecv();
+  ASSERT_TRUE(fifth_msg.ok());
+  EXPECT_EQ(*fifth_msg, PatternMessage(8, 99));
+  auto empty = channel->host->TryRecv();
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SqcqPropertyTest, StaleDoorbellDrainsToNotFound) {
+  auto channel = MakeSqcqChannel(SmallConfig());
+  ASSERT_TRUE(channel.ok());
+  // Ring the host's doorbell with nothing pending (a stale or duplicated
+  // wakeup from a confused peer). The drain protocol must land on NotFound
+  // and leave the channel fully usable.
+  const std::uint64_t one = 1;
+  ASSERT_EQ(write(channel->host->readiness_fd(), &one, sizeof(one)),
+            static_cast<ssize_t>(sizeof(one)));
+  channel->host->AckReadiness();
+  auto nothing = channel->host->TryRecv();
+  ASSERT_FALSE(nothing.ok());
+  EXPECT_EQ(nothing.status().code(), StatusCode::kNotFound);
+  Bytes m = PatternMessage(48, 7);
+  ASSERT_TRUE(channel->guest->Send(m).ok());
+  auto got = channel->host->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, m);
+}
+
+TEST(SqcqPropertyTest, TornDoorbellParksPartialRecordThenCompletes) {
+  // A peer claims a two-slot record, publishes only the first slot, and
+  // rings the doorbell — the wakeup arrives before the record is whole
+  // (torn). The consumer must park (NotFound, no over-read of the
+  // unpublished slot) and deliver byte-exact once the rest lands: record
+  // rings resynchronize where byte streams cannot.
+  SqcqRaw raw;
+  auto channel = MakeSqcqChannel(SmallConfig(), &raw);
+  ASSERT_TRUE(channel.ok());
+  Bytes m = PatternMessage(40, 3);  // 40 > payload(32): two slots
+  const std::uint64_t pos =
+      raw.g2h.hdr->claim.fetch_add(2, std::memory_order_relaxed);
+  sqcq::SlotHdr* first = raw.g2h.slot(pos);
+  first->frag_len = 40;
+  first->flags = sqcq::kWhole;
+  first->total_len = 40;
+  std::memcpy(raw.g2h.slot_payload(pos), m.data(), kPayload);
+  first->seq.store(pos + 1, std::memory_order_release);
+  const std::uint64_t one = 1;
+  ASSERT_EQ(write(channel->host->readiness_fd(), &one, sizeof(one)),
+            static_cast<ssize_t>(sizeof(one)));
+  channel->host->AckReadiness();
+  auto parked = channel->host->TryRecv();
+  ASSERT_FALSE(parked.ok());
+  EXPECT_EQ(parked.status().code(), StatusCode::kNotFound);
+  // Second slot lands; the parked record completes.
+  std::memcpy(raw.g2h.slot_payload(pos + 1), m.data() + kPayload,
+              m.size() - kPayload);
+  raw.g2h.slot(pos + 1)->seq.store(pos + 2, std::memory_order_release);
+  auto got = channel->host->TryRecv();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, m);
+}
+
+// --------------------------------------------------------------------------
+// 3. Malicious-peer properties (single-threaded by design).
+
+// Publishes one record with the given header fields at the current claim
+// cursor of `ring` (payload zeroed), exactly as a hostile producer would.
+std::uint64_t ForgeRecord(const SqcqRawRing& ring, std::uint32_t frag_len,
+                          std::uint16_t flags, std::uint64_t total_len,
+                          std::size_t claimed_slots = 1) {
+  const std::uint64_t pos =
+      ring.hdr->claim.fetch_add(claimed_slots, std::memory_order_relaxed);
+  sqcq::SlotHdr* slot = ring.slot(pos);
+  slot->frag_len = frag_len;
+  slot->flags = flags;
+  slot->total_len = total_len;
+  slot->seq.store(pos + 1, std::memory_order_release);
+  return pos;
+}
+
+TEST(SqcqPropertyTest, OversizedFragLenPoisonsInsteadOfOverReading) {
+  SqcqRaw raw;
+  auto channel = MakeSqcqChannel(SmallConfig(), &raw);
+  ASSERT_TRUE(channel.ok());
+  // frag_len far beyond the wave bound: honoring it would walk the consumer
+  // off the mapped slot array. The consumer must refuse before touching any
+  // payload: sticky DataLoss, ring closed.
+  ForgeRecord(raw.g2h, /*frag_len=*/0x40000000u, sqcq::kWhole,
+              /*total_len=*/0x40000000u);
+  auto got = channel->host->TryRecv();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  auto again = channel->host->TryRecv();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kDataLoss)
+      << "poison must be sticky";
+  // The poisoned channel refuses further sends cleanly too.
+  EXPECT_EQ(channel->guest->Send(PatternMessage(8, 1)).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(SqcqPropertyTest, ForgedRoleAndLengthFieldsPoisonCleanly) {
+  struct Case {
+    std::uint32_t frag_len;
+    std::uint16_t flags;
+    std::uint64_t total_len;
+    const char* why;
+  };
+  const Case cases[] = {
+      {8, 9, 8, "flags beyond kEnd"},
+      {8, sqcq::kWhole, 16, "kWhole total_len != frag_len"},
+      {8, sqcq::kStart, 4, "kStart total_len <= frag_len"},
+      {8, sqcq::kMid, 100, "kMid with no stream open"},
+      {8, sqcq::kEnd, 100, "kEnd with no stream open"},
+      {8, sqcq::kWhole, UINT64_MAX, "total_len beyond max_message_bytes"},
+  };
+  for (const Case& c : cases) {
+    SqcqRaw raw;
+    auto channel = MakeSqcqChannel(SmallConfig(), &raw);
+    ASSERT_TRUE(channel.ok());
+    ForgeRecord(raw.g2h, c.frag_len, c.flags, c.total_len);
+    auto got = channel->host->TryRecv();
+    ASSERT_FALSE(got.ok()) << c.why;
+    EXPECT_EQ(got.status().code(), StatusCode::kDataLoss) << c.why;
+  }
+}
+
+TEST(SqcqPropertyTest, ForgedClaimCursorNeverFabricatesMessages) {
+  SqcqRaw raw;
+  auto channel = MakeSqcqChannel(SmallConfig(), &raw);
+  ASSERT_TRUE(channel.ok());
+  // A hostile guest advances the shared claim cursor by a wild amount
+  // without publishing anything. The consumer keys off per-slot sequence
+  // numbers, never the cursor, so it must report empty — not deliver
+  // uninitialized slots.
+  raw.g2h.hdr->claim.fetch_add(1000, std::memory_order_relaxed);
+  auto got = channel->host->TryRecv();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  // And once the guest goes away, the claimed-but-never-published range is
+  // skipped: close surfaces as Unavailable, not a hang.
+  channel->guest->Close();
+  auto after_close = channel->host->TryRecv();
+  ASSERT_FALSE(after_close.ok());
+  EXPECT_EQ(after_close.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SqcqPropertyTest, ForgedHeadMirrorIsIgnoredByTheConsumer) {
+  SqcqRaw raw;
+  auto channel = MakeSqcqChannel(SmallConfig(), &raw);
+  ASSERT_TRUE(channel.ok());
+  // hdr->head is a diagnostic mirror; a forged value must not move the
+  // consumer's private cursor (no skip, no rewind, no over-read).
+  raw.g2h.hdr->head.store(UINT64_MAX - 3, std::memory_order_relaxed);
+  Bytes m = PatternMessage(24, 5);
+  ASSERT_TRUE(channel->guest->Send(m).ok());
+  auto got = channel->host->TryRecv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, m);
+}
+
+TEST(SqcqPropertyTest, RepublishedStaleSeqNeverDoubleCompletes) {
+  SqcqRaw raw;
+  auto channel = MakeSqcqChannel(SmallConfig(), &raw);
+  ASSERT_TRUE(channel.ok());
+  Bytes m = PatternMessage(16, 9);
+  ASSERT_TRUE(channel->guest->Send(m).ok());
+  auto got = channel->host->TryRecv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, m);
+  // The peer re-publishes the already-consumed slot (stale cqe index). The
+  // consumer's private head has moved past it: no redelivery.
+  raw.g2h.slot(0)->seq.store(1, std::memory_order_release);
+  auto replay = channel->host->TryRecv();
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kNotFound);
+  // Fresh traffic still flows (next claim position is unaffected).
+  Bytes m2 = PatternMessage(20, 13);
+  ASSERT_TRUE(channel->guest->Send(m2).ok());
+  auto got2 = channel->host->TryRecv();
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(*got2, m2);
+}
+
+TEST(SqcqPropertyTest, ClaimWithoutPublishThenCloseIsSkippedNotHung) {
+  // The transport-level half of the crash-recovery story: a producer dies
+  // between slot claim and publish. The record can never complete; once the
+  // ring is closed the consumer must classify the channel as gone in
+  // bounded time (skip-unpublished-sqe), and a blocked Recv must wake.
+  SqcqRaw raw;
+  auto channel = MakeSqcqChannel(SmallConfig(), &raw);
+  ASSERT_TRUE(channel.ok());
+  raw.g2h.hdr->claim.fetch_add(2, std::memory_order_relaxed);
+  auto pending = channel->host->RecvTimeout(2'000'000);  // 2ms
+  ASSERT_FALSE(pending.ok());
+  EXPECT_EQ(pending.status().code(), StatusCode::kDeadlineExceeded);
+  std::atomic<bool> woke{false};
+  std::thread blocked([&] {
+    auto got = channel->host->Recv();
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  channel->guest->Close();
+  blocked.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(SqcqPropertyTest, SeededFuzzStormYieldsOnlyCleanStatuses) {
+  // Randomized adversary: each round builds a fresh channel (sometimes at a
+  // wraparound cursor), sends a few legitimate messages, applies one random
+  // corruption through the raw view, then drains. Whatever the corruption,
+  // every call must return a clean status and every delivered message must
+  // have a sane size; after close the terminal status must be Unavailable
+  // or DataLoss. Single-threaded so sanitizers check memory, not luck.
+  Rng rng(0xABCDEF);
+  for (int round = 0; round < 150; ++round) {
+    SqcqConfig config = SmallConfig();
+    if (rng.NextBool(0.3)) {
+      config.initial_cursor = UINT64_MAX - rng.NextBelow(24);
+    }
+    SqcqRaw raw;
+    auto channel = MakeSqcqChannel(config, &raw);
+    ASSERT_TRUE(channel.ok());
+    // Nobody drains while we enqueue, so the batch must fit the 8-slot
+    // ring or Send would rightly block: one possibly-fragmented message
+    // (<=100 B -> <=4 slots) plus up to two single-slot ones.
+    const int sends = static_cast<int>(rng.NextBelow(4));
+    for (int i = 0; i < sends; ++i) {
+      const std::size_t size =
+          i == 0 ? rng.NextBelow(100) : rng.NextBelow(kPayload);
+      ASSERT_TRUE(channel->guest
+                      ->Send(PatternMessage(size, static_cast<std::uint8_t>(i)))
+                      .ok());
+    }
+    switch (rng.NextBelow(6)) {
+      case 0:
+        break;  // control round: no corruption
+      case 1: {  // stale doorbell
+        const std::uint64_t one = 1;
+        (void)!write(channel->host->readiness_fd(), &one, sizeof(one));
+        break;
+      }
+      case 2:  // forged claim cursor
+        raw.g2h.hdr->claim.fetch_add(rng.NextBelow(64),
+                                     std::memory_order_relaxed);
+        break;
+      case 3:  // forged head mirror
+        raw.g2h.hdr->head.store(rng.NextU64(), std::memory_order_relaxed);
+        break;
+      case 4:  // garbage record at the claim cursor
+        ForgeRecord(raw.g2h, rng.NextU32(),
+                    static_cast<std::uint16_t>(rng.NextBelow(16)),
+                    rng.NextU64());
+        break;
+      case 5: {  // random seq scribble on a random slot
+        const std::uint64_t p = rng.NextBelow(raw.g2h.depth);
+        raw.g2h.slot(p)->seq.store(rng.NextU64(), std::memory_order_release);
+        break;
+      }
+    }
+    // Drain until dry or terminal; bounded so a protocol bug that livelocks
+    // fails the test instead of hanging it.
+    std::vector<Bytes> reaped;
+    Status terminal = OkStatus();
+    for (int step = 0; step < 64; ++step) {
+      reaped.clear();
+      auto n = channel->host->TryRecvBatch(&reaped, 8);
+      if (!n.ok()) {
+        ASSERT_TRUE(CleanStatus(n.status())) << n.status().ToString();
+        terminal = n.status();
+        break;
+      }
+      for (const Bytes& m : reaped) {
+        ASSERT_LE(m.size(), config.max_message_bytes);
+      }
+      if (*n < 8) {
+        break;  // went dry (armed); stop reaping
+      }
+    }
+    // Close and confirm the channel winds down to a terminal status.
+    channel->guest->Close();
+    for (int step = 0; step < 64; ++step) {
+      auto got = channel->host->TryRecv();
+      if (got.ok()) {
+        ASSERT_LE(got->size(), config.max_message_bytes);
+        continue;
+      }
+      ASSERT_TRUE(CleanStatus(got.status())) << got.status().ToString();
+      if (got.status().code() != StatusCode::kNotFound) {
+        terminal = got.status();
+        break;
+      }
+    }
+    EXPECT_TRUE(terminal.code() == StatusCode::kUnavailable ||
+                terminal.code() == StatusCode::kDataLoss)
+        << "round " << round << ": " << terminal.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ava

@@ -1,0 +1,427 @@
+// TransportConformance: ONE parameterized contract suite every transport
+// must pass — ordered duplex delivery, ring-seam sweeps, zero-length
+// interleave, RecvTimeout semantics, close/shutdown behavior, batch
+// reaping, and arena capability agreement. A new transport earns full
+// coverage by adding one TransportParam to the INSTANTIATE list in
+// transport_test.cc; nothing here is specific to any implementation.
+//
+// TEST_P bodies live in a header so the parameter list stays in exactly one
+// translation unit — include this from ONE .cc only (transport_test.cc).
+#ifndef AVA_TESTS_TRANSPORT_CONFORMANCE_H_
+#define AVA_TESTS_TRANSPORT_CONFORMANCE_H_
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/transport/transport.h"
+
+namespace ava {
+namespace conformance {
+
+inline Bytes MakeMessage(std::size_t size, std::uint8_t seed) {
+  Bytes m(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    m[i] = static_cast<std::uint8_t>(seed + i * 31);
+  }
+  return m;
+}
+
+using ChannelFactory = std::function<ChannelPair()>;
+
+struct TransportParam {
+  const char* name;
+  ChannelFactory factory;
+  // Whether both endpoints are expected to negotiate a (shared, non-null)
+  // bulk-buffer arena. Shared-memory transports say yes; transports that
+  // share no pages say no. Decorators inherit the inner transport's answer.
+  bool expect_arena = false;
+};
+
+class TransportConformance : public ::testing::TestWithParam<TransportParam> {
+ protected:
+  ChannelPair MakeChannel() { return GetParam().factory(); }
+};
+
+TEST_P(TransportConformance, PingPong) {
+  ChannelPair channel = MakeChannel();
+  Bytes ping = MakeMessage(64, 1);
+  ASSERT_TRUE(channel.guest->Send(ping).ok());
+  auto got = channel.host->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ping);
+  Bytes pong = MakeMessage(32, 9);
+  ASSERT_TRUE(channel.host->Send(pong).ok());
+  auto got2 = channel.guest->Recv();
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(*got2, pong);
+}
+
+TEST_P(TransportConformance, PreservesOrderAndContent) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kCount = 200;
+  std::thread sender([&] {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(
+          channel.guest->Send(MakeMessage(1 + (i * 7) % 512,
+                                          static_cast<std::uint8_t>(i)))
+              .ok());
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    auto got = channel.host->Recv();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, MakeMessage(1 + (i * 7) % 512,
+                                static_cast<std::uint8_t>(i)));
+  }
+  sender.join();
+}
+
+TEST_P(TransportConformance, EmptyMessage) {
+  ChannelPair channel = MakeChannel();
+  ASSERT_TRUE(channel.guest->Send({}).ok());
+  auto got = channel.host->Recv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_P(TransportConformance, LargeMessageStreamsThrough) {
+  ChannelPair channel = MakeChannel();
+  Bytes big = MakeMessage(3u << 20, 42);  // 3 MiB > any test ring size
+  std::thread sender([&] { ASSERT_TRUE(channel.guest->Send(big).ok()); });
+  auto got = channel.host->Recv();
+  sender.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST_P(TransportConformance, TryRecvNonBlocking) {
+  ChannelPair channel = MakeChannel();
+  auto nothing = channel.host->TryRecv();
+  EXPECT_FALSE(nothing.ok());
+  EXPECT_EQ(nothing.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(channel.guest->Send(MakeMessage(16, 5)).ok());
+  // May need a beat on socket transports.
+  for (int i = 0; i < 1000; ++i) {
+    auto got = channel.host->TryRecv();
+    if (got.ok()) {
+      EXPECT_EQ(*got, MakeMessage(16, 5));
+      return;
+    }
+    usleep(1000);
+  }
+  FAIL() << "message never became available";
+}
+
+// Batch reaping is part of the contract since the SQ/CQ transport: pending
+// messages drain in order, a dry batch is NotFound, a closed-and-drained
+// channel is Unavailable — on every transport, default adapter or not.
+TEST_P(TransportConformance, TryRecvBatchDrainsInOrder) {
+  ChannelPair channel = MakeChannel();
+  std::vector<Bytes> out;
+  auto dry = channel.host->TryRecvBatch(&out, 8);
+  ASSERT_FALSE(dry.ok());
+  EXPECT_EQ(dry.status().code(), StatusCode::kNotFound);
+
+  constexpr int kCount = 5;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(
+        channel.guest->Send(MakeMessage(48 + i, static_cast<std::uint8_t>(i)))
+            .ok());
+  }
+  // Socket transports may deliver asynchronously; reap until all arrive.
+  for (int spin = 0; spin < 1000 && out.size() < kCount; ++spin) {
+    auto got = channel.host->TryRecvBatch(&out, kCount - out.size());
+    if (!got.ok()) {
+      ASSERT_EQ(got.status().code(), StatusCode::kNotFound);
+      usleep(1000);
+    }
+  }
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(out[i], MakeMessage(48 + i, static_cast<std::uint8_t>(i)));
+  }
+  channel.guest->Close();
+  out.clear();
+  for (int spin = 0; spin < 1000; ++spin) {
+    auto closed = channel.host->TryRecvBatch(&out, 8);
+    if (!closed.ok() && closed.status().code() == StatusCode::kUnavailable) {
+      break;
+    }
+    ASSERT_TRUE(out.empty());
+    usleep(1000);
+  }
+  EXPECT_EQ(channel.host->TryRecvBatch(&out, 8).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_P(TransportConformance, CloseWakesReceiver) {
+  ChannelPair channel = MakeChannel();
+  std::thread closer([&] {
+    usleep(20000);
+    channel.guest->Close();
+  });
+  auto got = channel.host->Recv();
+  closer.join();
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_P(TransportConformance, ConcurrentSendersDoNotInterleave) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kPerSender = 50;
+  auto send_loop = [&](std::uint8_t seed) {
+    for (int i = 0; i < kPerSender; ++i) {
+      ASSERT_TRUE(channel.guest->Send(MakeMessage(128, seed)).ok());
+    }
+  };
+  std::thread t1(send_loop, 11);
+  std::thread t2(send_loop, 77);
+  int seen11 = 0, seen77 = 0;
+  for (int i = 0; i < 2 * kPerSender; ++i) {
+    auto got = channel.host->Recv();
+    ASSERT_TRUE(got.ok());
+    if (*got == MakeMessage(128, 11)) {
+      ++seen11;
+    } else if (*got == MakeMessage(128, 77)) {
+      ++seen77;
+    } else {
+      FAIL() << "corrupted message " << i;
+    }
+  }
+  t1.join();
+  t2.join();
+  EXPECT_EQ(seen11, kPerSender);
+  EXPECT_EQ(seen77, kPerSender);
+}
+
+TEST_P(TransportConformance, RecvTimeoutExpiresCleanlyThenDelivers) {
+  ChannelPair channel = MakeChannel();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto got = channel.host->RecvTimeout(50LL * 1000000);  // 50 ms
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+  // A clean timeout (no frame bytes consumed) must not poison the channel:
+  // the next message still comes through intact.
+  ASSERT_TRUE(channel.guest->Send(MakeMessage(64, 5)).ok());
+  got = channel.host->RecvTimeout(2000LL * 1000000);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, MakeMessage(64, 5));
+}
+
+TEST_P(TransportConformance, RecvTimeoutReturnsPendingImmediately) {
+  ChannelPair channel = MakeChannel();
+  ASSERT_TRUE(channel.guest->Send(MakeMessage(128, 9)).ok());
+  auto got = channel.host->RecvTimeout(5000LL * 1000000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, MakeMessage(128, 9));
+}
+
+TEST_P(TransportConformance, RecvTimeoutZeroBudgetExpiresImmediately) {
+  ChannelPair channel = MakeChannel();
+  auto got = channel.host->RecvTimeout(0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_P(TransportConformance, RecvTimeoutOnClosedChannelUnavailable) {
+  ChannelPair channel = MakeChannel();
+  channel.guest->Close();
+  auto got = channel.host->RecvTimeout(2000LL * 1000000);
+  ASSERT_FALSE(got.ok());
+  // Closed beats expired: a dead channel is Unavailable, not a timeout.
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_P(TransportConformance, RecvTimeoutDrainsBeforeReportingClosed) {
+  ChannelPair channel = MakeChannel();
+  ASSERT_TRUE(channel.guest->Send(MakeMessage(32, 2)).ok());
+  channel.guest->Close();
+  auto got = channel.host->RecvTimeout(2000LL * 1000000);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, MakeMessage(32, 2));
+  got = channel.host->RecvTimeout(2000LL * 1000000);
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+// ---- Close/shutdown audit ----
+
+TEST_P(TransportConformance, PeerCloseWakesSenderBlockedOnFullChannel) {
+  ChannelPair channel = MakeChannel();
+  std::atomic<bool> send_failed{false};
+  std::thread sender([&] {
+    // Far more data than any transport buffers: the sender must block, and
+    // the peer's Close() must wake it with a failure rather than leave it
+    // wedged forever.
+    for (int i = 0; i < 100000; ++i) {
+      if (!channel.guest->Send(MakeMessage(1024, 1)).ok()) {
+        send_failed = true;
+        return;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  channel.host->Close();
+  sender.join();
+  EXPECT_TRUE(send_failed.load());
+}
+
+TEST_P(TransportConformance, ConcurrentAndDoubleCloseDuringRecvIsSafe) {
+  ChannelPair channel = MakeChannel();
+  std::thread receiver([&] {
+    auto got = channel.host->Recv();
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Two threads race to close the endpoint the receiver is blocked on; each
+  // closes twice. Must neither crash, double-free, nor strand the receiver.
+  std::thread closer1([&] {
+    channel.host->Close();
+    channel.host->Close();
+  });
+  std::thread closer2([&] {
+    channel.host->Close();
+    channel.host->Close();
+  });
+  closer1.join();
+  closer2.join();
+  receiver.join();
+  // The already-closed endpoint stays in a terminal, non-blocking state.
+  EXPECT_FALSE(channel.host->Recv().ok());
+  EXPECT_FALSE(channel.guest->Send({1}).ok());
+}
+
+TEST_P(TransportConformance, SendAfterOwnCloseFailsCleanly) {
+  ChannelPair channel = MakeChannel();
+  channel.guest->Close();
+  auto status = channel.guest->Send(MakeMessage(8, 4));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+// Messages sized right around a 64 KiB ring capacity (the shm factory in
+// transport_test.cc uses one): one byte under, exactly at, one byte over,
+// and a multiple — every wrap/streaming seam. For other transports these
+// are simply large messages; the contract is identical.
+TEST_P(TransportConformance, BoundarySizedMessagesSweepTheRingSeam) {
+  ChannelPair channel = MakeChannel();
+  constexpr std::size_t kCap = 1u << 16;
+  const std::size_t sizes[] = {kCap - 65, kCap - 1,  kCap,
+                               kCap + 1,  kCap + 63, 2 * kCap + 5};
+  std::thread sender([&] {
+    std::uint8_t seed = 0;
+    for (std::size_t size : sizes) {
+      ASSERT_TRUE(channel.guest->Send(MakeMessage(size, ++seed)).ok());
+    }
+  });
+  std::uint8_t seed = 0;
+  for (std::size_t size : sizes) {
+    auto got = channel.host->Recv();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, MakeMessage(size, ++seed)) << "size " << size;
+  }
+  sender.join();
+}
+
+// Odd-sized messages march a ring's write offset through every alignment
+// (977 is prime, so offsets mod any power-of-two capacity cycle through all
+// residues), catching header-split and payload-split wrap bugs.
+TEST_P(TransportConformance, OddSizedStreamWrapsAtEveryOffset) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kCount = 300;
+  constexpr std::size_t kSize = 977;
+  std::thread sender([&] {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(
+          channel.guest->Send(MakeMessage(kSize, static_cast<std::uint8_t>(i)))
+              .ok());
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    auto got = channel.host->Recv();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, MakeMessage(kSize, static_cast<std::uint8_t>(i)));
+  }
+  sender.join();
+}
+
+// Full duplex: both directions stream concurrently without cross-talk (the
+// guest's TX ring is the host's RX ring and vice versa — a shared-cursor bug
+// would corrupt one direction under simultaneous load).
+TEST_P(TransportConformance, FullDuplexConcurrentTraffic) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kCount = 150;
+  auto pump = [&](Transport* tx, std::uint8_t seed) {
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(
+          tx->Send(MakeMessage(64 + i, static_cast<std::uint8_t>(seed + i)))
+              .ok());
+    }
+  };
+  auto drain = [&](Transport* rx, std::uint8_t seed) {
+    for (int i = 0; i < kCount; ++i) {
+      auto got = rx->Recv();
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got,
+                MakeMessage(64 + i, static_cast<std::uint8_t>(seed + i)));
+    }
+  };
+  std::thread guest_tx(pump, channel.guest.get(), 1);
+  std::thread host_tx(pump, channel.host.get(), 101);
+  std::thread guest_rx(drain, channel.guest.get(), 101);
+  drain(channel.host.get(), 1);
+  guest_tx.join();
+  host_tx.join();
+  guest_rx.join();
+}
+
+// Zero-length sends interleaved with data: empties are real messages with
+// their own place in the order, not dropped or merged.
+TEST_P(TransportConformance, ZeroLengthInterleavedWithData) {
+  ChannelPair channel = MakeChannel();
+  constexpr int kPairs = 30;
+  std::thread sender([&] {
+    for (int i = 0; i < kPairs; ++i) {
+      ASSERT_TRUE(channel.guest->Send({}).ok());
+      ASSERT_TRUE(
+          channel.guest->Send(MakeMessage(40, static_cast<std::uint8_t>(i)))
+              .ok());
+    }
+  });
+  for (int i = 0; i < kPairs; ++i) {
+    auto empty = channel.host->Recv();
+    ASSERT_TRUE(empty.ok());
+    EXPECT_TRUE(empty->empty());
+    auto data = channel.host->Recv();
+    ASSERT_TRUE(data.ok());
+    ASSERT_EQ(*data, MakeMessage(40, static_cast<std::uint8_t>(i)));
+  }
+  sender.join();
+}
+
+// Capability negotiation: the two endpoints of a channel must agree on the
+// out-of-band buffer arena — same arena object on both ends, or none on
+// either.
+TEST_P(TransportConformance, EndpointsAgreeOnArenaCapability) {
+  ChannelPair channel = MakeChannel();
+  EXPECT_EQ(channel.guest->arena(), channel.host->arena());
+  if (GetParam().expect_arena) {
+    EXPECT_NE(channel.guest->arena(), nullptr);
+  } else {
+    EXPECT_EQ(channel.guest->arena(), nullptr);
+  }
+}
+
+}  // namespace conformance
+}  // namespace ava
+
+#endif  // AVA_TESTS_TRANSPORT_CONFORMANCE_H_

@@ -1,9 +1,9 @@
-// Transport conformance suite: one parameterized fixture run against every
-// pluggable transport (in-process channel, shared-memory ring, socket pair),
-// plus shm-specific cross-fork and wrap-around tests. All transports must
-// satisfy the same contract: ordered, length-delimited, duplex message
-// delivery; clean timeout/close semantics; and agreement between the two
-// endpoints on the negotiated bulk-buffer arena capability.
+// Transport tests: instantiates the shared TransportConformance fixture
+// (tests/transport_conformance.h) for every transport — in-process channel,
+// shared-memory byte ring, socket pair, SQ/CQ record ring, and a
+// faulty-wrapped ring (the decorator must preserve the full contract when
+// no faults are enabled) — plus cross-fork, readiness, and shm-specific
+// wrap-around tests that don't generalize.
 #include <gtest/gtest.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
@@ -18,356 +18,18 @@
 
 #include "src/common/rng.h"
 #include "src/router/event_loop.h"
+#include "src/transport/faulty.h"
+#include "src/transport/sqcq_ring.h"
 #include "src/transport/transport.h"
+#include "tests/transport_conformance.h"
 
 namespace ava {
 namespace {
 
-Bytes MakeMessage(std::size_t size, std::uint8_t seed) {
-  Bytes m(size);
-  for (std::size_t i = 0; i < size; ++i) {
-    m[i] = static_cast<std::uint8_t>(seed + i * 31);
-  }
-  return m;
-}
-
-using ChannelFactory = std::function<ChannelPair()>;
-
-class TransportContractTest
-    : public ::testing::TestWithParam<std::pair<const char*, ChannelFactory>> {
- protected:
-  ChannelPair MakeChannel() { return GetParam().second(); }
-};
-
-TEST_P(TransportContractTest, PingPong) {
-  ChannelPair channel = MakeChannel();
-  Bytes ping = MakeMessage(64, 1);
-  ASSERT_TRUE(channel.guest->Send(ping).ok());
-  auto got = channel.host->Recv();
-  ASSERT_TRUE(got.ok());
-  EXPECT_EQ(*got, ping);
-  Bytes pong = MakeMessage(32, 9);
-  ASSERT_TRUE(channel.host->Send(pong).ok());
-  auto got2 = channel.guest->Recv();
-  ASSERT_TRUE(got2.ok());
-  EXPECT_EQ(*got2, pong);
-}
-
-TEST_P(TransportContractTest, PreservesOrderAndContent) {
-  ChannelPair channel = MakeChannel();
-  constexpr int kCount = 200;
-  std::thread sender([&] {
-    for (int i = 0; i < kCount; ++i) {
-      ASSERT_TRUE(
-          channel.guest->Send(MakeMessage(1 + (i * 7) % 512,
-                                          static_cast<std::uint8_t>(i)))
-              .ok());
-    }
-  });
-  for (int i = 0; i < kCount; ++i) {
-    auto got = channel.host->Recv();
-    ASSERT_TRUE(got.ok());
-    EXPECT_EQ(*got, MakeMessage(1 + (i * 7) % 512,
-                                static_cast<std::uint8_t>(i)));
-  }
-  sender.join();
-}
-
-TEST_P(TransportContractTest, EmptyMessage) {
-  ChannelPair channel = MakeChannel();
-  ASSERT_TRUE(channel.guest->Send({}).ok());
-  auto got = channel.host->Recv();
-  ASSERT_TRUE(got.ok());
-  EXPECT_TRUE(got->empty());
-}
-
-TEST_P(TransportContractTest, LargeMessageStreamsThrough) {
-  ChannelPair channel = MakeChannel();
-  Bytes big = MakeMessage(3u << 20, 42);  // 3 MiB > shm ring size
-  std::thread sender([&] { ASSERT_TRUE(channel.guest->Send(big).ok()); });
-  auto got = channel.host->Recv();
-  sender.join();
-  ASSERT_TRUE(got.ok());
-  EXPECT_EQ(*got, big);
-}
-
-TEST_P(TransportContractTest, TryRecvNonBlocking) {
-  ChannelPair channel = MakeChannel();
-  auto nothing = channel.host->TryRecv();
-  EXPECT_FALSE(nothing.ok());
-  EXPECT_EQ(nothing.status().code(), StatusCode::kNotFound);
-  ASSERT_TRUE(channel.guest->Send(MakeMessage(16, 5)).ok());
-  // May need a beat on socket transports.
-  for (int i = 0; i < 1000; ++i) {
-    auto got = channel.host->TryRecv();
-    if (got.ok()) {
-      EXPECT_EQ(*got, MakeMessage(16, 5));
-      return;
-    }
-    usleep(1000);
-  }
-  FAIL() << "message never became available";
-}
-
-TEST_P(TransportContractTest, CloseWakesReceiver) {
-  ChannelPair channel = MakeChannel();
-  std::thread closer([&] {
-    usleep(20000);
-    channel.guest->Close();
-  });
-  auto got = channel.host->Recv();
-  closer.join();
-  EXPECT_FALSE(got.ok());
-  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
-}
-
-TEST_P(TransportContractTest, ConcurrentSendersDoNotInterleave) {
-  ChannelPair channel = MakeChannel();
-  constexpr int kPerSender = 50;
-  auto send_loop = [&](std::uint8_t seed) {
-    for (int i = 0; i < kPerSender; ++i) {
-      ASSERT_TRUE(channel.guest->Send(MakeMessage(128, seed)).ok());
-    }
-  };
-  std::thread t1(send_loop, 11);
-  std::thread t2(send_loop, 77);
-  int seen11 = 0, seen77 = 0;
-  for (int i = 0; i < 2 * kPerSender; ++i) {
-    auto got = channel.host->Recv();
-    ASSERT_TRUE(got.ok());
-    if (*got == MakeMessage(128, 11)) {
-      ++seen11;
-    } else if (*got == MakeMessage(128, 77)) {
-      ++seen77;
-    } else {
-      FAIL() << "corrupted message " << i;
-    }
-  }
-  t1.join();
-  t2.join();
-  EXPECT_EQ(seen11, kPerSender);
-  EXPECT_EQ(seen77, kPerSender);
-}
-
-TEST_P(TransportContractTest, RecvTimeoutExpiresCleanlyThenDelivers) {
-  ChannelPair channel = MakeChannel();
-  const auto t0 = std::chrono::steady_clock::now();
-  auto got = channel.host->RecvTimeout(50LL * 1000000);  // 50 ms
-  const auto elapsed = std::chrono::steady_clock::now() - t0;
-  ASSERT_FALSE(got.ok());
-  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
-  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
-  // A clean timeout (no frame bytes consumed) must not poison the channel:
-  // the next message still comes through intact.
-  ASSERT_TRUE(channel.guest->Send(MakeMessage(64, 5)).ok());
-  got = channel.host->RecvTimeout(2000LL * 1000000);
-  ASSERT_TRUE(got.ok()) << got.status().ToString();
-  EXPECT_EQ(*got, MakeMessage(64, 5));
-}
-
-TEST_P(TransportContractTest, RecvTimeoutReturnsPendingImmediately) {
-  ChannelPair channel = MakeChannel();
-  ASSERT_TRUE(channel.guest->Send(MakeMessage(128, 9)).ok());
-  auto got = channel.host->RecvTimeout(5000LL * 1000000);
-  ASSERT_TRUE(got.ok());
-  EXPECT_EQ(*got, MakeMessage(128, 9));
-}
-
-TEST_P(TransportContractTest, RecvTimeoutZeroBudgetExpiresImmediately) {
-  ChannelPair channel = MakeChannel();
-  auto got = channel.host->RecvTimeout(0);
-  ASSERT_FALSE(got.ok());
-  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
-}
-
-TEST_P(TransportContractTest, RecvTimeoutOnClosedChannelUnavailable) {
-  ChannelPair channel = MakeChannel();
-  channel.guest->Close();
-  auto got = channel.host->RecvTimeout(2000LL * 1000000);
-  ASSERT_FALSE(got.ok());
-  // Closed beats expired: a dead channel is Unavailable, not a timeout.
-  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
-}
-
-TEST_P(TransportContractTest, RecvTimeoutDrainsBeforeReportingClosed) {
-  ChannelPair channel = MakeChannel();
-  ASSERT_TRUE(channel.guest->Send(MakeMessage(32, 2)).ok());
-  channel.guest->Close();
-  auto got = channel.host->RecvTimeout(2000LL * 1000000);
-  ASSERT_TRUE(got.ok()) << got.status().ToString();
-  EXPECT_EQ(*got, MakeMessage(32, 2));
-  got = channel.host->RecvTimeout(2000LL * 1000000);
-  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
-}
-
-// ---- Close/shutdown audit (regression tests for the PR's close fixes) ----
-
-TEST_P(TransportContractTest, PeerCloseWakesSenderBlockedOnFullChannel) {
-  ChannelPair channel = MakeChannel();
-  std::atomic<bool> send_failed{false};
-  std::thread sender([&] {
-    // Far more data than any transport buffers: the sender must block, and
-    // the peer's Close() must wake it with a failure rather than leave it
-    // wedged forever.
-    for (int i = 0; i < 100000; ++i) {
-      if (!channel.guest->Send(MakeMessage(1024, 1)).ok()) {
-        send_failed = true;
-        return;
-      }
-    }
-  });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  channel.host->Close();
-  sender.join();
-  EXPECT_TRUE(send_failed.load());
-}
-
-TEST_P(TransportContractTest, ConcurrentAndDoubleCloseDuringRecvIsSafe) {
-  ChannelPair channel = MakeChannel();
-  std::thread receiver([&] {
-    auto got = channel.host->Recv();
-    EXPECT_FALSE(got.ok());
-    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
-  });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  // Two threads race to close the endpoint the receiver is blocked on; each
-  // closes twice. Must neither crash, double-free, nor strand the receiver.
-  std::thread closer1([&] {
-    channel.host->Close();
-    channel.host->Close();
-  });
-  std::thread closer2([&] {
-    channel.host->Close();
-    channel.host->Close();
-  });
-  closer1.join();
-  closer2.join();
-  receiver.join();
-  // The already-closed endpoint stays in a terminal, non-blocking state.
-  EXPECT_FALSE(channel.host->Recv().ok());
-  EXPECT_FALSE(channel.guest->Send({1}).ok());
-}
-
-TEST_P(TransportContractTest, SendAfterOwnCloseFailsCleanly) {
-  ChannelPair channel = MakeChannel();
-  channel.guest->Close();
-  auto status = channel.guest->Send(MakeMessage(8, 4));
-  ASSERT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
-}
-
-// Messages sized right around the shm ring's capacity (the factories below
-// use a 64 KiB ring): one byte under, exactly at, one byte over, and a
-// multiple — every wrap/streaming seam. For the non-ring transports these
-// are simply large messages; the contract is identical.
-TEST_P(TransportContractTest, BoundarySizedMessagesSweepTheRingSeam) {
-  ChannelPair channel = MakeChannel();
-  constexpr std::size_t kCap = 1u << 16;
-  const std::size_t sizes[] = {kCap - 65, kCap - 1,  kCap,
-                               kCap + 1,  kCap + 63, 2 * kCap + 5};
-  std::thread sender([&] {
-    std::uint8_t seed = 0;
-    for (std::size_t size : sizes) {
-      ASSERT_TRUE(channel.guest->Send(MakeMessage(size, ++seed)).ok());
-    }
-  });
-  std::uint8_t seed = 0;
-  for (std::size_t size : sizes) {
-    auto got = channel.host->Recv();
-    ASSERT_TRUE(got.ok());
-    ASSERT_EQ(*got, MakeMessage(size, ++seed)) << "size " << size;
-  }
-  sender.join();
-}
-
-// Odd-sized messages march the ring's write offset through every alignment
-// (977 is prime, so offsets mod any power-of-two capacity cycle through all
-// residues), catching header-split and payload-split wrap bugs.
-TEST_P(TransportContractTest, OddSizedStreamWrapsAtEveryOffset) {
-  ChannelPair channel = MakeChannel();
-  constexpr int kCount = 300;
-  constexpr std::size_t kSize = 977;
-  std::thread sender([&] {
-    for (int i = 0; i < kCount; ++i) {
-      ASSERT_TRUE(
-          channel.guest->Send(MakeMessage(kSize, static_cast<std::uint8_t>(i)))
-              .ok());
-    }
-  });
-  for (int i = 0; i < kCount; ++i) {
-    auto got = channel.host->Recv();
-    ASSERT_TRUE(got.ok());
-    ASSERT_EQ(*got, MakeMessage(kSize, static_cast<std::uint8_t>(i)));
-  }
-  sender.join();
-}
-
-// Full duplex: both directions stream concurrently without cross-talk (the
-// guest's TX ring is the host's RX ring and vice versa — a shared-cursor bug
-// would corrupt one direction under simultaneous load).
-TEST_P(TransportContractTest, FullDuplexConcurrentTraffic) {
-  ChannelPair channel = MakeChannel();
-  constexpr int kCount = 150;
-  auto pump = [&](Transport* tx, std::uint8_t seed) {
-    for (int i = 0; i < kCount; ++i) {
-      ASSERT_TRUE(
-          tx->Send(MakeMessage(64 + i, static_cast<std::uint8_t>(seed + i)))
-              .ok());
-    }
-  };
-  auto drain = [&](Transport* rx, std::uint8_t seed) {
-    for (int i = 0; i < kCount; ++i) {
-      auto got = rx->Recv();
-      ASSERT_TRUE(got.ok());
-      ASSERT_EQ(*got,
-                MakeMessage(64 + i, static_cast<std::uint8_t>(seed + i)));
-    }
-  };
-  std::thread guest_tx(pump, channel.guest.get(), 1);
-  std::thread host_tx(pump, channel.host.get(), 101);
-  std::thread guest_rx(drain, channel.guest.get(), 101);
-  drain(channel.host.get(), 1);
-  guest_tx.join();
-  host_tx.join();
-  guest_rx.join();
-}
-
-// Zero-length sends interleaved with data: empties are real messages with
-// their own place in the order, not dropped or merged.
-TEST_P(TransportContractTest, ZeroLengthInterleavedWithData) {
-  ChannelPair channel = MakeChannel();
-  constexpr int kPairs = 30;
-  std::thread sender([&] {
-    for (int i = 0; i < kPairs; ++i) {
-      ASSERT_TRUE(channel.guest->Send({}).ok());
-      ASSERT_TRUE(
-          channel.guest->Send(MakeMessage(40, static_cast<std::uint8_t>(i)))
-              .ok());
-    }
-  });
-  for (int i = 0; i < kPairs; ++i) {
-    auto empty = channel.host->Recv();
-    ASSERT_TRUE(empty.ok());
-    EXPECT_TRUE(empty->empty());
-    auto data = channel.host->Recv();
-    ASSERT_TRUE(data.ok());
-    ASSERT_EQ(*data, MakeMessage(40, static_cast<std::uint8_t>(i)));
-  }
-  sender.join();
-}
-
-// Capability negotiation: the two endpoints of a channel must agree on the
-// out-of-band buffer arena — same arena object on both ends (shm ring) or
-// none on either (transports that share no memory).
-TEST_P(TransportContractTest, EndpointsAgreeOnArenaCapability) {
-  ChannelPair channel = MakeChannel();
-  EXPECT_EQ(channel.guest->arena(), channel.host->arena());
-  if (std::string(GetParam().first) == "shm_ring") {
-    EXPECT_NE(channel.guest->arena(), nullptr);
-  } else {
-    EXPECT_EQ(channel.guest->arena(), nullptr);
-  }
-}
+using conformance::ChannelFactory;
+using conformance::MakeMessage;
+using conformance::TransportParam;
+using conformance::TransportConformance;
 
 ChannelPair MustShm() {
   auto c = MakeShmRingChannel(1u << 16);
@@ -381,16 +43,45 @@ ChannelPair MustSocket() {
   return std::move(*c);
 }
 
+ChannelPair MustSqcq() {
+  // Small ring (64 slots) so conformance traffic laps the index space many
+  // times; the defaults are exercised by the bench/router paths.
+  SqcqConfig config;
+  config.depth = 64;
+  config.slot_bytes = 256;
+  auto c = MakeSqcqChannel(config);
+  EXPECT_TRUE(c.ok());
+  return std::move(*c);
+}
+
+// The fault decorator with an all-zero spec must be a perfect pass-through:
+// wrapping the SQ/CQ ring also proves batch reaping survives decoration.
+ChannelPair MustFaultySqcq() {
+  ChannelPair inner = MustSqcq();
+  FaultSpec spec;
+  ChannelPair wrapped;
+  wrapped.guest = MakeFaultyTransport(std::move(inner.guest), spec);
+  wrapped.host = MakeFaultyTransport(std::move(inner.host), spec);
+  return wrapped;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    AllTransports, TransportContractTest,
+    AllTransports, TransportConformance,
     ::testing::Values(
-        std::make_pair("inproc", ChannelFactory([] {
+        TransportParam{"inproc", ChannelFactory([] {
                          return MakeInProcChannel(64);
-                       })),
-        std::make_pair("shm_ring", ChannelFactory(&MustShm)),
-        std::make_pair("socketpair", ChannelFactory(&MustSocket))),
-    [](const ::testing::TestParamInfo<TransportContractTest::ParamType>& info) {
-      return info.param.first;
+                       }),
+                       /*expect_arena=*/false},
+        TransportParam{"shm_ring", ChannelFactory(&MustShm),
+                       /*expect_arena=*/true},
+        TransportParam{"socketpair", ChannelFactory(&MustSocket),
+                       /*expect_arena=*/false},
+        TransportParam{"sqcq", ChannelFactory(&MustSqcq),
+                       /*expect_arena=*/true},
+        TransportParam{"faulty_sqcq", ChannelFactory(&MustFaultySqcq),
+                       /*expect_arena=*/true}),
+    [](const ::testing::TestParamInfo<TransportConformance::ParamType>& info) {
+      return info.param.name;
     });
 
 // Fork-based test: the shm ring works across processes (the VM boundary).
@@ -401,6 +92,41 @@ TEST(ShmRingForkTest, CrossProcessRoundTrip) {
   ASSERT_GE(pid, 0);
   if (pid == 0) {
     // Child = guest: send 50 messages, expect doubled replies.
+    for (int i = 0; i < 50; ++i) {
+      Bytes m = MakeMessage(100 + i, static_cast<std::uint8_t>(i));
+      if (!channel->guest->Send(m).ok()) {
+        _exit(1);
+      }
+      auto reply = channel->guest->Recv();
+      if (!reply.ok() || reply->size() != m.size() * 2) {
+        _exit(2);
+      }
+    }
+    _exit(0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto got = channel->host->Recv();
+    ASSERT_TRUE(got.ok());
+    Bytes doubled(got->size() * 2);
+    ASSERT_TRUE(channel->host->Send(doubled).ok());
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// Same lifecycle for the record ring: the mapping, slot sequence protocol,
+// and doorbells all survive fork() (pair created first, then split).
+TEST(SqcqForkTest, CrossProcessRoundTrip) {
+  SqcqConfig config;
+  config.depth = 32;
+  config.slot_bytes = 128;
+  auto channel = MakeSqcqChannel(config);
+  ASSERT_TRUE(channel.ok());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
     for (int i = 0; i < 50; ++i) {
       Bytes m = MakeMessage(100 + i, static_cast<std::uint8_t>(i));
       if (!channel->guest->Send(m).ok()) {
@@ -469,11 +195,11 @@ TEST(ShmRingPropertyTest, RandomSizesRoundTrip) {
 
 // ---------------------------------------------------------------------------
 // Readiness contract: the event-driven router front end multiplexes every
-// transport that exposes a readiness fd (socket fd, shm doorbell) on one
-// epoll loop and drains it with AckReadiness + TryRecv. These tests pin the
-// three behaviors that loop depends on: a spurious wakeup drains cleanly to
-// NotFound, a frame that arrives in pieces parks and resumes without data
-// loss, and a dead peer surfaces through the loop so the fd can be reaped.
+// transport that exposes a readiness fd (socket fd, shm doorbell, sqcq
+// doorbell) on one epoll loop and drains it with AckReadiness + TryRecv.
+// These tests pin the behaviors that loop depends on: a spurious wakeup
+// drains cleanly to NotFound, and a dead peer surfaces through the loop so
+// the fd can be reaped.
 
 class ReadinessContractTest
     : public ::testing::TestWithParam<std::pair<const char*, ChannelFactory>> {
@@ -562,8 +288,14 @@ INSTANTIATE_TEST_SUITE_P(
                          EXPECT_TRUE(c.ok());
                          return std::move(*c);
                        })),
-        std::make_pair("socketpair", ChannelFactory([] {
+        std::make_pair("socketpair",
+                       ChannelFactory([] {
                          auto c = MakeSocketPairChannel();
+                         EXPECT_TRUE(c.ok());
+                         return std::move(*c);
+                       })),
+        std::make_pair("sqcq", ChannelFactory([] {
+                         auto c = MakeSqcqChannel();
                          EXPECT_TRUE(c.ok());
                          return std::move(*c);
                        }))),
