@@ -57,7 +57,7 @@ class TokenBucket {
           return waited;  // limiter disabled (possibly mid-wait)
         }
         Refill();
-        if (tokens_ >= amount) {
+        if (AdmissibleLocked(amount)) {
           tokens_ -= amount;
           return waited;
         }
@@ -96,7 +96,39 @@ class TokenBucket {
     return false;
   }
 
+  // Non-blocking variant for requests that may exceed burst capacity (a
+  // parked router batch that folded many frames together, or one batch
+  // message carrying more calls than the per-second burst). Plain
+  // TryAcquire can never satisfy `amount > burst` — the bucket cannot hold
+  // that many tokens — which would starve the request forever. Once the
+  // bucket is full, admit it and let the balance go negative: refills pay
+  // the debt off before anything else is admitted, so the long-run rate
+  // still holds; only the burst shape is exceeded for that one request.
+  bool TryAcquireSaturating(double amount) {
+    if (!enabled_.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rate_ <= 0.0) {
+      return true;
+    }
+    Refill();
+    if (AdmissibleLocked(amount)) {
+      tokens_ -= amount;
+      return true;
+    }
+    return false;
+  }
+
  private:
+  // Enough tokens, or an oversized request facing a full bucket (which is
+  // as ready as the bucket can ever be — admit in debt, see
+  // TryAcquireSaturating). Blocking Acquire uses the same rule so an
+  // oversized amount waits for saturation instead of spinning forever.
+  bool AdmissibleLocked(double amount) const {
+    return tokens_ >= amount || (amount > burst_ && tokens_ >= burst_);
+  }
+
   void Refill() {
     const std::int64_t now = MonotonicNowNs();
     const double elapsed_s = static_cast<double>(now - last_refill_ns_) * 1e-9;

@@ -726,7 +726,7 @@ void Router::LoopMain() {
       work.push_back(static_cast<VmId>(event.token));
     }
     if (!parked_vms_.empty()) {
-      RetryParked();
+      RetryParked(&work);
     }
     const std::size_t slice = work.size();
     for (std::size_t i = 0; i < slice; ++i) {
@@ -861,7 +861,7 @@ void Router::ParkChannel(VmChannel* channel, IngestBatch batch,
   parked_vms_.push_back(channel->vm_id);
 }
 
-void Router::RetryParked() {
+void Router::RetryParked(std::deque<VmId>* work) {
   std::vector<VmId> still_parked;
   for (const VmId vm : parked_vms_) {
     std::shared_ptr<VmChannel> channel;
@@ -875,14 +875,20 @@ void Router::RetryParked() {
     if (channel == nullptr || channel->parked == nullptr) {
       continue;  // channel died or was replaced; the parked frame is gone
     }
+    // Saturating: a parked batch that folded many frames (or one batch
+    // message with many calls) can owe more tokens than the bucket's burst
+    // capacity; plain TryAcquire would starve it forever. Once the bucket
+    // is full it is admitted in debt — the long-run rate still holds.
     if (!channel->parked_call_paid) {
-      if (!channel->call_bucket.TryAcquire(channel->parked->call_count)) {
+      if (!channel->call_bucket.TryAcquireSaturating(
+              channel->parked->call_count)) {
         still_parked.push_back(vm);
         continue;
       }
       channel->parked_call_paid = true;
     }
-    if (!channel->byte_bucket.TryAcquire(channel->parked->charge_bytes)) {
+    if (!channel->byte_bucket.TryAcquireSaturating(
+            channel->parked->charge_bytes)) {
       still_parked.push_back(vm);
       continue;
     }
@@ -899,6 +905,12 @@ void Router::RetryParked() {
         (void)loop_->Mod(fd, vm, /*want_read=*/true);
       }
     }
+    // The drain that parked us may have stopped at the per-visit cap with
+    // frames still on the ring and the transport's doorbell disarmed (a
+    // record-ring TryRecvBatch only re-arms when it goes dry). The muted,
+    // already-drained eventfd will never fire for those leftovers, so force
+    // a drain pass now that the channel is runnable again.
+    work->push_back(vm);
   }
   parked_vms_.swap(still_parked);
 }

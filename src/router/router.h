@@ -227,8 +227,11 @@ class Router {
   // RetryParked() wins the tokens. Loop thread only.
   void ParkChannel(VmChannel* channel, IngestBatch batch, bool call_paid);
   // Retries the rate-limit tokens of every parked channel; unparks (re-arms
-  // epoll) on success. Loop thread only.
-  void RetryParked();
+  // epoll) on success and pushes the unparked vm onto `work` — the park may
+  // have cut a drain short with frames still on the ring and the doorbell
+  // disarmed, so only a forced drain pass guarantees they are ever reaped.
+  // Loop thread only.
+  void RetryParked(std::deque<VmId>* work);
   // Starts ingest for a channel: event-loop registration when the transport
   // exposes a readiness fd, else a blocking RX thread. Caller holds mutex_.
   void StartIngestLocked(VmChannel* channel);

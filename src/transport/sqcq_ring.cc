@@ -506,6 +506,13 @@ class SqcqEndpoint final : public Transport {
   // when a record completed or the ring closed during the race window.
   bool ArmLocked() {
     rx_.hdr->armed.store(1, std::memory_order_seq_cst);
+    // Full fence before the re-check: the seq_cst store alone does not
+    // order the subsequent acquire loads of slot seq after it (on ARMv8
+    // RCpc an LDAPR may hoist above the STLR), and a hoisted stale read
+    // paired with the producer reading armed==0 is a lost doorbell. This
+    // mirrors the fence in DoorbellAfterPublish — both sides of the Dekker
+    // pair need one.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (RecordReadyLocked()) {
       rx_.hdr->armed.store(0, std::memory_order_relaxed);
       return true;
@@ -571,6 +578,14 @@ class SqcqEndpoint final : public Transport {
       }
       std::int64_t wait_ns = deadline_ns > 0 ? deadline_ns - MonotonicNowNs()
                                              : -1;
+      if (deadline_ns > 0 && wait_ns <= 0) {
+        // Deadline expired while spinning/arming: with coalescing off the
+        // negative remainder would otherwise become poll(fd, -1) — an
+        // unbounded sleep. Disarm and loop; the top-of-loop check returns
+        // DeadlineExceeded (or a record that just landed).
+        rx_.hdr->armed.store(0, std::memory_order_relaxed);
+        continue;
+      }
       const std::int64_t cap = SleepCapNs();
       if (cap > 0 && (wait_ns < 0 || wait_ns > cap)) {
         wait_ns = cap;

@@ -52,7 +52,7 @@ struct SqcqConfig {
   // Publish-count flush threshold; 0 = $AVA_SQCQ_COALESCE_CALLS or 16.
   int coalesce_calls = 0;
   // Blocking-receive spin budget before arming the doorbell eventfd; <0 =
-  // $AVA_SQCQ_SPIN_US or 20.
+  // $AVA_SQCQ_SPIN_US or 60.
   std::int64_t spin_us = -1;
   // Test hook: start both index spaces at this cursor (wraparound tests
   // begin near UINT64_MAX). 0 for production channels.

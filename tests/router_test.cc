@@ -14,6 +14,7 @@
 #include "src/router/router.h"
 #include "src/runtime/guest_endpoint.h"
 #include "src/server/api_server.h"
+#include "src/transport/sqcq_ring.h"
 #include "src/transport/transport.h"
 
 namespace {
@@ -194,6 +195,44 @@ TEST(RouterTest, DuplicateAttachRejected) {
   EXPECT_FALSE(router.AttachVm(2, nullptr, session).ok());
 }
 
+TEST(RouterTest, ParkDuringFullReapStillDrainsLeftoverFrames) {
+  // Regression: a rate-limit park coinciding with a reap that hit the
+  // per-visit frame cap used to strand the channel forever. AckReadiness
+  // had drained the doorbell eventfd and disarmed the ring, the capped
+  // TryRecvBatch never re-armed it, and the park muted epoll — so after
+  // RetryParked won its tokens, no doorbell and no epoll event existed to
+  // trigger a drain of the leftover frames. RetryParked must force one.
+  auto pair = ava::MakeSqcqChannel();
+  ASSERT_TRUE(pair.ok());
+  auto session = std::make_shared<ava::ApiServerSession>(1);
+  session->RegisterApi(kTestApi, MakeSyntheticHandler(0, 1));
+  ava::GuestEndpoint::Options opts;
+  opts.vm_id = 1;
+  auto endpoint =
+      std::make_shared<ava::GuestEndpoint>(std::move(pair->guest), opts);
+  // Queue well more than one per-visit reap cap (64 frames) BEFORE the
+  // router attaches, so its very first drain is guaranteed to hit the cap
+  // AND exhaust the token burst (40 < 64) in the same pass — the exact
+  // stall coincidence — with frames still left on the ring.
+  constexpr std::uint64_t kCalls = 120;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    ASSERT_TRUE(endpoint->CallAsync(kTestApi, 0, {}).ok());
+  }
+  ava::Router router;
+  router.Start();
+  ava::VmPolicy policy;
+  policy.calls_per_sec = 40.0;  // burst = 40 tokens
+  ASSERT_TRUE(
+      router.AttachVm(1, std::move(pair->host), session, policy).ok());
+  // 120 calls at 40/s refill after the initial burst is ~2s; allow 15s.
+  for (int i = 0; i < 1500 && session->stats().calls_executed < kCalls; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(session->stats().calls_executed, kCalls);
+  endpoint.reset();
+  router.Stop();
+}
+
 TEST(RouterTest, BatchCountsAsMultipleCalls) {
   ava::Router router;
   router.Start();
@@ -305,6 +344,19 @@ TEST(TokenBucketTest, ConfigureToZeroReleasesBlockedAcquire) {
   bucket.Configure(0.0);  // disable mid-wait
   waiter.join();
   EXPECT_TRUE(released.load());
+}
+
+TEST(TokenBucketTest, OversizedRequestAdmittedAtSaturationWithDebt) {
+  ava::TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/10.0);
+  // Larger than burst capacity: the plain variant can never admit it — the
+  // bucket physically cannot hold 25 tokens.
+  EXPECT_FALSE(bucket.TryAcquire(25.0));
+  // The saturating variant admits it once the bucket is full (it starts
+  // full), going into debt instead of starving forever.
+  EXPECT_TRUE(bucket.TryAcquireSaturating(25.0));
+  // The debt throttles everything after it until refills pay it off.
+  EXPECT_FALSE(bucket.TryAcquire(1.0));
+  EXPECT_FALSE(bucket.TryAcquireSaturating(25.0));
 }
 
 TEST(TokenBucketTest, ReconfigureUnderConcurrentAcquireIsSafe) {

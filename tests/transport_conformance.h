@@ -225,6 +225,30 @@ TEST_P(TransportConformance, RecvTimeoutReturnsPendingImmediately) {
   EXPECT_EQ(*got, MakeMessage(128, 9));
 }
 
+TEST_P(TransportConformance, RecvTimeoutShorterThanSpinBudgetExpires) {
+  // Regression: a deadline that expires inside a transport's internal
+  // polling phase (e.g. the SQ/CQ ring's spin-before-arm budget,
+  // AVA_SQCQ_SPIN_US = 60us by default) used to leave a negative remaining
+  // time that became poll(fd, -1) — an unbounded sleep only a future
+  // doorbell could break. A watchdog closes the channel after ~2s so a
+  // recurrence fails visibly (Unavailable) instead of wedging the suite.
+  ChannelPair channel = MakeChannel();
+  std::atomic<bool> done{false};
+  std::thread watchdog([&] {
+    for (int i = 0; i < 200 && !done.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!done.load()) {
+      channel.guest->Close();
+    }
+  });
+  auto got = channel.host->RecvTimeout(20LL * 1000);  // 20 us
+  done = true;
+  watchdog.join();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
 TEST_P(TransportConformance, RecvTimeoutZeroBudgetExpiresImmediately) {
   ChannelPair channel = MakeChannel();
   auto got = channel.host->RecvTimeout(0);
