@@ -117,8 +117,10 @@ ava::BufferHooks MakeVclBufferHooks() {
       return ava::Internal("cannot create internal queue for write-back");
     }
     if (entry.swapped) {
-      // Swapped-out buffers restore by replacing the host copy.
-      entry.swap_copy = contents;
+      // Swapped-out buffers restore by replacing the authoritative copy.
+      // Whatever tier held the stale bytes (compressed page, spill extent)
+      // is superseded; the swap manager's sweep reclaims any disk extent.
+      ava::StoreSwappedHostBytes(entry, contents);
       return ava::OkStatus();
     }
     vcl_int rc = vclEnqueueWriteBuffer(

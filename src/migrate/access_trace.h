@@ -1,0 +1,114 @@
+// Buffer-access transition trace: the record/replay idea of §4.3 applied to
+// memory placement. The CAvA recorder logs the calls that create objects;
+// this trace logs the order translated buffers are *touched*, as a lossy
+// lock-free successor table (touch A then B => slot[A] = B). The swap
+// manager feeds it from the translate path and asks it, on every demand
+// swap-in, which buffers history says come next — those are promoted back
+// to the host tier ahead of their next use. After a migration replay the
+// same transitions re-learn within one pass of the working set.
+//
+// Deliberately lossy: a direct-mapped table of relaxed atomics. Concurrent
+// writers may overwrite each other's hints and a hash collision swaps one
+// hint for another — both only cost prefetch accuracy, never correctness,
+// and the translate fast path pays two relaxed stores.
+#ifndef AVA_SRC_MIGRATE_ACCESS_TRACE_H_
+#define AVA_SRC_MIGRATE_ACCESS_TRACE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/proto/wire.h"
+
+namespace ava {
+
+class AccessTrace {
+ public:
+  explicit AccessTrace(std::size_t slots = 4096)
+      : mask_(RoundUpPow2(slots) - 1),
+        slots_(new Slot[RoundUpPow2(slots)]) {}
+
+  // Records that `id` was touched by `vm`, forming a (previous -> id)
+  // transition with the last touch recorded on this thread. Thread-local
+  // previous pointers keep concurrent lanes' streams from interleaving
+  // into nonsense transitions.
+  void NoteTouch(VmId vm, WireHandle id) {
+    ThreadCursor& cursor = Cursor();
+    if (cursor.trace == this && cursor.vm == vm && cursor.prev != id &&
+        cursor.prev != 0) {
+      Slot& slot = slots_[Hash(vm, cursor.prev) & mask_];
+      slot.key.store(Hash(vm, cursor.prev), std::memory_order_relaxed);
+      slot.next.store(id, std::memory_order_relaxed);
+    }
+    cursor.trace = this;
+    cursor.vm = vm;
+    cursor.prev = id;
+  }
+
+  // Follows the successor chain from `id` for up to `fanout` hops. Stops
+  // on an unknown transition or a cycle back into the returned set.
+  std::vector<WireHandle> PredictNext(VmId vm, WireHandle id,
+                                      int fanout = 2) const {
+    std::vector<WireHandle> out;
+    WireHandle cur = id;
+    for (int hop = 0; hop < fanout; ++hop) {
+      const std::uint64_t key = Hash(vm, cur);
+      const Slot& slot = slots_[key & mask_];
+      if (slot.key.load(std::memory_order_relaxed) != key) {
+        break;
+      }
+      const WireHandle next = slot.next.load(std::memory_order_relaxed);
+      if (next == 0 || next == id ||
+          std::find(out.begin(), out.end(), next) != out.end()) {
+        break;
+      }
+      out.push_back(next);
+      cur = next;
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<std::uint64_t> next{0};
+  };
+
+  struct ThreadCursor {
+    const AccessTrace* trace = nullptr;
+    VmId vm = 0;
+    WireHandle prev = 0;
+  };
+
+  static ThreadCursor& Cursor() {
+    static thread_local ThreadCursor cursor;
+    return cursor;
+  }
+
+  static std::uint64_t Hash(VmId vm, WireHandle id) {
+    // splitmix64 over the packed pair; full key stored for verification.
+    std::uint64_t x = (static_cast<std::uint64_t>(vm) << 48) ^ id;
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x | 1;  // never 0: 0 marks an empty slot
+  }
+
+  static std::size_t RoundUpPow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace ava
+
+#endif  // AVA_SRC_MIGRATE_ACCESS_TRACE_H_

@@ -4,6 +4,12 @@
 // keeps the minimal replayable log. Object tracking (as in Nooks) lets it
 // drop records whose created objects have all been destroyed, so the log
 // tracks live state rather than history.
+//
+// The record/replay plane has a second consumer: access_trace.h logs the
+// order replayed/translated buffers are touched, and the swap manager turns
+// those transitions into prefetch hints for its tiered memory hierarchy —
+// after a migration, replaying the log re-trains the trace so the restored
+// VM's working set is promoted ahead of demand.
 #ifndef AVA_SRC_MIGRATE_RECORDER_H_
 #define AVA_SRC_MIGRATE_RECORDER_H_
 

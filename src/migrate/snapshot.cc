@@ -4,6 +4,7 @@
 
 #include "src/common/log.h"
 #include "src/common/vclock.h"
+#include "src/server/swap_manager.h"
 
 namespace ava {
 
@@ -88,13 +89,21 @@ Result<VmSnapshot> MigrationEngine::Capture(Router* router,
 
   // Copy out every extant device buffer. read_back is enqueued behind all
   // outstanding device work, so contents are final. Swapped-out buffers
-  // already hold their bytes host-side.
+  // materialize from whatever tier of the swap hierarchy holds them (raw
+  // host page, compressed page, disk spill extent).
   Status read_status = OkStatus();
   session->registry().ForEach(
       hooks_.buffer_type_tag,
       [&](WireHandle id, ObjectRegistry::Entry& entry) {
         if (entry.swapped) {
-          snapshot.buffers.emplace_back(id, entry.swap_copy);
+          Result<Bytes> raw = swap_ != nullptr
+                                  ? swap_->MaterializeSwapped(entry)
+                                  : MaterializeSwappedCopy(entry);
+          if (!raw.ok()) {
+            read_status = raw.status();
+            return;
+          }
+          snapshot.buffers.emplace_back(id, std::move(raw).value());
           return;
         }
         Bytes contents;

@@ -34,9 +34,17 @@ struct MigrationTimings {
   std::int64_t restore_buffers_ns = 0;
 };
 
+class SwapManager;
+
 class MigrationEngine {
  public:
   explicit MigrationEngine(BufferHooks hooks) : hooks_(std::move(hooks)) {}
+
+  // Lets Capture materialize swapped-out buffers from every tier of the
+  // swap hierarchy (compressed pages, disk spill extents). Without it only
+  // host-tier and compressed copies can be snapshotted; a disk-tier buffer
+  // fails the capture with FailedPrecondition.
+  void SetSwapManager(SwapManager* swap) { swap_ = swap; }
 
   // Suspends `vm_id` on `router` (drains its in-flight call; the device
   // quiesces because buffer read-back is enqueued behind all outstanding
@@ -55,6 +63,7 @@ class MigrationEngine {
 
  private:
   BufferHooks hooks_;
+  SwapManager* swap_ = nullptr;
 };
 
 }  // namespace ava

@@ -6,6 +6,7 @@
 
 #include "src/common/status.h"
 #include "src/common/vclock.h"
+#include "src/obs/metrics.h"
 
 namespace ava::obs {
 
@@ -117,20 +118,37 @@ std::vector<VmAccountSnapshot> AccountingLedger::SnapshotAll(
 
 std::string AccountingLedger::Text() {
   const std::vector<VmAccountSnapshot> snaps = SnapshotAll();
+  // Per-VM swap-tier residency rides along from the metric registry (the
+  // swap manager refreshes swap.vm<id>.* gauges on every demotion pass).
+  const MetricsSnapshot metrics = MetricRegistry::Default().Snapshot();
+  auto tier_bytes = [&](std::uint64_t vm,
+                        const char* tier) -> unsigned long long {
+    const MetricsSnapshot::Entry* entry = metrics.Find(
+        "swap.vm" + std::to_string(vm) + "." + tier + "_bytes");
+    if (entry == nullptr || !entry->has_gauge || entry->gauge_sum < 0) {
+      return 0;
+    }
+    return static_cast<unsigned long long>(entry->gauge_sum);
+  };
   std::ostringstream out;
   out << "vm calls ok cost_vns wire_bytes cached_bytes "
-         "vns_rate_1s vns_rate_10s wire_rate_1s statuses\n";
+         "vns_rate_1s vns_rate_10s wire_rate_1s "
+         "dev_bytes host_bytes comp_bytes disk_bytes statuses\n";
   for (const VmAccountSnapshot& s : snaps) {
-    char line[256];
+    char line[384];
     std::snprintf(line, sizeof(line),
-                  "%llu %llu %llu %llu %llu %llu %.0f %.0f %.0f ",
+                  "%llu %llu %llu %llu %llu %llu %.0f %.0f %.0f "
+                  "%llu %llu %llu %llu ",
                   static_cast<unsigned long long>(s.vm_id),
                   static_cast<unsigned long long>(s.calls),
                   static_cast<unsigned long long>(s.ok_calls),
                   static_cast<unsigned long long>(s.cost_vns),
                   static_cast<unsigned long long>(s.wire_bytes),
                   static_cast<unsigned long long>(s.cached_bytes),
-                  s.vns_rate_1s, s.vns_rate_10s, s.wire_rate_1s);
+                  s.vns_rate_1s, s.vns_rate_10s, s.wire_rate_1s,
+                  tier_bytes(s.vm_id, "device"), tier_bytes(s.vm_id, "host"),
+                  tier_bytes(s.vm_id, "compressed"),
+                  tier_bytes(s.vm_id, "disk"));
     out << line;
     bool first = true;
     for (unsigned i = 0; i < kLedgerStatusSlots; ++i) {

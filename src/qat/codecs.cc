@@ -15,13 +15,19 @@ std::size_t LzssBound(std::size_t size) {
   return 4 + size + size / 8 + 2;
 }
 
-ava::Bytes LzssCompress(const std::uint8_t* src, std::size_t size) {
-  ava::ByteWriter w;
-  w.PutU32(static_cast<std::uint32_t>(size));
+std::size_t LzssCompressInto(const std::uint8_t* src, std::size_t size,
+                             std::uint8_t* dst, std::size_t cap) {
+  if (cap < LzssBound(size)) {
+    return 0;
+  }
+  std::size_t out = 0;
+  const std::uint32_t header = static_cast<std::uint32_t>(size);
+  std::memcpy(dst + out, &header, 4);
+  out += 4;
   std::size_t pos = 0;
   while (pos < size) {
-    const std::size_t flag_at = w.size();
-    w.PutU8(0);
+    const std::size_t flag_at = out;
+    dst[out++] = 0;
     std::uint8_t flags = 0;
     for (int item = 0; item < 8 && pos < size; ++item) {
       // Greedy search for the longest match in the window.
@@ -49,16 +55,23 @@ ava::Bytes LzssCompress(const std::uint8_t* src, std::size_t size) {
         // Match: 12-bit offset (1-based), 4-bit length - kMinMatch.
         const std::uint16_t token = static_cast<std::uint16_t>(
             ((best_off - 1) << 4) | (best_len - kMinMatch));
-        w.PutU16(token);
+        std::memcpy(dst + out, &token, 2);
+        out += 2;
         pos += best_len;
       } else {
         flags = static_cast<std::uint8_t>(flags | (1u << item));
-        w.PutU8(src[pos++]);
+        dst[out++] = src[pos++];
       }
     }
-    w.PatchAt<std::uint8_t>(flag_at, flags);
+    dst[flag_at] = flags;
   }
-  return std::move(w).TakeBytes();
+  return out;
+}
+
+ava::Bytes LzssCompress(const std::uint8_t* src, std::size_t size) {
+  ava::Bytes out(LzssBound(size));
+  out.resize(LzssCompressInto(src, size, out.data(), out.size()));
+  return out;
 }
 
 ava::Result<ava::Bytes> LzssDecompress(const std::uint8_t* src,

@@ -17,6 +17,14 @@ namespace qat {
 // plus the 4-byte size header.
 ava::Bytes LzssCompress(const std::uint8_t* src, std::size_t size);
 
+// Destination-buffer variant: compresses into the caller-provided `dst`
+// (at least LzssBound(size) bytes) and returns the number of bytes
+// written, or 0 when `cap` is too small. Produces byte-identical output to
+// LzssCompress without the intermediate allocation — the swap manager's
+// demotion path compresses straight into its tier buffer through this.
+std::size_t LzssCompressInto(const std::uint8_t* src, std::size_t size,
+                             std::uint8_t* dst, std::size_t cap);
+
 // Returns DataLoss on malformed input (truncation, bad offsets).
 ava::Result<ava::Bytes> LzssDecompress(const std::uint8_t* src,
                                        std::size_t size);

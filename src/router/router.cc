@@ -338,7 +338,8 @@ std::string Router::SessionsText() const {
   std::ostringstream out;
   out << "vm state lanes ready queued in_flight parallelism forwarded "
          "rejected cost_vns breaker_open xfer_entries xfer_bytes "
-         "xfer_budget weight deficit\n";
+         "xfer_budget weight deficit "
+         "dev_bytes host_bytes comp_bytes disk_bytes\n";
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<const VmChannel*> rows;
   rows.reserve(channels_.size());
@@ -358,6 +359,17 @@ std::string Router::SessionsText() const {
         cell != nullptr && cell->has_gauge) {
       breaker_open = cell->gauge_sum;
     }
+    // Swap-tier residency reaches the router the same way breaker state
+    // does: the swap manager refreshes swap.vm<id>.* gauges each pass.
+    auto tier_gauge = [&](const char* tier) -> std::int64_t {
+      if (const auto* cell =
+              metrics.Find("swap.vm" + std::to_string(channel->vm_id) + "." +
+                           tier + "_bytes");
+          cell != nullptr && cell->has_gauge) {
+        return cell->gauge_sum;
+      }
+      return 0;
+    };
     const TransferCache& cache = channel->session->context().xfer_cache();
     const double deficit =
         wfq_.HasTenant(channel->vm_id) ? wfq_.DeficitOf(channel->vm_id) : 0.0;
@@ -370,7 +382,9 @@ std::string Router::SessionsText() const {
         << channel->metrics.cost_vns->Value() << " " << breaker_open << " "
         << cache.entries() << " " << cache.size_bytes() << " "
         << cache.budget_bytes() << " " << channel->weight << " "
-        << static_cast<std::int64_t>(deficit) << "\n";
+        << static_cast<std::int64_t>(deficit) << " " << tier_gauge("device")
+        << " " << tier_gauge("host") << " " << tier_gauge("compressed")
+        << " " << tier_gauge("disk") << "\n";
   }
   return out.str();
 }

@@ -107,6 +107,9 @@ Result<bool> ObjectRegistry::Release(WireHandle id, void** removed_real) {
     *removed_real = it->second.real;
   }
   tls_destroyed_in_call.push_back(id);
+  if (reclaim_hook_) {
+    reclaim_hook_(it->second);
+  }
   entries_.erase(it);
   return true;
 }
@@ -127,6 +130,37 @@ void ObjectRegistry::Touch(WireHandle id) {
   if (it != entries_.end()) {
     it->second.last_use_ns = MonotonicNowNs();
   }
+}
+
+void* ObjectRegistry::PinIfResident(std::uint32_t type_tag, WireHandle id,
+                                    bool* swapped_out) {
+  *swapped_out = false;
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.type_tag != type_tag) {
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  if (entry.swapped || entry.real == nullptr) {
+    *swapped_out = entry.swapped;
+    return nullptr;
+  }
+  ++entry.pinned;
+  entry.last_use_ns = MonotonicNowNs();
+  entry.clock_ref = true;
+  if (entry.clean_valid) {
+    // The pinning call may write the buffer; the async write-back copy is
+    // no longer trustworthy.
+    entry.clean_valid = false;
+    entry.clean_copy.clear();
+    entry.clean_copy.shrink_to_fit();
+  }
+  return entry.real;
+}
+
+void ObjectRegistry::SetReclaimHook(std::function<void(Entry&)> hook) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  reclaim_hook_ = std::move(hook);
 }
 
 void ObjectRegistry::ForEach(

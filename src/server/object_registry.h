@@ -22,6 +22,19 @@
 
 namespace ava {
 
+// Which level of the swap hierarchy holds a buffer's authoritative bytes.
+// kDevice is the only resident state; everything else is "swapped" in the
+// original one-tier sense. kLost is terminal: the backing bytes failed an
+// integrity check (truncated spill file, corrupt compressed page) and the
+// buffer's contents are sealed as DataLoss without taking the server down.
+enum class SwapTier : std::uint8_t {
+  kDevice = 0,
+  kHost = 1,        // raw bytes in Entry::swap_copy
+  kCompressed = 2,  // LZSS page in Entry::swap_copy (swap_lzss set)
+  kDisk = 3,        // extent in the swap manager's spill file
+  kLost = 4,        // integrity failure; translate answers DataLoss
+};
+
 class ObjectRegistry {
  public:
   struct Entry {
@@ -32,9 +45,23 @@ class ObjectRegistry {
     // Spec-provided resource metadata.
     WireHandle parent = 0;       // e.g. buffer -> owning context id
     std::uint64_t size = 0;      // e.g. buffer byte size
-    // Swap state (buffer objects only).
-    bool swapped = false;
-    Bytes swap_copy;
+    // Swap state (buffer objects only). All of it — tier, pins, copies —
+    // is guarded by this registry's lock, which shards swap bookkeeping
+    // per VM instead of serializing every lane on one global mutex.
+    bool swapped = false;   // kept in sync with tier != kDevice
+    SwapTier tier = SwapTier::kDevice;
+    Bytes swap_copy;        // kHost: raw bytes; kCompressed: LZSS page
+    bool swap_lzss = false;       // swap_copy / disk payload is compressed
+    std::uint64_t content_crc = 0;  // CRC-64 of raw bytes (set on compress)
+    std::uint64_t disk_offset = 0;  // kDisk: payload extent in spill file
+    std::uint32_t disk_len = 0;     // kDisk: payload length (0 = no extent)
+    // Async write-back: a clean host copy of a resident, cold buffer kept
+    // by the demotion thread so a later eviction can skip the synchronous
+    // device read-back. Any pin invalidates it (the call may write).
+    Bytes clean_copy;
+    bool clean_valid = false;
+    bool prefetched = false;  // promoted to host by prefetch, not yet used
+    bool clock_ref = false;   // clock-estimator reference bit, set on pin
     std::int32_t pinned = 0;  // pinned buffers are never evicted
     std::int64_t last_use_ns = 0;
   };
@@ -68,6 +95,22 @@ class ObjectRegistry {
 
   // Stamps last-use time (swap LRU).
   void Touch(WireHandle id);
+
+  // Lock-light swap fast path: if `id` names a resident (device-tier)
+  // buffer of `type_tag`, pins it, stamps use/clock state, invalidates any
+  // clean write-back copy (the call may write the buffer), and returns the
+  // real handle — all under this registry's per-VM lock, with no global
+  // swap state touched. Returns nullptr otherwise; `*swapped_out` reports
+  // whether the miss was a swapped-out buffer of the right type (the
+  // caller's cue to take the swap-in slow path).
+  void* PinIfResident(std::uint32_t type_tag, WireHandle id,
+                      bool* swapped_out);
+
+  // Installed by the swap manager: runs (under the registry lock) on every
+  // entry erased by Release, so tier resources that live outside the
+  // registry — spill-file extents — are reclaimed when the guest frees a
+  // swapped-out buffer. Must not acquire locks.
+  void SetReclaimHook(std::function<void(Entry&)> hook);
 
   // Iterates entries of one type under the lock.
   void ForEach(std::uint32_t type_tag,
@@ -105,7 +148,24 @@ class ObjectRegistry {
   WireHandle next_id_ = 1;
   std::vector<WireHandle> forced_ids_;
   std::size_t forced_cursor_ = 0;
+  std::function<void(Entry&)> reclaim_hook_;
 };
+
+// Resets a swapped entry's authoritative bytes to a raw host-tier copy
+// (migration restore, failed swap-in). Any disk extent the entry held is
+// left for the swap manager's sweep to reclaim (tier != kDisk with a
+// non-zero disk_len marks it orphaned).
+inline void StoreSwappedHostBytes(ObjectRegistry::Entry& entry, Bytes bytes) {
+  entry.swap_copy = std::move(bytes);
+  entry.swapped = true;
+  entry.tier = SwapTier::kHost;
+  entry.swap_lzss = false;
+  entry.content_crc = 0;
+  entry.clean_copy.clear();
+  entry.clean_valid = false;
+  entry.prefetched = false;
+  entry.real = nullptr;
+}
 
 }  // namespace ava
 

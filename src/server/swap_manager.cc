@@ -1,101 +1,443 @@
 #include "src/server/swap_manager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/migrate/access_trace.h"
+#include "src/qat/codecs.h"
 
 namespace ava {
+namespace {
 
-SwapManager::SwapManager(Hooks hooks) : hooks_(std::move(hooks)) {
+// Spill-file record framing: [magic][payload_len][crc64(payload)][payload].
+constexpr std::uint32_t kSpillMagic = 0x57535641u;  // "AVSW" little-endian
+constexpr std::size_t kSpillHeader = 16;
+// Extents are block-aligned so hole-punching a freed record actually
+// returns space to the filesystem.
+constexpr std::uint64_t kSpillAlign = 4096;
+
+// Compression probe: compress at most this much and keep the result only if
+// it saves at least 1/16th. The LZSS window scan is O(n * window), so
+// incompressible pages must be rejected from a bounded sample, not after
+// chewing through the whole buffer.
+constexpr std::size_t kCompressSampleBytes = 16u << 10;
+
+// Per-pass caps so one demotion tick stays bounded.
+constexpr std::size_t kPrefetchPerPass = 32;
+constexpr std::size_t kPrefetchQueueCap = 256;
+
+std::uint64_t AlignUp(std::uint64_t n) {
+  return (n + kSpillAlign - 1) & ~(kSpillAlign - 1);
+}
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "off") == 0);
+}
+
+}  // namespace
+
+SwapManager::Options SwapManager::Options::FromEnv() {
+  Options options;
+  if (const char* v = std::getenv("AVA_SWAP_HOST_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end != v) {
+      options.host_tier_bytes = static_cast<std::size_t>(n);
+    }
+  }
+  options.compress = EnvFlag("AVA_SWAP_COMPRESS", options.compress);
+  if (const char* v = std::getenv("AVA_SWAP_SPILL_DIR")) {
+    options.spill_dir = v;
+  }
+  options.prefetch = EnvFlag("AVA_SWAP_PREFETCH", options.prefetch);
+  if (const char* v = std::getenv("AVA_SWAP_DEMOTE_MS")) {
+    options.demote_interval_ms = std::atoi(v);
+  }
+  return options;
+}
+
+SwapManager::SwapManager(Hooks hooks)
+    : SwapManager(std::move(hooks), Options::FromEnv()) {}
+
+SwapManager::SwapManager(Hooks hooks, Options options)
+    : hooks_(std::move(hooks)), options_(std::move(options)) {
+  trace_ = options_.trace ? options_.trace : std::make_shared<AccessTrace>();
   auto& registry = obs::MetricRegistry::Default();
   swap_outs_ = registry.NewCounter("swap.swap_outs");
   swap_ins_ = registry.NewCounter("swap.swap_ins");
   bytes_swapped_out_ = registry.NewCounter("swap.bytes_swapped_out");
   bytes_swapped_in_ = registry.NewCounter("swap.bytes_swapped_in");
   failed_make_room_ = registry.NewCounter("swap.failed_make_room");
+  demoted_compressed_ = registry.NewCounter("swap.demoted_compressed");
+  demoted_disk_ = registry.NewCounter("swap.demoted_disk");
+  compress_rejects_ = registry.NewCounter("swap.compress_rejects");
+  writeback_clean_ = registry.NewCounter("swap.writeback_clean");
+  writeback_hits_ = registry.NewCounter("swap.writeback_hits");
+  prefetch_issued_ = registry.NewCounter("swap.prefetch_issued");
+  prefetch_hits_ = registry.NewCounter("swap.prefetch_hits");
+  data_loss_sealed_ = registry.NewCounter("swap.data_loss_sealed");
+  g_resident_bytes_ = registry.NewGauge("swap.resident_bytes");
+  g_host_tier_bytes_ = registry.NewGauge("swap.host_tier_bytes");
+  g_compressed_tier_bytes_ = registry.NewGauge("swap.compressed_tier_bytes");
+  g_disk_tier_bytes_ = registry.NewGauge("swap.disk_tier_bytes");
+  g_working_set_bytes_ = registry.NewGauge("swap.working_set_bytes");
+  if (!options_.spill_dir.empty() && !OpenSpillFile()) {
+    AVA_LOG(WARNING) << "swap: cannot open spill file in '" << options_.spill_dir
+                  << "': " << std::strerror(errno) << "; disk tier disabled";
+  }
+  if (options_.demote_interval_ms > 0) {
+    demoter_ = std::thread([this] { BackgroundLoop(); });
+  }
+}
+
+SwapManager::~SwapManager() {
+  if (demoter_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(demoter_mutex_);
+      stop_ = true;
+    }
+    demoter_cv_.notify_all();
+    demoter_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(policy_mutex_);
+    for (ObjectRegistry* registry : registries_) {
+      registry->SetReclaimHook(nullptr);
+    }
+  }
+  if (spill_fd_ >= 0) {
+    ::close(spill_fd_);
+    ::unlink(spill_path_.c_str());
+  }
 }
 
 void SwapManager::AttachRegistry(ObjectRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(policy_mutex_);
   registries_.push_back(registry);
+  // Reclaim spill extents when the guest frees a swapped-out buffer. Runs
+  // under the registry lock; FreeExtent is atomics + punch-hole, no locks.
+  registry->SetReclaimHook([this](ObjectRegistry::Entry& entry) {
+    if (entry.disk_len != 0) {
+      FreeExtent(entry.disk_offset, entry.disk_len);
+      entry.disk_offset = 0;
+      entry.disk_len = 0;
+    }
+  });
 }
 
 void SwapManager::DetachRegistry(ObjectRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  registry->SetReclaimHook(nullptr);
   registries_.erase(
       std::remove(registries_.begin(), registries_.end(), registry),
       registries_.end());
-  pins_.erase(std::remove_if(pins_.begin(), pins_.end(),
-                             [&](const Pin& p) { return p.registry == registry; }),
-              pins_.end());
+  prefetch_queue_.erase(
+      std::remove_if(prefetch_queue_.begin(), prefetch_queue_.end(),
+                     [&](const PrefetchReq& r) { return r.registry == registry; }),
+      prefetch_queue_.end());
+}
+
+std::vector<SwapManager::Pin>& SwapManager::ThreadPins() {
+  static thread_local std::vector<Pin> pins;
+  return pins;
 }
 
 Result<void*> SwapManager::TranslatePinned(ObjectRegistry* registry,
                                            WireHandle id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  void* real = nullptr;
-  bool needs_swap_in = false;
-  Status found = registry->WithEntry(id, [&](ObjectRegistry::Entry& entry) {
-    if (entry.type_tag != hooks_.buffer_type_tag) {
-      return;  // caught below via the regular Translate path
+  // Fast path: resident buffer. One acquisition of the per-VM registry
+  // lock; no global state. Concurrent lanes on different VMs share nothing.
+  bool swapped = false;
+  void* real = registry->PinIfResident(hooks_.buffer_type_tag, id, &swapped);
+  if (real != nullptr) {
+    ThreadPins().push_back(Pin{this, registry, id});
+    if (options_.prefetch) {
+      trace_->NoteTouch(registry->vm_id(), id);
     }
-    if (entry.swapped) {
-      needs_swap_in = true;
-    } else {
-      real = entry.real;
-    }
-  });
-  AVA_RETURN_IF_ERROR(found);
-  if (needs_swap_in) {
-    Status status = registry->WithEntry(id, [&](ObjectRegistry::Entry& entry) {
-      // Attempt the re-allocation; evict others on failure.
-      void* fresh =
-          hooks_.realloc_buffer(registry, id, entry, entry.swap_copy);
-      if (fresh == nullptr) {
-        // Make room (excluding this entry, which is swapped out anyway).
-        MakeRoomLockedHint(entry.size, registry);
-        fresh = hooks_.realloc_buffer(registry, id, entry, entry.swap_copy);
-      }
-      if (fresh != nullptr) {
-        entry.real = fresh;
-        entry.swapped = false;
-        entry.swap_copy.clear();
-        entry.swap_copy.shrink_to_fit();
-        swap_ins_->Increment();
-        bytes_swapped_in_->Increment(entry.size);
-        real = fresh;
-      }
-    });
-    AVA_RETURN_IF_ERROR(status);
-    if (real == nullptr) {
-      return ResourceExhausted("cannot swap buffer back in: device full");
-    }
+    return real;
   }
-  if (real == nullptr) {
-    // Not a swappable type (or inconsistent state); fall back to Translate.
+  if (!swapped) {
+    // Unknown handle, wrong type, or no real handle: let Translate produce
+    // the canonical error (or the non-swappable real pointer).
     return registry->Translate(hooks_.buffer_type_tag, id);
   }
-  // Pin until the end of the current call.
+  // Slow path: demand swap-in under the policy lock.
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  Result<void*> fresh = SwapInLocked(registry, id);
+  if (!fresh.ok()) {
+    return fresh;
+  }
   (void)registry->WithEntry(id, [&](ObjectRegistry::Entry& entry) {
     ++entry.pinned;
     entry.last_use_ns = MonotonicNowNs();
+    entry.clock_ref = true;
   });
-  pins_.push_back(Pin{registry, id});
-  return real;
+  ThreadPins().push_back(Pin{this, registry, id});
+  if (options_.prefetch) {
+    trace_->NoteTouch(registry->vm_id(), id);
+    // History says these come next; stage them in host memory so their own
+    // demand swap-in skips the compressed/disk tiers.
+    for (WireHandle next : trace_->PredictNext(registry->vm_id(), id)) {
+      if (prefetch_queue_.size() >= kPrefetchQueueCap) {
+        break;
+      }
+      prefetch_queue_.push_back(PrefetchReq{registry, next});
+      prefetch_issued_->Increment();
+    }
+  }
+  return fresh;
+}
+
+Result<void*> SwapManager::SwapInLocked(ObjectRegistry* registry,
+                                        WireHandle id) {
+  // Eviction (MakeRoomLockedHint) locks *other* VMs' registries, so it must
+  // never run while this registry's lock is held — the lock order is
+  // policy_mutex_ -> one registry mutex -> nothing. A full device therefore
+  // parks the materialized bytes in the host tier, drops the registry lock,
+  // makes room, and retries once.
+  for (int attempt = 0;; ++attempt) {
+    void* real = nullptr;
+    bool need_room = false;
+    std::size_t need_bytes = 0;
+    Status result = OkStatus();
+    Status found = registry->WithEntry(id, [&](ObjectRegistry::Entry& entry) {
+      if (!entry.swapped && entry.real != nullptr) {
+        real = entry.real;  // another lane swapped it in while we waited
+        return;
+      }
+      if (entry.tier == SwapTier::kLost) {
+        result = DataLoss("buffer " + std::to_string(id) +
+                          " contents were lost (sealed after integrity "
+                          "failure); server remains available");
+        return;
+      }
+      // Materialize the raw bytes from whatever tier holds them.
+      Bytes scratch;
+      const Bytes* raw = &entry.swap_copy;
+      if (entry.tier != SwapTier::kHost) {
+        Status status = MaterializeLocked(entry, &scratch);
+        if (!status.ok()) {
+          // Seal: the authoritative bytes are gone. The entry stays, answers
+          // DataLoss from now on, and the server keeps serving other buffers.
+          if (entry.disk_len != 0) {
+            FreeExtent(entry.disk_offset, entry.disk_len);
+            entry.disk_offset = 0;
+            entry.disk_len = 0;
+          }
+          entry.swap_copy.clear();
+          entry.swap_copy.shrink_to_fit();
+          entry.tier = SwapTier::kLost;
+          entry.swapped = true;
+          data_loss_sealed_->Increment();
+          AVA_LOG(ERROR) << "swap: sealing buffer " << id << " of vm "
+                         << registry->vm_id() << " as DataLoss: "
+                         << status.ToString();
+          result = status;
+          return;
+        }
+        raw = &scratch;
+      }
+      void* fresh = hooks_.realloc_buffer(registry, id, entry, *raw);
+      if (fresh == nullptr) {
+        // Device full. Park the raw bytes in the host tier (they may have
+        // come from disk) so no data is lost whatever happens next, then
+        // either retry after evicting or report the pressure.
+        if (entry.tier != SwapTier::kHost) {
+          if (entry.disk_len != 0) {
+            FreeExtent(entry.disk_offset, entry.disk_len);
+            entry.disk_offset = 0;
+            entry.disk_len = 0;
+          }
+          StoreSwappedHostBytes(entry, std::move(scratch));
+        }
+        if (attempt == 0) {
+          need_room = true;
+          need_bytes = entry.size;
+        } else {
+          result =
+              ResourceExhausted("cannot swap buffer back in: device full");
+        }
+        return;
+      }
+      const bool was_prefetched = entry.prefetched;
+      if (entry.disk_len != 0) {
+        FreeExtent(entry.disk_offset, entry.disk_len);
+        entry.disk_offset = 0;
+        entry.disk_len = 0;
+      }
+      entry.swap_copy.clear();
+      entry.swap_copy.shrink_to_fit();
+      entry.clean_copy.clear();
+      entry.clean_copy.shrink_to_fit();
+      entry.clean_valid = false;
+      entry.swap_lzss = false;
+      entry.content_crc = 0;
+      entry.prefetched = false;
+      entry.tier = SwapTier::kDevice;
+      entry.swapped = false;
+      entry.real = fresh;
+      swap_ins_->Increment();
+      bytes_swapped_in_->Increment(entry.size);
+      if (was_prefetched) {
+        prefetch_hits_->Increment();
+      }
+      real = fresh;
+    });
+    AVA_RETURN_IF_ERROR(found);
+    AVA_RETURN_IF_ERROR(result);
+    if (real != nullptr) {
+      return real;
+    }
+    if (!need_room) {
+      return Internal("swap-in reached inconsistent state");
+    }
+    MakeRoomLockedHint(need_bytes, registry);
+  }
+}
+
+Status SwapManager::MaterializeLocked(const ObjectRegistry::Entry& entry,
+                                      Bytes* out) const {
+  switch (entry.tier) {
+    case SwapTier::kHost:
+      *out = entry.swap_copy;
+      return OkStatus();
+    case SwapTier::kCompressed: {
+      auto raw = qat::LzssDecompress(entry.swap_copy.data(),
+                                     entry.swap_copy.size());
+      if (!raw.ok()) {
+        return DataLoss("swap: compressed page corrupt: " +
+                        raw.status().ToString());
+      }
+      if (entry.content_crc != 0 &&
+          qat::Crc64(raw.value().data(), raw.value().size()) !=
+              entry.content_crc) {
+        return DataLoss("swap: compressed page crc mismatch");
+      }
+      *out = std::move(raw).value();
+      return OkStatus();
+    }
+    case SwapTier::kDisk: {
+      if (spill_fd_ < 0) {
+        return DataLoss("swap: disk-tier entry but no spill file");
+      }
+      if (entry.disk_len < kSpillHeader) {
+        return DataLoss("swap: disk extent shorter than record header");
+      }
+      Bytes record(entry.disk_len);
+      std::size_t got = 0;
+      while (got < record.size()) {
+        const ssize_t n =
+            ::pread(spill_fd_, record.data() + got, record.size() - got,
+                    static_cast<off_t>(entry.disk_offset + got));
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        if (n <= 0) {
+          return DataLoss("swap: spill file truncated or unreadable");
+        }
+        got += static_cast<std::size_t>(n);
+      }
+      std::uint32_t magic = 0;
+      std::uint32_t payload_len = 0;
+      std::uint64_t payload_crc = 0;
+      std::memcpy(&magic, record.data(), 4);
+      std::memcpy(&payload_len, record.data() + 4, 4);
+      std::memcpy(&payload_crc, record.data() + 8, 8);
+      if (magic != kSpillMagic ||
+          payload_len != entry.disk_len - kSpillHeader) {
+        return DataLoss("swap: spill record header corrupt");
+      }
+      const std::uint8_t* payload = record.data() + kSpillHeader;
+      if (qat::Crc64(payload, payload_len) != payload_crc) {
+        return DataLoss("swap: spill record payload crc mismatch");
+      }
+      if (!entry.swap_lzss) {
+        out->assign(payload, payload + payload_len);
+        return OkStatus();
+      }
+      auto raw = qat::LzssDecompress(payload, payload_len);
+      if (!raw.ok()) {
+        return DataLoss("swap: spilled compressed page corrupt: " +
+                        raw.status().ToString());
+      }
+      if (entry.content_crc != 0 &&
+          qat::Crc64(raw.value().data(), raw.value().size()) !=
+              entry.content_crc) {
+        return DataLoss("swap: spilled page crc mismatch");
+      }
+      *out = std::move(raw).value();
+      return OkStatus();
+    }
+    case SwapTier::kLost:
+      return DataLoss("buffer contents were lost");
+    case SwapTier::kDevice:
+      return Internal("materialize called on resident entry");
+  }
+  return Internal("unknown swap tier");
+}
+
+Result<Bytes> SwapManager::MaterializeSwapped(
+    const ObjectRegistry::Entry& entry) const {
+  Bytes out;
+  AVA_RETURN_IF_ERROR(MaterializeLocked(entry, &out));
+  return out;
+}
+
+Result<Bytes> MaterializeSwappedCopy(const ObjectRegistry::Entry& entry) {
+  switch (entry.tier) {
+    case SwapTier::kHost:
+      return entry.swap_copy;
+    case SwapTier::kCompressed: {
+      auto raw = qat::LzssDecompress(entry.swap_copy.data(),
+                                     entry.swap_copy.size());
+      if (!raw.ok()) {
+        return raw.status();
+      }
+      if (entry.content_crc != 0 &&
+          qat::Crc64(raw.value().data(), raw.value().size()) !=
+              entry.content_crc) {
+        return DataLoss("swap: compressed page crc mismatch");
+      }
+      return std::move(raw).value();
+    }
+    case SwapTier::kDisk:
+      return FailedPrecondition(
+          "disk-tier entry needs the owning swap manager "
+          "(MigrationEngine::SetSwapManager)");
+    case SwapTier::kLost:
+      return DataLoss("buffer contents were lost");
+    case SwapTier::kDevice:
+      return FailedPrecondition("entry is resident, nothing to materialize");
+  }
+  return Internal("unknown swap tier");
 }
 
 void SwapManager::UnpinAll(ObjectRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = pins_.begin();
-  while (it != pins_.end()) {
-    if (it->registry == registry) {
+  // Pins are per (manager, registry, thread): a call executes wholly on one
+  // worker thread, so draining this thread's pins cannot release pins taken
+  // by calls in flight on other lanes.
+  std::vector<Pin>& pins = ThreadPins();
+  auto it = pins.begin();
+  while (it != pins.end()) {
+    if (it->manager == this && it->registry == registry) {
       (void)registry->WithEntry(it->id, [](ObjectRegistry::Entry& entry) {
         if (entry.pinned > 0) {
           --entry.pinned;
         }
       });
-      it = pins_.erase(it);
+      it = pins.erase(it);
     } else {
       ++it;
     }
@@ -104,34 +446,63 @@ void SwapManager::UnpinAll(ObjectRegistry* registry) {
 
 std::size_t SwapManager::MakeRoom(std::size_t bytes,
                                   ObjectRegistry* requester) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(policy_mutex_);
   return MakeRoomLockedHint(bytes, requester);
 }
 
 void SwapManager::NoteCreated(ObjectRegistry* registry, WireHandle id) {
   (void)registry->WithEntry(id, [](ObjectRegistry::Entry& entry) {
     entry.last_use_ns = MonotonicNowNs();
+    entry.clock_ref = true;
   });
 }
 
 SwapManager::Stats SwapManager::stats() const {
+  {
+    std::lock_guard<std::mutex> lock(policy_mutex_);
+    RefreshGaugesLocked();
+  }
   Stats stats;
   stats.swap_outs = swap_outs_->Value();
   stats.swap_ins = swap_ins_->Value();
   stats.bytes_swapped_out = bytes_swapped_out_->Value();
   stats.bytes_swapped_in = bytes_swapped_in_->Value();
   stats.failed_make_room = failed_make_room_->Value();
+  stats.resident_bytes = static_cast<std::uint64_t>(g_resident_bytes_->Value());
+  stats.host_tier_bytes =
+      static_cast<std::uint64_t>(g_host_tier_bytes_->Value());
+  stats.compressed_tier_bytes =
+      static_cast<std::uint64_t>(g_compressed_tier_bytes_->Value());
+  stats.disk_tier_bytes =
+      static_cast<std::uint64_t>(g_disk_tier_bytes_->Value());
+  stats.working_set_bytes =
+      static_cast<std::uint64_t>(g_working_set_bytes_->Value());
+  stats.demoted_compressed = demoted_compressed_->Value();
+  stats.demoted_disk = demoted_disk_->Value();
+  stats.compress_rejects = compress_rejects_->Value();
+  stats.writeback_clean = writeback_clean_->Value();
+  stats.writeback_hits = writeback_hits_->Value();
+  stats.prefetch_issued = prefetch_issued_->Value();
+  stats.prefetch_hits = prefetch_hits_->Value();
+  stats.data_loss_sealed = data_loss_sealed_->Value();
   return stats;
 }
 
 Status SwapManager::EvictLocked(ObjectRegistry* registry, WireHandle id,
                                 ObjectRegistry::Entry& entry) {
   Bytes contents;
-  AVA_RETURN_IF_ERROR(hooks_.read_back(registry, id, entry, &contents));
+  if (entry.clean_valid) {
+    // Async write-back already captured these bytes while the buffer was
+    // cold; skip the synchronous device read-back entirely.
+    contents = std::move(entry.clean_copy);
+    entry.clean_copy.clear();
+    entry.clean_valid = false;
+    writeback_hits_->Increment();
+  } else {
+    AVA_RETURN_IF_ERROR(hooks_.read_back(registry, id, entry, &contents));
+  }
   hooks_.free_buffer(registry, entry);
-  entry.swap_copy = std::move(contents);
-  entry.swapped = true;
-  entry.real = nullptr;
+  StoreSwappedHostBytes(entry, std::move(contents));
   swap_outs_->Increment();
   bytes_swapped_out_->Increment(entry.size);
   AVA_LOG(INFO) << "swapped out buffer " << id << " (" << entry.size
@@ -184,6 +555,361 @@ std::size_t SwapManager::MakeRoomLockedHint(std::size_t bytes,
     failed_make_room_->Increment();
   }
   return freed;
+}
+
+// ---- background demotion ----
+
+void SwapManager::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(demoter_mutex_);
+  while (!stop_) {
+    demoter_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.demote_interval_ms));
+    if (stop_) {
+      break;
+    }
+    lock.unlock();
+    RunDemotionPass();
+    lock.lock();
+  }
+}
+
+void SwapManager::RunDemotionPass() {
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  DemotePass();
+  PrefetchPass();
+  RefreshGaugesLocked();
+}
+
+void SwapManager::CompressEntryLocked(ObjectRegistry::Entry& entry) {
+  // content_crc set with swap_lzss clear marks "probed, incompressible" —
+  // the page stays raw and is never re-probed.
+  if (entry.tier != SwapTier::kHost || entry.swap_lzss ||
+      entry.content_crc != 0) {
+    return;
+  }
+  const Bytes& raw = entry.swap_copy;
+  const std::uint64_t crc = qat::Crc64(raw.data(), raw.size());
+  const std::size_t sample =
+      raw.size() < kCompressSampleBytes ? raw.size() : kCompressSampleBytes;
+  Bytes probe(qat::LzssBound(sample));
+  const std::size_t probe_out =
+      qat::LzssCompressInto(raw.data(), sample, probe.data(), probe.size());
+  if (probe_out == 0 || probe_out >= sample - sample / 16) {
+    entry.content_crc = crc;  // reject marker; data stays raw
+    compress_rejects_->Increment();
+    return;
+  }
+  Bytes compressed(qat::LzssBound(raw.size()));
+  const std::size_t out = qat::LzssCompressInto(
+      raw.data(), raw.size(), compressed.data(), compressed.size());
+  if (out == 0 || out >= raw.size() - raw.size() / 16) {
+    entry.content_crc = crc;
+    compress_rejects_->Increment();
+    return;
+  }
+  compressed.resize(out);
+  compressed.shrink_to_fit();
+  entry.swap_copy = std::move(compressed);
+  entry.swap_lzss = true;
+  entry.content_crc = crc;
+  entry.tier = SwapTier::kCompressed;
+  demoted_compressed_->Increment();
+}
+
+bool SwapManager::SpillEntryLocked(ObjectRegistry::Entry& entry) {
+  if (spill_fd_ < 0 || entry.swap_copy.empty()) {
+    return false;
+  }
+  const Bytes& payload = entry.swap_copy;
+  if (entry.content_crc == 0) {
+    // Raw page that skipped the compress probe (compression disabled).
+    entry.content_crc = qat::Crc64(payload.data(), payload.size());
+  }
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t payload_crc = qat::Crc64(payload.data(), payload_len);
+  Bytes record(kSpillHeader + payload_len);
+  std::memcpy(record.data(), &kSpillMagic, 4);
+  std::memcpy(record.data() + 4, &payload_len, 4);
+  std::memcpy(record.data() + 8, &payload_crc, 8);
+  std::memcpy(record.data() + kSpillHeader, payload.data(), payload_len);
+  const std::int64_t offset = AllocExtent(record.size());
+  if (offset < 0) {
+    return false;
+  }
+  std::size_t put = 0;
+  while (put < record.size()) {
+    const ssize_t n =
+        ::pwrite(spill_fd_, record.data() + put, record.size() - put,
+                 static_cast<off_t>(offset) + static_cast<off_t>(put));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      // Keep the page in host memory; the extent is abandoned (punched).
+      FreeExtent(static_cast<std::uint64_t>(offset),
+                 static_cast<std::uint32_t>(record.size()));
+      AVA_LOG(WARNING) << "swap: spill write failed: " << std::strerror(errno);
+      return false;
+    }
+    put += static_cast<std::size_t>(n);
+  }
+  entry.disk_offset = static_cast<std::uint64_t>(offset);
+  entry.disk_len = static_cast<std::uint32_t>(record.size());
+  entry.tier = SwapTier::kDisk;
+  entry.swap_copy.clear();
+  entry.swap_copy.shrink_to_fit();
+  demoted_disk_->Increment();
+  return true;
+}
+
+void SwapManager::DemotePass() {
+  struct Cold {
+    ObjectRegistry* registry;
+    WireHandle id;
+    std::int64_t last_use;
+    std::size_t host_bytes;  // swap_copy held by this entry
+  };
+  std::vector<Cold> demotable;  // swapped pages resident in host memory
+  std::size_t host_usage = 0;
+  std::size_t writeback_budget = options_.writeback_bytes_per_tick;
+
+  for (ObjectRegistry* registry : registries_) {
+    registry->ForEach(
+        hooks_.buffer_type_tag, [&](WireHandle id,
+                                    ObjectRegistry::Entry& entry) {
+          // Reclaim extents orphaned by paths that reset an entry to the
+          // host tier without going through the manager (migration restore,
+          // generated write_back).
+          if (entry.tier != SwapTier::kDisk && entry.disk_len != 0) {
+            FreeExtent(entry.disk_offset, entry.disk_len);
+            entry.disk_offset = 0;
+            entry.disk_len = 0;
+          }
+          host_usage += entry.swap_copy.size() + entry.clean_copy.size();
+          if (entry.tier == SwapTier::kDevice && entry.real != nullptr) {
+            // Clock estimation: the reference bit was set by pins since the
+            // last pass; clearing it makes the next pass see true coldness.
+            if (entry.clock_ref) {
+              entry.clock_ref = false;
+            } else if (entry.pinned == 0 && !entry.clean_valid &&
+                       entry.size > 0 && entry.size <= writeback_budget) {
+              // Cold resident buffer: capture a clean copy now so a future
+              // eviction under allocation pressure skips the synchronous
+              // device read-back.
+              Bytes copy;
+              if (hooks_.read_back(registry, id, entry, &copy).ok()) {
+                writeback_budget -= copy.size();
+                host_usage += copy.size();
+                entry.clean_copy = std::move(copy);
+                entry.clean_valid = true;
+                writeback_clean_->Increment();
+              }
+            }
+          } else if ((entry.tier == SwapTier::kHost ||
+                      entry.tier == SwapTier::kCompressed) &&
+                     !entry.swap_copy.empty()) {
+            if (entry.prefetched) {
+              entry.prefetched = false;  // one-pass shield, then fair game
+            } else {
+              demotable.push_back(Cold{registry, id, entry.last_use_ns,
+                                       entry.swap_copy.size()});
+            }
+          }
+        });
+  }
+
+  if (host_usage <= options_.host_tier_bytes) {
+    return;
+  }
+  std::sort(demotable.begin(), demotable.end(),
+            [](const Cold& a, const Cold& b) { return a.last_use < b.last_use; });
+
+  // Over budget: walk coldest-first. Raw pages get compressed (cheap space
+  // win, data stays in memory); if still over budget and the disk tier is
+  // open, pages move to the spill file entirely.
+  for (const Cold& cold : demotable) {
+    if (host_usage <= options_.host_tier_bytes) {
+      break;
+    }
+    (void)cold.registry->WithEntry(
+        cold.id, [&](ObjectRegistry::Entry& entry) {
+          const std::size_t before = entry.swap_copy.size();
+          if (options_.compress) {
+            CompressEntryLocked(entry);
+          }
+          if (host_usage - (before - entry.swap_copy.size()) >
+                  options_.host_tier_bytes &&
+              spill_fd_ >= 0) {
+            SpillEntryLocked(entry);
+          }
+          host_usage -= before - entry.swap_copy.size();
+        });
+  }
+  if (host_usage <= options_.host_tier_bytes) {
+    return;
+  }
+  // Still over (no disk tier, or incompressible): drop clean write-back
+  // copies — they are an optimization, the device still holds the bytes.
+  for (ObjectRegistry* registry : registries_) {
+    if (host_usage <= options_.host_tier_bytes) {
+      break;
+    }
+    registry->ForEach(hooks_.buffer_type_tag,
+                      [&](WireHandle, ObjectRegistry::Entry& entry) {
+                        if (host_usage <= options_.host_tier_bytes ||
+                            !entry.clean_valid) {
+                          return;
+                        }
+                        host_usage -= entry.clean_copy.size();
+                        entry.clean_copy.clear();
+                        entry.clean_copy.shrink_to_fit();
+                        entry.clean_valid = false;
+                      });
+  }
+}
+
+void SwapManager::PrefetchPass() {
+  std::size_t budget = kPrefetchPerPass;
+  while (budget-- > 0 && !prefetch_queue_.empty()) {
+    const PrefetchReq req = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    if (std::find(registries_.begin(), registries_.end(), req.registry) ==
+        registries_.end()) {
+      continue;
+    }
+    (void)req.registry->WithEntry(
+        req.id, [&](ObjectRegistry::Entry& entry) {
+          if (entry.type_tag != hooks_.buffer_type_tag || !entry.swapped ||
+              (entry.tier != SwapTier::kCompressed &&
+               entry.tier != SwapTier::kDisk)) {
+            return;  // resident, already host-tier, or lost: nothing to do
+          }
+          Bytes raw;
+          Status status = MaterializeLocked(entry, &raw);
+          if (!status.ok()) {
+            // Same sealing as the demand path: the bytes are provably bad.
+            if (entry.disk_len != 0) {
+              FreeExtent(entry.disk_offset, entry.disk_len);
+              entry.disk_offset = 0;
+              entry.disk_len = 0;
+            }
+            entry.swap_copy.clear();
+            entry.swap_copy.shrink_to_fit();
+            entry.tier = SwapTier::kLost;
+            data_loss_sealed_->Increment();
+            AVA_LOG(ERROR) << "swap: prefetch sealing buffer " << req.id
+                           << ": " << status.ToString();
+            return;
+          }
+          if (entry.disk_len != 0) {
+            FreeExtent(entry.disk_offset, entry.disk_len);
+            entry.disk_offset = 0;
+            entry.disk_len = 0;
+          }
+          StoreSwappedHostBytes(entry, std::move(raw));
+          entry.prefetched = true;
+        });
+  }
+}
+
+void SwapManager::RefreshGaugesLocked() const {
+  std::int64_t device = 0, host = 0, compressed = 0, disk = 0, hot = 0;
+  for (ObjectRegistry* registry : registries_) {
+    std::int64_t vm_device = 0, vm_host = 0, vm_compressed = 0, vm_disk = 0;
+    registry->ForEach(hooks_.buffer_type_tag,
+                      [&](WireHandle, ObjectRegistry::Entry& entry) {
+                        switch (entry.tier) {
+                          case SwapTier::kDevice:
+                            vm_device += static_cast<std::int64_t>(entry.size);
+                            if (entry.clock_ref) {
+                              hot += static_cast<std::int64_t>(entry.size);
+                            }
+                            break;
+                          case SwapTier::kHost:
+                            vm_host += static_cast<std::int64_t>(
+                                entry.swap_copy.size());
+                            break;
+                          case SwapTier::kCompressed:
+                            vm_compressed += static_cast<std::int64_t>(
+                                entry.swap_copy.size());
+                            break;
+                          case SwapTier::kDisk:
+                            vm_disk += static_cast<std::int64_t>(
+                                entry.disk_len);
+                            break;
+                          case SwapTier::kLost:
+                            break;
+                        }
+                        vm_host += static_cast<std::int64_t>(
+                            entry.clean_copy.size());
+                      });
+    auto it = vm_gauges_.find(registry->vm_id());
+    if (it == vm_gauges_.end()) {
+      const std::string prefix =
+          "swap.vm" + std::to_string(registry->vm_id()) + ".";
+      auto& metrics = obs::MetricRegistry::Default();
+      VmGauges gauges;
+      gauges.device_bytes = metrics.NewGauge(prefix + "device_bytes");
+      gauges.host_bytes = metrics.NewGauge(prefix + "host_bytes");
+      gauges.compressed_bytes = metrics.NewGauge(prefix + "compressed_bytes");
+      gauges.disk_bytes = metrics.NewGauge(prefix + "disk_bytes");
+      it = vm_gauges_.emplace(registry->vm_id(), std::move(gauges)).first;
+    }
+    it->second.device_bytes->Set(vm_device);
+    it->second.host_bytes->Set(vm_host);
+    it->second.compressed_bytes->Set(vm_compressed);
+    it->second.disk_bytes->Set(vm_disk);
+    device += vm_device;
+    host += vm_host;
+    compressed += vm_compressed;
+    disk += vm_disk;
+  }
+  g_resident_bytes_->Set(device);
+  g_host_tier_bytes_->Set(host);
+  g_compressed_tier_bytes_->Set(compressed);
+  g_disk_tier_bytes_->Set(disk);
+  g_working_set_bytes_->Set(hot);
+}
+
+// ---- spill file ----
+
+bool SwapManager::OpenSpillFile() {
+  static std::atomic<std::uint64_t> seq{0};
+  const std::uint64_t n = seq.fetch_add(1);
+  spill_path_ = options_.spill_dir + "/ava_swap." +
+                std::to_string(::getpid()) + "." + std::to_string(n) +
+                ".spill";
+  // O_TRUNC: a leftover file from a SIGKILLed predecessor with a recycled
+  // pid holds no live extents (its manager died with them) — safe to reuse.
+  spill_fd_ = ::open(spill_path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  return spill_fd_ >= 0;
+}
+
+std::int64_t SwapManager::AllocExtent(std::size_t bytes) {
+  if (spill_fd_ < 0) {
+    return -1;
+  }
+  const std::uint64_t aligned = AlignUp(bytes);
+  const std::uint64_t offset = spill_next_.fetch_add(aligned);
+  disk_bytes_.fetch_add(aligned);
+  return static_cast<std::int64_t>(offset);
+}
+
+void SwapManager::FreeExtent(std::uint64_t offset, std::uint32_t bytes) {
+  if (spill_fd_ < 0) {
+    return;
+  }
+  const std::uint64_t aligned = AlignUp(bytes);
+  disk_bytes_.fetch_sub(aligned);
+#ifdef FALLOC_FL_PUNCH_HOLE
+  // Return the blocks to the filesystem; the offset space is append-only.
+  (void)::fallocate(spill_fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                    static_cast<off_t>(offset),
+                    static_cast<off_t>(aligned));
+#else
+  (void)offset;
+#endif
 }
 
 }  // namespace ava

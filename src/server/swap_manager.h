@@ -1,18 +1,43 @@
-// Buffer-object-granularity memory swapping (§4.3): when a guest's
-// allocation fails because the device is full, the server transparently
-// evicts least-recently-used, unpinned buffer objects — possibly belonging
-// to other VMs — to host memory, and restores them on next use. Guests never
-// observe the contending VM's out-of-memory condition.
+// Tiered device-memory oversubscription (§4.3 grown into a real hierarchy):
+//
+//   device memory -> host arena (raw) -> LZSS-compressed host pages
+//                 -> disk spill file
+//
+// When a guest's allocation fails because the device is full, the server
+// transparently evicts least-recently-used, unpinned buffer objects —
+// possibly belonging to other VMs — down the hierarchy, and restores them
+// on next use. Guests never observe the contending VM's out-of-memory
+// condition; a device with N MB serves workloads touching many times N at
+// a bounded throughput floor.
+//
+// Concurrency story (lock order: policy mutex -> registry lock -> nothing):
+//  * Resident fast path: TranslatePinned on a device-tier buffer touches
+//    only the per-VM registry lock (ObjectRegistry::PinIfResident) and a
+//    thread-local pin list — no global mutex, no O(pins) scans. Swap state
+//    is sharded across the per-VM registry locks.
+//  * Slow path (swap-in, MakeRoom) and the background demotion thread
+//    serialize on one policy mutex, which is never taken on the resident
+//    path.
+//  * The demotion thread does clock/working-set estimation, async
+//    write-back (clean host copies of cold resident buffers so eviction
+//    can skip the device read-back), budget-driven compress/spill, tier
+//    gauge refresh, and replay-trace-driven prefetch promotion.
 //
 // API-specific mechanics (how to read back / free / recreate a buffer) are
 // injected as hooks synthesized from the API spec; see src/gen/vcl_hooks.cc.
 #ifndef AVA_SRC_SERVER_SWAP_MANAGER_H_
 #define AVA_SRC_SERVER_SWAP_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -22,60 +47,184 @@
 
 namespace ava {
 
+class AccessTrace;
+
 class SwapManager {
  public:
   using Hooks = BufferHooks;
 
+  struct Options {
+    // Byte budget for host-side swap state (raw host pages + compressed
+    // pages + clean write-back copies). Exceeding it triggers background
+    // demotion to the compressed tier and then to disk.
+    std::size_t host_tier_bytes = 64u << 20;
+    // Compress host pages (LZSS, src/qat/codecs) before spilling. Pages a
+    // sample probe shows incompressible stay raw (counted, not retried).
+    bool compress = true;
+    // Directory for the spill file; empty disables the disk tier (the
+    // compressed tier then holds overflow past the budget).
+    std::string spill_dir;
+    // Promote predicted-next buffers back to the host tier ahead of use.
+    bool prefetch = true;
+    // Background demotion cadence; <= 0 disables the thread (tests drive
+    // TickForTest instead).
+    int demote_interval_ms = 25;
+    // Cap on device read-back bytes one clock pass spends on async
+    // write-back, so a sweep never monopolizes a VM's registry lock.
+    std::size_t writeback_bytes_per_tick = 8u << 20;
+    // Shared transition trace; null = the manager owns a private one.
+    std::shared_ptr<AccessTrace> trace;
+
+    // AVA_SWAP_HOST_BYTES / AVA_SWAP_COMPRESS / AVA_SWAP_SPILL_DIR /
+    // AVA_SWAP_PREFETCH applied over the defaults above.
+    static Options FromEnv();
+  };
+
   // Thin view over the manager's obs::MetricRegistry cells (swap.*); kept
-  // for existing callers.
+  // for existing callers and extended with the tier story.
   struct Stats {
     std::uint64_t swap_outs = 0;
     std::uint64_t swap_ins = 0;
     std::uint64_t bytes_swapped_out = 0;
     std::uint64_t bytes_swapped_in = 0;
     std::uint64_t failed_make_room = 0;
+    // Tier residency (gauges, refreshed by the sweep / stats()).
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t host_tier_bytes = 0;
+    std::uint64_t compressed_tier_bytes = 0;
+    std::uint64_t disk_tier_bytes = 0;
+    std::uint64_t working_set_bytes = 0;
+    // Hierarchy traffic.
+    std::uint64_t demoted_compressed = 0;
+    std::uint64_t demoted_disk = 0;
+    std::uint64_t compress_rejects = 0;
+    std::uint64_t writeback_clean = 0;   // clean copies produced
+    std::uint64_t writeback_hits = 0;    // evictions that skipped read_back
+    std::uint64_t prefetch_issued = 0;
+    std::uint64_t prefetch_hits = 0;
+    std::uint64_t data_loss_sealed = 0;
   };
 
   explicit SwapManager(Hooks hooks);
+  SwapManager(Hooks hooks, Options options);
+  ~SwapManager();
+
+  SwapManager(const SwapManager&) = delete;
+  SwapManager& operator=(const SwapManager&) = delete;
 
   // Registries participating in global LRU accounting (one per VM session).
   void AttachRegistry(ObjectRegistry* registry);
   void DetachRegistry(ObjectRegistry* registry);
 
   // Translates a swappable handle, swapping it in if necessary, and pins it
-  // until UnpinAll. Pinned buffers are never evicted.
+  // until UnpinAll. Pinned buffers are never evicted. Resident buffers take
+  // the lock-light fast path. A buffer whose backing bytes failed an
+  // integrity check answers DataLoss (sealed; the server stays up).
   Result<void*> TranslatePinned(ObjectRegistry* registry, WireHandle id);
 
-  // Releases every pin taken by `registry`'s session (end of call).
+  // Releases every pin taken by the *calling thread* for `registry` (end of
+  // call; calls execute wholly on one worker thread, so pins are
+  // thread-local and concurrent lanes never release each other's pins).
   void UnpinAll(ObjectRegistry* registry);
 
   // Evicts unpinned LRU buffers until at least `bytes` were freed (or no
   // candidates remain). Returns the number of bytes actually freed.
+  // Eviction lands in the host tier; the background thread takes it from
+  // there. A valid clean write-back copy lets eviction skip the read-back.
   std::size_t MakeRoom(std::size_t bytes, ObjectRegistry* requester);
 
-  // Marks a freshly created buffer resident (no-op bookkeeping today; the
-  // registry entry itself carries the state).
+  // Marks a freshly created buffer resident (stamps LRU state).
   void NoteCreated(ObjectRegistry* registry, WireHandle id);
 
   Stats stats() const;
 
+  // Raw bytes of a swapped-out entry, whatever tier holds them — including
+  // this manager's spill file. For snapshot/migration; takes no locks (the
+  // caller holds the entry's registry lock). DataLoss on integrity failure.
+  Result<Bytes> MaterializeSwapped(const ObjectRegistry::Entry& entry) const;
+
+  // Runs one background pass synchronously: clock scan + async write-back,
+  // budget-driven compress/spill demotion, orphaned-extent reclaim, gauge
+  // refresh, prefetch promotion. The thread calls this on its cadence;
+  // tests with demote_interval_ms <= 0 call it directly.
+  void TickForTest() { RunDemotionPass(); }
+
+  const Options& options() const { return options_; }
+
  private:
   struct Pin {
+    SwapManager* manager;
     ObjectRegistry* registry;
     WireHandle id;
   };
 
-  // Swaps one entry out; caller holds mutex_.
+  struct PrefetchReq {
+    ObjectRegistry* registry;
+    WireHandle id;
+  };
+
+  // Per-VM tier residency gauges (swap.vm<id>.*), refreshed by the sweep.
+  struct VmGauges {
+    std::shared_ptr<obs::Gauge> device_bytes;
+    std::shared_ptr<obs::Gauge> host_bytes;
+    std::shared_ptr<obs::Gauge> compressed_bytes;
+    std::shared_ptr<obs::Gauge> disk_bytes;
+  };
+
+  // ---- slow path & policy (caller holds policy_mutex_) ----
+  Result<void*> SwapInLocked(ObjectRegistry* registry, WireHandle id);
+  std::size_t MakeRoomLockedHint(std::size_t bytes, ObjectRegistry* requester);
   Status EvictLocked(ObjectRegistry* registry, WireHandle id,
                      ObjectRegistry::Entry& entry);
+  void RunDemotionPass();
+  void DemotePass();
+  void PrefetchPass();
+  void RefreshGaugesLocked() const;
 
-  // MakeRoom body; caller holds mutex_.
-  std::size_t MakeRoomLockedHint(std::size_t bytes, ObjectRegistry* requester);
+  // Produces the raw bytes for a swapped entry (any tier). Integrity
+  // failures return DataLoss. Does not mutate the entry.
+  Status MaterializeLocked(const ObjectRegistry::Entry& entry,
+                           Bytes* out) const;
+
+  // Compresses a host-tier page in place (or marks it reject) and, when
+  // the disk tier is open, spills compressed/reject pages. Caller holds
+  // policy_mutex_ and the entry's registry lock.
+  void CompressEntryLocked(ObjectRegistry::Entry& entry);
+  bool SpillEntryLocked(ObjectRegistry::Entry& entry);
+
+  // Spill-file extent management (thread-safe; no locks beyond atomics —
+  // freed extents are hole-punched, allocation bumps an atomic cursor).
+  bool OpenSpillFile();
+  std::int64_t AllocExtent(std::size_t bytes);
+  void FreeExtent(std::uint64_t offset, std::uint32_t bytes);
+
+  void BackgroundLoop();
+
+  static std::vector<Pin>& ThreadPins();
 
   Hooks hooks_;
-  mutable std::mutex mutex_;
+  Options options_;
+  std::shared_ptr<AccessTrace> trace_;
+
+  // Policy lock: registries list, eviction/demotion decisions, swap-ins,
+  // prefetch queue. Never taken on the resident fast path; always acquired
+  // before any registry lock.
+  mutable std::mutex policy_mutex_;
   std::vector<ObjectRegistry*> registries_;
-  std::vector<Pin> pins_;
+  std::deque<PrefetchReq> prefetch_queue_;
+  mutable std::unordered_map<std::uint64_t, VmGauges> vm_gauges_;
+
+  // Spill file (disk tier). fd < 0 = tier disabled.
+  int spill_fd_ = -1;
+  std::string spill_path_;
+  std::atomic<std::uint64_t> spill_next_{0};
+  std::atomic<std::uint64_t> disk_bytes_{0};
+
+  // Background demotion thread.
+  std::thread demoter_;
+  std::mutex demoter_mutex_;
+  std::condition_variable demoter_cv_;
+  bool stop_ = false;
 
   // Metric cells (registered as swap.*; stats() composes them).
   std::shared_ptr<obs::Counter> swap_outs_;
@@ -83,7 +232,25 @@ class SwapManager {
   std::shared_ptr<obs::Counter> bytes_swapped_out_;
   std::shared_ptr<obs::Counter> bytes_swapped_in_;
   std::shared_ptr<obs::Counter> failed_make_room_;
+  std::shared_ptr<obs::Counter> demoted_compressed_;
+  std::shared_ptr<obs::Counter> demoted_disk_;
+  std::shared_ptr<obs::Counter> compress_rejects_;
+  std::shared_ptr<obs::Counter> writeback_clean_;
+  std::shared_ptr<obs::Counter> writeback_hits_;
+  std::shared_ptr<obs::Counter> prefetch_issued_;
+  std::shared_ptr<obs::Counter> prefetch_hits_;
+  std::shared_ptr<obs::Counter> data_loss_sealed_;
+  std::shared_ptr<obs::Gauge> g_resident_bytes_;
+  std::shared_ptr<obs::Gauge> g_host_tier_bytes_;
+  std::shared_ptr<obs::Gauge> g_compressed_tier_bytes_;
+  std::shared_ptr<obs::Gauge> g_disk_tier_bytes_;
+  std::shared_ptr<obs::Gauge> g_working_set_bytes_;
 };
+
+// Raw bytes of a swapped-out entry for snapshot/migration use, without a
+// SwapManager (host and compressed tiers only; disk-tier entries need the
+// owning manager's spill file — MigrationEngine::SetSwapManager).
+Result<Bytes> MaterializeSwappedCopy(const ObjectRegistry::Entry& entry);
 
 }  // namespace ava
 

@@ -1,8 +1,9 @@
 // avactl: command-line client for the AvA live introspection plane.
 //
 //   avactl [-s SOCKET] metrics    Prometheus text snapshot of the registry
-//   avactl [-s SOCKET] sessions   per-VM table (state, lanes, queues, cache)
-//   avactl [-s SOCKET] account    per-VM accounting ledger
+//   avactl [-s SOCKET] sessions   per-VM table (state, lanes, queues, cache,
+//                                 swap-tier residency: dev/host/comp/disk)
+//   avactl [-s SOCKET] account    per-VM accounting ledger + tier bytes
 //   avactl [-s SOCKET] flight     flight-recorder dump of the live process
 //   avactl [-s SOCKET] ping       liveness probe
 //   avactl flight <dump.bin>      decode a crash dump written by the

@@ -69,6 +69,36 @@ TEST(LzssTest, RandomDataRoundTripsWithinBound) {
   }
 }
 
+TEST(LzssTest, CompressIntoMatchesAllocatingPath) {
+  ava::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t size = rng.NextBelow(4000);
+    ava::Bytes data(size);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.NextBelow(trial % 2 ? 8 : 256));
+    }
+    const ava::Bytes via_alloc = qat::LzssCompress(data.data(), data.size());
+    ava::Bytes dst(qat::LzssBound(size));
+    const std::size_t n =
+        qat::LzssCompressInto(data.data(), data.size(), dst.data(), dst.size());
+    ASSERT_EQ(n, via_alloc.size()) << "trial " << trial;
+    dst.resize(n);
+    EXPECT_EQ(dst, via_alloc);
+    auto d = qat::LzssDecompress(dst.data(), dst.size());
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(*d, data);
+  }
+}
+
+TEST(LzssTest, CompressIntoRejectsUndersizedDestination) {
+  std::string text = "destination too small, report zero, write nothing";
+  ava::Bytes dst(qat::LzssBound(text.size()) - 1, 0xEE);
+  const std::size_t n = qat::LzssCompressInto(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size(),
+      dst.data(), dst.size());
+  EXPECT_EQ(n, 0u);
+}
+
 TEST(LzssTest, RejectsCorruptStreams) {
   std::string text = "hello hello hello hello hello hello";
   ava::Bytes c = qat::LzssCompress(
