@@ -1,15 +1,29 @@
-// E6 — §4.3 VM migration cost: suspend (drain in-flight call), record/replay
-// snapshot + device-buffer copy-out, replay + buffer restore on the
-// destination, then resume. Reports each phase and the total pause as a
-// function of resident device state.
+// E6 — §4.3 VM migration cost, two sections:
+//
+//  (a) offline: suspend (drain in-flight call), record/replay snapshot +
+//      device-buffer copy-out, replay + buffer restore on the destination,
+//      then resume. Reports each phase and the total pause as a function of
+//      resident device state.
+//  (b) live: iterative pre-copy over the migration channel against the same
+//      working set. The VM keeps running through the pre-copy rounds, so
+//      the pause (downtime) covers only the dirty residual — reported at
+//      several dirty rates against the naive frozen full copy, together
+//      with the bytes the content-digest dedup avoided shipping.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/harness.h"
 #include "src/gen/vcl_hooks.h"
+#include "src/migrate/live.h"
 #include "src/migrate/recorder.h"
 #include "src/migrate/snapshot.h"
+#include "src/server/api_server.h"
+#include "src/transport/transport.h"
 
 namespace {
 
@@ -94,6 +108,182 @@ void RunOnce(std::size_t buffer_mb) {
   router->Stop();
 }
 
+// ---------------------------------------------------------------------------
+// (b) live pre-copy vs naive frozen full copy
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kLiveBufTag = 7;
+constexpr std::size_t kLiveBufBytes = 1u << 20;
+constexpr int kLiveBufCount = 32;  // half duplicates: 16 unique contents
+
+struct LiveDevice {
+  void* Alloc(const ava::Bytes& content) {
+    std::lock_guard<std::mutex> lock(m);
+    void* p = reinterpret_cast<void*>(next++);
+    mem[p] = content;
+    return p;
+  }
+
+  std::mutex m;
+  std::uintptr_t next = 0x1000;
+  std::unordered_map<void*, ava::Bytes> mem;
+};
+
+ava::BufferHooks LiveHooks(LiveDevice* dev) {
+  ava::BufferHooks hooks;
+  hooks.buffer_type_tag = kLiveBufTag;
+  hooks.read_back = [dev](ava::ObjectRegistry*, ava::WireHandle,
+                          ava::ObjectRegistry::Entry& entry,
+                          ava::Bytes* out) -> ava::Status {
+    std::lock_guard<std::mutex> lock(dev->m);
+    *out = dev->mem[entry.real];
+    return ava::OkStatus();
+  };
+  hooks.free_buffer = [dev](ava::ObjectRegistry*,
+                            ava::ObjectRegistry::Entry& entry) {
+    std::lock_guard<std::mutex> lock(dev->m);
+    dev->mem.erase(entry.real);
+  };
+  hooks.realloc_buffer = [dev](ava::ObjectRegistry*, ava::WireHandle,
+                               ava::ObjectRegistry::Entry&,
+                               const ava::Bytes& contents) -> void* {
+    return dev->Alloc(contents);
+  };
+  hooks.write_back = [dev](ava::ObjectRegistry*, ava::WireHandle,
+                           ava::ObjectRegistry::Entry& entry,
+                           const ava::Bytes& contents) -> ava::Status {
+    std::lock_guard<std::mutex> lock(dev->m);
+    dev->mem[entry.real] = contents;
+    return ava::OkStatus();
+  };
+  return hooks;
+}
+
+ava::Bytes LiveContent(std::uint64_t seed) {
+  ava::Bytes out(kLiveBufBytes);
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (std::size_t i = 0; i < out.size(); i += 8) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    std::memcpy(out.data() + i, &x, 8);
+  }
+  return out;
+}
+
+struct LiveRun {
+  double downtime_ms = 0;
+  double precopy_ms = 0;
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t bytes_deduped = 0;
+  int rounds = 0;
+};
+
+// One live migration of the half-redundant working set. The VM's writes are
+// modeled as time-proportional: during a round that ships D buffers the VM
+// rewrites dirty_rate x D of them, so the residual decays geometrically when
+// dirty_rate < 1 and pre-copy iterates until a round ends with nothing newly
+// dirty (or the round cap trips, for write rates that outrun the copy rate).
+// dirty_rate < 0 means "naive": freeze first, ship everything in the pause.
+LiveRun RunLive(double dirty_rate) {
+  LiveDevice src_dev;
+  LiveDevice dst_dev;
+  auto src_session = std::make_shared<ava::ApiServerSession>(1);
+  auto dst_session = std::make_shared<ava::ApiServerSession>(1);
+  std::vector<ava::WireHandle> ids;
+  for (int i = 0; i < kLiveBufCount; ++i) {
+    void* p = src_dev.Alloc(LiveContent(i % (kLiveBufCount / 2)));
+    ava::WireHandle id = src_session->registry().Insert(kLiveBufTag, p);
+    src_session->registry().SetMeta(id, 0, kLiveBufBytes);
+    ids.push_back(id);
+  }
+
+  ava::LiveMigrateOptions options;
+  options.chunk_bytes = 256u << 10;
+  options.copy_rate_bytes_per_sec = 1e9;
+  ava::LiveMigrationSource source(LiveHooks(&src_dev), options);
+  ava::LiveMigrationTarget target(LiveHooks(&dst_dev), options);
+  auto wire = ava::MakeInProcChannel();
+  if (!source.Bind(nullptr, src_session.get(), nullptr).ok()) {
+    std::abort();
+  }
+  std::thread serve([&, t = std::move(wire.host)]() mutable {
+    (void)target.Serve(std::move(t), dst_session.get());
+  });
+  if (!source.Connect(std::move(wire.guest)).ok()) {
+    std::abort();
+  }
+
+  if (dirty_rate >= 0) {
+    constexpr int kMaxRounds = 8;
+    int shipped_buffers = kLiveBufCount;  // round 1 ships the whole set
+    std::uint64_t next_seed = 1000;
+    for (int round = 0; round < kMaxRounds; ++round) {
+      if (!source.RunRound().ok()) {
+        std::abort();
+      }
+      // The VM's writes while that round was shipping: proportional to the
+      // round's length, i.e. to how many buffers it had to move.
+      const int dirty =
+          static_cast<int>(dirty_rate * shipped_buffers + 0.5);
+      for (int i = 0; i < dirty; ++i) {
+        auto real = src_session->registry().Translate(kLiveBufTag, ids[i]);
+        if (!real.ok()) {
+          std::abort();
+        }
+        std::lock_guard<std::mutex> lock(src_dev.m);
+        src_dev.mem[*real] = LiveContent(next_seed++);
+      }
+      shipped_buffers = dirty;
+      if (dirty == 0) {
+        break;  // converged: the last round outran the write rate
+      }
+    }
+  }
+  if (!source.StopAndCopy().ok() || !source.FinishCutover().ok()) {
+    std::abort();
+  }
+  serve.join();
+
+  LiveRun run;
+  const ava::LiveMigrateStats& stats = source.stats();
+  run.downtime_ms = stats.downtime_ns / 1e6;
+  run.precopy_ms = stats.precopy_ns / 1e6;
+  run.bytes_shipped = stats.bytes_shipped;
+  run.bytes_deduped = stats.bytes_deduped;
+  run.rounds = stats.rounds;
+  return run;
+}
+
+void RunLiveSection() {
+  std::printf(
+      "\nLive pre-copy vs naive frozen copy — 32 x 1 MiB working set, half "
+      "duplicates\n");
+  const LiveRun naive = RunLive(-1);
+  std::printf(
+      "naive (freeze, full copy):       pause %8.2f ms   shipped %5.1f MiB  "
+      "(dedup saved %4.1f MiB)\n",
+      naive.downtime_ms, naive.bytes_shipped / 1048576.0,
+      naive.bytes_deduped / 1048576.0);
+  for (double rate : {0.05, 0.25, 0.75}) {
+    const LiveRun live = RunLive(rate);
+    std::printf(
+        "live %2.0f%% dirty: downtime %8.2f ms (%5.1fx less)   precopy "
+        "%8.2f ms / %d rounds   shipped %5.1f MiB   dedup saved %4.1f MiB\n",
+        rate * 100, live.downtime_ms,
+        naive.downtime_ms / std::max(live.downtime_ms, 1e-3),
+        live.precopy_ms, live.rounds, live.bytes_shipped / 1048576.0,
+        live.bytes_deduped / 1048576.0);
+  }
+  std::printf(
+      "\ndowntime tracks the dirty residual, not the working set: pre-copy\n"
+      "iterates while the VM runs until a round outruns the write rate, the\n"
+      "target imports each committed round eagerly so cutover re-installs\n"
+      "only what changed, and the content digests dedup the redundant half\n"
+      "of every full round. High dirty rates hit the round cap and pay for\n"
+      "the residual in the pause — the classic pre-copy divergence.\n");
+}
+
 }  // namespace
 
 int main() {
@@ -106,5 +296,6 @@ int main() {
   std::printf(
       "\npause scales with device state (buffer copy-out/in dominates); the\n"
       "replay log stays small because it tracks live objects, not history.\n");
+  RunLiveSection();
   return 0;
 }

@@ -1,0 +1,1307 @@
+#include "src/migrate/live.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/common/hash64.h"
+#include "src/common/log.h"
+#include "src/common/vclock.h"
+#include "src/obs/admin.h"
+#include "src/obs/flight.h"
+#include "src/obs/metrics.h"
+#include "src/server/swap_manager.h"
+
+namespace ava {
+namespace {
+
+// ----------------------------- wire frames ---------------------------------
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kOffer = 3,
+  kNeed = 4,
+  kChunk = 5,
+  kManifest = 6,
+  kCommit = 7,
+  kAbort = 8,
+};
+
+constexpr std::uint32_t kMigrateMagic = 0x4156414d;  // "AVAM"
+constexpr std::uint32_t kMigrateVersion = 1;
+
+// Sane chunk-size bounds a HELLO may negotiate: below 1 KiB the digest
+// bookkeeping outweighs the payloads, above 16 MiB a single chunk defeats
+// delta shipping.
+constexpr std::size_t kMinChunkBytes = 1u << 10;
+constexpr std::size_t kMaxChunkBytes = 16u << 20;
+
+void PutString(ByteWriter* w, const std::string& s) {
+  w->PutBlob(s.data(), s.size());
+}
+
+std::string GetString(ByteReader* r) {
+  Bytes raw = r->GetBlob();
+  return std::string(raw.begin(), raw.end());
+}
+
+// ----------------------------- env knobs -----------------------------------
+
+std::int64_t EnvInt(const char* name, std::int64_t fallback,
+                    std::int64_t min_ok, std::int64_t max_ok) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < min_ok || parsed > max_ok) {
+    AVA_LOG(ERROR) << "ignoring malformed " << name << ": " << env;
+    return fallback;
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+// ----------------------------- observability -------------------------------
+
+struct MigrateCells {
+  std::shared_ptr<obs::Gauge> phase;
+  std::shared_ptr<obs::Counter> rounds;
+  std::shared_ptr<obs::Counter> bytes_shipped;
+  std::shared_ptr<obs::Counter> bytes_deduped;
+  std::shared_ptr<obs::Counter> chunks_shipped;
+  std::shared_ptr<obs::Counter> aborts;
+  std::shared_ptr<obs::Counter> failovers;
+  std::shared_ptr<obs::Gauge> last_downtime_ms;
+  std::shared_ptr<obs::Gauge> committed_rounds;
+};
+
+MigrateCells& Cells() {
+  static MigrateCells cells = [] {
+    auto& registry = obs::MetricRegistry::Default();
+    MigrateCells c;
+    c.phase = registry.NewGauge("migrate.phase");
+    c.rounds = registry.NewCounter("migrate.rounds");
+    c.bytes_shipped = registry.NewCounter("migrate.bytes_shipped");
+    c.bytes_deduped = registry.NewCounter("migrate.bytes_deduped");
+    c.chunks_shipped = registry.NewCounter("migrate.chunks_shipped");
+    c.aborts = registry.NewCounter("migrate.aborts");
+    c.failovers = registry.NewCounter("migrate.failovers");
+    c.last_downtime_ms = registry.NewGauge("migrate.last_downtime_ms");
+    c.committed_rounds = registry.NewGauge("migrate.committed_rounds");
+    return c;
+  }();
+  return cells;
+}
+
+// Status board behind `avactl migrate`: the most recent migration activity
+// in this process, either side. Guarded global like the router's admin
+// handlers, so a query after the engines die gets stale text, never a
+// dangling pointer.
+struct MigrateBoard {
+  std::mutex mutex;
+  std::string role = "-";
+  VmId vm_id = 0;
+  MigratePhase phase = MigratePhase::kIdle;
+  int rounds = 0;
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t bytes_deduped = 0;
+  std::uint64_t residual_bytes = 0;
+  std::int64_t downtime_ns = 0;
+  std::string last_event = "-";
+};
+
+MigrateBoard& Board() {
+  static MigrateBoard board;
+  return board;
+}
+
+void BoardUpdate(const std::string& role, VmId vm_id, MigratePhase phase,
+                 const LiveMigrateStats* stats, const std::string& event) {
+  MigrateBoard& board = Board();
+  std::lock_guard<std::mutex> lock(board.mutex);
+  board.role = role;
+  board.vm_id = vm_id;
+  board.phase = phase;
+  if (stats != nullptr) {
+    board.rounds = stats->rounds;
+    board.bytes_shipped = stats->bytes_shipped;
+    board.bytes_deduped = stats->bytes_deduped;
+    board.residual_bytes = stats->residual_bytes;
+    board.downtime_ns = stats->downtime_ns;
+  }
+  if (!event.empty()) {
+    board.last_event = event;
+  }
+}
+
+void RecordPhaseFlight(VmId vm_id, MigratePhase phase) {
+  Cells().phase->Set(static_cast<std::int64_t>(phase));
+  obs::FlightRecorder::Default().RecordEvent(
+      obs::FlightKind::kMigratePhase, static_cast<std::uint32_t>(vm_id), 0, 0,
+      static_cast<std::uint32_t>(phase), 0);
+}
+
+}  // namespace
+
+const char* MigratePhaseName(MigratePhase phase) {
+  switch (phase) {
+    case MigratePhase::kIdle:
+      return "idle";
+    case MigratePhase::kPreCopy:
+      return "precopy";
+    case MigratePhase::kStopAndCopy:
+      return "stop_and_copy";
+    case MigratePhase::kCutover:
+      return "cutover";
+    case MigratePhase::kDone:
+      return "done";
+    case MigratePhase::kAborted:
+      return "aborted";
+    case MigratePhase::kFailover:
+      return "failover";
+  }
+  return "?";
+}
+
+void RegisterMigrateAdminVerb() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::AdminChannel::Default().RegisterCommand(
+        "migrate", [](const std::string&) -> std::string {
+          MigrateBoard& board = Board();
+          std::lock_guard<std::mutex> lock(board.mutex);
+          std::ostringstream out;
+          out << "role " << board.role << "\n"
+              << "vm " << board.vm_id << "\n"
+              << "phase " << MigratePhaseName(board.phase) << "\n"
+              << "rounds " << board.rounds << "\n"
+              << "bytes_shipped " << board.bytes_shipped << "\n"
+              << "bytes_deduped " << board.bytes_deduped << "\n"
+              << "residual_bytes " << board.residual_bytes << "\n"
+              << "downtime_ms " << board.downtime_ns / 1000000.0 << "\n"
+              << "last_event " << board.last_event << "\n";
+          return out.str();
+        });
+  });
+}
+
+LiveMigrateOptions LiveMigrateOptions::FromEnv() {
+  LiveMigrateOptions options;
+  options.chunk_bytes = static_cast<std::size_t>(
+      EnvInt("AVA_MIGRATE_CHUNK", static_cast<std::int64_t>(options.chunk_bytes),
+             static_cast<std::int64_t>(kMinChunkBytes),
+             static_cast<std::int64_t>(kMaxChunkBytes)));
+  options.max_rounds = static_cast<int>(
+      EnvInt("AVA_MIGRATE_MAX_ROUNDS", options.max_rounds, 1, 1000));
+  options.downtime_target_ms = EnvInt(
+      "AVA_MIGRATE_DOWNTIME_MS", options.downtime_target_ms, 0, 3600000);
+  options.frame_timeout_ms =
+      EnvInt("AVA_MIGRATE_TIMEOUT_MS", options.frame_timeout_ms, 1, 3600000);
+  return options;
+}
+
+// ============================ source side ==================================
+
+LiveMigrationSource::LiveMigrationSource(BufferHooks hooks,
+                                         LiveMigrateOptions options)
+    : hooks_(std::move(hooks)), options_(options) {
+  RegisterMigrateAdminVerb();
+}
+
+LiveMigrationSource::~LiveMigrationSource() { RemoveObserver(); }
+
+void LiveMigrationSource::SetPhase(MigratePhase phase) {
+  {
+    std::lock_guard<std::mutex> lock(phase_mutex_);
+    phase_ = phase;
+  }
+  const VmId vm_id = session_ != nullptr ? session_->vm_id() : 0;
+  RecordPhaseFlight(vm_id, phase);
+  BoardUpdate("source", vm_id, phase, &stats_, MigratePhaseName(phase));
+}
+
+MigratePhase LiveMigrationSource::phase() const {
+  std::lock_guard<std::mutex> lock(phase_mutex_);
+  return phase_;
+}
+
+void LiveMigrationSource::InstallObserver() {
+  if (observer_installed_ || session_ == nullptr) {
+    return;
+  }
+  // The tracker is a leaf mutex, so marking from under the registry lock is
+  // safe (the documented observer contract).
+  DirtyTracker* tracker = &tracker_;
+  session_->registry().SetTouchObserver(
+      hooks_.buffer_type_tag, [tracker](WireHandle id) { tracker->Mark(id); });
+  observer_installed_ = true;
+}
+
+void LiveMigrationSource::RemoveObserver() {
+  if (!observer_installed_ || session_ == nullptr) {
+    return;
+  }
+  session_->registry().SetTouchObserver(hooks_.buffer_type_tag, nullptr);
+  observer_installed_ = false;
+}
+
+Status LiveMigrationSource::Bind(Router* router, ApiServerSession* session,
+                                 const Recorder* recorder) {
+  if (session == nullptr) {
+    return InvalidArgument("live migration needs a source session");
+  }
+  router_ = router;
+  session_ = session;
+  recorder_ = recorder;
+  InstallObserver();
+  return OkStatus();
+}
+
+Status LiveMigrationSource::SendFrame(Bytes frame) {
+  SealFrame(&frame);
+  return channel_->Send(frame);
+}
+
+Result<Bytes> LiveMigrationSource::RecvFrame() {
+  AVA_ASSIGN_OR_RETURN(
+      Bytes frame, channel_->RecvTimeout(options_.frame_timeout_ms * 1000000));
+  AVA_RETURN_IF_ERROR(CheckAndStripFrame(&frame));
+  return frame;
+}
+
+Status LiveMigrationSource::Connect(TransportPtr channel) {
+  if (channel == nullptr) {
+    return InvalidArgument("null migration channel");
+  }
+  if (session_ == nullptr) {
+    return FailedPrecondition("Connect before Bind");
+  }
+  channel_ = std::move(channel);
+  ByteWriter hello;
+  hello.PutU8(static_cast<std::uint8_t>(FrameKind::kHello));
+  hello.PutU32(kMigrateMagic);
+  hello.PutU32(kMigrateVersion);
+  hello.PutU64(session_->vm_id());
+  hello.PutU64(options_.chunk_bytes);
+  AVA_RETURN_IF_ERROR(SendFrame(std::move(hello).TakeBytes()));
+  auto ack = RecvFrame();
+  if (!ack.ok()) {
+    return Aborted("migration handshake failed: " +
+                   std::string(ack.status().message()));
+  }
+  ByteReader r(*ack);
+  const auto kind = static_cast<FrameKind>(r.GetU8());
+  const bool ok = r.GetBool();
+  const std::string reason = GetString(&r);
+  if (r.failed() || kind != FrameKind::kHelloAck) {
+    return Aborted("migration handshake: malformed HELLO_ACK");
+  }
+  if (!ok) {
+    return Aborted("target rejected migration: " + reason);
+  }
+  return OkStatus();
+}
+
+Status LiveMigrationSource::ScanObject(
+    WireHandle id, std::vector<std::pair<ScanChunk, Bytes>>* fresh) {
+  Bytes contents;
+  bool skipped_pinned = false;
+  bool have_bytes = false;
+  Status inner = OkStatus();
+  Status with = session_->registry().WithEntry(
+      id, [&](ObjectRegistry::Entry& entry) {
+        if (entry.type_tag != hooks_.buffer_type_tag) {
+          return;  // not a buffer; nothing to ship
+        }
+        if (entry.pinned > 0) {
+          // A lane is executing on this buffer right now; re-mark it dirty
+          // and let a later round (or the post-quiesce residual pass, where
+          // pins are guaranteed zero) pick it up.
+          skipped_pinned = true;
+          return;
+        }
+        if (entry.swapped) {
+          Result<Bytes> raw = swap_ != nullptr
+                                  ? swap_->MaterializeSwapped(entry)
+                                  : MaterializeSwappedCopy(entry);
+          if (!raw.ok()) {
+            inner = raw.status();
+            return;
+          }
+          contents = std::move(raw).value();
+          have_bytes = true;
+          return;
+        }
+        inner = hooks_.read_back(&session_->registry(), id, entry, &contents);
+        have_bytes = inner.ok();
+      });
+  if (!with.ok()) {
+    // Freed since it was marked dirty: drop it from the manifest table.
+    object_digests_.erase(id);
+    return OkStatus();
+  }
+  AVA_RETURN_IF_ERROR(inner);
+  if (skipped_pinned) {
+    tracker_.Mark(id);
+    return OkStatus();
+  }
+  if (!have_bytes) {
+    return OkStatus();  // wrong-type id strayed into the dirty set
+  }
+
+  ScannedObject scanned;
+  scanned.size = contents.size();
+  stats_.objects_scanned += 1;
+  stats_.bytes_scanned += contents.size();
+  const std::size_t chunk = options_.chunk_bytes;
+  for (std::size_t off = 0; off == 0 || off < contents.size(); off += chunk) {
+    const std::size_t len = std::min(chunk, contents.size() - off);
+    ScanChunk c;
+    c.digest = Hash64(contents.data() + off, len);
+    c.length = static_cast<std::uint32_t>(len);
+    scanned.chunks.push_back(c);
+    if (target_has_.insert(c.digest).second) {
+      fresh->emplace_back(
+          c, Bytes(contents.begin() + static_cast<std::ptrdiff_t>(off),
+                   contents.begin() + static_cast<std::ptrdiff_t>(off + len)));
+    } else {
+      stats_.bytes_deduped += len;
+      Cells().bytes_deduped->Increment(len);
+    }
+    if (contents.empty()) {
+      break;  // zero-length buffer still contributes one (empty) chunk
+    }
+  }
+  object_digests_[id] = std::move(scanned);
+  return OkStatus();
+}
+
+Status LiveMigrationSource::ShipChunks(
+    int round, const std::vector<std::pair<ScanChunk, Bytes>>& fresh,
+    std::uint64_t* shipped_bytes) {
+  ByteWriter offer;
+  offer.PutU8(static_cast<std::uint8_t>(FrameKind::kOffer));
+  offer.PutU32(static_cast<std::uint32_t>(round));
+  offer.PutU32(static_cast<std::uint32_t>(fresh.size()));
+  for (const auto& [chunk, bytes] : fresh) {
+    offer.PutU64(chunk.digest);
+    offer.PutU32(chunk.length);
+    stats_.bytes_offered += chunk.length;
+  }
+  AVA_RETURN_IF_ERROR(SendFrame(std::move(offer).TakeBytes()));
+
+  AVA_ASSIGN_OR_RETURN(Bytes need_frame, RecvFrame());
+  ByteReader r(need_frame);
+  const auto kind = static_cast<FrameKind>(r.GetU8());
+  if (kind == FrameKind::kAbort) {
+    return Aborted("target aborted: " + GetString(&r));
+  }
+  const std::uint32_t need_round = r.GetU32();
+  const std::uint32_t need_count = r.GetU32();
+  if (r.failed() || kind != FrameKind::kNeed ||
+      need_round != static_cast<std::uint32_t>(round) ||
+      need_count > fresh.size()) {
+    return Aborted("malformed NEED frame from target");
+  }
+  for (std::uint32_t i = 0; i < need_count; ++i) {
+    const std::uint32_t index = r.GetU32();
+    if (r.failed() || index >= fresh.size()) {
+      return Aborted("malformed NEED index from target");
+    }
+    const auto& [chunk, bytes] = fresh[index];
+    ByteWriter frame;
+    frame.PutU8(static_cast<std::uint8_t>(FrameKind::kChunk));
+    frame.PutU64(chunk.digest);
+    frame.PutBlob(bytes.data(), bytes.size());
+    AVA_RETURN_IF_ERROR(SendFrame(std::move(frame).TakeBytes()));
+    *shipped_bytes += bytes.size();
+    stats_.bytes_shipped += bytes.size();
+    stats_.chunks_shipped += 1;
+    Cells().bytes_shipped->Increment(bytes.size());
+    Cells().chunks_shipped->Increment();
+  }
+  // Chunks the target did NOT request were already resident over there
+  // (deduped by the OFFER/NEED handshake rather than source-side history).
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    bool needed = false;
+    ByteReader again(need_frame);
+    again.GetU8();
+    again.GetU32();
+    const std::uint32_t count = again.GetU32();
+    for (std::uint32_t j = 0; j < count; ++j) {
+      if (again.GetU32() == i) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) {
+      stats_.bytes_deduped += fresh[i].first.length;
+      Cells().bytes_deduped->Increment(fresh[i].first.length);
+    }
+  }
+  return OkStatus();
+}
+
+Bytes LiveMigrationSource::BuildManifest(int round, bool final_round) const {
+  ByteWriter w;
+  w.PutU8(static_cast<std::uint8_t>(FrameKind::kManifest));
+  w.PutU32(static_cast<std::uint32_t>(round));
+  w.PutU8(final_round ? 1 : 0);
+
+  ByteWriter body;
+  body.PutU64(session_->vm_id());
+  const std::vector<RecordedCall> calls =
+      recorder_ != nullptr ? recorder_->LiveLog() : std::vector<RecordedCall>();
+  body.PutU32(static_cast<std::uint32_t>(calls.size()));
+  for (const RecordedCall& call : calls) {
+    body.PutU16(call.header.api_id);
+    body.PutU32(call.header.func_id);
+    body.PutU64(call.header.call_id);
+    body.PutU64(call.header.vm_id);
+    body.PutU8(call.header.flags);
+    body.PutBlob(call.payload.data(), call.payload.size());
+    body.PutU32(static_cast<std::uint32_t>(call.created.size()));
+    for (WireHandle id : call.created) {
+      body.PutU64(id);
+    }
+  }
+
+  // Object table: every scanned buffer still live in the registry, with the
+  // metadata the import side needs to rebuild placement.
+  ByteWriter table;
+  std::uint32_t table_count = 0;
+  for (const auto& [id, scanned] : object_digests_) {
+    bool wrote = false;
+    Status with = session_->registry().WithEntry(
+        id, [&](ObjectRegistry::Entry& entry) {
+          if (entry.type_tag != hooks_.buffer_type_tag) {
+            return;
+          }
+          table.PutU64(id);
+          table.PutU32(entry.type_tag);
+          table.PutU64(entry.parent);
+          table.PutU64(scanned.size);
+          table.PutU32(static_cast<std::uint32_t>(entry.refcount));
+          table.PutU8(entry.interned ? 1 : 0);
+          table.PutU8(static_cast<std::uint8_t>(entry.tier));
+          table.PutU32(static_cast<std::uint32_t>(entry.pinned));
+          table.PutU32(static_cast<std::uint32_t>(scanned.chunks.size()));
+          for (const ScanChunk& chunk : scanned.chunks) {
+            table.PutU64(chunk.digest);
+            table.PutU32(chunk.length);
+          }
+          wrote = true;
+        });
+    if (with.ok() && wrote) {
+      ++table_count;
+    }
+  }
+  body.PutU32(table_count);
+  Bytes table_bytes = std::move(table).TakeBytes();
+  body.PutRaw(table_bytes.data(), table_bytes.size());
+
+  Bytes body_bytes = std::move(body).TakeBytes();
+  w.PutBlob(body_bytes.data(), body_bytes.size());
+  return std::move(w).TakeBytes();
+}
+
+Status LiveMigrationSource::AwaitCommit(int round) {
+  AVA_ASSIGN_OR_RETURN(Bytes frame, RecvFrame());
+  ByteReader r(frame);
+  const auto kind = static_cast<FrameKind>(r.GetU8());
+  if (kind == FrameKind::kAbort) {
+    return Aborted("target aborted: " + GetString(&r));
+  }
+  const std::uint32_t commit_round = r.GetU32();
+  const bool ok = r.GetBool();
+  const std::string reason = GetString(&r);
+  if (r.failed() || kind != FrameKind::kCommit ||
+      commit_round != static_cast<std::uint32_t>(round)) {
+    return Aborted("malformed COMMIT frame from target");
+  }
+  if (!ok) {
+    return Aborted("target rejected round " + std::to_string(round) + ": " +
+                   reason);
+  }
+  return OkStatus();
+}
+
+std::uint64_t LiveMigrationSource::ResidualDirtyBytes() const {
+  std::uint64_t total = 0;
+  for (WireHandle id : tracker_.Snapshot()) {
+    ObjectRegistry::Entry* entry = session_->registry().Find(id);
+    if (entry != nullptr && entry->type_tag == hooks_.buffer_type_tag) {
+      total += entry->size;
+    }
+  }
+  return total;
+}
+
+double LiveMigrationSource::EffectiveCopyRate() const {
+  if (options_.copy_rate_bytes_per_sec > 0) {
+    return options_.copy_rate_bytes_per_sec;
+  }
+  return measured_rate_;
+}
+
+Status LiveMigrationSource::AbortLocked(const std::string& reason,
+                                        bool notify_target) {
+  if (notify_target && channel_ != nullptr) {
+    ByteWriter w;
+    w.PutU8(static_cast<std::uint8_t>(FrameKind::kAbort));
+    PutString(&w, reason);
+    (void)SendFrame(std::move(w).TakeBytes());  // best-effort
+  }
+  if (frozen_ && router_ != nullptr && session_ != nullptr) {
+    (void)router_->ResumeVm(session_->vm_id());
+  }
+  frozen_ = false;
+  RemoveObserver();
+  Cells().aborts->Increment();
+  SetPhase(MigratePhase::kAborted);
+  BoardUpdate("source", session_ != nullptr ? session_->vm_id() : 0,
+              MigratePhase::kAborted, &stats_, "abort: " + reason);
+  AVA_LOG(WARNING) << "live migration aborted: " << reason;
+  return OkStatus();
+}
+
+Status LiveMigrationSource::Abort(const std::string& reason) {
+  return AbortLocked(reason, /*notify_target=*/true);
+}
+
+Result<RoundReport> LiveMigrationSource::RunRound() {
+  if (session_ == nullptr || channel_ == nullptr) {
+    return FailedPrecondition("RunRound before Bind/Connect");
+  }
+  const MigratePhase now = phase();
+  if (now != MigratePhase::kIdle && now != MigratePhase::kPreCopy) {
+    return FailedPrecondition(std::string("RunRound in phase ") +
+                              MigratePhaseName(now));
+  }
+  SetPhase(MigratePhase::kPreCopy);
+  Stopwatch round_watch;
+  const int round = stats_.rounds + 1;
+
+  // Round 1 ships the full working set; later rounds only what the touch
+  // observer saw written since the previous Take().
+  std::unordered_set<WireHandle> dirty = tracker_.Take();
+  if (!first_round_done_) {
+    session_->registry().ForEach(
+        hooks_.buffer_type_tag,
+        [&](WireHandle id, ObjectRegistry::Entry&) { dirty.insert(id); });
+  }
+
+  RoundReport report;
+  report.round = round;
+  report.dirty_objects = dirty.size();
+
+  std::vector<std::pair<ScanChunk, Bytes>> fresh;
+  const std::uint64_t offered_before = stats_.bytes_offered;
+  for (WireHandle id : dirty) {
+    if (Status s = ScanObject(id, &fresh); !s.ok()) {
+      const Status err =
+          Aborted("pre-copy scan failed: " + std::string(s.message()));
+      (void)AbortLocked(std::string(err.message()), /*notify_target=*/true);
+      return err;
+    }
+  }
+  first_round_done_ = true;
+
+  std::uint64_t shipped = 0;
+  if (Status s = ShipChunks(round, fresh, &shipped); !s.ok()) {
+    const Status err = s.code() == StatusCode::kAborted
+                           ? s
+                           : Aborted("pre-copy ship failed: " +
+                                     std::string(s.message()));
+    (void)AbortLocked(std::string(err.message()), /*notify_target=*/false);
+    return err;
+  }
+  if (Status s = SendFrame(BuildManifest(round, /*final_round=*/false));
+      !s.ok()) {
+    const Status err =
+        Aborted("manifest send failed: " + std::string(s.message()));
+    (void)AbortLocked(std::string(err.message()), /*notify_target=*/false);
+    return err;
+  }
+  if (Status s = AwaitCommit(round); !s.ok()) {
+    const Status err = s.code() == StatusCode::kAborted
+                           ? s
+                           : Aborted("commit wait failed: " +
+                                     std::string(s.message()));
+    (void)AbortLocked(std::string(err.message()), /*notify_target=*/false);
+    return err;
+  }
+
+  stats_.rounds = round;
+  Cells().rounds->Increment();
+  report.bytes_offered = stats_.bytes_offered - offered_before;
+  report.bytes_shipped = shipped;
+  const std::int64_t elapsed_ns = round_watch.ElapsedNs();
+  stats_.precopy_ns += elapsed_ns;
+  if (shipped > 0 && elapsed_ns > 0) {
+    measured_rate_ = static_cast<double>(shipped) * 1e9 /
+                     static_cast<double>(elapsed_ns);
+  }
+  report.residual_dirty_bytes = ResidualDirtyBytes();
+  const double rate = EffectiveCopyRate();
+  if (report.residual_dirty_bytes == 0) {
+    report.converged = true;
+  } else if (rate > 0) {
+    const double predicted_ms =
+        static_cast<double>(report.residual_dirty_bytes) / rate * 1e3;
+    report.converged =
+        predicted_ms <= static_cast<double>(options_.downtime_target_ms);
+  }
+  last_report_ = report;
+  BoardUpdate("source", session_->vm_id(), MigratePhase::kPreCopy, &stats_,
+              "round " + std::to_string(round) + " committed");
+  return report;
+}
+
+bool LiveMigrationSource::ShouldStop() const {
+  if (stats_.rounds == 0) {
+    return false;
+  }
+  return last_report_.converged || stats_.rounds >= options_.max_rounds;
+}
+
+Status LiveMigrationSource::StopAndCopy() {
+  if (session_ == nullptr || channel_ == nullptr) {
+    return FailedPrecondition("StopAndCopy before Bind/Connect");
+  }
+  SetPhase(MigratePhase::kStopAndCopy);
+  Stopwatch downtime_watch;
+
+  if (router_ != nullptr) {
+    if (Status s = router_->QuiesceVm(session_->vm_id(),
+                                      options_.quiesce_timeout_ms);
+        !s.ok()) {
+      const Status err =
+          Aborted("stop-and-copy freeze failed: " + std::string(s.message()));
+      (void)AbortLocked(std::string(err.message()), /*notify_target=*/true);
+      return err;
+    }
+    frozen_ = true;
+  }
+  if (options_.stop_copy_delay_ms > 0) {
+    // Crash cells aim a SIGKILL into this window: VM frozen, final state
+    // not yet committed on the target.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.stop_copy_delay_ms));
+  }
+
+  // Pins must be zero across the whole registry: the quiesce drained every
+  // lane, so a surviving pin is a leak that would let the device mutate
+  // bytes after we declare them final.
+  std::int32_t leaked_pins = 0;
+  session_->registry().ForEach(
+      hooks_.buffer_type_tag, [&](WireHandle, ObjectRegistry::Entry& entry) {
+        leaked_pins += entry.pinned;
+      });
+  if (leaked_pins != 0) {
+    const Status err = Aborted("stop-and-copy found " +
+                               std::to_string(leaked_pins) + " leaked pins");
+    (void)AbortLocked(std::string(err.message()), /*notify_target=*/true);
+    return err;
+  }
+
+  const int round = stats_.rounds + 1;
+  std::unordered_set<WireHandle> residual = tracker_.Take();
+  if (!first_round_done_) {
+    // Degenerate but legal: StopAndCopy with no pre-copy round is a frozen
+    // full copy (matches the offline engine's coverage).
+    session_->registry().ForEach(
+        hooks_.buffer_type_tag,
+        [&](WireHandle id, ObjectRegistry::Entry&) { residual.insert(id); });
+    first_round_done_ = true;
+  }
+  std::uint64_t residual_bytes = 0;
+  for (WireHandle id : residual) {
+    ObjectRegistry::Entry* entry = session_->registry().Find(id);
+    if (entry != nullptr && entry->type_tag == hooks_.buffer_type_tag) {
+      residual_bytes += entry->size;
+    }
+  }
+  stats_.residual_bytes = residual_bytes;
+
+  std::vector<std::pair<ScanChunk, Bytes>> fresh;
+  for (WireHandle id : residual) {
+    if (Status s = ScanObject(id, &fresh); !s.ok()) {
+      const Status err =
+          Aborted("residual scan failed: " + std::string(s.message()));
+      (void)AbortLocked(std::string(err.message()), /*notify_target=*/true);
+      return err;
+    }
+  }
+  std::uint64_t shipped = 0;
+  if (Status s = ShipChunks(round, fresh, &shipped); !s.ok()) {
+    const Status err =
+        s.code() == StatusCode::kAborted
+            ? s
+            : Aborted("residual ship failed: " + std::string(s.message()));
+    (void)AbortLocked(std::string(err.message()), /*notify_target=*/false);
+    return err;
+  }
+  if (Status s = SendFrame(BuildManifest(round, /*final_round=*/true));
+      !s.ok()) {
+    const Status err =
+        Aborted("final manifest send failed: " + std::string(s.message()));
+    (void)AbortLocked(std::string(err.message()), /*notify_target=*/false);
+    return err;
+  }
+  if (Status s = AwaitCommit(round); !s.ok()) {
+    const Status err = s.code() == StatusCode::kAborted
+                           ? s
+                           : Aborted("final commit failed: " +
+                                     std::string(s.message()));
+    (void)AbortLocked(std::string(err.message()), /*notify_target=*/false);
+    return err;
+  }
+
+  stats_.downtime_ns = downtime_watch.ElapsedNs();
+  Cells().last_downtime_ms->Set(stats_.downtime_ns / 1000000);
+  SetPhase(MigratePhase::kCutover);
+  BoardUpdate("source", session_->vm_id(), MigratePhase::kCutover, &stats_,
+              "final manifest committed");
+  return OkStatus();
+}
+
+Status LiveMigrationSource::FinishCutover() {
+  if (phase() != MigratePhase::kCutover) {
+    return FailedPrecondition("FinishCutover outside kCutover");
+  }
+  RemoveObserver();
+  if (router_ != nullptr) {
+    AVA_RETURN_IF_ERROR(router_->DetachVm(session_->vm_id()));
+  }
+  frozen_ = false;
+  SetPhase(MigratePhase::kDone);
+  return OkStatus();
+}
+
+Status LiveMigrationSource::Run() {
+  while (true) {
+    AVA_ASSIGN_OR_RETURN(RoundReport report, RunRound());
+    (void)report;
+    if (ShouldStop()) {
+      break;
+    }
+  }
+  return StopAndCopy();
+}
+
+// ============================ target side ==================================
+
+LiveMigrationTarget::LiveMigrationTarget(BufferHooks hooks,
+                                         LiveMigrateOptions options)
+    : hooks_(std::move(hooks)),
+      options_(options),
+      // Budget "unbounded": migration state must never evict mid-flight.
+      store_(static_cast<std::size_t>(-1) / 2) {
+  RegisterMigrateAdminVerb();
+}
+
+Result<LiveMigrationTarget::Manifest> LiveMigrationTarget::ParseManifest(
+    const Bytes& body) {
+  ByteReader r(body);
+  Manifest manifest;
+  manifest.vm_id = r.GetU64();
+  const std::uint32_t num_calls = r.GetU32();
+  for (std::uint32_t i = 0; i < num_calls && !r.failed(); ++i) {
+    RecordedCall call;
+    call.header.api_id = r.GetU16();
+    call.header.func_id = r.GetU32();
+    call.header.call_id = r.GetU64();
+    call.header.vm_id = r.GetU64();
+    call.header.flags = r.GetU8();
+    call.payload = r.GetBlob();
+    const std::uint32_t num_created = r.GetU32();
+    for (std::uint32_t j = 0; j < num_created && !r.failed(); ++j) {
+      call.created.push_back(r.GetU64());
+    }
+    manifest.calls.push_back(std::move(call));
+  }
+  const std::uint32_t num_objects = r.GetU32();
+  for (std::uint32_t i = 0; i < num_objects && !r.failed(); ++i) {
+    ManifestObject object;
+    object.id = r.GetU64();
+    object.type_tag = r.GetU32();
+    object.parent = r.GetU64();
+    object.size = r.GetU64();
+    object.refcount = static_cast<std::int32_t>(r.GetU32());
+    object.interned = r.GetU8() != 0;
+    object.tier = r.GetU8();
+    object.pinned = static_cast<std::int32_t>(r.GetU32());
+    const std::uint32_t num_chunks = r.GetU32();
+    for (std::uint32_t j = 0; j < num_chunks && !r.failed(); ++j) {
+      const std::uint64_t digest = r.GetU64();
+      const std::uint32_t length = r.GetU32();
+      object.chunks.emplace_back(digest, length);
+    }
+    manifest.objects.push_back(std::move(object));
+  }
+  AVA_RETURN_IF_ERROR(r.status());
+  return manifest;
+}
+
+Status LiveMigrationTarget::ValidateManifest(const Manifest& manifest) const {
+  for (const ManifestObject& object : manifest.objects) {
+    if (object.pinned != 0) {
+      return FailedPrecondition("pinned object " + std::to_string(object.id) +
+                                " in export");
+    }
+    if (static_cast<SwapTier>(object.tier) == SwapTier::kLost) {
+      return FailedPrecondition("object " + std::to_string(object.id) +
+                                " is data-lost at the source");
+    }
+    std::uint64_t total = 0;
+    for (const auto& [digest, length] : object.chunks) {
+      // const_cast-free: Lookup touches LRU recency, but store_ is mutable
+      // state of this const check only in spirit; take it non-const.
+      if (const_cast<TransferCache&>(store_).Lookup(digest, length) ==
+          nullptr) {
+        return FailedPrecondition("object " + std::to_string(object.id) +
+                                  " references a chunk the target never " +
+                                  "received");
+      }
+      total += length;
+    }
+    if (total != object.size) {
+      return FailedPrecondition("object " + std::to_string(object.id) +
+                                " chunk lengths disagree with its size");
+    }
+  }
+  return OkStatus();
+}
+
+Status LiveMigrationTarget::Import(const Manifest& manifest) {
+  if (session_ == nullptr) {
+    return FailedPrecondition("import without a bound session");
+  }
+  if (imported_) {
+    return FailedPrecondition("session already imported");
+  }
+  AVA_RETURN_IF_ERROR(ImportCalls(manifest));
+  AVA_RETURN_IF_ERROR(ImportObjects(manifest));
+  PruneStale(manifest);
+  imported_ = true;
+  return OkStatus();
+}
+
+Status LiveMigrationTarget::BeginImport() {
+  if (import_begun_) {
+    return OkStatus();
+  }
+  if (session_->registry().LiveCount() != 0) {
+    return FailedPrecondition("target session is not fresh");
+  }
+  import_begun_ = true;
+  return OkStatus();
+}
+
+Status LiveMigrationTarget::ImportCalls(const Manifest& manifest) {
+  AVA_RETURN_IF_ERROR(BeginImport());
+  std::size_t skipped = 0;
+  for (const RecordedCall& call : manifest.calls) {
+    // Identity, not index: the recorder elides tombstones, so position
+    // shifts between rounds while the call itself is unchanged.
+    const std::uint64_t key =
+        Hash64(call.payload.data(), call.payload.size()) ^
+        (static_cast<std::uint64_t>(call.header.func_id) << 32) ^
+        call.header.call_id;
+    if (!replayed_calls_.insert(key).second) {
+      continue;  // replayed during an earlier eager round
+    }
+    Status s = session_->Replay(call.header, call.payload, call.created);
+    if (!s.ok()) {
+      ++skipped;
+      AVA_LOG(INFO) << "import replay skipped call " << call.header.func_id
+                    << ": " << s;
+    }
+  }
+  if (skipped > 0) {
+    AVA_LOG(WARNING) << "import replay skipped " << skipped << " of "
+                     << manifest.calls.size() << " recorded calls";
+  }
+  return OkStatus();
+}
+
+Status LiveMigrationTarget::ImportObjects(const Manifest& manifest) {
+  AVA_RETURN_IF_ERROR(BeginImport());
+  for (const ManifestObject& object : manifest.objects) {
+    if (object.type_tag != hooks_.buffer_type_tag) {
+      continue;
+    }
+    std::uint64_t sig = 0xcbf29ce484222325ull ^ object.size;
+    for (const auto& [digest, length] : object.chunks) {
+      sig ^= digest + 0x9E3779B97F4A7C15ull + (sig << 6) + (sig >> 2);
+      sig ^= length;
+    }
+    if (auto it = installed_sig_.find(object.id);
+        it != installed_sig_.end() && it->second == sig) {
+      continue;  // materialized in an earlier round, chunks unchanged
+    }
+    Bytes contents;
+    contents.reserve(object.size);
+    for (const auto& [digest, length] : object.chunks) {
+      std::shared_ptr<const Bytes> chunk = store_.Lookup(digest, length);
+      if (chunk == nullptr) {
+        return Internal("chunk for object " + std::to_string(object.id) +
+                        " vanished from the store");
+      }
+      contents.insert(contents.end(), chunk->begin(), chunk->end());
+    }
+    ObjectRegistry& registry = session_->registry();
+    if (registry.Find(object.id) == nullptr) {
+      // Call replay did not recreate this buffer (data-dependent creation
+      // path, or a scripted-hooks session with no call log). Mint it under
+      // its original wire id as a swapped host-tier entry.
+      registry.PushForcedIds({object.id});
+      const WireHandle minted = registry.Insert(object.type_tag, nullptr);
+      if (minted != object.id) {
+        return Internal("forced-id insert minted " + std::to_string(minted) +
+                        " instead of " + std::to_string(object.id));
+      }
+      registry.SetMeta(object.id, object.parent, object.size);
+    }
+    Status inner = OkStatus();
+    Status with = registry.WithEntry(
+        object.id, [&](ObjectRegistry::Entry& entry) {
+          const auto tier = static_cast<SwapTier>(object.tier);
+          if (tier == SwapTier::kDevice && !entry.swapped &&
+              entry.real != nullptr) {
+            inner = hooks_.write_back(&session_->registry(), object.id, entry,
+                                      contents);
+            return;
+          }
+          // The source held the bytes off-device (or the target's own
+          // demoter already moved the replayed buffer out, or the entry was
+          // just minted above): land them in the host tier and let this
+          // server's swap policy re-tier them.
+          if (entry.real != nullptr) {
+            hooks_.free_buffer(&session_->registry(), entry);
+            entry.real = nullptr;
+          }
+          StoreSwappedHostBytes(entry, std::move(contents));
+        });
+    if (!with.ok()) {
+      return Internal("imported registry is missing buffer " +
+                      std::to_string(object.id));
+    }
+    AVA_RETURN_IF_ERROR(inner);
+    installed_sig_[object.id] = sig;
+  }
+  return OkStatus();
+}
+
+void LiveMigrationTarget::PruneStale(const Manifest& manifest) {
+  std::unordered_set<WireHandle> live;
+  live.reserve(manifest.objects.size());
+  for (const ManifestObject& object : manifest.objects) {
+    live.insert(object.id);
+  }
+  ObjectRegistry& registry = session_->registry();
+  for (auto it = installed_sig_.begin(); it != installed_sig_.end();) {
+    if (live.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    // The buffer was freed on the source between the eager round that
+    // materialized it and this manifest. Non-buffer objects recreated by a
+    // since-tombstoned call are NOT swept here: the registry has no
+    // type-specific destructor for them, so they persist as unreferenced
+    // imports (bounded by the eager rounds' call log).
+    (void)registry.WithEntry(it->first, [&](ObjectRegistry::Entry& entry) {
+      if (entry.real != nullptr) {
+        hooks_.free_buffer(&registry, entry);
+        entry.real = nullptr;
+      }
+      entry.swap_copy.clear();
+      entry.swap_copy.shrink_to_fit();
+    });
+    void* removed = nullptr;
+    (void)registry.Release(it->first, &removed);
+    it = installed_sig_.erase(it);
+  }
+}
+
+void LiveMigrationTarget::DiscardEagerState() {
+  if (session_ == nullptr) {
+    return;
+  }
+  ObjectRegistry& registry = session_->registry();
+  for (const auto& [id, sig] : installed_sig_) {
+    (void)registry.WithEntry(id, [&](ObjectRegistry::Entry& entry) {
+      if (entry.real != nullptr) {
+        hooks_.free_buffer(&registry, entry);
+        entry.real = nullptr;
+      }
+      entry.swap_copy.clear();
+      entry.swap_copy.shrink_to_fit();
+    });
+    void* removed = nullptr;
+    (void)registry.Release(id, &removed);
+  }
+  installed_sig_.clear();
+  replayed_calls_.clear();
+  import_begun_ = false;
+}
+
+Status LiveMigrationTarget::Serve(TransportPtr channel,
+                                  ApiServerSession* session) {
+  if (channel == nullptr || session == nullptr) {
+    return InvalidArgument("Serve needs a channel and a session");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    session_ = session;
+    phase_ = MigratePhase::kPreCopy;
+  }
+  BoardUpdate("target", session->vm_id(), MigratePhase::kPreCopy, nullptr,
+              "serving migration stream");
+
+  const auto send_frame = [&](Bytes frame) -> Status {
+    SealFrame(&frame);
+    return channel->Send(frame);
+  };
+  const auto send_abort = [&](const std::string& reason) {
+    ByteWriter w;
+    w.PutU8(static_cast<std::uint8_t>(FrameKind::kAbort));
+    PutString(&w, reason);
+    (void)send_frame(std::move(w).TakeBytes());
+  };
+  const auto send_commit = [&](std::uint32_t round, bool ok,
+                               const std::string& reason) -> Status {
+    ByteWriter w;
+    w.PutU8(static_cast<std::uint8_t>(FrameKind::kCommit));
+    w.PutU32(round);
+    w.PutU8(ok ? 1 : 0);
+    PutString(&w, reason);
+    return send_frame(std::move(w).TakeBytes());
+  };
+
+  bool hello_seen = false;
+  while (true) {
+    Result<Bytes> received = channel->Recv();
+    if (!received.ok()) {
+      // Channel death mid-stream: keep every committed round for TakeOver.
+      BoardUpdate("target", session->vm_id(), phase(), nullptr,
+                  "channel died: " +
+                      std::string(received.status().message()));
+      return received.status();
+    }
+    Bytes frame = *std::move(received);
+    if (Status crc = CheckAndStripFrame(&frame); !crc.ok()) {
+      send_abort("corrupt migration frame");
+      return crc;  // DataLoss
+    }
+    ByteReader r(frame);
+    const auto kind = static_cast<FrameKind>(r.GetU8());
+    switch (kind) {
+      case FrameKind::kHello: {
+        const std::uint32_t magic = r.GetU32();
+        const std::uint32_t version = r.GetU32();
+        const VmId vm_id = r.GetU64();
+        const std::uint64_t chunk_bytes = r.GetU64();
+        std::string reject;
+        if (r.failed() || magic != kMigrateMagic) {
+          reject = "bad magic";
+        } else if (version != kMigrateVersion) {
+          reject = "version mismatch";
+        } else if (chunk_bytes < kMinChunkBytes ||
+                   chunk_bytes > kMaxChunkBytes) {
+          reject = "unreasonable chunk size";
+        } else if (session->registry().LiveCount() != 0) {
+          reject = "target session is not fresh";
+        }
+        ByteWriter ack;
+        ack.PutU8(static_cast<std::uint8_t>(FrameKind::kHelloAck));
+        ack.PutU8(reject.empty() ? 1 : 0);
+        PutString(&ack, reject);
+        AVA_RETURN_IF_ERROR(send_frame(std::move(ack).TakeBytes()));
+        if (!reject.empty()) {
+          return Aborted("handshake rejected: " + reject);
+        }
+        (void)vm_id;
+        hello_seen = true;
+        break;
+      }
+      case FrameKind::kOffer: {
+        if (!hello_seen) {
+          send_abort("OFFER before HELLO");
+          return Aborted("protocol violation: OFFER before HELLO");
+        }
+        const std::uint32_t round = r.GetU32();
+        const std::uint32_t count = r.GetU32();
+        ByteWriter need;
+        need.PutU8(static_cast<std::uint8_t>(FrameKind::kNeed));
+        need.PutU32(round);
+        std::vector<std::uint32_t> missing;
+        for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+          const std::uint64_t digest = r.GetU64();
+          const std::uint32_t length = r.GetU32();
+          if (store_.Lookup(digest, length) == nullptr) {
+            missing.push_back(i);
+          }
+        }
+        if (r.failed()) {
+          send_abort("malformed OFFER");
+          return Aborted("protocol violation: malformed OFFER");
+        }
+        need.PutU32(static_cast<std::uint32_t>(missing.size()));
+        for (std::uint32_t index : missing) {
+          need.PutU32(index);
+        }
+        AVA_RETURN_IF_ERROR(send_frame(std::move(need).TakeBytes()));
+        break;
+      }
+      case FrameKind::kChunk: {
+        const std::uint64_t digest = r.GetU64();
+        Bytes payload = r.GetBlob();
+        if (r.failed()) {
+          send_abort("malformed CHUNK");
+          return Aborted("protocol violation: malformed CHUNK");
+        }
+        // Install-time verification: a forged or bit-flipped digest can
+        // never alias wrong bytes into the content-addressed store.
+        if (Hash64(payload.data(), payload.size()) != digest) {
+          send_abort("chunk digest mismatch");
+          return DataLoss("migration chunk failed digest verification");
+        }
+        store_.Install(digest, std::span<const std::uint8_t>(payload));
+        std::lock_guard<std::mutex> lock(mutex_);
+        chunk_bytes_received_ += payload.size();
+        break;
+      }
+      case FrameKind::kManifest: {
+        const std::uint32_t round = r.GetU32();
+        const bool final_round = r.GetU8() != 0;
+        const Bytes body = r.GetBlob();
+        if (r.failed()) {
+          send_abort("malformed MANIFEST");
+          return Aborted("protocol violation: malformed MANIFEST");
+        }
+        auto manifest = ParseManifest(body);
+        if (!manifest.ok()) {
+          AVA_RETURN_IF_ERROR(send_commit(round, false, "manifest parse"));
+          return Aborted("manifest parse failed");
+        }
+        manifest->round = static_cast<int>(round);
+        if (Status v = ValidateManifest(*manifest); !v.ok()) {
+          AVA_RETURN_IF_ERROR(
+              send_commit(round, false, std::string(v.message())));
+          return Aborted("manifest rejected: " + std::string(v.message()));
+        }
+        if (!final_round) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            committed_ = std::make_unique<Manifest>(*manifest);
+            committed_rounds_ = static_cast<int>(round);
+          }
+          Cells().committed_rounds->Set(static_cast<std::int64_t>(round));
+          AVA_RETURN_IF_ERROR(send_commit(round, true, ""));
+          // Eager import: materialize this round's state NOW, after the
+          // commit ack (so the source is already off scanning the next
+          // round), while the VM still runs on the source. The cutover
+          // import then re-installs only objects whose chunks changed, so
+          // downtime is proportional to the dirty residual, not the
+          // working set. Best-effort: a failure here defers the work to
+          // the final import (the signature is only recorded on success).
+          if (Status eager = ImportCalls(*manifest); !eager.ok()) {
+            AVA_LOG(WARNING) << "eager call replay deferred to cutover: "
+                             << eager;
+          } else if (Status objects = ImportObjects(*manifest);
+                     !objects.ok()) {
+            AVA_LOG(WARNING) << "eager object import deferred to cutover: "
+                             << objects;
+          }
+          BoardUpdate("target", session->vm_id(), MigratePhase::kPreCopy,
+                      nullptr, "round " + std::to_string(round) +
+                                   " committed");
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          phase_ = MigratePhase::kStopAndCopy;
+        }
+        if (Status imported = Import(*manifest); !imported.ok()) {
+          AVA_RETURN_IF_ERROR(
+              send_commit(round, false, std::string(imported.message())));
+          return Aborted("final import failed: " +
+                         std::string(imported.message()));
+        }
+        AVA_RETURN_IF_ERROR(send_commit(round, true, ""));
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          phase_ = MigratePhase::kDone;
+          committed_.reset();
+        }
+        RecordPhaseFlight(session->vm_id(), MigratePhase::kDone);
+        BoardUpdate("target", session->vm_id(), MigratePhase::kDone, nullptr,
+                    "final manifest imported");
+        return OkStatus();
+      }
+      case FrameKind::kAbort: {
+        const std::string reason = GetString(&r);
+        {
+          // A deliberate source abort invalidates the checkpoints: the
+          // source is alive and still owns the state.
+          std::lock_guard<std::mutex> lock(mutex_);
+          committed_.reset();
+          committed_rounds_ = 0;
+          phase_ = MigratePhase::kAborted;
+        }
+        // Tear out eagerly imported buffers too — outside mutex_, the
+        // buffer hooks may take the registry/silo locks.
+        DiscardEagerState();
+        BoardUpdate("target", session->vm_id(), MigratePhase::kAborted,
+                    nullptr, "source aborted: " + reason);
+        return Aborted("source aborted: " + reason);
+      }
+      default:
+        send_abort("unknown frame kind");
+        return Aborted("protocol violation: unknown frame kind");
+    }
+  }
+}
+
+Status LiveMigrationTarget::TakeOver() {
+  std::unique_ptr<Manifest> manifest;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (imported_) {
+      return OkStatus();  // Serve() already completed the import
+    }
+    if (committed_ == nullptr || committed_rounds_ == 0) {
+      return FailedPrecondition(
+          "unsynced: no pre-copy round ever committed on this standby");
+    }
+    manifest = std::move(committed_);
+  }
+  if (Status s = Import(*manifest); !s.ok()) {
+    // Put the checkpoint back: a retry after (say) a transient silo error
+    // should still find it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    committed_ = std::move(manifest);
+    return s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_ = MigratePhase::kFailover;
+  }
+  Cells().failovers->Increment();
+  RecordPhaseFlight(session_ != nullptr ? session_->vm_id() : 0,
+                    MigratePhase::kFailover);
+  BoardUpdate("target", session_ != nullptr ? session_->vm_id() : 0,
+              MigratePhase::kFailover, nullptr,
+              "took over from committed round");
+  return OkStatus();
+}
+
+}  // namespace ava

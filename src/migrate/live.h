@@ -1,0 +1,397 @@
+// Live VM migration + warm failover between API servers (§4.3 grown live).
+//
+// The offline engine (snapshot.h) freezes the VM for the whole copy. The
+// live engine moves the copy off the freeze path with iterative pre-copy:
+//
+//   precopy      N rounds; each ships only the chunks of buffers written
+//                since the last round whose content digests the target does
+//                not already hold (the PR-4 TransferCache is the dedup
+//                store; dirtiness comes from a registry touch observer).
+//   stop&copy    when the predicted residual copy time drops under the
+//                downtime target (or the round cap hits): QuiesceVm, ship
+//                residual dirty chunks + the object-registry manifest
+//                (handles, swap-tier placement; pins must be zero).
+//   cutover      guest re-points at the target over the hot re-attach path
+//                (GuestEndpoint::ReplaceTransport + Router::AttachVm); the
+//                source channel is detached.
+//   failover     a standby target that has committed >=1 pre-copy round can
+//                TakeOver() when the source dies: it restores the last
+//                committed round's state; idempotent in-flight calls replay
+//                on the survivor, the rest fail with clean Unavailable.
+//
+// Wire protocol (every frame CRC-sealed like call frames, so a corrupted
+// migration channel classifies as DataLoss, never as silent state damage):
+//
+//   HELLO / HELLO_ACK   version + vm id + chunk-size handshake
+//   OFFER               round + [digest, len] of candidate chunks
+//   NEED                indices of offered chunks the target lacks
+//   CHUNK               digest + payload (re-hashed at install: a forged
+//                       digest can never alias wrong bytes into the store)
+//   MANIFEST            round + final flag + recorded call log + object
+//                       table (id, type, parent, size, refcount, tier,
+//                       pins, chunk digests)
+//   COMMIT              target's verdict on a manifest (ok / reason)
+//   ABORT               either side cancels; source resumes serving
+//
+// Lock order: the source scan takes the registry lock per object (via
+// WithEntry/ForEach) and never holds it across a channel send; the dirty
+// tracker is a leaf mutex callable from under the registry lock (the touch
+// observer fires there). Neither side ever holds router mutexes while
+// touching the channel.
+#ifndef AVA_SRC_MIGRATE_LIVE_H_
+#define AVA_SRC_MIGRATE_LIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/migrate/recorder.h"
+#include "src/router/router.h"
+#include "src/server/buffer_hooks.h"
+#include "src/server/xfer_cache.h"
+#include "src/transport/transport.h"
+
+namespace ava {
+
+class SwapManager;
+
+struct LiveMigrateOptions {
+  // Pre-copy chunk granularity (AVA_MIGRATE_CHUNK). Dedup works at this
+  // grain: a buffer region whose bytes the target already holds — from an
+  // earlier round or from a twin buffer — never travels again.
+  std::size_t chunk_bytes = 64u << 10;
+  // Pre-copy round cap (AVA_MIGRATE_MAX_ROUNDS): past it, stop-and-copy
+  // runs regardless of convergence (the non-converging-workload fallback).
+  int max_rounds = 8;
+  // Stop-and-copy entry threshold (AVA_MIGRATE_DOWNTIME_MS): enter when
+  // residual_dirty_bytes / copy_rate predicts a downtime at or under this.
+  std::int64_t downtime_target_ms = 50;
+  // Per-frame receive timeout on the migration channel
+  // (AVA_MIGRATE_TIMEOUT_MS). A dropped or stalled frame classifies as
+  // DeadlineExceeded -> the migration aborts and the source keeps serving.
+  std::int64_t frame_timeout_ms = 5000;
+  // Bound on the stop-and-copy drain of queued + in-flight guest calls.
+  std::int64_t quiesce_timeout_ms = 10000;
+  // Modeled copy rate for the convergence predicate. 0 = measure the real
+  // per-round rate. Tests pin it so round counts and residual sizes are
+  // pure arithmetic — byte-exact reproducible at any machine speed.
+  double copy_rate_bytes_per_sec = 0.0;
+  // Test hook: sleep inside the stop-and-copy window, after the freeze and
+  // before the final manifest ships. Crash cells SIGKILL the source here.
+  std::int64_t stop_copy_delay_ms = 0;
+
+  // Reads the AVA_MIGRATE_* knobs (malformed values log and keep defaults).
+  static LiveMigrateOptions FromEnv();
+};
+
+enum class MigratePhase : int {
+  kIdle = 0,
+  kPreCopy = 1,
+  kStopAndCopy = 2,
+  kCutover = 3,   // final manifest committed; VM frozen, ready to re-point
+  kDone = 4,      // target imported the final manifest
+  kAborted = 5,
+  kFailover = 6,  // target took over from a committed pre-copy round
+};
+
+const char* MigratePhaseName(MigratePhase phase);
+
+struct LiveMigrateStats {
+  int rounds = 0;                    // pre-copy rounds completed
+  std::uint64_t objects_scanned = 0;
+  std::uint64_t bytes_scanned = 0;   // content bytes hashed across rounds
+  std::uint64_t bytes_offered = 0;   // chunk bytes offered to the target
+  std::uint64_t bytes_shipped = 0;   // chunk payload bytes actually sent
+  std::uint64_t bytes_deduped = 0;   // offered - shipped (target held them)
+  std::uint64_t chunks_shipped = 0;
+  std::uint64_t residual_bytes = 0;  // dirty bytes entering stop-and-copy
+  std::int64_t precopy_ns = 0;
+  std::int64_t downtime_ns = 0;      // freeze -> final COMMIT ack
+};
+
+// Per-round report, for tests and the bench driver.
+struct RoundReport {
+  int round = 0;
+  std::uint64_t dirty_objects = 0;
+  std::uint64_t bytes_offered = 0;
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t residual_dirty_bytes = 0;  // still dirty after this round
+  bool converged = false;  // predicted residual copy time <= downtime target
+};
+
+// Dirty-object set fed by the registry touch observer. Leaf lock: Mark()
+// runs under the registry lock, so it must not call back into anything.
+class DirtyTracker {
+ public:
+  void Mark(WireHandle id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dirty_.insert(id);
+  }
+  // Atomically swaps the dirty set out: writes landing during the
+  // subsequent scan accumulate for the NEXT round, never lost.
+  std::unordered_set<WireHandle> Take() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unordered_set<WireHandle> out;
+    out.swap(dirty_);
+    return out;
+  }
+  void Restore(const std::unordered_set<WireHandle>& ids) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dirty_.insert(ids.begin(), ids.end());
+  }
+  std::unordered_set<WireHandle> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dirty_;
+  }
+  std::size_t Count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dirty_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_set<WireHandle> dirty_;
+};
+
+// ----------------------------- source side --------------------------------
+
+class LiveMigrationSource {
+ public:
+  LiveMigrationSource(BufferHooks hooks,
+                      LiveMigrateOptions options = LiveMigrateOptions());
+  ~LiveMigrationSource();
+
+  LiveMigrationSource(const LiveMigrationSource&) = delete;
+  LiveMigrationSource& operator=(const LiveMigrationSource&) = delete;
+
+  // Lets the residual scan materialize swapped-out buffers from every tier.
+  void SetSwapManager(SwapManager* swap) { swap_ = swap; }
+
+  // Binds the source stack and installs the dirty-tracking touch observer
+  // on the session's registry. `router` may be null (no freeze plumbing —
+  // unit tests driving the session directly). The observer is uninstalled
+  // on Abort, on destruction, and after cutover.
+  Status Bind(Router* router, ApiServerSession* session,
+              const Recorder* recorder);
+
+  // HELLO/HELLO_ACK handshake over the (source end of the) migration
+  // channel. The engine owns the channel from here on.
+  Status Connect(TransportPtr channel);
+
+  // One pre-copy round: scan (round 1: everything; later: the dirty set),
+  // OFFER/NEED/CHUNK the delta, ship a non-final MANIFEST checkpoint, wait
+  // for COMMIT. On failure the migration is aborted (VM keeps serving).
+  Result<RoundReport> RunRound();
+
+  // Convergence predicate the round loop consults (uses the last round's
+  // report; true when predicted residual copy time <= downtime target or
+  // the round cap is reached).
+  bool ShouldStop() const;
+
+  // Freeze (QuiesceVm), residual scan — pins must be zero — final
+  // OFFER/NEED/CHUNK + MANIFEST(final), wait for COMMIT. On success the VM
+  // is left paused in phase kCutover: re-point the guest, then call
+  // FinishCutover(). Any failure aborts and resumes the VM.
+  Status StopAndCopy();
+
+  // Post-cutover bookkeeping: detaches the (now re-pointed) VM from the
+  // source router and uninstalls the touch observer.
+  Status FinishCutover();
+
+  // Cancels: best-effort ABORT to the target, resume the VM if frozen,
+  // uninstall the observer. Safe to call at any phase.
+  Status Abort(const std::string& reason);
+
+  // One-shot driver: rounds until ShouldStop(), then StopAndCopy().
+  Status Run();
+
+  MigratePhase phase() const;
+  const LiveMigrateStats& stats() const { return stats_; }
+  const RoundReport& last_report() const { return last_report_; }
+
+ private:
+  struct ScanChunk {
+    std::uint64_t digest = 0;
+    std::uint32_t length = 0;
+  };
+  struct ScannedObject {
+    std::vector<ScanChunk> chunks;
+    std::uint64_t size = 0;
+  };
+
+  void SetPhase(MigratePhase phase);
+  void InstallObserver();
+  void RemoveObserver();
+  // Re-reads one buffer (any tier), chunks + hashes it, updates
+  // object_digests_, and appends chunks missing target-side to `fresh`.
+  // NotFound (freed since marked dirty) is not an error.
+  Status ScanObject(WireHandle id,
+                    std::vector<std::pair<ScanChunk, Bytes>>* fresh);
+  // OFFER `fresh` chunks, read NEED, ship the needed CHUNKs.
+  Status ShipChunks(int round,
+                    const std::vector<std::pair<ScanChunk, Bytes>>& fresh,
+                    std::uint64_t* shipped_bytes);
+  Bytes BuildManifest(int round, bool final_round) const;
+  // Sends one sealed frame; classifies send failures.
+  Status SendFrame(Bytes frame);
+  // Receives + unseals one frame under the frame timeout.
+  Result<Bytes> RecvFrame();
+  // Waits for COMMIT(round); target rejection or protocol noise -> error.
+  Status AwaitCommit(int round);
+  // Dirty bytes still pending (sizes of tracker-marked objects).
+  std::uint64_t ResidualDirtyBytes() const;
+  double EffectiveCopyRate() const;
+  Status AbortLocked(const std::string& reason, bool notify_target);
+
+  BufferHooks hooks_;
+  LiveMigrateOptions options_;
+  SwapManager* swap_ = nullptr;
+
+  Router* router_ = nullptr;
+  ApiServerSession* session_ = nullptr;
+  const Recorder* recorder_ = nullptr;
+  TransportPtr channel_;
+
+  DirtyTracker tracker_;
+  bool observer_installed_ = false;
+  bool first_round_done_ = false;
+  bool frozen_ = false;
+
+  // Last-scanned chunk list per live object — the manifest's object table.
+  // Objects skipped while pinned keep their previous (consistent, older)
+  // digests; they stay dirty, so a later round or the residual pass
+  // refreshes them.
+  std::map<WireHandle, ScannedObject> object_digests_;
+  // Digests already shipped to (and acked by) the target. Re-generated
+  // digests — a buffer rewritten with old contents, twin buffers — are
+  // deduped source-side before they are even offered.
+  std::unordered_set<std::uint64_t> target_has_;
+
+  mutable std::mutex phase_mutex_;
+  MigratePhase phase_ = MigratePhase::kIdle;
+  LiveMigrateStats stats_;
+  RoundReport last_report_;
+  double measured_rate_ = 0.0;  // bytes/sec over the last shipping round
+};
+
+// ----------------------------- target side --------------------------------
+
+class LiveMigrationTarget {
+ public:
+  LiveMigrationTarget(BufferHooks hooks,
+                      LiveMigrateOptions options = LiveMigrateOptions());
+
+  LiveMigrationTarget(const LiveMigrationTarget&) = delete;
+  LiveMigrationTarget& operator=(const LiveMigrationTarget&) = delete;
+
+  // Speaks the target half of the protocol over the (target end of the)
+  // migration channel, importing into `session` (must be fresh: empty
+  // registry). Returns:
+  //   OK            final manifest imported; session holds the VM's state
+  //   Aborted       source aborted, or this side rejected a manifest
+  //   DataLoss      corrupt frame / forged chunk digest (channel poisoned)
+  //   Unavailable   channel died mid-stream — committed pre-copy state is
+  //                 RETAINED; TakeOver() decides warm failover
+  Status Serve(TransportPtr channel, ApiServerSession* session);
+
+  // Warm failover after the source died mid-migration: imports the last
+  // committed pre-copy round into the Serve() session. FailedPrecondition
+  // when no round ever committed (cleanly "unsynced" — the caller falls
+  // back to cold start).
+  Status TakeOver();
+
+  int committed_rounds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return committed_rounds_;
+  }
+  MigratePhase phase() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return phase_;
+  }
+  std::uint64_t chunk_bytes_received() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return chunk_bytes_received_;
+  }
+
+ private:
+  struct ManifestObject {
+    WireHandle id = 0;
+    std::uint32_t type_tag = 0;
+    WireHandle parent = 0;
+    std::uint64_t size = 0;
+    std::int32_t refcount = 0;
+    bool interned = false;
+    std::uint8_t tier = 0;  // SwapTier the source held the bytes in
+    std::int32_t pinned = 0;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> chunks;
+  };
+  struct Manifest {
+    VmId vm_id = 0;
+    int round = 0;
+    std::vector<RecordedCall> calls;
+    std::vector<ManifestObject> objects;
+  };
+
+  static Result<Manifest> ParseManifest(const Bytes& body);
+  // Checks a manifest against the chunk store (all digests present, no
+  // pinned objects). Non-OK reason goes back in COMMIT.
+  Status ValidateManifest(const Manifest& manifest) const;
+  // Replays the call log and writes every buffer's bytes back into the
+  // session (device tier -> write_back; swapped tiers -> host-tier copy the
+  // target's own demoter re-tiers). Incremental: Serve() runs the same
+  // steps eagerly at every committed pre-copy round, so by the time the
+  // final manifest lands only the dirty residual re-materializes — cutover
+  // downtime is proportional to what changed, not the working set.
+  Status Import(const Manifest& manifest);
+  // One-time freshness gate for the first import activity of any kind.
+  Status BeginImport();
+  // Replays call-log entries this target has not replayed yet (keyed by
+  // call identity — the recorder elides tombstones, so indexes shift).
+  Status ImportCalls(const Manifest& manifest);
+  // Materializes every buffer whose chunk signature changed since the last
+  // imported round, minting swapped host-tier entries for buffers replay
+  // did not recreate. Unchanged objects are skipped outright.
+  Status ImportObjects(const Manifest& manifest);
+  // Drops buffers materialized by an earlier round that `manifest` no
+  // longer names (freed at the source mid-migration).
+  void PruneStale(const Manifest& manifest);
+  // Deliberate source abort: the source still owns the state, so every
+  // eagerly materialized buffer is torn back out of the session.
+  void DiscardEagerState();
+
+  BufferHooks hooks_;
+  LiveMigrateOptions options_;
+  ApiServerSession* session_ = nullptr;
+  // Content-addressed chunk store: the dedup engine. Effectively unbounded
+  // (migration state must not evict mid-flight).
+  TransferCache store_;
+
+  mutable std::mutex mutex_;
+  MigratePhase phase_ = MigratePhase::kIdle;
+  int committed_rounds_ = 0;
+  std::unique_ptr<Manifest> committed_;  // last committed (non-final) round
+  std::uint64_t chunk_bytes_received_ = 0;
+  bool imported_ = false;       // final/takeover import completed
+  bool import_begun_ = false;   // freshness checked on first materialize
+  // Call identities already replayed across eager import rounds.
+  std::unordered_set<std::uint64_t> replayed_calls_;
+  // Chunk signature of each materialized buffer: the skip test that makes
+  // re-imports incremental, and the prune set for mid-migration frees.
+  std::unordered_map<WireHandle, std::uint64_t> installed_sig_;
+};
+
+// Registers the `avactl migrate` admin verb (idempotent): a text snapshot
+// of the process's most recent migration activity (phase, rounds, bytes,
+// downtime). Both engine ctors call it; exposed for tools/tests.
+void RegisterMigrateAdminVerb();
+
+}  // namespace ava
+
+#endif  // AVA_SRC_MIGRATE_LIVE_H_

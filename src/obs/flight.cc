@@ -77,6 +77,8 @@ const char* FlightKindName(std::uint16_t kind) {
       return "vm_dead";
     case FlightKind::kEvent:
       return "event";
+    case FlightKind::kMigratePhase:
+      return "migrate_phase";
   }
   return "?";
 }

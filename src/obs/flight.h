@@ -53,6 +53,7 @@ enum class FlightKind : std::uint16_t {
   kReject = 3,     // arg = api_id<<32 | func_id, code = reject status
   kVmDead = 4,     // arg = 0, code = status that killed the channel
   kEvent = 5,      // free-form marker (tests, tools)
+  kMigratePhase = 6,  // arg = MigratePhase the VM entered, code = 0
 };
 
 // One ring record: 48 bytes of PODs, fixed layout (serialized verbatim).

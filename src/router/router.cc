@@ -273,6 +273,55 @@ Status Router::PauseVm(VmId vm_id) {
   return OkStatus();
 }
 
+Status Router::QuiesceVm(VmId vm_id, std::int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = channels_.find(vm_id);
+  if (it == channels_.end()) {
+    return NotFound("unknown vm " + std::to_string(vm_id));
+  }
+  VmChannel* channel = it->second.get();
+  const auto quiet = [&] {
+    return stopping_ || channel->dead ||
+           (channel->ingress.queued() == 0 && channel->in_flight == 0);
+  };
+  if (timeout_ms > 0) {
+    if (!drain_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            quiet)) {
+      return DeadlineExceeded("vm " + std::to_string(vm_id) +
+                              " did not quiesce in " +
+                              std::to_string(timeout_ms) + "ms");
+    }
+  } else {
+    drain_cv_.wait(lock, quiet);
+  }
+  if (channel->dead) {
+    return Unavailable("vm " + std::to_string(vm_id) + " died while draining");
+  }
+  if (stopping_) {
+    return Unavailable("router stopping");
+  }
+  // Same critical section as the drain check: no call can slip in between
+  // "queue empty" and "paused".
+  channel->paused = true;
+  UpdateRunnableLocked(channel);
+  return OkStatus();
+}
+
+Status Router::DetachVm(VmId vm_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = channels_.find(vm_id);
+    if (it == channels_.end()) {
+      return NotFound("unknown vm " + std::to_string(vm_id));
+    }
+    MarkDeadLocked(it->second.get());
+  }
+  drain_cv_.notify_all();
+  sched_cv_.notify_all();
+  ReapDeadVms();
+  return OkStatus();
+}
+
 Status Router::ResumeVm(VmId vm_id) {
   {
     std::lock_guard<std::mutex> lock(mutex_);

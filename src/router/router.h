@@ -115,6 +115,20 @@ class Router {
   Status PauseVm(VmId vm_id);
   Status ResumeVm(VmId vm_id);
 
+  // Stop-and-copy freeze: waits until the VM has no queued AND no in-flight
+  // calls, then pauses it in the same critical section — so the instant this
+  // returns OK the VM's object state is quiescent and stays that way until
+  // ResumeVm (abort) or DetachVm (cutover). Unlike PauseVm, queued calls are
+  // allowed to finish first; a guest that keeps submitting can hold the
+  // queue non-empty, so the wait is bounded by `timeout_ms` (<= 0 waits
+  // forever) and expiry returns DeadlineExceeded with the VM left running.
+  Status QuiesceVm(VmId vm_id, std::int64_t timeout_ms);
+
+  // Cutover: force-detaches a VM whose guest has been re-pointed at another
+  // server — marks the channel dead (closing its transport) and reaps it.
+  // The session shared_ptr stays valid for callers that still hold it.
+  Status DetachVm(VmId vm_id);
+
   Result<VmStats> StatsFor(VmId vm_id) const;
 
   // The parallelism bound resolved for this VM at attach time.

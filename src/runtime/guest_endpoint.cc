@@ -339,6 +339,7 @@ Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
           ? MonotonicNowNs() + options_.call_deadline_ms * 1000000
           : 0;
   SyncWaiter waiter;
+  waiter.epoch = transport_epoch_;
   waiters_[call_id] = &waiter;
   if (Status sent = SendSealedLocked(message); !sent.ok()) {
     waiters_.erase(call_id);
@@ -350,11 +351,16 @@ Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
     if (!reader_active_) {
       // ---- reader: drain the transport for everyone ----
       reader_active_ = true;
+      // Snapshot the transport under the lock: ReplaceTransport may swap the
+      // member while we receive, but the snapshot stays alive (retired, not
+      // freed) and its Close() wakes this receive.
+      Transport* const rx_transport = transport_.get();
+      const std::uint64_t reader_epoch = transport_epoch_;
       lock.unlock();
       Result<Bytes> received =
           deadline_ns > 0
-              ? transport_->RecvTimeout(deadline_ns - MonotonicNowNs())
-              : transport_->Recv();
+              ? rx_transport->RecvTimeout(deadline_ns - MonotonicNowNs())
+              : rx_transport->Recv();
       // Bulk completion reap: with one reply in hand, opportunistically
       // drain whatever else is already deliverable so every waiting caller
       // gets routed under a single lock acquisition instead of one
@@ -364,7 +370,7 @@ Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
       if (received.ok()) {
         reaped.push_back(*std::move(received));
         constexpr std::size_t kReapBatch = 16;
-        (void)transport_->TryRecvBatch(&reaped, kReapBatch - 1);
+        (void)rx_transport->TryRecvBatch(&reaped, kReapBatch - 1);
       }
       lock.lock();
       reader_active_ = false;
@@ -381,16 +387,20 @@ Result<Bytes> GuestEndpoint::SyncAttempt(std::unique_lock<std::mutex>& lock,
           }
           break;
         }
-        // The transport is gone: no waiter's reply can arrive anymore.
+        // The transport this reader was draining is gone: no reply sent on
+        // it (or earlier generations) can arrive anymore. Calls already
+        // re-sent on a replacement transport keep waiting.
         for (auto& [id, other] : waiters_) {
-          if (!other->done) {
+          if (!other->done && other->epoch <= reader_epoch) {
             other->done = true;
             other->status = err;
           }
         }
         reply_cv_.notify_all();
-        waiters_.erase(call_id);
-        return err;
+        if (waiter.done) {
+          break;  // common exit below surfaces waiter.status
+        }
+        continue;  // our call rode a newer transport; resume waiting
       }
       Status routing_error = OkStatus();
       for (Bytes& raw : reaped) {
@@ -546,6 +556,44 @@ std::uint64_t GuestEndpoint::RegisterShadow(void* ptr, std::size_t size) {
 Status GuestEndpoint::Flush() {
   std::lock_guard<std::mutex> lock(mutex_);
   return FlushLocked();
+}
+
+Status GuestEndpoint::ReplaceTransport(TransportPtr fresh) {
+  if (fresh == nullptr) {
+    return InvalidArgument("ReplaceTransport: null transport");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Close BEFORE retiring: a blocked reader wakes with Unavailable, sees the
+  // bumped epoch, and fails only the calls that rode the old generation.
+  if (transport_ != nullptr) {
+    transport_->Close();
+    retired_transports_.push_back(std::move(transport_));
+  }
+  transport_ = std::move(fresh);
+  ++transport_epoch_;
+  // Re-negotiate the out-of-band bulk path with the new channel.
+  arena_ = nullptr;
+  arena_threshold_ = 0;
+  if (options_.arena_threshold_bytes > 0) {
+    arena_ = transport_->arena();
+    if (arena_ != nullptr) {
+      arena_threshold_ =
+          static_cast<std::size_t>(options_.arena_threshold_bytes);
+    }
+  }
+  // The old channel's failures say nothing about the new one.
+  consecutive_failures_ = 0;
+  breaker_open_until_ns_ = 0;
+  breaker_open_->Set(0);
+  {
+    // Lock order: mutex_ then cache_mutex_ (see cache_mutex_ comment).
+    // The target server's transfer cache starts cold; stale residency would
+    // make the first reusable send travel as an unanswerable descriptor.
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    resident_.clear();
+    seen_once_.clear();
+  }
+  return OkStatus();
 }
 
 std::int32_t GuestEndpoint::ConsumeAsyncError() {

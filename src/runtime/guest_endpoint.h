@@ -126,6 +126,17 @@ class GuestEndpoint {
   // Sends any buffered async batch now.
   Status Flush();
 
+  // Live-migration cutover / warm failover: atomically re-points this
+  // endpoint at a fresh channel (to the migration target). The old transport
+  // is closed — waking any blocked reader, which fails every call still
+  // waiting on the old channel with its transport error — and kept alive
+  // (retired) until endpoint destruction so the reader's in-flight receive
+  // never touches freed memory. Callers then observe normal transport-failure
+  // semantics: `idempotent;` calls re-send on the new channel, the rest
+  // surface Unavailable. Resets the circuit breaker and forgets
+  // transfer-cache residency (the new server's cache starts cold).
+  Status ReplaceTransport(TransportPtr fresh);
+
   // Last API error latched from an asynchronous call, delivered on a later
   // reply (§4.2: async calls cannot report errors faithfully). 0 = none.
   std::int32_t ConsumeAsyncError();
@@ -247,10 +258,19 @@ class GuestEndpoint {
     Bytes raw;
     bool done = false;
     Status status = OkStatus();  // non-OK: transport failed while waiting
+    // Which transport generation the call was sent on. A reader that saw its
+    // generation's transport die fails only waiters of that generation or
+    // older; calls already re-sent on a replacement channel keep waiting.
+    std::uint64_t epoch = 0;
   };
   std::unordered_map<CallId, SyncWaiter*> waiters_;
   bool reader_active_ = false;
   std::condition_variable reply_cv_;
+  // Bumped by ReplaceTransport. Old transports move to retired_transports_
+  // (never freed before the endpoint) so the reader's lock-free receive on a
+  // raw snapshot stays safe across a swap.
+  std::uint64_t transport_epoch_ = 0;
+  std::vector<TransportPtr> retired_transports_;
 
   // Circuit-breaker state (all under mutex_).
   int consecutive_failures_ = 0;

@@ -35,6 +35,9 @@ WireHandle ObjectRegistry::Insert(std::uint32_t type_tag, void* real) {
   entry.last_use_ns = MonotonicNowNs();
   entries_[id] = std::move(entry);
   tls_created_in_call.push_back(id);
+  if (touch_observer_ && type_tag == touch_tag_) {
+    touch_observer_(id);
+  }
   return id;
 }
 
@@ -55,6 +58,9 @@ WireHandle ObjectRegistry::InternOrFind(std::uint32_t type_tag, void* real) {
   // Interned handles minted inside a recorded call (e.g. device discovery)
   // must replay with the same ids after migration.
   tls_created_in_call.push_back(id);
+  if (touch_observer_ && type_tag == touch_tag_) {
+    touch_observer_(id);
+  }
   return id;
 }
 
@@ -70,6 +76,9 @@ Result<void*> ObjectRegistry::Translate(std::uint32_t type_tag, WireHandle id) {
                            std::to_string(id) + " has wrong type");
   }
   it->second.last_use_ns = MonotonicNowNs();
+  if (touch_observer_ && type_tag == touch_tag_) {
+    touch_observer_(id);
+  }
   return it->second.real;
 }
 
@@ -155,12 +164,22 @@ void* ObjectRegistry::PinIfResident(std::uint32_t type_tag, WireHandle id,
     entry.clean_copy.clear();
     entry.clean_copy.shrink_to_fit();
   }
+  if (touch_observer_ && type_tag == touch_tag_) {
+    touch_observer_(id);
+  }
   return entry.real;
 }
 
 void ObjectRegistry::SetReclaimHook(std::function<void(Entry&)> hook) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   reclaim_hook_ = std::move(hook);
+}
+
+void ObjectRegistry::SetTouchObserver(std::uint32_t type_tag,
+                                      std::function<void(WireHandle)> fn) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  touch_tag_ = type_tag;
+  touch_observer_ = std::move(fn);
 }
 
 void ObjectRegistry::ForEach(

@@ -112,6 +112,14 @@ class ObjectRegistry {
   // swapped-out buffer. Must not acquire locks.
   void SetReclaimHook(std::function<void(Entry&)> hook);
 
+  // Installed by live migration: runs (under the registry lock) whenever an
+  // entry of `type_tag` is minted or handed to a call that may write it
+  // (Translate / PinIfResident). Conservative — reads fire it too — which
+  // only costs the pre-copy loop a redundant re-scan, never a missed write.
+  // Pass nullptr to uninstall. The observer may take only leaf locks.
+  void SetTouchObserver(std::uint32_t type_tag,
+                        std::function<void(WireHandle)> fn);
+
   // Iterates entries of one type under the lock.
   void ForEach(std::uint32_t type_tag,
                const std::function<void(WireHandle, Entry&)>& fn);
@@ -149,6 +157,8 @@ class ObjectRegistry {
   std::vector<WireHandle> forced_ids_;
   std::size_t forced_cursor_ = 0;
   std::function<void(Entry&)> reclaim_hook_;
+  std::uint32_t touch_tag_ = 0;
+  std::function<void(WireHandle)> touch_observer_;
 };
 
 // Resets a swapped entry's authoritative bytes to a raw host-tier copy

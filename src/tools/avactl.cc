@@ -5,6 +5,8 @@
 //                                 swap-tier residency: dev/host/comp/disk)
 //   avactl [-s SOCKET] account    per-VM accounting ledger + tier bytes
 //   avactl [-s SOCKET] flight     flight-recorder dump of the live process
+//   avactl [-s SOCKET] migrate    live-migration status (phase, rounds,
+//                                 bytes shipped/deduped, last downtime)
 //   avactl [-s SOCKET] ping       liveness probe
 //   avactl flight <dump.bin>      decode a crash dump written by the
 //                                 SIGSEGV/SIGABRT handler (no socket needed)
@@ -27,7 +29,8 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: avactl [-s SOCKET] metrics|sessions|account|flight|ping\n"
+      "usage: avactl [-s SOCKET] metrics|sessions|account|flight|migrate|"
+      "ping\n"
       "       avactl flight <dump.bin>\n"
       "SOCKET defaults to $AVA_ADMIN_SOCK.\n");
   return 2;
@@ -76,7 +79,7 @@ int main(int argc, char** argv) {
     return DecodeDumpFile(argv[arg]);
   }
   if (command != "metrics" && command != "sessions" && command != "account" &&
-      command != "flight" && command != "ping") {
+      command != "flight" && command != "migrate" && command != "ping") {
     return Usage();
   }
   if (socket_path.empty()) {

@@ -10,16 +10,22 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "src/common/vclock.h"
+#include "src/migrate/live.h"
 #include "src/router/router.h"
 #include "src/runtime/guest_endpoint.h"
 #include "src/server/api_server.h"
+#include "src/server/swap_manager.h"
 #include "src/transport/sqcq_ring.h"
 #include "src/transport/transport.h"
 
@@ -293,6 +299,273 @@ TEST(CrashRecoveryTest, SqcqGuestDeathBetweenClaimAndPublishSkipsAndReaps) {
   auto recovered = CallOp(&endpoint_a2, 55);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   router.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Live-migration crash cells: a real process dies mid-migration. The
+// survivor must end in a classified state — the standby serves from its
+// last committed pre-copy round, or the source keeps serving and can
+// retry against a fresh target. Never a wedge, never silent data damage.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kMigBufTag = 21;
+constexpr std::size_t kMigBufBytes = 8192;
+constexpr int kMigBufCount = 4;
+
+// Content-tracking fake device (same idiom as the live migration suite).
+struct MigDevice {
+  void* Alloc(const Bytes& content) {
+    std::lock_guard<std::mutex> lock(m);
+    void* p = reinterpret_cast<void*>(next++);
+    mem[p] = content;
+    return p;
+  }
+
+  std::mutex m;
+  std::uintptr_t next = 0x1000;
+  std::unordered_map<void*, Bytes> mem;
+};
+
+BufferHooks MigHooks(MigDevice* dev) {
+  BufferHooks hooks;
+  hooks.buffer_type_tag = kMigBufTag;
+  hooks.read_back = [dev](ObjectRegistry*, WireHandle,
+                          ObjectRegistry::Entry& entry, Bytes* out) -> Status {
+    std::lock_guard<std::mutex> lock(dev->m);
+    auto it = dev->mem.find(entry.real);
+    if (it == dev->mem.end()) {
+      return Internal("read_back of unknown fake buffer");
+    }
+    *out = it->second;
+    return OkStatus();
+  };
+  hooks.free_buffer = [dev](ObjectRegistry*, ObjectRegistry::Entry& entry) {
+    std::lock_guard<std::mutex> lock(dev->m);
+    dev->mem.erase(entry.real);
+  };
+  hooks.realloc_buffer = [dev](ObjectRegistry*, WireHandle,
+                               ObjectRegistry::Entry&,
+                               const Bytes& contents) -> void* {
+    return dev->Alloc(contents);
+  };
+  hooks.write_back = [dev](ObjectRegistry*, WireHandle,
+                           ObjectRegistry::Entry& entry,
+                           const Bytes& contents) -> Status {
+    std::lock_guard<std::mutex> lock(dev->m);
+    dev->mem[entry.real] = contents;
+    return OkStatus();
+  };
+  return hooks;
+}
+
+// Deterministic buffer content both processes can compute independently.
+Bytes MigPattern(std::size_t n, std::uint64_t seed) {
+  Bytes out(n);
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (auto& b : out) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<std::uint8_t>(x);
+  }
+  return out;
+}
+
+std::vector<WireHandle> MigSeed(MigDevice* dev, ObjectRegistry* registry) {
+  std::vector<WireHandle> ids;
+  for (int i = 0; i < kMigBufCount; ++i) {
+    void* p = dev->Alloc(MigPattern(kMigBufBytes, 7000 + i));
+    WireHandle id = registry->Insert(kMigBufTag, p);
+    registry->SetMeta(id, 0, kMigBufBytes);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+// Every buffer the session holds, materialized and sorted by content (the
+// killed peer's ids are not visible here, so compare as a content set).
+std::vector<Bytes> MigContents(ApiServerSession* session, MigDevice* dev) {
+  std::vector<Bytes> all;
+  session->registry().ForEach(
+      kMigBufTag, [&](WireHandle, ObjectRegistry::Entry& entry) {
+        if (entry.swapped) {
+          auto raw = MaterializeSwappedCopy(entry);
+          all.push_back(raw.ok() ? *std::move(raw) : Bytes{});
+          return;
+        }
+        std::lock_guard<std::mutex> lock(dev->m);
+        auto it = dev->mem.find(entry.real);
+        all.push_back(it == dev->mem.end() ? Bytes{} : it->second);
+      });
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+// The SOURCE process is SIGKILLed inside the stop-and-copy window: the VM
+// is frozen, one pre-copy round is committed on the standby, the final
+// manifest never arrives. The standby must take over from the committed
+// round — every buffer restored bit-exact to the round-1 state.
+TEST(CrashRecoveryTest, SourceDeathMidStopAndCopyFailsOverToCommittedRound) {
+  // Channel before the fork; the child builds its whole stack after it (a
+  // fresh single-threaded process, so no locks cross the fork).
+  auto wire = MakeSocketPairChannel();
+  ASSERT_TRUE(wire.ok());
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // NOTE: do not reset wire->host here — the transport's Close() is a
+    // socket-wide shutdown() that would also kill the parent's copy.
+    MigDevice dev;
+    auto session = std::make_shared<ApiServerSession>(5);
+    MigSeed(&dev, &session->registry());
+    LiveMigrateOptions options;
+    options.chunk_bytes = 4096;
+    options.copy_rate_bytes_per_sec = 1e9;
+    // The kill lands in this window: frozen, committed, not yet final.
+    options.stop_copy_delay_ms = 30000;
+    LiveMigrationSource source(MigHooks(&dev), options);
+    if (Status s = source.Bind(nullptr, session.get(), nullptr); !s.ok()) {
+      std::fprintf(stderr, "child Bind: %s\n", s.ToString().c_str());
+      _exit(2);
+    }
+    if (Status s = source.Connect(std::move(wire->guest)); !s.ok()) {
+      std::fprintf(stderr, "child Connect: %s\n", s.ToString().c_str());
+      _exit(2);
+    }
+    if (auto round = source.RunRound(); !round.ok()) {
+      std::fprintf(stderr, "child RunRound: %s\n",
+                   round.status().ToString().c_str());
+      _exit(3);
+    }
+    (void)source.StopAndCopy();  // parent kills us inside the delay
+    _exit(4);                    // survived the window: test misfired
+  }
+
+  MigDevice standby_dev;
+  auto standby_session = std::make_shared<ApiServerSession>(5);
+  LiveMigrateOptions standby_options;
+  standby_options.chunk_bytes = 4096;
+  LiveMigrationTarget standby(MigHooks(&standby_dev), standby_options);
+  Status serve_status;
+  std::thread serve([&] {
+    serve_status = standby.Serve(std::move(wire->host),
+                                 standby_session.get());
+  });
+
+  // Round 1 checkpointed -> the child is now parked in stop-and-copy.
+  int early_status = 0;
+  for (int i = 0; i < 1000 && standby.committed_rounds() < 1; ++i) {
+    ASSERT_EQ(waitpid(child, &early_status, WNOHANG), 0)
+        << "source child died before committing a round: signaled="
+        << WIFSIGNALED(early_status) << " exit="
+        << (WIFEXITED(early_status) ? WEXITSTATUS(early_status) : -1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(standby.committed_rounds(), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited " << WEXITSTATUS(status);
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  // Our inherited copy of the dead source's end kept the socket open;
+  // dropping it now (socket-wide shutdown) delivers the EOF to Serve.
+  wire->guest.reset();
+
+  // The dead wire classifies the serve loop; the checkpoint survives it.
+  serve.join();
+  ASSERT_FALSE(serve_status.ok());
+  ASSERT_GE(standby.committed_rounds(), 1);
+
+  // Warm failover: the standby installs the last committed round.
+  ASSERT_TRUE(standby.TakeOver().ok());
+  EXPECT_EQ(standby.phase(), MigratePhase::kFailover);
+  std::vector<Bytes> expected;
+  for (int i = 0; i < kMigBufCount; ++i) {
+    expected.push_back(MigPattern(kMigBufBytes, 7000 + i));
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(MigContents(standby_session.get(), &standby_dev), expected);
+}
+
+// The TARGET process is SIGKILLed mid-pre-copy. The source's next round
+// classifies (Aborted, not a wedge), the source keeps serving its own
+// registry, and a retry against a fresh target completes bit-exact.
+TEST(CrashRecoveryTest, TargetDeathMidPreCopyClassifiesAndSourceRetries) {
+  auto wire = MakeSocketPairChannel();
+  ASSERT_TRUE(wire.ok());
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // (no wire->guest.reset(): Close() is a socket-wide shutdown that
+    // would sever the parent's copy too)
+    MigDevice dev;
+    auto session = std::make_shared<ApiServerSession>(6);
+    LiveMigrateOptions options;
+    options.chunk_bytes = 4096;
+    LiveMigrationTarget target(MigHooks(&dev), options);
+    (void)target.Serve(std::move(wire->host), session.get());
+    ::pause();  // hold the wire open until the SIGKILL lands
+    _exit(2);
+  }
+
+  MigDevice dev;
+  auto session = std::make_shared<ApiServerSession>(6);
+  auto ids = MigSeed(&dev, &session->registry());
+  LiveMigrateOptions options;
+  options.chunk_bytes = 4096;
+  options.copy_rate_bytes_per_sec = 1.0;  // never converges: rounds continue
+  options.frame_timeout_ms = 2000;
+  auto source = std::make_unique<LiveMigrationSource>(MigHooks(&dev),
+                                                      options);
+  ASSERT_TRUE(source->Bind(nullptr, session.get(), nullptr).ok());
+  ASSERT_TRUE(source->Connect(std::move(wire->guest)).ok());
+  ASSERT_TRUE(source->RunRound().ok());
+
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  // Drop our inherited copy of the dead target's end so the source's next
+  // send sees the broken pipe instead of waiting out the frame timeout.
+  wire->host.reset();
+
+  // Dirty a buffer so the next round has work, then watch it classify.
+  auto real = session->registry().Translate(kMigBufTag, ids[0]);
+  ASSERT_TRUE(real.ok());
+  {
+    std::lock_guard<std::mutex> lock(dev.m);
+    dev.mem[*real] = MigPattern(kMigBufBytes, 9999);
+  }
+  auto dead_round = source->RunRound();
+  ASSERT_FALSE(dead_round.ok());
+  EXPECT_EQ(dead_round.status().code(), StatusCode::kAborted)
+      << dead_round.status().ToString();
+  EXPECT_EQ(source->phase(), MigratePhase::kAborted);
+
+  // The source was never the casualty: its registry still resolves, and a
+  // fresh engine migrates the live state to a fresh standby bit-exact.
+  ASSERT_TRUE(session->registry().Translate(kMigBufTag, ids[0]).ok());
+  source.reset();  // releases the touch observer slot
+
+  auto retry_wire = MakeInProcChannel();
+  MigDevice standby_dev;
+  auto standby_session = std::make_shared<ApiServerSession>(6);
+  LiveMigrationTarget standby(MigHooks(&standby_dev), options);
+  Status serve_status;
+  std::thread serve([&] {
+    serve_status = standby.Serve(std::move(retry_wire.host),
+                                 standby_session.get());
+  });
+  LiveMigrationSource retry(MigHooks(&dev), options);
+  ASSERT_TRUE(retry.Bind(nullptr, session.get(), nullptr).ok());
+  ASSERT_TRUE(retry.Connect(std::move(retry_wire.guest)).ok());
+  ASSERT_TRUE(retry.Run().ok());
+  ASSERT_TRUE(retry.FinishCutover().ok());
+  serve.join();
+  ASSERT_TRUE(serve_status.ok()) << serve_status.ToString();
+  EXPECT_EQ(MigContents(standby_session.get(), &standby_dev),
+            MigContents(session.get(), &dev));
 }
 
 }  // namespace
